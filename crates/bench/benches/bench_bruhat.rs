@@ -1,0 +1,66 @@
+//! Ablation bench: Bruhat-order machinery — comparison criteria, cover
+//! enumeration, and covering-graph construction.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use symloc_perm::bruhat::{bruhat_leq, bruhat_leq_subword, upper_covers, CoveringGraph};
+use symloc_perm::sample::{random_permutation, random_with_inversions};
+
+fn bench_bruhat_comparison(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bruhat_comparison");
+    let mut rng = StdRng::seed_from_u64(2);
+    for &m in &[8usize, 16, 32, 64] {
+        // Compare a permutation against one a few covers above it so the
+        // comparison usually succeeds (the expensive path).
+        let low = random_with_inversions(m, m * (m - 1) / 4, &mut rng).unwrap();
+        let high = {
+            let mut p = low.clone();
+            for _ in 0..3 {
+                if let Some(cover) = symloc_perm::sample::random_upper_cover(&p, &mut rng) {
+                    p = cover.perm;
+                }
+            }
+            p
+        };
+        group.bench_with_input(BenchmarkId::new("tableau_criterion", m), &m, |b, _| {
+            b.iter(|| black_box(bruhat_leq(&low, &high)));
+        });
+        if m <= 8 {
+            group.bench_with_input(BenchmarkId::new("subword_criterion", m), &m, |b, _| {
+                b.iter(|| black_box(bruhat_leq_subword(&low, &high)));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_cover_enumeration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bruhat_covers");
+    let mut rng = StdRng::seed_from_u64(3);
+    for &m in &[8usize, 16, 32, 64, 128] {
+        let sigma = random_permutation(m, &mut rng);
+        group.bench_with_input(BenchmarkId::new("upper_covers", m), &sigma, |b, s| {
+            b.iter(|| black_box(upper_covers(s)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_covering_graph(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bruhat_covering_graph");
+    group.sample_size(10);
+    for &m in &[5usize, 6, 7] {
+        group.bench_with_input(BenchmarkId::new("build", m), &m, |b, &m| {
+            b.iter(|| black_box(CoveringGraph::build(m)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_bruhat_comparison, bench_cover_enumeration, bench_covering_graph
+}
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Bench: cache-simulation substrate throughput (Olken reuse profiling,
+//! Mattson stack, set-associative models, hierarchy).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use symloc_cache::hierarchy::{CacheHierarchy, LevelConfig};
+use symloc_cache::reuse::reuse_profile;
+use symloc_cache::setassoc::{CacheConfig, ReplacementPolicy, SetAssocCache};
+use symloc_trace::generators::{random_trace, sawtooth_trace, zipfian_trace};
+
+fn bench_reuse_profiling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reuse_profiling");
+    let mut rng = StdRng::seed_from_u64(3);
+    for &len in &[10_000usize, 100_000] {
+        let traces = [
+            ("random", random_trace(1024, len, &mut rng)),
+            ("zipfian", zipfian_trace(1024, len, 1.0, &mut rng)),
+            ("sawtooth", sawtooth_trace(1024, len / 1024), ),
+        ];
+        for (name, trace) in traces {
+            group.throughput(Throughput::Elements(trace.len() as u64));
+            group.bench_with_input(
+                BenchmarkId::new(format!("olken_{name}"), len),
+                &trace,
+                |b, t| {
+                    b.iter(|| black_box(reuse_profile(t)));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_cache_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_models");
+    let mut rng = StdRng::seed_from_u64(4);
+    let trace = zipfian_trace(4096, 50_000, 0.9, &mut rng);
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    for policy in [
+        ReplacementPolicy::Lru,
+        ReplacementPolicy::Fifo,
+        ReplacementPolicy::TreePlru,
+    ] {
+        group.bench_function(format!("setassoc_64x8_{policy:?}"), |b| {
+            b.iter(|| {
+                let mut cache = SetAssocCache::new(CacheConfig {
+                    sets: 64,
+                    ways: 8,
+                    policy,
+                });
+                black_box(cache.run(&trace))
+            });
+        });
+    }
+    group.bench_function("two_level_hierarchy", |b| {
+        b.iter(|| {
+            let mut hierarchy = CacheHierarchy::new(&[
+                LevelConfig {
+                    level: 1,
+                    cache: CacheConfig {
+                        sets: 16,
+                        ways: 4,
+                        policy: ReplacementPolicy::Lru,
+                    },
+                },
+                LevelConfig {
+                    level: 2,
+                    cache: CacheConfig {
+                        sets: 128,
+                        ways: 8,
+                        policy: ReplacementPolicy::Lru,
+                    },
+                },
+            ]);
+            hierarchy.run(&trace);
+            black_box(hierarchy.stats())
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_reuse_profiling, bench_cache_models
+}
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Bench: ChainFind scaling with the group degree (Experiment E9's runtime
+//! column measured precisely) and labeling ablation.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use symloc_core::chainfind::{chain_find, ChainFindConfig};
+use symloc_core::labeling::{
+    GeneratorTieBreakLabeling, InversionLabeling, MissRatioLabeling, RankedMissRatioLabeling,
+};
+use symloc_perm::Permutation;
+
+fn bench_chainfind_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chainfind_scaling");
+    group.sample_size(10);
+    for &m in &[6usize, 8, 12, 16, 20] {
+        group.bench_with_input(BenchmarkId::new("miss_ratio_labeling", m), &m, |b, &m| {
+            let start = Permutation::identity(m);
+            b.iter(|| {
+                black_box(chain_find(
+                    &start,
+                    &MissRatioLabeling,
+                    ChainFindConfig::default(),
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_chainfind_labelings(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chainfind_labelings");
+    group.sample_size(10);
+    let m = 10usize;
+    let start = Permutation::identity(m);
+    group.bench_function("lambda_e", |b| {
+        b.iter(|| {
+            black_box(chain_find(
+                &start,
+                &MissRatioLabeling,
+                ChainFindConfig::default(),
+            ))
+        });
+    });
+    group.bench_function("lambda_psi", |b| {
+        let labeling = RankedMissRatioLabeling::prioritize_second_largest(m);
+        b.iter(|| black_box(chain_find(&start, &labeling, ChainFindConfig::default())));
+    });
+    group.bench_function("generator_tiebreak", |b| {
+        let labeling = GeneratorTieBreakLabeling::new(MissRatioLabeling);
+        b.iter(|| black_box(chain_find(&start, &labeling, ChainFindConfig::default())));
+    });
+    group.bench_function("degenerate_inversion_labeling", |b| {
+        b.iter(|| {
+            black_box(chain_find(
+                &start,
+                &InversionLabeling,
+                ChainFindConfig::default(),
+            ))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_chainfind_scaling, bench_chainfind_labelings);
+criterion_main!(benches);

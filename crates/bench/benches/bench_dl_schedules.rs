@@ -1,0 +1,71 @@
+//! Bench: deep-learning schedule evaluation throughput — how expensive it is
+//! to measure the locality of cyclic vs alternating training schedules and to
+//! compute the constrained-optimal order for partially ordered data.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use symloc_core::chainfind::ChainFindConfig;
+use symloc_core::optimize::optimize_from_identity;
+use symloc_dl::dataorder::DataOrder;
+use symloc_dl::mlp::Mlp;
+use symloc_dl::schedule::{EpochPolicy, TrainingSchedule};
+
+fn bench_schedule_reports(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dl_schedule_reports");
+    group.sample_size(10);
+    for &weights in &[256usize, 1024, 4096] {
+        for policy in [EpochPolicy::Cyclic, EpochPolicy::AlternatingSawtooth] {
+            group.bench_with_input(
+                BenchmarkId::new(policy.name(), weights),
+                &weights,
+                |b, &w| {
+                    b.iter(|| {
+                        black_box(TrainingSchedule::new(w, 6, policy.clone()).report())
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_mlp_step_traces(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dl_mlp_step_traces");
+    group.sample_size(10);
+    let mlp = Mlp::from_widths(&[128, 96, 64, 10]);
+    let sawtooth_orders = mlp.sawtooth_backward_orders();
+    group.bench_function("natural_backward", |b| {
+        b.iter(|| black_box(mlp.training_step_trace(None)));
+    });
+    group.bench_function("sawtooth_backward", |b| {
+        b.iter(|| black_box(mlp.training_step_trace(Some(&sawtooth_orders))));
+    });
+    group.finish();
+}
+
+fn bench_constrained_optimization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dl_constrained_optimization");
+    group.sample_size(10);
+    for &(groups, len) in &[(4usize, 3usize), (5, 4), (6, 5)] {
+        group.bench_with_input(
+            BenchmarkId::new("grouped_data_chainfind", groups * len),
+            &(groups, len),
+            |b, &(g, l)| {
+                let DataOrder::PartiallyOrdered(dag) = DataOrder::grouped(g, l).unwrap() else {
+                    unreachable!("grouped data is partially ordered");
+                };
+                b.iter(|| {
+                    black_box(optimize_from_identity(&dag, ChainFindConfig::default()).unwrap())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_schedule_reports,
+    bench_mlp_step_traces,
+    bench_constrained_optimization
+);
+criterion_main!(benches);

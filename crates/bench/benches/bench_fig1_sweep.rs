@@ -1,0 +1,34 @@
+//! Bench: the exhaustive Figure-1 sweep (hit vector of every permutation of
+//! S_m grouped by inversion number), single-threaded vs parallel.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use symloc_core::sweep::{exhaustive_levels, sampled_levels};
+use symloc_par::default_threads;
+
+fn bench_exhaustive_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_exhaustive_sweep");
+    group.sample_size(10);
+    for &m in &[5usize, 6, 7, 8] {
+        group.bench_with_input(BenchmarkId::new("single_thread", m), &m, |b, &m| {
+            b.iter(|| black_box(exhaustive_levels(m, 1)));
+        });
+        group.bench_with_input(BenchmarkId::new("all_threads", m), &m, |b, &m| {
+            b.iter(|| black_box(exhaustive_levels(m, default_threads())));
+        });
+    }
+    group.finish();
+}
+
+fn bench_sampled_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_sampled_sweep");
+    group.sample_size(10);
+    for &m in &[16usize, 32] {
+        group.bench_with_input(BenchmarkId::new("stratified_100_per_level", m), &m, |b, &m| {
+            b.iter(|| black_box(sampled_levels(m, 100, 7, default_threads())));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exhaustive_sweep, bench_sampled_sweep);
+criterion_main!(benches);

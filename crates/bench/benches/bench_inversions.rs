@@ -1,0 +1,35 @@
+//! Ablation bench: inversion-counting algorithms (naive O(m²), merge sort,
+//! Fenwick tree).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use symloc_perm::inversions::{inversions_fenwick, inversions_merge, inversions_naive};
+use symloc_perm::sample::random_permutation;
+
+fn bench_inversions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("inversions");
+    let mut rng = StdRng::seed_from_u64(7);
+    for &m in &[32usize, 256, 2048, 16384] {
+        let sigma = random_permutation(m, &mut rng);
+        if m <= 2048 {
+            group.bench_with_input(BenchmarkId::new("naive", m), &sigma, |b, s| {
+                b.iter(|| black_box(inversions_naive(s)));
+            });
+        }
+        group.bench_with_input(BenchmarkId::new("merge_sort", m), &sigma, |b, s| {
+            b.iter(|| black_box(inversions_merge(s)));
+        });
+        group.bench_with_input(BenchmarkId::new("fenwick", m), &sigma, |b, s| {
+            b.iter(|| black_box(inversions_fenwick(s)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_inversions
+}
+criterion_main!(benches);

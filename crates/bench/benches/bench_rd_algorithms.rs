@@ -1,0 +1,46 @@
+//! Ablation bench: reuse-distance computation strategies.
+//!
+//! Compares the paper's Algorithm 1 (permutation-specialized, literal
+//! prefix-sum form and Fenwick form) against the generic Olken algorithm and
+//! the naive Mattson LRU stack on materialized re-traversal traces.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use symloc_cache::lru::lru_stack_distances;
+use symloc_cache::reuse::reuse_distances;
+use symloc_core::hits::{second_pass_distances, second_pass_distances_naive};
+use symloc_perm::sample::random_permutation;
+use symloc_trace::generators::retraversal_trace;
+
+fn bench_rd_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reuse_distance");
+    let mut rng = StdRng::seed_from_u64(42);
+    for &m in &[64usize, 256, 1024, 4096] {
+        let sigma = random_permutation(m, &mut rng);
+        let trace = retraversal_trace(&sigma);
+
+        group.bench_with_input(BenchmarkId::new("algorithm1_naive", m), &sigma, |b, s| {
+            b.iter(|| black_box(second_pass_distances_naive(s)));
+        });
+        group.bench_with_input(BenchmarkId::new("algorithm1_fenwick", m), &sigma, |b, s| {
+            b.iter(|| black_box(second_pass_distances(s)));
+        });
+        group.bench_with_input(BenchmarkId::new("olken_on_trace", m), &trace, |b, t| {
+            b.iter(|| black_box(reuse_distances(t)));
+        });
+        if m <= 1024 {
+            group.bench_with_input(BenchmarkId::new("mattson_stack", m), &trace, |b, t| {
+                b.iter(|| black_box(lru_stack_distances(t)));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_rd_algorithms
+}
+criterion_main!(benches);

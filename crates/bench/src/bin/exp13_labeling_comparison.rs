@@ -1,0 +1,87 @@
+//! Experiment E13 (extension) — the paper's open Problem 3: is there an
+//! EL-labeling that depends precisely on locality? The paper reports trying
+//! timescale locality and data-movement complexity among others. This
+//! experiment compares every labeling implemented here on tie behaviour
+//! (the "good labeling" property) and cost.
+//!
+//! Notable analytical fact reproduced here: the data-movement (total reuse
+//! distance) label equals `m² − ℓ(τ)` exactly (a consequence of Corollary 1),
+//! so as a labeling it carries no more information than the inversion number
+//! and ties on *every* step — it cannot be a good labeling.
+//!
+//! ```sh
+//! cargo run --release -p symloc-bench --bin exp13_labeling_comparison
+//! ```
+
+use std::time::Instant;
+use symloc_bench::{fmt_f64, ResultTable};
+use symloc_core::chainfind::{chain_find, Chain, ChainFindConfig};
+use symloc_core::labeling::{
+    DataMovementLabeling, EdgeLabeling, GeneratorTieBreakLabeling, InversionLabeling,
+    MissRatioLabeling, RankedMissRatioLabeling, TimescaleLabeling,
+};
+use symloc_perm::Permutation;
+
+fn run<L: EdgeLabeling>(n: usize, labeling: &L) -> (Chain, f64) {
+    let start = Instant::now();
+    let chain = chain_find(
+        &Permutation::identity(n),
+        labeling,
+        ChainFindConfig::default(),
+    );
+    (chain, start.elapsed().as_secs_f64() * 1e3)
+}
+
+fn main() {
+    let mut table = ResultTable::new(
+        "exp13_labeling_comparison",
+        "ChainFind tie behaviour and cost per edge labeling (Problem 3 candidates)",
+        &[
+            "n",
+            "labeling",
+            "chain_length",
+            "tied_steps",
+            "chain_multiplicity",
+            "runtime_ms",
+        ],
+    );
+
+    for n in [5usize, 7, 9] {
+        let entries: Vec<(&'static str, Chain, f64)> = {
+            let (a, ta) = run(n, &MissRatioLabeling);
+            let (b, tb) = run(n, &RankedMissRatioLabeling::prioritize_second_largest(n));
+            let (c, tc) = run(n, &TimescaleLabeling);
+            let (d, td) = run(n, &DataMovementLabeling);
+            let (e, te) = run(n, &InversionLabeling);
+            let (f, tf) = run(n, &GeneratorTieBreakLabeling::new(MissRatioLabeling));
+            vec![
+                ("miss-ratio λ_e", a, ta),
+                ("ranked λ_ψ", b, tb),
+                ("timescale footprint", c, tc),
+                ("data-movement", d, td),
+                ("inversion-only (degenerate)", e, te),
+                ("λ_e + generator tiebreak", f, tf),
+            ]
+        };
+        for (name, chain, ms) in entries {
+            assert!(chain.is_saturated(), "{name} must reach w0 at n={n}");
+            table.push_row(vec![
+                n.to_string(),
+                name.to_string(),
+                chain.len().to_string(),
+                chain.arbitrary_choices.to_string(),
+                chain.chain_multiplicity.to_string(),
+                fmt_f64(ms, 3),
+            ]);
+        }
+    }
+    table.emit();
+
+    println!("Reading: every labeling reaches the sawtooth (all chains are saturated);");
+    println!("they differ only in how many greedy steps were ties. The data-movement");
+    println!("label equals m^2 - l(tau) by Corollary 1, so it ties exactly like the");
+    println!("degenerate inversion labeling. The timescale-footprint label is strictly");
+    println!("finer than those scalars but still coarser than the hit-vector labeling");
+    println!("lambda_e, and costs the most per edge. None of the candidates is tie-free");
+    println!("without an explicit tie-breaker, consistent with Problem 3 remaining open.");
+}

@@ -1,0 +1,97 @@
+//! Experiment E3 — the paper's Section V-B2 worked numbers: a chain generated
+//! from "S11" with the ranked labeling ψ = (1 10 9 8 7 6 5 4 3 2).
+//!
+//! The paper reports a total chain length of 66 with a "factor of 9"
+//! different possible chains under λ_ψ, versus a "factor of 14" under λ_e.
+//! A chain length of 66 corresponds to the longest element of the Coxeter
+//! group A_11, i.e. permutations of 12 objects (the paper indexes the group
+//! by its generator count there); we therefore run both interpretations —
+//! 11 objects and 12 objects — and report chain length, tied steps and chain
+//! multiplicity for each labeling.
+//!
+//! ```sh
+//! cargo run --release -p symloc-bench --bin exp3_ranked_labeling_s11
+//! ```
+
+use symloc_bench::ResultTable;
+use symloc_core::chainfind::{chain_find, ChainFindConfig};
+use symloc_core::labeling::{EdgeLabeling, MissRatioLabeling, RankedMissRatioLabeling};
+use symloc_perm::Permutation;
+
+fn run(n: usize, labeling: &dyn Labeled) -> (usize, usize, u128) {
+    let chain = labeling.chain(n);
+    (chain_len(&chain), chain.arbitrary_choices, chain.chain_multiplicity)
+}
+
+/// Object-safe adapter so λ_e and λ_ψ can share the driver loop.
+trait Labeled {
+    fn chain(&self, n: usize) -> symloc_core::chainfind::Chain;
+    fn name(&self) -> &'static str;
+}
+
+struct LamE;
+impl Labeled for LamE {
+    fn chain(&self, n: usize) -> symloc_core::chainfind::Chain {
+        chain_find(
+            &Permutation::identity(n),
+            &MissRatioLabeling,
+            ChainFindConfig::default(),
+        )
+    }
+    fn name(&self) -> &'static str {
+        MissRatioLabeling.name()
+    }
+}
+
+struct LamPsi;
+impl Labeled for LamPsi {
+    fn chain(&self, n: usize) -> symloc_core::chainfind::Chain {
+        chain_find(
+            &Permutation::identity(n),
+            &RankedMissRatioLabeling::prioritize_second_largest(n),
+            ChainFindConfig::default(),
+        )
+    }
+    fn name(&self) -> &'static str {
+        "ranked miss-ratio (λ_ψ)"
+    }
+}
+
+fn chain_len(chain: &symloc_core::chainfind::Chain) -> usize {
+    chain.len()
+}
+
+fn main() {
+    let mut table = ResultTable::new(
+        "exp3_ranked_labeling_s11",
+        "Chain statistics for the paper's S11 ranked-labeling example",
+        &[
+            "objects",
+            "labeling",
+            "chain_length",
+            "paper_chain_length",
+            "tied_steps",
+            "chain_multiplicity",
+        ],
+    );
+
+    for (objects, paper_len) in [(11usize, "55"), (12usize, "66")] {
+        for labeled in [&LamE as &dyn Labeled, &LamPsi] {
+            let (len, ties, mult) = run(objects, labeled);
+            table.push_row(vec![
+                objects.to_string(),
+                labeled.name().to_string(),
+                len.to_string(),
+                paper_len.to_string(),
+                ties.to_string(),
+                mult.to_string(),
+            ]);
+        }
+    }
+    table.emit();
+
+    println!("Paper claim: chain length 66 (matches 12 objects / Coxeter A_11), with a");
+    println!("factor of 9 possible chains under λ_ψ vs 14 under λ_e. Our tie accounting");
+    println!("reports both the number of tied steps and the total multiplicity so the");
+    println!("two plausible readings of \"factor\" can be compared against it.");
+}

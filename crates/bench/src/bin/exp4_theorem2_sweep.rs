@@ -1,0 +1,89 @@
+//! Experiment E4 — Theorem 2 (Bruhat–Locality) and Corollary 1 verified
+//! exhaustively for S_1..S_8 and by sampling for large degrees.
+//!
+//! For every permutation: Σ_{c=1}^{m-1} hits_c(σ) = ℓ(σ) and
+//! Σ_{c=1}^{m} hits_c(σ) = m + ℓ(σ).
+//!
+//! ```sh
+//! cargo run --release -p symloc-bench --bin exp4_theorem2_sweep
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use symloc_bench::ResultTable;
+use symloc_core::theorems::{corollary1_holds, theorem2_holds};
+use symloc_par::{default_threads, parallel_map_chunked};
+use symloc_perm::iter::RankRangeIter;
+use symloc_perm::rank::{factorial, RankRange};
+use symloc_perm::sample::random_permutation;
+
+fn main() {
+    let threads = default_threads();
+    let mut table = ResultTable::new(
+        "exp4_theorem2_sweep",
+        "Exhaustive verification of Theorem 2 and Corollary 1",
+        &["m", "permutations_checked", "theorem2_violations", "corollary1_violations"],
+    );
+
+    for m in 1..=8usize {
+        let total = factorial(m).expect("small m") as usize;
+        let violations = parallel_map_chunked(total, threads, |chunk| {
+            let range = RankRange {
+                start: chunk.start as u128,
+                end: chunk.end as u128,
+            };
+            let mut t2 = 0usize;
+            let mut c1 = 0usize;
+            for sigma in RankRangeIter::new(m, range) {
+                if !theorem2_holds(&sigma) {
+                    t2 += 1;
+                }
+                if !corollary1_holds(&sigma) {
+                    c1 += 1;
+                }
+            }
+            (t2, c1)
+        });
+        let (t2, c1) = violations
+            .into_iter()
+            .fold((0, 0), |(a, b), (x, y)| (a + x, b + y));
+        table.push_row(vec![
+            m.to_string(),
+            total.to_string(),
+            t2.to_string(),
+            c1.to_string(),
+        ]);
+        assert_eq!(t2, 0, "Theorem 2 must hold exhaustively for m={m}");
+        assert_eq!(c1, 0, "Corollary 1 must hold exhaustively for m={m}");
+    }
+    table.emit();
+
+    let mut sampled = ResultTable::new(
+        "exp4_theorem2_sampled",
+        "Sampled verification of Theorem 2 for large degrees",
+        &["m", "samples", "theorem2_violations", "corollary1_violations"],
+    );
+    let mut rng = StdRng::seed_from_u64(20_24);
+    for m in [50usize, 200, 1000, 4000] {
+        let samples = 50usize;
+        let mut t2 = 0usize;
+        let mut c1 = 0usize;
+        for _ in 0..samples {
+            let sigma = random_permutation(m, &mut rng);
+            if !theorem2_holds(&sigma) {
+                t2 += 1;
+            }
+            if !corollary1_holds(&sigma) {
+                c1 += 1;
+            }
+        }
+        sampled.push_row(vec![
+            m.to_string(),
+            samples.to_string(),
+            t2.to_string(),
+            c1.to_string(),
+        ]);
+        assert_eq!(t2 + c1, 0, "sampled violations for m={m}");
+    }
+    sampled.emit();
+}

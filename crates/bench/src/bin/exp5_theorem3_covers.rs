@@ -1,0 +1,82 @@
+//! Experiment E5 — Theorem 3 (cover dominance) checked over every Bruhat
+//! cover of S_2..S_6.
+//!
+//! The paper claims a cover improves the hit vector at exactly one cache size
+//! and therefore dominates pointwise. Our exhaustive check shows the literal
+//! claim holds for covers by *adjacent* transpositions but fails for some
+//! longer transpositions (hits shift between several sizes); the aggregate
+//! form — the truncated hit sum rises by exactly one — always holds. This
+//! experiment quantifies how often each form holds.
+//!
+//! ```sh
+//! cargo run --release -p symloc-bench --bin exp5_theorem3_covers
+//! ```
+
+use symloc_bench::{fmt_f64, ResultTable};
+use symloc_core::theorems::theorem3_check;
+use symloc_perm::bruhat::upper_covers;
+use symloc_perm::iter::LexIter;
+
+fn main() {
+    let mut table = ResultTable::new(
+        "exp5_theorem3_covers",
+        "Theorem 3 over all Bruhat covers: literal vs aggregate form",
+        &[
+            "m",
+            "covers",
+            "adjacent_covers",
+            "literal_holds",
+            "literal_holds_pct",
+            "adjacent_literal_holds",
+            "aggregate_holds",
+        ],
+    );
+
+    for m in 2..=6usize {
+        let mut covers = 0usize;
+        let mut adjacent = 0usize;
+        let mut literal = 0usize;
+        let mut adjacent_literal = 0usize;
+        let mut aggregate = 0usize;
+        for sigma in LexIter::new(m) {
+            for cover in upper_covers(&sigma) {
+                let check = theorem3_check(&sigma, &cover.perm).expect("cover");
+                covers += 1;
+                let (a, b) = cover.transposition;
+                let is_adjacent = b == a + 1;
+                if is_adjacent {
+                    adjacent += 1;
+                }
+                if check.holds_as_stated() {
+                    literal += 1;
+                    if is_adjacent {
+                        adjacent_literal += 1;
+                    }
+                }
+                if check.holds_in_aggregate() {
+                    aggregate += 1;
+                }
+            }
+        }
+        table.push_row(vec![
+            m.to_string(),
+            covers.to_string(),
+            adjacent.to_string(),
+            literal.to_string(),
+            fmt_f64(100.0 * literal as f64 / covers as f64, 1),
+            adjacent_literal.to_string(),
+            aggregate.to_string(),
+        ]);
+        assert_eq!(aggregate, covers, "aggregate form must always hold (m={m})");
+        assert_eq!(
+            adjacent_literal, adjacent,
+            "literal form must hold for adjacent covers (m={m})"
+        );
+    }
+    table.emit();
+
+    println!("Reading: `literal_holds` counts covers matching the paper's statement");
+    println!("(one improved size, pointwise dominance); `aggregate_holds` counts covers");
+    println!("whose truncated hit sum rises by exactly one (always). The gap is the");
+    println!("paper's over-claim, concentrated on non-adjacent cover transpositions.");
+}

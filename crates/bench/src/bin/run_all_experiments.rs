@@ -1,0 +1,72 @@
+//! Convenience driver: runs every experiment binary (E1–E14) in sequence by
+//! invoking their entry points through `cargo run` is unnecessary — each
+//! experiment is a separate binary — so this driver simply shells out to the
+//! already-built binaries next to itself, collecting exit status per
+//! experiment and summarizing at the end.
+//!
+//! ```sh
+//! cargo run --release -p symloc-bench --bin run_all_experiments
+//! ```
+
+use std::path::PathBuf;
+use std::process::Command;
+
+const EXPERIMENTS: &[&str] = &[
+    "fig1_mrc_by_inversion",
+    "fig2_chainfind_ties",
+    "exp3_ranked_labeling_s11",
+    "exp4_theorem2_sweep",
+    "exp5_theorem3_covers",
+    "exp6_mlp_locality",
+    "exp7_worked_examples",
+    "exp8_mahonian_partitions",
+    "exp9_chainfind_scaling",
+    "exp10_alternation",
+    "exp11_graph_reorder",
+    "exp12_stream_recency",
+    "exp13_labeling_comparison",
+    "exp14_good_labeling_census",
+];
+
+/// Directory containing the currently running binary (where the sibling
+/// experiment binaries live after `cargo build`).
+fn binary_dir() -> Option<PathBuf> {
+    std::env::current_exe().ok()?.parent().map(PathBuf::from)
+}
+
+fn main() {
+    let Some(dir) = binary_dir() else {
+        eprintln!("cannot locate the build directory; run the experiments individually");
+        std::process::exit(1);
+    };
+    let mut failures = Vec::new();
+    for name in EXPERIMENTS {
+        let path = dir.join(name);
+        println!("\n================ {name} ================\n");
+        let status = Command::new(&path).status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("{name} exited with {s}");
+                failures.push(*name);
+            }
+            Err(e) => {
+                eprintln!(
+                    "{name} could not be started ({e}); build it first with \
+                     `cargo build --release -p symloc-bench --bins`"
+                );
+                failures.push(*name);
+            }
+        }
+    }
+    println!("\n================ summary ================\n");
+    println!(
+        "{} of {} experiments completed successfully",
+        EXPERIMENTS.len() - failures.len(),
+        EXPERIMENTS.len()
+    );
+    if !failures.is_empty() {
+        println!("failed or missing: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,184 @@
+//! Shared infrastructure for the experiment binaries in `src/bin/`.
+//!
+//! Every experiment binary regenerates one figure/table/claim of the paper.
+//! They all print an aligned text table to stdout and write a CSV (and a
+//! JSON sidecar with metadata) under `results/` at the workspace root so the
+//! series can be re-plotted.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+use serde::Serialize;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Location of the `results/` directory at the workspace root.
+#[must_use]
+pub fn results_dir() -> PathBuf {
+    // crates/bench/ -> workspace root is two levels up.
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .unwrap_or(manifest)
+        .join("results")
+}
+
+/// A rectangular result table with named columns, printable as aligned text
+/// and writable as CSV.
+#[derive(Debug, Clone, Serialize)]
+pub struct ResultTable {
+    /// Experiment identifier, e.g. `"fig1"`.
+    pub experiment: String,
+    /// One-line description shown above the table.
+    pub description: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Rows of stringified cells (numeric formatting is the producer's job).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl ResultTable {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new(experiment: &str, description: &str, columns: &[&str]) -> Self {
+        ResultTable {
+            experiment: experiment.to_string(),
+            description: description.to_string(),
+            columns: columns.iter().map(ToString::to_string).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width does not match the column count.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.columns.len(),
+            "row width must match column count"
+        );
+        self.rows.push(cells);
+    }
+
+    /// Renders the table as aligned text.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("# {} — {}\n", self.experiment, self.description));
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect();
+        out.push_str(&header.join("  "));
+        out.push('\n');
+        out.push_str(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+        out.push('\n');
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect();
+            out.push_str(&line.join("  "));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the table as CSV text.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.columns.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the text rendering to stdout and writes `<experiment>.csv` and
+    /// `<experiment>.json` under `results/`. I/O failures are reported to
+    /// stderr but do not abort the experiment (results are still on stdout).
+    pub fn emit(&self) {
+        print!("{}", self.to_text());
+        println!();
+        let dir = results_dir();
+        if let Err(e) = fs::create_dir_all(&dir) {
+            eprintln!("warning: cannot create {}: {e}", dir.display());
+            return;
+        }
+        let csv_path = dir.join(format!("{}.csv", self.experiment));
+        if let Err(e) = fs::write(&csv_path, self.to_csv()) {
+            eprintln!("warning: cannot write {}: {e}", csv_path.display());
+        } else {
+            println!("wrote {}", csv_path.display());
+        }
+        let json_path = dir.join(format!("{}.json", self.experiment));
+        match serde_json::to_string_pretty(self) {
+            Ok(json) => {
+                if let Err(e) = fs::write(&json_path, json) {
+                    eprintln!("warning: cannot write {}: {e}", json_path.display());
+                }
+            }
+            Err(e) => eprintln!("warning: cannot serialize table: {e}"),
+        }
+    }
+}
+
+/// Formats a float with a fixed number of decimals for table cells.
+#[must_use]
+pub fn fmt_f64(x: f64, decimals: usize) -> String {
+    format!("{x:.decimals$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_text_and_csv() {
+        let mut t = ResultTable::new("unit", "a tiny table", &["a", "value"]);
+        t.push_row(vec!["x".into(), fmt_f64(1.5, 2)]);
+        t.push_row(vec!["yy".into(), "10".into()]);
+        let text = t.to_text();
+        assert!(text.contains("unit"));
+        assert!(text.contains("1.50"));
+        let csv = t.to_csv();
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.starts_with("a,value"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        let mut t = ResultTable::new("unit", "bad", &["a", "b"]);
+        t.push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn results_dir_is_under_workspace_root() {
+        let dir = results_dir();
+        assert!(dir.ends_with("results"));
+        assert!(!dir.to_string_lossy().contains("crates"));
+    }
+
+    #[test]
+    fn fmt_f64_rounds() {
+        assert_eq!(fmt_f64(0.123456, 3), "0.123");
+        assert_eq!(fmt_f64(2.0, 1), "2.0");
+    }
+}

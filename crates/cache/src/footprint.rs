@@ -1,0 +1,229 @@
+//! Working-set / footprint analysis over sliding time windows.
+//!
+//! The paper's discussion of Problem 3 mentions *timescale locality* (the
+//! relational theory of locality) as a candidate ChainFind labeling. The
+//! timescale view measures, for a window length `w`, how many distinct data
+//! elements a window of `w` consecutive accesses touches. This module
+//! computes per-window footprints, their averages, and a Denning-style
+//! working-set miss-ratio estimate, so the `TimescaleLabeling` in
+//! `symloc-core` has a real metric to label edges with.
+
+use std::collections::HashMap;
+use symloc_trace::{Addr, Trace};
+
+/// The footprint (number of distinct addresses) of every length-`w` window of
+/// the trace, sliding by one access. Returns an empty vector when `w == 0` or
+/// `w > trace.len()`.
+///
+/// Runs in `O(n)` using occurrence counts.
+#[must_use]
+pub fn window_footprints(trace: &Trace, w: usize) -> Vec<usize> {
+    let n = trace.len();
+    if w == 0 || w > n {
+        return Vec::new();
+    }
+    let mut counts: HashMap<Addr, usize> = HashMap::new();
+    let mut footprints = Vec::with_capacity(n - w + 1);
+    let accesses = trace.accesses();
+    for (i, &addr) in accesses.iter().enumerate() {
+        *counts.entry(addr).or_insert(0) += 1;
+        if i + 1 >= w {
+            footprints.push(counts.len());
+            // Slide: remove the access leaving the window.
+            let leaving = accesses[i + 1 - w];
+            match counts.get_mut(&leaving) {
+                Some(c) if *c > 1 => *c -= 1,
+                Some(_) => {
+                    counts.remove(&leaving);
+                }
+                None => unreachable!("window bookkeeping out of sync"),
+            }
+        }
+    }
+    footprints
+}
+
+/// The average footprint of length-`w` windows (`fp(w)` in working-set
+/// terminology). Returns 0.0 when no window fits.
+#[must_use]
+pub fn average_footprint(trace: &Trace, w: usize) -> f64 {
+    let fps = window_footprints(trace, w);
+    if fps.is_empty() {
+        return 0.0;
+    }
+    fps.iter().sum::<usize>() as f64 / fps.len() as f64
+}
+
+/// The total footprint over all length-`w` windows — the same ordering
+/// information as [`average_footprint`] but exact and integer-valued, which
+/// is what labelings compare.
+#[must_use]
+pub fn total_window_footprint(trace: &Trace, w: usize) -> u128 {
+    window_footprints(trace, w).iter().map(|&f| f as u128).sum()
+}
+
+/// The footprint profile: `(w, fp(w))` for each requested window length.
+#[must_use]
+pub fn footprint_profile(trace: &Trace, windows: &[usize]) -> Vec<(usize, f64)> {
+    windows
+        .iter()
+        .map(|&w| (w, average_footprint(trace, w)))
+        .collect()
+}
+
+/// A Denning-style working-set miss-ratio estimate: for a cache of size `c`,
+/// find the largest window `w` whose average footprint fits in `c` and report
+/// the fraction of accesses whose reuse *interval* exceeds `w`.
+///
+/// This is an estimate (exact only under the working-set model's assumptions)
+/// and is provided for comparing the timescale view against the exact
+/// LRU/stack-distance machinery in [`crate::reuse`].
+#[must_use]
+pub fn working_set_miss_ratio_estimate(trace: &Trace, c: usize) -> f64 {
+    let n = trace.len();
+    if n == 0 || c == 0 {
+        return if n == 0 { 0.0 } else { 1.0 };
+    }
+    // Largest w with fp(w) <= c, found by exponential + binary search.
+    let mut lo = 1usize;
+    let mut hi = n;
+    if average_footprint(trace, 1) > c as f64 {
+        return 1.0;
+    }
+    while lo < hi {
+        let mid = lo + (hi - lo).div_ceil(2);
+        if average_footprint(trace, mid) <= c as f64 {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    let window = lo;
+    // Fraction of accesses not re-used within the window.
+    let intervals = symloc_trace::stats::reuse_intervals(trace);
+    let misses = intervals
+        .iter()
+        .filter(|ri| match ri {
+            Some(r) => *r > window,
+            None => true,
+        })
+        .count();
+    misses as f64 / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reuse::reuse_profile;
+    use symloc_trace::generators::{cyclic_trace, random_trace, sawtooth_trace};
+
+    #[test]
+    fn window_footprints_small_example() {
+        let t = Trace::from_usizes(&[0, 1, 0, 2, 1]);
+        assert_eq!(window_footprints(&t, 1), vec![1, 1, 1, 1, 1]);
+        assert_eq!(window_footprints(&t, 2), vec![2, 2, 2, 2]);
+        assert_eq!(window_footprints(&t, 3), vec![2, 3, 3]);
+        assert_eq!(window_footprints(&t, 5), vec![3]);
+        assert!(window_footprints(&t, 6).is_empty());
+        assert!(window_footprints(&t, 0).is_empty());
+        assert!(window_footprints(&Trace::new(), 1).is_empty());
+    }
+
+    #[test]
+    fn cyclic_trace_footprint_saturates_at_m() {
+        let m = 8;
+        let t = cyclic_trace(m, 4);
+        for w in 1..=m {
+            assert!((average_footprint(&t, w) - w as f64).abs() < 1e-12, "w={w}");
+        }
+        for w in m..=2 * m {
+            assert!((average_footprint(&t, w) - m as f64).abs() < 1e-12, "w={w}");
+        }
+    }
+
+    #[test]
+    fn sawtooth_windows_see_fewer_distinct_than_cyclic() {
+        let m = 16;
+        let cyclic = cyclic_trace(m, 4);
+        let saw = sawtooth_trace(m, 4);
+        for w in [4usize, 8, 12, 16] {
+            assert!(
+                average_footprint(&saw, w) <= average_footprint(&cyclic, w) + 1e-12,
+                "w={w}"
+            );
+        }
+        // At the turning points a sawtooth window re-touches the same data, so
+        // the inequality is strict for windows larger than one.
+        assert!(average_footprint(&saw, m) < average_footprint(&cyclic, m));
+    }
+
+    #[test]
+    fn average_footprint_is_monotone_in_window_length() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(5);
+        let t = random_trace(20, 400, &mut rng);
+        let mut prev = 0.0;
+        for w in 1..=200usize {
+            let fp = average_footprint(&t, w);
+            assert!(fp + 1e-12 >= prev, "w={w}: {fp} < {prev}");
+            prev = fp;
+        }
+    }
+
+    #[test]
+    fn total_window_footprint_matches_average() {
+        let t = Trace::from_usizes(&[0, 1, 0, 2, 1, 3]);
+        for w in 1..=6usize {
+            let windows = window_footprints(&t, w);
+            let total = total_window_footprint(&t, w);
+            assert_eq!(total, windows.iter().map(|&f| f as u128).sum::<u128>());
+            if !windows.is_empty() {
+                let avg = average_footprint(&t, w);
+                assert!((avg - total as f64 / windows.len() as f64).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn footprint_profile_shape() {
+        let t = sawtooth_trace(8, 2);
+        let profile = footprint_profile(&t, &[1, 4, 8, 16]);
+        assert_eq!(profile.len(), 4);
+        assert_eq!(profile[0], (1, 1.0));
+        assert!(profile[2].1 <= 8.0);
+        assert_eq!(profile[3].1, 8.0);
+    }
+
+    #[test]
+    fn working_set_estimate_bounds_and_extremes() {
+        let m = 12;
+        let cyclic = cyclic_trace(m, 4);
+        // Any cache smaller than m: the working-set estimate, like the exact
+        // model, predicts (close to) all misses for a cyclic trace.
+        let est_small = working_set_miss_ratio_estimate(&cyclic, m / 2);
+        assert!(est_small > 0.9);
+        // A cache of the full footprint: only cold misses remain.
+        let est_full = working_set_miss_ratio_estimate(&cyclic, m);
+        let exact_full = reuse_profile(&cyclic).miss_ratio(m);
+        assert!((est_full - exact_full).abs() < 0.05);
+        // Degenerate inputs.
+        assert_eq!(working_set_miss_ratio_estimate(&Trace::new(), 4), 0.0);
+        assert_eq!(working_set_miss_ratio_estimate(&cyclic, 0), 1.0);
+    }
+
+    #[test]
+    fn working_set_estimate_tracks_exact_model_on_sawtooth() {
+        let m = 16;
+        let saw = sawtooth_trace(m, 6);
+        let exact = reuse_profile(&saw);
+        for c in [2usize, 4, 8, 16] {
+            let est = working_set_miss_ratio_estimate(&saw, c);
+            let exact_mr = exact.miss_ratio(c);
+            assert!(
+                (est - exact_mr).abs() < 0.25,
+                "c={c}: estimate {est} vs exact {exact_mr}"
+            );
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Multi-level cache hierarchies.
+//!
+//! Models an inclusive-lookup hierarchy (L1 → L2 → ...): an access probes
+//! levels in order until it hits; every missed level installs the block.
+//! Used by the experiments to show how the symmetric-locality ordering of
+//! re-traversals translates to hits at each level of a realistic hierarchy.
+
+use crate::setassoc::{CacheConfig, CacheStats, SetAssocCache};
+use symloc_trace::{Addr, Trace};
+
+/// Configuration of one hierarchy level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LevelConfig {
+    /// Human-readable level name index (1 = L1).
+    pub level: usize,
+    /// Cache geometry and policy of this level.
+    pub cache: CacheConfig,
+}
+
+/// Per-level statistics after simulating a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HierarchyStats {
+    /// Statistics per level, in L1-first order.
+    pub levels: Vec<(usize, CacheStats)>,
+    /// Number of accesses that missed every level (went to memory).
+    pub memory_accesses: usize,
+    /// Total number of trace accesses.
+    pub total_accesses: usize,
+}
+
+impl HierarchyStats {
+    /// Miss ratio of a given level relative to the accesses that reached it.
+    #[must_use]
+    pub fn level_miss_ratio(&self, level: usize) -> Option<f64> {
+        self.levels
+            .iter()
+            .find(|(l, _)| *l == level)
+            .map(|(_, s)| s.miss_ratio())
+    }
+
+    /// Fraction of all accesses served by memory.
+    #[must_use]
+    pub fn memory_ratio(&self) -> f64 {
+        if self.total_accesses == 0 {
+            0.0
+        } else {
+            self.memory_accesses as f64 / self.total_accesses as f64
+        }
+    }
+}
+
+/// An inclusive-lookup multi-level cache hierarchy.
+#[derive(Debug, Clone)]
+pub struct CacheHierarchy {
+    levels: Vec<(usize, SetAssocCache)>,
+    memory_accesses: usize,
+    total_accesses: usize,
+}
+
+impl CacheHierarchy {
+    /// Builds a hierarchy from level configurations (L1 first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no levels are given or capacities are not non-decreasing
+    /// from L1 outward (a smaller outer level would make the model
+    /// meaningless).
+    #[must_use]
+    pub fn new(levels: &[LevelConfig]) -> Self {
+        assert!(!levels.is_empty(), "hierarchy needs at least one level");
+        for w in levels.windows(2) {
+            assert!(
+                w[0].cache.capacity() <= w[1].cache.capacity(),
+                "outer levels must be at least as large as inner levels"
+            );
+        }
+        CacheHierarchy {
+            levels: levels
+                .iter()
+                .map(|lc| (lc.level, SetAssocCache::new(lc.cache)))
+                .collect(),
+            memory_accesses: 0,
+            total_accesses: 0,
+        }
+    }
+
+    /// Performs one access; returns the level index that hit, or `None` if
+    /// the access went to memory.
+    pub fn access(&mut self, addr: Addr) -> Option<usize> {
+        self.total_accesses += 1;
+        let mut hit_level = None;
+        for (level, cache) in &mut self.levels {
+            let outcome = cache.access(addr);
+            if outcome.is_hit() {
+                hit_level = Some(*level);
+                break;
+            }
+        }
+        if hit_level.is_none() {
+            self.memory_accesses += 1;
+        }
+        hit_level
+    }
+
+    /// Runs a whole trace.
+    pub fn run(&mut self, trace: &Trace) {
+        for a in trace.iter() {
+            self.access(a);
+        }
+    }
+
+    /// Statistics accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> HierarchyStats {
+        HierarchyStats {
+            levels: self
+                .levels
+                .iter()
+                .map(|(l, c)| (*l, c.stats()))
+                .collect(),
+            memory_accesses: self.memory_accesses,
+            total_accesses: self.total_accesses,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::setassoc::ReplacementPolicy;
+    use symloc_trace::generators::{cyclic_trace, sawtooth_trace};
+
+    fn two_level(l1: usize, l2: usize) -> CacheHierarchy {
+        CacheHierarchy::new(&[
+            LevelConfig {
+                level: 1,
+                cache: CacheConfig::fully_associative(l1, ReplacementPolicy::Lru),
+            },
+            LevelConfig {
+                level: 2,
+                cache: CacheConfig::fully_associative(l2, ReplacementPolicy::Lru),
+            },
+        ])
+    }
+
+    #[test]
+    fn l1_hit_stops_probing() {
+        let mut h = two_level(2, 8);
+        assert_eq!(h.access(Addr(5)), None); // cold: memory
+        assert_eq!(h.access(Addr(5)), Some(1)); // L1 hit
+        let stats = h.stats();
+        assert_eq!(stats.total_accesses, 2);
+        assert_eq!(stats.memory_accesses, 1);
+        // L2 only saw the first (missed) access.
+        assert_eq!(stats.levels[1].1.accesses(), 1);
+    }
+
+    #[test]
+    fn l2_catches_l1_capacity_misses() {
+        // Sawtooth over 6 elements: L1 of 3 misses half the reuses, L2 of 6
+        // catches all of them after the cold pass.
+        let mut h = two_level(3, 6);
+        h.run(&sawtooth_trace(6, 4));
+        let stats = h.stats();
+        assert_eq!(stats.total_accesses, 24);
+        assert_eq!(stats.memory_accesses, 6); // only the cold misses
+        let l1_mr = stats.level_miss_ratio(1).unwrap();
+        assert!(l1_mr > 0.0 && l1_mr < 1.0);
+        assert_eq!(stats.level_miss_ratio(3), None);
+    }
+
+    #[test]
+    fn cyclic_trace_defeats_both_levels_when_too_small() {
+        let mut h = two_level(2, 4);
+        h.run(&cyclic_trace(8, 3));
+        let stats = h.stats();
+        assert_eq!(stats.memory_accesses, 24);
+        assert!((stats.memory_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_hierarchy_stats() {
+        let h = two_level(2, 4);
+        let stats = h.stats();
+        assert_eq!(stats.total_accesses, 0);
+        assert_eq!(stats.memory_ratio(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one level")]
+    fn empty_level_list_rejected() {
+        let _ = CacheHierarchy::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least as large")]
+    fn shrinking_levels_rejected() {
+        let _ = CacheHierarchy::new(&[
+            LevelConfig {
+                level: 1,
+                cache: CacheConfig::fully_associative(8, ReplacementPolicy::Lru),
+            },
+            LevelConfig {
+                level: 2,
+                cache: CacheConfig::fully_associative(4, ReplacementPolicy::Lru),
+            },
+        ]);
+    }
+}

@@ -1,0 +1,383 @@
+//! Reuse-distance histograms and cache-hit vectors.
+
+use std::collections::BTreeMap;
+
+/// A histogram of reuse distances over a trace.
+///
+/// `counts[d]` is the number of accesses with (finite) reuse distance `d`
+/// (`d >= 1`); `cold` counts the accesses with infinite distance (first
+/// touches / compulsory misses).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ReuseDistanceHistogram {
+    counts: BTreeMap<usize, usize>,
+    cold: usize,
+}
+
+impl ReuseDistanceHistogram {
+    /// Creates an empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a histogram from per-access distances (`None` = infinite).
+    #[must_use]
+    pub fn from_distances(distances: &[Option<usize>]) -> Self {
+        let mut h = Self::new();
+        for d in distances {
+            h.record(*d);
+        }
+        h
+    }
+
+    /// Records one access with the given reuse distance (`None` = infinite).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a finite distance of 0 is recorded; the smallest legal stack
+    /// distance is 1.
+    pub fn record(&mut self, distance: Option<usize>) {
+        match distance {
+            Some(0) => panic!("reuse distance 0 is not representable (minimum is 1)"),
+            Some(d) => *self.counts.entry(d).or_insert(0) += 1,
+            None => self.cold += 1,
+        }
+    }
+
+    /// Number of accesses with exactly distance `d`.
+    #[must_use]
+    pub fn count_at(&self, d: usize) -> usize {
+        self.counts.get(&d).copied().unwrap_or(0)
+    }
+
+    /// Number of accesses with infinite distance (cold misses).
+    #[must_use]
+    pub fn cold_count(&self) -> usize {
+        self.cold
+    }
+
+    /// Number of accesses with finite distance.
+    #[must_use]
+    pub fn finite_count(&self) -> usize {
+        self.counts.values().sum()
+    }
+
+    /// Total number of recorded accesses.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.finite_count() + self.cold
+    }
+
+    /// Largest finite distance recorded, or `None` if all accesses were cold.
+    #[must_use]
+    pub fn max_distance(&self) -> Option<usize> {
+        self.counts.keys().next_back().copied()
+    }
+
+    /// Iterates over `(distance, count)` pairs in increasing distance order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.counts.iter().map(|(&d, &c)| (d, c))
+    }
+
+    /// Number of accesses with distance `<= c` (the hit count at cache size
+    /// `c`).
+    #[must_use]
+    pub fn hits_at(&self, c: usize) -> usize {
+        self.counts
+            .range(..=c)
+            .map(|(_, &count)| count)
+            .sum()
+    }
+
+    /// The cache-hit vector `hits_C = (hits_1, .., hits_max)` up to cache
+    /// size `max_size`.
+    #[must_use]
+    pub fn hit_vector(&self, max_size: usize) -> HitVector {
+        let mut hits = Vec::with_capacity(max_size);
+        let mut acc = 0usize;
+        let mut next = self.counts.iter().peekable();
+        for c in 1..=max_size {
+            while let Some(&(&d, &count)) = next.peek() {
+                if d <= c {
+                    acc += count;
+                    next.next();
+                } else {
+                    break;
+                }
+            }
+            hits.push(acc);
+        }
+        HitVector::new(hits, self.total())
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &ReuseDistanceHistogram) {
+        for (d, c) in other.iter() {
+            *self.counts.entry(d).or_insert(0) += c;
+        }
+        self.cold += other.cold;
+    }
+
+    /// Sum of all finite distances (used by the data-movement-style totals in
+    /// the deep-learning experiments).
+    #[must_use]
+    pub fn total_finite_distance(&self) -> u128 {
+        self.counts
+            .iter()
+            .map(|(&d, &c)| d as u128 * c as u128)
+            .sum()
+    }
+}
+
+/// The cache-hit vector `hits_C(T) = (hits_1(T), .., hits_m(T))`:
+/// `hits_c` is the number of LRU cache hits over the trace with a cache of
+/// size `c` (equivalently, the number of accesses with reuse distance `<= c`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct HitVector {
+    hits: Vec<usize>,
+    accesses: usize,
+}
+
+impl HitVector {
+    /// Creates a hit vector from per-size hit counts (index 0 = cache size 1)
+    /// and the total number of accesses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector is not non-decreasing or exceeds the access
+    /// count.
+    #[must_use]
+    pub fn new(hits: Vec<usize>, accesses: usize) -> Self {
+        assert!(
+            hits.windows(2).all(|w| w[0] <= w[1]),
+            "hit vector must be non-decreasing"
+        );
+        if let Some(&last) = hits.last() {
+            assert!(last <= accesses, "hits cannot exceed accesses");
+        }
+        HitVector { hits, accesses }
+    }
+
+    /// Hit count at cache size `c` (`c >= 1`). Sizes beyond the stored range
+    /// return the last (saturated) value; size 0 returns 0.
+    #[must_use]
+    pub fn hits(&self, c: usize) -> usize {
+        if c == 0 || self.hits.is_empty() {
+            return 0;
+        }
+        let idx = (c - 1).min(self.hits.len() - 1);
+        self.hits[idx]
+    }
+
+    /// The per-size hit counts starting at cache size 1.
+    #[must_use]
+    pub fn as_slice(&self) -> &[usize] {
+        &self.hits
+    }
+
+    /// Number of cache sizes covered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.hits.len()
+    }
+
+    /// True when no cache sizes are covered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.hits.is_empty()
+    }
+
+    /// Total number of accesses in the underlying trace.
+    #[must_use]
+    pub fn accesses(&self) -> usize {
+        self.accesses
+    }
+
+    /// The truncated sum `Σ_{c=1}^{len-1} hits_c` — by Theorem 2 of the
+    /// paper this equals the inversion number `ℓ(σ)` for a re-traversal
+    /// `A σ(A)` when `len = m`.
+    #[must_use]
+    pub fn truncated_sum(&self) -> usize {
+        if self.hits.len() < 2 {
+            return 0;
+        }
+        self.hits[..self.hits.len() - 1].iter().sum()
+    }
+
+    /// The full sum `Σ_{c=1}^{len} hits_c` (Corollary 1: `m + ℓ(σ)` for a
+    /// re-traversal).
+    #[must_use]
+    pub fn full_sum(&self) -> usize {
+        self.hits.iter().sum()
+    }
+
+    /// Miss ratio at cache size `c`: `1 - hits_c / accesses`.
+    #[must_use]
+    pub fn miss_ratio(&self, c: usize) -> f64 {
+        if self.accesses == 0 {
+            return 0.0;
+        }
+        1.0 - self.hits(c) as f64 / self.accesses as f64
+    }
+
+    /// Lexicographic comparison of two hit vectors (the miss-ratio labeling
+    /// `λ_e` of Section V-B1 compares covers this way).
+    #[must_use]
+    pub fn lex_cmp(&self, other: &HitVector) -> std::cmp::Ordering {
+        self.hits.cmp(&other.hits)
+    }
+
+    /// Element-wise dominance: true if `self` has at least as many hits as
+    /// `other` at every cache size (both must have the same length).
+    #[must_use]
+    pub fn dominates(&self, other: &HitVector) -> bool {
+        self.hits.len() == other.hits.len()
+            && self
+                .hits
+                .iter()
+                .zip(other.hits.iter())
+                .all(|(a, b)| a >= b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_query() {
+        let mut h = ReuseDistanceHistogram::new();
+        h.record(Some(1));
+        h.record(Some(3));
+        h.record(Some(3));
+        h.record(None);
+        assert_eq!(h.count_at(1), 1);
+        assert_eq!(h.count_at(2), 0);
+        assert_eq!(h.count_at(3), 2);
+        assert_eq!(h.cold_count(), 1);
+        assert_eq!(h.finite_count(), 3);
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.max_distance(), Some(3));
+        assert_eq!(h.total_finite_distance(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "distance 0")]
+    fn distance_zero_rejected() {
+        let mut h = ReuseDistanceHistogram::new();
+        h.record(Some(0));
+    }
+
+    #[test]
+    fn hits_at_accumulates() {
+        let h = ReuseDistanceHistogram::from_distances(&[Some(1), Some(2), Some(2), Some(4), None]);
+        assert_eq!(h.hits_at(0), 0);
+        assert_eq!(h.hits_at(1), 1);
+        assert_eq!(h.hits_at(2), 3);
+        assert_eq!(h.hits_at(3), 3);
+        assert_eq!(h.hits_at(4), 4);
+        assert_eq!(h.hits_at(100), 4);
+    }
+
+    #[test]
+    fn hit_vector_from_histogram() {
+        let h = ReuseDistanceHistogram::from_distances(&[Some(1), Some(2), Some(2), Some(4), None]);
+        let hv = h.hit_vector(4);
+        assert_eq!(hv.as_slice(), &[1, 3, 3, 4]);
+        assert_eq!(hv.accesses(), 5);
+        assert_eq!(hv.hits(0), 0);
+        assert_eq!(hv.hits(2), 3);
+        assert_eq!(hv.hits(99), 4);
+        assert_eq!(hv.truncated_sum(), 1 + 3 + 3);
+        assert_eq!(hv.full_sum(), 11);
+    }
+
+    #[test]
+    fn sawtooth4_hit_vector_matches_paper() {
+        // Paper Section III-A: hits_C(sawtooth4) = (1, 2, 3, 4).
+        // Second-traversal distances of sawtooth are 1, 2, 3, 4; first
+        // traversal contributes 4 cold accesses.
+        let h = ReuseDistanceHistogram::from_distances(&[
+            None,
+            None,
+            None,
+            None,
+            Some(1),
+            Some(2),
+            Some(3),
+            Some(4),
+        ]);
+        let hv = h.hit_vector(4);
+        assert_eq!(hv.as_slice(), &[1, 2, 3, 4]);
+        assert_eq!(hv.truncated_sum(), 6); // = ℓ(sawtooth4)
+        assert_eq!(hv.full_sum(), 10); // = m + ℓ
+    }
+
+    #[test]
+    fn empty_histogram_edge_cases() {
+        let h = ReuseDistanceHistogram::new();
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.max_distance(), None);
+        let hv = h.hit_vector(3);
+        assert_eq!(hv.as_slice(), &[0, 0, 0]);
+        assert_eq!(hv.miss_ratio(2), 0.0);
+        let empty_hv = h.hit_vector(0);
+        assert!(empty_hv.is_empty());
+        assert_eq!(empty_hv.hits(5), 0);
+        assert_eq!(empty_hv.truncated_sum(), 0);
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = ReuseDistanceHistogram::from_distances(&[Some(1), None]);
+        let b = ReuseDistanceHistogram::from_distances(&[Some(1), Some(2)]);
+        a.merge(&b);
+        assert_eq!(a.count_at(1), 2);
+        assert_eq!(a.count_at(2), 1);
+        assert_eq!(a.cold_count(), 1);
+        assert_eq!(a.total(), 4);
+    }
+
+    #[test]
+    fn hit_vector_validation() {
+        let hv = HitVector::new(vec![0, 1, 1, 3], 4);
+        assert_eq!(hv.len(), 4);
+        assert!(!hv.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn hit_vector_rejects_decreasing() {
+        let _ = HitVector::new(vec![2, 1], 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed")]
+    fn hit_vector_rejects_overflow() {
+        let _ = HitVector::new(vec![1, 5], 4);
+    }
+
+    #[test]
+    fn miss_ratio_and_comparisons() {
+        let a = HitVector::new(vec![0, 1, 2], 4);
+        let b = HitVector::new(vec![0, 2, 2], 4);
+        assert!((a.miss_ratio(2) - 0.75).abs() < 1e-12);
+        assert!((b.miss_ratio(2) - 0.5).abs() < 1e-12);
+        assert_eq!(a.lex_cmp(&b), std::cmp::Ordering::Less);
+        assert!(b.dominates(&a));
+        assert!(!a.dominates(&b));
+        assert!(a.dominates(&a));
+        // Different lengths never dominate.
+        let c = HitVector::new(vec![0, 1], 4);
+        assert!(!a.dominates(&c));
+    }
+
+    #[test]
+    fn iter_yields_sorted_distances() {
+        let h = ReuseDistanceHistogram::from_distances(&[Some(5), Some(1), Some(5), Some(2)]);
+        let pairs: Vec<(usize, usize)> = h.iter().collect();
+        assert_eq!(pairs, vec![(1, 1), (2, 1), (5, 2)]);
+    }
+}

@@ -1,0 +1,51 @@
+//! # symloc-cache
+//!
+//! Cache-simulation substrate for the *symmetric locality* library.
+//!
+//! The paper's theory assumes a fully associative LRU cache with a symbolic
+//! size `c`; this crate provides the machinery to measure locality on any
+//! trace, independently of the permutation-specialized Algorithm 1 in
+//! `symloc-core` (which it cross-validates):
+//!
+//! * [`histogram`] — reuse-distance histograms and cache-hit vectors.
+//! * [`mrc`] — miss-ratio curves `MRC(T)` and curve averaging/dominance.
+//! * [`lru`] — the Mattson LRU stack simulator (naive, exact).
+//! * [`reuse`] — the Olken hash + Fenwick-tree reuse-distance algorithm
+//!   (`O(n log n)`), plus reuse intervals.
+//! * [`setassoc`] — set-associative caches with LRU / FIFO / PLRU
+//!   replacement, for comparing the idealized model with realistic geometry.
+//! * [`hierarchy`] — multi-level cache hierarchies.
+//!
+//! Reuse-distance convention (paper Definition 5 / LRU stack distance):
+//! an access that re-touches the immediately preceding address has distance
+//! 1; a first access has infinite distance. An access hits in a cache of
+//! size `c` iff its distance is `≤ c`.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod footprint;
+pub mod hierarchy;
+pub mod histogram;
+pub mod lru;
+pub mod mrc;
+pub mod reuse;
+pub mod setassoc;
+
+pub use histogram::{HitVector, ReuseDistanceHistogram};
+pub use mrc::MissRatioCurve;
+pub use reuse::ReuseProfile;
+
+/// Convenient glob import of the most commonly used items.
+pub mod prelude {
+    pub use crate::footprint::{
+        average_footprint, footprint_profile, total_window_footprint, window_footprints,
+        working_set_miss_ratio_estimate,
+    };
+    pub use crate::hierarchy::{CacheHierarchy, HierarchyStats, LevelConfig};
+    pub use crate::histogram::{HitVector, ReuseDistanceHistogram};
+    pub use crate::lru::{lru_stack_distances, LruStack};
+    pub use crate::mrc::MissRatioCurve;
+    pub use crate::reuse::{reuse_distances, reuse_profile, ReuseProfile};
+    pub use crate::setassoc::{AccessOutcome, CacheConfig, CacheStats, ReplacementPolicy, SetAssocCache};
+}

@@ -1,0 +1,164 @@
+//! The Mattson LRU stack simulator.
+//!
+//! Maintains the recency stack explicitly; each access reports its stack
+//! depth (= reuse distance) before being moved to the top. Exact but
+//! `O(n · m)` in the worst case — the Fenwick-tree algorithm in
+//! [`crate::reuse`] is the fast path and is cross-checked against this one.
+
+use symloc_trace::{Addr, Trace};
+
+/// An explicit LRU recency stack over abstract addresses.
+#[derive(Debug, Clone, Default)]
+pub struct LruStack {
+    /// Stack of addresses, most recently used first.
+    stack: Vec<Addr>,
+}
+
+impl LruStack {
+    /// Creates an empty stack.
+    #[must_use]
+    pub fn new() -> Self {
+        LruStack { stack: Vec::new() }
+    }
+
+    /// Current number of distinct addresses in the stack.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// True if no address has been accessed yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.stack.is_empty()
+    }
+
+    /// Records an access and returns its stack (reuse) distance:
+    /// `Some(depth)` with `depth >= 1` if the address was present, `None`
+    /// for a first access.
+    pub fn access(&mut self, addr: Addr) -> Option<usize> {
+        match self.stack.iter().position(|&a| a == addr) {
+            Some(pos) => {
+                self.stack.remove(pos);
+                self.stack.insert(0, addr);
+                Some(pos + 1)
+            }
+            None => {
+                self.stack.insert(0, addr);
+                None
+            }
+        }
+    }
+
+    /// The current stack contents, most recently used first.
+    #[must_use]
+    pub fn contents(&self) -> &[Addr] {
+        &self.stack
+    }
+
+    /// The addresses that would be resident in an LRU cache of size `c`
+    /// (the top `c` stack entries).
+    #[must_use]
+    pub fn resident(&self, c: usize) -> &[Addr] {
+        &self.stack[..c.min(self.stack.len())]
+    }
+}
+
+/// Runs the full trace through an LRU stack and returns the per-access reuse
+/// distances (`None` = first access).
+#[must_use]
+pub fn lru_stack_distances(trace: &Trace) -> Vec<Option<usize>> {
+    let mut stack = LruStack::new();
+    trace.iter().map(|a| stack.access(a)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symloc_trace::generators::{cyclic_trace, sawtooth_trace};
+
+    #[test]
+    fn empty_stack() {
+        let s = LruStack::new();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert!(s.contents().is_empty());
+        assert!(s.resident(4).is_empty());
+    }
+
+    #[test]
+    fn first_accesses_are_cold() {
+        let mut s = LruStack::new();
+        assert_eq!(s.access(Addr(1)), None);
+        assert_eq!(s.access(Addr(2)), None);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn immediate_reuse_has_distance_one() {
+        let mut s = LruStack::new();
+        s.access(Addr(7));
+        assert_eq!(s.access(Addr(7)), Some(1));
+    }
+
+    #[test]
+    fn stack_depth_counts_distinct_intervening() {
+        let mut s = LruStack::new();
+        for v in [0, 1, 2] {
+            s.access(Addr(v));
+        }
+        // Re-access 0: two distinct elements (1, 2) in between -> distance 3.
+        assert_eq!(s.access(Addr(0)), Some(3));
+        // Stack is now 0, 2, 1.
+        assert_eq!(s.contents(), &[Addr(0), Addr(2), Addr(1)]);
+        assert_eq!(s.resident(2), &[Addr(0), Addr(2)]);
+    }
+
+    #[test]
+    fn repeats_do_not_inflate_distance() {
+        // a b b a: the two b's collapse, so the second a has distance 2.
+        let t = Trace::from_usizes(&[0, 1, 1, 0]);
+        let d = lru_stack_distances(&t);
+        assert_eq!(d, vec![None, None, Some(1), Some(2)]);
+    }
+
+    #[test]
+    fn paper_abccba_example() {
+        // Paper Definition 5: in abccba the first access of a has reuse
+        // distance 3 (distinct: b, c, a).
+        let t = Trace::from_usizes(&[0, 1, 2, 2, 1, 0]);
+        let d = lru_stack_distances(&t);
+        assert_eq!(d[5], Some(3));
+        assert_eq!(d[4], Some(2));
+        assert_eq!(d[3], Some(1));
+    }
+
+    #[test]
+    fn paper_abcabc_example() {
+        // Paper Definition 4/5: in abcabc reuse distance equals reuse
+        // interval = 3 for each element of the first traversal.
+        let t = Trace::from_usizes(&[0, 1, 2, 0, 1, 2]);
+        let d = lru_stack_distances(&t);
+        assert_eq!(&d[3..], &[Some(3), Some(3), Some(3)]);
+    }
+
+    #[test]
+    fn cyclic_trace_distances_are_m() {
+        let m = 6;
+        let d = lru_stack_distances(&cyclic_trace(m, 3));
+        for (i, dist) in d.iter().enumerate() {
+            if i < m {
+                assert_eq!(*dist, None);
+            } else {
+                assert_eq!(*dist, Some(m));
+            }
+        }
+    }
+
+    #[test]
+    fn sawtooth_trace_distances_are_increasing() {
+        let m = 5;
+        let d = lru_stack_distances(&sawtooth_trace(m, 2));
+        assert_eq!(&d[m..], &[Some(1), Some(2), Some(3), Some(4), Some(5)]);
+    }
+}

@@ -1,0 +1,225 @@
+//! Miss-ratio curves.
+//!
+//! `MRC(T) = {(c, mr(c; T)) : c >= 0}` (Definition 2 of the paper). A curve
+//! is stored densely for `c = 0 ..= c_max`; `mr(0)` is always 1.0 when the
+//! trace is non-empty.
+
+use crate::histogram::HitVector;
+use crate::reuse::ReuseProfile;
+
+/// A dense miss-ratio curve for cache sizes `0 ..= c_max`.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct MissRatioCurve {
+    /// `ratios[c]` is `mr(c)`.
+    ratios: Vec<f64>,
+    /// Number of accesses the curve was measured over.
+    accesses: usize,
+}
+
+impl MissRatioCurve {
+    /// Builds a curve directly from per-size miss ratios (`ratios[0] = mr(0)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any ratio is outside `[0, 1]` or the curve is not
+    /// non-increasing (adding cache can never add misses under LRU).
+    #[must_use]
+    pub fn from_ratios(ratios: Vec<f64>, accesses: usize) -> Self {
+        assert!(
+            ratios.iter().all(|&r| (0.0..=1.0).contains(&r)),
+            "miss ratios must lie in [0, 1]"
+        );
+        assert!(
+            ratios.windows(2).all(|w| w[0] >= w[1] - 1e-12),
+            "miss-ratio curves must be non-increasing in cache size"
+        );
+        MissRatioCurve { ratios, accesses }
+    }
+
+    /// Builds the curve of a hit vector (sizes `0 ..= hv.len()`).
+    #[must_use]
+    pub fn from_hit_vector(hv: &HitVector) -> Self {
+        let accesses = hv.accesses();
+        let mut ratios = Vec::with_capacity(hv.len() + 1);
+        if accesses == 0 {
+            ratios.push(0.0);
+        } else {
+            ratios.push(1.0);
+            for c in 1..=hv.len() {
+                ratios.push(1.0 - hv.hits(c) as f64 / accesses as f64);
+            }
+        }
+        MissRatioCurve { ratios, accesses }
+    }
+
+    /// Builds the curve of a reuse profile (sizes `0 ..= footprint`).
+    #[must_use]
+    pub fn from_profile(profile: &ReuseProfile) -> Self {
+        Self::from_hit_vector(&profile.hit_vector())
+    }
+
+    /// `mr(c)`. Sizes beyond the stored range return the final (saturated)
+    /// value.
+    #[must_use]
+    pub fn miss_ratio(&self, c: usize) -> f64 {
+        if self.ratios.is_empty() {
+            return 0.0;
+        }
+        let idx = c.min(self.ratios.len() - 1);
+        self.ratios[idx]
+    }
+
+    /// The dense ratio vector, starting at cache size 0.
+    #[must_use]
+    pub fn ratios(&self) -> &[f64] {
+        &self.ratios
+    }
+
+    /// Largest cache size covered.
+    #[must_use]
+    pub fn max_size(&self) -> usize {
+        self.ratios.len().saturating_sub(1)
+    }
+
+    /// Number of accesses the curve was measured over.
+    #[must_use]
+    pub fn accesses(&self) -> usize {
+        self.accesses
+    }
+
+    /// True if this curve is pointwise no worse (no higher miss ratio) than
+    /// `other` over the sizes both cover.
+    #[must_use]
+    pub fn dominates(&self, other: &MissRatioCurve) -> bool {
+        let n = self.ratios.len().min(other.ratios.len());
+        (0..n).all(|c| self.ratios[c] <= other.ratios[c] + 1e-12)
+    }
+
+    /// Element-wise average of several curves (all must share a maximum
+    /// size). Used for the Figure-1 "average MRC per inversion number".
+    ///
+    /// Returns `None` when `curves` is empty or sizes disagree.
+    #[must_use]
+    pub fn average(curves: &[MissRatioCurve]) -> Option<MissRatioCurve> {
+        let first = curves.first()?;
+        let len = first.ratios.len();
+        if curves.iter().any(|c| c.ratios.len() != len) {
+            return None;
+        }
+        let mut sums = vec![0.0f64; len];
+        for curve in curves {
+            for (s, r) in sums.iter_mut().zip(curve.ratios.iter()) {
+                *s += r;
+            }
+        }
+        let n = curves.len() as f64;
+        let ratios: Vec<f64> = sums.into_iter().map(|s| s / n).collect();
+        let accesses = (curves.iter().map(|c| c.accesses).sum::<usize>() as f64 / n).round() as usize;
+        Some(MissRatioCurve { ratios, accesses })
+    }
+
+    /// Trapezoidal integral of the curve over cache sizes `0 ..= max_size`,
+    /// normalized by `max_size`. A scalar locality score in `[0, 1]`; lower
+    /// is better.
+    #[must_use]
+    pub fn normalized_area(&self) -> f64 {
+        let n = self.ratios.len();
+        if n <= 1 {
+            return self.ratios.first().copied().unwrap_or(0.0);
+        }
+        let mut area = 0.0;
+        for w in self.ratios.windows(2) {
+            area += (w[0] + w[1]) / 2.0;
+        }
+        area / (n - 1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reuse::reuse_profile;
+    use symloc_trace::generators::{cyclic_trace, sawtooth_trace};
+
+    #[test]
+    fn curve_from_sawtooth_profile() {
+        let p = reuse_profile(&sawtooth_trace(4, 2));
+        let mrc = MissRatioCurve::from_profile(&p);
+        assert_eq!(mrc.max_size(), 4);
+        assert_eq!(mrc.accesses(), 8);
+        assert!((mrc.miss_ratio(0) - 1.0).abs() < 1e-12);
+        assert!((mrc.miss_ratio(1) - 0.875).abs() < 1e-12);
+        assert!((mrc.miss_ratio(4) - 0.5).abs() < 1e-12);
+        assert!((mrc.miss_ratio(100) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn curve_from_cyclic_profile() {
+        let p = reuse_profile(&cyclic_trace(4, 2));
+        let mrc = MissRatioCurve::from_profile(&p);
+        // No hits until the cache holds all 4 elements.
+        for c in 0..4 {
+            assert!((mrc.miss_ratio(c) - 1.0).abs() < 1e-12, "c={c}");
+        }
+        assert!((mrc.miss_ratio(4) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sawtooth_dominates_cyclic() {
+        let saw = MissRatioCurve::from_profile(&reuse_profile(&sawtooth_trace(6, 2)));
+        let cyc = MissRatioCurve::from_profile(&reuse_profile(&cyclic_trace(6, 2)));
+        assert!(saw.dominates(&cyc));
+        assert!(!cyc.dominates(&saw));
+        assert!(saw.dominates(&saw));
+    }
+
+    #[test]
+    fn from_ratios_validation() {
+        let c = MissRatioCurve::from_ratios(vec![1.0, 0.5, 0.5, 0.25], 8);
+        assert_eq!(c.max_size(), 3);
+        assert_eq!(c.ratios().len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-increasing")]
+    fn from_ratios_rejects_increasing() {
+        let _ = MissRatioCurve::from_ratios(vec![0.5, 0.75], 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "[0, 1]")]
+    fn from_ratios_rejects_out_of_range() {
+        let _ = MissRatioCurve::from_ratios(vec![1.5, 0.5], 4);
+    }
+
+    #[test]
+    fn average_of_curves() {
+        let a = MissRatioCurve::from_ratios(vec![1.0, 1.0, 0.5], 4);
+        let b = MissRatioCurve::from_ratios(vec![1.0, 0.5, 0.0], 4);
+        let avg = MissRatioCurve::average(&[a.clone(), b]).unwrap();
+        assert!((avg.miss_ratio(1) - 0.75).abs() < 1e-12);
+        assert!((avg.miss_ratio(2) - 0.25).abs() < 1e-12);
+        assert!(MissRatioCurve::average(&[]).is_none());
+        let short = MissRatioCurve::from_ratios(vec![1.0, 0.5], 4);
+        assert!(MissRatioCurve::average(&[a, short]).is_none());
+    }
+
+    #[test]
+    fn empty_trace_curve() {
+        let p = reuse_profile(&symloc_trace::Trace::new());
+        let mrc = MissRatioCurve::from_profile(&p);
+        assert_eq!(mrc.max_size(), 0);
+        assert_eq!(mrc.miss_ratio(5), 0.0);
+        assert_eq!(mrc.normalized_area(), 0.0);
+    }
+
+    #[test]
+    fn normalized_area_orders_localities() {
+        let saw = MissRatioCurve::from_profile(&reuse_profile(&sawtooth_trace(8, 2)));
+        let cyc = MissRatioCurve::from_profile(&reuse_profile(&cyclic_trace(8, 2)));
+        assert!(saw.normalized_area() < cyc.normalized_area());
+        assert!(saw.normalized_area() > 0.0);
+        assert!(cyc.normalized_area() <= 1.0);
+    }
+}

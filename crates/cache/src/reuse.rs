@@ -1,0 +1,177 @@
+//! Reuse-distance computation by the Olken algorithm.
+//!
+//! A Fenwick tree indexed by access time holds a 1 for the *most recent*
+//! access time of every distinct address. The reuse distance of an access is
+//! then one plus the number of set bits strictly between the previous access
+//! of the same address and now — i.e. the number of distinct addresses
+//! touched in between — computed in `O(log n)` per access.
+
+use crate::histogram::{HitVector, ReuseDistanceHistogram};
+use std::collections::HashMap;
+use symloc_perm::fenwick::Fenwick;
+use symloc_trace::{Addr, Trace};
+
+/// Per-access reuse distances plus derived histogram and hit vector for one
+/// trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReuseProfile {
+    distances: Vec<Option<usize>>,
+    histogram: ReuseDistanceHistogram,
+    footprint: usize,
+}
+
+impl ReuseProfile {
+    /// The per-access reuse distances (`None` = first access).
+    #[must_use]
+    pub fn distances(&self) -> &[Option<usize>] {
+        &self.distances
+    }
+
+    /// The reuse-distance histogram.
+    #[must_use]
+    pub fn histogram(&self) -> &ReuseDistanceHistogram {
+        &self.histogram
+    }
+
+    /// Number of distinct addresses in the trace.
+    #[must_use]
+    pub fn footprint(&self) -> usize {
+        self.footprint
+    }
+
+    /// Number of accesses in the trace.
+    #[must_use]
+    pub fn accesses(&self) -> usize {
+        self.distances.len()
+    }
+
+    /// The cache-hit vector over cache sizes `1 ..= footprint`.
+    #[must_use]
+    pub fn hit_vector(&self) -> HitVector {
+        self.histogram.hit_vector(self.footprint)
+    }
+
+    /// The cache-hit vector over cache sizes `1 ..= max_size`.
+    #[must_use]
+    pub fn hit_vector_up_to(&self, max_size: usize) -> HitVector {
+        self.histogram.hit_vector(max_size)
+    }
+
+    /// Hit count at a single cache size.
+    #[must_use]
+    pub fn hits(&self, c: usize) -> usize {
+        self.histogram.hits_at(c)
+    }
+
+    /// Miss ratio at a single cache size.
+    #[must_use]
+    pub fn miss_ratio(&self, c: usize) -> f64 {
+        if self.accesses() == 0 {
+            return 0.0;
+        }
+        1.0 - self.hits(c) as f64 / self.accesses() as f64
+    }
+}
+
+/// Computes the per-access reuse distances of a trace with the Olken
+/// algorithm in `O(n log n)`.
+#[must_use]
+pub fn reuse_distances(trace: &Trace) -> Vec<Option<usize>> {
+    let n = trace.len();
+    let mut tree = Fenwick::new(n);
+    let mut last_seen: HashMap<Addr, usize> = HashMap::new();
+    let mut distances = Vec::with_capacity(n);
+    for (t, addr) in trace.iter().enumerate() {
+        match last_seen.get(&addr).copied() {
+            Some(prev) => {
+                // Distinct addresses accessed strictly between prev and t are
+                // exactly the markers in (prev, t); plus one for `addr` itself.
+                let between = tree.range_sum(prev + 1, t) as usize;
+                distances.push(Some(between + 1));
+                // Move this address's marker from its previous position to t.
+                tree.sub(prev, 1);
+            }
+            None => {
+                distances.push(None);
+            }
+        }
+        last_seen.insert(addr, t);
+        tree.add(t, 1);
+    }
+    distances
+}
+
+/// Runs the Olken algorithm and packages distances, histogram and footprint
+/// into a [`ReuseProfile`].
+#[must_use]
+pub fn reuse_profile(trace: &Trace) -> ReuseProfile {
+    let distances = reuse_distances(trace);
+    let histogram = ReuseDistanceHistogram::from_distances(&distances);
+    // Every first access contributes one cold miss, so the footprint is the
+    // number of cold accesses.
+    let footprint = histogram.cold_count();
+    ReuseProfile {
+        distances,
+        histogram,
+        footprint,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lru::lru_stack_distances;
+    use symloc_trace::generators::{cyclic_trace, random_trace, sawtooth_trace};
+
+    #[test]
+    fn olken_matches_lru_stack_on_random_traces() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..20 {
+            let t = random_trace(12, 200, &mut rng);
+            assert_eq!(reuse_distances(&t), lru_stack_distances(&t));
+        }
+    }
+
+    #[test]
+    fn olken_on_known_traces() {
+        let t = Trace::from_usizes(&[0, 1, 2, 0, 1, 2]);
+        assert_eq!(
+            reuse_distances(&t),
+            vec![None, None, None, Some(3), Some(3), Some(3)]
+        );
+        let s = sawtooth_trace(4, 2);
+        assert_eq!(
+            reuse_distances(&s)[4..].to_vec(),
+            vec![Some(1), Some(2), Some(3), Some(4)]
+        );
+        let c = cyclic_trace(4, 2);
+        assert_eq!(
+            reuse_distances(&c)[4..].to_vec(),
+            vec![Some(4), Some(4), Some(4), Some(4)]
+        );
+    }
+
+    #[test]
+    fn profile_of_empty_trace() {
+        let p = reuse_profile(&Trace::new());
+        assert_eq!(p.accesses(), 0);
+        assert_eq!(p.footprint(), 0);
+        assert_eq!(p.miss_ratio(3), 0.0);
+        assert!(p.hit_vector().is_empty());
+    }
+
+    #[test]
+    fn profile_statistics() {
+        let p = reuse_profile(&sawtooth_trace(4, 2));
+        assert_eq!(p.accesses(), 8);
+        assert_eq!(p.footprint(), 4);
+        assert_eq!(p.hit_vector().as_slice(), &[1, 2, 3, 4]);
+        assert_eq!(p.hits(2), 2);
+        assert!((p.miss_ratio(4) - 0.5).abs() < 1e-12);
+        assert_eq!(p.hit_vector_up_to(2).as_slice(), &[1, 2]);
+        assert_eq!(p.histogram().cold_count(), 4);
+        assert_eq!(p.distances().len(), 8);
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based tests for the cache-simulation substrate.
+
+use proptest::prelude::*;
+use symloc_cache::prelude::*;
+use symloc_trace::Trace;
+
+/// Strategy: a random trace over at most `max_addrs` addresses with at most
+/// `max_len` accesses.
+fn arb_trace(max_addrs: usize, max_len: usize) -> impl Strategy<Value = Trace> {
+    (1..=max_addrs).prop_flat_map(move |m| {
+        proptest::collection::vec(0..m, 0..=max_len).prop_map(|v| Trace::from_usizes(&v))
+    })
+}
+
+proptest! {
+    #[test]
+    fn olken_equals_mattson(trace in arb_trace(16, 300)) {
+        prop_assert_eq!(reuse_distances(&trace), lru_stack_distances(&trace));
+    }
+
+    #[test]
+    fn cold_misses_equal_footprint(trace in arb_trace(20, 300)) {
+        let profile = reuse_profile(&trace);
+        prop_assert_eq!(profile.footprint(), trace.distinct_count());
+        prop_assert_eq!(profile.histogram().cold_count(), trace.distinct_count());
+        prop_assert_eq!(profile.accesses(), trace.len());
+    }
+
+    #[test]
+    fn distances_bounded_by_footprint(trace in arb_trace(12, 200)) {
+        let footprint = trace.distinct_count();
+        for d in reuse_distances(&trace).into_iter().flatten() {
+            prop_assert!(d >= 1);
+            prop_assert!(d <= footprint);
+        }
+    }
+
+    #[test]
+    fn hit_vector_is_monotone_and_saturates(trace in arb_trace(15, 250)) {
+        let profile = reuse_profile(&trace);
+        let hv = profile.hit_vector();
+        let slice = hv.as_slice();
+        for w in slice.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+        if let Some(&last) = slice.last() {
+            // At full footprint every non-cold access hits.
+            prop_assert_eq!(last, trace.len() - trace.distinct_count());
+        }
+    }
+
+    #[test]
+    fn mrc_is_non_increasing(trace in arb_trace(15, 250)) {
+        let mrc = MissRatioCurve::from_profile(&reuse_profile(&trace));
+        let ratios = mrc.ratios();
+        for w in ratios.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-12);
+        }
+        for &r in ratios {
+            prop_assert!((0.0..=1.0).contains(&r));
+        }
+    }
+
+    #[test]
+    fn fully_associative_lru_matches_stack_distances(trace in arb_trace(10, 150), c in 1usize..=12) {
+        let profile = reuse_profile(&trace);
+        let expected_misses = trace.len() - profile.hits(c);
+        let config = CacheConfig::fully_associative(c, ReplacementPolicy::Lru);
+        let mut cache = SetAssocCache::new(config);
+        let stats = cache.run(&trace);
+        prop_assert_eq!(stats.misses, expected_misses);
+        prop_assert_eq!(stats.hits + stats.misses, trace.len());
+    }
+
+    #[test]
+    fn bigger_lru_caches_never_hit_less(trace in arb_trace(12, 200), c in 1usize..=10) {
+        let small = CacheConfig::fully_associative(c, ReplacementPolicy::Lru);
+        let big = CacheConfig::fully_associative(c + 1, ReplacementPolicy::Lru);
+        let mut small_cache = SetAssocCache::new(small);
+        let mut big_cache = SetAssocCache::new(big);
+        let s = small_cache.run(&trace);
+        let b = big_cache.run(&trace);
+        prop_assert!(b.hits >= s.hits);
+    }
+
+    #[test]
+    fn histogram_totals_are_consistent(trace in arb_trace(18, 250)) {
+        let profile = reuse_profile(&trace);
+        let h = profile.histogram();
+        prop_assert_eq!(h.total(), trace.len());
+        prop_assert_eq!(h.finite_count() + h.cold_count(), trace.len());
+        // hits at footprint = all finite distances.
+        prop_assert_eq!(h.hits_at(trace.distinct_count()), h.finite_count());
+    }
+
+    #[test]
+    fn hierarchy_memory_traffic_bounded_by_largest_level(trace in arb_trace(10, 200)) {
+        let levels = [
+            LevelConfig { level: 1, cache: CacheConfig::fully_associative(2, ReplacementPolicy::Lru) },
+            LevelConfig { level: 2, cache: CacheConfig::fully_associative(8, ReplacementPolicy::Lru) },
+        ];
+        let mut h = CacheHierarchy::new(&levels);
+        h.run(&trace);
+        let stats = h.stats();
+        // The hierarchy can keep at most L1+L2 capacity distinct blocks
+        // resident, so it can never beat an ideal LRU cache of the combined
+        // capacity.
+        let profile = reuse_profile(&trace);
+        let ideal_combined_misses = trace.len() - profile.hits(2 + 8);
+        prop_assert!(stats.memory_accesses >= ideal_combined_misses);
+        prop_assert!(stats.memory_accesses <= trace.len());
+        prop_assert_eq!(stats.total_accesses, trace.len());
+    }
+}

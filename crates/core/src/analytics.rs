@@ -1,0 +1,219 @@
+//! Appendix-F analytics: hit vectors as integer partitions, Mahonian census,
+//! and the normalized truncated miss-vector integral.
+
+use crate::hits::hit_vector;
+use std::collections::BTreeMap;
+use symloc_perm::inversions::{inversions, max_inversions};
+use symloc_perm::iter::LexIter;
+use symloc_perm::mahonian::{is_partition_of, mahonian_row};
+use symloc_perm::Permutation;
+
+/// The increment profile of a hit vector, read as an integer partition of
+/// `ℓ(σ)`.
+///
+/// For a re-traversal the hit vector is non-decreasing and its truncated sum
+/// is `ℓ(σ)` (Theorem 2); the paper observes that the values
+/// `hits_c` for `c = 1 .. m-1`, written in non-increasing order, form an
+/// integer partition of `ℓ(σ)`.
+#[must_use]
+pub fn hit_vector_partition(sigma: &Permutation) -> Vec<usize> {
+    let hv = hit_vector(sigma);
+    let m = sigma.degree();
+    if m <= 1 {
+        return Vec::new();
+    }
+    let mut parts: Vec<usize> = hv.as_slice()[..m - 1]
+        .iter()
+        .copied()
+        .filter(|&h| h > 0)
+        .collect();
+    parts.sort_unstable_by(|a, b| b.cmp(a));
+    parts
+}
+
+/// A census of hit-vector partitions per Bruhat level.
+///
+/// `census[n]` maps each partition (of `n`) to the number of permutations at
+/// level `n` whose hit vector realizes it; the counts at each level sum to
+/// the Mahonian number `M(m, n)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionCensus {
+    degree: usize,
+    levels: Vec<BTreeMap<Vec<usize>, usize>>,
+}
+
+impl PartitionCensus {
+    /// Builds the census by exhaustive enumeration of `S_m` (small `m` only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m > 9` to guard against accidental factorial blow-up.
+    #[must_use]
+    pub fn build(m: usize) -> Self {
+        assert!(m <= 9, "PartitionCensus::build: degree {m} too large");
+        let max = max_inversions(m);
+        let mut levels = vec![BTreeMap::new(); max + 1];
+        for sigma in LexIter::new(m) {
+            let level = inversions(&sigma);
+            let partition = hit_vector_partition(&sigma);
+            *levels[level].entry(partition).or_insert(0) += 1;
+        }
+        PartitionCensus { degree: m, levels }
+    }
+
+    /// Degree of the underlying symmetric group.
+    #[must_use]
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+
+    /// The partition counts at a given level.
+    #[must_use]
+    pub fn level(&self, n: usize) -> Option<&BTreeMap<Vec<usize>, usize>> {
+        self.levels.get(n)
+    }
+
+    /// Number of levels (`m(m-1)/2 + 1`).
+    #[must_use]
+    pub fn level_count(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Total permutation count per level (must equal the Mahonian row).
+    #[must_use]
+    pub fn level_totals(&self) -> Vec<usize> {
+        self.levels
+            .iter()
+            .map(|l| l.values().sum::<usize>())
+            .collect()
+    }
+
+    /// Number of distinct partitions realized at each level.
+    #[must_use]
+    pub fn distinct_partitions_per_level(&self) -> Vec<usize> {
+        self.levels.iter().map(BTreeMap::len).collect()
+    }
+
+    /// Checks every partition at level `n` really is a partition of `n`, and
+    /// that level totals match the Mahonian numbers.
+    #[must_use]
+    pub fn verify(&self) -> bool {
+        let mahonian: Vec<usize> = mahonian_row(self.degree)
+            .iter()
+            .map(|&x| x as usize)
+            .collect();
+        if self.level_totals() != mahonian {
+            return false;
+        }
+        self.levels.iter().enumerate().all(|(n, level)| {
+            level.keys().all(|p| is_partition_of(p, n))
+        })
+    }
+}
+
+/// The normalized truncated miss-vector integral of Appendix F.
+///
+/// The truncated cache-hit vector (sizes `1 .. m-1`) is normalized by `m`
+/// (the second-traversal length) and complemented into a miss vector; its
+/// mean value is
+/// `1 - ℓ(σ) / (m(m-1))`, which falls from 1 at the identity to 0.5 at the
+/// sawtooth with slope `1/(m(m-1))` per unit of inversion number. The value
+/// is computed from the measured hit vector, not from `ℓ` directly.
+#[must_use]
+pub fn normalized_truncated_integral(sigma: &Permutation) -> f64 {
+    let m = sigma.degree();
+    if m <= 1 {
+        return 1.0;
+    }
+    let hv = hit_vector(sigma);
+    let sum: usize = hv.as_slice()[..m - 1].iter().sum();
+    1.0 - sum as f64 / (m as f64 * (m - 1) as f64)
+}
+
+/// The analytical value of the integral predicted by Theorem 2:
+/// `1 - ℓ / (m(m-1))`.
+#[must_use]
+pub fn predicted_truncated_integral(m: usize, inversions: usize) -> f64 {
+    if m <= 1 {
+        return 1.0;
+    }
+    1.0 - inversions as f64 / (m as f64 * (m - 1) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_of_extremes() {
+        assert!(hit_vector_partition(&Permutation::identity(5)).is_empty());
+        assert_eq!(hit_vector_partition(&Permutation::reverse(4)), vec![3, 2, 1]);
+        assert!(hit_vector_partition(&Permutation::identity(1)).is_empty());
+        assert!(hit_vector_partition(&Permutation::identity(0)).is_empty());
+    }
+
+    #[test]
+    fn partition_sums_to_inversions() {
+        for sigma in LexIter::new(6) {
+            let p = hit_vector_partition(&sigma);
+            assert!(is_partition_of(&p, inversions(&sigma)), "σ={sigma}");
+        }
+    }
+
+    #[test]
+    fn census_verifies_for_small_degrees() {
+        for m in 1..=6usize {
+            let census = PartitionCensus::build(m);
+            assert_eq!(census.degree(), m);
+            assert_eq!(census.level_count(), max_inversions(m) + 1);
+            assert!(census.verify(), "m={m}");
+        }
+    }
+
+    #[test]
+    fn census_level_zero_and_max_are_single_partitions() {
+        let census = PartitionCensus::build(5);
+        assert_eq!(census.level(0).unwrap().len(), 1);
+        assert_eq!(census.level(10).unwrap().len(), 1);
+        assert!(census.level(11).is_none());
+        // Level 1: the only partition of 1 is [1], realized by all 4 covers.
+        let level1 = census.level(1).unwrap();
+        assert_eq!(level1.len(), 1);
+        assert_eq!(level1[&vec![1usize]], 4);
+        assert_eq!(census.distinct_partitions_per_level()[0], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn census_rejects_large_degree() {
+        let _ = PartitionCensus::build(10);
+    }
+
+    #[test]
+    fn integral_matches_prediction_exhaustively() {
+        for m in 2..=6usize {
+            for sigma in LexIter::new(m) {
+                let measured = normalized_truncated_integral(&sigma);
+                let predicted = predicted_truncated_integral(m, inversions(&sigma));
+                assert!(
+                    (measured - predicted).abs() < 1e-12,
+                    "m={m} σ={sigma}: {measured} vs {predicted}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn integral_extremes_and_slope() {
+        let m = 7;
+        assert!((normalized_truncated_integral(&Permutation::identity(m)) - 1.0).abs() < 1e-12);
+        assert!((normalized_truncated_integral(&Permutation::reverse(m)) - 0.5).abs() < 1e-12);
+        // One Bruhat step changes the integral by exactly 1/(m(m-1)).
+        let e = Permutation::identity(m);
+        let s0 = e.mul_adjacent_right(0).unwrap();
+        let delta = normalized_truncated_integral(&e) - normalized_truncated_integral(&s0);
+        assert!((delta - 1.0 / (m as f64 * (m - 1) as f64)).abs() < 1e-12);
+        assert_eq!(normalized_truncated_integral(&Permutation::identity(1)), 1.0);
+        assert_eq!(predicted_truncated_integral(0, 0), 1.0);
+    }
+}

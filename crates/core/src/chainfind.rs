@@ -1,0 +1,379 @@
+//! The ChainFind algorithm (Algorithm 2 of the paper).
+//!
+//! A greedy ascent of the Bruhat covering graph: from the current
+//! permutation, enumerate the feasible covers, label each edge with `λ`, and
+//! move to a cover with the maximal label. The paper studies how often the
+//! maximal label is not unique ("arbitrary choices", Figure 2); this
+//! implementation records those ties and how they were broken.
+
+use crate::labeling::{EdgeLabeling, Label};
+use symloc_perm::bruhat::upper_covers;
+use symloc_perm::inversions::inversions;
+use symloc_perm::Permutation;
+
+/// How ChainFind breaks ties among covers that share the maximal label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TieBreak {
+    /// Take the first maximal cover in transposition order (deterministic).
+    First,
+    /// Take the maximal cover whose transposition `(a, b)` is largest in
+    /// lexicographic order — the "σ_i that described the edge" tie-breaker
+    /// suggested by the paper's Coxeter-labeling remark.
+    LargestGenerator,
+    /// Take a pseudo-random maximal cover, seeded deterministically per step
+    /// from the given seed (reproducible runs without a `rand` dependency on
+    /// the hot path).
+    Random(u64),
+}
+
+/// One step of a found chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChainStep {
+    /// The permutation reached by this step.
+    pub perm: Permutation,
+    /// The label of the edge taken to reach it.
+    pub label: Label,
+    /// The transposition (positions) of the edge taken.
+    pub transposition: (usize, usize),
+    /// Number of covers that shared the maximal label at this step.
+    pub tie_size: usize,
+}
+
+/// Result of a ChainFind run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Chain {
+    /// The starting permutation.
+    pub start: Permutation,
+    /// The steps taken, in order.
+    pub steps: Vec<ChainStep>,
+    /// Number of steps at which two or more covers shared the maximal label
+    /// (the paper's count of "arbitrary choices").
+    pub arbitrary_choices: usize,
+    /// Product of the tie-set sizes over all steps: the number of distinct
+    /// chains the greedy algorithm could have produced (saturating).
+    pub chain_multiplicity: u128,
+}
+
+impl Chain {
+    /// The permutations of the chain, starting permutation first.
+    #[must_use]
+    pub fn permutations(&self) -> Vec<Permutation> {
+        let mut v = Vec::with_capacity(self.steps.len() + 1);
+        v.push(self.start.clone());
+        v.extend(self.steps.iter().map(|s| s.perm.clone()));
+        v
+    }
+
+    /// Number of edges in the chain.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True if the chain took no steps.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The final permutation reached.
+    #[must_use]
+    pub fn last(&self) -> &Permutation {
+        self.steps.last().map_or(&self.start, |s| &s.perm)
+    }
+
+    /// True when the chain is saturated: it runs from its start all the way
+    /// to the longest element, taking one cover per missing length unit.
+    #[must_use]
+    pub fn is_saturated(&self) -> bool {
+        let m = self.start.degree();
+        let max_len = m * m.saturating_sub(1) / 2;
+        inversions(self.last()) == max_len
+            && self.len() == max_len - inversions(&self.start)
+    }
+}
+
+/// Configuration of a ChainFind run.
+#[derive(Debug, Clone, Copy)]
+pub struct ChainFindConfig {
+    /// Tie-break policy.
+    pub tie_break: TieBreak,
+    /// Optional cap on the number of steps (None = run to the top or until
+    /// no feasible cover remains).
+    pub max_steps: Option<usize>,
+}
+
+impl Default for ChainFindConfig {
+    fn default() -> Self {
+        ChainFindConfig {
+            tie_break: TieBreak::First,
+            max_steps: None,
+        }
+    }
+}
+
+/// A tiny splitmix64 step used for the deterministic [`TieBreak::Random`]
+/// policy.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Runs ChainFind from `start`, labeling edges with `labeling`, restricted to
+/// covers accepted by the feasibility predicate `feasible` (the paper's `Y`),
+/// and returns the chain together with tie statistics.
+///
+/// The ascent stops when no feasible cover exists (at the longest element if
+/// everything is feasible) or when `config.max_steps` is reached.
+pub fn chain_find_constrained<L, F>(
+    start: &Permutation,
+    labeling: &L,
+    config: ChainFindConfig,
+    mut feasible: F,
+) -> Chain
+where
+    L: EdgeLabeling,
+    F: FnMut(&Permutation) -> bool,
+{
+    let mut current = start.clone();
+    let mut steps = Vec::new();
+    let mut arbitrary_choices = 0usize;
+    let mut chain_multiplicity: u128 = 1;
+    let mut rng_state = match config.tie_break {
+        TieBreak::Random(seed) => seed,
+        _ => 0,
+    };
+    loop {
+        if let Some(max) = config.max_steps {
+            if steps.len() >= max {
+                break;
+            }
+        }
+        // Enumerate feasible covers and their labels.
+        let mut candidates: Vec<(Permutation, (usize, usize), Label)> = upper_covers(&current)
+            .into_iter()
+            .filter(|c| feasible(&c.perm))
+            .map(|c| {
+                let label = labeling.label(&current, &c.perm, c.transposition);
+                (c.perm, c.transposition, label)
+            })
+            .collect();
+        if candidates.is_empty() {
+            break;
+        }
+        // Find the maximal label.
+        let max_label = candidates
+            .iter()
+            .map(|(_, _, l)| l.clone())
+            .max()
+            .expect("non-empty");
+        candidates.retain(|(_, _, l)| *l == max_label);
+        let tie_size = candidates.len();
+        if tie_size > 1 {
+            arbitrary_choices += 1;
+            chain_multiplicity = chain_multiplicity.saturating_mul(tie_size as u128);
+        }
+        let pick = match config.tie_break {
+            TieBreak::First => 0,
+            TieBreak::LargestGenerator => candidates
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, (_, t, _))| *t)
+                .map(|(i, _)| i)
+                .expect("non-empty"),
+            TieBreak::Random(_) => (splitmix64(&mut rng_state) % tie_size as u64) as usize,
+        };
+        let (perm, transposition, label) = candidates.swap_remove(pick);
+        current = perm.clone();
+        steps.push(ChainStep {
+            perm,
+            label,
+            transposition,
+            tie_size,
+        });
+    }
+    Chain {
+        start: start.clone(),
+        steps,
+        arbitrary_choices,
+        chain_multiplicity,
+    }
+}
+
+/// Runs ChainFind with every trace considered feasible (the paper's
+/// "mathematical compatibility" assumption).
+pub fn chain_find<L: EdgeLabeling>(
+    start: &Permutation,
+    labeling: &L,
+    config: ChainFindConfig,
+) -> Chain {
+    chain_find_constrained(start, labeling, config, |_| true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::labeling::{
+        GeneratorTieBreakLabeling, InversionLabeling, MissRatioLabeling, RankedMissRatioLabeling,
+    };
+    use symloc_perm::coxeter::longest_length;
+
+    #[test]
+    fn chain_from_identity_reaches_longest_element() {
+        for m in 2..=6usize {
+            let e = Permutation::identity(m);
+            let chain = chain_find(&e, &MissRatioLabeling, ChainFindConfig::default());
+            assert_eq!(chain.len(), longest_length(m), "m={m}");
+            assert!(chain.last().is_reverse(), "m={m}");
+            assert!(chain.is_saturated(), "m={m}");
+            // Lengths increase by exactly one per step.
+            for (i, p) in chain.permutations().iter().enumerate() {
+                assert_eq!(inversions(p), i);
+            }
+        }
+    }
+
+    #[test]
+    fn chain_from_longest_element_is_empty() {
+        let w0 = Permutation::reverse(5);
+        let chain = chain_find(&w0, &MissRatioLabeling, ChainFindConfig::default());
+        assert!(chain.is_empty());
+        assert!(chain.is_saturated());
+        assert_eq!(chain.last(), &w0);
+        assert_eq!(chain.permutations().len(), 1);
+        assert_eq!(chain.chain_multiplicity, 1);
+    }
+
+    #[test]
+    fn max_steps_caps_the_chain() {
+        let e = Permutation::identity(6);
+        let config = ChainFindConfig {
+            max_steps: Some(4),
+            ..ChainFindConfig::default()
+        };
+        let chain = chain_find(&e, &MissRatioLabeling, config);
+        assert_eq!(chain.len(), 4);
+        assert!(!chain.is_saturated());
+        assert_eq!(inversions(chain.last()), 4);
+    }
+
+    #[test]
+    fn miss_ratio_labeling_records_ties() {
+        // The first step from the identity is a full tie (paper's
+        // counterexample), so arbitrary choices are at least 1.
+        let e = Permutation::identity(5);
+        let chain = chain_find(&e, &MissRatioLabeling, ChainFindConfig::default());
+        assert!(chain.arbitrary_choices >= 1);
+        assert!(chain.chain_multiplicity >= 4);
+        assert_eq!(chain.steps[0].tie_size, 4);
+    }
+
+    #[test]
+    fn generator_tiebreak_labeling_removes_ties() {
+        let e = Permutation::identity(5);
+        let labeling = GeneratorTieBreakLabeling::new(MissRatioLabeling);
+        let chain = chain_find(&e, &labeling, ChainFindConfig::default());
+        assert_eq!(chain.arbitrary_choices, 0);
+        assert_eq!(chain.chain_multiplicity, 1);
+        assert!(chain.is_saturated());
+    }
+
+    #[test]
+    fn degenerate_labeling_ties_everywhere() {
+        let e = Permutation::identity(4);
+        let chain = chain_find(&e, &InversionLabeling, ChainFindConfig::default());
+        assert!(chain.is_saturated());
+        // Every step with more than one cover must tie.
+        for step in &chain.steps {
+            assert!(step.tie_size >= 1);
+        }
+        assert!(chain.arbitrary_choices >= chain.len() / 2);
+    }
+
+    #[test]
+    fn tie_break_policies_all_reach_the_top() {
+        let e = Permutation::identity(5);
+        for tie_break in [TieBreak::First, TieBreak::LargestGenerator, TieBreak::Random(7)] {
+            let config = ChainFindConfig {
+                tie_break,
+                max_steps: None,
+            };
+            let chain = chain_find(&e, &MissRatioLabeling, config);
+            assert!(chain.is_saturated(), "{tie_break:?}");
+        }
+    }
+
+    #[test]
+    fn random_tie_break_is_reproducible() {
+        let e = Permutation::identity(5);
+        let config = ChainFindConfig {
+            tie_break: TieBreak::Random(99),
+            max_steps: None,
+        };
+        let a = chain_find(&e, &MissRatioLabeling, config);
+        let b = chain_find(&e, &MissRatioLabeling, config);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ranked_labeling_chain_is_saturated() {
+        let m = 6;
+        let e = Permutation::identity(m);
+        let labeling = RankedMissRatioLabeling::prioritize_second_largest(m);
+        let chain = chain_find(&e, &labeling, ChainFindConfig::default());
+        assert!(chain.is_saturated());
+        assert_eq!(chain.len(), longest_length(m));
+    }
+
+    #[test]
+    fn constrained_chain_respects_feasibility() {
+        // Forbid any permutation that moves element 0 away from position 0:
+        // the chain can only permute elements 1..m-1.
+        let m = 5;
+        let e = Permutation::identity(m);
+        let chain = chain_find_constrained(
+            &e,
+            &MissRatioLabeling,
+            ChainFindConfig::default(),
+            |p| p.apply(0) == 0,
+        );
+        // The reachable sub-poset is S_{m-1} on the last m-1 elements, whose
+        // longest element has (m-1)(m-2)/2 inversions.
+        assert_eq!(chain.len(), (m - 1) * (m - 2) / 2);
+        assert_eq!(chain.last().apply(0), 0);
+        assert!(!chain.is_saturated());
+    }
+
+    #[test]
+    fn constrained_chain_with_nothing_feasible_stays_put() {
+        let e = Permutation::identity(4);
+        let chain = chain_find_constrained(
+            &e,
+            &MissRatioLabeling,
+            ChainFindConfig::default(),
+            |_| false,
+        );
+        assert!(chain.is_empty());
+        assert_eq!(chain.last(), &e);
+    }
+
+    #[test]
+    fn chain_find_on_trivial_groups() {
+        let chain = chain_find(
+            &Permutation::identity(1),
+            &MissRatioLabeling,
+            ChainFindConfig::default(),
+        );
+        assert!(chain.is_empty());
+        assert!(chain.is_saturated());
+        let chain0 = chain_find(
+            &Permutation::identity(0),
+            &MissRatioLabeling,
+            ChainFindConfig::default(),
+        );
+        assert!(chain0.is_empty());
+    }
+}

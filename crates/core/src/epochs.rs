@@ -1,0 +1,258 @@
+//! Analytical locality of multi-epoch traversal chains (the paper's
+//! "non-periodic data reuse" future-work direction, Section VI-D / VIII-E).
+//!
+//! A schedule `A, σ₁(A), σ₂(A), …, σ_k(A)` re-traverses the same data `k`
+//! times. Each *consecutive pair* of epochs is itself a re-traversal whose
+//! generating permutation is the relative reordering `σ_{i-1}⁻¹ ∘ σ_i`
+//! (relabel the earlier epoch to the canonical order `A`; the later epoch
+//! then reads `σ_{i-1}⁻¹(σ_i(q))` at step `q` — the paper's relabeling
+//! argument from Theorem 4's proof). The whole schedule's locality therefore
+//! decomposes into the per-transition symmetric locality:
+//!
+//! * total truncated hit sum = Σ_i ℓ(σ_{i-1}⁻¹ σ_i), and
+//! * total finite reuse distance = Σ_i (m² − ℓ(σ_{i-1}⁻¹ σ_i)).
+//!
+//! The functions here compute that decomposition directly from the
+//! permutations and are cross-validated against full trace simulation.
+
+use crate::hits::hit_vector;
+use symloc_cache::histogram::ReuseDistanceHistogram;
+use symloc_perm::inversions::inversions;
+use symloc_perm::Permutation;
+
+/// A multi-epoch traversal chain: epoch 0 is the canonical order `A`
+/// (identity), epoch `i >= 1` traverses in the order `orders[i-1]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EpochChain {
+    m: usize,
+    orders: Vec<Permutation>,
+}
+
+impl EpochChain {
+    /// Builds a chain over `m` elements from the orders of epochs `1..`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any order has a degree other than `m`.
+    #[must_use]
+    pub fn new(m: usize, orders: Vec<Permutation>) -> Self {
+        for order in &orders {
+            assert_eq!(order.degree(), m, "epoch order degree mismatch");
+        }
+        EpochChain { m, orders }
+    }
+
+    /// The cyclic chain: every epoch repeats the canonical order.
+    #[must_use]
+    pub fn cyclic(m: usize, epochs_after_first: usize) -> Self {
+        EpochChain {
+            m,
+            orders: vec![Permutation::identity(m); epochs_after_first],
+        }
+    }
+
+    /// The alternating chain of Theorem 4: `A, σ(A), A, σ(A), …`.
+    #[must_use]
+    pub fn alternating(sigma: &Permutation, epochs_after_first: usize) -> Self {
+        let m = sigma.degree();
+        let orders = (0..epochs_after_first)
+            .map(|i| {
+                if i % 2 == 0 {
+                    sigma.clone()
+                } else {
+                    Permutation::identity(m)
+                }
+            })
+            .collect();
+        EpochChain { m, orders }
+    }
+
+    /// Number of data elements.
+    #[must_use]
+    pub fn degree(&self) -> usize {
+        self.m
+    }
+
+    /// Number of epochs including the first canonical traversal.
+    #[must_use]
+    pub fn epoch_count(&self) -> usize {
+        self.orders.len() + 1
+    }
+
+    /// The relative permutation of each epoch transition:
+    /// `rel_i = σ_{i-1}⁻¹ ∘ σ_i` (with `σ_0 = e`), whose re-traversal
+    /// `A rel_i(A)` has the same locality as the transition.
+    #[must_use]
+    pub fn transition_permutations(&self) -> Vec<Permutation> {
+        let mut previous = Permutation::identity(self.m);
+        let mut out = Vec::with_capacity(self.orders.len());
+        for order in &self.orders {
+            out.push(previous.inverse().compose(order));
+            previous = order.clone();
+        }
+        out
+    }
+
+    /// The inversion number (symmetric locality) of each transition.
+    #[must_use]
+    pub fn transition_localities(&self) -> Vec<usize> {
+        self.transition_permutations()
+            .iter()
+            .map(inversions)
+            .collect()
+    }
+
+    /// Total truncated hit sum of the whole chain: `Σ_i ℓ(rel_i)`.
+    /// By Theorem 2 this equals the number of (cache-size, access) hit pairs
+    /// below the footprint accumulated over all transitions.
+    #[must_use]
+    pub fn total_locality(&self) -> usize {
+        self.transition_localities().iter().sum()
+    }
+
+    /// Analytical total finite reuse distance of the whole chain:
+    /// `Σ_i (m² − ℓ(rel_i))`.
+    #[must_use]
+    pub fn analytical_total_reuse_distance(&self) -> u128 {
+        let m = self.m as u128;
+        self.transition_localities()
+            .iter()
+            .map(|&l| m * m - l as u128)
+            .sum()
+    }
+
+    /// The reuse-distance histogram of the whole chain predicted from the
+    /// per-transition hit vectors (m cold accesses for the first epoch, then
+    /// one finite distance per element per transition).
+    #[must_use]
+    pub fn analytical_histogram(&self) -> ReuseDistanceHistogram {
+        let mut histogram = ReuseDistanceHistogram::new();
+        for _ in 0..self.m {
+            histogram.record(None);
+        }
+        for rel in self.transition_permutations() {
+            for d in crate::hits::second_pass_distances(&rel) {
+                histogram.record(Some(d));
+            }
+        }
+        histogram
+    }
+
+    /// The total hit count of the chain at cache size `c`, predicted
+    /// analytically as the sum of per-transition hits.
+    #[must_use]
+    pub fn analytical_hits(&self, c: usize) -> usize {
+        self.transition_permutations()
+            .iter()
+            .map(|rel| hit_vector(rel).hits(c))
+            .sum()
+    }
+
+    /// Materializes the chain's access trace (for cross-validation against
+    /// the analytical quantities).
+    #[must_use]
+    pub fn to_trace(&self) -> symloc_trace::Trace {
+        let mut trace: symloc_trace::Trace = (0..self.m).collect();
+        for order in &self.orders {
+            for i in 0..self.m {
+                trace.push(symloc_trace::Addr(order.apply(i)));
+            }
+        }
+        trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symloc_cache::reuse::reuse_profile;
+    use symloc_perm::sample::random_permutation;
+
+    #[test]
+    fn chain_shapes() {
+        let chain = EpochChain::cyclic(5, 3);
+        assert_eq!(chain.degree(), 5);
+        assert_eq!(chain.epoch_count(), 4);
+        assert_eq!(chain.transition_localities(), vec![0, 0, 0]);
+        assert_eq!(chain.total_locality(), 0);
+
+        let alt = EpochChain::alternating(&Permutation::reverse(5), 4);
+        assert_eq!(alt.transition_localities(), vec![10, 10, 10, 10]);
+        assert_eq!(alt.total_locality(), 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "degree mismatch")]
+    fn degree_mismatch_rejected() {
+        let _ = EpochChain::new(4, vec![Permutation::reverse(5)]);
+    }
+
+    #[test]
+    fn alternating_transitions_are_w0_both_ways() {
+        // A -> w0(A) has relative permutation w0; w0(A) -> A has relative
+        // permutation w0^{-1} = w0; so every transition has maximal locality.
+        let w0 = Permutation::reverse(6);
+        let chain = EpochChain::alternating(&w0, 5);
+        for rel in chain.transition_permutations() {
+            assert!(rel.is_reverse());
+        }
+    }
+
+    #[test]
+    fn analytical_quantities_match_simulation() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(77);
+        for m in [4usize, 7, 12] {
+            // A chain of three random epoch orders.
+            let orders: Vec<Permutation> =
+                (0..3).map(|_| random_permutation(m, &mut rng)).collect();
+            let chain = EpochChain::new(m, orders);
+            let profile = reuse_profile(&chain.to_trace());
+            // Total finite reuse distance matches the analytical formula.
+            assert_eq!(
+                profile.histogram().total_finite_distance(),
+                chain.analytical_total_reuse_distance(),
+                "m={m}"
+            );
+            // Full histogram matches.
+            assert_eq!(profile.histogram(), &chain.analytical_histogram(), "m={m}");
+            // Hits at every cache size match.
+            for c in 1..=m {
+                assert_eq!(profile.hits(c), chain.analytical_hits(c), "m={m} c={c}");
+            }
+            // The truncated-hit identity generalizes: Σ_{c<m} hits_c = Σ_i ℓ(rel_i).
+            let truncated: usize = (1..m).map(|c| profile.hits(c)).sum();
+            assert_eq!(truncated, chain.total_locality(), "m={m}");
+        }
+    }
+
+    #[test]
+    fn alternation_maximizes_total_locality_over_fixed_second_order() {
+        // Among chains A, σ(A), A, σ(A) with σ ranging over S_4, the sawtooth
+        // maximizes the total locality, as Theorem 4 predicts.
+        let m = 4;
+        let mut best: Option<(usize, Permutation)> = None;
+        for sigma in symloc_perm::iter::LexIter::new(m) {
+            let chain = EpochChain::alternating(&sigma, 3);
+            let score = chain.total_locality();
+            if best.as_ref().is_none_or(|(s, _)| score > *s) {
+                best = Some((score, sigma));
+            }
+        }
+        let (_, winner) = best.unwrap();
+        assert!(winner.is_reverse());
+    }
+
+    #[test]
+    fn degenerate_chains() {
+        let chain = EpochChain::new(0, vec![]);
+        assert_eq!(chain.epoch_count(), 1);
+        assert_eq!(chain.total_locality(), 0);
+        assert_eq!(chain.analytical_total_reuse_distance(), 0);
+        assert_eq!(chain.to_trace().len(), 0);
+        let single = EpochChain::cyclic(3, 0);
+        assert_eq!(single.to_trace().len(), 3);
+        assert_eq!(single.analytical_hits(2), 0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Error types for the symmetric-locality core.
+
+use std::fmt;
+use symloc_perm::PermError;
+
+/// Errors produced by the symmetric-locality core.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// A permutation-level error bubbled up from `symloc-perm`.
+    Perm(PermError),
+    /// A trace could not be interpreted as a re-traversal `T = A B`.
+    NotARetraversal {
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+    /// A feasibility constraint set is inconsistent (its precedence relation
+    /// contains a cycle).
+    InfeasibleConstraints {
+        /// One element on the cycle, for diagnostics.
+        witness: usize,
+    },
+    /// A constraint references an element outside `0..m`.
+    ConstraintOutOfRange {
+        /// The offending element.
+        element: usize,
+        /// Number of elements.
+        degree: usize,
+    },
+    /// No feasible permutation exists under the given constraints and
+    /// starting point (e.g. the start itself violates them).
+    NoFeasibleChoice {
+        /// Description of where the search got stuck.
+        reason: String,
+    },
+    /// A ranked labeling was built from a permutation of the wrong degree.
+    LabelingDegreeMismatch {
+        /// Degree of the labeling permutation ψ.
+        labeling: usize,
+        /// Degree of the traversed group.
+        group: usize,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Perm(e) => write!(f, "permutation error: {e}"),
+            CoreError::NotARetraversal { reason } => {
+                write!(f, "trace is not a re-traversal: {reason}")
+            }
+            CoreError::InfeasibleConstraints { witness } => write!(
+                f,
+                "feasibility constraints are cyclic (element {witness} must precede itself)"
+            ),
+            CoreError::ConstraintOutOfRange { element, degree } => write!(
+                f,
+                "constraint references element {element}, but the traversal has only {degree} elements"
+            ),
+            CoreError::NoFeasibleChoice { reason } => {
+                write!(f, "no feasible choice: {reason}")
+            }
+            CoreError::LabelingDegreeMismatch { labeling, group } => write!(
+                f,
+                "ranked labeling permutation has degree {labeling}, expected {group}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<PermError> for CoreError {
+    fn from(e: PermError) -> Self {
+        CoreError::Perm(e)
+    }
+}
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = CoreError::NotARetraversal {
+            reason: "length is odd".into(),
+        };
+        assert!(e.to_string().contains("length is odd"));
+        let e = CoreError::InfeasibleConstraints { witness: 3 };
+        assert!(e.to_string().contains('3'));
+        let e = CoreError::ConstraintOutOfRange {
+            element: 9,
+            degree: 4,
+        };
+        assert!(e.to_string().contains('9'));
+        let e = CoreError::NoFeasibleChoice {
+            reason: "start violates constraints".into(),
+        };
+        assert!(e.to_string().contains("start violates"));
+        let e = CoreError::LabelingDegreeMismatch {
+            labeling: 3,
+            group: 5,
+        };
+        assert!(e.to_string().contains('5'));
+    }
+
+    #[test]
+    fn perm_error_converts() {
+        let pe = PermError::DegreeMismatch { left: 2, right: 3 };
+        let ce: CoreError = pe.clone().into();
+        assert_eq!(ce, CoreError::Perm(pe));
+        assert!(ce.to_string().contains("degree mismatch"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn check<E: std::error::Error>(_: &E) {}
+        check(&CoreError::InfeasibleConstraints { witness: 0 });
+    }
+}

@@ -1,0 +1,262 @@
+//! Algorithm 1: reuse distances, hit vectors and miss-ratio curves of a
+//! re-traversal, computed directly from the permutation.
+//!
+//! For the re-traversal `T = A σ(A)` the element `a` (0-based value) is
+//! accessed at position `a` of `A` and at position `i = σ⁻¹(a)` of `B`.
+//! Its reuse interval (position difference) is `(m - 1 - a) + (i + 1)`; its
+//! reuse distance subtracts the number of *repeated* values in between, which
+//! are exactly the values greater than `a` already accessed in `B[0..i]`:
+//!
+//! ```text
+//! rd(a) = (m - 1 - a) + (i + 1) - |{ j < i : σ(j) > a }|
+//! ```
+//!
+//! The paper states this with 1-based ranks `r(a) = m - a + 1`. Three
+//! implementations are provided: the literal prefix-sum bit-vector algorithm
+//! of the paper (`O(m²)`), a Fenwick-tree variant (`O(m log m)`), and a
+//! cross-check through the generic LRU simulator of `symloc-cache`.
+
+use symloc_cache::histogram::{HitVector, ReuseDistanceHistogram};
+use symloc_cache::mrc::MissRatioCurve;
+use symloc_cache::reuse::reuse_profile;
+use symloc_perm::fenwick::Fenwick;
+use symloc_perm::Permutation;
+use symloc_trace::generators::retraversal_trace;
+
+/// Reuse distances of the second-traversal accesses, in traversal order
+/// (`result[i]` is the reuse distance of the access `B[i] = σ(i)`), computed
+/// with the paper's Algorithm 1 using an explicit bit vector and prefix sums
+/// (`O(m²)`).
+///
+/// Every second-traversal access of a re-traversal has a finite distance in
+/// `1..=m`.
+#[must_use]
+pub fn second_pass_distances_naive(sigma: &Permutation) -> Vec<usize> {
+    let m = sigma.degree();
+    // c[r] flips to 1 when the element of rank r (value m-1-r, 0-based) has
+    // been accessed in B. Indexed here by value for clarity; the paper indexes
+    // by rank r = m - a (1-based r = m - a + 1), which is a mirror image.
+    let mut seen = vec![false; m];
+    let mut distances = Vec::with_capacity(m);
+    for i in 0..m {
+        let a = sigma.apply(i);
+        // repeats = number of values greater than a already seen in B.
+        let repeats = seen[a + 1..].iter().filter(|&&b| b).count();
+        let reuse_interval = (m - 1 - a) + (i + 1);
+        distances.push(reuse_interval - repeats);
+        seen[a] = true;
+    }
+    distances
+}
+
+/// Reuse distances of the second-traversal accesses computed with a Fenwick
+/// tree over values (`O(m log m)`): the prefix-sum of the paper's bit vector
+/// is replaced by a tree query.
+#[must_use]
+pub fn second_pass_distances(sigma: &Permutation) -> Vec<usize> {
+    let m = sigma.degree();
+    let mut tree = Fenwick::new(m);
+    let mut distances = Vec::with_capacity(m);
+    for i in 0..m {
+        let a = sigma.apply(i);
+        // Values greater than a already accessed in B.
+        let repeats = tree.range_sum(a + 1, m) as usize;
+        let reuse_interval = (m - 1 - a) + (i + 1);
+        distances.push(reuse_interval - repeats);
+        tree.add(a, 1);
+    }
+    distances
+}
+
+/// The reuse-distance histogram of the full re-traversal `A σ(A)`: `m` cold
+/// accesses (the first traversal) plus the finite distances of the second
+/// traversal.
+#[must_use]
+pub fn rd_histogram(sigma: &Permutation) -> ReuseDistanceHistogram {
+    let m = sigma.degree();
+    let mut h = ReuseDistanceHistogram::new();
+    for _ in 0..m {
+        h.record(None);
+    }
+    for d in second_pass_distances(sigma) {
+        h.record(Some(d));
+    }
+    h
+}
+
+/// The cache-hit vector `hits_C(σ) = (hits_1, .., hits_m)` of the
+/// re-traversal `A σ(A)` (Definition 3), computed by Algorithm 1.
+#[must_use]
+pub fn hit_vector(sigma: &Permutation) -> HitVector {
+    let m = sigma.degree();
+    rd_histogram(sigma).hit_vector(m)
+}
+
+/// The cache-hit vector computed by running the generic Olken/LRU simulator
+/// of `symloc-cache` on the materialized trace. Used to cross-validate
+/// Algorithm 1 (Theorem 1) in tests and benches.
+#[must_use]
+pub fn hit_vector_via_simulation(sigma: &Permutation) -> HitVector {
+    let trace = retraversal_trace(sigma);
+    let profile = reuse_profile(&trace);
+    profile.hit_vector_up_to(sigma.degree())
+}
+
+/// Number of LRU hits of the re-traversal at a single cache size `c`.
+#[must_use]
+pub fn hits(sigma: &Permutation, c: usize) -> usize {
+    rd_histogram(sigma).hits_at(c)
+}
+
+/// Miss ratio of the re-traversal at cache size `c`
+/// (`mr(c; T) = 1 - hits_c / 2m`, Definition 2 with `#accesses = 2m`).
+#[must_use]
+pub fn miss_ratio(sigma: &Permutation, c: usize) -> f64 {
+    let m = sigma.degree();
+    if m == 0 {
+        return 0.0;
+    }
+    1.0 - hits(sigma, c) as f64 / (2 * m) as f64
+}
+
+/// The full miss-ratio curve `MRC(T)` of the re-traversal over cache sizes
+/// `0 ..= m`.
+#[must_use]
+pub fn mrc(sigma: &Permutation) -> MissRatioCurve {
+    let m = sigma.degree();
+    let hv = rd_histogram(sigma).hit_vector(m);
+    // hv counts hits out of 2m accesses.
+    MissRatioCurve::from_hit_vector(&HitVector::new(hv.as_slice().to_vec(), 2 * m))
+}
+
+/// Sum of the reuse distances of the second traversal — the scalar
+/// "total reuse" the paper uses in the deep-learning comparison
+/// (`n²m²` for cyclic vs `nm(nm+1)/2` for sawtooth on an `n×m` matrix).
+#[must_use]
+pub fn total_reuse_distance(sigma: &Permutation) -> u128 {
+    second_pass_distances(sigma)
+        .into_iter()
+        .map(|d| d as u128)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symloc_perm::inversions::inversions;
+    use symloc_perm::iter::LexIter;
+
+    #[test]
+    fn worked_example_from_paper() {
+        // Paper Theorem 1 example: A σ(A) = 1 2 3 4 2 1 3 4, i.e. σ = [2,1,3,4].
+        let sigma = Permutation::from_one_based(vec![2, 1, 3, 4]).unwrap();
+        let d = second_pass_distances(&sigma);
+        // Element 2 (rank 3): distance 3; elements 1, 3, 4: distance 4.
+        assert_eq!(d, vec![3, 4, 4, 4]);
+        let hv = hit_vector(&sigma);
+        assert_eq!(hv.as_slice(), &[0, 0, 1, 4]);
+        assert_eq!(hv.truncated_sum(), 1);
+        assert_eq!(inversions(&sigma), 1);
+    }
+
+    #[test]
+    fn cyclic_and_sawtooth_extremes() {
+        let m = 6;
+        let cyclic = Permutation::identity(m);
+        assert_eq!(second_pass_distances(&cyclic), vec![m; m]);
+        assert_eq!(hit_vector(&cyclic).as_slice(), &[0, 0, 0, 0, 0, 6]);
+
+        let sawtooth = Permutation::reverse(m);
+        assert_eq!(second_pass_distances(&sawtooth), vec![1, 2, 3, 4, 5, 6]);
+        assert_eq!(hit_vector(&sawtooth).as_slice(), &[1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn sawtooth4_matches_paper_hit_vector() {
+        let hv = hit_vector(&Permutation::reverse(4));
+        assert_eq!(hv.as_slice(), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn naive_and_fenwick_agree_exhaustively() {
+        for m in 0..=6usize {
+            for sigma in LexIter::new(m) {
+                assert_eq!(
+                    second_pass_distances_naive(&sigma),
+                    second_pass_distances(&sigma),
+                    "σ = {sigma}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn algorithm1_matches_generic_simulation_exhaustively() {
+        // Theorem 1: the specialized algorithm agrees with LRU stack
+        // simulation of the materialized trace.
+        for m in 1..=6usize {
+            for sigma in LexIter::new(m) {
+                assert_eq!(
+                    hit_vector(&sigma),
+                    hit_vector_via_simulation(&sigma),
+                    "σ = {sigma}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn distances_are_within_bounds() {
+        for sigma in LexIter::new(7) {
+            for d in second_pass_distances(&sigma) {
+                assert!((1..=7).contains(&d));
+            }
+        }
+    }
+
+    #[test]
+    fn hits_and_miss_ratio() {
+        let sigma = Permutation::reverse(4);
+        assert_eq!(hits(&sigma, 0), 0);
+        assert_eq!(hits(&sigma, 2), 2);
+        assert_eq!(hits(&sigma, 4), 4);
+        assert!((miss_ratio(&sigma, 4) - 0.5).abs() < 1e-12);
+        assert!((miss_ratio(&sigma, 0) - 1.0).abs() < 1e-12);
+        assert_eq!(miss_ratio(&Permutation::identity(0), 3), 0.0);
+    }
+
+    #[test]
+    fn mrc_shape() {
+        let curve = mrc(&Permutation::reverse(4));
+        assert_eq!(curve.max_size(), 4);
+        assert_eq!(curve.accesses(), 8);
+        assert!((curve.miss_ratio(0) - 1.0).abs() < 1e-12);
+        assert!((curve.miss_ratio(4) - 0.5).abs() < 1e-12);
+        // The cyclic curve is flat at 1.0 until c = m.
+        let flat = mrc(&Permutation::identity(4));
+        for c in 0..4 {
+            assert!((flat.miss_ratio(c) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn total_reuse_distance_extremes() {
+        let m = 5u128;
+        assert_eq!(
+            total_reuse_distance(&Permutation::identity(5)),
+            m * m
+        );
+        assert_eq!(
+            total_reuse_distance(&Permutation::reverse(5)),
+            m * (m + 1) / 2
+        );
+    }
+
+    #[test]
+    fn degenerate_degrees() {
+        assert!(second_pass_distances(&Permutation::identity(0)).is_empty());
+        assert_eq!(second_pass_distances(&Permutation::identity(1)), vec![1]);
+        assert_eq!(hit_vector(&Permutation::identity(1)).as_slice(), &[1]);
+        assert_eq!(total_reuse_distance(&Permutation::identity(0)), 0);
+    }
+}

@@ -1,0 +1,343 @@
+//! Edge labelings `λ` for the ChainFind algorithm (Section V of the paper).
+//!
+//! A labeling assigns to every covering edge `σ ◁_B τ` an element of a
+//! totally ordered set `Q`; ChainFind greedily follows the maximal label.
+//! Labels here are vectors of `usize` compared lexicographically, which
+//! covers both labelings studied in the paper:
+//!
+//! * [`MissRatioLabeling`] (`λ_e`): the hit vector `hits_C(τ)` itself.
+//! * [`RankedMissRatioLabeling`] (`λ_ψ`): the hit vector permuted by `ψ`,
+//!   prioritizing particular cache sizes.
+//!
+//! An [`InversionLabeling`] is included as a deliberately *bad* labeling
+//! (every cover gets the same label) to exercise the tie machinery.
+
+use crate::error::{CoreError, Result};
+use crate::hits::hit_vector;
+use symloc_perm::Permutation;
+
+/// A totally ordered edge label: a vector compared lexicographically.
+pub type Label = Vec<usize>;
+
+/// An edge labeler `λ : {(σ, τ) : σ ◁_B τ} → Q`.
+pub trait EdgeLabeling {
+    /// Label of the covering edge `from ◁_B to`, reached by right-multiplying
+    /// `from` with the transposition at the given positions.
+    fn label(&self, from: &Permutation, to: &Permutation, transposition: (usize, usize)) -> Label;
+
+    /// Short human-readable name used in experiment output.
+    fn name(&self) -> &'static str;
+}
+
+/// The naive miss-ratio labeling `λ_e` of Section V-B1: the label of an edge
+/// is the destination's hit vector, compared lexicographically from cache
+/// size 1 upward.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MissRatioLabeling;
+
+impl EdgeLabeling for MissRatioLabeling {
+    fn label(&self, _from: &Permutation, to: &Permutation, _t: (usize, usize)) -> Label {
+        hit_vector(to).as_slice().to_vec()
+    }
+
+    fn name(&self) -> &'static str {
+        "miss-ratio (λ_e)"
+    }
+}
+
+/// The ranked miss-ratio labeling `λ_ψ` of Section V-B2: the destination's
+/// hit vector re-ordered by a permutation `ψ` of the cache sizes, so that
+/// preferred sizes are compared first.
+#[derive(Debug, Clone)]
+pub struct RankedMissRatioLabeling {
+    psi: Permutation,
+}
+
+impl RankedMissRatioLabeling {
+    /// Creates the labeling for groups of degree `psi.degree()`.
+    #[must_use]
+    pub fn new(psi: Permutation) -> Self {
+        RankedMissRatioLabeling { psi }
+    }
+
+    /// The paper's S11 example: `ψ` slides the hits at the second-largest
+    /// cache size to the front (ψ is the cycle `(1 m-1 m-2 .. 2)` in the
+    /// paper's 1-based notation). Concretely, the label reads cache size
+    /// `m-1` first, then sizes `1, 2, .., m-2, m`.
+    #[must_use]
+    pub fn prioritize_second_largest(m: usize) -> Self {
+        // psi maps label position -> cache-size index (0-based). Position 0
+        // reads cache size m-2 (i.e. c = m-1), position i>0 reads size i-1,
+        // and the last position keeps c = m.
+        let mut images = Vec::with_capacity(m);
+        if m >= 2 {
+            images.push(m - 2);
+            for i in 0..m - 2 {
+                images.push(i);
+            }
+            images.push(m - 1);
+        } else {
+            images.extend(0..m);
+        }
+        RankedMissRatioLabeling {
+            psi: Permutation::from_images(images).expect("constructed bijection"),
+        }
+    }
+
+    /// The ranking permutation ψ.
+    #[must_use]
+    pub fn psi(&self) -> &Permutation {
+        &self.psi
+    }
+
+    /// Validates that the labeling matches a group degree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::LabelingDegreeMismatch`] when degrees differ.
+    pub fn check_degree(&self, group_degree: usize) -> Result<()> {
+        if self.psi.degree() != group_degree {
+            return Err(CoreError::LabelingDegreeMismatch {
+                labeling: self.psi.degree(),
+                group: group_degree,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl EdgeLabeling for RankedMissRatioLabeling {
+    fn label(&self, _from: &Permutation, to: &Permutation, _t: (usize, usize)) -> Label {
+        let hv = hit_vector(to);
+        let hits = hv.as_slice();
+        debug_assert_eq!(hits.len(), self.psi.degree(), "labeling degree mismatch");
+        // Label position i reads hits at cache size psi(i)+1.
+        self.psi.images().iter().map(|&c| hits[c]).collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "ranked miss-ratio (λ_ψ)"
+    }
+}
+
+/// A degenerate labeling that grades edges only by the destination length
+/// (which is constant across the covers of a node): every step is a full tie.
+/// Useful as a worst case for tie-break studies.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct InversionLabeling;
+
+impl EdgeLabeling for InversionLabeling {
+    fn label(&self, _from: &Permutation, to: &Permutation, _t: (usize, usize)) -> Label {
+        vec![symloc_perm::inversions::inversions(to)]
+    }
+
+    fn name(&self) -> &'static str {
+        "inversion-only (degenerate)"
+    }
+}
+
+/// A labeling that breaks all ties of an inner labeling by appending the
+/// generator (transposition) positions, matching the "use the σ_i that
+/// describes the edge" tie-breaker the paper suggests from the standard
+/// Coxeter labeling.
+#[derive(Debug, Clone)]
+pub struct GeneratorTieBreakLabeling<L> {
+    inner: L,
+}
+
+impl<L: EdgeLabeling> GeneratorTieBreakLabeling<L> {
+    /// Wraps an inner labeling.
+    #[must_use]
+    pub fn new(inner: L) -> Self {
+        GeneratorTieBreakLabeling { inner }
+    }
+}
+
+impl<L: EdgeLabeling> EdgeLabeling for GeneratorTieBreakLabeling<L> {
+    fn label(&self, from: &Permutation, to: &Permutation, t: (usize, usize)) -> Label {
+        let mut label = self.inner.label(from, to, t);
+        label.push(t.0);
+        label.push(t.1);
+        label
+    }
+
+    fn name(&self) -> &'static str {
+        "generator tie-broken"
+    }
+}
+
+/// A labeling based on *timescale locality* (one of the alternative orderings
+/// the paper reports trying for Problem 3): the label of an edge compares,
+/// window length by window length, how few distinct elements the destination
+/// re-traversal touches per window (complemented so that larger labels mean
+/// better locality, as ChainFind maximizes).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TimescaleLabeling;
+
+impl EdgeLabeling for TimescaleLabeling {
+    fn label(&self, _from: &Permutation, to: &Permutation, _t: (usize, usize)) -> Label {
+        let m = to.degree();
+        let trace = symloc_trace::generators::retraversal_trace(to);
+        let n = trace.len();
+        (1..=m)
+            .map(|w| {
+                let windows = (n + 1).saturating_sub(w);
+                let max_total = (windows * w.min(m)) as u128;
+                let total = symloc_cache::footprint::total_window_footprint(&trace, w);
+                usize::try_from(max_total.saturating_sub(total)).unwrap_or(usize::MAX)
+            })
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "timescale footprint"
+    }
+}
+
+/// A labeling based on the scalar *data-movement* cost (the paper's other
+/// candidate ordering): the total reuse distance of the destination
+/// re-traversal, complemented so that larger labels mean better locality.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DataMovementLabeling;
+
+impl EdgeLabeling for DataMovementLabeling {
+    fn label(&self, _from: &Permutation, to: &Permutation, _t: (usize, usize)) -> Label {
+        let m = to.degree() as u128;
+        let total = crate::hits::total_reuse_distance(to);
+        vec![usize::try_from(m * m - total).unwrap_or(usize::MAX)]
+    }
+
+    fn name(&self) -> &'static str {
+        "data-movement (total reuse distance)"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_ratio_labeling_is_hit_vector() {
+        let e = Permutation::identity(4);
+        let tau = e.mul_adjacent_right(0).unwrap();
+        let label = MissRatioLabeling.label(&e, &tau, (0, 1));
+        assert_eq!(label, hit_vector(&tau).as_slice().to_vec());
+        assert_eq!(MissRatioLabeling.name(), "miss-ratio (λ_e)");
+    }
+
+    #[test]
+    fn first_covers_of_identity_tie_under_miss_ratio_labeling() {
+        // The paper's counterexample: all covers of e have hits_1 = 0 and in
+        // fact identical hit vectors, so λ_e cannot distinguish them.
+        let m = 5;
+        let e = Permutation::identity(m);
+        let labels: Vec<Label> = symloc_perm::bruhat::upper_covers(&e)
+            .into_iter()
+            .map(|c| MissRatioLabeling.label(&e, &c.perm, c.transposition))
+            .collect();
+        assert!(labels.len() > 1);
+        assert!(labels.windows(2).all(|w| w[0] == w[1]));
+        assert_eq!(labels[0][0], 0); // hits_1 = 0 for every s_i
+    }
+
+    #[test]
+    fn ranked_labeling_reorders_positions() {
+        let m = 5;
+        let labeling = RankedMissRatioLabeling::prioritize_second_largest(m);
+        assert!(labeling.check_degree(m).is_ok());
+        assert!(labeling.check_degree(4).is_err());
+        // psi position 0 must read cache size m-1 (index m-2).
+        assert_eq!(labeling.psi().apply(0), m - 2);
+        let sigma = Permutation::reverse(m);
+        let label = labeling.label(&Permutation::identity(m), &sigma, (0, 4));
+        let hv = hit_vector(&sigma);
+        assert_eq!(label[0], hv.hits(m - 1));
+        assert_eq!(label[label.len() - 1], hv.hits(m));
+        assert_eq!(labeling.name(), "ranked miss-ratio (λ_ψ)");
+    }
+
+    #[test]
+    fn ranked_labeling_degenerate_degrees() {
+        let l1 = RankedMissRatioLabeling::prioritize_second_largest(1);
+        assert_eq!(l1.psi().degree(), 1);
+        let l0 = RankedMissRatioLabeling::prioritize_second_largest(0);
+        assert_eq!(l0.psi().degree(), 0);
+    }
+
+    #[test]
+    fn inversion_labeling_always_ties() {
+        let e = Permutation::identity(4);
+        let covers = symloc_perm::bruhat::upper_covers(&e);
+        let labels: Vec<Label> = covers
+            .iter()
+            .map(|c| InversionLabeling.label(&e, &c.perm, c.transposition))
+            .collect();
+        assert!(labels.windows(2).all(|w| w[0] == w[1]));
+        assert_eq!(labels[0], vec![1]);
+        assert!(InversionLabeling.name().contains("degenerate"));
+    }
+
+    #[test]
+    fn timescale_labeling_prefers_sawtooth_over_cyclic_steps() {
+        // From a mid-chain permutation, the timescale label of the cover that
+        // moves toward the sawtooth must be at least the label of any other
+        // cover according to the scalar data-movement labeling; both labelings
+        // must rank the sawtooth destination highest among covers of the
+        // identity's successors in S_3 (exhaustively checkable).
+        let e = Permutation::identity(3);
+        let covers = symloc_perm::bruhat::upper_covers(&e);
+        let ts_labels: Vec<Label> = covers
+            .iter()
+            .map(|c| TimescaleLabeling.label(&e, &c.perm, c.transposition))
+            .collect();
+        assert_eq!(ts_labels.len(), 2);
+        assert_eq!(TimescaleLabeling.name(), "timescale footprint");
+        // The two covers of e in S_3 are symmetric; their labels agree.
+        assert_eq!(ts_labels[0], ts_labels[1]);
+        // Sawtooth beats cyclic under both labelings (compare as destinations
+        // from a common dummy edge).
+        let w0 = Permutation::reverse(4);
+        let id = Permutation::identity(4);
+        let better = TimescaleLabeling.label(&id, &w0, (0, 1));
+        let worse = TimescaleLabeling.label(&id, &id, (0, 1));
+        assert!(better > worse);
+        let dm_better = DataMovementLabeling.label(&id, &w0, (0, 1));
+        let dm_worse = DataMovementLabeling.label(&id, &id, (0, 1));
+        assert!(dm_better > dm_worse);
+        assert!(DataMovementLabeling.name().contains("data-movement"));
+    }
+
+    #[test]
+    fn data_movement_labeling_is_single_scalar_and_monotone_in_inversions() {
+        // For S_4, the data-movement label orders permutations identically to
+        // the inversion number (both are affine in ℓ by Theorem 2).
+        use symloc_perm::inversions::inversions;
+        let id = Permutation::identity(4);
+        let mut perms: Vec<Permutation> = symloc_perm::iter::LexIter::new(4).collect();
+        perms.sort_by_key(inversions);
+        let labels: Vec<Label> = perms
+            .iter()
+            .map(|p| DataMovementLabeling.label(&id, p, (0, 1)))
+            .collect();
+        for w in labels.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        assert_eq!(labels[0].len(), 1);
+    }
+
+    #[test]
+    fn generator_tiebreak_distinguishes_covers() {
+        let e = Permutation::identity(4);
+        let covers = symloc_perm::bruhat::upper_covers(&e);
+        let labeling = GeneratorTieBreakLabeling::new(MissRatioLabeling);
+        let labels: Vec<Label> = covers
+            .iter()
+            .map(|c| labeling.label(&e, &c.perm, c.transposition))
+            .collect();
+        let mut unique = labels.clone();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), labels.len());
+        assert_eq!(labeling.name(), "generator tie-broken");
+    }
+}

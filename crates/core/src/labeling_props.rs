@@ -1,0 +1,291 @@
+//! Checking the *good labeling* and *EL-labeling* properties
+//! (Definitions 21 and 22 of the paper, and its open Problem 3).
+//!
+//! A labeling is **good** when the edges leaving any node carry pairwise
+//! distinct labels (so a greedy maximum is unique). It is an **EL-labeling**
+//! when, for every interval `[x, y]` of the Bruhat order, exactly one
+//! saturated chain from `x` to `y` has weakly increasing labels, and that
+//! chain is lexicographically minimal among all saturated chains of the
+//! interval. Problem 3 asks whether an EL-labeling can depend *precisely on
+//! locality*; these checkers make the question executable on small degrees.
+
+use crate::labeling::{EdgeLabeling, Label};
+use symloc_perm::bruhat::{bruhat_leq, upper_covers};
+use symloc_perm::inversions::inversions;
+use symloc_perm::iter::LexIter;
+use symloc_perm::Permutation;
+
+/// A witness that a labeling is not good: two covers of `node` share `label`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GoodLabelingViolation {
+    /// The node whose out-edges collide.
+    pub node: Permutation,
+    /// The two covering permutations with identical labels.
+    pub colliding: (Permutation, Permutation),
+    /// The shared label.
+    pub label: Label,
+}
+
+/// Checks the good-labeling property over all of `S_m`.
+///
+/// Returns the first violation found, or `None` if the labeling is good.
+///
+/// # Panics
+///
+/// Panics if `m > 8` (the check enumerates all `m!` nodes).
+#[must_use]
+pub fn good_labeling_violation<L: EdgeLabeling>(
+    m: usize,
+    labeling: &L,
+) -> Option<GoodLabelingViolation> {
+    assert!(m <= 8, "good_labeling_violation: degree {m} too large");
+    for node in LexIter::new(m) {
+        let covers = upper_covers(&node);
+        let labels: Vec<(Permutation, Label)> = covers
+            .into_iter()
+            .map(|c| {
+                let label = labeling.label(&node, &c.perm, c.transposition);
+                (c.perm, label)
+            })
+            .collect();
+        for i in 0..labels.len() {
+            for j in (i + 1)..labels.len() {
+                if labels[i].1 == labels[j].1 {
+                    return Some(GoodLabelingViolation {
+                        node,
+                        colliding: (labels[i].0.clone(), labels[j].0.clone()),
+                        label: labels[i].1.clone(),
+                    });
+                }
+            }
+        }
+    }
+    None
+}
+
+/// One saturated chain of a Bruhat interval together with its edge labels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LabeledChain {
+    /// The permutations of the chain, bottom first.
+    pub nodes: Vec<Permutation>,
+    /// The labels of its edges, in order.
+    pub labels: Vec<Label>,
+}
+
+impl LabeledChain {
+    /// True if the label sequence is weakly increasing.
+    #[must_use]
+    pub fn is_increasing(&self) -> bool {
+        self.labels.windows(2).all(|w| w[0] <= w[1])
+    }
+}
+
+/// Enumerates every saturated chain of the Bruhat interval `[x, y]`, labeling
+/// its edges with `labeling`. Returns an empty vector when `x` is not `≤_B y`
+/// or the degrees differ.
+///
+/// Exponential in the interval length; intended for small intervals in tests
+/// and the Problem-3 experiment.
+#[must_use]
+pub fn saturated_chains<L: EdgeLabeling>(
+    x: &Permutation,
+    y: &Permutation,
+    labeling: &L,
+) -> Vec<LabeledChain> {
+    if x.degree() != y.degree() || !bruhat_leq(x, y) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let mut nodes = vec![x.clone()];
+    let mut labels = Vec::new();
+    fn rec<L: EdgeLabeling>(
+        current: &Permutation,
+        y: &Permutation,
+        labeling: &L,
+        nodes: &mut Vec<Permutation>,
+        labels: &mut Vec<Label>,
+        out: &mut Vec<LabeledChain>,
+    ) {
+        if current == y {
+            out.push(LabeledChain {
+                nodes: nodes.clone(),
+                labels: labels.clone(),
+            });
+            return;
+        }
+        for cover in upper_covers(current) {
+            if !bruhat_leq(&cover.perm, y) {
+                continue;
+            }
+            let label = labeling.label(current, &cover.perm, cover.transposition);
+            nodes.push(cover.perm.clone());
+            labels.push(label);
+            rec(&cover.perm, y, labeling, nodes, labels, out);
+            nodes.pop();
+            labels.pop();
+        }
+    }
+    rec(x, y, labeling, &mut nodes, &mut labels, &mut out);
+    out
+}
+
+/// Result of checking the EL-labeling property on a single interval.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ElIntervalCheck {
+    /// Number of saturated chains of the interval.
+    pub chains: usize,
+    /// Number of chains with weakly increasing labels.
+    pub increasing_chains: usize,
+    /// True when exactly one chain is increasing and it is lexicographically
+    /// minimal among all chains of the interval.
+    pub satisfies_el: bool,
+}
+
+/// Checks the EL-labeling conditions (Definition 21) on the interval
+/// `[x, y]`. Returns `None` when the interval is empty (`x` not `≤_B y`).
+#[must_use]
+pub fn el_interval_check<L: EdgeLabeling>(
+    x: &Permutation,
+    y: &Permutation,
+    labeling: &L,
+) -> Option<ElIntervalCheck> {
+    let chains = saturated_chains(x, y, labeling);
+    if chains.is_empty() {
+        return None;
+    }
+    let increasing: Vec<&LabeledChain> = chains.iter().filter(|c| c.is_increasing()).collect();
+    let satisfies_el = if increasing.len() == 1 {
+        let candidate = &increasing[0].labels;
+        chains.iter().all(|c| candidate <= &c.labels)
+    } else {
+        false
+    };
+    Some(ElIntervalCheck {
+        chains: chains.len(),
+        increasing_chains: increasing.len(),
+        satisfies_el,
+    })
+}
+
+/// Checks the EL conditions on every interval of `S_m` with length difference
+/// at least 2 (shorter intervals are trivially fine) and returns
+/// `(intervals_checked, intervals_satisfying_el)`.
+///
+/// # Panics
+///
+/// Panics if `m > 5` — the number of intervals and chains explodes quickly.
+#[must_use]
+pub fn el_census<L: EdgeLabeling>(m: usize, labeling: &L) -> (usize, usize) {
+    assert!(m <= 5, "el_census: degree {m} too large");
+    let all: Vec<Permutation> = LexIter::new(m).collect();
+    let mut checked = 0usize;
+    let mut satisfied = 0usize;
+    for x in &all {
+        for y in &all {
+            if inversions(y) < inversions(x) + 2 || !bruhat_leq(x, y) {
+                continue;
+            }
+            if let Some(check) = el_interval_check(x, y, labeling) {
+                checked += 1;
+                if check.satisfies_el {
+                    satisfied += 1;
+                }
+            }
+        }
+    }
+    (checked, satisfied)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::labeling::{
+        GeneratorTieBreakLabeling, InversionLabeling, MissRatioLabeling, TimescaleLabeling,
+    };
+    use symloc_perm::coxeter::longest_length;
+
+    #[test]
+    fn miss_ratio_labeling_is_not_good() {
+        // The covers of the identity all share the same hit vector.
+        let violation = good_labeling_violation(4, &MissRatioLabeling).expect("must collide");
+        assert!(violation.node.is_identity());
+        assert_eq!(violation.label[0], 0);
+        assert_ne!(violation.colliding.0, violation.colliding.1);
+    }
+
+    #[test]
+    fn degenerate_labeling_is_not_good_either() {
+        assert!(good_labeling_violation(4, &InversionLabeling).is_some());
+        assert!(good_labeling_violation(4, &TimescaleLabeling).is_some());
+    }
+
+    #[test]
+    fn generator_tiebreak_labeling_is_good() {
+        for m in 2..=5usize {
+            assert!(
+                good_labeling_violation(m, &GeneratorTieBreakLabeling::new(MissRatioLabeling))
+                    .is_none(),
+                "m={m}"
+            );
+        }
+    }
+
+    #[test]
+    fn saturated_chains_of_full_interval() {
+        // Number of saturated chains from e to w0 in the strong Bruhat order
+        // of S_3 is 4 (each of the two length-1 elements covers both length-2
+        // elements).
+        let e = Permutation::identity(3);
+        let w0 = Permutation::reverse(3);
+        let chains = saturated_chains(&e, &w0, &MissRatioLabeling);
+        assert_eq!(chains.len(), 4);
+        for chain in &chains {
+            assert_eq!(chain.nodes.len(), longest_length(3) + 1);
+            assert_eq!(chain.labels.len(), longest_length(3));
+            assert_eq!(chain.nodes.first().unwrap(), &e);
+            assert_eq!(chain.nodes.last().unwrap(), &w0);
+        }
+    }
+
+    #[test]
+    fn saturated_chains_handle_empty_and_trivial_intervals() {
+        let e = Permutation::identity(3);
+        let s0 = e.mul_adjacent_right(0).unwrap();
+        // Reversed interval is empty.
+        assert!(saturated_chains(&s0, &e, &MissRatioLabeling).is_empty());
+        // Degree mismatch is empty.
+        assert!(saturated_chains(&e, &Permutation::reverse(4), &MissRatioLabeling).is_empty());
+        // Single-node interval has exactly one (empty) chain.
+        let chains = saturated_chains(&e, &e, &MissRatioLabeling);
+        assert_eq!(chains.len(), 1);
+        assert!(chains[0].labels.is_empty());
+        assert!(chains[0].is_increasing());
+    }
+
+    #[test]
+    fn el_check_on_small_intervals() {
+        let e = Permutation::identity(3);
+        let w0 = Permutation::reverse(3);
+        let check = el_interval_check(&e, &w0, &GeneratorTieBreakLabeling::new(MissRatioLabeling))
+            .expect("non-empty interval");
+        assert_eq!(check.chains, 4);
+        assert!(check.increasing_chains >= 1);
+        // Reversed interval yields None.
+        assert!(el_interval_check(&w0, &e, &MissRatioLabeling).is_none());
+    }
+
+    #[test]
+    fn el_census_quantifies_problem3() {
+        // None of the locality-only labelings satisfies EL on every interval
+        // of S_3/S_4 — the executable form of Problem 3 being open.
+        for m in 3..=4usize {
+            let (checked, ok_miss) = el_census(m, &MissRatioLabeling);
+            assert!(checked > 0);
+            assert!(ok_miss < checked, "λ_e should fail EL somewhere (m={m})");
+            let (_, ok_broken) = el_census(m, &GeneratorTieBreakLabeling::new(MissRatioLabeling));
+            // The tie-broken labeling is good, hence at least as many intervals
+            // satisfy the EL conditions.
+            assert!(ok_broken >= ok_miss);
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! # symloc-core
+//!
+//! The core of the *symmetric locality* library — an implementation of the
+//! paper "Symmetric Locality: Definition and Initial Results".
+//!
+//! A data re-traversal `T = A σ(A)` is modeled by the permutation
+//! `σ ∈ S_m` that generates its second pass. This crate turns the paper's
+//! results into an API:
+//!
+//! * [`retraversal`] — the re-traversal model and trace round-tripping.
+//! * [`hits`] — Algorithm 1: reuse distances, hit vectors and miss-ratio
+//!   curves computed directly from `σ`.
+//! * [`theorems`] — executable checks of Theorem 2 (Bruhat–Locality),
+//!   Corollary 1, Theorem 3 (cover dominance) and Theorem 4 (alternation).
+//! * [`labeling`] / [`chainfind`] — Algorithm 2 (ChainFind) with the
+//!   miss-ratio and ranked miss-ratio labelings and tie accounting.
+//! * [`feasibility`] / [`optimize`] — the feasibility predicate `Y`,
+//!   precedence constraints, and constrained locality optimization.
+//! * [`schedule`] — multi-epoch alternation schedules (Theorem 4 applied to
+//!   repeated traversals such as training epochs).
+//! * [`analytics`] — Appendix F: hit-vector partitions, Mahonian census,
+//!   normalized truncated integral.
+//! * [`sweep`] — parallel exhaustive / stratified sweeps over `S_m`
+//!   (Figure 1).
+//!
+//! # Quick example
+//!
+//! ```
+//! use symloc_core::prelude::*;
+//! use symloc_perm::Permutation;
+//!
+//! // The paper's worked example: T = 1 2 3 4 | 2 1 3 4.
+//! let sigma = Permutation::from_one_based(vec![2, 1, 3, 4]).unwrap();
+//! let hv = hit_vector(&sigma);
+//! assert_eq!(hv.as_slice(), &[0, 0, 1, 4]);
+//!
+//! // Theorem 2: the truncated hit sum equals the inversion number.
+//! assert!(theorem2_holds(&sigma));
+//!
+//! // ChainFind climbs from the cyclic order to the sawtooth order.
+//! let chain = chain_find(
+//!     &Permutation::identity(4),
+//!     &MissRatioLabeling,
+//!     ChainFindConfig::default(),
+//! );
+//! assert!(chain.last().is_reverse());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod analytics;
+pub mod chainfind;
+pub mod epochs;
+pub mod error;
+pub mod feasibility;
+pub mod hits;
+pub mod labeling;
+pub mod labeling_props;
+pub mod optimize;
+pub mod retraversal;
+pub mod schedule;
+pub mod sweep;
+pub mod theorems;
+
+pub use error::{CoreError, Result};
+pub use retraversal::ReTraversal;
+
+/// Convenient glob import of the most commonly used items.
+pub mod prelude {
+    pub use crate::analytics::{
+        hit_vector_partition, normalized_truncated_integral, predicted_truncated_integral,
+        PartitionCensus,
+    };
+    pub use crate::chainfind::{
+        chain_find, chain_find_constrained, Chain, ChainFindConfig, ChainStep, TieBreak,
+    };
+    pub use crate::epochs::EpochChain;
+    pub use crate::error::CoreError;
+    pub use crate::feasibility::PrecedenceDag;
+    pub use crate::hits::{
+        hit_vector, hit_vector_via_simulation, hits, miss_ratio, mrc, rd_histogram,
+        second_pass_distances, second_pass_distances_naive, total_reuse_distance,
+    };
+    pub use crate::labeling::{
+        DataMovementLabeling, EdgeLabeling, GeneratorTieBreakLabeling, InversionLabeling, Label,
+        MissRatioLabeling, RankedMissRatioLabeling, TimescaleLabeling,
+    };
+    pub use crate::labeling_props::{
+        el_census, el_interval_check, good_labeling_violation, saturated_chains, ElIntervalCheck,
+        GoodLabelingViolation, LabeledChain,
+    };
+    pub use crate::optimize::{
+        best_feasible_exhaustive, improve_greedy, optimize_from_identity, OptimizationResult,
+    };
+    pub use crate::retraversal::ReTraversal;
+    pub use crate::schedule::{
+        analytical_retraversal_cost, analytical_totals_match, Schedule,
+    };
+    pub use crate::sweep::{
+        average_mrc_by_inversion, exhaustive_levels, levels_are_monotone, sampled_levels,
+        LevelAggregate,
+    };
+    pub use crate::theorems::{
+        corollary1_holds, locality_cmp, theorem2_holds, theorem3_check,
+        theorem4_alternation_optimal, CoverLocalityCheck,
+    };
+}

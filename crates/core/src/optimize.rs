@@ -1,0 +1,169 @@
+//! Locality optimization of re-traversals (Problem 2 of the paper).
+//!
+//! Given feasibility constraints from the program (a [`PrecedenceDag`]), find
+//! a reordering `τ` of the second traversal that improves locality while
+//! preserving correctness. Two strategies are provided:
+//!
+//! * exhaustive search over the feasible space (exact, small `m` only), and
+//! * greedy ChainFind ascent restricted to feasible covers (the paper's
+//!   proposal; `O(m³)` label evaluations when everything is feasible).
+
+use crate::chainfind::{chain_find_constrained, Chain, ChainFindConfig};
+use crate::error::{CoreError, Result};
+use crate::feasibility::PrecedenceDag;
+use crate::hits::hit_vector;
+use crate::labeling::MissRatioLabeling;
+use symloc_perm::inversions::inversions;
+use symloc_perm::Permutation;
+
+/// Result of a locality optimization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OptimizationResult {
+    /// The chosen second-traversal order.
+    pub sigma: Permutation,
+    /// Its inversion number (the locality score of Theorem 2).
+    pub inversions: usize,
+    /// Its cache-hit vector.
+    pub hit_vector: Vec<usize>,
+}
+
+impl OptimizationResult {
+    fn of(sigma: Permutation) -> Self {
+        let inv = inversions(&sigma);
+        let hv = hit_vector(&sigma).as_slice().to_vec();
+        OptimizationResult {
+            sigma,
+            inversions: inv,
+            hit_vector: hv,
+        }
+    }
+}
+
+/// Finds the best feasible re-traversal by exhaustive enumeration of the
+/// feasible space, maximizing the inversion number and breaking ties by the
+/// lexicographically largest hit vector.
+///
+/// # Errors
+///
+/// Returns [`CoreError::NoFeasibleChoice`] if the feasible space is empty
+/// (cannot happen for a consistent DAG, but kept for API robustness).
+pub fn best_feasible_exhaustive(constraints: &PrecedenceDag) -> Result<OptimizationResult> {
+    let best = constraints
+        .feasible_permutations()
+        .into_iter()
+        .max_by(|a, b| {
+            inversions(a)
+                .cmp(&inversions(b))
+                .then_with(|| hit_vector(a).lex_cmp(&hit_vector(b)))
+        })
+        .ok_or_else(|| CoreError::NoFeasibleChoice {
+            reason: "the feasible space is empty".to_string(),
+        })?;
+    Ok(OptimizationResult::of(best))
+}
+
+/// Improves a starting order greedily with ChainFind restricted to feasible
+/// covers, using the miss-ratio labeling `λ_e`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::NoFeasibleChoice`] if the starting order itself
+/// violates the constraints.
+pub fn improve_greedy(
+    start: &Permutation,
+    constraints: &PrecedenceDag,
+    config: ChainFindConfig,
+) -> Result<(OptimizationResult, Chain)> {
+    if !constraints.is_feasible(start) {
+        return Err(CoreError::NoFeasibleChoice {
+            reason: "the starting order violates the feasibility constraints".to_string(),
+        });
+    }
+    let chain = chain_find_constrained(start, &MissRatioLabeling, config, constraints.predicate());
+    let result = OptimizationResult::of(chain.last().clone());
+    Ok((result, chain))
+}
+
+/// Convenience: improve the canonical cyclic order (identity) under the
+/// constraints.
+///
+/// # Errors
+///
+/// See [`improve_greedy`]: the identity is feasible exactly when every
+/// constraint `a before b` has `a < b` (constraints aligned with the first
+/// traversal's order); otherwise this returns
+/// [`CoreError::NoFeasibleChoice`].
+pub fn optimize_from_identity(
+    constraints: &PrecedenceDag,
+    config: ChainFindConfig,
+) -> Result<(OptimizationResult, Chain)> {
+    improve_greedy(&Permutation::identity(constraints.degree()), constraints, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symloc_perm::inversions::max_inversions;
+
+    #[test]
+    fn unconstrained_optimum_is_sawtooth() {
+        let dag = PrecedenceDag::unconstrained(5);
+        let exact = best_feasible_exhaustive(&dag).unwrap();
+        assert!(exact.sigma.is_reverse());
+        assert_eq!(exact.inversions, max_inversions(5));
+        assert_eq!(exact.hit_vector, vec![1, 2, 3, 4, 5]);
+
+        let (greedy, chain) =
+            optimize_from_identity(&dag, ChainFindConfig::default()).unwrap();
+        assert_eq!(greedy.sigma, exact.sigma);
+        assert!(chain.is_saturated());
+    }
+
+    #[test]
+    fn constrained_optimum_respects_dag() {
+        let mut dag = PrecedenceDag::unconstrained(5);
+        dag.require_before(0, 4).unwrap();
+        dag.require_before(1, 3).unwrap();
+        let exact = best_feasible_exhaustive(&dag).unwrap();
+        assert!(dag.is_feasible(&exact.sigma));
+        assert!(exact.inversions < max_inversions(5));
+
+        let (greedy, _chain) =
+            optimize_from_identity(&dag, ChainFindConfig::default()).unwrap();
+        assert!(dag.is_feasible(&greedy.sigma));
+        // Greedy cannot beat the exact optimum.
+        assert!(greedy.inversions <= exact.inversions);
+        // And must improve on the identity.
+        assert!(greedy.inversions > 0);
+    }
+
+    #[test]
+    fn greedy_matches_exact_with_a_single_constraint() {
+        let mut dag = PrecedenceDag::unconstrained(4);
+        dag.require_before(0, 1).unwrap();
+        let exact = best_feasible_exhaustive(&dag).unwrap();
+        let (greedy, _) = optimize_from_identity(&dag, ChainFindConfig::default()).unwrap();
+        assert_eq!(exact.inversions, 5);
+        assert_eq!(greedy.inversions, exact.inversions);
+    }
+
+    #[test]
+    fn infeasible_start_is_rejected() {
+        let mut dag = PrecedenceDag::unconstrained(4);
+        dag.require_before(0, 1).unwrap();
+        let bad_start = Permutation::reverse(4); // places 1 before 0
+        let err = improve_greedy(&bad_start, &dag, ChainFindConfig::default()).unwrap_err();
+        assert!(matches!(err, CoreError::NoFeasibleChoice { .. }));
+    }
+
+    #[test]
+    fn fully_chained_constraints_leave_identity() {
+        let mut dag = PrecedenceDag::unconstrained(4);
+        dag.require_chain(&[0, 1, 2, 3]).unwrap();
+        let exact = best_feasible_exhaustive(&dag).unwrap();
+        assert!(exact.sigma.is_identity());
+        let (greedy, chain) = optimize_from_identity(&dag, ChainFindConfig::default()).unwrap();
+        assert!(greedy.sigma.is_identity());
+        assert!(chain.is_empty());
+    }
+}

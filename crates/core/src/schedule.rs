@@ -1,0 +1,225 @@
+//! Multi-epoch scheduling (Theorem 4 and Section VI-A2 of the paper).
+//!
+//! When the same data set is traversed many times (`A A A A ..`, e.g. the
+//! weights of a layer across training steps), Theorem 4 says the optimal
+//! schedule alternates the original order with the optimal reordering:
+//! `A σ(A) A σ(A) ..`. This module builds such schedules, materializes their
+//! traces, and scores whole schedules so the claim can be measured.
+
+use crate::hits::total_reuse_distance;
+use symloc_cache::reuse::reuse_profile;
+use symloc_perm::Permutation;
+use symloc_trace::generators::{multi_epoch_trace, EpochOrder};
+use symloc_trace::Trace;
+
+/// A schedule of traversal orders over the same `m` data elements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    m: usize,
+    epochs: Vec<EpochOrder>,
+}
+
+impl Schedule {
+    /// A schedule that repeats the forward order every epoch (the baseline
+    /// `A A A ..`).
+    #[must_use]
+    pub fn all_forward(m: usize, epochs: usize) -> Self {
+        Schedule {
+            m,
+            epochs: vec![EpochOrder::Forward; epochs],
+        }
+    }
+
+    /// The alternating schedule of Theorem 4: `A, σ(A), A, σ(A), ..`.
+    #[must_use]
+    pub fn alternating(sigma: &Permutation, epochs: usize) -> Self {
+        let m = sigma.degree();
+        let epochs = (0..epochs)
+            .map(|e| {
+                if e % 2 == 0 {
+                    EpochOrder::Forward
+                } else {
+                    EpochOrder::Permuted(sigma.clone())
+                }
+            })
+            .collect();
+        Schedule { m, epochs }
+    }
+
+    /// The canonical sawtooth schedule: forward, reverse, forward, reverse...
+    #[must_use]
+    pub fn sawtooth(m: usize, epochs: usize) -> Self {
+        Schedule {
+            m,
+            epochs: (0..epochs)
+                .map(|e| {
+                    if e % 2 == 0 {
+                        EpochOrder::Forward
+                    } else {
+                        EpochOrder::Reverse
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// A schedule from explicit epoch orders.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any permuted epoch has a degree other than `m`.
+    #[must_use]
+    pub fn from_orders(m: usize, epochs: Vec<EpochOrder>) -> Self {
+        for e in &epochs {
+            if let EpochOrder::Permuted(p) = e {
+                assert_eq!(p.degree(), m, "epoch degree mismatch");
+            }
+        }
+        Schedule { m, epochs }
+    }
+
+    /// Number of data elements.
+    #[must_use]
+    pub fn degree(&self) -> usize {
+        self.m
+    }
+
+    /// Number of epochs.
+    #[must_use]
+    pub fn epoch_count(&self) -> usize {
+        self.epochs.len()
+    }
+
+    /// The epoch orders.
+    #[must_use]
+    pub fn orders(&self) -> &[EpochOrder] {
+        &self.epochs
+    }
+
+    /// Materializes the full access trace of the schedule.
+    #[must_use]
+    pub fn to_trace(&self) -> Trace {
+        multi_epoch_trace(self.m, &self.epochs)
+    }
+
+    /// Total finite reuse distance of the schedule's trace (lower = better
+    /// locality). This is the scalar the paper's Section VI-A2 compares
+    /// (`n²m²` for cyclic vs `nm(nm+1)/2` for sawtooth).
+    #[must_use]
+    pub fn total_reuse_distance(&self) -> u128 {
+        reuse_profile(&self.to_trace())
+            .histogram()
+            .total_finite_distance()
+    }
+
+    /// Number of LRU hits of the schedule's trace at cache size `c`.
+    #[must_use]
+    pub fn hits(&self, c: usize) -> usize {
+        reuse_profile(&self.to_trace()).hits(c)
+    }
+
+    /// Miss ratio of the schedule's trace at cache size `c`.
+    #[must_use]
+    pub fn miss_ratio(&self, c: usize) -> f64 {
+        reuse_profile(&self.to_trace()).miss_ratio(c)
+    }
+}
+
+/// The paper's analytical totals for one re-traversal of `k = n·m` elements:
+/// cyclic order costs `k²` total reuse distance, sawtooth costs `k(k+1)/2`.
+#[must_use]
+pub fn analytical_retraversal_cost(k: usize, sawtooth: bool) -> u128 {
+    let k = k as u128;
+    if sawtooth {
+        k * (k + 1) / 2
+    } else {
+        k * k
+    }
+}
+
+/// Convenience check that the single-re-traversal totals computed by
+/// Algorithm 1 match the analytical formulas for both extremes.
+#[must_use]
+pub fn analytical_totals_match(k: usize) -> bool {
+    total_reuse_distance(&Permutation::identity(k)) == analytical_retraversal_cost(k, false)
+        && total_reuse_distance(&Permutation::reverse(k)) == analytical_retraversal_cost(k, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedules_have_expected_shapes() {
+        let s = Schedule::all_forward(4, 3);
+        assert_eq!(s.degree(), 4);
+        assert_eq!(s.epoch_count(), 3);
+        assert_eq!(s.to_trace().len(), 12);
+
+        let alt = Schedule::alternating(&Permutation::reverse(4), 4);
+        assert_eq!(alt.orders().len(), 4);
+        assert_eq!(alt.to_trace(), Schedule::sawtooth(4, 4).to_trace());
+    }
+
+    #[test]
+    fn from_orders_validates_degrees() {
+        let s = Schedule::from_orders(
+            3,
+            vec![EpochOrder::Forward, EpochOrder::Permuted(Permutation::reverse(3))],
+        );
+        assert_eq!(s.epoch_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "degree mismatch")]
+    fn from_orders_rejects_bad_degree() {
+        let _ = Schedule::from_orders(3, vec![EpochOrder::Permuted(Permutation::reverse(4))]);
+    }
+
+    #[test]
+    fn alternating_beats_all_forward() {
+        let m = 16;
+        let epochs = 6;
+        let forward = Schedule::all_forward(m, epochs);
+        let alternating = Schedule::alternating(&Permutation::reverse(m), epochs);
+        assert!(alternating.total_reuse_distance() < forward.total_reuse_distance());
+        // At half-capacity cache the alternating schedule hits, the cyclic one
+        // does not.
+        let c = m / 2;
+        assert!(alternating.hits(c) > 0);
+        assert_eq!(forward.hits(c), 0);
+        assert!(alternating.miss_ratio(c) < forward.miss_ratio(c));
+    }
+
+    #[test]
+    fn alternating_with_suboptimal_sigma_is_between() {
+        let m = 12;
+        let epochs = 6;
+        // A mildly-reordered sigma: swap the first two elements only.
+        let mild = Permutation::identity(m).mul_adjacent_right(0).unwrap();
+        let forward = Schedule::all_forward(m, epochs).total_reuse_distance();
+        let mild_total = Schedule::alternating(&mild, epochs).total_reuse_distance();
+        let best = Schedule::alternating(&Permutation::reverse(m), epochs).total_reuse_distance();
+        assert!(best < mild_total);
+        assert!(mild_total < forward);
+    }
+
+    #[test]
+    fn analytical_formulas_match_algorithm1() {
+        for k in [1usize, 2, 5, 16, 40] {
+            assert!(analytical_totals_match(k), "k={k}");
+        }
+        assert_eq!(analytical_retraversal_cost(4, false), 16);
+        assert_eq!(analytical_retraversal_cost(4, true), 10);
+    }
+
+    #[test]
+    fn degenerate_schedules() {
+        let s = Schedule::all_forward(0, 3);
+        assert_eq!(s.to_trace().len(), 0);
+        assert_eq!(s.total_reuse_distance(), 0);
+        let s = Schedule::all_forward(4, 0);
+        assert_eq!(s.to_trace().len(), 0);
+        assert_eq!(s.miss_ratio(2), 0.0);
+    }
+}

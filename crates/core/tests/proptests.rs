@@ -1,0 +1,155 @@
+//! Property-based tests for the symmetric-locality core.
+
+use proptest::prelude::*;
+use symloc_core::prelude::*;
+use symloc_perm::prelude::*;
+
+/// Strategy producing an arbitrary permutation of degree 1..=max_degree.
+fn arb_permutation(max_degree: usize) -> impl Strategy<Value = Permutation> {
+    (1..=max_degree, any::<u64>()).prop_map(|(m, seed)| {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        random_permutation(m, &mut rng)
+    })
+}
+
+proptest! {
+    #[test]
+    fn theorem2_and_corollary1(sigma in arb_permutation(64)) {
+        prop_assert!(theorem2_holds(&sigma));
+        prop_assert!(corollary1_holds(&sigma));
+    }
+
+    #[test]
+    fn algorithm1_matches_generic_simulation(sigma in arb_permutation(40)) {
+        prop_assert_eq!(hit_vector(&sigma), hit_vector_via_simulation(&sigma));
+    }
+
+    #[test]
+    fn naive_and_fast_distances_agree(sigma in arb_permutation(48)) {
+        prop_assert_eq!(second_pass_distances_naive(&sigma), second_pass_distances(&sigma));
+    }
+
+    #[test]
+    fn hit_vector_is_monotone_and_ends_at_m(sigma in arb_permutation(48)) {
+        let m = sigma.degree();
+        let hv = hit_vector(&sigma);
+        let slice = hv.as_slice();
+        prop_assert_eq!(slice.len(), m);
+        for w in slice.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+        // At cache size m every second-pass access hits.
+        prop_assert_eq!(slice[m - 1], m);
+    }
+
+    #[test]
+    fn distances_are_a_valid_multiset(sigma in arb_permutation(48)) {
+        let m = sigma.degree();
+        let d = second_pass_distances(&sigma);
+        prop_assert_eq!(d.len(), m);
+        for &x in &d {
+            prop_assert!(x >= 1 && x <= m);
+        }
+        // Total reuse distance is between the sawtooth and cyclic extremes.
+        let total: u128 = d.iter().map(|&x| x as u128).sum();
+        let k = m as u128;
+        prop_assert!(total >= k * (k + 1) / 2);
+        prop_assert!(total <= k * k);
+    }
+
+    #[test]
+    fn retraversal_round_trip(sigma in arb_permutation(32)) {
+        let rt = ReTraversal::new(sigma.clone());
+        let parsed = ReTraversal::from_trace(&rt.to_trace()).unwrap();
+        prop_assert_eq!(parsed.sigma(), &sigma);
+    }
+
+    #[test]
+    fn covers_improve_truncated_sum_by_one(sigma in arb_permutation(12), seed in any::<u64>()) {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        if let Some(cover) = random_upper_cover(&sigma, &mut rng) {
+            let check = theorem3_check(&sigma, &cover.perm).expect("cover");
+            prop_assert!(check.holds_in_aggregate());
+            prop_assert!(!check.improved_sizes.is_empty());
+        }
+    }
+
+    #[test]
+    fn mrc_decreases_with_inversions(sigma in arb_permutation(16)) {
+        // The normalized truncated integral is an affine function of ℓ.
+        let measured = normalized_truncated_integral(&sigma);
+        let predicted = predicted_truncated_integral(sigma.degree(), inversions(&sigma));
+        prop_assert!((measured - predicted).abs() < 1e-9);
+        prop_assert!(measured >= 0.5 - 1e-9);
+        prop_assert!(measured <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn hit_vector_partition_is_partition_of_length(sigma in arb_permutation(24)) {
+        let parts = hit_vector_partition(&sigma);
+        prop_assert!(is_partition_of(&parts, inversions(&sigma)));
+    }
+
+    #[test]
+    fn chainfind_always_saturates_without_constraints(m in 1usize..=7, seed in any::<u64>()) {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let start = random_permutation(m, &mut rng);
+        let chain = chain_find(&start, &MissRatioLabeling, ChainFindConfig::default());
+        prop_assert!(chain.is_saturated());
+        prop_assert_eq!(chain.len(), max_inversions(m) - inversions(&start));
+        // Each step is a Bruhat cover of its predecessor.
+        let perms = chain.permutations();
+        for w in perms.windows(2) {
+            prop_assert!(is_cover(&w[0], &w[1]));
+        }
+    }
+
+    #[test]
+    fn feasibility_constrained_chain_stays_feasible(m in 2usize..=6, a in 0usize..6, b in 0usize..6) {
+        prop_assume!(a < m && b < m && a != b);
+        // Constrain in natural order so the identity (the cyclic baseline the
+        // optimizer starts from) is itself feasible.
+        let (a, b) = (a.min(b), a.max(b));
+        let mut dag = PrecedenceDag::unconstrained(m);
+        dag.require_before(a, b).unwrap();
+        let (result, chain) = optimize_from_identity(&dag, ChainFindConfig::default()).unwrap();
+        prop_assert!(dag.is_feasible(&result.sigma));
+        for p in chain.permutations() {
+            prop_assert!(dag.is_feasible(&p));
+        }
+        // The exhaustive optimum is at least as good.
+        let exact = best_feasible_exhaustive(&dag).unwrap();
+        prop_assert!(exact.inversions >= result.inversions);
+    }
+
+    #[test]
+    fn schedules_alternation_never_worse_than_cyclic(m in 2usize..=16, epochs in 2usize..=5) {
+        let forward = Schedule::all_forward(m, epochs);
+        let alternating = Schedule::alternating(&Permutation::reverse(m), epochs);
+        prop_assert!(alternating.total_reuse_distance() <= forward.total_reuse_distance());
+    }
+
+    #[test]
+    fn locality_cmp_agrees_with_inversions(
+        (sigma, tau) in (1usize..=16).prop_flat_map(|m| {
+            ((any::<u64>()), (any::<u64>())).prop_map(move |(s1, s2)| {
+                use rand::rngs::StdRng;
+                use rand::SeedableRng;
+                let mut r1 = StdRng::seed_from_u64(s1);
+                let mut r2 = StdRng::seed_from_u64(s2);
+                (random_permutation(m, &mut r1), random_permutation(m, &mut r2))
+            })
+        })
+    ) {
+        prop_assert_eq!(
+            locality_cmp(&sigma, &tau),
+            inversions(&sigma).cmp(&inversions(&tau))
+        );
+    }
+}

@@ -1,0 +1,190 @@
+//! Simulated multi-head attention weight-access traces.
+//!
+//! The paper notes that the key, value, query and output-projection matrices
+//! of multi-head attention are permutation-equivariant and are re-accessed on
+//! every token/step, so the same alternation optimization applies to them.
+
+use crate::mlp::MlpLayer;
+use symloc_perm::Permutation;
+use symloc_trace::Trace;
+
+/// Which weight matrices of the attention block are traversed, and in what
+/// block order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttentionAccessPattern {
+    /// Q, K, V then the output projection — the natural forward order.
+    Forward,
+    /// Output projection, V, K then Q — the backward (gradient) order.
+    Backward,
+}
+
+/// A simulated multi-head attention block.
+///
+/// All four projection matrices are `d_model × d_model` (the per-head split
+/// does not change which elements are touched, only their grouping, so heads
+/// only matter for the per-head traversal orders).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MultiHeadAttention {
+    d_model: usize,
+    heads: usize,
+    /// The four projections as simulated layers: Q, K, V, O.
+    projections: [MlpLayer; 4],
+}
+
+impl MultiHeadAttention {
+    /// Creates an attention block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d_model` is zero, `heads` is zero, or `heads` does not
+    /// divide `d_model`.
+    #[must_use]
+    pub fn new(d_model: usize, heads: usize) -> Self {
+        assert!(d_model > 0 && heads > 0, "attention dimensions must be positive");
+        assert!(
+            d_model.is_multiple_of(heads),
+            "heads ({heads}) must divide d_model ({d_model})"
+        );
+        let layer = || MlpLayer::new(d_model, d_model);
+        MultiHeadAttention {
+            d_model,
+            heads,
+            projections: [layer(), layer(), layer(), layer()],
+        }
+    }
+
+    /// Model width.
+    #[must_use]
+    pub fn d_model(&self) -> usize {
+        self.d_model
+    }
+
+    /// Number of heads.
+    #[must_use]
+    pub fn heads(&self) -> usize {
+        self.heads
+    }
+
+    /// Number of weight elements per projection matrix.
+    #[must_use]
+    pub fn weights_per_projection(&self) -> usize {
+        self.d_model * self.d_model
+    }
+
+    /// Total number of weight elements (Q + K + V + O).
+    #[must_use]
+    pub fn total_weights(&self) -> usize {
+        4 * self.weights_per_projection()
+    }
+
+    /// Base address of projection `p` (0 = Q, 1 = K, 2 = V, 3 = O).
+    #[must_use]
+    pub fn projection_base(&self, p: usize) -> usize {
+        p * self.weights_per_projection()
+    }
+
+    /// The weight-access trace of one pass over the block.
+    ///
+    /// `order` optionally re-orders the element traversal within *every*
+    /// projection (the permutation acts on one projection's elements and is
+    /// reused for each).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` has a degree other than `weights_per_projection()`.
+    #[must_use]
+    pub fn pass_trace(&self, pattern: AttentionAccessPattern, order: Option<&Permutation>) -> Trace {
+        if let Some(sigma) = order {
+            assert_eq!(
+                sigma.degree(),
+                self.weights_per_projection(),
+                "attention traversal order has wrong degree"
+            );
+        }
+        let block_order: [usize; 4] = match pattern {
+            AttentionAccessPattern::Forward => [0, 1, 2, 3],
+            AttentionAccessPattern::Backward => [3, 2, 1, 0],
+        };
+        let mut trace = Trace::with_capacity(self.total_weights());
+        for &p in &block_order {
+            trace.extend_from(&self.projections[p].weight_trace(self.projection_base(p), order));
+        }
+        trace
+    }
+
+    /// The trace of one full step: forward pass in natural order followed by
+    /// a backward pass whose per-projection traversal uses `backward_order`.
+    #[must_use]
+    pub fn step_trace(&self, backward_order: Option<&Permutation>) -> Trace {
+        self.pass_trace(AttentionAccessPattern::Forward, None)
+            .concat(&self.pass_trace(AttentionAccessPattern::Backward, backward_order))
+    }
+
+    /// The sawtooth per-projection backward order.
+    #[must_use]
+    pub fn sawtooth_order(&self) -> Permutation {
+        Permutation::reverse(self.weights_per_projection())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symloc_cache::reuse::reuse_profile;
+
+    #[test]
+    fn geometry() {
+        let attn = MultiHeadAttention::new(8, 2);
+        assert_eq!(attn.d_model(), 8);
+        assert_eq!(attn.heads(), 2);
+        assert_eq!(attn.weights_per_projection(), 64);
+        assert_eq!(attn.total_weights(), 256);
+        assert_eq!(attn.projection_base(3), 192);
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn heads_must_divide_d_model() {
+        let _ = MultiHeadAttention::new(10, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dims_rejected() {
+        let _ = MultiHeadAttention::new(0, 1);
+    }
+
+    #[test]
+    fn forward_touches_everything_once() {
+        let attn = MultiHeadAttention::new(4, 1);
+        let t = attn.pass_trace(AttentionAccessPattern::Forward, None);
+        assert_eq!(t.len(), 64);
+        assert_eq!(t.distinct_count(), 64);
+        assert_eq!(t.get(0).unwrap().value(), 0);
+    }
+
+    #[test]
+    fn backward_starts_with_output_projection() {
+        let attn = MultiHeadAttention::new(4, 1);
+        let t = attn.pass_trace(AttentionAccessPattern::Backward, None);
+        assert_eq!(t.get(0).unwrap().value(), attn.projection_base(3));
+    }
+
+    #[test]
+    fn sawtooth_backward_improves_step_locality() {
+        let attn = MultiHeadAttention::new(6, 2);
+        let natural = attn.step_trace(None);
+        let sawtooth = attn.step_trace(Some(&attn.sawtooth_order()));
+        let natural_total = reuse_profile(&natural).histogram().total_finite_distance();
+        let sawtooth_total = reuse_profile(&sawtooth).histogram().total_finite_distance();
+        assert!(sawtooth_total < natural_total);
+        assert_eq!(natural.len(), sawtooth.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong degree")]
+    fn order_degree_checked() {
+        let attn = MultiHeadAttention::new(4, 1);
+        let _ = attn.pass_trace(AttentionAccessPattern::Forward, Some(&Permutation::reverse(3)));
+    }
+}

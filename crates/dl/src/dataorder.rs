@@ -1,0 +1,164 @@
+//! Data-order classes and the traversal order they permit
+//! (Section VI-A of the paper).
+//!
+//! Permutation-equivariant *models* allow any re-traversal order, but the
+//! *data* may not: a set of stock prices is unordered, a novel is totally
+//! ordered, and a batch of sentences is partially ordered (sentences may be
+//! permuted, the words within each may not). The paper's recommendation is:
+//! sawtooth for unordered data, the best feasible order on the covering graph
+//! for partially ordered data, and no reordering for totally ordered data.
+
+use symloc_core::chainfind::ChainFindConfig;
+use symloc_core::error::Result;
+use symloc_core::feasibility::PrecedenceDag;
+use symloc_core::optimize::{best_feasible_exhaustive, optimize_from_identity};
+use symloc_perm::Permutation;
+
+/// How strongly the order of the `m` data elements is constrained.
+#[derive(Debug, Clone)]
+pub enum DataOrder {
+    /// No ordering constraints (a set): any traversal order is valid.
+    Unordered {
+        /// Number of elements.
+        m: usize,
+    },
+    /// Some elements must precede others (e.g. words within sentences).
+    PartiallyOrdered(PrecedenceDag),
+    /// The order is fixed; no reordering is allowed.
+    TotallyOrdered {
+        /// Number of elements.
+        m: usize,
+    },
+}
+
+impl DataOrder {
+    /// A partially ordered batch of `groups` sequences, each of length
+    /// `group_len`: elements within a group are chained (totally ordered),
+    /// groups are mutually unordered — the paper's "sentences in a batch"
+    /// example.
+    ///
+    /// # Errors
+    ///
+    /// Propagates constraint errors (cannot occur for this construction).
+    pub fn grouped(groups: usize, group_len: usize) -> Result<Self> {
+        let m = groups * group_len;
+        let mut dag = PrecedenceDag::unconstrained(m);
+        for g in 0..groups {
+            let elements: Vec<usize> = (0..group_len).map(|i| g * group_len + i).collect();
+            dag.require_chain(&elements)?;
+        }
+        Ok(DataOrder::PartiallyOrdered(dag))
+    }
+
+    /// Number of data elements.
+    #[must_use]
+    pub fn degree(&self) -> usize {
+        match self {
+            DataOrder::Unordered { m } | DataOrder::TotallyOrdered { m } => *m,
+            DataOrder::PartiallyOrdered(dag) => dag.degree(),
+        }
+    }
+
+    /// True if the given second-traversal order is allowed.
+    #[must_use]
+    pub fn allows(&self, sigma: &Permutation) -> bool {
+        match self {
+            DataOrder::Unordered { m } => sigma.degree() == *m,
+            DataOrder::PartiallyOrdered(dag) => dag.is_feasible(sigma),
+            DataOrder::TotallyOrdered { m } => sigma.degree() == *m && sigma.is_identity(),
+        }
+    }
+}
+
+/// The paper's recommended re-traversal order for each data-order class:
+/// sawtooth when unordered, the greedily optimized feasible order when
+/// partially ordered (exhaustive for tiny degrees), and the identity when
+/// totally ordered.
+///
+/// # Errors
+///
+/// Propagates optimizer errors (cannot occur: the identity is feasible for
+/// every group-chained DAG).
+pub fn recommended_order(order: &DataOrder) -> Result<Permutation> {
+    match order {
+        DataOrder::Unordered { m } => Ok(Permutation::reverse(*m)),
+        DataOrder::TotallyOrdered { m } => Ok(Permutation::identity(*m)),
+        DataOrder::PartiallyOrdered(dag) => {
+            if dag.degree() <= 7 {
+                Ok(best_feasible_exhaustive(dag)?.sigma)
+            } else {
+                let (result, _chain) = optimize_from_identity(dag, ChainFindConfig::default())?;
+                Ok(result.sigma)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symloc_perm::inversions::{inversions, max_inversions};
+
+    #[test]
+    fn unordered_recommends_sawtooth() {
+        let order = DataOrder::Unordered { m: 6 };
+        assert_eq!(order.degree(), 6);
+        let rec = recommended_order(&order).unwrap();
+        assert!(rec.is_reverse());
+        assert!(order.allows(&rec));
+        assert!(order.allows(&Permutation::identity(6)));
+        assert!(!order.allows(&Permutation::identity(5)));
+    }
+
+    #[test]
+    fn totally_ordered_recommends_identity() {
+        let order = DataOrder::TotallyOrdered { m: 5 };
+        let rec = recommended_order(&order).unwrap();
+        assert!(rec.is_identity());
+        assert!(order.allows(&rec));
+        assert!(!order.allows(&Permutation::reverse(5)));
+    }
+
+    #[test]
+    fn grouped_data_allows_group_permutation_only() {
+        // 2 sentences of 3 words each.
+        let order = DataOrder::grouped(2, 3).unwrap();
+        assert_eq!(order.degree(), 6);
+        // Swapping whole groups is allowed: B = 3 4 5 0 1 2.
+        let group_swap = Permutation::from_images(vec![3, 4, 5, 0, 1, 2]).unwrap();
+        assert!(order.allows(&group_swap));
+        // Reversing everything breaks the within-group order.
+        assert!(!order.allows(&Permutation::reverse(6)));
+    }
+
+    #[test]
+    fn grouped_recommendation_is_feasible_and_improves() {
+        let order = DataOrder::grouped(2, 3).unwrap();
+        let rec = recommended_order(&order).unwrap();
+        assert!(order.allows(&rec));
+        assert!(inversions(&rec) > 0);
+        assert!(inversions(&rec) < max_inversions(6));
+        // The recommended order for two groups of three is to swap the
+        // groups, giving 9 inversions.
+        assert_eq!(inversions(&rec), 9);
+    }
+
+    #[test]
+    fn grouped_recommendation_large_uses_greedy_path() {
+        // 4 groups of 3 -> degree 12 > 7, exercising the greedy branch.
+        let order = DataOrder::grouped(4, 3).unwrap();
+        let rec = recommended_order(&order).unwrap();
+        assert_eq!(rec.degree(), 12);
+        assert!(order.allows(&rec));
+        assert!(inversions(&rec) > 0);
+    }
+
+    #[test]
+    fn single_group_is_effectively_totally_ordered() {
+        let order = DataOrder::grouped(1, 4).unwrap();
+        let rec = recommended_order(&order).unwrap();
+        assert!(rec.is_identity());
+        assert!(order.allows(&Permutation::identity(4)));
+        assert!(!order.allows(&Permutation::reverse(4)));
+    }
+}

@@ -1,0 +1,42 @@
+//! # symloc-dl
+//!
+//! Deep-learning application substrate for the *symmetric locality* library
+//! (Section VI-A of the paper).
+//!
+//! The paper applies symmetric locality to permutation-equivariant models:
+//! the weight tensors of MLP linear layers and of multi-head attention are
+//! re-traversed every training/inference step, and because the layers are
+//! permutation-equivariant the traversal order of the second (backward or
+//! next-step) pass may be changed freely — or freely within the partial
+//! order imposed by the data. Real models are substituted by *simulated layer
+//! geometries* that generate the exact weight-access traces the paper reasons
+//! about; the numerical weight values are irrelevant to locality.
+//!
+//! Modules:
+//!
+//! * [`tensor`] — shapes and flat addressing of simulated weight tensors.
+//! * [`mlp`] — multi-layer perceptron weight-access traces
+//!   (forward/backward).
+//! * [`attention`] — multi-head attention K/V/Q/output-projection traces.
+//! * [`dataorder`] — the paper's unordered / partially ordered / totally
+//!   ordered data classes mapped to feasibility constraints.
+//! * [`schedule`] — epoch scheduling policies (cyclic, alternating-optimal,
+//!   custom) and their measured locality.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod attention;
+pub mod dataorder;
+pub mod mlp;
+pub mod schedule;
+pub mod tensor;
+
+/// Convenient glob import of the most commonly used items.
+pub mod prelude {
+    pub use crate::attention::{AttentionAccessPattern, MultiHeadAttention};
+    pub use crate::dataorder::{recommended_order, DataOrder};
+    pub use crate::mlp::{Mlp, MlpLayer, PassDirection};
+    pub use crate::schedule::{EpochPolicy, TrainingSchedule, TrainingScheduleReport};
+    pub use crate::tensor::TensorShape;
+}

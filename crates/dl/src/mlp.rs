@@ -1,0 +1,310 @@
+//! Simulated MLP weight-access traces.
+//!
+//! A linear layer's weight matrix (`out_features × in_features`) is read once
+//! in the forward pass and once more in the backward pass (to compute the
+//! input gradients); the paper's Section VI-A2 observes that because linear
+//! layers are permutation-equivariant, the backward read may traverse the
+//! weights in any order — and the sawtooth (reverse) order halves the leading
+//! term of the total reuse distance.
+
+use crate::tensor::TensorShape;
+use symloc_perm::Permutation;
+use symloc_trace::{Addr, Trace};
+
+/// Which pass of training is generating accesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PassDirection {
+    /// The forward (inference) pass: weights are read in natural order.
+    Forward,
+    /// The backward pass: weights are re-read; the traversal order is free.
+    Backward,
+}
+
+/// One simulated fully connected layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MlpLayer {
+    in_features: usize,
+    out_features: usize,
+}
+
+impl MlpLayer {
+    /// Creates a layer with the given fan-in and fan-out.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn new(in_features: usize, out_features: usize) -> Self {
+        assert!(in_features > 0 && out_features > 0, "layer dimensions must be positive");
+        MlpLayer {
+            in_features,
+            out_features,
+        }
+    }
+
+    /// Fan-in of the layer.
+    #[must_use]
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Fan-out of the layer.
+    #[must_use]
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// Shape of the weight matrix.
+    #[must_use]
+    pub fn weight_shape(&self) -> TensorShape {
+        TensorShape::matrix(self.out_features, self.in_features)
+    }
+
+    /// Number of weight elements.
+    #[must_use]
+    pub fn weight_count(&self) -> usize {
+        self.in_features * self.out_features
+    }
+
+    /// The access trace of one traversal of this layer's weights, offset into
+    /// the global address space by `base`, in natural (row-major) order or in
+    /// the order given by `order`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is given and its degree differs from the weight
+    /// count.
+    #[must_use]
+    pub fn weight_trace(&self, base: usize, order: Option<&Permutation>) -> Trace {
+        let n = self.weight_count();
+        match order {
+            None => (0..n).map(|i| Addr(base + i)).collect(),
+            Some(sigma) => {
+                assert_eq!(sigma.degree(), n, "weight traversal order has wrong degree");
+                (0..n).map(|i| Addr(base + sigma.apply(i))).collect()
+            }
+        }
+    }
+}
+
+/// A simulated multi-layer perceptron: a stack of linear layers whose weight
+/// tensors live back to back in one flat address space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mlp {
+    layers: Vec<MlpLayer>,
+    /// Base address of each layer's weights.
+    bases: Vec<usize>,
+}
+
+impl Mlp {
+    /// Builds an MLP from a list of feature widths, e.g. `[784, 256, 10]`
+    /// produces two layers (784→256, 256→10).
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two widths are given or any width is zero.
+    #[must_use]
+    pub fn from_widths(widths: &[usize]) -> Self {
+        assert!(widths.len() >= 2, "an MLP needs at least two widths");
+        let layers: Vec<MlpLayer> = widths
+            .windows(2)
+            .map(|w| MlpLayer::new(w[0], w[1]))
+            .collect();
+        let mut bases = Vec::with_capacity(layers.len());
+        let mut base = 0usize;
+        for layer in &layers {
+            bases.push(base);
+            base += layer.weight_count();
+        }
+        Mlp { layers, bases }
+    }
+
+    /// The layers of the model.
+    #[must_use]
+    pub fn layers(&self) -> &[MlpLayer] {
+        &self.layers
+    }
+
+    /// Total number of weight elements across all layers.
+    #[must_use]
+    pub fn total_weights(&self) -> usize {
+        self.layers.iter().map(MlpLayer::weight_count).sum()
+    }
+
+    /// Base address of a layer's weights.
+    #[must_use]
+    pub fn layer_base(&self, layer: usize) -> usize {
+        self.bases[layer]
+    }
+
+    /// The weight-access trace of one full pass over the model.
+    ///
+    /// * Forward: layers in order, each traversed in natural order.
+    /// * Backward: layers in **reverse** order (as backpropagation visits
+    ///   them), each traversed per `backward_orders[layer]` if provided
+    ///   (None = natural order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `backward_orders` is provided with the wrong length or a
+    /// degree-mismatched permutation.
+    #[must_use]
+    pub fn pass_trace(
+        &self,
+        direction: PassDirection,
+        backward_orders: Option<&[Option<Permutation>]>,
+    ) -> Trace {
+        let mut trace = Trace::with_capacity(self.total_weights());
+        match direction {
+            PassDirection::Forward => {
+                for (layer, &base) in self.layers.iter().zip(&self.bases) {
+                    trace.extend_from(&layer.weight_trace(base, None));
+                }
+            }
+            PassDirection::Backward => {
+                if let Some(orders) = backward_orders {
+                    assert_eq!(orders.len(), self.layers.len(), "one order per layer expected");
+                }
+                for idx in (0..self.layers.len()).rev() {
+                    let order = backward_orders.and_then(|o| o[idx].as_ref());
+                    trace.extend_from(&self.layers[idx].weight_trace(self.bases[idx], order));
+                }
+            }
+        }
+        trace
+    }
+
+    /// The trace of one full training step (forward pass followed by backward
+    /// pass).
+    #[must_use]
+    pub fn training_step_trace(&self, backward_orders: Option<&[Option<Permutation>]>) -> Trace {
+        self.pass_trace(PassDirection::Forward, None)
+            .concat(&self.pass_trace(PassDirection::Backward, backward_orders))
+    }
+
+    /// The sawtooth backward orders: every layer's weights re-read in reverse,
+    /// which is the unconstrained optimum of the paper's analysis.
+    #[must_use]
+    pub fn sawtooth_backward_orders(&self) -> Vec<Option<Permutation>> {
+        self.layers
+            .iter()
+            .map(|l| Some(Permutation::reverse(l.weight_count())))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symloc_cache::reuse::reuse_profile;
+
+    #[test]
+    fn layer_basics() {
+        let layer = MlpLayer::new(3, 2);
+        assert_eq!(layer.in_features(), 3);
+        assert_eq!(layer.out_features(), 2);
+        assert_eq!(layer.weight_count(), 6);
+        assert_eq!(layer.weight_shape(), TensorShape::matrix(2, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_width_layer_rejected() {
+        let _ = MlpLayer::new(0, 3);
+    }
+
+    #[test]
+    fn weight_trace_orders() {
+        let layer = MlpLayer::new(2, 2);
+        let natural = layer.weight_trace(10, None);
+        assert_eq!(
+            natural.accesses().iter().map(|a| a.value()).collect::<Vec<_>>(),
+            vec![10, 11, 12, 13]
+        );
+        let reversed = layer.weight_trace(10, Some(&Permutation::reverse(4)));
+        assert_eq!(
+            reversed.accesses().iter().map(|a| a.value()).collect::<Vec<_>>(),
+            vec![13, 12, 11, 10]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong degree")]
+    fn weight_trace_rejects_bad_order() {
+        let layer = MlpLayer::new(2, 2);
+        let _ = layer.weight_trace(0, Some(&Permutation::reverse(3)));
+    }
+
+    #[test]
+    fn mlp_layout_is_contiguous() {
+        let mlp = Mlp::from_widths(&[4, 3, 2]);
+        assert_eq!(mlp.layers().len(), 2);
+        assert_eq!(mlp.total_weights(), 12 + 6);
+        assert_eq!(mlp.layer_base(0), 0);
+        assert_eq!(mlp.layer_base(1), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two widths")]
+    fn mlp_needs_two_widths() {
+        let _ = Mlp::from_widths(&[5]);
+    }
+
+    #[test]
+    fn forward_trace_touches_every_weight_once() {
+        let mlp = Mlp::from_widths(&[4, 3, 2]);
+        let t = mlp.pass_trace(PassDirection::Forward, None);
+        assert_eq!(t.len(), mlp.total_weights());
+        assert_eq!(t.distinct_count(), mlp.total_weights());
+    }
+
+    #[test]
+    fn backward_visits_layers_in_reverse() {
+        let mlp = Mlp::from_widths(&[2, 2, 2]);
+        let t = mlp.pass_trace(PassDirection::Backward, None);
+        // First accessed address must belong to the last layer (base 4).
+        assert_eq!(t.get(0).unwrap().value(), 4);
+        assert_eq!(t.len(), 8);
+    }
+
+    #[test]
+    fn sawtooth_backward_improves_locality_of_training_step() {
+        let mlp = Mlp::from_widths(&[16, 12, 8]);
+        let natural = mlp.training_step_trace(None);
+        let sawtooth_orders = mlp.sawtooth_backward_orders();
+        let sawtooth = mlp.training_step_trace(Some(&sawtooth_orders));
+        assert_eq!(natural.len(), sawtooth.len());
+        let natural_total = reuse_profile(&natural).histogram().total_finite_distance();
+        let sawtooth_total = reuse_profile(&sawtooth).histogram().total_finite_distance();
+        assert!(
+            sawtooth_total < natural_total,
+            "sawtooth {sawtooth_total} should beat natural {natural_total}"
+        );
+    }
+
+    #[test]
+    fn paper_reuse_totals_for_single_layer() {
+        // Section VI-A2: an n×m weight matrix re-traversed cyclically costs
+        // (nm)² total reuse distance, sawtooth costs nm(nm+1)/2.
+        let layer = MlpLayer::new(6, 4); // nm = 24
+        let base = 0;
+        let k = layer.weight_count() as u128;
+        let cyclic = layer
+            .weight_trace(base, None)
+            .concat(&layer.weight_trace(base, None));
+        let sawtooth = layer
+            .weight_trace(base, None)
+            .concat(&layer.weight_trace(base, Some(&Permutation::reverse(layer.weight_count()))));
+        let cyc_total = reuse_profile(&cyclic).histogram().total_finite_distance();
+        let saw_total = reuse_profile(&sawtooth).histogram().total_finite_distance();
+        assert_eq!(cyc_total, k * k);
+        assert_eq!(saw_total, k * (k + 1) / 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "one order per layer")]
+    fn backward_orders_length_checked() {
+        let mlp = Mlp::from_widths(&[2, 2, 2]);
+        let _ = mlp.pass_trace(PassDirection::Backward, Some(&[None]));
+    }
+}

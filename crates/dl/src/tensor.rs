@@ -1,0 +1,140 @@
+//! Shapes and flat addressing of simulated weight tensors.
+
+use std::fmt;
+
+/// The shape of a (simulated) dense tensor.
+///
+/// Only the element *count* and the row/column structure matter for locality
+/// analysis; no values are stored.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TensorShape {
+    dims: Vec<usize>,
+}
+
+impl TensorShape {
+    /// Creates a shape from its dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero (degenerate tensors are represented by
+    /// an empty dimension list instead).
+    #[must_use]
+    pub fn new(dims: Vec<usize>) -> Self {
+        assert!(
+            dims.iter().all(|&d| d > 0),
+            "tensor dimensions must be positive; use TensorShape::scalar() for 0-d tensors"
+        );
+        TensorShape { dims }
+    }
+
+    /// The shape of a scalar (one element, zero dimensions).
+    #[must_use]
+    pub fn scalar() -> Self {
+        TensorShape { dims: Vec::new() }
+    }
+
+    /// A 2-D matrix shape `rows × cols`.
+    #[must_use]
+    pub fn matrix(rows: usize, cols: usize) -> Self {
+        Self::new(vec![rows, cols])
+    }
+
+    /// The dimensions.
+    #[must_use]
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of dimensions.
+    #[must_use]
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of elements.
+    #[must_use]
+    pub fn num_elements(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Row-major flat index of a multi-dimensional coordinate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate rank or any component is out of range.
+    #[must_use]
+    pub fn flat_index(&self, coord: &[usize]) -> usize {
+        assert_eq!(coord.len(), self.rank(), "coordinate rank mismatch");
+        let mut idx = 0usize;
+        for (c, d) in coord.iter().zip(&self.dims) {
+            assert!(c < d, "coordinate {c} out of range for dimension {d}");
+            idx = idx * d + c;
+        }
+        idx
+    }
+}
+
+impl fmt::Display for TensorShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, "×")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_basics() {
+        let s = TensorShape::matrix(3, 4);
+        assert_eq!(s.rank(), 2);
+        assert_eq!(s.num_elements(), 12);
+        assert_eq!(s.dims(), &[3, 4]);
+        assert_eq!(s.to_string(), "[3×4]");
+    }
+
+    #[test]
+    fn scalar_shape() {
+        let s = TensorShape::scalar();
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.num_elements(), 1);
+        assert_eq!(s.flat_index(&[]), 0);
+        assert_eq!(s.to_string(), "[]");
+    }
+
+    #[test]
+    fn flat_index_row_major() {
+        let s = TensorShape::new(vec![2, 3, 4]);
+        assert_eq!(s.flat_index(&[0, 0, 0]), 0);
+        assert_eq!(s.flat_index(&[0, 0, 3]), 3);
+        assert_eq!(s.flat_index(&[0, 1, 0]), 4);
+        assert_eq!(s.flat_index(&[1, 2, 3]), 23);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dimension_rejected() {
+        let _ = TensorShape::new(vec![2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank mismatch")]
+    fn wrong_rank_coordinate_rejected() {
+        let s = TensorShape::matrix(2, 2);
+        let _ = s.flat_index(&[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_coordinate_rejected() {
+        let s = TensorShape::matrix(2, 2);
+        let _ = s.flat_index(&[1, 5]);
+    }
+}

@@ -1,0 +1,88 @@
+//! Property-based tests for the deep-learning application substrate.
+
+use proptest::prelude::*;
+use symloc_cache::reuse::reuse_profile;
+use symloc_core::schedule::analytical_retraversal_cost;
+use symloc_dl::prelude::*;
+use symloc_perm::Permutation;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn single_layer_totals_match_closed_forms(rows in 1usize..=12, cols in 1usize..=12) {
+        let layer = MlpLayer::new(cols, rows);
+        let k = layer.weight_count();
+        let cyclic = layer.weight_trace(0, None).concat(&layer.weight_trace(0, None));
+        let sawtooth = layer
+            .weight_trace(0, None)
+            .concat(&layer.weight_trace(0, Some(&Permutation::reverse(k))));
+        let cyc = reuse_profile(&cyclic).histogram().total_finite_distance();
+        let saw = reuse_profile(&sawtooth).histogram().total_finite_distance();
+        prop_assert_eq!(cyc, analytical_retraversal_cost(k, false));
+        prop_assert_eq!(saw, analytical_retraversal_cost(k, true));
+        prop_assert!(saw <= cyc);
+    }
+
+    #[test]
+    fn mlp_forward_touches_each_weight_exactly_once(widths in proptest::collection::vec(1usize..=8, 2..=5)) {
+        let mlp = Mlp::from_widths(&widths);
+        let forward = mlp.pass_trace(PassDirection::Forward, None);
+        prop_assert_eq!(forward.len(), mlp.total_weights());
+        prop_assert_eq!(forward.distinct_count(), mlp.total_weights());
+        let backward = mlp.pass_trace(PassDirection::Backward, None);
+        prop_assert_eq!(backward.len(), mlp.total_weights());
+        prop_assert_eq!(backward.distinct_count(), mlp.total_weights());
+    }
+
+    #[test]
+    fn sawtooth_backward_never_hurts(widths in proptest::collection::vec(2usize..=10, 2..=4)) {
+        let mlp = Mlp::from_widths(&widths);
+        let natural = mlp.training_step_trace(None);
+        let orders = mlp.sawtooth_backward_orders();
+        let optimized = mlp.training_step_trace(Some(&orders));
+        let natural_total = reuse_profile(&natural).histogram().total_finite_distance();
+        let optimized_total = reuse_profile(&optimized).histogram().total_finite_distance();
+        prop_assert!(optimized_total <= natural_total);
+        prop_assert_eq!(natural.len(), optimized.len());
+    }
+
+    #[test]
+    fn training_schedules_improvement_is_bounded(weights in 2usize..=64, epochs in 2usize..=6) {
+        let cyclic = TrainingSchedule::new(weights, epochs, EpochPolicy::Cyclic).report();
+        let alternating =
+            TrainingSchedule::new(weights, epochs, EpochPolicy::AlternatingSawtooth).report();
+        prop_assert!(alternating.total_reuse_distance <= cyclic.total_reuse_distance);
+        let improvement = symloc_dl::schedule::reuse_improvement(&cyclic, &alternating);
+        prop_assert!(improvement >= 0.0);
+        prop_assert!(improvement <= 0.5 + 1e-9);
+    }
+
+    #[test]
+    fn data_order_recommendations_are_always_allowed(groups in 1usize..=4, group_len in 1usize..=4) {
+        let order = DataOrder::grouped(groups, group_len).unwrap();
+        let rec = recommended_order(&order).unwrap();
+        prop_assert!(order.allows(&rec));
+        prop_assert_eq!(rec.degree(), groups * group_len);
+        // Unordered and totally ordered classes behave as documented.
+        let m = groups * group_len;
+        let unordered = recommended_order(&DataOrder::Unordered { m }).unwrap();
+        prop_assert!(unordered.is_reverse() || m <= 1);
+        let total = recommended_order(&DataOrder::TotallyOrdered { m }).unwrap();
+        prop_assert!(total.is_identity());
+    }
+
+    #[test]
+    fn attention_step_has_fixed_footprint(d_model_quarter in 1usize..=6, heads in 1usize..=2) {
+        let d_model = d_model_quarter * heads * 2;
+        let attn = MultiHeadAttention::new(d_model, heads);
+        let natural = attn.step_trace(None);
+        prop_assert_eq!(natural.distinct_count(), attn.total_weights());
+        prop_assert_eq!(natural.len(), 2 * attn.total_weights());
+        let optimized = attn.step_trace(Some(&attn.sawtooth_order()));
+        prop_assert_eq!(optimized.distinct_count(), attn.total_weights());
+        let nat = reuse_profile(&natural).histogram().total_finite_distance();
+        let opt = reuse_profile(&optimized).histogram().total_finite_distance();
+        prop_assert!(opt <= nat);
+    }
+}

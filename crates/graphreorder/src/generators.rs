@@ -1,0 +1,156 @@
+//! Synthetic graph generators standing in for real graph datasets.
+
+use crate::graph::CsrGraph;
+use rand::Rng;
+
+/// A ring of `n` vertices (each connected to its two neighbors).
+#[must_use]
+pub fn ring_graph(n: usize) -> CsrGraph {
+    if n < 2 {
+        return CsrGraph::from_edges(n, &[]);
+    }
+    let edges: Vec<(usize, usize)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// A `rows × cols` 4-neighbor grid graph.
+#[must_use]
+pub fn grid_graph(rows: usize, cols: usize) -> CsrGraph {
+    let n = rows * cols;
+    let mut edges = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            let v = r * cols + c;
+            if c + 1 < cols {
+                edges.push((v, v + 1));
+            }
+            if r + 1 < rows {
+                edges.push((v, v + cols));
+            }
+        }
+    }
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// An Erdős–Rényi random graph `G(n, p)`.
+#[must_use]
+pub fn random_graph<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> CsrGraph {
+    let mut edges = Vec::new();
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                edges.push((u, v));
+            }
+        }
+    }
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// A preferential-attachment (Barabási–Albert style) graph: each new vertex
+/// attaches to `attach` existing vertices chosen proportionally to degree,
+/// producing the power-law degree distribution typical of the graphs GNN
+/// reordering papers evaluate on.
+#[must_use]
+pub fn preferential_attachment_graph<R: Rng + ?Sized>(
+    n: usize,
+    attach: usize,
+    rng: &mut R,
+) -> CsrGraph {
+    let attach = attach.max(1);
+    if n == 0 {
+        return CsrGraph::from_edges(0, &[]);
+    }
+    let seed = (attach + 1).min(n);
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    // Seed clique.
+    for u in 0..seed {
+        for v in (u + 1)..seed {
+            edges.push((u, v));
+        }
+    }
+    // Repeated-endpoint list for degree-proportional sampling.
+    let mut endpoints: Vec<usize> = edges.iter().flat_map(|&(u, v)| [u, v]).collect();
+    if endpoints.is_empty() {
+        endpoints.push(0);
+    }
+    for v in seed..n {
+        let mut chosen = Vec::new();
+        let mut guard = 0;
+        while chosen.len() < attach.min(v) && guard < 100 * attach {
+            let target = endpoints[rng.gen_range(0..endpoints.len())];
+            if target != v && !chosen.contains(&target) {
+                chosen.push(target);
+            }
+            guard += 1;
+        }
+        for &t in &chosen {
+            edges.push((v, t));
+            endpoints.push(v);
+            endpoints.push(t);
+        }
+    }
+    CsrGraph::from_edges(n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ring_shape() {
+        let g = ring_graph(6);
+        assert_eq!(g.num_vertices(), 6);
+        assert_eq!(g.num_edges(), 6);
+        for v in 0..6 {
+            assert_eq!(g.degree(v), 2);
+        }
+        assert!(g.has_edge(5, 0));
+        assert_eq!(ring_graph(1).num_edges(), 0);
+        assert_eq!(ring_graph(0).num_vertices(), 0);
+        // A 2-ring collapses the duplicate edge.
+        assert_eq!(ring_graph(2).num_edges(), 1);
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid_graph(3, 4);
+        assert_eq!(g.num_vertices(), 12);
+        assert_eq!(g.num_edges(), 3 * 3 + 2 * 4); // horizontal + vertical
+        assert_eq!(g.degree(0), 2); // corner
+        assert_eq!(g.degree(5), 4); // interior
+        assert_eq!(grid_graph(0, 5).num_vertices(), 0);
+        assert_eq!(grid_graph(1, 5).num_edges(), 4);
+    }
+
+    #[test]
+    fn random_graph_density() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = random_graph(40, 0.2, &mut rng);
+        assert_eq!(g.num_vertices(), 40);
+        let possible = 40 * 39 / 2;
+        let density = g.num_edges() as f64 / possible as f64;
+        assert!(density > 0.1 && density < 0.3, "density {density}");
+        let empty = random_graph(10, 0.0, &mut rng);
+        assert_eq!(empty.num_edges(), 0);
+        let full = random_graph(10, 1.0, &mut rng);
+        assert_eq!(full.num_edges(), 45);
+    }
+
+    #[test]
+    fn preferential_attachment_is_skewed() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let g = preferential_attachment_graph(200, 2, &mut rng);
+        assert_eq!(g.num_vertices(), 200);
+        assert!(g.num_edges() >= 200);
+        let max_degree = (0..200).map(|v| g.degree(v)).max().unwrap();
+        let mean_degree = (0..200).map(|v| g.degree(v)).sum::<usize>() as f64 / 200.0;
+        // The hub should be far above the mean (power-law-ish skew).
+        assert!(max_degree as f64 > 3.0 * mean_degree, "max {max_degree}, mean {mean_degree}");
+        // Degenerate sizes do not panic.
+        assert_eq!(preferential_attachment_graph(0, 2, &mut rng).num_vertices(), 0);
+        assert_eq!(preferential_attachment_graph(1, 2, &mut rng).num_edges(), 0);
+        assert_eq!(preferential_attachment_graph(3, 5, &mut rng).num_vertices(), 3);
+    }
+}

@@ -1,0 +1,171 @@
+//! A compact CSR (compressed sparse row) graph.
+
+/// An undirected graph in CSR form over vertices `0..n`.
+///
+/// Edges are stored symmetrically (both directions), neighbor lists are
+/// sorted, and parallel edges/self-loops are removed at construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsrGraph {
+    offsets: Vec<usize>,
+    targets: Vec<usize>,
+}
+
+impl CsrGraph {
+    /// Builds a graph from an edge list over `n` vertices. Self-loops and
+    /// duplicate edges are dropped; out-of-range endpoints are rejected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any endpoint is `>= n`.
+    #[must_use]
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Self {
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for &(u, v) in edges {
+            assert!(u < n && v < n, "edge ({u}, {v}) out of range for {n} vertices");
+            if u == v {
+                continue;
+            }
+            adj[u].push(v);
+            adj[v].push(u);
+        }
+        for list in &mut adj {
+            list.sort_unstable();
+            list.dedup();
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::new();
+        offsets.push(0);
+        for list in &adj {
+            targets.extend_from_slice(list);
+            offsets.push(targets.len());
+        }
+        CsrGraph { offsets, targets }
+    }
+
+    /// Number of vertices.
+    #[must_use]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    #[must_use]
+    pub fn num_edges(&self) -> usize {
+        self.targets.len() / 2
+    }
+
+    /// The sorted neighbor list of a vertex.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[must_use]
+    pub fn neighbors(&self, v: usize) -> &[usize] {
+        &self.targets[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Degree of a vertex.
+    #[must_use]
+    pub fn degree(&self, v: usize) -> usize {
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// True if the edge `(u, v)` exists.
+    #[must_use]
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Relabels the graph by a vertex order: vertex `order[i]` becomes `i` in
+    /// the new graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is not a permutation of the vertices.
+    #[must_use]
+    pub fn relabel(&self, order: &[usize]) -> CsrGraph {
+        let n = self.num_vertices();
+        assert_eq!(order.len(), n, "order must cover every vertex");
+        let mut new_id = vec![usize::MAX; n];
+        for (new, &old) in order.iter().enumerate() {
+            assert!(old < n, "vertex {old} out of range");
+            assert!(new_id[old] == usize::MAX, "vertex {old} listed twice");
+            new_id[old] = new;
+        }
+        let mut edges = Vec::with_capacity(self.targets.len() / 2);
+        for u in 0..n {
+            for &v in self.neighbors(u) {
+                if u < v {
+                    edges.push((new_id[u], new_id[v]));
+                }
+            }
+        }
+        CsrGraph::from_edges(n, &edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (0, 1), (2, 2)]);
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.degree(0), 1);
+        assert!(g.has_edge(2, 3));
+        assert!(g.has_edge(3, 2));
+        assert!(!g.has_edge(0, 3));
+    }
+
+    #[test]
+    fn empty_and_isolated() {
+        let g = CsrGraph::from_edges(3, &[]);
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 0);
+        assert!(g.neighbors(1).is_empty());
+        let g0 = CsrGraph::from_edges(0, &[]);
+        assert_eq!(g0.num_vertices(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_rejected() {
+        let _ = CsrGraph::from_edges(2, &[(0, 5)]);
+    }
+
+    #[test]
+    fn relabel_preserves_structure() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        // Reverse the vertex order.
+        let r = g.relabel(&[3, 2, 1, 0]);
+        assert_eq!(r.num_edges(), 3);
+        // Old edge (0,1) becomes (3,2).
+        assert!(r.has_edge(3, 2));
+        assert!(r.has_edge(2, 1));
+        assert!(r.has_edge(1, 0));
+        assert!(!r.has_edge(0, 3));
+        // Degrees are preserved as a multiset.
+        let mut old_degrees: Vec<usize> = (0..4).map(|v| g.degree(v)).collect();
+        let mut new_degrees: Vec<usize> = (0..4).map(|v| r.degree(v)).collect();
+        old_degrees.sort_unstable();
+        new_degrees.sort_unstable();
+        assert_eq!(old_degrees, new_degrees);
+    }
+
+    #[test]
+    #[should_panic(expected = "listed twice")]
+    fn relabel_rejects_duplicates() {
+        let g = CsrGraph::from_edges(3, &[(0, 1)]);
+        let _ = g.relabel(&[0, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover every vertex")]
+    fn relabel_rejects_short_order() {
+        let g = CsrGraph::from_edges(3, &[(0, 1)]);
+        let _ = g.relabel(&[0, 1]);
+    }
+}

@@ -1,0 +1,31 @@
+//! # symloc-graphreorder
+//!
+//! Graph-reordering application substrate for the *symmetric locality*
+//! library (Section VI-C of the paper).
+//!
+//! Graph-processing preprocessors (e.g. for GNNs) relabel vertices to improve
+//! the locality of repeated neighborhood traversals. This crate provides a
+//! compact CSR graph, synthetic generators standing in for real graph
+//! datasets, traversal-trace extraction, classical reorderings (BFS,
+//! degree-sort) and a symmetric-locality-driven reordering of repeatedly
+//! traversed vertex subsets, plus locality scoring to compare them.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod generators;
+pub mod graph;
+pub mod reorder;
+pub mod score;
+pub mod traversal;
+
+pub use graph::CsrGraph;
+
+/// Convenient glob import of the most commonly used items.
+pub mod prelude {
+    pub use crate::generators::{grid_graph, preferential_attachment_graph, random_graph, ring_graph};
+    pub use crate::graph::CsrGraph;
+    pub use crate::reorder::{bfs_order, degree_sort_order, identity_order, symmetric_retraversal_order};
+    pub use crate::score::{locality_score, LocalityReport};
+    pub use crate::traversal::{neighbor_scan_trace, repeated_subset_trace, vertex_scan_trace};
+}

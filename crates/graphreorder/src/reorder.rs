@@ -1,0 +1,149 @@
+//! Vertex orderings and the symmetric-locality re-traversal order.
+
+use crate::graph::CsrGraph;
+use std::collections::VecDeque;
+use symloc_core::chainfind::ChainFindConfig;
+use symloc_core::feasibility::PrecedenceDag;
+use symloc_core::optimize::optimize_from_identity;
+use symloc_perm::Permutation;
+
+/// The identity ordering `0, 1, .., n-1`.
+#[must_use]
+pub fn identity_order(graph: &CsrGraph) -> Vec<usize> {
+    (0..graph.num_vertices()).collect()
+}
+
+/// A breadth-first ordering from vertex 0 (unreached vertices are appended in
+/// id order) — the classical locality-improving relabeling baseline.
+#[must_use]
+pub fn bfs_order(graph: &CsrGraph) -> Vec<usize> {
+    let n = graph.num_vertices();
+    let mut visited = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    for start in 0..n {
+        if visited[start] {
+            continue;
+        }
+        let mut queue = VecDeque::new();
+        queue.push_back(start);
+        visited[start] = true;
+        while let Some(v) = queue.pop_front() {
+            order.push(v);
+            for &u in graph.neighbors(v) {
+                if !visited[u] {
+                    visited[u] = true;
+                    queue.push_back(u);
+                }
+            }
+        }
+    }
+    order
+}
+
+/// A descending-degree ordering (hub vertices first) — another standard
+/// reordering baseline for power-law graphs.
+#[must_use]
+pub fn degree_sort_order(graph: &CsrGraph) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..graph.num_vertices()).collect();
+    order.sort_by_key(|&v| std::cmp::Reverse(graph.degree(v)));
+    order
+}
+
+/// The symmetric-locality re-traversal order for a repeatedly traversed
+/// vertex subset: given the first-visit order of the subset and optional
+/// precedence constraints among subset *positions* (element `i` = the `i`-th
+/// vertex of the subset), returns the permutation to use for the re-visit.
+///
+/// Unconstrained this is the sawtooth (reverse) order; with constraints it is
+/// the greedy ChainFind optimum restricted to the feasible space.
+///
+/// # Errors
+///
+/// Propagates optimization errors (only possible if `constraints` itself is
+/// inconsistent with the identity start).
+pub fn symmetric_retraversal_order(
+    subset_len: usize,
+    constraints: Option<&PrecedenceDag>,
+) -> symloc_core::error::Result<Permutation> {
+    match constraints {
+        None => Ok(Permutation::reverse(subset_len)),
+        Some(dag) => {
+            let (result, _chain) = optimize_from_identity(dag, ChainFindConfig::default())?;
+            Ok(result.sigma)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{grid_graph, preferential_attachment_graph, ring_graph};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn is_permutation(order: &[usize], n: usize) -> bool {
+        let mut seen = vec![false; n];
+        if order.len() != n {
+            return false;
+        }
+        for &v in order {
+            if v >= n || seen[v] {
+                return false;
+            }
+            seen[v] = true;
+        }
+        true
+    }
+
+    #[test]
+    fn identity_order_is_identity() {
+        let g = ring_graph(5);
+        assert_eq!(identity_order(&g), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn bfs_order_is_a_permutation_and_starts_at_zero() {
+        let g = grid_graph(4, 5);
+        let order = bfs_order(&g);
+        assert!(is_permutation(&order, 20));
+        assert_eq!(order[0], 0);
+        // BFS places direct neighbors of 0 early.
+        let pos1 = order.iter().position(|&v| v == 1).unwrap();
+        let pos5 = order.iter().position(|&v| v == 5).unwrap();
+        assert!(pos1 <= 2 && pos5 <= 2);
+    }
+
+    #[test]
+    fn bfs_handles_disconnected_graphs() {
+        let g = CsrGraph::from_edges(5, &[(0, 1), (3, 4)]);
+        let order = bfs_order(&g);
+        assert!(is_permutation(&order, 5));
+    }
+
+    #[test]
+    fn degree_sort_puts_hubs_first() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = preferential_attachment_graph(60, 2, &mut rng);
+        let order = degree_sort_order(&g);
+        assert!(is_permutation(&order, 60));
+        for w in order.windows(2) {
+            assert!(g.degree(w[0]) >= g.degree(w[1]));
+        }
+    }
+
+    #[test]
+    fn unconstrained_retraversal_is_sawtooth() {
+        let sigma = symmetric_retraversal_order(6, None).unwrap();
+        assert!(sigma.is_reverse());
+    }
+
+    #[test]
+    fn constrained_retraversal_respects_dag() {
+        let mut dag = PrecedenceDag::unconstrained(5);
+        dag.require_before(0, 2).unwrap();
+        dag.require_before(1, 4).unwrap();
+        let sigma = symmetric_retraversal_order(5, Some(&dag)).unwrap();
+        assert!(dag.is_feasible(&sigma));
+        assert!(symloc_perm::inversions::inversions(&sigma) > 0);
+    }
+}

@@ -1,0 +1,108 @@
+//! Locality scoring of graph traversal traces.
+
+use symloc_cache::mrc::MissRatioCurve;
+use symloc_cache::reuse::reuse_profile;
+use symloc_trace::Trace;
+
+/// Summary locality metrics of one traversal trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalityReport {
+    /// Number of accesses.
+    pub accesses: usize,
+    /// Number of distinct vertices touched.
+    pub footprint: usize,
+    /// Mean finite reuse distance (None if nothing is reused).
+    pub mean_reuse_distance: Option<f64>,
+    /// Total finite reuse distance.
+    pub total_reuse_distance: u128,
+    /// Normalized area under the miss-ratio curve (lower = better locality).
+    pub mrc_area: f64,
+    /// Miss ratio at a cache holding a quarter of the footprint.
+    pub miss_ratio_quarter_cache: f64,
+}
+
+/// Measures the locality of a trace.
+#[must_use]
+pub fn locality_score(trace: &Trace) -> LocalityReport {
+    let profile = reuse_profile(trace);
+    let hist = profile.histogram();
+    let finite = hist.finite_count();
+    let total = hist.total_finite_distance();
+    let mean = if finite == 0 {
+        None
+    } else {
+        Some(total as f64 / finite as f64)
+    };
+    let mrc = MissRatioCurve::from_profile(&profile);
+    let quarter = (profile.footprint() / 4).max(1);
+    LocalityReport {
+        accesses: trace.len(),
+        footprint: profile.footprint(),
+        mean_reuse_distance: mean,
+        total_reuse_distance: total,
+        mrc_area: mrc.normalized_area(),
+        miss_ratio_quarter_cache: profile.miss_ratio(quarter),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{grid_graph, ring_graph};
+    use crate::reorder::{bfs_order, symmetric_retraversal_order};
+    use crate::traversal::{neighbor_scan_trace, repeated_subset_trace};
+    use symloc_perm::Permutation;
+
+    #[test]
+    fn empty_trace_report() {
+        let r = locality_score(&Trace::new());
+        assert_eq!(r.accesses, 0);
+        assert_eq!(r.footprint, 0);
+        assert_eq!(r.mean_reuse_distance, None);
+        assert_eq!(r.total_reuse_distance, 0);
+    }
+
+    #[test]
+    fn ring_neighbor_scan_has_reuse() {
+        let g = ring_graph(16);
+        let r = locality_score(&neighbor_scan_trace(&g, None));
+        assert_eq!(r.accesses, 48);
+        assert_eq!(r.footprint, 16);
+        assert!(r.mean_reuse_distance.is_some());
+        assert!(r.mrc_area > 0.0 && r.mrc_area < 1.0);
+    }
+
+    #[test]
+    fn bfs_order_improves_grid_scan_locality() {
+        // On a grid relabeled badly, a BFS relabeling shortens reuse distances
+        // of the neighbor scan.
+        let g = grid_graph(8, 8);
+        // Adversarial relabeling: bit-reverse-ish shuffle by striding.
+        let shuffled: Vec<usize> = (0..64).map(|i| (i * 37) % 64).collect();
+        let bad = g.relabel(&shuffled);
+        let bad_score = locality_score(&neighbor_scan_trace(&bad, None));
+        let recovered = bad.relabel(&bfs_order(&bad));
+        let good_score = locality_score(&neighbor_scan_trace(&recovered, None));
+        assert!(
+            good_score.mean_reuse_distance.unwrap() <= bad_score.mean_reuse_distance.unwrap(),
+            "bfs {good_score:?} vs shuffled {bad_score:?}"
+        );
+    }
+
+    #[test]
+    fn sawtooth_revisit_beats_cyclic_revisit() {
+        // A frontier of 12 vertices revisited 3 times.
+        let subset: Vec<usize> = (0..12).map(|i| i * 5).collect();
+        let cyclic_orders = vec![Permutation::identity(12); 3];
+        let sawtooth = symmetric_retraversal_order(12, None).unwrap();
+        let alternating = vec![
+            sawtooth.clone(),
+            Permutation::identity(12),
+            sawtooth,
+        ];
+        let cyclic_score = locality_score(&repeated_subset_trace(&subset, &cyclic_orders));
+        let alt_score = locality_score(&repeated_subset_trace(&subset, &alternating));
+        assert!(alt_score.total_reuse_distance < cyclic_score.total_reuse_distance);
+        assert!(alt_score.miss_ratio_quarter_cache < cyclic_score.miss_ratio_quarter_cache);
+    }
+}

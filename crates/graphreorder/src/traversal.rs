@@ -1,0 +1,119 @@
+//! Extraction of memory traces from graph traversals.
+//!
+//! Vertex data lives at address = vertex id, so a traversal's locality is the
+//! locality of the vertex-id sequence it touches.
+
+use crate::graph::CsrGraph;
+use symloc_perm::Permutation;
+use symloc_trace::{Addr, Trace};
+
+/// The trace of scanning the vertices in the given order (touching each
+/// vertex's own data once). With `None`, vertices are scanned `0..n`.
+#[must_use]
+pub fn vertex_scan_trace(graph: &CsrGraph, order: Option<&[usize]>) -> Trace {
+    match order {
+        Some(order) => order.iter().map(|&v| Addr(v)).collect(),
+        None => (0..graph.num_vertices()).map(Addr).collect(),
+    }
+}
+
+/// The trace of a neighbor scan: for each vertex in `order` (or `0..n`),
+/// touch the vertex and then each of its neighbors — the access pattern of
+/// one sparse-matrix-vector / GNN aggregation step.
+#[must_use]
+pub fn neighbor_scan_trace(graph: &CsrGraph, order: Option<&[usize]>) -> Trace {
+    let default_order: Vec<usize>;
+    let order = match order {
+        Some(o) => o,
+        None => {
+            default_order = (0..graph.num_vertices()).collect();
+            &default_order
+        }
+    };
+    let mut t = Trace::new();
+    for &v in order {
+        t.push(Addr(v));
+        for &u in graph.neighbors(v) {
+            t.push(Addr(u));
+        }
+    }
+    t
+}
+
+/// The trace of repeatedly traversing a vertex *subset* (e.g. a frontier or a
+/// set of vertices sharing many neighbors, per Section VI-C): the subset is
+/// visited once in the given order and then re-visited once per entry of
+/// `revisit_orders`, each a permutation of the subset.
+///
+/// # Panics
+///
+/// Panics if any revisit permutation's degree differs from the subset size.
+#[must_use]
+pub fn repeated_subset_trace(
+    subset: &[usize],
+    revisit_orders: &[Permutation],
+) -> Trace {
+    let m = subset.len();
+    let mut t = Trace::with_capacity(m * (1 + revisit_orders.len()));
+    for &v in subset {
+        t.push(Addr(v));
+    }
+    for sigma in revisit_orders {
+        assert_eq!(sigma.degree(), m, "revisit order degree mismatch");
+        for i in 0..m {
+            t.push(Addr(subset[sigma.apply(i)]));
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::ring_graph;
+
+    #[test]
+    fn vertex_scan_orders() {
+        let g = ring_graph(4);
+        let natural = vertex_scan_trace(&g, None);
+        assert_eq!(
+            natural.accesses().iter().map(|a| a.value()).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
+        let custom = vertex_scan_trace(&g, Some(&[2, 0]));
+        assert_eq!(custom.len(), 2);
+        assert_eq!(custom.get(0), Some(Addr(2)));
+    }
+
+    #[test]
+    fn neighbor_scan_touches_vertex_then_neighbors() {
+        let g = ring_graph(4);
+        let t = neighbor_scan_trace(&g, None);
+        // Each vertex contributes itself + 2 neighbors.
+        assert_eq!(t.len(), 12);
+        let vals: Vec<usize> = t.accesses().iter().map(|a| a.value()).collect();
+        assert_eq!(&vals[..3], &[0, 1, 3]); // vertex 0, then neighbors 1 and 3
+        let reordered = neighbor_scan_trace(&g, Some(&[3, 1]));
+        assert_eq!(reordered.len(), 6);
+        assert_eq!(reordered.get(0), Some(Addr(3)));
+    }
+
+    #[test]
+    fn repeated_subset_trace_shapes() {
+        let subset = [5usize, 9, 2];
+        let cyclic = Permutation::identity(3);
+        let sawtooth = Permutation::reverse(3);
+        let t = repeated_subset_trace(&subset, &[cyclic, sawtooth]);
+        assert_eq!(t.len(), 9);
+        let vals: Vec<usize> = t.accesses().iter().map(|a| a.value()).collect();
+        assert_eq!(vals, vec![5, 9, 2, 5, 9, 2, 2, 9, 5]);
+        assert_eq!(repeated_subset_trace(&subset, &[]).len(), 3);
+        assert_eq!(repeated_subset_trace(&[], &[]).len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "degree mismatch")]
+    fn repeated_subset_degree_checked() {
+        let _ = repeated_subset_trace(&[1, 2, 3], &[Permutation::reverse(2)]);
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests for the graph-reordering application substrate.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use symloc_graphreorder::prelude::*;
+use symloc_perm::Permutation;
+
+fn arb_graph() -> impl Strategy<Value = CsrGraph> {
+    (2usize..=40, any::<u64>(), 0.02f64..0.3).prop_map(|(n, seed, p)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        random_graph(n, p, &mut rng)
+    })
+}
+
+fn is_permutation_of_vertices(order: &[usize], n: usize) -> bool {
+    let mut seen = vec![false; n];
+    order.len() == n
+        && order.iter().all(|&v| {
+            if v < n && !seen[v] {
+                seen[v] = true;
+                true
+            } else {
+                false
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn orderings_are_always_vertex_permutations(graph in arb_graph()) {
+        let n = graph.num_vertices();
+        prop_assert!(is_permutation_of_vertices(&identity_order(&graph), n));
+        prop_assert!(is_permutation_of_vertices(&bfs_order(&graph), n));
+        prop_assert!(is_permutation_of_vertices(&degree_sort_order(&graph), n));
+    }
+
+    #[test]
+    fn relabeling_preserves_edge_and_degree_structure(graph in arb_graph()) {
+        let order = bfs_order(&graph);
+        let relabeled = graph.relabel(&order);
+        prop_assert_eq!(relabeled.num_vertices(), graph.num_vertices());
+        prop_assert_eq!(relabeled.num_edges(), graph.num_edges());
+        let mut old_degrees: Vec<usize> =
+            (0..graph.num_vertices()).map(|v| graph.degree(v)).collect();
+        let mut new_degrees: Vec<usize> =
+            (0..relabeled.num_vertices()).map(|v| relabeled.degree(v)).collect();
+        old_degrees.sort_unstable();
+        new_degrees.sort_unstable();
+        prop_assert_eq!(old_degrees, new_degrees);
+    }
+
+    #[test]
+    fn neighbor_scan_trace_length_is_vertices_plus_directed_edges(graph in arb_graph()) {
+        let trace = neighbor_scan_trace(&graph, None);
+        prop_assert_eq!(trace.len(), graph.num_vertices() + 2 * graph.num_edges());
+        // Every touched address is a valid vertex.
+        prop_assert!(trace.iter().all(|a| a.value() < graph.num_vertices()));
+    }
+
+    #[test]
+    fn relabeling_does_not_change_scan_locality_totals(graph in arb_graph()) {
+        // A relabeling permutes addresses but does not change the reuse
+        // structure of the *vertex-order* scan driven by the same order, so
+        // the footprint and access count are invariant.
+        let order = degree_sort_order(&graph);
+        let scan = neighbor_scan_trace(&graph, Some(&order));
+        let relabeled = graph.relabel(&order);
+        let scan_relabeled = neighbor_scan_trace(&relabeled, None);
+        prop_assert_eq!(scan.len(), scan_relabeled.len());
+        prop_assert_eq!(scan.distinct_count(), scan_relabeled.distinct_count());
+        let a = locality_score(&scan);
+        let b = locality_score(&scan_relabeled);
+        prop_assert_eq!(a.accesses, b.accesses);
+        prop_assert_eq!(a.footprint, b.footprint);
+    }
+
+    #[test]
+    fn sawtooth_revisit_never_hurts_subset_traversal(size in 2usize..=32, revisits in 1usize..=4) {
+        let subset: Vec<usize> = (0..size).map(|i| i * 3 + 1).collect();
+        let cyclic = vec![Permutation::identity(size); revisits];
+        let sawtooth = symmetric_retraversal_order(size, None).unwrap();
+        let alternating: Vec<Permutation> = (0..revisits)
+            .map(|i| if i % 2 == 0 { sawtooth.clone() } else { Permutation::identity(size) })
+            .collect();
+        let c = locality_score(&repeated_subset_trace(&subset, &cyclic));
+        let a = locality_score(&repeated_subset_trace(&subset, &alternating));
+        prop_assert!(a.total_reuse_distance <= c.total_reuse_distance);
+        prop_assert_eq!(a.accesses, c.accesses);
+        prop_assert_eq!(a.footprint, c.footprint);
+    }
+}

@@ -1,0 +1,530 @@
+//! The (strong) Bruhat order on `S_m`, its covering relation, and the
+//! covering graph `H = (S_m, ◁_B)` used by the ChainFind algorithm.
+//!
+//! `σ ≤_B τ` holds iff some (equivalently every) reduced word of `τ` contains
+//! a reduced word of `σ` as a subword. We implement the equivalent *tableau
+//! (dot) criterion*, which is `O(m²)` per comparison, and keep a literal
+//! subword check for cross-validation on small degrees.
+//!
+//! The covering relation is `σ ◁_B τ` iff `τ = σ·(a b)` for a transposition
+//! `(a b)` and `ℓ(τ) = ℓ(σ) + 1`.
+
+use crate::inversions::{inversions, reduced_word};
+use crate::iter::LexIter;
+use crate::perm::Permutation;
+use crate::rank::{factorial, rank};
+
+/// One Bruhat cover above or below a permutation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cover {
+    /// The covering (or covered) permutation.
+    pub perm: Permutation,
+    /// The transposition `(a, b)` (positions, `a < b`) whose right
+    /// multiplication produced it.
+    pub transposition: (usize, usize),
+}
+
+/// Tests `σ ≤_B τ` with the tableau (dot) criterion:
+/// for every prefix length `k`, the decreasing rearrangement of
+/// `σ(0..k)` is component-wise `≤` that of `τ(0..k)`.
+///
+/// Returns false if the degrees differ.
+#[must_use]
+pub fn bruhat_leq(sigma: &Permutation, tau: &Permutation) -> bool {
+    if sigma.degree() != tau.degree() {
+        return false;
+    }
+    let m = sigma.degree();
+    if sigma == tau {
+        return true;
+    }
+    if inversions(sigma) >= inversions(tau) {
+        return false;
+    }
+    let mut s_prefix: Vec<usize> = Vec::with_capacity(m);
+    let mut t_prefix: Vec<usize> = Vec::with_capacity(m);
+    for k in 0..m {
+        // Insert keeping the prefixes sorted descending.
+        let sv = sigma.apply(k);
+        let tv = tau.apply(k);
+        let spos = s_prefix.partition_point(|&x| x > sv);
+        s_prefix.insert(spos, sv);
+        let tpos = t_prefix.partition_point(|&x| x > tv);
+        t_prefix.insert(tpos, tv);
+        for j in 0..=k {
+            if s_prefix[j] > t_prefix[j] {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Tests strict Bruhat order `σ <_B τ`.
+#[must_use]
+pub fn bruhat_lt(sigma: &Permutation, tau: &Permutation) -> bool {
+    sigma != tau && bruhat_leq(sigma, tau)
+}
+
+/// Tests `σ ≤_B τ` by the literal subword property: some subword of a fixed
+/// reduced word of `τ` multiplies to `σ`.
+///
+/// Exponential in `ℓ(τ)`; intended only for cross-validation on small
+/// degrees (`m ≤ 5`) in tests and documentation.
+#[must_use]
+pub fn bruhat_leq_subword(sigma: &Permutation, tau: &Permutation) -> bool {
+    if sigma.degree() != tau.degree() {
+        return false;
+    }
+    if sigma == tau {
+        return true;
+    }
+    let word = reduced_word(tau);
+    let target_len = inversions(sigma);
+    if target_len > word.len() {
+        return false;
+    }
+    // Depth-first search over subwords, pruning when the remaining letters
+    // cannot reach the target length.
+    fn dfs(
+        word: &[usize],
+        idx: usize,
+        current: &Permutation,
+        current_len: usize,
+        target: &Permutation,
+        target_len: usize,
+    ) -> bool {
+        if current_len == target_len {
+            // Can only succeed if the current product equals the target
+            // (longer subwords would overshoot the reduced length only if
+            // non-reduced, which we skip below).
+            if current == target {
+                return true;
+            }
+        }
+        if idx == word.len() {
+            return false;
+        }
+        if current_len + (word.len() - idx) < target_len {
+            return false;
+        }
+        // Skip letter idx.
+        if dfs(word, idx + 1, current, current_len, target, target_len) {
+            return true;
+        }
+        // Take letter idx (only keep reduced continuations).
+        let next = current
+            .mul_adjacent_right(word[idx])
+            .expect("generator in range");
+        let next_len = inversions(&next);
+        if next_len == current_len + 1 && next_len <= target_len
+            && dfs(word, idx + 1, &next, next_len, target, target_len) {
+                return true;
+            }
+        false
+    }
+    dfs(
+        &word,
+        0,
+        &Permutation::identity(sigma.degree()),
+        0,
+        sigma,
+        target_len,
+    )
+}
+
+/// Returns true when `τ` covers `σ` in the Bruhat order (`σ ◁_B τ`):
+/// `τ = σ·(a b)` for some transposition and `ℓ(τ) = ℓ(σ) + 1`.
+#[must_use]
+pub fn is_cover(sigma: &Permutation, tau: &Permutation) -> bool {
+    if sigma.degree() != tau.degree() {
+        return false;
+    }
+    let diff: Vec<usize> = (0..sigma.degree())
+        .filter(|&i| sigma.apply(i) != tau.apply(i))
+        .collect();
+    if diff.len() != 2 {
+        return false;
+    }
+    let (a, b) = (diff[0], diff[1]);
+    if sigma.apply(a) != tau.apply(b) || sigma.apply(b) != tau.apply(a) {
+        return false;
+    }
+    inversions(tau) == inversions(sigma) + 1
+}
+
+/// All Bruhat covers *above* `σ`: the `τ = σ·(a b)` with
+/// `ℓ(τ) = ℓ(σ) + 1`.
+///
+/// Uses the positional criterion: `(a, b)` with `a < b` produces a cover iff
+/// `σ(a) < σ(b)` and no position `c` strictly between `a` and `b` has
+/// `σ(a) < σ(c) < σ(b)`. Runs in `O(m³)` worst case but typically far less;
+/// validated against the inversion-count definition in tests.
+#[must_use]
+pub fn upper_covers(sigma: &Permutation) -> Vec<Cover> {
+    let m = sigma.degree();
+    let mut covers = Vec::new();
+    for a in 0..m {
+        for b in (a + 1)..m {
+            let sa = sigma.apply(a);
+            let sb = sigma.apply(b);
+            if sa >= sb {
+                continue;
+            }
+            let blocked = ((a + 1)..b).any(|c| {
+                let sc = sigma.apply(c);
+                sa < sc && sc < sb
+            });
+            if blocked {
+                continue;
+            }
+            let tau = sigma
+                .mul_transposition_right(a, b)
+                .expect("valid transposition");
+            covers.push(Cover {
+                perm: tau,
+                transposition: (a, b),
+            });
+        }
+    }
+    covers
+}
+
+/// All Bruhat covers *below* `σ`: the `τ = σ·(a b)` with
+/// `ℓ(τ) = ℓ(σ) - 1`.
+#[must_use]
+pub fn lower_covers(sigma: &Permutation) -> Vec<Cover> {
+    let m = sigma.degree();
+    let mut covers = Vec::new();
+    for a in 0..m {
+        for b in (a + 1)..m {
+            let sa = sigma.apply(a);
+            let sb = sigma.apply(b);
+            if sa <= sb {
+                continue;
+            }
+            let blocked = ((a + 1)..b).any(|c| {
+                let sc = sigma.apply(c);
+                sb < sc && sc < sa
+            });
+            if blocked {
+                continue;
+            }
+            let tau = sigma
+                .mul_transposition_right(a, b)
+                .expect("valid transposition");
+            covers.push(Cover {
+                perm: tau,
+                transposition: (a, b),
+            });
+        }
+    }
+    covers
+}
+
+/// Covers of `σ` in the *right weak order*: `σ·s_i` for each ascent `i`
+/// (`σ(i) < σ(i+1)`). A subset of the Bruhat covers.
+#[must_use]
+pub fn weak_upper_covers(sigma: &Permutation) -> Vec<Cover> {
+    let m = sigma.degree();
+    (0..m.saturating_sub(1))
+        .filter(|&i| sigma.apply(i) < sigma.apply(i + 1))
+        .map(|i| Cover {
+            perm: sigma.mul_adjacent_right(i).expect("in range"),
+            transposition: (i, i + 1),
+        })
+        .collect()
+}
+
+/// An explicit covering graph of all of `S_m`, indexed by lexicographic rank.
+///
+/// Only feasible for small `m` (the node count is `m!`); intended for
+/// exhaustive experiments (Figure 1) and validation of the streaming
+/// [`upper_covers`] used by ChainFind on larger degrees.
+#[derive(Debug, Clone)]
+pub struct CoveringGraph {
+    degree: usize,
+    /// `up[r]` lists the lexicographic ranks covering the permutation of rank `r`.
+    up: Vec<Vec<usize>>,
+    /// `down[r]` lists the ranks covered by rank `r`.
+    down: Vec<Vec<usize>>,
+    /// `length[r]` is `ℓ` of the permutation of rank `r`.
+    length: Vec<usize>,
+}
+
+impl CoveringGraph {
+    /// Builds the covering graph of `S_m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m > 10` (over 3.6 M nodes) to guard against accidental
+    /// explosion; the experiments need at most `m = 8`.
+    #[must_use]
+    pub fn build(m: usize) -> Self {
+        assert!(m <= 10, "CoveringGraph::build: degree {m} too large for explicit enumeration");
+        let n = factorial(m).expect("m <= 10") as usize;
+        let mut up = vec![Vec::new(); n];
+        let mut down = vec![Vec::new(); n];
+        let mut length = vec![0usize; n];
+        for (r, sigma) in LexIter::new(m).enumerate() {
+            length[r] = inversions(&sigma);
+            for cover in upper_covers(&sigma) {
+                let cr = rank(&cover.perm).expect("small degree") as usize;
+                up[r].push(cr);
+                down[cr].push(r);
+            }
+        }
+        CoveringGraph {
+            degree: m,
+            up,
+            down,
+            length,
+        }
+    }
+
+    /// Degree `m` of the underlying symmetric group.
+    #[must_use]
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+
+    /// Number of nodes (`m!`).
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.length.len()
+    }
+
+    /// Number of covering edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.up.iter().map(Vec::len).sum()
+    }
+
+    /// Ranks covering the node of rank `r`.
+    #[must_use]
+    pub fn covers_above(&self, r: usize) -> &[usize] {
+        &self.up[r]
+    }
+
+    /// Ranks covered by the node of rank `r`.
+    #[must_use]
+    pub fn covers_below(&self, r: usize) -> &[usize] {
+        &self.down[r]
+    }
+
+    /// Length (`ℓ`) of the node of rank `r`.
+    #[must_use]
+    pub fn length_of(&self, r: usize) -> usize {
+        self.length[r]
+    }
+
+    /// Number of nodes at each length level `0 ..= m(m-1)/2` (the Mahonian
+    /// distribution).
+    #[must_use]
+    pub fn level_sizes(&self) -> Vec<usize> {
+        let max_len = self.degree * self.degree.saturating_sub(1) / 2;
+        let mut sizes = vec![0usize; max_len + 1];
+        for &l in &self.length {
+            sizes[l] += 1;
+        }
+        sizes
+    }
+
+    /// Checks that every covering edge increases length by exactly one — the
+    /// graded-poset property the paper relies on.
+    #[must_use]
+    pub fn is_graded(&self) -> bool {
+        self.up.iter().enumerate().all(|(r, ups)| {
+            ups.iter().all(|&cr| self.length[cr] == self.length[r] + 1)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mahonian::mahonian_row;
+
+    fn p(images: &[usize]) -> Permutation {
+        Permutation::from_images(images.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn identity_below_everything() {
+        let e = Permutation::identity(4);
+        for tau in LexIter::new(4) {
+            assert!(bruhat_leq(&e, &tau), "e <= {tau}");
+        }
+    }
+
+    #[test]
+    fn everything_below_reverse() {
+        let w0 = Permutation::reverse(4);
+        for sigma in LexIter::new(4) {
+            assert!(bruhat_leq(&sigma, &w0), "{sigma} <= w0");
+        }
+    }
+
+    #[test]
+    fn bruhat_is_reflexive_and_antisymmetric() {
+        for sigma in LexIter::new(4) {
+            assert!(bruhat_leq(&sigma, &sigma));
+        }
+        let a = p(&[1, 0, 2]);
+        let b = p(&[0, 2, 1]);
+        // Incomparable elements of the same length.
+        assert!(!bruhat_leq(&a, &b));
+        assert!(!bruhat_leq(&b, &a));
+    }
+
+    #[test]
+    fn degree_mismatch_is_incomparable() {
+        let a = Permutation::identity(3);
+        let b = Permutation::identity(4);
+        assert!(!bruhat_leq(&a, &b));
+        assert!(!is_cover(&a, &b));
+    }
+
+    #[test]
+    fn tableau_criterion_matches_subword_criterion_s4() {
+        let all: Vec<Permutation> = LexIter::new(4).collect();
+        for s in &all {
+            for t in &all {
+                assert_eq!(
+                    bruhat_leq(s, t),
+                    bruhat_leq_subword(s, t),
+                    "disagreement for {s} <= {t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn upper_covers_match_definition_s5() {
+        // Cross-validate the positional criterion against the brute-force
+        // definition ℓ(σ·t) = ℓ(σ)+1 over all transpositions.
+        for sigma in LexIter::new(5) {
+            let fast: Vec<Permutation> =
+                upper_covers(&sigma).into_iter().map(|c| c.perm).collect();
+            let mut brute = Vec::new();
+            for a in 0..5 {
+                for b in (a + 1)..5 {
+                    let tau = sigma.mul_transposition_right(a, b).unwrap();
+                    if inversions(&tau) == inversions(&sigma) + 1 {
+                        brute.push(tau);
+                    }
+                }
+            }
+            let mut fast_sorted: Vec<Vec<usize>> =
+                fast.iter().map(|p| p.images().to_vec()).collect();
+            let mut brute_sorted: Vec<Vec<usize>> =
+                brute.iter().map(|p| p.images().to_vec()).collect();
+            fast_sorted.sort();
+            brute_sorted.sort();
+            assert_eq!(fast_sorted, brute_sorted, "covers of {sigma}");
+        }
+    }
+
+    #[test]
+    fn lower_covers_are_inverse_of_upper_covers() {
+        for sigma in LexIter::new(5) {
+            for cover in upper_covers(&sigma) {
+                let below: Vec<Permutation> = lower_covers(&cover.perm)
+                    .into_iter()
+                    .map(|c| c.perm)
+                    .collect();
+                assert!(
+                    below.contains(&sigma),
+                    "{sigma} should be a lower cover of {}",
+                    cover.perm
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cover_implies_strict_order() {
+        for sigma in LexIter::new(4) {
+            for cover in upper_covers(&sigma) {
+                assert!(is_cover(&sigma, &cover.perm));
+                assert!(bruhat_lt(&sigma, &cover.perm));
+                assert!(!is_cover(&cover.perm, &sigma));
+            }
+        }
+    }
+
+    #[test]
+    fn is_cover_rejects_non_covers() {
+        let e = Permutation::identity(4);
+        let w0 = Permutation::reverse(4);
+        assert!(!is_cover(&e, &w0)); // length gap 6
+        assert!(!is_cover(&e, &e));
+        // Same length, not related by a transposition at all.
+        let a = p(&[1, 0, 2, 3]);
+        let b = p(&[0, 1, 3, 2]);
+        assert!(!is_cover(&a, &b));
+        // Differ by a 3-cycle (three positions), not a transposition.
+        let c = p(&[1, 2, 0, 3]);
+        assert!(!is_cover(&e, &c));
+    }
+
+    #[test]
+    fn weak_covers_subset_of_bruhat_covers() {
+        for sigma in LexIter::new(5) {
+            let strong: Vec<Permutation> =
+                upper_covers(&sigma).into_iter().map(|c| c.perm).collect();
+            for weak in weak_upper_covers(&sigma) {
+                assert!(strong.contains(&weak.perm));
+                let (a, b) = weak.transposition;
+                assert_eq!(b, a + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn identity_has_m_minus_one_weak_and_cover_neighbors() {
+        // The covers of the identity are exactly the adjacent transpositions.
+        let e = Permutation::identity(6);
+        let ups = upper_covers(&e);
+        assert_eq!(ups.len(), 5);
+        for c in &ups {
+            assert_eq!(c.transposition.1, c.transposition.0 + 1);
+            assert_eq!(inversions(&c.perm), 1);
+        }
+        assert_eq!(weak_upper_covers(&e).len(), 5);
+        // The reverse permutation has no upper covers.
+        assert!(upper_covers(&Permutation::reverse(6)).is_empty());
+        assert!(weak_upper_covers(&Permutation::reverse(6)).is_empty());
+        assert!(lower_covers(&Permutation::identity(6)).is_empty());
+    }
+
+    #[test]
+    fn covering_graph_s4_statistics() {
+        let g = CoveringGraph::build(4);
+        assert_eq!(g.degree(), 4);
+        assert_eq!(g.node_count(), 24);
+        assert!(g.is_graded());
+        // Level sizes must match the Mahonian row for m = 4: 1,3,5,6,5,3,1.
+        let levels = g.level_sizes();
+        let mahonian: Vec<usize> = mahonian_row(4).iter().map(|&x| x as usize).collect();
+        assert_eq!(levels, mahonian);
+        // Total edges = sum over nodes of number of covers above.
+        assert_eq!(
+            g.edge_count(),
+            (0..24).map(|r| g.covers_above(r).len()).sum::<usize>()
+        );
+        // Down-degree sum equals up-degree sum.
+        assert_eq!(
+            g.edge_count(),
+            (0..24).map(|r| g.covers_below(r).len()).sum::<usize>()
+        );
+        assert_eq!(g.length_of(0), 0);
+        assert_eq!(g.length_of(23), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn covering_graph_rejects_large_degree() {
+        let _ = CoveringGraph::build(11);
+    }
+}

@@ -1,0 +1,272 @@
+//! Cycle decomposition of permutations and construction from cycles.
+//!
+//! The paper's appendix (Definition 14, Lemma 3) works with cycle notation,
+//! e.g. `(1 3) = (2 3)(1 2)(2 3)`; this module provides both directions of
+//! that translation plus derived statistics (cycle type, number of cycles,
+//! transposition decompositions).
+
+use crate::error::{PermError, Result};
+use crate::perm::Permutation;
+
+/// The cycle decomposition of a permutation: a list of cycles, each a list of
+/// 0-based points, with fixed points optionally included as 1-cycles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CycleDecomposition {
+    cycles: Vec<Vec<usize>>,
+    degree: usize,
+}
+
+impl CycleDecomposition {
+    /// The cycles, each starting at its smallest element, ordered by that
+    /// smallest element.
+    #[must_use]
+    pub fn cycles(&self) -> &[Vec<usize>] {
+        &self.cycles
+    }
+
+    /// Degree of the underlying permutation.
+    #[must_use]
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+
+    /// Number of cycles in the decomposition (including any 1-cycles kept).
+    #[must_use]
+    pub fn num_cycles(&self) -> usize {
+        self.cycles.len()
+    }
+
+    /// The multiset of cycle lengths sorted descending (the *cycle type*).
+    #[must_use]
+    pub fn cycle_type(&self) -> Vec<usize> {
+        let mut lens: Vec<usize> = self.cycles.iter().map(Vec::len).collect();
+        lens.sort_unstable_by(|a, b| b.cmp(a));
+        lens
+    }
+}
+
+/// Computes the cycle decomposition of `sigma`.
+///
+/// If `include_fixed` is false, 1-cycles (fixed points) are omitted, matching
+/// the usual compact cycle notation.
+#[must_use]
+pub fn cycle_decomposition(sigma: &Permutation, include_fixed: bool) -> CycleDecomposition {
+    let m = sigma.degree();
+    let mut visited = vec![false; m];
+    let mut cycles = Vec::new();
+    for start in 0..m {
+        if visited[start] {
+            continue;
+        }
+        let mut cycle = Vec::new();
+        let mut cur = start;
+        while !visited[cur] {
+            visited[cur] = true;
+            cycle.push(cur);
+            cur = sigma.apply(cur);
+        }
+        if cycle.len() > 1 || include_fixed {
+            cycles.push(cycle);
+        }
+    }
+    CycleDecomposition { cycles, degree: m }
+}
+
+/// Builds a permutation of `degree` elements from a list of disjoint cycles
+/// given in 0-based points.
+///
+/// Points not mentioned in any cycle are fixed.
+///
+/// # Errors
+///
+/// Returns [`PermError::InvalidCycle`] if a point is out of range or appears
+/// more than once across all cycles.
+pub fn from_cycles(degree: usize, cycles: &[Vec<usize>]) -> Result<Permutation> {
+    let mut images: Vec<usize> = (0..degree).collect();
+    let mut seen = vec![false; degree];
+    for cycle in cycles {
+        for &pt in cycle {
+            if pt >= degree {
+                return Err(PermError::InvalidCycle {
+                    reason: format!("point {pt} out of range for degree {degree}"),
+                });
+            }
+            if seen[pt] {
+                return Err(PermError::InvalidCycle {
+                    reason: format!("point {pt} appears in more than one cycle"),
+                });
+            }
+            seen[pt] = true;
+        }
+        if cycle.len() < 2 {
+            continue;
+        }
+        for window in 0..cycle.len() {
+            let from = cycle[window];
+            let to = cycle[(window + 1) % cycle.len()];
+            images[from] = to;
+        }
+    }
+    // All images were produced by rotating disjoint cycles of a starting
+    // identity, so the result is a valid permutation by construction.
+    Permutation::from_images(images)
+}
+
+/// Decomposes a permutation into a product of (not necessarily adjacent)
+/// transpositions using the cycle decomposition theorem (Lemma 3 of the
+/// paper): `(a1 .. ak) = (a1 ak)(a1 a(k-1)) .. (a1 a2)`.
+///
+/// The returned list multiplies left-to-right as functions applied right to
+/// left, i.e. `sigma = t[0] · t[1] · .. · t[n-1]`.
+#[must_use]
+pub fn transposition_decomposition(sigma: &Permutation) -> Vec<(usize, usize)> {
+    let decomp = cycle_decomposition(sigma, false);
+    let mut transpositions = Vec::new();
+    for cycle in decomp.cycles() {
+        let a1 = cycle[0];
+        for &ak in cycle.iter().skip(1).rev() {
+            transpositions.push((a1, ak));
+        }
+    }
+    transpositions
+}
+
+/// Rebuilds a permutation of `degree` elements from a transposition product
+/// `t[0] · t[1] · .. · t[n-1]` (as returned by
+/// [`transposition_decomposition`]).
+///
+/// # Errors
+///
+/// Returns [`PermError::InvalidCycle`] if any transposition is degenerate or
+/// out of range.
+pub fn from_transpositions(degree: usize, transpositions: &[(usize, usize)]) -> Result<Permutation> {
+    let mut sigma = Permutation::identity(degree);
+    // sigma = t0 t1 .. tn applied as function composition: accumulate from the
+    // right so that the leftmost factor is applied last.
+    for &(a, b) in transpositions.iter().rev() {
+        let t = Permutation::identity(degree).mul_transposition_right(a, b)?;
+        sigma = t.compose(&sigma);
+    }
+    Ok(sigma)
+}
+
+/// Number of cycles of the permutation including fixed points; `m -` this
+/// value gives the minimum number of (arbitrary) transpositions needed to
+/// express the permutation — not to be confused with the Coxeter length
+/// (number of *adjacent* transpositions), which equals the inversion number.
+#[must_use]
+pub fn num_cycles_with_fixed(sigma: &Permutation) -> usize {
+    cycle_decomposition(sigma, true).num_cycles()
+}
+
+/// Minimum number of arbitrary transpositions whose product is `sigma`
+/// (`m - #cycles`), sometimes called the reflection length or absolute
+/// length.
+#[must_use]
+pub fn reflection_length(sigma: &Permutation) -> usize {
+    sigma.degree() - num_cycles_with_fixed(sigma)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(images: &[usize]) -> Permutation {
+        Permutation::from_images(images.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn decompose_identity() {
+        let e = Permutation::identity(4);
+        let d = cycle_decomposition(&e, false);
+        assert!(d.cycles().is_empty());
+        let d_fixed = cycle_decomposition(&e, true);
+        assert_eq!(d_fixed.num_cycles(), 4);
+        assert_eq!(d_fixed.cycle_type(), vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn decompose_three_cycle() {
+        let sigma = p(&[1, 2, 0, 3]);
+        let d = cycle_decomposition(&sigma, false);
+        assert_eq!(d.cycles(), &[vec![0, 1, 2]]);
+        assert_eq!(d.cycle_type(), vec![3]);
+        assert_eq!(d.degree(), 4);
+    }
+
+    #[test]
+    fn decompose_reverse() {
+        let w0 = Permutation::reverse(5);
+        let d = cycle_decomposition(&w0, false);
+        // (0 4)(1 3), 2 fixed
+        assert_eq!(d.num_cycles(), 2);
+        assert_eq!(d.cycle_type(), vec![2, 2]);
+    }
+
+    #[test]
+    fn from_cycles_round_trip() {
+        let sigma = p(&[3, 2, 1, 0, 5, 4]);
+        let d = cycle_decomposition(&sigma, false);
+        let rebuilt = from_cycles(6, d.cycles()).unwrap();
+        assert_eq!(rebuilt, sigma);
+    }
+
+    #[test]
+    fn from_cycles_with_fixed_points_omitted() {
+        let sigma = from_cycles(5, &[vec![0, 2, 4]]).unwrap();
+        assert_eq!(sigma.images(), &[2, 1, 4, 3, 0]);
+    }
+
+    #[test]
+    fn from_cycles_rejects_out_of_range() {
+        let err = from_cycles(3, &[vec![0, 5]]).unwrap_err();
+        assert!(matches!(err, PermError::InvalidCycle { .. }));
+    }
+
+    #[test]
+    fn from_cycles_rejects_repeated_point() {
+        let err = from_cycles(4, &[vec![0, 1], vec![1, 2]]).unwrap_err();
+        assert!(matches!(err, PermError::InvalidCycle { .. }));
+        let err2 = from_cycles(4, &[vec![0, 1, 0]]).unwrap_err();
+        assert!(matches!(err2, PermError::InvalidCycle { .. }));
+    }
+
+    #[test]
+    fn single_point_cycle_is_fixed() {
+        let sigma = from_cycles(3, &[vec![1]]).unwrap();
+        assert!(sigma.is_identity());
+    }
+
+    #[test]
+    fn transposition_decomposition_round_trip() {
+        for images in [
+            vec![1, 2, 0, 3],
+            vec![3, 2, 1, 0],
+            vec![0, 1, 2, 3],
+            vec![2, 0, 3, 1],
+        ] {
+            let sigma = p(&images);
+            let ts = transposition_decomposition(&sigma);
+            let rebuilt = from_transpositions(4, &ts).unwrap();
+            assert_eq!(rebuilt, sigma, "round trip for {sigma}");
+            // Parity of the transposition count matches the sign.
+            let parity_sign = if ts.len().is_multiple_of(2) { 1 } else { -1 };
+            assert_eq!(parity_sign, sigma.sign() as i32);
+        }
+    }
+
+    #[test]
+    fn from_transpositions_rejects_bad_swap() {
+        assert!(from_transpositions(3, &[(1, 1)]).is_err());
+        assert!(from_transpositions(3, &[(0, 7)]).is_err());
+    }
+
+    #[test]
+    fn reflection_length_examples() {
+        assert_eq!(reflection_length(&Permutation::identity(5)), 0);
+        assert_eq!(reflection_length(&p(&[1, 0, 2])), 1);
+        assert_eq!(reflection_length(&p(&[1, 2, 0])), 2);
+        assert_eq!(reflection_length(&Permutation::reverse(4)), 2);
+        assert_eq!(num_cycles_with_fixed(&Permutation::reverse(4)), 2);
+    }
+}

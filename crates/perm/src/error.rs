@@ -1,0 +1,173 @@
+//! Error types for the symmetric-group substrate.
+
+use std::fmt;
+
+/// Errors that can arise when constructing or manipulating permutations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PermError {
+    /// The one-line image vector is not a bijection on `{0, .., m-1}`:
+    /// some value is out of range.
+    ImageOutOfRange {
+        /// Position at which the offending image was found.
+        position: usize,
+        /// The offending image value.
+        value: usize,
+        /// Number of elements the permutation acts on.
+        degree: usize,
+    },
+    /// The one-line image vector is not a bijection on `{0, .., m-1}`:
+    /// some value occurs more than once.
+    DuplicateImage {
+        /// The value that occurs more than once.
+        value: usize,
+        /// The second position at which it was found.
+        position: usize,
+    },
+    /// Two permutations of different degrees were combined.
+    DegreeMismatch {
+        /// Degree of the left operand.
+        left: usize,
+        /// Degree of the right operand.
+        right: usize,
+    },
+    /// A cycle description referenced an element out of range or repeated
+    /// an element within/across cycles.
+    InvalidCycle {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// A rank passed to unranking exceeds `m! - 1`.
+    RankOutOfRange {
+        /// The offending rank.
+        rank: u128,
+        /// Degree of the requested permutation.
+        degree: usize,
+    },
+    /// The requested degree is too large for the requested operation
+    /// (for example, exhaustive enumeration or exact factorial ranking).
+    DegreeTooLarge {
+        /// The offending degree.
+        degree: usize,
+        /// Largest supported degree for this operation.
+        max: usize,
+    },
+    /// A generator index `i` for the adjacent transposition `s_i = (i, i+1)`
+    /// is out of range (`i + 1 >= m`).
+    GeneratorOutOfRange {
+        /// The offending generator index.
+        index: usize,
+        /// Degree of the permutation.
+        degree: usize,
+    },
+    /// An inversion-number target is larger than the maximum `m(m-1)/2`.
+    InversionTargetOutOfRange {
+        /// The requested number of inversions.
+        target: usize,
+        /// Maximum possible number of inversions for this degree.
+        max: usize,
+    },
+}
+
+impl fmt::Display for PermError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PermError::ImageOutOfRange {
+                position,
+                value,
+                degree,
+            } => write!(
+                f,
+                "image value {value} at position {position} is out of range for degree {degree}"
+            ),
+            PermError::DuplicateImage { value, position } => write!(
+                f,
+                "image value {value} occurs more than once (second occurrence at position {position})"
+            ),
+            PermError::DegreeMismatch { left, right } => write!(
+                f,
+                "degree mismatch: left operand has degree {left}, right operand has degree {right}"
+            ),
+            PermError::InvalidCycle { reason } => write!(f, "invalid cycle description: {reason}"),
+            PermError::RankOutOfRange { rank, degree } => write!(
+                f,
+                "rank {rank} is out of range for degree {degree} (must be < {degree}!)"
+            ),
+            PermError::DegreeTooLarge { degree, max } => write!(
+                f,
+                "degree {degree} is too large for this operation (maximum supported degree is {max})"
+            ),
+            PermError::GeneratorOutOfRange { index, degree } => write!(
+                f,
+                "adjacent transposition index {index} is out of range for degree {degree}"
+            ),
+            PermError::InversionTargetOutOfRange { target, max } => write!(
+                f,
+                "inversion target {target} exceeds the maximum {max} for this degree"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PermError {}
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, PermError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_image_out_of_range() {
+        let e = PermError::ImageOutOfRange {
+            position: 2,
+            value: 7,
+            degree: 4,
+        };
+        let s = e.to_string();
+        assert!(s.contains("7"));
+        assert!(s.contains("degree 4"));
+    }
+
+    #[test]
+    fn display_duplicate() {
+        let e = PermError::DuplicateImage {
+            value: 1,
+            position: 3,
+        };
+        assert!(e.to_string().contains("more than once"));
+    }
+
+    #[test]
+    fn display_degree_mismatch() {
+        let e = PermError::DegreeMismatch { left: 3, right: 5 };
+        assert!(e.to_string().contains("3"));
+        assert!(e.to_string().contains("5"));
+    }
+
+    #[test]
+    fn display_rank_out_of_range() {
+        let e = PermError::RankOutOfRange { rank: 24, degree: 4 };
+        assert!(e.to_string().contains("24"));
+    }
+
+    #[test]
+    fn display_generator_out_of_range() {
+        let e = PermError::GeneratorOutOfRange { index: 9, degree: 4 };
+        assert!(e.to_string().contains("9"));
+    }
+
+    #[test]
+    fn display_inversion_target() {
+        let e = PermError::InversionTargetOutOfRange { target: 99, max: 10 };
+        assert!(e.to_string().contains("99"));
+        assert!(e.to_string().contains("10"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        let e = PermError::DegreeTooLarge { degree: 30, max: 20 };
+        assert_err(&e);
+    }
+}

@@ -1,0 +1,276 @@
+//! A Fenwick tree (binary indexed tree) over `u64` counts.
+//!
+//! Used for `O(log m)` prefix sums when counting inversions
+//! ([`crate::inversions::inversions_fenwick`]) and exported for reuse by the
+//! cache-simulation crate's reuse-distance machinery.
+
+/// A Fenwick tree (binary indexed tree) storing `u64` counts for indices
+/// `0..len`.
+///
+/// Supports point updates and prefix-sum queries in `O(log len)`.
+///
+/// # Examples
+///
+/// ```
+/// use symloc_perm::fenwick::Fenwick;
+///
+/// let mut f = Fenwick::new(8);
+/// f.add(3, 2);
+/// f.add(5, 1);
+/// assert_eq!(f.prefix_sum(3), 0);   // sum of indices 0..3
+/// assert_eq!(f.prefix_sum(4), 2);   // sum of indices 0..4
+/// assert_eq!(f.total(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fenwick {
+    /// 1-based internal tree array; `tree[0]` is unused.
+    tree: Vec<u64>,
+    /// Number of addressable indices.
+    len: usize,
+}
+
+impl Fenwick {
+    /// Creates a tree for indices `0..len`, all counts zero.
+    #[must_use]
+    pub fn new(len: usize) -> Self {
+        Fenwick {
+            tree: vec![0; len + 1],
+            len,
+        }
+    }
+
+    /// Number of addressable indices.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns true if the tree addresses no indices.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Adds `delta` to the count at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len`.
+    pub fn add(&mut self, index: usize, delta: u64) {
+        assert!(index < self.len, "Fenwick::add index {index} out of range {}", self.len);
+        let mut i = index + 1;
+        while i <= self.len {
+            self.tree[i] += delta;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Subtracts `delta` from the count at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len` or if the subtraction would make any internal
+    /// node negative (i.e. more is removed at `index` than was ever added).
+    pub fn sub(&mut self, index: usize, delta: u64) {
+        assert!(index < self.len, "Fenwick::sub index {index} out of range {}", self.len);
+        let mut i = index + 1;
+        while i <= self.len {
+            self.tree[i] = self.tree[i]
+                .checked_sub(delta)
+                .expect("Fenwick::sub would underflow: removing more than was added");
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Sum of counts for indices `0..end` (exclusive upper bound).
+    ///
+    /// `end` may equal `len`; values greater than `len` are clamped.
+    #[must_use]
+    pub fn prefix_sum(&self, end: usize) -> u64 {
+        let mut i = end.min(self.len);
+        let mut sum = 0;
+        while i > 0 {
+            sum += self.tree[i];
+            i -= i & i.wrapping_neg();
+        }
+        sum
+    }
+
+    /// Sum of counts in the half-open range `start..end`.
+    #[must_use]
+    pub fn range_sum(&self, start: usize, end: usize) -> u64 {
+        if end <= start {
+            return 0;
+        }
+        self.prefix_sum(end) - self.prefix_sum(start)
+    }
+
+    /// Total of all counts.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.prefix_sum(self.len)
+    }
+
+    /// Resets every count to zero while keeping the capacity.
+    pub fn clear(&mut self) {
+        self.tree.iter_mut().for_each(|v| *v = 0);
+    }
+
+    /// Finds the smallest index `i` such that `prefix_sum(i + 1) >= target`,
+    /// assuming all counts are non-negative (they are, being `u64`).
+    ///
+    /// Returns `None` if `target` exceeds [`Fenwick::total`] or `target == 0`.
+    #[must_use]
+    pub fn lower_bound(&self, target: u64) -> Option<usize> {
+        if target == 0 || target > self.total() {
+            return None;
+        }
+        let mut remaining = target;
+        let mut pos = 0usize;
+        // Highest power of two <= len.
+        let mut step = self.len.next_power_of_two();
+        if step > self.len {
+            step /= 2;
+        }
+        while step > 0 {
+            let next = pos + step;
+            if next <= self.len && self.tree[next] < remaining {
+                remaining -= self.tree[next];
+                pos = next;
+            }
+            step /= 2;
+        }
+        Some(pos) // pos is 0-based index of the answer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_tree() {
+        let f = Fenwick::new(0);
+        assert!(f.is_empty());
+        assert_eq!(f.total(), 0);
+        assert_eq!(f.prefix_sum(0), 0);
+        assert_eq!(f.lower_bound(1), None);
+    }
+
+    #[test]
+    fn single_element() {
+        let mut f = Fenwick::new(1);
+        assert_eq!(f.prefix_sum(1), 0);
+        f.add(0, 5);
+        assert_eq!(f.prefix_sum(0), 0);
+        assert_eq!(f.prefix_sum(1), 5);
+        assert_eq!(f.total(), 5);
+    }
+
+    #[test]
+    fn prefix_sums_match_naive() {
+        let updates = [(3usize, 2u64), (5, 1), (0, 4), (7, 3), (3, 1)];
+        let mut f = Fenwick::new(8);
+        let mut naive = [0u64; 8];
+        for &(i, d) in &updates {
+            f.add(i, d);
+            naive[i] += d;
+        }
+        for end in 0..=8 {
+            let expect: u64 = naive[..end].iter().sum();
+            assert_eq!(f.prefix_sum(end), expect, "prefix {end}");
+        }
+    }
+
+    #[test]
+    fn range_sum() {
+        let mut f = Fenwick::new(10);
+        for i in 0..10 {
+            f.add(i, i as u64);
+        }
+        assert_eq!(f.range_sum(2, 5), 2 + 3 + 4);
+        assert_eq!(f.range_sum(5, 5), 0);
+        assert_eq!(f.range_sum(6, 2), 0);
+        assert_eq!(f.range_sum(0, 10), 45);
+    }
+
+    #[test]
+    fn clear_resets_counts() {
+        let mut f = Fenwick::new(4);
+        f.add(1, 3);
+        f.add(2, 2);
+        f.clear();
+        assert_eq!(f.total(), 0);
+        f.add(0, 1);
+        assert_eq!(f.total(), 1);
+    }
+
+    #[test]
+    fn prefix_sum_clamps() {
+        let mut f = Fenwick::new(3);
+        f.add(2, 7);
+        assert_eq!(f.prefix_sum(100), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn add_out_of_range_panics() {
+        let mut f = Fenwick::new(3);
+        f.add(3, 1);
+    }
+
+    #[test]
+    fn sub_removes_previously_added_counts() {
+        let mut f = Fenwick::new(6);
+        f.add(2, 3);
+        f.add(4, 1);
+        f.sub(2, 2);
+        assert_eq!(f.prefix_sum(3), 1);
+        assert_eq!(f.total(), 2);
+        f.sub(2, 1);
+        f.sub(4, 1);
+        assert_eq!(f.total(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_more_than_added_panics() {
+        let mut f = Fenwick::new(4);
+        f.add(1, 1);
+        f.sub(1, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn sub_out_of_range_panics() {
+        let mut f = Fenwick::new(3);
+        f.sub(5, 1);
+    }
+
+    #[test]
+    fn lower_bound_finds_index() {
+        let mut f = Fenwick::new(8);
+        f.add(1, 2);
+        f.add(4, 3);
+        f.add(6, 1);
+        // cumulative: idx1 -> 2, idx4 -> 5, idx6 -> 6
+        assert_eq!(f.lower_bound(1), Some(1));
+        assert_eq!(f.lower_bound(2), Some(1));
+        assert_eq!(f.lower_bound(3), Some(4));
+        assert_eq!(f.lower_bound(5), Some(4));
+        assert_eq!(f.lower_bound(6), Some(6));
+        assert_eq!(f.lower_bound(7), None);
+        assert_eq!(f.lower_bound(0), None);
+    }
+
+    #[test]
+    fn lower_bound_non_power_of_two_len() {
+        let mut f = Fenwick::new(5);
+        for i in 0..5 {
+            f.add(i, 1);
+        }
+        for t in 1..=5u64 {
+            assert_eq!(f.lower_bound(t), Some((t - 1) as usize));
+        }
+    }
+}

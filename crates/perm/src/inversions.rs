@@ -1,0 +1,409 @@
+//! Inversion counting and inversion-derived statistics.
+//!
+//! The inversion number `ℓ(σ) = |{(i, j) : i < j, σ(i) > σ(j)}|` is the
+//! Coxeter length of `σ` in `S_m` and — by Theorem 2 of the paper — equals
+//! the truncated sum of the cache-hit vector of the re-traversal `A σ(A)`.
+//! Three algorithms are provided (naive `O(m²)`, merge-sort `O(m log m)`,
+//! Fenwick-tree `O(m log m)`) so the ablation bench `bench_inversions` can
+//! compare them; all are cross-checked by property tests.
+
+use crate::error::{PermError, Result};
+use crate::fenwick::Fenwick;
+use crate::perm::Permutation;
+
+/// Maximum possible number of inversions for a permutation of `m` elements:
+/// `m(m-1)/2`, attained only by the reverse permutation (sawtooth).
+#[must_use]
+pub fn max_inversions(m: usize) -> usize {
+    m * m.saturating_sub(1) / 2
+}
+
+/// Counts inversions of an arbitrary `usize` sequence by the naive `O(n²)`
+/// double loop. Works on any sequence (not just permutations).
+#[must_use]
+pub fn inversions_naive_seq(seq: &[usize]) -> usize {
+    let mut count = 0;
+    for i in 0..seq.len() {
+        for j in (i + 1)..seq.len() {
+            if seq[i] > seq[j] {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Counts inversions of an arbitrary `usize` sequence with a merge-sort in
+/// `O(n log n)`.
+#[must_use]
+pub fn inversions_merge_seq(seq: &[usize]) -> usize {
+    fn merge_count(buf: &mut [usize], scratch: &mut [usize]) -> usize {
+        let n = buf.len();
+        if n <= 1 {
+            return 0;
+        }
+        let mid = n / 2;
+        let (left, right) = buf.split_at_mut(mid);
+        let mut inv = merge_count(left, &mut scratch[..mid]) + merge_count(right, &mut scratch[mid..]);
+        // Merge left and right into scratch, counting cross inversions.
+        let (mut i, mut j, mut k) = (0usize, 0usize, 0usize);
+        while i < left.len() && j < right.len() {
+            if left[i] <= right[j] {
+                scratch[k] = left[i];
+                i += 1;
+            } else {
+                // left[i] > right[j]: right[j] is smaller than everything
+                // remaining in left, which are all to its left in the input.
+                inv += left.len() - i;
+                scratch[k] = right[j];
+                j += 1;
+            }
+            k += 1;
+        }
+        while i < left.len() {
+            scratch[k] = left[i];
+            i += 1;
+            k += 1;
+        }
+        while j < right.len() {
+            scratch[k] = right[j];
+            j += 1;
+            k += 1;
+        }
+        buf.copy_from_slice(&scratch[..n]);
+        inv
+    }
+    let mut buf = seq.to_vec();
+    let mut scratch = vec![0usize; seq.len()];
+    merge_count(&mut buf, &mut scratch)
+}
+
+/// Counts inversions of a permutation's one-line notation with a Fenwick tree
+/// in `O(m log m)`.
+///
+/// Scans right-to-left, counting previously seen values smaller than the
+/// current one.
+#[must_use]
+pub fn inversions_fenwick(sigma: &Permutation) -> usize {
+    let m = sigma.degree();
+    let mut tree = Fenwick::new(m);
+    let mut count = 0u64;
+    for &v in sigma.images().iter().rev() {
+        count += tree.prefix_sum(v);
+        tree.add(v, 1);
+    }
+    count as usize
+}
+
+/// Counts inversions of a permutation naively in `O(m²)`.
+#[must_use]
+pub fn inversions_naive(sigma: &Permutation) -> usize {
+    inversions_naive_seq(sigma.images())
+}
+
+/// Counts inversions of a permutation with a merge-sort in `O(m log m)`.
+#[must_use]
+pub fn inversions_merge(sigma: &Permutation) -> usize {
+    inversions_merge_seq(sigma.images())
+}
+
+/// Counts inversions of a permutation, picking the naive algorithm for tiny
+/// degrees (lower constant) and the Fenwick algorithm otherwise.
+///
+/// This is the paper's `ℓ(σ)`.
+#[must_use]
+pub fn inversions(sigma: &Permutation) -> usize {
+    if sigma.degree() <= 32 {
+        inversions_naive(sigma)
+    } else {
+        inversions_fenwick(sigma)
+    }
+}
+
+/// Lists every inversion pair `(i, j)` with `i < j` and `σ(i) > σ(j)`,
+/// in lexicographic order of `(i, j)`.
+#[must_use]
+pub fn inversion_pairs(sigma: &Permutation) -> Vec<(usize, usize)> {
+    let imgs = sigma.images();
+    let mut pairs = Vec::new();
+    for i in 0..imgs.len() {
+        for j in (i + 1)..imgs.len() {
+            if imgs[i] > imgs[j] {
+                pairs.push((i, j));
+            }
+        }
+    }
+    pairs
+}
+
+/// The Lehmer code (inversion table) of the permutation:
+/// `code[i] = |{j > i : σ(j) < σ(i)}|`.
+///
+/// Its entries sum to the inversion number and satisfy `code[i] <= m-1-i`.
+#[must_use]
+pub fn lehmer_code(sigma: &Permutation) -> Vec<usize> {
+    let m = sigma.degree();
+    let imgs = sigma.images();
+    let mut tree = Fenwick::new(m);
+    let mut code = vec![0usize; m];
+    for i in (0..m).rev() {
+        code[i] = tree.prefix_sum(imgs[i]) as usize;
+        tree.add(imgs[i], 1);
+    }
+    code
+}
+
+/// Rebuilds a permutation from its Lehmer code.
+///
+/// # Errors
+///
+/// Returns [`PermError::InvalidCycle`] if any entry violates
+/// `code[i] <= m-1-i`.
+pub fn from_lehmer_code(code: &[usize]) -> Result<Permutation> {
+    let m = code.len();
+    for (i, &c) in code.iter().enumerate() {
+        if c > m - 1 - i {
+            return Err(PermError::InvalidCycle {
+                reason: format!("Lehmer code entry {c} at position {i} exceeds {}", m - 1 - i),
+            });
+        }
+    }
+    // available[k] is the k-th smallest unused value; code[i] selects it.
+    let mut available: Vec<usize> = (0..m).collect();
+    let mut images = Vec::with_capacity(m);
+    for &c in code {
+        images.push(available.remove(c));
+    }
+    Permutation::from_images(images)
+}
+
+/// Descent set of the permutation: positions `i` with `σ(i) > σ(i+1)`.
+///
+/// Per Lemma 2 of the paper, multiplying on the right by `s_i` decreases the
+/// length exactly when `i` is a descent.
+#[must_use]
+pub fn descents(sigma: &Permutation) -> Vec<usize> {
+    let imgs = sigma.images();
+    (0..imgs.len().saturating_sub(1))
+        .filter(|&i| imgs[i] > imgs[i + 1])
+        .collect()
+}
+
+/// Ascent set of the permutation: positions `i` with `σ(i) < σ(i+1)`.
+#[must_use]
+pub fn ascents(sigma: &Permutation) -> Vec<usize> {
+    let imgs = sigma.images();
+    (0..imgs.len().saturating_sub(1))
+        .filter(|&i| imgs[i] < imgs[i + 1])
+        .collect()
+}
+
+/// Major index: the sum of the descent positions (1-based), the other
+/// classical Mahonian statistic equidistributed with the inversion number.
+#[must_use]
+pub fn major_index(sigma: &Permutation) -> usize {
+    descents(sigma).iter().map(|&i| i + 1).sum()
+}
+
+/// A reduced word for `σ`: a minimal-length sequence of adjacent
+/// transposition indices `i` such that `σ = s_{i1} · s_{i2} · .. · s_{iℓ}`
+/// with `ℓ = ℓ(σ)`.
+///
+/// Produced by bubble-sorting the one-line notation; the word length always
+/// equals the inversion number.
+#[must_use]
+pub fn reduced_word(sigma: &Permutation) -> Vec<usize> {
+    // Sort sigma's images back to the identity by adjacent swaps, recording
+    // the swaps. If swapping positions i,i+1 (right multiplication) in the
+    // *inverse* direction sorts it, the word for sigma is the reverse
+    // sequence. Simpler: repeatedly find a descent of the current permutation
+    // w and multiply on the right by s_i to shorten it; collecting indices in
+    // reverse order yields a reduced word for sigma.
+    let mut w = sigma.clone();
+    let mut word_rev = Vec::new();
+    loop {
+        let ds = descents(&w);
+        let Some(&i) = ds.first() else { break };
+        w = w.mul_adjacent_right(i).expect("descent index in range");
+        word_rev.push(i);
+    }
+    word_rev.reverse();
+    word_rev
+}
+
+/// Multiplies out a word of adjacent transposition indices into a
+/// permutation of `degree` elements: `s_{w[0]} · s_{w[1]} · .. · s_{w[k-1]}`.
+///
+/// # Errors
+///
+/// Returns [`PermError::GeneratorOutOfRange`] if any index is out of range.
+pub fn word_to_permutation(degree: usize, word: &[usize]) -> Result<Permutation> {
+    let mut sigma = Permutation::identity(degree);
+    // Right-multiply successively: e · s_{w0} · s_{w1} · ...
+    for &i in word {
+        sigma = sigma.mul_adjacent_right(i)?;
+    }
+    Ok(sigma)
+}
+
+/// Checks whether a word of adjacent transposition indices is *reduced*
+/// (its length equals the length of its product).
+///
+/// # Errors
+///
+/// Returns an error if any index is out of range for `degree`.
+pub fn is_reduced_word(degree: usize, word: &[usize]) -> Result<bool> {
+    let sigma = word_to_permutation(degree, word)?;
+    Ok(inversions(&sigma) == word.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(images: &[usize]) -> Permutation {
+        Permutation::from_images(images.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn inversions_of_known_permutations() {
+        assert_eq!(inversions(&Permutation::identity(6)), 0);
+        assert_eq!(inversions(&Permutation::reverse(4)), 6); // paper: ℓ(sawtooth4)=6
+        assert_eq!(inversions(&p(&[1, 0, 2, 3])), 1); // paper: trace 2134 has 1 inversion
+        assert_eq!(max_inversions(4), 6);
+        assert_eq!(max_inversions(0), 0);
+        assert_eq!(max_inversions(1), 0);
+    }
+
+    #[test]
+    fn all_three_algorithms_agree_small() {
+        let perms = [
+            vec![0, 1, 2, 3, 4],
+            vec![4, 3, 2, 1, 0],
+            vec![2, 0, 4, 1, 3],
+            vec![1, 2, 3, 4, 0],
+            vec![3, 1, 4, 0, 2],
+        ];
+        for imgs in perms {
+            let sigma = p(&imgs);
+            let a = inversions_naive(&sigma);
+            let b = inversions_merge(&sigma);
+            let c = inversions_fenwick(&sigma);
+            assert_eq!(a, b, "{sigma}");
+            assert_eq!(b, c, "{sigma}");
+        }
+    }
+
+    #[test]
+    fn merge_seq_on_non_permutation() {
+        assert_eq!(inversions_merge_seq(&[5, 5, 5]), 0);
+        assert_eq!(inversions_naive_seq(&[5, 5, 5]), 0);
+        assert_eq!(inversions_merge_seq(&[3, 1, 2, 1]), 4);
+        assert_eq!(inversions_naive_seq(&[3, 1, 2, 1]), 4);
+        assert_eq!(inversions_merge_seq(&[]), 0);
+    }
+
+    #[test]
+    fn inversion_pairs_consistent_with_count() {
+        let sigma = p(&[2, 0, 3, 1]);
+        let pairs = inversion_pairs(&sigma);
+        assert_eq!(pairs.len(), inversions(&sigma));
+        for (i, j) in pairs {
+            assert!(i < j);
+            assert!(sigma.apply(i) > sigma.apply(j));
+        }
+    }
+
+    #[test]
+    fn lehmer_code_round_trip() {
+        let perms = [
+            vec![0, 1, 2, 3],
+            vec![3, 2, 1, 0],
+            vec![2, 0, 3, 1],
+            vec![1, 3, 0, 2],
+        ];
+        for imgs in perms {
+            let sigma = p(&imgs);
+            let code = lehmer_code(&sigma);
+            assert_eq!(code.iter().sum::<usize>(), inversions(&sigma));
+            let rebuilt = from_lehmer_code(&code).unwrap();
+            assert_eq!(rebuilt, sigma);
+        }
+    }
+
+    #[test]
+    fn lehmer_code_known_value() {
+        // sigma = [2 0 3 1]: code[0]=2 (0 and 1 after), code[1]=0, code[2]=1, code[3]=0
+        let sigma = p(&[2, 0, 3, 1]);
+        assert_eq!(lehmer_code(&sigma), vec![2, 0, 1, 0]);
+    }
+
+    #[test]
+    fn from_lehmer_code_rejects_invalid() {
+        assert!(from_lehmer_code(&[4, 0, 0, 0]).is_err());
+        assert!(from_lehmer_code(&[0, 0, 0, 1]).is_err());
+    }
+
+    #[test]
+    fn descents_and_major_index() {
+        let sigma = p(&[2, 0, 3, 1]);
+        assert_eq!(descents(&sigma), vec![0, 2]);
+        assert_eq!(ascents(&sigma), vec![1]);
+        assert_eq!(major_index(&sigma), 1 + 3);
+        assert_eq!(descents(&Permutation::identity(5)), Vec::<usize>::new());
+        assert_eq!(
+            descents(&Permutation::reverse(4)),
+            vec![0, 1, 2]
+        );
+        assert_eq!(descents(&Permutation::identity(0)), Vec::<usize>::new());
+        assert_eq!(descents(&Permutation::identity(1)), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn reduced_word_length_equals_inversions() {
+        for imgs in [
+            vec![0, 1, 2, 3],
+            vec![3, 2, 1, 0],
+            vec![2, 0, 3, 1],
+            vec![1, 2, 3, 0],
+        ] {
+            let sigma = p(&imgs);
+            let word = reduced_word(&sigma);
+            assert_eq!(word.len(), inversions(&sigma), "{sigma}");
+            let rebuilt = word_to_permutation(4, &word).unwrap();
+            assert_eq!(rebuilt, sigma, "{sigma}");
+            assert!(is_reduced_word(4, &word).unwrap());
+        }
+    }
+
+    #[test]
+    fn non_reduced_word_detected() {
+        // s0 s0 is the identity: length 0 but word length 2.
+        assert!(!is_reduced_word(3, &[0, 0]).unwrap());
+        assert!(is_reduced_word(3, &[0, 1]).unwrap());
+        assert!(word_to_permutation(3, &[7]).is_err());
+        assert!(is_reduced_word(3, &[7]).is_err());
+    }
+
+    #[test]
+    fn lemma2_adjacent_multiplication_changes_length_by_one() {
+        // Lemma 2: ℓ(τ s_i) = ℓ(τ) + 1 iff τ(i) < τ(i+1), else -1.
+        let taus = [
+            p(&[0, 1, 2, 3]),
+            p(&[1, 0, 3, 2]),
+            p(&[2, 3, 1, 0]),
+            p(&[3, 0, 1, 2]),
+        ];
+        for tau in &taus {
+            for i in 0..3 {
+                let prod = tau.mul_adjacent_right(i).unwrap();
+                let expected = if tau.apply(i) < tau.apply(i + 1) {
+                    inversions(tau) + 1
+                } else {
+                    inversions(tau) - 1
+                };
+                assert_eq!(inversions(&prod), expected, "tau={tau} i={i}");
+            }
+        }
+    }
+}

@@ -1,0 +1,353 @@
+//! Iteration over the symmetric group.
+//!
+//! Two full-group iterators are provided:
+//!
+//! * [`LexIter`] — lexicographic order of one-line notation (the order the
+//!   factoradic rank of [`crate::rank`] follows), implemented with the
+//!   classical `next_permutation` step.
+//! * [`PlainChangesIter`] — Steinhaus–Johnson–Trotter ("plain changes")
+//!   order, in which consecutive permutations differ by a single adjacent
+//!   transposition; useful for incremental hit-vector updates.
+//!
+//! Both are `O(m)` per step and allocate only at construction.
+
+use crate::perm::Permutation;
+use crate::rank::{unrank, RankRange};
+
+/// Iterator over all permutations of `m` elements in lexicographic order.
+#[derive(Debug, Clone)]
+pub struct LexIter {
+    current: Option<Vec<usize>>,
+}
+
+impl LexIter {
+    /// Creates an iterator over all of `S_m` starting at the identity.
+    #[must_use]
+    pub fn new(m: usize) -> Self {
+        LexIter {
+            current: Some((0..m).collect()),
+        }
+    }
+
+    /// Creates an iterator starting at the given permutation (inclusive).
+    #[must_use]
+    pub fn starting_at(sigma: &Permutation) -> Self {
+        LexIter {
+            current: Some(sigma.images().to_vec()),
+        }
+    }
+}
+
+/// Advances `seq` to the next permutation in lexicographic order, returning
+/// false if `seq` was the last one (in which case it is left unchanged).
+pub fn next_permutation(seq: &mut [usize]) -> bool {
+    let n = seq.len();
+    if n < 2 {
+        return false;
+    }
+    // Find the longest non-increasing suffix.
+    let mut i = n - 1;
+    while i > 0 && seq[i - 1] >= seq[i] {
+        i -= 1;
+    }
+    if i == 0 {
+        return false;
+    }
+    // seq[i-1] is the pivot; find rightmost element greater than it.
+    let mut j = n - 1;
+    while seq[j] <= seq[i - 1] {
+        j -= 1;
+    }
+    seq.swap(i - 1, j);
+    seq[i..].reverse();
+    true
+}
+
+impl Iterator for LexIter {
+    type Item = Permutation;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let cur = self.current.take()?;
+        let result = Permutation::from_images_unchecked(cur.clone());
+        let mut next = cur;
+        if next_permutation(&mut next) {
+            self.current = Some(next);
+        }
+        Some(result)
+    }
+}
+
+/// Iterator over all permutations of `m` elements in Steinhaus–Johnson–Trotter
+/// (plain changes) order: each step swaps one adjacent pair.
+#[derive(Debug, Clone)]
+pub struct PlainChangesIter {
+    /// Current one-line images.
+    images: Vec<usize>,
+    /// Direction of each *value*: -1 left, +1 right.
+    directions: Vec<i8>,
+    /// Position of each value in `images`.
+    positions: Vec<usize>,
+    exhausted: bool,
+    started: bool,
+    /// Position of the adjacent swap performed to reach the current
+    /// permutation from its predecessor (None for the first permutation).
+    last_swap: Option<usize>,
+}
+
+impl PlainChangesIter {
+    /// Creates the iterator starting at the identity.
+    #[must_use]
+    pub fn new(m: usize) -> Self {
+        PlainChangesIter {
+            images: (0..m).collect(),
+            directions: vec![-1; m],
+            positions: (0..m).collect(),
+            exhausted: false,
+            started: false,
+            last_swap: None,
+        }
+    }
+
+    /// The adjacent swap (position index) performed to reach the most recent
+    /// permutation from its predecessor, if any.
+    #[must_use]
+    pub fn last_swap(&self) -> Option<usize> {
+        self.last_swap
+    }
+
+    fn step(&mut self) -> Option<usize> {
+        let m = self.images.len();
+        if m < 2 {
+            self.exhausted = true;
+            return None;
+        }
+        // Find the largest mobile value: a value whose direction points at a
+        // smaller adjacent value.
+        let mut mobile: Option<usize> = None;
+        for value in (0..m).rev() {
+            let pos = self.positions[value];
+            let dir = self.directions[value];
+            let target = pos as isize + dir as isize;
+            if target < 0 || target >= m as isize {
+                continue;
+            }
+            let neighbor = self.images[target as usize];
+            if neighbor < value {
+                mobile = Some(value);
+                break;
+            }
+        }
+        let Some(value) = mobile else {
+            self.exhausted = true;
+            return None;
+        };
+        let pos = self.positions[value];
+        let dir = self.directions[value];
+        let new_pos = (pos as isize + dir as isize) as usize;
+        let displaced = self.images[new_pos];
+        self.images.swap(pos, new_pos);
+        self.positions[value] = new_pos;
+        self.positions[displaced] = pos;
+        // Reverse direction of all values larger than the moved one.
+        for v in (value + 1)..m {
+            self.directions[v] = -self.directions[v];
+        }
+        Some(pos.min(new_pos))
+    }
+}
+
+impl Iterator for PlainChangesIter {
+    type Item = Permutation;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.exhausted {
+            return None;
+        }
+        if !self.started {
+            self.started = true;
+            self.last_swap = None;
+            return Some(Permutation::from_images_unchecked(self.images.clone()));
+        }
+        match self.step() {
+            Some(swap) => {
+                self.last_swap = Some(swap);
+                Some(Permutation::from_images_unchecked(self.images.clone()))
+            }
+            None => None,
+        }
+    }
+}
+
+impl Default for PlainChangesIter {
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
+/// Iterator over a contiguous lexicographic rank range of `S_m`, used by the
+/// parallel sweeps to hand each worker a disjoint slice of the group.
+#[derive(Debug, Clone)]
+pub struct RankRangeIter {
+    inner: LexIter,
+    remaining: u128,
+}
+
+impl RankRangeIter {
+    /// Creates an iterator over the permutations of `m` elements whose
+    /// lexicographic ranks lie in `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range start exceeds `m!` (checked via unranking).
+    #[must_use]
+    pub fn new(m: usize, range: RankRange) -> Self {
+        if range.is_empty() {
+            return RankRangeIter {
+                inner: LexIter {
+                    current: None,
+                },
+                remaining: 0,
+            };
+        }
+        let start = unrank(m, range.start).expect("range start within m!");
+        RankRangeIter {
+            inner: LexIter::starting_at(&start),
+            remaining: range.len(),
+        }
+    }
+}
+
+impl Iterator for RankRangeIter {
+    type Item = Permutation;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        self.inner.next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inversions::inversions;
+    use crate::rank::factorial;
+    use std::collections::HashSet;
+
+    #[test]
+    fn lex_iter_counts_and_uniqueness() {
+        for m in 0..=6usize {
+            let perms: Vec<Permutation> = LexIter::new(m).collect();
+            assert_eq!(perms.len() as u128, factorial(m).unwrap(), "m={m}");
+            let distinct: HashSet<Vec<usize>> =
+                perms.iter().map(|p| p.images().to_vec()).collect();
+            assert_eq!(distinct.len(), perms.len());
+        }
+    }
+
+    #[test]
+    fn lex_iter_is_sorted() {
+        let perms: Vec<Vec<usize>> = LexIter::new(5).map(Permutation::into_images).collect();
+        for w in perms.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn lex_iter_starting_at_resumes() {
+        let all: Vec<Permutation> = LexIter::new(4).collect();
+        let mid = &all[10];
+        let tail: Vec<Permutation> = LexIter::starting_at(mid).collect();
+        assert_eq!(tail.len(), 14);
+        assert_eq!(&tail[0], mid);
+        assert_eq!(tail.last().unwrap(), all.last().unwrap());
+    }
+
+    #[test]
+    fn next_permutation_small_cases() {
+        let mut v = vec![0usize];
+        assert!(!next_permutation(&mut v));
+        let mut empty: Vec<usize> = vec![];
+        assert!(!next_permutation(&mut empty));
+        let mut v = vec![0, 1];
+        assert!(next_permutation(&mut v));
+        assert_eq!(v, vec![1, 0]);
+        assert!(!next_permutation(&mut v));
+    }
+
+    #[test]
+    fn plain_changes_visits_everything_once() {
+        for m in 1..=6usize {
+            let perms: Vec<Permutation> = PlainChangesIter::new(m).collect();
+            assert_eq!(perms.len() as u128, factorial(m).unwrap(), "m={m}");
+            let distinct: HashSet<Vec<usize>> =
+                perms.iter().map(|p| p.images().to_vec()).collect();
+            assert_eq!(distinct.len(), perms.len(), "m={m}");
+        }
+    }
+
+    #[test]
+    fn plain_changes_adjacent_step_property() {
+        // Consecutive permutations differ by exactly one adjacent swap, so
+        // their inversion numbers differ by exactly 1.
+        let perms: Vec<Permutation> = PlainChangesIter::new(5).collect();
+        for w in perms.windows(2) {
+            let a = inversions(&w[0]) as isize;
+            let b = inversions(&w[1]) as isize;
+            assert_eq!((a - b).abs(), 1);
+            // And they differ in exactly two adjacent positions.
+            let diff: Vec<usize> = (0..5)
+                .filter(|&i| w[0].apply(i) != w[1].apply(i))
+                .collect();
+            assert_eq!(diff.len(), 2);
+            assert_eq!(diff[1], diff[0] + 1);
+        }
+    }
+
+    #[test]
+    fn plain_changes_reports_swap_positions() {
+        let mut it = PlainChangesIter::new(4);
+        assert!(it.next().is_some());
+        assert_eq!(it.last_swap(), None);
+        let perms_before = it.images.clone();
+        assert!(it.next().is_some());
+        let swap = it.last_swap().unwrap();
+        assert!(swap < 3);
+        // The swap index is where the two differ.
+        assert_ne!(perms_before[swap], it.images[swap]);
+    }
+
+    #[test]
+    fn plain_changes_degree_zero_and_one() {
+        assert_eq!(PlainChangesIter::new(0).count(), 1);
+        assert_eq!(PlainChangesIter::new(1).count(), 1);
+    }
+
+    #[test]
+    fn rank_range_iter_matches_lex_slice() {
+        let all: Vec<Permutation> = LexIter::new(5).collect();
+        let range = RankRange { start: 17, end: 44 };
+        let slice: Vec<Permutation> = RankRangeIter::new(5, range).collect();
+        assert_eq!(slice.len(), 27);
+        assert_eq!(&slice[..], &all[17..44]);
+    }
+
+    #[test]
+    fn rank_range_iter_empty() {
+        let range = RankRange { start: 10, end: 10 };
+        assert_eq!(RankRangeIter::new(4, range).count(), 0);
+        let inverted = RankRange { start: 12, end: 3 };
+        assert_eq!(RankRangeIter::new(4, inverted).count(), 0);
+    }
+
+    #[test]
+    fn rank_range_iter_full_space() {
+        let range = RankRange { start: 0, end: 24 };
+        let perms: Vec<Permutation> = RankRangeIter::new(4, range).collect();
+        assert_eq!(perms.len(), 24);
+        assert!(perms[0].is_identity());
+        assert!(perms[23].is_reverse());
+    }
+}

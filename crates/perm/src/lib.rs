@@ -1,0 +1,92 @@
+//! # symloc-perm
+//!
+//! Symmetric-group substrate for the *symmetric locality* library.
+//!
+//! The paper "Symmetric Locality: Definition and Initial Results" models data
+//! re-traversals `T = A σ(A)` by the permutation `σ ∈ S_m` that generates
+//! them. This crate provides everything the locality theory needs from the
+//! symmetric group itself:
+//!
+//! * [`Permutation`] — validated one-line-notation permutations with group
+//!   operations ([`perm`]).
+//! * Cycle decomposition and transposition products ([`cycles`]).
+//! * Inversion number `ℓ(σ)` by three algorithms, Lehmer codes, descents,
+//!   reduced words ([`inversions`]).
+//! * Factoradic ranking/unranking and rank-space partitioning for parallel
+//!   sweeps ([`rank`]).
+//! * Lexicographic and Steinhaus–Johnson–Trotter iteration over `S_m`
+//!   ([`iter`]).
+//! * The Coxeter presentation: generators, reflections, braid relations
+//!   ([`coxeter`]).
+//! * The strong Bruhat order, its covering relation and covering graph
+//!   ([`bruhat`]).
+//! * Mahonian numbers and integer partitions for the Appendix-F analytics
+//!   ([`mahonian`]).
+//! * Uniform and inversion-stratified random sampling ([`sample`]).
+//!
+//! # Quick example
+//!
+//! ```
+//! use symloc_perm::prelude::*;
+//!
+//! // The sawtooth re-traversal of 4 elements is the reverse permutation.
+//! let sawtooth = Permutation::reverse(4);
+//! assert_eq!(inversions(&sawtooth), 6);
+//! assert_eq!(inversions(&sawtooth), max_inversions(4));
+//!
+//! // Bruhat covers increase the inversion number by exactly one.
+//! let e = Permutation::identity(4);
+//! for cover in upper_covers(&e) {
+//!     assert_eq!(inversions(&cover.perm), 1);
+//! }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod bruhat;
+pub mod coxeter;
+pub mod cycles;
+pub mod error;
+pub mod fenwick;
+pub mod inversions;
+pub mod iter;
+pub mod mahonian;
+pub mod perm;
+pub mod rank;
+pub mod sample;
+
+pub use error::{PermError, Result};
+pub use perm::Permutation;
+
+/// Convenient glob import of the most commonly used items.
+pub mod prelude {
+    pub use crate::bruhat::{
+        bruhat_leq, bruhat_lt, is_cover, lower_covers, upper_covers, weak_upper_covers, Cover,
+        CoveringGraph,
+    };
+    pub use crate::coxeter::{
+        adjacent_transpositions, length, longest_element, longest_length, reflection_pairs,
+        reflections, transposition,
+    };
+    pub use crate::cycles::{
+        cycle_decomposition, from_cycles, from_transpositions, reflection_length,
+        transposition_decomposition, CycleDecomposition,
+    };
+    pub use crate::error::PermError;
+    pub use crate::fenwick::Fenwick;
+    pub use crate::inversions::{
+        ascents, descents, from_lehmer_code, inversion_pairs, inversions, is_reduced_word,
+        lehmer_code, major_index, max_inversions, reduced_word, word_to_permutation,
+    };
+    pub use crate::iter::{next_permutation, LexIter, PlainChangesIter, RankRangeIter};
+    pub use crate::mahonian::{
+        count_partitions_bounded, is_partition_of, mahonian, mahonian_row, mahonian_total,
+        partitions, partitions_bounded,
+    };
+    pub use crate::perm::Permutation;
+    pub use crate::rank::{factorial, partition_ranks, rank, unrank, RankRange};
+    pub use crate::sample::{
+        random_permutation, random_saturated_chain, random_upper_cover, random_with_inversions,
+    };
+}

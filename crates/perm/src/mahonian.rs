@@ -1,0 +1,292 @@
+//! Mahonian numbers and integer partitions (Appendix F of the paper).
+//!
+//! `M(m, n)` counts the permutations of `m` elements with exactly `n`
+//! inversions; the paper observes that the cache-hit vectors occurring at
+//! Bruhat rank `n` are integer partitions of `n` and that their multiplicities
+//! sum to `M(m, n)`.
+
+use crate::error::{PermError, Result};
+
+/// The full Mahonian row for degree `m`:
+/// `row[n] = M(m, n)` for `n = 0 ..= m(m-1)/2`.
+///
+/// Computed by the standard dynamic program
+/// `M(m, n) = Σ_{j=0}^{min(n, m-1)} M(m-1, n-j)` in `O(m² · max_inv)`.
+///
+/// # Panics
+///
+/// Panics if an intermediate count overflows `u128` (only possible for
+/// `m > 34`, far beyond any exhaustive sweep).
+#[must_use]
+pub fn mahonian_row(m: usize) -> Vec<u128> {
+    let max_inv = m * m.saturating_sub(1) / 2;
+    let mut row: Vec<u128> = vec![0; max_inv + 1];
+    row[0] = 1;
+    // Build up degree by degree; at degree k the max inversion count is k(k-1)/2.
+    for k in 2..=m {
+        let cur_max = k * (k - 1) / 2;
+        let prev_max = (k - 1) * (k - 2) / 2;
+        let mut next: Vec<u128> = vec![0; max_inv + 1];
+        // Prefix sums of the previous row allow O(1) window sums.
+        let mut prefix: Vec<u128> = vec![0; prev_max + 2];
+        for n in 0..=prev_max {
+            prefix[n + 1] = prefix[n]
+                .checked_add(row[n])
+                .expect("Mahonian count overflow");
+        }
+        for (n, slot) in next.iter_mut().enumerate().take(cur_max + 1) {
+            // Sum of row[n-j] for j in 0..=min(n, k-1)
+            let lo = n.saturating_sub(k - 1);
+            let hi = n.min(prev_max);
+            if lo <= hi {
+                *slot = prefix[hi + 1] - prefix[lo];
+            }
+        }
+        row = next;
+    }
+    if m <= 1 {
+        row = vec![1];
+    }
+    row
+}
+
+/// The Mahonian number `M(m, n)`: permutations of `m` elements with exactly
+/// `n` inversions. Returns 0 if `n` exceeds `m(m-1)/2`.
+#[must_use]
+pub fn mahonian(m: usize, n: usize) -> u128 {
+    let row = mahonian_row(m);
+    row.get(n).copied().unwrap_or(0)
+}
+
+/// All partitions of `n` into at most `max_parts` parts, each part at most
+/// `max_part`, listed with parts in non-increasing order, in reverse
+/// lexicographic order.
+///
+/// Used to enumerate candidate cache-hit-vector shapes at a Bruhat level.
+#[must_use]
+pub fn partitions_bounded(n: usize, max_parts: usize, max_part: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut current = Vec::new();
+    fn rec(
+        remaining: usize,
+        max_next: usize,
+        parts_left: usize,
+        current: &mut Vec<usize>,
+        out: &mut Vec<Vec<usize>>,
+    ) {
+        if remaining == 0 {
+            out.push(current.clone());
+            return;
+        }
+        if parts_left == 0 || max_next == 0 {
+            return;
+        }
+        let upper = remaining.min(max_next);
+        for part in (1..=upper).rev() {
+            current.push(part);
+            rec(remaining - part, part, parts_left - 1, current, out);
+            current.pop();
+        }
+    }
+    rec(n, max_part, max_parts, &mut current, &mut out);
+    out
+}
+
+/// All partitions of `n` (no bound on part size or count).
+#[must_use]
+pub fn partitions(n: usize) -> Vec<Vec<usize>> {
+    partitions_bounded(n, n.max(1), n.max(1))
+}
+
+/// Number of partitions of `n` with at most `max_parts` parts each at most
+/// `max_part`, computed by dynamic programming (the Gaussian binomial
+/// coefficient expansion).
+#[must_use]
+pub fn count_partitions_bounded(n: usize, max_parts: usize, max_part: usize) -> u128 {
+    // dp[j] = number of partitions of j using parts <= current part bound,
+    // with at most max_parts parts enforced via an extra dimension.
+    let mut dp = vec![vec![0u128; n + 1]; max_parts + 1];
+    dp[0][0] = 1;
+    for part in 1..=max_part {
+        for used in (0..max_parts).rev() {
+            for total in 0..=n {
+                if dp[used][total] == 0 {
+                    continue;
+                }
+                let mut next_total = total + part;
+                let mut next_used = used + 1;
+                while next_total <= n && next_used <= max_parts {
+                    dp[next_used][next_total] += dp[used][total];
+                    next_total += part;
+                    next_used += 1;
+                }
+            }
+        }
+    }
+    (0..=max_parts).map(|u| dp[u][n]).sum()
+}
+
+/// Checks that `parts` is a partition of `n`: non-increasing positive parts
+/// summing to `n`.
+#[must_use]
+pub fn is_partition_of(parts: &[usize], n: usize) -> bool {
+    if parts.contains(&0) {
+        return false;
+    }
+    if parts.windows(2).any(|w| w[0] < w[1]) {
+        return false;
+    }
+    parts.iter().sum::<usize>() == n
+}
+
+/// The Gaussian binomial–based generating identity check:
+/// `Σ_n M(m, n) = m!`, returned as the factorial for convenience.
+///
+/// # Errors
+///
+/// Returns [`PermError::DegreeTooLarge`] if `m > 34`.
+pub fn mahonian_total(m: usize) -> Result<u128> {
+    if m > crate::rank::MAX_EXACT_DEGREE {
+        return Err(PermError::DegreeTooLarge {
+            degree: m,
+            max: crate::rank::MAX_EXACT_DEGREE,
+        });
+    }
+    Ok(mahonian_row(m).iter().sum())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inversions::inversions;
+    use crate::iter::LexIter;
+    use crate::rank::factorial;
+
+    #[test]
+    fn mahonian_small_rows() {
+        assert_eq!(mahonian_row(0), vec![1]);
+        assert_eq!(mahonian_row(1), vec![1]);
+        assert_eq!(mahonian_row(2), vec![1, 1]);
+        assert_eq!(mahonian_row(3), vec![1, 2, 2, 1]);
+        assert_eq!(mahonian_row(4), vec![1, 3, 5, 6, 5, 3, 1]);
+        assert_eq!(
+            mahonian_row(5),
+            vec![1, 4, 9, 15, 20, 22, 20, 15, 9, 4, 1]
+        );
+    }
+
+    #[test]
+    fn mahonian_row_matches_enumeration() {
+        for m in 0..=6usize {
+            let row = mahonian_row(m);
+            let max_inv = m * m.saturating_sub(1) / 2;
+            let mut counts = vec![0u128; max_inv + 1];
+            for sigma in LexIter::new(m) {
+                counts[inversions(&sigma)] += 1;
+            }
+            assert_eq!(row, counts, "m={m}");
+        }
+    }
+
+    #[test]
+    fn mahonian_row_is_symmetric() {
+        for m in 2..=8usize {
+            let row = mahonian_row(m);
+            let n = row.len();
+            for i in 0..n {
+                assert_eq!(row[i], row[n - 1 - i], "m={m} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn mahonian_totals_are_factorials() {
+        for m in 0..=9usize {
+            assert_eq!(mahonian_total(m).unwrap(), factorial(m).unwrap(), "m={m}");
+        }
+        assert!(mahonian_total(99).is_err());
+    }
+
+    #[test]
+    fn mahonian_out_of_range_is_zero() {
+        assert_eq!(mahonian(4, 7), 0);
+        assert_eq!(mahonian(4, 6), 1);
+        assert_eq!(mahonian(4, 0), 1);
+    }
+
+    #[test]
+    fn partitions_of_small_numbers() {
+        assert_eq!(partitions(0), vec![Vec::<usize>::new()]);
+        assert_eq!(partitions(1), vec![vec![1]]);
+        assert_eq!(partitions(4).len(), 5);
+        assert_eq!(partitions(5).len(), 7);
+        assert_eq!(partitions(6).len(), 11);
+        for p in partitions(6) {
+            assert!(is_partition_of(&p, 6));
+        }
+    }
+
+    #[test]
+    fn bounded_partitions_respect_bounds() {
+        let ps = partitions_bounded(6, 2, 4);
+        // Partitions of 6 with at most 2 parts each at most 4: [4,2], [3,3]
+        assert_eq!(ps.len(), 2);
+        for p in &ps {
+            assert!(p.len() <= 2);
+            assert!(p.iter().all(|&x| x <= 4));
+            assert!(is_partition_of(p, 6));
+        }
+    }
+
+    #[test]
+    fn count_matches_enumeration() {
+        for n in 0..=10usize {
+            for max_parts in 1..=4usize {
+                for max_part in 1..=5usize {
+                    let listed = partitions_bounded(n, max_parts, max_part).len() as u128;
+                    let counted = count_partitions_bounded(n, max_parts, max_part);
+                    assert_eq!(listed, counted, "n={n} parts<={max_parts} part<={max_part}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gaussian_binomial_identity() {
+        // Number of permutations of m with n inversions equals the number of
+        // partitions of n into at most m-1 parts each of size at most ... not
+        // exactly; but M(m,n) equals partitions of n fitting in a staircase.
+        // We check the simpler known identity: M(m, n) counts Lehmer codes
+        // (c_0..c_{m-1}) with c_i <= m-1-i summing to n — verify for m = 5.
+        let m = 5usize;
+        let row = mahonian_row(m);
+        for (n, &expected) in row.iter().enumerate() {
+            // Count compositions with bounded parts (ordered), which is what
+            // Lehmer codes are.
+            let mut count = 0u128;
+            fn rec(i: usize, m: usize, remaining: usize, count: &mut u128) {
+                if i == m {
+                    if remaining == 0 {
+                        *count += 1;
+                    }
+                    return;
+                }
+                let bound = m - 1 - i;
+                for c in 0..=bound.min(remaining) {
+                    rec(i + 1, m, remaining - c, count);
+                }
+            }
+            rec(0, m, n, &mut count);
+            assert_eq!(count, expected, "n={n}");
+        }
+    }
+
+    #[test]
+    fn is_partition_of_rejects_bad_inputs() {
+        assert!(!is_partition_of(&[3, 0], 3));
+        assert!(!is_partition_of(&[1, 2], 3));
+        assert!(!is_partition_of(&[2, 2], 3));
+        assert!(is_partition_of(&[2, 1], 3));
+        assert!(is_partition_of(&[], 0));
+    }
+}

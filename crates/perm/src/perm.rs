@@ -1,0 +1,699 @@
+//! The core [`Permutation`] type: one-line notation over `{0, .., m-1}`.
+//!
+//! The paper indexes data elements `1..m`; internally we use 0-based indices
+//! and provide [`Permutation::from_one_based`] / [`Permutation::to_one_based`]
+//! to convert. A permutation `σ` acting on `m` elements is stored as its
+//! one-line image vector `[σ(0), σ(1), .., σ(m-1)]`.
+
+use crate::error::{PermError, Result};
+use std::fmt;
+
+/// A permutation of `{0, 1, .., m-1}` in one-line notation.
+///
+/// The image vector is validated on construction so that every instance is a
+/// bijection. All group operations (`compose`, `inverse`, generator products)
+/// preserve that invariant.
+///
+/// # Examples
+///
+/// ```
+/// use symloc_perm::Permutation;
+///
+/// // The transposition (0 1) on four elements, written one-line.
+/// let sigma = Permutation::from_images(vec![1, 0, 2, 3]).unwrap();
+/// assert_eq!(sigma.apply(0), 1);
+/// assert_eq!(sigma.inverse(), sigma);
+/// assert_eq!(sigma.compose(&sigma), Permutation::identity(4));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Permutation {
+    images: Vec<usize>,
+}
+
+impl Permutation {
+    /// Builds a permutation from its 0-based one-line image vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PermError::ImageOutOfRange`] or [`PermError::DuplicateImage`]
+    /// if the vector is not a bijection on `{0, .., len-1}`.
+    pub fn from_images(images: Vec<usize>) -> Result<Self> {
+        let m = images.len();
+        let mut seen = vec![false; m];
+        for (position, &value) in images.iter().enumerate() {
+            if value >= m {
+                return Err(PermError::ImageOutOfRange {
+                    position,
+                    value,
+                    degree: m,
+                });
+            }
+            if seen[value] {
+                return Err(PermError::DuplicateImage { value, position });
+            }
+            seen[value] = true;
+        }
+        Ok(Permutation { images })
+    }
+
+    /// Builds a permutation from a 1-based one-line image vector, as used in
+    /// the paper (`σ(A)` written over data elements `1..m`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any entry is `0` or the shifted vector is not a
+    /// bijection.
+    pub fn from_one_based(images: Vec<usize>) -> Result<Self> {
+        let m = images.len();
+        let mut shifted = Vec::with_capacity(m);
+        for (position, &value) in images.iter().enumerate() {
+            if value == 0 || value > m {
+                return Err(PermError::ImageOutOfRange {
+                    position,
+                    value,
+                    degree: m,
+                });
+            }
+            shifted.push(value - 1);
+        }
+        Self::from_images(shifted)
+    }
+
+    /// Builds a permutation from an image vector without validating it.
+    ///
+    /// Intended for internal hot paths that construct images known to be
+    /// bijective (iteration, composition). Debug builds still assert the
+    /// invariant.
+    #[must_use]
+    pub(crate) fn from_images_unchecked(images: Vec<usize>) -> Self {
+        debug_assert!(Self::from_images(images.clone()).is_ok());
+        Permutation { images }
+    }
+
+    /// The identity permutation on `m` elements (the *cyclic* re-traversal of
+    /// the paper: worst locality).
+    #[must_use]
+    pub fn identity(m: usize) -> Self {
+        Permutation {
+            images: (0..m).collect(),
+        }
+    }
+
+    /// The reverse (longest) permutation `w0` on `m` elements (the *sawtooth*
+    /// re-traversal of the paper: best locality).
+    #[must_use]
+    pub fn reverse(m: usize) -> Self {
+        Permutation {
+            images: (0..m).rev().collect(),
+        }
+    }
+
+    /// The single cyclic rotation `i -> i+1 (mod m)`.
+    ///
+    /// Not to be confused with the paper's "cyclic trace", which is the
+    /// identity permutation; this is the rotation permutation, useful for
+    /// building ranked labelings such as `ψ = (1 10 9 .. 2)`.
+    #[must_use]
+    pub fn rotation(m: usize, shift: isize) -> Self {
+        if m == 0 {
+            return Permutation { images: Vec::new() };
+        }
+        let m_i = m as isize;
+        let images = (0..m)
+            .map(|i| {
+                let v = (i as isize + shift).rem_euclid(m_i);
+                v as usize
+            })
+            .collect();
+        Permutation { images }
+    }
+
+    /// Number of elements the permutation acts on.
+    #[must_use]
+    pub fn degree(&self) -> usize {
+        self.images.len()
+    }
+
+    /// Applies the permutation to a single point: returns `σ(i)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= degree()`.
+    #[must_use]
+    pub fn apply(&self, i: usize) -> usize {
+        self.images[i]
+    }
+
+    /// The one-line image vector `[σ(0), .., σ(m-1)]`.
+    #[must_use]
+    pub fn images(&self) -> &[usize] {
+        &self.images
+    }
+
+    /// The one-line image vector written 1-based, matching the paper's
+    /// notation for `σ(A)`.
+    #[must_use]
+    pub fn to_one_based(&self) -> Vec<usize> {
+        self.images.iter().map(|&v| v + 1).collect()
+    }
+
+    /// Consumes the permutation and returns its image vector.
+    #[must_use]
+    pub fn into_images(self) -> Vec<usize> {
+        self.images
+    }
+
+    /// Returns true if this is the identity permutation.
+    #[must_use]
+    pub fn is_identity(&self) -> bool {
+        self.images.iter().enumerate().all(|(i, &v)| i == v)
+    }
+
+    /// Returns true if this is the reverse permutation `w0`.
+    #[must_use]
+    pub fn is_reverse(&self) -> bool {
+        let m = self.degree();
+        self.images
+            .iter()
+            .enumerate()
+            .all(|(i, &v)| v == m - 1 - i)
+    }
+
+    /// Returns true if `σ² = e`.
+    #[must_use]
+    pub fn is_involution(&self) -> bool {
+        self.images
+            .iter()
+            .enumerate()
+            .all(|(i, &v)| self.images[v] == i)
+    }
+
+    /// Function composition `(self ∘ other)(i) = self(other(i))`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PermError::DegreeMismatch`] if the degrees differ.
+    pub fn try_compose(&self, other: &Permutation) -> Result<Permutation> {
+        if self.degree() != other.degree() {
+            return Err(PermError::DegreeMismatch {
+                left: self.degree(),
+                right: other.degree(),
+            });
+        }
+        let images = other.images.iter().map(|&v| self.images[v]).collect();
+        Ok(Permutation { images })
+    }
+
+    /// Function composition `(self ∘ other)(i) = self(other(i))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the degrees differ; use [`Permutation::try_compose`] for a
+    /// fallible variant.
+    #[must_use]
+    pub fn compose(&self, other: &Permutation) -> Permutation {
+        self.try_compose(other)
+            .expect("compose: degree mismatch")
+    }
+
+    /// Reverse composition `(self.then(other))(i) = other(self(i))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the degrees differ.
+    #[must_use]
+    pub fn then(&self, other: &Permutation) -> Permutation {
+        other.compose(self)
+    }
+
+    /// The inverse permutation `σ⁻¹`.
+    #[must_use]
+    pub fn inverse(&self) -> Permutation {
+        let mut images = vec![0; self.degree()];
+        for (i, &v) in self.images.iter().enumerate() {
+            images[v] = i;
+        }
+        Permutation { images }
+    }
+
+    /// Where the value `v` is sent from, i.e. `σ⁻¹(v)`.
+    ///
+    /// `O(m)`; for repeated queries build [`Permutation::inverse`] once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= degree()`.
+    #[must_use]
+    pub fn preimage(&self, v: usize) -> usize {
+        assert!(v < self.degree(), "preimage: value {v} out of range");
+        self.images
+            .iter()
+            .position(|&x| x == v)
+            .expect("bijection invariant violated")
+    }
+
+    /// Multiplies on the right by the adjacent transposition `s_i = (i, i+1)`,
+    /// i.e. returns `σ · s_i`, which swaps the *images at positions* `i` and
+    /// `i+1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PermError::GeneratorOutOfRange`] if `i + 1 >= degree()`.
+    pub fn mul_adjacent_right(&self, i: usize) -> Result<Permutation> {
+        if i + 1 >= self.degree() {
+            return Err(PermError::GeneratorOutOfRange {
+                index: i,
+                degree: self.degree(),
+            });
+        }
+        let mut images = self.images.clone();
+        images.swap(i, i + 1);
+        Ok(Permutation { images })
+    }
+
+    /// Multiplies on the left by the adjacent transposition `s_i = (i, i+1)`,
+    /// i.e. returns `s_i · σ`, which swaps the *values* `i` and `i+1` wherever
+    /// they appear in the one-line notation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PermError::GeneratorOutOfRange`] if `i + 1 >= degree()`.
+    pub fn mul_adjacent_left(&self, i: usize) -> Result<Permutation> {
+        if i + 1 >= self.degree() {
+            return Err(PermError::GeneratorOutOfRange {
+                index: i,
+                degree: self.degree(),
+            });
+        }
+        let images = self
+            .images
+            .iter()
+            .map(|&v| {
+                if v == i {
+                    i + 1
+                } else if v == i + 1 {
+                    i
+                } else {
+                    v
+                }
+            })
+            .collect();
+        Ok(Permutation { images })
+    }
+
+    /// Multiplies on the right by the (not necessarily adjacent)
+    /// transposition `(a b)`, i.e. returns `σ · (a b)`, which swaps the
+    /// images at positions `a` and `b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PermError::InvalidCycle`] if `a == b` or either index is out
+    /// of range.
+    pub fn mul_transposition_right(&self, a: usize, b: usize) -> Result<Permutation> {
+        let m = self.degree();
+        if a == b || a >= m || b >= m {
+            return Err(PermError::InvalidCycle {
+                reason: format!("transposition ({a} {b}) invalid for degree {m}"),
+            });
+        }
+        let mut images = self.images.clone();
+        images.swap(a, b);
+        Ok(Permutation { images })
+    }
+
+    /// Multiplies on the left by the transposition `(a b)`, i.e. returns
+    /// `(a b) · σ`, which swaps the values `a` and `b` in the one-line
+    /// notation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PermError::InvalidCycle`] if `a == b` or either value is out
+    /// of range.
+    pub fn mul_transposition_left(&self, a: usize, b: usize) -> Result<Permutation> {
+        let m = self.degree();
+        if a == b || a >= m || b >= m {
+            return Err(PermError::InvalidCycle {
+                reason: format!("transposition ({a} {b}) invalid for degree {m}"),
+            });
+        }
+        let images = self
+            .images
+            .iter()
+            .map(|&v| {
+                if v == a {
+                    b
+                } else if v == b {
+                    a
+                } else {
+                    v
+                }
+            })
+            .collect();
+        Ok(Permutation { images })
+    }
+
+    /// Positions fixed by the permutation (`σ(i) = i`).
+    #[must_use]
+    pub fn fixed_points(&self) -> Vec<usize> {
+        self.images
+            .iter()
+            .enumerate()
+            .filter(|&(i, &v)| i == v)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Positions moved by the permutation (`σ(i) != i`), its *support*.
+    #[must_use]
+    pub fn support(&self) -> Vec<usize> {
+        self.images
+            .iter()
+            .enumerate()
+            .filter(|&(i, &v)| i != v)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The multiplicative order of the permutation (smallest `k >= 1` with
+    /// `σ^k = e`): the least common multiple of its cycle lengths.
+    #[must_use]
+    pub fn order(&self) -> u128 {
+        fn gcd(a: u128, b: u128) -> u128 {
+            if b == 0 {
+                a
+            } else {
+                gcd(b, a % b)
+            }
+        }
+        let mut order: u128 = 1;
+        let mut visited = vec![false; self.degree()];
+        for start in 0..self.degree() {
+            if visited[start] {
+                continue;
+            }
+            let mut len: u128 = 0;
+            let mut cur = start;
+            while !visited[cur] {
+                visited[cur] = true;
+                cur = self.images[cur];
+                len += 1;
+            }
+            order = order / gcd(order, len) * len;
+        }
+        order
+    }
+
+    /// Raises the permutation to the `k`-th power (negative exponents use the
+    /// inverse).
+    #[must_use]
+    pub fn pow(&self, k: i64) -> Permutation {
+        let m = self.degree();
+        if m == 0 {
+            return self.clone();
+        }
+        let base = if k < 0 { self.inverse() } else { self.clone() };
+        let mut exp = k.unsigned_abs();
+        let mut result = Permutation::identity(m);
+        let mut acc = base;
+        while exp > 0 {
+            if exp & 1 == 1 {
+                result = acc.compose(&result);
+            }
+            acc = acc.compose(&acc.clone());
+            exp >>= 1;
+        }
+        result
+    }
+
+    /// Gathers `items` through the permutation: `out[i] = items[σ(i)]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items.len() != degree()`.
+    #[must_use]
+    pub fn gather<T: Clone>(&self, items: &[T]) -> Vec<T> {
+        assert_eq!(items.len(), self.degree(), "gather: length mismatch");
+        self.images.iter().map(|&v| items[v].clone()).collect()
+    }
+
+    /// Scatters `items` through the permutation: `out[σ(i)] = items[i]`.
+    ///
+    /// Inverse of [`Permutation::gather`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items.len() != degree()`.
+    #[must_use]
+    pub fn scatter<T: Clone>(&self, items: &[T]) -> Vec<T> {
+        assert_eq!(items.len(), self.degree(), "scatter: length mismatch");
+        let mut out: Vec<Option<T>> = vec![None; items.len()];
+        for (i, item) in items.iter().enumerate() {
+            out[self.images[i]] = Some(item.clone());
+        }
+        out.into_iter().map(|x| x.expect("bijection")).collect()
+    }
+
+    /// The conjugate `τ σ τ⁻¹` (relabels the elements `σ` acts on through
+    /// `τ`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the degrees differ.
+    #[must_use]
+    pub fn conjugate_by(&self, tau: &Permutation) -> Permutation {
+        tau.compose(self).compose(&tau.inverse())
+    }
+
+    /// Sign of the permutation: `+1` for even, `-1` for odd.
+    #[must_use]
+    pub fn sign(&self) -> i8 {
+        // Parity of (m - number of cycles).
+        let mut visited = vec![false; self.degree()];
+        let mut cycles = 0usize;
+        for start in 0..self.degree() {
+            if visited[start] {
+                continue;
+            }
+            cycles += 1;
+            let mut cur = start;
+            while !visited[cur] {
+                visited[cur] = true;
+                cur = self.images[cur];
+            }
+        }
+        if (self.degree() - cycles).is_multiple_of(2) {
+            1
+        } else {
+            -1
+        }
+    }
+}
+
+impl fmt::Debug for Permutation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Permutation{:?}", self.images)
+    }
+}
+
+impl fmt::Display for Permutation {
+    /// Displays the permutation in 1-based one-line notation, e.g. `[2 1 3 4]`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, v) in self.images.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{}", v + 1)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(images: &[usize]) -> Permutation {
+        Permutation::from_images(images.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn identity_and_reverse() {
+        let e = Permutation::identity(4);
+        assert!(e.is_identity());
+        assert!(!e.is_reverse());
+        let w0 = Permutation::reverse(4);
+        assert!(w0.is_reverse());
+        assert_eq!(w0.images(), &[3, 2, 1, 0]);
+        assert!(Permutation::identity(1).is_reverse());
+        assert!(Permutation::identity(0).is_identity());
+    }
+
+    #[test]
+    fn from_images_rejects_out_of_range() {
+        let err = Permutation::from_images(vec![0, 4, 1, 2]).unwrap_err();
+        assert!(matches!(err, PermError::ImageOutOfRange { value: 4, .. }));
+    }
+
+    #[test]
+    fn from_images_rejects_duplicates() {
+        let err = Permutation::from_images(vec![0, 1, 1, 2]).unwrap_err();
+        assert!(matches!(err, PermError::DuplicateImage { value: 1, .. }));
+    }
+
+    #[test]
+    fn one_based_round_trip() {
+        let sigma = Permutation::from_one_based(vec![2, 1, 3, 4]).unwrap();
+        assert_eq!(sigma.images(), &[1, 0, 2, 3]);
+        assert_eq!(sigma.to_one_based(), vec![2, 1, 3, 4]);
+    }
+
+    #[test]
+    fn from_one_based_rejects_zero() {
+        assert!(Permutation::from_one_based(vec![0, 1, 2]).is_err());
+        assert!(Permutation::from_one_based(vec![1, 2, 4]).is_err());
+    }
+
+    #[test]
+    fn compose_matches_function_composition() {
+        let sigma = p(&[1, 2, 0]); // 0->1,1->2,2->0
+        let tau = p(&[0, 2, 1]); // swaps 1,2
+        let st = sigma.compose(&tau);
+        for i in 0..3 {
+            assert_eq!(st.apply(i), sigma.apply(tau.apply(i)));
+        }
+        let ts = sigma.then(&tau);
+        for i in 0..3 {
+            assert_eq!(ts.apply(i), tau.apply(sigma.apply(i)));
+        }
+    }
+
+    #[test]
+    fn compose_degree_mismatch() {
+        let a = Permutation::identity(3);
+        let b = Permutation::identity(4);
+        assert!(matches!(
+            a.try_compose(&b),
+            Err(PermError::DegreeMismatch { left: 3, right: 4 })
+        ));
+    }
+
+    #[test]
+    fn inverse_round_trip() {
+        let sigma = p(&[2, 0, 3, 1]);
+        let inv = sigma.inverse();
+        assert!(sigma.compose(&inv).is_identity());
+        assert!(inv.compose(&sigma).is_identity());
+        for v in 0..4 {
+            assert_eq!(sigma.preimage(v), inv.apply(v));
+        }
+    }
+
+    #[test]
+    fn rotation_behaves_like_modular_shift() {
+        let r = Permutation::rotation(5, 1);
+        assert_eq!(r.images(), &[1, 2, 3, 4, 0]);
+        let r_neg = Permutation::rotation(5, -1);
+        assert_eq!(r_neg.images(), &[4, 0, 1, 2, 3]);
+        assert!(r.compose(&r_neg).is_identity());
+        assert_eq!(Permutation::rotation(0, 3).degree(), 0);
+    }
+
+    #[test]
+    fn adjacent_right_swaps_positions() {
+        let sigma = p(&[2, 0, 3, 1]);
+        let t = sigma.mul_adjacent_right(1).unwrap();
+        assert_eq!(t.images(), &[2, 3, 0, 1]);
+        assert!(sigma.mul_adjacent_right(3).is_err());
+    }
+
+    #[test]
+    fn adjacent_left_swaps_values() {
+        let sigma = p(&[2, 0, 3, 1]);
+        let t = sigma.mul_adjacent_left(0).unwrap();
+        assert_eq!(t.images(), &[2, 1, 3, 0]);
+        assert!(sigma.mul_adjacent_left(9).is_err());
+    }
+
+    #[test]
+    fn general_transpositions() {
+        let sigma = Permutation::identity(5);
+        let right = sigma.mul_transposition_right(0, 3).unwrap();
+        assert_eq!(right.images(), &[3, 1, 2, 0, 4]);
+        let left = sigma.mul_transposition_left(0, 3).unwrap();
+        assert_eq!(left, right); // conjugation by identity
+        assert!(sigma.mul_transposition_right(2, 2).is_err());
+        assert!(sigma.mul_transposition_left(2, 9).is_err());
+    }
+
+    #[test]
+    fn fixed_points_and_support() {
+        let sigma = p(&[0, 2, 1, 3]);
+        assert_eq!(sigma.fixed_points(), vec![0, 3]);
+        assert_eq!(sigma.support(), vec![1, 2]);
+    }
+
+    #[test]
+    fn involution_detection() {
+        assert!(p(&[1, 0, 3, 2]).is_involution());
+        assert!(!p(&[1, 2, 0]).is_involution());
+        assert!(Permutation::identity(3).is_involution());
+    }
+
+    #[test]
+    fn order_is_lcm_of_cycles() {
+        // (0 1 2)(3 4): order 6
+        let sigma = p(&[1, 2, 0, 4, 3]);
+        assert_eq!(sigma.order(), 6);
+        assert_eq!(Permutation::identity(4).order(), 1);
+        assert_eq!(Permutation::identity(0).order(), 1);
+    }
+
+    #[test]
+    fn pow_matches_repeated_composition() {
+        let sigma = p(&[1, 2, 3, 0]);
+        let mut acc = Permutation::identity(4);
+        for k in 0..=8 {
+            assert_eq!(sigma.pow(k), acc, "power {k}");
+            acc = sigma.compose(&acc);
+        }
+        assert_eq!(sigma.pow(-1), sigma.inverse());
+        assert_eq!(sigma.pow(-3), sigma.inverse().pow(3));
+    }
+
+    #[test]
+    fn gather_scatter_inverse() {
+        let sigma = p(&[2, 0, 3, 1]);
+        let items = vec!["a", "b", "c", "d"];
+        let gathered = sigma.gather(&items);
+        assert_eq!(gathered, vec!["c", "a", "d", "b"]);
+        let back = sigma.scatter(&gathered);
+        assert_eq!(back, items);
+    }
+
+    #[test]
+    fn conjugation_preserves_cycle_structure() {
+        let sigma = p(&[1, 0, 2, 3]); // transposition (0 1)
+        let tau = p(&[2, 3, 0, 1]);
+        let conj = sigma.conjugate_by(&tau);
+        assert!(conj.is_involution());
+        assert_eq!(conj.support().len(), 2);
+    }
+
+    #[test]
+    fn sign_parity() {
+        assert_eq!(Permutation::identity(5).sign(), 1);
+        assert_eq!(p(&[1, 0, 2]).sign(), -1);
+        assert_eq!(p(&[1, 2, 0]).sign(), 1);
+        assert_eq!(Permutation::reverse(4).sign(), 1); // 6 inversions -> even
+        assert_eq!(Permutation::reverse(3).sign(), -1); // 3 inversions -> odd
+    }
+
+    #[test]
+    fn display_is_one_based() {
+        let sigma = p(&[1, 0, 2, 3]);
+        assert_eq!(sigma.to_string(), "[2 1 3 4]");
+        assert_eq!(format!("{sigma:?}"), "Permutation[1, 0, 2, 3]");
+    }
+}

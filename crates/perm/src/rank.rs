@@ -1,0 +1,223 @@
+//! Factoradic ranking and unranking of permutations.
+//!
+//! The rank of a permutation is its 0-based position in the lexicographic
+//! order of all `m!` permutations of the same degree. Ranks are `u128`, which
+//! supports exact ranking up to `m = 34` (`34! < 2^128`); parallel sweeps of
+//! `S_m` partition the rank space into chunks and unrank on each worker.
+
+use crate::error::{PermError, Result};
+use crate::inversions::{from_lehmer_code, lehmer_code};
+use crate::perm::Permutation;
+
+/// Largest degree for which `m!` fits in a `u128`.
+pub const MAX_EXACT_DEGREE: usize = 34;
+
+/// Computes `m!` as a `u128`.
+///
+/// # Errors
+///
+/// Returns [`PermError::DegreeTooLarge`] if `m > 34` (the factorial would
+/// overflow `u128`).
+pub fn factorial(m: usize) -> Result<u128> {
+    if m > MAX_EXACT_DEGREE {
+        return Err(PermError::DegreeTooLarge {
+            degree: m,
+            max: MAX_EXACT_DEGREE,
+        });
+    }
+    let mut acc: u128 = 1;
+    for k in 2..=m as u128 {
+        acc *= k;
+    }
+    Ok(acc)
+}
+
+/// The lexicographic rank of a permutation among all permutations of its
+/// degree, in `0 .. m!`.
+///
+/// # Errors
+///
+/// Returns [`PermError::DegreeTooLarge`] if the degree exceeds
+/// [`MAX_EXACT_DEGREE`].
+pub fn rank(sigma: &Permutation) -> Result<u128> {
+    let m = sigma.degree();
+    if m > MAX_EXACT_DEGREE {
+        return Err(PermError::DegreeTooLarge {
+            degree: m,
+            max: MAX_EXACT_DEGREE,
+        });
+    }
+    // Lexicographic rank = sum code[i] * (m-1-i)! where code is the Lehmer code.
+    let code = lehmer_code(sigma);
+    let mut r: u128 = 0;
+    for (i, &c) in code.iter().enumerate() {
+        r += c as u128 * factorial(m - 1 - i)?;
+    }
+    Ok(r)
+}
+
+/// The permutation of `degree` elements with the given lexicographic rank.
+///
+/// # Errors
+///
+/// Returns [`PermError::RankOutOfRange`] if `r >= degree!`, or
+/// [`PermError::DegreeTooLarge`] if the degree exceeds [`MAX_EXACT_DEGREE`].
+pub fn unrank(degree: usize, r: u128) -> Result<Permutation> {
+    let total = factorial(degree)?;
+    if r >= total {
+        return Err(PermError::RankOutOfRange { rank: r, degree });
+    }
+    let mut code = Vec::with_capacity(degree);
+    let mut rem = r;
+    for i in 0..degree {
+        let f = factorial(degree - 1 - i)?;
+        code.push((rem / f) as usize);
+        rem %= f;
+    }
+    from_lehmer_code(&code)
+}
+
+/// An inclusive-exclusive range of lexicographic ranks, used to partition the
+/// permutation space for parallel sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RankRange {
+    /// First rank in the range.
+    pub start: u128,
+    /// One past the last rank in the range.
+    pub end: u128,
+}
+
+impl RankRange {
+    /// Number of permutations covered.
+    #[must_use]
+    pub fn len(&self) -> u128 {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// True if the range covers no permutations.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+}
+
+/// Splits the full rank space `0 .. degree!` into at most `chunks` contiguous
+/// ranges of near-equal size (the last may be smaller). Returns fewer ranges
+/// if `degree!` is smaller than `chunks`.
+///
+/// # Errors
+///
+/// Returns [`PermError::DegreeTooLarge`] if the degree exceeds
+/// [`MAX_EXACT_DEGREE`].
+pub fn partition_ranks(degree: usize, chunks: usize) -> Result<Vec<RankRange>> {
+    let total = factorial(degree)?;
+    if chunks == 0 || total == 0 {
+        return Ok(vec![RankRange {
+            start: 0,
+            end: total,
+        }]);
+    }
+    let chunks = (chunks as u128).min(total);
+    let base = total / chunks;
+    let extra = total % chunks;
+    let mut ranges = Vec::with_capacity(chunks as usize);
+    let mut start = 0u128;
+    for i in 0..chunks {
+        let size = base + u128::from(i < extra);
+        ranges.push(RankRange {
+            start,
+            end: start + size,
+        });
+        start += size;
+    }
+    Ok(ranges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factorial_values() {
+        assert_eq!(factorial(0).unwrap(), 1);
+        assert_eq!(factorial(1).unwrap(), 1);
+        assert_eq!(factorial(5).unwrap(), 120);
+        assert_eq!(factorial(12).unwrap(), 479_001_600);
+        assert!(factorial(34).is_ok());
+        assert!(factorial(35).is_err());
+    }
+
+    #[test]
+    fn rank_of_extremes() {
+        assert_eq!(rank(&Permutation::identity(5)).unwrap(), 0);
+        assert_eq!(rank(&Permutation::reverse(5)).unwrap(), 119);
+        assert_eq!(rank(&Permutation::identity(0)).unwrap(), 0);
+    }
+
+    #[test]
+    fn rank_unrank_round_trip_s4() {
+        for r in 0..24u128 {
+            let sigma = unrank(4, r).unwrap();
+            assert_eq!(rank(&sigma).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn unrank_is_lexicographic() {
+        let mut prev = unrank(4, 0).unwrap().into_images();
+        for r in 1..24u128 {
+            let cur = unrank(4, r).unwrap().into_images();
+            assert!(cur > prev, "rank {r} not lexicographically larger");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn unrank_out_of_range() {
+        assert!(matches!(
+            unrank(3, 6),
+            Err(PermError::RankOutOfRange { rank: 6, degree: 3 })
+        ));
+        assert!(unrank(40, 0).is_err());
+    }
+
+    #[test]
+    fn known_rank_values() {
+        // Second permutation of S3 lexicographically: [0,2,1]
+        assert_eq!(unrank(3, 1).unwrap().images(), &[0, 2, 1]);
+        // Rank of [1,0,2] is 2
+        let sigma = Permutation::from_images(vec![1, 0, 2]).unwrap();
+        assert_eq!(rank(&sigma).unwrap(), 2);
+    }
+
+    #[test]
+    fn partition_ranks_covers_everything() {
+        let ranges = partition_ranks(5, 7).unwrap();
+        assert_eq!(ranges.len(), 7);
+        assert_eq!(ranges[0].start, 0);
+        assert_eq!(ranges.last().unwrap().end, 120);
+        let mut total = 0u128;
+        for w in ranges.windows(2) {
+            assert_eq!(w[0].end, w[1].start, "ranges must be contiguous");
+        }
+        for r in &ranges {
+            assert!(!r.is_empty());
+            total += r.len();
+        }
+        assert_eq!(total, 120);
+    }
+
+    #[test]
+    fn partition_ranks_more_chunks_than_perms() {
+        let ranges = partition_ranks(2, 10).unwrap();
+        assert_eq!(ranges.len(), 2);
+        assert_eq!(ranges.iter().map(RankRange::len).sum::<u128>(), 2);
+    }
+
+    #[test]
+    fn partition_ranks_zero_chunks() {
+        let ranges = partition_ranks(3, 0).unwrap();
+        assert_eq!(ranges.len(), 1);
+        assert_eq!(ranges[0].len(), 6);
+    }
+}

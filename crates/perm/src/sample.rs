@@ -1,0 +1,206 @@
+//! Random sampling of permutations.
+//!
+//! Exhaustive sweeps of `S_m` stop being feasible around `m = 10`; the
+//! experiments extend trends to larger `m` by uniform sampling (Fisher–Yates)
+//! and by *stratified* sampling at a fixed inversion number, which keeps the
+//! Figure-1 style "average MRC per Bruhat level" well-defined for large `m`.
+
+use crate::bruhat::{upper_covers, Cover};
+use crate::error::{PermError, Result};
+use crate::inversions::{from_lehmer_code, max_inversions};
+use crate::perm::Permutation;
+use rand::Rng;
+
+/// Samples a uniformly random permutation of `m` elements (Fisher–Yates).
+#[must_use]
+pub fn random_permutation<R: Rng + ?Sized>(m: usize, rng: &mut R) -> Permutation {
+    let mut images: Vec<usize> = (0..m).collect();
+    for i in (1..m).rev() {
+        let j = rng.gen_range(0..=i);
+        images.swap(i, j);
+    }
+    Permutation::from_images(images).expect("shuffle of identity is a permutation")
+}
+
+/// Samples a permutation of `m` elements uniformly among those with exactly
+/// `k` inversions.
+///
+/// Works by sampling a Lehmer code `(c_0, .., c_{m-1})` with `c_i ≤ m-1-i`
+/// and `Σ c_i = k`, weighting each digit choice by the number of completions
+/// (a Mahonian-style DP table), so the overall distribution is uniform.
+///
+/// # Errors
+///
+/// Returns [`PermError::InversionTargetOutOfRange`] if `k > m(m-1)/2`.
+pub fn random_with_inversions<R: Rng + ?Sized>(
+    m: usize,
+    k: usize,
+    rng: &mut R,
+) -> Result<Permutation> {
+    let max = max_inversions(m);
+    if k > max {
+        return Err(PermError::InversionTargetOutOfRange { target: k, max });
+    }
+    // ways[i][r] = number of Lehmer suffixes (c_i, .., c_{m-1}) with sum r.
+    // Position i allows digits 0..=m-1-i.
+    let mut ways: Vec<Vec<u128>> = vec![vec![0; k + 1]; m + 1];
+    ways[m][0] = 1;
+    for i in (0..m).rev() {
+        let bound = m - 1 - i;
+        for r in 0..=k {
+            let mut total = 0u128;
+            for c in 0..=bound.min(r) {
+                total += ways[i + 1][r - c];
+            }
+            ways[i][r] = total;
+        }
+    }
+    debug_assert!(ways[0][k] > 0, "DP table must admit at least one code");
+    let mut code = Vec::with_capacity(m);
+    let mut remaining = k;
+    for i in 0..m {
+        let bound = m - 1 - i;
+        let total = ways[i][remaining];
+        let mut ticket = rng.gen_range(0..total);
+        let mut chosen = 0usize;
+        for c in 0..=bound.min(remaining) {
+            let w = ways[i + 1][remaining - c];
+            if ticket < w {
+                chosen = c;
+                break;
+            }
+            ticket -= w;
+        }
+        code.push(chosen);
+        remaining -= chosen;
+    }
+    from_lehmer_code(&code)
+}
+
+/// Samples one Bruhat cover above `sigma` uniformly at random, or returns
+/// `None` if `sigma` is the longest element.
+#[must_use]
+pub fn random_upper_cover<R: Rng + ?Sized>(
+    sigma: &Permutation,
+    rng: &mut R,
+) -> Option<Cover> {
+    let covers = upper_covers(sigma);
+    if covers.is_empty() {
+        return None;
+    }
+    let idx = rng.gen_range(0..covers.len());
+    Some(covers.into_iter().nth(idx).expect("index in range"))
+}
+
+/// Builds a uniformly-random *saturated chain* from the identity to the
+/// longest element by repeatedly taking a random upper cover. The returned
+/// chain has `m(m-1)/2 + 1` permutations.
+#[must_use]
+pub fn random_saturated_chain<R: Rng + ?Sized>(m: usize, rng: &mut R) -> Vec<Permutation> {
+    let mut chain = vec![Permutation::identity(m)];
+    loop {
+        let current = chain.last().expect("non-empty");
+        match random_upper_cover(current, rng) {
+            Some(cover) => chain.push(cover.perm),
+            None => break,
+        }
+    }
+    chain
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inversions::inversions;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    #[test]
+    fn random_permutation_is_valid_and_varied() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut seen = HashMap::new();
+        for _ in 0..200 {
+            let p = random_permutation(5, &mut rng);
+            assert_eq!(p.degree(), 5);
+            *seen.entry(p.images().to_vec()).or_insert(0usize) += 1;
+        }
+        // With 200 draws from 120 permutations we expect plenty of variety.
+        assert!(seen.len() > 50);
+    }
+
+    #[test]
+    fn random_permutation_degenerate_degrees() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(random_permutation(0, &mut rng).degree(), 0);
+        assert!(random_permutation(1, &mut rng).is_identity());
+    }
+
+    #[test]
+    fn random_with_inversions_hits_target() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for m in 1..=8usize {
+            for k in [0, max_inversions(m) / 2, max_inversions(m)] {
+                let p = random_with_inversions(m, k, &mut rng).unwrap();
+                assert_eq!(inversions(&p), k, "m={m} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_with_inversions_rejects_impossible_target() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(matches!(
+            random_with_inversions(4, 7, &mut rng),
+            Err(PermError::InversionTargetOutOfRange { target: 7, max: 6 })
+        ));
+    }
+
+    #[test]
+    fn random_with_inversions_extremes_are_unique_permutations() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let id = random_with_inversions(6, 0, &mut rng).unwrap();
+        assert!(id.is_identity());
+        let rev = random_with_inversions(6, 15, &mut rng).unwrap();
+        assert!(rev.is_reverse());
+    }
+
+    #[test]
+    fn random_with_inversions_is_roughly_uniform() {
+        // For m=4, k=3 there are 6 permutations; sample many and check all appear.
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut seen = HashMap::new();
+        for _ in 0..600 {
+            let p = random_with_inversions(4, 3, &mut rng).unwrap();
+            *seen.entry(p.images().to_vec()).or_insert(0usize) += 1;
+        }
+        assert_eq!(seen.len(), 6);
+        for (_, count) in seen {
+            assert!(count > 40, "count {count} suspiciously far from uniform");
+        }
+    }
+
+    #[test]
+    fn random_cover_increases_length_by_one() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let sigma = random_permutation(6, &mut rng);
+        if let Some(cover) = random_upper_cover(&sigma, &mut rng) {
+            assert_eq!(inversions(&cover.perm), inversions(&sigma) + 1);
+        } else {
+            assert!(sigma.is_reverse());
+        }
+        assert!(random_upper_cover(&Permutation::reverse(5), &mut rng).is_none());
+    }
+
+    #[test]
+    fn random_chain_is_saturated() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let chain = random_saturated_chain(5, &mut rng);
+        assert_eq!(chain.len(), 11);
+        assert!(chain[0].is_identity());
+        assert!(chain.last().unwrap().is_reverse());
+        for (i, w) in chain.windows(2).enumerate() {
+            assert_eq!(inversions(&w[1]), i + 1);
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Property-based tests for the symmetric-group substrate.
+
+use proptest::prelude::*;
+use symloc_perm::prelude::*;
+
+/// Strategy producing an arbitrary permutation of degree 1..=max_degree.
+fn arb_permutation(max_degree: usize) -> impl Strategy<Value = Permutation> {
+    (1..=max_degree).prop_flat_map(|m| {
+        (any::<u64>()).prop_map(move |seed| {
+            use rand::rngs::StdRng;
+            use rand::SeedableRng;
+            let mut rng = StdRng::seed_from_u64(seed);
+            random_permutation(m, &mut rng)
+        })
+    })
+}
+
+/// Strategy producing a pair of permutations of the same degree.
+fn arb_pair(max_degree: usize) -> impl Strategy<Value = (Permutation, Permutation)> {
+    (1..=max_degree).prop_flat_map(|m| {
+        (any::<u64>(), any::<u64>()).prop_map(move |(s1, s2)| {
+            use rand::rngs::StdRng;
+            use rand::SeedableRng;
+            let mut r1 = StdRng::seed_from_u64(s1);
+            let mut r2 = StdRng::seed_from_u64(s2);
+            (random_permutation(m, &mut r1), random_permutation(m, &mut r2))
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn group_axioms_hold(( sigma, tau) in arb_pair(20)) {
+        let e = Permutation::identity(sigma.degree());
+        // Identity laws.
+        prop_assert_eq!(sigma.compose(&e), sigma.clone());
+        prop_assert_eq!(e.compose(&sigma), sigma.clone());
+        // Inverse laws.
+        prop_assert!(sigma.compose(&sigma.inverse()).is_identity());
+        prop_assert!(sigma.inverse().compose(&sigma).is_identity());
+        // Closure: composition is a valid permutation of the same degree.
+        let prod = sigma.compose(&tau);
+        prop_assert_eq!(prod.degree(), sigma.degree());
+        prop_assert!(Permutation::from_images(prod.images().to_vec()).is_ok());
+    }
+
+    #[test]
+    fn composition_is_associative((sigma, tau) in arb_pair(15), seed in any::<u64>()) {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rho = random_permutation(sigma.degree(), &mut rng);
+        let left = sigma.compose(&tau).compose(&rho);
+        let right = sigma.compose(&tau.compose(&rho));
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn inverse_reverses_composition((sigma, tau) in arb_pair(15)) {
+        let lhs = sigma.compose(&tau).inverse();
+        let rhs = tau.inverse().compose(&sigma.inverse());
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn inversion_algorithms_agree(sigma in arb_permutation(64)) {
+        let naive = symloc_perm::inversions::inversions_naive(&sigma);
+        let merge = symloc_perm::inversions::inversions_merge(&sigma);
+        let fenwick = symloc_perm::inversions::inversions_fenwick(&sigma);
+        prop_assert_eq!(naive, merge);
+        prop_assert_eq!(merge, fenwick);
+        prop_assert!(naive <= max_inversions(sigma.degree()));
+    }
+
+    #[test]
+    fn inversions_of_inverse_are_equal(sigma in arb_permutation(32)) {
+        prop_assert_eq!(inversions(&sigma), inversions(&sigma.inverse()));
+    }
+
+    #[test]
+    fn inversions_of_reverse_complement(sigma in arb_permutation(32)) {
+        // Composing with the reverse permutation on the left complements the
+        // inversion count: ℓ(w0 σ) = m(m-1)/2 - ℓ(σ).
+        let m = sigma.degree();
+        let w0 = Permutation::reverse(m);
+        let comp = w0.compose(&sigma);
+        prop_assert_eq!(inversions(&comp), max_inversions(m) - inversions(&sigma));
+    }
+
+    #[test]
+    fn lehmer_code_round_trips(sigma in arb_permutation(32)) {
+        let code = lehmer_code(&sigma);
+        prop_assert_eq!(code.iter().sum::<usize>(), inversions(&sigma));
+        let back = from_lehmer_code(&code).unwrap();
+        prop_assert_eq!(back, sigma);
+    }
+
+    #[test]
+    fn rank_unrank_round_trips(sigma in arb_permutation(20)) {
+        let r = rank(&sigma).unwrap();
+        prop_assert!(r < factorial(sigma.degree()).unwrap());
+        let back = unrank(sigma.degree(), r).unwrap();
+        prop_assert_eq!(back, sigma);
+    }
+
+    #[test]
+    fn reduced_word_reconstructs(sigma in arb_permutation(16)) {
+        let word = reduced_word(&sigma);
+        prop_assert_eq!(word.len(), inversions(&sigma));
+        let back = word_to_permutation(sigma.degree(), &word).unwrap();
+        prop_assert_eq!(back, sigma);
+    }
+
+    #[test]
+    fn cycle_decomposition_round_trips(sigma in arb_permutation(24)) {
+        let decomp = cycle_decomposition(&sigma, false);
+        let back = from_cycles(sigma.degree(), decomp.cycles()).unwrap();
+        prop_assert_eq!(back, sigma.clone());
+        // Sign from cycle parity agrees with Permutation::sign.
+        let ts = transposition_decomposition(&sigma);
+        let sign = if ts.len().is_multiple_of(2) { 1i8 } else { -1i8 };
+        prop_assert_eq!(sign, sigma.sign());
+    }
+
+    #[test]
+    fn gather_scatter_round_trips(sigma in arb_permutation(24)) {
+        let items: Vec<usize> = (0..sigma.degree()).map(|i| i * 10).collect();
+        let gathered = sigma.gather(&items);
+        prop_assert_eq!(sigma.scatter(&gathered), items);
+    }
+
+    #[test]
+    fn upper_covers_increase_length_by_one(sigma in arb_permutation(10)) {
+        let l = inversions(&sigma);
+        for cover in upper_covers(&sigma) {
+            prop_assert_eq!(inversions(&cover.perm), l + 1);
+            prop_assert!(bruhat_lt(&sigma, &cover.perm));
+            prop_assert!(is_cover(&sigma, &cover.perm));
+        }
+    }
+
+    #[test]
+    fn bruhat_order_is_transitive_on_chains(sigma in arb_permutation(8), seed in any::<u64>()) {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Walk two covers up (when possible) and check transitivity.
+        if let Some(c1) = random_upper_cover(&sigma, &mut rng) {
+            if let Some(c2) = random_upper_cover(&c1.perm, &mut rng) {
+                prop_assert!(bruhat_leq(&sigma, &c1.perm));
+                prop_assert!(bruhat_leq(&c1.perm, &c2.perm));
+                prop_assert!(bruhat_leq(&sigma, &c2.perm));
+            }
+        }
+    }
+
+    #[test]
+    fn stratified_sampling_has_exact_inversions(m in 1usize..=10, frac in 0.0f64..=1.0) {
+        let k = (frac * max_inversions(m) as f64).round() as usize;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(12345);
+        let sigma = random_with_inversions(m, k, &mut rng).unwrap();
+        prop_assert_eq!(inversions(&sigma), k);
+    }
+
+    #[test]
+    fn descents_predict_length_change(sigma in arb_permutation(16)) {
+        // Lemma 2: right-multiplying by s_i increases length iff i is an ascent.
+        let l = inversions(&sigma);
+        for i in 0..sigma.degree() - 1 {
+            let prod = sigma.mul_adjacent_right(i).unwrap();
+            if sigma.apply(i) < sigma.apply(i + 1) {
+                prop_assert_eq!(inversions(&prod), l + 1);
+            } else {
+                prop_assert_eq!(inversions(&prod), l - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn major_index_bounded_by_max_inversions(sigma in arb_permutation(24)) {
+        prop_assert!(major_index(&sigma) <= max_inversions(sigma.degree()));
+    }
+
+    #[test]
+    fn pow_respects_order(sigma in arb_permutation(12)) {
+        let order = sigma.order();
+        prop_assert!(sigma.pow(order as i64).is_identity());
+        if order > 1 {
+            prop_assert!(!sigma.pow(1).is_identity() || order == 1);
+        }
+    }
+}

@@ -1,0 +1,460 @@
+//! Synthetic trace generators.
+//!
+//! These stand in for the real workloads the paper motivates: STREAM-style
+//! streaming kernels (cyclic), call stacks and move-to-front lists
+//! (sawtooth-inducing techniques), permutation re-traversals `A σ(A)`, and
+//! multi-epoch schedules used by the deep-learning application (Theorem 4).
+
+use crate::trace::{Addr, Trace};
+use rand::Rng;
+use symloc_perm::Permutation;
+
+/// The traversal order used for one epoch of a multi-epoch schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EpochOrder {
+    /// Ascending order `0, 1, .., m-1` (the paper's `A`).
+    Forward,
+    /// Descending order `m-1, .., 1, 0` (a sawtooth epoch).
+    Reverse,
+    /// The order given by a permutation `σ`: element `σ(i)` at step `i`.
+    Permuted(Permutation),
+}
+
+impl EpochOrder {
+    /// The access sequence for one epoch over `m` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a permuted order has a degree other than `m`.
+    #[must_use]
+    pub fn epoch_trace(&self, m: usize) -> Trace {
+        match self {
+            EpochOrder::Forward => (0..m).collect(),
+            EpochOrder::Reverse => (0..m).rev().collect(),
+            EpochOrder::Permuted(sigma) => {
+                assert_eq!(sigma.degree(), m, "EpochOrder degree mismatch");
+                sigma.images().iter().copied().collect()
+            }
+        }
+    }
+}
+
+/// The cyclic trace over `m` elements traversed `epochs` times:
+/// `0 1 .. m-1 0 1 .. m-1 ..` — the paper's worst-locality streaming pattern.
+#[must_use]
+pub fn cyclic_trace(m: usize, epochs: usize) -> Trace {
+    let mut t = Trace::with_capacity(m * epochs);
+    for _ in 0..epochs {
+        for i in 0..m {
+            t.push(Addr(i));
+        }
+    }
+    t
+}
+
+/// The sawtooth trace over `m` elements: forward then reverse, repeated, e.g.
+/// `a b c d d c b a a b c d ..` — the paper's best-recency pattern.
+///
+/// `epochs` counts traversals, so `epochs = 2` gives exactly the paper's
+/// `sawtooth_m` example.
+#[must_use]
+pub fn sawtooth_trace(m: usize, epochs: usize) -> Trace {
+    let mut t = Trace::with_capacity(m * epochs);
+    for e in 0..epochs {
+        if e % 2 == 0 {
+            for i in 0..m {
+                t.push(Addr(i));
+            }
+        } else {
+            for i in (0..m).rev() {
+                t.push(Addr(i));
+            }
+        }
+    }
+    t
+}
+
+/// The re-traversal trace `T = A σ(A)` of Definition 1: a forward traversal
+/// of `m` elements followed by the traversal in the order given by `σ`.
+#[must_use]
+pub fn retraversal_trace(sigma: &Permutation) -> Trace {
+    let m = sigma.degree();
+    let mut t = Trace::with_capacity(2 * m);
+    for i in 0..m {
+        t.push(Addr(i));
+    }
+    for i in 0..m {
+        t.push(Addr(sigma.apply(i)));
+    }
+    t
+}
+
+/// A multi-epoch schedule: the concatenation of one epoch per entry of
+/// `orders`, each over the same `m` elements. Used to evaluate Theorem 4's
+/// alternation schedule `A σ(A) A σ(A) ..`.
+#[must_use]
+pub fn multi_epoch_trace(m: usize, orders: &[EpochOrder]) -> Trace {
+    let mut t = Trace::with_capacity(m * orders.len());
+    for order in orders {
+        t.extend_from(&order.epoch_trace(m));
+    }
+    t
+}
+
+/// A uniformly random trace of `len` accesses over `m` addresses.
+#[must_use]
+pub fn random_trace<R: Rng + ?Sized>(m: usize, len: usize, rng: &mut R) -> Trace {
+    (0..len).map(|_| rng.gen_range(0..m.max(1))).collect()
+}
+
+/// A Zipfian-distributed random trace of `len` accesses over `m` addresses
+/// with skew exponent `s` (s = 0 is uniform; s around 1 is web-like skew).
+///
+/// Address 0 is the most popular.
+#[must_use]
+pub fn zipfian_trace<R: Rng + ?Sized>(m: usize, len: usize, s: f64, rng: &mut R) -> Trace {
+    if m == 0 {
+        return Trace::new();
+    }
+    // Precompute the cumulative distribution.
+    let weights: Vec<f64> = (1..=m).map(|k| 1.0 / (k as f64).powf(s)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut cdf = Vec::with_capacity(m);
+    let mut acc = 0.0;
+    for w in &weights {
+        acc += w / total;
+        cdf.push(acc);
+    }
+    (0..len)
+        .map(|_| {
+            let u: f64 = rng.gen();
+            cdf.partition_point(|&c| c < u).min(m - 1)
+        })
+        .collect()
+}
+
+/// A strided traversal: `epochs` passes over `m` addresses visiting
+/// `0, stride, 2·stride, ..` wrapping modulo `m`. With `gcd(stride, m) = 1`
+/// each pass touches every address exactly once.
+#[must_use]
+pub fn strided_trace(m: usize, stride: usize, epochs: usize) -> Trace {
+    if m == 0 {
+        return Trace::new();
+    }
+    let mut t = Trace::with_capacity(m * epochs);
+    for _ in 0..epochs {
+        let mut pos = 0usize;
+        for _ in 0..m {
+            t.push(Addr(pos));
+            pos = (pos + stride) % m;
+        }
+    }
+    t
+}
+
+/// A tiled (blocked) traversal of `m` addresses with tile size `tile`:
+/// each pass visits the addresses tile by tile, and within consecutive
+/// passes the tiles are revisited before moving on — the classic loop-tiling
+/// transformation that shortens reuse distance to the tile size.
+#[must_use]
+pub fn tiled_trace(m: usize, tile: usize, epochs: usize) -> Trace {
+    if m == 0 || tile == 0 {
+        return Trace::new();
+    }
+    let mut t = Trace::with_capacity(m * epochs);
+    let mut start = 0usize;
+    while start < m {
+        let end = (start + tile).min(m);
+        for _ in 0..epochs {
+            for i in start..end {
+                t.push(Addr(i));
+            }
+        }
+        start = end;
+    }
+    t
+}
+
+/// A stack-discipline trace: a random sequence of balanced push/pop frames
+/// over at most `depth` frames, repeated to roughly `len` accesses. Each
+/// frame access touches the frame's address; this naturally produces
+/// sawtooth-like (LIFO) reuse — one of the paper's motivating examples for
+/// why sawtooth ordering arises in practice.
+#[must_use]
+pub fn stack_discipline_trace<R: Rng + ?Sized>(depth: usize, len: usize, rng: &mut R) -> Trace {
+    let mut t = Trace::with_capacity(len);
+    let mut stack: Vec<usize> = vec![0];
+    t.push(Addr(0));
+    while t.len() < len {
+        let top = *stack.last().expect("stack never empties below 1");
+        let can_push = stack.len() < depth.max(1);
+        let push = can_push && (stack.len() == 1 || rng.gen_bool(0.5));
+        if push {
+            let next = stack.len();
+            stack.push(next);
+            t.push(Addr(next));
+        } else {
+            stack.pop();
+            if stack.is_empty() {
+                stack.push(0);
+            }
+            t.push(Addr(top));
+            t.push(Addr(*stack.last().expect("non-empty")));
+        }
+    }
+    t.slice(0, len)
+}
+
+/// A move-to-front list-search trace: a list of `m` items is searched with a
+/// Zipfian query distribution; each search touches every item up to the hit,
+/// then the hit moves to the front. The paper cites move-to-front as a
+/// sawtooth-inducing heuristic.
+#[must_use]
+pub fn move_to_front_trace<R: Rng + ?Sized>(
+    m: usize,
+    searches: usize,
+    skew: f64,
+    rng: &mut R,
+) -> Trace {
+    if m == 0 {
+        return Trace::new();
+    }
+    let mut list: Vec<usize> = (0..m).collect();
+    let mut t = Trace::new();
+    let queries = zipfian_trace(m, searches, skew, rng);
+    for q in queries.iter() {
+        let target = q.value();
+        let pos = list.iter().position(|&x| x == target).expect("present");
+        for &item in &list[..=pos] {
+            t.push(Addr(item));
+        }
+        let item = list.remove(pos);
+        list.insert(0, item);
+    }
+    t
+}
+
+/// The four STREAM benchmark kernels. Each traverses a different number of
+/// arrays in cyclic order; the paper cites STREAM as the canonical
+/// worst-locality (no cache reuse) microbenchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamKernel {
+    /// `c[i] = a[i]` — two arrays.
+    Copy,
+    /// `b[i] = s * c[i]` — two arrays.
+    Scale,
+    /// `c[i] = a[i] + b[i]` — three arrays.
+    Add,
+    /// `a[i] = b[i] + s * c[i]` — three arrays.
+    Triad,
+}
+
+impl StreamKernel {
+    /// Number of arrays the kernel traverses.
+    #[must_use]
+    pub fn array_count(self) -> usize {
+        match self {
+            StreamKernel::Copy | StreamKernel::Scale => 2,
+            StreamKernel::Add | StreamKernel::Triad => 3,
+        }
+    }
+}
+
+/// A STREAM-kernel trace: `iterations` passes over `array_len`-element
+/// arrays, interleaving the per-iteration element accesses of each array
+/// exactly as the kernel reads/writes them. Arrays are laid out one after
+/// another in the address space.
+#[must_use]
+pub fn stream_kernel_trace(kernel: StreamKernel, array_len: usize, iterations: usize) -> Trace {
+    let arrays = kernel.array_count();
+    let mut t = Trace::with_capacity(arrays * array_len * iterations);
+    for _ in 0..iterations {
+        for i in 0..array_len {
+            for a in 0..arrays {
+                t.push(Addr(a * array_len + i));
+            }
+        }
+    }
+    t
+}
+
+/// Interleaves two traces access by access (round-robin), padding with the
+/// longer one's tail; models two concurrent streams sharing a cache.
+#[must_use]
+pub fn interleaved_trace(a: &Trace, b: &Trace) -> Trace {
+    let mut t = Trace::with_capacity(a.len() + b.len());
+    let mut ia = a.iter();
+    let mut ib = b.iter();
+    loop {
+        match (ia.next(), ib.next()) {
+            (Some(x), Some(y)) => {
+                t.push(x);
+                t.push(y);
+            }
+            (Some(x), None) => t.push(x),
+            (None, Some(y)) => t.push(y),
+            (None, None) => break,
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn cyclic_trace_shape() {
+        let t = cyclic_trace(4, 2);
+        assert_eq!(t.accesses().iter().map(|a| a.value()).collect::<Vec<_>>(), vec![0, 1, 2, 3, 0, 1, 2, 3]);
+        assert_eq!(cyclic_trace(0, 3).len(), 0);
+        assert_eq!(cyclic_trace(3, 0).len(), 0);
+    }
+
+    #[test]
+    fn sawtooth_trace_matches_paper_example() {
+        // a b c d d c b a with a=0..d=3
+        let t = sawtooth_trace(4, 2);
+        assert_eq!(
+            t.accesses().iter().map(|a| a.value()).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 3, 2, 1, 0]
+        );
+        // Four epochs keep alternating direction.
+        let t4 = sawtooth_trace(2, 4);
+        assert_eq!(
+            t4.accesses().iter().map(|a| a.value()).collect::<Vec<_>>(),
+            vec![0, 1, 1, 0, 0, 1, 1, 0]
+        );
+    }
+
+    #[test]
+    fn retraversal_trace_of_identity_is_cyclic() {
+        let e = Permutation::identity(5);
+        assert_eq!(retraversal_trace(&e), cyclic_trace(5, 2));
+        let w0 = Permutation::reverse(5);
+        assert_eq!(retraversal_trace(&w0), sawtooth_trace(5, 2));
+    }
+
+    #[test]
+    fn retraversal_trace_general_permutation() {
+        let sigma = Permutation::from_one_based(vec![2, 1, 3, 4]).unwrap();
+        let t = retraversal_trace(&sigma);
+        assert_eq!(
+            t.accesses().iter().map(|a| a.value() + 1).collect::<Vec<_>>(),
+            vec![1, 2, 3, 4, 2, 1, 3, 4] // the paper's worked example
+        );
+    }
+
+    #[test]
+    fn multi_epoch_trace_concatenates() {
+        let sigma = Permutation::reverse(3);
+        let t = multi_epoch_trace(
+            3,
+            &[
+                EpochOrder::Forward,
+                EpochOrder::Permuted(sigma),
+                EpochOrder::Reverse,
+            ],
+        );
+        assert_eq!(
+            t.accesses().iter().map(|a| a.value()).collect::<Vec<_>>(),
+            vec![0, 1, 2, 2, 1, 0, 2, 1, 0]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "degree mismatch")]
+    fn multi_epoch_rejects_degree_mismatch() {
+        let sigma = Permutation::reverse(4);
+        let _ = multi_epoch_trace(3, &[EpochOrder::Permuted(sigma)]);
+    }
+
+    #[test]
+    fn random_and_zipfian_traces_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = random_trace(10, 500, &mut rng);
+        assert_eq!(t.len(), 500);
+        assert!(t.iter().all(|a| a.value() < 10));
+        let z = zipfian_trace(10, 500, 1.0, &mut rng);
+        assert_eq!(z.len(), 500);
+        assert!(z.iter().all(|a| a.value() < 10));
+        assert_eq!(zipfian_trace(0, 10, 1.0, &mut rng).len(), 0);
+    }
+
+    #[test]
+    fn zipfian_skews_toward_small_addresses() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let z = zipfian_trace(50, 5000, 1.2, &mut rng);
+        let low = z.iter().filter(|a| a.value() < 5).count();
+        let high = z.iter().filter(|a| a.value() >= 45).count();
+        assert!(low > high * 3, "low={low} high={high}");
+    }
+
+    #[test]
+    fn strided_trace_covers_all_when_coprime() {
+        let t = strided_trace(8, 3, 1);
+        assert_eq!(t.len(), 8);
+        assert_eq!(t.distinct_count(), 8);
+        assert_eq!(t.get(1), Some(Addr(3)));
+        assert_eq!(strided_trace(0, 3, 2).len(), 0);
+    }
+
+    #[test]
+    fn tiled_trace_repeats_within_tiles() {
+        let t = tiled_trace(4, 2, 2);
+        assert_eq!(
+            t.accesses().iter().map(|a| a.value()).collect::<Vec<_>>(),
+            vec![0, 1, 0, 1, 2, 3, 2, 3]
+        );
+        assert_eq!(tiled_trace(4, 0, 2).len(), 0);
+        // Tile larger than m degenerates to plain repetition.
+        assert_eq!(tiled_trace(2, 5, 2), cyclic_trace(2, 2));
+    }
+
+    #[test]
+    fn stack_discipline_trace_properties() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = stack_discipline_trace(6, 300, &mut rng);
+        assert_eq!(t.len(), 300);
+        assert!(t.iter().all(|a| a.value() < 6));
+        assert_eq!(t.get(0), Some(Addr(0)));
+    }
+
+    #[test]
+    fn move_to_front_touches_prefixes() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let t = move_to_front_trace(6, 50, 1.0, &mut rng);
+        assert!(!t.is_empty());
+        assert!(t.iter().all(|a| a.value() < 6));
+        assert_eq!(move_to_front_trace(0, 5, 1.0, &mut rng).len(), 0);
+    }
+
+    #[test]
+    fn stream_kernels_have_expected_footprints() {
+        for (kernel, arrays) in [
+            (StreamKernel::Copy, 2),
+            (StreamKernel::Scale, 2),
+            (StreamKernel::Add, 3),
+            (StreamKernel::Triad, 3),
+        ] {
+            assert_eq!(kernel.array_count(), arrays);
+            let t = stream_kernel_trace(kernel, 16, 2);
+            assert_eq!(t.len(), arrays * 16 * 2);
+            assert_eq!(t.distinct_count(), arrays * 16);
+        }
+    }
+
+    #[test]
+    fn interleaved_trace_round_robins() {
+        let a = Trace::from_usizes(&[0, 1, 2]);
+        let b = Trace::from_usizes(&[10, 11]);
+        let t = interleaved_trace(&a, &b);
+        assert_eq!(
+            t.accesses().iter().map(|x| x.value()).collect::<Vec<_>>(),
+            vec![0, 10, 1, 11, 2]
+        );
+        assert_eq!(interleaved_trace(&Trace::new(), &Trace::new()).len(), 0);
+    }
+}

@@ -1,0 +1,185 @@
+//! Matrix / tensor traversal traces.
+//!
+//! The deep-learning application (Section VI-A of the paper) reasons about
+//! repeated accesses to `n × m` weight matrices; these generators produce the
+//! element-level access traces of the common traversal orders so the analysis
+//! in `symloc-dl` can compare them with the paper's analytical reuse totals.
+
+use crate::trace::{Addr, Trace};
+
+/// Memory layout of a logically 2-D matrix in the flat address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatrixLayout {
+    /// Row-major: element `(r, c)` lives at address `r * cols + c`.
+    RowMajor,
+    /// Column-major: element `(r, c)` lives at address `c * rows + r`.
+    ColMajor,
+}
+
+impl MatrixLayout {
+    /// Flat address of element `(r, c)` of a `rows × cols` matrix.
+    #[must_use]
+    pub fn address(self, rows: usize, cols: usize, r: usize, c: usize) -> usize {
+        match self {
+            MatrixLayout::RowMajor => r * cols + c,
+            MatrixLayout::ColMajor => c * rows + r,
+        }
+    }
+}
+
+/// A traversal order over the elements of a matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatrixTraversal {
+    /// Row by row, each row left to right (the canonical forward pass).
+    RowWise,
+    /// Column by column, each column top to bottom.
+    ColWise,
+    /// Row by row, alternating direction every row (boustrophedon).
+    RowSerpentine,
+    /// The full element order reversed (the sawtooth second traversal).
+    Reversed,
+    /// Square tiles of the given side length, tiles visited row-wise,
+    /// elements within a tile row-wise.
+    Tiled(usize),
+}
+
+/// The element-access trace of one traversal of a `rows × cols` matrix laid
+/// out per `layout`, in the order given by `traversal`.
+#[must_use]
+pub fn matrix_traversal_trace(
+    rows: usize,
+    cols: usize,
+    layout: MatrixLayout,
+    traversal: MatrixTraversal,
+) -> Trace {
+    let mut order: Vec<(usize, usize)> = Vec::with_capacity(rows * cols);
+    match traversal {
+        MatrixTraversal::RowWise => {
+            for r in 0..rows {
+                for c in 0..cols {
+                    order.push((r, c));
+                }
+            }
+        }
+        MatrixTraversal::ColWise => {
+            for c in 0..cols {
+                for r in 0..rows {
+                    order.push((r, c));
+                }
+            }
+        }
+        MatrixTraversal::RowSerpentine => {
+            for r in 0..rows {
+                if r % 2 == 0 {
+                    for c in 0..cols {
+                        order.push((r, c));
+                    }
+                } else {
+                    for c in (0..cols).rev() {
+                        order.push((r, c));
+                    }
+                }
+            }
+        }
+        MatrixTraversal::Reversed => {
+            for r in (0..rows).rev() {
+                for c in (0..cols).rev() {
+                    order.push((r, c));
+                }
+            }
+        }
+        MatrixTraversal::Tiled(tile) => {
+            let tile = tile.max(1);
+            let mut tr = 0;
+            while tr < rows {
+                let mut tc = 0;
+                while tc < cols {
+                    for r in tr..(tr + tile).min(rows) {
+                        for c in tc..(tc + tile).min(cols) {
+                            order.push((r, c));
+                        }
+                    }
+                    tc += tile;
+                }
+                tr += tile;
+            }
+        }
+    }
+    order
+        .into_iter()
+        .map(|(r, c)| Addr(layout.address(rows, cols, r, c)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn values(t: &Trace) -> Vec<usize> {
+        t.iter().map(|a| a.value()).collect()
+    }
+
+    #[test]
+    fn layout_addressing() {
+        assert_eq!(MatrixLayout::RowMajor.address(2, 3, 1, 2), 5);
+        assert_eq!(MatrixLayout::ColMajor.address(2, 3, 1, 2), 5);
+        assert_eq!(MatrixLayout::ColMajor.address(3, 2, 1, 1), 4);
+    }
+
+    #[test]
+    fn row_wise_row_major_is_sequential() {
+        let t = matrix_traversal_trace(2, 3, MatrixLayout::RowMajor, MatrixTraversal::RowWise);
+        assert_eq!(values(&t), vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn col_wise_row_major_strides() {
+        let t = matrix_traversal_trace(2, 3, MatrixLayout::RowMajor, MatrixTraversal::ColWise);
+        assert_eq!(values(&t), vec![0, 3, 1, 4, 2, 5]);
+    }
+
+    #[test]
+    fn col_wise_col_major_is_sequential() {
+        let t = matrix_traversal_trace(2, 3, MatrixLayout::ColMajor, MatrixTraversal::ColWise);
+        assert_eq!(values(&t), vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn reversed_is_reverse_of_row_wise() {
+        let fwd = matrix_traversal_trace(3, 3, MatrixLayout::RowMajor, MatrixTraversal::RowWise);
+        let rev = matrix_traversal_trace(3, 3, MatrixLayout::RowMajor, MatrixTraversal::Reversed);
+        assert_eq!(rev, fwd.reversed());
+    }
+
+    #[test]
+    fn serpentine_alternates_direction() {
+        let t = matrix_traversal_trace(2, 3, MatrixLayout::RowMajor, MatrixTraversal::RowSerpentine);
+        assert_eq!(values(&t), vec![0, 1, 2, 5, 4, 3]);
+    }
+
+    #[test]
+    fn tiled_visits_every_element_once() {
+        for tile in [1usize, 2, 3, 5] {
+            let t = matrix_traversal_trace(4, 5, MatrixLayout::RowMajor, MatrixTraversal::Tiled(tile));
+            assert_eq!(t.len(), 20, "tile={tile}");
+            assert_eq!(t.distinct_count(), 20, "tile={tile}");
+        }
+        // Tiled(0) is clamped to 1.
+        let t = matrix_traversal_trace(2, 2, MatrixLayout::RowMajor, MatrixTraversal::Tiled(0));
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn tiled_2x2_order() {
+        let t = matrix_traversal_trace(2, 4, MatrixLayout::RowMajor, MatrixTraversal::Tiled(2));
+        assert_eq!(values(&t), vec![0, 1, 4, 5, 2, 3, 6, 7]);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let t = matrix_traversal_trace(0, 5, MatrixLayout::RowMajor, MatrixTraversal::RowWise);
+        assert!(t.is_empty());
+        let t = matrix_traversal_trace(5, 0, MatrixLayout::ColMajor, MatrixTraversal::ColWise);
+        assert!(t.is_empty());
+    }
+}

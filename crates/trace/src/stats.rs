@@ -1,0 +1,191 @@
+//! Trace statistics: footprint, access frequencies, reuse intervals.
+//!
+//! Reuse *intervals* (Definition 4 of the paper: the number of accesses
+//! between two accesses of the same element, counting up to and including the
+//! second access) live here because they depend only on positions; reuse
+//! *distances* (distinct elements, Definition 5) require stack simulation and
+//! live in `symloc-cache`.
+
+use crate::trace::{Addr, Trace};
+use std::collections::HashMap;
+
+/// Summary statistics of a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStats {
+    /// Total number of accesses.
+    pub accesses: usize,
+    /// Number of distinct addresses.
+    pub footprint: usize,
+    /// Mean accesses per distinct address.
+    pub mean_frequency: f64,
+    /// Largest access count of any single address.
+    pub max_frequency: usize,
+    /// Number of finite reuse intervals (accesses that are re-accesses).
+    pub reuses: usize,
+    /// Mean finite reuse interval, or `None` when nothing is reused.
+    pub mean_reuse_interval: Option<f64>,
+}
+
+/// Number of distinct addresses in the trace.
+#[must_use]
+pub fn footprint(trace: &Trace) -> usize {
+    trace.distinct_count()
+}
+
+/// Access count per address.
+#[must_use]
+pub fn frequencies(trace: &Trace) -> HashMap<Addr, usize> {
+    let mut map = HashMap::new();
+    for a in trace.iter() {
+        *map.entry(a).or_insert(0) += 1;
+    }
+    map
+}
+
+/// Reuse interval of each access, following the paper's Definition 4:
+/// for the access at position `i`, the interval is `j - i` where `j` is the
+/// position of the *next* access to the same address, or `None` if there is
+/// no later access (the paper's `∞`).
+///
+/// Example: in `a b c a b c`, the first `a` has reuse interval 3.
+#[must_use]
+pub fn reuse_intervals(trace: &Trace) -> Vec<Option<usize>> {
+    let mut next_seen: HashMap<Addr, usize> = HashMap::new();
+    let mut intervals = vec![None; trace.len()];
+    for i in (0..trace.len()).rev() {
+        let a = trace.get(i).expect("index in range");
+        if let Some(&j) = next_seen.get(&a) {
+            intervals[i] = Some(j - i);
+        }
+        next_seen.insert(a, i);
+    }
+    intervals
+}
+
+/// Computes the summary statistics of a trace.
+#[must_use]
+pub fn trace_stats(trace: &Trace) -> TraceStats {
+    let freqs = frequencies(trace);
+    let footprint = freqs.len();
+    let max_frequency = freqs.values().copied().max().unwrap_or(0);
+    let mean_frequency = if footprint == 0 {
+        0.0
+    } else {
+        trace.len() as f64 / footprint as f64
+    };
+    let intervals = reuse_intervals(trace);
+    let finite: Vec<usize> = intervals.iter().flatten().copied().collect();
+    let reuses = finite.len();
+    let mean_reuse_interval = if finite.is_empty() {
+        None
+    } else {
+        Some(finite.iter().sum::<usize>() as f64 / finite.len() as f64)
+    };
+    TraceStats {
+        accesses: trace.len(),
+        footprint,
+        mean_frequency,
+        max_frequency,
+        reuses,
+        mean_reuse_interval,
+    }
+}
+
+impl TraceStats {
+    /// Computes the statistics of `trace` (method-call convenience for
+    /// [`trace_stats`]).
+    #[must_use]
+    pub fn of(trace: &Trace) -> Self {
+        trace_stats(trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{cyclic_trace, sawtooth_trace};
+
+    #[test]
+    fn footprint_and_frequencies() {
+        let t = Trace::from_usizes(&[0, 1, 0, 2, 0]);
+        assert_eq!(footprint(&t), 3);
+        let f = frequencies(&t);
+        assert_eq!(f[&Addr(0)], 3);
+        assert_eq!(f[&Addr(1)], 1);
+        assert_eq!(f[&Addr(2)], 1);
+    }
+
+    #[test]
+    fn reuse_intervals_paper_example() {
+        // abcabc: first a has reuse interval 3 (Definition 4).
+        let t = Trace::from_usizes(&[0, 1, 2, 0, 1, 2]);
+        let ri = reuse_intervals(&t);
+        assert_eq!(ri[0], Some(3));
+        assert_eq!(ri[1], Some(3));
+        assert_eq!(ri[2], Some(3));
+        assert_eq!(ri[3], None);
+        assert_eq!(ri[4], None);
+        assert_eq!(ri[5], None);
+    }
+
+    #[test]
+    fn reuse_intervals_sawtooth() {
+        // abccba: c is reused immediately (interval 1), a after 5.
+        let t = Trace::from_usizes(&[0, 1, 2, 2, 1, 0]);
+        let ri = reuse_intervals(&t);
+        assert_eq!(ri[0], Some(5));
+        assert_eq!(ri[1], Some(3));
+        assert_eq!(ri[2], Some(1));
+        assert!(ri[3].is_none() && ri[4].is_none() && ri[5].is_none());
+    }
+
+    #[test]
+    fn reuse_intervals_empty_and_single() {
+        assert!(reuse_intervals(&Trace::new()).is_empty());
+        let t = Trace::from_usizes(&[7]);
+        assert_eq!(reuse_intervals(&t), vec![None]);
+    }
+
+    #[test]
+    fn stats_of_cyclic_trace() {
+        let t = cyclic_trace(4, 3);
+        let s = TraceStats::of(&t);
+        assert_eq!(s.accesses, 12);
+        assert_eq!(s.footprint, 4);
+        assert_eq!(s.max_frequency, 3);
+        assert!((s.mean_frequency - 3.0).abs() < 1e-12);
+        assert_eq!(s.reuses, 8);
+        // Every finite reuse interval in a cyclic trace is exactly m.
+        assert_eq!(s.mean_reuse_interval, Some(4.0));
+    }
+
+    #[test]
+    fn stats_of_sawtooth_trace() {
+        let t = sawtooth_trace(4, 2);
+        let s = trace_stats(&t);
+        assert_eq!(s.accesses, 8);
+        assert_eq!(s.footprint, 4);
+        assert_eq!(s.reuses, 4);
+        // Intervals are 7, 5, 3, 1 -> mean 4.
+        assert_eq!(s.mean_reuse_interval, Some(4.0));
+    }
+
+    #[test]
+    fn stats_of_empty_trace() {
+        let s = trace_stats(&Trace::new());
+        assert_eq!(s.accesses, 0);
+        assert_eq!(s.footprint, 0);
+        assert_eq!(s.max_frequency, 0);
+        assert_eq!(s.mean_frequency, 0.0);
+        assert_eq!(s.reuses, 0);
+        assert_eq!(s.mean_reuse_interval, None);
+    }
+
+    #[test]
+    fn stats_without_reuse() {
+        let s = trace_stats(&Trace::from_usizes(&[0, 1, 2, 3]));
+        assert_eq!(s.reuses, 0);
+        assert_eq!(s.mean_reuse_interval, None);
+        assert_eq!(s.max_frequency, 1);
+    }
+}

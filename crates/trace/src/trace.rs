@@ -1,0 +1,288 @@
+//! The trace representation: a sequence of abstract data addresses.
+
+use std::collections::HashSet;
+use std::fmt;
+
+/// An abstract data address (the paper's "trace element" or "distinct memory
+/// address"). Wraps a `usize` so trace code cannot be accidentally mixed with
+/// positions or cache sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Addr(pub usize);
+
+impl Addr {
+    /// The raw address value.
+    #[must_use]
+    pub fn value(self) -> usize {
+        self.0
+    }
+}
+
+impl From<usize> for Addr {
+    fn from(v: usize) -> Self {
+        Addr(v)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A memory access trace: an ordered sequence of [`Addr`] accesses.
+///
+/// # Examples
+///
+/// ```
+/// use symloc_trace::{Addr, Trace};
+///
+/// let t = Trace::from_usizes(&[0, 1, 2, 2, 1, 0]); // sawtooth over 3 addresses
+/// assert_eq!(t.len(), 6);
+/// assert_eq!(t.distinct_count(), 3);
+/// assert_eq!(t.get(3), Some(Addr(2)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Trace {
+    accesses: Vec<Addr>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        Trace {
+            accesses: Vec::new(),
+        }
+    }
+
+    /// Creates an empty trace with reserved capacity.
+    #[must_use]
+    pub fn with_capacity(n: usize) -> Self {
+        Trace {
+            accesses: Vec::with_capacity(n),
+        }
+    }
+
+    /// Builds a trace from raw address values.
+    #[must_use]
+    pub fn from_usizes(values: &[usize]) -> Self {
+        Trace {
+            accesses: values.iter().map(|&v| Addr(v)).collect(),
+        }
+    }
+
+    /// Builds a trace from a vector of addresses.
+    #[must_use]
+    pub fn from_addrs(accesses: Vec<Addr>) -> Self {
+        Trace { accesses }
+    }
+
+    /// Appends one access.
+    pub fn push(&mut self, addr: Addr) {
+        self.accesses.push(addr);
+    }
+
+    /// Appends all accesses of `other`.
+    pub fn extend_from(&mut self, other: &Trace) {
+        self.accesses.extend_from_slice(&other.accesses);
+    }
+
+    /// Concatenates two traces into a new one (`self` followed by `other`).
+    #[must_use]
+    pub fn concat(&self, other: &Trace) -> Trace {
+        let mut accesses = Vec::with_capacity(self.len() + other.len());
+        accesses.extend_from_slice(&self.accesses);
+        accesses.extend_from_slice(&other.accesses);
+        Trace { accesses }
+    }
+
+    /// Number of accesses.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.accesses.len()
+    }
+
+    /// True if the trace contains no accesses.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.accesses.is_empty()
+    }
+
+    /// The access at position `i`, if any.
+    #[must_use]
+    pub fn get(&self, i: usize) -> Option<Addr> {
+        self.accesses.get(i).copied()
+    }
+
+    /// The underlying slice of accesses.
+    #[must_use]
+    pub fn accesses(&self) -> &[Addr] {
+        &self.accesses
+    }
+
+    /// Iterator over the accesses.
+    pub fn iter(&self) -> impl Iterator<Item = Addr> + '_ {
+        self.accesses.iter().copied()
+    }
+
+    /// Number of distinct addresses in the trace (its footprint).
+    #[must_use]
+    pub fn distinct_count(&self) -> usize {
+        let set: HashSet<Addr> = self.accesses.iter().copied().collect();
+        set.len()
+    }
+
+    /// The set of distinct addresses, sorted ascending.
+    #[must_use]
+    pub fn distinct_addrs(&self) -> Vec<Addr> {
+        let set: HashSet<Addr> = self.accesses.iter().copied().collect();
+        let mut v: Vec<Addr> = set.into_iter().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// The reversed trace.
+    #[must_use]
+    pub fn reversed(&self) -> Trace {
+        let mut accesses = self.accesses.clone();
+        accesses.reverse();
+        Trace { accesses }
+    }
+
+    /// The sub-trace covering positions `start..end` (clamped to the length).
+    #[must_use]
+    pub fn slice(&self, start: usize, end: usize) -> Trace {
+        let end = end.min(self.len());
+        let start = start.min(end);
+        Trace {
+            accesses: self.accesses[start..end].to_vec(),
+        }
+    }
+
+    /// Relabels the addresses to a dense range `0..footprint` in order of
+    /// first appearance, returning the relabeled trace and the mapping
+    /// (new index -> original address).
+    ///
+    /// Needed before feeding arbitrary traces into the permutation-based
+    /// re-traversal analysis, which expects the first traversal to touch
+    /// `0, 1, .., m-1` in order (the paper's "relabeling argument").
+    #[must_use]
+    pub fn relabel_dense(&self) -> (Trace, Vec<Addr>) {
+        let mut mapping: Vec<Addr> = Vec::new();
+        let mut table: std::collections::HashMap<Addr, usize> = std::collections::HashMap::new();
+        let mut accesses = Vec::with_capacity(self.len());
+        for &a in &self.accesses {
+            let idx = *table.entry(a).or_insert_with(|| {
+                mapping.push(a);
+                mapping.len() - 1
+            });
+            accesses.push(Addr(idx));
+        }
+        (Trace { accesses }, mapping)
+    }
+}
+
+impl FromIterator<Addr> for Trace {
+    fn from_iter<T: IntoIterator<Item = Addr>>(iter: T) -> Self {
+        Trace {
+            accesses: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl FromIterator<usize> for Trace {
+    fn from_iter<T: IntoIterator<Item = usize>>(iter: T) -> Self {
+        Trace {
+            accesses: iter.into_iter().map(Addr).collect(),
+        }
+    }
+}
+
+impl fmt::Display for Trace {
+    /// Space-separated address values, e.g. `0 1 2 2 1 0`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, a) in self.accesses.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query() {
+        let mut t = Trace::new();
+        assert!(t.is_empty());
+        t.push(Addr(3));
+        t.push(Addr(1));
+        t.push(Addr(3));
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.distinct_count(), 2);
+        assert_eq!(t.get(0), Some(Addr(3)));
+        assert_eq!(t.get(9), None);
+        assert_eq!(t.distinct_addrs(), vec![Addr(1), Addr(3)]);
+    }
+
+    #[test]
+    fn from_usizes_and_display() {
+        let t = Trace::from_usizes(&[0, 1, 2]);
+        assert_eq!(t.to_string(), "0 1 2");
+        assert_eq!(Trace::new().to_string(), "");
+        assert_eq!(Addr(7).to_string(), "7");
+        assert_eq!(Addr::from(4).value(), 4);
+    }
+
+    #[test]
+    fn concat_and_extend() {
+        let a = Trace::from_usizes(&[0, 1]);
+        let b = Trace::from_usizes(&[2, 3]);
+        let c = a.concat(&b);
+        assert_eq!(c.accesses(), &[Addr(0), Addr(1), Addr(2), Addr(3)]);
+        let mut d = a.clone();
+        d.extend_from(&b);
+        assert_eq!(d, c);
+    }
+
+    #[test]
+    fn reversed_and_slice() {
+        let t = Trace::from_usizes(&[0, 1, 2, 3]);
+        assert_eq!(t.reversed().accesses(), &[Addr(3), Addr(2), Addr(1), Addr(0)]);
+        assert_eq!(t.slice(1, 3).accesses(), &[Addr(1), Addr(2)]);
+        assert_eq!(t.slice(3, 100).accesses(), &[Addr(3)]);
+        assert_eq!(t.slice(5, 2).len(), 0);
+    }
+
+    #[test]
+    fn relabel_dense_first_appearance_order() {
+        let t = Trace::from_usizes(&[42, 17, 42, 99, 17]);
+        let (relabeled, mapping) = t.relabel_dense();
+        assert_eq!(relabeled.accesses(), &[Addr(0), Addr(1), Addr(0), Addr(2), Addr(1)]);
+        assert_eq!(mapping, vec![Addr(42), Addr(17), Addr(99)]);
+        // Round-trip through the mapping restores the original.
+        let restored: Trace = relabeled.iter().map(|a| mapping[a.value()]).collect();
+        assert_eq!(restored, t);
+    }
+
+    #[test]
+    fn from_iterators() {
+        let t: Trace = vec![Addr(1), Addr(2)].into_iter().collect();
+        assert_eq!(t.len(), 2);
+        let u: Trace = (0..4usize).collect();
+        assert_eq!(u.accesses(), &[Addr(0), Addr(1), Addr(2), Addr(3)]);
+        assert_eq!(u.iter().count(), 4);
+    }
+
+    #[test]
+    fn with_capacity_starts_empty() {
+        let t = Trace::with_capacity(100);
+        assert!(t.is_empty());
+    }
+}

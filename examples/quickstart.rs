@@ -1,0 +1,83 @@
+//! Quickstart: the symmetric-locality API in one tour.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+//!
+//! Builds re-traversals, computes their hit vectors and miss-ratio curves
+//! with Algorithm 1, checks the Bruhat–Locality theorem, and climbs the
+//! covering graph with ChainFind.
+
+use symmetric_locality::prelude::*;
+
+fn main() {
+    let m = 8;
+
+    println!("== Re-traversals of {m} data elements ==\n");
+
+    // The two classical extremes: cyclic (identity) and sawtooth (reverse).
+    let cyclic = Permutation::identity(m);
+    let sawtooth = Permutation::reverse(m);
+
+    // And the paper's worked example, scaled to one-based notation.
+    let example = Permutation::from_one_based(vec![2, 1, 3, 4, 5, 6, 7, 8]).unwrap();
+
+    for (name, sigma) in [
+        ("cyclic   ", &cyclic),
+        ("example  ", &example),
+        ("sawtooth ", &sawtooth),
+    ] {
+        let hv = hit_vector(sigma);
+        let curve = mrc(sigma);
+        println!(
+            "{name} σ = {sigma}  ℓ(σ) = {:2}  hits_C = {:?}  mr(c=2) = {:.3}",
+            inversions(sigma),
+            hv.as_slice(),
+            curve.miss_ratio(2),
+        );
+        // Theorem 2: the truncated hit-vector sum equals the inversion number.
+        assert!(theorem2_holds(sigma));
+        assert!(corollary1_holds(sigma));
+    }
+
+    println!("\n== Trace round-trip ==\n");
+    let rt = ReTraversal::new(example.clone());
+    let trace = rt.to_trace();
+    println!("T = A σ(A) = {trace}");
+    let parsed = ReTraversal::from_trace(&trace).unwrap();
+    assert_eq!(parsed.sigma(), &example);
+    println!("parsed back σ = {}", parsed.sigma());
+
+    println!("\n== Generic cache simulation agrees with Algorithm 1 ==\n");
+    let simulated = hit_vector_via_simulation(&example);
+    println!("Algorithm 1: {:?}", hit_vector(&example).as_slice());
+    println!("LRU stack  : {:?}", simulated.as_slice());
+    assert_eq!(hit_vector(&example), simulated);
+
+    println!("\n== ChainFind: climbing from cyclic to sawtooth ==\n");
+    let chain = chain_find(&cyclic, &MissRatioLabeling, ChainFindConfig::default());
+    println!(
+        "chain of {} covers, {} arbitrary (tied) choices, reaches {}",
+        chain.len(),
+        chain.arbitrary_choices,
+        chain.last()
+    );
+    assert!(chain.last().is_reverse());
+
+    println!("\n== Multi-epoch alternation (Theorem 4) ==\n");
+    let epochs = 6;
+    let cyclic_schedule = Schedule::all_forward(m, epochs);
+    let alternating = Schedule::alternating(&sawtooth, epochs);
+    println!(
+        "cyclic     total reuse distance over {epochs} epochs: {}",
+        cyclic_schedule.total_reuse_distance()
+    );
+    println!(
+        "alternating total reuse distance over {epochs} epochs: {}",
+        alternating.total_reuse_distance()
+    );
+    assert!(alternating.total_reuse_distance() < cyclic_schedule.total_reuse_distance());
+
+    println!("\nAll assertions passed.");
+}

@@ -1,0 +1,27 @@
+//! The `symloc` command-line binary: a thin wrapper over
+//! [`symmetric_locality::cli`].
+//!
+//! ```sh
+//! cargo run --bin symloc -- help
+//! cargo run --bin symloc -- generate sawtooth 8 2 /tmp/saw.trace
+//! cargo run --bin symloc -- retraversal /tmp/saw.trace
+//! cargo run --bin symloc -- optimize 6 0<1 2<5
+//! ```
+
+use std::process::ExitCode;
+use symmetric_locality::cli;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match cli::run(&args) {
+        Ok(report) => {
+            print!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprint!("{}", cli::usage());
+            ExitCode::FAILURE
+        }
+    }
+}

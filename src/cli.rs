@@ -1,0 +1,409 @@
+//! The `symloc` command-line tool.
+//!
+//! A small driver over the library for people who have a trace file and want
+//! answers without writing Rust:
+//!
+//! ```text
+//! symloc analyze <trace-file>                 locality report of any trace
+//! symloc retraversal <trace-file>             interpret a trace as T = A σ(A)
+//! symloc generate <kind> <m> <epochs> [file]  emit a synthetic trace
+//! symloc optimize <m> [a<b ...]               best feasible re-traversal order
+//! ```
+//!
+//! The command implementations return their report as a `String` (and are
+//! unit-tested that way); the thin binary in `src/bin/symloc.rs` only parses
+//! `std::env::args` and prints.
+
+use std::fmt::Write as _;
+
+use symloc_cache::footprint::average_footprint;
+use symloc_cache::mrc::MissRatioCurve;
+use symloc_cache::reuse::reuse_profile;
+use symloc_core::chainfind::ChainFindConfig;
+use symloc_core::feasibility::PrecedenceDag;
+use symloc_core::hits::{hit_vector, mrc};
+use symloc_core::optimize::{best_feasible_exhaustive, optimize_from_identity};
+use symloc_core::retraversal::ReTraversal;
+use symloc_core::theorems::theorem2_holds;
+use symloc_perm::inversions::{inversions, max_inversions};
+use symloc_trace::generators::{cyclic_trace, random_trace, sawtooth_trace};
+use symloc_trace::io::{read_trace, write_trace};
+use symloc_trace::stats::trace_stats;
+use symloc_trace::Trace;
+
+/// Errors reported by the CLI, already formatted for the user.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// The usage text.
+#[must_use]
+pub fn usage() -> String {
+    "symloc — symmetric-locality trace analysis\n\
+     \n\
+     USAGE:\n\
+     \x20 symloc analyze <trace-file>\n\
+     \x20 symloc retraversal <trace-file>\n\
+     \x20 symloc generate <cyclic|sawtooth|random> <m> <epochs> [out-file]\n\
+     \x20 symloc optimize <m> [a<b ...]      (each a<b is a precedence constraint)\n"
+        .to_string()
+}
+
+/// `symloc analyze <trace-file>` — generic locality report of any trace.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] if the file cannot be read or parsed.
+pub fn analyze_file(path: &str) -> Result<String, CliError> {
+    let trace =
+        read_trace(path).map_err(|e| CliError(format!("cannot read trace {path}: {e}")))?;
+    Ok(analyze_trace(&trace))
+}
+
+/// Locality report of an in-memory trace (the body of `symloc analyze`).
+#[must_use]
+pub fn analyze_trace(trace: &Trace) -> String {
+    let mut out = String::new();
+    let stats = trace_stats(trace);
+    let _ = writeln!(out, "accesses            : {}", stats.accesses);
+    let _ = writeln!(out, "footprint           : {}", stats.footprint);
+    let _ = writeln!(out, "mean access frequency: {:.3}", stats.mean_frequency);
+    match stats.mean_reuse_interval {
+        Some(ri) => {
+            let _ = writeln!(out, "mean reuse interval : {ri:.2}");
+        }
+        None => {
+            let _ = writeln!(out, "mean reuse interval : (no reuse)");
+        }
+    }
+    if trace.is_empty() {
+        return out;
+    }
+    let profile = reuse_profile(trace);
+    let curve = MissRatioCurve::from_profile(&profile);
+    let m = profile.footprint();
+    let _ = writeln!(out, "total reuse distance: {}", profile.histogram().total_finite_distance());
+    let _ = writeln!(out, "normalized MRC area : {:.4}", curve.normalized_area());
+    let _ = writeln!(out, "cache-size sweep (fully associative LRU):");
+    let mut sizes: Vec<usize> = vec![1, m / 8, m / 4, m / 2, (3 * m) / 4, m];
+    sizes.retain(|&c| c >= 1);
+    sizes.dedup();
+    for c in sizes {
+        let _ = writeln!(
+            out,
+            "  c = {c:>8}  miss ratio {:.4}  avg footprint(window={c}) {:.2}",
+            profile.miss_ratio(c),
+            average_footprint(trace, c.min(trace.len()))
+        );
+    }
+    out
+}
+
+/// `symloc retraversal <trace-file>` — interpret the trace as `T = A σ(A)`.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] if the file cannot be read or is not a re-traversal.
+pub fn retraversal_file(path: &str) -> Result<String, CliError> {
+    let trace =
+        read_trace(path).map_err(|e| CliError(format!("cannot read trace {path}: {e}")))?;
+    retraversal_trace_report(&trace)
+}
+
+/// Re-traversal report of an in-memory trace (the body of `symloc retraversal`).
+///
+/// # Errors
+///
+/// Returns a [`CliError`] if the trace is not a re-traversal.
+pub fn retraversal_trace_report(trace: &Trace) -> Result<String, CliError> {
+    let rt = ReTraversal::from_trace(trace)
+        .map_err(|e| CliError(format!("not a re-traversal: {e}")))?;
+    let sigma = rt.sigma();
+    let m = rt.degree();
+    let mut out = String::new();
+    let _ = writeln!(out, "re-traversal of m = {m} elements");
+    let _ = writeln!(out, "sigma (1-based)     : {sigma}");
+    let _ = writeln!(
+        out,
+        "inversions l(sigma) : {} of max {}",
+        inversions(sigma),
+        max_inversions(m)
+    );
+    let _ = writeln!(out, "hit vector hits_C   : {:?}", hit_vector(sigma).as_slice());
+    let _ = writeln!(out, "Theorem 2 check     : {}", theorem2_holds(sigma));
+    let curve = mrc(sigma);
+    let _ = writeln!(out, "miss ratio at m/2   : {:.4}", curve.miss_ratio(m.max(2) / 2));
+    let _ = writeln!(out, "miss ratio at m     : {:.4}", curve.miss_ratio(m));
+    let better = max_inversions(m).saturating_sub(inversions(sigma));
+    let _ = writeln!(
+        out,
+        "headroom            : {better} more inversions available toward the sawtooth order"
+    );
+    Ok(out)
+}
+
+/// `symloc generate <kind> <m> <epochs> [out-file]`.
+///
+/// With an output path the trace is written there and the report says so;
+/// without one the report includes the trace inline (careful with large m).
+///
+/// # Errors
+///
+/// Returns a [`CliError`] on an unknown kind, bad numbers, or write failure.
+pub fn generate(kind: &str, m: usize, epochs: usize, out: Option<&str>) -> Result<String, CliError> {
+    if m == 0 || epochs == 0 {
+        return Err(CliError("m and epochs must be positive".to_string()));
+    }
+    let trace = match kind {
+        "cyclic" => cyclic_trace(m, epochs),
+        "sawtooth" => sawtooth_trace(m, epochs),
+        "random" => {
+            use rand::rngs::StdRng;
+            use rand::SeedableRng;
+            let mut rng = StdRng::seed_from_u64(0xD1CE);
+            random_trace(m, m * epochs, &mut rng)
+        }
+        other => {
+            return Err(CliError(format!(
+                "unknown trace kind {other:?} (expected cyclic, sawtooth or random)"
+            )))
+        }
+    };
+    let mut report = format!(
+        "generated {kind} trace: {} accesses over {} addresses\n",
+        trace.len(),
+        trace.distinct_count()
+    );
+    match out {
+        Some(path) => {
+            write_trace(&trace, path)
+                .map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
+            let _ = writeln!(report, "wrote {path}");
+        }
+        None => {
+            let _ = writeln!(report, "{trace}");
+        }
+    }
+    Ok(report)
+}
+
+/// `symloc optimize <m> [a<b ...]` — best feasible re-traversal order under
+/// precedence constraints written as `a<b` (0-based element indices).
+///
+/// # Errors
+///
+/// Returns a [`CliError`] on malformed or inconsistent constraints.
+pub fn optimize(m: usize, constraints: &[String]) -> Result<String, CliError> {
+    if m == 0 {
+        return Err(CliError("m must be positive".to_string()));
+    }
+    let mut dag = PrecedenceDag::unconstrained(m);
+    for spec in constraints {
+        let Some((a, b)) = spec.split_once('<') else {
+            return Err(CliError(format!(
+                "malformed constraint {spec:?} (expected the form a<b)"
+            )));
+        };
+        let a: usize = a
+            .trim()
+            .parse()
+            .map_err(|_| CliError(format!("{a:?} is not an element index")))?;
+        let b: usize = b
+            .trim()
+            .parse()
+            .map_err(|_| CliError(format!("{b:?} is not an element index")))?;
+        dag.require_before(a, b)
+            .map_err(|e| CliError(format!("cannot add constraint {spec}: {e}")))?;
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "elements: {m}   constraints: {}",
+        dag.constraint_count()
+    );
+    // The greedy climb starts from the identity (the program's original
+    // order); when the constraints themselves forbid that order, fall back to
+    // the exhaustive search alone (small m) or report the situation.
+    match optimize_from_identity(&dag, ChainFindConfig::default()) {
+        Ok((greedy, chain)) => {
+            let _ = writeln!(out, "greedy (ChainFind) order : {}", greedy.sigma);
+            let _ = writeln!(
+                out,
+                "  inversions {} of max {}   covers taken {}   tied choices {}",
+                greedy.inversions,
+                max_inversions(m),
+                chain.len(),
+                chain.arbitrary_choices
+            );
+        }
+        Err(e) => {
+            let _ = writeln!(
+                out,
+                "greedy (ChainFind) order : unavailable ({e}); constraints contradict the original order"
+            );
+        }
+    }
+    if m <= 9 {
+        let exact = best_feasible_exhaustive(&dag)
+            .map_err(|e| CliError(format!("exhaustive search failed: {e}")))?;
+        let _ = writeln!(out, "exhaustive optimum       : {}", exact.sigma);
+        let _ = writeln!(
+            out,
+            "  inversions {} of max {}",
+            exact.inversions,
+            max_inversions(m)
+        );
+    } else {
+        let _ = writeln!(out, "(exhaustive check skipped for m > 9)");
+    }
+    Ok(out)
+}
+
+/// Dispatches a full argument vector (excluding the program name).
+///
+/// # Errors
+///
+/// Returns a [`CliError`] describing the problem; the caller prints it along
+/// with [`usage`].
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    match args.first().map(String::as_str) {
+        Some("analyze") => {
+            let path = args.get(1).ok_or_else(|| CliError("analyze needs a trace file".into()))?;
+            analyze_file(path)
+        }
+        Some("retraversal") => {
+            let path = args
+                .get(1)
+                .ok_or_else(|| CliError("retraversal needs a trace file".into()))?;
+            retraversal_file(path)
+        }
+        Some("generate") => {
+            let kind = args.get(1).ok_or_else(|| CliError("generate needs a kind".into()))?;
+            let m: usize = args
+                .get(2)
+                .ok_or_else(|| CliError("generate needs m".into()))?
+                .parse()
+                .map_err(|_| CliError("m must be a number".into()))?;
+            let epochs: usize = args
+                .get(3)
+                .ok_or_else(|| CliError("generate needs an epoch count".into()))?
+                .parse()
+                .map_err(|_| CliError("epochs must be a number".into()))?;
+            generate(kind, m, epochs, args.get(4).map(String::as_str))
+        }
+        Some("optimize") => {
+            let m: usize = args
+                .get(1)
+                .ok_or_else(|| CliError("optimize needs m".into()))?
+                .parse()
+                .map_err(|_| CliError("m must be a number".into()))?;
+            optimize(m, &args[2..])
+        }
+        Some("help") | None => Ok(usage()),
+        Some(other) => Err(CliError(format!("unknown command {other:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symloc_trace::generators::retraversal_trace;
+    use symloc_perm::Permutation;
+
+    #[test]
+    fn usage_and_help() {
+        assert!(usage().contains("symloc"));
+        assert_eq!(run(&[]).unwrap(), usage());
+        assert_eq!(run(&["help".to_string()]).unwrap(), usage());
+        assert!(run(&["frobnicate".to_string()]).is_err());
+    }
+
+    #[test]
+    fn analyze_trace_report_contents() {
+        let report = analyze_trace(&sawtooth_trace(8, 4));
+        assert!(report.contains("accesses            : 32"));
+        assert!(report.contains("footprint           : 8"));
+        assert!(report.contains("miss ratio"));
+        let empty = analyze_trace(&Trace::new());
+        assert!(empty.contains("accesses            : 0"));
+        assert!(empty.contains("(no reuse)"));
+    }
+
+    #[test]
+    fn retraversal_report_for_valid_and_invalid_traces() {
+        let sigma = Permutation::from_one_based(vec![2, 1, 3, 4]).unwrap();
+        let report = retraversal_trace_report(&retraversal_trace(&sigma)).unwrap();
+        assert!(report.contains("m = 4"));
+        assert!(report.contains("[2 1 3 4]"));
+        assert!(report.contains("Theorem 2 check     : true"));
+        let err = retraversal_trace_report(&Trace::from_usizes(&[0, 0, 1, 1])).unwrap_err();
+        assert!(err.to_string().contains("not a re-traversal"));
+    }
+
+    #[test]
+    fn generate_inline_and_to_file() {
+        let inline = generate("sawtooth", 4, 2, None).unwrap();
+        assert!(inline.contains("8 accesses over 4 addresses"));
+        assert!(inline.contains("0 1 2 3 3 2 1 0"));
+        let path = std::env::temp_dir().join("symloc_cli_generate_test.trace");
+        let path_str = path.to_string_lossy().to_string();
+        let to_file = generate("cyclic", 5, 3, Some(&path_str)).unwrap();
+        assert!(to_file.contains("wrote"));
+        let back = read_trace(&path).unwrap();
+        assert_eq!(back, cyclic_trace(5, 3));
+        std::fs::remove_file(&path).ok();
+        assert!(generate("bogus", 4, 2, None).is_err());
+        assert!(generate("cyclic", 0, 2, None).is_err());
+    }
+
+    #[test]
+    fn optimize_with_and_without_constraints() {
+        let free = optimize(5, &[]).unwrap();
+        assert!(free.contains("[5 4 3 2 1]"));
+        let constrained = optimize(5, &["0<1".to_string(), "2<4".to_string()]).unwrap();
+        assert!(constrained.contains("constraints: 2"));
+        assert!(constrained.contains("exhaustive optimum"));
+        assert!(optimize(0, &[]).is_err());
+        assert!(optimize(4, &["nonsense".to_string()]).is_err());
+        assert!(optimize(4, &["1<99".to_string()]).is_err());
+        assert!(optimize(4, &["3<x".to_string()]).is_err());
+        let big = optimize(12, &["0<1".to_string()]).unwrap();
+        assert!(big.contains("exhaustive check skipped"));
+    }
+
+    #[test]
+    fn run_dispatches_each_command() {
+        // generate to a temp file, then analyze + retraversal it.
+        let path = std::env::temp_dir().join("symloc_cli_run_test.trace");
+        let path_str = path.to_string_lossy().to_string();
+        let gen = run(&[
+            "generate".to_string(),
+            "sawtooth".to_string(),
+            "6".to_string(),
+            "2".to_string(),
+            path_str.clone(),
+        ])
+        .unwrap();
+        assert!(gen.contains("wrote"));
+        let analyze = run(&["analyze".to_string(), path_str.clone()]).unwrap();
+        assert!(analyze.contains("footprint           : 6"));
+        let rt = run(&["retraversal".to_string(), path_str.clone()]).unwrap();
+        assert!(rt.contains("[6 5 4 3 2 1]"));
+        std::fs::remove_file(&path).ok();
+        // Missing arguments are reported.
+        assert!(run(&["analyze".to_string()]).is_err());
+        assert!(run(&["retraversal".to_string()]).is_err());
+        assert!(run(&["generate".to_string()]).is_err());
+        assert!(run(&["generate".to_string(), "cyclic".to_string()]).is_err());
+        assert!(run(&["optimize".to_string()]).is_err());
+        assert!(run(&["optimize".to_string(), "abc".to_string()]).is_err());
+        assert!(run(&["analyze".to_string(), "/no/such/file".to_string()]).is_err());
+    }
+}

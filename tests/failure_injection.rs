@@ -1,0 +1,131 @@
+//! Failure-injection tests: every user-facing error path across the
+//! workspace returns a typed, descriptive error (or a documented panic)
+//! instead of silently producing wrong results.
+
+use symmetric_locality::prelude::*;
+use symmetric_locality::core::CoreError;
+use symmetric_locality::perm::PermError;
+use symmetric_locality::trace::io::{read_trace, read_trace_from_str, TraceIoError};
+
+#[test]
+fn malformed_permutations_are_rejected_with_context() {
+    let out_of_range = Permutation::from_images(vec![0, 1, 5]).unwrap_err();
+    assert!(matches!(out_of_range, PermError::ImageOutOfRange { value: 5, .. }));
+    assert!(out_of_range.to_string().contains("5"));
+
+    let duplicate = Permutation::from_images(vec![0, 1, 1]).unwrap_err();
+    assert!(matches!(duplicate, PermError::DuplicateImage { value: 1, .. }));
+
+    let one_based_zero = Permutation::from_one_based(vec![0, 1, 2]).unwrap_err();
+    assert!(matches!(one_based_zero, PermError::ImageOutOfRange { .. }));
+
+    let mismatch = Permutation::identity(3)
+        .try_compose(&Permutation::identity(4))
+        .unwrap_err();
+    assert!(matches!(mismatch, PermError::DegreeMismatch { left: 3, right: 4 }));
+
+    let bad_generator = Permutation::identity(3).mul_adjacent_right(2).unwrap_err();
+    assert!(matches!(bad_generator, PermError::GeneratorOutOfRange { index: 2, degree: 3 }));
+}
+
+#[test]
+fn ranking_and_sampling_bounds_are_enforced() {
+    assert!(matches!(
+        unrank(3, 6),
+        Err(PermError::RankOutOfRange { rank: 6, degree: 3 })
+    ));
+    assert!(matches!(
+        factorial(99),
+        Err(PermError::DegreeTooLarge { degree: 99, .. })
+    ));
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(1);
+    assert!(matches!(
+        random_with_inversions(4, 100, &mut rng),
+        Err(PermError::InversionTargetOutOfRange { target: 100, max: 6 })
+    ));
+    assert!(matches!(
+        from_lehmer_code(&[9, 0, 0]),
+        Err(PermError::InvalidCycle { .. })
+    ));
+    assert!(word_to_permutation(3, &[0, 7, 1]).is_err());
+}
+
+#[test]
+fn trace_files_with_garbage_are_reported_by_line() {
+    let err = read_trace_from_str("0\n1\nforty-two\n").unwrap_err();
+    match &err {
+        TraceIoError::Parse { line, text } => {
+            assert_eq!(*line, 3);
+            assert_eq!(text, "forty-two");
+        }
+        other => panic!("unexpected error {other:?}"),
+    }
+    assert!(read_trace("/path/that/does/not/exist.trace").is_err());
+    // Negative addresses and floats are rejected too.
+    assert!(read_trace_from_str("-1\n").is_err());
+    assert!(read_trace_from_str("1.5\n").is_err());
+}
+
+#[test]
+fn non_retraversal_traces_are_rejected_not_misparsed() {
+    for (trace, needle) in [
+        (Trace::from_usizes(&[0, 1, 2]), "odd"),
+        (Trace::from_usizes(&[0, 0, 1, 1]), "first traversal"),
+        (Trace::from_usizes(&[0, 1, 2, 9]), "not seen"),
+        (Trace::from_usizes(&[0, 1, 0, 0]), "repeats or skips"),
+    ] {
+        let err = ReTraversal::from_trace(&trace).unwrap_err();
+        assert!(matches!(err, CoreError::NotARetraversal { .. }));
+        assert!(
+            err.to_string().contains(needle),
+            "error {err} should mention {needle:?}"
+        );
+    }
+}
+
+#[test]
+fn inconsistent_feasibility_constraints_are_rejected_and_rolled_back() {
+    let mut dag = PrecedenceDag::unconstrained(4);
+    assert!(matches!(
+        dag.require_before(1, 9),
+        Err(CoreError::ConstraintOutOfRange { element: 9, degree: 4 })
+    ));
+    dag.require_before(0, 1).unwrap();
+    dag.require_before(1, 2).unwrap();
+    let cycle = dag.require_before(2, 0).unwrap_err();
+    assert!(matches!(cycle, CoreError::InfeasibleConstraints { .. }));
+    // The failed edge was rolled back, so the DAG is still usable and the
+    // optimizer still works on it.
+    assert_eq!(dag.constraint_count(), 2);
+    let (result, _) = optimize_from_identity(&dag, ChainFindConfig::default()).unwrap();
+    assert!(dag.is_feasible(&result.sigma));
+
+    // An infeasible starting point is reported, not silently "fixed".
+    let err = improve_greedy(&Permutation::reverse(4), &dag, ChainFindConfig::default())
+        .unwrap_err();
+    assert!(matches!(err, CoreError::NoFeasibleChoice { .. }));
+}
+
+#[test]
+fn labeling_degree_mismatch_is_detected() {
+    let labeling = RankedMissRatioLabeling::prioritize_second_largest(5);
+    assert!(labeling.check_degree(5).is_ok());
+    let err = labeling.check_degree(7).unwrap_err();
+    assert!(matches!(
+        err,
+        CoreError::LabelingDegreeMismatch { labeling: 5, group: 7 }
+    ));
+}
+
+#[test]
+fn cli_surfaces_errors_instead_of_panicking() {
+    use symmetric_locality::cli;
+    assert!(cli::run(&["analyze".to_string(), "/definitely/missing".to_string()]).is_err());
+    assert!(cli::run(&["generate".to_string(), "triangle".to_string(), "4".to_string(), "2".to_string()]).is_err());
+    assert!(cli::run(&["optimize".to_string(), "5".to_string(), "2<2".to_string()]).is_err());
+    assert!(cli::run(&["optimize".to_string(), "5".to_string(), "4<1".to_string()]).is_ok());
+    let err = cli::run(&["optimize".to_string(), "5".to_string(), "1<0".to_string(), "0<1".to_string()]);
+    assert!(err.is_err(), "cyclic constraints must be rejected");
+}
