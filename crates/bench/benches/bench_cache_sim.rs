@@ -16,7 +16,7 @@ fn bench_reuse_profiling(c: &mut Criterion) {
         let traces = [
             ("random", random_trace(1024, len, &mut rng)),
             ("zipfian", zipfian_trace(1024, len, 1.0, &mut rng)),
-            ("sawtooth", sawtooth_trace(1024, len / 1024), ),
+            ("sawtooth", sawtooth_trace(1024, len / 1024)),
         ];
         for (name, trace) in traces {
             group.throughput(Throughput::Elements(trace.len() as u64));

@@ -18,9 +18,7 @@ fn bench_schedule_reports(c: &mut Criterion) {
                 BenchmarkId::new(policy.name(), weights),
                 &weights,
                 |b, &w| {
-                    b.iter(|| {
-                        black_box(TrainingSchedule::new(w, 6, policy.clone()).report())
-                    });
+                    b.iter(|| black_box(TrainingSchedule::new(w, 6, policy.clone()).report()));
                 },
             );
         }

@@ -1,8 +1,10 @@
 //! Bench: the exhaustive Figure-1 sweep (hit vector of every permutation of
-//! S_m grouped by inversion number), single-threaded vs parallel.
+//! S_m grouped by inversion number), single-threaded vs parallel, and the
+//! batched scratch engine vs the per-permutation allocating baseline.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use symloc_core::sweep::{exhaustive_levels, sampled_levels};
+use symloc_core::engine::SweepEngine;
+use symloc_core::sweep::{exhaustive_levels, exhaustive_levels_reference, sampled_levels};
 use symloc_par::default_threads;
 
 fn bench_exhaustive_sweep(c: &mut Criterion) {
@@ -19,16 +21,43 @@ fn bench_exhaustive_sweep(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_sampled_sweep(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig1_sampled_sweep");
+/// The headline comparison: the batched `SweepEngine` (per-worker scratch,
+/// streaming iteration, zero per-permutation allocation) against the
+/// original per-permutation allocating path, both single-threaded so the
+/// kernel difference is isolated from parallel speedup.
+fn bench_engine_vs_reference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_engine_vs_reference");
     group.sample_size(10);
-    for &m in &[16usize, 32] {
-        group.bench_with_input(BenchmarkId::new("stratified_100_per_level", m), &m, |b, &m| {
-            b.iter(|| black_box(sampled_levels(m, 100, 7, default_threads())));
+    for &m in &[7usize, 8, 9] {
+        group.bench_with_input(BenchmarkId::new("engine_batched", m), &m, |b, &m| {
+            b.iter(|| black_box(SweepEngine::with_threads(m, 1).exhaustive_levels()));
+        });
+        group.bench_with_input(BenchmarkId::new("reference_allocating", m), &m, |b, &m| {
+            b.iter(|| black_box(exhaustive_levels_reference(m, 1)));
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_exhaustive_sweep, bench_sampled_sweep);
+fn bench_sampled_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_sampled_sweep");
+    group.sample_size(10);
+    for &m in &[16usize, 32] {
+        group.bench_with_input(
+            BenchmarkId::new("stratified_100_per_level", m),
+            &m,
+            |b, &m| {
+                b.iter(|| black_box(sampled_levels(m, 100, 7, default_threads())));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_exhaustive_sweep,
+    bench_engine_vs_reference,
+    bench_sampled_sweep
+);
 criterion_main!(benches);

@@ -78,7 +78,14 @@ fn main() {
     let mut constrained = ResultTable::new(
         "exp10_constrained_alternation",
         "Alternation with the constrained-optimal order vs cyclic under a dependence chain",
-        &["m", "constraints", "sigma_inversions", "cyclic_reuse", "optimized_reuse", "reduction_pct"],
+        &[
+            "m",
+            "constraints",
+            "sigma_inversions",
+            "cyclic_reuse",
+            "optimized_reuse",
+            "reduction_pct",
+        ],
     );
     for m in [8usize, 12, 16] {
         let mut dag = PrecedenceDag::unconstrained(m);

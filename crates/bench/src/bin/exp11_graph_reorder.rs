@@ -12,7 +12,9 @@ use rand::SeedableRng;
 use symloc_bench::{fmt_f64, ResultTable};
 use symloc_graphreorder::generators::{grid_graph, preferential_attachment_graph, random_graph};
 use symloc_graphreorder::graph::CsrGraph;
-use symloc_graphreorder::reorder::{bfs_order, degree_sort_order, identity_order, symmetric_retraversal_order};
+use symloc_graphreorder::reorder::{
+    bfs_order, degree_sort_order, identity_order, symmetric_retraversal_order,
+};
 use symloc_graphreorder::score::locality_score;
 use symloc_graphreorder::traversal::{neighbor_scan_trace, repeated_subset_trace};
 use symloc_perm::Permutation;
@@ -30,7 +32,13 @@ fn main() {
     let mut relabel = ResultTable::new(
         "exp11_graph_relabel",
         "Neighbor-scan locality under different vertex relabelings",
-        &["graph", "ordering", "accesses", "mean_reuse_distance", "mrc_area"],
+        &[
+            "graph",
+            "ordering",
+            "accesses",
+            "mean_reuse_distance",
+            "mrc_area",
+        ],
     );
     let graphs: Vec<(&str, CsrGraph)> = vec![
         ("grid 16x16 (scrambled)", scramble(&grid_graph(16, 16), 97)),
@@ -38,7 +46,10 @@ fn main() {
             "power-law n=500 (scrambled)",
             scramble(&preferential_attachment_graph(500, 3, &mut rng), 181),
         ),
-        ("erdos-renyi n=300 p=0.02", random_graph(300, 0.02, &mut rng)),
+        (
+            "erdos-renyi n=300 p=0.02",
+            random_graph(300, 0.02, &mut rng),
+        ),
     ];
     for (name, graph) in &graphs {
         let orderings: Vec<(&str, Vec<usize>)> = vec![

@@ -82,7 +82,11 @@ fn main() {
     // Assertion of the headline motivation: STREAM kernels have miss ratio
     // 1.0 at any cache smaller than their footprint; the sawtooth trace does
     // not.
-    let stream = reuse_profile(&stream_kernel_trace(StreamKernel::Triad, array_len, iterations));
+    let stream = reuse_profile(&stream_kernel_trace(
+        StreamKernel::Triad,
+        array_len,
+        iterations,
+    ));
     assert!((stream.miss_ratio(stream.footprint() / 2) - 1.0).abs() < 1e-12);
     let saw = reuse_profile(&sawtooth_trace(512, 2 * iterations));
     assert!(saw.miss_ratio(saw.footprint() / 2) < 0.75);

@@ -20,7 +20,11 @@ use symloc_perm::Permutation;
 
 fn run(n: usize, labeling: &dyn Labeled) -> (usize, usize, u128) {
     let chain = labeling.chain(n);
-    (chain_len(&chain), chain.arbitrary_choices, chain.chain_multiplicity)
+    (
+        chain_len(&chain),
+        chain.arbitrary_choices,
+        chain.chain_multiplicity,
+    )
 }
 
 /// Object-safe adapter so λ_e and λ_ψ can share the driver loop.

@@ -22,7 +22,12 @@ fn main() {
     let mut table = ResultTable::new(
         "exp4_theorem2_sweep",
         "Exhaustive verification of Theorem 2 and Corollary 1",
-        &["m", "permutations_checked", "theorem2_violations", "corollary1_violations"],
+        &[
+            "m",
+            "permutations_checked",
+            "theorem2_violations",
+            "corollary1_violations",
+        ],
     );
 
     for m in 1..=8usize {
@@ -61,7 +66,12 @@ fn main() {
     let mut sampled = ResultTable::new(
         "exp4_theorem2_sampled",
         "Sampled verification of Theorem 2 for large degrees",
-        &["m", "samples", "theorem2_violations", "corollary1_violations"],
+        &[
+            "m",
+            "samples",
+            "theorem2_violations",
+            "corollary1_violations",
+        ],
     );
     let mut rng = StdRng::seed_from_u64(20_24);
     for m in [50usize, 200, 1000, 4000] {

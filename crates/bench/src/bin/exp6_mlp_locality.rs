@@ -33,10 +33,19 @@ fn main() {
         ],
     );
 
-    for (n, m) in [(4usize, 4usize), (8, 8), (16, 8), (32, 16), (64, 32), (128, 64)] {
+    for (n, m) in [
+        (4usize, 4usize),
+        (8, 8),
+        (16, 8),
+        (32, 16),
+        (64, 32),
+        (128, 64),
+    ] {
         let layer = MlpLayer::new(m, n);
         let k = layer.weight_count();
-        let cyclic_trace = layer.weight_trace(0, None).concat(&layer.weight_trace(0, None));
+        let cyclic_trace = layer
+            .weight_trace(0, None)
+            .concat(&layer.weight_trace(0, None));
         let sawtooth_trace = layer
             .weight_trace(0, None)
             .concat(&layer.weight_trace(0, Some(&Permutation::reverse(k))));

@@ -29,7 +29,12 @@ fn main() {
     let mut push = |name: &str, expected: String, measured: String| {
         let ok = expected == measured;
         table.push_row(vec![name.to_string(), expected, measured, ok.to_string()]);
-        assert!(ok, "{name}: expected {} got {}", table.rows.last().unwrap()[1], table.rows.last().unwrap()[2]);
+        assert!(
+            ok,
+            "{name}: expected {} got {}",
+            table.rows.last().unwrap()[1],
+            table.rows.last().unwrap()[2]
+        );
     };
 
     // hits_C(sawtooth4) = (1, 2, 3, 4)
@@ -41,11 +46,19 @@ fn main() {
     );
 
     // ℓ(sawtooth4) = 6
-    push("l(sawtooth4)", "6".to_string(), inversions(&sawtooth4).to_string());
+    push(
+        "l(sawtooth4)",
+        "6".to_string(),
+        inversions(&sawtooth4).to_string(),
+    );
 
     // ℓ([2 1 3 4]) = 1 (the trace 2134 has one inversion)
     let example = Permutation::from_one_based(vec![2, 1, 3, 4]).unwrap();
-    push("l([2 1 3 4])", "1".to_string(), inversions(&example).to_string());
+    push(
+        "l([2 1 3 4])",
+        "1".to_string(),
+        inversions(&example).to_string(),
+    );
 
     // Algorithm-1 walkthrough: second-pass distances of 1 2 3 4 | 2 1 3 4 are
     // 3, 4, 4, 4 and the final cache-hit vector is (0, 0, 1, 4); the paper's
@@ -86,7 +99,11 @@ fn main() {
     // (1 3) = (2 3)(1 2)(2 3): length 3 (Definition 6 example, 1-based).
     let word = reflection_word(0, 2);
     let perm = word_to_permutation(3, &word).unwrap();
-    push("l((1 3)) via reduced word", "3".to_string(), word.len().to_string());
+    push(
+        "l((1 3)) via reduced word",
+        "3".to_string(),
+        word.len().to_string(),
+    );
     push(
         "(1 3) reconstructed from word",
         "[3 2 1]".to_string(),
@@ -95,9 +112,17 @@ fn main() {
 
     // Lemma 2 example: τ = (1 3) in S_5 has ℓ = 3 and ℓ(τ·s_3) = 4.
     let tau = Permutation::from_images(vec![2, 1, 0, 3, 4]).unwrap();
-    push("l((1 3)) in S5", "3".to_string(), inversions(&tau).to_string());
+    push(
+        "l((1 3)) in S5",
+        "3".to_string(),
+        inversions(&tau).to_string(),
+    );
     let tau_s3 = tau.mul_adjacent_right(3).unwrap();
-    push("l((1 3) * s_3)", "4".to_string(), inversions(&tau_s3).to_string());
+    push(
+        "l((1 3) * s_3)",
+        "4".to_string(),
+        inversions(&tau_s3).to_string(),
+    );
 
     table.emit();
 }

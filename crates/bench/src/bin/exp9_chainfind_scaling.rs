@@ -44,12 +44,7 @@ fn main() {
             ChainFindConfig::default(),
         );
         let elapsed = start.elapsed().as_secs_f64() * 1e3;
-        let max_branching = chain
-            .steps
-            .iter()
-            .map(|s| s.tie_size)
-            .max()
-            .unwrap_or(0);
+        let max_branching = chain.steps.iter().map(|s| s.tie_size).max().unwrap_or(0);
         assert!(chain.is_saturated(), "m={m}");
         assert_eq!(chain.len(), longest_length(m), "m={m}");
         let ratio = previous.map_or(String::from("-"), |p| fmt_f64(elapsed / p, 2));

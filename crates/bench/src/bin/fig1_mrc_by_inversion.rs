@@ -12,7 +12,8 @@
 //! ```
 
 use symloc_bench::{fmt_f64, ResultTable};
-use symloc_core::sweep::{average_mrc_by_inversion, exhaustive_levels, levels_are_monotone};
+use symloc_core::engine::SweepEngine;
+use symloc_core::sweep::{average_mrc_by_inversion, levels_are_monotone, LevelAggregate};
 use symloc_par::default_threads;
 
 fn main() {
@@ -25,10 +26,16 @@ fn main() {
         "fig1_s5",
         "Average miss ratio by inversion number for S_5 (paper Figure 1)",
         &[
-            "inversions", "count", "mr(c=1)", "mr(c=2)", "mr(c=3)", "mr(c=4)", "mr(c=5)",
+            "inversions",
+            "count",
+            "mr(c=1)",
+            "mr(c=2)",
+            "mr(c=3)",
+            "mr(c=4)",
+            "mr(c=5)",
         ],
     );
-    let levels = exhaustive_levels(m, threads);
+    let levels = SweepEngine::with_threads(m, threads).exhaustive_levels();
     for (level, curve) in levels.iter().zip(&curves) {
         let mut row = vec![level.inversions.to_string(), level.count.to_string()];
         for c in 1..=m {
@@ -47,10 +54,17 @@ fn main() {
     let mut ext = ResultTable::new(
         "fig1_extension",
         "Normalized area under the average MRC per inversion level, S_3..S_8",
-        &["m", "inversions", "count", "mrc_area", "mr(c=1)", "mr(c=m-1)"],
+        &[
+            "m",
+            "inversions",
+            "count",
+            "mrc_area",
+            "mr(c=1)",
+            "mr(c=m-1)",
+        ],
     );
     for m in 3..=8usize {
-        let levels = exhaustive_levels(m, threads);
+        let levels: Vec<LevelAggregate> = SweepEngine::with_threads(m, threads).exhaustive_levels();
         for level in &levels {
             let curve = level.average_mrc();
             ext.push_row(vec![

@@ -1,15 +1,25 @@
 //! Convenience driver: runs every experiment binary (E1–E14) in sequence by
-//! invoking their entry points through `cargo run` is unnecessary — each
-//! experiment is a separate binary — so this driver simply shells out to the
-//! already-built binaries next to itself, collecting exit status per
-//! experiment and summarizing at the end.
+//! shelling out to the already-built binaries next to itself, collecting exit
+//! status per experiment and summarizing at the end; then measures the sweep
+//! engine's throughput and writes the machine-readable `BENCH_sweep.json`
+//! at the workspace root so the performance trajectory can be tracked across
+//! PRs.
 //!
 //! ```sh
 //! cargo run --release -p symloc-bench --bin run_all_experiments
 //! ```
+//!
+//! Pass `--bench-only` to skip the experiment binaries and only refresh
+//! `BENCH_sweep.json`.
 
 use std::path::PathBuf;
 use std::process::Command;
+use std::time::Instant;
+
+use symloc_bench::json_escape;
+use symloc_core::engine::SweepEngine;
+use symloc_core::sweep::exhaustive_levels_reference;
+use symloc_par::default_threads;
 
 const EXPERIMENTS: &[&str] = &[
     "fig1_mrc_by_inversion",
@@ -34,39 +44,186 @@ fn binary_dir() -> Option<PathBuf> {
     std::env::current_exe().ok()?.parent().map(PathBuf::from)
 }
 
-fn main() {
-    let Some(dir) = binary_dir() else {
-        eprintln!("cannot locate the build directory; run the experiments individually");
-        std::process::exit(1);
+/// One measured sweep configuration.
+struct SweepMeasurement {
+    name: String,
+    m: usize,
+    threads: usize,
+    perms: u64,
+    perms_per_sec: f64,
+}
+
+/// Median-of-`runs` throughput of `sweep`, which processes `perms`
+/// permutations per call.
+fn measure(
+    name: &str,
+    m: usize,
+    threads: usize,
+    perms: u64,
+    runs: usize,
+    mut sweep: impl FnMut(),
+) -> SweepMeasurement {
+    // One warmup call, then the median of the timed runs.
+    sweep();
+    let mut rates: Vec<f64> = (0..runs.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            sweep();
+            perms as f64 / start.elapsed().as_secs_f64()
+        })
+        .collect();
+    rates.sort_by(|a, b| a.partial_cmp(b).expect("rates are finite"));
+    let perms_per_sec = rates[rates.len() / 2];
+    println!("{name:<44} m={m:<3} threads={threads:<3} {perms_per_sec:>14.0} perms/sec");
+    SweepMeasurement {
+        name: name.to_string(),
+        m,
+        threads,
+        perms,
+        perms_per_sec,
+    }
+}
+
+/// Measures the Figure-1 sweep throughput (batched engine vs the allocating
+/// reference path) and writes `BENCH_sweep.json` at the workspace root.
+fn emit_bench_sweep_json() {
+    println!("\n================ sweep throughput ================\n");
+    let factorial = |m: usize| -> u64 { (1..=m as u64).product() };
+    let threads = default_threads();
+    let mut measurements = Vec::new();
+    for m in [8usize, 9] {
+        let perms = factorial(m);
+        measurements.push(measure(
+            "exhaustive_engine_single_thread",
+            m,
+            1,
+            perms,
+            5,
+            || {
+                let _ = SweepEngine::with_threads(m, 1).exhaustive_levels();
+            },
+        ));
+        measurements.push(measure(
+            "exhaustive_reference_single_thread",
+            m,
+            1,
+            perms,
+            5,
+            || {
+                let _ = exhaustive_levels_reference(m, 1);
+            },
+        ));
+    }
+    let m = 10usize;
+    measurements.push(measure(
+        "exhaustive_engine_all_threads",
+        m,
+        threads,
+        factorial(m),
+        3,
+        || {
+            let _ = SweepEngine::new(m).exhaustive_levels();
+        },
+    ));
+    let (m, per_level) = (24usize, 400usize);
+    let levels = (m * (m - 1) / 2 + 1) as u64;
+    measurements.push(measure(
+        "sampled_engine_all_threads",
+        m,
+        threads,
+        levels * per_level as u64,
+        3,
+        || {
+            let _ = SweepEngine::new(m).sampled_levels(per_level, 7);
+        },
+    ));
+
+    // Speedup of the batched engine over the allocating path, per degree.
+    let speedup_at = |m: usize| -> Option<f64> {
+        let rate = |name: &str| {
+            measurements
+                .iter()
+                .find(|s| s.m == m && s.name.starts_with(name))
+                .map(|s| s.perms_per_sec)
+        };
+        Some(rate("exhaustive_engine_single_thread")? / rate("exhaustive_reference_single_thread")?)
     };
+
+    let mut json = String::from("{\n  \"benchmark\": \"fig1_sweep_throughput\",\n");
+    json.push_str("  \"unit\": \"perms_per_sec\",\n");
+    json.push_str(&format!("  \"hardware_threads\": {},\n", default_threads()));
+    json.push_str("  \"measurements\": [\n");
+    for (i, s) in measurements.iter().enumerate() {
+        let sep = if i + 1 < measurements.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"m\": {}, \"threads\": {}, \"perms_per_iteration\": {}, \"perms_per_sec\": {:.0}}}{sep}\n",
+            json_escape(&s.name),
+            s.m,
+            s.threads,
+            s.perms,
+            s.perms_per_sec,
+        ));
+    }
+    json.push_str("  ],\n");
+    let s8 = speedup_at(8).unwrap_or(f64::NAN);
+    let s9 = speedup_at(9).unwrap_or(f64::NAN);
+    json.push_str(&format!(
+        "  \"engine_speedup_over_reference\": {{\"m8\": {s8:.2}, \"m9\": {s9:.2}}}\n}}\n"
+    ));
+    println!("\nengine speedup over allocating reference: {s8:.2}x (m=8), {s9:.2}x (m=9)");
+
+    // BENCH_sweep.json lives at the workspace root (two levels above the
+    // bench crate), next to ROADMAP.md.
+    let root = symloc_bench::results_dir()
+        .parent()
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."));
+    let path = root.join("BENCH_sweep.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
+}
+
+fn main() {
+    let bench_only = std::env::args().any(|a| a == "--bench-only");
     let mut failures = Vec::new();
-    for name in EXPERIMENTS {
-        let path = dir.join(name);
-        println!("\n================ {name} ================\n");
-        let status = Command::new(&path).status();
-        match status {
-            Ok(s) if s.success() => {}
-            Ok(s) => {
-                eprintln!("{name} exited with {s}");
-                failures.push(*name);
-            }
-            Err(e) => {
-                eprintln!(
-                    "{name} could not be started ({e}); build it first with \
-                     `cargo build --release -p symloc-bench --bins`"
-                );
-                failures.push(*name);
+    if !bench_only {
+        let Some(dir) = binary_dir() else {
+            eprintln!("cannot locate the build directory; run the experiments individually");
+            std::process::exit(1);
+        };
+        for name in EXPERIMENTS {
+            let path = dir.join(name);
+            println!("\n================ {name} ================\n");
+            let status = Command::new(&path).status();
+            match status {
+                Ok(s) if s.success() => {}
+                Ok(s) => {
+                    eprintln!("{name} exited with {s}");
+                    failures.push(*name);
+                }
+                Err(e) => {
+                    eprintln!(
+                        "{name} could not be started ({e}); build it first with \
+                         `cargo build --release -p symloc-bench --bins`"
+                    );
+                    failures.push(*name);
+                }
             }
         }
     }
-    println!("\n================ summary ================\n");
-    println!(
-        "{} of {} experiments completed successfully",
-        EXPERIMENTS.len() - failures.len(),
-        EXPERIMENTS.len()
-    );
-    if !failures.is_empty() {
-        println!("failed or missing: {failures:?}");
-        std::process::exit(1);
+    emit_bench_sweep_json();
+    if !bench_only {
+        println!("\n================ summary ================\n");
+        println!(
+            "{} of {} experiments completed successfully",
+            EXPERIMENTS.len() - failures.len(),
+            EXPERIMENTS.len()
+        );
+        if !failures.is_empty() {
+            println!("failed or missing: {failures:?}");
+            std::process::exit(1);
+        }
     }
 }

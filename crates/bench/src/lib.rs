@@ -8,7 +8,6 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
-use serde::Serialize;
 use std::fs;
 use std::path::{Path, PathBuf};
 
@@ -24,9 +23,38 @@ pub fn results_dir() -> PathBuf {
         .join("results")
 }
 
+/// Escapes a string for embedding in a JSON document (the offline build has
+/// no serde, so the experiment sidecars are emitted by hand).
+#[must_use]
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a list of strings as a JSON array of strings.
+#[must_use]
+pub fn json_string_array(items: &[String]) -> String {
+    let quoted: Vec<String> = items
+        .iter()
+        .map(|s| format!("\"{}\"", json_escape(s)))
+        .collect();
+    format!("[{}]", quoted.join(", "))
+}
+
 /// A rectangular result table with named columns, printable as aligned text
 /// and writable as CSV.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ResultTable {
     /// Experiment identifier, e.g. `"fig1"`.
     pub experiment: String,
@@ -83,7 +111,13 @@ impl ResultTable {
             .collect();
         out.push_str(&header.join("  "));
         out.push('\n');
-        out.push_str(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+        out.push_str(
+            &widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  "),
+        );
         out.push('\n');
         for row in &self.rows {
             let line: Vec<String> = row
@@ -94,6 +128,33 @@ impl ResultTable {
             out.push_str(&line.join("  "));
             out.push('\n');
         }
+        out
+    }
+
+    /// Renders the table as a pretty-printed JSON document with the same
+    /// shape serde would have produced for the struct.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!(
+            "  \"experiment\": \"{}\",\n",
+            json_escape(&self.experiment)
+        ));
+        out.push_str(&format!(
+            "  \"description\": \"{}\",\n",
+            json_escape(&self.description)
+        ));
+        out.push_str(&format!(
+            "  \"columns\": {},\n",
+            json_string_array(&self.columns)
+        ));
+        out.push_str("  \"rows\": [\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            let sep = if i + 1 < self.rows.len() { "," } else { "" };
+            out.push_str(&format!("    {}{sep}\n", json_string_array(row)));
+        }
+        out.push_str("  ]\n}\n");
         out
     }
 
@@ -128,13 +189,8 @@ impl ResultTable {
             println!("wrote {}", csv_path.display());
         }
         let json_path = dir.join(format!("{}.json", self.experiment));
-        match serde_json::to_string_pretty(self) {
-            Ok(json) => {
-                if let Err(e) = fs::write(&json_path, json) {
-                    eprintln!("warning: cannot write {}: {e}", json_path.display());
-                }
-            }
-            Err(e) => eprintln!("warning: cannot serialize table: {e}"),
+        if let Err(e) = fs::write(&json_path, self.to_json()) {
+            eprintln!("warning: cannot write {}: {e}", json_path.display());
         }
     }
 }
@@ -180,5 +236,20 @@ mod tests {
     fn fmt_f64_rounds() {
         assert_eq!(fmt_f64(0.123456, 3), "0.123");
         assert_eq!(fmt_f64(2.0, 1), "2.0");
+    }
+
+    #[test]
+    fn json_rendering_escapes_and_nests() {
+        let mut t = ResultTable::new("unit", "quote \" and \\ and\nnewline", &["a"]);
+        t.push_row(vec!["v1".into()]);
+        t.push_row(vec!["v2".into()]);
+        let json = t.to_json();
+        assert!(json.contains("\"experiment\": \"unit\""));
+        assert!(json.contains("quote \\\" and \\\\ and\\nnewline"));
+        assert!(json.contains("[\"v1\"],"));
+        assert!(json.contains("[\"v2\"]\n"));
+        assert_eq!(json_escape("\t"), "\\t");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+        assert_eq!(json_string_array(&[]), "[]");
     }
 }

@@ -113,11 +113,7 @@ impl CacheHierarchy {
     #[must_use]
     pub fn stats(&self) -> HierarchyStats {
         HierarchyStats {
-            levels: self
-                .levels
-                .iter()
-                .map(|(l, c)| (*l, c.stats()))
-                .collect(),
+            levels: self.levels.iter().map(|(l, c)| (*l, c.stats())).collect(),
             memory_accesses: self.memory_accesses,
             total_accesses: self.total_accesses,
         }

@@ -84,10 +84,7 @@ impl ReuseDistanceHistogram {
     /// `c`).
     #[must_use]
     pub fn hits_at(&self, c: usize) -> usize {
-        self.counts
-            .range(..=c)
-            .map(|(_, &count)| count)
-            .sum()
+        self.counts.range(..=c).map(|(_, &count)| count).sum()
     }
 
     /// The cache-hit vector `hits_C = (hits_1, .., hits_max)` up to cache
@@ -234,11 +231,7 @@ impl HitVector {
     #[must_use]
     pub fn dominates(&self, other: &HitVector) -> bool {
         self.hits.len() == other.hits.len()
-            && self
-                .hits
-                .iter()
-                .zip(other.hits.iter())
-                .all(|(a, b)| a >= b)
+            && self.hits.iter().zip(other.hits.iter()).all(|(a, b)| a >= b)
     }
 }
 

@@ -47,5 +47,7 @@ pub mod prelude {
     pub use crate::lru::{lru_stack_distances, LruStack};
     pub use crate::mrc::MissRatioCurve;
     pub use crate::reuse::{reuse_distances, reuse_profile, ReuseProfile};
-    pub use crate::setassoc::{AccessOutcome, CacheConfig, CacheStats, ReplacementPolicy, SetAssocCache};
+    pub use crate::setassoc::{
+        AccessOutcome, CacheConfig, CacheStats, ReplacementPolicy, SetAssocCache,
+    };
 }

@@ -115,7 +115,8 @@ impl MissRatioCurve {
         }
         let n = curves.len() as f64;
         let ratios: Vec<f64> = sums.into_iter().map(|s| s / n).collect();
-        let accesses = (curves.iter().map(|c| c.accesses).sum::<usize>() as f64 / n).round() as usize;
+        let accesses =
+            (curves.iter().map(|c| c.accesses).sum::<usize>() as f64 / n).round() as usize;
         Some(MissRatioCurve { ratios, accesses })
     }
 

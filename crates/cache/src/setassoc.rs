@@ -199,11 +199,7 @@ impl SetAssocCache {
         let mut hi = ways_pow2;
         while hi - lo > 1 {
             let mid = (lo + hi) / 2;
-            let go_left = set
-                .plru_bits
-                .get(node)
-                .copied()
-                .unwrap_or(false);
+            let go_left = set.plru_bits.get(node).copied().unwrap_or(false);
             node = 2 * node + if go_left { 1 } else { 2 };
             if go_left {
                 hi = mid;
@@ -302,9 +298,15 @@ mod tests {
     #[test]
     fn hit_and_miss_outcomes() {
         let mut cache = SetAssocCache::new(fa_lru(2));
-        assert!(matches!(cache.access(Addr(1)), AccessOutcome::Miss { evicted: None }));
+        assert!(matches!(
+            cache.access(Addr(1)),
+            AccessOutcome::Miss { evicted: None }
+        ));
         assert!(cache.access(Addr(1)).is_hit());
-        assert!(matches!(cache.access(Addr(2)), AccessOutcome::Miss { evicted: None }));
+        assert!(matches!(
+            cache.access(Addr(2)),
+            AccessOutcome::Miss { evicted: None }
+        ));
         // Cache is {1, 2}; accessing 3 evicts 1 (LRU).
         match cache.access(Addr(3)) {
             AccessOutcome::Miss { evicted } => assert_eq!(evicted, Some(Addr(1))),

@@ -105,9 +105,10 @@ impl PartitionCensus {
         if self.level_totals() != mahonian {
             return false;
         }
-        self.levels.iter().enumerate().all(|(n, level)| {
-            level.keys().all(|p| is_partition_of(p, n))
-        })
+        self.levels
+            .iter()
+            .enumerate()
+            .all(|(n, level)| level.keys().all(|p| is_partition_of(p, n)))
     }
 }
 
@@ -147,7 +148,10 @@ mod tests {
     #[test]
     fn partition_of_extremes() {
         assert!(hit_vector_partition(&Permutation::identity(5)).is_empty());
-        assert_eq!(hit_vector_partition(&Permutation::reverse(4)), vec![3, 2, 1]);
+        assert_eq!(
+            hit_vector_partition(&Permutation::reverse(4)),
+            vec![3, 2, 1]
+        );
         assert!(hit_vector_partition(&Permutation::identity(1)).is_empty());
         assert!(hit_vector_partition(&Permutation::identity(0)).is_empty());
     }
@@ -213,7 +217,10 @@ mod tests {
         let s0 = e.mul_adjacent_right(0).unwrap();
         let delta = normalized_truncated_integral(&e) - normalized_truncated_integral(&s0);
         assert!((delta - 1.0 / (m as f64 * (m - 1) as f64)).abs() < 1e-12);
-        assert_eq!(normalized_truncated_integral(&Permutation::identity(1)), 1.0);
+        assert_eq!(
+            normalized_truncated_integral(&Permutation::identity(1)),
+            1.0
+        );
         assert_eq!(predicted_truncated_integral(0, 0), 1.0);
     }
 }

@@ -6,6 +6,7 @@
 //! maximal label is not unique ("arbitrary choices", Figure 2); this
 //! implementation records those ties and how they were broken.
 
+use crate::hits::AnalysisScratch;
 use crate::labeling::{EdgeLabeling, Label};
 use symloc_perm::bruhat::upper_covers;
 use symloc_perm::inversions::inversions;
@@ -88,8 +89,7 @@ impl Chain {
     pub fn is_saturated(&self) -> bool {
         let m = self.start.degree();
         let max_len = m * m.saturating_sub(1) / 2;
-        inversions(self.last()) == max_len
-            && self.len() == max_len - inversions(&self.start)
+        inversions(self.last()) == max_len && self.len() == max_len - inversions(&self.start)
     }
 }
 
@@ -146,6 +146,10 @@ where
         TieBreak::Random(seed) => seed,
         _ => 0,
     };
+    // One workspace for every label evaluation of the whole ascent (up to
+    // m(m-1)/2 steps × m-1 covers): the hit-vector labelings reuse it
+    // instead of allocating per cover.
+    let mut scratch = AnalysisScratch::new(start.degree());
     loop {
         if let Some(max) = config.max_steps {
             if steps.len() >= max {
@@ -157,7 +161,8 @@ where
             .into_iter()
             .filter(|c| feasible(&c.perm))
             .map(|c| {
-                let label = labeling.label(&current, &c.perm, c.transposition);
+                let label =
+                    labeling.label_with_scratch(&current, &c.perm, c.transposition, &mut scratch);
                 (c.perm, c.transposition, label)
             })
             .collect();
@@ -296,7 +301,11 @@ mod tests {
     #[test]
     fn tie_break_policies_all_reach_the_top() {
         let e = Permutation::identity(5);
-        for tie_break in [TieBreak::First, TieBreak::LargestGenerator, TieBreak::Random(7)] {
+        for tie_break in [
+            TieBreak::First,
+            TieBreak::LargestGenerator,
+            TieBreak::Random(7),
+        ] {
             let config = ChainFindConfig {
                 tie_break,
                 max_steps: None,
@@ -334,12 +343,10 @@ mod tests {
         // the chain can only permute elements 1..m-1.
         let m = 5;
         let e = Permutation::identity(m);
-        let chain = chain_find_constrained(
-            &e,
-            &MissRatioLabeling,
-            ChainFindConfig::default(),
-            |p| p.apply(0) == 0,
-        );
+        let chain =
+            chain_find_constrained(&e, &MissRatioLabeling, ChainFindConfig::default(), |p| {
+                p.apply(0) == 0
+            });
         // The reachable sub-poset is S_{m-1} on the last m-1 elements, whose
         // longest element has (m-1)(m-2)/2 inversions.
         assert_eq!(chain.len(), (m - 1) * (m - 2) / 2);
@@ -350,12 +357,10 @@ mod tests {
     #[test]
     fn constrained_chain_with_nothing_feasible_stays_put() {
         let e = Permutation::identity(4);
-        let chain = chain_find_constrained(
-            &e,
-            &MissRatioLabeling,
-            ChainFindConfig::default(),
-            |_| false,
-        );
+        let chain =
+            chain_find_constrained(&e, &MissRatioLabeling, ChainFindConfig::default(), |_| {
+                false
+            });
         assert!(chain.is_empty());
         assert_eq!(chain.last(), &e);
     }

@@ -1,0 +1,299 @@
+//! The batched sweep engine: streaming, allocation-free aggregation of
+//! Algorithm-1 analyses over ranges of `S_m`.
+//!
+//! The Figure-1 family of experiments evaluates the hit vector of *every*
+//! permutation of `S_m` (or a stratified sample at larger degrees) and
+//! aggregates by inversion number. Done naively that is one `Permutation`,
+//! one Fenwick tree, one histogram and one hit vector allocated per
+//! permutation — millions of allocations per sweep. The [`SweepEngine`]
+//! batches the sweep per worker instead:
+//!
+//! 1. the rank space `0 .. m!` is split into contiguous chunks
+//!    ([`symloc_par::parallel_reduce_chunked`]),
+//! 2. each worker positions one [`RankRangeStream`] by unranking the chunk
+//!    start, then walks the chunk with in-place `next_permutation` steps,
+//! 3. each permutation's distances and inversion number come from one
+//!    [`AnalysisScratch`] Fenwick pass (the inversion count is a free
+//!    by-product of the same tree queries), and
+//! 4. aggregation happens into per-worker dense distance counters that are
+//!    merged once, when the workers join — no locks, no per-permutation
+//!    `Vec`s, no intermediate collections.
+//!
+//! The per-level *distance counts* are aggregated rather than per-level hit
+//! vectors: since every hit vector is the prefix sum of its distance counts,
+//! summing counts first and prefix-summing once per level at the end computes
+//! the same [`LevelAggregate`]s with `m` fewer additions per permutation.
+//!
+//! ```
+//! use symloc_core::engine::SweepEngine;
+//!
+//! let levels = SweepEngine::new(5).exhaustive_levels();
+//! assert_eq!(levels.len(), 11); // inversion levels 0 ..= 10 of S_5
+//! assert_eq!(levels.iter().map(|l| l.count).sum::<u64>(), 120);
+//! ```
+
+use crate::hits::AnalysisScratch;
+use crate::sweep::LevelAggregate;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use symloc_par::{default_threads, parallel_map_chunked, parallel_reduce_chunked};
+use symloc_perm::inversions::max_inversions;
+use symloc_perm::iter::RankRangeStream;
+use symloc_perm::rank::{factorial, RankRange};
+use symloc_perm::sample::InversionSampler;
+
+/// Per-worker (and merged) sweep state: for every inversion level, the
+/// number of permutations seen and their dense reuse-distance counts.
+#[derive(Debug, Clone)]
+struct LevelCounts {
+    /// Permutations aggregated per level.
+    perms: Vec<u64>,
+    /// `dist_counts[level][d]` = occurrences of reuse distance `d` (`1..=m`)
+    /// across the level's permutations. Index 0 is unused.
+    dist_counts: Vec<Vec<u64>>,
+}
+
+impl LevelCounts {
+    fn empty(max_inv: usize, m: usize) -> Self {
+        LevelCounts {
+            perms: vec![0; max_inv + 1],
+            dist_counts: vec![vec![0; m + 1]; max_inv + 1],
+        }
+    }
+
+    fn absorb_distances(&mut self, level: usize, distances: &[usize]) {
+        self.perms[level] += 1;
+        let counts = &mut self.dist_counts[level];
+        for &d in distances {
+            counts[d] += 1;
+        }
+    }
+
+    fn merge(mut self, other: LevelCounts) -> LevelCounts {
+        for (a, b) in self.perms.iter_mut().zip(other.perms) {
+            *a += b;
+        }
+        for (row_a, row_b) in self.dist_counts.iter_mut().zip(other.dist_counts) {
+            for (a, b) in row_a.iter_mut().zip(row_b) {
+                *a += b;
+            }
+        }
+        self
+    }
+
+    /// Converts to [`LevelAggregate`]s: the hit vector of a level is the
+    /// prefix sum of its distance counts.
+    fn into_level_aggregates(self, m: usize) -> Vec<LevelAggregate> {
+        self.perms
+            .into_iter()
+            .zip(self.dist_counts)
+            .enumerate()
+            .map(|(level, (count, counts))| {
+                let mut hit_sums = Vec::with_capacity(m);
+                let mut acc = 0u64;
+                for &count in &counts[1..] {
+                    acc += count;
+                    hit_sums.push(acc);
+                }
+                LevelAggregate {
+                    inversions: level,
+                    count,
+                    hit_sums,
+                }
+            })
+            .collect()
+    }
+}
+
+/// A parallel sweep evaluator over `S_m` with per-worker scratch.
+///
+/// See the [module docs](self) for the batching strategy. The engine is
+/// cheap to construct (it owns no buffers itself; workers build their
+/// scratch when a sweep starts) and deterministic: results are independent
+/// of the thread count.
+#[derive(Debug, Clone)]
+pub struct SweepEngine {
+    m: usize,
+    threads: usize,
+}
+
+impl SweepEngine {
+    /// An engine over `S_m` using every available hardware thread.
+    #[must_use]
+    pub fn new(m: usize) -> Self {
+        Self::with_threads(m, default_threads())
+    }
+
+    /// An engine over `S_m` with an explicit worker count (`0` and `1` both
+    /// mean sequential).
+    #[must_use]
+    pub fn with_threads(m: usize, threads: usize) -> Self {
+        SweepEngine {
+            m,
+            threads: threads.max(1),
+        }
+    }
+
+    /// The degree `m` swept over.
+    #[must_use]
+    pub fn degree(&self) -> usize {
+        self.m
+    }
+
+    /// The worker count.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Exhaustively sweeps all of `S_m`, grouping hit vectors by inversion
+    /// number. Returns one [`LevelAggregate`] per inversion count
+    /// `0 ..= m(m-1)/2` — the data behind Figure 1 of the paper.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m > 12` (the factorial sweep would be prohibitive).
+    #[must_use]
+    pub fn exhaustive_levels(&self) -> Vec<LevelAggregate> {
+        let m = self.m;
+        assert!(
+            m <= 12,
+            "exhaustive_levels: degree {m} too large for a factorial sweep"
+        );
+        let total = factorial(m).expect("m <= 12") as usize;
+        let max_inv = max_inversions(m);
+        let merged = parallel_reduce_chunked(
+            total,
+            self.threads,
+            || LevelCounts::empty(max_inv, m),
+            |mut acc, chunk| {
+                let mut scratch = AnalysisScratch::new(m);
+                let mut stream = RankRangeStream::new(
+                    m,
+                    RankRange {
+                        start: chunk.start as u128,
+                        end: chunk.end as u128,
+                    },
+                );
+                while let Some(images) = stream.next_images() {
+                    let level = scratch.pass_images(images);
+                    acc.absorb_distances(level, scratch.distances());
+                }
+                acc
+            },
+            LevelCounts::merge,
+        );
+        merged.into_level_aggregates(m)
+    }
+
+    /// Stratified-sampling sweep for degrees where `m!` is out of reach:
+    /// draws `samples_per_level` permutations uniformly at each inversion
+    /// count and aggregates their hit vectors.
+    ///
+    /// Each level builds its [`InversionSampler`] (the Mahonian completion
+    /// table) once and reuses it for every draw; each worker reuses one
+    /// scratch and one set of sampling buffers across its levels. The result
+    /// is deterministic in `seed` and independent of the thread count.
+    #[must_use]
+    pub fn sampled_levels(&self, samples_per_level: usize, seed: u64) -> Vec<LevelAggregate> {
+        let m = self.m;
+        let max_inv = max_inversions(m);
+        parallel_map_chunked(max_inv + 1, self.threads, |chunk| {
+            let mut scratch = AnalysisScratch::new(m);
+            let (mut images, mut code, mut available) = (Vec::new(), Vec::new(), Vec::new());
+            let mut out = Vec::with_capacity(chunk.len());
+            for level in chunk.start..chunk.end {
+                let sampler = InversionSampler::new(m, level)
+                    .expect("level <= max_inversions by construction");
+                let mut rng =
+                    StdRng::seed_from_u64(seed ^ (level as u64).wrapping_mul(0x9E37_79B9));
+                let mut counts = LevelCounts::empty(0, m);
+                for _ in 0..samples_per_level {
+                    sampler.sample_images_into(&mut rng, &mut images, &mut code, &mut available);
+                    let drawn_level = scratch.pass_images(&images);
+                    debug_assert_eq!(drawn_level, level, "sampler must hit its level");
+                    counts.absorb_distances(0, scratch.distances());
+                }
+                let mut aggregate = counts
+                    .into_level_aggregates(m)
+                    .pop()
+                    .expect("one aggregate per LevelCounts");
+                aggregate.inversions = level;
+                out.push(aggregate);
+            }
+            out
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::exhaustive_levels_reference;
+    use symloc_perm::mahonian::mahonian_row;
+
+    #[test]
+    fn engine_matches_reference_implementation_exhaustively() {
+        for m in 0..=6usize {
+            for threads in [1, 4] {
+                let engine = SweepEngine::with_threads(m, threads).exhaustive_levels();
+                let reference = exhaustive_levels_reference(m, threads);
+                assert_eq!(engine, reference, "m={m} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn engine_counts_match_mahonian() {
+        let levels = SweepEngine::with_threads(6, 3).exhaustive_levels();
+        let mahonian = mahonian_row(6);
+        assert_eq!(levels.len(), mahonian.len());
+        for (level, &expected) in levels.iter().zip(mahonian.iter()) {
+            assert_eq!(u128::from(level.count), expected, "l={}", level.inversions);
+        }
+    }
+
+    #[test]
+    fn engine_is_thread_count_invariant() {
+        let sequential = SweepEngine::with_threads(7, 1).exhaustive_levels();
+        for threads in [2, 5, 16] {
+            assert_eq!(
+                SweepEngine::with_threads(7, threads).exhaustive_levels(),
+                sequential,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn engine_accessors() {
+        let engine = SweepEngine::with_threads(5, 0);
+        assert_eq!(engine.degree(), 5);
+        assert_eq!(engine.threads(), 1);
+        assert!(SweepEngine::new(4).threads() >= 1);
+    }
+
+    #[test]
+    fn sampled_levels_hit_their_levels_and_are_deterministic() {
+        let engine = SweepEngine::with_threads(9, 3);
+        let levels = engine.sampled_levels(8, 42);
+        assert_eq!(levels.len(), max_inversions(9) + 1);
+        for level in &levels {
+            assert_eq!(level.count, 8);
+            // Theorem 2 in aggregate: truncated hit sums = ℓ · count.
+            let truncated: u64 = level.hit_sums[..8].iter().sum();
+            assert_eq!(truncated, level.inversions as u64 * level.count);
+        }
+        let again = SweepEngine::with_threads(9, 7).sampled_levels(8, 42);
+        assert_eq!(levels, again, "seeded sampling must not depend on threads");
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn engine_rejects_huge_exhaustive_degree() {
+        let _ = SweepEngine::new(13).exhaustive_levels();
+    }
+}

@@ -15,7 +15,7 @@
 //! The functions here compute that decomposition directly from the
 //! permutations and are cross-validated against full trace simulation.
 
-use crate::hits::hit_vector;
+use crate::hits::AnalysisScratch;
 use symloc_cache::histogram::ReuseDistanceHistogram;
 use symloc_perm::inversions::inversions;
 use symloc_perm::Permutation;
@@ -124,14 +124,18 @@ impl EpochChain {
     /// The reuse-distance histogram of the whole chain predicted from the
     /// per-transition hit vectors (m cold accesses for the first epoch, then
     /// one finite distance per element per transition).
+    ///
+    /// One [`AnalysisScratch`] is reused across all transitions.
     #[must_use]
     pub fn analytical_histogram(&self) -> ReuseDistanceHistogram {
+        let mut scratch = AnalysisScratch::new(self.m);
         let mut histogram = ReuseDistanceHistogram::new();
         for _ in 0..self.m {
             histogram.record(None);
         }
         for rel in self.transition_permutations() {
-            for d in crate::hits::second_pass_distances(&rel) {
+            scratch.pass(&rel);
+            for &d in scratch.distances() {
                 histogram.record(Some(d));
             }
         }
@@ -140,11 +144,14 @@ impl EpochChain {
 
     /// The total hit count of the chain at cache size `c`, predicted
     /// analytically as the sum of per-transition hits.
+    ///
+    /// One [`AnalysisScratch`] is reused across all transitions.
     #[must_use]
     pub fn analytical_hits(&self, c: usize) -> usize {
+        let mut scratch = AnalysisScratch::new(self.m);
         self.transition_permutations()
             .iter()
-            .map(|rel| hit_vector(rel).hits(c))
+            .map(|rel| crate::hits::hits_with_scratch(rel, c, &mut scratch))
             .sum()
     }
 

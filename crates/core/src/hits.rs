@@ -15,6 +15,18 @@
 //! implementations are provided: the literal prefix-sum bit-vector algorithm
 //! of the paper (`O(m²)`), a Fenwick-tree variant (`O(m log m)`), and a
 //! cross-check through the generic LRU simulator of `symloc-cache`.
+//!
+//! # Scratch kernels
+//!
+//! Every quantity here is also computable through an [`AnalysisScratch`]
+//! workspace (`second_pass_distances_with_scratch`, `hit_vector_with_scratch`,
+//! `rd_histogram_with_scratch`, `mrc_with_scratch`): the workspace owns the
+//! Fenwick tree and all intermediate buffers, so a loop evaluating millions
+//! of permutations performs **zero** allocations after the first iteration.
+//! The classic allocating functions are thin wrappers over these kernels and
+//! remain the convenient API for one-shot use. A free by-product of the
+//! Fenwick pass is the inversion number `ℓ(σ)` (the per-step repeat counts
+//! sum to exactly the inversion pairs), which the sweep engine exploits.
 
 use symloc_cache::histogram::{HitVector, ReuseDistanceHistogram};
 use symloc_cache::mrc::MissRatioCurve;
@@ -22,6 +34,131 @@ use symloc_cache::reuse::reuse_profile;
 use symloc_perm::fenwick::Fenwick;
 use symloc_perm::Permutation;
 use symloc_trace::generators::retraversal_trace;
+
+/// A reusable workspace for the Algorithm-1 kernels.
+///
+/// Owns the Fenwick tree and the distance / histogram / hit-vector buffers
+/// so that repeated analyses (sweeps, ChainFind label evaluations, epoch
+/// decompositions) never allocate on the hot path. The workspace re-targets
+/// itself automatically when handed a permutation of a different degree.
+///
+/// ```
+/// use symloc_core::hits::{hit_vector, hit_vector_with_scratch, AnalysisScratch};
+/// use symloc_perm::Permutation;
+///
+/// let mut scratch = AnalysisScratch::new(6);
+/// let sigma = Permutation::reverse(6);
+/// assert_eq!(hit_vector_with_scratch(&sigma, &mut scratch), &[1, 2, 3, 4, 5, 6]);
+/// assert_eq!(hit_vector_with_scratch(&sigma, &mut scratch), hit_vector(&sigma).as_slice());
+/// ```
+#[derive(Debug, Clone)]
+pub struct AnalysisScratch {
+    fenwick: Fenwick,
+    distances: Vec<usize>,
+    /// Dense reuse-distance counts, indexed by distance `0..=m` (index 0 is
+    /// unused: the minimum stack distance of a re-traversal is 1).
+    counts: Vec<usize>,
+    /// Dense hit vector, index 0 = cache size 1.
+    hits: Vec<usize>,
+    degree: usize,
+}
+
+impl AnalysisScratch {
+    /// Creates a workspace sized for permutations of `m` elements.
+    #[must_use]
+    pub fn new(m: usize) -> Self {
+        AnalysisScratch {
+            fenwick: Fenwick::new(m),
+            distances: Vec::with_capacity(m),
+            counts: Vec::new(),
+            hits: Vec::new(),
+            degree: m,
+        }
+    }
+
+    /// The degree the workspace is currently sized for.
+    #[must_use]
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+
+    /// Re-targets the workspace to degree `m`, reusing buffers when they are
+    /// large enough.
+    pub fn retarget(&mut self, m: usize) {
+        if self.degree != m {
+            self.fenwick.reset(m);
+            self.degree = m;
+        }
+    }
+
+    /// The Algorithm-1 Fenwick pass over one-line images: fills the distance
+    /// buffer and returns the inversion number `ℓ(σ)` (the sum of the
+    /// per-step repeat counts — free from the same tree queries).
+    ///
+    /// `images` must be a valid permutation of `0..images.len()`; this is the
+    /// raw-slice entry point the streaming sweep engine feeds directly from
+    /// its lexicographic iterator.
+    pub fn pass_images(&mut self, images: &[usize]) -> usize {
+        let m = images.len();
+        self.retarget(m);
+        self.fenwick.clear();
+        self.distances.clear();
+        let mut inversions = 0usize;
+        for (i, &a) in images.iter().enumerate() {
+            debug_assert!(a < m, "images must be a permutation of 0..m");
+            // Values greater than a already accessed in B.
+            let repeats = self.fenwick.range_sum(a + 1, m) as usize;
+            let reuse_interval = (m - 1 - a) + (i + 1);
+            self.distances.push(reuse_interval - repeats);
+            self.fenwick.add(a, 1);
+            inversions += repeats;
+        }
+        inversions
+    }
+
+    /// [`AnalysisScratch::pass_images`] for a [`Permutation`].
+    pub fn pass(&mut self, sigma: &Permutation) -> usize {
+        self.pass_images(sigma.images())
+    }
+
+    /// The distances computed by the most recent pass, in traversal order.
+    #[must_use]
+    pub fn distances(&self) -> &[usize] {
+        &self.distances
+    }
+
+    /// Converts the distances of the most recent pass into the dense hit
+    /// vector (index 0 = cache size 1) and returns it.
+    pub fn compute_hits(&mut self) -> &[usize] {
+        let m = self.distances.len();
+        self.counts.clear();
+        self.counts.resize(m + 1, 0);
+        for &d in &self.distances {
+            debug_assert!((1..=m).contains(&d));
+            self.counts[d] += 1;
+        }
+        self.hits.clear();
+        let mut acc = 0usize;
+        for c in 1..=m {
+            acc += self.counts[c];
+            self.hits.push(acc);
+        }
+        &self.hits
+    }
+
+    /// The hit vector computed by the most recent
+    /// [`AnalysisScratch::compute_hits`].
+    #[must_use]
+    pub fn hits(&self) -> &[usize] {
+        &self.hits
+    }
+
+    /// Sum of the distances of the most recent pass.
+    #[must_use]
+    pub fn total_distance(&self) -> u128 {
+        self.distances.iter().map(|&d| d as u128).sum()
+    }
+}
 
 /// Reuse distances of the second-traversal accesses, in traversal order
 /// (`result[i]` is the reuse distance of the access `B[i] = σ(i)`), computed
@@ -52,33 +189,47 @@ pub fn second_pass_distances_naive(sigma: &Permutation) -> Vec<usize> {
 /// Reuse distances of the second-traversal accesses computed with a Fenwick
 /// tree over values (`O(m log m)`): the prefix-sum of the paper's bit vector
 /// is replaced by a tree query.
+///
+/// Allocating wrapper over [`second_pass_distances_with_scratch`].
 #[must_use]
 pub fn second_pass_distances(sigma: &Permutation) -> Vec<usize> {
-    let m = sigma.degree();
-    let mut tree = Fenwick::new(m);
-    let mut distances = Vec::with_capacity(m);
-    for i in 0..m {
-        let a = sigma.apply(i);
-        // Values greater than a already accessed in B.
-        let repeats = tree.range_sum(a + 1, m) as usize;
-        let reuse_interval = (m - 1 - a) + (i + 1);
-        distances.push(reuse_interval - repeats);
-        tree.add(a, 1);
-    }
-    distances
+    let mut scratch = AnalysisScratch::new(sigma.degree());
+    second_pass_distances_with_scratch(sigma, &mut scratch).to_vec()
+}
+
+/// Scratch-reusing [`second_pass_distances`]: computes into `scratch` and
+/// returns the borrowed distance slice (valid until the next kernel call).
+pub fn second_pass_distances_with_scratch<'a>(
+    sigma: &Permutation,
+    scratch: &'a mut AnalysisScratch,
+) -> &'a [usize] {
+    scratch.pass(sigma);
+    scratch.distances()
 }
 
 /// The reuse-distance histogram of the full re-traversal `A σ(A)`: `m` cold
 /// accesses (the first traversal) plus the finite distances of the second
 /// traversal.
+///
+/// Allocating wrapper over [`rd_histogram_with_scratch`].
 #[must_use]
 pub fn rd_histogram(sigma: &Permutation) -> ReuseDistanceHistogram {
-    let m = sigma.degree();
+    let mut scratch = AnalysisScratch::new(sigma.degree());
+    rd_histogram_with_scratch(sigma, &mut scratch)
+}
+
+/// Scratch-reusing [`rd_histogram`]: the intermediate Fenwick/distance work
+/// reuses `scratch`; only the returned histogram is allocated.
+pub fn rd_histogram_with_scratch(
+    sigma: &Permutation,
+    scratch: &mut AnalysisScratch,
+) -> ReuseDistanceHistogram {
+    scratch.pass(sigma);
     let mut h = ReuseDistanceHistogram::new();
-    for _ in 0..m {
+    for _ in 0..sigma.degree() {
         h.record(None);
     }
-    for d in second_pass_distances(sigma) {
+    for &d in scratch.distances() {
         h.record(Some(d));
     }
     h
@@ -86,10 +237,24 @@ pub fn rd_histogram(sigma: &Permutation) -> ReuseDistanceHistogram {
 
 /// The cache-hit vector `hits_C(σ) = (hits_1, .., hits_m)` of the
 /// re-traversal `A σ(A)` (Definition 3), computed by Algorithm 1.
+///
+/// Allocating wrapper over [`hit_vector_with_scratch`].
 #[must_use]
 pub fn hit_vector(sigma: &Permutation) -> HitVector {
-    let m = sigma.degree();
-    rd_histogram(sigma).hit_vector(m)
+    let mut scratch = AnalysisScratch::new(sigma.degree());
+    let hits = hit_vector_with_scratch(sigma, &mut scratch).to_vec();
+    HitVector::new(hits, 2 * sigma.degree())
+}
+
+/// Scratch-reusing [`hit_vector`]: computes into `scratch` and returns the
+/// borrowed dense hit slice (index 0 = cache size 1, out of `2m` accesses;
+/// valid until the next kernel call).
+pub fn hit_vector_with_scratch<'a>(
+    sigma: &Permutation,
+    scratch: &'a mut AnalysisScratch,
+) -> &'a [usize] {
+    scratch.pass(sigma);
+    scratch.compute_hits()
 }
 
 /// The cache-hit vector computed by running the generic Olken/LRU simulator
@@ -105,7 +270,18 @@ pub fn hit_vector_via_simulation(sigma: &Permutation) -> HitVector {
 /// Number of LRU hits of the re-traversal at a single cache size `c`.
 #[must_use]
 pub fn hits(sigma: &Permutation, c: usize) -> usize {
-    rd_histogram(sigma).hits_at(c)
+    let mut scratch = AnalysisScratch::new(sigma.degree());
+    hits_with_scratch(sigma, c, &mut scratch)
+}
+
+/// Scratch-reusing [`hits`].
+pub fn hits_with_scratch(sigma: &Permutation, c: usize, scratch: &mut AnalysisScratch) -> usize {
+    let m = sigma.degree();
+    if c == 0 || m == 0 {
+        return 0;
+    }
+    let hits = hit_vector_with_scratch(sigma, scratch);
+    hits[c.min(m) - 1]
 }
 
 /// Miss ratio of the re-traversal at cache size `c`
@@ -121,12 +297,21 @@ pub fn miss_ratio(sigma: &Permutation, c: usize) -> f64 {
 
 /// The full miss-ratio curve `MRC(T)` of the re-traversal over cache sizes
 /// `0 ..= m`.
+///
+/// Allocating wrapper over [`mrc_with_scratch`].
 #[must_use]
 pub fn mrc(sigma: &Permutation) -> MissRatioCurve {
+    let mut scratch = AnalysisScratch::new(sigma.degree());
+    mrc_with_scratch(sigma, &mut scratch)
+}
+
+/// Scratch-reusing [`mrc`]: the intermediate work reuses `scratch`; only the
+/// returned curve is allocated.
+pub fn mrc_with_scratch(sigma: &Permutation, scratch: &mut AnalysisScratch) -> MissRatioCurve {
     let m = sigma.degree();
-    let hv = rd_histogram(sigma).hit_vector(m);
-    // hv counts hits out of 2m accesses.
-    MissRatioCurve::from_hit_vector(&HitVector::new(hv.as_slice().to_vec(), 2 * m))
+    let hits = hit_vector_with_scratch(sigma, scratch);
+    // hits counts out of 2m accesses.
+    MissRatioCurve::from_hit_vector(&HitVector::new(hits.to_vec(), 2 * m))
 }
 
 /// Sum of the reuse distances of the second traversal — the scalar
@@ -134,10 +319,17 @@ pub fn mrc(sigma: &Permutation) -> MissRatioCurve {
 /// (`n²m²` for cyclic vs `nm(nm+1)/2` for sawtooth on an `n×m` matrix).
 #[must_use]
 pub fn total_reuse_distance(sigma: &Permutation) -> u128 {
-    second_pass_distances(sigma)
-        .into_iter()
-        .map(|d| d as u128)
-        .sum()
+    let mut scratch = AnalysisScratch::new(sigma.degree());
+    total_reuse_distance_with_scratch(sigma, &mut scratch)
+}
+
+/// Scratch-reusing [`total_reuse_distance`].
+pub fn total_reuse_distance_with_scratch(
+    sigma: &Permutation,
+    scratch: &mut AnalysisScratch,
+) -> u128 {
+    scratch.pass(sigma);
+    scratch.total_distance()
 }
 
 #[cfg(test)]
@@ -206,6 +398,55 @@ mod tests {
     }
 
     #[test]
+    fn scratch_kernels_match_allocating_kernels_exhaustively() {
+        // One workspace across every permutation of every degree: the reuse
+        // (including cross-degree retargeting) must be invisible.
+        let mut scratch = AnalysisScratch::new(0);
+        for m in 0..=6usize {
+            for sigma in LexIter::new(m) {
+                assert_eq!(
+                    second_pass_distances_with_scratch(&sigma, &mut scratch),
+                    second_pass_distances_naive(&sigma),
+                    "distances σ = {sigma}"
+                );
+                assert_eq!(
+                    hit_vector_with_scratch(&sigma, &mut scratch),
+                    hit_vector(&sigma).as_slice(),
+                    "hits σ = {sigma}"
+                );
+                assert_eq!(
+                    rd_histogram_with_scratch(&sigma, &mut scratch),
+                    rd_histogram(&sigma),
+                    "histogram σ = {sigma}"
+                );
+                assert_eq!(
+                    mrc_with_scratch(&sigma, &mut scratch),
+                    mrc(&sigma),
+                    "mrc σ = {sigma}"
+                );
+                assert_eq!(
+                    total_reuse_distance_with_scratch(&sigma, &mut scratch),
+                    total_reuse_distance(&sigma),
+                    "total σ = {sigma}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pass_returns_the_inversion_number() {
+        let mut scratch = AnalysisScratch::new(5);
+        for sigma in LexIter::new(5) {
+            assert_eq!(scratch.pass(&sigma), inversions(&sigma), "σ = {sigma}");
+        }
+        // Raw-images entry point agrees.
+        for sigma in LexIter::new(6) {
+            assert_eq!(scratch.pass_images(sigma.images()), inversions(&sigma));
+        }
+        assert_eq!(scratch.degree(), 6);
+    }
+
+    #[test]
     fn distances_are_within_bounds() {
         for sigma in LexIter::new(7) {
             for d in second_pass_distances(&sigma) {
@@ -220,6 +461,7 @@ mod tests {
         assert_eq!(hits(&sigma, 0), 0);
         assert_eq!(hits(&sigma, 2), 2);
         assert_eq!(hits(&sigma, 4), 4);
+        assert_eq!(hits(&sigma, 100), 4);
         assert!((miss_ratio(&sigma, 4) - 0.5).abs() < 1e-12);
         assert!((miss_ratio(&sigma, 0) - 1.0).abs() < 1e-12);
         assert_eq!(miss_ratio(&Permutation::identity(0), 3), 0.0);
@@ -242,10 +484,7 @@ mod tests {
     #[test]
     fn total_reuse_distance_extremes() {
         let m = 5u128;
-        assert_eq!(
-            total_reuse_distance(&Permutation::identity(5)),
-            m * m
-        );
+        assert_eq!(total_reuse_distance(&Permutation::identity(5)), m * m);
         assert_eq!(
             total_reuse_distance(&Permutation::reverse(5)),
             m * (m + 1) / 2
@@ -258,5 +497,12 @@ mod tests {
         assert_eq!(second_pass_distances(&Permutation::identity(1)), vec![1]);
         assert_eq!(hit_vector(&Permutation::identity(1)).as_slice(), &[1]);
         assert_eq!(total_reuse_distance(&Permutation::identity(0)), 0);
+        let mut scratch = AnalysisScratch::new(0);
+        assert_eq!(scratch.pass_images(&[]), 0);
+        assert!(scratch.compute_hits().is_empty());
+        assert_eq!(
+            hits_with_scratch(&Permutation::identity(0), 3, &mut scratch),
+            0
+        );
     }
 }

@@ -13,7 +13,7 @@
 //! (every cover gets the same label) to exercise the tie machinery.
 
 use crate::error::{CoreError, Result};
-use crate::hits::hit_vector;
+use crate::hits::{hit_vector, hit_vector_with_scratch, AnalysisScratch};
 use symloc_perm::Permutation;
 
 /// A totally ordered edge label: a vector compared lexicographically.
@@ -24,6 +24,21 @@ pub trait EdgeLabeling {
     /// Label of the covering edge `from ◁_B to`, reached by right-multiplying
     /// `from` with the transposition at the given positions.
     fn label(&self, from: &Permutation, to: &Permutation, transposition: (usize, usize)) -> Label;
+
+    /// [`EdgeLabeling::label`] with a reusable [`AnalysisScratch`] for the
+    /// hit-vector work. ChainFind evaluates `O(m)` labels per step and `O(m²)`
+    /// per run, so labelings whose labels derive from Algorithm 1 override
+    /// this to keep the ascent allocation-free apart from the labels
+    /// themselves. The default ignores the scratch.
+    fn label_with_scratch(
+        &self,
+        from: &Permutation,
+        to: &Permutation,
+        transposition: (usize, usize),
+        _scratch: &mut AnalysisScratch,
+    ) -> Label {
+        self.label(from, to, transposition)
+    }
 
     /// Short human-readable name used in experiment output.
     fn name(&self) -> &'static str;
@@ -38,6 +53,16 @@ pub struct MissRatioLabeling;
 impl EdgeLabeling for MissRatioLabeling {
     fn label(&self, _from: &Permutation, to: &Permutation, _t: (usize, usize)) -> Label {
         hit_vector(to).as_slice().to_vec()
+    }
+
+    fn label_with_scratch(
+        &self,
+        _from: &Permutation,
+        to: &Permutation,
+        _t: (usize, usize),
+        scratch: &mut AnalysisScratch,
+    ) -> Label {
+        hit_vector_with_scratch(to, scratch).to_vec()
     }
 
     fn name(&self) -> &'static str {
@@ -115,6 +140,18 @@ impl EdgeLabeling for RankedMissRatioLabeling {
         self.psi.images().iter().map(|&c| hits[c]).collect()
     }
 
+    fn label_with_scratch(
+        &self,
+        _from: &Permutation,
+        to: &Permutation,
+        _t: (usize, usize),
+        scratch: &mut AnalysisScratch,
+    ) -> Label {
+        let hits = hit_vector_with_scratch(to, scratch);
+        debug_assert_eq!(hits.len(), self.psi.degree(), "labeling degree mismatch");
+        self.psi.images().iter().map(|&c| hits[c]).collect()
+    }
+
     fn name(&self) -> &'static str {
         "ranked miss-ratio (λ_ψ)"
     }
@@ -156,6 +193,19 @@ impl<L: EdgeLabeling> GeneratorTieBreakLabeling<L> {
 impl<L: EdgeLabeling> EdgeLabeling for GeneratorTieBreakLabeling<L> {
     fn label(&self, from: &Permutation, to: &Permutation, t: (usize, usize)) -> Label {
         let mut label = self.inner.label(from, to, t);
+        label.push(t.0);
+        label.push(t.1);
+        label
+    }
+
+    fn label_with_scratch(
+        &self,
+        from: &Permutation,
+        to: &Permutation,
+        t: (usize, usize),
+        scratch: &mut AnalysisScratch,
+    ) -> Label {
+        let mut label = self.inner.label_with_scratch(from, to, t, scratch);
         label.push(t.0);
         label.push(t.1);
         label
@@ -204,6 +254,18 @@ impl EdgeLabeling for DataMovementLabeling {
     fn label(&self, _from: &Permutation, to: &Permutation, _t: (usize, usize)) -> Label {
         let m = to.degree() as u128;
         let total = crate::hits::total_reuse_distance(to);
+        vec![usize::try_from(m * m - total).unwrap_or(usize::MAX)]
+    }
+
+    fn label_with_scratch(
+        &self,
+        _from: &Permutation,
+        to: &Permutation,
+        _t: (usize, usize),
+        scratch: &mut AnalysisScratch,
+    ) -> Label {
+        let m = to.degree() as u128;
+        let total = crate::hits::total_reuse_distance_with_scratch(to, scratch);
         vec![usize::try_from(m * m - total).unwrap_or(usize::MAX)]
     }
 
@@ -323,6 +385,41 @@ mod tests {
             assert!(w[0] <= w[1]);
         }
         assert_eq!(labels[0].len(), 1);
+    }
+
+    #[test]
+    fn scratch_labels_match_allocating_labels() {
+        let m = 5;
+        let e = Permutation::identity(m);
+        let covers = symloc_perm::bruhat::upper_covers(
+            &Permutation::from_images(vec![1, 3, 0, 2, 4]).unwrap(),
+        );
+        let mut scratch = AnalysisScratch::new(m);
+        let ranked = RankedMissRatioLabeling::prioritize_second_largest(m);
+        let tiebroken = GeneratorTieBreakLabeling::new(MissRatioLabeling);
+        for c in &covers {
+            assert_eq!(
+                MissRatioLabeling.label(&e, &c.perm, c.transposition),
+                MissRatioLabeling.label_with_scratch(&e, &c.perm, c.transposition, &mut scratch),
+            );
+            assert_eq!(
+                ranked.label(&e, &c.perm, c.transposition),
+                ranked.label_with_scratch(&e, &c.perm, c.transposition, &mut scratch),
+            );
+            assert_eq!(
+                tiebroken.label(&e, &c.perm, c.transposition),
+                tiebroken.label_with_scratch(&e, &c.perm, c.transposition, &mut scratch),
+            );
+            assert_eq!(
+                DataMovementLabeling.label(&e, &c.perm, c.transposition),
+                DataMovementLabeling.label_with_scratch(&e, &c.perm, c.transposition, &mut scratch),
+            );
+            // Labelings without an override fall back to the allocating path.
+            assert_eq!(
+                TimescaleLabeling.label(&e, &c.perm, c.transposition),
+                TimescaleLabeling.label_with_scratch(&e, &c.perm, c.transposition, &mut scratch),
+            );
+        }
     }
 
     #[test]

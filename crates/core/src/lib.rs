@@ -22,6 +22,48 @@
 //!   normalized truncated integral.
 //! * [`sweep`] — parallel exhaustive / stratified sweeps over `S_m`
 //!   (Figure 1).
+//! * [`engine`] — the batched sweep engine the sweeps run on.
+//!
+//! # Architecture: kernels, scratch, engine
+//!
+//! The analysis stack is layered so that the hot paths allocate nothing:
+//!
+//! ```text
+//!   sweep / chainfind / optimize / epochs / CLI        (consumers)
+//!          │
+//!   engine::SweepEngine                                (batching: one scratch
+//!          │                                            + one RankRangeStream
+//!          │                                            per worker, merged
+//!          │                                            once at join)
+//!   hits::AnalysisScratch                              (workspace: Fenwick
+//!          │                                            tree + distance/
+//!          │                                            histogram/hit buffers,
+//!          │                                            reused per iteration)
+//!   symloc_perm::{Fenwick::clear, RankRangeStream}     (in-place substrate)
+//! ```
+//!
+//! Every Algorithm-1 quantity has two entry points: the classic allocating
+//! function (`hit_vector`, `second_pass_distances`, `rd_histogram`, `mrc`)
+//! for one-shot convenience, and a `_with_scratch` kernel that reuses an
+//! [`hits::AnalysisScratch`] for loops. The allocating functions are thin
+//! wrappers over the kernels, so both compute byte-identical results (a
+//! property-test invariant). One Fenwick pass yields both the reuse
+//! distances and the inversion number, which is what lets the
+//! [`engine::SweepEngine`] stream `m!` permutations with zero
+//! per-permutation allocations:
+//!
+//! ```
+//! use symloc_core::engine::SweepEngine;
+//!
+//! // Figure 1 for S_6 on all cores: 720 hit vectors, grouped by ℓ(σ).
+//! let levels = SweepEngine::new(6).exhaustive_levels();
+//! assert_eq!(levels.iter().map(|l| l.count).sum::<u64>(), 720);
+//! // Theorem 2 in aggregate: truncated hit sums equal ℓ · count per level.
+//! for level in &levels {
+//!     let truncated: u64 = level.hit_sums[..5].iter().sum();
+//!     assert_eq!(truncated, level.inversions as u64 * level.count);
+//! }
+//! ```
 //!
 //! # Quick example
 //!
@@ -51,6 +93,7 @@
 
 pub mod analytics;
 pub mod chainfind;
+pub mod engine;
 pub mod epochs;
 pub mod error;
 pub mod feasibility;
@@ -75,12 +118,15 @@ pub mod prelude {
     pub use crate::chainfind::{
         chain_find, chain_find_constrained, Chain, ChainFindConfig, ChainStep, TieBreak,
     };
+    pub use crate::engine::SweepEngine;
     pub use crate::epochs::EpochChain;
     pub use crate::error::CoreError;
     pub use crate::feasibility::PrecedenceDag;
     pub use crate::hits::{
-        hit_vector, hit_vector_via_simulation, hits, miss_ratio, mrc, rd_histogram,
-        second_pass_distances, second_pass_distances_naive, total_reuse_distance,
+        hit_vector, hit_vector_via_simulation, hit_vector_with_scratch, hits, miss_ratio, mrc,
+        mrc_with_scratch, rd_histogram, rd_histogram_with_scratch, second_pass_distances,
+        second_pass_distances_naive, second_pass_distances_with_scratch, total_reuse_distance,
+        AnalysisScratch,
     };
     pub use crate::labeling::{
         DataMovementLabeling, EdgeLabeling, GeneratorTieBreakLabeling, InversionLabeling, Label,
@@ -94,12 +140,10 @@ pub mod prelude {
         best_feasible_exhaustive, improve_greedy, optimize_from_identity, OptimizationResult,
     };
     pub use crate::retraversal::ReTraversal;
-    pub use crate::schedule::{
-        analytical_retraversal_cost, analytical_totals_match, Schedule,
-    };
+    pub use crate::schedule::{analytical_retraversal_cost, analytical_totals_match, Schedule};
     pub use crate::sweep::{
-        average_mrc_by_inversion, exhaustive_levels, levels_are_monotone, sampled_levels,
-        LevelAggregate,
+        average_mrc_by_inversion, exhaustive_levels, exhaustive_levels_reference,
+        levels_are_monotone, sampled_levels, LevelAggregate,
     };
     pub use crate::theorems::{
         corollary1_holds, locality_cmp, theorem2_holds, theorem3_check,

@@ -11,9 +11,8 @@
 use crate::chainfind::{chain_find_constrained, Chain, ChainFindConfig};
 use crate::error::{CoreError, Result};
 use crate::feasibility::PrecedenceDag;
-use crate::hits::hit_vector;
+use crate::hits::AnalysisScratch;
 use crate::labeling::MissRatioLabeling;
-use symloc_perm::inversions::inversions;
 use symloc_perm::Permutation;
 
 /// Result of a locality optimization.
@@ -29,8 +28,14 @@ pub struct OptimizationResult {
 
 impl OptimizationResult {
     fn of(sigma: Permutation) -> Self {
-        let inv = inversions(&sigma);
-        let hv = hit_vector(&sigma).as_slice().to_vec();
+        let mut scratch = AnalysisScratch::new(sigma.degree());
+        Self::of_with_scratch(sigma, &mut scratch)
+    }
+
+    fn of_with_scratch(sigma: Permutation, scratch: &mut AnalysisScratch) -> Self {
+        // One pass yields both the hit vector and the inversion number.
+        let inv = scratch.pass(&sigma);
+        let hv = scratch.compute_hits().to_vec();
         OptimizationResult {
             sigma,
             inversions: inv,
@@ -43,23 +48,45 @@ impl OptimizationResult {
 /// feasible space, maximizing the inversion number and breaking ties by the
 /// lexicographically largest hit vector.
 ///
+/// The candidates stream through one [`AnalysisScratch`]: each is scored by
+/// a single Fenwick pass (inversions + hit vector together) and only a new
+/// best is materialized.
+///
 /// # Errors
 ///
 /// Returns [`CoreError::NoFeasibleChoice`] if the feasible space is empty
 /// (cannot happen for a consistent DAG, but kept for API robustness).
 pub fn best_feasible_exhaustive(constraints: &PrecedenceDag) -> Result<OptimizationResult> {
-    let best = constraints
-        .feasible_permutations()
-        .into_iter()
-        .max_by(|a, b| {
-            inversions(a)
-                .cmp(&inversions(b))
-                .then_with(|| hit_vector(a).lex_cmp(&hit_vector(b)))
-        })
-        .ok_or_else(|| CoreError::NoFeasibleChoice {
-            reason: "the feasible space is empty".to_string(),
-        })?;
-    Ok(OptimizationResult::of(best))
+    let mut scratch = AnalysisScratch::new(constraints.degree());
+    let mut best: Option<OptimizationResult> = None;
+    for candidate in constraints.feasible_permutations() {
+        let inv = scratch.pass(&candidate);
+        // `>=` on full ties keeps the *last* maximal candidate, matching the
+        // `Iterator::max_by` the loop replaced.
+        let better = match &best {
+            None => true,
+            Some(b) => {
+                inv > b.inversions
+                    || (inv == b.inversions && {
+                        scratch.compute_hits();
+                        scratch.hits() >= b.hit_vector.as_slice()
+                    })
+            }
+        };
+        if better {
+            best = Some(OptimizationResult {
+                inversions: inv,
+                hit_vector: {
+                    scratch.compute_hits();
+                    scratch.hits().to_vec()
+                },
+                sigma: candidate,
+            });
+        }
+    }
+    best.ok_or_else(|| CoreError::NoFeasibleChoice {
+        reason: "the feasible space is empty".to_string(),
+    })
 }
 
 /// Improves a starting order greedily with ChainFind restricted to feasible
@@ -97,7 +124,11 @@ pub fn optimize_from_identity(
     constraints: &PrecedenceDag,
     config: ChainFindConfig,
 ) -> Result<(OptimizationResult, Chain)> {
-    improve_greedy(&Permutation::identity(constraints.degree()), constraints, config)
+    improve_greedy(
+        &Permutation::identity(constraints.degree()),
+        constraints,
+        config,
+    )
 }
 
 #[cfg(test)]
@@ -113,8 +144,7 @@ mod tests {
         assert_eq!(exact.inversions, max_inversions(5));
         assert_eq!(exact.hit_vector, vec![1, 2, 3, 4, 5]);
 
-        let (greedy, chain) =
-            optimize_from_identity(&dag, ChainFindConfig::default()).unwrap();
+        let (greedy, chain) = optimize_from_identity(&dag, ChainFindConfig::default()).unwrap();
         assert_eq!(greedy.sigma, exact.sigma);
         assert!(chain.is_saturated());
     }
@@ -128,8 +158,7 @@ mod tests {
         assert!(dag.is_feasible(&exact.sigma));
         assert!(exact.inversions < max_inversions(5));
 
-        let (greedy, _chain) =
-            optimize_from_identity(&dag, ChainFindConfig::default()).unwrap();
+        let (greedy, _chain) = optimize_from_identity(&dag, ChainFindConfig::default()).unwrap();
         assert!(dag.is_feasible(&greedy.sigma));
         // Greedy cannot beat the exact optimum.
         assert!(greedy.inversions <= exact.inversions);

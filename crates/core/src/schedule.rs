@@ -6,6 +6,7 @@
 //! `A σ(A) A σ(A) ..`. This module builds such schedules, materializes their
 //! traces, and scores whole schedules so the claim can be measured.
 
+use crate::epochs::EpochChain;
 use crate::hits::total_reuse_distance;
 use symloc_cache::reuse::reuse_profile;
 use symloc_perm::Permutation;
@@ -112,6 +113,51 @@ impl Schedule {
             .total_finite_distance()
     }
 
+    /// The permutation each epoch traverses in (`Forward` = identity,
+    /// `Reverse` = sawtooth).
+    #[must_use]
+    pub fn epoch_permutations(&self) -> Vec<Permutation> {
+        self.epochs
+            .iter()
+            .map(|e| match e {
+                EpochOrder::Forward => Permutation::identity(self.m),
+                EpochOrder::Reverse => Permutation::reverse(self.m),
+                EpochOrder::Permuted(p) => p.clone(),
+            })
+            .collect()
+    }
+
+    /// The schedule as an [`EpochChain`], relabeled so its first epoch is the
+    /// canonical order (the relabeling argument of Theorem 4's proof: the
+    /// first epoch is all cold misses whatever its order, so only the
+    /// *relative* reorderings matter).
+    #[must_use]
+    pub fn to_epoch_chain(&self) -> EpochChain {
+        let perms = self.epoch_permutations();
+        let Some((first, rest)) = perms.split_first() else {
+            return EpochChain::new(self.m, Vec::new());
+        };
+        let relabel = first.inverse();
+        let orders = rest.iter().map(|p| relabel.compose(p)).collect();
+        EpochChain::new(self.m, orders)
+    }
+
+    /// [`Schedule::total_reuse_distance`] computed analytically from the
+    /// per-transition Algorithm-1 kernels (Theorem 4's decomposition) through
+    /// one reused scratch workspace — `O(epochs · m log m)` instead of
+    /// simulating the `epochs · m`-access trace through an LRU stack.
+    #[must_use]
+    pub fn analytical_total_reuse_distance(&self) -> u128 {
+        self.to_epoch_chain().analytical_total_reuse_distance()
+    }
+
+    /// [`Schedule::hits`] computed analytically (same decomposition as
+    /// [`Schedule::analytical_total_reuse_distance`]).
+    #[must_use]
+    pub fn analytical_hits(&self, c: usize) -> usize {
+        self.to_epoch_chain().analytical_hits(c)
+    }
+
     /// Number of LRU hits of the schedule's trace at cache size `c`.
     #[must_use]
     pub fn hits(&self, c: usize) -> usize {
@@ -165,7 +211,10 @@ mod tests {
     fn from_orders_validates_degrees() {
         let s = Schedule::from_orders(
             3,
-            vec![EpochOrder::Forward, EpochOrder::Permuted(Permutation::reverse(3))],
+            vec![
+                EpochOrder::Forward,
+                EpochOrder::Permuted(Permutation::reverse(3)),
+            ],
         );
         assert_eq!(s.epoch_count(), 2);
     }
@@ -202,6 +251,46 @@ mod tests {
         let best = Schedule::alternating(&Permutation::reverse(m), epochs).total_reuse_distance();
         assert!(best < mild_total);
         assert!(mild_total < forward);
+    }
+
+    #[test]
+    fn analytical_schedule_costs_match_simulation() {
+        // The Theorem-4 decomposition through the scratch kernels must agree
+        // with full LRU trace simulation, including for schedules whose first
+        // epoch is not the canonical order.
+        let m = 9;
+        let perm = Permutation::from_images(vec![3, 1, 4, 0, 8, 2, 6, 7, 5]).unwrap();
+        let schedules = [
+            Schedule::all_forward(m, 4),
+            Schedule::sawtooth(m, 5),
+            Schedule::alternating(&perm, 4),
+            Schedule::from_orders(
+                m,
+                vec![
+                    EpochOrder::Reverse,
+                    EpochOrder::Permuted(perm.clone()),
+                    EpochOrder::Forward,
+                ],
+            ),
+            Schedule::all_forward(m, 0),
+            Schedule::all_forward(0, 3),
+        ];
+        for s in &schedules {
+            assert_eq!(
+                s.analytical_total_reuse_distance(),
+                s.total_reuse_distance(),
+                "orders {:?}",
+                s.orders()
+            );
+            for c in 0..=m {
+                assert_eq!(
+                    s.analytical_hits(c),
+                    s.hits(c),
+                    "c={c} orders {:?}",
+                    s.orders()
+                );
+            }
+        }
     }
 
     #[test]

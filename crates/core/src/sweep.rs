@@ -3,16 +3,20 @@
 //! These drive the paper's Figure 1 (average miss-ratio curve per inversion
 //! number) and its extensions to larger degrees where exhaustive enumeration
 //! is replaced by stratified sampling.
+//!
+//! The entry points here are thin wrappers over [`crate::engine::SweepEngine`],
+//! which streams permutations through per-worker
+//! [`crate::hits::AnalysisScratch`] workspaces instead of allocating per
+//! permutation. The original per-permutation path is kept as
+//! [`exhaustive_levels_reference`] for cross-checks and speedup measurement.
 
+use crate::engine::SweepEngine;
 use crate::hits::hit_vector;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use symloc_cache::mrc::MissRatioCurve;
 use symloc_par::parallel_map_chunked;
 use symloc_perm::inversions::{inversions, max_inversions};
 use symloc_perm::iter::RankRangeIter;
 use symloc_perm::rank::{factorial, RankRange};
-use symloc_perm::sample::random_with_inversions;
 
 /// Aggregated hit-vector statistics for one Bruhat level (inversion count).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -26,7 +30,7 @@ pub struct LevelAggregate {
 }
 
 impl LevelAggregate {
-    fn empty(inversions: usize, m: usize) -> Self {
+    pub(crate) fn empty(inversions: usize, m: usize) -> Self {
         LevelAggregate {
             inversions,
             count: 0,
@@ -83,18 +87,38 @@ impl LevelAggregate {
 /// Returns one [`LevelAggregate`] per inversion count `0 ..= m(m-1)/2`.
 /// This is the data behind Figure 1 of the paper (`m = 5` there).
 ///
+/// Thin wrapper over [`SweepEngine::exhaustive_levels`].
+///
 /// # Panics
 ///
 /// Panics if `m > 12` (the factorial sweep would be prohibitive).
 #[must_use]
 pub fn exhaustive_levels(m: usize, threads: usize) -> Vec<LevelAggregate> {
-    assert!(m <= 12, "exhaustive_levels: degree {m} too large for a factorial sweep");
+    SweepEngine::with_threads(m, threads).exhaustive_levels()
+}
+
+/// The original per-permutation implementation of [`exhaustive_levels`]:
+/// allocates a fresh `Permutation`, Fenwick tree, histogram and hit vector
+/// for every σ.
+///
+/// Kept as the reference the engine is cross-checked against in tests, and
+/// as the baseline the `bench_fig1_sweep` bench and `BENCH_sweep.json`
+/// measure the batched engine's speedup over.
+///
+/// # Panics
+///
+/// Panics if `m > 12`.
+#[must_use]
+pub fn exhaustive_levels_reference(m: usize, threads: usize) -> Vec<LevelAggregate> {
+    assert!(
+        m <= 12,
+        "exhaustive_levels: degree {m} too large for a factorial sweep"
+    );
     let total = factorial(m).expect("m <= 12") as usize;
     let max_inv = max_inversions(m);
     let partials = parallel_map_chunked(total, threads.max(1), |chunk| {
-        let mut levels: Vec<LevelAggregate> = (0..=max_inv)
-            .map(|l| LevelAggregate::empty(l, m))
-            .collect();
+        let mut levels: Vec<LevelAggregate> =
+            (0..=max_inv).map(|l| LevelAggregate::empty(l, m)).collect();
         let range = RankRange {
             start: chunk.start as u128,
             end: chunk.end as u128,
@@ -106,9 +130,8 @@ pub fn exhaustive_levels(m: usize, threads: usize) -> Vec<LevelAggregate> {
         }
         levels
     });
-    let mut merged: Vec<LevelAggregate> = (0..=max_inv)
-        .map(|l| LevelAggregate::empty(l, m))
-        .collect();
+    let mut merged: Vec<LevelAggregate> =
+        (0..=max_inv).map(|l| LevelAggregate::empty(l, m)).collect();
     for partial in &partials {
         for (acc, level) in merged.iter_mut().zip(partial) {
             acc.merge(level);
@@ -130,27 +153,17 @@ pub fn average_mrc_by_inversion(m: usize, threads: usize) -> Vec<MissRatioCurve>
 /// Stratified-sampling version of [`exhaustive_levels`] for degrees where
 /// `m!` is out of reach: draws `samples_per_level` permutations uniformly at
 /// each inversion count and aggregates their hit vectors.
+///
+/// Thin wrapper over [`SweepEngine::sampled_levels`], which builds each
+/// level's Mahonian sampling table once and reuses per-worker scratch.
 #[must_use]
-pub fn sampled_levels(m: usize, samples_per_level: usize, seed: u64, threads: usize) -> Vec<LevelAggregate> {
-    let max_inv = max_inversions(m);
-    let per_level: Vec<LevelAggregate> = parallel_map_chunked(max_inv + 1, threads.max(1), |chunk| {
-        let mut out = Vec::with_capacity(chunk.len());
-        for level in chunk.start..chunk.end {
-            let mut agg = LevelAggregate::empty(level, m);
-            let mut rng = StdRng::seed_from_u64(seed ^ (level as u64).wrapping_mul(0x9E37_79B9));
-            for _ in 0..samples_per_level {
-                let sigma = random_with_inversions(m, level, &mut rng)
-                    .expect("level <= max_inversions by construction");
-                agg.absorb(hit_vector(&sigma).as_slice());
-            }
-            out.push(agg);
-        }
-        out
-    })
-    .into_iter()
-    .flatten()
-    .collect();
-    per_level
+pub fn sampled_levels(
+    m: usize,
+    samples_per_level: usize,
+    seed: u64,
+    threads: usize,
+) -> Vec<LevelAggregate> {
+    SweepEngine::with_threads(m, threads).sampled_levels(samples_per_level, seed)
 }
 
 /// Verifies the Figure-1 monotonicity claim on aggregated levels: at every
@@ -187,7 +200,12 @@ mod tests {
             let mahonian = mahonian_row(m);
             assert_eq!(levels.len(), mahonian.len());
             for (level, &expected) in levels.iter().zip(mahonian.iter()) {
-                assert_eq!(u128::from(level.count), expected, "m={m} l={}", level.inversions);
+                assert_eq!(
+                    u128::from(level.count),
+                    expected,
+                    "m={m} l={}",
+                    level.inversions
+                );
             }
         }
     }
@@ -197,6 +215,17 @@ mod tests {
         let a = exhaustive_levels(5, 1);
         let b = exhaustive_levels(5, 4);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn wrapper_matches_reference_implementation() {
+        for m in 0..=6usize {
+            assert_eq!(
+                exhaustive_levels(m, 2),
+                exhaustive_levels_reference(m, 2),
+                "m={m}"
+            );
+        }
     }
 
     #[test]

@@ -44,9 +44,7 @@ impl CoverLocalityCheck {
     /// miss-ratio dominance.
     #[must_use]
     pub fn holds_as_stated(&self) -> bool {
-        self.improved_sizes.len() == 1
-            && self.worsened_sizes.is_empty()
-            && self.pointwise_dominates
+        self.improved_sizes.len() == 1 && self.worsened_sizes.is_empty() && self.pointwise_dominates
     }
 
     /// True for the weaker aggregate claim that is implied by Theorem 2:
@@ -95,8 +93,7 @@ pub fn theorem3_check(sigma: &Permutation, tau: &Permutation) -> Option<CoverLoc
     let truncated_delta = hv_t.truncated_sum() as i64 - hv_s.truncated_sum() as i64;
     let mrc_s = mrc(sigma);
     let mrc_t = mrc(tau);
-    let pointwise_dominates =
-        (0..=m).all(|c| mrc_t.miss_ratio(c) <= mrc_s.miss_ratio(c) + 1e-12);
+    let pointwise_dominates = (0..=m).all(|c| mrc_t.miss_ratio(c) <= mrc_s.miss_ratio(c) + 1e-12);
     Some(CoverLocalityCheck {
         improved_sizes,
         worsened_sizes,
@@ -176,7 +173,11 @@ mod tests {
             for sigma in LexIter::new(m) {
                 for cover in upper_covers(&sigma) {
                     let check = theorem3_check(&sigma, &cover.perm).expect("is a cover");
-                    assert!(check.holds_in_aggregate(), "m={m} σ={sigma} τ={}", cover.perm);
+                    assert!(
+                        check.holds_in_aggregate(),
+                        "m={m} σ={sigma} τ={}",
+                        cover.perm
+                    );
                     assert!(!check.improved_sizes.is_empty());
                 }
             }

@@ -32,6 +32,54 @@ proptest! {
     }
 
     #[test]
+    fn scratch_kernels_match_allocating_paths(sigma in arb_permutation(48)) {
+        // The _with_scratch kernels must be byte-identical to the allocating
+        // wrappers, to the paper's naive bit-vector algorithm, and to the
+        // generic LRU simulator, for the same σ.
+        let mut scratch = AnalysisScratch::new(sigma.degree());
+        prop_assert_eq!(
+            second_pass_distances_with_scratch(&sigma, &mut scratch).to_vec(),
+            second_pass_distances_naive(&sigma)
+        );
+        prop_assert_eq!(
+            hit_vector_with_scratch(&sigma, &mut scratch).to_vec(),
+            hit_vector(&sigma).as_slice().to_vec()
+        );
+        prop_assert_eq!(
+            hit_vector_with_scratch(&sigma, &mut scratch).to_vec(),
+            hit_vector_via_simulation(&sigma).as_slice().to_vec()
+        );
+        prop_assert_eq!(rd_histogram_with_scratch(&sigma, &mut scratch), rd_histogram(&sigma));
+        prop_assert_eq!(mrc_with_scratch(&sigma, &mut scratch), mrc(&sigma));
+    }
+
+    #[test]
+    fn scratch_reuse_across_degrees_is_invisible(seeds in proptest::collection::vec(any::<u64>(), 1..=8)) {
+        // One workspace across many random permutations of varying degree:
+        // retargeting and buffer reuse must never leak state between σ's.
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut scratch = AnalysisScratch::new(0);
+        for seed in seeds {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let m = 1 + (seed % 40) as usize;
+            let sigma = random_permutation(m, &mut rng);
+            let inv = scratch.pass(&sigma);
+            prop_assert_eq!(inv, inversions(&sigma), "inversions from the Fenwick pass");
+            prop_assert_eq!(scratch.distances().to_vec(), second_pass_distances_naive(&sigma));
+            prop_assert_eq!(scratch.compute_hits().to_vec(), hit_vector(&sigma).as_slice().to_vec());
+        }
+    }
+
+    #[test]
+    fn engine_levels_match_reference(m in 1usize..=6, threads in 1usize..=4) {
+        prop_assert_eq!(
+            SweepEngine::with_threads(m, threads).exhaustive_levels(),
+            exhaustive_levels_reference(m, threads)
+        );
+    }
+
+    #[test]
     fn hit_vector_is_monotone_and_ends_at_m(sigma in arb_permutation(48)) {
         let m = sigma.degree();
         let hv = hit_vector(&sigma);

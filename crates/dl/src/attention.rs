@@ -40,7 +40,10 @@ impl MultiHeadAttention {
     /// divide `d_model`.
     #[must_use]
     pub fn new(d_model: usize, heads: usize) -> Self {
-        assert!(d_model > 0 && heads > 0, "attention dimensions must be positive");
+        assert!(
+            d_model > 0 && heads > 0,
+            "attention dimensions must be positive"
+        );
         assert!(
             d_model.is_multiple_of(heads),
             "heads ({heads}) must divide d_model ({d_model})"
@@ -93,7 +96,11 @@ impl MultiHeadAttention {
     ///
     /// Panics if `order` has a degree other than `weights_per_projection()`.
     #[must_use]
-    pub fn pass_trace(&self, pattern: AttentionAccessPattern, order: Option<&Permutation>) -> Trace {
+    pub fn pass_trace(
+        &self,
+        pattern: AttentionAccessPattern,
+        order: Option<&Permutation>,
+    ) -> Trace {
         if let Some(sigma) = order {
             assert_eq!(
                 sigma.degree(),
@@ -185,6 +192,9 @@ mod tests {
     #[should_panic(expected = "wrong degree")]
     fn order_degree_checked() {
         let attn = MultiHeadAttention::new(4, 1);
-        let _ = attn.pass_trace(AttentionAccessPattern::Forward, Some(&Permutation::reverse(3)));
+        let _ = attn.pass_trace(
+            AttentionAccessPattern::Forward,
+            Some(&Permutation::reverse(3)),
+        );
     }
 }

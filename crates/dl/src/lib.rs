@@ -37,6 +37,9 @@ pub mod prelude {
     pub use crate::attention::{AttentionAccessPattern, MultiHeadAttention};
     pub use crate::dataorder::{recommended_order, DataOrder};
     pub use crate::mlp::{Mlp, MlpLayer, PassDirection};
-    pub use crate::schedule::{EpochPolicy, TrainingSchedule, TrainingScheduleReport};
+    pub use crate::schedule::{
+        best_policy_analytical, reuse_improvement, EpochPolicy, TrainingSchedule,
+        TrainingScheduleReport,
+    };
     pub use crate::tensor::TensorShape;
 }

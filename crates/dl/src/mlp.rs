@@ -35,7 +35,10 @@ impl MlpLayer {
     /// Panics if either dimension is zero.
     #[must_use]
     pub fn new(in_features: usize, out_features: usize) -> Self {
-        assert!(in_features > 0 && out_features > 0, "layer dimensions must be positive");
+        assert!(
+            in_features > 0 && out_features > 0,
+            "layer dimensions must be positive"
+        );
         MlpLayer {
             in_features,
             out_features,
@@ -163,7 +166,11 @@ impl Mlp {
             }
             PassDirection::Backward => {
                 if let Some(orders) = backward_orders {
-                    assert_eq!(orders.len(), self.layers.len(), "one order per layer expected");
+                    assert_eq!(
+                        orders.len(),
+                        self.layers.len(),
+                        "one order per layer expected"
+                    );
                 }
                 for idx in (0..self.layers.len()).rev() {
                     let order = backward_orders.and_then(|o| o[idx].as_ref());
@@ -218,12 +225,20 @@ mod tests {
         let layer = MlpLayer::new(2, 2);
         let natural = layer.weight_trace(10, None);
         assert_eq!(
-            natural.accesses().iter().map(|a| a.value()).collect::<Vec<_>>(),
+            natural
+                .accesses()
+                .iter()
+                .map(|a| a.value())
+                .collect::<Vec<_>>(),
             vec![10, 11, 12, 13]
         );
         let reversed = layer.weight_trace(10, Some(&Permutation::reverse(4)));
         assert_eq!(
-            reversed.accesses().iter().map(|a| a.value()).collect::<Vec<_>>(),
+            reversed
+                .accesses()
+                .iter()
+                .map(|a| a.value())
+                .collect::<Vec<_>>(),
             vec![13, 12, 11, 10]
         );
     }

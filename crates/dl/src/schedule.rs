@@ -117,6 +117,19 @@ impl TrainingSchedule {
         self.policy.schedule(self.m, self.epochs).to_trace()
     }
 
+    /// Total finite reuse distance computed analytically from the
+    /// per-transition Algorithm-1 scratch kernels (Theorem 4's
+    /// decomposition) instead of materializing and simulating the trace:
+    /// `O(epochs · m log m)` versus `O(epochs · m · log footprint)` plus the
+    /// trace allocation. Agrees exactly with
+    /// [`TrainingScheduleReport::total_reuse_distance`].
+    #[must_use]
+    pub fn analytical_total_reuse_distance(&self) -> u128 {
+        self.policy
+            .schedule(self.m, self.epochs)
+            .analytical_total_reuse_distance()
+    }
+
     /// Measures the schedule's locality.
     #[must_use]
     pub fn report(&self) -> TrainingScheduleReport {
@@ -135,11 +148,37 @@ impl TrainingSchedule {
     }
 }
 
+/// Searches `candidates` for the policy with the lowest total reuse
+/// distance over `epochs` traversals of `m` weights, scoring each through
+/// the analytical scratch path (no traces are materialized). Returns the
+/// index of the winner and its total; `None` when `candidates` is empty.
+/// Ties keep the earliest candidate.
+#[must_use]
+pub fn best_policy_analytical(
+    m: usize,
+    epochs: usize,
+    candidates: &[EpochPolicy],
+) -> Option<(usize, u128)> {
+    candidates
+        .iter()
+        .enumerate()
+        .map(|(i, policy)| {
+            (
+                i,
+                TrainingSchedule::new(m, epochs, policy.clone()).analytical_total_reuse_distance(),
+            )
+        })
+        .min_by_key(|&(_, total)| total)
+}
+
 /// The relative improvement in total reuse distance of `candidate` over
 /// `baseline` (`1.0` means "no traffic at all", `0.0` means "no
 /// improvement"). Returns 0 when the baseline has no reuse.
 #[must_use]
-pub fn reuse_improvement(baseline: &TrainingScheduleReport, candidate: &TrainingScheduleReport) -> f64 {
+pub fn reuse_improvement(
+    baseline: &TrainingScheduleReport,
+    candidate: &TrainingScheduleReport,
+) -> f64 {
     if baseline.total_reuse_distance == 0 {
         return 0.0;
     }
@@ -153,7 +192,10 @@ mod tests {
     #[test]
     fn policies_build_expected_schedules() {
         assert_eq!(EpochPolicy::Cyclic.name(), "cyclic");
-        assert_eq!(EpochPolicy::AlternatingSawtooth.name(), "alternating-sawtooth");
+        assert_eq!(
+            EpochPolicy::AlternatingSawtooth.name(),
+            "alternating-sawtooth"
+        );
         let custom = EpochPolicy::AlternatingWith(Permutation::reverse(4));
         assert_eq!(custom.name(), "alternating-custom");
         let s = custom.schedule(4, 4);
@@ -212,6 +254,45 @@ mod tests {
         let best = TrainingSchedule::new(m, epochs, EpochPolicy::AlternatingSawtooth).report();
         assert!(best.total_reuse_distance < mild_report.total_reuse_distance);
         assert!(mild_report.total_reuse_distance < cyclic.total_reuse_distance);
+    }
+
+    #[test]
+    fn analytical_totals_match_simulated_reports() {
+        for (m, epochs) in [(8, 3), (16, 5), (5, 1), (4, 0)] {
+            for policy in [
+                EpochPolicy::Cyclic,
+                EpochPolicy::AlternatingSawtooth,
+                EpochPolicy::AlternatingWith(
+                    Permutation::identity(m).mul_adjacent_right(0).unwrap(),
+                ),
+            ] {
+                let run = TrainingSchedule::new(m, epochs, policy);
+                assert_eq!(
+                    run.analytical_total_reuse_distance(),
+                    run.report().total_reuse_distance,
+                    "m={m} epochs={epochs} policy={}",
+                    run.policy.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn analytical_search_prefers_alternating_sawtooth() {
+        let candidates = vec![
+            EpochPolicy::Cyclic,
+            EpochPolicy::AlternatingWith(Permutation::identity(12).mul_adjacent_right(3).unwrap()),
+            EpochPolicy::AlternatingSawtooth,
+        ];
+        let (winner, total) = best_policy_analytical(12, 6, &candidates).unwrap();
+        assert_eq!(winner, 2, "Theorem 4: the sawtooth alternation wins");
+        assert_eq!(
+            total,
+            TrainingSchedule::new(12, 6, EpochPolicy::AlternatingSawtooth)
+                .report()
+                .total_reuse_distance
+        );
+        assert!(best_policy_analytical(12, 6, &[]).is_none());
     }
 
     #[test]

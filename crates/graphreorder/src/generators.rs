@@ -147,10 +147,19 @@ mod tests {
         let max_degree = (0..200).map(|v| g.degree(v)).max().unwrap();
         let mean_degree = (0..200).map(|v| g.degree(v)).sum::<usize>() as f64 / 200.0;
         // The hub should be far above the mean (power-law-ish skew).
-        assert!(max_degree as f64 > 3.0 * mean_degree, "max {max_degree}, mean {mean_degree}");
+        assert!(
+            max_degree as f64 > 3.0 * mean_degree,
+            "max {max_degree}, mean {mean_degree}"
+        );
         // Degenerate sizes do not panic.
-        assert_eq!(preferential_attachment_graph(0, 2, &mut rng).num_vertices(), 0);
+        assert_eq!(
+            preferential_attachment_graph(0, 2, &mut rng).num_vertices(),
+            0
+        );
         assert_eq!(preferential_attachment_graph(1, 2, &mut rng).num_edges(), 0);
-        assert_eq!(preferential_attachment_graph(3, 5, &mut rng).num_vertices(), 3);
+        assert_eq!(
+            preferential_attachment_graph(3, 5, &mut rng).num_vertices(),
+            3
+        );
     }
 }

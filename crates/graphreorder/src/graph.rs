@@ -21,7 +21,10 @@ impl CsrGraph {
     pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Self {
         let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
         for &(u, v) in edges {
-            assert!(u < n && v < n, "edge ({u}, {v}) out of range for {n} vertices");
+            assert!(
+                u < n && v < n,
+                "edge ({u}, {v}) out of range for {n} vertices"
+            );
             if u == v {
                 continue;
             }

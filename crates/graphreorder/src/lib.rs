@@ -23,9 +23,13 @@ pub use graph::CsrGraph;
 
 /// Convenient glob import of the most commonly used items.
 pub mod prelude {
-    pub use crate::generators::{grid_graph, preferential_attachment_graph, random_graph, ring_graph};
+    pub use crate::generators::{
+        grid_graph, preferential_attachment_graph, random_graph, ring_graph,
+    };
     pub use crate::graph::CsrGraph;
-    pub use crate::reorder::{bfs_order, degree_sort_order, identity_order, symmetric_retraversal_order};
+    pub use crate::reorder::{
+        bfs_order, degree_sort_order, identity_order, symmetric_retraversal_order,
+    };
     pub use crate::score::{locality_score, LocalityReport};
     pub use crate::traversal::{neighbor_scan_trace, repeated_subset_trace, vertex_scan_trace};
 }

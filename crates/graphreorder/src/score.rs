@@ -1,7 +1,10 @@
 //! Locality scoring of graph traversal traces.
 
+use symloc_cache::histogram::HitVector;
 use symloc_cache::mrc::MissRatioCurve;
 use symloc_cache::reuse::reuse_profile;
+use symloc_core::hits::AnalysisScratch;
+use symloc_perm::Permutation;
 use symloc_trace::Trace;
 
 /// Summary locality metrics of one traversal trace.
@@ -19,6 +22,40 @@ pub struct LocalityReport {
     pub mrc_area: f64,
     /// Miss ratio at a cache holding a quarter of the footprint.
     pub miss_ratio_quarter_cache: f64,
+}
+
+/// [`locality_score`] of the re-traversal `A σ(A)` of a frontier revisited
+/// in order `σ`, computed directly from the permutation with the
+/// Algorithm-1 scratch kernels — no trace is materialized and no LRU stack
+/// is simulated. Produces exactly the report `locality_score` would give on
+/// the materialized re-traversal trace; reordering searches that score many
+/// candidate `σ` per frontier reuse one workspace across all of them.
+#[must_use]
+pub fn retraversal_locality_score(
+    sigma: &Permutation,
+    scratch: &mut AnalysisScratch,
+) -> LocalityReport {
+    let m = sigma.degree();
+    if m == 0 {
+        return locality_score(&Trace::new());
+    }
+    // One Fenwick pass and one hit-vector conversion serve all the metrics.
+    scratch.pass(sigma);
+    let total = scratch.total_distance();
+    let hits = scratch.compute_hits();
+    let quarter = (m / 4).max(1);
+    let hits_quarter = hits[quarter - 1];
+    let accesses = 2 * m;
+    let curve = MissRatioCurve::from_hit_vector(&HitVector::new(hits.to_vec(), accesses));
+    LocalityReport {
+        accesses,
+        footprint: m,
+        // Every second-pass access has a finite distance: finite count = m.
+        mean_reuse_distance: Some(total as f64 / m as f64),
+        total_reuse_distance: total,
+        mrc_area: curve.normalized_area(),
+        miss_ratio_quarter_cache: 1.0 - hits_quarter as f64 / accesses as f64,
+    }
 }
 
 /// Measures the locality of a trace.
@@ -90,16 +127,47 @@ mod tests {
     }
 
     #[test]
+    fn retraversal_score_matches_trace_score() {
+        use symloc_trace::generators::retraversal_trace;
+        let mut scratch = AnalysisScratch::new(0);
+        let perms = [
+            Permutation::identity(7),
+            Permutation::reverse(7),
+            Permutation::from_images(vec![2, 0, 3, 1]).unwrap(),
+            Permutation::identity(1),
+            Permutation::identity(0),
+        ];
+        for sigma in &perms {
+            let fast = retraversal_locality_score(sigma, &mut scratch);
+            let simulated = locality_score(&retraversal_trace(sigma));
+            assert_eq!(fast.accesses, simulated.accesses, "{sigma}");
+            assert_eq!(fast.footprint, simulated.footprint, "{sigma}");
+            assert_eq!(
+                fast.total_reuse_distance, simulated.total_reuse_distance,
+                "{sigma}"
+            );
+            match (fast.mean_reuse_distance, simulated.mean_reuse_distance) {
+                (Some(a), Some(b)) => assert!((a - b).abs() < 1e-12, "{sigma}"),
+                (a, b) => assert_eq!(a, b, "{sigma}"),
+            }
+            assert!(
+                (fast.mrc_area - simulated.mrc_area).abs() < 1e-12,
+                "{sigma}"
+            );
+            assert!(
+                (fast.miss_ratio_quarter_cache - simulated.miss_ratio_quarter_cache).abs() < 1e-12,
+                "{sigma}"
+            );
+        }
+    }
+
+    #[test]
     fn sawtooth_revisit_beats_cyclic_revisit() {
         // A frontier of 12 vertices revisited 3 times.
         let subset: Vec<usize> = (0..12).map(|i| i * 5).collect();
         let cyclic_orders = vec![Permutation::identity(12); 3];
         let sawtooth = symmetric_retraversal_order(12, None).unwrap();
-        let alternating = vec![
-            sawtooth.clone(),
-            Permutation::identity(12),
-            sawtooth,
-        ];
+        let alternating = vec![sawtooth.clone(), Permutation::identity(12), sawtooth];
         let cyclic_score = locality_score(&repeated_subset_trace(&subset, &cyclic_orders));
         let alt_score = locality_score(&repeated_subset_trace(&subset, &alternating));
         assert!(alt_score.total_reuse_distance < cyclic_score.total_reuse_distance);

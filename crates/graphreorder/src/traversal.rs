@@ -49,10 +49,7 @@ pub fn neighbor_scan_trace(graph: &CsrGraph, order: Option<&[usize]>) -> Trace {
 ///
 /// Panics if any revisit permutation's degree differs from the subset size.
 #[must_use]
-pub fn repeated_subset_trace(
-    subset: &[usize],
-    revisit_orders: &[Permutation],
-) -> Trace {
+pub fn repeated_subset_trace(subset: &[usize], revisit_orders: &[Permutation]) -> Trace {
     let m = subset.len();
     let mut t = Trace::with_capacity(m * (1 + revisit_orders.len()));
     for &v in subset {
@@ -77,7 +74,11 @@ mod tests {
         let g = ring_graph(4);
         let natural = vertex_scan_trace(&g, None);
         assert_eq!(
-            natural.accesses().iter().map(|a| a.value()).collect::<Vec<_>>(),
+            natural
+                .accesses()
+                .iter()
+                .map(|a| a.value())
+                .collect::<Vec<_>>(),
             vec![0, 1, 2, 3]
         );
         let custom = vertex_scan_trace(&g, Some(&[2, 0]));

@@ -4,8 +4,7 @@
 //!
 //! The exhaustive experiments iterate over all `m!` permutations of `S_m`
 //! (Figure 1) or large parameter grids; this crate provides small,
-//! dependency-light parallel building blocks on top of crossbeam scoped
-//! threads:
+//! dependency-free parallel building blocks on top of [`std::thread::scope`]:
 //!
 //! * [`parallel_map`] — map a function over items, preserving order.
 //! * [`parallel_map_chunked`] — map over contiguous index ranges so each
@@ -13,6 +12,11 @@
 //!   permutation iterator started by unranking).
 //! * [`parallel_reduce`] — map + associative merge with per-worker
 //!   accumulators (no shared mutable state, no locks on the hot path).
+//! * [`parallel_reduce_chunked`] — the sweep-engine workhorse: each worker
+//!   folds a whole contiguous chunk into its private accumulator (so it can
+//!   own scratch buffers and streaming iterators for the chunk's lifetime),
+//!   and the per-worker accumulators are merged at the end. The hot path
+//!   allocates nothing and takes no locks.
 //!
 //! All helpers fall back to sequential execution when `threads <= 1` or the
 //! input is tiny, so they are safe to use unconditionally.
@@ -94,19 +98,18 @@ where
     }
     let chunks = split_indices(items.len(), threads);
     let mut results: Vec<Vec<U>> = Vec::new();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(chunks.len());
         for chunk in &chunks {
             let f = &f;
             let slice = &items[chunk.start..chunk.end];
-            handles.push(scope.spawn(move |_| slice.iter().map(f).collect::<Vec<U>>()));
+            handles.push(scope.spawn(move || slice.iter().map(f).collect::<Vec<U>>()));
         }
         results = handles
             .into_iter()
             .map(|h| h.join().expect("worker thread panicked"))
             .collect();
-    })
-    .expect("crossbeam scope failed");
+    });
     results.into_iter().flatten().collect()
 }
 
@@ -126,18 +129,17 @@ where
         return chunks.into_iter().map(f).collect();
     }
     let mut results = Vec::new();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(chunks.len());
         for chunk in chunks {
             let f = &f;
-            handles.push(scope.spawn(move |_| f(chunk)));
+            handles.push(scope.spawn(move || f(chunk)));
         }
         results = handles
             .into_iter()
             .map(|h| h.join().expect("worker thread panicked"))
             .collect();
-    })
-    .expect("crossbeam scope failed");
+    });
     results
 }
 
@@ -161,6 +163,44 @@ where
         }
         acc
     });
+    let mut iter = partials.into_iter();
+    let first = iter.next().unwrap_or_else(&init);
+    iter.fold(first, merge)
+}
+
+/// Chunk-at-a-time parallel reduction: each worker receives its whole
+/// [`IndexChunk`] and folds it into a private accumulator created by `init`;
+/// the accumulators are then merged left-to-right (chunk order) with `merge`.
+///
+/// This is the primitive the sweep engine builds on. Unlike
+/// [`parallel_reduce`], which hands the fold one index at a time,
+/// `fold_chunk` sees the full contiguous range, so it can:
+///
+/// * allocate scratch buffers (Fenwick trees, distance and histogram
+///   buffers, streaming permutation iterators) **once per worker** and reuse
+///   them across every index of the chunk, and
+/// * position a streaming iterator at `chunk.start` by unranking and then
+///   advance it in place, instead of re-deriving per-index state.
+///
+/// The accumulator never crosses threads mid-fold and merging happens after
+/// all workers have joined, so the hot path is lock-free and allocation-free
+/// by construction. `fold_chunk` + `merge` must together be
+/// order-insensitive (commutative-monoid requirement) for determinism; the
+/// result is then independent of `threads`.
+pub fn parallel_reduce_chunked<A, I, F, G>(
+    total: usize,
+    threads: usize,
+    init: I,
+    fold_chunk: F,
+    merge: G,
+) -> A
+where
+    A: Send,
+    I: Fn() -> A + Sync,
+    F: Fn(A, IndexChunk) -> A + Sync,
+    G: Fn(A, A) -> A,
+{
+    let partials = parallel_map_chunked(total, threads, |chunk| fold_chunk(init(), chunk));
     let mut iter = partials.into_iter();
     let first = iter.next().unwrap_or_else(&init);
     iter.fold(first, merge)
@@ -203,7 +243,10 @@ mod tests {
         for threads in [1, 2, 4, 7] {
             let out = parallel_map(&items, threads, |&x| x * 3);
             assert_eq!(out.len(), 1000);
-            assert!(out.iter().enumerate().all(|(i, &v)| v == i * 3), "threads={threads}");
+            assert!(
+                out.iter().enumerate().all(|(i, &v)| v == i * 3),
+                "threads={threads}"
+            );
         }
     }
 
@@ -280,5 +323,59 @@ mod tests {
     fn parallel_reduce_empty_uses_init() {
         let v = parallel_reduce(0, 4, || 42u32, |acc, _| acc + 1, |a, b| a + b);
         assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn parallel_reduce_chunked_matches_indexwise_reduce() {
+        for threads in [1, 2, 3, 8] {
+            let total = parallel_reduce_chunked(
+                1000,
+                threads,
+                || 0u64,
+                |acc, chunk| acc + (chunk.start..chunk.end).map(|i| i as u64).sum::<u64>(),
+                |a, b| a + b,
+            );
+            assert_eq!(total, 499_500, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_reduce_chunked_worker_state_is_private() {
+        // Each chunk fold reuses a per-worker scratch buffer; the result must
+        // still be the deterministic histogram regardless of thread count.
+        let run = |threads| {
+            parallel_reduce_chunked(
+                700,
+                threads,
+                || (vec![0usize; 7], Vec::<usize>::new()),
+                |(mut hist, mut scratch), chunk| {
+                    for i in chunk.start..chunk.end {
+                        scratch.clear(); // reused buffer, no per-index allocation
+                        scratch.push(i % 7);
+                        hist[scratch[0]] += 1;
+                    }
+                    (hist, scratch)
+                },
+                |(mut a, s), (b, _)| {
+                    for (x, y) in a.iter_mut().zip(b) {
+                        *x += y;
+                    }
+                    (a, s)
+                },
+            )
+            .0
+        };
+        let sequential = run(1);
+        assert_eq!(sequential, vec![100; 7]);
+        for threads in [2, 4, 16] {
+            assert_eq!(run(threads), sequential, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_reduce_chunked_empty_uses_init() {
+        let v = parallel_reduce_chunked(0, 4, || 9u32, |acc, _| acc + 1, |a, b| a + b);
+        // One empty chunk is folded, so the fold sees it once.
+        assert_eq!(v, 10);
     }
 }

@@ -117,10 +117,12 @@ pub fn bruhat_leq_subword(sigma: &Permutation, tau: &Permutation) -> bool {
             .mul_adjacent_right(word[idx])
             .expect("generator in range");
         let next_len = inversions(&next);
-        if next_len == current_len + 1 && next_len <= target_len
-            && dfs(word, idx + 1, &next, next_len, target, target_len) {
-                return true;
-            }
+        if next_len == current_len + 1
+            && next_len <= target_len
+            && dfs(word, idx + 1, &next, next_len, target, target_len)
+        {
+            return true;
+        }
         false
     }
     dfs(
@@ -261,7 +263,10 @@ impl CoveringGraph {
     /// explosion; the experiments need at most `m = 8`.
     #[must_use]
     pub fn build(m: usize) -> Self {
-        assert!(m <= 10, "CoveringGraph::build: degree {m} too large for explicit enumeration");
+        assert!(
+            m <= 10,
+            "CoveringGraph::build: degree {m} too large for explicit enumeration"
+        );
         let n = factorial(m).expect("m <= 10") as usize;
         let mut up = vec![Vec::new(); n];
         let mut down = vec![Vec::new(); n];
@@ -334,9 +339,10 @@ impl CoveringGraph {
     /// graded-poset property the paper relies on.
     #[must_use]
     pub fn is_graded(&self) -> bool {
-        self.up.iter().enumerate().all(|(r, ups)| {
-            ups.iter().all(|&cr| self.length[cr] == self.length[r] + 1)
-        })
+        self.up
+            .iter()
+            .enumerate()
+            .all(|(r, ups)| ups.iter().all(|&cr| self.length[cr] == self.length[r] + 1))
     }
 }
 
@@ -404,8 +410,7 @@ mod tests {
         // Cross-validate the positional criterion against the brute-force
         // definition ℓ(σ·t) = ℓ(σ)+1 over all transpositions.
         for sigma in LexIter::new(5) {
-            let fast: Vec<Permutation> =
-                upper_covers(&sigma).into_iter().map(|c| c.perm).collect();
+            let fast: Vec<Permutation> = upper_covers(&sigma).into_iter().map(|c| c.perm).collect();
             let mut brute = Vec::new();
             for a in 0..5 {
                 for b in (a + 1)..5 {

@@ -139,7 +139,10 @@ pub fn transposition_decomposition(sigma: &Permutation) -> Vec<(usize, usize)> {
 ///
 /// Returns [`PermError::InvalidCycle`] if any transposition is degenerate or
 /// out of range.
-pub fn from_transpositions(degree: usize, transpositions: &[(usize, usize)]) -> Result<Permutation> {
+pub fn from_transpositions(
+    degree: usize,
+    transpositions: &[(usize, usize)],
+) -> Result<Permutation> {
     let mut sigma = Permutation::identity(degree);
     // sigma = t0 t1 .. tn applied as function composition: accumulate from the
     // right so that the leftmost factor is applied last.

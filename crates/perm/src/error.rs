@@ -147,19 +147,28 @@ mod tests {
 
     #[test]
     fn display_rank_out_of_range() {
-        let e = PermError::RankOutOfRange { rank: 24, degree: 4 };
+        let e = PermError::RankOutOfRange {
+            rank: 24,
+            degree: 4,
+        };
         assert!(e.to_string().contains("24"));
     }
 
     #[test]
     fn display_generator_out_of_range() {
-        let e = PermError::GeneratorOutOfRange { index: 9, degree: 4 };
+        let e = PermError::GeneratorOutOfRange {
+            index: 9,
+            degree: 4,
+        };
         assert!(e.to_string().contains("9"));
     }
 
     #[test]
     fn display_inversion_target() {
-        let e = PermError::InversionTargetOutOfRange { target: 99, max: 10 };
+        let e = PermError::InversionTargetOutOfRange {
+            target: 99,
+            max: 10,
+        };
         assert!(e.to_string().contains("99"));
         assert!(e.to_string().contains("10"));
     }
@@ -167,7 +176,10 @@ mod tests {
     #[test]
     fn error_is_std_error() {
         fn assert_err<E: std::error::Error>(_: &E) {}
-        let e = PermError::DegreeTooLarge { degree: 30, max: 20 };
+        let e = PermError::DegreeTooLarge {
+            degree: 30,
+            max: 20,
+        };
         assert_err(&e);
     }
 }

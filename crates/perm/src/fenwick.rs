@@ -57,7 +57,11 @@ impl Fenwick {
     ///
     /// Panics if `index >= len`.
     pub fn add(&mut self, index: usize, delta: u64) {
-        assert!(index < self.len, "Fenwick::add index {index} out of range {}", self.len);
+        assert!(
+            index < self.len,
+            "Fenwick::add index {index} out of range {}",
+            self.len
+        );
         let mut i = index + 1;
         while i <= self.len {
             self.tree[i] += delta;
@@ -72,7 +76,11 @@ impl Fenwick {
     /// Panics if `index >= len` or if the subtraction would make any internal
     /// node negative (i.e. more is removed at `index` than was ever added).
     pub fn sub(&mut self, index: usize, delta: u64) {
-        assert!(index < self.len, "Fenwick::sub index {index} out of range {}", self.len);
+        assert!(
+            index < self.len,
+            "Fenwick::sub index {index} out of range {}",
+            self.len
+        );
         let mut i = index + 1;
         while i <= self.len {
             self.tree[i] = self.tree[i]
@@ -112,8 +120,25 @@ impl Fenwick {
     }
 
     /// Resets every count to zero while keeping the capacity.
+    ///
+    /// This is the in-place alternative to reconstructing the tree: hot loops
+    /// that process one permutation per iteration (Algorithm 1 sweeps,
+    /// inversion counting) keep a single tree and `clear` it between
+    /// iterations instead of paying an allocation each time.
     pub fn clear(&mut self) {
         self.tree.iter_mut().for_each(|v| *v = 0);
+    }
+
+    /// Resets the tree to address `len` indices with all counts zero,
+    /// reusing the existing allocation whenever `len` fits its capacity.
+    ///
+    /// Equivalent to `*self = Fenwick::new(len)` without the allocation;
+    /// scratch workspaces use it when they are re-targeted to a different
+    /// degree.
+    pub fn reset(&mut self, len: usize) {
+        self.tree.clear();
+        self.tree.resize(len + 1, 0);
+        self.len = len;
     }
 
     /// Finds the smallest index `i` such that `prefix_sum(i + 1) >= target`,
@@ -203,6 +228,44 @@ mod tests {
         assert_eq!(f.total(), 0);
         f.add(0, 1);
         assert_eq!(f.total(), 1);
+    }
+
+    #[test]
+    fn clear_matches_fresh_tree_on_every_query() {
+        let mut reused = Fenwick::new(8);
+        for round in 0..3u64 {
+            reused.clear();
+            let mut fresh = Fenwick::new(8);
+            for i in 0..8 {
+                let delta = (i as u64 + round) % 3;
+                reused.add(i, delta);
+                fresh.add(i, delta);
+            }
+            assert_eq!(reused, fresh, "round {round}");
+            for end in 0..=8 {
+                assert_eq!(reused.prefix_sum(end), fresh.prefix_sum(end));
+            }
+        }
+    }
+
+    #[test]
+    fn reset_retargets_degree_in_place() {
+        let mut f = Fenwick::new(8);
+        f.add(7, 5);
+        f.reset(3);
+        assert_eq!(f.len(), 3);
+        assert_eq!(f.total(), 0);
+        f.add(2, 4);
+        assert_eq!(f.prefix_sum(3), 4);
+        // Growing past the original capacity also works.
+        f.reset(16);
+        assert_eq!(f.len(), 16);
+        assert_eq!(f.total(), 0);
+        f.add(15, 1);
+        assert_eq!(f.total(), 1);
+        let mut fresh = Fenwick::new(16);
+        fresh.add(15, 1);
+        assert_eq!(f, fresh);
     }
 
     #[test]

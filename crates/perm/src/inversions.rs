@@ -44,7 +44,8 @@ pub fn inversions_merge_seq(seq: &[usize]) -> usize {
         }
         let mid = n / 2;
         let (left, right) = buf.split_at_mut(mid);
-        let mut inv = merge_count(left, &mut scratch[..mid]) + merge_count(right, &mut scratch[mid..]);
+        let mut inv =
+            merge_count(left, &mut scratch[..mid]) + merge_count(right, &mut scratch[mid..]);
         // Merge left and right into scratch, counting cross inversions.
         let (mut i, mut j, mut k) = (0usize, 0usize, 0usize);
         while i < left.len() && j < right.len() {
@@ -164,7 +165,10 @@ pub fn from_lehmer_code(code: &[usize]) -> Result<Permutation> {
     for (i, &c) in code.iter().enumerate() {
         if c > m - 1 - i {
             return Err(PermError::InvalidCycle {
-                reason: format!("Lehmer code entry {c} at position {i} exceeds {}", m - 1 - i),
+                reason: format!(
+                    "Lehmer code entry {c} at position {i} exceeds {}",
+                    m - 1 - i
+                ),
             });
         }
     }
@@ -351,10 +355,7 @@ mod tests {
         assert_eq!(ascents(&sigma), vec![1]);
         assert_eq!(major_index(&sigma), 1 + 3);
         assert_eq!(descents(&Permutation::identity(5)), Vec::<usize>::new());
-        assert_eq!(
-            descents(&Permutation::reverse(4)),
-            vec![0, 1, 2]
-        );
+        assert_eq!(descents(&Permutation::reverse(4)), vec![0, 1, 2]);
         assert_eq!(descents(&Permutation::identity(0)), Vec::<usize>::new());
         assert_eq!(descents(&Permutation::identity(1)), Vec::<usize>::new());
     }

@@ -12,7 +12,7 @@
 //! Both are `O(m)` per step and allocate only at construction.
 
 use crate::perm::Permutation;
-use crate::rank::{unrank, RankRange};
+use crate::rank::{unrank, unrank_into, RankRange};
 
 /// Iterator over all permutations of `m` elements in lexicographic order.
 #[derive(Debug, Clone)]
@@ -203,9 +203,7 @@ impl RankRangeIter {
     pub fn new(m: usize, range: RankRange) -> Self {
         if range.is_empty() {
             return RankRangeIter {
-                inner: LexIter {
-                    current: None,
-                },
+                inner: LexIter { current: None },
                 remaining: 0,
             };
         }
@@ -229,6 +227,80 @@ impl Iterator for RankRangeIter {
     }
 }
 
+/// Buffer-reusing counterpart of [`RankRangeIter`]: walks a contiguous
+/// lexicographic rank range of `S_m` yielding the one-line images as a
+/// borrowed slice instead of an owned [`Permutation`].
+///
+/// This is the streaming primitive of the sweep engine: after construction
+/// (one unranking positions the stream) each step is a single in-place
+/// `next_permutation`, so a worker sweeping millions of permutations
+/// performs **zero** per-permutation allocations.
+///
+/// Because each yielded slice borrows the stream's internal buffer, this is
+/// a *lending* iterator and cannot implement [`Iterator`]; drive it with
+/// `while let Some(images) = stream.next_images() { .. }`.
+#[derive(Debug, Clone)]
+pub struct RankRangeStream {
+    images: Vec<usize>,
+    scratch: Vec<usize>,
+    remaining: u128,
+    started: bool,
+}
+
+impl RankRangeStream {
+    /// Creates a stream over the permutations of `m` elements whose
+    /// lexicographic ranks lie in `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the (non-empty) range starts at or beyond `m!`, mirroring
+    /// [`RankRangeIter::new`].
+    #[must_use]
+    pub fn new(m: usize, range: RankRange) -> Self {
+        let mut stream = RankRangeStream {
+            images: Vec::new(),
+            scratch: Vec::new(),
+            remaining: range.len(),
+            started: false,
+        };
+        if !range.is_empty() {
+            unrank_into(m, range.start, &mut stream.images, &mut stream.scratch)
+                .expect("range start within m!");
+        }
+        stream
+    }
+
+    /// Repositions the stream onto a new range of the same (or a different)
+    /// degree, reusing its buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the (non-empty) range starts at or beyond `m!`.
+    pub fn reset(&mut self, m: usize, range: RankRange) {
+        self.remaining = range.len();
+        self.started = false;
+        if !range.is_empty() {
+            unrank_into(m, range.start, &mut self.images, &mut self.scratch)
+                .expect("range start within m!");
+        }
+    }
+
+    /// The one-line images of the next permutation of the range, or `None`
+    /// once the range is exhausted. The slice is valid until the next call.
+    pub fn next_images(&mut self) -> Option<&[usize]> {
+        if self.remaining == 0 {
+            return None;
+        }
+        if self.started && !next_permutation(&mut self.images) {
+            self.remaining = 0;
+            return None;
+        }
+        self.started = true;
+        self.remaining -= 1;
+        Some(&self.images)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -241,8 +313,7 @@ mod tests {
         for m in 0..=6usize {
             let perms: Vec<Permutation> = LexIter::new(m).collect();
             assert_eq!(perms.len() as u128, factorial(m).unwrap(), "m={m}");
-            let distinct: HashSet<Vec<usize>> =
-                perms.iter().map(|p| p.images().to_vec()).collect();
+            let distinct: HashSet<Vec<usize>> = perms.iter().map(|p| p.images().to_vec()).collect();
             assert_eq!(distinct.len(), perms.len());
         }
     }
@@ -282,8 +353,7 @@ mod tests {
         for m in 1..=6usize {
             let perms: Vec<Permutation> = PlainChangesIter::new(m).collect();
             assert_eq!(perms.len() as u128, factorial(m).unwrap(), "m={m}");
-            let distinct: HashSet<Vec<usize>> =
-                perms.iter().map(|p| p.images().to_vec()).collect();
+            let distinct: HashSet<Vec<usize>> = perms.iter().map(|p| p.images().to_vec()).collect();
             assert_eq!(distinct.len(), perms.len(), "m={m}");
         }
     }
@@ -298,9 +368,7 @@ mod tests {
             let b = inversions(&w[1]) as isize;
             assert_eq!((a - b).abs(), 1);
             // And they differ in exactly two adjacent positions.
-            let diff: Vec<usize> = (0..5)
-                .filter(|&i| w[0].apply(i) != w[1].apply(i))
-                .collect();
+            let diff: Vec<usize> = (0..5).filter(|&i| w[0].apply(i) != w[1].apply(i)).collect();
             assert_eq!(diff.len(), 2);
             assert_eq!(diff[1], diff[0] + 1);
         }
@@ -340,6 +408,59 @@ mod tests {
         assert_eq!(RankRangeIter::new(4, range).count(), 0);
         let inverted = RankRange { start: 12, end: 3 };
         assert_eq!(RankRangeIter::new(4, inverted).count(), 0);
+    }
+
+    #[test]
+    fn rank_range_stream_matches_iter() {
+        let range = RankRange { start: 17, end: 44 };
+        let owned: Vec<Vec<usize>> = RankRangeIter::new(5, range)
+            .map(Permutation::into_images)
+            .collect();
+        let mut stream = RankRangeStream::new(5, range);
+        let mut streamed = Vec::new();
+        while let Some(images) = stream.next_images() {
+            streamed.push(images.to_vec());
+        }
+        assert_eq!(streamed, owned);
+        assert!(stream.next_images().is_none());
+    }
+
+    #[test]
+    fn rank_range_stream_empty_and_reset() {
+        let mut stream = RankRangeStream::new(4, RankRange { start: 3, end: 3 });
+        assert!(stream.next_images().is_none());
+        stream.reset(4, RankRange { start: 22, end: 24 });
+        assert_eq!(stream.next_images(), Some(&[3, 2, 0, 1][..]));
+        assert_eq!(stream.next_images(), Some(&[3, 2, 1, 0][..]));
+        assert!(stream.next_images().is_none());
+        // Reset across degrees reuses the stream.
+        stream.reset(3, RankRange { start: 0, end: 6 });
+        let mut count = 0;
+        while let Some(images) = stream.next_images() {
+            assert_eq!(images.len(), 3);
+            count += 1;
+        }
+        assert_eq!(count, 6);
+    }
+
+    #[test]
+    fn rank_range_stream_covers_full_space_without_reallocating() {
+        let mut stream = RankRangeStream::new(6, RankRange { start: 0, end: 720 });
+        let first_ptr = {
+            let images = stream.next_images().unwrap();
+            assert_eq!(images, &[0, 1, 2, 3, 4, 5]);
+            images.as_ptr()
+        };
+        let mut count = 1;
+        let mut last = Vec::new();
+        while let Some(images) = stream.next_images() {
+            assert_eq!(images.as_ptr(), first_ptr, "buffer must be stable");
+            count += 1;
+            last.clear();
+            last.extend_from_slice(images);
+        }
+        assert_eq!(count, 720);
+        assert_eq!(last, vec![5, 4, 3, 2, 1, 0]);
     }
 
     #[test]

@@ -79,14 +79,17 @@ pub mod prelude {
         ascents, descents, from_lehmer_code, inversion_pairs, inversions, is_reduced_word,
         lehmer_code, major_index, max_inversions, reduced_word, word_to_permutation,
     };
-    pub use crate::iter::{next_permutation, LexIter, PlainChangesIter, RankRangeIter};
+    pub use crate::iter::{
+        next_permutation, LexIter, PlainChangesIter, RankRangeIter, RankRangeStream,
+    };
     pub use crate::mahonian::{
         count_partitions_bounded, is_partition_of, mahonian, mahonian_row, mahonian_total,
         partitions, partitions_bounded,
     };
     pub use crate::perm::Permutation;
-    pub use crate::rank::{factorial, partition_ranks, rank, unrank, RankRange};
+    pub use crate::rank::{factorial, partition_ranks, rank, unrank, unrank_into, RankRange};
     pub use crate::sample::{
         random_permutation, random_saturated_chain, random_upper_cover, random_with_inversions,
+        InversionSampler,
     };
 }

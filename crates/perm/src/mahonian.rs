@@ -169,10 +169,7 @@ mod tests {
         assert_eq!(mahonian_row(2), vec![1, 1]);
         assert_eq!(mahonian_row(3), vec![1, 2, 2, 1]);
         assert_eq!(mahonian_row(4), vec![1, 3, 5, 6, 5, 3, 1]);
-        assert_eq!(
-            mahonian_row(5),
-            vec![1, 4, 9, 15, 20, 22, 20, 15, 9, 4, 1]
-        );
+        assert_eq!(mahonian_row(5), vec![1, 4, 9, 15, 20, 22, 20, 15, 9, 4, 1]);
     }
 
     #[test]

@@ -174,10 +174,7 @@ impl Permutation {
     #[must_use]
     pub fn is_reverse(&self) -> bool {
         let m = self.degree();
-        self.images
-            .iter()
-            .enumerate()
-            .all(|(i, &v)| v == m - 1 - i)
+        self.images.iter().enumerate().all(|(i, &v)| v == m - 1 - i)
     }
 
     /// Returns true if `σ² = e`.
@@ -213,8 +210,7 @@ impl Permutation {
     /// fallible variant.
     #[must_use]
     pub fn compose(&self, other: &Permutation) -> Permutation {
-        self.try_compose(other)
-            .expect("compose: degree mismatch")
+        self.try_compose(other).expect("compose: degree mismatch")
     }
 
     /// Reverse composition `(self.then(other))(i) = other(self(i))`.

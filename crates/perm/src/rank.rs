@@ -6,7 +6,7 @@
 //! `S_m` partition the rank space into chunks and unrank on each worker.
 
 use crate::error::{PermError, Result};
-use crate::inversions::{from_lehmer_code, lehmer_code};
+use crate::inversions::lehmer_code;
 use crate::perm::Permutation;
 
 /// Largest degree for which `m!` fits in a `u128`.
@@ -63,18 +63,44 @@ pub fn rank(sigma: &Permutation) -> Result<u128> {
 /// Returns [`PermError::RankOutOfRange`] if `r >= degree!`, or
 /// [`PermError::DegreeTooLarge`] if the degree exceeds [`MAX_EXACT_DEGREE`].
 pub fn unrank(degree: usize, r: u128) -> Result<Permutation> {
+    let mut images = Vec::new();
+    let mut scratch = Vec::new();
+    unrank_into(degree, r, &mut images, &mut scratch)?;
+    Permutation::from_images(images)
+}
+
+/// Buffer-reusing [`unrank`]: writes the one-line images of the permutation
+/// with rank `r` into `images`, using `scratch` as working space. Neither
+/// vector allocates once it has reached `degree` capacity, so repositioning
+/// a streaming sweep iterator is allocation-free after warm-up.
+///
+/// # Errors
+///
+/// Returns [`PermError::RankOutOfRange`] if `r >= degree!`, or
+/// [`PermError::DegreeTooLarge`] if the degree exceeds [`MAX_EXACT_DEGREE`].
+pub fn unrank_into(
+    degree: usize,
+    r: u128,
+    images: &mut Vec<usize>,
+    scratch: &mut Vec<usize>,
+) -> Result<()> {
     let total = factorial(degree)?;
     if r >= total {
         return Err(PermError::RankOutOfRange { rank: r, degree });
     }
-    let mut code = Vec::with_capacity(degree);
+    // scratch holds the not-yet-used values in increasing order; the i-th
+    // factoradic digit of r selects (and removes) one of them.
+    scratch.clear();
+    scratch.extend(0..degree);
+    images.clear();
     let mut rem = r;
     for i in 0..degree {
         let f = factorial(degree - 1 - i)?;
-        code.push((rem / f) as usize);
+        let digit = (rem / f) as usize;
         rem %= f;
+        images.push(scratch.remove(digit));
     }
-    from_lehmer_code(&code)
+    Ok(())
 }
 
 /// An inclusive-exclusive range of lexicographic ranks, used to partition the
@@ -170,6 +196,22 @@ mod tests {
             assert!(cur > prev, "rank {r} not lexicographically larger");
             prev = cur;
         }
+    }
+
+    #[test]
+    fn unrank_into_reuses_buffers_and_matches_unrank() {
+        let mut images = Vec::new();
+        let mut scratch = Vec::new();
+        for r in 0..120u128 {
+            unrank_into(5, r, &mut images, &mut scratch).unwrap();
+            assert_eq!(images, unrank(5, r).unwrap().into_images(), "rank {r}");
+        }
+        let cap = images.capacity();
+        unrank_into(5, 77, &mut images, &mut scratch).unwrap();
+        assert_eq!(images.capacity(), cap, "repositioning must not reallocate");
+        assert!(unrank_into(3, 6, &mut images, &mut scratch).is_err());
+        unrank_into(0, 0, &mut images, &mut scratch).unwrap();
+        assert!(images.is_empty());
     }
 
     #[test]

@@ -22,12 +22,123 @@ pub fn random_permutation<R: Rng + ?Sized>(m: usize, rng: &mut R) -> Permutation
     Permutation::from_images(images).expect("shuffle of identity is a permutation")
 }
 
+/// A reusable sampler of permutations of `m` elements with exactly `k`
+/// inversions, uniform over that Bruhat level.
+///
+/// Construction builds the Mahonian-style completion-count table once
+/// (`O(m²k)`); every [`InversionSampler::sample`] afterwards only walks the
+/// table (`O(m²)` worst case) instead of rebuilding it, which is the
+/// difference between "per level" and "per permutation" cost in stratified
+/// sweeps.
+///
+/// Works by sampling a Lehmer code `(c_0, .., c_{m-1})` with `c_i ≤ m-1-i`
+/// and `Σ c_i = k`, weighting each digit choice by the number of completions,
+/// so the overall distribution is uniform.
+#[derive(Debug, Clone)]
+pub struct InversionSampler {
+    m: usize,
+    k: usize,
+    /// ways[i][r] = number of Lehmer suffixes (c_i, .., c_{m-1}) with sum r.
+    /// Position i allows digits 0..=m-1-i.
+    ways: Vec<Vec<u128>>,
+}
+
+impl InversionSampler {
+    /// Builds the sampler for permutations of `m` elements with `k`
+    /// inversions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PermError::InversionTargetOutOfRange`] if `k > m(m-1)/2`.
+    pub fn new(m: usize, k: usize) -> Result<Self> {
+        let max = max_inversions(m);
+        if k > max {
+            return Err(PermError::InversionTargetOutOfRange { target: k, max });
+        }
+        let mut ways: Vec<Vec<u128>> = vec![vec![0; k + 1]; m + 1];
+        ways[m][0] = 1;
+        for i in (0..m).rev() {
+            let bound = m - 1 - i;
+            for r in 0..=k {
+                let mut total = 0u128;
+                for c in 0..=bound.min(r) {
+                    total += ways[i + 1][r - c];
+                }
+                ways[i][r] = total;
+            }
+        }
+        debug_assert!(ways[0][k] > 0, "DP table must admit at least one code");
+        Ok(InversionSampler { m, k, ways })
+    }
+
+    /// The degree `m` of the sampled permutations.
+    #[must_use]
+    pub fn degree(&self) -> usize {
+        self.m
+    }
+
+    /// The inversion count `k` of the sampled permutations.
+    #[must_use]
+    pub fn inversions(&self) -> usize {
+        self.k
+    }
+
+    /// Draws one Lehmer code into `code` (buffer-reusing; no allocation once
+    /// `code` has capacity `m`).
+    pub fn sample_code_into<R: Rng + ?Sized>(&self, rng: &mut R, code: &mut Vec<usize>) {
+        code.clear();
+        let mut remaining = self.k;
+        for i in 0..self.m {
+            let bound = self.m - 1 - i;
+            let total = self.ways[i][remaining];
+            let mut ticket = rng.gen_range(0..total);
+            let mut chosen = 0usize;
+            for c in 0..=bound.min(remaining) {
+                let w = self.ways[i + 1][remaining - c];
+                if ticket < w {
+                    chosen = c;
+                    break;
+                }
+                ticket -= w;
+            }
+            code.push(chosen);
+            remaining -= chosen;
+        }
+    }
+
+    /// Draws one permutation.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Permutation {
+        let mut code = Vec::with_capacity(self.m);
+        self.sample_code_into(rng, &mut code);
+        from_lehmer_code(&code).expect("sampled code is valid by construction")
+    }
+
+    /// Draws one permutation's one-line images into `images`, using `code`
+    /// and `available` as working space — fully allocation-free after
+    /// warm-up. (`images` is the scatter of the Lehmer code, exactly as
+    /// [`crate::inversions::from_lehmer_code`] computes it.)
+    pub fn sample_images_into<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        images: &mut Vec<usize>,
+        code: &mut Vec<usize>,
+        available: &mut Vec<usize>,
+    ) {
+        self.sample_code_into(rng, code);
+        available.clear();
+        available.extend(0..self.m);
+        images.clear();
+        for &c in code.iter() {
+            images.push(available.remove(c));
+        }
+    }
+}
+
 /// Samples a permutation of `m` elements uniformly among those with exactly
 /// `k` inversions.
 ///
-/// Works by sampling a Lehmer code `(c_0, .., c_{m-1})` with `c_i ≤ m-1-i`
-/// and `Σ c_i = k`, weighting each digit choice by the number of completions
-/// (a Mahonian-style DP table), so the overall distribution is uniform.
+/// One-shot convenience over [`InversionSampler`]; loops drawing many
+/// permutations at the same level should build the sampler once instead.
 ///
 /// # Errors
 ///
@@ -37,53 +148,13 @@ pub fn random_with_inversions<R: Rng + ?Sized>(
     k: usize,
     rng: &mut R,
 ) -> Result<Permutation> {
-    let max = max_inversions(m);
-    if k > max {
-        return Err(PermError::InversionTargetOutOfRange { target: k, max });
-    }
-    // ways[i][r] = number of Lehmer suffixes (c_i, .., c_{m-1}) with sum r.
-    // Position i allows digits 0..=m-1-i.
-    let mut ways: Vec<Vec<u128>> = vec![vec![0; k + 1]; m + 1];
-    ways[m][0] = 1;
-    for i in (0..m).rev() {
-        let bound = m - 1 - i;
-        for r in 0..=k {
-            let mut total = 0u128;
-            for c in 0..=bound.min(r) {
-                total += ways[i + 1][r - c];
-            }
-            ways[i][r] = total;
-        }
-    }
-    debug_assert!(ways[0][k] > 0, "DP table must admit at least one code");
-    let mut code = Vec::with_capacity(m);
-    let mut remaining = k;
-    for i in 0..m {
-        let bound = m - 1 - i;
-        let total = ways[i][remaining];
-        let mut ticket = rng.gen_range(0..total);
-        let mut chosen = 0usize;
-        for c in 0..=bound.min(remaining) {
-            let w = ways[i + 1][remaining - c];
-            if ticket < w {
-                chosen = c;
-                break;
-            }
-            ticket -= w;
-        }
-        code.push(chosen);
-        remaining -= chosen;
-    }
-    from_lehmer_code(&code)
+    Ok(InversionSampler::new(m, k)?.sample(rng))
 }
 
 /// Samples one Bruhat cover above `sigma` uniformly at random, or returns
 /// `None` if `sigma` is the longest element.
 #[must_use]
-pub fn random_upper_cover<R: Rng + ?Sized>(
-    sigma: &Permutation,
-    rng: &mut R,
-) -> Option<Cover> {
+pub fn random_upper_cover<R: Rng + ?Sized>(sigma: &Permutation, rng: &mut R) -> Option<Cover> {
     let covers = upper_covers(sigma);
     if covers.is_empty() {
         return None;
@@ -178,6 +249,25 @@ mod tests {
         for (_, count) in seen {
             assert!(count > 40, "count {count} suspiciously far from uniform");
         }
+    }
+
+    #[test]
+    fn sampler_reuse_matches_one_shot_distribution() {
+        // The reusable sampler must hit the target level exactly and its
+        // buffer-reusing path must agree with its allocating path.
+        let sampler = InversionSampler::new(7, 9).unwrap();
+        assert_eq!(sampler.degree(), 7);
+        assert_eq!(sampler.inversions(), 9);
+        let mut rng_a = StdRng::seed_from_u64(21);
+        let mut rng_b = StdRng::seed_from_u64(21);
+        let (mut images, mut code, mut available) = (Vec::new(), Vec::new(), Vec::new());
+        for _ in 0..50 {
+            let p = sampler.sample(&mut rng_a);
+            assert_eq!(inversions(&p), 9);
+            sampler.sample_images_into(&mut rng_b, &mut images, &mut code, &mut available);
+            assert_eq!(p.images(), &images[..], "same seed, same draw");
+        }
+        assert!(InversionSampler::new(4, 7).is_err());
     }
 
     #[test]

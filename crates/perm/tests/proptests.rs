@@ -23,7 +23,10 @@ fn arb_pair(max_degree: usize) -> impl Strategy<Value = (Permutation, Permutatio
             use rand::SeedableRng;
             let mut r1 = StdRng::seed_from_u64(s1);
             let mut r2 = StdRng::seed_from_u64(s2);
-            (random_permutation(m, &mut r1), random_permutation(m, &mut r2))
+            (
+                random_permutation(m, &mut r1),
+                random_permutation(m, &mut r2),
+            )
         })
     })
 }

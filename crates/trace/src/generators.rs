@@ -308,7 +308,10 @@ mod tests {
     #[test]
     fn cyclic_trace_shape() {
         let t = cyclic_trace(4, 2);
-        assert_eq!(t.accesses().iter().map(|a| a.value()).collect::<Vec<_>>(), vec![0, 1, 2, 3, 0, 1, 2, 3]);
+        assert_eq!(
+            t.accesses().iter().map(|a| a.value()).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 0, 1, 2, 3]
+        );
         assert_eq!(cyclic_trace(0, 3).len(), 0);
         assert_eq!(cyclic_trace(3, 0).len(), 0);
     }
@@ -342,7 +345,10 @@ mod tests {
         let sigma = Permutation::from_one_based(vec![2, 1, 3, 4]).unwrap();
         let t = retraversal_trace(&sigma);
         assert_eq!(
-            t.accesses().iter().map(|a| a.value() + 1).collect::<Vec<_>>(),
+            t.accesses()
+                .iter()
+                .map(|a| a.value() + 1)
+                .collect::<Vec<_>>(),
             vec![1, 2, 3, 4, 2, 1, 3, 4] // the paper's worked example
         );
     }

@@ -30,7 +30,10 @@ impl fmt::Display for TraceIoError {
         match self {
             TraceIoError::Io(e) => write!(f, "trace I/O error: {e}"),
             TraceIoError::Parse { line, text } => {
-                write!(f, "trace parse error at line {line}: {text:?} is not an address")
+                write!(
+                    f,
+                    "trace parse error at line {line}: {text:?} is not an address"
+                )
             }
         }
     }

@@ -153,14 +153,16 @@ mod tests {
 
     #[test]
     fn serpentine_alternates_direction() {
-        let t = matrix_traversal_trace(2, 3, MatrixLayout::RowMajor, MatrixTraversal::RowSerpentine);
+        let t =
+            matrix_traversal_trace(2, 3, MatrixLayout::RowMajor, MatrixTraversal::RowSerpentine);
         assert_eq!(values(&t), vec![0, 1, 2, 5, 4, 3]);
     }
 
     #[test]
     fn tiled_visits_every_element_once() {
         for tile in [1usize, 2, 3, 5] {
-            let t = matrix_traversal_trace(4, 5, MatrixLayout::RowMajor, MatrixTraversal::Tiled(tile));
+            let t =
+                matrix_traversal_trace(4, 5, MatrixLayout::RowMajor, MatrixTraversal::Tiled(tile));
             assert_eq!(t.len(), 20, "tile={tile}");
             assert_eq!(t.distinct_count(), 20, "tile={tile}");
         }

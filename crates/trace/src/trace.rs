@@ -254,7 +254,10 @@ mod tests {
     #[test]
     fn reversed_and_slice() {
         let t = Trace::from_usizes(&[0, 1, 2, 3]);
-        assert_eq!(t.reversed().accesses(), &[Addr(3), Addr(2), Addr(1), Addr(0)]);
+        assert_eq!(
+            t.reversed().accesses(),
+            &[Addr(3), Addr(2), Addr(1), Addr(0)]
+        );
         assert_eq!(t.slice(1, 3).accesses(), &[Addr(1), Addr(2)]);
         assert_eq!(t.slice(3, 100).accesses(), &[Addr(3)]);
         assert_eq!(t.slice(5, 2).len(), 0);
@@ -264,7 +267,10 @@ mod tests {
     fn relabel_dense_first_appearance_order() {
         let t = Trace::from_usizes(&[42, 17, 42, 99, 17]);
         let (relabeled, mapping) = t.relabel_dense();
-        assert_eq!(relabeled.accesses(), &[Addr(0), Addr(1), Addr(0), Addr(2), Addr(1)]);
+        assert_eq!(
+            relabeled.accesses(),
+            &[Addr(0), Addr(1), Addr(0), Addr(2), Addr(1)]
+        );
         assert_eq!(mapping, vec![Addr(42), Addr(17), Addr(99)]);
         // Round-trip through the mapping restores the original.
         let restored: Trace = relabeled.iter().map(|a| mapping[a.value()]).collect();

@@ -58,7 +58,11 @@ fn main() {
     }
 
     println!("\n== Tie-break policies produce different but equally long chains ==\n");
-    for policy in [TieBreak::First, TieBreak::LargestGenerator, TieBreak::Random(42)] {
+    for policy in [
+        TieBreak::First,
+        TieBreak::LargestGenerator,
+        TieBreak::Random(42),
+    ] {
         let chain = chain_find(
             &Permutation::identity(6),
             &MissRatioLabeling,

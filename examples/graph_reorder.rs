@@ -69,7 +69,9 @@ fn main() {
     report("alternating sawtooth", &alt_score);
     println!(
         "\ntotal reuse distance reduced by {:.1}%",
-        100.0 * (1.0 - alt_score.total_reuse_distance as f64 / cyclic_score.total_reuse_distance as f64)
+        100.0
+            * (1.0
+                - alt_score.total_reuse_distance as f64 / cyclic_score.total_reuse_distance as f64)
     );
 
     println!("\n== Constrained re-traversal of a partially ordered frontier ==\n");

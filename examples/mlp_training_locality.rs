@@ -16,7 +16,9 @@ fn main() {
     for (n, m) in [(8usize, 8usize), (16, 8), (32, 16)] {
         let layer = MlpLayer::new(m, n);
         let k = layer.weight_count();
-        let cyclic = layer.weight_trace(0, None).concat(&layer.weight_trace(0, None));
+        let cyclic = layer
+            .weight_trace(0, None)
+            .concat(&layer.weight_trace(0, None));
         let sawtooth = layer
             .weight_trace(0, None)
             .concat(&layer.weight_trace(0, Some(&Permutation::reverse(k))));
@@ -66,7 +68,8 @@ fn main() {
     }
     println!(
         "\nreuse-distance improvement of alternation over cyclic: {:.1}%",
-        100.0 * (1.0 - alternating.total_reuse_distance as f64 / cyclic.total_reuse_distance as f64)
+        100.0
+            * (1.0 - alternating.total_reuse_distance as f64 / cyclic.total_reuse_distance as f64)
     );
 
     println!("\n== Multi-head attention: per-step locality ==\n");
@@ -84,9 +87,18 @@ fn main() {
 
     println!("\n== Data-order classes and the orders they permit ==\n");
     for (name, order) in [
-        ("unordered set (stock prices)", DataOrder::Unordered { m: 6 }),
-        ("batch of 2 sentences × 3 words", DataOrder::grouped(2, 3).unwrap()),
-        ("totally ordered (a novel)", DataOrder::TotallyOrdered { m: 6 }),
+        (
+            "unordered set (stock prices)",
+            DataOrder::Unordered { m: 6 },
+        ),
+        (
+            "batch of 2 sentences × 3 words",
+            DataOrder::grouped(2, 3).unwrap(),
+        ),
+        (
+            "totally ordered (a novel)",
+            DataOrder::TotallyOrdered { m: 6 },
+        ),
     ] {
         let rec = recommended_order(&order).unwrap();
         println!(

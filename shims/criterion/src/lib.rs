@@ -1,0 +1,336 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace-local
+//! shim provides a small wall-clock benchmark harness behind the subset of
+//! criterion's API the workspace's benches use. Each benchmark is warmed up,
+//! then timed over `sample_size` samples whose per-sample iteration count is
+//! calibrated to a target duration; the median, minimum and maximum
+//! per-iteration times are reported on stdout as
+//!
+//! ```text
+//! group/function/param      median 1.234 µs/iter  (min 1.1, max 1.5; 10 samples)
+//! ```
+//!
+//! Environment knobs (all optional):
+//!
+//! * `CRITERION_SAMPLE_MS` — target milliseconds per sample (default 20).
+//! * `CRITERION_QUICK` — when set, one sample and no warmup (smoke mode; used
+//!   by CI to check benches still run without paying for statistics).
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Statistics of one finished benchmark, also returned to callers that want
+/// to post-process timings (the JSON perf emitters do).
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Full benchmark id (`group/function/param`).
+    pub id: String,
+    /// Median per-iteration time.
+    pub median: Duration,
+    /// Fastest per-iteration time observed.
+    pub min: Duration,
+    /// Slowest per-iteration time observed.
+    pub max: Duration,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Declared throughput elements per iteration, if any.
+    pub elements: Option<u64>,
+}
+
+/// Measurement configuration and (in real criterion) statistics engine.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            throughput: None,
+        }
+    }
+}
+
+/// Throughput declaration used to report rates alongside times.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// An identifier of one benchmark within a group: function name + parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds `function/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Builds a bare parameterless id.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Sets the number of timed samples for subsequent benchmarks.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares the per-iteration throughput of subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> Sample
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full_id = format!("{}/{}", self.name, id.into().id);
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher);
+        bencher.report(&full_id, self.throughput)
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> Sample
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full_id = format!("{}/{}", self.name, id.id);
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher, input);
+        bencher.report(&full_id, self.throughput)
+    }
+
+    /// Ends the group (kept for API compatibility; reporting is immediate).
+    pub fn finish(self) {}
+}
+
+fn target_sample_duration() -> Duration {
+    let ms = std::env::var("CRITERION_SAMPLE_MS")
+        .ok()
+        .and_then(|s| s.trim().parse::<u64>().ok())
+        .unwrap_or(20);
+    Duration::from_millis(ms.max(1))
+}
+
+fn quick_mode() -> bool {
+    std::env::var_os("CRITERION_QUICK").is_some()
+}
+
+/// Times closures handed to it by a benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    per_iter: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        Bencher {
+            sample_size,
+            per_iter: Vec::new(),
+        }
+    }
+
+    /// Measures `f`, storing per-iteration times for the report.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let quick = quick_mode();
+        let target = target_sample_duration();
+        // Calibration: run single iterations until the cost is known.
+        let mut iters_per_sample = 1u64;
+        let mut calibrated = Duration::ZERO;
+        for _ in 0..8 {
+            let start = Instant::now();
+            black_box(f());
+            calibrated = start.elapsed();
+            if quick || calibrated >= target {
+                break;
+            }
+        }
+        if calibrated < target && calibrated > Duration::ZERO {
+            iters_per_sample = (target.as_nanos() / calibrated.as_nanos().max(1)) as u64;
+            iters_per_sample = iters_per_sample.clamp(1, 1_000_000_000);
+        }
+        let samples = if quick { 1 } else { self.sample_size };
+        self.per_iter.clear();
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            self.per_iter.push(elapsed / iters_per_sample as u32);
+        }
+    }
+
+    fn report(mut self, id: &str, throughput: Option<Throughput>) -> Sample {
+        if self.per_iter.is_empty() {
+            // Benchmark body never called iter(); report zeros.
+            self.per_iter.push(Duration::ZERO);
+        }
+        self.per_iter.sort();
+        let median = self.per_iter[self.per_iter.len() / 2];
+        let min = self.per_iter[0];
+        let max = *self.per_iter.last().expect("non-empty");
+        let elements = match throughput {
+            Some(Throughput::Elements(n)) => Some(n),
+            _ => None,
+        };
+        let rate = elements
+            .filter(|_| median > Duration::ZERO)
+            .map(|n| format!("  {:.3} Melem/s", n as f64 / median.as_secs_f64() / 1e6))
+            .unwrap_or_default();
+        println!(
+            "{id:<56} median {}  (min {}, max {}; {} samples){rate}",
+            fmt_duration(median),
+            fmt_duration(min),
+            fmt_duration(max),
+            self.per_iter.len(),
+        );
+        Sample {
+            id: id.to_string(),
+            median,
+            min,
+            max,
+            samples: self.per_iter.len(),
+            elements,
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns/iter")
+    } else if ns < 1_000_000 {
+        format!("{:.3} µs/iter", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.3} ms/iter", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s/iter", ns as f64 / 1e9)
+    }
+}
+
+/// Declares a benchmark entry function running the listed targets.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares `fn main` running the listed [`criterion_group!`] functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_api_round_trip() {
+        std::env::set_var("CRITERION_QUICK", "1");
+        let mut c = Criterion::default().sample_size(3);
+        let mut group = c.benchmark_group("shim_selftest");
+        group.sample_size(2);
+        group.throughput(Throughput::Elements(64));
+        let s = group.bench_function("sum", |b| {
+            b.iter(|| (0..64u64).sum::<u64>());
+        });
+        assert!(s.id.contains("shim_selftest/sum"));
+        assert_eq!(s.elements, Some(64));
+        let s2 = group.bench_with_input(BenchmarkId::new("sum_n", 128), &128u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>());
+        });
+        assert!(s2.id.contains("sum_n/128"));
+        group.finish();
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).id, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("p").id, "p");
+        let from_str: BenchmarkId = "raw".into();
+        assert_eq!(from_str.id, "raw");
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert!(fmt_duration(Duration::from_nanos(5)).contains("ns"));
+        assert!(fmt_duration(Duration::from_micros(5)).contains("µs"));
+        assert!(fmt_duration(Duration::from_millis(5)).contains("ms"));
+        assert!(fmt_duration(Duration::from_secs(5)).contains("s/iter"));
+    }
+}

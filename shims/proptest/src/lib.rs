@@ -1,0 +1,601 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace-local
+//! shim reimplements the slice of proptest's API that the workspace's
+//! property tests use:
+//!
+//! * the [`proptest!`] macro (with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header),
+//! * the [`Strategy`] trait with [`Strategy::prop_map`] and
+//!   [`Strategy::prop_flat_map`],
+//! * range strategies over integers and `f64`, tuple strategies up to arity
+//!   four, [`collection::vec`], [`any`], and [`Just`],
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`] and
+//!   [`prop_assume!`].
+//!
+//! Semantics are plain randomized testing: every test function runs
+//! [`ProptestConfig::cases`] times on inputs drawn from a per-test
+//! deterministic generator (seeded by hashing the test name, overridable via
+//! the `PROPTEST_SEED` environment variable). Failing inputs are printed but
+//! **not shrunk** — shrinking is the one major feature this shim drops.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// Deterministic generator handed to strategies (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from an explicit seed.
+    #[must_use]
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Creates the generator for a named test: FNV-hash of the name, XORed
+    /// with `PROPTEST_SEED` when that environment variable is set (letting a
+    /// failing run be varied or reproduced without recompiling).
+    #[must_use]
+    pub fn for_test(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1_0000_01b3);
+        }
+        if let Ok(s) = std::env::var("PROPTEST_SEED") {
+            if let Ok(extra) = s.trim().parse::<u64>() {
+                h ^= extra;
+            }
+        }
+        TestRng { state: h }
+    }
+
+    /// The next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..span` (`span >= 1`).
+    pub fn below(&mut self, span: u64) -> u64 {
+        if span <= 1 {
+            return 0;
+        }
+        ((self.next_u64() as u128 * span as u128) >> 64) as u64
+    }
+
+    /// Uniform value in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// An assertion failed; the case is a counterexample.
+    Fail(String),
+    /// The drawn input did not satisfy a `prop_assume!`; the case is skipped.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure.
+    #[must_use]
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Builds a rejection.
+    #[must_use]
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+            TestCaseError::Reject(m) => write!(f, "input rejected: {m}"),
+        }
+    }
+}
+
+/// Per-test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 96 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A recipe for drawing random values of `Self::Value`.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value: fmt::Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O: fmt::Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Uses each generated value to pick a dependent strategy, then draws
+    /// from that.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Discards generated values not satisfying `pred` (resampling; gives up
+    /// after a bounded number of attempts).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        whence: &'static str,
+        pred: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            whence,
+            pred,
+        }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: fmt::Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter({}) rejected 1000 consecutive inputs",
+            self.whence
+        );
+    }
+}
+
+/// Strategy producing a single fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = ((end - start) as u64).wrapping_add(1);
+                if span == 0 {
+                    return rng.next_u64() as $t;
+                }
+                start + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i32, i64, isize);
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for core::ops::RangeInclusive<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "empty range strategy");
+        start + rng.unit_f64() * (end - start)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0);
+    (A.0, B.1);
+    (A.0, B.1, C.2);
+    (A.0, B.1, C.2, D.3);
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized + fmt::Debug {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.unit_f64()
+    }
+}
+
+/// Strategy for [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The strategy of all values of `T` (`any::<u64>()`).
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::fmt;
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<E, L> {
+        element: E,
+        len: L,
+    }
+
+    impl<E: Strategy, L: Strategy> Strategy for VecStrategy<E, L>
+    where
+        E::Value: fmt::Debug,
+        L::Value: TryInto<usize>,
+    {
+        type Value = Vec<E::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<E::Value> {
+            let n = self
+                .len
+                .generate(rng)
+                .try_into()
+                .unwrap_or_else(|_| panic!("vec length strategy produced a negative length"));
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Vectors whose elements are drawn from `element` and whose length is
+    /// drawn from `len` (any integer strategy convertible to `usize`, e.g.
+    /// `0..=100`; unsuffixed literals infer `i32` and convert).
+    pub fn vec<E: Strategy, L: Strategy>(element: E, len: L) -> VecStrategy<E, L>
+    where
+        L::Value: TryInto<usize>,
+    {
+        VecStrategy { element, len }
+    }
+}
+
+/// Fails the current case with a counterexample message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed at {}:{}: {}",
+                file!(), line!(), stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed at {}:{}: {}",
+                file!(), line!(), format_args!($($fmt)*)
+            )));
+        }
+    };
+}
+
+/// Fails the current case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed at {}:{}: `{} == {}`\n  left: {:?}\n right: {:?}",
+                file!(), line!(), stringify!($left), stringify!($right), l, r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed at {}:{}: `{} == {}`: {}\n  left: {:?}\n right: {:?}",
+                file!(), line!(), stringify!($left), stringify!($right),
+                format_args!($($fmt)*), l, r
+            )));
+        }
+    }};
+}
+
+/// Fails the current case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed at {}:{}: `{} != {}`\n  both: {:?}",
+                file!(),
+                line!(),
+                stringify!($left),
+                stringify!($right),
+                l
+            )));
+        }
+    }};
+}
+
+/// Skips the current case when its drawn input does not satisfy `cond`.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ..) { body }`
+/// becomes a `#[test]` that runs the body over random draws.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_each! { config = ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_each! { config = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_each {
+    (config = ($config:expr); ) => {};
+    (config = ($config:expr);
+     $(#[$attr:meta])*
+     fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let mut rng = $crate::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+            let mut rejected: u32 = 0;
+            let mut case: u32 = 0;
+            while case < config.cases {
+                let outcome = (|rng: &mut $crate::TestRng|
+                        -> ::core::result::Result<(), $crate::TestCaseError> {
+                    $(let $pat = $crate::Strategy::generate(&($strategy), rng);)+
+                    $body
+                    ::core::result::Result::Ok(())
+                })(&mut rng);
+                match outcome {
+                    ::core::result::Result::Ok(()) => { case += 1; }
+                    ::core::result::Result::Err($crate::TestCaseError::Reject(_)) => {
+                        rejected += 1;
+                        assert!(
+                            rejected < 10 * config.cases + 1000,
+                            "proptest {}: too many rejected inputs ({rejected})",
+                            stringify!($name),
+                        );
+                    }
+                    ::core::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest {} failed on case {case} of {}:\n{msg}",
+                            stringify!($name), config.cases,
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_each! { config = ($config); $($rest)* }
+    };
+}
+
+/// Everything a property-test file needs: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary, Just,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::TestRng;
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in 3usize..10, y in 0u64..=5, f in 0.25f64..0.75) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(y <= 5);
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn tuples_and_maps((a, b) in (1usize..4, 10usize..14), c in (0usize..3).prop_map(|v| v * 2)) {
+            prop_assert!(a < 4 && b >= 10);
+            prop_assert!(c % 2 == 0 && c <= 4);
+        }
+
+        #[test]
+        fn flat_map_dependent(v in (1usize..=5).prop_flat_map(|n| crate::collection::vec(0..n, n..=n))) {
+            let n = v.len();
+            prop_assert!((1..=5).contains(&n));
+            for &x in &v {
+                prop_assert!(x < n);
+            }
+        }
+
+        #[test]
+        fn assume_skips(x in 0usize..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+        #[test]
+        fn config_header_accepted(x in 0usize..100) {
+            prop_assert!(x < 100);
+        }
+    }
+
+    #[test]
+    fn any_and_just_and_filter() {
+        let mut rng = TestRng::from_seed(5);
+        let j = Just(41usize);
+        assert_eq!(j.generate(&mut rng), 41);
+        let evens = (0usize..100).prop_filter("even", |x| x % 2 == 0);
+        for _ in 0..50 {
+            assert_eq!(evens.generate(&mut rng) % 2, 0);
+        }
+        let _: u64 = any::<u64>().generate(&mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed on case")]
+    fn failing_property_panics() {
+        proptest! {
+            fn always_fails(x in 0usize..10) {
+                prop_assert!(x > 100, "x was {x}");
+            }
+        }
+        always_fails();
+    }
+}

@@ -21,7 +21,7 @@ use symloc_cache::mrc::MissRatioCurve;
 use symloc_cache::reuse::reuse_profile;
 use symloc_core::chainfind::ChainFindConfig;
 use symloc_core::feasibility::PrecedenceDag;
-use symloc_core::hits::{hit_vector, mrc};
+use symloc_core::hits::{hit_vector_with_scratch, mrc_with_scratch, AnalysisScratch};
 use symloc_core::optimize::{best_feasible_exhaustive, optimize_from_identity};
 use symloc_core::retraversal::ReTraversal;
 use symloc_core::theorems::theorem2_holds;
@@ -62,8 +62,7 @@ pub fn usage() -> String {
 ///
 /// Returns a [`CliError`] if the file cannot be read or parsed.
 pub fn analyze_file(path: &str) -> Result<String, CliError> {
-    let trace =
-        read_trace(path).map_err(|e| CliError(format!("cannot read trace {path}: {e}")))?;
+    let trace = read_trace(path).map_err(|e| CliError(format!("cannot read trace {path}: {e}")))?;
     Ok(analyze_trace(&trace))
 }
 
@@ -89,7 +88,11 @@ pub fn analyze_trace(trace: &Trace) -> String {
     let profile = reuse_profile(trace);
     let curve = MissRatioCurve::from_profile(&profile);
     let m = profile.footprint();
-    let _ = writeln!(out, "total reuse distance: {}", profile.histogram().total_finite_distance());
+    let _ = writeln!(
+        out,
+        "total reuse distance: {}",
+        profile.histogram().total_finite_distance()
+    );
     let _ = writeln!(out, "normalized MRC area : {:.4}", curve.normalized_area());
     let _ = writeln!(out, "cache-size sweep (fully associative LRU):");
     let mut sizes: Vec<usize> = vec![1, m / 8, m / 4, m / 2, (3 * m) / 4, m];
@@ -112,8 +115,7 @@ pub fn analyze_trace(trace: &Trace) -> String {
 ///
 /// Returns a [`CliError`] if the file cannot be read or is not a re-traversal.
 pub fn retraversal_file(path: &str) -> Result<String, CliError> {
-    let trace =
-        read_trace(path).map_err(|e| CliError(format!("cannot read trace {path}: {e}")))?;
+    let trace = read_trace(path).map_err(|e| CliError(format!("cannot read trace {path}: {e}")))?;
     retraversal_trace_report(&trace)
 }
 
@@ -123,10 +125,12 @@ pub fn retraversal_file(path: &str) -> Result<String, CliError> {
 ///
 /// Returns a [`CliError`] if the trace is not a re-traversal.
 pub fn retraversal_trace_report(trace: &Trace) -> Result<String, CliError> {
-    let rt = ReTraversal::from_trace(trace)
-        .map_err(|e| CliError(format!("not a re-traversal: {e}")))?;
+    let rt =
+        ReTraversal::from_trace(trace).map_err(|e| CliError(format!("not a re-traversal: {e}")))?;
     let sigma = rt.sigma();
     let m = rt.degree();
+    // One workspace for the hit vector and the curve.
+    let mut scratch = AnalysisScratch::new(m);
     let mut out = String::new();
     let _ = writeln!(out, "re-traversal of m = {m} elements");
     let _ = writeln!(out, "sigma (1-based)     : {sigma}");
@@ -136,10 +140,18 @@ pub fn retraversal_trace_report(trace: &Trace) -> Result<String, CliError> {
         inversions(sigma),
         max_inversions(m)
     );
-    let _ = writeln!(out, "hit vector hits_C   : {:?}", hit_vector(sigma).as_slice());
+    let _ = writeln!(
+        out,
+        "hit vector hits_C   : {:?}",
+        hit_vector_with_scratch(sigma, &mut scratch)
+    );
     let _ = writeln!(out, "Theorem 2 check     : {}", theorem2_holds(sigma));
-    let curve = mrc(sigma);
-    let _ = writeln!(out, "miss ratio at m/2   : {:.4}", curve.miss_ratio(m.max(2) / 2));
+    let curve = mrc_with_scratch(sigma, &mut scratch);
+    let _ = writeln!(
+        out,
+        "miss ratio at m/2   : {:.4}",
+        curve.miss_ratio(m.max(2) / 2)
+    );
     let _ = writeln!(out, "miss ratio at m     : {:.4}", curve.miss_ratio(m));
     let better = max_inversions(m).saturating_sub(inversions(sigma));
     let _ = writeln!(
@@ -157,7 +169,12 @@ pub fn retraversal_trace_report(trace: &Trace) -> Result<String, CliError> {
 /// # Errors
 ///
 /// Returns a [`CliError`] on an unknown kind, bad numbers, or write failure.
-pub fn generate(kind: &str, m: usize, epochs: usize, out: Option<&str>) -> Result<String, CliError> {
+pub fn generate(
+    kind: &str,
+    m: usize,
+    epochs: usize,
+    out: Option<&str>,
+) -> Result<String, CliError> {
     if m == 0 || epochs == 0 {
         return Err(CliError("m and epochs must be positive".to_string()));
     }
@@ -183,8 +200,7 @@ pub fn generate(kind: &str, m: usize, epochs: usize, out: Option<&str>) -> Resul
     );
     match out {
         Some(path) => {
-            write_trace(&trace, path)
-                .map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
+            write_trace(&trace, path).map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
             let _ = writeln!(report, "wrote {path}");
         }
         None => {
@@ -275,7 +291,9 @@ pub fn optimize(m: usize, constraints: &[String]) -> Result<String, CliError> {
 pub fn run(args: &[String]) -> Result<String, CliError> {
     match args.first().map(String::as_str) {
         Some("analyze") => {
-            let path = args.get(1).ok_or_else(|| CliError("analyze needs a trace file".into()))?;
+            let path = args
+                .get(1)
+                .ok_or_else(|| CliError("analyze needs a trace file".into()))?;
             analyze_file(path)
         }
         Some("retraversal") => {
@@ -285,7 +303,9 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             retraversal_file(path)
         }
         Some("generate") => {
-            let kind = args.get(1).ok_or_else(|| CliError("generate needs a kind".into()))?;
+            let kind = args
+                .get(1)
+                .ok_or_else(|| CliError("generate needs a kind".into()))?;
             let m: usize = args
                 .get(2)
                 .ok_or_else(|| CliError("generate needs m".into()))?
@@ -314,8 +334,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use symloc_trace::generators::retraversal_trace;
     use symloc_perm::Permutation;
+    use symloc_trace::generators::retraversal_trace;
 
     #[test]
     fn usage_and_help() {

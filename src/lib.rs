@@ -22,6 +22,36 @@
 //!   ([`symloc_dl`]).
 //! * [`graphreorder`] — graph-reordering application ([`symloc_graphreorder`]).
 //!
+//! # Architecture: scratch workspaces and the sweep engine
+//!
+//! The analysis stack is layered so that hot loops allocate nothing:
+//!
+//! * **Kernels** ([`symloc_core::hits`]) — every Algorithm-1 quantity comes
+//!   in an allocating flavor (`hit_vector`, `second_pass_distances`,
+//!   `rd_histogram`, `mrc`) and a `_with_scratch` flavor that reuses an
+//!   [`AnalysisScratch`](symloc_core::hits::AnalysisScratch) workspace
+//!   (Fenwick tree + distance/histogram/hit buffers, cleared in place). The
+//!   allocating functions are thin wrappers over the kernels, so both
+//!   compute byte-identical results.
+//! * **Engine** ([`symloc_core::engine::SweepEngine`]) — sweeps over `S_m`
+//!   batch per worker: one scratch plus one streaming
+//!   [`RankRangeStream`](symloc_perm::iter::RankRangeStream) per chunk of
+//!   the rank space, merged lock-free when the workers join
+//!   ([`symloc_par::parallel_reduce_chunked`]). One Fenwick pass yields both
+//!   the reuse distances and the inversion number, so grouping by Bruhat
+//!   level costs nothing extra.
+//! * **Consumers** — `sweep`, ChainFind labelings, the constrained
+//!   optimizer, epoch chains, the `dl` schedule search, the graph-reorder
+//!   scorer and the `symloc` CLI all ride the same two layers.
+//!
+//! ```
+//! use symmetric_locality::core::engine::SweepEngine;
+//!
+//! // The Figure-1 aggregation for S_6, batched across all cores.
+//! let levels = SweepEngine::new(6).exhaustive_levels();
+//! assert_eq!(levels.iter().map(|l| l.count).sum::<u64>(), 720);
+//! ```
+//!
 //! # Quickstart
 //!
 //! ```

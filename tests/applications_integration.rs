@@ -11,7 +11,9 @@ fn mlp_sawtooth_backward_matches_analytical_reuse_halving() {
     // closed forms exactly.
     let layer = MlpLayer::new(12, 8);
     let k = layer.weight_count();
-    let cyclic = layer.weight_trace(0, None).concat(&layer.weight_trace(0, None));
+    let cyclic = layer
+        .weight_trace(0, None)
+        .concat(&layer.weight_trace(0, None));
     let sawtooth = layer
         .weight_trace(0, None)
         .concat(&layer.weight_trace(0, Some(&Permutation::reverse(k))));
@@ -24,8 +26,8 @@ fn mlp_sawtooth_backward_matches_analytical_reuse_halving() {
         analytical_retraversal_cost(k, true)
     );
     // The asymptotic ratio approaches 1/2 from above.
-    let ratio = analytical_retraversal_cost(k, true) as f64
-        / analytical_retraversal_cost(k, false) as f64;
+    let ratio =
+        analytical_retraversal_cost(k, true) as f64 / analytical_retraversal_cost(k, false) as f64;
     assert!(ratio > 0.5 && ratio < 0.51);
 }
 

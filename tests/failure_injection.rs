@@ -2,19 +2,25 @@
 //! workspace returns a typed, descriptive error (or a documented panic)
 //! instead of silently producing wrong results.
 
-use symmetric_locality::prelude::*;
 use symmetric_locality::core::CoreError;
 use symmetric_locality::perm::PermError;
+use symmetric_locality::prelude::*;
 use symmetric_locality::trace::io::{read_trace, read_trace_from_str, TraceIoError};
 
 #[test]
 fn malformed_permutations_are_rejected_with_context() {
     let out_of_range = Permutation::from_images(vec![0, 1, 5]).unwrap_err();
-    assert!(matches!(out_of_range, PermError::ImageOutOfRange { value: 5, .. }));
+    assert!(matches!(
+        out_of_range,
+        PermError::ImageOutOfRange { value: 5, .. }
+    ));
     assert!(out_of_range.to_string().contains("5"));
 
     let duplicate = Permutation::from_images(vec![0, 1, 1]).unwrap_err();
-    assert!(matches!(duplicate, PermError::DuplicateImage { value: 1, .. }));
+    assert!(matches!(
+        duplicate,
+        PermError::DuplicateImage { value: 1, .. }
+    ));
 
     let one_based_zero = Permutation::from_one_based(vec![0, 1, 2]).unwrap_err();
     assert!(matches!(one_based_zero, PermError::ImageOutOfRange { .. }));
@@ -22,10 +28,19 @@ fn malformed_permutations_are_rejected_with_context() {
     let mismatch = Permutation::identity(3)
         .try_compose(&Permutation::identity(4))
         .unwrap_err();
-    assert!(matches!(mismatch, PermError::DegreeMismatch { left: 3, right: 4 }));
+    assert!(matches!(
+        mismatch,
+        PermError::DegreeMismatch { left: 3, right: 4 }
+    ));
 
     let bad_generator = Permutation::identity(3).mul_adjacent_right(2).unwrap_err();
-    assert!(matches!(bad_generator, PermError::GeneratorOutOfRange { index: 2, degree: 3 }));
+    assert!(matches!(
+        bad_generator,
+        PermError::GeneratorOutOfRange {
+            index: 2,
+            degree: 3
+        }
+    ));
 }
 
 #[test]
@@ -43,7 +58,10 @@ fn ranking_and_sampling_bounds_are_enforced() {
     let mut rng = StdRng::seed_from_u64(1);
     assert!(matches!(
         random_with_inversions(4, 100, &mut rng),
-        Err(PermError::InversionTargetOutOfRange { target: 100, max: 6 })
+        Err(PermError::InversionTargetOutOfRange {
+            target: 100,
+            max: 6
+        })
     ));
     assert!(matches!(
         from_lehmer_code(&[9, 0, 0]),
@@ -90,7 +108,10 @@ fn inconsistent_feasibility_constraints_are_rejected_and_rolled_back() {
     let mut dag = PrecedenceDag::unconstrained(4);
     assert!(matches!(
         dag.require_before(1, 9),
-        Err(CoreError::ConstraintOutOfRange { element: 9, degree: 4 })
+        Err(CoreError::ConstraintOutOfRange {
+            element: 9,
+            degree: 4
+        })
     ));
     dag.require_before(0, 1).unwrap();
     dag.require_before(1, 2).unwrap();
@@ -103,8 +124,8 @@ fn inconsistent_feasibility_constraints_are_rejected_and_rolled_back() {
     assert!(dag.is_feasible(&result.sigma));
 
     // An infeasible starting point is reported, not silently "fixed".
-    let err = improve_greedy(&Permutation::reverse(4), &dag, ChainFindConfig::default())
-        .unwrap_err();
+    let err =
+        improve_greedy(&Permutation::reverse(4), &dag, ChainFindConfig::default()).unwrap_err();
     assert!(matches!(err, CoreError::NoFeasibleChoice { .. }));
 }
 
@@ -115,7 +136,10 @@ fn labeling_degree_mismatch_is_detected() {
     let err = labeling.check_degree(7).unwrap_err();
     assert!(matches!(
         err,
-        CoreError::LabelingDegreeMismatch { labeling: 5, group: 7 }
+        CoreError::LabelingDegreeMismatch {
+            labeling: 5,
+            group: 7
+        }
     ));
 }
 
@@ -123,9 +147,20 @@ fn labeling_degree_mismatch_is_detected() {
 fn cli_surfaces_errors_instead_of_panicking() {
     use symmetric_locality::cli;
     assert!(cli::run(&["analyze".to_string(), "/definitely/missing".to_string()]).is_err());
-    assert!(cli::run(&["generate".to_string(), "triangle".to_string(), "4".to_string(), "2".to_string()]).is_err());
+    assert!(cli::run(&[
+        "generate".to_string(),
+        "triangle".to_string(),
+        "4".to_string(),
+        "2".to_string()
+    ])
+    .is_err());
     assert!(cli::run(&["optimize".to_string(), "5".to_string(), "2<2".to_string()]).is_err());
     assert!(cli::run(&["optimize".to_string(), "5".to_string(), "4<1".to_string()]).is_ok());
-    let err = cli::run(&["optimize".to_string(), "5".to_string(), "1<0".to_string(), "0<1".to_string()]);
+    let err = cli::run(&[
+        "optimize".to_string(),
+        "5".to_string(),
+        "1<0".to_string(),
+        "0<1".to_string(),
+    ]);
     assert!(err.is_err(), "cyclic constraints must be rejected");
 }
