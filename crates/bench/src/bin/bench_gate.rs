@@ -1,0 +1,125 @@
+//! CI bench-regression gate for the sweep engine.
+//!
+//! Re-measures the `fig1_sweep_throughput` suite (the same configurations
+//! `run_all_experiments` commits to `BENCH_sweep.json`) and compares each
+//! measurement's `perms_per_sec` against the committed baseline. The gate
+//! fails — exit code 1 — when any configuration regresses by more than the
+//! tolerance (default 25%), or when a baselined configuration is no longer
+//! measured at all. The fresh measurements are always written next to the
+//! baseline as `BENCH_sweep.fresh.json`, so CI can upload them as an
+//! artifact (and a deliberate baseline refresh is one `mv` away).
+//!
+//! ```sh
+//! cargo run --release -p symloc-bench --bin bench_gate [baseline.json]
+//! ```
+//!
+//! Environment:
+//! * `BENCH_GATE_TOLERANCE` — allowed fractional slowdown (default `0.25`).
+//! * `BENCH_GATE_RUNS` — timed repetitions per configuration (default `3`).
+
+use symloc_bench::sweepbench::{
+    baseline_hardware_threads, baseline_path, compare_to_baseline, measure_suite, parse_baseline,
+    suite_json, GateVerdict,
+};
+use symloc_par::default_threads;
+
+fn main() {
+    let baseline_file = std::env::args()
+        .nth(1)
+        .map_or_else(baseline_path, std::path::PathBuf::from);
+    let tolerance: f64 = std::env::var("BENCH_GATE_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.25);
+    let runs: usize = std::env::var("BENCH_GATE_RUNS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+
+    let baseline_text = match std::fs::read_to_string(&baseline_file) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!(
+                "bench_gate: cannot read baseline {}: {e}",
+                baseline_file.display()
+            );
+            std::process::exit(1);
+        }
+    };
+    let baseline = match parse_baseline(&baseline_text) {
+        Ok(entries) => entries,
+        Err(e) => {
+            eprintln!(
+                "bench_gate: malformed baseline {}: {e}",
+                baseline_file.display()
+            );
+            std::process::exit(1);
+        }
+    };
+
+    if let Some(base_hw) = baseline_hardware_threads(&baseline_text) {
+        let here = default_threads() as u64;
+        if base_hw != here {
+            eprintln!(
+                "bench_gate: WARNING — baseline was measured with {base_hw} hardware \
+                 thread(s) but this machine has {here}; absolute perms/sec comparisons \
+                 across machines lean on the tolerance. Consider refreshing the \
+                 baseline on this machine (run_all_experiments --bench-only)."
+            );
+        }
+    }
+    println!(
+        "bench_gate: re-measuring {} baselined configurations (tolerance {:.0}%, {} runs)\n",
+        baseline.len(),
+        tolerance * 100.0,
+        runs
+    );
+    let fresh = measure_suite(runs);
+
+    // Always leave the fresh numbers on disk for the CI artifact.
+    let fresh_path = baseline_file.with_file_name("BENCH_sweep.fresh.json");
+    if let Err(e) = std::fs::write(&fresh_path, suite_json(&fresh)) {
+        eprintln!("warning: cannot write {}: {e}", fresh_path.display());
+    } else {
+        println!("\nwrote {}", fresh_path.display());
+    }
+
+    let results = compare_to_baseline(&baseline, &fresh, tolerance);
+    println!(
+        "\n{:<44} {:>4} {:>14} {:>14} {:>8}  verdict",
+        "name", "m", "baseline", "fresh", "ratio"
+    );
+    let mut regressions = 0usize;
+    for r in &results {
+        let (ratio, verdict) = match r.verdict {
+            GateVerdict::Ok { ratio } => (format!("{ratio:.2}"), "ok"),
+            GateVerdict::Regressed { ratio } => {
+                regressions += 1;
+                (format!("{ratio:.2}"), "REGRESSED")
+            }
+            GateVerdict::Missing => {
+                regressions += 1;
+                ("-".to_string(), "MISSING")
+            }
+        };
+        println!(
+            "{:<44} {:>4} {:>14.0} {:>14} {:>8}  {verdict}",
+            r.name,
+            r.m,
+            r.baseline,
+            r.fresh
+                .map_or_else(|| "-".to_string(), |f| format!("{f:.0}")),
+            ratio,
+        );
+    }
+    if regressions > 0 {
+        eprintln!(
+            "\nbench_gate: {regressions} configuration(s) regressed more than {:.0}% \
+             (or went missing) vs {}",
+            tolerance * 100.0,
+            baseline_file.display()
+        );
+        std::process::exit(1);
+    }
+    println!("\nbench_gate: all configurations within tolerance");
+}

@@ -3,7 +3,7 @@
 //! status per experiment and summarizing at the end; then measures the sweep
 //! engine's throughput and writes the machine-readable `BENCH_sweep.json`
 //! at the workspace root so the performance trajectory can be tracked across
-//! PRs.
+//! PRs (the CI `bench_gate` binary compares against that file).
 //!
 //! ```sh
 //! cargo run --release -p symloc-bench --bin run_all_experiments
@@ -11,14 +11,20 @@
 //!
 //! Pass `--bench-only` to skip the experiment binaries and only refresh
 //! `BENCH_sweep.json`.
+//!
+//! Pass `--sweep12 <checkpoint.json>` to run *only* the exhaustive
+//! `m = 12` Figure-1 sweep — 479 001 600 permutations — sharded and
+//! checkpointed: a killed run resumes from the checkpoint on the next
+//! invocation instead of starting over (experiments and the bench JSON
+//! are skipped in this mode). `--sweep12-max <n>` bounds the number of
+//! shards processed per invocation.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::Command;
-use std::time::Instant;
 
-use symloc_bench::json_escape;
-use symloc_core::engine::SweepEngine;
-use symloc_core::sweep::exhaustive_levels_reference;
+use symloc_bench::sweepbench::{measure_suite, speedup_at, suite_json};
+use symloc_core::engine::SweepSpec;
+use symloc_core::shard::ShardedSweep;
 use symloc_par::default_threads;
 
 const EXPERIMENTS: &[&str] = &[
@@ -38,157 +44,101 @@ const EXPERIMENTS: &[&str] = &[
     "exp14_good_labeling_census",
 ];
 
+/// Shards the `m = 12` checkpointed sweep is split into: small enough
+/// that a preempted run loses under a minute of work per kill.
+const SWEEP12_SHARDS: usize = 64;
+
 /// Directory containing the currently running binary (where the sibling
 /// experiment binaries live after `cargo build`).
 fn binary_dir() -> Option<PathBuf> {
     std::env::current_exe().ok()?.parent().map(PathBuf::from)
 }
 
-/// One measured sweep configuration.
-struct SweepMeasurement {
-    name: String,
-    m: usize,
-    threads: usize,
-    perms: u64,
-    perms_per_sec: f64,
-}
-
-/// Median-of-`runs` throughput of `sweep`, which processes `perms`
-/// permutations per call.
-fn measure(
-    name: &str,
-    m: usize,
-    threads: usize,
-    perms: u64,
-    runs: usize,
-    mut sweep: impl FnMut(),
-) -> SweepMeasurement {
-    // One warmup call, then the median of the timed runs.
-    sweep();
-    let mut rates: Vec<f64> = (0..runs.max(1))
-        .map(|_| {
-            let start = Instant::now();
-            sweep();
-            perms as f64 / start.elapsed().as_secs_f64()
-        })
-        .collect();
-    rates.sort_by(|a, b| a.partial_cmp(b).expect("rates are finite"));
-    let perms_per_sec = rates[rates.len() / 2];
-    println!("{name:<44} m={m:<3} threads={threads:<3} {perms_per_sec:>14.0} perms/sec");
-    SweepMeasurement {
-        name: name.to_string(),
-        m,
-        threads,
-        perms,
-        perms_per_sec,
-    }
-}
-
-/// Measures the Figure-1 sweep throughput (batched engine vs the allocating
-/// reference path) and writes `BENCH_sweep.json` at the workspace root.
+/// Measures the sweep throughput suite (batched engine vs the allocating
+/// reference, generalized statistics/models, stratified sampling) and
+/// writes `BENCH_sweep.json` at the workspace root.
 fn emit_bench_sweep_json() {
     println!("\n================ sweep throughput ================\n");
-    let factorial = |m: usize| -> u64 { (1..=m as u64).product() };
-    let threads = default_threads();
-    let mut measurements = Vec::new();
-    for m in [8usize, 9] {
-        let perms = factorial(m);
-        measurements.push(measure(
-            "exhaustive_engine_single_thread",
-            m,
-            1,
-            perms,
-            5,
-            || {
-                let _ = SweepEngine::with_threads(m, 1).exhaustive_levels();
-            },
-        ));
-        measurements.push(measure(
-            "exhaustive_reference_single_thread",
-            m,
-            1,
-            perms,
-            5,
-            || {
-                let _ = exhaustive_levels_reference(m, 1);
-            },
-        ));
-    }
-    let m = 10usize;
-    measurements.push(measure(
-        "exhaustive_engine_all_threads",
-        m,
-        threads,
-        factorial(m),
-        3,
-        || {
-            let _ = SweepEngine::new(m).exhaustive_levels();
-        },
-    ));
-    let (m, per_level) = (24usize, 400usize);
-    let levels = (m * (m - 1) / 2 + 1) as u64;
-    measurements.push(measure(
-        "sampled_engine_all_threads",
-        m,
-        threads,
-        levels * per_level as u64,
-        3,
-        || {
-            let _ = SweepEngine::new(m).sampled_levels(per_level, 7);
-        },
-    ));
-
-    // Speedup of the batched engine over the allocating path, per degree.
-    let speedup_at = |m: usize| -> Option<f64> {
-        let rate = |name: &str| {
-            measurements
-                .iter()
-                .find(|s| s.m == m && s.name.starts_with(name))
-                .map(|s| s.perms_per_sec)
-        };
-        Some(rate("exhaustive_engine_single_thread")? / rate("exhaustive_reference_single_thread")?)
-    };
-
-    let mut json = String::from("{\n  \"benchmark\": \"fig1_sweep_throughput\",\n");
-    json.push_str("  \"unit\": \"perms_per_sec\",\n");
-    json.push_str(&format!("  \"hardware_threads\": {},\n", default_threads()));
-    json.push_str("  \"measurements\": [\n");
-    for (i, s) in measurements.iter().enumerate() {
-        let sep = if i + 1 < measurements.len() { "," } else { "" };
-        json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"m\": {}, \"threads\": {}, \"perms_per_iteration\": {}, \"perms_per_sec\": {:.0}}}{sep}\n",
-            json_escape(&s.name),
-            s.m,
-            s.threads,
-            s.perms,
-            s.perms_per_sec,
-        ));
-    }
-    json.push_str("  ],\n");
-    let s8 = speedup_at(8).unwrap_or(f64::NAN);
-    let s9 = speedup_at(9).unwrap_or(f64::NAN);
-    json.push_str(&format!(
-        "  \"engine_speedup_over_reference\": {{\"m8\": {s8:.2}, \"m9\": {s9:.2}}}\n}}\n"
-    ));
+    let measurements = measure_suite(5);
+    let json = suite_json(&measurements);
+    let s8 = speedup_at(&measurements, 8).unwrap_or(f64::NAN);
+    let s9 = speedup_at(&measurements, 9).unwrap_or(f64::NAN);
     println!("\nengine speedup over allocating reference: {s8:.2}x (m=8), {s9:.2}x (m=9)");
 
-    // BENCH_sweep.json lives at the workspace root (two levels above the
-    // bench crate), next to ROADMAP.md.
-    let root = symloc_bench::results_dir()
-        .parent()
-        .map(PathBuf::from)
-        .unwrap_or_else(|| PathBuf::from("."));
-    let path = root.join("BENCH_sweep.json");
+    let path = symloc_bench::sweepbench::baseline_path();
     match std::fs::write(&path, &json) {
         Ok(()) => println!("wrote {}", path.display()),
         Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
     }
 }
 
+/// Runs (or resumes) the checkpointed exhaustive `m = 12` sweep.
+fn run_sweep12(checkpoint: &Path, max_shards: Option<usize>) -> Result<(), String> {
+    println!("\n================ m=12 checkpointed sweep ================\n");
+    let spec = SweepSpec::figure1(12);
+    let threads = default_threads();
+    let (mut sweep, resumed) =
+        ShardedSweep::resume_or_new(spec, SWEEP12_SHARDS, threads, checkpoint);
+    if resumed {
+        println!(
+            "resuming from {}: {} of {} shards already done",
+            checkpoint.display(),
+            sweep.completed_count(),
+            sweep.shard_count()
+        );
+    }
+    sweep
+        .run_with_checkpoint(checkpoint, max_shards, |done, total| {
+            println!("shard {done} / {total} done (checkpoint saved)");
+        })
+        .map_err(|e| format!("cannot write checkpoint: {e}"))?;
+    match sweep.merged_levels() {
+        Some(levels) => {
+            let total: u64 = levels.iter().map(|l| l.count).sum();
+            println!(
+                "sweep complete: {total} permutations over {} levels",
+                levels.len()
+            );
+            let mid = levels.len() / 2;
+            println!(
+                "level {} mean hits(c=6) = {:.4}",
+                levels[mid].level,
+                levels[mid].mean_hits(6)
+            );
+        }
+        None => println!(
+            "sweep paused at {} / {} shards; re-run with --sweep12 {} to continue",
+            sweep.completed_count(),
+            sweep.shard_count(),
+            checkpoint.display()
+        ),
+    }
+    Ok(())
+}
+
 fn main() {
-    let bench_only = std::env::args().any(|a| a == "--bench-only");
+    let args: Vec<String> = std::env::args().collect();
+    let bench_only = args.iter().any(|a| a == "--bench-only");
+    let flag_value = |flag: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let sweep12 = flag_value("--sweep12");
+    let sweep12_max = match flag_value("--sweep12-max") {
+        None => None,
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) => Some(n),
+            Err(_) => {
+                eprintln!("--sweep12-max needs a number, got {v:?}");
+                std::process::exit(1);
+            }
+        },
+    };
+
     let mut failures = Vec::new();
-    if !bench_only {
+    if !bench_only && sweep12.is_none() {
         let Some(dir) = binary_dir() else {
             eprintln!("cannot locate the build directory; run the experiments individually");
             std::process::exit(1);
@@ -212,6 +162,13 @@ fn main() {
                 }
             }
         }
+    }
+    if let Some(checkpoint) = sweep12 {
+        if let Err(e) = run_sweep12(Path::new(&checkpoint), sweep12_max) {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+        return;
     }
     emit_bench_sweep_json();
     if !bench_only {

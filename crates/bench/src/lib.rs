@@ -8,6 +8,8 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod sweepbench;
+
 use std::fs;
 use std::path::{Path, PathBuf};
 
@@ -24,22 +26,12 @@ pub fn results_dir() -> PathBuf {
 }
 
 /// Escapes a string for embedding in a JSON document (the offline build has
-/// no serde, so the experiment sidecars are emitted by hand).
+/// no serde, so the experiment sidecars are emitted by hand). Delegates to
+/// the workspace-wide escaper in [`symloc_core::jsonio`], whose parser is
+/// the other side of the round trip.
 #[must_use]
 pub fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
+    symloc_core::jsonio::escape(s)
 }
 
 /// Renders a list of strings as a JSON array of strings.

@@ -9,7 +9,7 @@
 use symloc_trace::{Addr, Trace};
 
 /// Replacement policy of a set-associative cache.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ReplacementPolicy {
     /// Evict the least recently used way.
     Lru,
@@ -156,6 +156,23 @@ impl SetAssocCache {
     #[must_use]
     pub fn config(&self) -> CacheConfig {
         self.config
+    }
+
+    /// Empties the cache and zeroes its statistics, keeping the allocated
+    /// geometry. Lets sweeps simulate millions of traces on one cache
+    /// instance without re-allocating the sets per trace.
+    pub fn reset(&mut self) {
+        for set in &mut self.sets {
+            for way in &mut set.ways {
+                way.addr = None;
+                way.stamp = 0;
+            }
+            for bit in &mut set.plru_bits {
+                *bit = false;
+            }
+        }
+        self.clock = 0;
+        self.stats = CacheStats::default();
     }
 
     /// Aggregate statistics so far.
@@ -324,6 +341,30 @@ mod tests {
     #[test]
     fn empty_stats_miss_ratio_zero() {
         assert_eq!(CacheStats::default().miss_ratio(), 0.0);
+    }
+
+    #[test]
+    fn reset_restores_cold_state() {
+        for policy in [
+            ReplacementPolicy::Lru,
+            ReplacementPolicy::Fifo,
+            ReplacementPolicy::TreePlru,
+        ] {
+            let config = CacheConfig {
+                sets: 2,
+                ways: 2,
+                policy,
+            };
+            let trace = sawtooth_trace(6, 3);
+            let mut fresh = SetAssocCache::new(config);
+            let expected = fresh.run(&trace);
+            let mut reused = SetAssocCache::new(config);
+            let _ = reused.run(&sawtooth_trace(5, 4)); // pollute
+            reused.reset();
+            assert_eq!(reused.stats(), CacheStats::default());
+            assert!(!reused.contains(Addr(0)));
+            assert_eq!(reused.run(&trace), expected, "{policy:?}");
+        }
     }
 
     #[test]

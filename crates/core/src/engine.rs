@@ -33,14 +33,188 @@
 //! ```
 
 use crate::hits::AnalysisScratch;
+use crate::model::{CacheModel, ModelScratch};
 use crate::sweep::LevelAggregate;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use symloc_par::{default_threads, parallel_map_chunked, parallel_reduce_chunked};
 use symloc_perm::inversions::max_inversions;
 use symloc_perm::iter::RankRangeStream;
+use symloc_perm::mahonian::mahonian_row;
 use symloc_perm::rank::{factorial, RankRange};
 use symloc_perm::sample::InversionSampler;
+use symloc_perm::statistics::Statistic;
+
+/// What one generalized sweep computes: degree, level statistic and cache
+/// model. Construction is validation-free; the engine validates degrees
+/// when a sweep starts.
+///
+/// The spec is the unit the sharded/checkpointable runner
+/// ([`crate::shard::ShardedSweep`]) fingerprints, so two processes agree on
+/// whether a checkpoint belongs to the sweep they are about to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SweepSpec {
+    /// The degree `m` swept over.
+    pub m: usize,
+    /// The statistic levels are keyed by.
+    pub statistic: Statistic,
+    /// The cache model hit vectors are evaluated under.
+    pub model: CacheModel,
+}
+
+impl SweepSpec {
+    /// The paper's Figure-1 sweep: levels by inversion number under the
+    /// fully associative LRU stack model.
+    #[must_use]
+    pub fn figure1(m: usize) -> Self {
+        SweepSpec {
+            m,
+            statistic: Statistic::Inversions,
+            model: CacheModel::LruStack,
+        }
+    }
+
+    /// A stable one-line fingerprint of the spec, embedded in checkpoints.
+    #[must_use]
+    pub fn fingerprint(&self) -> String {
+        format!("m={};stat={};model={}", self.m, self.statistic, self.model)
+    }
+}
+
+impl std::fmt::Display for SweepSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.fingerprint())
+    }
+}
+
+/// Aggregated hit-vector statistics of one level of a generalized sweep:
+/// the permutation count, the element-wise hit sums, and the element-wise
+/// sums of squared hits, from which the standard error of each mean hit
+/// count follows.
+///
+/// The sum-of-squares makes sampled sweeps quantifiable: a stratified
+/// sample reports not just the level's mean hit vector but how tight that
+/// estimate is ([`SweepLevel::stderr_hits`]). For exhaustive sweeps the
+/// "error" is zero-information (the whole population was seen) but the
+/// moments are still exact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepLevel {
+    /// The statistic value of the level.
+    pub level: usize,
+    /// Number of permutations aggregated.
+    pub count: u64,
+    /// Element-wise sum of hit vectors (index 0 = cache size 1).
+    pub hit_sums: Vec<u64>,
+    /// Element-wise sum of squared hits (index 0 = cache size 1).
+    pub hit_sq_sums: Vec<u64>,
+}
+
+impl SweepLevel {
+    /// An empty aggregate for `level` over `S_m`.
+    #[must_use]
+    pub fn empty(level: usize, m: usize) -> Self {
+        SweepLevel {
+            level,
+            count: 0,
+            hit_sums: vec![0; m],
+            hit_sq_sums: vec![0; m],
+        }
+    }
+
+    /// Absorbs one permutation's hit vector.
+    pub fn absorb(&mut self, hits: &[u64]) {
+        self.count += 1;
+        for ((sum, sq), &h) in self
+            .hit_sums
+            .iter_mut()
+            .zip(self.hit_sq_sums.iter_mut())
+            .zip(hits)
+        {
+            *sum += h;
+            *sq += h * h;
+        }
+    }
+
+    /// Merges another aggregate of the same level into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the levels or degrees differ.
+    pub fn merge(&mut self, other: &SweepLevel) {
+        assert_eq!(self.level, other.level, "cannot merge different levels");
+        assert_eq!(
+            self.hit_sums.len(),
+            other.hit_sums.len(),
+            "cannot merge different degrees"
+        );
+        self.count += other.count;
+        for (a, b) in self.hit_sums.iter_mut().zip(&other.hit_sums) {
+            *a += b;
+        }
+        for (a, b) in self.hit_sq_sums.iter_mut().zip(&other.hit_sq_sums) {
+            *a += b;
+        }
+    }
+
+    /// The mean hit count at cache size `c` (1-based), or 0 out of range.
+    #[must_use]
+    pub fn mean_hits(&self, c: usize) -> f64 {
+        if self.count == 0 || c == 0 || c > self.hit_sums.len() {
+            return 0.0;
+        }
+        self.hit_sums[c - 1] as f64 / self.count as f64
+    }
+
+    /// The sample standard error of [`SweepLevel::mean_hits`] at cache size
+    /// `c`: `s/√n` with the Bessel-corrected sample standard deviation `s`.
+    /// Returns 0 when fewer than two permutations were aggregated (or out
+    /// of range).
+    #[must_use]
+    pub fn stderr_hits(&self, c: usize) -> f64 {
+        if self.count < 2 || c == 0 || c > self.hit_sums.len() {
+            return 0.0;
+        }
+        let n = self.count as f64;
+        let sum = self.hit_sums[c - 1] as f64;
+        let sq = self.hit_sq_sums[c - 1] as f64;
+        let variance = ((sq - sum * sum / n) / (n - 1.0)).max(0.0);
+        (variance / n).sqrt()
+    }
+
+    /// The mean miss ratio at cache size `c`, out of `2m` accesses.
+    #[must_use]
+    pub fn mean_miss_ratio(&self, c: usize) -> f64 {
+        let m = self.hit_sums.len();
+        if m == 0 {
+            return 0.0;
+        }
+        1.0 - self.mean_hits(c) / (2 * m) as f64
+    }
+
+    /// Downgrades to the legacy Figure-1 [`LevelAggregate`] (drops the
+    /// second moment).
+    #[must_use]
+    pub fn to_level_aggregate(&self) -> LevelAggregate {
+        LevelAggregate {
+            inversions: self.level,
+            count: self.count,
+            hit_sums: self.hit_sums.clone(),
+        }
+    }
+}
+
+fn empty_sweep_levels(statistic: Statistic, m: usize) -> Vec<SweepLevel> {
+    (0..statistic.level_count(m))
+        .map(|l| SweepLevel::empty(l, m))
+        .collect()
+}
+
+fn merge_sweep_levels(mut a: Vec<SweepLevel>, b: Vec<SweepLevel>) -> Vec<SweepLevel> {
+    for (x, y) in a.iter_mut().zip(&b) {
+        x.merge(y);
+    }
+    a
+}
 
 /// Per-worker (and merged) sweep state: for every inversion level, the
 /// number of permutations seen and their dense reuse-distance counts.
@@ -227,6 +401,170 @@ impl SweepEngine {
         .flatten()
         .collect()
     }
+
+    /// Generalized exhaustive sweep: all of `S_m`, levels keyed by any
+    /// [`Statistic`], hit vectors evaluated under any [`CacheModel`].
+    /// Returns one [`SweepLevel`] per statistic value `0 ..= max_value(m)`,
+    /// with second moments for error estimation.
+    ///
+    /// For `statistic = Inversions`, `model = LruStack` the counts and hit
+    /// sums agree with [`SweepEngine::exhaustive_levels`] (which remains
+    /// the specialized fast path: it aggregates distance *counts* and
+    /// prefix-sums once per level, which a second moment cannot use).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m > 12`.
+    #[must_use]
+    pub fn sweep_levels(&self, statistic: Statistic, model: CacheModel) -> Vec<SweepLevel> {
+        let total = factorial_for_sweep(self.m);
+        self.sweep_rank_range(
+            statistic,
+            model,
+            RankRange {
+                start: 0,
+                end: total,
+            },
+        )
+    }
+
+    /// The sharded building block of [`SweepEngine::sweep_levels`]: sweeps
+    /// only the permutations whose lexicographic ranks lie in `range`,
+    /// still parallel over the engine's workers. Aggregates from disjoint
+    /// ranges [`SweepLevel::merge`] into exactly the full-space result —
+    /// which is what makes rank-range checkpointing
+    /// ([`crate::shard::ShardedSweep`]) exact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m > 12` or the range extends past `m!`.
+    #[must_use]
+    pub fn sweep_rank_range(
+        &self,
+        statistic: Statistic,
+        model: CacheModel,
+        range: RankRange,
+    ) -> Vec<SweepLevel> {
+        let m = self.m;
+        let total = factorial_for_sweep(m);
+        assert!(
+            range.end <= total && range.start <= range.end,
+            "sweep_rank_range: invalid rank range {}..{} for m={m}",
+            range.start,
+            range.end
+        );
+        let len = range.len() as usize;
+        parallel_reduce_chunked(
+            len,
+            self.threads,
+            || empty_sweep_levels(statistic, m),
+            |mut acc, chunk| {
+                let mut scratch = ModelScratch::new(model, m);
+                let mut stream = RankRangeStream::new(
+                    m,
+                    RankRange {
+                        start: range.start + chunk.start as u128,
+                        end: range.start + chunk.end as u128,
+                    },
+                );
+                while let Some(images) = stream.next_images() {
+                    let (level, hits) = scratch.eval(statistic, images);
+                    acc[level].absorb(hits);
+                }
+                acc
+            },
+            merge_sweep_levels,
+        )
+    }
+
+    /// Stratified-sampling sweep with a *global* sample budget distributed
+    /// by Mahonian weights: level `ℓ` receives
+    /// `max(min_per_level.max(2), round(budget · M(m,ℓ)/m!))` draws
+    /// (see [`weighted_sample_counts`]; the floor is never below 2 so
+    /// every level has a defined standard error), so heavily populated
+    /// middle levels — whose means summarize the most permutations — get
+    /// proportionally more samples while thin extreme levels keep a
+    /// floor. The floor means the actual draw total can exceed `budget`
+    /// when the budget is small relative to the level count. Hit vectors are
+    /// evaluated under any [`CacheModel`]; levels are keyed by the
+    /// inversion number (the stratified sampler draws at fixed `ℓ`).
+    ///
+    /// Deterministic in `seed` and independent of the thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m > 34` (Mahonian weights overflow `u128` beyond that).
+    #[must_use]
+    pub fn sampled_levels_weighted(
+        &self,
+        model: CacheModel,
+        budget: usize,
+        min_per_level: usize,
+        seed: u64,
+    ) -> Vec<SweepLevel> {
+        let m = self.m;
+        let counts = weighted_sample_counts(m, budget, min_per_level);
+        let max_inv = max_inversions(m);
+        parallel_map_chunked(max_inv + 1, self.threads, |chunk| {
+            let mut scratch = ModelScratch::new(model, m);
+            let (mut images, mut code, mut available) = (Vec::new(), Vec::new(), Vec::new());
+            let mut out = Vec::with_capacity(chunk.len());
+            for (level, &draws) in counts.iter().enumerate().take(chunk.end).skip(chunk.start) {
+                let sampler = InversionSampler::new(m, level)
+                    .expect("level <= max_inversions by construction");
+                let mut rng =
+                    StdRng::seed_from_u64(seed ^ (level as u64).wrapping_mul(0x9E37_79B9));
+                let mut agg = SweepLevel::empty(level, m);
+                for _ in 0..draws {
+                    sampler.sample_images_into(&mut rng, &mut images, &mut code, &mut available);
+                    let (drawn, hits) = scratch.eval(Statistic::Inversions, &images);
+                    debug_assert_eq!(drawn, level, "sampler must hit its level");
+                    agg.absorb(hits);
+                }
+                out.push(agg);
+            }
+            out
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    }
+}
+
+/// The per-level draw counts [`SweepEngine::sampled_levels_weighted`] uses:
+/// level `ℓ` gets `max(min_per_level.max(2), round(budget · M(m,ℓ)/m!))`
+/// draws. Exposed so callers (CLI, benches) can report or cost a sampling
+/// plan without running it.
+///
+/// # Panics
+///
+/// Panics if `m > 34` (Mahonian weights overflow `u128` beyond that).
+#[must_use]
+pub fn weighted_sample_counts(m: usize, budget: usize, min_per_level: usize) -> Vec<usize> {
+    let weights = mahonian_row(m);
+    let total: u128 = weights.iter().sum();
+    let floor = min_per_level.max(2);
+    #[allow(clippy::cast_precision_loss, clippy::cast_sign_loss)]
+    weights
+        .iter()
+        .map(|&w| {
+            let share = budget as f64 * (w as f64 / total as f64);
+            (share.round() as usize).max(floor)
+        })
+        .collect()
+}
+
+/// `m!` for an exhaustive sweep, with the shared degree guard.
+///
+/// # Panics
+///
+/// Panics if `m > 12`.
+fn factorial_for_sweep(m: usize) -> u128 {
+    assert!(
+        m <= 12,
+        "exhaustive sweep: degree {m} too large for a factorial sweep"
+    );
+    factorial(m).expect("m <= 12")
 }
 
 #[cfg(test)]
@@ -295,5 +633,189 @@ mod tests {
     #[should_panic(expected = "too large")]
     fn engine_rejects_huge_exhaustive_degree() {
         let _ = SweepEngine::new(13).exhaustive_levels();
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn generalized_sweep_rejects_huge_degree() {
+        let _ = SweepEngine::new(13).sweep_levels(Statistic::Inversions, CacheModel::LruStack);
+    }
+
+    #[test]
+    fn generalized_sweep_matches_fast_path_on_figure1() {
+        for m in 0..=6usize {
+            for threads in [1, 3] {
+                let engine = SweepEngine::with_threads(m, threads);
+                let fast = engine.exhaustive_levels();
+                let general = engine.sweep_levels(Statistic::Inversions, CacheModel::LruStack);
+                assert_eq!(general.len(), fast.len(), "m={m}");
+                for (g, f) in general.iter().zip(&fast) {
+                    assert_eq!(g.to_level_aggregate(), *f, "m={m} threads={threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generalized_sweep_covers_every_statistic() {
+        let m = 5;
+        let engine = SweepEngine::with_threads(m, 2);
+        for statistic in Statistic::ALL {
+            let levels = engine.sweep_levels(statistic, CacheModel::LruStack);
+            assert_eq!(levels.len(), statistic.level_count(m), "{statistic}");
+            let total: u64 = levels.iter().map(|l| l.count).sum();
+            assert_eq!(total, 120, "{statistic} must see all of S_5");
+            // Level sizes match the statistic's exact distribution.
+            let weights = statistic.level_weights(m);
+            for (level, &w) in levels.iter().zip(weights.iter()) {
+                assert_eq!(u128::from(level.count), w, "{statistic} l={}", level.level);
+            }
+            // The grand hit total is model- and statistic-independent: it
+            // only regroups the same 120 hit vectors.
+            let grand: u64 = levels.iter().map(|l| l.hit_sums.iter().sum::<u64>()).sum();
+            let figure1: u64 = engine
+                .exhaustive_levels()
+                .iter()
+                .map(|l| l.hit_sums.iter().sum::<u64>())
+                .sum();
+            assert_eq!(grand, figure1, "{statistic}");
+        }
+    }
+
+    #[test]
+    fn generalized_sweep_under_set_associative_models() {
+        use symloc_cache::setassoc::ReplacementPolicy;
+        let m = 5;
+        let engine = SweepEngine::with_threads(m, 2);
+        // Fully associative LRU via the simulator equals the stack model.
+        let stack = engine.sweep_levels(Statistic::Inversions, CacheModel::LruStack);
+        let assoc_lru = engine.sweep_levels(
+            Statistic::Inversions,
+            CacheModel::SetAssoc {
+                ways: m,
+                policy: ReplacementPolicy::Lru,
+            },
+        );
+        assert_eq!(stack, assoc_lru);
+        // A 2-way FIFO cache cannot beat the idealized stack model in total.
+        let fifo = engine.sweep_levels(
+            Statistic::Inversions,
+            CacheModel::SetAssoc {
+                ways: 2,
+                policy: ReplacementPolicy::Fifo,
+            },
+        );
+        let stack_total: u64 = stack.iter().map(|l| l.hit_sums.iter().sum::<u64>()).sum();
+        let fifo_total: u64 = fifo.iter().map(|l| l.hit_sums.iter().sum::<u64>()).sum();
+        assert!(
+            fifo_total <= stack_total,
+            "fifo={fifo_total} lru={stack_total}"
+        );
+        assert_eq!(fifo.iter().map(|l| l.count).sum::<u64>(), 120);
+    }
+
+    #[test]
+    fn sweep_rank_range_shards_merge_to_full_space() {
+        let m = 6;
+        let engine = SweepEngine::with_threads(m, 2);
+        let full = engine.sweep_levels(Statistic::Descents, CacheModel::LruStack);
+        let total = 720u128;
+        let mut merged = super::empty_sweep_levels(Statistic::Descents, m);
+        for bounds in [(0u128, 100u128), (100, 399), (399, 720)] {
+            let part = engine.sweep_rank_range(
+                Statistic::Descents,
+                CacheModel::LruStack,
+                RankRange {
+                    start: bounds.0,
+                    end: bounds.1,
+                },
+            );
+            merged = super::merge_sweep_levels(merged, part);
+        }
+        assert_eq!(merged, full);
+        assert_eq!(merged.iter().map(|l| l.count).sum::<u64>(), total as u64);
+    }
+
+    #[test]
+    fn sweep_level_moments_and_accessors() {
+        let mut level = SweepLevel::empty(3, 2);
+        assert_eq!(level.mean_hits(1), 0.0);
+        assert_eq!(level.stderr_hits(1), 0.0);
+        level.absorb(&[1, 4]);
+        level.absorb(&[3, 4]);
+        assert_eq!(level.count, 2);
+        assert!((level.mean_hits(1) - 2.0).abs() < 1e-12);
+        assert!((level.mean_hits(2) - 4.0).abs() < 1e-12);
+        // Sample sd of {1, 3} is √2; stderr = √2/√2 = 1.
+        assert!((level.stderr_hits(1) - 1.0).abs() < 1e-12);
+        assert_eq!(level.stderr_hits(2), 0.0); // constant sample
+        assert_eq!(level.stderr_hits(0), 0.0);
+        assert_eq!(level.mean_hits(9), 0.0);
+        assert!((level.mean_miss_ratio(2) - 0.0).abs() < 1e-12);
+        let aggregate = level.to_level_aggregate();
+        assert_eq!(aggregate.inversions, 3);
+        assert_eq!(aggregate.hit_sums, vec![4, 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "different levels")]
+    fn sweep_level_merge_rejects_level_mismatch() {
+        let mut a = SweepLevel::empty(1, 3);
+        a.merge(&SweepLevel::empty(2, 3));
+    }
+
+    #[test]
+    fn weighted_sampling_distributes_budget_by_mahonian_weights() {
+        let m = 8;
+        let engine = SweepEngine::with_threads(m, 3);
+        let budget = 2_000usize;
+        let levels = engine.sampled_levels_weighted(CacheModel::LruStack, budget, 2, 42);
+        assert_eq!(levels.len(), max_inversions(m) + 1);
+        let weights = mahonian_row(m);
+        let total: u128 = weights.iter().sum();
+        // Extreme levels get the floor; the modal level gets the most.
+        assert_eq!(levels[0].count, 2);
+        assert_eq!(levels.last().unwrap().count, 2);
+        let modal = weights
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &w)| w)
+            .map(|(i, _)| i)
+            .unwrap();
+        let expected_modal =
+            (budget as f64 * (weights[modal] as f64 / total as f64)).round() as u64;
+        assert_eq!(levels[modal].count, expected_modal);
+        assert!(levels[modal].count > levels[1].count);
+        // Theorem 2 in aggregate still holds per drawn level.
+        for level in &levels {
+            let truncated: u64 = level.hit_sums[..m - 1].iter().sum();
+            assert_eq!(truncated, level.level as u64 * level.count);
+        }
+        // Deterministic in seed, thread-count invariant.
+        let again = SweepEngine::with_threads(m, 7).sampled_levels_weighted(
+            CacheModel::LruStack,
+            budget,
+            2,
+            42,
+        );
+        assert_eq!(levels, again);
+        // Standard errors are finite and mostly nonzero in the middle.
+        assert!(levels[modal].stderr_hits(m / 2) >= 0.0);
+    }
+
+    #[test]
+    fn spec_fingerprint_is_stable() {
+        let spec = SweepSpec::figure1(9);
+        assert_eq!(spec.fingerprint(), "m=9;stat=inversions;model=lru_stack");
+        assert_eq!(format!("{spec}"), spec.fingerprint());
+        let assoc = SweepSpec {
+            m: 12,
+            statistic: Statistic::MajorIndex,
+            model: CacheModel::parse("assoc:4:fifo").unwrap(),
+        };
+        assert_eq!(
+            assoc.fingerprint(),
+            "m=12;stat=major_index;model=set_assoc:4:fifo"
+        );
     }
 }

@@ -1,0 +1,386 @@
+//! Minimal hand-rolled JSON reading and writing.
+//!
+//! The build environment is fully offline (no serde), so the sweep
+//! checkpoints and the bench tooling serialize by formatting strings and
+//! deserialize through this small recursive-descent parser. It supports the
+//! JSON subset those documents use — objects, arrays, strings with the
+//! escapes [`escape`] emits, integers, floats, booleans and null — and is
+//! *not* a general-purpose validator (it is permissive about things like
+//! duplicate keys).
+
+use std::fmt::Write as _;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number without fractional part or exponent, kept exact.
+    Int(i128),
+    /// Any other number.
+    Float(f64),
+    /// A string (escapes resolved).
+    Str(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object, in document order.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Member lookup on an object (first match), `None` otherwise.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`, if it is numeric.
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Int(i) => Some(*i as f64),
+            JsonValue::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is a non-negative integer in range.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Int(i) => u64::try_from(*i).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u128`, if it is a non-negative integer.
+    #[must_use]
+    pub fn as_u128(&self) -> Option<u128> {
+        match self {
+            JsonValue::Int(i) => u128::try_from(*i).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a `usize`, if it is a non-negative integer in range.
+    #[must_use]
+    pub fn as_usize(&self) -> Option<usize> {
+        match self {
+            JsonValue::Int(i) => usize::try_from(*i).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is an array.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Escapes a string for embedding in a JSON document.
+#[must_use]
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Parses a JSON document.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first syntax error, with its
+/// byte offset.
+pub fn parse(text: &str) -> Result<JsonValue, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing content at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&c) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected {:?} at byte {}", c as char, *pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(JsonValue::Str(parse_string(bytes, pos)?)),
+        Some(b't') => parse_literal(bytes, pos, "true", JsonValue::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", JsonValue::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", JsonValue::Null),
+        Some(b'-' | b'0'..=b'9') => parse_number(bytes, pos),
+        Some(&c) => Err(format!("unexpected {:?} at byte {}", c as char, *pos)),
+        None => Err("unexpected end of document".to_string()),
+    }
+}
+
+fn parse_literal(
+    bytes: &[u8],
+    pos: &mut usize,
+    literal: &str,
+    value: JsonValue,
+) -> Result<JsonValue, String> {
+    if bytes[*pos..].starts_with(literal.as_bytes()) {
+        *pos += literal.len();
+        Ok(value)
+    } else {
+        Err(format!("malformed literal at byte {}", *pos))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut is_float = false;
+    while let Some(&c) = bytes.get(*pos) {
+        match c {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                is_float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let token = std::str::from_utf8(&bytes[start..*pos]).map_err(|_| "non-utf8 number")?;
+    if !is_float {
+        if let Ok(i) = token.parse::<i128>() {
+            return Ok(JsonValue::Int(i));
+        }
+    }
+    token
+        .parse::<f64>()
+        .map(JsonValue::Float)
+        .map_err(|_| format!("malformed number {token:?} at byte {start}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape")?;
+                        let hex = std::str::from_utf8(hex).map_err(|_| "non-utf8 escape")?;
+                        let code =
+                            u32::from_str_radix(hex, 16).map_err(|_| "malformed \\u escape")?;
+                        out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("unknown escape at byte {}", *pos)),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (multi-byte sequences pass through).
+                let s = std::str::from_utf8(&bytes[*pos..]).map_err(|_| "non-utf8 string")?;
+                let c = s.chars().next().ok_or("unterminated string")?;
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(JsonValue::Array(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(JsonValue::Array(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    expect(bytes, pos, b'{')?;
+    let mut members = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(JsonValue::Object(members));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        expect(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        members.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(JsonValue::Object(members));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(parse("null").unwrap(), JsonValue::Null);
+        assert_eq!(parse("true").unwrap(), JsonValue::Bool(true));
+        assert_eq!(parse(" false ").unwrap(), JsonValue::Bool(false));
+        assert_eq!(parse("42").unwrap(), JsonValue::Int(42));
+        assert_eq!(parse("-7").unwrap(), JsonValue::Int(-7));
+        assert_eq!(parse("2.5").unwrap(), JsonValue::Float(2.5));
+        assert_eq!(parse("1e3").unwrap(), JsonValue::Float(1000.0));
+        assert_eq!(
+            parse("\"hi\\n\\\"there\\\"\"").unwrap(),
+            JsonValue::Str("hi\n\"there\"".to_string())
+        );
+        assert_eq!(parse("\"\\u0041\"").unwrap(), JsonValue::Str("A".into()));
+    }
+
+    #[test]
+    fn parses_structures_and_accessors() {
+        let doc = parse(
+            r#"{"name": "sweep", "m": 12, "rate": 3.5,
+                "shards": [[0, 10], [10, 20]], "done": [true, false], "x": null}"#,
+        )
+        .unwrap();
+        assert_eq!(doc.get("name").and_then(JsonValue::as_str), Some("sweep"));
+        assert_eq!(doc.get("m").and_then(JsonValue::as_usize), Some(12));
+        assert_eq!(doc.get("m").and_then(JsonValue::as_u64), Some(12));
+        assert_eq!(doc.get("m").and_then(JsonValue::as_u128), Some(12));
+        assert_eq!(doc.get("rate").and_then(JsonValue::as_f64), Some(3.5));
+        let shards = doc.get("shards").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(shards.len(), 2);
+        assert_eq!(shards[1].as_array().unwrap()[0].as_u128(), Some(10));
+        assert_eq!(doc.get("missing"), None);
+        assert_eq!(doc.get("x"), Some(&JsonValue::Null));
+        assert_eq!(JsonValue::Null.as_str(), None);
+        assert_eq!(JsonValue::Null.as_f64(), None);
+        assert_eq!(JsonValue::Bool(true).as_array(), None);
+        assert_eq!(JsonValue::Float(1.5).as_u64(), None);
+        assert_eq!(JsonValue::Int(-1).as_usize(), None);
+    }
+
+    #[test]
+    fn huge_integers_stay_exact() {
+        // 27! needs more than f64's 53-bit mantissa; it must not round.
+        let v = parse("10888869450418352160768000000").unwrap();
+        assert_eq!(v.as_u128(), Some(10_888_869_450_418_352_160_768_000_000));
+        assert_eq!(v.as_u64(), None);
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(parse("[]").unwrap(), JsonValue::Array(vec![]));
+        assert_eq!(parse("{}").unwrap(), JsonValue::Object(vec![]));
+        assert_eq!(parse("[ ]").unwrap(), JsonValue::Array(vec![]));
+    }
+
+    #[test]
+    fn escape_round_trips_through_parse() {
+        let nasty = "quote \" slash \\ newline \n tab \t bell \u{1} done";
+        let doc = format!("{{\"k\": \"{}\"}}", escape(nasty));
+        let parsed = parse(&doc).unwrap();
+        assert_eq!(parsed.get("k").and_then(JsonValue::as_str), Some(nasty));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\" 1}",
+            "tru",
+            "\"unterminated",
+            "[1] extra",
+            "{1: 2}",
+            "nul",
+            "+5",
+            "[1 2]",
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+}

@@ -22,7 +22,14 @@
 //!   normalized truncated integral.
 //! * [`sweep`] — parallel exhaustive / stratified sweeps over `S_m`
 //!   (Figure 1).
-//! * [`engine`] — the batched sweep engine the sweeps run on.
+//! * [`engine`] — the batched sweep engine the sweeps run on, generalized
+//!   over level statistics and cache models.
+//! * [`model`] — the cache models ([`model::CacheModel::LruStack`] and
+//!   set-associative LRU/FIFO/PLRU) a sweep evaluates hit vectors under.
+//! * [`shard`] — sharded, checkpointable execution of exhaustive sweeps
+//!   (JSON checkpoints, exact resume).
+//! * [`jsonio`] — the minimal hand-rolled JSON reader/writer the offline
+//!   workspace uses for checkpoints and bench baselines.
 //!
 //! # Architecture: kernels, scratch, engine
 //!
@@ -98,11 +105,14 @@ pub mod epochs;
 pub mod error;
 pub mod feasibility;
 pub mod hits;
+pub mod jsonio;
 pub mod labeling;
 pub mod labeling_props;
+pub mod model;
 pub mod optimize;
 pub mod retraversal;
 pub mod schedule;
+pub mod shard;
 pub mod sweep;
 pub mod theorems;
 
@@ -118,7 +128,7 @@ pub mod prelude {
     pub use crate::chainfind::{
         chain_find, chain_find_constrained, Chain, ChainFindConfig, ChainStep, TieBreak,
     };
-    pub use crate::engine::SweepEngine;
+    pub use crate::engine::{SweepEngine, SweepLevel, SweepSpec};
     pub use crate::epochs::EpochChain;
     pub use crate::error::CoreError;
     pub use crate::feasibility::PrecedenceDag;
@@ -136,14 +146,16 @@ pub mod prelude {
         el_census, el_interval_check, good_labeling_violation, saturated_chains, ElIntervalCheck,
         GoodLabelingViolation, LabeledChain,
     };
+    pub use crate::model::{CacheModel, ModelScratch};
     pub use crate::optimize::{
         best_feasible_exhaustive, improve_greedy, optimize_from_identity, OptimizationResult,
     };
     pub use crate::retraversal::ReTraversal;
     pub use crate::schedule::{analytical_retraversal_cost, analytical_totals_match, Schedule};
+    pub use crate::shard::ShardedSweep;
     pub use crate::sweep::{
         average_mrc_by_inversion, exhaustive_levels, exhaustive_levels_reference,
-        levels_are_monotone, sampled_levels, LevelAggregate,
+        levels_are_monotone, sampled_levels, sampled_levels_weighted, sweep_levels, LevelAggregate,
     };
     pub use crate::theorems::{
         corollary1_holds, locality_cmp, theorem2_holds, theorem3_check,

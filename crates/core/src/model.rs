@@ -1,0 +1,375 @@
+//! Cache models a sweep can evaluate hit vectors under.
+//!
+//! The paper's theory (and the fast Algorithm-1 kernel) assumes a fully
+//! associative LRU cache, where the whole hit vector falls out of one
+//! Fenwick pass over the permutation. Real hardware is set-associative and
+//! not always LRU. [`CacheModel`] abstracts "evaluate the hit vector of the
+//! re-traversal `A σ(A)` at every cache size `1..=m`" so the same sweep can
+//! answer both questions:
+//!
+//! * [`CacheModel::LruStack`] — the zero-allocation [`AnalysisScratch`]
+//!   path; byte-identical to [`crate::hits::hit_vector_with_scratch`].
+//! * [`CacheModel::SetAssoc`] — bridges to
+//!   [`symloc_cache::setassoc::SetAssocCache`]: for every capacity the
+//!   materialized `2m`-access trace is replayed through a reusable
+//!   simulator instance (reset, not re-allocated, per permutation).
+//!
+//! For a `w`-way model the geometry at capacity `c` is the natural one:
+//! below `w` blocks the cache degenerates to a fully associative cache of
+//! `c` blocks; from `w` upward it has `⌊c/w⌋` sets of `w` ways (the largest
+//! `w`-way cache not exceeding `c` blocks). A fully associative LRU
+//! [`CacheModel::SetAssoc`] therefore reproduces [`CacheModel::LruStack`]
+//! exactly — a property test pins this.
+
+use crate::hits::AnalysisScratch;
+use symloc_cache::setassoc::{CacheConfig, ReplacementPolicy, SetAssocCache};
+use symloc_perm::statistics::Statistic;
+use symloc_trace::Addr;
+
+/// A cache model a sweep evaluates per-permutation hit vectors under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CacheModel {
+    /// Fully associative LRU via the Algorithm-1 stack-distance kernel
+    /// (the paper's model; the fast path).
+    LruStack,
+    /// Set-associative simulation with a fixed associativity and
+    /// replacement policy, one simulator per cache size.
+    SetAssoc {
+        /// Ways per set (associativity).
+        ways: usize,
+        /// Replacement policy of every set.
+        policy: ReplacementPolicy,
+    },
+}
+
+fn policy_name(policy: ReplacementPolicy) -> &'static str {
+    match policy {
+        ReplacementPolicy::Lru => "lru",
+        ReplacementPolicy::Fifo => "fifo",
+        ReplacementPolicy::TreePlru => "plru",
+    }
+}
+
+fn parse_policy(name: &str) -> Option<ReplacementPolicy> {
+    match name {
+        "lru" => Some(ReplacementPolicy::Lru),
+        "fifo" => Some(ReplacementPolicy::Fifo),
+        "plru" | "treeplru" | "tree_plru" => Some(ReplacementPolicy::TreePlru),
+        _ => None,
+    }
+}
+
+impl CacheModel {
+    /// Stable machine-readable name (used by checkpoints and the CLI):
+    /// `lru_stack` or `set_assoc:<ways>:<policy>`.
+    #[must_use]
+    pub fn name(self) -> String {
+        match self {
+            CacheModel::LruStack => "lru_stack".to_string(),
+            CacheModel::SetAssoc { ways, policy } => {
+                format!("set_assoc:{ways}:{}", policy_name(policy))
+            }
+        }
+    }
+
+    /// Parses a model from its [`CacheModel::name`] (aliases `lru` and
+    /// `assoc:<ways>:<policy>` are accepted).
+    #[must_use]
+    pub fn parse(name: &str) -> Option<CacheModel> {
+        let name = name.trim().to_ascii_lowercase();
+        if name == "lru_stack" || name == "lru" || name == "stack" {
+            return Some(CacheModel::LruStack);
+        }
+        let rest = name
+            .strip_prefix("set_assoc:")
+            .or_else(|| name.strip_prefix("assoc:"))?;
+        let (ways, policy) = rest.split_once(':')?;
+        let ways: usize = ways.parse().ok()?;
+        if ways == 0 {
+            return None;
+        }
+        Some(CacheModel::SetAssoc {
+            ways,
+            policy: parse_policy(policy)?,
+        })
+    }
+
+    /// The geometry a [`CacheModel::SetAssoc`] model uses at capacity `c`
+    /// (`c >= 1`): fully associative below `ways`, otherwise `⌊c/ways⌋`
+    /// sets of `ways` ways.
+    #[must_use]
+    pub fn geometry_at(self, c: usize) -> Option<CacheConfig> {
+        match self {
+            CacheModel::LruStack => None,
+            CacheModel::SetAssoc { ways, policy } => Some(if c < ways {
+                CacheConfig {
+                    sets: 1,
+                    ways: c.max(1),
+                    policy,
+                }
+            } else {
+                CacheConfig {
+                    sets: c / ways,
+                    ways,
+                    policy,
+                }
+            }),
+        }
+    }
+}
+
+impl std::fmt::Display for CacheModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+/// Reusable per-worker workspace for evaluating one [`CacheModel`] over a
+/// stream of permutations: owns the [`AnalysisScratch`] (LRU path) or the
+/// per-capacity [`SetAssocCache`] instances (set-associative path), plus
+/// the output hit buffer. After construction the hot path allocates
+/// nothing: simulators are [`SetAssocCache::reset`] per permutation.
+#[derive(Debug, Clone)]
+pub struct ModelScratch {
+    model: CacheModel,
+    m: usize,
+    analysis: AnalysisScratch,
+    /// One simulator per capacity `1..=m` (empty for the LRU stack path).
+    caches: Vec<SetAssocCache>,
+    hits: Vec<u64>,
+    last_inversions: Option<usize>,
+}
+
+impl ModelScratch {
+    /// Creates a workspace for degree-`m` permutations under `model`.
+    #[must_use]
+    pub fn new(model: CacheModel, m: usize) -> Self {
+        let caches = (1..=m)
+            .filter_map(|c| model.geometry_at(c))
+            .map(SetAssocCache::new)
+            .collect();
+        ModelScratch {
+            model,
+            m,
+            analysis: AnalysisScratch::new(m),
+            caches,
+            hits: Vec::with_capacity(m),
+            last_inversions: None,
+        }
+    }
+
+    /// The model this workspace evaluates.
+    #[must_use]
+    pub fn model(&self) -> CacheModel {
+        self.model
+    }
+
+    /// The degree the workspace is sized for.
+    #[must_use]
+    pub fn degree(&self) -> usize {
+        self.m
+    }
+
+    /// Evaluates the hit vector of the re-traversal `A σ(A)` at every cache
+    /// size `1..=m` (`hits[c-1]` = hits at capacity `c`, out of `2m`
+    /// accesses). `images` must be a permutation of `0..m`. The returned
+    /// slice borrows the workspace and is valid until the next call.
+    ///
+    /// For [`CacheModel::LruStack`] the result is byte-identical to
+    /// [`crate::hits::hit_vector_with_scratch`]; the pass also records the
+    /// inversion number, retrievable via [`ModelScratch::last_inversions`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `images.len()` differs from the workspace degree.
+    pub fn hit_vector_into(&mut self, images: &[usize]) -> &[u64] {
+        assert_eq!(images.len(), self.m, "degree mismatch");
+        self.hits.clear();
+        match self.model {
+            CacheModel::LruStack => {
+                self.last_inversions = Some(self.analysis.pass_images(images));
+                let hits = self.analysis.compute_hits();
+                self.hits.extend(hits.iter().map(|&h| h as u64));
+            }
+            CacheModel::SetAssoc { .. } => {
+                for cache in &mut self.caches {
+                    cache.reset();
+                    for a in 0..self.m {
+                        let _ = cache.access(Addr(a));
+                    }
+                    for &a in images {
+                        let _ = cache.access(Addr(a));
+                    }
+                    self.hits.push(cache.stats().hits as u64);
+                }
+            }
+        }
+        &self.hits
+    }
+
+    /// The inversion number recorded by the most recent
+    /// [`ModelScratch::hit_vector_into`] under [`CacheModel::LruStack`]
+    /// (free by-product of the Fenwick pass), or `None` under other models
+    /// or before the first evaluation.
+    #[must_use]
+    pub fn last_inversions(&self) -> Option<usize> {
+        self.last_inversions
+    }
+
+    /// Evaluates both the statistic level and the hit vector of one
+    /// permutation — the sweep engine's per-permutation step. When the
+    /// statistic is the inversion number and the model is the LRU stack,
+    /// the level is the free by-product of the Fenwick pass; otherwise it
+    /// costs one extra scan of `images`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `images.len()` differs from the workspace degree.
+    pub fn eval(&mut self, statistic: Statistic, images: &[usize]) -> (usize, &[u64]) {
+        let precomputed = match (statistic, self.model) {
+            (Statistic::Inversions, CacheModel::LruStack) => None,
+            _ => Some(statistic.of_images(images)),
+        };
+        let _ = self.hit_vector_into(images);
+        let level = precomputed.unwrap_or_else(|| {
+            self.last_inversions
+                .expect("LruStack pass records inversions")
+        });
+        (level, &self.hits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hits::{hit_vector_with_scratch, AnalysisScratch};
+    use symloc_perm::iter::LexIter;
+
+    #[test]
+    fn names_round_trip_through_parse() {
+        let models = [
+            CacheModel::LruStack,
+            CacheModel::SetAssoc {
+                ways: 4,
+                policy: ReplacementPolicy::Fifo,
+            },
+            CacheModel::SetAssoc {
+                ways: 2,
+                policy: ReplacementPolicy::TreePlru,
+            },
+        ];
+        for model in models {
+            assert_eq!(CacheModel::parse(&model.name()), Some(model));
+            assert_eq!(format!("{model}"), model.name());
+        }
+        assert_eq!(CacheModel::parse("lru"), Some(CacheModel::LruStack));
+        assert_eq!(
+            CacheModel::parse("assoc:8:lru"),
+            Some(CacheModel::SetAssoc {
+                ways: 8,
+                policy: ReplacementPolicy::Lru
+            })
+        );
+        assert_eq!(CacheModel::parse("assoc:0:lru"), None);
+        assert_eq!(CacheModel::parse("assoc:4:bogus"), None);
+        assert_eq!(CacheModel::parse("bogus"), None);
+    }
+
+    #[test]
+    fn lru_stack_bridge_is_byte_identical_to_scratch_kernel() {
+        for m in 0..=6usize {
+            let mut model_scratch = ModelScratch::new(CacheModel::LruStack, m);
+            let mut kernel_scratch = AnalysisScratch::new(m);
+            for sigma in LexIter::new(m) {
+                let via_model = model_scratch.hit_vector_into(sigma.images()).to_vec();
+                let via_kernel: Vec<u64> = hit_vector_with_scratch(&sigma, &mut kernel_scratch)
+                    .iter()
+                    .map(|&h| h as u64)
+                    .collect();
+                assert_eq!(via_model, via_kernel, "σ = {sigma}");
+            }
+        }
+    }
+
+    #[test]
+    fn fully_associative_lru_set_assoc_matches_stack_model() {
+        // A SetAssoc model whose associativity covers the whole footprint is
+        // fully associative LRU at every capacity, i.e. exactly the paper's
+        // stack model.
+        let m = 6;
+        let mut stack = ModelScratch::new(CacheModel::LruStack, m);
+        let mut assoc = ModelScratch::new(
+            CacheModel::SetAssoc {
+                ways: m,
+                policy: ReplacementPolicy::Lru,
+            },
+            m,
+        );
+        for sigma in LexIter::new(m) {
+            let a = stack.hit_vector_into(sigma.images()).to_vec();
+            let b = assoc.hit_vector_into(sigma.images()).to_vec();
+            assert_eq!(a, b, "σ = {sigma}");
+        }
+    }
+
+    #[test]
+    fn set_assoc_hits_never_exceed_accesses_and_grow_with_capacity_at_top() {
+        let m = 5;
+        let mut scratch = ModelScratch::new(
+            CacheModel::SetAssoc {
+                ways: 2,
+                policy: ReplacementPolicy::Fifo,
+            },
+            m,
+        );
+        for sigma in LexIter::new(m) {
+            let hits = scratch.hit_vector_into(sigma.images());
+            assert_eq!(hits.len(), m);
+            for &h in hits {
+                assert!(h <= (2 * m) as u64);
+            }
+            // At full capacity every second-pass access hits under any
+            // reasonable policy for the identity re-traversal.
+        }
+    }
+
+    #[test]
+    fn geometry_below_and_above_associativity() {
+        let model = CacheModel::SetAssoc {
+            ways: 4,
+            policy: ReplacementPolicy::Lru,
+        };
+        let small = model.geometry_at(2).unwrap();
+        assert_eq!((small.sets, small.ways), (1, 2));
+        let exact = model.geometry_at(8).unwrap();
+        assert_eq!((exact.sets, exact.ways), (2, 4));
+        let rounded = model.geometry_at(11).unwrap();
+        assert_eq!((rounded.sets, rounded.ways), (2, 4));
+        assert_eq!(CacheModel::LruStack.geometry_at(4), None);
+    }
+
+    #[test]
+    fn scratch_accessors() {
+        let mut scratch = ModelScratch::new(CacheModel::LruStack, 5);
+        assert_eq!(scratch.model(), CacheModel::LruStack);
+        assert_eq!(scratch.degree(), 5);
+        assert_eq!(scratch.last_inversions(), None);
+        let _ = scratch.hit_vector_into(&[4, 3, 2, 1, 0]);
+        assert_eq!(scratch.last_inversions(), Some(10));
+        let assoc = ModelScratch::new(
+            CacheModel::SetAssoc {
+                ways: 2,
+                policy: ReplacementPolicy::Lru,
+            },
+            5,
+        );
+        assert_eq!(assoc.last_inversions(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "degree mismatch")]
+    fn degree_mismatch_is_rejected() {
+        let mut scratch = ModelScratch::new(CacheModel::LruStack, 4);
+        let _ = scratch.hit_vector_into(&[0, 1, 2]);
+    }
+}

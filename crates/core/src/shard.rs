@@ -1,0 +1,551 @@
+//! Sharded, checkpointable execution of exhaustive sweeps.
+//!
+//! An exhaustive `m = 12` sweep walks 479 001 600 permutations — long
+//! enough that a interrupted run (preempted CI job, killed laptop session)
+//! should not start over. [`ShardedSweep`] splits the rank space `0 .. m!`
+//! into contiguous shards, runs them one at a time (each shard internally
+//! parallel via [`SweepEngine::sweep_rank_range`]), and serializes every
+//! completed shard's per-level aggregates to a JSON checkpoint
+//! (hand-rolled, as everywhere in this offline workspace; parsed back by
+//! [`crate::jsonio`]).
+//!
+//! Because level aggregates are exact integer sums and rank shards are
+//! disjoint, resuming from a checkpoint reproduces the uninterrupted
+//! result *byte-identically* — a property the tests pin by interrupting a
+//! sweep mid-way and comparing.
+//!
+//! ```
+//! use symloc_core::engine::SweepSpec;
+//! use symloc_core::shard::ShardedSweep;
+//!
+//! let mut sweep = ShardedSweep::new(SweepSpec::figure1(6), 4, 2);
+//! sweep.run_pending(Some(2));               // ... process dies here ...
+//! let json = sweep.to_json();               // (checkpoint on disk)
+//! let mut resumed = ShardedSweep::from_json(&json, 2).unwrap();
+//! resumed.run_pending(None);
+//! let levels = resumed.merged_levels().expect("complete");
+//! assert_eq!(levels.iter().map(|l| l.count).sum::<u64>(), 720);
+//! ```
+
+use crate::engine::{SweepEngine, SweepLevel, SweepSpec};
+use crate::jsonio::{self, JsonValue};
+use crate::model::CacheModel;
+use std::fmt::Write as _;
+use std::path::Path;
+use symloc_perm::rank::{factorial, RankRange};
+use symloc_perm::statistics::Statistic;
+
+/// Format tag embedded in every checkpoint document.
+const CHECKPOINT_KIND: &str = "symloc_sweep_checkpoint";
+/// Checkpoint schema version.
+const CHECKPOINT_VERSION: u64 = 1;
+
+/// A sharded exhaustive sweep with resumable progress.
+///
+/// See the [module docs](self) for the execution model. The struct owns
+/// the spec, the shard plan (derived deterministically from the shard
+/// count) and the completed shards' partial aggregates.
+#[derive(Debug, Clone)]
+pub struct ShardedSweep {
+    spec: SweepSpec,
+    threads: usize,
+    shards: Vec<RankRange>,
+    partials: Vec<Option<Vec<SweepLevel>>>,
+}
+
+impl ShardedSweep {
+    /// Plans a sweep of all of `S_m` split into `shard_count` contiguous
+    /// rank-range shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec.m > 12` or `shard_count == 0`.
+    #[must_use]
+    pub fn new(spec: SweepSpec, shard_count: usize, threads: usize) -> Self {
+        assert!(shard_count > 0, "at least one shard is required");
+        assert!(
+            spec.m <= 12,
+            "sharded sweep: degree {} too large for a factorial sweep",
+            spec.m
+        );
+        let total = factorial(spec.m).expect("m <= 12");
+        let count = shard_count.min(usize::try_from(total).unwrap_or(usize::MAX).max(1));
+        let mut shards = Vec::with_capacity(count);
+        let base = total / count as u128;
+        let extra = total % count as u128;
+        let mut start = 0u128;
+        for i in 0..count as u128 {
+            let size = base + u128::from(i < extra);
+            shards.push(RankRange {
+                start,
+                end: start + size,
+            });
+            start += size;
+        }
+        let partials = vec![None; shards.len()];
+        ShardedSweep {
+            spec,
+            threads: threads.max(1),
+            shards,
+            partials,
+        }
+    }
+
+    /// The sweep's spec.
+    #[must_use]
+    pub fn spec(&self) -> SweepSpec {
+        self.spec
+    }
+
+    /// Number of planned shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of completed shards.
+    #[must_use]
+    pub fn completed_count(&self) -> usize {
+        self.partials.iter().filter(|p| p.is_some()).count()
+    }
+
+    /// True when every shard has been processed.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.partials.iter().all(Option::is_some)
+    }
+
+    /// Runs up to `limit` pending shards (all of them when `None`),
+    /// returning how many were processed. Stopping early — or being killed
+    /// between shards — loses at most the shard in flight.
+    pub fn run_pending(&mut self, limit: Option<usize>) -> usize {
+        let engine = SweepEngine::with_threads(self.spec.m, self.threads);
+        let mut ran = 0usize;
+        for (shard, slot) in self.shards.iter().zip(self.partials.iter_mut()) {
+            if slot.is_some() {
+                continue;
+            }
+            if limit.is_some_and(|l| ran >= l) {
+                break;
+            }
+            *slot = Some(engine.sweep_rank_range(self.spec.statistic, self.spec.model, *shard));
+            ran += 1;
+        }
+        ran
+    }
+
+    /// Runs pending shards — all of them, or up to `limit` — saving the
+    /// checkpoint to `path` after *each* shard completes, so a kill
+    /// mid-invocation loses at most the shard in flight (and a kill
+    /// mid-save leaves the previous checkpoint intact: saves are atomic).
+    /// `on_shard(completed, total)` fires after every saved shard, for
+    /// progress reporting. Returns how many shards were processed; the
+    /// checkpoint is (re)written even when nothing was pending, so a
+    /// fresh plan always lands on disk.
+    ///
+    /// This is the single checkpointed-execution loop every caller (CLI,
+    /// experiment driver) goes through.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if a checkpoint cannot be written.
+    pub fn run_with_checkpoint(
+        &mut self,
+        path: &Path,
+        limit: Option<usize>,
+        mut on_shard: impl FnMut(usize, usize),
+    ) -> std::io::Result<usize> {
+        let mut ran = 0usize;
+        while !self.is_complete() && limit.is_none_or(|l| ran < l) {
+            ran += self.run_pending(Some(1));
+            self.save(path)?;
+            on_shard(self.completed_count(), self.shard_count());
+        }
+        if ran == 0 {
+            self.save(path)?;
+        }
+        Ok(ran)
+    }
+
+    /// The merged per-level aggregates, or `None` while shards are
+    /// pending.
+    #[must_use]
+    pub fn merged_levels(&self) -> Option<Vec<SweepLevel>> {
+        if !self.is_complete() {
+            return None;
+        }
+        let mut merged: Vec<SweepLevel> = (0..self.spec.statistic.level_count(self.spec.m))
+            .map(|l| SweepLevel::empty(l, self.spec.m))
+            .collect();
+        for partial in self.partials.iter().flatten() {
+            for (acc, level) in merged.iter_mut().zip(partial) {
+                acc.merge(level);
+            }
+        }
+        Some(merged)
+    }
+
+    /// Serializes the sweep — spec, shard plan, completed partials — as a
+    /// JSON checkpoint document.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"kind\": \"{CHECKPOINT_KIND}\",");
+        let _ = writeln!(out, "  \"version\": {CHECKPOINT_VERSION},");
+        let _ = writeln!(
+            out,
+            "  \"fingerprint\": \"{}\",",
+            jsonio::escape(&self.spec.fingerprint())
+        );
+        let _ = writeln!(out, "  \"m\": {},", self.spec.m);
+        let _ = writeln!(out, "  \"statistic\": \"{}\",", self.spec.statistic);
+        let _ = writeln!(out, "  \"model\": \"{}\",", self.spec.model);
+        let _ = writeln!(out, "  \"shard_count\": {},", self.shards.len());
+        out.push_str("  \"shards\": [\n");
+        for (i, (shard, partial)) in self.shards.iter().zip(&self.partials).enumerate() {
+            let sep = if i + 1 < self.shards.len() { "," } else { "" };
+            match partial {
+                None => {
+                    let _ = writeln!(
+                        out,
+                        "    {{\"start\": {}, \"end\": {}, \"done\": false}}{sep}",
+                        shard.start, shard.end
+                    );
+                }
+                Some(levels) => {
+                    let _ = writeln!(
+                        out,
+                        "    {{\"start\": {}, \"end\": {}, \"done\": true, \"levels\": [",
+                        shard.start, shard.end
+                    );
+                    for (j, level) in levels.iter().enumerate() {
+                        let lsep = if j + 1 < levels.len() { "," } else { "" };
+                        let _ = writeln!(
+                            out,
+                            "      {{\"level\": {}, \"count\": {}, \"hit_sums\": {}, \"hit_sq_sums\": {}}}{lsep}",
+                            level.level,
+                            level.count,
+                            u64_array(&level.hit_sums),
+                            u64_array(&level.hit_sq_sums),
+                        );
+                    }
+                    let _ = writeln!(out, "    ]}}{sep}");
+                }
+            }
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Rebuilds a sweep from a checkpoint document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural problem (wrong kind
+    /// or version, unknown statistic/model, malformed shards).
+    pub fn from_json(text: &str, threads: usize) -> Result<ShardedSweep, String> {
+        let doc = jsonio::parse(text)?;
+        let kind = doc.get("kind").and_then(JsonValue::as_str);
+        if kind != Some(CHECKPOINT_KIND) {
+            return Err(format!("not a sweep checkpoint (kind = {kind:?})"));
+        }
+        let version = doc.get("version").and_then(JsonValue::as_u64);
+        if version != Some(CHECKPOINT_VERSION) {
+            return Err(format!("unsupported checkpoint version {version:?}"));
+        }
+        let m = doc
+            .get("m")
+            .and_then(JsonValue::as_usize)
+            .ok_or("missing m")?;
+        let statistic = doc
+            .get("statistic")
+            .and_then(JsonValue::as_str)
+            .and_then(Statistic::parse)
+            .ok_or("missing or unknown statistic")?;
+        let model = doc
+            .get("model")
+            .and_then(JsonValue::as_str)
+            .and_then(CacheModel::parse)
+            .ok_or("missing or unknown model")?;
+        let spec = SweepSpec {
+            m,
+            statistic,
+            model,
+        };
+        let shard_entries = doc
+            .get("shards")
+            .and_then(JsonValue::as_array)
+            .ok_or("missing shards")?;
+        let declared = doc
+            .get("shard_count")
+            .and_then(JsonValue::as_usize)
+            .ok_or("missing shard_count")?;
+        if declared != shard_entries.len() || declared == 0 {
+            return Err(format!(
+                "shard_count {declared} does not match {} shard entries",
+                shard_entries.len()
+            ));
+        }
+        let mut sweep = ShardedSweep::new(spec, declared, threads);
+        if sweep.shards.len() != shard_entries.len() {
+            return Err("shard plan mismatch (degree too small for shard count?)".to_string());
+        }
+        for (i, entry) in shard_entries.iter().enumerate() {
+            let start = entry
+                .get("start")
+                .and_then(JsonValue::as_u128)
+                .ok_or("shard missing start")?;
+            let end = entry
+                .get("end")
+                .and_then(JsonValue::as_u128)
+                .ok_or("shard missing end")?;
+            if sweep.shards[i] != (RankRange { start, end }) {
+                return Err(format!(
+                    "shard {i} bounds {start}..{end} do not match the deterministic plan"
+                ));
+            }
+            let done = entry.get("done") == Some(&JsonValue::Bool(true));
+            if !done {
+                continue;
+            }
+            let level_entries = entry
+                .get("levels")
+                .and_then(JsonValue::as_array)
+                .ok_or("completed shard missing levels")?;
+            if level_entries.len() != statistic.level_count(m) {
+                return Err(format!(
+                    "shard {i} has {} levels, expected {}",
+                    level_entries.len(),
+                    statistic.level_count(m)
+                ));
+            }
+            let mut levels = Vec::with_capacity(level_entries.len());
+            for (expected_level, level_entry) in level_entries.iter().enumerate() {
+                let level = level_entry
+                    .get("level")
+                    .and_then(JsonValue::as_usize)
+                    .ok_or("level entry missing level")?;
+                if level != expected_level {
+                    return Err(format!("level entries out of order at {expected_level}"));
+                }
+                let count = level_entry
+                    .get("count")
+                    .and_then(JsonValue::as_u64)
+                    .ok_or("level entry missing count")?;
+                let hit_sums = parse_u64_array(level_entry.get("hit_sums"), m)
+                    .ok_or("level entry missing hit_sums")?;
+                let hit_sq_sums = parse_u64_array(level_entry.get("hit_sq_sums"), m)
+                    .ok_or("level entry missing hit_sq_sums")?;
+                levels.push(SweepLevel {
+                    level,
+                    count,
+                    hit_sums,
+                    hit_sq_sums,
+                });
+            }
+            sweep.partials[i] = Some(levels);
+        }
+        Ok(sweep)
+    }
+
+    /// Writes the checkpoint to `path` atomically (temp file + rename).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        let tmp = path.with_extension("json.tmp");
+        std::fs::write(&tmp, self.to_json())?;
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Loads a checkpoint from `path`, or plans a fresh sweep when the
+    /// file does not exist or does not belong to `spec`/`shard_count`
+    /// (a stale checkpoint for a different sweep is left untouched on
+    /// disk and simply ignored). Returns the sweep and whether progress
+    /// was actually resumed.
+    #[must_use]
+    pub fn resume_or_new(
+        spec: SweepSpec,
+        shard_count: usize,
+        threads: usize,
+        path: &Path,
+    ) -> (ShardedSweep, bool) {
+        if let Ok(text) = std::fs::read_to_string(path) {
+            if let Ok(sweep) = ShardedSweep::from_json(&text, threads) {
+                if sweep.spec == spec && sweep.shard_count() == shard_count {
+                    let resumed = sweep.completed_count() > 0;
+                    return (sweep, resumed);
+                }
+            }
+        }
+        (ShardedSweep::new(spec, shard_count, threads), false)
+    }
+}
+
+fn u64_array(values: &[u64]) -> String {
+    let items: Vec<String> = values.iter().map(u64::to_string).collect();
+    format!("[{}]", items.join(", "))
+}
+
+fn parse_u64_array(value: Option<&JsonValue>, expected_len: usize) -> Option<Vec<u64>> {
+    let items = value?.as_array()?;
+    if items.len() != expected_len {
+        return None;
+    }
+    items.iter().map(JsonValue::as_u64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symloc_cache::setassoc::ReplacementPolicy;
+
+    fn figure1_sweep(m: usize, shards: usize) -> ShardedSweep {
+        ShardedSweep::new(SweepSpec::figure1(m), shards, 2)
+    }
+
+    #[test]
+    fn shard_plan_partitions_the_rank_space() {
+        let sweep = figure1_sweep(6, 7);
+        assert_eq!(sweep.shard_count(), 7);
+        assert_eq!(sweep.shards[0].start, 0);
+        assert_eq!(sweep.shards.last().unwrap().end, 720);
+        for w in sweep.shards.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+        // More shards than permutations degrades gracefully.
+        let tiny = figure1_sweep(1, 10);
+        assert_eq!(tiny.shard_count(), 1);
+    }
+
+    #[test]
+    fn interrupted_sweep_resumes_to_identical_aggregates() {
+        // The uninterrupted reference.
+        let mut reference = figure1_sweep(6, 5);
+        assert_eq!(reference.run_pending(None), 5);
+        let expected = reference.merged_levels().unwrap();
+
+        // Run two shards, "die", serialize, resume from JSON, finish.
+        let mut interrupted = figure1_sweep(6, 5);
+        assert_eq!(interrupted.run_pending(Some(2)), 2);
+        assert_eq!(interrupted.completed_count(), 2);
+        assert!(!interrupted.is_complete());
+        assert!(interrupted.merged_levels().is_none());
+        let checkpoint = interrupted.to_json();
+        drop(interrupted);
+
+        let mut resumed = ShardedSweep::from_json(&checkpoint, 3).unwrap();
+        assert_eq!(resumed.completed_count(), 2);
+        assert_eq!(resumed.run_pending(None), 3);
+        let via_resume = resumed.merged_levels().unwrap();
+        assert_eq!(via_resume, expected, "resume must be exact");
+
+        // And byte-identical once re-serialized from the same state.
+        let mut direct = figure1_sweep(6, 5);
+        direct.run_pending(None);
+        assert_eq!(resumed.to_json(), direct.to_json());
+    }
+
+    #[test]
+    fn checkpoint_round_trips_under_non_default_spec() {
+        let spec = SweepSpec {
+            m: 5,
+            statistic: Statistic::MajorIndex,
+            model: CacheModel::SetAssoc {
+                ways: 2,
+                policy: ReplacementPolicy::Fifo,
+            },
+        };
+        let mut sweep = ShardedSweep::new(spec, 3, 2);
+        sweep.run_pending(Some(1));
+        let rebuilt = ShardedSweep::from_json(&sweep.to_json(), 2).unwrap();
+        assert_eq!(rebuilt.spec(), spec);
+        assert_eq!(rebuilt.completed_count(), 1);
+        assert_eq!(rebuilt.to_json(), sweep.to_json());
+    }
+
+    #[test]
+    fn save_load_and_resume_via_filesystem() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("symloc_shard_test_checkpoint.json");
+        std::fs::remove_file(&path).ok();
+
+        let spec = SweepSpec::figure1(5);
+        // Nothing on disk: fresh plan.
+        let (mut sweep, resumed) = ShardedSweep::resume_or_new(spec, 4, 2, &path);
+        assert!(!resumed);
+        sweep.run_pending(Some(2));
+        sweep.save(&path).unwrap();
+
+        // On disk with progress: resumed.
+        let (resumed_sweep, resumed) = ShardedSweep::resume_or_new(spec, 4, 2, &path);
+        assert!(resumed);
+        assert_eq!(resumed_sweep.completed_count(), 2);
+
+        // A different spec ignores the stale checkpoint.
+        let other = SweepSpec {
+            m: 5,
+            statistic: Statistic::Descents,
+            model: CacheModel::LruStack,
+        };
+        let (fresh, resumed) = ShardedSweep::resume_or_new(other, 4, 2, &path);
+        assert!(!resumed);
+        assert_eq!(fresh.completed_count(), 0);
+
+        // run_with_checkpoint drives the rest, reporting progress after
+        // every saved shard, and leaves a complete file.
+        let (mut finishing, _) = ShardedSweep::resume_or_new(spec, 4, 2, &path);
+        let mut progress = Vec::new();
+        let limited = finishing
+            .run_with_checkpoint(&path, Some(1), |done, total| progress.push((done, total)))
+            .unwrap();
+        assert_eq!(limited, 1);
+        assert_eq!(progress, vec![(3, 4)]);
+        let ran = finishing
+            .run_with_checkpoint(&path, None, |done, total| progress.push((done, total)))
+            .unwrap();
+        assert_eq!(ran, 1);
+        assert_eq!(progress, vec![(3, 4), (4, 4)]);
+        let levels = finishing.merged_levels().unwrap();
+        assert_eq!(levels.iter().map(|l| l.count).sum::<u64>(), 120);
+        let (mut done, _) = ShardedSweep::resume_or_new(spec, 4, 2, &path);
+        assert!(done.is_complete());
+        // Nothing pending: still rewrites the checkpoint, runs nothing.
+        assert_eq!(done.run_with_checkpoint(&path, None, |_, _| {}).unwrap(), 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn from_json_rejects_corrupted_documents() {
+        let mut sweep = figure1_sweep(4, 2);
+        sweep.run_pending(Some(1));
+        let good = sweep.to_json();
+        assert!(ShardedSweep::from_json("{}", 1).is_err());
+        assert!(ShardedSweep::from_json("not json", 1).is_err());
+        assert!(ShardedSweep::from_json(&good.replace("inversions", "bogus"), 1).is_err());
+        assert!(ShardedSweep::from_json(&good.replace("lru_stack", "bogus"), 1).is_err());
+        assert!(
+            ShardedSweep::from_json(&good.replace("\"version\": 1", "\"version\": 9"), 1).is_err()
+        );
+        assert!(
+            ShardedSweep::from_json(&good.replace(CHECKPOINT_KIND, "something_else"), 1).is_err()
+        );
+        // Tampered shard bounds are rejected (they no longer match the plan).
+        assert!(
+            ShardedSweep::from_json(&good.replace("\"start\": 12", "\"start\": 13"), 1).is_err()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        let _ = figure1_sweep(4, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn huge_degree_rejected() {
+        let _ = figure1_sweep(13, 2);
+    }
+}

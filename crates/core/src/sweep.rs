@@ -17,6 +17,11 @@ use symloc_par::parallel_map_chunked;
 use symloc_perm::inversions::{inversions, max_inversions};
 use symloc_perm::iter::RankRangeIter;
 use symloc_perm::rank::{factorial, RankRange};
+use symloc_perm::statistics::Statistic;
+
+pub use crate::engine::{SweepLevel, SweepSpec};
+pub use crate::model::CacheModel;
+pub use crate::shard::ShardedSweep;
 
 /// Aggregated hit-vector statistics for one Bruhat level (inversion count).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -166,6 +171,50 @@ pub fn sampled_levels(
     SweepEngine::with_threads(m, threads).sampled_levels(samples_per_level, seed)
 }
 
+/// Generalized sweep: all of `S_m` with levels keyed by any [`Statistic`]
+/// and hit vectors evaluated under any [`CacheModel`], including second
+/// moments for error estimation.
+///
+/// Thin wrapper over [`SweepEngine::sweep_levels`]; for the classic
+/// Figure-1 pair (`Inversions`, `LruStack`) it agrees with
+/// [`exhaustive_levels`], which remains the specialized fast path.
+///
+/// # Panics
+///
+/// Panics if `m > 12`.
+#[must_use]
+pub fn sweep_levels(
+    m: usize,
+    statistic: Statistic,
+    model: CacheModel,
+    threads: usize,
+) -> Vec<SweepLevel> {
+    SweepEngine::with_threads(m, threads).sweep_levels(statistic, model)
+}
+
+/// Mahonian-weighted stratified sampling: a global `budget` of draws is
+/// split across inversion levels proportionally to their Mahonian sizes
+/// (with a floor of `min_per_level`), each hit vector evaluated under
+/// `model`.
+///
+/// Thin wrapper over [`SweepEngine::sampled_levels_weighted`].
+#[must_use]
+pub fn sampled_levels_weighted(
+    m: usize,
+    model: CacheModel,
+    budget: usize,
+    min_per_level: usize,
+    seed: u64,
+    threads: usize,
+) -> Vec<SweepLevel> {
+    SweepEngine::with_threads(m, threads).sampled_levels_weighted(
+        model,
+        budget,
+        min_per_level,
+        seed,
+    )
+}
+
 /// Verifies the Figure-1 monotonicity claim on aggregated levels: at every
 /// cache size `c < m`, the average miss ratio is non-increasing in the
 /// inversion number.
@@ -302,5 +351,15 @@ mod tests {
     #[should_panic(expected = "too large")]
     fn exhaustive_levels_rejects_huge_degree() {
         let _ = exhaustive_levels(13, 2);
+    }
+
+    #[test]
+    fn generalized_wrappers_delegate_to_the_engine() {
+        let by_descents = sweep_levels(5, Statistic::Descents, CacheModel::LruStack, 2);
+        assert_eq!(by_descents.len(), 5); // descent levels 0..=4 of S_5
+        assert_eq!(by_descents.iter().map(|l| l.count).sum::<u64>(), 120);
+        let sampled = sampled_levels_weighted(7, CacheModel::LruStack, 500, 2, 9, 2);
+        assert_eq!(sampled.len(), max_inversions(7) + 1);
+        assert!(sampled.iter().all(|l| l.count >= 2));
     }
 }

@@ -200,4 +200,53 @@ proptest! {
             inversions(&sigma).cmp(&inversions(&tau))
         );
     }
+
+    #[test]
+    fn cache_model_lru_bridge_is_byte_identical_to_scratch_kernel(sigma in arb_permutation(32)) {
+        // The CacheModel::LruStack path of the generalized sweep must be
+        // indistinguishable from the Algorithm-1 scratch kernel.
+        let m = sigma.degree();
+        let mut model_scratch = ModelScratch::new(CacheModel::LruStack, m);
+        let mut kernel_scratch = AnalysisScratch::new(m);
+        let via_model = model_scratch.hit_vector_into(sigma.images()).to_vec();
+        let via_kernel: Vec<u64> = hit_vector_with_scratch(&sigma, &mut kernel_scratch)
+            .iter()
+            .map(|&h| h as u64)
+            .collect();
+        prop_assert_eq!(via_model, via_kernel);
+        prop_assert_eq!(model_scratch.last_inversions(), Some(inversions(&sigma)));
+    }
+
+    #[test]
+    fn fully_associative_lru_model_equals_stack_model(sigma in arb_permutation(12)) {
+        // Bridging through the SetAssocCache simulator with footprint-wide
+        // associativity reproduces the stack-distance hit vector exactly.
+        use symloc_cache::setassoc::ReplacementPolicy;
+        let m = sigma.degree();
+        let mut stack = ModelScratch::new(CacheModel::LruStack, m);
+        let mut assoc = ModelScratch::new(
+            CacheModel::SetAssoc { ways: m, policy: ReplacementPolicy::Lru },
+            m,
+        );
+        let a = stack.hit_vector_into(sigma.images()).to_vec();
+        let b = assoc.hit_vector_into(sigma.images()).to_vec();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn generalized_eval_levels_agree_with_statistics(sigma in arb_permutation(16)) {
+        use symloc_cache::setassoc::ReplacementPolicy;
+        let m = sigma.degree();
+        for statistic in Statistic::ALL {
+            let mut lru = ModelScratch::new(CacheModel::LruStack, m);
+            let (level, _) = lru.eval(statistic, sigma.images());
+            prop_assert_eq!(level, statistic.of(&sigma), "{} via LruStack", statistic);
+            let mut assoc = ModelScratch::new(
+                CacheModel::SetAssoc { ways: 2, policy: ReplacementPolicy::Fifo },
+                m,
+            );
+            let (level, _) = assoc.eval(statistic, sigma.images());
+            prop_assert_eq!(level, statistic.of(&sigma), "{} via SetAssoc", statistic);
+        }
+    }
 }

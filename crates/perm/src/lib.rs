@@ -23,6 +23,9 @@
 //! * Mahonian numbers and integer partitions for the Appendix-F analytics
 //!   ([`mahonian`]).
 //! * Uniform and inversion-stratified random sampling ([`sample`]).
+//! * Classical permutation statistics — inversions, descents, major index,
+//!   total displacement — behind one [`statistics::Statistic`] abstraction
+//!   that sweeps key their levels by ([`statistics`]).
 //!
 //! # Quick example
 //!
@@ -55,6 +58,7 @@ pub mod mahonian;
 pub mod perm;
 pub mod rank;
 pub mod sample;
+pub mod statistics;
 
 pub use error::{PermError, Result};
 pub use perm::Permutation;
@@ -92,4 +96,5 @@ pub mod prelude {
         random_permutation, random_saturated_chain, random_upper_cover, random_with_inversions,
         InversionSampler,
     };
+    pub use crate::statistics::{all_statistics, total_displacement, Statistic};
 }

@@ -1,0 +1,371 @@
+//! Permutation statistics the sweep subsystem can key its levels by.
+//!
+//! The paper's Figure 1 groups the hit vectors of `S_m` by *inversion
+//! number*; this module abstracts "group by ℓ(σ)" into a [`Statistic`] so a
+//! sweep can equally aggregate by descent count, major index, or total
+//! displacement. Inversions and the major index are both Mahonian (they
+//! share the distribution counted by [`crate::mahonian::mahonian_row`]);
+//! the descent count is Eulerian; total displacement (Spearman's footrule)
+//! has its own distribution.
+//!
+//! Every statistic is computable in one `O(m)` or `O(m log m)` scan of the
+//! one-line images — the same pass the sweep engine's scratch kernel already
+//! makes — and each also has a literal `O(m²)` definition
+//! ([`Statistic::of_images_naive`]) that the property tests pin the fast
+//! path against.
+
+use crate::inversions::{inversions_naive_seq, lehmer_code, max_inversions};
+use crate::perm::Permutation;
+
+/// A permutation statistic a sweep can group its levels by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Statistic {
+    /// The inversion number `ℓ(σ)` — the paper's Bruhat level (Mahonian).
+    Inversions,
+    /// The number of descents `|{i : σ(i) > σ(i+1)}|` (Eulerian).
+    Descents,
+    /// The major index — the sum of the 1-based descent positions (Mahonian).
+    MajorIndex,
+    /// Total displacement `Σ_i |σ(i) − i|` (Spearman's footrule).
+    TotalDisplacement,
+}
+
+impl Statistic {
+    /// All supported statistics, in a stable order.
+    pub const ALL: [Statistic; 4] = [
+        Statistic::Inversions,
+        Statistic::Descents,
+        Statistic::MajorIndex,
+        Statistic::TotalDisplacement,
+    ];
+
+    /// Stable machine-readable name (used by checkpoints and the CLI).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Statistic::Inversions => "inversions",
+            Statistic::Descents => "descents",
+            Statistic::MajorIndex => "major_index",
+            Statistic::TotalDisplacement => "total_displacement",
+        }
+    }
+
+    /// Parses a statistic from its [`Statistic::name`] (a few common aliases
+    /// are accepted).
+    #[must_use]
+    pub fn parse(name: &str) -> Option<Statistic> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "inversions" | "inv" | "length" => Some(Statistic::Inversions),
+            "descents" | "des" => Some(Statistic::Descents),
+            "major_index" | "major" | "maj" => Some(Statistic::MajorIndex),
+            "total_displacement" | "displacement" | "footrule" => {
+                Some(Statistic::TotalDisplacement)
+            }
+            _ => None,
+        }
+    }
+
+    /// The largest value the statistic attains on `S_m` (its value range is
+    /// `0 ..= max_value(m)`).
+    #[must_use]
+    pub fn max_value(self, m: usize) -> usize {
+        match self {
+            // Attained by the reverse permutation.
+            Statistic::Inversions | Statistic::MajorIndex => max_inversions(m),
+            Statistic::Descents => m.saturating_sub(1),
+            // Σ |σ(i) − i| is maximized by the reverse permutation:
+            // Σ |m−1−2i| = ⌊m²/2⌋.
+            Statistic::TotalDisplacement => m * m / 2,
+        }
+    }
+
+    /// Number of levels of the statistic on `S_m`: `max_value(m) + 1`.
+    #[must_use]
+    pub fn level_count(self, m: usize) -> usize {
+        self.max_value(m) + 1
+    }
+
+    /// Evaluates the statistic on raw one-line images (`images` must be a
+    /// permutation of `0..images.len()`). This is the fast path the sweep
+    /// engine uses: a single linear scan, except inversions which reuse the
+    /// `O(m log m)` / `O(m²)`-for-tiny-m hybrid of [`crate::inversions`].
+    #[must_use]
+    pub fn of_images(self, images: &[usize]) -> usize {
+        match self {
+            Statistic::Inversions => {
+                // Small degrees dominate sweeps; the naive count has the
+                // lower constant there (mirrors `inversions`).
+                if images.len() <= 32 {
+                    inversions_naive_seq(images)
+                } else {
+                    crate::inversions::inversions_merge_seq(images)
+                }
+            }
+            Statistic::Descents => images.windows(2).filter(|w| w[0] > w[1]).count(),
+            Statistic::MajorIndex => images
+                .windows(2)
+                .enumerate()
+                .filter(|(_, w)| w[0] > w[1])
+                .map(|(i, _)| i + 1)
+                .sum(),
+            Statistic::TotalDisplacement => {
+                images.iter().enumerate().map(|(i, &v)| i.abs_diff(v)).sum()
+            }
+        }
+    }
+
+    /// Evaluates the statistic by its literal textbook definition in
+    /// `O(m²)`, with no shared code with [`Statistic::of_images`]. The
+    /// property tests pin the fast path against this.
+    // The naive path deliberately spells the definitions out long-hand —
+    // sharing helpers like `abs_diff` with the fast path would weaken the
+    // cross-check.
+    #[allow(clippy::manual_abs_diff)]
+    #[must_use]
+    pub fn of_images_naive(self, images: &[usize]) -> usize {
+        let m = images.len();
+        match self {
+            // |{(i, j) : i < j, σ(i) > σ(j)}| by the double loop.
+            Statistic::Inversions => {
+                let mut count = 0;
+                for i in 0..m {
+                    for j in (i + 1)..m {
+                        if images[i] > images[j] {
+                            count += 1;
+                        }
+                    }
+                }
+                count
+            }
+            // |D(σ)| where D(σ) = {i : σ(i) > σ(i+1)}.
+            Statistic::Descents => {
+                let mut count = 0;
+                for i in 0..m.saturating_sub(1) {
+                    if images[i] > images[i + 1] {
+                        count += 1;
+                    }
+                }
+                count
+            }
+            // maj(σ) = Σ_{i ∈ D(σ)} (i+1), descent positions 1-based.
+            Statistic::MajorIndex => {
+                let mut sum = 0;
+                for i in 0..m.saturating_sub(1) {
+                    if images[i] > images[i + 1] {
+                        sum += i + 1;
+                    }
+                }
+                sum
+            }
+            // D(σ) = Σ_i |σ(i) − i|.
+            Statistic::TotalDisplacement => {
+                let mut sum = 0;
+                for (i, &v) in images.iter().enumerate() {
+                    sum += if v > i { v - i } else { i - v };
+                }
+                sum
+            }
+        }
+    }
+
+    /// Evaluates the statistic on a [`Permutation`].
+    #[must_use]
+    pub fn of(self, sigma: &Permutation) -> usize {
+        self.of_images(sigma.images())
+    }
+
+    /// Evaluates the statistic from a Lehmer code where that is cheaper than
+    /// rebuilding the permutation: the inversion number is the digit sum of
+    /// the code. Returns `None` for statistics that need the one-line images.
+    #[must_use]
+    pub fn of_lehmer_code(self, code: &[usize]) -> Option<usize> {
+        match self {
+            Statistic::Inversions => Some(code.iter().sum()),
+            _ => None,
+        }
+    }
+
+    /// The exact level sizes of the statistic on `S_m`:
+    /// `weights[v]` = number of permutations with statistic value `v`,
+    /// computed by exhaustive enumeration over Lehmer codes in `O(m! )` only
+    /// for the non-Mahonian cases — inversions and major index use the
+    /// Mahonian dynamic program directly.
+    ///
+    /// Intended for small `m` (level weighting, tests); the sweep engine's
+    /// Mahonian-weighted sampling uses [`crate::mahonian::mahonian_row`]
+    /// without enumeration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m > 12` for the enumerated statistics.
+    #[must_use]
+    pub fn level_weights(self, m: usize) -> Vec<u128> {
+        match self {
+            Statistic::Inversions | Statistic::MajorIndex => crate::mahonian::mahonian_row(m),
+            Statistic::Descents | Statistic::TotalDisplacement => {
+                assert!(m <= 12, "level_weights: degree {m} too large to enumerate");
+                let mut weights = vec![0u128; self.level_count(m)];
+                for sigma in crate::iter::LexIter::new(m) {
+                    weights[self.of_images(sigma.images())] += 1;
+                }
+                weights
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Statistic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Total displacement (Spearman's footrule) of a permutation:
+/// `Σ_i |σ(i) − i|`.
+#[must_use]
+pub fn total_displacement(sigma: &Permutation) -> usize {
+    Statistic::TotalDisplacement.of(sigma)
+}
+
+/// Evaluates every statistic on one permutation (handy for reports).
+#[must_use]
+pub fn all_statistics(sigma: &Permutation) -> Vec<(Statistic, usize)> {
+    Statistic::ALL.iter().map(|&s| (s, s.of(sigma))).collect()
+}
+
+/// The inversion number recovered from a Lehmer code (digit sum) — a
+/// re-export-friendly helper for callers that already hold the code.
+#[must_use]
+pub fn inversions_from_lehmer(code: &[usize]) -> usize {
+    code.iter().sum()
+}
+
+/// Checks that a permutation's Lehmer code digit sum equals its inversion
+/// number (debugging helper used by tests).
+#[must_use]
+pub fn lehmer_sum_matches(sigma: &Permutation) -> bool {
+    inversions_from_lehmer(&lehmer_code(sigma)) == Statistic::Inversions.of(sigma)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inversions::{descents, inversions, major_index};
+    use crate::iter::LexIter;
+
+    #[test]
+    fn names_round_trip_through_parse() {
+        for s in Statistic::ALL {
+            assert_eq!(Statistic::parse(s.name()), Some(s));
+            assert_eq!(format!("{s}"), s.name());
+        }
+        assert_eq!(Statistic::parse("maj"), Some(Statistic::MajorIndex));
+        assert_eq!(
+            Statistic::parse("footrule"),
+            Some(Statistic::TotalDisplacement)
+        );
+        assert_eq!(Statistic::parse("bogus"), None);
+    }
+
+    #[test]
+    fn fast_and_naive_agree_exhaustively() {
+        for m in 0..=6usize {
+            for sigma in LexIter::new(m) {
+                for s in Statistic::ALL {
+                    assert_eq!(
+                        s.of_images(sigma.images()),
+                        s.of_images_naive(sigma.images()),
+                        "{s} σ = {sigma}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn statistics_match_existing_definitions() {
+        for sigma in LexIter::new(6) {
+            assert_eq!(Statistic::Inversions.of(&sigma), inversions(&sigma));
+            assert_eq!(Statistic::Descents.of(&sigma), descents(&sigma).len());
+            assert_eq!(Statistic::MajorIndex.of(&sigma), major_index(&sigma));
+        }
+    }
+
+    #[test]
+    fn max_values_are_attained_and_not_exceeded() {
+        for m in 0..=7usize {
+            for s in Statistic::ALL {
+                let max = s.max_value(m);
+                let mut attained = false;
+                for sigma in LexIter::new(m) {
+                    let v = s.of_images(sigma.images());
+                    assert!(v <= max, "{s} m={m} σ={sigma} value {v} > max {max}");
+                    attained |= v == max;
+                }
+                if m > 0 {
+                    assert!(attained, "{s} m={m}: max {max} never attained");
+                }
+                assert_eq!(s.level_count(m), max + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn reverse_permutation_attains_displacement_max() {
+        for m in 1..=8usize {
+            let rev = Permutation::reverse(m);
+            assert_eq!(total_displacement(&rev), m * m / 2, "m={m}");
+        }
+    }
+
+    #[test]
+    fn lehmer_code_shortcut() {
+        for sigma in LexIter::new(5) {
+            let code = lehmer_code(&sigma);
+            assert_eq!(
+                Statistic::Inversions.of_lehmer_code(&code),
+                Some(inversions(&sigma))
+            );
+            assert_eq!(Statistic::Descents.of_lehmer_code(&code), None);
+            assert!(lehmer_sum_matches(&sigma));
+        }
+    }
+
+    #[test]
+    fn level_weights_sum_to_factorial() {
+        use crate::rank::factorial;
+        for m in 0..=6usize {
+            for s in Statistic::ALL {
+                let weights = s.level_weights(m);
+                assert_eq!(weights.len(), s.level_count(m), "{s} m={m}");
+                assert_eq!(
+                    weights.iter().sum::<u128>(),
+                    factorial(m).unwrap(),
+                    "{s} m={m}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mahonian_statistics_are_equidistributed() {
+        // inv and maj share the Mahonian distribution (MacMahon).
+        for m in 0..=6usize {
+            let inv = Statistic::Inversions.level_weights(m);
+            let mut maj = vec![0u128; Statistic::MajorIndex.level_count(m)];
+            for sigma in LexIter::new(m) {
+                maj[Statistic::MajorIndex.of(&sigma)] += 1;
+            }
+            assert_eq!(inv, maj, "m={m}");
+        }
+    }
+
+    #[test]
+    fn all_statistics_reports_each() {
+        let sigma = Permutation::reverse(4);
+        let all = all_statistics(&sigma);
+        assert_eq!(all.len(), 4);
+        assert_eq!(all[0], (Statistic::Inversions, 6));
+        assert_eq!(all[1], (Statistic::Descents, 3));
+    }
+}

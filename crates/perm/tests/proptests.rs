@@ -194,4 +194,37 @@ proptest! {
             prop_assert!(!sigma.pow(1).is_identity() || order == 1);
         }
     }
+
+    #[test]
+    fn every_statistic_matches_its_naive_definition(sigma in arb_permutation(48)) {
+        // Each sweep statistic's fast path is pinned against the literal
+        // O(m²) textbook definition, which shares no code with it.
+        for statistic in Statistic::ALL {
+            let fast = statistic.of_images(sigma.images());
+            let naive = statistic.of_images_naive(sigma.images());
+            prop_assert_eq!(fast, naive, "{} on {}", statistic, &sigma);
+            prop_assert_eq!(statistic.of(&sigma), fast);
+            prop_assert!(fast <= statistic.max_value(sigma.degree()));
+        }
+    }
+
+    #[test]
+    fn statistics_agree_with_preexisting_functions(sigma in arb_permutation(32)) {
+        prop_assert_eq!(Statistic::Inversions.of(&sigma), inversions(&sigma));
+        prop_assert_eq!(Statistic::Descents.of(&sigma), descents(&sigma).len());
+        prop_assert_eq!(Statistic::MajorIndex.of(&sigma), major_index(&sigma));
+        prop_assert_eq!(total_displacement(&sigma), Statistic::TotalDisplacement.of(&sigma));
+        // Inversions from the Lehmer code (digit sum) agree too.
+        prop_assert_eq!(
+            Statistic::Inversions.of_lehmer_code(&lehmer_code(&sigma)),
+            Some(inversions(&sigma))
+        );
+    }
+
+    #[test]
+    fn displacement_parity_is_even(sigma in arb_permutation(32)) {
+        // Σ|σ(i)−i| is always even: positive and negative displacements
+        // cancel, so the absolute sum is twice the positive part.
+        prop_assert_eq!(total_displacement(&sigma) % 2, 0);
+    }
 }

@@ -357,7 +357,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::fmt;
 
-    /// See [`vec`].
+    /// See [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<E, L> {
         element: E,

@@ -15,17 +15,23 @@
 //! `std::env::args` and prints.
 
 use std::fmt::Write as _;
+use std::path::Path;
 
 use symloc_cache::footprint::average_footprint;
 use symloc_cache::mrc::MissRatioCurve;
 use symloc_cache::reuse::reuse_profile;
 use symloc_core::chainfind::ChainFindConfig;
+use symloc_core::engine::{SweepEngine, SweepLevel, SweepSpec};
 use symloc_core::feasibility::PrecedenceDag;
 use symloc_core::hits::{hit_vector_with_scratch, mrc_with_scratch, AnalysisScratch};
+use symloc_core::model::CacheModel;
 use symloc_core::optimize::{best_feasible_exhaustive, optimize_from_identity};
 use symloc_core::retraversal::ReTraversal;
+use symloc_core::shard::ShardedSweep;
 use symloc_core::theorems::theorem2_holds;
+use symloc_par::default_threads;
 use symloc_perm::inversions::{inversions, max_inversions};
+use symloc_perm::statistics::Statistic;
 use symloc_trace::generators::{cyclic_trace, random_trace, sawtooth_trace};
 use symloc_trace::io::{read_trace, write_trace};
 use symloc_trace::stats::trace_stats;
@@ -52,7 +58,11 @@ pub fn usage() -> String {
      \x20 symloc analyze <trace-file>\n\
      \x20 symloc retraversal <trace-file>\n\
      \x20 symloc generate <cyclic|sawtooth|random> <m> <epochs> [out-file]\n\
-     \x20 symloc optimize <m> [a<b ...]      (each a<b is a precedence constraint)\n"
+     \x20 symloc optimize <m> [a<b ...]      (each a<b is a precedence constraint)\n\
+     \x20 symloc sweep <m> [--stat <inversions|descents|major|displacement>]\n\
+     \x20              [--model <lru|assoc:WAYS:lru|fifo|plru>] [--threads N]\n\
+     \x20              [--samples BUDGET --seed S]          (stratified sampling)\n\
+     \x20              [--shards K --checkpoint FILE [--max-shards N]]  (resumable)\n"
         .to_string()
 }
 
@@ -282,6 +292,230 @@ pub fn optimize(m: usize, constraints: &[String]) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Options of `symloc sweep`, parsed from its argument list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepOptions {
+    /// The sweep spec (degree, statistic, cache model).
+    pub spec: SweepSpec,
+    /// Worker threads.
+    pub threads: usize,
+    /// `Some(budget)` selects stratified sampling instead of exhaustion.
+    pub samples: Option<usize>,
+    /// Seed for sampled sweeps.
+    pub seed: u64,
+    /// Shard count for checkpointed exhaustive sweeps.
+    pub shards: usize,
+    /// Checkpoint file enabling sharded resumable execution.
+    pub checkpoint: Option<String>,
+    /// At most this many shards this invocation (`None` = run to the end).
+    pub max_shards: Option<usize>,
+}
+
+fn parse_usize(value: Option<&String>, what: &str) -> Result<usize, CliError> {
+    value
+        .ok_or_else(|| CliError(format!("{what} needs a value")))?
+        .parse()
+        .map_err(|_| CliError(format!("{what} must be a number")))
+}
+
+/// Parses the argument list of `symloc sweep` (everything after the
+/// subcommand name).
+///
+/// # Errors
+///
+/// Returns a [`CliError`] on malformed flags, unknown statistic or model
+/// names, or an unsupported combination.
+pub fn parse_sweep_options(args: &[String]) -> Result<SweepOptions, CliError> {
+    let m: usize = args
+        .first()
+        .ok_or_else(|| CliError("sweep needs m".into()))?
+        .parse()
+        .map_err(|_| CliError("m must be a number".into()))?;
+    let mut options = SweepOptions {
+        spec: SweepSpec::figure1(m),
+        threads: default_threads(),
+        samples: None,
+        seed: 42,
+        shards: 8,
+        checkpoint: None,
+        max_shards: None,
+    };
+    let mut i = 1usize;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = args.get(i + 1);
+        match flag {
+            "--stat" => {
+                let name = value.ok_or_else(|| CliError("--stat needs a value".into()))?;
+                options.spec.statistic = Statistic::parse(name)
+                    .ok_or_else(|| CliError(format!("unknown statistic {name:?}")))?;
+            }
+            "--model" => {
+                let name = value.ok_or_else(|| CliError("--model needs a value".into()))?;
+                options.spec.model = CacheModel::parse(name)
+                    .ok_or_else(|| CliError(format!("unknown cache model {name:?}")))?;
+            }
+            "--threads" => options.threads = parse_usize(value, "--threads")?,
+            "--samples" => options.samples = Some(parse_usize(value, "--samples")?),
+            "--seed" => {
+                options.seed = value
+                    .ok_or_else(|| CliError("--seed needs a value".into()))?
+                    .parse()
+                    .map_err(|_| CliError("--seed must be a number".into()))?;
+            }
+            "--shards" => {
+                options.shards = parse_usize(value, "--shards")?;
+                if options.shards == 0 {
+                    return Err(CliError("--shards must be positive".into()));
+                }
+            }
+            "--checkpoint" => {
+                options.checkpoint = Some(
+                    value
+                        .ok_or_else(|| CliError("--checkpoint needs a file".into()))?
+                        .clone(),
+                );
+            }
+            "--max-shards" => options.max_shards = Some(parse_usize(value, "--max-shards")?),
+            other => return Err(CliError(format!("unknown sweep flag {other:?}"))),
+        }
+        i += 2;
+    }
+    if options.samples.is_some() && options.spec.statistic != Statistic::Inversions {
+        return Err(CliError(
+            "sampled sweeps are stratified by inversion number; \
+             --samples requires --stat inversions"
+                .into(),
+        ));
+    }
+    if options.samples.is_some() && options.checkpoint.is_some() {
+        return Err(CliError(
+            "--checkpoint applies to exhaustive sweeps only".into(),
+        ));
+    }
+    if options.max_shards.is_some() && options.checkpoint.is_none() {
+        return Err(CliError(
+            "--max-shards only makes sense with --checkpoint (a bounded \
+             partial run needs somewhere to save its progress)"
+                .into(),
+        ));
+    }
+    if options.samples.is_none() && options.spec.m > 12 {
+        return Err(CliError(format!(
+            "m = {} is too large for an exhaustive sweep; pass --samples",
+            options.spec.m
+        )));
+    }
+    if options.samples.is_some() && options.spec.m > 34 {
+        return Err(CliError(format!(
+            "m = {} exceeds the largest supported degree (34: Mahonian \
+             weights overflow beyond that)",
+            options.spec.m
+        )));
+    }
+    Ok(options)
+}
+
+/// Renders the level table of a finished sweep.
+fn sweep_report(spec: SweepSpec, levels: &[SweepLevel], sampled: bool) -> String {
+    let m = spec.m;
+    let mut out = String::new();
+    let _ = writeln!(out, "sweep of S_{m} — {}", spec.fingerprint());
+    let total: u64 = levels.iter().map(|l| l.count).sum();
+    let _ = writeln!(out, "permutations aggregated : {total}");
+    let c_mid = (m / 2).max(1);
+    let _ = write!(
+        out,
+        "{:>6} {:>12} {:>12} {:>12}",
+        "level",
+        "count",
+        format!("hits(c={c_mid})"),
+        format!("mr(c={c_mid})"),
+    );
+    // Exhaustive sweeps saw the whole population; only sampled sweeps
+    // carry a meaningful standard-error column.
+    if sampled {
+        let _ = write!(out, " {:>12}", "stderr");
+    }
+    out.push('\n');
+    for level in levels {
+        let _ = write!(
+            out,
+            "{:>6} {:>12} {:>12.4} {:>12.4}",
+            level.level,
+            level.count,
+            level.mean_hits(c_mid),
+            level.mean_miss_ratio(c_mid),
+        );
+        if sampled {
+            let _ = write!(out, " {:>12.4}", level.stderr_hits(c_mid));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// `symloc sweep <m> [flags]` — generalized sweep over `S_m`: exhaustive
+/// (optionally sharded + checkpointed) or Mahonian-weighted stratified
+/// sampling, keyed by any statistic, under any cache model.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] on malformed arguments or checkpoint I/O errors.
+pub fn sweep(args: &[String]) -> Result<String, CliError> {
+    let options = parse_sweep_options(args)?;
+    let spec = options.spec;
+    let engine = SweepEngine::with_threads(spec.m, options.threads);
+
+    if let Some(budget) = options.samples {
+        let levels = engine.sampled_levels_weighted(spec.model, budget, 2, options.seed);
+        let mut out = sweep_report(spec, &levels, true);
+        let _ = writeln!(
+            out,
+            "stratified sampling: budget {budget} distributed by Mahonian weights (seed {})",
+            options.seed
+        );
+        return Ok(out);
+    }
+
+    let Some(checkpoint) = &options.checkpoint else {
+        let levels = engine.sweep_levels(spec.statistic, spec.model);
+        return Ok(sweep_report(spec, &levels, false));
+    };
+
+    let path = Path::new(checkpoint);
+    let (mut sharded, resumed) =
+        ShardedSweep::resume_or_new(spec, options.shards, options.threads, path);
+    let already = sharded.completed_count();
+    let ran = sharded
+        .run_with_checkpoint(path, options.max_shards, |_, _| {})
+        .map_err(|e| CliError(format!("cannot write checkpoint {checkpoint}: {e}")))?;
+    let mut out = String::new();
+    if resumed {
+        let _ = writeln!(
+            out,
+            "resumed from {checkpoint}: {already} of {} shards were already done",
+            sharded.shard_count()
+        );
+    }
+    let _ = writeln!(
+        out,
+        "ran {ran} shard(s); {} of {} complete; checkpoint saved to {checkpoint}",
+        sharded.completed_count(),
+        sharded.shard_count()
+    );
+    match sharded.merged_levels() {
+        Some(levels) => out.push_str(&sweep_report(spec, &levels, false)),
+        None => {
+            let _ = writeln!(
+                out,
+                "sweep incomplete — re-run the same command to continue from the checkpoint"
+            );
+        }
+    }
+    Ok(out)
+}
+
 /// Dispatches a full argument vector (excluding the program name).
 ///
 /// # Errors
@@ -326,6 +560,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 .map_err(|_| CliError("m must be a number".into()))?;
             optimize(m, &args[2..])
         }
+        Some("sweep") => sweep(&args[1..]),
         Some("help") | None => Ok(usage()),
         Some(other) => Err(CliError(format!("unknown command {other:?}"))),
     }
@@ -398,6 +633,80 @@ mod tests {
         assert!(big.contains("exhaustive check skipped"));
     }
 
+    fn sargs(spec: &str) -> Vec<String> {
+        spec.split_whitespace().map(ToString::to_string).collect()
+    }
+
+    #[test]
+    fn sweep_option_parsing() {
+        let options = parse_sweep_options(&sargs(
+            "6 --stat major --model assoc:2:fifo --threads 3 --shards 5",
+        ))
+        .unwrap();
+        assert_eq!(options.spec.m, 6);
+        assert_eq!(options.spec.statistic, Statistic::MajorIndex);
+        assert_eq!(options.spec.model.name(), "set_assoc:2:fifo");
+        assert_eq!(options.threads, 3);
+        assert_eq!(options.shards, 5);
+        assert!(parse_sweep_options(&sargs("")).is_err());
+        assert!(parse_sweep_options(&sargs("x")).is_err());
+        assert!(parse_sweep_options(&sargs("5 --stat bogus")).is_err());
+        assert!(parse_sweep_options(&sargs("5 --model bogus")).is_err());
+        assert!(parse_sweep_options(&sargs("5 --shards 0")).is_err());
+        assert!(parse_sweep_options(&sargs("5 --frobnicate 1")).is_err());
+        assert!(parse_sweep_options(&sargs("5 --stat")).is_err());
+        assert!(parse_sweep_options(&sargs("5 --samples 100 --stat descents")).is_err());
+        assert!(parse_sweep_options(&sargs("5 --samples 10 --checkpoint x.json")).is_err());
+        assert!(parse_sweep_options(&sargs("5 --max-shards 2")).is_err());
+        assert!(parse_sweep_options(&sargs("13")).is_err());
+        assert!(parse_sweep_options(&sargs("13 --samples 100")).is_ok());
+        assert!(parse_sweep_options(&sargs("35 --samples 100")).is_err());
+    }
+
+    #[test]
+    fn sweep_reports_exhaustive_sampled_and_models() {
+        let report = sweep(&sargs("5 --threads 2")).unwrap();
+        assert!(report.contains("m=5;stat=inversions;model=lru_stack"));
+        assert!(report.contains("permutations aggregated : 120"));
+        let by_descents = sweep(&sargs("5 --stat descents --model assoc:2:fifo")).unwrap();
+        assert!(by_descents.contains("model=set_assoc:2:fifo"));
+        assert!(by_descents.contains("permutations aggregated : 120"));
+        let sampled = sweep(&sargs("8 --samples 300 --seed 7")).unwrap();
+        assert!(sampled.contains("budget 300 distributed by Mahonian weights"));
+    }
+
+    #[test]
+    fn sweep_checkpoint_flow_resumes_and_completes() {
+        let path = std::env::temp_dir().join("symloc_cli_sweep_checkpoint.json");
+        let path_str = path.to_string_lossy().to_string();
+        std::fs::remove_file(&path).ok();
+
+        // First invocation runs 2 of 4 shards and stops.
+        let first = sweep(&sargs(&format!(
+            "6 --shards 4 --max-shards 2 --checkpoint {path_str}"
+        )))
+        .unwrap();
+        assert!(first.contains("2 of 4 complete"));
+        assert!(first.contains("sweep incomplete"));
+
+        // Second invocation resumes and finishes.
+        let second = sweep(&sargs(&format!("6 --shards 4 --checkpoint {path_str}"))).unwrap();
+        assert!(second.contains("resumed from"));
+        assert!(second.contains("4 of 4 complete"));
+        assert!(second.contains("permutations aggregated : 720"));
+
+        // The checkpointed result equals the direct sweep.
+        let direct = sweep(&sargs("6")).unwrap();
+        let tail = |s: &str| {
+            s.lines()
+                .skip_while(|l| !l.starts_with("sweep of"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(tail(&second), tail(&direct));
+        std::fs::remove_file(&path).ok();
+    }
+
     #[test]
     fn run_dispatches_each_command() {
         // generate to a temp file, then analyze + retraversal it.
@@ -424,6 +733,10 @@ mod tests {
         assert!(run(&["generate".to_string(), "cyclic".to_string()]).is_err());
         assert!(run(&["optimize".to_string()]).is_err());
         assert!(run(&["optimize".to_string(), "abc".to_string()]).is_err());
+        assert!(run(&["sweep".to_string(), "4".to_string()])
+            .unwrap()
+            .contains("permutations aggregated : 24"));
+        assert!(run(&["sweep".to_string()]).is_err());
         assert!(run(&["analyze".to_string(), "/no/such/file".to_string()]).is_err());
     }
 }
