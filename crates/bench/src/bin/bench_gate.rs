@@ -1,13 +1,16 @@
-//! CI bench-regression gate for the sweep engine.
+//! CI bench-regression gate for the sweep engine and the streaming
+//! trace-analysis subsystem.
 //!
-//! Re-measures the `fig1_sweep_throughput` suite (the same configurations
-//! `run_all_experiments` commits to `BENCH_sweep.json`) and compares each
-//! measurement's `perms_per_sec` against the committed baseline. The gate
-//! fails — exit code 1 — when any configuration regresses by more than the
-//! tolerance (default 25%), or when a baselined configuration is no longer
-//! measured at all. The fresh measurements are always written next to the
-//! baseline as `BENCH_sweep.fresh.json`, so CI can upload them as an
-//! artifact (and a deliberate baseline refresh is one `mv` away).
+//! Re-measures the `fig1_sweep_throughput` suite — the sweep configurations
+//! *and* the `tracebench` trace-ingestion configurations that
+//! `run_all_experiments` commits to `BENCH_sweep.json` — and compares each
+//! measurement (`perms_per_sec` / `accesses_per_sec`) against the committed
+//! baseline. The gate fails — exit code 1 — when any configuration
+//! regresses by more than the tolerance (default 25%), or when a baselined
+//! configuration is no longer measured at all. The fresh measurements are
+//! always written next to the baseline as `BENCH_sweep.fresh.json`, so CI
+//! can upload them as an artifact (and a deliberate baseline refresh is one
+//! `mv` away).
 //!
 //! ```sh
 //! cargo run --release -p symloc-bench --bin bench_gate [baseline.json]
@@ -21,7 +24,24 @@ use symloc_bench::sweepbench::{
     baseline_hardware_threads, baseline_path, compare_to_baseline, measure_suite, parse_baseline,
     suite_json, GateVerdict,
 };
+use symloc_bench::tracebench::{
+    compare_trace_to_baseline, measure_trace_suite, parse_trace_baseline,
+};
 use symloc_par::default_threads;
+
+fn verdict_cell(verdict: &GateVerdict, regressions: &mut usize) -> (String, &'static str) {
+    match verdict {
+        GateVerdict::Ok { ratio } => (format!("{ratio:.2}"), "ok"),
+        GateVerdict::Regressed { ratio } => {
+            *regressions += 1;
+            (format!("{ratio:.2}"), "REGRESSED")
+        }
+        GateVerdict::Missing => {
+            *regressions += 1;
+            ("-".to_string(), "MISSING")
+        }
+    }
+}
 
 fn main() {
     let baseline_file = std::env::args()
@@ -56,56 +76,71 @@ fn main() {
             std::process::exit(1);
         }
     };
+    let trace_baseline = match parse_trace_baseline(&baseline_text) {
+        Ok(entries) => entries,
+        Err(e) => {
+            eprintln!(
+                "bench_gate: malformed trace baseline {}: {e}",
+                baseline_file.display()
+            );
+            std::process::exit(1);
+        }
+    };
 
     if let Some(base_hw) = baseline_hardware_threads(&baseline_text) {
         let here = default_threads() as u64;
         if base_hw != here {
             eprintln!(
                 "bench_gate: WARNING — baseline was measured with {base_hw} hardware \
-                 thread(s) but this machine has {here}; absolute perms/sec comparisons \
+                 thread(s) but this machine has {here}; absolute throughput comparisons \
                  across machines lean on the tolerance. Consider refreshing the \
                  baseline on this machine (run_all_experiments --bench-only)."
             );
         }
     }
     println!(
-        "bench_gate: re-measuring {} baselined configurations (tolerance {:.0}%, {} runs)\n",
+        "bench_gate: re-measuring {} sweep + {} trace configurations (tolerance {:.0}%, {} runs)\n",
         baseline.len(),
+        trace_baseline.len(),
         tolerance * 100.0,
         runs
     );
     let fresh = measure_suite(runs);
+    let trace_fresh = measure_trace_suite(runs);
 
     // Always leave the fresh numbers on disk for the CI artifact.
     let fresh_path = baseline_file.with_file_name("BENCH_sweep.fresh.json");
-    if let Err(e) = std::fs::write(&fresh_path, suite_json(&fresh)) {
+    if let Err(e) = std::fs::write(&fresh_path, suite_json(&fresh, &trace_fresh)) {
         eprintln!("warning: cannot write {}: {e}", fresh_path.display());
     } else {
         println!("\nwrote {}", fresh_path.display());
     }
 
+    let mut regressions = 0usize;
     let results = compare_to_baseline(&baseline, &fresh, tolerance);
     println!(
         "\n{:<44} {:>4} {:>14} {:>14} {:>8}  verdict",
         "name", "m", "baseline", "fresh", "ratio"
     );
-    let mut regressions = 0usize;
     for r in &results {
-        let (ratio, verdict) = match r.verdict {
-            GateVerdict::Ok { ratio } => (format!("{ratio:.2}"), "ok"),
-            GateVerdict::Regressed { ratio } => {
-                regressions += 1;
-                (format!("{ratio:.2}"), "REGRESSED")
-            }
-            GateVerdict::Missing => {
-                regressions += 1;
-                ("-".to_string(), "MISSING")
-            }
-        };
+        let (ratio, verdict) = verdict_cell(&r.verdict, &mut regressions);
         println!(
             "{:<44} {:>4} {:>14.0} {:>14} {:>8}  {verdict}",
             r.name,
             r.m,
+            r.baseline,
+            r.fresh
+                .map_or_else(|| "-".to_string(), |f| format!("{f:.0}")),
+            ratio,
+        );
+    }
+    let trace_results = compare_trace_to_baseline(&trace_baseline, &trace_fresh, tolerance);
+    for r in &trace_results {
+        let (ratio, verdict) = verdict_cell(&r.verdict, &mut regressions);
+        println!(
+            "{:<44} {:>4} {:>14.0} {:>14} {:>8}  {verdict}",
+            r.name,
+            "-",
             r.baseline,
             r.fresh
                 .map_or_else(|| "-".to_string(), |f| format!("{f:.0}")),

@@ -23,6 +23,7 @@ use std::path::{Path, PathBuf};
 use std::process::Command;
 
 use symloc_bench::sweepbench::{measure_suite, speedup_at, suite_json};
+use symloc_bench::tracebench::measure_trace_suite;
 use symloc_core::engine::SweepSpec;
 use symloc_core::shard::ShardedSweep;
 use symloc_par::default_threads;
@@ -42,6 +43,7 @@ const EXPERIMENTS: &[&str] = &[
     "exp12_stream_recency",
     "exp13_labeling_comparison",
     "exp14_good_labeling_census",
+    "exp15_trace_pipeline",
 ];
 
 /// Shards the `m = 12` checkpointed sweep is split into: small enough
@@ -55,12 +57,15 @@ fn binary_dir() -> Option<PathBuf> {
 }
 
 /// Measures the sweep throughput suite (batched engine vs the allocating
-/// reference, generalized statistics/models, stratified sampling) and
+/// reference, generalized statistics/models, stratified sampling) plus the
+/// trace-ingestion suite (exact streaming, sharded, SHARDS-sampled) and
 /// writes `BENCH_sweep.json` at the workspace root.
 fn emit_bench_sweep_json() {
     println!("\n================ sweep throughput ================\n");
     let measurements = measure_suite(5);
-    let json = suite_json(&measurements);
+    println!("\n================ trace ingestion throughput ================\n");
+    let trace_measurements = measure_trace_suite(5);
+    let json = suite_json(&measurements, &trace_measurements);
     let s8 = speedup_at(&measurements, 8).unwrap_or(f64::NAN);
     let s9 = speedup_at(&measurements, 9).unwrap_or(f64::NAN);
     println!("\nengine speedup over allocating reference: {s8:.2}x (m=8), {s9:.2}x (m=9)");

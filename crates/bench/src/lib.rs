@@ -9,6 +9,7 @@
 #![warn(clippy::all)]
 
 pub mod sweepbench;
+pub mod tracebench;
 
 use std::fs;
 use std::path::{Path, PathBuf};

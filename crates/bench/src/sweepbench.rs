@@ -180,8 +180,13 @@ pub fn measure_suite(runs: usize) -> Vec<SweepMeasurement> {
             planned as u64,
             runs.min(3),
             || {
-                let _ =
-                    SweepEngine::new(m).sampled_levels_weighted(CacheModel::LruStack, budget, 2, 7);
+                let _ = SweepEngine::new(m).sampled_levels_weighted(
+                    Statistic::Inversions,
+                    CacheModel::LruStack,
+                    budget,
+                    2,
+                    7,
+                );
             },
         ));
     }
@@ -201,9 +206,14 @@ pub fn speedup_at(measurements: &[SweepMeasurement], m: usize) -> Option<f64> {
     Some(rate("exhaustive_engine_single_thread")? / rate("exhaustive_reference_single_thread")?)
 }
 
-/// Renders the suite as the `BENCH_sweep.json` document.
+/// Renders the suite — the sweep measurements plus the trace-ingestion
+/// measurements of [`crate::tracebench`] — as the `BENCH_sweep.json`
+/// document.
 #[must_use]
-pub fn suite_json(measurements: &[SweepMeasurement]) -> String {
+pub fn suite_json(
+    measurements: &[SweepMeasurement],
+    trace_measurements: &[crate::tracebench::TraceMeasurement],
+) -> String {
     let mut json = String::from("{\n  \"benchmark\": \"fig1_sweep_throughput\",\n");
     json.push_str("  \"unit\": \"perms_per_sec\",\n");
     json.push_str(&format!("  \"hardware_threads\": {},\n", default_threads()));
@@ -221,6 +231,9 @@ pub fn suite_json(measurements: &[SweepMeasurement]) -> String {
         ));
     }
     json.push_str("  ],\n");
+    json.push_str(&crate::tracebench::trace_measurements_json(
+        trace_measurements,
+    ));
     let fmt = |s: Option<f64>| s.map_or_else(|| "null".to_string(), |v| format!("{v:.2}"));
     let s8 = fmt(speedup_at(measurements, 8));
     let s9 = fmt(speedup_at(measurements, 9));
@@ -397,13 +410,23 @@ mod tests {
     #[test]
     fn suite_json_round_trips_through_parse_baseline() {
         let measurements = vec![fresh("a", 8, 1000.0), fresh("b", 9, 2000.0)];
-        let json = suite_json(&measurements);
+        let traces = vec![crate::tracebench::TraceMeasurement {
+            name: "t".into(),
+            accesses: 10,
+            threads: 1,
+            hardware_threads: 1,
+            accesses_per_sec: 5.0,
+        }];
+        let json = suite_json(&measurements, &traces);
         assert!(json.contains("\"hardware_threads\": 1,"));
         let parsed = parse_baseline(&json).unwrap();
         assert_eq!(parsed.len(), 2);
         assert_eq!(parsed[0].name, "a");
         assert_eq!(parsed[1].m, 9);
         assert!((parsed[1].perms_per_sec - 2000.0).abs() < 1e-9);
+        let trace_parsed = crate::tracebench::parse_trace_baseline(&json).unwrap();
+        assert_eq!(trace_parsed.len(), 1);
+        assert_eq!(trace_parsed[0].name, "t");
     }
 
     #[test]

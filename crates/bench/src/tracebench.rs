@@ -1,0 +1,319 @@
+//! The trace-ingestion throughput suite behind the `trace_measurements`
+//! section of `BENCH_sweep.json`.
+//!
+//! The streaming trace-analysis subsystem gets the same treatment the sweep
+//! engine got in `sweepbench`: a fixed set of named configurations —
+//! exact single-thread, exact sharded on all threads, and the SHARDS
+//! sampled estimator — measured as `accesses_per_sec` over a canonical
+//! Zipfian workload, committed to the baseline file and enforced by the
+//! `bench_gate` CI binary with the same tolerance machinery.
+//!
+//! The workload trace is materialized once *outside* the timers so the
+//! numbers measure the engines, not the generator.
+
+use std::time::Instant;
+
+use crate::json_escape;
+use crate::sweepbench::GateVerdict;
+use symloc_core::jsonio::{self, JsonValue};
+use symloc_core::tracesweep::{OnlineReuseEngine, ShardsEstimator, TraceIngest};
+use symloc_par::default_threads;
+use symloc_trace::stream::{GenSpec, TraceSource};
+use symloc_trace::Trace;
+
+/// The canonical tracebench workload: a skewed Zipfian trace large enough
+/// that throughput is steady-state but small enough for CI.
+#[must_use]
+pub fn workload_spec() -> GenSpec {
+    GenSpec::Zipf {
+        m: 20_000,
+        len: 1_000_000,
+        s: 0.8,
+        seed: 42,
+    }
+}
+
+/// The sampled estimator's budget in the measured configuration.
+pub const SAMPLE_BUDGET: usize = 1024;
+
+/// One measured trace-ingestion configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceMeasurement {
+    /// Stable configuration name (the gate matches on it).
+    pub name: String,
+    /// Accesses processed per iteration.
+    pub accesses: u64,
+    /// Worker threads the configuration used.
+    pub threads: usize,
+    /// Hardware threads available when this measurement ran.
+    pub hardware_threads: usize,
+    /// Median throughput over the timed runs.
+    pub accesses_per_sec: f64,
+}
+
+/// Median-of-`runs` throughput of `ingest`, which processes `accesses`
+/// accesses per call. One warmup call precedes the timed runs.
+pub fn measure_trace(
+    name: &str,
+    accesses: u64,
+    threads: usize,
+    runs: usize,
+    mut ingest: impl FnMut(),
+) -> TraceMeasurement {
+    ingest();
+    let mut rates: Vec<f64> = (0..runs.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            ingest();
+            #[allow(clippy::cast_precision_loss)]
+            {
+                accesses as f64 / start.elapsed().as_secs_f64()
+            }
+        })
+        .collect();
+    rates.sort_by(|a, b| a.partial_cmp(b).expect("rates are finite"));
+    let accesses_per_sec = rates[rates.len() / 2];
+    println!(
+        "{name:<44} n={accesses:<9} threads={threads:<3} {accesses_per_sec:>14.0} accesses/sec"
+    );
+    TraceMeasurement {
+        name: name.to_string(),
+        accesses,
+        threads,
+        hardware_threads: default_threads(),
+        accesses_per_sec,
+    }
+}
+
+/// Runs the whole trace-ingestion measurement suite over the canonical
+/// workload: the exact engine sequentially, the chunk-sharded exact ingest
+/// on every hardware thread, and the bounded-memory sampled estimator.
+#[must_use]
+pub fn measure_trace_suite(runs: usize) -> Vec<TraceMeasurement> {
+    let threads = default_threads();
+    let trace: Trace = workload_spec().materialize();
+    let accesses = trace.len() as u64;
+    let addrs: Vec<u64> = trace.iter().map(|a| a.value() as u64).collect();
+    let source = TraceSource::Memory(trace);
+    let mut measurements = Vec::new();
+    measurements.push(measure_trace(
+        "trace_exact_single_thread",
+        accesses,
+        1,
+        runs,
+        || {
+            let mut engine = OnlineReuseEngine::new();
+            engine.record_all(addrs.iter().copied());
+        },
+    ));
+    measurements.push(measure_trace(
+        "trace_exact_sharded_all_threads",
+        accesses,
+        threads,
+        runs.min(3),
+        || {
+            let mut ingest =
+                TraceIngest::new(&source, (threads * 4).max(8), threads).expect("memory source");
+            ingest.run_pending(&source, None);
+            assert!(ingest.is_complete());
+        },
+    ));
+    measurements.push(measure_trace(
+        "trace_shards_sampled_single_thread",
+        accesses,
+        1,
+        runs,
+        || {
+            let mut estimator = ShardsEstimator::new(SAMPLE_BUDGET);
+            estimator.record_all(addrs.iter().copied());
+        },
+    ));
+    measurements
+}
+
+/// Renders the suite as the `trace_measurements` JSON array (the sweep
+/// side of the document is rendered by `sweepbench::suite_json`, which
+/// embeds this).
+#[must_use]
+pub fn trace_measurements_json(measurements: &[TraceMeasurement]) -> String {
+    let mut json = String::from("  \"trace_unit\": \"accesses_per_sec\",\n");
+    json.push_str("  \"trace_measurements\": [\n");
+    for (i, t) in measurements.iter().enumerate() {
+        let sep = if i + 1 < measurements.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"accesses_per_iteration\": {}, \"threads\": {}, \"hardware_threads\": {}, \"accesses_per_sec\": {:.0}}}{sep}\n",
+            json_escape(&t.name),
+            t.accesses,
+            t.threads,
+            t.hardware_threads,
+            t.accesses_per_sec,
+        ));
+    }
+    json.push_str("  ],\n");
+    json
+}
+
+/// One trace measurement parsed back from a `BENCH_sweep.json` document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceBaselineEntry {
+    /// Configuration name.
+    pub name: String,
+    /// Committed throughput.
+    pub accesses_per_sec: f64,
+}
+
+/// Parses the `trace_measurements` out of a `BENCH_sweep.json` document.
+/// Baselines written before the trace suite existed simply have none —
+/// that is not an error (an empty list gates nothing).
+///
+/// # Errors
+///
+/// Returns a description of the first structural problem in a present but
+/// malformed array.
+pub fn parse_trace_baseline(text: &str) -> Result<Vec<TraceBaselineEntry>, String> {
+    let doc = jsonio::parse(text)?;
+    let Some(measurements) = doc.get("trace_measurements").and_then(JsonValue::as_array) else {
+        return Ok(Vec::new());
+    };
+    let mut entries = Vec::with_capacity(measurements.len());
+    for entry in measurements {
+        let name = entry
+            .get("name")
+            .and_then(JsonValue::as_str)
+            .ok_or("trace measurement missing name")?
+            .to_string();
+        let accesses_per_sec = entry
+            .get("accesses_per_sec")
+            .and_then(JsonValue::as_f64)
+            .ok_or("trace measurement missing accesses_per_sec")?;
+        entries.push(TraceBaselineEntry {
+            name,
+            accesses_per_sec,
+        });
+    }
+    Ok(entries)
+}
+
+/// The gate's comparison for one trace configuration (names are unique, so
+/// matching is by name alone).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceGateResult {
+    /// Configuration name.
+    pub name: String,
+    /// Committed throughput.
+    pub baseline: f64,
+    /// Freshly measured throughput, if the configuration still exists.
+    pub fresh: Option<f64>,
+    /// Verdict under the tolerance.
+    pub verdict: GateVerdict,
+}
+
+/// Compares fresh trace measurements against the committed baseline with
+/// the same policy as the sweep gate: regression beyond the tolerance or a
+/// vanished configuration fails; configurations only present fresh are
+/// ignored (newly added).
+#[must_use]
+pub fn compare_trace_to_baseline(
+    baseline: &[TraceBaselineEntry],
+    fresh: &[TraceMeasurement],
+    tolerance: f64,
+) -> Vec<TraceGateResult> {
+    baseline
+        .iter()
+        .map(|base| {
+            let found = fresh
+                .iter()
+                .find(|f| f.name == base.name)
+                .map(|f| f.accesses_per_sec);
+            let verdict = match found {
+                None => GateVerdict::Missing,
+                Some(rate) => {
+                    let ratio = if base.accesses_per_sec > 0.0 {
+                        rate / base.accesses_per_sec
+                    } else {
+                        f64::INFINITY
+                    };
+                    if ratio < 1.0 - tolerance {
+                        GateVerdict::Regressed { ratio }
+                    } else {
+                        GateVerdict::Ok { ratio }
+                    }
+                }
+            };
+            TraceGateResult {
+                name: base.name.clone(),
+                baseline: base.accesses_per_sec,
+                fresh: found,
+                verdict,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fresh(name: &str, rate: f64) -> TraceMeasurement {
+        TraceMeasurement {
+            name: name.to_string(),
+            accesses: 100,
+            threads: 1,
+            hardware_threads: 1,
+            accesses_per_sec: rate,
+        }
+    }
+
+    #[test]
+    fn trace_json_round_trips_through_parse() {
+        let measurements = vec![fresh("a", 1000.0), fresh("b", 2000.0)];
+        let body = trace_measurements_json(&measurements);
+        let doc = format!("{{\n{body}  \"end\": 0\n}}\n");
+        let parsed = parse_trace_baseline(&doc).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].name, "a");
+        assert!((parsed[1].accesses_per_sec - 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn baselines_without_trace_measurements_parse_empty() {
+        assert_eq!(parse_trace_baseline("{}").unwrap(), Vec::new());
+        assert!(parse_trace_baseline("not json").is_err());
+        assert!(parse_trace_baseline("{\"trace_measurements\": [{\"name\": \"x\"}]}").is_err());
+    }
+
+    #[test]
+    fn trace_gate_verdicts_cover_ok_regressed_and_missing() {
+        let baseline = vec![
+            TraceBaselineEntry {
+                name: "a".into(),
+                accesses_per_sec: 1000.0,
+            },
+            TraceBaselineEntry {
+                name: "b".into(),
+                accesses_per_sec: 1000.0,
+            },
+            TraceBaselineEntry {
+                name: "gone".into(),
+                accesses_per_sec: 10.0,
+            },
+        ];
+        let fresh = vec![fresh("a", 800.0), fresh("b", 700.0), fresh("new", 1.0)];
+        let results = compare_trace_to_baseline(&baseline, &fresh, 0.25);
+        assert_eq!(results.len(), 3);
+        assert!(matches!(results[0].verdict, GateVerdict::Ok { .. }));
+        assert!(matches!(results[1].verdict, GateVerdict::Regressed { .. }));
+        assert_eq!(results[2].verdict, GateVerdict::Missing);
+    }
+
+    #[test]
+    fn workload_spec_is_stable() {
+        // The gate compares against committed numbers; the workload they
+        // were measured over must not drift silently.
+        assert_eq!(
+            workload_spec().fingerprint(),
+            "gen:zipf:20000:1000000:0.8:42"
+        );
+        assert_eq!(workload_spec().total_accesses(), 1_000_000);
+    }
+}

@@ -18,23 +18,46 @@ pub struct MissRatioCurve {
 }
 
 impl MissRatioCurve {
+    /// Tolerance for floating-point jitter in [`MissRatioCurve::from_ratios`]:
+    /// violations up to this size are clamped away, anything larger is a
+    /// logic error and still panics.
+    const MONOTONE_EPSILON: f64 = 1e-9;
+
     /// Builds a curve directly from per-size miss ratios (`ratios[0] = mr(0)`).
+    ///
+    /// Ratios a hair outside `[0, 1]`, or increasing by no more than an ULP
+    /// jitter (≤ [`Self::MONOTONE_EPSILON`]), are clamped rather than
+    /// rejected — curves assembled from sampled estimates or long float
+    /// summations legitimately wobble at that scale.
     ///
     /// # Panics
     ///
-    /// Panics if any ratio is outside `[0, 1]` or the curve is not
-    /// non-increasing (adding cache can never add misses under LRU).
+    /// Panics if any ratio is outside `[0, 1]` or the curve increases by
+    /// more than the epsilon (adding cache can never add misses under LRU).
     #[must_use]
     pub fn from_ratios(ratios: Vec<f64>, accesses: usize) -> Self {
+        let eps = Self::MONOTONE_EPSILON;
         assert!(
-            ratios.iter().all(|&r| (0.0..=1.0).contains(&r)),
+            ratios.iter().all(|&r| (-eps..=1.0 + eps).contains(&r)),
             "miss ratios must lie in [0, 1]"
         );
         assert!(
-            ratios.windows(2).all(|w| w[0] >= w[1] - 1e-12),
+            ratios.windows(2).all(|w| w[0] >= w[1] - eps),
             "miss-ratio curves must be non-increasing in cache size"
         );
-        MissRatioCurve { ratios, accesses }
+        // Clamp the tolerated jitter away so the stored curve is exactly
+        // monotone in [0, 1] (downstream comparisons assume it).
+        let mut clamped = Vec::with_capacity(ratios.len());
+        let mut previous = 1.0f64;
+        for r in ratios {
+            let r = r.clamp(0.0, 1.0).min(previous);
+            clamped.push(r);
+            previous = r;
+        }
+        MissRatioCurve {
+            ratios: clamped,
+            accesses,
+        }
     }
 
     /// Builds the curve of a hit vector (sizes `0 ..= hv.len()`).
@@ -192,6 +215,24 @@ mod tests {
     #[should_panic(expected = "[0, 1]")]
     fn from_ratios_rejects_out_of_range() {
         let _ = MissRatioCurve::from_ratios(vec![1.5, 0.5], 4);
+    }
+
+    #[test]
+    fn from_ratios_clamps_ulp_jitter() {
+        // Sampled curves can wobble by ULPs: a hair above 1.0, a hair below
+        // 0.0, and tiny *increases* between adjacent sizes must be accepted
+        // and clamped to an exactly monotone curve in [0, 1], not panicked
+        // on (regression: the old assertions rejected these outright).
+        let up = 0.5f64.next_up(); // 0.5 + 1 ULP
+        let c = MissRatioCurve::from_ratios(vec![1.0 + 1e-12, 0.5, up, 0.25, -1e-12], 8);
+        assert_eq!(c.ratios()[0], 1.0);
+        assert!(c.ratios()[2] <= c.ratios()[1], "clamped to non-increasing");
+        assert_eq!(c.ratios()[4], 0.0);
+        assert!(c.ratios().windows(2).all(|w| w[0] >= w[1]));
+        assert!(c.ratios().iter().all(|&r| (0.0..=1.0).contains(&r)));
+        // Jitter within the epsilon but larger than an ULP also clamps.
+        let j = MissRatioCurve::from_ratios(vec![0.75, 0.75 + 0.9e-9, 0.5], 4);
+        assert_eq!(j.ratios()[1], 0.75);
     }
 
     #[test]

@@ -40,9 +40,8 @@ use rand::SeedableRng;
 use symloc_par::{default_threads, parallel_map_chunked, parallel_reduce_chunked};
 use symloc_perm::inversions::max_inversions;
 use symloc_perm::iter::RankRangeStream;
-use symloc_perm::mahonian::mahonian_row;
 use symloc_perm::rank::{factorial, RankRange};
-use symloc_perm::sample::InversionSampler;
+use symloc_perm::sample::{InversionSampler, LevelSampler, LevelSamplerScratch};
 use symloc_perm::statistics::Statistic;
 
 /// What one generalized sweep computes: degree, level statistic and cache
@@ -478,46 +477,55 @@ impl SweepEngine {
     }
 
     /// Stratified-sampling sweep with a *global* sample budget distributed
-    /// by Mahonian weights: level `ℓ` receives
-    /// `max(min_per_level.max(2), round(budget · M(m,ℓ)/m!))` draws
-    /// (see [`weighted_sample_counts`]; the floor is never below 2 so
+    /// by the exact level sizes of `statistic`: level `ℓ` receives
+    /// `max(min_per_level.max(2), round(budget · |level ℓ| / m!))` draws
+    /// (see [`weighted_sample_counts_for`]; the floor is never below 2 so
     /// every level has a defined standard error), so heavily populated
     /// middle levels — whose means summarize the most permutations — get
     /// proportionally more samples while thin extreme levels keep a
     /// floor. The floor means the actual draw total can exceed `budget`
     /// when the budget is small relative to the level count. Hit vectors are
-    /// evaluated under any [`CacheModel`]; levels are keyed by the
-    /// inversion number (the stratified sampler draws at fixed `ℓ`).
+    /// evaluated under any [`CacheModel`].
+    ///
+    /// Supported statistics are those with a stratified sampler
+    /// ([`LevelSampler::supports`]): inversions (Mahonian weights) and
+    /// descents (Eulerian weights).
     ///
     /// Deterministic in `seed` and independent of the thread count.
     ///
     /// # Panics
     ///
-    /// Panics if `m > 34` (Mahonian weights overflow `u128` beyond that).
+    /// Panics if `statistic` has no stratified sampler, or if `m > 34`
+    /// (level weights overflow `u128` beyond that).
     #[must_use]
     pub fn sampled_levels_weighted(
         &self,
+        statistic: Statistic,
         model: CacheModel,
         budget: usize,
         min_per_level: usize,
         seed: u64,
     ) -> Vec<SweepLevel> {
         let m = self.m;
-        let counts = weighted_sample_counts(m, budget, min_per_level);
-        let max_inv = max_inversions(m);
-        parallel_map_chunked(max_inv + 1, self.threads, |chunk| {
+        assert!(
+            LevelSampler::supports(statistic),
+            "no stratified sampler for statistic {statistic}"
+        );
+        let counts = weighted_sample_counts_for(statistic, m, budget, min_per_level);
+        parallel_map_chunked(counts.len(), self.threads, |chunk| {
             let mut scratch = ModelScratch::new(model, m);
-            let (mut images, mut code, mut available) = (Vec::new(), Vec::new(), Vec::new());
+            let mut sampler_scratch = LevelSamplerScratch::default();
+            let mut images = Vec::new();
             let mut out = Vec::with_capacity(chunk.len());
             for (level, &draws) in counts.iter().enumerate().take(chunk.end).skip(chunk.start) {
-                let sampler = InversionSampler::new(m, level)
-                    .expect("level <= max_inversions by construction");
+                let sampler = LevelSampler::new(statistic, m, level)
+                    .expect("level <= max_value by construction");
                 let mut rng =
                     StdRng::seed_from_u64(seed ^ (level as u64).wrapping_mul(0x9E37_79B9));
                 let mut agg = SweepLevel::empty(level, m);
                 for _ in 0..draws {
-                    sampler.sample_images_into(&mut rng, &mut images, &mut code, &mut available);
-                    let (drawn, hits) = scratch.eval(Statistic::Inversions, &images);
+                    sampler.sample_images_into(&mut rng, &mut images, &mut sampler_scratch);
+                    let (drawn, hits) = scratch.eval(statistic, &images);
                     debug_assert_eq!(drawn, level, "sampler must hit its level");
                     agg.absorb(hits);
                 }
@@ -532,16 +540,31 @@ impl SweepEngine {
 }
 
 /// The per-level draw counts [`SweepEngine::sampled_levels_weighted`] uses:
-/// level `ℓ` gets `max(min_per_level.max(2), round(budget · M(m,ℓ)/m!))`
-/// draws. Exposed so callers (CLI, benches) can report or cost a sampling
-/// plan without running it.
+/// level `ℓ` gets `max(min_per_level.max(2), round(budget · w_ℓ / m!))`
+/// draws, where `w_ℓ` is the exact level size under `statistic` (the
+/// Mahonian row for inversions, the Eulerian row for descents). Exposed so
+/// callers (CLI, benches) can report or cost a sampling plan without
+/// running it.
 ///
 /// # Panics
 ///
-/// Panics if `m > 34` (Mahonian weights overflow `u128` beyond that).
+/// Panics if `statistic` has no stratified sampler, or if `m > 34` (level
+/// weights overflow `u128` beyond that).
 #[must_use]
-pub fn weighted_sample_counts(m: usize, budget: usize, min_per_level: usize) -> Vec<usize> {
-    let weights = mahonian_row(m);
+pub fn weighted_sample_counts_for(
+    statistic: Statistic,
+    m: usize,
+    budget: usize,
+    min_per_level: usize,
+) -> Vec<usize> {
+    assert!(
+        LevelSampler::supports(statistic),
+        "no stratified sampler for statistic {statistic}"
+    );
+    // The level sizes come from the single source of truth the statistic
+    // itself exposes (Mahonian row for inversions, Eulerian row for
+    // descents), so the sampling weights cannot drift from it.
+    let weights = statistic.level_weights(m);
     let total: u128 = weights.iter().sum();
     let floor = min_per_level.max(2);
     #[allow(clippy::cast_precision_loss, clippy::cast_sign_loss)]
@@ -552,6 +575,17 @@ pub fn weighted_sample_counts(m: usize, budget: usize, min_per_level: usize) -> 
             (share.round() as usize).max(floor)
         })
         .collect()
+}
+
+/// The inversion-keyed special case of [`weighted_sample_counts_for`]
+/// (Mahonian weights), kept as the stable convenience entry point.
+///
+/// # Panics
+///
+/// Panics if `m > 34`.
+#[must_use]
+pub fn weighted_sample_counts(m: usize, budget: usize, min_per_level: usize) -> Vec<usize> {
+    weighted_sample_counts_for(Statistic::Inversions, m, budget, min_per_level)
 }
 
 /// `m!` for an exhaustive sweep, with the shared degree guard.
@@ -769,7 +803,13 @@ mod tests {
         let m = 8;
         let engine = SweepEngine::with_threads(m, 3);
         let budget = 2_000usize;
-        let levels = engine.sampled_levels_weighted(CacheModel::LruStack, budget, 2, 42);
+        let levels = engine.sampled_levels_weighted(
+            Statistic::Inversions,
+            CacheModel::LruStack,
+            budget,
+            2,
+            42,
+        );
         assert_eq!(levels.len(), max_inversions(m) + 1);
         let weights = mahonian_row(m);
         let total: u128 = weights.iter().sum();
@@ -793,6 +833,7 @@ mod tests {
         }
         // Deterministic in seed, thread-count invariant.
         let again = SweepEngine::with_threads(m, 7).sampled_levels_weighted(
+            Statistic::Inversions,
             CacheModel::LruStack,
             budget,
             2,
@@ -801,6 +842,58 @@ mod tests {
         assert_eq!(levels, again);
         // Standard errors are finite and mostly nonzero in the middle.
         assert!(levels[modal].stderr_hits(m / 2) >= 0.0);
+    }
+
+    #[test]
+    fn weighted_sampling_by_descents_uses_eulerian_weights() {
+        use symloc_perm::mahonian::eulerian_row;
+        let m = 8;
+        let engine = SweepEngine::with_threads(m, 3);
+        let budget = 1_000usize;
+        let levels =
+            engine.sampled_levels_weighted(Statistic::Descents, CacheModel::LruStack, budget, 2, 5);
+        assert_eq!(levels.len(), Statistic::Descents.level_count(m));
+        let weights = eulerian_row(m);
+        let total: u128 = weights.iter().sum();
+        // Extreme levels (identity / reverse: 1 permutation each) get the
+        // floor; the modal level gets its proportional share.
+        assert_eq!(levels[0].count, 2);
+        assert_eq!(levels.last().unwrap().count, 2);
+        let modal = weights
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &w)| w)
+            .map(|(i, _)| i)
+            .unwrap();
+        let expected_modal =
+            (budget as f64 * (weights[modal] as f64 / total as f64)).round() as u64;
+        assert_eq!(levels[modal].count, expected_modal);
+        // The plan matches the exposed helper.
+        let counts = weighted_sample_counts_for(Statistic::Descents, m, budget, 2);
+        for (level, &planned) in levels.iter().zip(counts.iter()) {
+            assert_eq!(level.count, planned as u64, "level {}", level.level);
+        }
+        // Deterministic in seed, thread-count invariant.
+        let again = SweepEngine::with_threads(m, 7).sampled_levels_weighted(
+            Statistic::Descents,
+            CacheModel::LruStack,
+            budget,
+            2,
+            5,
+        );
+        assert_eq!(levels, again);
+    }
+
+    #[test]
+    #[should_panic(expected = "no stratified sampler")]
+    fn weighted_sampling_rejects_unsupported_statistic() {
+        let _ = SweepEngine::with_threads(5, 1).sampled_levels_weighted(
+            Statistic::MajorIndex,
+            CacheModel::LruStack,
+            100,
+            2,
+            1,
+        );
     }
 
     #[test]

@@ -115,6 +115,7 @@ pub mod schedule;
 pub mod shard;
 pub mod sweep;
 pub mod theorems;
+pub mod tracesweep;
 
 pub use error::{CoreError, Result};
 pub use retraversal::ReTraversal;
@@ -160,5 +161,9 @@ pub mod prelude {
     pub use crate::theorems::{
         corollary1_holds, locality_cmp, theorem2_holds, theorem3_check,
         theorem4_alternation_optimal, CoverLocalityCheck,
+    };
+    pub use crate::tracesweep::{
+        chunk_partial, log_spaced_sizes, ChunkPartial, MergeState, MrcPoint, OnlineReuseEngine,
+        ShardsEstimator, StreamHistogram, TraceIngest, WeightedHistogram,
     };
 }

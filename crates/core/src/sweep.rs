@@ -197,7 +197,9 @@ pub fn sweep_levels(
 /// (with a floor of `min_per_level`), each hit vector evaluated under
 /// `model`.
 ///
-/// Thin wrapper over [`SweepEngine::sampled_levels_weighted`].
+/// Thin wrapper over [`SweepEngine::sampled_levels_weighted`], keyed by the
+/// inversion number; pass a different supported [`Statistic`] to the engine
+/// method directly for e.g. Eulerian-weighted descent sampling.
 #[must_use]
 pub fn sampled_levels_weighted(
     m: usize,
@@ -208,6 +210,7 @@ pub fn sampled_levels_weighted(
     threads: usize,
 ) -> Vec<SweepLevel> {
     SweepEngine::with_threads(m, threads).sampled_levels_weighted(
+        Statistic::Inversions,
         model,
         budget,
         min_per_level,

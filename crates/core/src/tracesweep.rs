@@ -1,0 +1,1504 @@
+//! The streaming trace-analysis subsystem: online reuse-distance histograms
+//! and miss-ratio curves over traces that are never materialized.
+//!
+//! The batch pipeline (`symloc_cache::reuse::reuse_profile`) allocates a
+//! Fenwick tree over the *whole trace length* and a distance vector of the
+//! same size, which caps it at toy traces. This module re-applies the sweep
+//! subsystem's engineering — streaming aggregation, sharded parallelism,
+//! hand-rolled JSON checkpoints, bench gates — to arbitrary-length traces:
+//!
+//! * [`OnlineReuseEngine`] — the exact single-pass engine: a last-access
+//!   hash map plus a [`Fenwick`] tree over **compressed timestamps**. Only
+//!   live markers (one per distinct address) survive compaction, so the
+//!   tree is `O(footprint)` instead of `O(trace length)`; each access costs
+//!   `O(log footprint)`.
+//! * [`ShardsEstimator`] — a bounded-memory sampled estimator in the style
+//!   of SHARDS (hash-based spatial sampling): addresses are sampled by a
+//!   fixed hash condition, the tracked set is capped at `s_max` by evicting
+//!   the largest-hash address and lowering the sampling threshold, and
+//!   sampled distances/counts are rescaled by the sampling rate. Memory is
+//!   `O(s_max)` no matter how many distinct addresses the trace touches.
+//! * [`ChunkPartial`] / [`MergeState`] — chunk-sharded parallel ingestion:
+//!   each worker folds a contiguous chunk of the trace into a *mergeable*
+//!   partial (resolved within-chunk distances, the chunk's first accesses
+//!   with their distinct-before counts, and its distinct addresses in
+//!   last-access order); partials merge left-to-right into exactly the
+//!   sequential result. This is the PARDA decomposition of the stack
+//!   distance problem, driven by [`symloc_par::parallel_reduce_chunked`].
+//! * [`TraceIngest`] — the resumable runner: chunk partials are absorbed in
+//!   order and the merge state (histogram + compressed timeline) checkpoints
+//!   as hand-rolled JSON after every batch, so a killed ingest resumes to a
+//!   byte-identical final checkpoint (same guarantee, and same test
+//!   strategy, as `crate::shard::ShardedSweep`).
+//!
+//! ```
+//! use symloc_core::tracesweep::OnlineReuseEngine;
+//!
+//! let mut engine = OnlineReuseEngine::new();
+//! for addr in [0u64, 1, 2, 0, 1, 2] {
+//!     engine.record(addr);
+//! }
+//! assert_eq!(engine.footprint(), 3);
+//! assert_eq!(engine.histogram().count_at(3), 3);
+//! ```
+
+use crate::jsonio::{self, JsonValue};
+use std::collections::{BTreeMap, BinaryHeap, HashMap};
+use std::fmt::Write as _;
+use std::path::Path;
+use symloc_par::{parallel_reduce_chunked, split_indices};
+use symloc_perm::fenwick::Fenwick;
+use symloc_trace::stream::TraceSource;
+
+/// Format tag embedded in every ingest checkpoint document.
+const CHECKPOINT_KIND: &str = "symloc_trace_ingest_checkpoint";
+/// Ingest checkpoint schema version.
+const CHECKPOINT_VERSION: u64 = 1;
+
+/// Smallest Fenwick capacity a timeline starts with (kept low so the
+/// compaction path is exercised constantly, not only at scale).
+const MIN_TIMELINE_CAPACITY: usize = 64;
+
+// ---------------------------------------------------------------------------
+// Histograms
+// ---------------------------------------------------------------------------
+
+/// A sparse reuse-distance histogram with `u64` counts, built online.
+///
+/// The streaming counterpart of `symloc_cache`'s dense-trace histogram:
+/// distances are keyed sparsely (a trace touches at most `footprint`
+/// distinct distances) and counts are 64-bit so multi-billion-access traces
+/// aggregate without overflow.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StreamHistogram {
+    counts: BTreeMap<usize, u64>,
+    cold: u64,
+}
+
+impl StreamHistogram {
+    /// Creates an empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `count` accesses at finite reuse distance `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on `d == 0`; the smallest legal stack distance is 1.
+    pub fn record_finite(&mut self, d: usize, count: u64) {
+        assert!(d > 0, "reuse distance 0 is not representable");
+        *self.counts.entry(d).or_insert(0) += count;
+    }
+
+    /// Records `count` cold (infinite-distance) accesses.
+    pub fn record_cold(&mut self, count: u64) {
+        self.cold += count;
+    }
+
+    /// Number of accesses with exactly distance `d`.
+    #[must_use]
+    pub fn count_at(&self, d: usize) -> u64 {
+        self.counts.get(&d).copied().unwrap_or(0)
+    }
+
+    /// Number of cold accesses.
+    #[must_use]
+    pub fn cold_count(&self) -> u64 {
+        self.cold
+    }
+
+    /// Number of accesses with finite distance.
+    #[must_use]
+    pub fn finite_count(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Total recorded accesses.
+    #[must_use]
+    pub fn accesses(&self) -> u64 {
+        self.cold + self.finite_count()
+    }
+
+    /// Number of accesses with distance `<= c` (hits of an LRU cache of
+    /// size `c`).
+    #[must_use]
+    pub fn hits_up_to(&self, c: usize) -> u64 {
+        self.counts.range(..=c).map(|(_, &n)| n).sum()
+    }
+
+    /// Miss ratio of an LRU cache of size `c`.
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn miss_ratio(&self, c: usize) -> f64 {
+        let total = self.accesses();
+        if total == 0 {
+            return 0.0;
+        }
+        1.0 - self.hits_up_to(c) as f64 / total as f64
+    }
+
+    /// Largest finite distance recorded.
+    #[must_use]
+    pub fn max_distance(&self) -> Option<usize> {
+        self.counts.keys().next_back().copied()
+    }
+
+    /// Iterates over `(distance, count)` in increasing distance order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.counts.iter().map(|(&d, &c)| (d, c))
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &StreamHistogram) {
+        for (d, c) in other.iter() {
+            *self.counts.entry(d).or_insert(0) += c;
+        }
+        self.cold += other.cold;
+    }
+
+    /// The miss-ratio curve evaluated at `sizes` (each in one pass over the
+    /// sparse histogram; `sizes` need not be sorted).
+    #[must_use]
+    pub fn mrc_points(&self, sizes: &[usize]) -> Vec<MrcPoint> {
+        mrc_points_from(sizes, self.accesses() as f64, |c| self.hits_up_to(c) as f64)
+    }
+}
+
+/// A weighted (fractional-count) reuse-distance histogram, the accumulator
+/// of the sampled estimator: every sampled access contributes `1/rate`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct WeightedHistogram {
+    counts: BTreeMap<usize, f64>,
+    cold: f64,
+}
+
+impl WeightedHistogram {
+    /// Records a finite distance with the given weight.
+    pub fn record_finite(&mut self, d: usize, weight: f64) {
+        assert!(d > 0, "reuse distance 0 is not representable");
+        *self.counts.entry(d).or_insert(0.0) += weight;
+    }
+
+    /// Records a cold access with the given weight.
+    pub fn record_cold(&mut self, weight: f64) {
+        self.cold += weight;
+    }
+
+    /// Estimated cold (first-touch) accesses.
+    #[must_use]
+    pub fn cold_weight(&self) -> f64 {
+        self.cold
+    }
+
+    /// Estimated total accesses.
+    #[must_use]
+    pub fn total_weight(&self) -> f64 {
+        self.cold + self.counts.values().sum::<f64>()
+    }
+
+    /// Estimated accesses with distance `<= c`.
+    #[must_use]
+    pub fn hits_up_to(&self, c: usize) -> f64 {
+        self.counts.range(..=c).map(|(_, &w)| w).sum()
+    }
+
+    /// Estimated miss ratio of an LRU cache of size `c`.
+    #[must_use]
+    pub fn miss_ratio(&self, c: usize) -> f64 {
+        let total = self.total_weight();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        (1.0 - self.hits_up_to(c) / total).clamp(0.0, 1.0)
+    }
+
+    /// Largest (scaled) finite distance recorded.
+    #[must_use]
+    pub fn max_distance(&self) -> Option<usize> {
+        self.counts.keys().next_back().copied()
+    }
+
+    /// The estimated miss-ratio curve evaluated at `sizes`.
+    #[must_use]
+    pub fn mrc_points(&self, sizes: &[usize]) -> Vec<MrcPoint> {
+        mrc_points_from(sizes, self.total_weight(), |c| self.hits_up_to(c))
+    }
+}
+
+/// One point of a miss-ratio curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MrcPoint {
+    /// Cache size (distinct elements held).
+    pub cache_size: usize,
+    /// Miss ratio at that size.
+    pub miss_ratio: f64,
+}
+
+fn mrc_points_from(
+    sizes: &[usize],
+    total: f64,
+    hits_up_to: impl Fn(usize) -> f64,
+) -> Vec<MrcPoint> {
+    sizes
+        .iter()
+        .map(|&c| MrcPoint {
+            cache_size: c,
+            miss_ratio: if total <= 0.0 {
+                0.0
+            } else {
+                (1.0 - hits_up_to(c) / total).clamp(0.0, 1.0)
+            },
+        })
+        .collect()
+}
+
+/// `count` log-spaced cache sizes covering `1 ..= max` (deduplicated,
+/// ascending, always ending at `max`). The natural evaluation grid for an
+/// MRC whose footprint spans orders of magnitude.
+#[must_use]
+pub fn log_spaced_sizes(max: usize, count: usize) -> Vec<usize> {
+    if max == 0 {
+        return Vec::new();
+    }
+    let count = count.max(2);
+    #[allow(
+        clippy::cast_precision_loss,
+        clippy::cast_sign_loss,
+        clippy::cast_possible_truncation
+    )]
+    let mut sizes: Vec<usize> = (0..count)
+        .map(|i| {
+            let exponent = i as f64 / (count - 1) as f64;
+            ((max as f64).powf(exponent)).round() as usize
+        })
+        .map(|c| c.clamp(1, max))
+        .collect();
+    sizes.sort_unstable();
+    sizes.dedup();
+    sizes
+}
+
+// ---------------------------------------------------------------------------
+// The compressed timeline
+// ---------------------------------------------------------------------------
+
+/// The shared core of every engine here: a Fenwick tree over *compressed
+/// timestamps* plus a last-access map. Each distinct address owns exactly
+/// one marker; timestamps are dense slot indices that are periodically
+/// compacted (live markers re-packed in order), so the tree's size tracks
+/// the number of live addresses, not the number of accesses.
+#[derive(Debug, Clone)]
+struct Timeline {
+    tree: Fenwick,
+    last_slot: HashMap<u64, usize>,
+    next_slot: usize,
+}
+
+impl Timeline {
+    fn new() -> Self {
+        Timeline {
+            tree: Fenwick::new(MIN_TIMELINE_CAPACITY),
+            last_slot: HashMap::new(),
+            next_slot: 0,
+        }
+    }
+
+    /// Number of live (tracked) addresses.
+    fn live(&self) -> usize {
+        self.last_slot.len()
+    }
+
+    /// Current tree capacity (for memory-bound assertions).
+    fn capacity(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// Re-packs the live markers into slots `0..live` (preserving order)
+    /// and resizes the tree to twice the live count. Called when the slot
+    /// counter reaches the capacity; amortized `O(log)` per access.
+    fn compact(&mut self) {
+        let mut live: Vec<(usize, u64)> = self
+            .last_slot
+            .iter()
+            .map(|(&addr, &slot)| (slot, addr))
+            .collect();
+        live.sort_unstable();
+        let capacity = (live.len() * 2).max(MIN_TIMELINE_CAPACITY);
+        self.tree.reset(capacity);
+        self.last_slot.clear();
+        for (new_slot, &(_, addr)) in live.iter().enumerate() {
+            self.tree.add(new_slot, 1);
+            self.last_slot.insert(addr, new_slot);
+        }
+        self.next_slot = live.len();
+    }
+
+    fn ensure_slot(&mut self) {
+        if self.next_slot >= self.tree.len() {
+            self.compact();
+        }
+    }
+
+    /// Records one access: returns `Some(reuse distance)` when the address
+    /// was live, `None` on a first touch. Either way the address's marker
+    /// ends up at the newest slot.
+    fn observe(&mut self, addr: u64) -> Option<usize> {
+        self.ensure_slot();
+        let distance = self.last_slot.get(&addr).copied().map(|prev| {
+            let between = self.tree.range_sum(prev + 1, self.next_slot);
+            self.tree.sub(prev, 1);
+            usize::try_from(between).expect("distance fits usize") + 1
+        });
+        self.tree.add(self.next_slot, 1);
+        self.last_slot.insert(addr, self.next_slot);
+        self.next_slot += 1;
+        distance
+    }
+
+    /// Number of live markers strictly after `slot`.
+    fn markers_after(&self, slot: usize) -> u64 {
+        self.tree.range_sum(slot + 1, self.next_slot)
+    }
+
+    /// Removes an address's marker; returns the slot it occupied.
+    fn remove(&mut self, addr: u64) -> Option<usize> {
+        let slot = self.last_slot.remove(&addr)?;
+        self.tree.sub(slot, 1);
+        Some(slot)
+    }
+
+    /// Appends a marker for `addr` at the newest slot (the address must not
+    /// be live).
+    fn append(&mut self, addr: u64) {
+        self.ensure_slot();
+        debug_assert!(!self.last_slot.contains_key(&addr), "append of live addr");
+        self.tree.add(self.next_slot, 1);
+        self.last_slot.insert(addr, self.next_slot);
+        self.next_slot += 1;
+    }
+
+    /// The live addresses in timeline (last-access) order.
+    fn ordered_addresses(&self) -> Vec<u64> {
+        let mut live: Vec<(usize, u64)> = self
+            .last_slot
+            .iter()
+            .map(|(&addr, &slot)| (slot, addr))
+            .collect();
+        live.sort_unstable();
+        live.into_iter().map(|(_, addr)| addr).collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The exact online engine
+// ---------------------------------------------------------------------------
+
+/// The exact streaming reuse-distance engine: one [`Timeline`] pass, the
+/// Olken algorithm over compressed timestamps. `O(log footprint)` per
+/// access, `O(footprint)` memory, no dependence on trace length.
+#[derive(Debug, Clone, Default)]
+pub struct OnlineReuseEngine {
+    timeline: Timeline,
+    histogram: StreamHistogram,
+}
+
+impl Default for Timeline {
+    fn default() -> Self {
+        Timeline::new()
+    }
+}
+
+impl OnlineReuseEngine {
+    /// Creates an empty engine.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one access and returns its reuse distance (`None` = first
+    /// touch).
+    pub fn record(&mut self, addr: u64) -> Option<usize> {
+        let distance = self.timeline.observe(addr);
+        match distance {
+            Some(d) => self.histogram.record_finite(d, 1),
+            None => self.histogram.record_cold(1),
+        }
+        distance
+    }
+
+    /// Records every access of an iterator.
+    pub fn record_all(&mut self, accesses: impl IntoIterator<Item = u64>) {
+        for addr in accesses {
+            self.record(addr);
+        }
+    }
+
+    /// The histogram accumulated so far.
+    #[must_use]
+    pub fn histogram(&self) -> &StreamHistogram {
+        &self.histogram
+    }
+
+    /// Consumes the engine, yielding the histogram.
+    #[must_use]
+    pub fn into_histogram(self) -> StreamHistogram {
+        self.histogram
+    }
+
+    /// Accesses recorded so far.
+    #[must_use]
+    pub fn accesses(&self) -> u64 {
+        self.histogram.accesses()
+    }
+
+    /// Distinct addresses seen so far.
+    #[must_use]
+    pub fn footprint(&self) -> usize {
+        self.timeline.live()
+    }
+
+    /// Current Fenwick capacity — bounded by twice the footprint (plus a
+    /// small constant floor), never by the trace length.
+    #[must_use]
+    pub fn timeline_capacity(&self) -> usize {
+        self.timeline.capacity()
+    }
+
+    /// Miss-ratio curve at the given cache sizes.
+    #[must_use]
+    pub fn mrc_points(&self, sizes: &[usize]) -> Vec<MrcPoint> {
+        self.histogram.mrc_points(sizes)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The SHARDS-style bounded-memory estimator
+// ---------------------------------------------------------------------------
+
+/// The hash-space modulus of the sampling condition (`hash(addr) mod P`).
+const SHARDS_MODULUS: u64 = 1 << 24;
+
+/// SplitMix64: the spatial-sampling hash. Statistically uniform, cheap and
+/// stateless, so the sampling decision for an address is globally
+/// consistent across chunks, threads and runs.
+#[must_use]
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The bounded-memory sampled reuse-distance estimator (SHARDS-style).
+///
+/// An address is *sampled* iff `splitmix64(addr) mod P < T`; the sampling
+/// rate is `R = T/P`. Sampled accesses run through a private [`Timeline`]
+/// (so a sampled distance counts only sampled addresses) and are recorded
+/// with distance and weight rescaled by `1/R`. When the tracked set
+/// exceeds the `s_max` budget, the largest-hash address is evicted and `T`
+/// drops to its hash — rate adaptation — keeping memory at `O(s_max)`
+/// forever while the estimate keeps covering the whole address space.
+///
+/// Accuracy caveat: spatial sampling keeps or drops *whole addresses*, so
+/// the estimator's variance is governed by the access share of individual
+/// addresses — when a single address owns several percent of the trace
+/// (tiny, extremely skewed synthetic address spaces), its hash luck moves
+/// the whole weighted curve. On workloads where no address dominates
+/// (real cache-line traces, moderate skew, large address spaces) the
+/// error behaves like `1/√s_max`; the property tests pin both regimes.
+#[derive(Debug, Clone)]
+pub struct ShardsEstimator {
+    s_max: usize,
+    threshold: u64,
+    timeline: Timeline,
+    /// Max-heap of `(hash, addr)` over tracked addresses, for eviction.
+    by_hash: BinaryHeap<(u64, u64)>,
+    histogram: WeightedHistogram,
+    /// Every access seen, sampled or not.
+    raw_accesses: u64,
+    /// Sampled accesses actually processed.
+    sampled_accesses: u64,
+    evictions: u64,
+}
+
+impl ShardsEstimator {
+    /// Creates an estimator with a tracked-address budget of `s_max`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s_max == 0`.
+    #[must_use]
+    pub fn new(s_max: usize) -> Self {
+        assert!(s_max > 0, "the sampling budget must be positive");
+        ShardsEstimator {
+            s_max,
+            threshold: SHARDS_MODULUS,
+            timeline: Timeline::new(),
+            by_hash: BinaryHeap::new(),
+            histogram: WeightedHistogram::default(),
+            raw_accesses: 0,
+            sampled_accesses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// The current sampling rate `T/P` (1.0 until the budget first binds).
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn sampling_rate(&self) -> f64 {
+        self.threshold as f64 / SHARDS_MODULUS as f64
+    }
+
+    /// Records one access.
+    pub fn record(&mut self, addr: u64) {
+        self.raw_accesses += 1;
+        let hash = splitmix64(addr) % SHARDS_MODULUS;
+        if hash >= self.threshold {
+            return;
+        }
+        let rate = self.sampling_rate();
+        let weight = 1.0 / rate;
+        self.sampled_accesses += 1;
+        match self.timeline.observe(addr) {
+            Some(sampled_distance) => {
+                #[allow(
+                    clippy::cast_precision_loss,
+                    clippy::cast_sign_loss,
+                    clippy::cast_possible_truncation
+                )]
+                let scaled = ((sampled_distance as f64 / rate).round() as usize).max(1);
+                self.histogram.record_finite(scaled, weight);
+            }
+            None => {
+                self.histogram.record_cold(weight);
+                self.by_hash.push((hash, addr));
+                if self.timeline.live() > self.s_max {
+                    self.evict();
+                }
+            }
+        }
+    }
+
+    /// Records every access of an iterator.
+    pub fn record_all(&mut self, accesses: impl IntoIterator<Item = u64>) {
+        for addr in accesses {
+            self.record(addr);
+        }
+    }
+
+    /// Evicts the largest-hash tracked address and lowers the threshold so
+    /// that hash (and everything above) is never sampled again.
+    fn evict(&mut self) {
+        let Some(&(max_hash, _)) = self.by_hash.peek() else {
+            return;
+        };
+        self.threshold = max_hash;
+        while let Some(&(hash, addr)) = self.by_hash.peek() {
+            if hash < self.threshold {
+                break;
+            }
+            self.by_hash.pop();
+            if self.timeline.remove(addr).is_some() {
+                self.evictions += 1;
+            }
+        }
+    }
+
+    /// The weighted histogram accumulated so far.
+    #[must_use]
+    pub fn histogram(&self) -> &WeightedHistogram {
+        &self.histogram
+    }
+
+    /// Every access seen (sampled or not).
+    #[must_use]
+    pub fn raw_accesses(&self) -> u64 {
+        self.raw_accesses
+    }
+
+    /// Sampled accesses actually processed.
+    #[must_use]
+    pub fn sampled_accesses(&self) -> u64 {
+        self.sampled_accesses
+    }
+
+    /// Addresses currently tracked (always `<= s_max + 1` transiently,
+    /// `<= s_max` between records).
+    #[must_use]
+    pub fn tracked_addresses(&self) -> usize {
+        self.timeline.live()
+    }
+
+    /// The configured budget.
+    #[must_use]
+    pub fn budget(&self) -> usize {
+        self.s_max
+    }
+
+    /// Rate-adaptation evictions performed so far.
+    #[must_use]
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Estimated distinct addresses (weighted cold count).
+    #[must_use]
+    pub fn estimated_footprint(&self) -> f64 {
+        self.histogram.cold_weight()
+    }
+
+    /// Estimated miss-ratio curve at the given cache sizes.
+    #[must_use]
+    pub fn mrc_points(&self, sizes: &[usize]) -> Vec<MrcPoint> {
+        self.histogram.mrc_points(sizes)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Chunk-sharded parallel ingestion
+// ---------------------------------------------------------------------------
+
+/// The mergeable partial result of one contiguous trace chunk.
+///
+/// Within-chunk reuses are fully resolved into `histogram`; each address's
+/// *first* chunk access is recorded in `unresolved` together with the
+/// number of distinct addresses the chunk touched before it (its exact
+/// within-chunk distance contribution); `last_order` lists the chunk's
+/// distinct addresses by last access, which is all later chunks ever need
+/// to know about this one. Merging partials left-to-right through
+/// [`MergeState::absorb`] reproduces the sequential engine exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkPartial {
+    /// Resolved within-chunk distances.
+    pub histogram: StreamHistogram,
+    /// `(addr, distinct addresses seen earlier in the chunk)` for every
+    /// first-in-chunk access, in access order.
+    pub unresolved: Vec<(u64, u64)>,
+    /// The chunk's distinct addresses ordered by their last access.
+    pub last_order: Vec<u64>,
+    /// Accesses in the chunk.
+    pub accesses: u64,
+}
+
+/// Folds one contiguous chunk of accesses into a [`ChunkPartial`].
+/// Embarrassingly parallel across chunks; `O(chunk footprint)` memory.
+#[must_use]
+pub fn chunk_partial(accesses: impl IntoIterator<Item = u64>) -> ChunkPartial {
+    let mut timeline = Timeline::new();
+    let mut histogram = StreamHistogram::new();
+    let mut unresolved = Vec::new();
+    let mut count = 0u64;
+    for addr in accesses {
+        count += 1;
+        match timeline.observe(addr) {
+            Some(d) => histogram.record_finite(d, 1),
+            None => unresolved.push((addr, (timeline.live() - 1) as u64)),
+        }
+    }
+    ChunkPartial {
+        histogram,
+        unresolved,
+        last_order: timeline.ordered_addresses(),
+        accesses: count,
+    }
+}
+
+/// The left-to-right merge state of sharded ingestion: a global compressed
+/// timeline of every address's last absorbed access, plus the global
+/// histogram. Absorbing the chunks of a trace in order yields exactly the
+/// sequential [`OnlineReuseEngine`] result.
+#[derive(Debug, Clone, Default)]
+pub struct MergeState {
+    timeline: Timeline,
+    histogram: StreamHistogram,
+}
+
+impl MergeState {
+    /// Creates an empty state.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Absorbs the next chunk's partial. Must be called in chunk order.
+    pub fn absorb(&mut self, partial: &ChunkPartial) {
+        // Resolve the chunk's first accesses against the global timeline:
+        // the distance of a cross-chunk reuse is (distinct addresses earlier
+        // in the chunk) + (older-chunk addresses whose marker still sits
+        // after the previous access) + 1. Removing each resolved address's
+        // marker as we go is exactly Olken's dedup — an address both in the
+        // global timeline and earlier in this chunk is counted once, by the
+        // chunk-local term.
+        for &(addr, distinct_before) in &partial.unresolved {
+            match self.timeline.remove(addr) {
+                Some(prev) => {
+                    let between = self.timeline.markers_after(prev);
+                    let d = usize::try_from(distinct_before + between).expect("distance fits") + 1;
+                    self.histogram.record_finite(d, 1);
+                }
+                None => self.histogram.record_cold(1),
+            }
+        }
+        self.histogram.merge(&partial.histogram);
+        // Extend the global timeline with the chunk's last accesses, in
+        // their within-chunk order.
+        for &addr in &partial.last_order {
+            self.timeline.append(addr);
+        }
+    }
+
+    /// The global histogram so far.
+    #[must_use]
+    pub fn histogram(&self) -> &StreamHistogram {
+        &self.histogram
+    }
+
+    /// Distinct addresses absorbed so far.
+    #[must_use]
+    pub fn footprint(&self) -> usize {
+        self.timeline.live()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The resumable sharded ingest
+// ---------------------------------------------------------------------------
+
+/// A chunk-sharded, checkpointable ingest of one trace source.
+///
+/// The trace is split into `chunk_count` contiguous chunks; each pending
+/// batch of up to `threads` chunks is folded into [`ChunkPartial`]s in
+/// parallel ([`symloc_par::parallel_reduce_chunked`] — the partials are the
+/// monoid) and absorbed in order into the [`MergeState`]. After every batch
+/// the state serializes to a JSON checkpoint; a killed ingest resumes from
+/// it and finishes with a byte-identical final checkpoint.
+#[derive(Debug, Clone)]
+pub struct TraceIngest {
+    fingerprint: String,
+    total: u64,
+    chunk_count: usize,
+    threads: usize,
+    next_chunk: usize,
+    state: MergeState,
+}
+
+impl TraceIngest {
+    /// Plans an ingest of `source` split into `chunk_count` chunks.
+    ///
+    /// Scans the source once to learn (and validate) its length.
+    ///
+    /// # Errors
+    ///
+    /// Returns the source's read or parse error as a string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_count == 0`.
+    pub fn new(source: &TraceSource, chunk_count: usize, threads: usize) -> Result<Self, String> {
+        let total = source
+            .total_accesses()
+            .map_err(|e| format!("cannot scan {source}: {e}"))?;
+        Ok(Self::with_total(source, total, chunk_count, threads))
+    }
+
+    /// Plans a fresh ingest for a source whose length is already known.
+    fn with_total(source: &TraceSource, total: u64, chunk_count: usize, threads: usize) -> Self {
+        assert!(chunk_count > 0, "at least one chunk is required");
+        TraceIngest {
+            fingerprint: source.fingerprint(),
+            total,
+            chunk_count: Self::effective_chunk_count(chunk_count, total),
+            threads: threads.max(1),
+            next_chunk: 0,
+            state: MergeState::new(),
+        }
+    }
+
+    /// More chunks than accesses degrade gracefully to one chunk per access
+    /// (and one chunk for an empty trace), mirroring the shard planner.
+    fn effective_chunk_count(requested: usize, total: u64) -> usize {
+        requested.min(usize::try_from(total.max(1)).unwrap_or(usize::MAX))
+    }
+
+    /// The source fingerprint the ingest belongs to.
+    #[must_use]
+    pub fn fingerprint(&self) -> &str {
+        &self.fingerprint
+    }
+
+    /// Total accesses of the source.
+    #[must_use]
+    pub fn total_accesses(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of planned chunks.
+    #[must_use]
+    pub fn chunk_count(&self) -> usize {
+        self.chunk_count
+    }
+
+    /// Number of chunks already absorbed.
+    #[must_use]
+    pub fn completed_count(&self) -> usize {
+        self.next_chunk
+    }
+
+    /// True when every chunk has been absorbed.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.next_chunk >= self.chunk_count
+    }
+
+    /// The deterministic chunk plan (contiguous access ranges).
+    fn chunk_bounds(&self) -> Vec<(u64, u64)> {
+        split_indices(
+            usize::try_from(self.total).expect("trace length fits usize"),
+            self.chunk_count,
+        )
+        .into_iter()
+        .map(|c| (c.start as u64, c.end as u64))
+        .collect()
+    }
+
+    /// Runs up to `limit` pending chunks (all of them when `None`) in
+    /// parallel batches of the configured thread count, absorbing partials
+    /// in chunk order. Returns how many chunks were processed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source no longer matches the ingest's fingerprint, or
+    /// if it fails to stream (sources are validated by [`TraceIngest::new`]).
+    pub fn run_pending(&mut self, source: &TraceSource, limit: Option<usize>) -> usize {
+        assert_eq!(
+            source.fingerprint(),
+            self.fingerprint,
+            "ingest resumed against a different trace source"
+        );
+        let bounds = self.chunk_bounds();
+        let mut ran = 0usize;
+        while !self.is_complete() && limit.is_none_or(|l| ran < l) {
+            let remaining = self.chunk_count - self.next_chunk;
+            let batch = remaining
+                .min(self.threads)
+                .min(limit.map_or(usize::MAX, |l| l - ran));
+            let first = self.next_chunk;
+            // Each worker folds a contiguous run of chunks into partials;
+            // concatenation (the merge) preserves chunk order, so the
+            // result is the ordered partial list regardless of threads.
+            let partials: Vec<(usize, ChunkPartial)> = parallel_reduce_chunked(
+                batch,
+                self.threads,
+                Vec::new,
+                |mut acc, span| {
+                    for offset in span.start..span.end {
+                        let (start, end) = bounds[first + offset];
+                        let stream = source
+                            .stream_range(start, end)
+                            .expect("validated source streams");
+                        acc.push((first + offset, chunk_partial(stream)));
+                    }
+                    acc
+                },
+                |mut a, b| {
+                    a.extend(b);
+                    a
+                },
+            );
+            debug_assert!(partials.windows(2).all(|w| w[0].0 < w[1].0));
+            for (_, partial) in &partials {
+                self.state.absorb(partial);
+            }
+            self.next_chunk += batch;
+            ran += batch;
+        }
+        ran
+    }
+
+    /// Runs pending chunks — all, or up to `limit` — saving the checkpoint
+    /// after every absorbed batch, so a kill loses at most one batch.
+    /// `on_batch(completed, total)` fires after every save. The checkpoint
+    /// is (re)written even when nothing was pending.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if a checkpoint cannot be written.
+    pub fn run_with_checkpoint(
+        &mut self,
+        source: &TraceSource,
+        path: &Path,
+        limit: Option<usize>,
+        mut on_batch: impl FnMut(usize, usize),
+    ) -> std::io::Result<usize> {
+        let mut ran = 0usize;
+        while !self.is_complete() && limit.is_none_or(|l| ran < l) {
+            let batch = self.threads.min(limit.map_or(usize::MAX, |l| l - ran));
+            ran += self.run_pending(source, Some(batch));
+            self.save(path)?;
+            on_batch(self.completed_count(), self.chunk_count());
+        }
+        if ran == 0 {
+            self.save(path)?;
+        }
+        Ok(ran)
+    }
+
+    /// The merged histogram, or `None` while chunks are pending.
+    #[must_use]
+    pub fn histogram(&self) -> Option<&StreamHistogram> {
+        self.is_complete().then(|| self.state.histogram())
+    }
+
+    /// The partial histogram absorbed so far (complete or not).
+    #[must_use]
+    pub fn partial_histogram(&self) -> &StreamHistogram {
+        self.state.histogram()
+    }
+
+    /// Distinct addresses absorbed so far.
+    #[must_use]
+    pub fn footprint(&self) -> usize {
+        self.state.footprint()
+    }
+
+    /// Serializes the ingest — plan, progress, merge state — as a JSON
+    /// checkpoint document. The state is canonical (the timeline is stored
+    /// as its ordered address list), so two ingests in the same logical
+    /// state serialize byte-identically however they got there.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"kind\": \"{CHECKPOINT_KIND}\",");
+        let _ = writeln!(out, "  \"version\": {CHECKPOINT_VERSION},");
+        let _ = writeln!(
+            out,
+            "  \"fingerprint\": \"{}\",",
+            jsonio::escape(&self.fingerprint)
+        );
+        let _ = writeln!(out, "  \"total_accesses\": {},", self.total);
+        let _ = writeln!(out, "  \"chunk_count\": {},", self.chunk_count);
+        let _ = writeln!(out, "  \"next_chunk\": {},", self.next_chunk);
+        let _ = writeln!(out, "  \"cold\": {},", self.state.histogram.cold_count());
+        out.push_str("  \"histogram\": [");
+        for (i, (d, c)) in self.state.histogram.iter().enumerate() {
+            let sep = if i == 0 { "" } else { ", " };
+            let _ = write!(out, "{sep}[{d}, {c}]");
+        }
+        out.push_str("],\n");
+        out.push_str("  \"timeline\": [");
+        for (i, addr) in self.state.timeline.ordered_addresses().iter().enumerate() {
+            let sep = if i == 0 { "" } else { ", " };
+            let _ = write!(out, "{sep}{addr}");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
+    /// Rebuilds an ingest from a checkpoint document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural problem.
+    pub fn from_json(text: &str, threads: usize) -> Result<TraceIngest, String> {
+        let doc = jsonio::parse(text)?;
+        let kind = doc.get("kind").and_then(JsonValue::as_str);
+        if kind != Some(CHECKPOINT_KIND) {
+            return Err(format!("not a trace-ingest checkpoint (kind = {kind:?})"));
+        }
+        let version = doc.get("version").and_then(JsonValue::as_u64);
+        if version != Some(CHECKPOINT_VERSION) {
+            return Err(format!("unsupported checkpoint version {version:?}"));
+        }
+        let fingerprint = doc
+            .get("fingerprint")
+            .and_then(JsonValue::as_str)
+            .ok_or("missing fingerprint")?
+            .to_string();
+        let total = doc
+            .get("total_accesses")
+            .and_then(JsonValue::as_u64)
+            .ok_or("missing total_accesses")?;
+        let chunk_count = doc
+            .get("chunk_count")
+            .and_then(JsonValue::as_usize)
+            .ok_or("missing chunk_count")?;
+        if chunk_count == 0 {
+            return Err("chunk_count must be positive".to_string());
+        }
+        if chunk_count != Self::effective_chunk_count(chunk_count, total) {
+            return Err(format!(
+                "chunk_count {chunk_count} exceeds the {total} accesses of the trace"
+            ));
+        }
+        let next_chunk = doc
+            .get("next_chunk")
+            .and_then(JsonValue::as_usize)
+            .ok_or("missing next_chunk")?;
+        if next_chunk > chunk_count {
+            return Err(format!(
+                "next_chunk {next_chunk} exceeds chunk_count {chunk_count}"
+            ));
+        }
+        let cold = doc
+            .get("cold")
+            .and_then(JsonValue::as_u64)
+            .ok_or("missing cold")?;
+        let mut state = MergeState::new();
+        state.histogram.record_cold(cold);
+        let entries = doc
+            .get("histogram")
+            .and_then(JsonValue::as_array)
+            .ok_or("missing histogram")?;
+        for entry in entries {
+            let pair = entry.as_array().ok_or("histogram entry is not a pair")?;
+            let (d, c) = match pair {
+                [d, c] => (
+                    d.as_usize().ok_or("bad histogram distance")?,
+                    c.as_u64().ok_or("bad histogram count")?,
+                ),
+                _ => return Err("histogram entry is not a pair".to_string()),
+            };
+            if d == 0 {
+                return Err("histogram distance 0 is not representable".to_string());
+            }
+            state.histogram.record_finite(d, c);
+        }
+        let timeline = doc
+            .get("timeline")
+            .and_then(JsonValue::as_array)
+            .ok_or("missing timeline")?;
+        for addr in timeline {
+            state
+                .timeline
+                .append(addr.as_u64().ok_or("bad timeline address")?);
+        }
+        Ok(TraceIngest {
+            fingerprint,
+            total,
+            chunk_count,
+            threads: threads.max(1),
+            next_chunk,
+            state,
+        })
+    }
+
+    /// Writes the checkpoint to `path` atomically (temp file + rename).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        let tmp = path.with_extension("json.tmp");
+        std::fs::write(&tmp, self.to_json())?;
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Loads a checkpoint from `path`, or plans a fresh ingest when the
+    /// file does not exist or belongs to a different source or plan.
+    /// Returns the ingest and whether progress was actually resumed.
+    ///
+    /// The source is always re-scanned: a checkpoint only resumes when its
+    /// fingerprint, its chunk plan *and* its recorded access count all
+    /// match the source as it exists now. File fingerprints are path-based,
+    /// so the length check is what catches a file that was truncated,
+    /// appended to or replaced between runs (an equal-length content swap
+    /// is not detectable without hashing every resume — don't do that).
+    ///
+    /// # Errors
+    ///
+    /// Returns the source scan error.
+    pub fn resume_or_new(
+        source: &TraceSource,
+        chunk_count: usize,
+        threads: usize,
+        path: &Path,
+    ) -> Result<(TraceIngest, bool), String> {
+        let total = source
+            .total_accesses()
+            .map_err(|e| format!("cannot scan {source}: {e}"))?;
+        if let Ok(text) = std::fs::read_to_string(path) {
+            if let Ok(ingest) = TraceIngest::from_json(&text, threads) {
+                if ingest.fingerprint == source.fingerprint()
+                    && ingest.total == total
+                    && ingest.chunk_count == Self::effective_chunk_count(chunk_count, total)
+                {
+                    let resumed = ingest.completed_count() > 0;
+                    return Ok((ingest, resumed));
+                }
+            }
+        }
+        Ok((Self::with_total(source, total, chunk_count, threads), false))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symloc_cache::reuse::reuse_distances;
+    use symloc_trace::generators::{cyclic_trace, sawtooth_trace, zipfian_trace};
+    use symloc_trace::stream::GenSpec;
+    use symloc_trace::Trace;
+
+    fn engine_over(trace: &Trace) -> OnlineReuseEngine {
+        let mut engine = OnlineReuseEngine::new();
+        engine.record_all(trace.iter().map(|a| a.value() as u64));
+        engine
+    }
+
+    fn batch_histogram(trace: &Trace) -> StreamHistogram {
+        let mut h = StreamHistogram::new();
+        for d in reuse_distances(trace) {
+            match d {
+                Some(d) => h.record_finite(d, 1),
+                None => h.record_cold(1),
+            }
+        }
+        h
+    }
+
+    #[test]
+    fn online_engine_matches_batch_olken() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(3);
+        for trace in [
+            Trace::new(),
+            sawtooth_trace(7, 3),
+            cyclic_trace(5, 4),
+            zipfian_trace(40, 600, 0.9, &mut rng),
+        ] {
+            let engine = engine_over(&trace);
+            assert_eq!(*engine.histogram(), batch_histogram(&trace));
+            assert_eq!(engine.accesses(), trace.len() as u64);
+            assert_eq!(engine.footprint(), trace.distinct_count());
+        }
+    }
+
+    #[test]
+    fn online_engine_distances_match_per_access() {
+        let trace = sawtooth_trace(5, 4);
+        let batch = reuse_distances(&trace);
+        let mut engine = OnlineReuseEngine::new();
+        for (addr, expect) in trace.iter().zip(batch) {
+            assert_eq!(engine.record(addr.value() as u64), expect);
+        }
+    }
+
+    #[test]
+    fn timeline_capacity_is_bounded_by_footprint_not_length() {
+        // 50_000 accesses over 40 addresses: the tree must stay tiny.
+        let mut engine = OnlineReuseEngine::new();
+        for i in 0..50_000u64 {
+            engine.record(i % 40);
+        }
+        assert_eq!(engine.footprint(), 40);
+        assert!(
+            engine.timeline_capacity() <= MIN_TIMELINE_CAPACITY.max(2 * 40),
+            "capacity {} grew past the footprint bound",
+            engine.timeline_capacity()
+        );
+        assert_eq!(engine.accesses(), 50_000);
+        // Every non-cold access of the cyclic pattern has distance 40.
+        assert_eq!(engine.histogram().count_at(40), 50_000 - 40);
+    }
+
+    #[test]
+    fn histogram_queries_and_merge() {
+        let mut h = StreamHistogram::new();
+        h.record_finite(2, 3);
+        h.record_finite(5, 1);
+        h.record_cold(2);
+        assert_eq!(h.count_at(2), 3);
+        assert_eq!(h.finite_count(), 4);
+        assert_eq!(h.accesses(), 6);
+        assert_eq!(h.hits_up_to(4), 3);
+        assert!((h.miss_ratio(4) - 0.5).abs() < 1e-12);
+        assert_eq!(h.max_distance(), Some(5));
+        let mut other = StreamHistogram::new();
+        other.record_finite(2, 1);
+        other.record_cold(1);
+        h.merge(&other);
+        assert_eq!(h.count_at(2), 4);
+        assert_eq!(h.cold_count(), 3);
+        assert_eq!(StreamHistogram::new().miss_ratio(4), 0.0);
+        let points = h.mrc_points(&[1, 4, 100]);
+        assert_eq!(points.len(), 3);
+        assert!((points[2].miss_ratio - h.miss_ratio(100)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "distance 0")]
+    fn histogram_rejects_distance_zero() {
+        StreamHistogram::new().record_finite(0, 1);
+    }
+
+    #[test]
+    fn log_spaced_sizes_cover_the_range() {
+        assert!(log_spaced_sizes(0, 8).is_empty());
+        assert_eq!(log_spaced_sizes(1, 8), vec![1]);
+        let sizes = log_spaced_sizes(100_000, 16);
+        assert_eq!(*sizes.first().unwrap(), 1);
+        assert_eq!(*sizes.last().unwrap(), 100_000);
+        assert!(sizes.windows(2).all(|w| w[0] < w[1]));
+        assert!(sizes.len() <= 16);
+    }
+
+    #[test]
+    fn shards_at_full_budget_equals_exact_engine() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(17);
+        let trace = zipfian_trace(60, 800, 0.8, &mut rng);
+        let exact = engine_over(&trace);
+        // Budget above the footprint: rate stays 1, every access sampled.
+        let mut shards = ShardsEstimator::new(200);
+        shards.record_all(trace.iter().map(|a| a.value() as u64));
+        assert_eq!(shards.sampling_rate(), 1.0);
+        assert_eq!(shards.evictions(), 0);
+        assert_eq!(shards.sampled_accesses(), trace.len() as u64);
+        for c in [1usize, 2, 5, 10, 30, 60, 100] {
+            assert!(
+                (shards.histogram().miss_ratio(c) - exact.histogram().miss_ratio(c)).abs() < 1e-9,
+                "c={c}"
+            );
+        }
+        assert!((shards.estimated_footprint() - exact.footprint() as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shards_budget_binds_memory_and_still_estimates() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(23);
+        // 4000 distinct addresses, budget 2048: eviction must kick in.
+        let trace = zipfian_trace(4000, 40_000, 0.7, &mut rng);
+        let exact = engine_over(&trace);
+        let mut shards = ShardsEstimator::new(2048);
+        shards.record_all(trace.iter().map(|a| a.value() as u64));
+        assert!(shards.sampling_rate() < 1.0);
+        assert!(shards.evictions() > 0);
+        assert!(shards.tracked_addresses() <= shards.budget());
+        assert!(shards.timeline.capacity() <= 2 * (shards.budget() + 1) + MIN_TIMELINE_CAPACITY);
+        // The estimate stays close to the exact curve. Spatial sampling
+        // keeps or drops whole addresses, so on a small, highly skewed
+        // synthetic address space the hash luck of the few hot addresses
+        // dominates the error; a budget of ~half the footprint keeps the
+        // worst pointwise gap within a few percent.
+        let mut worst = 0.0f64;
+        for c in log_spaced_sizes(exact.footprint(), 12) {
+            worst = worst
+                .max((shards.histogram().miss_ratio(c) - exact.histogram().miss_ratio(c)).abs());
+        }
+        assert!(worst < 0.05, "worst MRC error {worst}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn shards_rejects_zero_budget() {
+        let _ = ShardsEstimator::new(0);
+    }
+
+    #[test]
+    fn chunked_merge_equals_sequential_for_any_chunking() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(5);
+        for trace in [
+            sawtooth_trace(9, 4),
+            cyclic_trace(6, 5),
+            zipfian_trace(50, 700, 1.0, &mut rng),
+        ] {
+            let expected = batch_histogram(&trace);
+            let addrs: Vec<u64> = trace.iter().map(|a| a.value() as u64).collect();
+            for chunks in [1usize, 2, 3, 7, 16] {
+                let mut state = MergeState::new();
+                for span in split_indices(addrs.len(), chunks) {
+                    let partial = chunk_partial(addrs[span.start..span.end].iter().copied());
+                    state.absorb(&partial);
+                }
+                assert_eq!(*state.histogram(), expected, "chunks={chunks}");
+                assert_eq!(state.footprint(), trace.distinct_count());
+            }
+        }
+    }
+
+    #[test]
+    fn ingest_is_thread_and_chunk_invariant() {
+        let source = TraceSource::Gen(GenSpec::parse("gen:zipf:80:2000:0.9:7").unwrap());
+        let mut reference = TraceIngest::new(&source, 1, 1).unwrap();
+        assert_eq!(reference.run_pending(&source, None), 1);
+        let expected = reference.histogram().unwrap().clone();
+        for (chunks, threads) in [(4, 1), (4, 3), (9, 2), (16, 8)] {
+            let mut ingest = TraceIngest::new(&source, chunks, threads).unwrap();
+            ingest.run_pending(&source, None);
+            assert_eq!(
+                *ingest.histogram().unwrap(),
+                expected,
+                "chunks={chunks} threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn interrupted_ingest_resumes_to_byte_identical_checkpoint() {
+        let source = TraceSource::Gen(GenSpec::parse("gen:zipf:60:1500:0.8:9").unwrap());
+
+        // The uninterrupted reference run.
+        let mut reference = TraceIngest::new(&source, 6, 2).unwrap();
+        reference.run_pending(&source, None);
+        let reference_json = reference.to_json();
+
+        // Run part of the ingest, "die", serialize, resume, finish.
+        let mut interrupted = TraceIngest::new(&source, 6, 2).unwrap();
+        assert_eq!(interrupted.run_pending(&source, Some(3)), 3);
+        assert!(!interrupted.is_complete());
+        assert!(interrupted.histogram().is_none());
+        let checkpoint = interrupted.to_json();
+        drop(interrupted);
+
+        let mut resumed = TraceIngest::from_json(&checkpoint, 4).unwrap();
+        assert_eq!(resumed.completed_count(), 3);
+        assert_eq!(resumed.run_pending(&source, None), 3);
+        assert_eq!(resumed.to_json(), reference_json, "resume must be exact");
+        assert_eq!(
+            *resumed.histogram().unwrap(),
+            *reference.histogram().unwrap()
+        );
+    }
+
+    #[test]
+    fn ingest_checkpoint_files_and_resume_or_new() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("symloc_tracesweep_ingest_checkpoint.json");
+        std::fs::remove_file(&path).ok();
+        let source = TraceSource::Gen(GenSpec::parse("gen:sawtooth:30:40").unwrap());
+
+        let (mut ingest, resumed) = TraceIngest::resume_or_new(&source, 5, 2, &path).unwrap();
+        assert!(!resumed);
+        let mut progress = Vec::new();
+        ingest
+            .run_with_checkpoint(&source, &path, Some(2), |done, total| {
+                progress.push((done, total))
+            })
+            .unwrap();
+        assert_eq!(progress, vec![(2, 5)]);
+        assert!(!ingest.is_complete());
+
+        // Resume from disk and finish.
+        let (mut resumed_ingest, resumed) =
+            TraceIngest::resume_or_new(&source, 5, 2, &path).unwrap();
+        assert!(resumed);
+        assert_eq!(resumed_ingest.completed_count(), 2);
+        resumed_ingest
+            .run_with_checkpoint(&source, &path, None, |_, _| {})
+            .unwrap();
+        assert!(resumed_ingest.is_complete());
+
+        // A different source ignores the stale checkpoint.
+        let other = TraceSource::Gen(GenSpec::parse("gen:cyclic:30:40").unwrap());
+        let (fresh, resumed) = TraceIngest::resume_or_new(&other, 5, 2, &path).unwrap();
+        assert!(!resumed);
+        assert_eq!(fresh.completed_count(), 0);
+
+        // Complete ingest: nothing pending, checkpoint still rewritten.
+        let (mut done, _) = TraceIngest::resume_or_new(&source, 5, 2, &path).unwrap();
+        assert!(done.is_complete());
+        assert_eq!(
+            done.run_with_checkpoint(&source, &path, None, |_, _| {})
+                .unwrap(),
+            0
+        );
+        // And matches the sequential engine.
+        let expected = engine_over(&sawtooth_trace(30, 40));
+        assert_eq!(*done.histogram().unwrap(), *expected.histogram());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_rejects_a_file_that_changed_length() {
+        // File fingerprints are path-based, so a checkpoint must also be
+        // tied to the access count: replacing the trace file between runs
+        // restarts the ingest instead of silently resuming against the
+        // wrong data (regression test).
+        let dir = std::env::temp_dir();
+        let trace_path = dir.join("symloc_tracesweep_swap_test.trace");
+        let ckpt_path = dir.join("symloc_tracesweep_swap_test.ckpt.json");
+        std::fs::remove_file(&ckpt_path).ok();
+        std::fs::write(&trace_path, "0\n1\n2\n0\n1\n2\n0\n1\n").unwrap();
+        let source = TraceSource::Text(trace_path.clone());
+
+        let (mut ingest, _) = TraceIngest::resume_or_new(&source, 4, 1, &ckpt_path).unwrap();
+        ingest
+            .run_with_checkpoint(&source, &ckpt_path, Some(2), |_, _| {})
+            .unwrap();
+        assert!(!ingest.is_complete());
+
+        // Same path, different (shorter) content: fresh plan, not a resume.
+        std::fs::write(&trace_path, "7\n7\n").unwrap();
+        let (fresh, resumed) = TraceIngest::resume_or_new(&source, 4, 1, &ckpt_path).unwrap();
+        assert!(!resumed);
+        assert_eq!(fresh.completed_count(), 0);
+        assert_eq!(fresh.total_accesses(), 2);
+        std::fs::remove_file(&trace_path).ok();
+        std::fs::remove_file(&ckpt_path).ok();
+    }
+
+    #[test]
+    fn ingest_rejects_corrupted_checkpoints() {
+        let source = TraceSource::Gen(GenSpec::parse("gen:cyclic:8:4").unwrap());
+        let mut ingest = TraceIngest::new(&source, 2, 1).unwrap();
+        ingest.run_pending(&source, Some(1));
+        let good = ingest.to_json();
+        assert!(TraceIngest::from_json(&good, 1).is_ok());
+        assert!(TraceIngest::from_json("{}", 1).is_err());
+        assert!(TraceIngest::from_json("not json", 1).is_err());
+        assert!(TraceIngest::from_json(&good.replace(CHECKPOINT_KIND, "other"), 1).is_err());
+        assert!(
+            TraceIngest::from_json(&good.replace("\"version\": 1", "\"version\": 9"), 1).is_err()
+        );
+        assert!(TraceIngest::from_json(
+            &good.replace("\"next_chunk\": 1", "\"next_chunk\": 99"),
+            1
+        )
+        .is_err());
+        assert!(TraceIngest::from_json(
+            &good.replace("\"chunk_count\": 2", "\"chunk_count\": 0"),
+            1
+        )
+        .is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "different trace source")]
+    fn ingest_refuses_a_mismatched_source() {
+        let source = TraceSource::Gen(GenSpec::parse("gen:cyclic:8:4").unwrap());
+        let other = TraceSource::Gen(GenSpec::parse("gen:cyclic:8:5").unwrap());
+        let mut ingest = TraceIngest::new(&source, 2, 1).unwrap();
+        ingest.run_pending(&other, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one chunk")]
+    fn ingest_rejects_zero_chunks() {
+        let source = TraceSource::Gen(GenSpec::parse("gen:cyclic:4:2").unwrap());
+        let _ = TraceIngest::new(&source, 0, 1);
+    }
+
+    #[test]
+    fn ingest_reports_source_errors() {
+        let source = TraceSource::Text(std::path::PathBuf::from("/no/such/trace.txt"));
+        assert!(TraceIngest::new(&source, 2, 1).is_err());
+    }
+
+    #[test]
+    fn empty_trace_ingests_cleanly() {
+        let source = TraceSource::Memory(Trace::new());
+        let mut ingest = TraceIngest::new(&source, 3, 2).unwrap();
+        ingest.run_pending(&source, None);
+        assert!(ingest.is_complete());
+        assert_eq!(ingest.histogram().unwrap().accesses(), 0);
+        assert_eq!(ingest.footprint(), 0);
+    }
+}

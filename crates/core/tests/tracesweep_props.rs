@@ -1,0 +1,201 @@
+//! Property tests for the streaming trace-analysis subsystem.
+//!
+//! Three pins, each across *every* `symloc_trace::generators` pattern:
+//!
+//! 1. [`OnlineReuseEngine`] against a literal `O(n²)` stack-distance
+//!    definition (scan back to the previous occurrence, count distinct
+//!    addresses in between) that shares no code with the Fenwick path.
+//! 2. The chunk-sharded merge ([`chunk_partial`] + [`MergeState`]) against
+//!    the sequential engine, for arbitrary chunkings.
+//! 3. The SHARDS sampled estimator against the exact engine: *equal* when
+//!    the budget covers the footprint at full rate, and within a stated
+//!    error bound when the budget binds.
+
+use proptest::prelude::*;
+use symloc_core::tracesweep::{
+    chunk_partial, log_spaced_sizes, MergeState, OnlineReuseEngine, ShardsEstimator,
+    StreamHistogram,
+};
+use symloc_trace::generators::{
+    cyclic_trace, interleaved_trace, move_to_front_trace, multi_epoch_trace, random_trace,
+    retraversal_trace, sawtooth_trace, stack_discipline_trace, stream_kernel_trace, strided_trace,
+    tiled_trace, zipfian_trace, EpochOrder, StreamKernel,
+};
+use symloc_trace::Trace;
+
+/// The literal textbook definition, deliberately quadratic and deliberately
+/// free of any shared machinery: the reuse distance of access `t` is the
+/// number of distinct addresses touched since the previous access to the
+/// same address, inclusive of that address itself.
+fn stack_distances_naive(trace: &Trace) -> Vec<Option<usize>> {
+    let accesses = trace.accesses();
+    let mut out = Vec::with_capacity(accesses.len());
+    for (t, &addr) in accesses.iter().enumerate() {
+        let prev = (0..t).rev().find(|&s| accesses[s] == addr);
+        match prev {
+            None => out.push(None),
+            Some(s) => {
+                let mut seen: Vec<symloc_trace::Addr> = Vec::new();
+                for &between in &accesses[s + 1..t] {
+                    if !seen.contains(&between) {
+                        seen.push(between);
+                    }
+                }
+                out.push(Some(seen.len() + 1));
+            }
+        }
+    }
+    out
+}
+
+fn histogram_of(distances: &[Option<usize>]) -> StreamHistogram {
+    let mut h = StreamHistogram::new();
+    for d in distances {
+        match d {
+            Some(d) => h.record_finite(*d, 1),
+            None => h.record_cold(1),
+        }
+    }
+    h
+}
+
+fn online_engine(trace: &Trace) -> OnlineReuseEngine {
+    let mut engine = OnlineReuseEngine::new();
+    engine.record_all(trace.iter().map(|a| a.value() as u64));
+    engine
+}
+
+/// One instance of every generator pattern the trace crate provides,
+/// parameterized by a seed so the property tests sweep many shapes.
+fn all_generator_patterns(seed: u64) -> Vec<(&'static str, Trace)> {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let m = 4 + (seed as usize % 13);
+    let epochs = 2 + (seed as usize % 3);
+    let sigma = symloc_perm::sample::random_permutation(m, &mut rng);
+    vec![
+        ("cyclic", cyclic_trace(m, epochs)),
+        ("sawtooth", sawtooth_trace(m, epochs)),
+        ("retraversal", retraversal_trace(&sigma)),
+        (
+            "multi_epoch",
+            multi_epoch_trace(
+                m,
+                &[
+                    EpochOrder::Forward,
+                    EpochOrder::Permuted(sigma.clone()),
+                    EpochOrder::Reverse,
+                ],
+            ),
+        ),
+        ("random", random_trace(m, 40 * epochs, &mut rng)),
+        ("zipfian", zipfian_trace(3 * m, 60 * epochs, 0.9, &mut rng)),
+        ("strided", strided_trace(m, 1 + seed as usize % m, epochs)),
+        ("tiled", tiled_trace(3 * m, 1 + m / 2, epochs)),
+        (
+            "stack_discipline",
+            stack_discipline_trace(m, 30 * epochs, &mut rng),
+        ),
+        (
+            "move_to_front",
+            move_to_front_trace(m, 10 * epochs, 1.0, &mut rng),
+        ),
+        (
+            "stream_kernel",
+            stream_kernel_trace(StreamKernel::Triad, m, epochs),
+        ),
+        (
+            "interleaved",
+            interleaved_trace(&cyclic_trace(m, epochs), &sawtooth_trace(m, epochs)),
+        ),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn online_engine_matches_naive_definition_on_every_pattern(seed in any::<u64>()) {
+        for (name, trace) in all_generator_patterns(seed) {
+            let naive = stack_distances_naive(&trace);
+            // Per-access distances agree with the literal definition.
+            let mut engine = OnlineReuseEngine::new();
+            for (addr, expect) in trace.iter().zip(naive.iter()) {
+                let got = engine.record(addr.value() as u64);
+                prop_assert_eq!(got, *expect, "{} seed {}", name, seed);
+            }
+            // And so does the aggregated histogram.
+            prop_assert_eq!(engine.histogram(), &histogram_of(&naive), "{}", name);
+            prop_assert_eq!(engine.footprint(), trace.distinct_count(), "{}", name);
+        }
+    }
+
+    #[test]
+    fn sharded_merge_matches_sequential_on_every_pattern(
+        seed in any::<u64>(),
+        chunks in 1usize..9,
+    ) {
+        for (name, trace) in all_generator_patterns(seed) {
+            let expected = online_engine(&trace);
+            let addrs: Vec<u64> = trace.iter().map(|a| a.value() as u64).collect();
+            let mut state = MergeState::new();
+            for span in symloc_par::split_indices(addrs.len(), chunks) {
+                state.absorb(&chunk_partial(addrs[span.start..span.end].iter().copied()));
+            }
+            prop_assert_eq!(
+                state.histogram(),
+                expected.histogram(),
+                "{} seed {} chunks {}",
+                name, seed, chunks
+            );
+        }
+    }
+
+    #[test]
+    fn full_budget_shards_equals_exact_on_every_pattern(seed in any::<u64>()) {
+        for (name, trace) in all_generator_patterns(seed) {
+            let exact = online_engine(&trace);
+            // Budget >= footprint: the sampler never adapts, the estimate
+            // is the exact curve.
+            let mut shards = ShardsEstimator::new(trace.distinct_count().max(1));
+            shards.record_all(trace.iter().map(|a| a.value() as u64));
+            prop_assert_eq!(shards.sampling_rate(), 1.0, "{}", name);
+            let sizes = log_spaced_sizes(exact.footprint(), 10);
+            for &c in &sizes {
+                let exact_mr = exact.histogram().miss_ratio(c);
+                let est_mr = shards.histogram().miss_ratio(c);
+                prop_assert!(
+                    (exact_mr - est_mr).abs() < 1e-9,
+                    "{} seed {} c {}: exact {} vs sampled {}",
+                    name, seed, c, exact_mr, est_mr
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_budget_shards_stays_within_error_bound(seed in any::<u64>()) {
+        // A large skewed workload with the budget at ~1/4 of the footprint:
+        // memory stays at O(s_max) and the worst pointwise MRC error stays
+        // inside the stated bound. (Spatial sampling keeps/drops whole
+        // addresses, so the bound is dominated by hot-address hash luck;
+        // the trace mixes a seeded zipf body to vary the shape.)
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let trace = zipfian_trace(2000, 20_000, 0.6, &mut rng);
+        let exact = online_engine(&trace);
+        let budget = 512usize;
+        let mut shards = ShardsEstimator::new(budget);
+        shards.record_all(trace.iter().map(|a| a.value() as u64));
+        prop_assert!(shards.tracked_addresses() <= budget);
+        prop_assert!(shards.sampling_rate() < 1.0);
+        let mut worst = 0.0f64;
+        for &c in &log_spaced_sizes(exact.footprint(), 10) {
+            worst = worst
+                .max((shards.histogram().miss_ratio(c) - exact.histogram().miss_ratio(c)).abs());
+        }
+        prop_assert!(worst < 0.12, "worst pointwise error {} (seed {})", worst, seed);
+    }
+}

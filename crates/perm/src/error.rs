@@ -66,6 +66,21 @@ pub enum PermError {
         /// Maximum possible number of inversions for this degree.
         max: usize,
     },
+    /// A stratified-sampling level target is out of range for its statistic
+    /// (for example, a descent target beyond `m - 1`).
+    LevelTargetOutOfRange {
+        /// The statistic's stable name.
+        statistic: &'static str,
+        /// The requested level.
+        target: usize,
+        /// Maximum possible level for this degree.
+        max: usize,
+    },
+    /// Stratified sampling is not supported for the requested statistic.
+    UnsupportedSamplingStatistic {
+        /// The statistic's stable name.
+        statistic: &'static str,
+    },
 }
 
 impl fmt::Display for PermError {
@@ -103,6 +118,18 @@ impl fmt::Display for PermError {
             PermError::InversionTargetOutOfRange { target, max } => write!(
                 f,
                 "inversion target {target} exceeds the maximum {max} for this degree"
+            ),
+            PermError::LevelTargetOutOfRange {
+                statistic,
+                target,
+                max,
+            } => write!(
+                f,
+                "{statistic} target {target} exceeds the maximum {max} for this degree"
+            ),
+            PermError::UnsupportedSamplingStatistic { statistic } => write!(
+                f,
+                "stratified sampling is not supported for statistic {statistic}"
             ),
         }
     }

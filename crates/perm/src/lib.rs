@@ -94,7 +94,7 @@ pub mod prelude {
     pub use crate::rank::{factorial, partition_ranks, rank, unrank, unrank_into, RankRange};
     pub use crate::sample::{
         random_permutation, random_saturated_chain, random_upper_cover, random_with_inversions,
-        InversionSampler,
+        DescentSampler, InversionSampler, LevelSampler, LevelSamplerScratch,
     };
     pub use crate::statistics::{all_statistics, total_displacement, Statistic};
 }

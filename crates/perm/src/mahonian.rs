@@ -58,6 +58,56 @@ pub fn mahonian(m: usize, n: usize) -> u128 {
     row.get(n).copied().unwrap_or(0)
 }
 
+/// The full Eulerian row for degree `m`:
+/// `row[k] = A(m, k)` counts the permutations of `m` elements with exactly
+/// `k` descents, for `k = 0 ..= m-1` (and `row = [1]` for `m <= 1`).
+///
+/// Computed by the insertion recurrence
+/// `A(m, k) = (k + 1) · A(m-1, k) + (m - k) · A(m-1, k-1)` in `O(m²)`:
+/// inserting the largest element into a descent gap (or at the end) keeps
+/// the descent count, any other gap creates one new descent.
+///
+/// This is the descent-count analogue of [`mahonian_row`]; the sweep
+/// engine's weighted stratified sampling uses it to split a global sample
+/// budget across descent levels.
+///
+/// # Panics
+///
+/// Panics if an intermediate count overflows `u128` (degrees beyond any
+/// supported sweep).
+#[must_use]
+pub fn eulerian_row(m: usize) -> Vec<u128> {
+    if m <= 1 {
+        return vec![1];
+    }
+    let mut row: Vec<u128> = vec![1];
+    for n in 2..=m {
+        let mut next: Vec<u128> = vec![0; n];
+        for (k, slot) in next.iter_mut().enumerate() {
+            let keep = row.get(k).map_or(0, |&a| {
+                a.checked_mul(k as u128 + 1).expect("Eulerian overflow")
+            });
+            let make = if k == 0 {
+                0
+            } else {
+                row.get(k - 1).map_or(0, |&a| {
+                    a.checked_mul((n - k) as u128).expect("Eulerian overflow")
+                })
+            };
+            *slot = keep.checked_add(make).expect("Eulerian overflow");
+        }
+        row = next;
+    }
+    row
+}
+
+/// The Eulerian number `A(m, k)`: permutations of `m` elements with exactly
+/// `k` descents. Returns 0 if `k` is out of range.
+#[must_use]
+pub fn eulerian(m: usize, k: usize) -> u128 {
+    eulerian_row(m).get(k).copied().unwrap_or(0)
+}
+
 /// All partitions of `n` into at most `max_parts` parts, each part at most
 /// `max_part`, listed with parts in non-increasing order, in reverse
 /// lexicographic order.
@@ -170,6 +220,32 @@ mod tests {
         assert_eq!(mahonian_row(3), vec![1, 2, 2, 1]);
         assert_eq!(mahonian_row(4), vec![1, 3, 5, 6, 5, 3, 1]);
         assert_eq!(mahonian_row(5), vec![1, 4, 9, 15, 20, 22, 20, 15, 9, 4, 1]);
+    }
+
+    #[test]
+    fn eulerian_small_rows() {
+        assert_eq!(eulerian_row(0), vec![1]);
+        assert_eq!(eulerian_row(1), vec![1]);
+        assert_eq!(eulerian_row(2), vec![1, 1]);
+        assert_eq!(eulerian_row(3), vec![1, 4, 1]);
+        assert_eq!(eulerian_row(4), vec![1, 11, 11, 1]);
+        assert_eq!(eulerian_row(5), vec![1, 26, 66, 26, 1]);
+        assert_eq!(eulerian(4, 1), 11);
+        assert_eq!(eulerian(4, 9), 0);
+    }
+
+    #[test]
+    fn eulerian_row_matches_enumeration_and_factorial() {
+        use crate::statistics::Statistic;
+        for m in 0..=7usize {
+            let row = eulerian_row(m);
+            assert_eq!(row.iter().sum::<u128>(), factorial(m).unwrap(), "m={m}");
+            let mut counted = vec![0u128; row.len()];
+            for sigma in LexIter::new(m) {
+                counted[Statistic::Descents.of(&sigma)] += 1;
+            }
+            assert_eq!(row, counted, "m={m}");
+        }
     }
 
     #[test]

@@ -9,6 +9,7 @@ use crate::bruhat::{upper_covers, Cover};
 use crate::error::{PermError, Result};
 use crate::inversions::{from_lehmer_code, max_inversions};
 use crate::perm::Permutation;
+use crate::statistics::Statistic;
 use rand::Rng;
 
 /// Samples a uniformly random permutation of `m` elements (Fisher–Yates).
@@ -130,6 +131,237 @@ impl InversionSampler {
         images.clear();
         for &c in code.iter() {
             images.push(available.remove(c));
+        }
+    }
+}
+
+/// A reusable sampler of permutations of `m` elements with exactly `k`
+/// descents, uniform over that Eulerian level.
+///
+/// The descent-count analogue of [`InversionSampler`]: construction builds
+/// the Eulerian table `A(n, j)` for `n <= m` once (`O(m·k)`); every draw
+/// afterwards only walks it. A permutation of `m` elements with `k` descents
+/// is built by the insertion bijection behind the recurrence
+/// `A(n, k) = (k+1)·A(n-1, k) + (n-k)·A(n-1, k-1)`: the largest element is
+/// inserted either into one of the `k` descent gaps or at the end (descents
+/// unchanged, `k+1` choices) or at the front or into an ascent gap (one new
+/// descent, `n-k` choices). Weighting each step by the completion counts
+/// makes the overall draw uniform.
+#[derive(Debug, Clone)]
+pub struct DescentSampler {
+    m: usize,
+    k: usize,
+    /// eulerian[n][j] = A(n, j) for j <= k (descent counts above k never
+    /// occur on the sampled path).
+    eulerian: Vec<Vec<u128>>,
+}
+
+impl DescentSampler {
+    /// Builds the sampler for permutations of `m` elements with `k` descents.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PermError::LevelTargetOutOfRange`] if `k > max(m, 1) - 1`.
+    pub fn new(m: usize, k: usize) -> Result<Self> {
+        let max = m.max(1) - 1;
+        if k > max {
+            return Err(PermError::LevelTargetOutOfRange {
+                statistic: "descents",
+                target: k,
+                max,
+            });
+        }
+        // eulerian[n][j] for n = 0..=m, j = 0..=k.
+        let mut eulerian: Vec<Vec<u128>> = Vec::with_capacity(m + 1);
+        eulerian.push(vec![1; 1]); // A(0, 0) = 1 (empty permutation)
+        for n in 1..=m {
+            let mut row = vec![0u128; k.min(n.saturating_sub(1)) + 1];
+            for (j, slot) in row.iter_mut().enumerate() {
+                if n == 1 {
+                    *slot = u128::from(j == 0);
+                    continue;
+                }
+                let prev = &eulerian[n - 1];
+                let keep = prev.get(j).map_or(0, |&a| a * (j as u128 + 1));
+                let make = if j == 0 {
+                    0
+                } else {
+                    prev.get(j - 1).map_or(0, |&a| a * (n - j) as u128)
+                };
+                *slot = keep + make;
+            }
+            eulerian.push(row);
+        }
+        debug_assert!(
+            m == 0 || eulerian[m].get(k).copied().unwrap_or(0) > 0,
+            "Eulerian table must admit at least one permutation"
+        );
+        Ok(DescentSampler { m, k, eulerian })
+    }
+
+    /// The degree `m` of the sampled permutations.
+    #[must_use]
+    pub fn degree(&self) -> usize {
+        self.m
+    }
+
+    /// The descent count `k` of the sampled permutations.
+    #[must_use]
+    pub fn descents(&self) -> usize {
+        self.k
+    }
+
+    /// Draws one permutation's one-line images into `images`, using `plan`
+    /// as working space — allocation-free after warm-up.
+    ///
+    /// `plan` receives, per insertion size `n = 2..=m`, the encoded choice
+    /// made while walking the Eulerian table top-down; the images are then
+    /// built bottom-up by actually performing the insertions.
+    pub fn sample_images_into<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        images: &mut Vec<usize>,
+        plan: &mut Vec<(bool, usize)>,
+    ) {
+        images.clear();
+        plan.clear();
+        if self.m == 0 {
+            return;
+        }
+        // Top-down: decide at every size whether the largest element kept or
+        // made a descent, and which of the eligible gaps it used.
+        let mut j = self.k;
+        for n in (2..=self.m).rev() {
+            let prev = &self.eulerian[n - 1];
+            let keep_ways = prev.get(j).map_or(0, |&a| a * (j as u128 + 1));
+            let make_ways = if j == 0 {
+                0
+            } else {
+                prev.get(j - 1).map_or(0, |&a| a * (n - j) as u128)
+            };
+            let ticket = rng.gen_range(0..keep_ways + make_ways);
+            if ticket < keep_ways {
+                // Descents unchanged: gap index in 0..=j (j = end slot).
+                let gap = (ticket / prev[j]) as usize;
+                plan.push((true, gap));
+            } else {
+                // One new descent: gap index in 0..n-j (0 = front slot).
+                let gap = ((ticket - keep_ways) / prev[j - 1]) as usize;
+                plan.push((false, gap));
+                j -= 1;
+            }
+        }
+        debug_assert_eq!(j, 0, "size-1 permutation has no descents");
+        // Bottom-up: perform the planned insertions.
+        images.push(0);
+        for (n, &(kept, gap)) in (2..=self.m).zip(plan.iter().rev()) {
+            let value = n - 1;
+            let position = if kept {
+                // gap-th descent gap, or the end when gap == current descents.
+                let mut seen = 0usize;
+                let mut pos = images.len(); // default: end
+                for i in 0..images.len() - 1 {
+                    if images[i] > images[i + 1] {
+                        if seen == gap {
+                            pos = i + 1;
+                            break;
+                        }
+                        seen += 1;
+                    }
+                }
+                pos
+            } else if gap == 0 {
+                0 // front
+            } else {
+                // (gap-1)-th ascent gap.
+                let mut seen = 0usize;
+                let mut pos = 0usize;
+                for i in 0..images.len() - 1 {
+                    if images[i] < images[i + 1] {
+                        if seen == gap - 1 {
+                            pos = i + 1;
+                            break;
+                        }
+                        seen += 1;
+                    }
+                }
+                debug_assert!(pos > 0, "planned ascent gap must exist");
+                pos
+            };
+            images.insert(position, value);
+        }
+    }
+
+    /// Draws one permutation.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Permutation {
+        let (mut images, mut plan) = (Vec::with_capacity(self.m), Vec::new());
+        self.sample_images_into(rng, &mut images, &mut plan);
+        Permutation::from_images(images).expect("sampled images are a permutation")
+    }
+}
+
+/// A statistic-generic stratified sampler: draws permutations uniformly at a
+/// fixed level of a supported [`Statistic`] (inversions or descents).
+///
+/// This is what lets the sweep engine's weighted sampling be keyed by more
+/// than the inversion number: each variant owns the per-level table of its
+/// underlying sampler, and [`LevelSampler::sample_images_into`] hides the
+/// difference behind one buffer-reusing call.
+#[derive(Debug, Clone)]
+pub enum LevelSampler {
+    /// Uniform over `{σ : inv(σ) = k}` (Mahonian level).
+    Inversions(InversionSampler),
+    /// Uniform over `{σ : des(σ) = k}` (Eulerian level).
+    Descents(DescentSampler),
+}
+
+/// Working buffers for [`LevelSampler::sample_images_into`], reusable across
+/// draws and across sampler variants.
+#[derive(Debug, Clone, Default)]
+pub struct LevelSamplerScratch {
+    code: Vec<usize>,
+    available: Vec<usize>,
+    plan: Vec<(bool, usize)>,
+}
+
+impl LevelSampler {
+    /// Builds the sampler for `statistic` at `level` over `S_m`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PermError::UnsupportedSamplingStatistic`] for statistics
+    /// without a stratified sampler, or a range error when `level` exceeds
+    /// the statistic's maximum for this degree.
+    pub fn new(statistic: Statistic, m: usize, level: usize) -> Result<Self> {
+        match statistic {
+            Statistic::Inversions => Ok(LevelSampler::Inversions(InversionSampler::new(m, level)?)),
+            Statistic::Descents => Ok(LevelSampler::Descents(DescentSampler::new(m, level)?)),
+            other => Err(PermError::UnsupportedSamplingStatistic {
+                statistic: other.name(),
+            }),
+        }
+    }
+
+    /// True when `statistic` has a stratified sampler.
+    #[must_use]
+    pub fn supports(statistic: Statistic) -> bool {
+        matches!(statistic, Statistic::Inversions | Statistic::Descents)
+    }
+
+    /// Draws one permutation's one-line images into `images`.
+    pub fn sample_images_into<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        images: &mut Vec<usize>,
+        scratch: &mut LevelSamplerScratch,
+    ) {
+        match self {
+            LevelSampler::Inversions(s) => {
+                s.sample_images_into(rng, images, &mut scratch.code, &mut scratch.available);
+            }
+            LevelSampler::Descents(s) => {
+                s.sample_images_into(rng, images, &mut scratch.plan);
+            }
         }
     }
 }
@@ -268,6 +500,81 @@ mod tests {
             assert_eq!(p.images(), &images[..], "same seed, same draw");
         }
         assert!(InversionSampler::new(4, 7).is_err());
+    }
+
+    #[test]
+    fn descent_sampler_hits_its_level() {
+        use crate::statistics::Statistic;
+        let mut rng = StdRng::seed_from_u64(31);
+        for m in 1..=9usize {
+            for k in 0..m {
+                let sampler = DescentSampler::new(m, k).unwrap();
+                assert_eq!(sampler.degree(), m);
+                assert_eq!(sampler.descents(), k);
+                for _ in 0..10 {
+                    let p = sampler.sample(&mut rng);
+                    assert_eq!(Statistic::Descents.of(&p), k, "m={m} k={k}");
+                }
+            }
+        }
+        assert!(DescentSampler::new(4, 4).is_err());
+        assert!(DescentSampler::new(0, 0).is_ok());
+        assert!(DescentSampler::new(0, 1).is_err());
+    }
+
+    #[test]
+    fn descent_sampler_is_uniform_over_small_levels() {
+        // m=4, k=1 has A(4,1) = 11 permutations; all must appear with
+        // roughly equal frequency.
+        let sampler = DescentSampler::new(4, 1).unwrap();
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut seen = HashMap::new();
+        for _ in 0..1100 {
+            let p = sampler.sample(&mut rng);
+            *seen.entry(p.images().to_vec()).or_insert(0usize) += 1;
+        }
+        assert_eq!(seen.len(), 11);
+        for (images, count) in seen {
+            assert!(count > 50, "{images:?} drawn only {count} times");
+        }
+    }
+
+    #[test]
+    fn descent_sampler_buffer_reuse_matches_allocating_path() {
+        let sampler = DescentSampler::new(7, 3).unwrap();
+        let mut rng_a = StdRng::seed_from_u64(5);
+        let mut rng_b = StdRng::seed_from_u64(5);
+        let (mut images, mut plan) = (Vec::new(), Vec::new());
+        for _ in 0..25 {
+            let p = sampler.sample(&mut rng_a);
+            sampler.sample_images_into(&mut rng_b, &mut images, &mut plan);
+            assert_eq!(p.images(), &images[..], "same seed, same draw");
+        }
+    }
+
+    #[test]
+    fn level_sampler_dispatches_by_statistic() {
+        use crate::statistics::Statistic;
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut scratch = LevelSamplerScratch::default();
+        let mut images = Vec::new();
+        let inv = LevelSampler::new(Statistic::Inversions, 6, 7).unwrap();
+        inv.sample_images_into(&mut rng, &mut images, &mut scratch);
+        assert_eq!(Statistic::Inversions.of_images(&images), 7);
+        let des = LevelSampler::new(Statistic::Descents, 6, 2).unwrap();
+        des.sample_images_into(&mut rng, &mut images, &mut scratch);
+        assert_eq!(Statistic::Descents.of_images(&images), 2);
+        assert!(LevelSampler::supports(Statistic::Inversions));
+        assert!(LevelSampler::supports(Statistic::Descents));
+        assert!(!LevelSampler::supports(Statistic::MajorIndex));
+        assert!(matches!(
+            LevelSampler::new(Statistic::MajorIndex, 5, 1),
+            Err(PermError::UnsupportedSamplingStatistic { .. })
+        ));
+        assert!(matches!(
+            LevelSampler::new(Statistic::Descents, 5, 9),
+            Err(PermError::LevelTargetOutOfRange { .. })
+        ));
     }
 
     #[test]

@@ -186,10 +186,11 @@ impl Statistic {
     }
 
     /// The exact level sizes of the statistic on `S_m`:
-    /// `weights[v]` = number of permutations with statistic value `v`,
-    /// computed by exhaustive enumeration over Lehmer codes in `O(m! )` only
-    /// for the non-Mahonian cases — inversions and major index use the
-    /// Mahonian dynamic program directly.
+    /// `weights[v]` = number of permutations with statistic value `v`.
+    /// Inversions and major index use the Mahonian dynamic program, the
+    /// descent count uses the Eulerian recurrence
+    /// ([`crate::mahonian::eulerian_row`]); only total displacement falls
+    /// back to exhaustive enumeration in `O(m!)`.
     ///
     /// Intended for small `m` (level weighting, tests); the sweep engine's
     /// Mahonian-weighted sampling uses [`crate::mahonian::mahonian_row`]
@@ -202,7 +203,8 @@ impl Statistic {
     pub fn level_weights(self, m: usize) -> Vec<u128> {
         match self {
             Statistic::Inversions | Statistic::MajorIndex => crate::mahonian::mahonian_row(m),
-            Statistic::Descents | Statistic::TotalDisplacement => {
+            Statistic::Descents => crate::mahonian::eulerian_row(m),
+            Statistic::TotalDisplacement => {
                 assert!(m <= 12, "level_weights: degree {m} too large to enumerate");
                 let mut weights = vec![0u128; self.level_count(m)];
                 for sigma in crate::iter::LexIter::new(m) {

@@ -1,0 +1,497 @@
+//! The `.sltr` compact binary trace format: streaming varint I/O.
+//!
+//! Plain-text traces ([`crate::io`]) cost ~7 bytes per access for realistic
+//! address ranges and force a parse per line; the streaming trace-analysis
+//! subsystem wants to push tens of millions of accesses through a reader, so
+//! this module defines a minimal binary container:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  b"SLTR"
+//! 4       1     version (currently 1)
+//! 5       ..    accesses, each one LEB128 varint (7 bits per byte,
+//!               high bit = continuation), little-endian groups
+//! ```
+//!
+//! The format is append-friendly and stream-friendly: the writer never
+//! seeks, the reader yields one address at a time without materializing the
+//! trace, and the per-access cost is 1 byte for addresses `< 128`, 2 bytes
+//! below `16384`, and so on. There is deliberately no embedded length — the
+//! number of accesses is whatever the payload decodes to, so concatenating
+//! payloads or truncating to a prefix of whole varints remains valid.
+//!
+//! Round-tripping through [`crate::io`]'s text format is pinned by tests
+//! (`read_sltr(write_sltr(t)) == read_trace_from_str(write_trace_to_string(t))`).
+
+use crate::io::TraceIoError;
+use crate::trace::{Addr, Trace};
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// The 4-byte magic at the start of every `.sltr` file.
+pub const SLTR_MAGIC: [u8; 4] = *b"SLTR";
+/// The current format version.
+pub const SLTR_VERSION: u8 = 1;
+
+/// Errors arising while reading or writing binary traces.
+#[derive(Debug)]
+pub enum SltrError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The file does not start with the `SLTR` magic.
+    BadMagic {
+        /// The four bytes actually found.
+        found: [u8; 4],
+    },
+    /// The file's version byte is not supported.
+    BadVersion {
+        /// The version actually found.
+        found: u8,
+    },
+    /// The payload ended in the middle of a varint.
+    TruncatedVarint {
+        /// 0-based index of the access being decoded when input ran out.
+        access: u64,
+    },
+    /// A varint encoded a value that does not fit in a `u64` address.
+    Overflow {
+        /// 0-based index of the offending access.
+        access: u64,
+    },
+}
+
+impl std::fmt::Display for SltrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SltrError::Io(e) => write!(f, "sltr I/O error: {e}"),
+            SltrError::BadMagic { found } => {
+                write!(f, "not an SLTR trace (magic {found:?})")
+            }
+            SltrError::BadVersion { found } => {
+                write!(
+                    f,
+                    "unsupported SLTR version {found} (supported: {SLTR_VERSION})"
+                )
+            }
+            SltrError::TruncatedVarint { access } => {
+                write!(f, "sltr payload truncated inside access #{access}")
+            }
+            SltrError::Overflow { access } => {
+                write!(f, "sltr access #{access} overflows a 64-bit address")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SltrError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SltrError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SltrError {
+    fn from(e: std::io::Error) -> Self {
+        SltrError::Io(e)
+    }
+}
+
+impl From<SltrError> for TraceIoError {
+    fn from(e: SltrError) -> Self {
+        match e {
+            SltrError::Io(io) => TraceIoError::Io(io),
+            other => TraceIoError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                other.to_string(),
+            )),
+        }
+    }
+}
+
+/// Appends the LEB128 varint encoding of `value` to `out`.
+pub fn push_varint(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// A streaming `.sltr` writer over any [`Write`].
+///
+/// Writes the header on construction and one varint per
+/// [`SltrWriter::push`]; call [`SltrWriter::finish`] (or drop) to flush.
+#[derive(Debug)]
+pub struct SltrWriter<W: Write> {
+    out: BufWriter<W>,
+    buf: Vec<u8>,
+    written: u64,
+}
+
+impl<W: Write> SltrWriter<W> {
+    /// Creates a writer and emits the header.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error.
+    pub fn new(inner: W) -> Result<Self, SltrError> {
+        let mut out = BufWriter::new(inner);
+        out.write_all(&SLTR_MAGIC)?;
+        out.write_all(&[SLTR_VERSION])?;
+        Ok(SltrWriter {
+            out,
+            buf: Vec::with_capacity(10),
+            written: 0,
+        })
+    }
+
+    /// Appends one access.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error.
+    pub fn push(&mut self, addr: u64) -> Result<(), SltrError> {
+        self.buf.clear();
+        push_varint(&mut self.buf, addr);
+        self.out.write_all(&self.buf)?;
+        self.written += 1;
+        Ok(())
+    }
+
+    /// Number of accesses written so far.
+    #[must_use]
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Flushes and returns the access count.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error.
+    pub fn finish(mut self) -> Result<u64, SltrError> {
+        self.out.flush()?;
+        Ok(self.written)
+    }
+}
+
+/// A streaming `.sltr` reader over any [`Read`]: an iterator of addresses.
+///
+/// The header is validated on construction; each `next` decodes one varint.
+/// Errors are yielded in-stream (`Some(Err(..))`) and terminate iteration.
+#[derive(Debug)]
+pub struct SltrReader<R: Read> {
+    input: BufReader<R>,
+    decoded: u64,
+    failed: bool,
+}
+
+impl<R: Read> SltrReader<R> {
+    /// Creates a reader and validates the header.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SltrError::BadMagic`] / [`SltrError::BadVersion`] on a
+    /// foreign or future file, or the underlying I/O error.
+    pub fn new(inner: R) -> Result<Self, SltrError> {
+        let mut input = BufReader::new(inner);
+        let mut magic = [0u8; 4];
+        input.read_exact(&mut magic)?;
+        if magic != SLTR_MAGIC {
+            return Err(SltrError::BadMagic { found: magic });
+        }
+        let mut version = [0u8; 1];
+        input.read_exact(&mut version)?;
+        if version[0] != SLTR_VERSION {
+            return Err(SltrError::BadVersion { found: version[0] });
+        }
+        Ok(SltrReader {
+            input,
+            decoded: 0,
+            failed: false,
+        })
+    }
+
+    /// Number of accesses decoded so far.
+    #[must_use]
+    pub fn decoded(&self) -> u64 {
+        self.decoded
+    }
+
+    fn read_byte(&mut self) -> Result<Option<u8>, SltrError> {
+        let mut byte = [0u8; 1];
+        loop {
+            return match self.input.read(&mut byte) {
+                Ok(0) => Ok(None),
+                Ok(_) => Ok(Some(byte[0])),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => Err(SltrError::Io(e)),
+            };
+        }
+    }
+
+    fn next_varint(&mut self) -> Result<Option<u64>, SltrError> {
+        let mut value = 0u64;
+        let mut shift = 0u32;
+        let mut any = false;
+        loop {
+            let Some(byte) = self.read_byte()? else {
+                if any {
+                    return Err(SltrError::TruncatedVarint {
+                        access: self.decoded,
+                    });
+                }
+                return Ok(None);
+            };
+            any = true;
+            let bits = u64::from(byte & 0x7f);
+            if shift >= 64 || (shift == 63 && bits > 1) {
+                return Err(SltrError::Overflow {
+                    access: self.decoded,
+                });
+            }
+            value |= bits << shift;
+            if byte & 0x80 == 0 {
+                self.decoded += 1;
+                return Ok(Some(value));
+            }
+            shift += 7;
+        }
+    }
+}
+
+impl<R: Read> Iterator for SltrReader<R> {
+    type Item = Result<u64, SltrError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        match self.next_varint() {
+            Ok(Some(v)) => Some(Ok(v)),
+            Ok(None) => None,
+            Err(e) => {
+                self.failed = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+/// Writes a whole trace to a `.sltr` writer.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error.
+pub fn write_sltr_to_writer<W: Write>(trace: &Trace, writer: W) -> Result<(), SltrError> {
+    let mut out = SltrWriter::new(writer)?;
+    for a in trace.iter() {
+        out.push(a.value() as u64)?;
+    }
+    out.finish()?;
+    Ok(())
+}
+
+/// Writes a whole trace to a `.sltr` file.
+///
+/// # Errors
+///
+/// See [`write_sltr_to_writer`].
+pub fn write_sltr<P: AsRef<Path>>(trace: &Trace, path: P) -> Result<(), SltrError> {
+    write_sltr_to_writer(trace, File::create(path)?)
+}
+
+/// Serializes a trace to `.sltr` bytes.
+///
+/// # Errors
+///
+/// See [`write_sltr_to_writer`].
+pub fn write_sltr_to_vec(trace: &Trace) -> Result<Vec<u8>, SltrError> {
+    let mut bytes = Vec::with_capacity(5 + trace.len() * 2);
+    write_sltr_to_writer(trace, &mut bytes)?;
+    Ok(bytes)
+}
+
+/// Reads a whole `.sltr` stream into a trace (addresses must fit `usize`).
+///
+/// # Errors
+///
+/// Returns the first decode or I/O error.
+pub fn read_sltr_from_reader<R: Read>(reader: R) -> Result<Trace, SltrError> {
+    let mut trace = Trace::new();
+    for item in SltrReader::new(reader)? {
+        let value = item?;
+        let addr = usize::try_from(value).map_err(|_| SltrError::Overflow { access: 0 })?;
+        trace.push(Addr(addr));
+    }
+    Ok(trace)
+}
+
+/// Reads a whole `.sltr` file into a trace.
+///
+/// # Errors
+///
+/// See [`read_sltr_from_reader`].
+pub fn read_sltr<P: AsRef<Path>>(path: P) -> Result<Trace, SltrError> {
+    read_sltr_from_reader(File::open(path)?)
+}
+
+/// Counts the accesses of a `.sltr` file without materializing them.
+///
+/// # Errors
+///
+/// Returns the first decode or I/O error.
+pub fn count_sltr_accesses<P: AsRef<Path>>(path: P) -> Result<u64, SltrError> {
+    let mut reader = SltrReader::new(File::open(path)?)?;
+    for item in reader.by_ref() {
+        item?;
+    }
+    Ok(reader.decoded())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{sawtooth_trace, zipfian_trace};
+    use crate::io::{read_trace_from_str, write_trace_to_string};
+
+    fn round_trip(trace: &Trace) -> Trace {
+        let bytes = write_sltr_to_vec(trace).unwrap();
+        read_sltr_from_reader(bytes.as_slice()).unwrap()
+    }
+
+    #[test]
+    fn varint_boundary_values_round_trip() {
+        for value in [
+            0u64,
+            1,
+            127,
+            128,
+            129,
+            16_383,
+            16_384,
+            (1 << 21) - 1,
+            1 << 21,
+            u64::from(u32::MAX),
+            u64::MAX,
+        ] {
+            let mut buf = Vec::new();
+            push_varint(&mut buf, value);
+            assert!(buf.len() <= 10);
+            let mut payload = SLTR_MAGIC.to_vec();
+            payload.push(SLTR_VERSION);
+            payload.extend_from_slice(&buf);
+            let decoded: Vec<u64> = SltrReader::new(payload.as_slice())
+                .unwrap()
+                .map(Result::unwrap)
+                .collect();
+            assert_eq!(decoded, vec![value]);
+        }
+    }
+
+    #[test]
+    fn small_addresses_cost_one_byte() {
+        let t = Trace::from_usizes(&[0, 1, 127, 127, 3]);
+        let bytes = write_sltr_to_vec(&t).unwrap();
+        assert_eq!(bytes.len(), 5 + t.len());
+    }
+
+    #[test]
+    fn trace_round_trips_and_matches_text_io() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(9);
+        for trace in [
+            Trace::new(),
+            sawtooth_trace(9, 3),
+            zipfian_trace(1000, 500, 0.9, &mut rng),
+            Trace::from_usizes(&[0, usize::MAX >> 1, 42]),
+        ] {
+            assert_eq!(round_trip(&trace), trace);
+            // The binary path agrees with the established text path.
+            let via_text = read_trace_from_str(&write_trace_to_string(&trace).unwrap()).unwrap();
+            assert_eq!(round_trip(&trace), via_text);
+        }
+    }
+
+    #[test]
+    fn file_round_trip_and_count() {
+        let path = std::env::temp_dir().join("symloc_binio_test.sltr");
+        let t = sawtooth_trace(6, 4);
+        write_sltr(&t, &path).unwrap();
+        assert_eq!(read_sltr(&path).unwrap(), t);
+        assert_eq!(count_sltr_accesses(&path).unwrap(), t.len() as u64);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn writer_reports_progress() {
+        let mut bytes = Vec::new();
+        let mut w = SltrWriter::new(&mut bytes).unwrap();
+        assert_eq!(w.written(), 0);
+        w.push(300).unwrap();
+        w.push(7).unwrap();
+        assert_eq!(w.written(), 2);
+        assert_eq!(w.finish().unwrap(), 2);
+        let back: Vec<u64> = SltrReader::new(bytes.as_slice())
+            .unwrap()
+            .map(Result::unwrap)
+            .collect();
+        assert_eq!(back, vec![300, 7]);
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_rejected() {
+        let err = SltrReader::new(b"NOPE\x01rest".as_slice()).unwrap_err();
+        assert!(matches!(err, SltrError::BadMagic { .. }));
+        assert!(err.to_string().contains("magic"));
+        let mut payload = SLTR_MAGIC.to_vec();
+        payload.push(99);
+        let err = SltrReader::new(payload.as_slice()).unwrap_err();
+        assert!(matches!(err, SltrError::BadVersion { found: 99 }));
+    }
+
+    #[test]
+    fn truncated_varint_is_reported_once() {
+        let mut payload = SLTR_MAGIC.to_vec();
+        payload.push(SLTR_VERSION);
+        payload.push(5); // one complete access
+        payload.push(0x80); // continuation byte with no successor
+        let mut reader = SltrReader::new(payload.as_slice()).unwrap();
+        assert_eq!(reader.next().unwrap().unwrap(), 5);
+        let err = reader.next().unwrap().unwrap_err();
+        assert!(matches!(err, SltrError::TruncatedVarint { access: 1 }));
+        assert!(reader.next().is_none(), "errors terminate iteration");
+    }
+
+    #[test]
+    fn varint_overflow_is_reported() {
+        let mut payload = SLTR_MAGIC.to_vec();
+        payload.push(SLTR_VERSION);
+        payload.extend_from_slice(&[0xff; 10]);
+        payload.push(0x03); // 66 significant bits
+        let mut reader = SltrReader::new(payload.as_slice()).unwrap();
+        assert!(matches!(
+            reader.next().unwrap().unwrap_err(),
+            SltrError::Overflow { .. }
+        ));
+    }
+
+    #[test]
+    fn errors_display_and_convert() {
+        let e = SltrError::TruncatedVarint { access: 3 };
+        assert!(e.to_string().contains("#3"));
+        let io: TraceIoError = e.into();
+        assert!(io.to_string().contains("truncated"));
+        use std::error::Error;
+        assert!(SltrError::Io(std::io::Error::other("x")).source().is_some());
+        assert!(SltrError::BadVersion { found: 2 }.source().is_none());
+    }
+}

@@ -107,6 +107,24 @@ pub fn random_trace<R: Rng + ?Sized>(m: usize, len: usize, rng: &mut R) -> Trace
     (0..len).map(|_| rng.gen_range(0..m.max(1))).collect()
 }
 
+/// The cumulative Zipfian distribution over `m` addresses with skew
+/// exponent `s`: `cdf[a]` is the probability of drawing an address `<= a`.
+/// Address 0 is the most popular. The single source of truth shared by
+/// [`zipfian_trace`] and the streaming generator in [`crate::stream`] —
+/// their draw-for-draw equivalence depends on using the same table.
+#[must_use]
+pub fn zipfian_cdf(m: usize, s: f64) -> Vec<f64> {
+    let weights: Vec<f64> = (1..=m).map(|k| 1.0 / (k as f64).powf(s)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut cdf = Vec::with_capacity(m);
+    let mut acc = 0.0;
+    for w in &weights {
+        acc += w / total;
+        cdf.push(acc);
+    }
+    cdf
+}
+
 /// A Zipfian-distributed random trace of `len` accesses over `m` addresses
 /// with skew exponent `s` (s = 0 is uniform; s around 1 is web-like skew).
 ///
@@ -116,15 +134,7 @@ pub fn zipfian_trace<R: Rng + ?Sized>(m: usize, len: usize, s: f64, rng: &mut R)
     if m == 0 {
         return Trace::new();
     }
-    // Precompute the cumulative distribution.
-    let weights: Vec<f64> = (1..=m).map(|k| 1.0 / (k as f64).powf(s)).collect();
-    let total: f64 = weights.iter().sum();
-    let mut cdf = Vec::with_capacity(m);
-    let mut acc = 0.0;
-    for w in &weights {
-        acc += w / total;
-        cdf.push(acc);
-    }
+    let cdf = zipfian_cdf(m, s);
     (0..len)
         .map(|_| {
             let u: f64 = rng.gen();

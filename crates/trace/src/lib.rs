@@ -14,22 +14,29 @@
 //!   multi-epoch schedules, random/zipfian, strided, tiled, stack-discipline,
 //!   move-to-front ([`generators`]).
 //! * Matrix/tensor traversal patterns ([`matrix`]).
-//! * Plain-text trace I/O ([`io`]).
+//! * Plain-text trace I/O ([`io`]); compact varint binary `.sltr` I/O
+//!   ([`binio`]).
+//! * Streaming trace sources — files, generator specs, in-memory — with
+//!   range streaming for sharded ingestion ([`stream`]).
 //! * Footprint / frequency / reuse-interval statistics ([`stats`]).
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod binio;
 pub mod generators;
 pub mod io;
 pub mod matrix;
 pub mod stats;
+pub mod stream;
 pub mod trace;
 
+pub use stream::{GenSpec, TraceSource};
 pub use trace::{Addr, Trace};
 
 /// Convenient glob import of the most commonly used items.
 pub mod prelude {
+    pub use crate::binio::{read_sltr, write_sltr, SltrReader, SltrWriter};
     pub use crate::generators::{
         cyclic_trace, interleaved_trace, move_to_front_trace, multi_epoch_trace, random_trace,
         retraversal_trace, sawtooth_trace, stack_discipline_trace, stream_kernel_trace,
@@ -38,5 +45,6 @@ pub mod prelude {
     pub use crate::io::{read_trace, read_trace_from_str, write_trace, write_trace_to_string};
     pub use crate::matrix::{matrix_traversal_trace, MatrixLayout, MatrixTraversal};
     pub use crate::stats::{footprint, frequencies, reuse_intervals, TraceStats};
+    pub use crate::stream::{AccessIter, GenSpec, GenStream, TraceSource};
     pub use crate::trace::{Addr, Trace};
 }

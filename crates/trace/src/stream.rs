@@ -1,0 +1,767 @@
+//! Streaming trace sources: traces as address *streams*, not materialized
+//! vectors.
+//!
+//! The batch pipeline ([`crate::Trace`] + `ReuseProfile`) caps analyses at
+//! whatever fits in memory. This module is the substrate of the streaming
+//! trace-analysis subsystem: a [`TraceSource`] describes where accesses come
+//! from — a plain-text file, a binary `.sltr` file ([`crate::binio`]), a
+//! synthetic generator spec, or an in-memory trace — and yields them one at
+//! a time through [`TraceSource::stream`], or any contiguous sub-range
+//! through [`TraceSource::stream_range`] (the hook chunk-sharded parallel
+//! ingestion hangs off: each worker streams only its own chunk).
+//!
+//! Generator specs ([`GenSpec`]) are parsed from compact `gen:` strings so
+//! the CLI can run synthetic workloads of any size without writing a file:
+//!
+//! ```text
+//! gen:cyclic:<m>:<epochs>
+//! gen:sawtooth:<m>:<epochs>
+//! gen:strided:<m>:<stride>:<epochs>
+//! gen:tiled:<m>:<tile>:<epochs>
+//! gen:random:<m>:<len>:<seed>
+//! gen:zipf:<m>:<len>:<s>:<seed>
+//! ```
+//!
+//! Deterministic-pattern generators (cyclic, sawtooth, strided, tiled) are
+//! random-access — `stream_range` starts mid-pattern in `O(1)` — while the
+//! seeded random generators (random, zipf) replay and discard the prefix,
+//! which costs RNG draws but no memory. Either way a generator stream is
+//! `O(m)` state (the Zipfian CDF) regardless of trace length.
+
+use crate::binio::{count_sltr_accesses, SltrReader};
+use crate::io::TraceIoError;
+use crate::trace::Trace;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fs::File;
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+
+/// A parsed synthetic-generator spec (see the [module docs](self) for the
+/// `gen:` grammar). Produces the same access *sequences* as the batch
+/// generators in [`crate::generators`], but streamed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GenSpec {
+    /// `0 1 .. m-1` repeated `epochs` times.
+    Cyclic {
+        /// Number of distinct addresses.
+        m: u64,
+        /// Number of traversals.
+        epochs: u64,
+    },
+    /// Forward then reverse traversals, alternating.
+    Sawtooth {
+        /// Number of distinct addresses.
+        m: u64,
+        /// Number of traversals.
+        epochs: u64,
+    },
+    /// `0, stride, 2·stride, ..` wrapping modulo `m`, `epochs` passes.
+    Strided {
+        /// Number of distinct addresses.
+        m: u64,
+        /// Stride between consecutive accesses.
+        stride: u64,
+        /// Number of passes.
+        epochs: u64,
+    },
+    /// Tile-by-tile traversal, each tile repeated `epochs` times.
+    Tiled {
+        /// Number of distinct addresses.
+        m: u64,
+        /// Tile size.
+        tile: u64,
+        /// Repetitions per tile.
+        epochs: u64,
+    },
+    /// `len` uniformly random addresses below `m`.
+    Random {
+        /// Number of distinct addresses.
+        m: u64,
+        /// Number of accesses.
+        len: u64,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// `len` Zipfian-distributed addresses below `m` with skew `s`.
+    Zipf {
+        /// Number of distinct addresses.
+        m: u64,
+        /// Number of accesses.
+        len: u64,
+        /// Skew exponent (0 = uniform).
+        s: f64,
+        /// RNG seed.
+        seed: u64,
+    },
+}
+
+impl GenSpec {
+    /// Parses a `gen:` spec string (the leading `gen:` is optional).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first problem.
+    pub fn parse(spec: &str) -> Result<GenSpec, String> {
+        let body = spec.strip_prefix("gen:").unwrap_or(spec);
+        let parts: Vec<&str> = body.split(':').collect();
+        let num = |what: &str, text: &str| -> Result<u64, String> {
+            text.parse()
+                .map_err(|_| format!("{what} must be a number, got {text:?}"))
+        };
+        let arity = |n: usize| -> Result<(), String> {
+            if parts.len() == n + 1 {
+                Ok(())
+            } else {
+                Err(format!(
+                    "gen:{} takes {n} parameter(s), got {}",
+                    parts[0],
+                    parts.len() - 1
+                ))
+            }
+        };
+        match parts.first().copied() {
+            Some("cyclic") => {
+                arity(2)?;
+                Ok(GenSpec::Cyclic {
+                    m: num("m", parts[1])?,
+                    epochs: num("epochs", parts[2])?,
+                })
+            }
+            Some("sawtooth") => {
+                arity(2)?;
+                Ok(GenSpec::Sawtooth {
+                    m: num("m", parts[1])?,
+                    epochs: num("epochs", parts[2])?,
+                })
+            }
+            Some("strided") => {
+                arity(3)?;
+                Ok(GenSpec::Strided {
+                    m: num("m", parts[1])?,
+                    stride: num("stride", parts[2])?,
+                    epochs: num("epochs", parts[3])?,
+                })
+            }
+            Some("tiled") => {
+                arity(3)?;
+                let tile = num("tile", parts[2])?;
+                if tile == 0 {
+                    return Err("tile must be positive".to_string());
+                }
+                Ok(GenSpec::Tiled {
+                    m: num("m", parts[1])?,
+                    tile,
+                    epochs: num("epochs", parts[3])?,
+                })
+            }
+            Some("random") => {
+                arity(3)?;
+                Ok(GenSpec::Random {
+                    m: num("m", parts[1])?,
+                    len: num("len", parts[2])?,
+                    seed: num("seed", parts[3])?,
+                })
+            }
+            Some("zipf") => {
+                arity(4)?;
+                let s: f64 = parts[3]
+                    .parse()
+                    .map_err(|_| format!("s must be a number, got {:?}", parts[3]))?;
+                Ok(GenSpec::Zipf {
+                    m: num("m", parts[1])?,
+                    len: num("len", parts[2])?,
+                    s,
+                    seed: num("seed", parts[4])?,
+                })
+            }
+            Some(other) => Err(format!(
+                "unknown generator {other:?} (expected cyclic, sawtooth, strided, tiled, random or zipf)"
+            )),
+            None => Err("empty generator spec".to_string()),
+        }
+    }
+
+    /// The canonical spec string (parses back to `self`).
+    #[must_use]
+    pub fn fingerprint(&self) -> String {
+        match self {
+            GenSpec::Cyclic { m, epochs } => format!("gen:cyclic:{m}:{epochs}"),
+            GenSpec::Sawtooth { m, epochs } => format!("gen:sawtooth:{m}:{epochs}"),
+            GenSpec::Strided { m, stride, epochs } => format!("gen:strided:{m}:{stride}:{epochs}"),
+            GenSpec::Tiled { m, tile, epochs } => format!("gen:tiled:{m}:{tile}:{epochs}"),
+            GenSpec::Random { m, len, seed } => format!("gen:random:{m}:{len}:{seed}"),
+            GenSpec::Zipf { m, len, s, seed } => format!("gen:zipf:{m}:{len}:{s}:{seed}"),
+        }
+    }
+
+    /// Total number of accesses the spec generates.
+    #[must_use]
+    pub fn total_accesses(&self) -> u64 {
+        match *self {
+            GenSpec::Cyclic { m, epochs }
+            | GenSpec::Sawtooth { m, epochs }
+            | GenSpec::Strided { m, epochs, .. }
+            | GenSpec::Tiled { m, epochs, .. } => m * epochs,
+            GenSpec::Random { len, .. } | GenSpec::Zipf { len, .. } => len,
+        }
+    }
+
+    /// The address at position `i` for the deterministic pattern kinds, or
+    /// `None` for the seeded random kinds (which must replay the stream).
+    #[must_use]
+    fn address_at(&self, i: u64) -> Option<u64> {
+        match *self {
+            GenSpec::Cyclic { m, .. } => Some(i % m),
+            GenSpec::Sawtooth { m, .. } => {
+                let (epoch, pos) = (i / m, i % m);
+                Some(if epoch % 2 == 0 { pos } else { m - 1 - pos })
+            }
+            GenSpec::Strided { m, stride, .. } => {
+                Some((u128::from(i % m) * u128::from(stride) % u128::from(m)) as u64)
+            }
+            GenSpec::Tiled { m, tile, epochs } => {
+                let span = tile * epochs;
+                let full_tiles = m / tile;
+                if i < full_tiles * span {
+                    let t = i / span;
+                    Some(t * tile + (i % span) % tile)
+                } else {
+                    let last_size = m - full_tiles * tile;
+                    Some(full_tiles * tile + (i - full_tiles * span) % last_size)
+                }
+            }
+            GenSpec::Random { .. } | GenSpec::Zipf { .. } => None,
+        }
+    }
+
+    /// A stream over the whole generated trace.
+    #[must_use]
+    pub fn stream(&self) -> GenStream {
+        self.stream_range(0, self.total_accesses())
+    }
+
+    /// A stream over positions `start..end` (clamped to the total length).
+    /// Deterministic patterns start in `O(1)`; seeded random generators
+    /// replay and discard the first `start` draws.
+    #[must_use]
+    pub fn stream_range(&self, start: u64, end: u64) -> GenStream {
+        let mut end = end.min(self.total_accesses());
+        let start = start.min(end);
+        let sampler = match *self {
+            GenSpec::Random { m, seed, .. } => {
+                let mut sampler = RandomSampler::Uniform {
+                    m: m.max(1),
+                    rng: StdRng::seed_from_u64(seed),
+                };
+                for _ in 0..start {
+                    let _ = sampler.draw();
+                }
+                Some(sampler)
+            }
+            GenSpec::Zipf { m, s, seed, .. } => {
+                if m == 0 {
+                    // A Zipfian trace over zero addresses is empty (mirrors
+                    // the batch generator).
+                    end = start;
+                    None
+                } else {
+                    let mut sampler = RandomSampler::Zipf {
+                        cdf: zipf_cdf(m, s),
+                        rng: StdRng::seed_from_u64(seed),
+                    };
+                    for _ in 0..start {
+                        let _ = sampler.draw();
+                    }
+                    Some(sampler)
+                }
+            }
+            _ => None,
+        };
+        GenStream {
+            spec: self.clone(),
+            index: start,
+            end,
+            sampler,
+        }
+    }
+
+    /// Materializes the spec into a [`Trace`] (intended for tests and small
+    /// traces; the whole point of streams is not to call this at scale).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an address exceeds `usize`.
+    #[must_use]
+    pub fn materialize(&self) -> Trace {
+        self.stream()
+            .map(|a| usize::try_from(a).expect("address fits usize"))
+            .collect()
+    }
+}
+
+impl std::fmt::Display for GenSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.fingerprint())
+    }
+}
+
+/// The cumulative Zipfian distribution shared with the batch generator
+/// (draw-for-draw equivalence requires the identical table).
+fn zipf_cdf(m: u64, s: f64) -> Vec<f64> {
+    crate::generators::zipfian_cdf(usize::try_from(m).expect("zipf CDF fits memory"), s)
+}
+
+#[derive(Debug)]
+enum RandomSampler {
+    Uniform { m: u64, rng: StdRng },
+    Zipf { cdf: Vec<f64>, rng: StdRng },
+}
+
+impl RandomSampler {
+    fn draw(&mut self) -> u64 {
+        match self {
+            RandomSampler::Uniform { m, rng } => rng.gen_range(0..*m),
+            RandomSampler::Zipf { cdf, rng } => {
+                let u: f64 = rng.gen();
+                let idx = cdf.partition_point(|&c| c < u).min(cdf.len() - 1);
+                idx as u64
+            }
+        }
+    }
+}
+
+/// A streaming iterator over (a sub-range of) a generated trace.
+#[derive(Debug)]
+pub struct GenStream {
+    spec: GenSpec,
+    index: u64,
+    end: u64,
+    sampler: Option<RandomSampler>,
+}
+
+impl GenStream {
+    /// Number of accesses remaining.
+    #[must_use]
+    pub fn remaining(&self) -> u64 {
+        self.end - self.index
+    }
+}
+
+impl Iterator for GenStream {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        if self.index >= self.end {
+            return None;
+        }
+        let addr = match &mut self.sampler {
+            Some(sampler) => sampler.draw(),
+            None => self
+                .spec
+                .address_at(self.index)
+                .expect("deterministic patterns are random-access"),
+        };
+        self.index += 1;
+        Some(addr)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = usize::try_from(self.remaining()).ok();
+        (n.unwrap_or(usize::MAX), n)
+    }
+}
+
+/// Where a trace's accesses come from. The unit the streaming analysis
+/// subsystem is parameterized by: every variant can report its total length
+/// and stream any contiguous sub-range on demand, so the same source can be
+/// consumed sequentially (one streaming pass) or chunk-sharded across
+/// workers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceSource {
+    /// A plain-text trace file ([`crate::io`] format).
+    Text(PathBuf),
+    /// A binary `.sltr` trace file ([`crate::binio`] format).
+    Binary(PathBuf),
+    /// A synthetic generator.
+    Gen(GenSpec),
+    /// An in-memory trace.
+    Memory(Trace),
+}
+
+/// A boxed streaming iterator of addresses, `Send` so chunk workers can own
+/// one each.
+pub type AccessIter = Box<dyn Iterator<Item = u64> + Send>;
+
+impl TraceSource {
+    /// Parses a CLI argument: a `gen:` spec, or a path (`.sltr` extension or
+    /// an `SLTR` magic selects the binary format, anything else is text).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the problem.
+    pub fn parse(arg: &str) -> Result<TraceSource, String> {
+        if arg.starts_with("gen:") {
+            return Ok(TraceSource::Gen(GenSpec::parse(arg)?));
+        }
+        let path = PathBuf::from(arg);
+        if path.extension().is_some_and(|e| e == "sltr") || file_has_sltr_magic(&path) {
+            Ok(TraceSource::Binary(path))
+        } else {
+            Ok(TraceSource::Text(path))
+        }
+    }
+
+    /// A stable one-line identity of the source, embedded in ingest
+    /// checkpoints so a resume can tell whether the checkpoint belongs to
+    /// the trace it is about to process. File fingerprints are *path*-based
+    /// (hashing gigabytes on every save would defeat streaming); consumers
+    /// that must detect a file changing between runs additionally compare
+    /// [`TraceSource::total_accesses`], as the ingest resume does.
+    #[must_use]
+    pub fn fingerprint(&self) -> String {
+        match self {
+            TraceSource::Text(path) => format!("text:{}", path.display()),
+            TraceSource::Binary(path) => format!("sltr:{}", path.display()),
+            TraceSource::Gen(spec) => spec.fingerprint(),
+            TraceSource::Memory(trace) => {
+                format!("memory:{}:{:016x}", trace.len(), fnv1a_trace(trace))
+            }
+        }
+    }
+
+    /// Total number of accesses. Files are scanned (and thereby fully
+    /// validated — later [`TraceSource::stream_range`] calls may assume the
+    /// content decodes); generators and in-memory traces answer in `O(1)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first read or parse error.
+    pub fn total_accesses(&self) -> Result<u64, TraceIoError> {
+        match self {
+            TraceSource::Text(path) => {
+                let mut count = 0u64;
+                for_each_text_access(path, &mut |_| count += 1)?;
+                Ok(count)
+            }
+            TraceSource::Binary(path) => Ok(count_sltr_accesses(path)?),
+            TraceSource::Gen(spec) => Ok(spec.total_accesses()),
+            TraceSource::Memory(trace) => Ok(trace.len() as u64),
+        }
+    }
+
+    /// Streams the whole trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error of opening the underlying file, if any. Decode
+    /// errors past that point panic — validate first with
+    /// [`TraceSource::total_accesses`].
+    pub fn stream(&self) -> Result<AccessIter, TraceIoError> {
+        self.stream_range(0, u64::MAX)
+    }
+
+    /// Streams accesses `start..end` (clamped to the trace length). File
+    /// sources open a fresh reader and skip `start` accesses; generator
+    /// sources position natively (see [`GenSpec::stream_range`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the error of opening the underlying file, if any.
+    pub fn stream_range(&self, start: u64, end: u64) -> Result<AccessIter, TraceIoError> {
+        let take = end.saturating_sub(start);
+        match self {
+            TraceSource::Text(path) => {
+                let file = File::open(path)?;
+                let iter = BufReader::new(file)
+                    .lines()
+                    .map(|line| line.expect("trace file readable"))
+                    .filter_map(|line| {
+                        let text = line.trim().to_string();
+                        if text.is_empty() || text.starts_with('#') {
+                            None
+                        } else {
+                            Some(text.parse::<u64>().expect("validated trace line"))
+                        }
+                    })
+                    .skip(usize::try_from(start).unwrap_or(usize::MAX))
+                    .take(usize::try_from(take).unwrap_or(usize::MAX));
+                Ok(Box::new(iter))
+            }
+            TraceSource::Binary(path) => {
+                let reader = SltrReader::new(File::open(path)?).map_err(TraceIoError::from)?;
+                let iter = reader
+                    .map(|item| item.expect("validated sltr payload"))
+                    .skip(usize::try_from(start).unwrap_or(usize::MAX))
+                    .take(usize::try_from(take).unwrap_or(usize::MAX));
+                Ok(Box::new(iter))
+            }
+            TraceSource::Gen(spec) => {
+                let end = end.min(spec.total_accesses());
+                Ok(Box::new(spec.stream_range(start, end)))
+            }
+            TraceSource::Memory(trace) => {
+                let len = trace.len() as u64;
+                let end = end.min(len);
+                let start = start.min(end);
+                let addrs: Vec<u64> = trace.accesses()
+                    [usize::try_from(start).unwrap()..usize::try_from(end).unwrap()]
+                    .iter()
+                    .map(|a| a.value() as u64)
+                    .collect();
+                Ok(Box::new(addrs.into_iter()))
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for TraceSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.fingerprint())
+    }
+}
+
+/// True when the file starts with the `SLTR` magic (best-effort sniff).
+fn file_has_sltr_magic(path: &Path) -> bool {
+    use std::io::Read;
+    let Ok(mut file) = File::open(path) else {
+        return false;
+    };
+    let mut magic = [0u8; 4];
+    file.read_exact(&mut magic).is_ok() && magic == crate::binio::SLTR_MAGIC
+}
+
+/// Applies `f` to every access of a text-format trace file, streaming.
+fn for_each_text_access(path: &Path, f: &mut dyn FnMut(u64)) -> Result<(), TraceIoError> {
+    let file = File::open(path)?;
+    for (idx, line) in BufReader::new(file).lines().enumerate() {
+        let line = line?;
+        let text = line.trim();
+        if text.is_empty() || text.starts_with('#') {
+            continue;
+        }
+        let addr: u64 = text.parse().map_err(|_| TraceIoError::Parse {
+            line: idx + 1,
+            text: text.to_string(),
+        })?;
+        f(addr);
+    }
+    Ok(())
+}
+
+/// FNV-1a over the address values, for in-memory source fingerprints.
+fn fnv1a_trace(trace: &Trace) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for a in trace.iter() {
+        for byte in (a.value() as u64).to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binio::write_sltr;
+    use crate::generators::{
+        cyclic_trace, random_trace, sawtooth_trace, strided_trace, tiled_trace, zipfian_trace,
+    };
+    use crate::io::write_trace;
+
+    fn collect(spec: &GenSpec) -> Vec<u64> {
+        spec.stream().collect()
+    }
+
+    fn as_u64(trace: &Trace) -> Vec<u64> {
+        trace.iter().map(|a| a.value() as u64).collect()
+    }
+
+    #[test]
+    fn gen_streams_match_batch_generators() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        assert_eq!(
+            collect(&GenSpec::parse("gen:cyclic:5:3").unwrap()),
+            as_u64(&cyclic_trace(5, 3))
+        );
+        assert_eq!(
+            collect(&GenSpec::parse("gen:sawtooth:4:5").unwrap()),
+            as_u64(&sawtooth_trace(4, 5))
+        );
+        assert_eq!(
+            collect(&GenSpec::parse("gen:strided:8:3:2").unwrap()),
+            as_u64(&strided_trace(8, 3, 2))
+        );
+        for (m, tile) in [(9, 4), (8, 2), (3, 7)] {
+            assert_eq!(
+                collect(&GenSpec::parse(&format!("gen:tiled:{m}:{tile}:3")).unwrap()),
+                as_u64(&tiled_trace(m, tile, 3)),
+                "m={m} tile={tile}"
+            );
+        }
+        let mut rng = StdRng::seed_from_u64(11);
+        assert_eq!(
+            collect(&GenSpec::parse("gen:random:10:50:11").unwrap()),
+            as_u64(&random_trace(10, 50, &mut rng))
+        );
+        let mut rng = StdRng::seed_from_u64(12);
+        assert_eq!(
+            collect(&GenSpec::parse("gen:zipf:20:100:0.9:12").unwrap()),
+            as_u64(&zipfian_trace(20, 100, 0.9, &mut rng))
+        );
+    }
+
+    #[test]
+    fn stream_range_equals_skip_take_for_every_kind() {
+        for spec in [
+            "gen:cyclic:7:4",
+            "gen:sawtooth:6:5",
+            "gen:strided:9:2:3",
+            "gen:tiled:10:3:2",
+            "gen:random:12:60:5",
+            "gen:zipf:15:60:1.1:5",
+        ] {
+            let spec = GenSpec::parse(spec).unwrap();
+            let full = collect(&spec);
+            for (start, end) in [(0u64, 9u64), (5, 23), (17, 17), (20, 10_000)] {
+                let ranged: Vec<u64> = spec.stream_range(start, end).collect();
+                let expect: Vec<u64> = full
+                    .iter()
+                    .copied()
+                    .skip(start as usize)
+                    .take(end.saturating_sub(start) as usize)
+                    .collect();
+                assert_eq!(ranged, expect, "{spec} range {start}..{end}");
+            }
+        }
+    }
+
+    #[test]
+    fn parse_round_trips_and_rejects_malformed() {
+        for text in [
+            "gen:cyclic:5:3",
+            "gen:sawtooth:4:5",
+            "gen:strided:8:3:2",
+            "gen:tiled:9:4:3",
+            "gen:random:10:50:11",
+            "gen:zipf:20:100:0.9:12",
+        ] {
+            let spec = GenSpec::parse(text).unwrap();
+            assert_eq!(spec.fingerprint(), text);
+            assert_eq!(GenSpec::parse(&spec.fingerprint()).unwrap(), spec);
+            assert_eq!(format!("{spec}"), text);
+        }
+        assert!(GenSpec::parse("gen:bogus:1:2").is_err());
+        assert!(GenSpec::parse("gen:cyclic:1").is_err());
+        assert!(GenSpec::parse("gen:cyclic:1:2:3").is_err());
+        assert!(GenSpec::parse("gen:cyclic:x:2").is_err());
+        assert!(GenSpec::parse("gen:zipf:5:5:notafloat:1").is_err());
+        assert!(GenSpec::parse("gen:tiled:5:0:2").is_err());
+        assert!(GenSpec::parse("").is_err());
+    }
+
+    #[test]
+    fn source_parse_detects_formats() {
+        assert!(matches!(
+            TraceSource::parse("gen:cyclic:4:2").unwrap(),
+            TraceSource::Gen(_)
+        ));
+        assert!(matches!(
+            TraceSource::parse("/tmp/foo.sltr").unwrap(),
+            TraceSource::Binary(_)
+        ));
+        assert!(matches!(
+            TraceSource::parse("/tmp/foo.trace").unwrap(),
+            TraceSource::Text(_)
+        ));
+        assert!(TraceSource::parse("gen:frobnicate:1").is_err());
+        // Magic sniffing catches .sltr content under a foreign extension.
+        let path = std::env::temp_dir().join("symloc_stream_sniff_test.bin");
+        write_sltr(&cyclic_trace(3, 1), &path).unwrap();
+        assert!(matches!(
+            TraceSource::parse(path.to_str().unwrap()).unwrap(),
+            TraceSource::Binary(_)
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn file_sources_stream_and_count() {
+        let t = sawtooth_trace(6, 3);
+        let dir = std::env::temp_dir();
+        let text_path = dir.join("symloc_stream_test.trace");
+        let bin_path = dir.join("symloc_stream_test.sltr");
+        write_trace(&t, &text_path).unwrap();
+        write_sltr(&t, &bin_path).unwrap();
+        for source in [
+            TraceSource::Text(text_path.clone()),
+            TraceSource::Binary(bin_path.clone()),
+            TraceSource::Memory(t.clone()),
+        ] {
+            assert_eq!(source.total_accesses().unwrap(), 18, "{source}");
+            let all: Vec<u64> = source.stream().unwrap().collect();
+            assert_eq!(all, as_u64(&t), "{source}");
+            let mid: Vec<u64> = source.stream_range(4, 9).unwrap().collect();
+            assert_eq!(mid, as_u64(&t)[4..9].to_vec(), "{source}");
+        }
+        std::fs::remove_file(&text_path).ok();
+        std::fs::remove_file(&bin_path).ok();
+    }
+
+    #[test]
+    fn fingerprints_identify_sources() {
+        let a = TraceSource::Memory(cyclic_trace(4, 2));
+        let b = TraceSource::Memory(sawtooth_trace(4, 2));
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_eq!(
+            a.fingerprint(),
+            TraceSource::Memory(cyclic_trace(4, 2)).fingerprint()
+        );
+        assert!(TraceSource::Text(PathBuf::from("x.trace"))
+            .fingerprint()
+            .starts_with("text:"));
+        assert!(TraceSource::Binary(PathBuf::from("x.sltr"))
+            .fingerprint()
+            .starts_with("sltr:"));
+    }
+
+    #[test]
+    fn total_accesses_reports_file_errors() {
+        let missing = TraceSource::Text(PathBuf::from("/no/such/file.trace"));
+        assert!(missing.total_accesses().is_err());
+        assert!(missing.stream().is_err());
+        let path = std::env::temp_dir().join("symloc_stream_bad_test.trace");
+        std::fs::write(&path, "0\nnot-a-number\n").unwrap();
+        let bad = TraceSource::Text(path.clone());
+        assert!(bad.total_accesses().is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn zero_degree_generators_are_empty() {
+        assert_eq!(
+            GenSpec::parse("gen:zipf:0:10:1.0:1")
+                .unwrap()
+                .stream()
+                .count(),
+            0
+        );
+        assert_eq!(
+            GenSpec::parse("gen:cyclic:0:5").unwrap().total_accesses(),
+            0
+        );
+    }
+
+    #[test]
+    fn materialize_matches_stream() {
+        let spec = GenSpec::parse("gen:sawtooth:5:2").unwrap();
+        assert_eq!(spec.materialize(), sawtooth_trace(5, 2));
+        let mut s = spec.stream();
+        assert_eq!(s.remaining(), 10);
+        assert_eq!(s.size_hint(), (10, Some(10)));
+        let _ = s.next();
+        assert_eq!(s.remaining(), 9);
+    }
+}

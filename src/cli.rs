@@ -29,12 +29,16 @@ use symloc_core::optimize::{best_feasible_exhaustive, optimize_from_identity};
 use symloc_core::retraversal::ReTraversal;
 use symloc_core::shard::ShardedSweep;
 use symloc_core::theorems::theorem2_holds;
+use symloc_core::tracesweep::{log_spaced_sizes, OnlineReuseEngine, ShardsEstimator, TraceIngest};
 use symloc_par::default_threads;
 use symloc_perm::inversions::{inversions, max_inversions};
+use symloc_perm::sample::LevelSampler;
 use symloc_perm::statistics::Statistic;
+use symloc_trace::binio::SltrWriter;
 use symloc_trace::generators::{cyclic_trace, random_trace, sawtooth_trace};
 use symloc_trace::io::{read_trace, write_trace};
 use symloc_trace::stats::trace_stats;
+use symloc_trace::stream::TraceSource;
 use symloc_trace::Trace;
 
 /// Errors reported by the CLI, already formatted for the user.
@@ -62,7 +66,16 @@ pub fn usage() -> String {
      \x20 symloc sweep <m> [--stat <inversions|descents|major|displacement>]\n\
      \x20              [--model <lru|assoc:WAYS:lru|fifo|plru>] [--threads N]\n\
      \x20              [--samples BUDGET --seed S]          (stratified sampling)\n\
-     \x20              [--shards K --checkpoint FILE [--max-shards N]]  (resumable)\n"
+     \x20              [--shards K --checkpoint FILE [--max-shards N]]  (resumable)\n\
+     \x20 symloc trace mrc <file|gen:...> [--exact | --sample S_MAX]\n\
+     \x20              [--shards N] [--threads N] [--points K]\n\
+     \x20              [--checkpoint FILE [--max-chunks N]]  (resumable exact ingest)\n\
+     \x20 symloc trace convert <file|gen:...> <out-file>   (.sltr <-> text, streaming)\n\
+     \n\
+     Trace sources: a plain-text file (one address per line), a binary\n\
+     .sltr file, or a generator spec gen:<kind>:<params> with kinds\n\
+     cyclic:<m>:<epochs>, sawtooth:<m>:<epochs>, strided:<m>:<stride>:<epochs>,\n\
+     tiled:<m>:<tile>:<epochs>, random:<m>:<len>:<seed>, zipf:<m>:<len>:<s>:<seed>.\n"
         .to_string()
 }
 
@@ -381,12 +394,12 @@ pub fn parse_sweep_options(args: &[String]) -> Result<SweepOptions, CliError> {
         }
         i += 2;
     }
-    if options.samples.is_some() && options.spec.statistic != Statistic::Inversions {
-        return Err(CliError(
-            "sampled sweeps are stratified by inversion number; \
-             --samples requires --stat inversions"
-                .into(),
-        ));
+    if options.samples.is_some() && !LevelSampler::supports(options.spec.statistic) {
+        return Err(CliError(format!(
+            "no stratified sampler for statistic {}; --samples supports \
+             inversions (Mahonian weights) and descents (Eulerian weights)",
+            options.spec.statistic
+        )));
     }
     if options.samples.is_some() && options.checkpoint.is_some() {
         return Err(CliError(
@@ -468,11 +481,16 @@ pub fn sweep(args: &[String]) -> Result<String, CliError> {
     let engine = SweepEngine::with_threads(spec.m, options.threads);
 
     if let Some(budget) = options.samples {
-        let levels = engine.sampled_levels_weighted(spec.model, budget, 2, options.seed);
+        let levels =
+            engine.sampled_levels_weighted(spec.statistic, spec.model, budget, 2, options.seed);
+        let weights = match spec.statistic {
+            Statistic::Descents => "Eulerian",
+            _ => "Mahonian",
+        };
         let mut out = sweep_report(spec, &levels, true);
         let _ = writeln!(
             out,
-            "stratified sampling: budget {budget} distributed by Mahonian weights (seed {})",
+            "stratified sampling: budget {budget} distributed by {weights} weights (seed {})",
             options.seed
         );
         return Ok(out);
@@ -514,6 +532,322 @@ pub fn sweep(args: &[String]) -> Result<String, CliError> {
         }
     }
     Ok(out)
+}
+
+/// Options of `symloc trace mrc`, parsed from its argument list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceMrcOptions {
+    /// The trace source (file or `gen:` spec).
+    pub source: TraceSource,
+    /// `Some(s_max)` selects the bounded-memory sampled estimator.
+    pub sample: Option<usize>,
+    /// Chunk count for sharded exact ingestion.
+    pub shards: usize,
+    /// Worker threads.
+    pub threads: usize,
+    /// Number of MRC evaluation points (log-spaced over the footprint).
+    pub points: usize,
+    /// Checkpoint file enabling resumable exact ingestion.
+    pub checkpoint: Option<String>,
+    /// At most this many chunks this invocation (`None` = run to the end).
+    pub max_chunks: Option<usize>,
+}
+
+/// Parses the argument list of `symloc trace mrc` (everything after the
+/// `mrc` subcommand).
+///
+/// # Errors
+///
+/// Returns a [`CliError`] on malformed flags or unsupported combinations.
+pub fn parse_trace_mrc_options(args: &[String]) -> Result<TraceMrcOptions, CliError> {
+    let source_arg = args
+        .first()
+        .ok_or_else(|| CliError("trace mrc needs a trace file or gen: spec".into()))?;
+    let source = TraceSource::parse(source_arg).map_err(CliError)?;
+    let mut options = TraceMrcOptions {
+        source,
+        sample: None,
+        shards: 8,
+        threads: default_threads(),
+        points: 16,
+        checkpoint: None,
+        max_chunks: None,
+    };
+    let mut exact = false;
+    let mut i = 1usize;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = args.get(i + 1);
+        match flag {
+            "--exact" => {
+                exact = true;
+                i += 1;
+                continue;
+            }
+            "--sample" => {
+                let s_max = parse_usize(value, "--sample")?;
+                if s_max == 0 {
+                    return Err(CliError("--sample needs a positive budget".into()));
+                }
+                options.sample = Some(s_max);
+            }
+            "--shards" => {
+                options.shards = parse_usize(value, "--shards")?;
+                if options.shards == 0 {
+                    return Err(CliError("--shards must be positive".into()));
+                }
+            }
+            "--threads" => options.threads = parse_usize(value, "--threads")?,
+            "--points" => {
+                options.points = parse_usize(value, "--points")?;
+                if options.points == 0 {
+                    return Err(CliError("--points must be positive".into()));
+                }
+            }
+            "--checkpoint" => {
+                options.checkpoint = Some(
+                    value
+                        .ok_or_else(|| CliError("--checkpoint needs a file".into()))?
+                        .clone(),
+                );
+            }
+            "--max-chunks" => options.max_chunks = Some(parse_usize(value, "--max-chunks")?),
+            other => return Err(CliError(format!("unknown trace mrc flag {other:?}"))),
+        }
+        i += 2;
+    }
+    if exact && options.sample.is_some() {
+        return Err(CliError(
+            "--exact and --sample are mutually exclusive".into(),
+        ));
+    }
+    if options.sample.is_some() && options.checkpoint.is_some() {
+        return Err(CliError(
+            "--checkpoint applies to exact sharded ingestion only (the \
+             sampled estimator is a single bounded-memory pass)"
+                .into(),
+        ));
+    }
+    if options.max_chunks.is_some() && options.checkpoint.is_none() {
+        return Err(CliError(
+            "--max-chunks only makes sense with --checkpoint (a bounded \
+             partial ingest needs somewhere to save its progress)"
+                .into(),
+        ));
+    }
+    Ok(options)
+}
+
+/// Opens a fully validated stream over `source`: scans it once (catching
+/// unreadable files and malformed content as a [`CliError`] instead of the
+/// panic `stream_range` reserves for validated sources), then streams.
+fn validated_stream(source: &TraceSource) -> Result<symloc_trace::stream::AccessIter, CliError> {
+    source
+        .total_accesses()
+        .map_err(|e| CliError(format!("cannot read {source}: {e}")))?;
+    source
+        .stream()
+        .map_err(|e| CliError(format!("cannot read {source}: {e}")))
+}
+
+/// Renders the MRC table of a finished (exact or sampled) analysis.
+fn mrc_table(points: &[symloc_core::tracesweep::MrcPoint]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{:>12} {:>12}", "cache size", "miss ratio");
+    for p in points {
+        let _ = writeln!(out, "{:>12} {:>12.4}", p.cache_size, p.miss_ratio);
+    }
+    out
+}
+
+/// `symloc trace mrc <file|gen:...>` — streams the trace once and reports
+/// its reuse-distance profile and miss-ratio curve: exact (optionally
+/// sharded and checkpoint-resumable) or SHARDS-sampled in `O(s_max)` memory.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] on malformed arguments, unreadable sources, or
+/// checkpoint I/O failures.
+pub fn trace_mrc(args: &[String]) -> Result<String, CliError> {
+    let options = parse_trace_mrc_options(args)?;
+    let source = &options.source;
+    let mut out = String::new();
+    let _ = writeln!(out, "trace mrc — {source}");
+
+    if let Some(s_max) = options.sample {
+        // The bounded-memory sampled estimator: one sequential pass.
+        let mut estimator = ShardsEstimator::new(s_max);
+        estimator.record_all(validated_stream(source)?);
+        let footprint = estimator.estimated_footprint().round().max(1.0) as usize;
+        let _ = writeln!(out, "accesses            : {}", estimator.raw_accesses());
+        let _ = writeln!(
+            out,
+            "engine              : sampled (s_max {s_max}, rate {:.4}, {} sampled, {} evictions)",
+            estimator.sampling_rate(),
+            estimator.sampled_accesses(),
+            estimator.evictions()
+        );
+        let _ = writeln!(out, "footprint           : ~{footprint} (estimated)");
+        let sizes = log_spaced_sizes(footprint, options.points);
+        out.push_str(&mrc_table(&estimator.mrc_points(&sizes)));
+        return Ok(out);
+    }
+
+    let histogram = if let Some(checkpoint) = &options.checkpoint {
+        let path = Path::new(checkpoint);
+        let (mut ingest, resumed) =
+            TraceIngest::resume_or_new(source, options.shards, options.threads, path)
+                .map_err(CliError)?;
+        if resumed {
+            let _ = writeln!(
+                out,
+                "resumed from {checkpoint}: {} of {} chunks were already done",
+                ingest.completed_count(),
+                ingest.chunk_count()
+            );
+        } else if path.exists() {
+            // A checkpoint is on disk but did not match this source, access
+            // count or chunk plan — say so before overwriting it, so a
+            // mistyped --shards or path does not silently discard progress.
+            let _ = writeln!(
+                out,
+                "warning: existing checkpoint {checkpoint} does not match this \
+                 source/plan (source {source}, {} accesses, {} chunks); starting \
+                 fresh and overwriting it",
+                ingest.total_accesses(),
+                ingest.chunk_count()
+            );
+        }
+        let ran = ingest
+            .run_with_checkpoint(source, path, options.max_chunks, |_, _| {})
+            .map_err(|e| CliError(format!("cannot write checkpoint {checkpoint}: {e}")))?;
+        let _ = writeln!(
+            out,
+            "ran {ran} chunk(s); {} of {} complete; checkpoint saved to {checkpoint}",
+            ingest.completed_count(),
+            ingest.chunk_count()
+        );
+        match ingest.histogram() {
+            Some(h) => {
+                let _ = writeln!(out, "accesses            : {}", h.accesses());
+                let _ = writeln!(
+                    out,
+                    "engine              : exact sharded ({} chunks, {} threads)",
+                    ingest.chunk_count(),
+                    options.threads
+                );
+                h.clone()
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "ingest incomplete — re-run the same command to continue from the checkpoint"
+                );
+                return Ok(out);
+            }
+        }
+    } else if options.threads > 1 {
+        let mut ingest =
+            TraceIngest::new(source, options.shards, options.threads).map_err(CliError)?;
+        ingest.run_pending(source, None);
+        let h = ingest
+            .histogram()
+            .expect("ingest ran to completion")
+            .clone();
+        let _ = writeln!(out, "accesses            : {}", h.accesses());
+        let _ = writeln!(
+            out,
+            "engine              : exact sharded ({} chunks, {} threads)",
+            ingest.chunk_count(),
+            options.threads
+        );
+        h
+    } else {
+        let mut engine = OnlineReuseEngine::new();
+        engine.record_all(validated_stream(source)?);
+        let _ = writeln!(out, "accesses            : {}", engine.accesses());
+        let _ = writeln!(out, "engine              : exact streaming (1 thread)");
+        engine.into_histogram()
+    };
+
+    let footprint = usize::try_from(histogram.cold_count()).unwrap_or(usize::MAX);
+    let _ = writeln!(out, "footprint           : {footprint}");
+    let sizes = log_spaced_sizes(footprint, options.points);
+    out.push_str(&mrc_table(&histogram.mrc_points(&sizes)));
+    Ok(out)
+}
+
+/// `symloc trace convert <in> <out>` — streams a trace from any source into
+/// a file, picking the output format by extension (`.sltr` = binary varint,
+/// anything else = plain text). Never materializes the trace, so converting
+/// a multi-gigabyte generator spec to `.sltr` is fine.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] on malformed arguments or I/O failures.
+pub fn trace_convert(args: &[String]) -> Result<String, CliError> {
+    let source_arg = args
+        .first()
+        .ok_or_else(|| CliError("trace convert needs a source".into()))?;
+    let out_path = args
+        .get(1)
+        .ok_or_else(|| CliError("trace convert needs an output file".into()))?;
+    if args.len() > 2 {
+        return Err(CliError(format!("unexpected argument {:?}", args[2])));
+    }
+    let source = TraceSource::parse(source_arg).map_err(CliError)?;
+    let stream = validated_stream(&source)?;
+    let binary = Path::new(out_path).extension().is_some_and(|e| e == "sltr");
+    let written = if binary {
+        let file = std::fs::File::create(out_path)
+            .map_err(|e| CliError(format!("cannot create {out_path}: {e}")))?;
+        let mut writer =
+            SltrWriter::new(file).map_err(|e| CliError(format!("cannot write {out_path}: {e}")))?;
+        for addr in stream {
+            writer
+                .push(addr)
+                .map_err(|e| CliError(format!("cannot write {out_path}: {e}")))?;
+        }
+        writer
+            .finish()
+            .map_err(|e| CliError(format!("cannot write {out_path}: {e}")))?
+    } else {
+        use std::io::Write as _;
+        let file = std::fs::File::create(out_path)
+            .map_err(|e| CliError(format!("cannot create {out_path}: {e}")))?;
+        let mut writer = std::io::BufWriter::new(file);
+        let mut written = 0u64;
+        (|| -> std::io::Result<()> {
+            writeln!(writer, "# symloc trace")?;
+            for addr in stream {
+                writeln!(writer, "{addr}")?;
+                written += 1;
+            }
+            writer.flush()
+        })()
+        .map_err(|e| CliError(format!("cannot write {out_path}: {e}")))?;
+        written
+    };
+    Ok(format!(
+        "converted {source} -> {out_path} ({written} accesses, {} format)\n",
+        if binary { "sltr" } else { "text" }
+    ))
+}
+
+/// Dispatches the `symloc trace <mrc|convert>` subcommands.
+///
+/// # Errors
+///
+/// See [`trace_mrc`] and [`trace_convert`].
+pub fn trace(args: &[String]) -> Result<String, CliError> {
+    match args.first().map(String::as_str) {
+        Some("mrc") => trace_mrc(&args[1..]),
+        Some("convert") => trace_convert(&args[1..]),
+        Some(other) => Err(CliError(format!(
+            "unknown trace subcommand {other:?} (expected mrc or convert)"
+        ))),
+        None => Err(CliError("trace needs a subcommand (mrc or convert)".into())),
+    }
 }
 
 /// Dispatches a full argument vector (excluding the program name).
@@ -561,6 +895,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             optimize(m, &args[2..])
         }
         Some("sweep") => sweep(&args[1..]),
+        Some("trace") => trace(&args[1..]),
         Some("help") | None => Ok(usage()),
         Some(other) => Err(CliError(format!("unknown command {other:?}"))),
     }
@@ -655,7 +990,8 @@ mod tests {
         assert!(parse_sweep_options(&sargs("5 --shards 0")).is_err());
         assert!(parse_sweep_options(&sargs("5 --frobnicate 1")).is_err());
         assert!(parse_sweep_options(&sargs("5 --stat")).is_err());
-        assert!(parse_sweep_options(&sargs("5 --samples 100 --stat descents")).is_err());
+        assert!(parse_sweep_options(&sargs("5 --samples 100 --stat descents")).is_ok());
+        assert!(parse_sweep_options(&sargs("5 --samples 100 --stat major")).is_err());
         assert!(parse_sweep_options(&sargs("5 --samples 10 --checkpoint x.json")).is_err());
         assert!(parse_sweep_options(&sargs("5 --max-shards 2")).is_err());
         assert!(parse_sweep_options(&sargs("13")).is_err());
@@ -705,6 +1041,156 @@ mod tests {
         };
         assert_eq!(tail(&second), tail(&direct));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn trace_mrc_option_parsing() {
+        let options = parse_trace_mrc_options(&sargs(
+            "gen:zipf:100:1000:0.9:1 --sample 64 --threads 2 --points 8",
+        ))
+        .unwrap();
+        assert_eq!(options.sample, Some(64));
+        assert_eq!(options.threads, 2);
+        assert_eq!(options.points, 8);
+        assert!(matches!(options.source, TraceSource::Gen(_)));
+        assert!(parse_trace_mrc_options(&sargs("")).is_err());
+        assert!(parse_trace_mrc_options(&sargs("gen:bogus:1")).is_err());
+        assert!(parse_trace_mrc_options(&sargs("x.trace --sample 0")).is_err());
+        assert!(parse_trace_mrc_options(&sargs("x.trace --shards 0")).is_err());
+        assert!(parse_trace_mrc_options(&sargs("x.trace --points 0")).is_err());
+        assert!(parse_trace_mrc_options(&sargs("x.trace --frobnicate 1")).is_err());
+        assert!(parse_trace_mrc_options(&sargs("x.trace --exact --sample 9")).is_err());
+        assert!(parse_trace_mrc_options(&sargs("x.trace --sample 9 --checkpoint c.json")).is_err());
+        assert!(parse_trace_mrc_options(&sargs("x.trace --max-chunks 2")).is_err());
+        assert!(parse_trace_mrc_options(&sargs("x.trace --exact")).is_ok());
+    }
+
+    #[test]
+    fn trace_mrc_exact_sampled_and_sharded_agree() {
+        // Exact streaming, exact sharded and full-budget sampling must all
+        // report the same curve for the same generated trace.
+        let exact = trace_mrc(&sargs("gen:sawtooth:50:8 --threads 1 --points 6")).unwrap();
+        assert!(exact.contains("accesses            : 400"));
+        assert!(exact.contains("exact streaming"));
+        assert!(exact.contains("footprint           : 50"));
+        let sharded = trace_mrc(&sargs(
+            "gen:sawtooth:50:8 --threads 3 --shards 5 --points 6",
+        ))
+        .unwrap();
+        assert!(sharded.contains("exact sharded (5 chunks, 3 threads)"));
+        let tail = |s: &str| {
+            s.lines()
+                .skip_while(|l| !l.starts_with("footprint"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(tail(&exact), tail(&sharded));
+        // A sampling budget beyond the footprint reproduces the exact curve.
+        let sampled = trace_mrc(&sargs("gen:sawtooth:50:8 --sample 100 --points 6")).unwrap();
+        assert!(sampled.contains("rate 1.0000"));
+        assert!(sampled.contains("~50 (estimated)"));
+        for line in tail(&exact).lines().skip(1) {
+            assert!(
+                sampled.contains(line.trim_start_matches(' ')),
+                "missing {line:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn trace_mrc_checkpoint_flow_resumes_and_completes() {
+        let path = std::env::temp_dir().join("symloc_cli_trace_checkpoint.json");
+        let path_str = path.to_string_lossy().to_string();
+        std::fs::remove_file(&path).ok();
+
+        let spec = format!("gen:zipf:60:2000:0.8:3 --shards 6 --threads 2 --checkpoint {path_str}");
+        let first = trace_mrc(&sargs(&format!("{spec} --max-chunks 2"))).unwrap();
+        assert!(first.contains("2 of 6 complete"));
+        assert!(first.contains("ingest incomplete"));
+
+        let second = trace_mrc(&sargs(&spec)).unwrap();
+        assert!(second.contains("resumed from"));
+        assert!(second.contains("6 of 6 complete"));
+        assert!(second.contains("accesses            : 2000"));
+
+        // A mismatched chunk plan does not silently discard the checkpoint:
+        // the report warns before overwriting.
+        let mismatched = trace_mrc(&sargs(&format!(
+            "gen:zipf:60:2000:0.8:3 --shards 9 --threads 2 --checkpoint {path_str}"
+        )))
+        .unwrap();
+        assert!(mismatched.contains("does not match this source/plan"));
+        assert!(mismatched.contains("9 of 9 complete"));
+
+        // The checkpointed result equals the direct streaming analysis.
+        let direct = trace_mrc(&sargs("gen:zipf:60:2000:0.8:3 --threads 1")).unwrap();
+        let tail = |s: &str| {
+            s.lines()
+                .skip_while(|l| !l.starts_with("footprint"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(tail(&second), tail(&direct));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn trace_convert_round_trips_both_formats() {
+        let dir = std::env::temp_dir();
+        let sltr = dir.join("symloc_cli_convert_test.sltr");
+        let text = dir.join("symloc_cli_convert_test.trace");
+        let report = trace_convert(&sargs(&format!(
+            "gen:sawtooth:9:4 {}",
+            sltr.to_string_lossy()
+        )))
+        .unwrap();
+        assert!(report.contains("36 accesses, sltr format"));
+        let report = trace_convert(&sargs(&format!(
+            "{} {}",
+            sltr.to_string_lossy(),
+            text.to_string_lossy()
+        )))
+        .unwrap();
+        assert!(report.contains("36 accesses, text format"));
+        assert_eq!(
+            read_trace(&text).unwrap(),
+            symloc_trace::generators::sawtooth_trace(9, 4)
+        );
+        assert!(trace_convert(&sargs("gen:cyclic:4:2")).is_err());
+        assert!(trace_convert(&sargs("")).is_err());
+        assert!(trace_convert(&sargs("gen:cyclic:4:2 out.sltr extra")).is_err());
+        assert!(trace_convert(&sargs("/no/such/file.trace out.sltr")).is_err());
+        std::fs::remove_file(&sltr).ok();
+        std::fs::remove_file(&text).ok();
+    }
+
+    #[test]
+    fn trace_dispatch_and_errors() {
+        assert!(trace(&sargs("")).is_err());
+        assert!(trace(&sargs("bogus")).is_err());
+        assert!(run(&sargs("trace mrc gen:cyclic:10:3 --points 4"))
+            .unwrap()
+            .contains("trace mrc — gen:cyclic:10:3"));
+        assert!(trace_mrc(&sargs("/no/such/file.trace")).is_err());
+        assert!(trace_mrc(&sargs("/no/such/file.trace --sample 8")).is_err());
+    }
+
+    #[test]
+    fn trace_commands_report_malformed_content_as_errors() {
+        // Every trace path — exact streaming, sampled, convert — must turn
+        // malformed file content into a CliError, not a panic (regression:
+        // only the sharded path used to validate before streaming).
+        let path = std::env::temp_dir().join("symloc_cli_malformed_test.trace");
+        let path_str = path.to_string_lossy().to_string();
+        std::fs::write(&path, "0\n1\nnot-a-number\n2\n").unwrap();
+        let exact = trace_mrc(&sargs(&format!("{path_str} --threads 1"))).unwrap_err();
+        assert!(exact.to_string().contains("line 3"), "{exact}");
+        assert!(trace_mrc(&sargs(&format!("{path_str} --sample 8"))).is_err());
+        assert!(trace_mrc(&sargs(&format!("{path_str} --threads 2"))).is_err());
+        let out = std::env::temp_dir().join("symloc_cli_malformed_test.sltr");
+        assert!(trace_convert(&sargs(&format!("{path_str} {}", out.to_string_lossy()))).is_err());
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&out).ok();
     }
 
     #[test]
