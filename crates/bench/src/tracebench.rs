@@ -16,8 +16,9 @@ use std::time::Instant;
 use crate::json_escape;
 use crate::sweepbench::GateVerdict;
 use symloc_core::jsonio::{self, JsonValue};
-use symloc_core::tracesweep::{OnlineReuseEngine, ShardsEstimator, TraceIngest};
+use symloc_core::tracesweep::{OnlineReuseEngine, SampledIngest, ShardsEstimator, TraceIngest};
 use symloc_par::default_threads;
+use symloc_trace::binio::{sltr_index_path, write_sltr, write_sltr_indexed};
 use symloc_trace::stream::{GenSpec, TraceSource};
 use symloc_trace::Trace;
 
@@ -35,6 +36,15 @@ pub fn workload_spec() -> GenSpec {
 
 /// The sampled estimator's budget in the measured configuration.
 pub const SAMPLE_BUDGET: usize = 1024;
+
+/// The *total* tracked-address budget of the parallel-sampled comparison
+/// pair: large enough relative to the workload footprint that timeline work
+/// (not the per-access hash test) dominates, which is the regime hash-space
+/// sharding parallelizes.
+pub const SAMPLED_SHARDED_TOTAL_BUDGET: usize = 16_384;
+
+/// The chunk-index interval of the indexed-ingest configuration.
+pub const BENCH_INDEX_INTERVAL: u64 = 4096;
 
 /// One measured trace-ingestion configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -87,13 +97,27 @@ pub fn measure_trace(
 
 /// Runs the whole trace-ingestion measurement suite over the canonical
 /// workload: the exact engine sequentially, the chunk-sharded exact ingest
-/// on every hardware thread, and the bounded-memory sampled estimator.
+/// on every hardware thread, the bounded-memory sampled estimator, the
+/// parallel-sampled comparison pair (sequential vs hash-sharded at the same
+/// total budget), and the `.sltr` sharded-ingest pair (decode-skip vs
+/// sidecar-indexed seeks).
 #[must_use]
 pub fn measure_trace_suite(runs: usize) -> Vec<TraceMeasurement> {
     let threads = default_threads();
     let trace: Trace = workload_spec().materialize();
     let accesses = trace.len() as u64;
     let addrs: Vec<u64> = trace.iter().map(|a| a.value() as u64).collect();
+
+    // The .sltr ingest pair reads real files (that is the point: seeks vs
+    // decode-skips); the payloads live in the temp dir for the suite's
+    // lifetime.
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    let plain_path = dir.join(format!("symloc_tracebench_{pid}_plain.sltr"));
+    let indexed_path = dir.join(format!("symloc_tracebench_{pid}_indexed.sltr"));
+    write_sltr(&trace, &plain_path).expect("temp dir is writable");
+    write_sltr_indexed(&trace, &indexed_path, BENCH_INDEX_INTERVAL).expect("temp dir is writable");
+
     let source = TraceSource::Memory(trace);
     let mut measurements = Vec::new();
     measurements.push(measure_trace(
@@ -128,7 +152,105 @@ pub fn measure_trace_suite(runs: usize) -> Vec<TraceMeasurement> {
             estimator.record_all(addrs.iter().copied());
         },
     ));
+    // The parallel-sampled pair: the same total budget run as one
+    // sequential estimator and as `max(2, threads)` hash shards across all
+    // threads. Their ratio is the sampled-path parallel speedup.
+    measurements.push(measure_trace(
+        "trace_sampled_seq_budget16k_single_thread",
+        accesses,
+        1,
+        runs.min(3),
+        || {
+            let mut estimator = ShardsEstimator::new(SAMPLED_SHARDED_TOTAL_BUDGET);
+            estimator.record_all(addrs.iter().copied());
+        },
+    ));
+    let hash_shards = threads.max(2);
+    measurements.push(measure_trace(
+        "trace_sampled_hash_sharded_all_threads",
+        accesses,
+        threads,
+        runs.min(3),
+        || {
+            let mut ingest = SampledIngest::new(
+                &source,
+                hash_shards,
+                (SAMPLED_SHARDED_TOTAL_BUDGET / hash_shards).max(1),
+                threads,
+            )
+            .expect("memory source");
+            ingest.run_pending(&source, None);
+            assert!(ingest.is_complete());
+        },
+    ));
+    // The .sltr sharded-ingest pair: identical analysis, but the chunk
+    // workers either decode-skip to their range or seek via the sidecar
+    // index. Their ratio is the index's ingest speedup.
+    let chunks = (threads * 4).max(8);
+    let plain_source = TraceSource::Binary(plain_path.clone());
+    measurements.push(measure_trace(
+        "trace_exact_sltr_decode_skip_all_threads",
+        accesses,
+        threads,
+        runs.min(3),
+        || {
+            let mut ingest =
+                TraceIngest::new(&plain_source, chunks, threads).expect("written payload");
+            ingest.run_pending(&plain_source, None);
+            assert!(ingest.is_complete());
+        },
+    ));
+    let indexed_source = TraceSource::Binary(indexed_path.clone());
+    measurements.push(measure_trace(
+        "trace_exact_sltr_indexed_all_threads",
+        accesses,
+        threads,
+        runs.min(3),
+        || {
+            let mut ingest =
+                TraceIngest::new(&indexed_source, chunks, threads).expect("written payload");
+            ingest.run_pending(&indexed_source, None);
+            assert!(ingest.is_complete());
+        },
+    ));
+    std::fs::remove_file(&plain_path).ok();
+    std::fs::remove_file(sltr_index_path(&indexed_path)).ok();
+    std::fs::remove_file(&indexed_path).ok();
     measurements
+}
+
+/// The sampled-path parallel speedup: hash-sharded all-threads throughput
+/// over the sequential estimator at the same total budget, if both
+/// measurements are present.
+#[must_use]
+pub fn sampled_sharded_speedup(measurements: &[TraceMeasurement]) -> Option<f64> {
+    ratio_of(
+        measurements,
+        "trace_sampled_hash_sharded_all_threads",
+        "trace_sampled_seq_budget16k_single_thread",
+    )
+}
+
+/// The sidecar index's ingest speedup: indexed seeks over decode-skips on
+/// the identical sharded `.sltr` ingest, if both measurements are present.
+#[must_use]
+pub fn indexed_ingest_speedup(measurements: &[TraceMeasurement]) -> Option<f64> {
+    ratio_of(
+        measurements,
+        "trace_exact_sltr_indexed_all_threads",
+        "trace_exact_sltr_decode_skip_all_threads",
+    )
+}
+
+fn ratio_of(measurements: &[TraceMeasurement], numer: &str, denom: &str) -> Option<f64> {
+    let rate = |name: &str| {
+        measurements
+            .iter()
+            .find(|t| t.name == name)
+            .map(|t| t.accesses_per_sec)
+    };
+    let (n, d) = (rate(numer)?, rate(denom)?);
+    (d > 0.0).then_some(n / d)
 }
 
 /// Renders the suite as the `trace_measurements` JSON array (the sweep
@@ -150,6 +272,15 @@ pub fn trace_measurements_json(measurements: &[TraceMeasurement]) -> String {
         ));
     }
     json.push_str("  ],\n");
+    let fmt = |s: Option<f64>| s.map_or_else(|| "null".to_string(), |v| format!("{v:.2}"));
+    json.push_str(&format!(
+        "  \"trace_sampled_sharded_speedup\": {},\n",
+        fmt(sampled_sharded_speedup(measurements))
+    ));
+    json.push_str(&format!(
+        "  \"trace_indexed_ingest_speedup\": {},\n",
+        fmt(indexed_ingest_speedup(measurements))
+    ));
     json
 }
 

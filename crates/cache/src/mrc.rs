@@ -26,7 +26,7 @@ impl MissRatioCurve {
     /// Builds a curve directly from per-size miss ratios (`ratios[0] = mr(0)`).
     ///
     /// Ratios a hair outside `[0, 1]`, or increasing by no more than an ULP
-    /// jitter (≤ [`Self::MONOTONE_EPSILON`]), are clamped rather than
+    /// jitter (≤ `Self::MONOTONE_EPSILON`), are clamped rather than
     /// rejected — curves assembled from sampled estimates or long float
     /// summations legitimately wobble at that scale.
     ///

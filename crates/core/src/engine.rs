@@ -487,16 +487,19 @@ impl SweepEngine {
     /// when the budget is small relative to the level count. Hit vectors are
     /// evaluated under any [`CacheModel`].
     ///
-    /// Supported statistics are those with a stratified sampler
-    /// ([`LevelSampler::supports`]): inversions (Mahonian weights) and
-    /// descents (Eulerian weights).
+    /// Every statistic has a stratified sampler (Mahonian, Eulerian and
+    /// footrule weights all come from dynamic programs); empty levels (odd
+    /// total displacements) receive zero draws and report as empty
+    /// aggregates.
     ///
-    /// Deterministic in `seed` and independent of the thread count.
+    /// Deterministic in `seed` and independent of the thread count. Each
+    /// level's aggregate depends only on `(statistic, model, m, level,
+    /// draws, seed)` — the property [`crate::shard::SampledSweep`] builds
+    /// its per-level checkpoints on.
     ///
     /// # Panics
     ///
-    /// Panics if `statistic` has no stratified sampler, or if `m > 34`
-    /// (level weights overflow `u128` beyond that).
+    /// Panics if `m > 34` (level weights overflow `u128` beyond that).
     #[must_use]
     pub fn sampled_levels_weighted(
         &self,
@@ -507,10 +510,6 @@ impl SweepEngine {
         seed: u64,
     ) -> Vec<SweepLevel> {
         let m = self.m;
-        assert!(
-            LevelSampler::supports(statistic),
-            "no stratified sampler for statistic {statistic}"
-        );
         let counts = weighted_sample_counts_for(statistic, m, budget, min_per_level);
         parallel_map_chunked(counts.len(), self.threads, |chunk| {
             let mut scratch = ModelScratch::new(model, m);
@@ -518,18 +517,16 @@ impl SweepEngine {
             let mut images = Vec::new();
             let mut out = Vec::with_capacity(chunk.len());
             for (level, &draws) in counts.iter().enumerate().take(chunk.end).skip(chunk.start) {
-                let sampler = LevelSampler::new(statistic, m, level)
-                    .expect("level <= max_value by construction");
-                let mut rng =
-                    StdRng::seed_from_u64(seed ^ (level as u64).wrapping_mul(0x9E37_79B9));
-                let mut agg = SweepLevel::empty(level, m);
-                for _ in 0..draws {
-                    sampler.sample_images_into(&mut rng, &mut images, &mut sampler_scratch);
-                    let (drawn, hits) = scratch.eval(statistic, &images);
-                    debug_assert_eq!(drawn, level, "sampler must hit its level");
-                    agg.absorb(hits);
-                }
-                out.push(agg);
+                out.push(sample_one_level(
+                    &mut scratch,
+                    &mut sampler_scratch,
+                    &mut images,
+                    statistic,
+                    m,
+                    level,
+                    draws,
+                    seed,
+                ));
             }
             out
         })
@@ -537,19 +534,85 @@ impl SweepEngine {
         .flatten()
         .collect()
     }
+
+    /// One level of a weighted sampled sweep, on its own: `draws` uniform
+    /// permutations at `level` of `statistic`, aggregated under `model`.
+    /// Bit-for-bit the aggregate [`SweepEngine::sampled_levels_weighted`]
+    /// produces for the same `(level, draws, seed)` — which is what makes
+    /// per-level checkpointing of sampled sweeps exact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` exceeds the statistic's maximum for `m`.
+    #[must_use]
+    pub fn sampled_level(
+        &self,
+        statistic: Statistic,
+        model: CacheModel,
+        level: usize,
+        draws: usize,
+        seed: u64,
+    ) -> SweepLevel {
+        let mut scratch = ModelScratch::new(model, self.m);
+        let mut sampler_scratch = LevelSamplerScratch::default();
+        let mut images = Vec::new();
+        sample_one_level(
+            &mut scratch,
+            &mut sampler_scratch,
+            &mut images,
+            statistic,
+            self.m,
+            level,
+            draws,
+            seed,
+        )
+    }
+}
+
+/// The single-level body both [`SweepEngine::sampled_levels_weighted`] and
+/// [`SweepEngine::sampled_level`] run: deterministic in `(statistic, m,
+/// level, draws, seed)` and independent of how the scratch buffers were
+/// previously used. Zero draws never construct a sampler, so empty levels
+/// (which have no sampler) are representable.
+#[allow(clippy::too_many_arguments)]
+fn sample_one_level(
+    scratch: &mut ModelScratch,
+    sampler_scratch: &mut LevelSamplerScratch,
+    images: &mut Vec<usize>,
+    statistic: Statistic,
+    m: usize,
+    level: usize,
+    draws: usize,
+    seed: u64,
+) -> SweepLevel {
+    let mut agg = SweepLevel::empty(level, m);
+    if draws == 0 {
+        return agg;
+    }
+    let sampler = LevelSampler::new(statistic, m, level).expect("non-empty level admits a sampler");
+    let mut rng = StdRng::seed_from_u64(seed ^ (level as u64).wrapping_mul(0x9E37_79B9));
+    for _ in 0..draws {
+        sampler.sample_images_into(&mut rng, images, sampler_scratch);
+        let (drawn, hits) = scratch.eval(statistic, images);
+        debug_assert_eq!(drawn, level, "sampler must hit its level");
+        agg.absorb(hits);
+    }
+    agg
 }
 
 /// The per-level draw counts [`SweepEngine::sampled_levels_weighted`] uses:
 /// level `ℓ` gets `max(min_per_level.max(2), round(budget · w_ℓ / m!))`
 /// draws, where `w_ℓ` is the exact level size under `statistic` (the
-/// Mahonian row for inversions, the Eulerian row for descents). Exposed so
-/// callers (CLI, benches) can report or cost a sampling plan without
-/// running it.
+/// Mahonian row for inversions and major index, the Eulerian row for
+/// descents, the footrule row for total displacement). Levels with
+/// `w_ℓ = 0` — odd total displacements — get **zero** draws: there is
+/// nothing to sample there, and the floor only applies to levels that
+/// exist. Exposed so callers (CLI, benches) can report or cost a sampling
+/// plan without running it.
 ///
 /// # Panics
 ///
-/// Panics if `statistic` has no stratified sampler, or if `m > 34` (level
-/// weights overflow `u128` beyond that).
+/// Panics if `m > 34` (level weights overflow `u128` beyond that).
 #[must_use]
 pub fn weighted_sample_counts_for(
     statistic: Statistic,
@@ -557,13 +620,8 @@ pub fn weighted_sample_counts_for(
     budget: usize,
     min_per_level: usize,
 ) -> Vec<usize> {
-    assert!(
-        LevelSampler::supports(statistic),
-        "no stratified sampler for statistic {statistic}"
-    );
     // The level sizes come from the single source of truth the statistic
-    // itself exposes (Mahonian row for inversions, Eulerian row for
-    // descents), so the sampling weights cannot drift from it.
+    // itself exposes, so the sampling weights cannot drift from it.
     let weights = statistic.level_weights(m);
     let total: u128 = weights.iter().sum();
     let floor = min_per_level.max(2);
@@ -571,6 +629,9 @@ pub fn weighted_sample_counts_for(
     weights
         .iter()
         .map(|&w| {
+            if w == 0 {
+                return 0;
+            }
             let share = budget as f64 * (w as f64 / total as f64);
             (share.round() as usize).max(floor)
         })
@@ -885,15 +946,51 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "no stratified sampler")]
-    fn weighted_sampling_rejects_unsupported_statistic() {
-        let _ = SweepEngine::with_threads(5, 1).sampled_levels_weighted(
-            Statistic::MajorIndex,
-            CacheModel::LruStack,
-            100,
-            2,
-            1,
-        );
+    fn weighted_sampling_covers_every_statistic() {
+        // Major index and total displacement gained samplers; every
+        // statistic's weighted sweep must hit its levels, skip empty ones,
+        // and stay thread-invariant.
+        let m = 6;
+        for statistic in Statistic::ALL {
+            let levels = SweepEngine::with_threads(m, 2).sampled_levels_weighted(
+                statistic,
+                CacheModel::LruStack,
+                200,
+                2,
+                9,
+            );
+            assert_eq!(levels.len(), statistic.level_count(m), "{statistic}");
+            let weights = statistic.level_weights(m);
+            for (level, &w) in levels.iter().zip(weights.iter()) {
+                if w == 0 {
+                    assert_eq!(level.count, 0, "{statistic} empty level {}", level.level);
+                } else {
+                    assert!(level.count >= 2, "{statistic} level {}", level.level);
+                }
+            }
+            let again = SweepEngine::with_threads(m, 7).sampled_levels_weighted(
+                statistic,
+                CacheModel::LruStack,
+                200,
+                2,
+                9,
+            );
+            assert_eq!(levels, again, "{statistic} must be thread-invariant");
+        }
+    }
+
+    #[test]
+    fn sampled_level_matches_the_full_weighted_sweep() {
+        let m = 7;
+        let engine = SweepEngine::with_threads(m, 3);
+        for statistic in [Statistic::Inversions, Statistic::TotalDisplacement] {
+            let counts = weighted_sample_counts_for(statistic, m, 300, 2);
+            let full = engine.sampled_levels_weighted(statistic, CacheModel::LruStack, 300, 2, 21);
+            for (level, &draws) in counts.iter().enumerate() {
+                let alone = engine.sampled_level(statistic, CacheModel::LruStack, level, draws, 21);
+                assert_eq!(alone, full[level], "{statistic} level {level}");
+            }
+        }
     }
 
     #[test]

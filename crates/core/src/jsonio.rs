@@ -96,6 +96,21 @@ impl JsonValue {
     }
 }
 
+/// Writes a checkpoint document to `path` atomically: the bytes land in a
+/// sibling `.json.tmp` file first and are renamed over the target, so a
+/// kill mid-save leaves the previous checkpoint intact. The single save
+/// path every checkpointing runner (`ShardedSweep`, `SampledSweep`,
+/// `TraceIngest`, `SampledIngest`) goes through.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error.
+pub fn save_atomic(path: &std::path::Path, contents: &str) -> std::io::Result<()> {
+    let tmp = path.with_extension("json.tmp");
+    std::fs::write(&tmp, contents)?;
+    std::fs::rename(&tmp, path)
+}
+
 /// Escapes a string for embedding in a JSON document.
 #[must_use]
 pub fn escape(s: &str) -> String {

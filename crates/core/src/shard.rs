@@ -354,9 +354,7 @@ impl ShardedSweep {
     ///
     /// Returns the underlying I/O error.
     pub fn save(&self, path: &Path) -> std::io::Result<()> {
-        let tmp = path.with_extension("json.tmp");
-        std::fs::write(&tmp, self.to_json())?;
-        std::fs::rename(&tmp, path)
+        jsonio::save_atomic(path, &self.to_json())
     }
 
     /// Loads a checkpoint from `path`, or plans a fresh sweep when the
@@ -380,6 +378,353 @@ impl ShardedSweep {
             }
         }
         (ShardedSweep::new(spec, shard_count, threads), false)
+    }
+}
+
+/// Format tag embedded in every sampled-sweep checkpoint document.
+const SAMPLED_CHECKPOINT_KIND: &str = "symloc_sampled_sweep_checkpoint";
+/// Sampled-sweep checkpoint schema version.
+const SAMPLED_CHECKPOINT_VERSION: u64 = 1;
+
+/// A per-level-sharded, checkpointable *sampled* sweep — the stratified
+/// counterpart of [`ShardedSweep`].
+///
+/// A weighted sampled sweep ([`SweepEngine::sampled_levels_weighted`])
+/// spends its budget level by level, and each level's aggregate is
+/// deterministic in `(spec, level, draws, seed)` alone — levels are the
+/// natural shard. [`SampledSweep`] materializes the per-level draw plan
+/// ([`crate::engine::weighted_sample_counts_for`]), runs pending levels in
+/// parallel batches, and checkpoints completed levels as hand-rolled JSON:
+/// a killed sampled sweep resumes to aggregates *byte-identical* to the
+/// uninterrupted run (the same guarantee, by the same test strategy, as
+/// the exhaustive sharded sweep).
+#[derive(Debug, Clone)]
+pub struct SampledSweep {
+    spec: SweepSpec,
+    budget: usize,
+    min_per_level: usize,
+    seed: u64,
+    threads: usize,
+    draws: Vec<usize>,
+    partials: Vec<Option<SweepLevel>>,
+}
+
+impl SampledSweep {
+    /// Plans a weighted sampled sweep of `spec` with a global `budget`
+    /// distributed by the statistic's exact level weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec.m > 34` (level weights overflow `u128` beyond
+    /// that).
+    #[must_use]
+    pub fn new(
+        spec: SweepSpec,
+        budget: usize,
+        min_per_level: usize,
+        seed: u64,
+        threads: usize,
+    ) -> Self {
+        let draws = crate::engine::weighted_sample_counts_for(
+            spec.statistic,
+            spec.m,
+            budget,
+            min_per_level,
+        );
+        let partials = vec![None; draws.len()];
+        SampledSweep {
+            spec,
+            budget,
+            min_per_level,
+            seed,
+            threads: threads.max(1),
+            draws,
+            partials,
+        }
+    }
+
+    /// The sweep's spec.
+    #[must_use]
+    pub fn spec(&self) -> SweepSpec {
+        self.spec
+    }
+
+    /// Number of level shards (one per statistic level).
+    #[must_use]
+    pub fn level_count(&self) -> usize {
+        self.partials.len()
+    }
+
+    /// Number of completed levels.
+    #[must_use]
+    pub fn completed_count(&self) -> usize {
+        self.partials.iter().filter(|p| p.is_some()).count()
+    }
+
+    /// True when every level has been sampled.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.partials.iter().all(Option::is_some)
+    }
+
+    /// Runs up to `limit` pending levels (all of them when `None`) in
+    /// parallel batches, returning how many were processed.
+    pub fn run_pending(&mut self, limit: Option<usize>) -> usize {
+        let engine = SweepEngine::with_threads(self.spec.m, self.threads);
+        let pending: Vec<usize> = self
+            .partials
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.is_none())
+            .map(|(i, _)| i)
+            .take(limit.unwrap_or(usize::MAX))
+            .collect();
+        if pending.is_empty() {
+            return 0;
+        }
+        let (spec, seed, draws) = (self.spec, self.seed, &self.draws);
+        let computed: Vec<(usize, SweepLevel)> =
+            symloc_par::parallel_map(&pending, self.threads, |&level| {
+                (
+                    level,
+                    engine.sampled_level(spec.statistic, spec.model, level, draws[level], seed),
+                )
+            });
+        let ran = computed.len();
+        for (level, aggregate) in computed {
+            self.partials[level] = Some(aggregate);
+        }
+        ran
+    }
+
+    /// Runs pending levels — all of them, or up to `limit` — saving the
+    /// checkpoint to `path` after each batch of (at most) the configured
+    /// thread count, so a kill loses at most one batch. `on_batch`
+    /// receives `(completed, total)` after every save. The checkpoint is
+    /// (re)written even when nothing was pending.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if a checkpoint cannot be written.
+    pub fn run_with_checkpoint(
+        &mut self,
+        path: &Path,
+        limit: Option<usize>,
+        mut on_batch: impl FnMut(usize, usize),
+    ) -> std::io::Result<usize> {
+        let mut ran = 0usize;
+        while !self.is_complete() && limit.is_none_or(|l| ran < l) {
+            let batch = self.threads.min(limit.map_or(usize::MAX, |l| l - ran));
+            ran += self.run_pending(Some(batch));
+            self.save(path)?;
+            on_batch(self.completed_count(), self.level_count());
+        }
+        if ran == 0 {
+            self.save(path)?;
+        }
+        Ok(ran)
+    }
+
+    /// The sampled per-level aggregates, or `None` while levels are
+    /// pending. Identical to
+    /// [`SweepEngine::sampled_levels_weighted`] with the same parameters.
+    #[must_use]
+    pub fn merged_levels(&self) -> Option<Vec<SweepLevel>> {
+        if !self.is_complete() {
+            return None;
+        }
+        Some(self.partials.iter().flatten().cloned().collect())
+    }
+
+    /// Serializes the sweep — spec, sampling plan, completed levels — as a
+    /// JSON checkpoint document.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"kind\": \"{SAMPLED_CHECKPOINT_KIND}\",");
+        let _ = writeln!(out, "  \"version\": {SAMPLED_CHECKPOINT_VERSION},");
+        let _ = writeln!(
+            out,
+            "  \"fingerprint\": \"{}\",",
+            jsonio::escape(&self.spec.fingerprint())
+        );
+        let _ = writeln!(out, "  \"m\": {},", self.spec.m);
+        let _ = writeln!(out, "  \"statistic\": \"{}\",", self.spec.statistic);
+        let _ = writeln!(out, "  \"model\": \"{}\",", self.spec.model);
+        let _ = writeln!(out, "  \"budget\": {},", self.budget);
+        let _ = writeln!(out, "  \"min_per_level\": {},", self.min_per_level);
+        let _ = writeln!(out, "  \"seed\": {},", self.seed);
+        let _ = writeln!(out, "  \"level_count\": {},", self.partials.len());
+        out.push_str("  \"levels\": [\n");
+        for (i, (draws, partial)) in self.draws.iter().zip(&self.partials).enumerate() {
+            let sep = if i + 1 < self.partials.len() { "," } else { "" };
+            match partial {
+                None => {
+                    let _ = writeln!(
+                        out,
+                        "    {{\"level\": {i}, \"draws\": {draws}, \"done\": false}}{sep}"
+                    );
+                }
+                Some(level) => {
+                    let _ = writeln!(
+                        out,
+                        "    {{\"level\": {i}, \"draws\": {draws}, \"done\": true, \"count\": {}, \"hit_sums\": {}, \"hit_sq_sums\": {}}}{sep}",
+                        level.count,
+                        u64_array(&level.hit_sums),
+                        u64_array(&level.hit_sq_sums),
+                    );
+                }
+            }
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Rebuilds a sampled sweep from a checkpoint document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural problem (wrong kind
+    /// or version, unknown statistic/model, a draw plan that does not match
+    /// the deterministic one, malformed levels).
+    pub fn from_json(text: &str, threads: usize) -> Result<SampledSweep, String> {
+        let doc = jsonio::parse(text)?;
+        let kind = doc.get("kind").and_then(JsonValue::as_str);
+        if kind != Some(SAMPLED_CHECKPOINT_KIND) {
+            return Err(format!("not a sampled-sweep checkpoint (kind = {kind:?})"));
+        }
+        let version = doc.get("version").and_then(JsonValue::as_u64);
+        if version != Some(SAMPLED_CHECKPOINT_VERSION) {
+            return Err(format!("unsupported checkpoint version {version:?}"));
+        }
+        let m = doc
+            .get("m")
+            .and_then(JsonValue::as_usize)
+            .ok_or("missing m")?;
+        let statistic = doc
+            .get("statistic")
+            .and_then(JsonValue::as_str)
+            .and_then(Statistic::parse)
+            .ok_or("missing or unknown statistic")?;
+        let model = doc
+            .get("model")
+            .and_then(JsonValue::as_str)
+            .and_then(CacheModel::parse)
+            .ok_or("missing or unknown model")?;
+        let budget = doc
+            .get("budget")
+            .and_then(JsonValue::as_usize)
+            .ok_or("missing budget")?;
+        let min_per_level = doc
+            .get("min_per_level")
+            .and_then(JsonValue::as_usize)
+            .ok_or("missing min_per_level")?;
+        let seed = doc
+            .get("seed")
+            .and_then(JsonValue::as_u64)
+            .ok_or("missing seed")?;
+        if m > 34 {
+            return Err(format!("degree {m} exceeds the supported maximum (34)"));
+        }
+        let spec = SweepSpec {
+            m,
+            statistic,
+            model,
+        };
+        let mut sweep = SampledSweep::new(spec, budget, min_per_level, seed, threads);
+        let declared = doc
+            .get("level_count")
+            .and_then(JsonValue::as_usize)
+            .ok_or("missing level_count")?;
+        let entries = doc
+            .get("levels")
+            .and_then(JsonValue::as_array)
+            .ok_or("missing levels")?;
+        if declared != entries.len() || declared != sweep.partials.len() {
+            return Err(format!(
+                "level_count {declared} does not match {} entries / {} planned levels",
+                entries.len(),
+                sweep.partials.len()
+            ));
+        }
+        for (i, entry) in entries.iter().enumerate() {
+            let level = entry
+                .get("level")
+                .and_then(JsonValue::as_usize)
+                .ok_or("level entry missing level")?;
+            if level != i {
+                return Err(format!("level entries out of order at {i}"));
+            }
+            let draws = entry
+                .get("draws")
+                .and_then(JsonValue::as_usize)
+                .ok_or("level entry missing draws")?;
+            if draws != sweep.draws[i] {
+                return Err(format!(
+                    "level {i} plans {draws} draws, expected {} from the deterministic plan",
+                    sweep.draws[i]
+                ));
+            }
+            let done = entry.get("done") == Some(&JsonValue::Bool(true));
+            if !done {
+                continue;
+            }
+            let count = entry
+                .get("count")
+                .and_then(JsonValue::as_u64)
+                .ok_or("level entry missing count")?;
+            let hit_sums =
+                parse_u64_array(entry.get("hit_sums"), m).ok_or("level entry missing hit_sums")?;
+            let hit_sq_sums = parse_u64_array(entry.get("hit_sq_sums"), m)
+                .ok_or("level entry missing hit_sq_sums")?;
+            sweep.partials[i] = Some(SweepLevel {
+                level,
+                count,
+                hit_sums,
+                hit_sq_sums,
+            });
+        }
+        Ok(sweep)
+    }
+
+    /// Writes the checkpoint to `path` atomically (temp file + rename).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        jsonio::save_atomic(path, &self.to_json())
+    }
+
+    /// Loads a checkpoint from `path`, or plans a fresh sampled sweep when
+    /// the file does not exist or does not belong to the same
+    /// `(spec, budget, min_per_level, seed)`. Returns the sweep and
+    /// whether progress was actually resumed.
+    #[must_use]
+    pub fn resume_or_new(
+        spec: SweepSpec,
+        budget: usize,
+        min_per_level: usize,
+        seed: u64,
+        threads: usize,
+        path: &Path,
+    ) -> (SampledSweep, bool) {
+        if let Ok(text) = std::fs::read_to_string(path) {
+            if let Ok(sweep) = SampledSweep::from_json(&text, threads) {
+                if sweep.spec == spec
+                    && sweep.budget == budget
+                    && sweep.min_per_level == min_per_level
+                    && sweep.seed == seed
+                {
+                    let resumed = sweep.completed_count() > 0;
+                    return (sweep, resumed);
+                }
+            }
+        }
+        (
+            SampledSweep::new(spec, budget, min_per_level, seed, threads),
+            false,
+        )
     }
 }
 
@@ -541,6 +886,115 @@ mod tests {
     #[should_panic(expected = "at least one shard")]
     fn zero_shards_rejected() {
         let _ = figure1_sweep(4, 0);
+    }
+
+    #[test]
+    fn sampled_sweep_equals_the_direct_weighted_sweep() {
+        use crate::engine::SweepEngine;
+        for statistic in Statistic::ALL {
+            let spec = SweepSpec {
+                m: 6,
+                statistic,
+                model: CacheModel::LruStack,
+            };
+            let mut sweep = SampledSweep::new(spec, 150, 2, 33, 2);
+            assert_eq!(sweep.level_count(), statistic.level_count(6));
+            sweep.run_pending(None);
+            let direct = SweepEngine::with_threads(6, 2).sampled_levels_weighted(
+                statistic,
+                CacheModel::LruStack,
+                150,
+                2,
+                33,
+            );
+            assert_eq!(sweep.merged_levels().unwrap(), direct, "{statistic}");
+        }
+    }
+
+    #[test]
+    fn interrupted_sampled_sweep_resumes_to_byte_identical_checkpoint() {
+        let spec = SweepSpec {
+            m: 8,
+            statistic: Statistic::MajorIndex,
+            model: CacheModel::LruStack,
+        };
+        let mut reference = SampledSweep::new(spec, 400, 2, 7, 2);
+        reference.run_pending(None);
+        let reference_json = reference.to_json();
+
+        let mut interrupted = SampledSweep::new(spec, 400, 2, 7, 2);
+        assert_eq!(interrupted.run_pending(Some(10)), 10);
+        assert!(!interrupted.is_complete());
+        assert!(interrupted.merged_levels().is_none());
+        let checkpoint = interrupted.to_json();
+        drop(interrupted);
+
+        let mut resumed = SampledSweep::from_json(&checkpoint, 3).unwrap();
+        assert_eq!(resumed.completed_count(), 10);
+        resumed.run_pending(None);
+        assert_eq!(resumed.to_json(), reference_json, "resume must be exact");
+    }
+
+    #[test]
+    fn sampled_sweep_checkpoint_files_and_resume_or_new() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("symloc_shard_sampled_checkpoint.json");
+        std::fs::remove_file(&path).ok();
+        let spec = SweepSpec {
+            m: 7,
+            statistic: Statistic::Inversions,
+            model: CacheModel::LruStack,
+        };
+
+        let (mut sweep, resumed) = SampledSweep::resume_or_new(spec, 200, 2, 5, 2, &path);
+        assert!(!resumed);
+        let mut progress = Vec::new();
+        sweep
+            .run_with_checkpoint(&path, Some(4), |done, total| progress.push((done, total)))
+            .unwrap();
+        assert_eq!(progress.last(), Some(&(4, 22)));
+        assert!(!sweep.is_complete());
+
+        let (mut resumed_sweep, resumed) = SampledSweep::resume_or_new(spec, 200, 2, 5, 2, &path);
+        assert!(resumed);
+        assert_eq!(resumed_sweep.completed_count(), 4);
+        resumed_sweep
+            .run_with_checkpoint(&path, None, |_, _| {})
+            .unwrap();
+        assert!(resumed_sweep.is_complete());
+
+        // A different seed or budget ignores the stale checkpoint.
+        let (fresh, resumed) = SampledSweep::resume_or_new(spec, 200, 2, 6, 2, &path);
+        assert!(!resumed);
+        assert_eq!(fresh.completed_count(), 0);
+        let (mut done, _) = SampledSweep::resume_or_new(spec, 200, 2, 5, 2, &path);
+        assert!(done.is_complete());
+        assert_eq!(done.run_with_checkpoint(&path, None, |_, _| {}).unwrap(), 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sampled_sweep_from_json_rejects_corrupted_documents() {
+        let spec = SweepSpec {
+            m: 5,
+            statistic: Statistic::TotalDisplacement,
+            model: CacheModel::LruStack,
+        };
+        let mut sweep = SampledSweep::new(spec, 100, 2, 3, 1);
+        sweep.run_pending(Some(3));
+        let good = sweep.to_json();
+        assert!(SampledSweep::from_json(&good, 1).is_ok());
+        assert!(SampledSweep::from_json("{}", 1).is_err());
+        assert!(SampledSweep::from_json("not json", 1).is_err());
+        assert!(SampledSweep::from_json(&good.replace("total_displacement", "bogus"), 1).is_err());
+        assert!(
+            SampledSweep::from_json(&good.replace("\"version\": 1", "\"version\": 9"), 1).is_err()
+        );
+        assert!(
+            SampledSweep::from_json(&good.replace(SAMPLED_CHECKPOINT_KIND, "else"), 1).is_err()
+        );
+        // A tampered draw plan no longer matches the deterministic one.
+        assert!(SampledSweep::from_json(&good.replace("\"draws\": 2", "\"draws\": 3"), 1).is_err());
     }
 
     #[test]

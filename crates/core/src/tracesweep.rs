@@ -18,6 +18,14 @@
 //!   the largest-hash address and lowering the sampling threshold, and
 //!   sampled distances/counts are rescaled by the sampling rate. Memory is
 //!   `O(s_max)` no matter how many distinct addresses the trace touches.
+//! * [`SampledIngest`] — the **hash-space-sharded parallel sampled
+//!   pipeline**: the address-hash space is partitioned into `N` residue
+//!   classes, each running a private [`ShardsEstimator`] with its own
+//!   budget and threshold (rate adaptation without any synchronization);
+//!   shards execute concurrently, merge deterministically in shard order,
+//!   and checkpoint per shard, so the bounded-memory path is both parallel
+//!   and killable. Thread-count-invariant by construction; with one shard
+//!   it *is* the sequential estimator.
 //! * [`ChunkPartial`] / [`MergeState`] — chunk-sharded parallel ingestion:
 //!   each worker folds a contiguous chunk of the trace into a *mergeable*
 //!   partial (resolved within-chunk distances, the chunk's first accesses
@@ -46,7 +54,7 @@ use crate::jsonio::{self, JsonValue};
 use std::collections::{BTreeMap, BinaryHeap, HashMap};
 use std::fmt::Write as _;
 use std::path::Path;
-use symloc_par::{parallel_reduce_chunked, split_indices};
+use symloc_par::{parallel_map_chunked, parallel_reduce_chunked, split_indices};
 use symloc_perm::fenwick::Fenwick;
 use symloc_trace::stream::TraceSource;
 
@@ -225,6 +233,22 @@ impl WeightedHistogram {
     pub fn mrc_points(&self, sizes: &[usize]) -> Vec<MrcPoint> {
         mrc_points_from(sizes, self.total_weight(), |c| self.hits_up_to(c))
     }
+
+    /// Merges another weighted histogram into this one. Weights add in key
+    /// order, so merging a fixed sequence of histograms is deterministic
+    /// (the float sums see the same addition order every time).
+    pub fn merge(&mut self, other: &WeightedHistogram) {
+        for (&d, &w) in &other.counts {
+            *self.counts.entry(d).or_insert(0.0) += w;
+        }
+        self.cold += other.cold;
+    }
+
+    /// Iterates over `(scaled distance, weight)` in increasing distance
+    /// order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.counts.iter().map(|(&d, &w)| (d, w))
+    }
 }
 
 /// One point of a miss-ratio curve.
@@ -395,7 +419,7 @@ impl Timeline {
 // The exact online engine
 // ---------------------------------------------------------------------------
 
-/// The exact streaming reuse-distance engine: one [`Timeline`] pass, the
+/// The exact streaming reuse-distance engine: one `Timeline` pass, the
 /// Olken algorithm over compressed timestamps. `O(log footprint)` per
 /// access, `O(footprint)` memory, no dependence on trace length.
 #[derive(Debug, Clone, Default)]
@@ -478,7 +502,9 @@ impl OnlineReuseEngine {
 // ---------------------------------------------------------------------------
 
 /// The hash-space modulus of the sampling condition (`hash(addr) mod P`).
-const SHARDS_MODULUS: u64 = 1 << 24;
+/// Public so callers (fixed-threshold runs, tests, the CLI) can express
+/// thresholds as fractions of the hash space.
+pub const SHARDS_MODULUS: u64 = 1 << 24;
 
 /// SplitMix64: the spatial-sampling hash. Statistically uniform, cheap and
 /// stateless, so the sampling decision for an address is globally
@@ -494,7 +520,7 @@ fn splitmix64(mut x: u64) -> u64 {
 /// The bounded-memory sampled reuse-distance estimator (SHARDS-style).
 ///
 /// An address is *sampled* iff `splitmix64(addr) mod P < T`; the sampling
-/// rate is `R = T/P`. Sampled accesses run through a private [`Timeline`]
+/// rate is `R = T/P`. Sampled accesses run through a private `Timeline`
 /// (so a sampled distance counts only sampled addresses) and are recorded
 /// with distance and weight rescaled by `1/R`. When the tracked set
 /// exceeds the `s_max` budget, the largest-hash address is evicted and `T`
@@ -512,11 +538,16 @@ fn splitmix64(mut x: u64) -> u64 {
 pub struct ShardsEstimator {
     s_max: usize,
     threshold: u64,
+    /// This estimator's slice of the hash space: it only processes
+    /// addresses with `hash % shard_count == shard_index`. The default
+    /// (`0` of `1`) is the whole space — the classic sequential estimator.
+    shard_index: u64,
+    shard_count: u64,
     timeline: Timeline,
     /// Max-heap of `(hash, addr)` over tracked addresses, for eviction.
     by_hash: BinaryHeap<(u64, u64)>,
     histogram: WeightedHistogram,
-    /// Every access seen, sampled or not.
+    /// Every access of this estimator's hash shard, sampled or not.
     raw_accesses: u64,
     /// Sampled accesses actually processed.
     sampled_accesses: u64,
@@ -531,10 +562,55 @@ impl ShardsEstimator {
     /// Panics if `s_max == 0`.
     #[must_use]
     pub fn new(s_max: usize) -> Self {
+        Self::for_shard(s_max, SHARDS_MODULUS, 0, 1)
+    }
+
+    /// Creates an estimator whose threshold *starts* at `threshold` instead
+    /// of the full modulus: the initial sampling rate is
+    /// `threshold / SHARDS_MODULUS`, and rate adaptation still lowers it
+    /// further if the budget binds. With a budget large enough that no
+    /// eviction ever fires, the threshold is *fixed* for the whole run —
+    /// the deterministic regime the parallel sampled pipeline is pinned in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s_max == 0` or `threshold` is not in
+    /// `1 ..= SHARDS_MODULUS`.
+    #[must_use]
+    pub fn with_threshold(s_max: usize, threshold: u64) -> Self {
+        Self::for_shard(s_max, threshold, 0, 1)
+    }
+
+    /// Creates the estimator of one *hash shard*: it processes only
+    /// addresses with `splitmix64(addr) % SHARDS_MODULUS ≡ shard_index
+    /// (mod shard_count)` — a `1/shard_count` spatial sample of the address
+    /// space — and samples within that slice under `threshold`. Sampled
+    /// *distances* rescale by the full-space rate `(threshold /
+    /// SHARDS_MODULUS) / shard_count`; sampled *weights* rescale by the
+    /// within-slice rate `threshold / SHARDS_MODULUS`, so shard histograms
+    /// sum to one estimate of the whole trace (the shards partition the
+    /// accesses). `shard_count = 1` is exactly the sequential estimator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s_max == 0`, `threshold` is not in `1 ..=
+    /// SHARDS_MODULUS`, or `shard_index >= shard_count`.
+    #[must_use]
+    pub fn for_shard(s_max: usize, threshold: u64, shard_index: u64, shard_count: u64) -> Self {
         assert!(s_max > 0, "the sampling budget must be positive");
+        assert!(
+            (1..=SHARDS_MODULUS).contains(&threshold),
+            "threshold {threshold} outside 1..={SHARDS_MODULUS}"
+        );
+        assert!(
+            shard_index < shard_count,
+            "shard index {shard_index} outside 0..{shard_count}"
+        );
         ShardsEstimator {
             s_max,
-            threshold: SHARDS_MODULUS,
+            threshold,
+            shard_index,
+            shard_count,
             timeline: Timeline::new(),
             by_hash: BinaryHeap::new(),
             histogram: WeightedHistogram::default(),
@@ -544,30 +620,59 @@ impl ShardsEstimator {
         }
     }
 
-    /// The current sampling rate `T/P` (1.0 until the budget first binds).
+    /// The current sampling rate relative to the whole address space:
+    /// `(T / P) / shard_count` (1.0 for an unsharded estimator until the
+    /// budget first binds).
     #[must_use]
     #[allow(clippy::cast_precision_loss)]
     pub fn sampling_rate(&self) -> f64 {
-        self.threshold as f64 / SHARDS_MODULUS as f64
+        self.threshold as f64 / SHARDS_MODULUS as f64 / self.shard_count as f64
+    }
+
+    /// The current threshold `T` of the sampling condition `hash < T`.
+    #[must_use]
+    pub fn threshold(&self) -> u64 {
+        self.threshold
     }
 
     /// Records one access.
     pub fn record(&mut self, addr: u64) {
-        self.raw_accesses += 1;
         let hash = splitmix64(addr) % SHARDS_MODULUS;
+        if hash % self.shard_count != self.shard_index {
+            return;
+        }
+        self.record_hashed(addr, hash);
+    }
+
+    /// Records one access whose hash (`splitmix64(addr) % SHARDS_MODULUS`)
+    /// the caller already computed and shard-matched — the dispatch path of
+    /// the parallel sampled ingest, which hashes each access once and
+    /// routes it to the owning shard.
+    ///
+    /// The two rescalings deliberately use *different* rates: a sampled
+    /// **distance** counts only this shard's sampled addresses — a
+    /// `(T/P)/shard_count` spatial sample of the whole address space — so
+    /// it scales by the full-space rate; a sampled **access** stands in
+    /// only for this shard's slice of the trace (the shards partition the
+    /// accesses), so its weight scales by the within-slice rate `T/P`.
+    /// Merged shard histograms therefore *sum* to an estimate of the whole
+    /// trace (Σ slice estimates), instead of each shard re-estimating the
+    /// full trace and the merge overcounting it `shard_count` times. For an
+    /// unsharded estimator the two rates coincide.
+    #[allow(clippy::cast_precision_loss)]
+    fn record_hashed(&mut self, addr: u64, hash: u64) {
+        debug_assert_eq!(hash % self.shard_count, self.shard_index);
+        self.raw_accesses += 1;
         if hash >= self.threshold {
             return;
         }
-        let rate = self.sampling_rate();
-        let weight = 1.0 / rate;
+        let slice_rate = self.threshold as f64 / SHARDS_MODULUS as f64;
+        let rate = slice_rate / self.shard_count as f64;
+        let weight = 1.0 / slice_rate;
         self.sampled_accesses += 1;
         match self.timeline.observe(addr) {
             Some(sampled_distance) => {
-                #[allow(
-                    clippy::cast_precision_loss,
-                    clippy::cast_sign_loss,
-                    clippy::cast_possible_truncation
-                )]
+                #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
                 let scaled = ((sampled_distance as f64 / rate).round() as usize).max(1);
                 self.histogram.record_finite(scaled, weight);
             }
@@ -653,6 +758,600 @@ impl ShardsEstimator {
     #[must_use]
     pub fn mrc_points(&self, sizes: &[usize]) -> Vec<MrcPoint> {
         self.histogram.mrc_points(sizes)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hash-space-sharded parallel sampling
+// ---------------------------------------------------------------------------
+
+/// Format tag embedded in every sampled-ingest checkpoint document.
+const SAMPLED_CHECKPOINT_KIND: &str = "symloc_sampled_trace_checkpoint";
+/// Sampled-ingest checkpoint schema version.
+const SAMPLED_CHECKPOINT_VERSION: u64 = 1;
+
+/// The completed result of one hash shard of a [`SampledIngest`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampledShardResult {
+    /// The shard's weighted (rescaled) histogram.
+    pub histogram: WeightedHistogram,
+    /// The shard's final threshold (== the initial one when the budget
+    /// never bound).
+    pub threshold: u64,
+    /// Accesses belonging to this hash shard.
+    pub raw_accesses: u64,
+    /// Sampled accesses the shard actually processed.
+    pub sampled_accesses: u64,
+    /// Rate-adaptation evictions the shard performed.
+    pub evictions: u64,
+    /// Addresses the shard still tracked at the end.
+    pub tracked: usize,
+}
+
+impl SampledShardResult {
+    fn from_estimator(est: &ShardsEstimator) -> Self {
+        SampledShardResult {
+            histogram: est.histogram().clone(),
+            threshold: est.threshold(),
+            raw_accesses: est.raw_accesses(),
+            sampled_accesses: est.sampled_accesses(),
+            evictions: est.evictions(),
+            tracked: est.tracked_addresses(),
+        }
+    }
+}
+
+/// The merged outcome of a completed [`SampledIngest`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampledSummary {
+    /// The merged weighted histogram (shards merged in index order, so the
+    /// float sums are deterministic).
+    pub histogram: WeightedHistogram,
+    /// Total accesses of the trace (every access belongs to exactly one
+    /// hash shard).
+    pub raw_accesses: u64,
+    /// Total sampled accesses across shards.
+    pub sampled_accesses: u64,
+    /// Total rate-adaptation evictions across shards.
+    pub evictions: u64,
+    /// The smallest per-shard sampling rate (the coarsest slice of the
+    /// estimate).
+    pub min_rate: f64,
+}
+
+impl SampledSummary {
+    /// Estimated distinct addresses (merged weighted cold count).
+    #[must_use]
+    pub fn estimated_footprint(&self) -> f64 {
+        self.histogram.cold_weight()
+    }
+}
+
+/// The hash-space-sharded, checkpointable parallel sampled ingest — the
+/// bounded-memory counterpart of [`TraceIngest`].
+///
+/// The address-hash space is partitioned into `shard_count` residue classes
+/// (`hash % shard_count`); shard `i` runs a [`ShardsEstimator`] over its
+/// class with a private budget and threshold, so rate adaptation needs no
+/// synchronization whatsoever. Shards execute concurrently (each worker of
+/// [`symloc_par::parallel_map_chunked`] streams the source **once** and
+/// routes every access to the owning shard among those it was assigned),
+/// and the per-shard weighted histograms merge in shard order.
+///
+/// Semantics worth being precise about:
+///
+/// * **Deterministic and thread-invariant.** A shard's result depends only
+///   on the access sequence and the shard parameters, never on which worker
+///   ran it or how shards were grouped; merging happens in shard order.
+///   Running with 1 thread or 64 produces byte-identical checkpoints — the
+///   property the equivalence proptests pin across every generator pattern
+///   and shard count.
+/// * **The shard count is part of the estimator's identity** (like the
+///   hash function): each shard estimates the full curve from a
+///   `1/shard_count` spatial sample, so different shard counts are
+///   different (equally unbiased) estimators, not reorderings of the same
+///   one. `shard_count = 1` *is* the sequential [`ShardsEstimator`], result
+///   for result.
+/// * **Killable.** A shard is the checkpoint unit: completed shards
+///   serialize (weights as shortest-round-trip decimals, so re-serializing
+///   parsed state is byte-identical) and a resumed ingest recomputes only
+///   the shards that were in flight.
+#[derive(Debug, Clone)]
+pub struct SampledIngest {
+    fingerprint: String,
+    total: u64,
+    shard_count: usize,
+    budget_per_shard: usize,
+    threshold: u64,
+    threads: usize,
+    partials: Vec<SampledShardResult>,
+}
+
+impl SampledIngest {
+    /// Plans a sampled ingest of `source` over `shard_count` hash shards
+    /// with `budget_per_shard` tracked addresses each, starting at the full
+    /// sampling rate.
+    ///
+    /// Scans the source once to learn (and validate) its length.
+    ///
+    /// # Errors
+    ///
+    /// Returns the source's read or parse error as a string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard_count == 0` or `budget_per_shard == 0`.
+    pub fn new(
+        source: &TraceSource,
+        shard_count: usize,
+        budget_per_shard: usize,
+        threads: usize,
+    ) -> Result<Self, String> {
+        Self::with_threshold(
+            source,
+            shard_count,
+            budget_per_shard,
+            SHARDS_MODULUS,
+            threads,
+        )
+    }
+
+    /// [`SampledIngest::new`] with an explicit initial threshold (see
+    /// [`ShardsEstimator::with_threshold`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the source's read or parse error as a string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard_count == 0`, `budget_per_shard == 0`, or
+    /// `threshold` is outside `1 ..= SHARDS_MODULUS`.
+    pub fn with_threshold(
+        source: &TraceSource,
+        shard_count: usize,
+        budget_per_shard: usize,
+        threshold: u64,
+        threads: usize,
+    ) -> Result<Self, String> {
+        let total = source
+            .total_accesses()
+            .map_err(|e| format!("cannot scan {source}: {e}"))?;
+        Ok(Self::with_total(
+            source,
+            total,
+            shard_count,
+            budget_per_shard,
+            threshold,
+            threads,
+        ))
+    }
+
+    fn with_total(
+        source: &TraceSource,
+        total: u64,
+        shard_count: usize,
+        budget_per_shard: usize,
+        threshold: u64,
+        threads: usize,
+    ) -> Self {
+        assert!(shard_count > 0, "at least one hash shard is required");
+        assert!(
+            budget_per_shard > 0,
+            "the per-shard budget must be positive"
+        );
+        assert!(
+            (1..=SHARDS_MODULUS).contains(&threshold),
+            "threshold {threshold} outside 1..={SHARDS_MODULUS}"
+        );
+        SampledIngest {
+            fingerprint: source.fingerprint(),
+            total,
+            shard_count,
+            budget_per_shard,
+            threshold,
+            threads: threads.max(1),
+            partials: Vec::new(),
+        }
+    }
+
+    /// The source fingerprint the ingest belongs to.
+    #[must_use]
+    pub fn fingerprint(&self) -> &str {
+        &self.fingerprint
+    }
+
+    /// Total accesses of the source.
+    #[must_use]
+    pub fn total_accesses(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of hash shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shard_count
+    }
+
+    /// The per-shard tracked-address budget.
+    #[must_use]
+    pub fn budget_per_shard(&self) -> usize {
+        self.budget_per_shard
+    }
+
+    /// Number of shards already completed.
+    #[must_use]
+    pub fn completed_count(&self) -> usize {
+        self.partials.len()
+    }
+
+    /// True when every shard has run.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.partials.len() >= self.shard_count
+    }
+
+    /// Runs up to `limit` pending shards (all of them when `None`) in one
+    /// parallel pass: the pending shards are split contiguously across the
+    /// configured workers, and each worker streams the source **once**,
+    /// feeding only the shards it owns. The per-access hash is therefore
+    /// computed once per worker pass — at most `threads` passes total, one
+    /// when sequential — while the expensive timeline work is split
+    /// `shard_count` ways. (`limit` bounds checkpoint granularity:
+    /// [`SampledIngest::run_with_checkpoint`] passes the thread count so a
+    /// kill loses at most one batch.)
+    ///
+    /// Returns how many shards were processed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source no longer matches the ingest's fingerprint, or
+    /// if it fails to stream (sources are validated on construction).
+    pub fn run_pending(&mut self, source: &TraceSource, limit: Option<usize>) -> usize {
+        assert_eq!(
+            source.fingerprint(),
+            self.fingerprint,
+            "sampled ingest resumed against a different trace source"
+        );
+        let mut ran = 0usize;
+        while !self.is_complete() && limit.is_none_or(|l| ran < l) {
+            let first = self.partials.len();
+            let remaining = self.shard_count - first;
+            let batch = remaining.min(limit.map_or(usize::MAX, |l| l - ran));
+            let (budget, threshold, count) = (
+                self.budget_per_shard,
+                self.threshold,
+                self.shard_count as u64,
+            );
+            let results: Vec<Vec<SampledShardResult>> =
+                parallel_map_chunked(batch, self.threads, |chunk| {
+                    if chunk.is_empty() {
+                        return Vec::new();
+                    }
+                    let lo = (first + chunk.start) as u64;
+                    let hi = (first + chunk.end) as u64;
+                    let mut estimators: Vec<ShardsEstimator> = (lo..hi)
+                        .map(|i| ShardsEstimator::for_shard(budget, threshold, i, count))
+                        .collect();
+                    let stream = source.stream().expect("validated source streams");
+                    for addr in stream {
+                        let hash = splitmix64(addr) % SHARDS_MODULUS;
+                        let shard = hash % count;
+                        if shard >= lo && shard < hi {
+                            estimators[(shard - lo) as usize].record_hashed(addr, hash);
+                        }
+                    }
+                    estimators
+                        .iter()
+                        .map(SampledShardResult::from_estimator)
+                        .collect()
+                });
+            for result in results.into_iter().flatten() {
+                self.partials.push(result);
+            }
+            ran += batch;
+        }
+        ran
+    }
+
+    /// Runs pending shards — all, or up to `limit` — saving the checkpoint
+    /// after every completed batch, so a kill loses at most one batch.
+    /// `on_batch(completed, total)` fires after every save. The checkpoint
+    /// is (re)written even when nothing was pending.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if a checkpoint cannot be written.
+    pub fn run_with_checkpoint(
+        &mut self,
+        source: &TraceSource,
+        path: &Path,
+        limit: Option<usize>,
+        mut on_batch: impl FnMut(usize, usize),
+    ) -> std::io::Result<usize> {
+        let mut ran = 0usize;
+        while !self.is_complete() && limit.is_none_or(|l| ran < l) {
+            let batch = self.threads.min(limit.map_or(usize::MAX, |l| l - ran));
+            ran += self.run_pending(source, Some(batch));
+            self.save(path)?;
+            on_batch(self.completed_count(), self.shard_count());
+        }
+        if ran == 0 {
+            self.save(path)?;
+        }
+        Ok(ran)
+    }
+
+    /// The completed shards so far (in shard order).
+    #[must_use]
+    pub fn shard_results(&self) -> &[SampledShardResult] {
+        &self.partials
+    }
+
+    /// The merged summary, or `None` while shards are pending.
+    #[must_use]
+    pub fn merged(&self) -> Option<SampledSummary> {
+        if !self.is_complete() {
+            return None;
+        }
+        let mut histogram = WeightedHistogram::default();
+        let (mut raw, mut sampled, mut evictions) = (0u64, 0u64, 0u64);
+        let mut min_rate = f64::INFINITY;
+        #[allow(clippy::cast_precision_loss)]
+        for shard in &self.partials {
+            histogram.merge(&shard.histogram);
+            raw += shard.raw_accesses;
+            sampled += shard.sampled_accesses;
+            evictions += shard.evictions;
+            let rate = shard.threshold as f64 / SHARDS_MODULUS as f64 / self.shard_count as f64;
+            min_rate = min_rate.min(rate);
+        }
+        Some(SampledSummary {
+            histogram,
+            raw_accesses: raw,
+            sampled_accesses: sampled,
+            evictions,
+            min_rate,
+        })
+    }
+
+    /// Serializes the ingest — plan, progress, completed shard results —
+    /// as a JSON checkpoint document. Weights print as Rust's shortest
+    /// round-trip decimals, so two ingests in the same logical state
+    /// serialize byte-identically however they got there.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"kind\": \"{SAMPLED_CHECKPOINT_KIND}\",");
+        let _ = writeln!(out, "  \"version\": {SAMPLED_CHECKPOINT_VERSION},");
+        let _ = writeln!(
+            out,
+            "  \"fingerprint\": \"{}\",",
+            jsonio::escape(&self.fingerprint)
+        );
+        let _ = writeln!(out, "  \"total_accesses\": {},", self.total);
+        let _ = writeln!(out, "  \"shard_count\": {},", self.shard_count);
+        let _ = writeln!(out, "  \"budget_per_shard\": {},", self.budget_per_shard);
+        let _ = writeln!(out, "  \"threshold\": {},", self.threshold);
+        let _ = writeln!(out, "  \"next_shard\": {},", self.partials.len());
+        out.push_str("  \"shards\": [\n");
+        for (i, shard) in self.partials.iter().enumerate() {
+            let sep = if i + 1 < self.partials.len() { "," } else { "" };
+            let _ = write!(
+                out,
+                "    {{\"threshold\": {}, \"raw\": {}, \"sampled\": {}, \"evictions\": {}, \"tracked\": {}, \"cold\": {}, \"histogram\": [",
+                shard.threshold,
+                shard.raw_accesses,
+                shard.sampled_accesses,
+                shard.evictions,
+                shard.tracked,
+                shard.histogram.cold_weight(),
+            );
+            for (j, (d, w)) in shard.histogram.iter().enumerate() {
+                let comma = if j == 0 { "" } else { ", " };
+                let _ = write!(out, "{comma}[{d}, {w}]");
+            }
+            let _ = writeln!(out, "]}}{sep}");
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Rebuilds a sampled ingest from a checkpoint document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural problem.
+    pub fn from_json(text: &str, threads: usize) -> Result<SampledIngest, String> {
+        let doc = jsonio::parse(text)?;
+        let kind = doc.get("kind").and_then(JsonValue::as_str);
+        if kind != Some(SAMPLED_CHECKPOINT_KIND) {
+            return Err(format!("not a sampled-trace checkpoint (kind = {kind:?})"));
+        }
+        let version = doc.get("version").and_then(JsonValue::as_u64);
+        if version != Some(SAMPLED_CHECKPOINT_VERSION) {
+            return Err(format!("unsupported checkpoint version {version:?}"));
+        }
+        let fingerprint = doc
+            .get("fingerprint")
+            .and_then(JsonValue::as_str)
+            .ok_or("missing fingerprint")?
+            .to_string();
+        let total = doc
+            .get("total_accesses")
+            .and_then(JsonValue::as_u64)
+            .ok_or("missing total_accesses")?;
+        let shard_count = doc
+            .get("shard_count")
+            .and_then(JsonValue::as_usize)
+            .ok_or("missing shard_count")?;
+        if shard_count == 0 {
+            return Err("shard_count must be positive".to_string());
+        }
+        let budget_per_shard = doc
+            .get("budget_per_shard")
+            .and_then(JsonValue::as_usize)
+            .ok_or("missing budget_per_shard")?;
+        if budget_per_shard == 0 {
+            return Err("budget_per_shard must be positive".to_string());
+        }
+        let threshold = doc
+            .get("threshold")
+            .and_then(JsonValue::as_u64)
+            .ok_or("missing threshold")?;
+        if threshold == 0 || threshold > SHARDS_MODULUS {
+            return Err(format!(
+                "threshold {threshold} outside 1..={SHARDS_MODULUS}"
+            ));
+        }
+        let next_shard = doc
+            .get("next_shard")
+            .and_then(JsonValue::as_usize)
+            .ok_or("missing next_shard")?;
+        if next_shard > shard_count {
+            return Err(format!(
+                "next_shard {next_shard} exceeds shard_count {shard_count}"
+            ));
+        }
+        let entries = doc
+            .get("shards")
+            .and_then(JsonValue::as_array)
+            .ok_or("missing shards")?;
+        if entries.len() != next_shard {
+            return Err(format!(
+                "next_shard {next_shard} does not match {} shard entries",
+                entries.len()
+            ));
+        }
+        let mut partials = Vec::with_capacity(entries.len());
+        for entry in entries {
+            let shard_threshold = entry
+                .get("threshold")
+                .and_then(JsonValue::as_u64)
+                .ok_or("shard missing threshold")?;
+            if shard_threshold == 0 || shard_threshold > threshold {
+                return Err(format!(
+                    "shard threshold {shard_threshold} outside 1..={threshold}"
+                ));
+            }
+            let raw_accesses = entry
+                .get("raw")
+                .and_then(JsonValue::as_u64)
+                .ok_or("shard missing raw")?;
+            let sampled_accesses = entry
+                .get("sampled")
+                .and_then(JsonValue::as_u64)
+                .ok_or("shard missing sampled")?;
+            let evictions = entry
+                .get("evictions")
+                .and_then(JsonValue::as_u64)
+                .ok_or("shard missing evictions")?;
+            let tracked = entry
+                .get("tracked")
+                .and_then(JsonValue::as_usize)
+                .ok_or("shard missing tracked")?;
+            let cold = entry
+                .get("cold")
+                .and_then(JsonValue::as_f64)
+                .ok_or("shard missing cold")?;
+            if !cold.is_finite() || cold < 0.0 {
+                return Err(format!("shard cold weight {cold} is not a finite count"));
+            }
+            let mut histogram = WeightedHistogram::default();
+            histogram.record_cold(cold);
+            let bins = entry
+                .get("histogram")
+                .and_then(JsonValue::as_array)
+                .ok_or("shard missing histogram")?;
+            for bin in bins {
+                let pair = bin.as_array().ok_or("histogram entry is not a pair")?;
+                let (d, w) = match pair {
+                    [d, w] => (
+                        d.as_usize().ok_or("bad histogram distance")?,
+                        w.as_f64().ok_or("bad histogram weight")?,
+                    ),
+                    _ => return Err("histogram entry is not a pair".to_string()),
+                };
+                if d == 0 {
+                    return Err("histogram distance 0 is not representable".to_string());
+                }
+                if !w.is_finite() || w < 0.0 {
+                    return Err(format!("histogram weight {w} is not a finite count"));
+                }
+                histogram.record_finite(d, w);
+            }
+            partials.push(SampledShardResult {
+                histogram,
+                threshold: shard_threshold,
+                raw_accesses,
+                sampled_accesses,
+                evictions,
+                tracked,
+            });
+        }
+        Ok(SampledIngest {
+            fingerprint,
+            total,
+            shard_count,
+            budget_per_shard,
+            threshold,
+            threads: threads.max(1),
+            partials,
+        })
+    }
+
+    /// Writes the checkpoint to `path` atomically (temp file + rename).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        jsonio::save_atomic(path, &self.to_json())
+    }
+
+    /// Loads a checkpoint from `path`, or plans a fresh sampled ingest when
+    /// the file does not exist or belongs to a different source or plan
+    /// (same policy, and same length-based staleness check, as
+    /// [`TraceIngest::resume_or_new`]). Returns the ingest and whether
+    /// progress was actually resumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns the source scan error.
+    pub fn resume_or_new(
+        source: &TraceSource,
+        shard_count: usize,
+        budget_per_shard: usize,
+        threads: usize,
+        path: &Path,
+    ) -> Result<(SampledIngest, bool), String> {
+        let total = source
+            .total_accesses()
+            .map_err(|e| format!("cannot scan {source}: {e}"))?;
+        if let Ok(text) = std::fs::read_to_string(path) {
+            if let Ok(ingest) = SampledIngest::from_json(&text, threads) {
+                if ingest.fingerprint == source.fingerprint()
+                    && ingest.total == total
+                    && ingest.shard_count == shard_count
+                    && ingest.budget_per_shard == budget_per_shard
+                    && ingest.threshold == SHARDS_MODULUS
+                {
+                    let resumed = ingest.completed_count() > 0;
+                    return Ok((ingest, resumed));
+                }
+            }
+        }
+        Ok((
+            Self::with_total(
+                source,
+                total,
+                shard_count,
+                budget_per_shard,
+                SHARDS_MODULUS,
+                threads,
+            ),
+            false,
+        ))
     }
 }
 
@@ -1090,9 +1789,7 @@ impl TraceIngest {
     ///
     /// Returns the underlying I/O error.
     pub fn save(&self, path: &Path) -> std::io::Result<()> {
-        let tmp = path.with_extension("json.tmp");
-        std::fs::write(&tmp, self.to_json())?;
-        std::fs::rename(&tmp, path)
+        jsonio::save_atomic(path, &self.to_json())
     }
 
     /// Loads a checkpoint from `path`, or plans a fresh ingest when the
@@ -1298,6 +1995,191 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn shards_rejects_zero_budget() {
         let _ = ShardsEstimator::new(0);
+    }
+
+    #[test]
+    fn fixed_threshold_starts_below_full_rate() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(29);
+        let trace = zipfian_trace(500, 6000, 0.7, &mut rng);
+        let threshold = SHARDS_MODULUS / 4;
+        let mut est = ShardsEstimator::with_threshold(4096, threshold);
+        assert!((est.sampling_rate() - 0.25).abs() < 1e-12);
+        est.record_all(trace.iter().map(|a| a.value() as u64));
+        // Budget way above the sampled set: the threshold never moved.
+        assert_eq!(est.threshold(), threshold);
+        assert_eq!(est.evictions(), 0);
+        // Roughly a quarter of the accesses were sampled, and the weighted
+        // total estimates the true access count.
+        assert!(est.sampled_accesses() < est.raw_accesses() / 2);
+        let total = est.histogram().total_weight();
+        let true_len = trace.len() as f64;
+        assert!(
+            (total - true_len).abs() / true_len < 0.25,
+            "estimated {total} accesses vs {}",
+            trace.len()
+        );
+    }
+
+    #[test]
+    fn single_hash_shard_is_the_sequential_estimator() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(37);
+        let trace = zipfian_trace(3000, 30_000, 0.8, &mut rng);
+        let mut sequential = ShardsEstimator::new(1024);
+        sequential.record_all(trace.iter().map(|a| a.value() as u64));
+        let source = TraceSource::Memory(trace);
+        let mut ingest = SampledIngest::new(&source, 1, 1024, 3).unwrap();
+        assert_eq!(ingest.run_pending(&source, None), 1);
+        let merged = ingest.merged().unwrap();
+        assert_eq!(merged.histogram, *sequential.histogram());
+        assert_eq!(merged.raw_accesses, sequential.raw_accesses());
+        assert_eq!(merged.sampled_accesses, sequential.sampled_accesses());
+        assert_eq!(merged.evictions, sequential.evictions());
+        assert!((merged.min_rate - sequential.sampling_rate()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn sampled_ingest_is_thread_invariant_and_deterministic() {
+        let source = TraceSource::Gen(GenSpec::parse("gen:zipf:400:8000:0.9:5").unwrap());
+        let mut reference = SampledIngest::new(&source, 5, 64, 1).unwrap();
+        reference.run_pending(&source, None);
+        let expected = reference.to_json();
+        for threads in [2, 3, 8] {
+            let mut ingest = SampledIngest::new(&source, 5, 64, threads).unwrap();
+            ingest.run_pending(&source, None);
+            assert_eq!(ingest.to_json(), expected, "threads={threads}");
+        }
+        // Each access lands in exactly one shard.
+        assert_eq!(reference.merged().unwrap().raw_accesses, 8000);
+    }
+
+    #[test]
+    fn sampled_ingest_resumes_to_byte_identical_checkpoint() {
+        let source = TraceSource::Gen(GenSpec::parse("gen:zipf:300:5000:0.8:11").unwrap());
+        let mut reference = SampledIngest::new(&source, 6, 48, 2).unwrap();
+        reference.run_pending(&source, None);
+        let reference_json = reference.to_json();
+
+        let mut interrupted = SampledIngest::new(&source, 6, 48, 2).unwrap();
+        assert_eq!(interrupted.run_pending(&source, Some(3)), 3);
+        assert!(!interrupted.is_complete());
+        assert!(interrupted.merged().is_none());
+        let checkpoint = interrupted.to_json();
+        drop(interrupted);
+
+        let mut resumed = SampledIngest::from_json(&checkpoint, 4).unwrap();
+        assert_eq!(resumed.completed_count(), 3);
+        assert_eq!(resumed.run_pending(&source, None), 3);
+        assert_eq!(resumed.to_json(), reference_json, "resume must be exact");
+        assert_eq!(resumed.merged(), reference.merged());
+    }
+
+    #[test]
+    fn sampled_ingest_checkpoint_files_and_resume_or_new() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("symloc_tracesweep_sampled_checkpoint.json");
+        std::fs::remove_file(&path).ok();
+        let source = TraceSource::Gen(GenSpec::parse("gen:zipf:200:3000:0.7:13").unwrap());
+
+        let (mut ingest, resumed) = SampledIngest::resume_or_new(&source, 4, 32, 2, &path).unwrap();
+        assert!(!resumed);
+        let mut progress = Vec::new();
+        ingest
+            .run_with_checkpoint(&source, &path, Some(2), |done, total| {
+                progress.push((done, total));
+            })
+            .unwrap();
+        assert_eq!(progress, vec![(2, 4)]);
+        assert!(!ingest.is_complete());
+
+        let (mut resumed_ingest, resumed) =
+            SampledIngest::resume_or_new(&source, 4, 32, 2, &path).unwrap();
+        assert!(resumed);
+        assert_eq!(resumed_ingest.completed_count(), 2);
+        resumed_ingest
+            .run_with_checkpoint(&source, &path, None, |_, _| {})
+            .unwrap();
+        assert!(resumed_ingest.is_complete());
+
+        // A different plan ignores the stale checkpoint.
+        let (fresh, resumed) = SampledIngest::resume_or_new(&source, 5, 32, 2, &path).unwrap();
+        assert!(!resumed);
+        assert_eq!(fresh.completed_count(), 0);
+
+        // Complete ingest: nothing pending, checkpoint still rewritten.
+        let (mut done, _) = SampledIngest::resume_or_new(&source, 4, 32, 2, &path).unwrap();
+        assert!(done.is_complete());
+        assert_eq!(
+            done.run_with_checkpoint(&source, &path, None, |_, _| {})
+                .unwrap(),
+            0
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sampled_ingest_rejects_corrupted_checkpoints() {
+        let source = TraceSource::Gen(GenSpec::parse("gen:cyclic:16:8").unwrap());
+        let mut ingest = SampledIngest::new(&source, 2, 8, 1).unwrap();
+        ingest.run_pending(&source, Some(1));
+        let good = ingest.to_json();
+        assert!(SampledIngest::from_json(&good, 1).is_ok());
+        assert!(SampledIngest::from_json("{}", 1).is_err());
+        assert!(SampledIngest::from_json("not json", 1).is_err());
+        assert!(SampledIngest::from_json(&good.replace(SAMPLED_CHECKPOINT_KIND, "x"), 1).is_err());
+        assert!(
+            SampledIngest::from_json(&good.replace("\"version\": 1", "\"version\": 7"), 1).is_err()
+        );
+        assert!(SampledIngest::from_json(
+            &good.replace("\"next_shard\": 1", "\"next_shard\": 9"),
+            1
+        )
+        .is_err());
+        assert!(SampledIngest::from_json(
+            &good.replace("\"budget_per_shard\": 8", "\"budget_per_shard\": 0"),
+            1
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn merged_sampled_estimate_tracks_the_exact_curve() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(43);
+        let trace = zipfian_trace(4000, 40_000, 0.7, &mut rng);
+        let exact = engine_over(&trace);
+        let source = TraceSource::Memory(trace);
+        // 4 shards × 512 budget = the same total budget as the sequential
+        // accuracy test above; the merged estimate must stay comparably
+        // close to the exact curve.
+        let mut ingest = SampledIngest::new(&source, 4, 512, 2).unwrap();
+        ingest.run_pending(&source, None);
+        let merged = ingest.merged().unwrap();
+        assert!(merged.min_rate < 1.0);
+        let mut worst = 0.0f64;
+        for c in log_spaced_sizes(exact.footprint(), 12) {
+            worst =
+                worst.max((merged.histogram.miss_ratio(c) - exact.histogram().miss_ratio(c)).abs());
+        }
+        assert!(worst < 0.08, "worst MRC error {worst}");
+        // Absolute (not just ratio) quantities are unbiased too: the merged
+        // total weight estimates the access count and the cold weight the
+        // footprint — shard estimates sum, they do not multiply
+        // (regression test: weights scale by the within-slice rate).
+        let total = merged.histogram.total_weight();
+        assert!(
+            (total - 40_000.0).abs() / 40_000.0 < 0.2,
+            "estimated {total} accesses"
+        );
+        let footprint = merged.estimated_footprint();
+        assert!(
+            (footprint - 4000.0).abs() / 4000.0 < 0.2,
+            "estimated footprint {footprint}"
+        );
     }
 
     #[test]

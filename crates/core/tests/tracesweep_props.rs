@@ -13,14 +13,15 @@
 
 use proptest::prelude::*;
 use symloc_core::tracesweep::{
-    chunk_partial, log_spaced_sizes, MergeState, OnlineReuseEngine, ShardsEstimator,
-    StreamHistogram,
+    chunk_partial, log_spaced_sizes, MergeState, OnlineReuseEngine, SampledIngest, ShardsEstimator,
+    StreamHistogram, TraceIngest, SHARDS_MODULUS,
 };
 use symloc_trace::generators::{
     cyclic_trace, interleaved_trace, move_to_front_trace, multi_epoch_trace, random_trace,
     retraversal_trace, sawtooth_trace, stack_discipline_trace, stream_kernel_trace, strided_trace,
     tiled_trace, zipfian_trace, EpochOrder, StreamKernel,
 };
+use symloc_trace::stream::TraceSource;
 use symloc_trace::Trace;
 
 /// The literal textbook definition, deliberately quadratic and deliberately
@@ -172,6 +173,105 @@ proptest! {
                 );
             }
         }
+    }
+
+    #[test]
+    fn parallel_hash_sharded_equals_sequential_on_every_pattern(
+        seed in any::<u64>(),
+        shard_count in 1usize..8,
+    ) {
+        // The tentpole equivalence: for every generator pattern and shard
+        // count, executing the hash-sharded sampled ingest in parallel is
+        // byte-identical (checkpoints and all) to executing it one shard
+        // at a time on one thread — and identical across thread counts.
+        for (name, trace) in all_generator_patterns(seed) {
+            let source = TraceSource::Memory(trace);
+            let mut sequential = SampledIngest::new(&source, shard_count, 32, 1).unwrap();
+            sequential.run_pending(&source, None);
+            let expected = sequential.to_json();
+            for threads in [2, 5] {
+                let mut parallel =
+                    SampledIngest::new(&source, shard_count, 32, threads).unwrap();
+                parallel.run_pending(&source, None);
+                prop_assert_eq!(
+                    parallel.to_json(),
+                    expected.clone(),
+                    "{} seed {} shards {} threads {}",
+                    name, seed, shard_count, threads
+                );
+            }
+            // Every access lands in exactly one hash shard.
+            let merged = sequential.merged().unwrap();
+            prop_assert_eq!(
+                merged.raw_accesses,
+                source.total_accesses().unwrap(),
+                "{}", name
+            );
+        }
+    }
+
+    #[test]
+    fn one_hash_shard_at_fixed_threshold_is_the_sequential_estimator(
+        seed in any::<u64>(),
+        threshold_num in 1u64..=4,
+    ) {
+        // At a fixed global threshold the sampling set is static; a
+        // 1-shard parallel ingest must reproduce the classic sequential
+        // SHARDS estimator exactly on every pattern.
+        let threshold = threshold_num * (SHARDS_MODULUS / 4);
+        for (name, trace) in all_generator_patterns(seed) {
+            let mut sequential = ShardsEstimator::with_threshold(1 << 20, threshold);
+            sequential.record_all(trace.iter().map(|a| a.value() as u64));
+            prop_assert_eq!(sequential.evictions(), 0, "{}", name);
+            let source = TraceSource::Memory(trace);
+            let mut ingest =
+                SampledIngest::with_threshold(&source, 1, 1 << 20, threshold, 3).unwrap();
+            ingest.run_pending(&source, None);
+            let merged = ingest.merged().unwrap();
+            prop_assert_eq!(&merged.histogram, sequential.histogram(), "{}", name);
+            prop_assert_eq!(merged.sampled_accesses, sequential.sampled_accesses(), "{}", name);
+            prop_assert!((merged.min_rate - sequential.sampling_rate()).abs() < 1e-15, "{}", name);
+        }
+    }
+
+    #[test]
+    fn indexed_seek_ingest_equals_decode_skip_ingest_byte_identically(
+        seed in any::<u64>(),
+        chunks in 1usize..9,
+        interval in 1u64..40,
+    ) {
+        // The .sltr chunk index must change how chunk workers reach their
+        // range (seek vs decode-skip), never what they read: the final
+        // ingest checkpoints must be byte-identical.
+        use symloc_trace::binio::{sltr_index_path, write_sltr, write_sltr_indexed};
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!(
+            "symloc_props_indexed_{}_{}.sltr",
+            std::process::id(),
+            seed
+        ));
+        let sidecar = sltr_index_path(&path);
+        for (name, trace) in all_generator_patterns(seed).into_iter().take(4) {
+            // Decode-skip run (no sidecar on disk).
+            std::fs::remove_file(&sidecar).ok();
+            write_sltr(&trace, &path).unwrap();
+            let source = TraceSource::Binary(path.clone());
+            let mut plain = TraceIngest::new(&source, chunks, 2).unwrap();
+            plain.run_pending(&source, None);
+            let expected = plain.to_json();
+            // Indexed run of the same payload.
+            write_sltr_indexed(&trace, &path, interval).unwrap();
+            let mut indexed = TraceIngest::new(&source, chunks, 2).unwrap();
+            indexed.run_pending(&source, None);
+            prop_assert_eq!(
+                indexed.to_json(),
+                expected,
+                "{} seed {} chunks {} interval {}",
+                name, seed, chunks, interval
+            );
+        }
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&sidecar).ok();
     }
 
     #[test]

@@ -81,6 +81,15 @@ pub enum PermError {
         /// The statistic's stable name.
         statistic: &'static str,
     },
+    /// A stratified-sampling level is in range but contains no permutations
+    /// (for example, an odd total-displacement target — the footrule is
+    /// always even).
+    EmptyLevel {
+        /// The statistic's stable name.
+        statistic: &'static str,
+        /// The requested (empty) level.
+        target: usize,
+    },
 }
 
 impl fmt::Display for PermError {
@@ -130,6 +139,10 @@ impl fmt::Display for PermError {
             PermError::UnsupportedSamplingStatistic { statistic } => write!(
                 f,
                 "stratified sampling is not supported for statistic {statistic}"
+            ),
+            PermError::EmptyLevel { statistic, target } => write!(
+                f,
+                "no permutation attains {statistic} value {target} at this degree"
             ),
         }
     }

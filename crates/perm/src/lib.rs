@@ -87,14 +87,15 @@ pub mod prelude {
         next_permutation, LexIter, PlainChangesIter, RankRangeIter, RankRangeStream,
     };
     pub use crate::mahonian::{
-        count_partitions_bounded, is_partition_of, mahonian, mahonian_row, mahonian_total,
-        partitions, partitions_bounded,
+        count_partitions_bounded, eulerian, eulerian_row, footrule_row, is_partition_of, mahonian,
+        mahonian_row, mahonian_total, partitions, partitions_bounded,
     };
     pub use crate::perm::Permutation;
     pub use crate::rank::{factorial, partition_ranks, rank, unrank, unrank_into, RankRange};
     pub use crate::sample::{
         random_permutation, random_saturated_chain, random_upper_cover, random_with_inversions,
-        DescentSampler, InversionSampler, LevelSampler, LevelSamplerScratch,
+        DescentSampler, DisplacementSampler, InversionSampler, LevelSampler, LevelSamplerScratch,
+        MajorIndexSampler,
     };
     pub use crate::statistics::{all_statistics, total_displacement, Statistic};
 }

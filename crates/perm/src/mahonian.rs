@@ -108,6 +108,67 @@ pub fn eulerian(m: usize, k: usize) -> u128 {
     eulerian_row(m).get(k).copied().unwrap_or(0)
 }
 
+/// The full Spearman-footrule row for degree `m`:
+/// `row[d]` counts the permutations of `m` elements with total displacement
+/// `Σ_i |σ(i) − i| = d`, for `d = 0 ..= ⌊m²/2⌋`.
+///
+/// Computed by the *open-pairs* dynamic program: process positions and
+/// values `1, 2, .., m` together; after step `t` let `o_t` be the number of
+/// positions `≤ t` still awaiting a value `> t` (equivalently, values `≤ t`
+/// awaiting a position `> t` — the counts are always equal). Then
+/// `Σ_i |σ(i) − i| = Σ_t 2·o_t` for *any* matching of open positions to
+/// open values, so the distribution only depends on the `o_t` trajectory:
+/// a step keeps `o` with multiplicity `2o + 1` (fix `σ(t) = t`, or close
+/// one side and open the other), drops to `o − 1` with multiplicity `o²`
+/// (close both sides), or rises to `o + 1` with multiplicity 1 (open both).
+/// `O(m² · max_d)` time; odd displacements are impossible, so odd entries
+/// are 0.
+///
+/// This row plays the role [`mahonian_row`] / [`eulerian_row`] play for the
+/// other statistics: exact level sizes without `O(m!)` enumeration, usable
+/// both for weighted sample budgets and as the completion table of the
+/// displacement sampler.
+///
+/// # Panics
+///
+/// Panics if an intermediate count overflows `u128` (`m > 34`).
+#[must_use]
+pub fn footrule_row(m: usize) -> Vec<u128> {
+    let max_d = m * m / 2;
+    // dist[o][d] = configurations after the current step with o open pairs
+    // and accumulated displacement d.
+    let mut dist = vec![vec![0u128; max_d + 1]; m / 2 + 2];
+    dist[0][0] = 1;
+    for t in 0..m {
+        let mut next = vec![vec![0u128; max_d + 1]; m / 2 + 2];
+        let o_bound = t.min(m - t);
+        for (o, row) in dist.iter().enumerate().take(o_bound + 1) {
+            for (d, &ways) in row.iter().enumerate() {
+                if ways == 0 {
+                    continue;
+                }
+                // Step t+1 lands on o' open pairs and costs 2·o' more.
+                let mut land = |o_next: usize, mult: u128| {
+                    let cost = 2 * o_next;
+                    if d + cost <= max_d && o_next < next.len() {
+                        let add = ways.checked_mul(mult).expect("footrule overflow");
+                        next[o_next][d + cost] = next[o_next][d + cost]
+                            .checked_add(add)
+                            .expect("footrule overflow");
+                    }
+                };
+                if o > 0 {
+                    land(o - 1, (o * o) as u128);
+                }
+                land(o, 2 * o as u128 + 1);
+                land(o + 1, 1);
+            }
+        }
+        dist = next;
+    }
+    dist.swap_remove(0)
+}
+
 /// All partitions of `n` into at most `max_parts` parts, each part at most
 /// `max_part`, listed with parts in non-increasing order, in reverse
 /// lexicographic order.
@@ -361,5 +422,37 @@ mod tests {
         assert!(!is_partition_of(&[2, 2], 3));
         assert!(is_partition_of(&[2, 1], 3));
         assert!(is_partition_of(&[], 0));
+    }
+
+    #[test]
+    fn footrule_row_matches_exhaustive_enumeration() {
+        for m in 0..=7usize {
+            let mut expected = vec![0u128; m * m / 2 + 1];
+            for sigma in crate::iter::LexIter::new(m) {
+                let d: usize = sigma
+                    .images()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &v)| i.abs_diff(v))
+                    .sum();
+                expected[d] += 1;
+            }
+            assert_eq!(footrule_row(m), expected, "m={m}");
+        }
+    }
+
+    #[test]
+    fn footrule_row_shape_and_parity() {
+        let row = footrule_row(10);
+        assert_eq!(row.len(), 51);
+        assert_eq!(row.iter().sum::<u128>(), 3_628_800);
+        // The footrule is always even: every odd level is empty.
+        for (d, &w) in row.iter().enumerate() {
+            assert_eq!(w == 0, d % 2 == 1, "d={d}");
+        }
+        // Only the identity attains 0; the top level is non-empty (the
+        // reverse permutation attains it, among others).
+        assert_eq!(row[0], 1);
+        assert!(*row.last().unwrap() >= 1);
     }
 }

@@ -300,8 +300,304 @@ impl DescentSampler {
     }
 }
 
+/// A reusable sampler of permutations of `m` elements with major index
+/// exactly `k`, uniform over that (Mahonian) level.
+///
+/// The major-index analogue of [`InversionSampler`], built on the insertion
+/// lemma behind MacMahon's equidistribution: inserting the largest element
+/// `n` into the `n` gaps of a permutation of `n − 1` elements raises the
+/// major index by each value of `{0, .., n − 1}` exactly once. The
+/// completion table is therefore the *same* Mahonian dynamic program as the
+/// inversion sampler's; only the reconstruction differs — a Lehmer digit
+/// scatters directly, while a maj increment must be located among the gaps
+/// (`O(m)` per insertion, `O(m²)` per draw, matching the inversion path).
+#[derive(Debug, Clone)]
+pub struct MajorIndexSampler {
+    m: usize,
+    k: usize,
+    /// ways[n][r] = number of permutations of `n` elements with maj = r
+    /// (r <= k; larger remainders never occur on the sampled path).
+    ways: Vec<Vec<u128>>,
+}
+
+impl MajorIndexSampler {
+    /// Builds the sampler for permutations of `m` elements with major index
+    /// `k`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PermError::LevelTargetOutOfRange`] if `k > m(m-1)/2`.
+    pub fn new(m: usize, k: usize) -> Result<Self> {
+        let max = max_inversions(m);
+        if k > max {
+            return Err(PermError::LevelTargetOutOfRange {
+                statistic: "major_index",
+                target: k,
+                max,
+            });
+        }
+        // ways[n][r] = Σ_{c=0}^{min(n-1, r)} ways[n-1][r-c], ways[0][0] = 1.
+        let mut ways: Vec<Vec<u128>> = Vec::with_capacity(m + 1);
+        ways.push(vec![1]);
+        for n in 1..=m {
+            let mut row = vec![0u128; k + 1];
+            let prev = &ways[n - 1];
+            for (r, slot) in row.iter_mut().enumerate() {
+                let mut total = 0u128;
+                for c in 0..=(n - 1).min(r) {
+                    total += prev.get(r - c).copied().unwrap_or(0);
+                }
+                *slot = total;
+            }
+            ways.push(row);
+        }
+        debug_assert!(
+            ways[m].get(k).copied().unwrap_or(0) > 0,
+            "Mahonian table must admit at least one permutation"
+        );
+        Ok(MajorIndexSampler { m, k, ways })
+    }
+
+    /// The degree `m` of the sampled permutations.
+    #[must_use]
+    pub fn degree(&self) -> usize {
+        self.m
+    }
+
+    /// The major index `k` of the sampled permutations.
+    #[must_use]
+    pub fn major_index(&self) -> usize {
+        self.k
+    }
+
+    /// The maj increase of inserting the (new) largest element at gap `j`
+    /// (`0` = front, `len` = end) of `images`: `0` at the end, otherwise
+    /// `(j+1) + #{descents at 1-based positions ≥ j+1} − j·[descent at j]`.
+    /// The increments over all gaps are a permutation of `{0, .., len}`.
+    fn maj_increment(images: &[usize], j: usize) -> usize {
+        if j == images.len() {
+            return 0;
+        }
+        let descent_at = |p: usize| p >= 1 && p < images.len() && images[p - 1] > images[p];
+        let after: usize = (j + 1..images.len()).filter(|&p| descent_at(p)).count();
+        (j + 1) + after - if descent_at(j) { j } else { 0 }
+    }
+
+    /// Draws one permutation's one-line images into `images`, using `plan`
+    /// as working space (the per-size maj increments) — allocation-free
+    /// after warm-up.
+    pub fn sample_images_into<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        images: &mut Vec<usize>,
+        plan: &mut Vec<usize>,
+    ) {
+        images.clear();
+        plan.clear();
+        if self.m == 0 {
+            return;
+        }
+        // Top-down: pick the maj increment of each insertion size, weighted
+        // by the completions the smaller table admits.
+        let mut remaining = self.k;
+        for n in (2..=self.m).rev() {
+            let prev = &self.ways[n - 1];
+            let total = self.ways[n][remaining];
+            let mut ticket = rng.gen_range(0..total);
+            let mut chosen = 0usize;
+            for c in 0..=(n - 1).min(remaining) {
+                let w = prev.get(remaining - c).copied().unwrap_or(0);
+                if ticket < w {
+                    chosen = c;
+                    break;
+                }
+                ticket -= w;
+            }
+            plan.push(chosen);
+            remaining -= chosen;
+        }
+        debug_assert_eq!(remaining, 0, "size-1 permutation has maj 0");
+        // Bottom-up: insert each next-largest element into the gap with the
+        // planned increment.
+        images.push(0);
+        for (n, &target) in (2..=self.m).zip(plan.iter().rev()) {
+            let value = n - 1;
+            let gap = (0..images.len() + 1)
+                .find(|&j| Self::maj_increment(images, j) == target)
+                .expect("every increment 0..n-1 is attained by exactly one gap");
+            images.insert(gap, value);
+        }
+    }
+
+    /// Draws one permutation.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Permutation {
+        let (mut images, mut plan) = (Vec::with_capacity(self.m), Vec::new());
+        self.sample_images_into(rng, &mut images, &mut plan);
+        Permutation::from_images(images).expect("sampled images are a permutation")
+    }
+}
+
+/// A reusable sampler of permutations of `m` elements with total
+/// displacement (Spearman's footrule) exactly `k`, uniform over that level.
+///
+/// Built on the *open-pairs* decomposition behind
+/// [`crate::mahonian::footrule_row`]: processing positions and values
+/// `1..=m` together, the footrule is `Σ_t 2·o_t` where `o_t` is the number
+/// of open (position, value) pairs after step `t` — independent of *which*
+/// open value each open position eventually receives. The completion table
+/// `ways[t][o][r]` therefore only tracks `(step, open count, remaining
+/// displacement)`; a draw walks the table choosing each step's transition
+/// weighted by its completions, picking uniformly among the interchangeable
+/// open positions/values, which makes the overall draw uniform.
+#[derive(Debug, Clone)]
+pub struct DisplacementSampler {
+    m: usize,
+    k: usize,
+    /// ways[t][o][r] = matchings of the remaining `m - t` steps that start
+    /// with `o` open pairs and spend exactly `r` more displacement.
+    ways: Vec<Vec<Vec<u128>>>,
+}
+
+impl DisplacementSampler {
+    /// Builds the sampler for permutations of `m` elements with total
+    /// displacement `k`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PermError::LevelTargetOutOfRange`] if `k > ⌊m²/2⌋`, or
+    /// [`PermError::EmptyLevel`] when the level is empty (every odd `k`:
+    /// the footrule is always even).
+    pub fn new(m: usize, k: usize) -> Result<Self> {
+        let max = m * m / 2;
+        if k > max {
+            return Err(PermError::LevelTargetOutOfRange {
+                statistic: "total_displacement",
+                target: k,
+                max,
+            });
+        }
+        let o_cap = m / 2 + 1;
+        let mut ways: Vec<Vec<Vec<u128>>> = vec![vec![vec![0; k + 1]; o_cap + 1]; m + 1];
+        ways[m][0][0] = 1;
+        for t in (0..m).rev() {
+            for o in 0..=t.min(m - t).min(o_cap) {
+                for r in 0..=k {
+                    let mut total = 0u128;
+                    // Step t+1 lands on o' open pairs and costs 2·o'.
+                    let mut take = |o_next: usize, mult: u128| {
+                        let cost = 2 * o_next;
+                        if cost <= r && o_next <= o_cap {
+                            total += mult * ways[t + 1][o_next][r - cost];
+                        }
+                    };
+                    if o > 0 {
+                        take(o - 1, (o * o) as u128);
+                    }
+                    take(o, 2 * o as u128 + 1);
+                    take(o + 1, 1);
+                    ways[t][o][r] = total;
+                }
+            }
+        }
+        if ways[0][0][k] == 0 {
+            return Err(PermError::EmptyLevel {
+                statistic: "total_displacement",
+                target: k,
+            });
+        }
+        Ok(DisplacementSampler { m, k, ways })
+    }
+
+    /// The degree `m` of the sampled permutations.
+    #[must_use]
+    pub fn degree(&self) -> usize {
+        self.m
+    }
+
+    /// The total displacement `k` of the sampled permutations.
+    #[must_use]
+    pub fn displacement(&self) -> usize {
+        self.k
+    }
+
+    /// Draws one permutation's one-line images into `images`, using
+    /// `open_positions` / `open_values` as working space — allocation-free
+    /// after warm-up.
+    pub fn sample_images_into<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        images: &mut Vec<usize>,
+        open_positions: &mut Vec<usize>,
+        open_values: &mut Vec<usize>,
+    ) {
+        images.clear();
+        images.resize(self.m, usize::MAX);
+        open_positions.clear();
+        open_values.clear();
+        let mut remaining = self.k;
+        for t in 0..self.m {
+            let o = open_positions.len();
+            debug_assert_eq!(o, open_values.len());
+            let completions = |o_next: usize| -> u128 {
+                let cost = 2 * o_next;
+                if cost > remaining || o_next >= self.ways[t + 1].len() {
+                    return 0;
+                }
+                self.ways[t + 1][o_next][remaining - cost]
+            };
+            let close_both = if o > 0 {
+                (o * o) as u128 * completions(o - 1)
+            } else {
+                0
+            };
+            let keep = (2 * o as u128 + 1) * completions(o);
+            let open_both = completions(o + 1);
+            let ticket = rng.gen_range(0..close_both + keep + open_both);
+            if ticket < close_both {
+                // Position t takes an open value, value t fills an open
+                // position; the pairing choice is free (same displacement).
+                let choice = (ticket / completions(o - 1)) as usize;
+                let (vi, pi) = (choice / o, choice % o);
+                images[t] = open_values.swap_remove(vi);
+                images[open_positions.swap_remove(pi)] = t;
+                remaining -= 2 * (o - 1);
+            } else if ticket < close_both + keep {
+                let choice = ((ticket - close_both) / completions(o)) as usize;
+                if choice == 0 {
+                    // σ(t) = t.
+                    images[t] = t;
+                } else if choice <= o {
+                    // Position t takes an open value; value t stays open.
+                    images[t] = open_values.swap_remove(choice - 1);
+                    open_values.push(t);
+                } else {
+                    // Value t fills an open position; position t stays open.
+                    images[open_positions.swap_remove(choice - 1 - o)] = t;
+                    open_positions.push(t);
+                }
+                remaining -= 2 * o;
+            } else {
+                // Both position t and value t stay open.
+                open_positions.push(t);
+                open_values.push(t);
+                remaining -= 2 * (o + 1);
+            }
+        }
+        debug_assert_eq!(remaining, 0, "displacement budget must be spent");
+        debug_assert!(open_positions.is_empty() && open_values.is_empty());
+    }
+
+    /// Draws one permutation.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Permutation {
+        let mut images = Vec::with_capacity(self.m);
+        let (mut ps, mut vs) = (Vec::new(), Vec::new());
+        self.sample_images_into(rng, &mut images, &mut ps, &mut vs);
+        Permutation::from_images(images).expect("sampled images are a permutation")
+    }
+}
+
 /// A statistic-generic stratified sampler: draws permutations uniformly at a
-/// fixed level of a supported [`Statistic`] (inversions or descents).
+/// fixed level of any [`Statistic`].
 ///
 /// This is what lets the sweep engine's weighted sampling be keyed by more
 /// than the inversion number: each variant owns the per-level table of its
@@ -313,6 +609,10 @@ pub enum LevelSampler {
     Inversions(InversionSampler),
     /// Uniform over `{σ : des(σ) = k}` (Eulerian level).
     Descents(DescentSampler),
+    /// Uniform over `{σ : maj(σ) = k}` (the other Mahonian level).
+    MajorIndex(MajorIndexSampler),
+    /// Uniform over `{σ : D(σ) = k}` (footrule level).
+    Displacement(DisplacementSampler),
 }
 
 /// Working buffers for [`LevelSampler::sample_images_into`], reusable across
@@ -329,23 +629,33 @@ impl LevelSampler {
     ///
     /// # Errors
     ///
-    /// Returns [`PermError::UnsupportedSamplingStatistic`] for statistics
-    /// without a stratified sampler, or a range error when `level` exceeds
-    /// the statistic's maximum for this degree.
+    /// Returns a range error when `level` exceeds the statistic's maximum
+    /// for this degree, or [`PermError::EmptyLevel`] for an in-range level
+    /// no permutation attains (odd total displacements).
     pub fn new(statistic: Statistic, m: usize, level: usize) -> Result<Self> {
         match statistic {
             Statistic::Inversions => Ok(LevelSampler::Inversions(InversionSampler::new(m, level)?)),
             Statistic::Descents => Ok(LevelSampler::Descents(DescentSampler::new(m, level)?)),
-            other => Err(PermError::UnsupportedSamplingStatistic {
-                statistic: other.name(),
-            }),
+            Statistic::MajorIndex => {
+                Ok(LevelSampler::MajorIndex(MajorIndexSampler::new(m, level)?))
+            }
+            Statistic::TotalDisplacement => Ok(LevelSampler::Displacement(
+                DisplacementSampler::new(m, level)?,
+            )),
         }
     }
 
-    /// True when `statistic` has a stratified sampler.
+    /// True when `statistic` has a stratified sampler. Every statistic does
+    /// since the major-index and displacement samplers landed; kept for
+    /// callers that gate on sampler availability.
     #[must_use]
     pub fn supports(statistic: Statistic) -> bool {
-        matches!(statistic, Statistic::Inversions | Statistic::Descents)
+        match statistic {
+            Statistic::Inversions
+            | Statistic::Descents
+            | Statistic::MajorIndex
+            | Statistic::TotalDisplacement => true,
+        }
     }
 
     /// Draws one permutation's one-line images into `images`.
@@ -361,6 +671,12 @@ impl LevelSampler {
             }
             LevelSampler::Descents(s) => {
                 s.sample_images_into(rng, images, &mut scratch.plan);
+            }
+            LevelSampler::MajorIndex(s) => {
+                s.sample_images_into(rng, images, &mut scratch.code);
+            }
+            LevelSampler::Displacement(s) => {
+                s.sample_images_into(rng, images, &mut scratch.code, &mut scratch.available);
             }
         }
     }
@@ -558,23 +874,138 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(8);
         let mut scratch = LevelSamplerScratch::default();
         let mut images = Vec::new();
-        let inv = LevelSampler::new(Statistic::Inversions, 6, 7).unwrap();
-        inv.sample_images_into(&mut rng, &mut images, &mut scratch);
-        assert_eq!(Statistic::Inversions.of_images(&images), 7);
-        let des = LevelSampler::new(Statistic::Descents, 6, 2).unwrap();
-        des.sample_images_into(&mut rng, &mut images, &mut scratch);
-        assert_eq!(Statistic::Descents.of_images(&images), 2);
-        assert!(LevelSampler::supports(Statistic::Inversions));
-        assert!(LevelSampler::supports(Statistic::Descents));
-        assert!(!LevelSampler::supports(Statistic::MajorIndex));
-        assert!(matches!(
-            LevelSampler::new(Statistic::MajorIndex, 5, 1),
-            Err(PermError::UnsupportedSamplingStatistic { .. })
-        ));
+        for (statistic, level) in [
+            (Statistic::Inversions, 7),
+            (Statistic::Descents, 2),
+            (Statistic::MajorIndex, 7),
+            (Statistic::TotalDisplacement, 8),
+        ] {
+            let sampler = LevelSampler::new(statistic, 6, level).unwrap();
+            for _ in 0..5 {
+                sampler.sample_images_into(&mut rng, &mut images, &mut scratch);
+                assert_eq!(statistic.of_images(&images), level, "{statistic}");
+            }
+            assert!(LevelSampler::supports(statistic));
+        }
         assert!(matches!(
             LevelSampler::new(Statistic::Descents, 5, 9),
             Err(PermError::LevelTargetOutOfRange { .. })
         ));
+        assert!(matches!(
+            LevelSampler::new(Statistic::MajorIndex, 5, 99),
+            Err(PermError::LevelTargetOutOfRange { .. })
+        ));
+        assert!(matches!(
+            LevelSampler::new(Statistic::TotalDisplacement, 5, 3),
+            Err(PermError::EmptyLevel { .. })
+        ));
+    }
+
+    #[test]
+    fn major_index_sampler_hits_its_level() {
+        use crate::statistics::Statistic;
+        let mut rng = StdRng::seed_from_u64(41);
+        for m in 1..=8usize {
+            for k in [
+                0,
+                max_inversions(m) / 3,
+                max_inversions(m) / 2,
+                max_inversions(m),
+            ] {
+                let sampler = MajorIndexSampler::new(m, k).unwrap();
+                assert_eq!(sampler.degree(), m);
+                assert_eq!(sampler.major_index(), k);
+                for _ in 0..8 {
+                    let p = sampler.sample(&mut rng);
+                    assert_eq!(Statistic::MajorIndex.of(&p), k, "m={m} k={k}");
+                }
+            }
+        }
+        assert!(MajorIndexSampler::new(4, 7).is_err());
+        assert!(MajorIndexSampler::new(0, 0).is_ok());
+    }
+
+    #[test]
+    fn major_index_sampler_is_uniform_over_small_levels() {
+        // m=4, maj=3 has M(4,3) = 6 permutations; all must appear with
+        // roughly equal frequency.
+        use crate::mahonian::mahonian;
+        assert_eq!(mahonian(4, 3), 6);
+        let sampler = MajorIndexSampler::new(4, 3).unwrap();
+        let mut rng = StdRng::seed_from_u64(93);
+        let mut seen = HashMap::new();
+        for _ in 0..600 {
+            let p = sampler.sample(&mut rng);
+            *seen.entry(p.images().to_vec()).or_insert(0usize) += 1;
+        }
+        assert_eq!(seen.len(), 6);
+        for (images, count) in seen {
+            assert!(count > 40, "{images:?} drawn only {count} times");
+        }
+    }
+
+    #[test]
+    fn major_index_increments_cover_every_gap_value() {
+        // The insertion lemma the sampler stands on: over the gaps of any
+        // permutation of n-1 elements, the maj increments of inserting the
+        // largest element are exactly {0, .., n-1}.
+        for sigma in crate::iter::LexIter::new(5) {
+            let images = sigma.images();
+            let mut increments: Vec<usize> = (0..=images.len())
+                .map(|j| MajorIndexSampler::maj_increment(images, j))
+                .collect();
+            increments.sort_unstable();
+            let expected: Vec<usize> = (0..=images.len()).collect();
+            assert_eq!(increments, expected, "σ = {sigma}");
+        }
+    }
+
+    #[test]
+    fn displacement_sampler_hits_its_level() {
+        use crate::statistics::Statistic;
+        let mut rng = StdRng::seed_from_u64(59);
+        for m in 1..=8usize {
+            for k in (0..=m * m / 2).step_by(2) {
+                let sampler = DisplacementSampler::new(m, k).unwrap();
+                assert_eq!(sampler.degree(), m);
+                assert_eq!(sampler.displacement(), k);
+                for _ in 0..6 {
+                    let p = sampler.sample(&mut rng);
+                    assert_eq!(Statistic::TotalDisplacement.of(&p), k, "m={m} k={k}");
+                }
+            }
+        }
+        // Odd displacements are empty levels; out-of-range is out of range.
+        assert!(matches!(
+            DisplacementSampler::new(6, 5),
+            Err(PermError::EmptyLevel { target: 5, .. })
+        ));
+        assert!(matches!(
+            DisplacementSampler::new(4, 99),
+            Err(PermError::LevelTargetOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn displacement_sampler_is_uniform_over_small_levels() {
+        // m=4, D=4: enumerate the level exhaustively, then check every
+        // member appears with roughly equal frequency.
+        use crate::statistics::Statistic;
+        let members: Vec<Vec<usize>> = crate::iter::LexIter::new(4)
+            .filter(|p| Statistic::TotalDisplacement.of(p) == 4)
+            .map(|p| p.images().to_vec())
+            .collect();
+        let sampler = DisplacementSampler::new(4, 4).unwrap();
+        let mut rng = StdRng::seed_from_u64(61);
+        let mut seen = HashMap::new();
+        for _ in 0..members.len() * 100 {
+            let p = sampler.sample(&mut rng);
+            *seen.entry(p.images().to_vec()).or_insert(0usize) += 1;
+        }
+        assert_eq!(seen.len(), members.len());
+        for m in &members {
+            assert!(seen[m] > 50, "{m:?} drawn only {} times", seen[m]);
+        }
     }
 
     #[test]

@@ -188,30 +188,21 @@ impl Statistic {
     /// The exact level sizes of the statistic on `S_m`:
     /// `weights[v]` = number of permutations with statistic value `v`.
     /// Inversions and major index use the Mahonian dynamic program, the
-    /// descent count uses the Eulerian recurrence
-    /// ([`crate::mahonian::eulerian_row`]); only total displacement falls
-    /// back to exhaustive enumeration in `O(m!)`.
-    ///
-    /// Intended for small `m` (level weighting, tests); the sweep engine's
-    /// Mahonian-weighted sampling uses [`crate::mahonian::mahonian_row`]
-    /// without enumeration.
+    /// descent count the Eulerian recurrence
+    /// ([`crate::mahonian::eulerian_row`]), and total displacement the
+    /// open-pairs footrule program ([`crate::mahonian::footrule_row`]) —
+    /// no statistic enumerates `S_m` anymore, so every statistic supports
+    /// weighted sampling at any degree the counts fit (`m <= 34`).
     ///
     /// # Panics
     ///
-    /// Panics if `m > 12` for the enumerated statistics.
+    /// Panics if an intermediate count overflows `u128` (`m > 34`).
     #[must_use]
     pub fn level_weights(self, m: usize) -> Vec<u128> {
         match self {
             Statistic::Inversions | Statistic::MajorIndex => crate::mahonian::mahonian_row(m),
             Statistic::Descents => crate::mahonian::eulerian_row(m),
-            Statistic::TotalDisplacement => {
-                assert!(m <= 12, "level_weights: degree {m} too large to enumerate");
-                let mut weights = vec![0u128; self.level_count(m)];
-                for sigma in crate::iter::LexIter::new(m) {
-                    weights[self.of_images(sigma.images())] += 1;
-                }
-                weights
-            }
+            Statistic::TotalDisplacement => crate::mahonian::footrule_row(m),
         }
     }
 }

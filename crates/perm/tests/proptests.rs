@@ -227,4 +227,52 @@ proptest! {
         // cancel, so the absolute sum is twice the positive part.
         prop_assert_eq!(total_displacement(&sigma) % 2, 0);
     }
+
+    #[test]
+    fn every_statistic_has_a_level_sampler_that_hits_its_level(
+        m in 1usize..9,
+        seed in any::<u64>(),
+    ) {
+        // The statistic-generic stratified sampler must exist for every
+        // statistic and every non-empty level, and every draw must land
+        // exactly on the requested level.
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut scratch = LevelSamplerScratch::default();
+        let mut images = Vec::new();
+        for statistic in Statistic::ALL {
+            let weights = statistic.level_weights(m);
+            for (level, &weight) in weights.iter().enumerate() {
+                if weight == 0 {
+                    prop_assert!(
+                        LevelSampler::new(statistic, m, level).is_err(),
+                        "{} empty level {} must be rejected", statistic, level
+                    );
+                    continue;
+                }
+                let sampler = LevelSampler::new(statistic, m, level).unwrap();
+                for _ in 0..3 {
+                    sampler.sample_images_into(&mut rng, &mut images, &mut scratch);
+                    prop_assert_eq!(
+                        statistic.of_images(&images), level,
+                        "{} m={} level={}", statistic, m, level
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn level_weights_match_exhaustive_counts(m in 0usize..7) {
+        // The DP rows behind weighted sampling (Mahonian, Eulerian,
+        // footrule) agree with literal enumeration of S_m.
+        for statistic in Statistic::ALL {
+            let mut expected = vec![0u128; statistic.level_count(m)];
+            for sigma in LexIter::new(m) {
+                expected[statistic.of_images(sigma.images())] += 1;
+            }
+            prop_assert_eq!(statistic.level_weights(m), expected, "{}", statistic);
+        }
+    }
 }

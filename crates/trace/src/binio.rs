@@ -20,6 +20,13 @@
 //! number of accesses is whatever the payload decodes to, so concatenating
 //! payloads or truncating to a prefix of whole varints remains valid.
 //!
+//! Because varints have no fixed width, reaching access `k` normally means
+//! decoding `k` varints; the optional **sidecar chunk index**
+//! ([`SltrIndex`], stored at [`sltr_index_path`]) records the payload byte
+//! offset of every `interval`-th access so range reads *seek* to within
+//! `interval` accesses of their start instead. The `.sltr` file itself is
+//! unchanged — version-1 readers ignore the sidecar entirely.
+//!
 //! Round-tripping through [`crate::io`]'s text format is pinned by tests
 //! (`read_sltr(write_sltr(t)) == read_trace_from_str(write_trace_to_string(t))`).
 
@@ -59,6 +66,19 @@ pub enum SltrError {
         /// 0-based index of the offending access.
         access: u64,
     },
+    /// A `.sltr.idx` sidecar index is structurally invalid: wrong magic or
+    /// version, truncated, non-monotone or out-of-bounds offsets.
+    IndexCorrupt {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// A `.sltr.idx` sidecar index is well-formed but does not describe
+    /// the `.sltr` payload next to it (the trace file changed after the
+    /// index was written).
+    IndexStale {
+        /// Human-readable description of the mismatch.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for SltrError {
@@ -79,6 +99,12 @@ impl std::fmt::Display for SltrError {
             }
             SltrError::Overflow { access } => {
                 write!(f, "sltr access #{access} overflows a 64-bit address")
+            }
+            SltrError::IndexCorrupt { reason } => {
+                write!(f, "sltr index is corrupt: {reason}")
+            }
+            SltrError::IndexStale { reason } => {
+                write!(f, "sltr index is stale: {reason}")
             }
         }
     }
@@ -124,15 +150,302 @@ pub fn push_varint(out: &mut Vec<u8>, mut value: u64) {
     }
 }
 
+/// The 4-byte magic at the start of every `.sltr.idx` sidecar index.
+pub const SLTR_INDEX_MAGIC: [u8; 4] = *b"SLIX";
+/// The current sidecar-index format version.
+pub const SLTR_INDEX_VERSION: u8 = 1;
+/// The default indexing interval (accesses between stored offsets) used by
+/// the CLI and the convenience writers.
+pub const DEFAULT_INDEX_INTERVAL: u64 = 4096;
+
+/// The canonical sidecar path of a `.sltr` file's index: the same file name
+/// with `.idx` appended (`trace.sltr` → `trace.sltr.idx`).
+#[must_use]
+pub fn sltr_index_path(sltr: &Path) -> std::path::PathBuf {
+    let mut name = sltr.file_name().unwrap_or_default().to_os_string();
+    name.push(".idx");
+    sltr.with_file_name(name)
+}
+
+/// A chunk index over a `.sltr` payload: the byte offset (relative to the
+/// start of the payload, i.e. past the 5-byte header) of every `interval`-th
+/// access, so [`crate::stream::TraceSource::stream_range`] can *seek* to a
+/// chunk instead of decode-skipping the prefix.
+///
+/// Stored as a sidecar file (`<trace>.sltr.idx`) so the `.sltr` format
+/// itself stays version-1, append-friendly and concatenation-safe:
+///
+/// ```text
+/// offset  size  field
+/// 0       4     magic  b"SLIX"
+/// 4       1     version (currently 1)
+/// 5       ..    varints: interval, total accesses, payload byte length,
+///               entry count E, then E offset *deltas* (entry k holds the
+///               payload offset of access k·interval; deltas keep the
+///               varints small)
+/// ```
+///
+/// An index knows the payload length and access count it was built for, so
+/// readers detect a trace file that was truncated, appended to or replaced
+/// with different-length content after indexing ([`SltrError::IndexStale`])
+/// instead of seeking into the wrong bytes. An *equal-length* content swap
+/// is not detectable without hashing the payload on every open — the same
+/// deliberate trade-off the ingest checkpoints make (see
+/// `TraceIngest::resume_or_new`): rewriting a trace in place means
+/// regenerating its index (`symloc trace convert` always writes both).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SltrIndex {
+    interval: u64,
+    total: u64,
+    payload_len: u64,
+    /// offsets[k-1] = payload byte offset of access `k·interval`, strictly
+    /// increasing, each `< payload_len`.
+    offsets: Vec<u64>,
+}
+
+impl SltrIndex {
+    /// The indexing interval (accesses between stored offsets).
+    #[must_use]
+    pub fn interval(&self) -> u64 {
+        self.interval
+    }
+
+    /// The access count of the indexed payload.
+    #[must_use]
+    pub fn total_accesses(&self) -> u64 {
+        self.total
+    }
+
+    /// The byte length of the indexed payload (the file minus its 5-byte
+    /// header).
+    #[must_use]
+    pub fn payload_len(&self) -> u64 {
+        self.payload_len
+    }
+
+    /// Number of stored offsets.
+    #[must_use]
+    pub fn entry_count(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// Where to start reading for access `start`: returns `(payload byte
+    /// offset, accesses still to skip by decoding)` for the largest indexed
+    /// position `≤ start`. The decode-skip is always `< interval`.
+    #[must_use]
+    pub fn seek_hint(&self, start: u64) -> (u64, u64) {
+        let k = (start / self.interval).min(self.offsets.len() as u64);
+        if k == 0 {
+            (0, start)
+        } else {
+            (self.offsets[k as usize - 1], start - k * self.interval)
+        }
+    }
+
+    /// Serializes the index.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.offsets.len() * 2);
+        out.extend_from_slice(&SLTR_INDEX_MAGIC);
+        out.push(SLTR_INDEX_VERSION);
+        push_varint(&mut out, self.interval);
+        push_varint(&mut out, self.total);
+        push_varint(&mut out, self.payload_len);
+        push_varint(&mut out, self.offsets.len() as u64);
+        let mut prev = 0u64;
+        for &offset in &self.offsets {
+            push_varint(&mut out, offset - prev);
+            prev = offset;
+        }
+        out
+    }
+
+    /// Parses and validates an index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SltrError::IndexCorrupt`] describing the first structural
+    /// problem.
+    pub fn from_bytes(bytes: &[u8]) -> Result<SltrIndex, SltrError> {
+        let corrupt = |reason: &str| SltrError::IndexCorrupt {
+            reason: reason.to_string(),
+        };
+        if bytes.len() < 5 {
+            return Err(corrupt("shorter than the 5-byte header"));
+        }
+        if bytes[..4] != SLTR_INDEX_MAGIC {
+            return Err(corrupt("wrong magic (expected SLIX)"));
+        }
+        if bytes[4] != SLTR_INDEX_VERSION {
+            return Err(SltrError::IndexCorrupt {
+                reason: format!("unsupported version {}", bytes[4]),
+            });
+        }
+        let mut pos = 5usize;
+        let mut next = |what: &str| -> Result<u64, SltrError> {
+            decode_varint_from(bytes, &mut pos).ok_or_else(|| SltrError::IndexCorrupt {
+                reason: format!("truncated or overlong {what}"),
+            })
+        };
+        let interval = next("interval")?;
+        if interval == 0 {
+            return Err(corrupt("interval must be positive"));
+        }
+        let total = next("total access count")?;
+        let payload_len = next("payload length")?;
+        let entry_count = next("entry count")?;
+        let expected = if total == 0 {
+            0
+        } else {
+            (total - 1) / interval
+        };
+        if entry_count != expected {
+            return Err(SltrError::IndexCorrupt {
+                reason: format!(
+                    "{entry_count} entries, expected {expected} for {total} accesses every {interval}"
+                ),
+            });
+        }
+        // Every entry costs at least one byte, so an entry count beyond the
+        // remaining input is corrupt — checked *before* sizing the offsets
+        // buffer, or a tiny hand-crafted header (huge `total`, interval 1)
+        // could demand an absurd allocation instead of an error.
+        if entry_count > (bytes.len() - pos) as u64 {
+            return Err(SltrError::IndexCorrupt {
+                reason: format!(
+                    "{entry_count} entries cannot fit in the {} remaining bytes",
+                    bytes.len() - pos
+                ),
+            });
+        }
+        let mut offsets = Vec::with_capacity(entry_count as usize);
+        let mut prev = 0u64;
+        for k in 0..entry_count {
+            let delta =
+                decode_varint_from(bytes, &mut pos).ok_or_else(|| SltrError::IndexCorrupt {
+                    reason: format!("truncated at entry {k}"),
+                })?;
+            if delta == 0 {
+                // Offsets are strictly increasing: every access costs at
+                // least one byte and the interval is at least one access.
+                return Err(corrupt("offsets are not strictly increasing"));
+            }
+            let offset = prev
+                .checked_add(delta)
+                .ok_or_else(|| corrupt("offset overflow"))?;
+            if offset >= payload_len {
+                return Err(SltrError::IndexCorrupt {
+                    reason: format!("offset {offset} is outside the {payload_len}-byte payload"),
+                });
+            }
+            offsets.push(offset);
+            prev = offset;
+        }
+        if pos != bytes.len() {
+            return Err(corrupt("trailing bytes after the last entry"));
+        }
+        Ok(SltrIndex {
+            interval,
+            total,
+            payload_len,
+            offsets,
+        })
+    }
+
+    /// Writes the index to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error.
+    pub fn write<P: AsRef<Path>>(&self, path: P) -> Result<(), SltrError> {
+        std::fs::write(path, self.to_bytes())?;
+        Ok(())
+    }
+
+    /// Reads and validates the index at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error or the first structural problem.
+    pub fn read<P: AsRef<Path>>(path: P) -> Result<SltrIndex, SltrError> {
+        Self::from_bytes(&std::fs::read(path)?)
+    }
+
+    /// Checks that this index describes a payload of `payload_len` bytes
+    /// holding `total` accesses.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SltrError::IndexStale`] on a mismatch.
+    pub fn check_matches(&self, total: u64, payload_len: u64) -> Result<(), SltrError> {
+        if self.total != total || self.payload_len != payload_len {
+            return Err(SltrError::IndexStale {
+                reason: format!(
+                    "index describes {} accesses in {} bytes, file has {} accesses in {} bytes \
+                     (re-run `symloc trace convert` to refresh it)",
+                    self.total, self.payload_len, total, payload_len
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// The cheap applicability check at streaming time: the payload byte
+    /// length alone (counting accesses would cost the full decode the index
+    /// exists to avoid).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SltrError::IndexStale`] on a mismatch.
+    pub fn check_matches_payload_only(&self, payload_len: u64) -> Result<(), SltrError> {
+        if self.payload_len != payload_len {
+            return Err(SltrError::IndexStale {
+                reason: format!(
+                    "index describes a {}-byte payload, file has {} bytes",
+                    self.payload_len, payload_len
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Decodes one LEB128 varint from `bytes` at `*pos`, advancing it. Returns
+/// `None` on truncation or a value overflowing `u64`.
+fn decode_varint_from(bytes: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let &byte = bytes.get(*pos)?;
+        *pos += 1;
+        let bits = u64::from(byte & 0x7f);
+        if shift >= 64 || (shift == 63 && bits > 1) {
+            return None;
+        }
+        value |= bits << shift;
+        if byte & 0x80 == 0 {
+            return Some(value);
+        }
+        shift += 7;
+    }
+}
+
 /// A streaming `.sltr` writer over any [`Write`].
 ///
 /// Writes the header on construction and one varint per
 /// [`SltrWriter::push`]; call [`SltrWriter::finish`] (or drop) to flush.
+/// Constructed with [`SltrWriter::new_indexed`], it additionally records
+/// the payload offset of every `interval`-th access, yielding a
+/// [`SltrIndex`] from [`SltrWriter::finish_indexed`] — the writer itself
+/// still never seeks.
 #[derive(Debug)]
 pub struct SltrWriter<W: Write> {
     out: BufWriter<W>,
     buf: Vec<u8>,
     written: u64,
+    payload_bytes: u64,
+    /// `(interval, offsets)` when indexing was requested.
+    index: Option<(u64, Vec<u64>)>,
 }
 
 impl<W: Write> SltrWriter<W> {
@@ -149,7 +462,26 @@ impl<W: Write> SltrWriter<W> {
             out,
             buf: Vec::with_capacity(10),
             written: 0,
+            payload_bytes: 0,
+            index: None,
         })
+    }
+
+    /// Creates a writer that also builds a chunk index with the given
+    /// access interval (see [`SltrIndex`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval == 0`.
+    pub fn new_indexed(inner: W, interval: u64) -> Result<Self, SltrError> {
+        assert!(interval > 0, "the index interval must be positive");
+        let mut writer = Self::new(inner)?;
+        writer.index = Some((interval, Vec::new()));
+        Ok(writer)
     }
 
     /// Appends one access.
@@ -158,9 +490,15 @@ impl<W: Write> SltrWriter<W> {
     ///
     /// Returns the underlying I/O error.
     pub fn push(&mut self, addr: u64) -> Result<(), SltrError> {
+        if let Some((interval, offsets)) = &mut self.index {
+            if self.written > 0 && self.written.is_multiple_of(*interval) {
+                offsets.push(self.payload_bytes);
+            }
+        }
         self.buf.clear();
         push_varint(&mut self.buf, addr);
         self.out.write_all(&self.buf)?;
+        self.payload_bytes += self.buf.len() as u64;
         self.written += 1;
         Ok(())
     }
@@ -179,6 +517,30 @@ impl<W: Write> SltrWriter<W> {
     pub fn finish(mut self) -> Result<u64, SltrError> {
         self.out.flush()?;
         Ok(self.written)
+    }
+
+    /// Flushes and returns the access count together with the chunk index.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the writer was not constructed with
+    /// [`SltrWriter::new_indexed`].
+    pub fn finish_indexed(mut self) -> Result<(u64, SltrIndex), SltrError> {
+        self.out.flush()?;
+        let (interval, offsets) = self.index.take().expect("writer was constructed indexed");
+        Ok((
+            self.written,
+            SltrIndex {
+                interval,
+                total: self.written,
+                payload_len: self.payload_bytes,
+                offsets,
+            },
+        ))
     }
 }
 
@@ -217,6 +579,20 @@ impl<R: Read> SltrReader<R> {
             decoded: 0,
             failed: false,
         })
+    }
+
+    /// Resumes decoding mid-payload: `inner` must already be positioned at
+    /// an access boundary *past* the 5-byte header (a seek guided by a
+    /// [`SltrIndex`]), and `already_decoded` is the number of accesses
+    /// before that position, so in-stream error reports keep their global
+    /// access indices. No header is expected or validated.
+    #[must_use]
+    pub fn resume(inner: R, already_decoded: u64) -> Self {
+        SltrReader {
+            input: BufReader::new(inner),
+            decoded: already_decoded,
+            failed: false,
+        }
     }
 
     /// Number of accesses decoded so far.
@@ -306,6 +682,31 @@ pub fn write_sltr_to_writer<W: Write>(trace: &Trace, writer: W) -> Result<(), Sl
 /// See [`write_sltr_to_writer`].
 pub fn write_sltr<P: AsRef<Path>>(trace: &Trace, path: P) -> Result<(), SltrError> {
     write_sltr_to_writer(trace, File::create(path)?)
+}
+
+/// Writes a whole trace to a `.sltr` file *and* its sidecar chunk index
+/// (at [`sltr_index_path`]), returning the index.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error of either file.
+///
+/// # Panics
+///
+/// Panics if `interval == 0`.
+pub fn write_sltr_indexed<P: AsRef<Path>>(
+    trace: &Trace,
+    path: P,
+    interval: u64,
+) -> Result<SltrIndex, SltrError> {
+    let path = path.as_ref();
+    let mut writer = SltrWriter::new_indexed(File::create(path)?, interval)?;
+    for a in trace.iter() {
+        writer.push(a.value() as u64)?;
+    }
+    let (_, index) = writer.finish_indexed()?;
+    index.write(sltr_index_path(path))?;
+    Ok(index)
 }
 
 /// Serializes a trace to `.sltr` bytes.
@@ -482,6 +883,145 @@ mod tests {
             reader.next().unwrap().unwrap_err(),
             SltrError::Overflow { .. }
         ));
+    }
+
+    #[test]
+    fn indexed_writer_round_trips_and_seek_hints_are_exact() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(21);
+        let t = zipfian_trace(100_000, 3000, 0.9, &mut rng);
+        for interval in [1u64, 7, 64, 1024, 5000] {
+            let mut bytes = Vec::new();
+            let mut w = SltrWriter::new_indexed(&mut bytes, interval).unwrap();
+            for a in t.iter() {
+                w.push(a.value() as u64).unwrap();
+            }
+            let (written, index) = w.finish_indexed().unwrap();
+            assert_eq!(written, t.len() as u64);
+            assert_eq!(index.interval(), interval);
+            assert_eq!(index.total_accesses(), t.len() as u64);
+            assert_eq!(index.payload_len(), bytes.len() as u64 - 5);
+            let expected_entries = if t.is_empty() {
+                0
+            } else {
+                (t.len() as u64 - 1) / interval
+            };
+            assert_eq!(index.entry_count() as u64, expected_entries);
+            // The index serializes and parses back identically.
+            let parsed = SltrIndex::from_bytes(&index.to_bytes()).unwrap();
+            assert_eq!(parsed, index);
+            // Every seek hint lands on the exact byte offset of its access:
+            // decoding from (offset, skip) reproduces the suffix.
+            for start in [0u64, 1, interval, interval + 3, 2 * interval + 1, 2999] {
+                let (offset, skip) = index.seek_hint(start);
+                assert!(skip < interval.max(start + 1));
+                let payload = &bytes[5 + offset as usize..];
+                let mut reader = SltrReader::resume(payload, start - skip);
+                for _ in 0..skip {
+                    if reader.next().is_none() {
+                        break; // start past the end of the trace
+                    }
+                }
+                let got = reader.next().map(|r| r.unwrap());
+                let expect = t.accesses().get(start as usize).map(|a| a.value() as u64);
+                assert_eq!(got, expect, "interval={interval} start={start}");
+            }
+        }
+    }
+
+    #[test]
+    fn index_file_round_trip_and_paths() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("symloc_binio_index_test.sltr");
+        let t = sawtooth_trace(50, 10);
+        let index = write_sltr_indexed(&t, &path, 64).unwrap();
+        let sidecar = sltr_index_path(&path);
+        assert!(sidecar.to_string_lossy().ends_with(".sltr.idx"));
+        let back = SltrIndex::read(&sidecar).unwrap();
+        assert_eq!(back, index);
+        assert_eq!(read_sltr(&path).unwrap(), t);
+        back.check_matches(500, std::fs::metadata(&path).unwrap().len() - 5)
+            .unwrap();
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&sidecar).ok();
+    }
+
+    #[test]
+    fn corrupt_indexes_are_rejected_not_panicked() {
+        let t = sawtooth_trace(40, 8); // 320 accesses
+        let mut bytes = Vec::new();
+        let mut w = SltrWriter::new_indexed(&mut bytes, 100).unwrap();
+        for a in t.iter() {
+            w.push(a.value() as u64).unwrap();
+        }
+        let (_, index) = w.finish_indexed().unwrap();
+        let good = index.to_bytes();
+        assert!(SltrIndex::from_bytes(&good).is_ok());
+
+        // Too short / wrong magic / wrong version.
+        assert!(matches!(
+            SltrIndex::from_bytes(b"SLI").unwrap_err(),
+            SltrError::IndexCorrupt { .. }
+        ));
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        assert!(SltrIndex::from_bytes(&bad).is_err());
+        let mut bad = good.clone();
+        bad[4] = 9;
+        assert!(SltrIndex::from_bytes(&bad).is_err());
+        // Truncated varints.
+        assert!(SltrIndex::from_bytes(&good[..good.len() - 1]).is_err());
+        assert!(SltrIndex::from_bytes(&good[..6]).is_err());
+        // A tiny header demanding an absurd entry count must be rejected
+        // *without* attempting the allocation (regression test).
+        let mut huge = SLTR_INDEX_MAGIC.to_vec();
+        huge.push(SLTR_INDEX_VERSION);
+        push_varint(&mut huge, 1); // interval
+        push_varint(&mut huge, u64::MAX); // total accesses
+        push_varint(&mut huge, u64::MAX); // payload length
+        push_varint(&mut huge, u64::MAX - 1); // entry count (consistent!)
+        assert!(matches!(
+            SltrIndex::from_bytes(&huge).unwrap_err(),
+            SltrError::IndexCorrupt { .. }
+        ));
+        // Trailing garbage.
+        let mut bad = good.clone();
+        bad.push(0);
+        assert!(SltrIndex::from_bytes(&bad).is_err());
+        // Bogus offsets: a zero delta (non-increasing) is structural.
+        let zero_delta = SltrIndex {
+            interval: 100,
+            total: 320,
+            payload_len: index.payload_len(),
+            offsets: vec![
+                index.payload_len() + 5,
+                index.payload_len() + 5,
+                index.payload_len() + 6,
+            ],
+        };
+        assert!(SltrIndex::from_bytes(&zero_delta.to_bytes()).is_err());
+        // Offsets past the payload are rejected.
+        let out_of_bounds = SltrIndex {
+            interval: 100,
+            total: 320,
+            payload_len: index.payload_len(),
+            offsets: vec![100, 200, index.payload_len() + 7],
+        };
+        assert!(matches!(
+            SltrIndex::from_bytes(&out_of_bounds.to_bytes()).unwrap_err(),
+            SltrError::IndexCorrupt { .. }
+        ));
+        // Staleness checks.
+        assert!(index.check_matches(320, index.payload_len()).is_ok());
+        assert!(matches!(
+            index.check_matches(321, index.payload_len()).unwrap_err(),
+            SltrError::IndexStale { .. }
+        ));
+        assert!(index
+            .check_matches_payload_only(index.payload_len())
+            .is_ok());
+        assert!(index.check_matches_payload_only(1).is_err());
     }
 
     #[test]

@@ -36,7 +36,10 @@ pub use trace::{Addr, Trace};
 
 /// Convenient glob import of the most commonly used items.
 pub mod prelude {
-    pub use crate::binio::{read_sltr, write_sltr, SltrReader, SltrWriter};
+    pub use crate::binio::{
+        read_sltr, sltr_index_path, write_sltr, write_sltr_indexed, SltrIndex, SltrReader,
+        SltrWriter,
+    };
     pub use crate::generators::{
         cyclic_trace, interleaved_trace, move_to_front_trace, multi_epoch_trace, random_trace,
         retraversal_trace, sawtooth_trace, stack_discipline_trace, stream_kernel_trace,

@@ -28,7 +28,7 @@
 //! which costs RNG draws but no memory. Either way a generator stream is
 //! `O(m)` state (the Zipfian CDF) regardless of trace length.
 
-use crate::binio::{count_sltr_accesses, SltrReader};
+use crate::binio::{count_sltr_accesses, sltr_index_path, SltrIndex, SltrReader};
 use crate::io::TraceIoError;
 use crate::trace::Trace;
 use rand::rngs::StdRng;
@@ -434,6 +434,11 @@ impl TraceSource {
     /// validated — later [`TraceSource::stream_range`] calls may assume the
     /// content decodes); generators and in-memory traces answer in `O(1)`.
     ///
+    /// A `.sltr` source with a sidecar chunk index also validates the
+    /// index here: a corrupt sidecar, or one describing a different payload
+    /// (the trace was truncated, appended to or replaced after indexing),
+    /// is a loud error rather than a silent mis-seek later.
+    ///
     /// # Errors
     ///
     /// Returns the first read or parse error.
@@ -444,7 +449,16 @@ impl TraceSource {
                 for_each_text_access(path, &mut |_| count += 1)?;
                 Ok(count)
             }
-            TraceSource::Binary(path) => Ok(count_sltr_accesses(path)?),
+            TraceSource::Binary(path) => {
+                let count = count_sltr_accesses(path)?;
+                let sidecar = sltr_index_path(path);
+                if sidecar.exists() {
+                    let index = SltrIndex::read(&sidecar)?;
+                    let payload_len = std::fs::metadata(path)?.len().saturating_sub(5);
+                    index.check_matches(count, payload_len)?;
+                }
+                Ok(count)
+            }
             TraceSource::Gen(spec) => Ok(spec.total_accesses()),
             TraceSource::Memory(trace) => Ok(trace.len() as u64),
         }
@@ -489,6 +503,14 @@ impl TraceSource {
                 Ok(Box::new(iter))
             }
             TraceSource::Binary(path) => {
+                // With a valid sidecar chunk index the range starts with a
+                // seek (decode-skipping at most `interval - 1` accesses);
+                // without one — or if the sidecar vanished or stopped
+                // matching since validation — fall back to decode-skipping
+                // the whole prefix. Both paths yield identical accesses.
+                if let Some(iter) = sltr_seek_range(path, start, take)? {
+                    return Ok(iter);
+                }
                 let reader = SltrReader::new(File::open(path)?).map_err(TraceIoError::from)?;
                 let iter = reader
                     .map(|item| item.expect("validated sltr payload"))
@@ -519,6 +541,34 @@ impl std::fmt::Display for TraceSource {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(&self.fingerprint())
     }
+}
+
+/// Opens a seek-positioned range over an indexed `.sltr` file, or `None`
+/// when no applicable sidecar index is available (missing, corrupt, or
+/// describing a different payload — [`TraceSource::total_accesses`] already
+/// reported those loudly; by streaming time the fallback is decode-skip).
+///
+/// # Errors
+///
+/// Returns the error of opening or seeking the trace file itself.
+fn sltr_seek_range(path: &Path, start: u64, take: u64) -> Result<Option<AccessIter>, TraceIoError> {
+    use std::io::{Seek, SeekFrom};
+    let Ok(index) = SltrIndex::read(sltr_index_path(path)) else {
+        return Ok(None);
+    };
+    let mut file = File::open(path)?;
+    let payload_len = file.metadata()?.len().saturating_sub(5);
+    if index.check_matches_payload_only(payload_len).is_err() {
+        return Ok(None);
+    }
+    let (offset, skip) = index.seek_hint(start);
+    file.seek(SeekFrom::Start(5 + offset))?;
+    let reader = SltrReader::resume(file, start - skip);
+    let iter = reader
+        .map(|item| item.expect("validated sltr payload"))
+        .skip(usize::try_from(skip).unwrap_or(usize::MAX))
+        .take(usize::try_from(take).unwrap_or(usize::MAX));
+    Ok(Some(Box::new(iter)))
 }
 
 /// True when the file starts with the `SLTR` magic (best-effort sniff).
@@ -725,6 +775,68 @@ mod tests {
         assert!(TraceSource::Binary(PathBuf::from("x.sltr"))
             .fingerprint()
             .starts_with("sltr:"));
+    }
+
+    #[test]
+    fn indexed_sltr_ranges_equal_decode_skip_ranges() {
+        use crate::binio::{sltr_index_path, write_sltr_indexed};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(77);
+        let t = zipfian_trace(50_000, 2000, 0.8, &mut rng);
+        let dir = std::env::temp_dir();
+        let plain = dir.join("symloc_stream_unindexed_test.sltr");
+        let indexed = dir.join("symloc_stream_indexed_test.sltr");
+        write_sltr(&t, &plain).unwrap();
+        write_sltr_indexed(&t, &indexed, 128).unwrap();
+        let a = TraceSource::Binary(plain.clone());
+        let b = TraceSource::Binary(indexed.clone());
+        assert_eq!(a.total_accesses().unwrap(), 2000);
+        assert_eq!(b.total_accesses().unwrap(), 2000);
+        for (start, end) in [
+            (0u64, 2000u64),
+            (0, 17),
+            (127, 129),
+            (128, 256),
+            (1500, 1600),
+            (1999, 5000),
+            (2000, 2000),
+        ] {
+            let via_skip: Vec<u64> = a.stream_range(start, end).unwrap().collect();
+            let via_seek: Vec<u64> = b.stream_range(start, end).unwrap().collect();
+            assert_eq!(via_seek, via_skip, "range {start}..{end}");
+        }
+        std::fs::remove_file(&plain).ok();
+        std::fs::remove_file(&indexed).ok();
+        std::fs::remove_file(sltr_index_path(&indexed)).ok();
+    }
+
+    #[test]
+    fn stale_or_corrupt_indexes_fail_validation_loudly() {
+        use crate::binio::{sltr_index_path, write_sltr_indexed};
+        let dir = std::env::temp_dir();
+        let path = dir.join("symloc_stream_stale_index_test.sltr");
+        let sidecar = sltr_index_path(&path);
+        write_sltr_indexed(&sawtooth_trace(30, 20), &path, 64).unwrap();
+        let source = TraceSource::Binary(path.clone());
+        assert_eq!(source.total_accesses().unwrap(), 600);
+
+        // Replace the trace but keep the old index: validation must error.
+        write_sltr(&sawtooth_trace(30, 10), &path).unwrap();
+        let err = source.total_accesses().unwrap_err();
+        assert!(err.to_string().contains("stale"), "{err}");
+        // Streaming falls back to decode-skip rather than mis-seeking.
+        let all: Vec<u64> = source.stream_range(0, 10).unwrap().collect();
+        assert_eq!(all, as_u64(&sawtooth_trace(30, 10))[..10].to_vec());
+
+        // A corrupt sidecar is also a loud validation error.
+        std::fs::write(&sidecar, b"garbage").unwrap();
+        assert!(source.total_accesses().is_err());
+
+        // Removing the sidecar restores plain decode-skip behavior.
+        std::fs::remove_file(&sidecar).ok();
+        assert_eq!(source.total_accesses().unwrap(), 300);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -27,14 +27,15 @@ use symloc_core::hits::{hit_vector_with_scratch, mrc_with_scratch, AnalysisScrat
 use symloc_core::model::CacheModel;
 use symloc_core::optimize::{best_feasible_exhaustive, optimize_from_identity};
 use symloc_core::retraversal::ReTraversal;
-use symloc_core::shard::ShardedSweep;
+use symloc_core::shard::{SampledSweep, ShardedSweep};
 use symloc_core::theorems::theorem2_holds;
-use symloc_core::tracesweep::{log_spaced_sizes, OnlineReuseEngine, ShardsEstimator, TraceIngest};
+use symloc_core::tracesweep::{
+    log_spaced_sizes, OnlineReuseEngine, SampledIngest, ShardsEstimator, TraceIngest,
+};
 use symloc_par::default_threads;
 use symloc_perm::inversions::{inversions, max_inversions};
-use symloc_perm::sample::LevelSampler;
 use symloc_perm::statistics::Statistic;
-use symloc_trace::binio::SltrWriter;
+use symloc_trace::binio::{sltr_index_path, SltrWriter, DEFAULT_INDEX_INTERVAL};
 use symloc_trace::generators::{cyclic_trace, random_trace, sawtooth_trace};
 use symloc_trace::io::{read_trace, write_trace};
 use symloc_trace::stats::trace_stats;
@@ -66,11 +67,15 @@ pub fn usage() -> String {
      \x20 symloc sweep <m> [--stat <inversions|descents|major|displacement>]\n\
      \x20              [--model <lru|assoc:WAYS:lru|fifo|plru>] [--threads N]\n\
      \x20              [--samples BUDGET --seed S]          (stratified sampling)\n\
-     \x20              [--shards K --checkpoint FILE [--max-shards N]]  (resumable)\n\
+     \x20              [--shards K] [--checkpoint FILE [--max-shards N]]  (resumable:\n\
+     \x20              rank shards when exhaustive, level shards when sampled)\n\
      \x20 symloc trace mrc <file|gen:...> [--exact | --sample S_MAX]\n\
      \x20              [--shards N] [--threads N] [--points K]\n\
-     \x20              [--checkpoint FILE [--max-chunks N]]  (resumable exact ingest)\n\
-     \x20 symloc trace convert <file|gen:...> <out-file>   (.sltr <-> text, streaming)\n\
+     \x20              [--checkpoint FILE [--max-chunks N]]  (resumable ingest;\n\
+     \x20              with --sample, --shards N partitions the hash space)\n\
+     \x20 symloc trace convert <file|gen:...> <out-file> [--index N]\n\
+     \x20              (.sltr <-> text, streaming; .sltr output also writes a\n\
+     \x20              seekable .sltr.idx chunk index — interval N, 0 = none)\n\
      \n\
      Trace sources: a plain-text file (one address per line), a binary\n\
      .sltr file, or a generator spec gen:<kind>:<params> with kinds\n\
@@ -394,18 +399,6 @@ pub fn parse_sweep_options(args: &[String]) -> Result<SweepOptions, CliError> {
         }
         i += 2;
     }
-    if options.samples.is_some() && !LevelSampler::supports(options.spec.statistic) {
-        return Err(CliError(format!(
-            "no stratified sampler for statistic {}; --samples supports \
-             inversions (Mahonian weights) and descents (Eulerian weights)",
-            options.spec.statistic
-        )));
-    }
-    if options.samples.is_some() && options.checkpoint.is_some() {
-        return Err(CliError(
-            "--checkpoint applies to exhaustive sweeps only".into(),
-        ));
-    }
     if options.max_shards.is_some() && options.checkpoint.is_none() {
         return Err(CliError(
             "--max-shards only makes sense with --checkpoint (a bounded \
@@ -481,18 +474,60 @@ pub fn sweep(args: &[String]) -> Result<String, CliError> {
     let engine = SweepEngine::with_threads(spec.m, options.threads);
 
     if let Some(budget) = options.samples {
-        let levels =
-            engine.sampled_levels_weighted(spec.statistic, spec.model, budget, 2, options.seed);
         let weights = match spec.statistic {
             Statistic::Descents => "Eulerian",
+            Statistic::TotalDisplacement => "footrule",
             _ => "Mahonian",
         };
-        let mut out = sweep_report(spec, &levels, true);
-        let _ = writeln!(
-            out,
+        let sampling_line = format!(
             "stratified sampling: budget {budget} distributed by {weights} weights (seed {})",
             options.seed
         );
+
+        // Checkpointed sampled sweeps shard the level space: each level's
+        // aggregate is deterministic on its own, so completed levels are
+        // exact partial progress.
+        if let Some(checkpoint) = &options.checkpoint {
+            let path = Path::new(checkpoint);
+            let (mut sampled, resumed) =
+                SampledSweep::resume_or_new(spec, budget, 2, options.seed, options.threads, path);
+            let already = sampled.completed_count();
+            let ran = sampled
+                .run_with_checkpoint(path, options.max_shards, |_, _| {})
+                .map_err(|e| CliError(format!("cannot write checkpoint {checkpoint}: {e}")))?;
+            let mut out = String::new();
+            if resumed {
+                let _ = writeln!(
+                    out,
+                    "resumed from {checkpoint}: {already} of {} levels were already done",
+                    sampled.level_count()
+                );
+            }
+            let _ = writeln!(
+                out,
+                "ran {ran} level(s); {} of {} complete; checkpoint saved to {checkpoint}",
+                sampled.completed_count(),
+                sampled.level_count()
+            );
+            match sampled.merged_levels() {
+                Some(levels) => {
+                    out.push_str(&sweep_report(spec, &levels, true));
+                    let _ = writeln!(out, "{sampling_line}");
+                }
+                None => {
+                    let _ = writeln!(
+                        out,
+                        "sweep incomplete — re-run the same command to continue from the checkpoint"
+                    );
+                }
+            }
+            return Ok(out);
+        }
+
+        let levels =
+            engine.sampled_levels_weighted(spec.statistic, spec.model, budget, 2, options.seed);
+        let mut out = sweep_report(spec, &levels, true);
+        let _ = writeln!(out, "{sampling_line}");
         return Ok(out);
     }
 
@@ -539,10 +574,14 @@ pub fn sweep(args: &[String]) -> Result<String, CliError> {
 pub struct TraceMrcOptions {
     /// The trace source (file or `gen:` spec).
     pub source: TraceSource,
-    /// `Some(s_max)` selects the bounded-memory sampled estimator.
+    /// `Some(s_max)` selects the bounded-memory sampled estimator
+    /// (`s_max` = total tracked-address budget, split across hash shards).
     pub sample: Option<usize>,
     /// Chunk count for sharded exact ingestion.
     pub shards: usize,
+    /// Hash-shard count for the sampled estimator (set by the same
+    /// `--shards` flag; defaults to 1 = the sequential estimator).
+    pub sample_shards: usize,
     /// Worker threads.
     pub threads: usize,
     /// Number of MRC evaluation points (log-spaced over the footprint).
@@ -568,6 +607,7 @@ pub fn parse_trace_mrc_options(args: &[String]) -> Result<TraceMrcOptions, CliEr
         source,
         sample: None,
         shards: 8,
+        sample_shards: 1,
         threads: default_threads(),
         points: 16,
         checkpoint: None,
@@ -596,6 +636,7 @@ pub fn parse_trace_mrc_options(args: &[String]) -> Result<TraceMrcOptions, CliEr
                 if options.shards == 0 {
                     return Err(CliError("--shards must be positive".into()));
                 }
+                options.sample_shards = options.shards;
             }
             "--threads" => options.threads = parse_usize(value, "--threads")?,
             "--points" => {
@@ -621,12 +662,14 @@ pub fn parse_trace_mrc_options(args: &[String]) -> Result<TraceMrcOptions, CliEr
             "--exact and --sample are mutually exclusive".into(),
         ));
     }
-    if options.sample.is_some() && options.checkpoint.is_some() {
-        return Err(CliError(
-            "--checkpoint applies to exact sharded ingestion only (the \
-             sampled estimator is a single bounded-memory pass)"
-                .into(),
-        ));
+    if let Some(s_max) = options.sample {
+        if s_max < options.sample_shards {
+            return Err(CliError(format!(
+                "--sample {s_max} is below one tracked address per hash shard \
+                 (--shards {})",
+                options.sample_shards
+            )));
+        }
     }
     if options.max_chunks.is_some() && options.checkpoint.is_none() {
         return Err(CliError(
@@ -675,6 +718,79 @@ pub fn trace_mrc(args: &[String]) -> Result<String, CliError> {
     let _ = writeln!(out, "trace mrc — {source}");
 
     if let Some(s_max) = options.sample {
+        // Hash-sharded (and optionally checkpoint-resumable) parallel
+        // sampling; one hash shard without a checkpoint degenerates to the
+        // classic single-pass sequential estimator below.
+        if options.checkpoint.is_some() || options.sample_shards > 1 {
+            let shard_count = options.sample_shards;
+            let budget = (s_max / shard_count).max(1);
+            let summary = if let Some(checkpoint) = &options.checkpoint {
+                let path = Path::new(checkpoint);
+                let (mut ingest, resumed) = SampledIngest::resume_or_new(
+                    source,
+                    shard_count,
+                    budget,
+                    options.threads,
+                    path,
+                )
+                .map_err(CliError)?;
+                if resumed {
+                    let _ = writeln!(
+                        out,
+                        "resumed from {checkpoint}: {} of {} hash shards were already done",
+                        ingest.completed_count(),
+                        ingest.shard_count()
+                    );
+                } else if path.exists() {
+                    let _ = writeln!(
+                        out,
+                        "warning: existing checkpoint {checkpoint} does not match this \
+                         source/plan (source {source}, {} accesses, {} hash shards); \
+                         starting fresh and overwriting it",
+                        ingest.total_accesses(),
+                        ingest.shard_count()
+                    );
+                }
+                let ran = ingest
+                    .run_with_checkpoint(source, path, options.max_chunks, |_, _| {})
+                    .map_err(|e| CliError(format!("cannot write checkpoint {checkpoint}: {e}")))?;
+                let _ = writeln!(
+                    out,
+                    "ran {ran} hash shard(s); {} of {} complete; checkpoint saved to {checkpoint}",
+                    ingest.completed_count(),
+                    ingest.shard_count()
+                );
+                match ingest.merged() {
+                    Some(summary) => summary,
+                    None => {
+                        let _ = writeln!(
+                            out,
+                            "sampled ingest incomplete — re-run the same command to \
+                             continue from the checkpoint"
+                        );
+                        return Ok(out);
+                    }
+                }
+            } else {
+                let mut ingest = SampledIngest::new(source, shard_count, budget, options.threads)
+                    .map_err(CliError)?;
+                ingest.run_pending(source, None);
+                ingest.merged().expect("sampled ingest ran to completion")
+            };
+            let footprint = summary.estimated_footprint().round().max(1.0) as usize;
+            let _ = writeln!(out, "accesses            : {}", summary.raw_accesses);
+            let _ = writeln!(
+                out,
+                "engine              : sampled hash-sharded ({shard_count} shards x {budget} \
+                 budget, min rate {:.4}, {} sampled, {} evictions, {} threads)",
+                summary.min_rate, summary.sampled_accesses, summary.evictions, options.threads
+            );
+            let _ = writeln!(out, "footprint           : ~{footprint} (estimated)");
+            let sizes = log_spaced_sizes(footprint, options.points);
+            out.push_str(&mrc_table(&summary.histogram.mrc_points(&sizes)));
+            return Ok(out);
+        }
+
         // The bounded-memory sampled estimator: one sequential pass.
         let mut estimator = ShardsEstimator::new(s_max);
         estimator.record_all(validated_stream(source)?);
@@ -777,10 +893,14 @@ pub fn trace_mrc(args: &[String]) -> Result<String, CliError> {
     Ok(out)
 }
 
-/// `symloc trace convert <in> <out>` — streams a trace from any source into
-/// a file, picking the output format by extension (`.sltr` = binary varint,
-/// anything else = plain text). Never materializes the trace, so converting
-/// a multi-gigabyte generator spec to `.sltr` is fine.
+/// `symloc trace convert <in> <out> [--index N]` — streams a trace from any
+/// source into a file, picking the output format by extension (`.sltr` =
+/// binary varint, anything else = plain text). Never materializes the
+/// trace, so converting a multi-gigabyte generator spec to `.sltr` is fine.
+///
+/// A `.sltr` output also gets a sidecar chunk index (`<out>.idx`, byte
+/// offset every `N` accesses — default 4096) so later range reads *seek*
+/// instead of decode-skipping; `--index 0` disables it.
 ///
 /// # Errors
 ///
@@ -792,25 +912,52 @@ pub fn trace_convert(args: &[String]) -> Result<String, CliError> {
     let out_path = args
         .get(1)
         .ok_or_else(|| CliError("trace convert needs an output file".into()))?;
-    if args.len() > 2 {
-        return Err(CliError(format!("unexpected argument {:?}", args[2])));
+    let mut interval = DEFAULT_INDEX_INTERVAL;
+    let mut i = 2usize;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--index" => {
+                interval = parse_usize(args.get(i + 1), "--index")? as u64;
+            }
+            other => return Err(CliError(format!("unexpected argument {other:?}"))),
+        }
+        i += 2;
     }
     let source = TraceSource::parse(source_arg).map_err(CliError)?;
     let stream = validated_stream(&source)?;
     let binary = Path::new(out_path).extension().is_some_and(|e| e == "sltr");
+    if !binary && interval != DEFAULT_INDEX_INTERVAL {
+        return Err(CliError(
+            "--index only applies to .sltr output (text traces have no chunk index)".into(),
+        ));
+    }
+    let mut indexed = false;
     let written = if binary {
+        let io_err = |e| CliError(format!("cannot write {out_path}: {e}"));
         let file = std::fs::File::create(out_path)
             .map_err(|e| CliError(format!("cannot create {out_path}: {e}")))?;
-        let mut writer =
-            SltrWriter::new(file).map_err(|e| CliError(format!("cannot write {out_path}: {e}")))?;
-        for addr in stream {
-            writer
-                .push(addr)
-                .map_err(|e| CliError(format!("cannot write {out_path}: {e}")))?;
+        if interval > 0 {
+            let mut writer = SltrWriter::new_indexed(file, interval).map_err(io_err)?;
+            for addr in stream {
+                writer.push(addr).map_err(io_err)?;
+            }
+            let (written, index) = writer.finish_indexed().map_err(io_err)?;
+            let sidecar = sltr_index_path(Path::new(out_path));
+            index
+                .write(&sidecar)
+                .map_err(|e| CliError(format!("cannot write {}: {e}", sidecar.display())))?;
+            indexed = true;
+            written
+        } else {
+            // --index 0: no sidecar, and make sure a stale one from a
+            // previous conversion cannot outlive the new payload.
+            std::fs::remove_file(sltr_index_path(Path::new(out_path))).ok();
+            let mut writer = SltrWriter::new(file).map_err(io_err)?;
+            for addr in stream {
+                writer.push(addr).map_err(io_err)?;
+            }
+            writer.finish().map_err(io_err)?
         }
-        writer
-            .finish()
-            .map_err(|e| CliError(format!("cannot write {out_path}: {e}")))?
     } else {
         use std::io::Write as _;
         let file = std::fs::File::create(out_path)
@@ -829,8 +976,13 @@ pub fn trace_convert(args: &[String]) -> Result<String, CliError> {
         written
     };
     Ok(format!(
-        "converted {source} -> {out_path} ({written} accesses, {} format)\n",
-        if binary { "sltr" } else { "text" }
+        "converted {source} -> {out_path} ({written} accesses, {} format{})\n",
+        if binary { "sltr" } else { "text" },
+        if indexed {
+            format!(", chunk index every {interval}")
+        } else {
+            String::new()
+        }
     ))
 }
 
@@ -991,8 +1143,11 @@ mod tests {
         assert!(parse_sweep_options(&sargs("5 --frobnicate 1")).is_err());
         assert!(parse_sweep_options(&sargs("5 --stat")).is_err());
         assert!(parse_sweep_options(&sargs("5 --samples 100 --stat descents")).is_ok());
-        assert!(parse_sweep_options(&sargs("5 --samples 100 --stat major")).is_err());
-        assert!(parse_sweep_options(&sargs("5 --samples 10 --checkpoint x.json")).is_err());
+        // Every statistic has a stratified sampler now.
+        assert!(parse_sweep_options(&sargs("5 --samples 100 --stat major")).is_ok());
+        assert!(parse_sweep_options(&sargs("5 --samples 100 --stat displacement")).is_ok());
+        // Sampled sweeps checkpoint too (level shards).
+        assert!(parse_sweep_options(&sargs("5 --samples 10 --checkpoint x.json")).is_ok());
         assert!(parse_sweep_options(&sargs("5 --max-shards 2")).is_err());
         assert!(parse_sweep_options(&sargs("13")).is_err());
         assert!(parse_sweep_options(&sargs("13 --samples 100")).is_ok());
@@ -1060,7 +1215,19 @@ mod tests {
         assert!(parse_trace_mrc_options(&sargs("x.trace --points 0")).is_err());
         assert!(parse_trace_mrc_options(&sargs("x.trace --frobnicate 1")).is_err());
         assert!(parse_trace_mrc_options(&sargs("x.trace --exact --sample 9")).is_err());
-        assert!(parse_trace_mrc_options(&sargs("x.trace --sample 9 --checkpoint c.json")).is_err());
+        // Sampled runs checkpoint now (hash shards), and --shards doubles
+        // as the hash-shard count on the sampled path.
+        assert!(parse_trace_mrc_options(&sargs("x.trace --sample 9 --checkpoint c.json")).is_ok());
+        let sharded = parse_trace_mrc_options(&sargs("x.trace --sample 64 --shards 4")).unwrap();
+        assert_eq!(sharded.sample_shards, 4);
+        assert_eq!(
+            parse_trace_mrc_options(&sargs("x.trace --sample 64"))
+                .unwrap()
+                .sample_shards,
+            1
+        );
+        // A budget below one address per shard is rejected.
+        assert!(parse_trace_mrc_options(&sargs("x.trace --sample 3 --shards 4")).is_err());
         assert!(parse_trace_mrc_options(&sargs("x.trace --max-chunks 2")).is_err());
         assert!(parse_trace_mrc_options(&sargs("x.trace --exact")).is_ok());
     }
@@ -1135,16 +1302,97 @@ mod tests {
     }
 
     #[test]
+    fn sweep_sampled_checkpoint_flow_resumes_and_completes() {
+        let path = std::env::temp_dir().join("symloc_cli_sampled_sweep_checkpoint.json");
+        let path_str = path.to_string_lossy().to_string();
+        std::fs::remove_file(&path).ok();
+
+        // First invocation runs a few levels and stops.
+        let first = sweep(&sargs(&format!(
+            "7 --samples 200 --seed 3 --max-shards 5 --checkpoint {path_str}"
+        )))
+        .unwrap();
+        assert!(first.contains("of 22 complete"), "{first}");
+        assert!(first.contains("sweep incomplete"));
+
+        // Second invocation resumes and finishes.
+        let second = sweep(&sargs(&format!(
+            "7 --samples 200 --seed 3 --checkpoint {path_str}"
+        )))
+        .unwrap();
+        assert!(second.contains("resumed from"));
+        assert!(second.contains("22 of 22 complete"));
+
+        // The checkpointed result equals the direct sampled sweep.
+        let direct = sweep(&sargs("7 --samples 200 --seed 3")).unwrap();
+        let tail = |s: &str| {
+            s.lines()
+                .skip_while(|l| !l.starts_with("sweep of"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(tail(&second), tail(&direct));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn trace_mrc_hash_sharded_sampling_and_checkpoint_flow() {
+        let path = std::env::temp_dir().join("symloc_cli_sampled_trace_checkpoint.json");
+        let path_str = path.to_string_lossy().to_string();
+        std::fs::remove_file(&path).ok();
+
+        // Hash-sharded sampled run without a checkpoint.
+        let direct = trace_mrc(&sargs(
+            "gen:zipf:200:4000:0.8:5 --sample 64 --shards 4 --points 6",
+        ))
+        .unwrap();
+        assert!(
+            direct.contains("sampled hash-sharded (4 shards x 16 budget"),
+            "{direct}"
+        );
+        assert!(direct.contains("accesses            : 4000"));
+
+        // The same plan, checkpointed and interrupted mid-run.
+        let spec = format!(
+            "gen:zipf:200:4000:0.8:5 --sample 64 --shards 4 --points 6 --checkpoint {path_str}"
+        );
+        let first = trace_mrc(&sargs(&format!("{spec} --max-chunks 2"))).unwrap();
+        assert!(first.contains("2 of 4 complete"), "{first}");
+        assert!(first.contains("sampled ingest incomplete"));
+
+        let second = trace_mrc(&sargs(&spec)).unwrap();
+        assert!(second.contains("resumed from"));
+        assert!(second.contains("4 of 4 complete"));
+
+        // Checkpointed and direct runs agree from the engine line down.
+        let tail = |s: &str| {
+            s.lines()
+                .skip_while(|l| !l.starts_with("accesses"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(tail(&second), tail(&direct));
+
+        // One hash shard falls back to the classic sequential estimator
+        // output.
+        let single = trace_mrc(&sargs("gen:zipf:200:4000:0.8:5 --sample 64 --points 6")).unwrap();
+        assert!(single.contains("engine              : sampled (s_max 64"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn trace_convert_round_trips_both_formats() {
         let dir = std::env::temp_dir();
         let sltr = dir.join("symloc_cli_convert_test.sltr");
         let text = dir.join("symloc_cli_convert_test.trace");
+        let sidecar = sltr_index_path(&sltr);
         let report = trace_convert(&sargs(&format!(
             "gen:sawtooth:9:4 {}",
             sltr.to_string_lossy()
         )))
         .unwrap();
-        assert!(report.contains("36 accesses, sltr format"));
+        assert!(report.contains("36 accesses, sltr format, chunk index every 4096"));
+        assert!(sidecar.exists(), "convert must write the sidecar index");
         let report = trace_convert(&sargs(&format!(
             "{} {}",
             sltr.to_string_lossy(),
@@ -1156,12 +1404,29 @@ mod tests {
             read_trace(&text).unwrap(),
             symloc_trace::generators::sawtooth_trace(9, 4)
         );
+        // A custom interval lands in the report; --index 0 removes the
+        // sidecar again.
+        let report = trace_convert(&sargs(&format!(
+            "gen:sawtooth:9:4 {} --index 16",
+            sltr.to_string_lossy()
+        )))
+        .unwrap();
+        assert!(report.contains("chunk index every 16"));
+        let report = trace_convert(&sargs(&format!(
+            "gen:sawtooth:9:4 {} --index 0",
+            sltr.to_string_lossy()
+        )))
+        .unwrap();
+        assert!(!report.contains("chunk index"));
+        assert!(!sidecar.exists(), "--index 0 must clear a stale sidecar");
         assert!(trace_convert(&sargs("gen:cyclic:4:2")).is_err());
         assert!(trace_convert(&sargs("")).is_err());
         assert!(trace_convert(&sargs("gen:cyclic:4:2 out.sltr extra")).is_err());
+        assert!(trace_convert(&sargs("gen:cyclic:4:2 out.trace --index 9")).is_err());
         assert!(trace_convert(&sargs("/no/such/file.trace out.sltr")).is_err());
         std::fs::remove_file(&sltr).ok();
         std::fs::remove_file(&text).ok();
+        std::fs::remove_file(&sidecar).ok();
     }
 
     #[test]

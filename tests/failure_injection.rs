@@ -144,6 +144,137 @@ fn labeling_degree_mismatch_is_detected() {
 }
 
 #[test]
+fn truncated_and_corrupt_sltr_files_are_errors_not_panics() {
+    use symmetric_locality::trace::binio::{
+        read_sltr_from_reader, write_sltr_to_vec, SltrError, SltrReader, SLTR_MAGIC, SLTR_VERSION,
+    };
+    use symmetric_locality::trace::generators::cyclic_trace;
+
+    // Bad magic and unsupported versions are rejected at open time.
+    assert!(matches!(
+        SltrReader::new(b"XXXX\x01".as_slice()).unwrap_err(),
+        SltrError::BadMagic { .. }
+    ));
+    let mut wrong_version = SLTR_MAGIC.to_vec();
+    wrong_version.push(77);
+    assert!(matches!(
+        SltrReader::new(wrong_version.as_slice()).unwrap_err(),
+        SltrError::BadVersion { found: 77 }
+    ));
+    // A header alone is a valid empty trace; a header cut short is not.
+    assert!(read_sltr_from_reader(&SLTR_MAGIC[..3]).is_err());
+
+    // Truncating a payload mid-varint is reported with the access index
+    // (the cyclic trace ends at address 299, a two-byte varint).
+    let bytes = write_sltr_to_vec(&cyclic_trace(300, 2)).unwrap();
+    let truncated = &bytes[..bytes.len() - 1];
+    let err = read_sltr_from_reader(truncated).unwrap_err();
+    assert!(matches!(err, SltrError::TruncatedVarint { .. }), "{err}");
+
+    // A run of continuation bytes overflows the 64-bit address space.
+    let mut overflowing = SLTR_MAGIC.to_vec();
+    overflowing.push(SLTR_VERSION);
+    overflowing.extend_from_slice(&[0xff; 12]);
+    assert!(matches!(
+        read_sltr_from_reader(overflowing.as_slice()).unwrap_err(),
+        SltrError::Overflow { .. } | SltrError::TruncatedVarint { .. }
+    ));
+}
+
+#[test]
+fn bogus_sltr_indexes_are_errors_not_panics() {
+    use symmetric_locality::trace::binio::{
+        sltr_index_path, write_sltr, write_sltr_indexed, SltrError, SltrIndex,
+    };
+    use symmetric_locality::trace::generators::cyclic_trace;
+    use symmetric_locality::trace::stream::TraceSource;
+
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("symloc_failinj_{}.sltr", std::process::id()));
+    let sidecar = sltr_index_path(&path);
+    let t = cyclic_trace(64, 10);
+    let index = write_sltr_indexed(&t, &path, 100).unwrap();
+
+    // Structurally broken sidecars: bad magic, truncation, offsets past
+    // the payload, non-monotone offsets, trailing bytes.
+    let good = index.to_bytes();
+    assert!(SltrIndex::from_bytes(b"JUNKJUNK").is_err());
+    assert!(SltrIndex::from_bytes(&good[..good.len() - 1]).is_err());
+    let mut trailing = good.clone();
+    trailing.push(1);
+    assert!(SltrIndex::from_bytes(&trailing).is_err());
+
+    // A corrupt sidecar on disk fails source validation loudly…
+    std::fs::write(&sidecar, b"JUNKJUNK").unwrap();
+    let source = TraceSource::Binary(path.clone());
+    assert!(source.total_accesses().is_err());
+    // …and a stale one (trace replaced after indexing) does too.
+    write_sltr(&cyclic_trace(64, 3), &path).unwrap();
+    index.write(&sidecar).unwrap();
+    let err = source.total_accesses().unwrap_err();
+    assert!(err.to_string().contains("stale"), "{err}");
+    assert!(matches!(
+        index.check_matches(999, 1),
+        Err(SltrError::IndexStale { .. })
+    ));
+    // Streaming never trusts a mismatched index: it falls back to
+    // decode-skip and still yields the true content.
+    let got: Vec<u64> = source.stream_range(64, 70).unwrap().collect();
+    assert_eq!(got, vec![0, 1, 2, 3, 4, 5]);
+
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(&sidecar).ok();
+}
+
+#[test]
+fn mangled_checkpoint_documents_are_rejected_with_context() {
+    use symmetric_locality::core::engine::SweepSpec;
+    use symmetric_locality::core::shard::SampledSweep;
+    use symmetric_locality::core::tracesweep::{SampledIngest, TraceIngest};
+    use symmetric_locality::trace::stream::{GenSpec, TraceSource};
+
+    // A sampled-sweep checkpoint with flipped bits in every load-bearing
+    // field must fail to parse, never panic or silently resume.
+    let mut sweep = SampledSweep::new(SweepSpec::figure1(6), 100, 2, 1, 1);
+    sweep.run_pending(Some(2));
+    let good = sweep.to_json();
+    for mangled in [
+        good.replace("symloc_sampled_sweep_checkpoint", "who_knows"),
+        good.replace("\"version\": 1", "\"version\": 99"),
+        good.replace("\"m\": 6", "\"m\": 99"),
+        good.replace("inversions", "frobnications"),
+        good.replace("\"done\": true", "\"done\": maybe"),
+        good.replace("hit_sums", "hit_summs"),
+        good[..good.len() / 2].to_string(),
+    ] {
+        assert!(SampledSweep::from_json(&mangled, 1).is_err(), "{mangled}");
+    }
+
+    // Same for the sampled trace ingest…
+    let source = TraceSource::Gen(GenSpec::parse("gen:zipf:50:500:0.9:1").unwrap());
+    let mut ingest = SampledIngest::new(&source, 2, 16, 1).unwrap();
+    ingest.run_pending(&source, Some(1));
+    let good = ingest.to_json();
+    for mangled in [
+        good.replace("symloc_sampled_trace_checkpoint", "nope"),
+        good.replace("\"threshold\": 16777216", "\"threshold\": 0"),
+        good.replace("\"cold\": ", "\"cold\": -"),
+        good.replace("histogram", "histogrum"),
+        "{}".to_string(),
+        "not json at all".to_string(),
+    ] {
+        assert!(SampledIngest::from_json(&mangled, 1).is_err(), "{mangled}");
+    }
+
+    // …and the exact trace ingest.
+    let mut exact = TraceIngest::new(&source, 3, 1).unwrap();
+    exact.run_pending(&source, Some(1));
+    let good = exact.to_json();
+    assert!(TraceIngest::from_json(&good.replace("timeline", "timeleap"), 1).is_err());
+    assert!(TraceIngest::from_json(&good.replace("[", "{"), 1).is_err());
+}
+
+#[test]
 fn cli_surfaces_errors_instead_of_panicking() {
     use symmetric_locality::cli;
     assert!(cli::run(&["analyze".to_string(), "/definitely/missing".to_string()]).is_err());
