@@ -83,7 +83,8 @@ fn run_sweep12(checkpoint: &Path, max_shards: Option<usize>) -> Result<(), Strin
     let spec = SweepSpec::figure1(12);
     let threads = default_threads();
     let (mut sweep, resumed) =
-        ShardedSweep::resume_or_new(spec, SWEEP12_SHARDS, threads, checkpoint);
+        ShardedSweep::resume_or_new(spec, SWEEP12_SHARDS, threads, checkpoint)
+            .map_err(|e| format!("cannot resume {}: {e}", checkpoint.display()))?;
     if resumed {
         println!(
             "resuming from {}: {} of {} shards already done",

@@ -1,0 +1,775 @@
+//! The unified resumable-job API: one trait, one runner, one checkpoint
+//! lifecycle for every unit-parallel pipeline in the workspace.
+//!
+//! Before this module existed the workspace carried four near-duplicate
+//! resumable-execution implementations — [`crate::shard::ShardedSweep`],
+//! [`crate::shard::SampledSweep`], [`crate::tracesweep::TraceIngest`] and
+//! [`crate::tracesweep::SampledIngest`] — each hand-rolling the same
+//! lifecycle: partition the work into deterministic units, run pending
+//! units in parallel, absorb completed partials in unit order, save an
+//! atomic JSON checkpoint every batch, and resume from a checkpoint that
+//! matches the plan. This module is that lifecycle, written once:
+//!
+//! * [`Job`] — the contract a pipeline implements: deterministic unit
+//!   enumeration ([`Job::unit_count`] / [`Job::pending_units`]), per-unit
+//!   execution producing a mergeable partial ([`Job::run_span`]),
+//!   in-order absorption ([`Job::absorb`]), a checkpoint codec built on
+//!   [`crate::jsonio`] ([`Job::to_json`] + the shared
+//!   [`write_checkpoint_header`] / [`parse_checkpoint`] pair), and a
+//!   [`Job::fingerprint`] identity embedded in every checkpoint.
+//! * [`JobRunner`] — the generic runner that owns parallel unit
+//!   scheduling over [`symloc_par::parallel_reduce_chunked`]
+//!   (`std::thread::scope` underneath), bounded in-flight checkpointing
+//!   with atomic saves ([`crate::jsonio::save_atomic`]), progress
+//!   callbacks, and the deterministic unit-order merge. Every
+//!   `run_pending` / `run_with_checkpoint` / `save` across the four
+//!   pipelines is a thin delegation into this runner.
+//! * [`JobKind`] — the closed registry of checkpoint kinds, used to
+//!   dispatch `symloc job status` / `symloc job resume` on whatever kind
+//!   a checkpoint file records, and to make cross-kind resumes
+//!   ([`resume_or_new_with`]) a loud, descriptive error instead of a
+//!   silently discarded file.
+//!
+//! # Execution model
+//!
+//! A job is a fixed, deterministically planned sequence of **units**
+//! (rank shards, sample levels, trace chunks, hash shards). The runner
+//! repeatedly takes a prefix of the pending units, fans a contiguous span
+//! of them out to each worker ([`Job::run_span`] — so a worker can hold
+//! per-span state such as a single streaming pass over a trace), then
+//! absorbs the resulting `(unit, partial)` pairs strictly in unit order.
+//! Two knobs let each pipeline keep its historical scheduling shape:
+//!
+//! * [`Job::units_per_pass`] — how many units one parallel pass may
+//!   schedule. Jobs whose single unit is *internally* parallel (the
+//!   exhaustive sweep shard) return 1 so the runner feeds them one unit
+//!   at a time on the caller thread; jobs whose merge state advances
+//!   between passes (the exact trace ingest) return the thread count.
+//! * [`Job::units_per_checkpoint`] — how many units complete between
+//!   checkpoint saves in [`JobRunner::run_with_checkpoint`].
+//!
+//! Because units are deterministic and absorption is ordered, resuming a
+//! killed job from its checkpoint reproduces the uninterrupted run
+//! *byte-identically* — the invariant `core/tests/job_props.rs` pins for
+//! all four pipelines at every unit boundary.
+
+use crate::jsonio::{self, JsonValue};
+use std::fmt::Write as _;
+use std::path::Path;
+use symloc_par::parallel_reduce_chunked;
+
+/// The closed set of resumable-job kinds the workspace knows, keyed by the
+/// `"kind"` tag embedded in every checkpoint document.
+///
+/// The registry is what lets `symloc job status <ckpt>` and
+/// `symloc job resume <ckpt>` dispatch on a checkpoint file alone, and
+/// what turns a cross-kind resume (say, pointing an exhaustive sweep at a
+/// sampled-sweep checkpoint) into a descriptive error instead of garbage
+/// or silent data loss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JobKind {
+    /// An exhaustive rank-sharded sweep ([`crate::shard::ShardedSweep`]).
+    ShardedSweep,
+    /// A sampled level-sharded sweep ([`crate::shard::SampledSweep`]).
+    SampledSweep,
+    /// An exact chunk-sharded trace ingest
+    /// ([`crate::tracesweep::TraceIngest`]).
+    TraceIngest,
+    /// A sampled hash-sharded trace ingest
+    /// ([`crate::tracesweep::SampledIngest`]).
+    SampledIngest,
+}
+
+impl JobKind {
+    /// Every kind, in registry order.
+    pub const ALL: [JobKind; 4] = [
+        JobKind::ShardedSweep,
+        JobKind::SampledSweep,
+        JobKind::TraceIngest,
+        JobKind::SampledIngest,
+    ];
+
+    /// The `"kind"` tag this kind writes into (and expects from) its
+    /// checkpoint documents.
+    #[must_use]
+    pub const fn kind_str(self) -> &'static str {
+        match self {
+            JobKind::ShardedSweep => "symloc_sweep_checkpoint",
+            JobKind::SampledSweep => "symloc_sampled_sweep_checkpoint",
+            JobKind::TraceIngest => "symloc_trace_ingest_checkpoint",
+            JobKind::SampledIngest => "symloc_sampled_trace_checkpoint",
+        }
+    }
+
+    /// The checkpoint schema version this kind currently writes.
+    #[must_use]
+    pub const fn version(self) -> u64 {
+        1
+    }
+
+    /// A short human description, used in mismatch errors and status
+    /// reports.
+    #[must_use]
+    pub const fn describe(self) -> &'static str {
+        match self {
+            JobKind::ShardedSweep => "exhaustive sharded sweep",
+            JobKind::SampledSweep => "sampled (level-sharded) sweep",
+            JobKind::TraceIngest => "exact trace ingest",
+            JobKind::SampledIngest => "sampled (hash-sharded) trace ingest",
+        }
+    }
+
+    /// What a unit of this kind is called in progress reports.
+    #[must_use]
+    pub const fn unit_name(self) -> &'static str {
+        match self {
+            JobKind::ShardedSweep => "shard",
+            JobKind::SampledSweep => "level",
+            JobKind::TraceIngest => "chunk",
+            JobKind::SampledIngest => "hash shard",
+        }
+    }
+
+    /// Looks a kind tag up in the registry.
+    #[must_use]
+    pub fn parse(tag: &str) -> Option<JobKind> {
+        JobKind::ALL.into_iter().find(|k| k.kind_str() == tag)
+    }
+}
+
+impl std::fmt::Display for JobKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.kind_str())
+    }
+}
+
+/// One checkpointable, unit-parallel, resumable job.
+///
+/// Implementors own their plan and their completed state; the trait
+/// exposes enough of both for [`JobRunner`] to drive the whole lifecycle.
+/// See the [module docs](self) for the execution model and the two
+/// scheduling knobs.
+pub trait Job: Sync {
+    /// The mergeable result of one completed unit.
+    type Partial: Send;
+
+    /// The kind tag of this job's checkpoints.
+    fn kind(&self) -> JobKind;
+
+    /// Stable identity of the job's plan, embedded in checkpoints so a
+    /// resume can tell whether a checkpoint belongs to the job it is
+    /// about to continue.
+    fn fingerprint(&self) -> String;
+
+    /// Worker threads the job was configured with.
+    fn threads(&self) -> usize;
+
+    /// Total number of planned units.
+    fn unit_count(&self) -> usize;
+
+    /// Number of completed units.
+    fn completed_count(&self) -> usize;
+
+    /// The pending unit indices, in the deterministic order they must be
+    /// absorbed. The runner always takes a prefix of this list.
+    fn pending_units(&self) -> Vec<usize>;
+
+    /// Maximum units one parallel pass may schedule. Return 1 when a
+    /// single unit is internally parallel (so passes stay sequential over
+    /// units), the thread count when absorbed state must advance between
+    /// passes, or `usize::MAX` to let one pass cover everything pending.
+    fn units_per_pass(&self, threads: usize) -> usize {
+        let _ = threads;
+        usize::MAX
+    }
+
+    /// Units between checkpoint saves in
+    /// [`JobRunner::run_with_checkpoint`].
+    fn units_per_checkpoint(&self, threads: usize) -> usize {
+        threads
+    }
+
+    /// Executes a contiguous span of pending `units` on one worker,
+    /// appending `(unit, partial)` pairs **in unit order**. Must be
+    /// deterministic in the unit indices alone (never in which worker ran
+    /// the span), so results are thread- and batching-invariant.
+    fn run_span(&self, units: &[usize], out: &mut Vec<(usize, Self::Partial)>);
+
+    /// Absorbs one completed unit's partial. The runner calls this in
+    /// strict unit order, once per unit.
+    fn absorb(&mut self, unit: usize, partial: Self::Partial);
+
+    /// Serializes the job — plan, progress, completed state — as a JSON
+    /// checkpoint document (header via [`write_checkpoint_header`]).
+    fn to_json(&self) -> String;
+}
+
+/// The generic driver of every [`Job`]: parallel unit scheduling,
+/// bounded checkpointing with atomic saves, progress callbacks, and the
+/// deterministic unit-order merge. Stateless — all state lives in the
+/// job itself, which is what makes the checkpoints self-contained.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JobRunner;
+
+impl JobRunner {
+    /// True when every unit of `job` has been absorbed.
+    #[must_use]
+    pub fn is_complete<J: Job + ?Sized>(job: &J) -> bool {
+        job.completed_count() >= job.unit_count()
+    }
+
+    /// Runs up to `limit` pending units (all of them when `None`) in
+    /// parallel passes of at most [`Job::units_per_pass`] units, absorbing
+    /// partials in unit order after each pass. Returns how many units were
+    /// processed.
+    pub fn run_pending<J: Job + ?Sized>(job: &mut J, limit: Option<usize>) -> usize {
+        let threads = job.threads().max(1);
+        let mut ran = 0usize;
+        loop {
+            if limit.is_some_and(|l| ran >= l) {
+                break;
+            }
+            let pending = job.pending_units();
+            if pending.is_empty() {
+                break;
+            }
+            let cap = limit.map_or(usize::MAX, |l| l - ran);
+            let pass = pending
+                .len()
+                .min(cap)
+                .min(job.units_per_pass(threads).max(1));
+            let units = &pending[..pass];
+            // One parallel pass: contiguous spans of the unit prefix go to
+            // the workers; concatenating the per-span vectors preserves
+            // unit order, so absorption below is deterministic.
+            let shared: &J = job;
+            let results: Vec<(usize, J::Partial)> = parallel_reduce_chunked(
+                units.len(),
+                threads,
+                Vec::new,
+                |mut acc, chunk| {
+                    if !chunk.is_empty() {
+                        shared.run_span(&units[chunk.start..chunk.end], &mut acc);
+                    }
+                    acc
+                },
+                |mut a, b| {
+                    a.extend(b);
+                    a
+                },
+            );
+            debug_assert!(
+                results.windows(2).all(|w| w[0].0 < w[1].0),
+                "span results must arrive in unit order"
+            );
+            for (unit, partial) in results {
+                job.absorb(unit, partial);
+            }
+            ran += pass;
+        }
+        ran
+    }
+
+    /// Runs pending units — all of them, or up to `limit` — saving the
+    /// checkpoint to `path` atomically after every batch of (at most)
+    /// [`Job::units_per_checkpoint`] units, so a kill loses at most one
+    /// batch (and a kill mid-save leaves the previous checkpoint intact).
+    /// `on_batch(completed, total)` fires after every save. The
+    /// checkpoint is (re)written even when nothing was pending, so a
+    /// fresh plan always lands on disk.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if a checkpoint cannot be written.
+    pub fn run_with_checkpoint<J: Job + ?Sized>(
+        job: &mut J,
+        path: &Path,
+        limit: Option<usize>,
+        mut on_batch: impl FnMut(usize, usize),
+    ) -> std::io::Result<usize> {
+        let threads = job.threads().max(1);
+        let mut ran = 0usize;
+        while !Self::is_complete(job) && limit.is_none_or(|l| ran < l) {
+            let batch = job
+                .units_per_checkpoint(threads)
+                .max(1)
+                .min(limit.map_or(usize::MAX, |l| l - ran));
+            ran += Self::run_pending(job, Some(batch));
+            Self::save(job, path)?;
+            on_batch(job.completed_count(), job.unit_count());
+        }
+        if ran == 0 {
+            Self::save(job, path)?;
+        }
+        Ok(ran)
+    }
+
+    /// Writes the job's checkpoint to `path` atomically (temp file +
+    /// rename, via [`crate::jsonio::save_atomic`]) — the single save path
+    /// every checkpointing pipeline goes through.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error.
+    pub fn save<J: Job + ?Sized>(job: &J, path: &Path) -> std::io::Result<()> {
+        jsonio::save_atomic(path, &job.to_json())
+    }
+}
+
+/// Writes the shared checkpoint header — opening brace, kind, version,
+/// fingerprint — in the exact byte layout every pipeline has always used,
+/// so checkpoints stay byte-compatible across the port onto [`Job`].
+pub fn write_checkpoint_header(out: &mut String, kind: JobKind, fingerprint: &str) {
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"kind\": \"{}\",", kind.kind_str());
+    let _ = writeln!(out, "  \"version\": {},", kind.version());
+    let _ = writeln!(
+        out,
+        "  \"fingerprint\": \"{}\",",
+        jsonio::escape(fingerprint)
+    );
+}
+
+/// Parses a checkpoint document and validates its header against the
+/// expected kind and version, returning the parsed document for the
+/// caller's body decoder.
+///
+/// # Errors
+///
+/// Returns a descriptive error on malformed JSON, a missing kind, an
+/// unsupported version — and, crucially, a **kind mismatch**: a document
+/// of another registered kind names both kinds and points at
+/// `symloc job resume`, so resuming a checkpoint with the wrong command
+/// can never quietly misparse it.
+pub fn parse_checkpoint(text: &str, expected: JobKind) -> Result<JsonValue, String> {
+    let doc = jsonio::parse(text)?;
+    match doc.get("kind").and_then(JsonValue::as_str) {
+        None => {
+            return Err(format!(
+                "not a {} checkpoint (no kind field)",
+                expected.describe()
+            ))
+        }
+        Some(tag) if tag != expected.kind_str() => {
+            return Err(match JobKind::parse(tag) {
+                Some(found) => format!(
+                    "checkpoint kind mismatch: this file holds a {} ({:?}), not the {} \
+                     ({:?}) being decoded; resume it with the matching command or \
+                     `symloc job resume`",
+                    found.describe(),
+                    tag,
+                    expected.describe(),
+                    expected.kind_str(),
+                ),
+                None => format!("not a {} checkpoint (kind = {tag:?})", expected.describe()),
+            });
+        }
+        Some(_) => {}
+    }
+    let version = doc.get("version").and_then(JsonValue::as_u64);
+    if version != Some(expected.version()) {
+        return Err(format!("unsupported checkpoint version {version:?}"));
+    }
+    Ok(doc)
+}
+
+/// The kind recorded in a checkpoint document, if it parses as JSON and
+/// carries a registered kind tag.
+#[must_use]
+pub fn sniff_kind(text: &str) -> Option<JobKind> {
+    let doc = jsonio::parse(text).ok()?;
+    JobKind::parse(doc.get("kind")?.as_str()?)
+}
+
+/// The shared resume policy of every pipeline: load the checkpoint at
+/// `path` or plan a fresh job.
+///
+/// * No file (or unreadable): fresh plan.
+/// * A checkpoint of a **different registered kind**: a loud error naming
+///   both kinds — a sampled-sweep checkpoint must never be silently
+///   discarded (or worse, misread) by an exhaustive sweep, and vice versa
+///   for every cross-kind pair.
+/// * The right kind but a plan that fails `matches` (different spec,
+///   seed, source, shard count, ...): fresh plan, the stale file left
+///   untouched on disk until the next save (callers warn about this).
+/// * The right kind and a matching plan: resumed; the returned flag says
+///   whether any completed progress actually came back.
+///
+/// # Errors
+///
+/// Returns the cross-kind mismatch error described above.
+pub fn resume_or_new_with<T>(
+    path: &Path,
+    expected: JobKind,
+    decode: impl FnOnce(&str) -> Result<T, String>,
+    matches: impl FnOnce(&T) -> bool,
+    completed: impl FnOnce(&T) -> usize,
+    fresh: impl FnOnce() -> T,
+) -> Result<(T, bool), String> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Ok((fresh(), false));
+    };
+    if let Some(found) = sniff_kind(&text) {
+        if found != expected {
+            return Err(format!(
+                "checkpoint {} holds a {} ({:?}), not the {} this command would resume; \
+                 resume it with the matching command (or `symloc job resume`), or point \
+                 the checkpoint flag at a different file",
+                path.display(),
+                found.describe(),
+                found.kind_str(),
+                expected.describe(),
+            ));
+        }
+    }
+    match decode(&text) {
+        Ok(job) if matches(&job) => {
+            let resumed = completed(&job) > 0;
+            Ok((job, resumed))
+        }
+        _ => Ok((fresh(), false)),
+    }
+}
+
+/// A kind-agnostic summary of a checkpoint document, the payload of
+/// `symloc job status`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobStatus {
+    /// The checkpoint's kind.
+    pub kind: JobKind,
+    /// The job's plan fingerprint.
+    pub fingerprint: String,
+    /// Completed units.
+    pub completed: usize,
+    /// Total planned units.
+    pub total: usize,
+    /// Kind-specific `(label, value)` detail lines.
+    pub detail: Vec<(String, String)>,
+}
+
+impl JobStatus {
+    /// True when every unit has completed.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.completed >= self.total
+    }
+}
+
+/// Decodes any registered checkpoint document into a [`JobStatus`],
+/// dispatching on the kind the document itself records.
+///
+/// # Errors
+///
+/// Returns a descriptive error for unparseable documents, unknown kinds,
+/// or structurally invalid bodies (via the kind's own decoder).
+pub fn checkpoint_status(text: &str) -> Result<JobStatus, String> {
+    let doc = jsonio::parse(text)?;
+    let tag = doc
+        .get("kind")
+        .and_then(JsonValue::as_str)
+        .ok_or("not a symloc checkpoint (no kind field)")?;
+    let kind = JobKind::parse(tag)
+        .ok_or_else(|| format!("unknown checkpoint kind {tag:?} (not a registered job)"))?;
+    let detail_pair = |label: &str, value: String| (label.to_string(), value);
+    match kind {
+        JobKind::ShardedSweep => {
+            let sweep = crate::shard::ShardedSweep::from_json(text, 1)?;
+            Ok(JobStatus {
+                kind,
+                fingerprint: sweep.spec().fingerprint(),
+                completed: sweep.completed_count(),
+                total: sweep.shard_count(),
+                detail: vec![detail_pair("degree m", sweep.spec().m.to_string())],
+            })
+        }
+        JobKind::SampledSweep => {
+            let sweep = crate::shard::SampledSweep::from_json(text, 1)?;
+            Ok(JobStatus {
+                kind,
+                fingerprint: sweep.spec().fingerprint(),
+                completed: sweep.completed_count(),
+                total: sweep.level_count(),
+                detail: vec![
+                    detail_pair("degree m", sweep.spec().m.to_string()),
+                    detail_pair("budget", sweep.budget().to_string()),
+                    detail_pair("seed", sweep.seed().to_string()),
+                ],
+            })
+        }
+        JobKind::TraceIngest => {
+            let ingest = crate::tracesweep::TraceIngest::from_json(text, 1)?;
+            Ok(JobStatus {
+                kind,
+                fingerprint: ingest.fingerprint().to_string(),
+                completed: ingest.completed_count(),
+                total: ingest.chunk_count(),
+                detail: vec![detail_pair("accesses", ingest.total_accesses().to_string())],
+            })
+        }
+        JobKind::SampledIngest => {
+            let ingest = crate::tracesweep::SampledIngest::from_json(text, 1)?;
+            Ok(JobStatus {
+                kind,
+                fingerprint: ingest.fingerprint().to_string(),
+                completed: ingest.completed_count(),
+                total: ingest.shard_count(),
+                detail: vec![
+                    detail_pair("accesses", ingest.total_accesses().to_string()),
+                    detail_pair("budget per shard", ingest.budget_per_shard().to_string()),
+                ],
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_registry_round_trips() {
+        for kind in JobKind::ALL {
+            assert_eq!(JobKind::parse(kind.kind_str()), Some(kind));
+            assert_eq!(format!("{kind}"), kind.kind_str());
+            assert_eq!(kind.version(), 1);
+            assert!(!kind.describe().is_empty());
+            assert!(!kind.unit_name().is_empty());
+        }
+        assert_eq!(JobKind::parse("bogus"), None);
+    }
+
+    #[test]
+    fn header_writer_and_parser_agree() {
+        let mut out = String::new();
+        write_checkpoint_header(&mut out, JobKind::ShardedSweep, "m=5;x");
+        out.push_str("  \"payload\": 1\n}\n");
+        let doc = parse_checkpoint(&out, JobKind::ShardedSweep).unwrap();
+        assert_eq!(
+            doc.get("fingerprint").and_then(JsonValue::as_str),
+            Some("m=5;x")
+        );
+        assert_eq!(sniff_kind(&out), Some(JobKind::ShardedSweep));
+    }
+
+    #[test]
+    fn cross_kind_parse_names_both_kinds() {
+        let mut out = String::new();
+        write_checkpoint_header(&mut out, JobKind::SampledSweep, "fp");
+        out.push_str("  \"payload\": 1\n}\n");
+        let err = parse_checkpoint(&out, JobKind::ShardedSweep).unwrap_err();
+        assert!(err.contains("kind mismatch"), "{err}");
+        assert!(err.contains(JobKind::SampledSweep.kind_str()), "{err}");
+        assert!(err.contains(JobKind::ShardedSweep.kind_str()), "{err}");
+        assert!(err.contains("symloc job resume"), "{err}");
+    }
+
+    #[test]
+    fn parse_checkpoint_rejects_foreign_and_versioned_documents() {
+        assert!(parse_checkpoint("not json", JobKind::TraceIngest).is_err());
+        assert!(parse_checkpoint("{}", JobKind::TraceIngest).is_err());
+        let err =
+            parse_checkpoint("{\"kind\": \"something_else\"}", JobKind::TraceIngest).unwrap_err();
+        assert!(err.contains("something_else"), "{err}");
+        let mut out = String::new();
+        write_checkpoint_header(&mut out, JobKind::TraceIngest, "fp");
+        out.push_str("  \"x\": 1\n}\n");
+        let bumped = out.replace("\"version\": 1", "\"version\": 9");
+        assert!(parse_checkpoint(&bumped, JobKind::TraceIngest)
+            .unwrap_err()
+            .contains("version"));
+    }
+
+    #[test]
+    fn sniff_kind_handles_garbage() {
+        assert_eq!(sniff_kind("not json"), None);
+        assert_eq!(sniff_kind("{}"), None);
+        assert_eq!(sniff_kind("{\"kind\": \"mystery\"}"), None);
+    }
+
+    #[test]
+    fn checkpoint_status_rejects_unknown_documents() {
+        assert!(checkpoint_status("nope").is_err());
+        assert!(checkpoint_status("{}").is_err());
+        let err = checkpoint_status("{\"kind\": \"mystery_format\"}").unwrap_err();
+        assert!(err.contains("mystery_format"), "{err}");
+    }
+
+    /// A miniature job: unit `i` contributes `i + 1`; state is the running
+    /// sum plus the completion bitmap. Exercises the runner's scheduling,
+    /// ordering and checkpoint loop without the heavyweight pipelines.
+    struct ToyJob {
+        done: Vec<bool>,
+        sum: u64,
+        threads: usize,
+        per_pass: usize,
+        per_checkpoint: usize,
+    }
+
+    impl ToyJob {
+        fn new(units: usize, threads: usize) -> Self {
+            ToyJob {
+                done: vec![false; units],
+                sum: 0,
+                threads,
+                per_pass: usize::MAX,
+                per_checkpoint: threads.max(1),
+            }
+        }
+    }
+
+    impl Job for ToyJob {
+        type Partial = u64;
+        fn kind(&self) -> JobKind {
+            JobKind::ShardedSweep
+        }
+        fn fingerprint(&self) -> String {
+            format!("toy:{}", self.done.len())
+        }
+        fn threads(&self) -> usize {
+            self.threads
+        }
+        fn unit_count(&self) -> usize {
+            self.done.len()
+        }
+        fn completed_count(&self) -> usize {
+            self.done.iter().filter(|&&d| d).count()
+        }
+        fn pending_units(&self) -> Vec<usize> {
+            (0..self.done.len()).filter(|&i| !self.done[i]).collect()
+        }
+        fn units_per_pass(&self, _threads: usize) -> usize {
+            self.per_pass
+        }
+        fn units_per_checkpoint(&self, _threads: usize) -> usize {
+            self.per_checkpoint
+        }
+        fn run_span(&self, units: &[usize], out: &mut Vec<(usize, u64)>) {
+            for &u in units {
+                out.push((u, u as u64 + 1));
+            }
+        }
+        fn absorb(&mut self, unit: usize, partial: u64) {
+            assert!(!self.done[unit], "unit {unit} absorbed twice");
+            self.done[unit] = true;
+            self.sum += partial;
+        }
+        fn to_json(&self) -> String {
+            let mut out = String::new();
+            write_checkpoint_header(&mut out, self.kind(), &self.fingerprint());
+            let _ = writeln!(out, "  \"sum\": {}\n}}", self.sum);
+            out
+        }
+    }
+
+    #[test]
+    fn runner_completes_and_is_thread_invariant() {
+        for threads in [1, 2, 5] {
+            let mut job = ToyJob::new(17, threads);
+            assert_eq!(JobRunner::run_pending(&mut job, None), 17);
+            assert!(JobRunner::is_complete(&job));
+            assert_eq!(job.sum, (1..=17).sum::<u64>(), "threads={threads}");
+            // Nothing left: running again is a no-op.
+            assert_eq!(JobRunner::run_pending(&mut job, None), 0);
+        }
+    }
+
+    #[test]
+    fn runner_respects_limits_and_pass_bounds() {
+        let mut job = ToyJob::new(10, 3);
+        job.per_pass = 2;
+        assert_eq!(JobRunner::run_pending(&mut job, Some(5)), 5);
+        assert_eq!(job.completed_count(), 5);
+        assert_eq!(JobRunner::run_pending(&mut job, Some(0)), 0);
+        assert_eq!(JobRunner::run_pending(&mut job, None), 5);
+        assert!(JobRunner::is_complete(&job));
+    }
+
+    #[test]
+    fn checkpoint_loop_saves_every_batch_and_reports_progress() {
+        let path = std::env::temp_dir().join(format!(
+            "symloc_job_toy_checkpoint_{}.json",
+            std::process::id()
+        ));
+        std::fs::remove_file(&path).ok();
+        let mut job = ToyJob::new(6, 1);
+        job.per_checkpoint = 2;
+        let mut progress = Vec::new();
+        let ran = JobRunner::run_with_checkpoint(&mut job, &path, None, |done, total| {
+            progress.push((done, total));
+        })
+        .unwrap();
+        assert_eq!(ran, 6);
+        assert_eq!(progress, vec![(2, 6), (4, 6), (6, 6)]);
+        let saved = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(saved, job.to_json());
+        // Complete job: nothing runs, checkpoint still rewritten, no
+        // progress callback.
+        let ran = JobRunner::run_with_checkpoint(&mut job, &path, None, |_, _| {
+            panic!("no batch should complete")
+        })
+        .unwrap();
+        assert_eq!(ran, 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_or_new_with_distinguishes_the_three_outcomes() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("symloc_job_resume_{}.json", std::process::id()));
+        std::fs::remove_file(&path).ok();
+
+        // No file: fresh.
+        let (value, resumed) = resume_or_new_with(
+            &path,
+            JobKind::ShardedSweep,
+            |_| Ok(1u32),
+            |_| true,
+            |_| 1,
+            || 0u32,
+        )
+        .unwrap();
+        assert_eq!((value, resumed), (0, false));
+
+        // Right kind, matching plan: resumed.
+        let mut doc = String::new();
+        write_checkpoint_header(&mut doc, JobKind::ShardedSweep, "fp");
+        doc.push_str("  \"x\": 1\n}\n");
+        std::fs::write(&path, &doc).unwrap();
+        let (value, resumed) = resume_or_new_with(
+            &path,
+            JobKind::ShardedSweep,
+            |_| Ok(1u32),
+            |_| true,
+            |_| 1,
+            || 0u32,
+        )
+        .unwrap();
+        assert_eq!((value, resumed), (1, true));
+
+        // Right kind, plan mismatch: fresh.
+        let (value, resumed) = resume_or_new_with(
+            &path,
+            JobKind::ShardedSweep,
+            |_| Ok(1u32),
+            |_| false,
+            |_| 1,
+            || 0u32,
+        )
+        .unwrap();
+        assert_eq!((value, resumed), (0, false));
+
+        // Cross-kind: loud error naming both kinds.
+        let err = resume_or_new_with(
+            &path,
+            JobKind::SampledIngest,
+            |_| Ok(1u32),
+            |_| true,
+            |_| 1,
+            || 0u32,
+        )
+        .unwrap_err();
+        assert!(err.contains(JobKind::ShardedSweep.kind_str()), "{err}");
+        assert!(err.contains(JobKind::SampledIngest.describe()), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -26,6 +26,9 @@
 //!   over level statistics and cache models.
 //! * [`model`] — the cache models ([`model::CacheModel::LruStack`] and
 //!   set-associative LRU/FIFO/PLRU) a sweep evaluates hit vectors under.
+//! * [`job`] — the unified resumable-job API: the [`job::Job`] trait and
+//!   the generic [`job::JobRunner`] every checkpointable pipeline
+//!   (exhaustive/sampled sweeps, exact/sampled trace ingests) runs through.
 //! * [`shard`] — sharded, checkpointable execution of exhaustive sweeps
 //!   (JSON checkpoints, exact resume).
 //! * [`jsonio`] — the minimal hand-rolled JSON reader/writer the offline
@@ -105,6 +108,7 @@ pub mod epochs;
 pub mod error;
 pub mod feasibility;
 pub mod hits;
+pub mod job;
 pub mod jsonio;
 pub mod labeling;
 pub mod labeling_props;
@@ -139,6 +143,7 @@ pub mod prelude {
         second_pass_distances_naive, second_pass_distances_with_scratch, total_reuse_distance,
         AnalysisScratch,
     };
+    pub use crate::job::{Job, JobKind, JobRunner, JobStatus};
     pub use crate::labeling::{
         DataMovementLabeling, EdgeLabeling, GeneratorTieBreakLabeling, InversionLabeling, Label,
         MissRatioLabeling, RankedMissRatioLabeling, TimescaleLabeling,
@@ -153,7 +158,7 @@ pub mod prelude {
     };
     pub use crate::retraversal::ReTraversal;
     pub use crate::schedule::{analytical_retraversal_cost, analytical_totals_match, Schedule};
-    pub use crate::shard::ShardedSweep;
+    pub use crate::shard::{SampledSweep, ShardedSweep};
     pub use crate::sweep::{
         average_mrc_by_inversion, exhaustive_levels, exhaustive_levels_reference,
         levels_are_monotone, sampled_levels, sampled_levels_weighted, sweep_levels, LevelAggregate,

@@ -1,13 +1,15 @@
-//! Sharded, checkpointable execution of exhaustive sweeps.
+//! Sharded, checkpointable execution of exhaustive and sampled sweeps.
 //!
 //! An exhaustive `m = 12` sweep walks 479 001 600 permutations — long
 //! enough that a interrupted run (preempted CI job, killed laptop session)
 //! should not start over. [`ShardedSweep`] splits the rank space `0 .. m!`
-//! into contiguous shards, runs them one at a time (each shard internally
-//! parallel via [`SweepEngine::sweep_rank_range`]), and serializes every
-//! completed shard's per-level aggregates to a JSON checkpoint
-//! (hand-rolled, as everywhere in this offline workspace; parsed back by
-//! [`crate::jsonio`]).
+//! into contiguous shards; [`SampledSweep`] shards the *level space* of a
+//! weighted sampled sweep. Both are [`crate::job::Job`] implementations:
+//! the whole execution lifecycle — parallel unit scheduling, per-batch
+//! atomic checkpoints, resume — lives in [`crate::job::JobRunner`], and
+//! this module only contributes the unit plans, the per-unit execution and
+//! the checkpoint bodies (hand-rolled JSON, as everywhere in this offline
+//! workspace; parsed back by [`crate::jsonio`]).
 //!
 //! Because level aggregates are exact integer sums and rank shards are
 //! disjoint, resuming from a checkpoint reproduces the uninterrupted
@@ -28,23 +30,27 @@
 //! ```
 
 use crate::engine::{SweepEngine, SweepLevel, SweepSpec};
-use crate::jsonio::{self, JsonValue};
+use crate::job::{self, Job, JobKind, JobRunner};
+use crate::jsonio::JsonValue;
 use crate::model::CacheModel;
 use std::fmt::Write as _;
 use std::path::Path;
 use symloc_perm::rank::{factorial, RankRange};
 use symloc_perm::statistics::Statistic;
 
-/// Format tag embedded in every checkpoint document.
-const CHECKPOINT_KIND: &str = "symloc_sweep_checkpoint";
-/// Checkpoint schema version.
-const CHECKPOINT_VERSION: u64 = 1;
+/// Format tag embedded in every exhaustive-sweep checkpoint document.
+#[cfg(test)]
+const CHECKPOINT_KIND: &str = JobKind::ShardedSweep.kind_str();
+/// Format tag embedded in every sampled-sweep checkpoint document.
+#[cfg(test)]
+const SAMPLED_CHECKPOINT_KIND: &str = JobKind::SampledSweep.kind_str();
 
 /// A sharded exhaustive sweep with resumable progress.
 ///
 /// See the [module docs](self) for the execution model. The struct owns
 /// the spec, the shard plan (derived deterministically from the shard
-/// count) and the completed shards' partial aggregates.
+/// count) and the completed shards' partial aggregates; the lifecycle is
+/// [`crate::job::JobRunner`]'s.
 #[derive(Debug, Clone)]
 pub struct ShardedSweep {
     spec: SweepSpec,
@@ -119,19 +125,7 @@ impl ShardedSweep {
     /// returning how many were processed. Stopping early — or being killed
     /// between shards — loses at most the shard in flight.
     pub fn run_pending(&mut self, limit: Option<usize>) -> usize {
-        let engine = SweepEngine::with_threads(self.spec.m, self.threads);
-        let mut ran = 0usize;
-        for (shard, slot) in self.shards.iter().zip(self.partials.iter_mut()) {
-            if slot.is_some() {
-                continue;
-            }
-            if limit.is_some_and(|l| ran >= l) {
-                break;
-            }
-            *slot = Some(engine.sweep_rank_range(self.spec.statistic, self.spec.model, *shard));
-            ran += 1;
-        }
-        ran
+        JobRunner::run_pending(self, limit)
     }
 
     /// Runs pending shards — all of them, or up to `limit` — saving the
@@ -143,8 +137,9 @@ impl ShardedSweep {
     /// checkpoint is (re)written even when nothing was pending, so a
     /// fresh plan always lands on disk.
     ///
-    /// This is the single checkpointed-execution loop every caller (CLI,
-    /// experiment driver) goes through.
+    /// The whole loop is [`JobRunner::run_with_checkpoint`] — the single
+    /// checkpointed-execution path every caller (CLI, experiment driver)
+    /// goes through.
     ///
     /// # Errors
     ///
@@ -153,18 +148,9 @@ impl ShardedSweep {
         &mut self,
         path: &Path,
         limit: Option<usize>,
-        mut on_shard: impl FnMut(usize, usize),
+        on_shard: impl FnMut(usize, usize),
     ) -> std::io::Result<usize> {
-        let mut ran = 0usize;
-        while !self.is_complete() && limit.is_none_or(|l| ran < l) {
-            ran += self.run_pending(Some(1));
-            self.save(path)?;
-            on_shard(self.completed_count(), self.shard_count());
-        }
-        if ran == 0 {
-            self.save(path)?;
-        }
-        Ok(ran)
+        JobRunner::run_with_checkpoint(self, path, limit, on_shard)
     }
 
     /// The merged per-level aggregates, or `None` while shards are
@@ -189,14 +175,8 @@ impl ShardedSweep {
     /// JSON checkpoint document.
     #[must_use]
     pub fn to_json(&self) -> String {
-        let mut out = String::from("{\n");
-        let _ = writeln!(out, "  \"kind\": \"{CHECKPOINT_KIND}\",");
-        let _ = writeln!(out, "  \"version\": {CHECKPOINT_VERSION},");
-        let _ = writeln!(
-            out,
-            "  \"fingerprint\": \"{}\",",
-            jsonio::escape(&self.spec.fingerprint())
-        );
+        let mut out = String::new();
+        job::write_checkpoint_header(&mut out, JobKind::ShardedSweep, &self.spec.fingerprint());
         let _ = writeln!(out, "  \"m\": {},", self.spec.m);
         let _ = writeln!(out, "  \"statistic\": \"{}\",", self.spec.statistic);
         let _ = writeln!(out, "  \"model\": \"{}\",", self.spec.model);
@@ -242,17 +222,10 @@ impl ShardedSweep {
     /// # Errors
     ///
     /// Returns a description of the first structural problem (wrong kind
-    /// or version, unknown statistic/model, malformed shards).
+    /// or version — cross-kind documents name both kinds — unknown
+    /// statistic/model, malformed shards).
     pub fn from_json(text: &str, threads: usize) -> Result<ShardedSweep, String> {
-        let doc = jsonio::parse(text)?;
-        let kind = doc.get("kind").and_then(JsonValue::as_str);
-        if kind != Some(CHECKPOINT_KIND) {
-            return Err(format!("not a sweep checkpoint (kind = {kind:?})"));
-        }
-        let version = doc.get("version").and_then(JsonValue::as_u64);
-        if version != Some(CHECKPOINT_VERSION) {
-            return Err(format!("unsupported checkpoint version {version:?}"));
-        }
+        let doc = job::parse_checkpoint(text, JobKind::ShardedSweep)?;
         let m = doc
             .get("m")
             .and_then(JsonValue::as_usize)
@@ -348,43 +321,108 @@ impl ShardedSweep {
         Ok(sweep)
     }
 
-    /// Writes the checkpoint to `path` atomically (temp file + rename).
+    /// Writes the checkpoint to `path` atomically (temp file + rename) —
+    /// the shared [`JobRunner::save`] path.
     ///
     /// # Errors
     ///
     /// Returns the underlying I/O error.
     pub fn save(&self, path: &Path) -> std::io::Result<()> {
-        jsonio::save_atomic(path, &self.to_json())
+        JobRunner::save(self, path)
     }
 
     /// Loads a checkpoint from `path`, or plans a fresh sweep when the
     /// file does not exist or does not belong to `spec`/`shard_count`
-    /// (a stale checkpoint for a different sweep is left untouched on
-    /// disk and simply ignored). Returns the sweep and whether progress
-    /// was actually resumed.
-    #[must_use]
+    /// (a stale same-kind checkpoint for a different sweep is left
+    /// untouched on disk and simply ignored). Returns the sweep and
+    /// whether progress was actually resumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns a loud error when the file holds a checkpoint of a
+    /// *different* job kind (see [`crate::job::resume_or_new_with`]) —
+    /// resuming a sampled-sweep or trace-ingest checkpoint as an
+    /// exhaustive sweep must never silently discard it.
     pub fn resume_or_new(
         spec: SweepSpec,
         shard_count: usize,
         threads: usize,
         path: &Path,
-    ) -> (ShardedSweep, bool) {
-        if let Ok(text) = std::fs::read_to_string(path) {
-            if let Ok(sweep) = ShardedSweep::from_json(&text, threads) {
-                if sweep.spec == spec && sweep.shard_count() == shard_count {
-                    let resumed = sweep.completed_count() > 0;
-                    return (sweep, resumed);
-                }
-            }
-        }
-        (ShardedSweep::new(spec, shard_count, threads), false)
+    ) -> Result<(ShardedSweep, bool), String> {
+        job::resume_or_new_with(
+            path,
+            JobKind::ShardedSweep,
+            |text| ShardedSweep::from_json(text, threads),
+            |sweep| sweep.spec == spec && sweep.shard_count() == shard_count,
+            ShardedSweep::completed_count,
+            || ShardedSweep::new(spec, shard_count, threads),
+        )
     }
 }
 
-/// Format tag embedded in every sampled-sweep checkpoint document.
-const SAMPLED_CHECKPOINT_KIND: &str = "symloc_sampled_sweep_checkpoint";
-/// Sampled-sweep checkpoint schema version.
-const SAMPLED_CHECKPOINT_VERSION: u64 = 1;
+impl Job for ShardedSweep {
+    type Partial = Vec<SweepLevel>;
+
+    fn kind(&self) -> JobKind {
+        JobKind::ShardedSweep
+    }
+
+    fn fingerprint(&self) -> String {
+        self.spec.fingerprint()
+    }
+
+    fn threads(&self) -> usize {
+        self.threads
+    }
+
+    fn unit_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn completed_count(&self) -> usize {
+        ShardedSweep::completed_count(self)
+    }
+
+    fn pending_units(&self) -> Vec<usize> {
+        self.partials
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.is_none())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// One shard at a time: each unit is *internally* parallel (the
+    /// engine splits its rank range across the workers), so the runner
+    /// must not also fan units out.
+    fn units_per_pass(&self, _threads: usize) -> usize {
+        1
+    }
+
+    /// Checkpoint after every shard — a shard of an `m = 12` sweep is
+    /// minutes of work, the natural loss bound per kill.
+    fn units_per_checkpoint(&self, _threads: usize) -> usize {
+        1
+    }
+
+    fn run_span(&self, units: &[usize], out: &mut Vec<(usize, Vec<SweepLevel>)>) {
+        let engine = SweepEngine::with_threads(self.spec.m, self.threads);
+        for &unit in units {
+            out.push((
+                unit,
+                engine.sweep_rank_range(self.spec.statistic, self.spec.model, self.shards[unit]),
+            ));
+        }
+    }
+
+    fn absorb(&mut self, unit: usize, partial: Vec<SweepLevel>) {
+        self.partials[unit] = Some(partial);
+    }
+
+    fn to_json(&self) -> String {
+        ShardedSweep::to_json(self)
+    }
+}
 
 /// A per-level-sharded, checkpointable *sampled* sweep — the stratified
 /// counterpart of [`ShardedSweep`].
@@ -393,11 +431,11 @@ const SAMPLED_CHECKPOINT_VERSION: u64 = 1;
 /// spends its budget level by level, and each level's aggregate is
 /// deterministic in `(spec, level, draws, seed)` alone — levels are the
 /// natural shard. [`SampledSweep`] materializes the per-level draw plan
-/// ([`crate::engine::weighted_sample_counts_for`]), runs pending levels in
-/// parallel batches, and checkpoints completed levels as hand-rolled JSON:
-/// a killed sampled sweep resumes to aggregates *byte-identical* to the
-/// uninterrupted run (the same guarantee, by the same test strategy, as
-/// the exhaustive sharded sweep).
+/// ([`crate::engine::weighted_sample_counts_for`]); the runner executes
+/// pending levels in parallel batches and checkpoints completed levels as
+/// hand-rolled JSON: a killed sampled sweep resumes to aggregates
+/// *byte-identical* to the uninterrupted run (the same guarantee, by the
+/// same test strategy, as the exhaustive sharded sweep).
 #[derive(Debug, Clone)]
 pub struct SampledSweep {
     spec: SweepSpec,
@@ -449,6 +487,24 @@ impl SampledSweep {
         self.spec
     }
 
+    /// The global sampling budget.
+    #[must_use]
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// The per-level draw floor.
+    #[must_use]
+    pub fn min_per_level(&self) -> usize {
+        self.min_per_level
+    }
+
+    /// The sampling seed.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
     /// Number of level shards (one per statistic level).
     #[must_use]
     pub fn level_count(&self) -> usize {
@@ -468,33 +524,9 @@ impl SampledSweep {
     }
 
     /// Runs up to `limit` pending levels (all of them when `None`) in
-    /// parallel batches, returning how many were processed.
+    /// one parallel pass, returning how many were processed.
     pub fn run_pending(&mut self, limit: Option<usize>) -> usize {
-        let engine = SweepEngine::with_threads(self.spec.m, self.threads);
-        let pending: Vec<usize> = self
-            .partials
-            .iter()
-            .enumerate()
-            .filter(|(_, p)| p.is_none())
-            .map(|(i, _)| i)
-            .take(limit.unwrap_or(usize::MAX))
-            .collect();
-        if pending.is_empty() {
-            return 0;
-        }
-        let (spec, seed, draws) = (self.spec, self.seed, &self.draws);
-        let computed: Vec<(usize, SweepLevel)> =
-            symloc_par::parallel_map(&pending, self.threads, |&level| {
-                (
-                    level,
-                    engine.sampled_level(spec.statistic, spec.model, level, draws[level], seed),
-                )
-            });
-        let ran = computed.len();
-        for (level, aggregate) in computed {
-            self.partials[level] = Some(aggregate);
-        }
-        ran
+        JobRunner::run_pending(self, limit)
     }
 
     /// Runs pending levels — all of them, or up to `limit` — saving the
@@ -510,19 +542,9 @@ impl SampledSweep {
         &mut self,
         path: &Path,
         limit: Option<usize>,
-        mut on_batch: impl FnMut(usize, usize),
+        on_batch: impl FnMut(usize, usize),
     ) -> std::io::Result<usize> {
-        let mut ran = 0usize;
-        while !self.is_complete() && limit.is_none_or(|l| ran < l) {
-            let batch = self.threads.min(limit.map_or(usize::MAX, |l| l - ran));
-            ran += self.run_pending(Some(batch));
-            self.save(path)?;
-            on_batch(self.completed_count(), self.level_count());
-        }
-        if ran == 0 {
-            self.save(path)?;
-        }
-        Ok(ran)
+        JobRunner::run_with_checkpoint(self, path, limit, on_batch)
     }
 
     /// The sampled per-level aggregates, or `None` while levels are
@@ -540,14 +562,8 @@ impl SampledSweep {
     /// JSON checkpoint document.
     #[must_use]
     pub fn to_json(&self) -> String {
-        let mut out = String::from("{\n");
-        let _ = writeln!(out, "  \"kind\": \"{SAMPLED_CHECKPOINT_KIND}\",");
-        let _ = writeln!(out, "  \"version\": {SAMPLED_CHECKPOINT_VERSION},");
-        let _ = writeln!(
-            out,
-            "  \"fingerprint\": \"{}\",",
-            jsonio::escape(&self.spec.fingerprint())
-        );
+        let mut out = String::new();
+        job::write_checkpoint_header(&mut out, JobKind::SampledSweep, &self.spec.fingerprint());
         let _ = writeln!(out, "  \"m\": {},", self.spec.m);
         let _ = writeln!(out, "  \"statistic\": \"{}\",", self.spec.statistic);
         let _ = writeln!(out, "  \"model\": \"{}\",", self.spec.model);
@@ -585,18 +601,11 @@ impl SampledSweep {
     /// # Errors
     ///
     /// Returns a description of the first structural problem (wrong kind
-    /// or version, unknown statistic/model, a draw plan that does not match
-    /// the deterministic one, malformed levels).
+    /// or version — cross-kind documents name both kinds — unknown
+    /// statistic/model, a draw plan that does not match the deterministic
+    /// one, malformed levels).
     pub fn from_json(text: &str, threads: usize) -> Result<SampledSweep, String> {
-        let doc = jsonio::parse(text)?;
-        let kind = doc.get("kind").and_then(JsonValue::as_str);
-        if kind != Some(SAMPLED_CHECKPOINT_KIND) {
-            return Err(format!("not a sampled-sweep checkpoint (kind = {kind:?})"));
-        }
-        let version = doc.get("version").and_then(JsonValue::as_u64);
-        if version != Some(SAMPLED_CHECKPOINT_VERSION) {
-            return Err(format!("unsupported checkpoint version {version:?}"));
-        }
+        let doc = job::parse_checkpoint(text, JobKind::SampledSweep)?;
         let m = doc
             .get("m")
             .and_then(JsonValue::as_usize)
@@ -687,20 +696,25 @@ impl SampledSweep {
         Ok(sweep)
     }
 
-    /// Writes the checkpoint to `path` atomically (temp file + rename).
+    /// Writes the checkpoint to `path` atomically (temp file + rename) —
+    /// the shared [`JobRunner::save`] path.
     ///
     /// # Errors
     ///
     /// Returns the underlying I/O error.
     pub fn save(&self, path: &Path) -> std::io::Result<()> {
-        jsonio::save_atomic(path, &self.to_json())
+        JobRunner::save(self, path)
     }
 
     /// Loads a checkpoint from `path`, or plans a fresh sampled sweep when
     /// the file does not exist or does not belong to the same
     /// `(spec, budget, min_per_level, seed)`. Returns the sweep and
     /// whether progress was actually resumed.
-    #[must_use]
+    ///
+    /// # Errors
+    ///
+    /// Returns a loud error when the file holds a checkpoint of a
+    /// *different* job kind (see [`crate::job::resume_or_new_with`]).
     pub fn resume_or_new(
         spec: SweepSpec,
         budget: usize,
@@ -708,23 +722,77 @@ impl SampledSweep {
         seed: u64,
         threads: usize,
         path: &Path,
-    ) -> (SampledSweep, bool) {
-        if let Ok(text) = std::fs::read_to_string(path) {
-            if let Ok(sweep) = SampledSweep::from_json(&text, threads) {
-                if sweep.spec == spec
+    ) -> Result<(SampledSweep, bool), String> {
+        job::resume_or_new_with(
+            path,
+            JobKind::SampledSweep,
+            |text| SampledSweep::from_json(text, threads),
+            |sweep| {
+                sweep.spec == spec
                     && sweep.budget == budget
                     && sweep.min_per_level == min_per_level
                     && sweep.seed == seed
-                {
-                    let resumed = sweep.completed_count() > 0;
-                    return (sweep, resumed);
-                }
-            }
-        }
-        (
-            SampledSweep::new(spec, budget, min_per_level, seed, threads),
-            false,
+            },
+            SampledSweep::completed_count,
+            || SampledSweep::new(spec, budget, min_per_level, seed, threads),
         )
+    }
+}
+
+impl Job for SampledSweep {
+    type Partial = SweepLevel;
+
+    fn kind(&self) -> JobKind {
+        JobKind::SampledSweep
+    }
+
+    fn fingerprint(&self) -> String {
+        self.spec.fingerprint()
+    }
+
+    fn threads(&self) -> usize {
+        self.threads
+    }
+
+    fn unit_count(&self) -> usize {
+        self.partials.len()
+    }
+
+    fn completed_count(&self) -> usize {
+        SampledSweep::completed_count(self)
+    }
+
+    fn pending_units(&self) -> Vec<usize> {
+        self.partials
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.is_none())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    fn run_span(&self, units: &[usize], out: &mut Vec<(usize, SweepLevel)>) {
+        let engine = SweepEngine::with_threads(self.spec.m, self.threads);
+        for &unit in units {
+            out.push((
+                unit,
+                engine.sampled_level(
+                    self.spec.statistic,
+                    self.spec.model,
+                    unit,
+                    self.draws[unit],
+                    self.seed,
+                ),
+            ));
+        }
+    }
+
+    fn absorb(&mut self, unit: usize, partial: SweepLevel) {
+        self.partials[unit] = Some(partial);
+    }
+
+    fn to_json(&self) -> String {
+        SampledSweep::to_json(self)
     }
 }
 
@@ -818,29 +886,29 @@ mod tests {
 
         let spec = SweepSpec::figure1(5);
         // Nothing on disk: fresh plan.
-        let (mut sweep, resumed) = ShardedSweep::resume_or_new(spec, 4, 2, &path);
+        let (mut sweep, resumed) = ShardedSweep::resume_or_new(spec, 4, 2, &path).unwrap();
         assert!(!resumed);
         sweep.run_pending(Some(2));
         sweep.save(&path).unwrap();
 
         // On disk with progress: resumed.
-        let (resumed_sweep, resumed) = ShardedSweep::resume_or_new(spec, 4, 2, &path);
+        let (resumed_sweep, resumed) = ShardedSweep::resume_or_new(spec, 4, 2, &path).unwrap();
         assert!(resumed);
         assert_eq!(resumed_sweep.completed_count(), 2);
 
-        // A different spec ignores the stale checkpoint.
+        // A different spec ignores the stale (same-kind) checkpoint.
         let other = SweepSpec {
             m: 5,
             statistic: Statistic::Descents,
             model: CacheModel::LruStack,
         };
-        let (fresh, resumed) = ShardedSweep::resume_or_new(other, 4, 2, &path);
+        let (fresh, resumed) = ShardedSweep::resume_or_new(other, 4, 2, &path).unwrap();
         assert!(!resumed);
         assert_eq!(fresh.completed_count(), 0);
 
         // run_with_checkpoint drives the rest, reporting progress after
         // every saved shard, and leaves a complete file.
-        let (mut finishing, _) = ShardedSweep::resume_or_new(spec, 4, 2, &path);
+        let (mut finishing, _) = ShardedSweep::resume_or_new(spec, 4, 2, &path).unwrap();
         let mut progress = Vec::new();
         let limited = finishing
             .run_with_checkpoint(&path, Some(1), |done, total| progress.push((done, total)))
@@ -854,7 +922,7 @@ mod tests {
         assert_eq!(progress, vec![(3, 4), (4, 4)]);
         let levels = finishing.merged_levels().unwrap();
         assert_eq!(levels.iter().map(|l| l.count).sum::<u64>(), 120);
-        let (mut done, _) = ShardedSweep::resume_or_new(spec, 4, 2, &path);
+        let (mut done, _) = ShardedSweep::resume_or_new(spec, 4, 2, &path).unwrap();
         assert!(done.is_complete());
         // Nothing pending: still rewrites the checkpoint, runs nothing.
         assert_eq!(done.run_with_checkpoint(&path, None, |_, _| {}).unwrap(), 0);
@@ -880,6 +948,24 @@ mod tests {
         assert!(
             ShardedSweep::from_json(&good.replace("\"start\": 12", "\"start\": 13"), 1).is_err()
         );
+    }
+
+    #[test]
+    fn cross_kind_resume_is_a_loud_error() {
+        // A sampled-sweep checkpoint on disk must make an exhaustive-sweep
+        // resume fail with a descriptive error, not silently start fresh.
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!(
+            "symloc_shard_crosskind_{}.json",
+            std::process::id()
+        ));
+        let mut sampled = SampledSweep::new(SweepSpec::figure1(5), 50, 2, 1, 1);
+        sampled.run_pending(Some(2));
+        sampled.save(&path).unwrap();
+        let err = ShardedSweep::resume_or_new(SweepSpec::figure1(5), 4, 1, &path).unwrap_err();
+        assert!(err.contains(SAMPLED_CHECKPOINT_KIND), "{err}");
+        assert!(err.contains("exhaustive sharded sweep"), "{err}");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]
@@ -946,8 +1032,11 @@ mod tests {
             model: CacheModel::LruStack,
         };
 
-        let (mut sweep, resumed) = SampledSweep::resume_or_new(spec, 200, 2, 5, 2, &path);
+        let (mut sweep, resumed) = SampledSweep::resume_or_new(spec, 200, 2, 5, 2, &path).unwrap();
         assert!(!resumed);
+        assert_eq!(sweep.budget(), 200);
+        assert_eq!(sweep.min_per_level(), 2);
+        assert_eq!(sweep.seed(), 5);
         let mut progress = Vec::new();
         sweep
             .run_with_checkpoint(&path, Some(4), |done, total| progress.push((done, total)))
@@ -955,7 +1044,8 @@ mod tests {
         assert_eq!(progress.last(), Some(&(4, 22)));
         assert!(!sweep.is_complete());
 
-        let (mut resumed_sweep, resumed) = SampledSweep::resume_or_new(spec, 200, 2, 5, 2, &path);
+        let (mut resumed_sweep, resumed) =
+            SampledSweep::resume_or_new(spec, 200, 2, 5, 2, &path).unwrap();
         assert!(resumed);
         assert_eq!(resumed_sweep.completed_count(), 4);
         resumed_sweep
@@ -964,10 +1054,10 @@ mod tests {
         assert!(resumed_sweep.is_complete());
 
         // A different seed or budget ignores the stale checkpoint.
-        let (fresh, resumed) = SampledSweep::resume_or_new(spec, 200, 2, 6, 2, &path);
+        let (fresh, resumed) = SampledSweep::resume_or_new(spec, 200, 2, 6, 2, &path).unwrap();
         assert!(!resumed);
         assert_eq!(fresh.completed_count(), 0);
-        let (mut done, _) = SampledSweep::resume_or_new(spec, 200, 2, 5, 2, &path);
+        let (mut done, _) = SampledSweep::resume_or_new(spec, 200, 2, 5, 2, &path).unwrap();
         assert!(done.is_complete());
         assert_eq!(done.run_with_checkpoint(&path, None, |_, _| {}).unwrap(), 0);
         std::fs::remove_file(&path).ok();

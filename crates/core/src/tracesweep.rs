@@ -50,18 +50,18 @@
 //! assert_eq!(engine.histogram().count_at(3), 3);
 //! ```
 
+use crate::job::{self, Job, JobKind, JobRunner};
 use crate::jsonio::{self, JsonValue};
 use std::collections::{BTreeMap, BinaryHeap, HashMap};
 use std::fmt::Write as _;
 use std::path::Path;
-use symloc_par::{parallel_map_chunked, parallel_reduce_chunked, split_indices};
+use symloc_par::split_indices;
 use symloc_perm::fenwick::Fenwick;
 use symloc_trace::stream::TraceSource;
 
 /// Format tag embedded in every ingest checkpoint document.
-const CHECKPOINT_KIND: &str = "symloc_trace_ingest_checkpoint";
-/// Ingest checkpoint schema version.
-const CHECKPOINT_VERSION: u64 = 1;
+#[cfg(test)]
+const CHECKPOINT_KIND: &str = JobKind::TraceIngest.kind_str();
 
 /// Smallest Fenwick capacity a timeline starts with (kept low so the
 /// compaction path is exercised constantly, not only at scale).
@@ -766,9 +766,8 @@ impl ShardsEstimator {
 // ---------------------------------------------------------------------------
 
 /// Format tag embedded in every sampled-ingest checkpoint document.
-const SAMPLED_CHECKPOINT_KIND: &str = "symloc_sampled_trace_checkpoint";
-/// Sampled-ingest checkpoint schema version.
-const SAMPLED_CHECKPOINT_VERSION: u64 = 1;
+#[cfg(test)]
+const SAMPLED_CHECKPOINT_KIND: &str = JobKind::SampledIngest.kind_str();
 
 /// The completed result of one hash shard of a [`SampledIngest`].
 #[derive(Debug, Clone, PartialEq)]
@@ -991,6 +990,24 @@ impl SampledIngest {
         self.partials.len() >= self.shard_count
     }
 
+    /// Binds the ingest to its (fingerprint-checked) source so the generic
+    /// [`JobRunner`] can drive it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source does not match the ingest's fingerprint.
+    fn bind<'a>(&'a mut self, source: &'a TraceSource) -> SampledIngestJob<'a> {
+        assert_eq!(
+            source.fingerprint(),
+            self.fingerprint,
+            "sampled ingest resumed against a different trace source"
+        );
+        SampledIngestJob {
+            ingest: self,
+            source,
+        }
+    }
+
     /// Runs up to `limit` pending shards (all of them when `None`) in one
     /// parallel pass: the pending shards are split contiguously across the
     /// configured workers, and each worker streams the source **once**,
@@ -1008,56 +1025,14 @@ impl SampledIngest {
     /// Panics if the source no longer matches the ingest's fingerprint, or
     /// if it fails to stream (sources are validated on construction).
     pub fn run_pending(&mut self, source: &TraceSource, limit: Option<usize>) -> usize {
-        assert_eq!(
-            source.fingerprint(),
-            self.fingerprint,
-            "sampled ingest resumed against a different trace source"
-        );
-        let mut ran = 0usize;
-        while !self.is_complete() && limit.is_none_or(|l| ran < l) {
-            let first = self.partials.len();
-            let remaining = self.shard_count - first;
-            let batch = remaining.min(limit.map_or(usize::MAX, |l| l - ran));
-            let (budget, threshold, count) = (
-                self.budget_per_shard,
-                self.threshold,
-                self.shard_count as u64,
-            );
-            let results: Vec<Vec<SampledShardResult>> =
-                parallel_map_chunked(batch, self.threads, |chunk| {
-                    if chunk.is_empty() {
-                        return Vec::new();
-                    }
-                    let lo = (first + chunk.start) as u64;
-                    let hi = (first + chunk.end) as u64;
-                    let mut estimators: Vec<ShardsEstimator> = (lo..hi)
-                        .map(|i| ShardsEstimator::for_shard(budget, threshold, i, count))
-                        .collect();
-                    let stream = source.stream().expect("validated source streams");
-                    for addr in stream {
-                        let hash = splitmix64(addr) % SHARDS_MODULUS;
-                        let shard = hash % count;
-                        if shard >= lo && shard < hi {
-                            estimators[(shard - lo) as usize].record_hashed(addr, hash);
-                        }
-                    }
-                    estimators
-                        .iter()
-                        .map(SampledShardResult::from_estimator)
-                        .collect()
-                });
-            for result in results.into_iter().flatten() {
-                self.partials.push(result);
-            }
-            ran += batch;
-        }
-        ran
+        JobRunner::run_pending(&mut self.bind(source), limit)
     }
 
     /// Runs pending shards — all, or up to `limit` — saving the checkpoint
     /// after every completed batch, so a kill loses at most one batch.
     /// `on_batch(completed, total)` fires after every save. The checkpoint
-    /// is (re)written even when nothing was pending.
+    /// is (re)written even when nothing was pending. The loop is
+    /// [`JobRunner::run_with_checkpoint`].
     ///
     /// # Errors
     ///
@@ -1067,19 +1042,9 @@ impl SampledIngest {
         source: &TraceSource,
         path: &Path,
         limit: Option<usize>,
-        mut on_batch: impl FnMut(usize, usize),
+        on_batch: impl FnMut(usize, usize),
     ) -> std::io::Result<usize> {
-        let mut ran = 0usize;
-        while !self.is_complete() && limit.is_none_or(|l| ran < l) {
-            let batch = self.threads.min(limit.map_or(usize::MAX, |l| l - ran));
-            ran += self.run_pending(source, Some(batch));
-            self.save(path)?;
-            on_batch(self.completed_count(), self.shard_count());
-        }
-        if ran == 0 {
-            self.save(path)?;
-        }
-        Ok(ran)
+        JobRunner::run_with_checkpoint(&mut self.bind(source), path, limit, on_batch)
     }
 
     /// The completed shards so far (in shard order).
@@ -1121,14 +1086,8 @@ impl SampledIngest {
     /// serialize byte-identically however they got there.
     #[must_use]
     pub fn to_json(&self) -> String {
-        let mut out = String::from("{\n");
-        let _ = writeln!(out, "  \"kind\": \"{SAMPLED_CHECKPOINT_KIND}\",");
-        let _ = writeln!(out, "  \"version\": {SAMPLED_CHECKPOINT_VERSION},");
-        let _ = writeln!(
-            out,
-            "  \"fingerprint\": \"{}\",",
-            jsonio::escape(&self.fingerprint)
-        );
+        let mut out = String::new();
+        job::write_checkpoint_header(&mut out, JobKind::SampledIngest, &self.fingerprint);
         let _ = writeln!(out, "  \"total_accesses\": {},", self.total);
         let _ = writeln!(out, "  \"shard_count\": {},", self.shard_count);
         let _ = writeln!(out, "  \"budget_per_shard\": {},", self.budget_per_shard);
@@ -1163,15 +1122,7 @@ impl SampledIngest {
     ///
     /// Returns a description of the first structural problem.
     pub fn from_json(text: &str, threads: usize) -> Result<SampledIngest, String> {
-        let doc = jsonio::parse(text)?;
-        let kind = doc.get("kind").and_then(JsonValue::as_str);
-        if kind != Some(SAMPLED_CHECKPOINT_KIND) {
-            return Err(format!("not a sampled-trace checkpoint (kind = {kind:?})"));
-        }
-        let version = doc.get("version").and_then(JsonValue::as_u64);
-        if version != Some(SAMPLED_CHECKPOINT_VERSION) {
-            return Err(format!("unsupported checkpoint version {version:?}"));
-        }
+        let doc = job::parse_checkpoint(text, JobKind::SampledIngest)?;
         let fingerprint = doc
             .get("fingerprint")
             .and_then(JsonValue::as_str)
@@ -1300,7 +1251,8 @@ impl SampledIngest {
         })
     }
 
-    /// Writes the checkpoint to `path` atomically (temp file + rename).
+    /// Writes the checkpoint to `path` atomically (temp file + rename) —
+    /// the shared [`crate::jsonio::save_atomic`] path every job uses.
     ///
     /// # Errors
     ///
@@ -1317,7 +1269,9 @@ impl SampledIngest {
     ///
     /// # Errors
     ///
-    /// Returns the source scan error.
+    /// Returns the source scan error, or a loud kind-mismatch error when
+    /// the file holds a checkpoint of a *different* job kind (see
+    /// [`crate::job::resume_or_new_with`]).
     pub fn resume_or_new(
         source: &TraceSource,
         shard_count: usize,
@@ -1328,30 +1282,108 @@ impl SampledIngest {
         let total = source
             .total_accesses()
             .map_err(|e| format!("cannot scan {source}: {e}"))?;
-        if let Ok(text) = std::fs::read_to_string(path) {
-            if let Ok(ingest) = SampledIngest::from_json(&text, threads) {
-                if ingest.fingerprint == source.fingerprint()
+        job::resume_or_new_with(
+            path,
+            JobKind::SampledIngest,
+            |text| SampledIngest::from_json(text, threads),
+            |ingest| {
+                ingest.fingerprint == source.fingerprint()
                     && ingest.total == total
                     && ingest.shard_count == shard_count
                     && ingest.budget_per_shard == budget_per_shard
                     && ingest.threshold == SHARDS_MODULUS
-                {
-                    let resumed = ingest.completed_count() > 0;
-                    return Ok((ingest, resumed));
-                }
+            },
+            SampledIngest::completed_count,
+            || {
+                Self::with_total(
+                    source,
+                    total,
+                    shard_count,
+                    budget_per_shard,
+                    SHARDS_MODULUS,
+                    threads,
+                )
+            },
+        )
+    }
+}
+
+/// A [`SampledIngest`] bound to its trace source: the [`Job`] the generic
+/// runner drives. One *span* of hash-shard units is one worker's single
+/// streaming pass over the source, routing each access to the owning
+/// shard among the span's estimators — the hash is computed once per
+/// worker pass while the timeline work splits `shard_count` ways.
+struct SampledIngestJob<'a> {
+    ingest: &'a mut SampledIngest,
+    source: &'a TraceSource,
+}
+
+impl Job for SampledIngestJob<'_> {
+    type Partial = SampledShardResult;
+
+    fn kind(&self) -> JobKind {
+        JobKind::SampledIngest
+    }
+
+    fn fingerprint(&self) -> String {
+        self.ingest.fingerprint.clone()
+    }
+
+    fn threads(&self) -> usize {
+        self.ingest.threads
+    }
+
+    fn unit_count(&self) -> usize {
+        self.ingest.shard_count
+    }
+
+    fn completed_count(&self) -> usize {
+        self.ingest.partials.len()
+    }
+
+    /// Completion is always a contiguous prefix (shards absorb in order),
+    /// so the pending list is the remaining suffix.
+    fn pending_units(&self) -> Vec<usize> {
+        (self.ingest.partials.len()..self.ingest.shard_count).collect()
+    }
+
+    fn run_span(&self, units: &[usize], out: &mut Vec<(usize, SampledShardResult)>) {
+        let (lo, hi) = (units[0] as u64, units[units.len() - 1] as u64 + 1);
+        debug_assert_eq!(hi - lo, units.len() as u64, "shard spans are contiguous");
+        let count = self.ingest.shard_count as u64;
+        let mut estimators: Vec<ShardsEstimator> = (lo..hi)
+            .map(|i| {
+                ShardsEstimator::for_shard(
+                    self.ingest.budget_per_shard,
+                    self.ingest.threshold,
+                    i,
+                    count,
+                )
+            })
+            .collect();
+        let stream = self.source.stream().expect("validated source streams");
+        for addr in stream {
+            let hash = splitmix64(addr) % SHARDS_MODULUS;
+            let shard = hash % count;
+            if shard >= lo && shard < hi {
+                estimators[(shard - lo) as usize].record_hashed(addr, hash);
             }
         }
-        Ok((
-            Self::with_total(
-                source,
-                total,
-                shard_count,
-                budget_per_shard,
-                SHARDS_MODULUS,
-                threads,
-            ),
-            false,
-        ))
+        for (offset, est) in estimators.iter().enumerate() {
+            out.push((
+                lo as usize + offset,
+                SampledShardResult::from_estimator(est),
+            ));
+        }
+    }
+
+    fn absorb(&mut self, unit: usize, partial: SampledShardResult) {
+        debug_assert_eq!(unit, self.ingest.partials.len(), "shards absorb in order");
+        self.ingest.partials.push(partial);
+    }
+
+    fn to_json(&self) -> String {
+        self.ingest.to_json()
     }
 }
 
@@ -1562,6 +1594,27 @@ impl TraceIngest {
         .collect()
     }
 
+    /// Binds the ingest to its (fingerprint-checked) source so the generic
+    /// [`JobRunner`] can drive it. The chunk plan is materialized once per
+    /// binding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source does not match the ingest's fingerprint.
+    fn bind<'a>(&'a mut self, source: &'a TraceSource) -> TraceIngestJob<'a> {
+        assert_eq!(
+            source.fingerprint(),
+            self.fingerprint,
+            "ingest resumed against a different trace source"
+        );
+        let bounds = self.chunk_bounds();
+        TraceIngestJob {
+            ingest: self,
+            source,
+            bounds,
+        }
+    }
+
     /// Runs up to `limit` pending chunks (all of them when `None`) in
     /// parallel batches of the configured thread count, absorbing partials
     /// in chunk order. Returns how many chunks were processed.
@@ -1571,55 +1624,14 @@ impl TraceIngest {
     /// Panics if the source no longer matches the ingest's fingerprint, or
     /// if it fails to stream (sources are validated by [`TraceIngest::new`]).
     pub fn run_pending(&mut self, source: &TraceSource, limit: Option<usize>) -> usize {
-        assert_eq!(
-            source.fingerprint(),
-            self.fingerprint,
-            "ingest resumed against a different trace source"
-        );
-        let bounds = self.chunk_bounds();
-        let mut ran = 0usize;
-        while !self.is_complete() && limit.is_none_or(|l| ran < l) {
-            let remaining = self.chunk_count - self.next_chunk;
-            let batch = remaining
-                .min(self.threads)
-                .min(limit.map_or(usize::MAX, |l| l - ran));
-            let first = self.next_chunk;
-            // Each worker folds a contiguous run of chunks into partials;
-            // concatenation (the merge) preserves chunk order, so the
-            // result is the ordered partial list regardless of threads.
-            let partials: Vec<(usize, ChunkPartial)> = parallel_reduce_chunked(
-                batch,
-                self.threads,
-                Vec::new,
-                |mut acc, span| {
-                    for offset in span.start..span.end {
-                        let (start, end) = bounds[first + offset];
-                        let stream = source
-                            .stream_range(start, end)
-                            .expect("validated source streams");
-                        acc.push((first + offset, chunk_partial(stream)));
-                    }
-                    acc
-                },
-                |mut a, b| {
-                    a.extend(b);
-                    a
-                },
-            );
-            debug_assert!(partials.windows(2).all(|w| w[0].0 < w[1].0));
-            for (_, partial) in &partials {
-                self.state.absorb(partial);
-            }
-            self.next_chunk += batch;
-            ran += batch;
-        }
-        ran
+        JobRunner::run_pending(&mut self.bind(source), limit)
     }
 
     /// Runs pending chunks — all, or up to `limit` — saving the checkpoint
     /// after every absorbed batch, so a kill loses at most one batch.
     /// `on_batch(completed, total)` fires after every save. The checkpoint
-    /// is (re)written even when nothing was pending.
+    /// is (re)written even when nothing was pending. The loop is
+    /// [`JobRunner::run_with_checkpoint`].
     ///
     /// # Errors
     ///
@@ -1629,19 +1641,9 @@ impl TraceIngest {
         source: &TraceSource,
         path: &Path,
         limit: Option<usize>,
-        mut on_batch: impl FnMut(usize, usize),
+        on_batch: impl FnMut(usize, usize),
     ) -> std::io::Result<usize> {
-        let mut ran = 0usize;
-        while !self.is_complete() && limit.is_none_or(|l| ran < l) {
-            let batch = self.threads.min(limit.map_or(usize::MAX, |l| l - ran));
-            ran += self.run_pending(source, Some(batch));
-            self.save(path)?;
-            on_batch(self.completed_count(), self.chunk_count());
-        }
-        if ran == 0 {
-            self.save(path)?;
-        }
-        Ok(ran)
+        JobRunner::run_with_checkpoint(&mut self.bind(source), path, limit, on_batch)
     }
 
     /// The merged histogram, or `None` while chunks are pending.
@@ -1668,14 +1670,8 @@ impl TraceIngest {
     /// state serialize byte-identically however they got there.
     #[must_use]
     pub fn to_json(&self) -> String {
-        let mut out = String::from("{\n");
-        let _ = writeln!(out, "  \"kind\": \"{CHECKPOINT_KIND}\",");
-        let _ = writeln!(out, "  \"version\": {CHECKPOINT_VERSION},");
-        let _ = writeln!(
-            out,
-            "  \"fingerprint\": \"{}\",",
-            jsonio::escape(&self.fingerprint)
-        );
+        let mut out = String::new();
+        job::write_checkpoint_header(&mut out, JobKind::TraceIngest, &self.fingerprint);
         let _ = writeln!(out, "  \"total_accesses\": {},", self.total);
         let _ = writeln!(out, "  \"chunk_count\": {},", self.chunk_count);
         let _ = writeln!(out, "  \"next_chunk\": {},", self.next_chunk);
@@ -1701,15 +1697,7 @@ impl TraceIngest {
     ///
     /// Returns a description of the first structural problem.
     pub fn from_json(text: &str, threads: usize) -> Result<TraceIngest, String> {
-        let doc = jsonio::parse(text)?;
-        let kind = doc.get("kind").and_then(JsonValue::as_str);
-        if kind != Some(CHECKPOINT_KIND) {
-            return Err(format!("not a trace-ingest checkpoint (kind = {kind:?})"));
-        }
-        let version = doc.get("version").and_then(JsonValue::as_u64);
-        if version != Some(CHECKPOINT_VERSION) {
-            return Err(format!("unsupported checkpoint version {version:?}"));
-        }
+        let doc = job::parse_checkpoint(text, JobKind::TraceIngest)?;
         let fingerprint = doc
             .get("fingerprint")
             .and_then(JsonValue::as_str)
@@ -1805,7 +1793,9 @@ impl TraceIngest {
     ///
     /// # Errors
     ///
-    /// Returns the source scan error.
+    /// Returns the source scan error, or a loud kind-mismatch error when
+    /// the file holds a checkpoint of a *different* job kind (see
+    /// [`crate::job::resume_or_new_with`]).
     pub fn resume_or_new(
         source: &TraceSource,
         chunk_count: usize,
@@ -1815,18 +1805,85 @@ impl TraceIngest {
         let total = source
             .total_accesses()
             .map_err(|e| format!("cannot scan {source}: {e}"))?;
-        if let Ok(text) = std::fs::read_to_string(path) {
-            if let Ok(ingest) = TraceIngest::from_json(&text, threads) {
-                if ingest.fingerprint == source.fingerprint()
+        job::resume_or_new_with(
+            path,
+            JobKind::TraceIngest,
+            |text| TraceIngest::from_json(text, threads),
+            |ingest| {
+                ingest.fingerprint == source.fingerprint()
                     && ingest.total == total
                     && ingest.chunk_count == Self::effective_chunk_count(chunk_count, total)
-                {
-                    let resumed = ingest.completed_count() > 0;
-                    return Ok((ingest, resumed));
-                }
-            }
+            },
+            TraceIngest::completed_count,
+            || Self::with_total(source, total, chunk_count, threads),
+        )
+    }
+}
+
+/// A [`TraceIngest`] bound to its trace source and materialized chunk
+/// plan: the [`Job`] the generic runner drives. One unit is one contiguous
+/// trace chunk; partials are PARDA-mergeable [`ChunkPartial`]s absorbed in
+/// chunk order into the [`MergeState`].
+struct TraceIngestJob<'a> {
+    ingest: &'a mut TraceIngest,
+    source: &'a TraceSource,
+    bounds: Vec<(u64, u64)>,
+}
+
+impl Job for TraceIngestJob<'_> {
+    type Partial = ChunkPartial;
+
+    fn kind(&self) -> JobKind {
+        JobKind::TraceIngest
+    }
+
+    fn fingerprint(&self) -> String {
+        self.ingest.fingerprint.clone()
+    }
+
+    fn threads(&self) -> usize {
+        self.ingest.threads
+    }
+
+    fn unit_count(&self) -> usize {
+        self.ingest.chunk_count
+    }
+
+    fn completed_count(&self) -> usize {
+        self.ingest.next_chunk
+    }
+
+    /// Completion is always a contiguous prefix (the merge state advances
+    /// chunk by chunk), so the pending list is the remaining suffix.
+    fn pending_units(&self) -> Vec<usize> {
+        (self.ingest.next_chunk..self.ingest.chunk_count).collect()
+    }
+
+    /// The merge state must absorb each pass before the next is planned,
+    /// so one pass takes at most one chunk per worker.
+    fn units_per_pass(&self, threads: usize) -> usize {
+        threads
+    }
+
+    fn run_span(&self, units: &[usize], out: &mut Vec<(usize, ChunkPartial)>) {
+        for &unit in units {
+            let (start, end) = self.bounds[unit];
+            let stream = self
+                .source
+                .stream_range(start, end)
+                .expect("validated source streams");
+            out.push((unit, chunk_partial(stream)));
         }
-        Ok((Self::with_total(source, total, chunk_count, threads), false))
+    }
+
+    fn absorb(&mut self, unit: usize, partial: ChunkPartial) {
+        debug_assert_eq!(unit, self.ingest.next_chunk, "chunks absorb in order");
+        self.ingest.state.absorb(&partial);
+        self.ingest.next_chunk += 1;
+    }
+
+    fn to_json(&self) -> String {
+        self.ingest.to_json()
     }
 }
 

@@ -1,0 +1,159 @@
+//! Property tests for the unified `core::job` runner: killing any of the
+//! four resumable pipelines at **every unit boundary** and resuming from
+//! the serialized checkpoint must reproduce the uninterrupted run's final
+//! checkpoint *byte-identically*.
+//!
+//! This is the load-bearing invariant of the whole job abstraction — unit
+//! plans are deterministic, partials are mergeable in unit order, and the
+//! checkpoint codec is canonical — pinned here across random plans for
+//! [`ShardedSweep`], [`SampledSweep`], [`TraceIngest`] and
+//! [`SampledIngest`].
+
+use proptest::prelude::*;
+use symloc_core::engine::SweepSpec;
+use symloc_core::model::CacheModel;
+use symloc_core::shard::{SampledSweep, ShardedSweep};
+use symloc_core::tracesweep::{SampledIngest, TraceIngest};
+use symloc_perm::statistics::Statistic;
+use symloc_trace::stream::{GenSpec, TraceSource};
+
+fn statistic_of(seed: u64) -> Statistic {
+    Statistic::ALL[(seed % Statistic::ALL.len() as u64) as usize]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn sharded_sweep_kill_resume_at_every_boundary(
+        m in 4usize..7,
+        shards in 1usize..6,
+        threads in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let spec = SweepSpec {
+            m,
+            statistic: statistic_of(seed),
+            model: CacheModel::LruStack,
+        };
+        let mut reference = ShardedSweep::new(spec, shards, threads);
+        reference.run_pending(None);
+        let reference_json = reference.to_json();
+
+        for kill_at in 0..reference.shard_count() {
+            let mut interrupted = ShardedSweep::new(spec, shards, threads);
+            prop_assert_eq!(interrupted.run_pending(Some(kill_at)), kill_at);
+            let checkpoint = interrupted.to_json();
+            // Resume with a *different* thread count: results must not
+            // depend on it.
+            let mut resumed = ShardedSweep::from_json(&checkpoint, threads % 3 + 1).unwrap();
+            prop_assert_eq!(resumed.completed_count(), kill_at);
+            resumed.run_pending(None);
+            prop_assert_eq!(
+                &resumed.to_json(),
+                &reference_json,
+                "kill at shard {}",
+                kill_at
+            );
+        }
+    }
+
+    #[test]
+    fn sampled_sweep_kill_resume_at_every_boundary(
+        m in 4usize..7,
+        budget in 20usize..120,
+        threads in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let spec = SweepSpec {
+            m,
+            statistic: statistic_of(seed),
+            model: CacheModel::LruStack,
+        };
+        let mut reference = SampledSweep::new(spec, budget, 2, seed, threads);
+        reference.run_pending(None);
+        let reference_json = reference.to_json();
+
+        for kill_at in 0..reference.level_count() {
+            let mut interrupted = SampledSweep::new(spec, budget, 2, seed, threads);
+            prop_assert_eq!(interrupted.run_pending(Some(kill_at)), kill_at);
+            let checkpoint = interrupted.to_json();
+            let mut resumed = SampledSweep::from_json(&checkpoint, threads % 3 + 1).unwrap();
+            prop_assert_eq!(resumed.completed_count(), kill_at);
+            resumed.run_pending(None);
+            prop_assert_eq!(
+                &resumed.to_json(),
+                &reference_json,
+                "kill at level {}",
+                kill_at
+            );
+        }
+    }
+
+    #[test]
+    fn trace_ingest_kill_resume_at_every_boundary(
+        m in 8u64..40,
+        epochs in 2u64..6,
+        chunks in 1usize..7,
+        threads in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let spec = match seed % 3 {
+            0 => format!("gen:cyclic:{m}:{epochs}"),
+            1 => format!("gen:sawtooth:{m}:{epochs}"),
+            _ => format!("gen:zipf:{m}:{len}:0.8:{s}", len = m * epochs, s = seed % 1000),
+        };
+        let source = TraceSource::Gen(GenSpec::parse(&spec).unwrap());
+        let mut reference = TraceIngest::new(&source, chunks, threads).unwrap();
+        reference.run_pending(&source, None);
+        let reference_json = reference.to_json();
+
+        for kill_at in 0..reference.chunk_count() {
+            let mut interrupted = TraceIngest::new(&source, chunks, threads).unwrap();
+            prop_assert_eq!(interrupted.run_pending(&source, Some(kill_at)), kill_at);
+            let checkpoint = interrupted.to_json();
+            let mut resumed = TraceIngest::from_json(&checkpoint, threads % 3 + 1).unwrap();
+            prop_assert_eq!(resumed.completed_count(), kill_at);
+            resumed.run_pending(&source, None);
+            prop_assert_eq!(
+                &resumed.to_json(),
+                &reference_json,
+                "{} kill at chunk {}",
+                &spec,
+                kill_at
+            );
+        }
+    }
+
+    #[test]
+    fn sampled_ingest_kill_resume_at_every_boundary(
+        m in 50u64..300,
+        shard_count in 1usize..6,
+        budget in 8usize..64,
+        threads in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let spec = format!("gen:zipf:{m}:{len}:0.9:{s}", len = m * 10, s = seed % 1000);
+        let source = TraceSource::Gen(GenSpec::parse(&spec).unwrap());
+        let mut reference = SampledIngest::new(&source, shard_count, budget, threads).unwrap();
+        reference.run_pending(&source, None);
+        let reference_json = reference.to_json();
+
+        for kill_at in 0..reference.shard_count() {
+            let mut interrupted =
+                SampledIngest::new(&source, shard_count, budget, threads).unwrap();
+            prop_assert_eq!(interrupted.run_pending(&source, Some(kill_at)), kill_at);
+            let checkpoint = interrupted.to_json();
+            let mut resumed = SampledIngest::from_json(&checkpoint, threads % 3 + 1).unwrap();
+            prop_assert_eq!(resumed.completed_count(), kill_at);
+            resumed.run_pending(&source, None);
+            prop_assert_eq!(
+                &resumed.to_json(),
+                &reference_json,
+                "{} kill at shard {}",
+                &spec,
+                kill_at
+            );
+        }
+    }
+}

@@ -204,6 +204,50 @@ pub struct SltrIndex {
 }
 
 impl SltrIndex {
+    /// Assembles an index from raw parts — the hook for indexers other
+    /// than [`SltrWriter`], such as the text-trace line indexer
+    /// ([`crate::stream::build_text_index`]). `offsets[k-1]` must be the
+    /// payload byte offset of access `k·interval`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval == 0`, the entry count does not match
+    /// `(total - 1) / interval`, or the offsets are not strictly
+    /// increasing within the payload — the same invariants
+    /// [`SltrIndex::from_bytes`] enforces on parse.
+    #[must_use]
+    pub fn from_parts(interval: u64, total: u64, payload_len: u64, offsets: Vec<u64>) -> Self {
+        assert!(interval > 0, "the index interval must be positive");
+        let expected = if total == 0 {
+            0
+        } else {
+            (total - 1) / interval
+        };
+        assert_eq!(
+            offsets.len() as u64,
+            expected,
+            "expected {expected} offsets for {total} accesses every {interval}"
+        );
+        let mut prev: Option<u64> = None;
+        for &offset in &offsets {
+            assert!(
+                prev.is_none_or(|p| offset > p),
+                "offsets must be strictly increasing"
+            );
+            assert!(
+                offset < payload_len,
+                "offset {offset} is outside the {payload_len}-byte payload"
+            );
+            prev = Some(offset);
+        }
+        SltrIndex {
+            interval,
+            total,
+            payload_len,
+            offsets,
+        }
+    }
+
     /// The indexing interval (accesses between stored offsets).
     #[must_use]
     pub fn interval(&self) -> u64 {
@@ -552,6 +596,9 @@ impl<W: Write> SltrWriter<W> {
 pub struct SltrReader<R: Read> {
     input: BufReader<R>,
     decoded: u64,
+    /// Payload bytes consumed by *this* reader (excludes the header, and
+    /// excludes anything before a [`SltrReader::resume`] position).
+    consumed: u64,
     failed: bool,
 }
 
@@ -577,6 +624,7 @@ impl<R: Read> SltrReader<R> {
         Ok(SltrReader {
             input,
             decoded: 0,
+            consumed: 0,
             failed: false,
         })
     }
@@ -591,6 +639,7 @@ impl<R: Read> SltrReader<R> {
         SltrReader {
             input: BufReader::new(inner),
             decoded: already_decoded,
+            consumed: 0,
             failed: false,
         }
     }
@@ -601,12 +650,23 @@ impl<R: Read> SltrReader<R> {
         self.decoded
     }
 
+    /// Payload bytes this reader has consumed so far — the byte offset of
+    /// the next access relative to where decoding started. What the
+    /// offline index builder ([`build_sltr_index`]) keys its offsets by.
+    #[must_use]
+    pub fn payload_bytes(&self) -> u64 {
+        self.consumed
+    }
+
     fn read_byte(&mut self) -> Result<Option<u8>, SltrError> {
         let mut byte = [0u8; 1];
         loop {
             return match self.input.read(&mut byte) {
                 Ok(0) => Ok(None),
-                Ok(_) => Ok(Some(byte[0])),
+                Ok(_) => {
+                    self.consumed += 1;
+                    Ok(Some(byte[0]))
+                }
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
                 Err(e) => Err(SltrError::Io(e)),
             };
@@ -755,6 +815,44 @@ pub fn count_sltr_accesses<P: AsRef<Path>>(path: P) -> Result<u64, SltrError> {
         item?;
     }
     Ok(reader.decoded())
+}
+
+/// Builds a chunk index over an *existing* `.sltr` file by streaming one
+/// decode pass (the writer-side path is [`SltrWriter::new_indexed`]; this
+/// is the `symloc trace index` path for files written without one). The
+/// caller persists it with [`SltrIndex::write`] at [`sltr_index_path`].
+///
+/// # Errors
+///
+/// Returns the first decode or I/O error.
+///
+/// # Panics
+///
+/// Panics if `interval == 0`.
+pub fn build_sltr_index<P: AsRef<Path>>(path: P, interval: u64) -> Result<SltrIndex, SltrError> {
+    assert!(interval > 0, "the index interval must be positive");
+    let mut reader = SltrReader::new(File::open(path)?)?;
+    let mut offsets = Vec::new();
+    let mut count = 0u64;
+    loop {
+        let before = reader.payload_bytes();
+        match reader.next() {
+            None => break,
+            Some(Err(e)) => return Err(e),
+            Some(Ok(_)) => {
+                if count > 0 && count.is_multiple_of(interval) {
+                    offsets.push(before);
+                }
+                count += 1;
+            }
+        }
+    }
+    Ok(SltrIndex::from_parts(
+        interval,
+        count,
+        reader.payload_bytes(),
+        offsets,
+    ))
 }
 
 #[cfg(test)]
@@ -1022,6 +1120,42 @@ mod tests {
             .check_matches_payload_only(index.payload_len())
             .is_ok());
         assert!(index.check_matches_payload_only(1).is_err());
+    }
+
+    #[test]
+    fn offline_index_builder_matches_the_writer_side_index() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(31);
+        let t = zipfian_trace(100_000, 2000, 0.9, &mut rng);
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!(
+            "symloc_binio_offline_index_{}.sltr",
+            std::process::id()
+        ));
+        for interval in [1u64, 64, 700] {
+            let written = write_sltr_indexed(&t, &path, interval).unwrap();
+            let rebuilt = build_sltr_index(&path, interval).unwrap();
+            assert_eq!(rebuilt, written, "interval={interval}");
+        }
+        assert!(build_sltr_index("/no/such/file.sltr", 64).is_err());
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(sltr_index_path(&path)).ok();
+    }
+
+    #[test]
+    fn from_parts_enforces_the_parse_invariants() {
+        let index = SltrIndex::from_parts(10, 25, 100, vec![40, 80]);
+        assert_eq!(SltrIndex::from_bytes(&index.to_bytes()).unwrap(), index);
+        assert_eq!(SltrIndex::from_parts(10, 0, 0, vec![]).entry_count(), 0);
+        for bad in [
+            std::panic::catch_unwind(|| SltrIndex::from_parts(0, 25, 100, vec![])),
+            std::panic::catch_unwind(|| SltrIndex::from_parts(10, 25, 100, vec![40])),
+            std::panic::catch_unwind(|| SltrIndex::from_parts(10, 25, 100, vec![80, 40])),
+            std::panic::catch_unwind(|| SltrIndex::from_parts(10, 25, 100, vec![40, 100])),
+        ] {
+            assert!(bad.is_err());
+        }
     }
 
     #[test]

@@ -412,6 +412,37 @@ impl TraceSource {
         }
     }
 
+    /// Reconstructs a source from a [`TraceSource::fingerprint`] string —
+    /// the dispatch `symloc job resume` uses to reopen the trace a
+    /// checkpoint was recorded against. Round-trips for every
+    /// reconstructible variant: `gen:` specs, `text:` and `sltr:` paths.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description for malformed fingerprints and
+    /// for `memory:` sources (which live only in the recording process).
+    pub fn from_fingerprint(fingerprint: &str) -> Result<TraceSource, String> {
+        if fingerprint.starts_with("gen:") {
+            return Ok(TraceSource::Gen(GenSpec::parse(fingerprint)?));
+        }
+        if let Some(path) = fingerprint.strip_prefix("text:") {
+            return Ok(TraceSource::Text(PathBuf::from(path)));
+        }
+        if let Some(path) = fingerprint.strip_prefix("sltr:") {
+            return Ok(TraceSource::Binary(PathBuf::from(path)));
+        }
+        if fingerprint.starts_with("memory:") {
+            return Err(
+                "in-memory trace sources cannot be reconstructed from a checkpoint; \
+                 re-run against the original file or generator spec"
+                    .to_string(),
+            );
+        }
+        Err(format!(
+            "unrecognized trace-source fingerprint {fingerprint:?}"
+        ))
+    }
+
     /// A stable one-line identity of the source, embedded in ingest
     /// checkpoints so a resume can tell whether the checkpoint belongs to
     /// the trace it is about to process. File fingerprints are *path*-based
@@ -447,6 +478,11 @@ impl TraceSource {
             TraceSource::Text(path) => {
                 let mut count = 0u64;
                 for_each_text_access(path, &mut |_| count += 1)?;
+                let sidecar = sltr_index_path(path);
+                if sidecar.exists() {
+                    let index = SltrIndex::read(&sidecar)?;
+                    index.check_matches(count, std::fs::metadata(path)?.len())?;
+                }
                 Ok(count)
             }
             TraceSource::Binary(path) => {
@@ -486,18 +522,19 @@ impl TraceSource {
         let take = end.saturating_sub(start);
         match self {
             TraceSource::Text(path) => {
+                // With a valid line-offset sidecar index the range starts
+                // with a seek to an access's line start (decode-skipping at
+                // most `interval - 1` lines); without one, fall back to
+                // parse-skipping the whole prefix. Both paths yield
+                // identical accesses.
+                if let Some(iter) = text_seek_range(path, start, take)? {
+                    return Ok(iter);
+                }
                 let file = File::open(path)?;
                 let iter = BufReader::new(file)
                     .lines()
                     .map(|line| line.expect("trace file readable"))
-                    .filter_map(|line| {
-                        let text = line.trim().to_string();
-                        if text.is_empty() || text.starts_with('#') {
-                            None
-                        } else {
-                            Some(text.parse::<u64>().expect("validated trace line"))
-                        }
-                    })
+                    .filter_map(|line| text_access_of_line(&line))
                     .skip(usize::try_from(start).unwrap_or(usize::MAX))
                     .take(usize::try_from(take).unwrap_or(usize::MAX));
                 Ok(Box::new(iter))
@@ -569,6 +606,98 @@ fn sltr_seek_range(path: &Path, start: u64, take: u64) -> Result<Option<AccessIt
         .skip(usize::try_from(skip).unwrap_or(usize::MAX))
         .take(usize::try_from(take).unwrap_or(usize::MAX));
     Ok(Some(Box::new(iter)))
+}
+
+/// Parses one line of a text trace into its access, skipping comments and
+/// blank lines. Panics on malformed content — callers validate sources
+/// with [`TraceSource::total_accesses`] before streaming.
+fn text_access_of_line(line: &str) -> Option<u64> {
+    let text = line.trim();
+    if text.is_empty() || text.starts_with('#') {
+        None
+    } else {
+        Some(text.parse::<u64>().expect("validated trace line"))
+    }
+}
+
+/// Opens a seek-positioned range over an indexed text trace, or `None`
+/// when no applicable sidecar index is available (missing, corrupt, or
+/// describing a different file length — [`TraceSource::total_accesses`]
+/// already reported those loudly; by streaming time the fallback is
+/// parse-skip). The text counterpart of [`sltr_seek_range`]: offsets index
+/// the byte position of the *line* starting every `interval`-th access,
+/// with the whole file as the payload.
+///
+/// # Errors
+///
+/// Returns the error of opening or seeking the trace file itself.
+fn text_seek_range(path: &Path, start: u64, take: u64) -> Result<Option<AccessIter>, TraceIoError> {
+    use std::io::{Seek, SeekFrom};
+    let Ok(index) = SltrIndex::read(sltr_index_path(path)) else {
+        return Ok(None);
+    };
+    let mut file = File::open(path)?;
+    if index
+        .check_matches_payload_only(file.metadata()?.len())
+        .is_err()
+    {
+        return Ok(None);
+    }
+    let (offset, skip) = index.seek_hint(start);
+    file.seek(SeekFrom::Start(offset))?;
+    let iter = BufReader::new(file)
+        .lines()
+        .map(|line| line.expect("trace file readable"))
+        .filter_map(|line| text_access_of_line(&line))
+        .skip(usize::try_from(skip).unwrap_or(usize::MAX))
+        .take(usize::try_from(take).unwrap_or(usize::MAX));
+    Ok(Some(Box::new(iter)))
+}
+
+/// Builds a line-offset chunk index over a text trace file: the same
+/// `SLIX` sidecar shape as `.sltr` indexes ([`SltrIndex`]), with the whole
+/// file as the payload and entry `k` holding the byte offset of the line
+/// that starts access `k·interval` (comment and blank lines do not count
+/// as accesses but do count bytes). Written to [`sltr_index_path`], it
+/// makes [`TraceSource::stream_range`] *seek* on text sources — the same
+/// sharded-ingest speedup binary traces got in PR 4.
+///
+/// # Errors
+///
+/// Returns the first read or parse error of the trace file.
+///
+/// # Panics
+///
+/// Panics if `interval == 0`.
+pub fn build_text_index(path: &Path, interval: u64) -> Result<SltrIndex, TraceIoError> {
+    use std::io::BufRead as _;
+    assert!(interval > 0, "the index interval must be positive");
+    let mut reader = BufReader::new(File::open(path)?);
+    let mut line = String::new();
+    let mut offsets = Vec::new();
+    let (mut count, mut pos) = (0u64, 0u64);
+    let mut lineno = 0usize;
+    loop {
+        line.clear();
+        let bytes = reader.read_line(&mut line)?;
+        if bytes == 0 {
+            break;
+        }
+        lineno += 1;
+        let text = line.trim();
+        if !text.is_empty() && !text.starts_with('#') {
+            let _: u64 = text.parse().map_err(|_| TraceIoError::Parse {
+                line: lineno,
+                text: text.to_string(),
+            })?;
+            if count > 0 && count.is_multiple_of(interval) {
+                offsets.push(pos);
+            }
+            count += 1;
+        }
+        pos += bytes as u64;
+    }
+    Ok(SltrIndex::from_parts(interval, count, pos, offsets))
 }
 
 /// True when the file starts with the `SLTR` magic (best-effort sniff).
@@ -836,6 +965,133 @@ mod tests {
         // Removing the sidecar restores plain decode-skip behavior.
         std::fs::remove_file(&sidecar).ok();
         assert_eq!(source.total_accesses().unwrap(), 300);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn from_fingerprint_round_trips_reconstructible_sources() {
+        for fp in ["gen:cyclic:5:3", "gen:zipf:20:100:0.9:12"] {
+            let source = TraceSource::from_fingerprint(fp).unwrap();
+            assert_eq!(source.fingerprint(), fp);
+        }
+        let text = TraceSource::from_fingerprint("text:/tmp/a.trace").unwrap();
+        assert!(matches!(text, TraceSource::Text(_)));
+        assert_eq!(text.fingerprint(), "text:/tmp/a.trace");
+        let bin = TraceSource::from_fingerprint("sltr:/tmp/a.sltr").unwrap();
+        assert!(matches!(bin, TraceSource::Binary(_)));
+        assert_eq!(bin.fingerprint(), "sltr:/tmp/a.sltr");
+        let err = TraceSource::from_fingerprint("memory:8:0123456789abcdef").unwrap_err();
+        assert!(err.contains("in-memory"), "{err}");
+        assert!(TraceSource::from_fingerprint("gen:bogus:1").is_err());
+        assert!(TraceSource::from_fingerprint("???").is_err());
+    }
+
+    #[test]
+    fn indexed_text_ranges_equal_parse_skip_ranges() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(91);
+        let t = zipfian_trace(10_000, 1500, 0.8, &mut rng);
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!(
+            "symloc_stream_text_index_{}.trace",
+            std::process::id()
+        ));
+        let sidecar = sltr_index_path(&path);
+        write_trace(&t, &path).unwrap();
+        let source = TraceSource::Text(path.clone());
+        let plain: Vec<Vec<u64>> = [
+            (0u64, 1500u64),
+            (0, 17),
+            (63, 65),
+            (64, 256),
+            (1100, 1200),
+            (1499, 5000),
+            (1500, 1500),
+        ]
+        .iter()
+        .map(|&(a, b)| source.stream_range(a, b).unwrap().collect())
+        .collect();
+        // Build and write the line-offset index; ranges must now seek and
+        // still yield identical accesses, and validation must pass.
+        let index = build_text_index(&path, 64).unwrap();
+        assert_eq!(index.interval(), 64);
+        assert_eq!(index.total_accesses(), 1500);
+        index.write(&sidecar).unwrap();
+        assert_eq!(source.total_accesses().unwrap(), 1500);
+        for (i, &(a, b)) in [
+            (0u64, 1500u64),
+            (0, 17),
+            (63, 65),
+            (64, 256),
+            (1100, 1200),
+            (1499, 5000),
+            (1500, 1500),
+        ]
+        .iter()
+        .enumerate()
+        {
+            let via_seek: Vec<u64> = source.stream_range(a, b).unwrap().collect();
+            assert_eq!(via_seek, plain[i], "range {a}..{b}");
+        }
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&sidecar).ok();
+    }
+
+    #[test]
+    fn text_index_counts_accesses_not_comment_lines() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!(
+            "symloc_stream_text_comments_{}.trace",
+            std::process::id()
+        ));
+        let sidecar = sltr_index_path(&path);
+        std::fs::write(&path, "# header\n10\n11\n\n# middle\n12\n13\n14\n").unwrap();
+        let index = build_text_index(&path, 2).unwrap();
+        assert_eq!(index.total_accesses(), 5);
+        assert_eq!(index.entry_count(), 2);
+        index.write(&sidecar).unwrap();
+        let source = TraceSource::Text(path.clone());
+        assert_eq!(source.total_accesses().unwrap(), 5);
+        let got: Vec<u64> = source.stream_range(2, 5).unwrap().collect();
+        assert_eq!(got, vec![12, 13, 14]);
+        // Malformed content is a parse error with its line number.
+        std::fs::write(&path, "0\nnope\n").unwrap();
+        assert!(build_text_index(&path, 2).is_err());
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&sidecar).ok();
+    }
+
+    #[test]
+    fn stale_text_indexes_fail_validation_and_fall_back() {
+        let t = sawtooth_trace(20, 10);
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!(
+            "symloc_stream_text_stale_{}.trace",
+            std::process::id()
+        ));
+        let sidecar = sltr_index_path(&path);
+        write_trace(&t, &path).unwrap();
+        build_text_index(&path, 32)
+            .unwrap()
+            .write(&sidecar)
+            .unwrap();
+        let source = TraceSource::Text(path.clone());
+        assert_eq!(source.total_accesses().unwrap(), 200);
+
+        // Replace the trace but keep the old index: validation must error,
+        // and streaming must fall back to parse-skip of the true content.
+        write_trace(&sawtooth_trace(20, 5), &path).unwrap();
+        let err = source.total_accesses().unwrap_err();
+        assert!(err.to_string().contains("stale"), "{err}");
+        let got: Vec<u64> = source.stream_range(0, 5).unwrap().collect();
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+
+        // A corrupt sidecar is a loud validation error too.
+        std::fs::write(&sidecar, b"garbage").unwrap();
+        assert!(source.total_accesses().is_err());
+        std::fs::remove_file(&sidecar).ok();
+        assert_eq!(source.total_accesses().unwrap(), 100);
         std::fs::remove_file(&path).ok();
     }
 

@@ -1,0 +1,351 @@
+//! The original one-shot commands: `analyze`, `retraversal`, `generate`
+//! and `optimize`.
+
+use super::flags::CommandSpec;
+use super::CliError;
+use std::fmt::Write as _;
+
+use symloc_cache::footprint::average_footprint;
+use symloc_cache::mrc::MissRatioCurve;
+use symloc_cache::reuse::reuse_profile;
+use symloc_core::chainfind::ChainFindConfig;
+use symloc_core::feasibility::PrecedenceDag;
+use symloc_core::hits::{hit_vector_with_scratch, mrc_with_scratch, AnalysisScratch};
+use symloc_core::optimize::{best_feasible_exhaustive, optimize_from_identity};
+use symloc_core::retraversal::ReTraversal;
+use symloc_core::theorems::theorem2_holds;
+use symloc_perm::inversions::{inversions, max_inversions};
+use symloc_trace::generators::{cyclic_trace, random_trace, sawtooth_trace};
+use symloc_trace::io::{read_trace, write_trace};
+use symloc_trace::stats::trace_stats;
+use symloc_trace::Trace;
+
+/// `symloc analyze` command table.
+pub(crate) const ANALYZE: CommandSpec = CommandSpec {
+    name: "analyze",
+    summary: "generic locality report of any trace file",
+    usage: "symloc analyze <trace-file>",
+    positionals: &[("trace-file", "a plain-text trace (one address per line)")],
+    variadic: false,
+    flags: &[],
+};
+
+/// `symloc retraversal` command table.
+pub(crate) const RETRAVERSAL: CommandSpec = CommandSpec {
+    name: "retraversal",
+    summary: "interpret a trace as a re-traversal T = A σ(A)",
+    usage: "symloc retraversal <trace-file>",
+    positionals: &[("trace-file", "a plain-text trace (one address per line)")],
+    variadic: false,
+    flags: &[],
+};
+
+/// `symloc generate` command table.
+pub(crate) const GENERATE: CommandSpec = CommandSpec {
+    name: "generate",
+    summary: "emit a synthetic trace",
+    usage: "symloc generate <cyclic|sawtooth|random> <m> <epochs> [out-file]",
+    positionals: &[
+        ("kind", "cyclic, sawtooth or random"),
+        ("m", "number of distinct addresses"),
+        ("epochs", "number of traversals"),
+        ("out-file", "optional output path (inline report otherwise)"),
+    ],
+    variadic: false,
+    flags: &[],
+};
+
+/// `symloc optimize` command table.
+pub(crate) const OPTIMIZE: CommandSpec = CommandSpec {
+    name: "optimize",
+    summary: "best feasible re-traversal order under precedence constraints",
+    usage: "symloc optimize <m> [a<b ...]",
+    positionals: &[
+        ("m", "number of elements"),
+        (
+            "a<b",
+            "zero or more precedence constraints (0-based indices)",
+        ),
+    ],
+    variadic: true,
+    flags: &[],
+};
+
+/// `symloc analyze <trace-file>` — generic locality report of any trace.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] if the file cannot be read or parsed.
+pub fn analyze_file(path: &str) -> Result<String, CliError> {
+    let trace = read_trace(path).map_err(|e| CliError(format!("cannot read trace {path}: {e}")))?;
+    Ok(analyze_trace(&trace))
+}
+
+/// Locality report of an in-memory trace (the body of `symloc analyze`).
+#[must_use]
+pub fn analyze_trace(trace: &Trace) -> String {
+    let mut out = String::new();
+    let stats = trace_stats(trace);
+    let _ = writeln!(out, "accesses            : {}", stats.accesses);
+    let _ = writeln!(out, "footprint           : {}", stats.footprint);
+    let _ = writeln!(out, "mean access frequency: {:.3}", stats.mean_frequency);
+    match stats.mean_reuse_interval {
+        Some(ri) => {
+            let _ = writeln!(out, "mean reuse interval : {ri:.2}");
+        }
+        None => {
+            let _ = writeln!(out, "mean reuse interval : (no reuse)");
+        }
+    }
+    if trace.is_empty() {
+        return out;
+    }
+    let profile = reuse_profile(trace);
+    let curve = MissRatioCurve::from_profile(&profile);
+    let m = profile.footprint();
+    let _ = writeln!(
+        out,
+        "total reuse distance: {}",
+        profile.histogram().total_finite_distance()
+    );
+    let _ = writeln!(out, "normalized MRC area : {:.4}", curve.normalized_area());
+    let _ = writeln!(out, "cache-size sweep (fully associative LRU):");
+    let mut sizes: Vec<usize> = vec![1, m / 8, m / 4, m / 2, (3 * m) / 4, m];
+    sizes.retain(|&c| c >= 1);
+    sizes.dedup();
+    for c in sizes {
+        let _ = writeln!(
+            out,
+            "  c = {c:>8}  miss ratio {:.4}  avg footprint(window={c}) {:.2}",
+            profile.miss_ratio(c),
+            average_footprint(trace, c.min(trace.len()))
+        );
+    }
+    out
+}
+
+/// `symloc retraversal <trace-file>` — interpret the trace as `T = A σ(A)`.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] if the file cannot be read or is not a re-traversal.
+pub fn retraversal_file(path: &str) -> Result<String, CliError> {
+    let trace = read_trace(path).map_err(|e| CliError(format!("cannot read trace {path}: {e}")))?;
+    retraversal_trace_report(&trace)
+}
+
+/// Re-traversal report of an in-memory trace (the body of `symloc retraversal`).
+///
+/// # Errors
+///
+/// Returns a [`CliError`] if the trace is not a re-traversal.
+pub fn retraversal_trace_report(trace: &Trace) -> Result<String, CliError> {
+    let rt =
+        ReTraversal::from_trace(trace).map_err(|e| CliError(format!("not a re-traversal: {e}")))?;
+    let sigma = rt.sigma();
+    let m = rt.degree();
+    // One workspace for the hit vector and the curve.
+    let mut scratch = AnalysisScratch::new(m);
+    let mut out = String::new();
+    let _ = writeln!(out, "re-traversal of m = {m} elements");
+    let _ = writeln!(out, "sigma (1-based)     : {sigma}");
+    let _ = writeln!(
+        out,
+        "inversions l(sigma) : {} of max {}",
+        inversions(sigma),
+        max_inversions(m)
+    );
+    let _ = writeln!(
+        out,
+        "hit vector hits_C   : {:?}",
+        hit_vector_with_scratch(sigma, &mut scratch)
+    );
+    let _ = writeln!(out, "Theorem 2 check     : {}", theorem2_holds(sigma));
+    let curve = mrc_with_scratch(sigma, &mut scratch);
+    let _ = writeln!(
+        out,
+        "miss ratio at m/2   : {:.4}",
+        curve.miss_ratio(m.max(2) / 2)
+    );
+    let _ = writeln!(out, "miss ratio at m     : {:.4}", curve.miss_ratio(m));
+    let better = max_inversions(m).saturating_sub(inversions(sigma));
+    let _ = writeln!(
+        out,
+        "headroom            : {better} more inversions available toward the sawtooth order"
+    );
+    Ok(out)
+}
+
+/// `symloc generate <kind> <m> <epochs> [out-file]`.
+///
+/// With an output path the trace is written there and the report says so;
+/// without one the report includes the trace inline (careful with large m).
+///
+/// # Errors
+///
+/// Returns a [`CliError`] on an unknown kind, bad numbers, or write failure.
+pub fn generate(
+    kind: &str,
+    m: usize,
+    epochs: usize,
+    out: Option<&str>,
+) -> Result<String, CliError> {
+    if m == 0 || epochs == 0 {
+        return Err(CliError("m and epochs must be positive".to_string()));
+    }
+    let trace = match kind {
+        "cyclic" => cyclic_trace(m, epochs),
+        "sawtooth" => sawtooth_trace(m, epochs),
+        "random" => {
+            use rand::rngs::StdRng;
+            use rand::SeedableRng;
+            let mut rng = StdRng::seed_from_u64(0xD1CE);
+            random_trace(m, m * epochs, &mut rng)
+        }
+        other => {
+            return Err(CliError(format!(
+                "unknown trace kind {other:?} (expected cyclic, sawtooth or random)"
+            )))
+        }
+    };
+    let mut report = format!(
+        "generated {kind} trace: {} accesses over {} addresses\n",
+        trace.len(),
+        trace.distinct_count()
+    );
+    match out {
+        Some(path) => {
+            write_trace(&trace, path).map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
+            let _ = writeln!(report, "wrote {path}");
+        }
+        None => {
+            let _ = writeln!(report, "{trace}");
+        }
+    }
+    Ok(report)
+}
+
+/// `symloc optimize <m> [a<b ...]` — best feasible re-traversal order under
+/// precedence constraints written as `a<b` (0-based element indices).
+///
+/// # Errors
+///
+/// Returns a [`CliError`] on malformed or inconsistent constraints.
+pub fn optimize(m: usize, constraints: &[String]) -> Result<String, CliError> {
+    if m == 0 {
+        return Err(CliError("m must be positive".to_string()));
+    }
+    let mut dag = PrecedenceDag::unconstrained(m);
+    for spec in constraints {
+        let Some((a, b)) = spec.split_once('<') else {
+            return Err(CliError(format!(
+                "malformed constraint {spec:?} (expected the form a<b)"
+            )));
+        };
+        let a: usize = a
+            .trim()
+            .parse()
+            .map_err(|_| CliError(format!("{a:?} is not an element index")))?;
+        let b: usize = b
+            .trim()
+            .parse()
+            .map_err(|_| CliError(format!("{b:?} is not an element index")))?;
+        dag.require_before(a, b)
+            .map_err(|e| CliError(format!("cannot add constraint {spec}: {e}")))?;
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "elements: {m}   constraints: {}",
+        dag.constraint_count()
+    );
+    // The greedy climb starts from the identity (the program's original
+    // order); when the constraints themselves forbid that order, fall back to
+    // the exhaustive search alone (small m) or report the situation.
+    match optimize_from_identity(&dag, ChainFindConfig::default()) {
+        Ok((greedy, chain)) => {
+            let _ = writeln!(out, "greedy (ChainFind) order : {}", greedy.sigma);
+            let _ = writeln!(
+                out,
+                "  inversions {} of max {}   covers taken {}   tied choices {}",
+                greedy.inversions,
+                max_inversions(m),
+                chain.len(),
+                chain.arbitrary_choices
+            );
+        }
+        Err(e) => {
+            let _ = writeln!(
+                out,
+                "greedy (ChainFind) order : unavailable ({e}); constraints contradict the original order"
+            );
+        }
+    }
+    if m <= 9 {
+        let exact = best_feasible_exhaustive(&dag)
+            .map_err(|e| CliError(format!("exhaustive search failed: {e}")))?;
+        let _ = writeln!(out, "exhaustive optimum       : {}", exact.sigma);
+        let _ = writeln!(
+            out,
+            "  inversions {} of max {}",
+            exact.inversions,
+            max_inversions(m)
+        );
+    } else {
+        let _ = writeln!(out, "(exhaustive check skipped for m > 9)");
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symloc_perm::Permutation;
+    use symloc_trace::generators::retraversal_trace;
+
+    #[test]
+    fn analyze_trace_report_contents() {
+        let report = analyze_trace(&sawtooth_trace(8, 4));
+        assert!(report.contains("accesses            : 32"));
+        assert!(report.contains("footprint           : 8"));
+        assert!(report.contains("miss ratio"));
+        let empty = analyze_trace(&Trace::new());
+        assert!(empty.contains("accesses            : 0"));
+        assert!(empty.contains("(no reuse)"));
+    }
+
+    #[test]
+    fn retraversal_report_for_valid_and_invalid_traces() {
+        let sigma = Permutation::from_one_based(vec![2, 1, 3, 4]).unwrap();
+        let report = retraversal_trace_report(&retraversal_trace(&sigma)).unwrap();
+        assert!(report.contains("m = 4"));
+        assert!(report.contains("[2 1 3 4]"));
+        assert!(report.contains("Theorem 2 check     : true"));
+        let err = retraversal_trace_report(&Trace::from_usizes(&[0, 0, 1, 1])).unwrap_err();
+        assert!(err.to_string().contains("not a re-traversal"));
+    }
+
+    #[test]
+    fn generate_inline_and_rejections() {
+        let inline = generate("sawtooth", 4, 2, None).unwrap();
+        assert!(inline.contains("8 accesses over 4 addresses"));
+        assert!(inline.contains("0 1 2 3 3 2 1 0"));
+        assert!(generate("bogus", 4, 2, None).is_err());
+        assert!(generate("cyclic", 0, 2, None).is_err());
+    }
+
+    #[test]
+    fn optimize_with_and_without_constraints() {
+        let free = optimize(5, &[]).unwrap();
+        assert!(free.contains("[5 4 3 2 1]"));
+        let constrained = optimize(5, &["0<1".to_string(), "2<4".to_string()]).unwrap();
+        assert!(constrained.contains("constraints: 2"));
+        assert!(constrained.contains("exhaustive optimum"));
+        assert!(optimize(0, &[]).is_err());
+        assert!(optimize(4, &["nonsense".to_string()]).is_err());
+        assert!(optimize(4, &["1<99".to_string()]).is_err());
+        assert!(optimize(4, &["3<x".to_string()]).is_err());
+        let big = optimize(12, &["0<1".to_string()]).unwrap();
+        assert!(big.contains("exhaustive check skipped"));
+    }
+}

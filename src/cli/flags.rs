@@ -1,0 +1,322 @@
+//! The declarative flag layer: every `symloc` command is a
+//! [`CommandSpec`] table — positionals plus [`FlagSpec`] rows — parsed by
+//! one shared parser.
+//!
+//! The table is the single source of truth per command: it drives parsing
+//! (including "needs a value" / "must be a number" / unknown-flag errors,
+//! worded identically across commands), the generated `--help` text, and
+//! the uniform handling of the shared flags ([`THREADS`], [`SEED`],
+//! [`CHECKPOINT`], [`JSON`]) that used to be re-implemented per
+//! subcommand.
+
+use super::CliError;
+
+/// Whether a flag consumes a value or is a bare switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FlagArity {
+    /// `--flag <PLACEHOLDER>`: consumes the next argument.
+    Value(&'static str),
+    /// `--flag`: consumes nothing.
+    Switch,
+}
+
+/// One flag row of a command table.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct FlagSpec {
+    /// The flag as typed, e.g. `--threads`.
+    pub name: &'static str,
+    /// Value or switch.
+    pub arity: FlagArity,
+    /// One-line help text.
+    pub help: &'static str,
+}
+
+impl FlagSpec {
+    /// A value-consuming flag row.
+    pub(crate) const fn value(
+        name: &'static str,
+        placeholder: &'static str,
+        help: &'static str,
+    ) -> Self {
+        FlagSpec {
+            name,
+            arity: FlagArity::Value(placeholder),
+            help,
+        }
+    }
+
+    /// A bare-switch flag row.
+    pub(crate) const fn switch(name: &'static str, help: &'static str) -> Self {
+        FlagSpec {
+            name,
+            arity: FlagArity::Switch,
+            help,
+        }
+    }
+}
+
+/// `--threads N` — shared by every parallel command.
+pub(crate) const THREADS: FlagSpec = FlagSpec::value(
+    "--threads",
+    "N",
+    "worker threads (default: all hardware threads)",
+);
+
+/// `--seed S` — shared by every sampled command.
+pub(crate) const SEED: FlagSpec =
+    FlagSpec::value("--seed", "S", "RNG seed for sampled runs (default 42)");
+
+/// `--checkpoint FILE` — shared by every resumable command.
+pub(crate) const CHECKPOINT: FlagSpec = FlagSpec::value(
+    "--checkpoint",
+    "FILE",
+    "checkpoint file enabling killable/resumable execution",
+);
+
+/// `--json` — shared machine-readable output switch.
+pub(crate) const JSON: FlagSpec = FlagSpec::switch("--json", "emit a machine-readable JSON report");
+
+/// One command's declarative description: its name, summary, positional
+/// parameters and flag table.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CommandSpec {
+    /// The full command name as typed, e.g. `trace mrc`.
+    pub name: &'static str,
+    /// One-line summary for the help header.
+    pub summary: &'static str,
+    /// The usage line (positionals spelled out).
+    pub usage: &'static str,
+    /// `(name, help)` rows for the positional parameters.
+    pub positionals: &'static [(&'static str, &'static str)],
+    /// Accept more positionals than listed (e.g. `optimize`'s constraint
+    /// list).
+    pub variadic: bool,
+    /// The flag table.
+    pub flags: &'static [FlagSpec],
+}
+
+/// The outcome of parsing a command's argument list against its table.
+#[derive(Debug, Clone)]
+pub(crate) struct ParsedArgs {
+    /// Positional arguments in order.
+    pub positionals: Vec<String>,
+    values: Vec<(&'static str, String)>,
+    switches: Vec<&'static str>,
+}
+
+impl CommandSpec {
+    /// Parses `args` against the table. `Ok(None)` means `--help` was
+    /// requested — the caller prints [`CommandSpec::help`].
+    pub(crate) fn parse(&self, args: &[String]) -> Result<Option<ParsedArgs>, CliError> {
+        if super::help_requested(args) {
+            return Ok(None);
+        }
+        let mut parsed = ParsedArgs {
+            positionals: Vec::new(),
+            values: Vec::new(),
+            switches: Vec::new(),
+        };
+        let mut i = 0usize;
+        while i < args.len() {
+            let arg = args[i].as_str();
+            if let Some(flag) = self.flags.iter().find(|f| f.name == arg) {
+                match flag.arity {
+                    FlagArity::Switch => {
+                        parsed.switches.push(flag.name);
+                        i += 1;
+                    }
+                    FlagArity::Value(_) => {
+                        let value = args
+                            .get(i + 1)
+                            .ok_or_else(|| CliError(format!("{} needs a value", flag.name)))?;
+                        parsed.values.push((flag.name, value.clone()));
+                        i += 2;
+                    }
+                }
+            } else if arg.starts_with("--") {
+                return Err(CliError(format!(
+                    "unknown {} flag {arg:?} (try `symloc {} --help`)",
+                    self.name, self.name
+                )));
+            } else {
+                if !self.variadic && parsed.positionals.len() >= self.positionals.len() {
+                    return Err(CliError(format!(
+                        "unexpected argument {arg:?} (try `symloc {} --help`)",
+                        self.name
+                    )));
+                }
+                parsed.positionals.push(arg.to_string());
+                i += 1;
+            }
+        }
+        Ok(Some(parsed))
+    }
+
+    /// The generated help text: summary, usage, positionals, flag table.
+    pub(crate) fn help(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "symloc {} — {}", self.name, self.summary);
+        let _ = writeln!(out, "\nUSAGE:\n  {}", self.usage);
+        if !self.positionals.is_empty() {
+            let _ = writeln!(out, "\nARGS:");
+            let width = self
+                .positionals
+                .iter()
+                .map(|(n, _)| n.len())
+                .max()
+                .unwrap_or(0);
+            for (name, help) in self.positionals {
+                let _ = writeln!(out, "  <{name}>{:w$}  {help}", "", w = width - name.len());
+            }
+        }
+        if !self.flags.is_empty() {
+            let _ = writeln!(out, "\nFLAGS:");
+            let rendered: Vec<(String, &str)> = self
+                .flags
+                .iter()
+                .map(|f| {
+                    let lhs = match f.arity {
+                        FlagArity::Value(ph) => format!("{} <{ph}>", f.name),
+                        FlagArity::Switch => f.name.to_string(),
+                    };
+                    (lhs, f.help)
+                })
+                .collect();
+            let width = rendered.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+            for (lhs, help) in rendered {
+                let _ = writeln!(out, "  {lhs:width$}  {help}");
+            }
+        }
+        out
+    }
+}
+
+impl ParsedArgs {
+    /// The raw value of a value flag, if present.
+    pub(crate) fn value(&self, name: &str) -> Option<&str> {
+        self.values
+            .iter()
+            .rev()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// True when a switch flag was given.
+    pub(crate) fn switch(&self, name: &str) -> bool {
+        self.switches.contains(&name)
+    }
+
+    /// A value flag parsed as `usize`.
+    ///
+    /// # Errors
+    ///
+    /// `"<flag> must be a number"` when present but unparseable.
+    pub(crate) fn usize(&self, name: &str) -> Result<Option<usize>, CliError> {
+        self.value(name)
+            .map(|v| {
+                v.parse()
+                    .map_err(|_| CliError(format!("{name} must be a number")))
+            })
+            .transpose()
+    }
+
+    /// A value flag parsed as `u64`.
+    ///
+    /// # Errors
+    ///
+    /// `"<flag> must be a number"` when present but unparseable.
+    pub(crate) fn u64(&self, name: &str) -> Result<Option<u64>, CliError> {
+        self.value(name)
+            .map(|v| {
+                v.parse()
+                    .map_err(|_| CliError(format!("{name} must be a number")))
+            })
+            .transpose()
+    }
+
+    /// The `idx`-th positional, or `"<command> needs <what>"`.
+    ///
+    /// # Errors
+    ///
+    /// See above.
+    pub(crate) fn positional(
+        &self,
+        idx: usize,
+        command: &str,
+        what: &str,
+    ) -> Result<&str, CliError> {
+        self.positionals
+            .get(idx)
+            .map(String::as_str)
+            .ok_or_else(|| CliError(format!("{command} needs {what}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cli::sargs;
+
+    const TEST_SPEC: CommandSpec = CommandSpec {
+        name: "test",
+        summary: "a test command",
+        usage: "symloc test <x> [flags]",
+        positionals: &[("x", "the thing")],
+        variadic: false,
+        flags: &[THREADS, SEED, CHECKPOINT, JSON],
+    };
+
+    #[test]
+    fn parses_positionals_flags_and_switches() {
+        let parsed = TEST_SPEC
+            .parse(&sargs("thing --threads 3 --json --seed 9"))
+            .unwrap()
+            .unwrap();
+        assert_eq!(parsed.positionals, vec!["thing"]);
+        assert_eq!(parsed.usize("--threads").unwrap(), Some(3));
+        assert_eq!(parsed.u64("--seed").unwrap(), Some(9));
+        assert_eq!(parsed.value("--checkpoint"), None);
+        assert!(parsed.switch("--json"));
+        assert_eq!(parsed.positional(0, "test", "x").unwrap(), "thing");
+        assert!(parsed.positional(1, "test", "y").is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_argument_lists() {
+        // Unknown flag, missing value, unparseable value, extra positional.
+        assert!(TEST_SPEC.parse(&sargs("x --frobnicate 1")).is_err());
+        assert!(TEST_SPEC.parse(&sargs("x --threads")).is_err());
+        let parsed = TEST_SPEC.parse(&sargs("x --threads zz")).unwrap().unwrap();
+        assert!(parsed.usize("--threads").is_err());
+        assert!(TEST_SPEC.parse(&sargs("x y")).is_err());
+        // Variadic specs accept the extra positionals instead.
+        let variadic = CommandSpec {
+            variadic: true,
+            ..TEST_SPEC
+        };
+        let parsed = variadic.parse(&sargs("x y z")).unwrap().unwrap();
+        assert_eq!(parsed.positionals.len(), 3);
+    }
+
+    #[test]
+    fn help_is_generated_from_the_table() {
+        assert!(TEST_SPEC.parse(&sargs("x --help")).unwrap().is_none());
+        assert!(TEST_SPEC.parse(&sargs("-h")).unwrap().is_none());
+        let help = TEST_SPEC.help();
+        assert!(help.contains("symloc test — a test command"));
+        assert!(help.contains("USAGE"));
+        assert!(help.contains("--threads <N>"));
+        assert!(help.contains("--json"));
+        assert!(help.contains("<x>"));
+    }
+
+    #[test]
+    fn last_occurrence_of_a_repeated_flag_wins() {
+        let parsed = TEST_SPEC
+            .parse(&sargs("x --threads 2 --threads 5"))
+            .unwrap()
+            .unwrap();
+        assert_eq!(parsed.usize("--threads").unwrap(), Some(5));
+    }
+}

@@ -1,0 +1,492 @@
+//! `symloc job` — kind-agnostic checkpoint tooling: `status` summarizes
+//! any checkpoint file, `resume` continues it, both dispatching on the job
+//! kind the checkpoint itself records (the `core::job` registry).
+
+use super::flags::{CommandSpec, FlagSpec, JSON, THREADS};
+use super::sweep::sweep_report;
+use super::tracecmd::mrc_table;
+use super::CliError;
+use std::fmt::Write as _;
+use std::path::Path;
+
+use symloc_core::job::{checkpoint_status, JobKind, JobStatus};
+use symloc_core::shard::{SampledSweep, ShardedSweep};
+use symloc_core::tracesweep::{log_spaced_sizes, SampledIngest, TraceIngest};
+use symloc_par::default_threads;
+use symloc_trace::stream::TraceSource;
+
+const MAX_UNITS: FlagSpec = FlagSpec::value(
+    "--max-units",
+    "N",
+    "run at most N units (shards/levels/chunks) this invocation",
+);
+
+/// `symloc job status` command table.
+pub(crate) const JOB_STATUS: CommandSpec = CommandSpec {
+    name: "job status",
+    summary: "summarize any symloc checkpoint file (kind, plan, progress)",
+    usage: "symloc job status <checkpoint> [--json]",
+    positionals: &[(
+        "checkpoint",
+        "a checkpoint file written by any resumable command",
+    )],
+    variadic: false,
+    flags: &[JSON],
+};
+
+/// `symloc job resume` command table.
+pub(crate) const JOB_RESUME: CommandSpec = CommandSpec {
+    name: "job resume",
+    summary: "continue any symloc checkpoint, dispatching on its recorded kind",
+    usage: "symloc job resume <checkpoint> [--threads N] [--max-units N]",
+    positionals: &[(
+        "checkpoint",
+        "a checkpoint file written by any resumable command",
+    )],
+    variadic: false,
+    flags: &[THREADS, MAX_UNITS],
+};
+
+/// Renders a [`JobStatus`] as the human-readable `job status` report.
+fn status_report(status: &JobStatus) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "kind        : {} ({})",
+        status.kind.describe(),
+        status.kind
+    );
+    let _ = writeln!(out, "fingerprint : {}", status.fingerprint);
+    let _ = writeln!(
+        out,
+        "progress    : {} of {} {}s complete{}",
+        status.completed,
+        status.total,
+        status.kind.unit_name(),
+        if status.is_complete() {
+            ""
+        } else {
+            " (resumable with `symloc job resume`)"
+        }
+    );
+    for (label, value) in &status.detail {
+        let _ = writeln!(out, "{label:<12}: {value}");
+    }
+    out
+}
+
+/// Renders a [`JobStatus`] as a JSON document.
+fn status_json(status: &JobStatus) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"kind\": \"{}\",", status.kind);
+    let _ = writeln!(
+        out,
+        "  \"fingerprint\": \"{}\",",
+        symloc_core::jsonio::escape(&status.fingerprint)
+    );
+    let _ = writeln!(out, "  \"complete\": {},", status.is_complete());
+    let _ = writeln!(out, "  \"completed\": {},", status.completed);
+    let _ = writeln!(out, "  \"total\": {},", status.total);
+    out.push_str("  \"detail\": {");
+    for (i, (label, value)) in status.detail.iter().enumerate() {
+        let sep = if i == 0 { "" } else { ", " };
+        let _ = write!(
+            out,
+            "{sep}\"{}\": \"{}\"",
+            symloc_core::jsonio::escape(label),
+            symloc_core::jsonio::escape(value)
+        );
+    }
+    out.push_str("}\n}\n");
+    out
+}
+
+/// `symloc job status <checkpoint>` — decodes any registered checkpoint
+/// and reports its kind, fingerprint and progress.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] for unreadable files, unknown kinds, or
+/// structurally invalid checkpoints.
+pub(crate) fn status(args: &[String]) -> Result<String, CliError> {
+    let Some(parsed) = JOB_STATUS.parse(args)? else {
+        return Ok(JOB_STATUS.help());
+    };
+    let path = parsed.positional(0, "job status", "a checkpoint file")?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError(format!("cannot read checkpoint {path}: {e}")))?;
+    let status = checkpoint_status(&text)
+        .map_err(|e| CliError(format!("cannot decode checkpoint {path}: {e}")))?;
+    Ok(if parsed.switch(JSON.name) {
+        status_json(&status)
+    } else {
+        status_report(&status)
+    })
+}
+
+/// Reconstructs and re-validates the trace source a trace-job checkpoint
+/// was recorded against: the fingerprint must resolve to a readable source
+/// whose access count still matches the checkpoint.
+fn reopen_source(fingerprint: &str, recorded_total: u64) -> Result<TraceSource, CliError> {
+    let source = TraceSource::from_fingerprint(fingerprint).map_err(CliError)?;
+    let total = source
+        .total_accesses()
+        .map_err(|e| CliError(format!("cannot scan {source}: {e}")))?;
+    if total != recorded_total {
+        return Err(CliError(format!(
+            "checkpoint was recorded against {source} with {recorded_total} accesses, \
+             but the source now has {total} — refusing to resume against changed data"
+        )));
+    }
+    Ok(source)
+}
+
+/// `symloc job resume <checkpoint>` — continues any registered checkpoint
+/// to completion (or `--max-units`), dispatching on its recorded kind, and
+/// prints the finished job's report.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] for unreadable or invalid checkpoints, vanished
+/// or changed trace sources, or checkpoint write failures.
+pub(crate) fn resume(args: &[String]) -> Result<String, CliError> {
+    let Some(parsed) = JOB_RESUME.parse(args)? else {
+        return Ok(JOB_RESUME.help());
+    };
+    let path_str = parsed
+        .positional(0, "job resume", "a checkpoint file")?
+        .to_string();
+    let path = Path::new(&path_str);
+    let threads = parsed.usize(THREADS.name)?.unwrap_or_else(default_threads);
+    let limit = parsed.usize(MAX_UNITS.name)?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError(format!("cannot read checkpoint {path_str}: {e}")))?;
+    // Sniff the kind only — each arm decodes the (possibly large)
+    // checkpoint exactly once and prints the banner from the decoded job.
+    let kind = symloc_core::job::sniff_kind(&text).ok_or_else(|| {
+        CliError(format!(
+            "cannot decode checkpoint {path_str}: not a registered symloc checkpoint"
+        ))
+    })?;
+    let ckpt_err = |e: std::io::Error| CliError(format!("cannot write checkpoint {path_str}: {e}"));
+
+    let mut out = String::new();
+    let banner = |out: &mut String, fingerprint: &str, completed: usize, total: usize| {
+        let _ = writeln!(
+            out,
+            "resuming {} — {fingerprint} ({completed} of {total} {}s already done)",
+            kind.describe(),
+            kind.unit_name()
+        );
+    };
+    match kind {
+        JobKind::ShardedSweep => {
+            let mut sweep = ShardedSweep::from_json(&text, threads).map_err(CliError)?;
+            banner(
+                &mut out,
+                &sweep.spec().fingerprint(),
+                sweep.completed_count(),
+                sweep.shard_count(),
+            );
+            let ran = sweep
+                .run_with_checkpoint(path, limit, |_, _| {})
+                .map_err(ckpt_err)?;
+            let _ = writeln!(
+                out,
+                "ran {ran} shard(s); {} of {} complete; checkpoint saved to {path_str}",
+                sweep.completed_count(),
+                sweep.shard_count()
+            );
+            match sweep.merged_levels() {
+                Some(levels) => out.push_str(&sweep_report(sweep.spec(), &levels, false)),
+                None => {
+                    let _ = writeln!(out, "sweep incomplete — re-run to continue");
+                }
+            }
+        }
+        JobKind::SampledSweep => {
+            let mut sweep = SampledSweep::from_json(&text, threads).map_err(CliError)?;
+            banner(
+                &mut out,
+                &sweep.spec().fingerprint(),
+                sweep.completed_count(),
+                sweep.level_count(),
+            );
+            let ran = sweep
+                .run_with_checkpoint(path, limit, |_, _| {})
+                .map_err(ckpt_err)?;
+            let _ = writeln!(
+                out,
+                "ran {ran} level(s); {} of {} complete; checkpoint saved to {path_str}",
+                sweep.completed_count(),
+                sweep.level_count()
+            );
+            match sweep.merged_levels() {
+                Some(levels) => out.push_str(&sweep_report(sweep.spec(), &levels, true)),
+                None => {
+                    let _ = writeln!(out, "sweep incomplete — re-run to continue");
+                }
+            }
+        }
+        JobKind::TraceIngest => {
+            let mut ingest = TraceIngest::from_json(&text, threads).map_err(CliError)?;
+            banner(
+                &mut out,
+                ingest.fingerprint(),
+                ingest.completed_count(),
+                ingest.chunk_count(),
+            );
+            let source = reopen_source(ingest.fingerprint(), ingest.total_accesses())?;
+            let ran = ingest
+                .run_with_checkpoint(&source, path, limit, |_, _| {})
+                .map_err(ckpt_err)?;
+            let _ = writeln!(
+                out,
+                "ran {ran} chunk(s); {} of {} complete; checkpoint saved to {path_str}",
+                ingest.completed_count(),
+                ingest.chunk_count()
+            );
+            match ingest.histogram() {
+                Some(h) => {
+                    let footprint = usize::try_from(h.cold_count()).unwrap_or(usize::MAX);
+                    let _ = writeln!(out, "accesses            : {}", h.accesses());
+                    let _ = writeln!(out, "footprint           : {footprint}");
+                    out.push_str(&mrc_table(&h.mrc_points(&log_spaced_sizes(footprint, 16))));
+                }
+                None => {
+                    let _ = writeln!(out, "ingest incomplete — re-run to continue");
+                }
+            }
+        }
+        JobKind::SampledIngest => {
+            let mut ingest = SampledIngest::from_json(&text, threads).map_err(CliError)?;
+            banner(
+                &mut out,
+                ingest.fingerprint(),
+                ingest.completed_count(),
+                ingest.shard_count(),
+            );
+            let source = reopen_source(ingest.fingerprint(), ingest.total_accesses())?;
+            let ran = ingest
+                .run_with_checkpoint(&source, path, limit, |_, _| {})
+                .map_err(ckpt_err)?;
+            let _ = writeln!(
+                out,
+                "ran {ran} hash shard(s); {} of {} complete; checkpoint saved to {path_str}",
+                ingest.completed_count(),
+                ingest.shard_count()
+            );
+            match ingest.merged() {
+                Some(summary) => {
+                    let footprint = summary.estimated_footprint().round().max(1.0) as usize;
+                    let _ = writeln!(out, "accesses            : {}", summary.raw_accesses);
+                    let _ = writeln!(out, "footprint           : ~{footprint} (estimated)");
+                    out.push_str(&mrc_table(
+                        &summary
+                            .histogram
+                            .mrc_points(&log_spaced_sizes(footprint, 16)),
+                    ));
+                }
+                None => {
+                    let _ = writeln!(out, "sampled ingest incomplete — re-run to continue");
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Dispatches the `symloc job <status|resume>` subcommands.
+///
+/// # Errors
+///
+/// See the subcommand docs above: unreadable or invalid checkpoints,
+/// vanished or changed trace sources, checkpoint write failures.
+pub fn job(args: &[String]) -> Result<String, CliError> {
+    match args.first().map(String::as_str) {
+        Some("status") => status(&args[1..]),
+        Some("resume") => resume(&args[1..]),
+        Some("--help" | "-h") => Ok(format!(
+            "symloc job — inspect and continue resumable checkpoints\n\nUSAGE:\n  {}\n  {}\n",
+            JOB_STATUS.usage, JOB_RESUME.usage
+        )),
+        Some(other) => Err(CliError(format!(
+            "unknown job subcommand {other:?} (expected status or resume)"
+        ))),
+        None => Err(CliError("job needs a subcommand (status or resume)".into())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cli::{sargs, sweep, trace_mrc};
+    use symloc_core::jsonio::{self, JsonValue};
+
+    fn tmp(name: &str) -> (std::path::PathBuf, String) {
+        let path =
+            std::env::temp_dir().join(format!("symloc_cli_job_{}_{name}", std::process::id()));
+        let s = path.to_string_lossy().to_string();
+        std::fs::remove_file(&path).ok();
+        (path, s)
+    }
+
+    #[test]
+    fn job_dispatch_and_errors() {
+        assert!(job(&sargs("")).is_err());
+        assert!(job(&sargs("bogus")).is_err());
+        assert!(job(&sargs("status")).is_err());
+        assert!(job(&sargs("resume")).is_err());
+        assert!(job(&sargs("status /no/such/checkpoint.json")).is_err());
+        assert!(job(&sargs("resume /no/such/checkpoint.json")).is_err());
+        // Non-checkpoint JSON is rejected with context.
+        let (path, path_str) = tmp("garbage.json");
+        std::fs::write(&path, "{\"kind\": \"mystery\"}").unwrap();
+        let err = job(&sargs(&format!("status {path_str}"))).unwrap_err();
+        assert!(err.to_string().contains("mystery"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn status_and_resume_for_sweep_checkpoints() {
+        let (path, path_str) = tmp("sweep.json");
+        sweep(&sargs(&format!(
+            "6 --shards 4 --max-shards 2 --checkpoint {path_str}"
+        )))
+        .unwrap();
+
+        let report = job(&sargs(&format!("status {path_str}"))).unwrap();
+        assert!(report.contains("exhaustive sharded sweep"), "{report}");
+        assert!(report.contains("2 of 4 shards complete"), "{report}");
+        assert!(report.contains("m=6;stat=inversions;model=lru_stack"));
+        assert!(report.contains("symloc job resume"));
+
+        let json = job(&sargs(&format!("status {path_str} --json"))).unwrap();
+        let doc = jsonio::parse(&json).unwrap();
+        assert_eq!(
+            doc.get("kind").and_then(JsonValue::as_str),
+            Some("symloc_sweep_checkpoint")
+        );
+        assert_eq!(doc.get("completed").and_then(JsonValue::as_u64), Some(2));
+        assert_eq!(doc.get("complete"), Some(&JsonValue::Bool(false)));
+
+        // Resume in two steps: bounded, then to completion.
+        let bounded = job(&sargs(&format!("resume {path_str} --max-units 1"))).unwrap();
+        assert!(
+            bounded.contains("ran 1 shard(s); 3 of 4 complete"),
+            "{bounded}"
+        );
+        let finished = job(&sargs(&format!("resume {path_str} --threads 2"))).unwrap();
+        assert!(finished.contains("4 of 4 complete"), "{finished}");
+        assert!(
+            finished.contains("permutations aggregated : 720"),
+            "{finished}"
+        );
+
+        // The resumed result equals the direct sweep's table.
+        let direct = sweep(&sargs("6")).unwrap();
+        let tail = |s: &str| {
+            s.lines()
+                .skip_while(|l| !l.starts_with("sweep of"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(tail(&finished), tail(&direct));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn status_and_resume_for_sampled_sweep_checkpoints() {
+        let (path, path_str) = tmp("sampled_sweep.json");
+        sweep(&sargs(&format!(
+            "7 --samples 200 --seed 3 --max-shards 5 --checkpoint {path_str}"
+        )))
+        .unwrap();
+        let report = job(&sargs(&format!("status {path_str}"))).unwrap();
+        assert!(report.contains("sampled (level-sharded) sweep"), "{report}");
+        assert!(report.contains("5 of 22 levels complete"), "{report}");
+        assert!(report.contains("seed"), "{report}");
+
+        let finished = job(&sargs(&format!("resume {path_str}"))).unwrap();
+        assert!(finished.contains("22 of 22 complete"), "{finished}");
+        let direct = sweep(&sargs("7 --samples 200 --seed 3")).unwrap();
+        // The sweep command appends its sampling-plan line after the table;
+        // the job resume report ends at the table.
+        let tail = |s: &str| {
+            s.lines()
+                .skip_while(|l| !l.starts_with("sweep of"))
+                .take_while(|l| !l.starts_with("stratified sampling"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(tail(&finished), tail(&direct));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn status_and_resume_for_trace_checkpoints() {
+        // Exact ingest over a generator source: resumable from the
+        // fingerprint alone.
+        let (path, path_str) = tmp("ingest.json");
+        trace_mrc(&sargs(&format!(
+            "gen:zipf:60:2000:0.8:3 --shards 6 --threads 2 --checkpoint {path_str} --max-chunks 2"
+        )))
+        .unwrap();
+        let report = job(&sargs(&format!("status {path_str}"))).unwrap();
+        assert!(report.contains("exact trace ingest"), "{report}");
+        assert!(report.contains("2 of 6 chunks complete"), "{report}");
+        assert!(report.contains("gen:zipf:60:2000:0.8:3"), "{report}");
+
+        let finished = job(&sargs(&format!("resume {path_str} --threads 2"))).unwrap();
+        assert!(finished.contains("6 of 6 complete"), "{finished}");
+        assert!(
+            finished.contains("accesses            : 2000"),
+            "{finished}"
+        );
+        assert!(finished.contains("miss ratio"), "{finished}");
+
+        // Sampled hash-sharded ingest round-trips the same way, and the
+        // finished checkpoint matches the one the trace command writes.
+        let (spath, spath_str) = tmp("sampled_ingest.json");
+        trace_mrc(&sargs(&format!(
+            "gen:zipf:200:4000:0.8:5 --sample 64 --shards 4 --checkpoint {spath_str} --max-chunks 2"
+        )))
+        .unwrap();
+        let report = job(&sargs(&format!("status {spath_str}"))).unwrap();
+        assert!(
+            report.contains("sampled (hash-sharded) trace ingest"),
+            "{report}"
+        );
+        let finished = job(&sargs(&format!("resume {spath_str}"))).unwrap();
+        assert!(finished.contains("4 of 4 complete"), "{finished}");
+        let via_job = std::fs::read_to_string(&spath).unwrap();
+        let (rpath, rpath_str) = tmp("sampled_ingest_ref.json");
+        trace_mrc(&sargs(&format!(
+            "gen:zipf:200:4000:0.8:5 --sample 64 --shards 4 --checkpoint {rpath_str}"
+        )))
+        .unwrap();
+        assert_eq!(via_job, std::fs::read_to_string(&rpath).unwrap());
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&spath).ok();
+        std::fs::remove_file(&rpath).ok();
+    }
+
+    #[test]
+    fn resume_refuses_changed_or_memory_sources() {
+        // A text-source checkpoint whose file changed length is refused.
+        let dir = std::env::temp_dir();
+        let trace_path = dir.join(format!("symloc_cli_job_swap_{}.trace", std::process::id()));
+        let (ckpt, ckpt_str) = tmp("swap.json");
+        std::fs::write(&trace_path, "0\n1\n2\n0\n1\n2\n0\n1\n").unwrap();
+        trace_mrc(&sargs(&format!(
+            "{} --shards 4 --threads 1 --checkpoint {ckpt_str} --max-chunks 2",
+            trace_path.to_string_lossy()
+        )))
+        .unwrap();
+        std::fs::write(&trace_path, "7\n7\n").unwrap();
+        let err = job(&sargs(&format!("resume {ckpt_str}"))).unwrap_err();
+        assert!(err.to_string().contains("refusing to resume"), "{err}");
+        std::fs::remove_file(&trace_path).ok();
+        std::fs::remove_file(&ckpt).ok();
+    }
+}

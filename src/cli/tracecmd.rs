@@ -1,0 +1,1028 @@
+//! `symloc trace` — streaming trace analysis: `mrc` (exact or sampled,
+//! resumable), `convert` (format conversion + sidecar chunk indexes) and
+//! `index` (build the sidecar for an existing file).
+
+use super::flags::{CommandSpec, FlagSpec, CHECKPOINT, JSON, THREADS};
+use super::{help_requested, CliError};
+use std::fmt::Write as _;
+use std::path::Path;
+
+use symloc_core::tracesweep::{
+    log_spaced_sizes, MrcPoint, OnlineReuseEngine, SampledIngest, ShardsEstimator, TraceIngest,
+};
+use symloc_par::default_threads;
+use symloc_trace::binio::{
+    build_sltr_index, sltr_index_path, SltrIndex, SltrWriter, DEFAULT_INDEX_INTERVAL,
+};
+use symloc_trace::stream::{build_text_index, TraceSource};
+
+const EXACT: FlagSpec = FlagSpec::switch("--exact", "force the exact engine (the default)");
+const SAMPLE: FlagSpec = FlagSpec::value(
+    "--sample",
+    "S_MAX",
+    "bounded-memory SHARDS sampling with this tracked-address budget",
+);
+const SHARDS: FlagSpec = FlagSpec::value(
+    "--shards",
+    "N",
+    "chunk count (exact) / hash-shard count (sampled); default 8 / 1",
+);
+const POINTS: FlagSpec = FlagSpec::value(
+    "--points",
+    "K",
+    "MRC evaluation points, log-spaced over the footprint (default 16)",
+);
+const MAX_CHUNKS: FlagSpec = FlagSpec::value(
+    "--max-chunks",
+    "N",
+    "run at most N chunks/shards this invocation (needs --checkpoint)",
+);
+const INDEX: FlagSpec = FlagSpec::value(
+    "--index",
+    "N",
+    "sidecar chunk-index interval for the output (0 = none; default 4096)",
+);
+const INTERVAL: FlagSpec = FlagSpec::value(
+    "--interval",
+    "N",
+    "accesses between indexed offsets (default 4096)",
+);
+
+/// `symloc trace mrc` command table.
+pub(crate) const TRACE_MRC: CommandSpec = CommandSpec {
+    name: "trace mrc",
+    summary: "reuse-distance profile and miss-ratio curve of a trace stream",
+    usage: "symloc trace mrc <file|gen:...> [flags]",
+    positionals: &[("source", "a trace file (text or .sltr) or a gen: spec")],
+    variadic: false,
+    flags: &[
+        EXACT, SAMPLE, SHARDS, THREADS, POINTS, CHECKPOINT, MAX_CHUNKS, JSON,
+    ],
+};
+
+/// `symloc trace convert` command table.
+pub(crate) const TRACE_CONVERT: CommandSpec = CommandSpec {
+    name: "trace convert",
+    summary: "convert a trace between text and .sltr (streaming, indexed)",
+    usage: "symloc trace convert <file|gen:...> <out-file> [--index N]",
+    positionals: &[
+        ("source", "a trace file (text or .sltr) or a gen: spec"),
+        (
+            "out-file",
+            ".sltr extension = binary output, anything else = text",
+        ),
+    ],
+    variadic: false,
+    flags: &[INDEX],
+};
+
+/// `symloc trace index` command table.
+pub(crate) const TRACE_INDEX: CommandSpec = CommandSpec {
+    name: "trace index",
+    summary: "build the seekable sidecar chunk index for an existing trace",
+    usage: "symloc trace index <file> [--interval N]",
+    positionals: &[("file", "an existing text or .sltr trace file")],
+    variadic: false,
+    flags: &[INTERVAL],
+};
+
+/// Options of `symloc trace mrc`, parsed from its argument list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceMrcOptions {
+    /// The trace source (file or `gen:` spec).
+    pub source: TraceSource,
+    /// `Some(s_max)` selects the bounded-memory sampled estimator
+    /// (`s_max` = total tracked-address budget, split across hash shards).
+    pub sample: Option<usize>,
+    /// Chunk count for sharded exact ingestion.
+    pub shards: usize,
+    /// Hash-shard count for the sampled estimator (set by the same
+    /// `--shards` flag; defaults to 1 = the sequential estimator).
+    pub sample_shards: usize,
+    /// Worker threads.
+    pub threads: usize,
+    /// Number of MRC evaluation points (log-spaced over the footprint).
+    pub points: usize,
+    /// Checkpoint file enabling resumable exact ingestion.
+    pub checkpoint: Option<String>,
+    /// At most this many chunks this invocation (`None` = run to the end).
+    pub max_chunks: Option<usize>,
+    /// Emit a machine-readable JSON report instead of the table.
+    pub json: bool,
+}
+
+/// Parses the argument list of `symloc trace mrc` (everything after the
+/// `mrc` subcommand).
+///
+/// # Errors
+///
+/// Returns a [`CliError`] on malformed flags or unsupported combinations.
+pub fn parse_trace_mrc_options(args: &[String]) -> Result<TraceMrcOptions, CliError> {
+    let parsed = TRACE_MRC
+        .parse(args)?
+        .expect("callers handle --help before parsing");
+    let source_arg = parsed
+        .positionals
+        .first()
+        .ok_or_else(|| CliError("trace mrc needs a trace file or gen: spec".into()))?;
+    let source = TraceSource::parse(source_arg).map_err(CliError)?;
+    let shards = parsed.usize(SHARDS.name)?;
+    let options = TraceMrcOptions {
+        source,
+        sample: parsed.usize(SAMPLE.name)?,
+        shards: shards.unwrap_or(8),
+        sample_shards: shards.unwrap_or(1),
+        threads: parsed.usize(THREADS.name)?.unwrap_or_else(default_threads),
+        points: parsed.usize(POINTS.name)?.unwrap_or(16),
+        checkpoint: parsed.value(CHECKPOINT.name).map(ToString::to_string),
+        max_chunks: parsed.usize(MAX_CHUNKS.name)?,
+        json: parsed.switch(JSON.name),
+    };
+    if options.sample == Some(0) {
+        return Err(CliError("--sample needs a positive budget".into()));
+    }
+    if shards == Some(0) {
+        return Err(CliError("--shards must be positive".into()));
+    }
+    if options.points == 0 {
+        return Err(CliError("--points must be positive".into()));
+    }
+    if parsed.switch(EXACT.name) && options.sample.is_some() {
+        return Err(CliError(
+            "--exact and --sample are mutually exclusive".into(),
+        ));
+    }
+    if let Some(s_max) = options.sample {
+        if s_max < options.sample_shards {
+            return Err(CliError(format!(
+                "--sample {s_max} is below one tracked address per hash shard \
+                 (--shards {})",
+                options.sample_shards
+            )));
+        }
+    }
+    if options.max_chunks.is_some() && options.checkpoint.is_none() {
+        return Err(CliError(
+            "--max-chunks only makes sense with --checkpoint (a bounded \
+             partial ingest needs somewhere to save its progress)"
+                .into(),
+        ));
+    }
+    Ok(options)
+}
+
+/// Opens a fully validated stream over `source`: scans it once (catching
+/// unreadable files and malformed content as a [`CliError`] instead of the
+/// panic `stream_range` reserves for validated sources), then streams.
+fn validated_stream(source: &TraceSource) -> Result<symloc_trace::stream::AccessIter, CliError> {
+    source
+        .total_accesses()
+        .map_err(|e| CliError(format!("cannot read {source}: {e}")))?;
+    source
+        .stream()
+        .map_err(|e| CliError(format!("cannot read {source}: {e}")))
+}
+
+/// Renders the MRC table of a finished (exact or sampled) analysis.
+pub(crate) fn mrc_table(points: &[MrcPoint]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{:>12} {:>12}", "cache size", "miss ratio");
+    for p in points {
+        let _ = writeln!(out, "{:>12} {:>12.4}", p.cache_size, p.miss_ratio);
+    }
+    out
+}
+
+/// Renders a finished MRC analysis as a JSON document.
+fn mrc_json(
+    source: &TraceSource,
+    engine: &str,
+    accesses: u64,
+    footprint: usize,
+    estimated: bool,
+    points: &[MrcPoint],
+) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(
+        out,
+        "  \"source\": \"{}\",",
+        symloc_core::jsonio::escape(&source.fingerprint())
+    );
+    let _ = writeln!(out, "  \"engine\": \"{engine}\",");
+    let _ = writeln!(out, "  \"complete\": true,");
+    let _ = writeln!(out, "  \"accesses\": {accesses},");
+    let _ = writeln!(out, "  \"footprint\": {footprint},");
+    let _ = writeln!(out, "  \"footprint_estimated\": {estimated},");
+    out.push_str("  \"mrc\": [");
+    for (i, p) in points.iter().enumerate() {
+        let sep = if i == 0 { "" } else { ", " };
+        let _ = write!(out, "{sep}[{}, {}]", p.cache_size, p.miss_ratio);
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// Renders an in-progress checkpointed ingest as a JSON document.
+fn mrc_progress_json(source: &TraceSource, completed: usize, total: usize) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(
+        out,
+        "  \"source\": \"{}\",",
+        symloc_core::jsonio::escape(&source.fingerprint())
+    );
+    let _ = writeln!(out, "  \"complete\": false,");
+    let _ = writeln!(out, "  \"completed\": {completed},");
+    let _ = writeln!(out, "  \"total\": {total}");
+    out.push_str("}\n");
+    out
+}
+
+/// `symloc trace mrc <file|gen:...>` — streams the trace once and reports
+/// its reuse-distance profile and miss-ratio curve: exact (optionally
+/// sharded and checkpoint-resumable) or SHARDS-sampled in `O(s_max)` memory.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] on malformed arguments, unreadable sources,
+/// checkpoint I/O failures, or a checkpoint file of a different job kind.
+pub fn trace_mrc(args: &[String]) -> Result<String, CliError> {
+    if help_requested(args) {
+        return Ok(TRACE_MRC.help());
+    }
+    let options = parse_trace_mrc_options(args)?;
+    let source = &options.source;
+    let mut out = String::new();
+    let _ = writeln!(out, "trace mrc — {source}");
+
+    if let Some(s_max) = options.sample {
+        // Hash-sharded (and optionally checkpoint-resumable) parallel
+        // sampling; one hash shard without a checkpoint degenerates to the
+        // classic single-pass sequential estimator below.
+        if options.checkpoint.is_some() || options.sample_shards > 1 {
+            let shard_count = options.sample_shards;
+            let budget = (s_max / shard_count).max(1);
+            let summary = if let Some(checkpoint) = &options.checkpoint {
+                let path = Path::new(checkpoint);
+                let (mut ingest, resumed) = SampledIngest::resume_or_new(
+                    source,
+                    shard_count,
+                    budget,
+                    options.threads,
+                    path,
+                )
+                .map_err(CliError)?;
+                if resumed {
+                    let _ = writeln!(
+                        out,
+                        "resumed from {checkpoint}: {} of {} hash shards were already done",
+                        ingest.completed_count(),
+                        ingest.shard_count()
+                    );
+                } else if path.exists() {
+                    let _ = writeln!(
+                        out,
+                        "warning: existing checkpoint {checkpoint} does not match this \
+                         source/plan (source {source}, {} accesses, {} hash shards); \
+                         starting fresh and overwriting it",
+                        ingest.total_accesses(),
+                        ingest.shard_count()
+                    );
+                }
+                let ran = ingest
+                    .run_with_checkpoint(source, path, options.max_chunks, |_, _| {})
+                    .map_err(|e| CliError(format!("cannot write checkpoint {checkpoint}: {e}")))?;
+                let _ = writeln!(
+                    out,
+                    "ran {ran} hash shard(s); {} of {} complete; checkpoint saved to {checkpoint}",
+                    ingest.completed_count(),
+                    ingest.shard_count()
+                );
+                match ingest.merged() {
+                    Some(summary) => summary,
+                    None => {
+                        if options.json {
+                            return Ok(mrc_progress_json(
+                                source,
+                                ingest.completed_count(),
+                                ingest.shard_count(),
+                            ));
+                        }
+                        let _ = writeln!(
+                            out,
+                            "sampled ingest incomplete — re-run the same command to \
+                             continue from the checkpoint"
+                        );
+                        return Ok(out);
+                    }
+                }
+            } else {
+                let mut ingest = SampledIngest::new(source, shard_count, budget, options.threads)
+                    .map_err(CliError)?;
+                ingest.run_pending(source, None);
+                ingest.merged().expect("sampled ingest ran to completion")
+            };
+            let footprint = summary.estimated_footprint().round().max(1.0) as usize;
+            let sizes = log_spaced_sizes(footprint, options.points);
+            let points = summary.histogram.mrc_points(&sizes);
+            if options.json {
+                return Ok(mrc_json(
+                    source,
+                    "sampled_hash_sharded",
+                    summary.raw_accesses,
+                    footprint,
+                    true,
+                    &points,
+                ));
+            }
+            let _ = writeln!(out, "accesses            : {}", summary.raw_accesses);
+            let _ = writeln!(
+                out,
+                "engine              : sampled hash-sharded ({shard_count} shards x {budget} \
+                 budget, min rate {:.4}, {} sampled, {} evictions, {} threads)",
+                summary.min_rate, summary.sampled_accesses, summary.evictions, options.threads
+            );
+            let _ = writeln!(out, "footprint           : ~{footprint} (estimated)");
+            out.push_str(&mrc_table(&points));
+            return Ok(out);
+        }
+
+        // The bounded-memory sampled estimator: one sequential pass.
+        let mut estimator = ShardsEstimator::new(s_max);
+        estimator.record_all(validated_stream(source)?);
+        let footprint = estimator.estimated_footprint().round().max(1.0) as usize;
+        let sizes = log_spaced_sizes(footprint, options.points);
+        let points = estimator.mrc_points(&sizes);
+        if options.json {
+            return Ok(mrc_json(
+                source,
+                "sampled",
+                estimator.raw_accesses(),
+                footprint,
+                true,
+                &points,
+            ));
+        }
+        let _ = writeln!(out, "accesses            : {}", estimator.raw_accesses());
+        let _ = writeln!(
+            out,
+            "engine              : sampled (s_max {s_max}, rate {:.4}, {} sampled, {} evictions)",
+            estimator.sampling_rate(),
+            estimator.sampled_accesses(),
+            estimator.evictions()
+        );
+        let _ = writeln!(out, "footprint           : ~{footprint} (estimated)");
+        out.push_str(&mrc_table(&points));
+        return Ok(out);
+    }
+
+    let mut engine_name = "exact_streaming";
+    let histogram = if let Some(checkpoint) = &options.checkpoint {
+        let path = Path::new(checkpoint);
+        let (mut ingest, resumed) =
+            TraceIngest::resume_or_new(source, options.shards, options.threads, path)
+                .map_err(CliError)?;
+        if resumed {
+            let _ = writeln!(
+                out,
+                "resumed from {checkpoint}: {} of {} chunks were already done",
+                ingest.completed_count(),
+                ingest.chunk_count()
+            );
+        } else if path.exists() {
+            // A checkpoint is on disk but did not match this source, access
+            // count or chunk plan — say so before overwriting it, so a
+            // mistyped --shards or path does not silently discard progress.
+            let _ = writeln!(
+                out,
+                "warning: existing checkpoint {checkpoint} does not match this \
+                 source/plan (source {source}, {} accesses, {} chunks); starting \
+                 fresh and overwriting it",
+                ingest.total_accesses(),
+                ingest.chunk_count()
+            );
+        }
+        let ran = ingest
+            .run_with_checkpoint(source, path, options.max_chunks, |_, _| {})
+            .map_err(|e| CliError(format!("cannot write checkpoint {checkpoint}: {e}")))?;
+        let _ = writeln!(
+            out,
+            "ran {ran} chunk(s); {} of {} complete; checkpoint saved to {checkpoint}",
+            ingest.completed_count(),
+            ingest.chunk_count()
+        );
+        match ingest.histogram() {
+            Some(h) => {
+                engine_name = "exact_sharded";
+                let _ = writeln!(out, "accesses            : {}", h.accesses());
+                let _ = writeln!(
+                    out,
+                    "engine              : exact sharded ({} chunks, {} threads)",
+                    ingest.chunk_count(),
+                    options.threads
+                );
+                h.clone()
+            }
+            None => {
+                if options.json {
+                    return Ok(mrc_progress_json(
+                        source,
+                        ingest.completed_count(),
+                        ingest.chunk_count(),
+                    ));
+                }
+                let _ = writeln!(
+                    out,
+                    "ingest incomplete — re-run the same command to continue from the checkpoint"
+                );
+                return Ok(out);
+            }
+        }
+    } else if options.threads > 1 {
+        let mut ingest =
+            TraceIngest::new(source, options.shards, options.threads).map_err(CliError)?;
+        ingest.run_pending(source, None);
+        let h = ingest
+            .histogram()
+            .expect("ingest ran to completion")
+            .clone();
+        engine_name = "exact_sharded";
+        let _ = writeln!(out, "accesses            : {}", h.accesses());
+        let _ = writeln!(
+            out,
+            "engine              : exact sharded ({} chunks, {} threads)",
+            ingest.chunk_count(),
+            options.threads
+        );
+        h
+    } else {
+        let mut engine = OnlineReuseEngine::new();
+        engine.record_all(validated_stream(source)?);
+        let _ = writeln!(out, "accesses            : {}", engine.accesses());
+        let _ = writeln!(out, "engine              : exact streaming (1 thread)");
+        engine.into_histogram()
+    };
+
+    let footprint = usize::try_from(histogram.cold_count()).unwrap_or(usize::MAX);
+    let sizes = log_spaced_sizes(footprint, options.points);
+    let points = histogram.mrc_points(&sizes);
+    if options.json {
+        return Ok(mrc_json(
+            source,
+            engine_name,
+            histogram.accesses(),
+            footprint,
+            false,
+            &points,
+        ));
+    }
+    let _ = writeln!(out, "footprint           : {footprint}");
+    out.push_str(&mrc_table(&points));
+    Ok(out)
+}
+
+/// `symloc trace convert <in> <out> [--index N]` — streams a trace from any
+/// source into a file, picking the output format by extension (`.sltr` =
+/// binary varint, anything else = plain text). Never materializes the
+/// trace, so converting a multi-gigabyte generator spec to `.sltr` is fine.
+///
+/// Both output formats also get a sidecar chunk index at `<out>.idx` (byte
+/// offset every `N` accesses — default 4096) so later range reads *seek*
+/// instead of decode- or parse-skipping; `--index 0` disables it.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] on malformed arguments or I/O failures.
+pub fn trace_convert(args: &[String]) -> Result<String, CliError> {
+    if help_requested(args) {
+        return Ok(TRACE_CONVERT.help());
+    }
+    let parsed = TRACE_CONVERT.parse(args)?.expect("--help handled above");
+    let source_arg = parsed
+        .positionals
+        .first()
+        .ok_or_else(|| CliError("trace convert needs a source".into()))?;
+    let out_path = parsed
+        .positionals
+        .get(1)
+        .ok_or_else(|| CliError("trace convert needs an output file".into()))?
+        .clone();
+    let interval = parsed.u64(INDEX.name)?.unwrap_or(DEFAULT_INDEX_INTERVAL);
+    let source = TraceSource::parse(source_arg).map_err(CliError)?;
+    let stream = validated_stream(&source)?;
+    let binary = Path::new(&out_path)
+        .extension()
+        .is_some_and(|e| e == "sltr");
+    let sidecar = sltr_index_path(Path::new(&out_path));
+    let mut indexed = false;
+    let written = if binary {
+        let io_err = |e| CliError(format!("cannot write {out_path}: {e}"));
+        let file = std::fs::File::create(&out_path)
+            .map_err(|e| CliError(format!("cannot create {out_path}: {e}")))?;
+        if interval > 0 {
+            let mut writer = SltrWriter::new_indexed(file, interval).map_err(io_err)?;
+            for addr in stream {
+                writer.push(addr).map_err(io_err)?;
+            }
+            let (written, index) = writer.finish_indexed().map_err(io_err)?;
+            index
+                .write(&sidecar)
+                .map_err(|e| CliError(format!("cannot write {}: {e}", sidecar.display())))?;
+            indexed = true;
+            written
+        } else {
+            // --index 0: no sidecar, and make sure a stale one from a
+            // previous conversion cannot outlive the new payload.
+            std::fs::remove_file(&sidecar).ok();
+            let mut writer = SltrWriter::new(file).map_err(io_err)?;
+            for addr in stream {
+                writer.push(addr).map_err(io_err)?;
+            }
+            writer.finish().map_err(io_err)?
+        }
+    } else {
+        use std::io::Write as _;
+        let file = std::fs::File::create(&out_path)
+            .map_err(|e| CliError(format!("cannot create {out_path}: {e}")))?;
+        let mut writer = std::io::BufWriter::new(file);
+        let mut written = 0u64;
+        let mut bytes = 0u64;
+        let mut offsets = Vec::new();
+        (|| -> std::io::Result<()> {
+            let header = "# symloc trace\n";
+            writer.write_all(header.as_bytes())?;
+            bytes += header.len() as u64;
+            let mut line = String::new();
+            for addr in stream {
+                if interval > 0 && written > 0 && written.is_multiple_of(interval) {
+                    offsets.push(bytes);
+                }
+                line.clear();
+                let _ = writeln!(line, "{addr}");
+                writer.write_all(line.as_bytes())?;
+                bytes += line.len() as u64;
+                written += 1;
+            }
+            writer.flush()
+        })()
+        .map_err(|e| CliError(format!("cannot write {out_path}: {e}")))?;
+        if interval > 0 {
+            SltrIndex::from_parts(interval, written, bytes, offsets)
+                .write(&sidecar)
+                .map_err(|e| CliError(format!("cannot write {}: {e}", sidecar.display())))?;
+            indexed = true;
+        } else {
+            std::fs::remove_file(&sidecar).ok();
+        }
+        written
+    };
+    Ok(format!(
+        "converted {source} -> {out_path} ({written} accesses, {} format{})\n",
+        if binary { "sltr" } else { "text" },
+        if indexed {
+            format!(
+                ", {} index every {interval}",
+                if binary { "chunk" } else { "line" }
+            )
+        } else {
+            String::new()
+        }
+    ))
+}
+
+/// `symloc trace index <file> [--interval N]` — builds the seekable
+/// sidecar chunk index for an *existing* trace file (text or `.sltr`), so
+/// sharded ingests seek instead of decode- or parse-skipping to their
+/// chunks. Overwrites any previous sidecar.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] on malformed arguments, non-file sources, or
+/// read/parse failures.
+pub fn trace_index(args: &[String]) -> Result<String, CliError> {
+    if help_requested(args) {
+        return Ok(TRACE_INDEX.help());
+    }
+    let parsed = TRACE_INDEX.parse(args)?.expect("--help handled above");
+    let file = parsed
+        .positionals
+        .first()
+        .ok_or_else(|| CliError("trace index needs a trace file".into()))?;
+    let interval = parsed.u64(INTERVAL.name)?.unwrap_or(DEFAULT_INDEX_INTERVAL);
+    if interval == 0 {
+        return Err(CliError("--interval must be positive".into()));
+    }
+    let source = TraceSource::parse(file).map_err(CliError)?;
+    let (path, index, kind) = match &source {
+        TraceSource::Text(path) => (
+            path.clone(),
+            build_text_index(path, interval)
+                .map_err(|e| CliError(format!("cannot index {file}: {e}")))?,
+            "line",
+        ),
+        TraceSource::Binary(path) => (
+            path.clone(),
+            build_sltr_index(path, interval)
+                .map_err(|e| CliError(format!("cannot index {file}: {e}")))?,
+            "chunk",
+        ),
+        TraceSource::Gen(_) | TraceSource::Memory(_) => {
+            return Err(CliError(
+                "trace index needs a file on disk (generator specs position in O(1) already)"
+                    .into(),
+            ))
+        }
+    };
+    let sidecar = sltr_index_path(&path);
+    index
+        .write(&sidecar)
+        .map_err(|e| CliError(format!("cannot write {}: {e}", sidecar.display())))?;
+    Ok(format!(
+        "indexed {file}: {} accesses, {} index every {interval} -> {}\n",
+        index.total_accesses(),
+        kind,
+        sidecar.display()
+    ))
+}
+
+/// Dispatches the `symloc trace <mrc|convert|index>` subcommands.
+///
+/// # Errors
+///
+/// See [`trace_mrc`], [`trace_convert`] and [`trace_index`].
+pub fn trace(args: &[String]) -> Result<String, CliError> {
+    match args.first().map(String::as_str) {
+        Some("mrc") => trace_mrc(&args[1..]),
+        Some("convert") => trace_convert(&args[1..]),
+        Some("index") => trace_index(&args[1..]),
+        Some("--help" | "-h") => Ok(format!(
+            "symloc trace — streaming trace analysis\n\nUSAGE:\n  {}\n  {}\n  {}\n",
+            TRACE_MRC.usage, TRACE_CONVERT.usage, TRACE_INDEX.usage
+        )),
+        Some(other) => Err(CliError(format!(
+            "unknown trace subcommand {other:?} (expected mrc, convert or index)"
+        ))),
+        None => Err(CliError(
+            "trace needs a subcommand (mrc, convert or index)".into(),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cli::sargs;
+    use symloc_core::jsonio::{self, JsonValue};
+    use symloc_trace::io::read_trace;
+
+    #[test]
+    fn trace_mrc_option_parsing() {
+        let options = parse_trace_mrc_options(&sargs(
+            "gen:zipf:100:1000:0.9:1 --sample 64 --threads 2 --points 8",
+        ))
+        .unwrap();
+        assert_eq!(options.sample, Some(64));
+        assert_eq!(options.threads, 2);
+        assert_eq!(options.points, 8);
+        assert!(!options.json);
+        assert!(matches!(options.source, TraceSource::Gen(_)));
+        assert!(parse_trace_mrc_options(&sargs("")).is_err());
+        assert!(parse_trace_mrc_options(&sargs("gen:bogus:1")).is_err());
+        assert!(parse_trace_mrc_options(&sargs("x.trace --sample 0")).is_err());
+        assert!(parse_trace_mrc_options(&sargs("x.trace --shards 0")).is_err());
+        assert!(parse_trace_mrc_options(&sargs("x.trace --points 0")).is_err());
+        assert!(parse_trace_mrc_options(&sargs("x.trace --frobnicate 1")).is_err());
+        assert!(parse_trace_mrc_options(&sargs("x.trace --exact --sample 9")).is_err());
+        // Sampled runs checkpoint now (hash shards), and --shards doubles
+        // as the hash-shard count on the sampled path.
+        assert!(parse_trace_mrc_options(&sargs("x.trace --sample 9 --checkpoint c.json")).is_ok());
+        let sharded = parse_trace_mrc_options(&sargs("x.trace --sample 64 --shards 4")).unwrap();
+        assert_eq!(sharded.sample_shards, 4);
+        assert_eq!(
+            parse_trace_mrc_options(&sargs("x.trace --sample 64"))
+                .unwrap()
+                .sample_shards,
+            1
+        );
+        // A budget below one address per shard is rejected.
+        assert!(parse_trace_mrc_options(&sargs("x.trace --sample 3 --shards 4")).is_err());
+        assert!(parse_trace_mrc_options(&sargs("x.trace --max-chunks 2")).is_err());
+        assert!(parse_trace_mrc_options(&sargs("x.trace --exact")).is_ok());
+        assert!(
+            parse_trace_mrc_options(&sargs("x.trace --json"))
+                .unwrap()
+                .json
+        );
+    }
+
+    #[test]
+    fn trace_mrc_exact_sampled_and_sharded_agree() {
+        // Exact streaming, exact sharded and full-budget sampling must all
+        // report the same curve for the same generated trace.
+        let exact = trace_mrc(&sargs("gen:sawtooth:50:8 --threads 1 --points 6")).unwrap();
+        assert!(exact.contains("accesses            : 400"));
+        assert!(exact.contains("exact streaming"));
+        assert!(exact.contains("footprint           : 50"));
+        let sharded = trace_mrc(&sargs(
+            "gen:sawtooth:50:8 --threads 3 --shards 5 --points 6",
+        ))
+        .unwrap();
+        assert!(sharded.contains("exact sharded (5 chunks, 3 threads)"));
+        let tail = |s: &str| {
+            s.lines()
+                .skip_while(|l| !l.starts_with("footprint"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(tail(&exact), tail(&sharded));
+        // A sampling budget beyond the footprint reproduces the exact curve.
+        let sampled = trace_mrc(&sargs("gen:sawtooth:50:8 --sample 100 --points 6")).unwrap();
+        assert!(sampled.contains("rate 1.0000"));
+        assert!(sampled.contains("~50 (estimated)"));
+        for line in tail(&exact).lines().skip(1) {
+            assert!(
+                sampled.contains(line.trim_start_matches(' ')),
+                "missing {line:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn trace_mrc_json_output_parses() {
+        let report = trace_mrc(&sargs("gen:sawtooth:50:8 --threads 1 --points 6 --json")).unwrap();
+        let doc = jsonio::parse(&report).unwrap();
+        assert_eq!(
+            doc.get("source").and_then(JsonValue::as_str),
+            Some("gen:sawtooth:50:8")
+        );
+        assert_eq!(doc.get("complete"), Some(&JsonValue::Bool(true)));
+        assert_eq!(doc.get("accesses").and_then(JsonValue::as_u64), Some(400));
+        assert_eq!(doc.get("footprint").and_then(JsonValue::as_u64), Some(50));
+        let mrc = doc.get("mrc").and_then(JsonValue::as_array).unwrap();
+        assert!(!mrc.is_empty());
+        for point in mrc {
+            let pair = point.as_array().unwrap();
+            assert!(pair[0].as_u64().is_some());
+            assert!((0.0..=1.0).contains(&pair[1].as_f64().unwrap()));
+        }
+        // The sampled engine reports an estimated footprint.
+        let sampled =
+            trace_mrc(&sargs("gen:sawtooth:50:8 --sample 100 --points 6 --json")).unwrap();
+        let doc = jsonio::parse(&sampled).unwrap();
+        assert_eq!(doc.get("footprint_estimated"), Some(&JsonValue::Bool(true)));
+    }
+
+    #[test]
+    fn trace_mrc_checkpoint_flow_resumes_and_completes() {
+        let path = std::env::temp_dir().join("symloc_cli_trace_checkpoint.json");
+        let path_str = path.to_string_lossy().to_string();
+        std::fs::remove_file(&path).ok();
+
+        let spec = format!("gen:zipf:60:2000:0.8:3 --shards 6 --threads 2 --checkpoint {path_str}");
+        let first = trace_mrc(&sargs(&format!("{spec} --max-chunks 2"))).unwrap();
+        assert!(first.contains("2 of 6 complete"));
+        assert!(first.contains("ingest incomplete"));
+
+        // A --json probe of the incomplete state reports progress.
+        let probe = trace_mrc(&sargs(&format!("{spec} --max-chunks 0 --json"))).unwrap();
+        let doc = jsonio::parse(&probe).unwrap();
+        assert_eq!(doc.get("complete"), Some(&JsonValue::Bool(false)));
+        assert_eq!(doc.get("completed").and_then(JsonValue::as_u64), Some(2));
+
+        let second = trace_mrc(&sargs(&spec)).unwrap();
+        assert!(second.contains("resumed from"));
+        assert!(second.contains("6 of 6 complete"));
+        assert!(second.contains("accesses            : 2000"));
+
+        // A mismatched chunk plan does not silently discard the checkpoint:
+        // the report warns before overwriting.
+        let mismatched = trace_mrc(&sargs(&format!(
+            "gen:zipf:60:2000:0.8:3 --shards 9 --threads 2 --checkpoint {path_str}"
+        )))
+        .unwrap();
+        assert!(mismatched.contains("does not match this source/plan"));
+        assert!(mismatched.contains("9 of 9 complete"));
+
+        // The checkpointed result equals the direct streaming analysis.
+        let direct = trace_mrc(&sargs("gen:zipf:60:2000:0.8:3 --threads 1")).unwrap();
+        let tail = |s: &str| {
+            s.lines()
+                .skip_while(|l| !l.starts_with("footprint"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(tail(&second), tail(&direct));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn trace_mrc_hash_sharded_sampling_and_checkpoint_flow() {
+        let path = std::env::temp_dir().join("symloc_cli_sampled_trace_checkpoint.json");
+        let path_str = path.to_string_lossy().to_string();
+        std::fs::remove_file(&path).ok();
+
+        // Hash-sharded sampled run without a checkpoint.
+        let direct = trace_mrc(&sargs(
+            "gen:zipf:200:4000:0.8:5 --sample 64 --shards 4 --points 6",
+        ))
+        .unwrap();
+        assert!(
+            direct.contains("sampled hash-sharded (4 shards x 16 budget"),
+            "{direct}"
+        );
+        assert!(direct.contains("accesses            : 4000"));
+
+        // The same plan, checkpointed and interrupted mid-run.
+        let spec = format!(
+            "gen:zipf:200:4000:0.8:5 --sample 64 --shards 4 --points 6 --checkpoint {path_str}"
+        );
+        let first = trace_mrc(&sargs(&format!("{spec} --max-chunks 2"))).unwrap();
+        assert!(first.contains("2 of 4 complete"), "{first}");
+        assert!(first.contains("sampled ingest incomplete"));
+
+        let second = trace_mrc(&sargs(&spec)).unwrap();
+        assert!(second.contains("resumed from"));
+        assert!(second.contains("4 of 4 complete"));
+
+        // Checkpointed and direct runs agree from the engine line down.
+        let tail = |s: &str| {
+            s.lines()
+                .skip_while(|l| !l.starts_with("accesses"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(tail(&second), tail(&direct));
+
+        // One hash shard falls back to the classic sequential estimator
+        // output.
+        let single = trace_mrc(&sargs("gen:zipf:200:4000:0.8:5 --sample 64 --points 6")).unwrap();
+        assert!(single.contains("engine              : sampled (s_max 64"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn trace_convert_round_trips_both_formats() {
+        let dir = std::env::temp_dir();
+        let sltr = dir.join("symloc_cli_convert_test.sltr");
+        let text = dir.join("symloc_cli_convert_test.trace");
+        let sidecar = sltr_index_path(&sltr);
+        let text_sidecar = sltr_index_path(&text);
+        let report = trace_convert(&sargs(&format!(
+            "gen:sawtooth:9:4 {}",
+            sltr.to_string_lossy()
+        )))
+        .unwrap();
+        assert!(report.contains("36 accesses, sltr format, chunk index every 4096"));
+        assert!(sidecar.exists(), "convert must write the sidecar index");
+        let report = trace_convert(&sargs(&format!(
+            "{} {}",
+            sltr.to_string_lossy(),
+            text.to_string_lossy()
+        )))
+        .unwrap();
+        assert!(report.contains("36 accesses, text format, line index every 4096"));
+        assert!(
+            text_sidecar.exists(),
+            "text output gets a line index sidecar too"
+        );
+        assert_eq!(
+            read_trace(&text).unwrap(),
+            symloc_trace::generators::sawtooth_trace(9, 4)
+        );
+        // A custom interval lands in the report; --index 0 removes the
+        // sidecar again, for either format.
+        let report = trace_convert(&sargs(&format!(
+            "gen:sawtooth:9:4 {} --index 16",
+            sltr.to_string_lossy()
+        )))
+        .unwrap();
+        assert!(report.contains("chunk index every 16"));
+        let report = trace_convert(&sargs(&format!(
+            "gen:sawtooth:9:4 {} --index 0",
+            sltr.to_string_lossy()
+        )))
+        .unwrap();
+        assert!(!report.contains("chunk index"));
+        assert!(!sidecar.exists(), "--index 0 must clear a stale sidecar");
+        let report = trace_convert(&sargs(&format!(
+            "gen:sawtooth:9:4 {} --index 0",
+            text.to_string_lossy()
+        )))
+        .unwrap();
+        assert!(!report.contains("line index"));
+        assert!(!text_sidecar.exists(), "--index 0 clears text sidecars too");
+        assert!(trace_convert(&sargs("gen:cyclic:4:2")).is_err());
+        assert!(trace_convert(&sargs("")).is_err());
+        assert!(trace_convert(&sargs("gen:cyclic:4:2 out.sltr extra")).is_err());
+        assert!(trace_convert(&sargs("/no/such/file.trace out.sltr")).is_err());
+        std::fs::remove_file(&sltr).ok();
+        std::fs::remove_file(&text).ok();
+        std::fs::remove_file(&sidecar).ok();
+        std::fs::remove_file(&text_sidecar).ok();
+    }
+
+    #[test]
+    fn converted_text_index_makes_ranges_seek_identically() {
+        // The line index written by `trace convert` must validate and give
+        // the same ranges as parse-skipping.
+        let dir = std::env::temp_dir();
+        let text = dir.join(format!(
+            "symloc_cli_convert_textidx_{}.trace",
+            std::process::id()
+        ));
+        let sidecar = sltr_index_path(&text);
+        trace_convert(&sargs(&format!(
+            "gen:zipf:100:3000:0.8:7 {} --index 64",
+            text.to_string_lossy()
+        )))
+        .unwrap();
+        assert!(sidecar.exists());
+        let source = TraceSource::Text(text.clone());
+        assert_eq!(source.total_accesses().unwrap(), 3000);
+        let with_index: Vec<u64> = source.stream_range(640, 700).unwrap().collect();
+        std::fs::remove_file(&sidecar).unwrap();
+        let without: Vec<u64> = source.stream_range(640, 700).unwrap().collect();
+        assert_eq!(with_index, without);
+        std::fs::remove_file(&text).ok();
+    }
+
+    #[test]
+    fn trace_index_builds_sidecars_for_existing_files() {
+        let dir = std::env::temp_dir();
+        let sltr = dir.join(format!("symloc_cli_index_{}.sltr", std::process::id()));
+        let text = dir.join(format!("symloc_cli_index_{}.trace", std::process::id()));
+        // Write both formats *without* indexes.
+        trace_convert(&sargs(&format!(
+            "gen:sawtooth:30:10 {} --index 0",
+            sltr.to_string_lossy()
+        )))
+        .unwrap();
+        trace_convert(&sargs(&format!(
+            "gen:sawtooth:30:10 {} --index 0",
+            text.to_string_lossy()
+        )))
+        .unwrap();
+        let report =
+            trace_index(&sargs(&format!("{} --interval 32", sltr.to_string_lossy()))).unwrap();
+        assert!(
+            report.contains("300 accesses, chunk index every 32"),
+            "{report}"
+        );
+        assert!(sltr_index_path(&sltr).exists());
+        let report =
+            trace_index(&sargs(&format!("{} --interval 32", text.to_string_lossy()))).unwrap();
+        assert!(
+            report.contains("300 accesses, line index every 32"),
+            "{report}"
+        );
+        assert!(sltr_index_path(&text).exists());
+        // Both sources validate and stream through their new sidecars.
+        for source in [
+            TraceSource::Binary(sltr.clone()),
+            TraceSource::Text(text.clone()),
+        ] {
+            assert_eq!(source.total_accesses().unwrap(), 300);
+            let got: Vec<u64> = source.stream_range(64, 66).unwrap().collect();
+            assert_eq!(got.len(), 2);
+        }
+        // Rejections: generator specs, zero intervals, missing files.
+        assert!(trace_index(&sargs("gen:cyclic:4:2")).is_err());
+        assert!(trace_index(&sargs(&format!("{} --interval 0", text.to_string_lossy()))).is_err());
+        assert!(trace_index(&sargs("/no/such/file.trace")).is_err());
+        std::fs::remove_file(sltr_index_path(&sltr)).ok();
+        std::fs::remove_file(sltr_index_path(&text)).ok();
+        std::fs::remove_file(&sltr).ok();
+        std::fs::remove_file(&text).ok();
+    }
+
+    #[test]
+    fn trace_dispatch_and_errors() {
+        use crate::cli::run;
+        assert!(trace(&sargs("")).is_err());
+        assert!(trace(&sargs("bogus")).is_err());
+        assert!(run(&sargs("trace mrc gen:cyclic:10:3 --points 4"))
+            .unwrap()
+            .contains("trace mrc — gen:cyclic:10:3"));
+        assert!(trace_mrc(&sargs("/no/such/file.trace")).is_err());
+        assert!(trace_mrc(&sargs("/no/such/file.trace --sample 8")).is_err());
+    }
+
+    #[test]
+    fn trace_commands_report_malformed_content_as_errors() {
+        // Every trace path — exact streaming, sampled, convert, index —
+        // must turn malformed file content into a CliError, not a panic
+        // (regression: only the sharded path used to validate before
+        // streaming).
+        let path = std::env::temp_dir().join("symloc_cli_malformed_test.trace");
+        let path_str = path.to_string_lossy().to_string();
+        std::fs::write(&path, "0\n1\nnot-a-number\n2\n").unwrap();
+        let exact = trace_mrc(&sargs(&format!("{path_str} --threads 1"))).unwrap_err();
+        assert!(exact.to_string().contains("line 3"), "{exact}");
+        assert!(trace_mrc(&sargs(&format!("{path_str} --sample 8"))).is_err());
+        assert!(trace_mrc(&sargs(&format!("{path_str} --threads 2"))).is_err());
+        assert!(trace_index(&sargs(&path_str)).is_err());
+        let out = std::env::temp_dir().join("symloc_cli_malformed_test.sltr");
+        assert!(trace_convert(&sargs(&format!("{path_str} {}", out.to_string_lossy()))).is_err());
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&out).ok();
+    }
+}

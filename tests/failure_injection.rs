@@ -275,6 +275,116 @@ fn mangled_checkpoint_documents_are_rejected_with_context() {
 }
 
 #[test]
+fn cross_kind_checkpoint_resume_fails_loudly_for_every_pair() {
+    use symmetric_locality::core::engine::SweepSpec;
+    use symmetric_locality::core::job::JobKind;
+    use symmetric_locality::core::shard::{SampledSweep, ShardedSweep};
+    use symmetric_locality::core::tracesweep::{SampledIngest, TraceIngest};
+    use symmetric_locality::trace::stream::{GenSpec, TraceSource};
+
+    // One small in-progress checkpoint per job kind.
+    let source = TraceSource::Gen(GenSpec::parse("gen:zipf:50:500:0.9:1").unwrap());
+    let mut sharded = ShardedSweep::new(SweepSpec::figure1(5), 4, 1);
+    sharded.run_pending(Some(1));
+    let mut sampled_sweep = SampledSweep::new(SweepSpec::figure1(5), 60, 2, 1, 1);
+    sampled_sweep.run_pending(Some(2));
+    let mut ingest = TraceIngest::new(&source, 3, 1).unwrap();
+    ingest.run_pending(&source, Some(1));
+    let mut sampled_ingest = SampledIngest::new(&source, 2, 16, 1).unwrap();
+    sampled_ingest.run_pending(&source, Some(1));
+    let documents = [
+        (JobKind::ShardedSweep, sharded.to_json()),
+        (JobKind::SampledSweep, sampled_sweep.to_json()),
+        (JobKind::TraceIngest, ingest.to_json()),
+        (JobKind::SampledIngest, sampled_ingest.to_json()),
+    ];
+
+    // Every cross-kind decode must fail with an error naming both the
+    // found and the expected kind — never misparse, never a bare "bad
+    // JSON" shrug.
+    let decode_err = |expected: JobKind, text: &str| -> String {
+        match expected {
+            JobKind::ShardedSweep => ShardedSweep::from_json(text, 1).unwrap_err(),
+            JobKind::SampledSweep => SampledSweep::from_json(text, 1).unwrap_err(),
+            JobKind::TraceIngest => TraceIngest::from_json(text, 1).unwrap_err(),
+            JobKind::SampledIngest => SampledIngest::from_json(text, 1).unwrap_err(),
+        }
+    };
+    for (found, text) in &documents {
+        for expected in JobKind::ALL {
+            if expected == *found {
+                continue;
+            }
+            let err = decode_err(expected, text);
+            assert!(
+                err.contains(found.kind_str()) && err.contains(expected.kind_str()),
+                "{found:?} -> {expected:?}: {err}"
+            );
+            assert!(err.contains("symloc job resume"), "{err}");
+        }
+    }
+
+    // And every cross-kind resume_or_new is a loud error, not a silent
+    // fresh start that would overwrite the foreign checkpoint.
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!(
+        "symloc_failinj_crosskind_{}.json",
+        std::process::id()
+    ));
+    for (found, text) in &documents {
+        std::fs::write(&path, text).unwrap();
+        let spec = SweepSpec::figure1(5);
+        let results: Vec<(JobKind, Result<usize, String>)> = vec![
+            (
+                JobKind::ShardedSweep,
+                ShardedSweep::resume_or_new(spec, 4, 1, &path).map(|(s, _)| s.completed_count()),
+            ),
+            (
+                JobKind::SampledSweep,
+                SampledSweep::resume_or_new(spec, 60, 2, 1, 1, &path)
+                    .map(|(s, _)| s.completed_count()),
+            ),
+            (
+                JobKind::TraceIngest,
+                TraceIngest::resume_or_new(&source, 3, 1, &path).map(|(s, _)| s.completed_count()),
+            ),
+            (
+                JobKind::SampledIngest,
+                SampledIngest::resume_or_new(&source, 2, 16, 1, &path)
+                    .map(|(s, _)| s.completed_count()),
+            ),
+        ];
+        for (expected, result) in results {
+            if expected == *found {
+                assert!(result.is_ok(), "{expected:?} resuming its own checkpoint");
+            } else {
+                let err = result.expect_err("cross-kind resume must fail");
+                assert!(
+                    err.contains(found.describe()) && err.contains(expected.describe()),
+                    "{found:?} -> {expected:?}: {err}"
+                );
+            }
+        }
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn job_status_rejects_foreign_and_mangled_documents() {
+    use symmetric_locality::core::job::checkpoint_status;
+    assert!(checkpoint_status("not json").is_err());
+    assert!(checkpoint_status("{}").is_err());
+    assert!(checkpoint_status("{\"kind\": \"unregistered_kind\"}")
+        .unwrap_err()
+        .contains("unregistered_kind"));
+    // A registered kind with a mangled body still fails through the kind's
+    // own decoder, with its message.
+    let err =
+        checkpoint_status("{\"kind\": \"symloc_sweep_checkpoint\", \"version\": 1}").unwrap_err();
+    assert!(err.contains("missing"), "{err}");
+}
+
+#[test]
 fn cli_surfaces_errors_instead_of_panicking() {
     use symmetric_locality::cli;
     assert!(cli::run(&["analyze".to_string(), "/definitely/missing".to_string()]).is_err());
