@@ -147,6 +147,29 @@ fn main() {
             ratio,
         );
     }
+    // A measurement disappearing from the fresh run is a different failure
+    // than a slowdown (usually a renamed or dropped configuration), so name
+    // the missing configurations explicitly as a baseline-vs-fresh diff.
+    let missing: Vec<&str> = results
+        .iter()
+        .map(|r| (&r.name, &r.verdict))
+        .chain(trace_results.iter().map(|r| (&r.name, &r.verdict)))
+        .filter(|(_, v)| matches!(v, GateVerdict::Missing))
+        .map(|(name, _)| name.as_str())
+        .collect();
+    if !missing.is_empty() {
+        eprintln!(
+            "\nbench_gate: {} baselined configuration(s) missing from the fresh run:",
+            missing.len()
+        );
+        for name in &missing {
+            eprintln!("  - {name}");
+        }
+        eprintln!(
+            "  (renamed or dropped? refresh the baseline deliberately with \
+             run_all_experiments --bench-only)"
+        );
+    }
     if regressions > 0 {
         eprintln!(
             "\nbench_gate: {regressions} configuration(s) regressed more than {:.0}% \

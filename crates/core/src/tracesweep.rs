@@ -7,11 +7,12 @@
 //! subsystem's engineering — streaming aggregation, sharded parallelism,
 //! hand-rolled JSON checkpoints, bench gates — to arbitrary-length traces:
 //!
-//! * [`OnlineReuseEngine`] — the exact single-pass engine: a last-access
-//!   hash map plus a [`Fenwick`] tree over **compressed timestamps**. Only
-//!   live markers (one per distinct address) survive compaction, so the
-//!   tree is `O(footprint)` instead of `O(trace length)`; each access costs
-//!   `O(log footprint)`.
+//! * [`OnlineReuseEngine`] — the exact single-pass engine: an address
+//!   interner (u64 → dense u32 ids, array-indexed last-access state) plus a
+//!   [`Fenwick`] tree over **compressed timestamps**. Only live markers
+//!   (one per distinct address) survive compaction, so the tree is
+//!   `O(footprint)` instead of `O(trace length)`; each access costs
+//!   `O(log footprint)` with no hash-map probe on the hot path.
 //! * [`ShardsEstimator`] — a bounded-memory sampled estimator in the style
 //!   of SHARDS (hash-based spatial sampling): addresses are sampled by a
 //!   fixed hash condition, the tracked set is capped at `s_max` by evicting
@@ -57,7 +58,7 @@ use std::fmt::Write as _;
 use std::path::Path;
 use symloc_par::split_indices;
 use symloc_perm::fenwick::Fenwick;
-use symloc_trace::stream::TraceSource;
+use symloc_trace::stream::{BlockRead, TraceSource};
 
 /// Format tag embedded in every ingest checkpoint document.
 #[cfg(test)]
@@ -71,17 +72,41 @@ const MIN_TIMELINE_CAPACITY: usize = 64;
 // Histograms
 // ---------------------------------------------------------------------------
 
-/// A sparse reuse-distance histogram with `u64` counts, built online.
+/// Distances at or below this bound live in the histogram's dense front
+/// array (one `u64` per distance, `record_finite` is an increment);
+/// distances above it spill to the sparse tree. `1 << 16` entries is 512
+/// KiB fully grown — and the front only grows to the largest distance
+/// actually seen.
+const DENSE_DISTANCE_LIMIT: usize = 1 << 16;
+
+/// A reuse-distance histogram with `u64` counts, built online.
 ///
-/// The streaming counterpart of `symloc_cache`'s dense-trace histogram:
-/// distances are keyed sparsely (a trace touches at most `footprint`
-/// distinct distances) and counts are 64-bit so multi-billion-access traces
-/// aggregate without overflow.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+/// The streaming counterpart of `symloc_cache`'s dense-trace histogram.
+/// `record_finite` sits on the exact engine's per-access path, so common
+/// (small) distances are a plain array increment — `dense[d - 1]`, grown
+/// geometrically up to `DENSE_DISTANCE_LIMIT` — and only the rare huge
+/// distances pay a `BTreeMap` probe. Counts are 64-bit so
+/// multi-billion-access traces aggregate without overflow.
+#[derive(Debug, Clone, Default)]
 pub struct StreamHistogram {
+    /// Count of distance `d` at index `d - 1`, for `d` up to the grown
+    /// length (zeros are "no such distance", exactly like an absent key).
+    dense: Vec<u64>,
+    /// Counts for distances beyond `DENSE_DISTANCE_LIMIT` — every key
+    /// here is strictly larger than any dense index.
     counts: BTreeMap<usize, u64>,
     cold: u64,
 }
+
+/// Logical equality: the same recorded distances and counts, regardless of
+/// how far the dense front happened to grow.
+impl PartialEq for StreamHistogram {
+    fn eq(&self, other: &Self) -> bool {
+        self.cold == other.cold && self.iter().eq(other.iter())
+    }
+}
+
+impl Eq for StreamHistogram {}
 
 impl StreamHistogram {
     /// Creates an empty histogram.
@@ -95,9 +120,18 @@ impl StreamHistogram {
     /// # Panics
     ///
     /// Panics on `d == 0`; the smallest legal stack distance is 1.
+    #[inline]
     pub fn record_finite(&mut self, d: usize, count: u64) {
         assert!(d > 0, "reuse distance 0 is not representable");
-        *self.counts.entry(d).or_insert(0) += count;
+        if d <= DENSE_DISTANCE_LIMIT {
+            if d > self.dense.len() {
+                self.dense
+                    .resize(d.next_power_of_two().max(MIN_TIMELINE_CAPACITY), 0);
+            }
+            self.dense[d - 1] += count;
+        } else {
+            *self.counts.entry(d).or_insert(0) += count;
+        }
     }
 
     /// Records `count` cold (infinite-distance) accesses.
@@ -108,7 +142,13 @@ impl StreamHistogram {
     /// Number of accesses with exactly distance `d`.
     #[must_use]
     pub fn count_at(&self, d: usize) -> u64 {
-        self.counts.get(&d).copied().unwrap_or(0)
+        if d == 0 {
+            0
+        } else if d <= self.dense.len() {
+            self.dense[d - 1]
+        } else {
+            self.counts.get(&d).copied().unwrap_or(0)
+        }
     }
 
     /// Number of cold accesses.
@@ -120,7 +160,7 @@ impl StreamHistogram {
     /// Number of accesses with finite distance.
     #[must_use]
     pub fn finite_count(&self) -> u64 {
-        self.counts.values().sum()
+        self.dense.iter().sum::<u64>() + self.counts.values().sum::<u64>()
     }
 
     /// Total recorded accesses.
@@ -133,7 +173,8 @@ impl StreamHistogram {
     /// size `c`).
     #[must_use]
     pub fn hits_up_to(&self, c: usize) -> u64 {
-        self.counts.range(..=c).map(|(_, &n)| n).sum()
+        self.dense[..c.min(self.dense.len())].iter().sum::<u64>()
+            + self.counts.range(..=c).map(|(_, &n)| n).sum::<u64>()
     }
 
     /// Miss ratio of an LRU cache of size `c`.
@@ -150,24 +191,36 @@ impl StreamHistogram {
     /// Largest finite distance recorded.
     #[must_use]
     pub fn max_distance(&self) -> Option<usize> {
-        self.counts.keys().next_back().copied()
+        self.counts.keys().next_back().copied().or_else(|| {
+            self.dense
+                .iter()
+                .rposition(|&c| c > 0)
+                .map(|index| index + 1)
+        })
     }
 
     /// Iterates over `(distance, count)` in increasing distance order.
+    /// Every dense distance is smaller than every spilled one, so the
+    /// chain stays sorted.
     pub fn iter(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
-        self.counts.iter().map(|(&d, &c)| (d, c))
+        self.dense
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(index, &c)| (index + 1, c))
+            .chain(self.counts.iter().map(|(&d, &c)| (d, c)))
     }
 
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &StreamHistogram) {
         for (d, c) in other.iter() {
-            *self.counts.entry(d).or_insert(0) += c;
+            self.record_finite(d, c);
         }
         self.cold += other.cold;
     }
 
     /// The miss-ratio curve evaluated at `sizes` (each in one pass over the
-    /// sparse histogram; `sizes` need not be sorted).
+    /// histogram; `sizes` need not be sorted).
     #[must_use]
     pub fn mrc_points(&self, sizes: &[usize]) -> Vec<MrcPoint> {
         mrc_points_from(sizes, self.accesses() as f64, |c| self.hits_up_to(c) as f64)
@@ -305,24 +358,397 @@ pub fn log_spaced_sizes(max: usize, count: usize) -> Vec<usize> {
 }
 
 // ---------------------------------------------------------------------------
+// Address interning
+// ---------------------------------------------------------------------------
+
+/// Sentinel id meaning "empty" in the interner's lookup tables. Doubles as
+/// the hard ceiling on distinct addresses: the id space is `0 .. u32::MAX`,
+/// and interning past it errors loudly instead of wrapping.
+const NO_ID: u32 = u32::MAX;
+
+/// Addresses below this bound intern through a direct-indexed array (one
+/// load, no hashing) instead of the open-addressing table. The array grows
+/// geometrically with the largest small address actually seen, so a trace
+/// over `m` cache lines pays `O(m)` for it, and a sparse 64-bit address
+/// space never allocates more than `4 * SMALL_ADDR_LIMIT` bytes for it.
+const SMALL_ADDR_LIMIT: u64 = 1 << 21;
+
+/// Maps arbitrary `u64` addresses to dense `u32` ids, so per-address engine
+/// state lives in flat arrays instead of a `HashMap<u64, usize>`.
+///
+/// Two-tier lookup: addresses under `SMALL_ADDR_LIMIT` resolve through a
+/// direct-indexed array (the common case for cache-line traces); larger
+/// ones go through a linear-probing open-addressing table keyed by
+/// `splitmix64`. Ids are handed out in first-touch order and never
+/// recycled, so `id → addr` is a plain `Vec` lookup.
+#[derive(Debug, Clone)]
+pub struct AddrInterner {
+    /// Direct `addr → id` array for small addresses (`NO_ID` = unseen).
+    small: Vec<u32>,
+    /// Open-addressing `hash slot → id` table for large addresses
+    /// (`NO_ID` = empty); keys live in `addrs`. Power-of-two sized,
+    /// resized at 1/2 load.
+    table: Vec<u32>,
+    /// `id → addr`, in first-touch order.
+    addrs: Vec<u64>,
+    /// Ids held by the large-address table (for the load factor).
+    large: usize,
+    /// Hard ceiling on ids handed out (`NO_ID` by default; lowered only by
+    /// tests exercising the exhaustion path).
+    max_ids: u32,
+}
+
+impl Default for AddrInterner {
+    fn default() -> Self {
+        AddrInterner::new()
+    }
+}
+
+impl AddrInterner {
+    /// Creates an empty interner with the full `u32` id space.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_capacity_limit(NO_ID)
+    }
+
+    /// Creates an interner that errors after `max_ids` distinct addresses.
+    ///
+    /// Exists so the exhaustion behavior is testable without interning
+    /// four billion addresses; production engines use [`AddrInterner::new`].
+    #[must_use]
+    pub fn with_capacity_limit(max_ids: u32) -> Self {
+        AddrInterner {
+            small: Vec::new(),
+            table: Vec::new(),
+            addrs: Vec::new(),
+            large: 0,
+            max_ids,
+        }
+    }
+
+    /// Distinct addresses interned so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// True when no address has been interned yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.addrs.is_empty()
+    }
+
+    /// The address a previously handed-out id stands for.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was never handed out by this interner.
+    #[must_use]
+    #[inline]
+    pub fn address(&self, id: u32) -> u64 {
+        self.addrs[id as usize]
+    }
+
+    /// Returns `addr`'s id, handing out the next dense id on first touch.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the id space is exhausted (more than `u32::MAX` distinct
+    /// addresses — or the test-configured limit): wrapping ids would
+    /// silently alias two addresses, so exhaustion must be loud.
+    #[inline]
+    pub fn intern(&mut self, addr: u64) -> u32 {
+        if addr < SMALL_ADDR_LIMIT {
+            let idx = addr as usize;
+            if let Some(&id) = self.small.get(idx) {
+                if id != NO_ID {
+                    return id;
+                }
+            } else {
+                let want = (idx + 1).next_power_of_two().max(1024);
+                self.small
+                    .resize(want.min(SMALL_ADDR_LIMIT as usize), NO_ID);
+            }
+            let id = self.push_addr(addr);
+            self.small[idx] = id;
+            id
+        } else {
+            self.intern_large(addr)
+        }
+    }
+
+    /// Returns `addr`'s id if it has been interned, without interning it.
+    #[must_use]
+    #[inline]
+    pub fn lookup(&self, addr: u64) -> Option<u32> {
+        if addr < SMALL_ADDR_LIMIT {
+            let id = *self.small.get(addr as usize)?;
+            (id != NO_ID).then_some(id)
+        } else {
+            if self.table.is_empty() {
+                return None;
+            }
+            let mask = self.table.len() - 1;
+            let mut pos = splitmix64(addr) as usize & mask;
+            loop {
+                let id = self.table[pos];
+                if id == NO_ID {
+                    return None;
+                }
+                if self.addrs[id as usize] == addr {
+                    return Some(id);
+                }
+                pos = (pos + 1) & mask;
+            }
+        }
+    }
+
+    fn intern_large(&mut self, addr: u64) -> u32 {
+        if self.table.is_empty() {
+            self.table = vec![NO_ID; 64];
+        }
+        let mask = self.table.len() - 1;
+        let mut pos = splitmix64(addr) as usize & mask;
+        loop {
+            let id = self.table[pos];
+            if id == NO_ID {
+                break;
+            }
+            if self.addrs[id as usize] == addr {
+                return id;
+            }
+            pos = (pos + 1) & mask;
+        }
+        let id = self.push_addr(addr);
+        self.table[pos] = id;
+        self.large += 1;
+        if self.large * 2 >= self.table.len() {
+            self.grow_table();
+        }
+        id
+    }
+
+    fn grow_table(&mut self) {
+        let mut table = vec![NO_ID; self.table.len() * 2];
+        let mask = table.len() - 1;
+        for &id in &self.table {
+            if id == NO_ID {
+                continue;
+            }
+            let mut pos = splitmix64(self.addrs[id as usize]) as usize & mask;
+            while table[pos] != NO_ID {
+                pos = (pos + 1) & mask;
+            }
+            table[pos] = id;
+        }
+        self.table = table;
+    }
+
+    fn push_addr(&mut self, addr: u64) -> u32 {
+        let next = self.addrs.len();
+        assert!(
+            next < self.max_ids as usize,
+            "address interner exhausted: more than {} distinct addresses \
+             (ids would wrap and alias)",
+            self.max_ids
+        );
+        self.addrs.push(addr);
+        #[allow(clippy::cast_possible_truncation)]
+        {
+            next as u32
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // The compressed timeline
 // ---------------------------------------------------------------------------
 
-/// The shared core of every engine here: a Fenwick tree over *compressed
-/// timestamps* plus a last-access map. Each distinct address owns exactly
-/// one marker; timestamps are dense slot indices that are periodically
-/// compacted (live markers re-packed in order), so the tree's size tracks
-/// the number of live addresses, not the number of accesses.
+/// The core of the exact engines: a Fenwick tree over *compressed
+/// timestamps* plus per-address last-access state. Each distinct address
+/// owns exactly one marker; timestamps are dense slot indices that are
+/// periodically compacted (live markers re-packed in order), so the tree's
+/// size tracks the number of live addresses, not the number of accesses.
+///
+/// Addresses are interned to dense `u32` ids, so the per-access state is
+/// two flat-array lookups (`slot_of`, `id_of_slot`) instead of a hash-map
+/// probe — the single biggest cost in the old `HashMap<u64, usize>` inner
+/// loop. The interner grows with distinct-addresses-ever-seen, which is
+/// exactly the exact path's `O(footprint)` budget; the bounded-memory
+/// sampled estimator keeps its own hash-based [`SampledTimeline`] instead,
+/// because an interner would defeat its `O(s_max)` eviction guarantee.
 #[derive(Debug, Clone)]
 struct Timeline {
+    tree: Fenwick,
+    interner: AddrInterner,
+    /// `id → slot of its live marker` (`NO_SLOT` = the address is not live).
+    slot_of: Vec<usize>,
+    /// `slot → id of the marker occupying it`. Valid iff `slot_of` points
+    /// back at the slot; moves and removals leave stale entries behind
+    /// rather than erasing them. Always `tree.len()` long.
+    id_of_slot: Vec<u32>,
+    /// Live (tracked) addresses.
+    live: usize,
+    next_slot: usize,
+}
+
+/// Sentinel slot meaning "this id has no live marker".
+const NO_SLOT: usize = usize::MAX;
+
+impl Timeline {
+    fn new() -> Self {
+        Timeline {
+            tree: Fenwick::new(MIN_TIMELINE_CAPACITY),
+            interner: AddrInterner::new(),
+            slot_of: Vec::new(),
+            id_of_slot: vec![0; MIN_TIMELINE_CAPACITY],
+            live: 0,
+            next_slot: 0,
+        }
+    }
+
+    /// Number of live (tracked) addresses.
+    fn live(&self) -> usize {
+        self.live
+    }
+
+    /// Current tree capacity (for memory-bound assertions).
+    fn capacity(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// Interns `addr`, growing the id-indexed state alongside the id space.
+    #[inline]
+    fn intern(&mut self, addr: u64) -> usize {
+        let id = self.interner.intern(addr) as usize;
+        if id == self.slot_of.len() {
+            self.slot_of.push(NO_SLOT);
+        }
+        id
+    }
+
+    /// Re-packs the live markers into slots `0..live` (preserving order)
+    /// and resizes the tree to twice the live count. Called when the slot
+    /// counter reaches the capacity; amortized `O(log)` per access.
+    ///
+    /// Walking the slots in ascending order visits live markers exactly in
+    /// the order the old implementation obtained by sorting `(slot, addr)`
+    /// pairs, so the repacked layout is identical — and since `new_slot`
+    /// never overtakes the read cursor, the repack is safely in place.
+    fn compact(&mut self) {
+        let mut new_slot = 0usize;
+        for slot in 0..self.next_slot {
+            let id = self.id_of_slot[slot];
+            if self.slot_of[id as usize] == slot {
+                self.id_of_slot[new_slot] = id;
+                self.slot_of[id as usize] = new_slot;
+                new_slot += 1;
+            }
+        }
+        debug_assert_eq!(new_slot, self.live, "live count drifted");
+        let capacity = (self.live * 2).max(MIN_TIMELINE_CAPACITY);
+        // Repacked markers occupy exactly the slots 0..live, so the tree is
+        // rebuilt in one O(capacity) pass instead of live × O(log) adds.
+        self.tree.reset_ones_prefix(capacity, new_slot);
+        self.id_of_slot.resize(capacity, 0);
+        self.next_slot = new_slot;
+    }
+
+    fn ensure_slot(&mut self) {
+        if self.next_slot >= self.tree.len() {
+            self.compact();
+        }
+    }
+
+    /// Records one access: returns `Some(reuse distance)` when the address
+    /// was live, `None` on a first touch. Either way the address's marker
+    /// ends up at the newest slot.
+    #[inline]
+    fn observe(&mut self, addr: u64) -> Option<usize> {
+        self.ensure_slot();
+        let id = self.intern(addr);
+        let prev = self.slot_of[id];
+        let distance = if prev == NO_SLOT {
+            self.live += 1;
+            None
+        } else {
+            let between = self.tree.range_sum(prev + 1, self.next_slot);
+            self.tree.sub(prev, 1);
+            Some(usize::try_from(between).expect("distance fits usize") + 1)
+        };
+        self.tree.add(self.next_slot, 1);
+        self.slot_of[id] = self.next_slot;
+        #[allow(clippy::cast_possible_truncation)]
+        {
+            self.id_of_slot[self.next_slot] = id as u32;
+        }
+        self.next_slot += 1;
+        distance
+    }
+
+    /// Number of live markers strictly after `slot`.
+    fn markers_after(&self, slot: usize) -> u64 {
+        self.tree.range_sum(slot + 1, self.next_slot)
+    }
+
+    /// Removes an address's marker; returns the slot it occupied.
+    fn remove(&mut self, addr: u64) -> Option<usize> {
+        let id = self.interner.lookup(addr)? as usize;
+        let slot = *self.slot_of.get(id)?;
+        if slot == NO_SLOT {
+            return None;
+        }
+        self.slot_of[id] = NO_SLOT;
+        self.live -= 1;
+        self.tree.sub(slot, 1);
+        Some(slot)
+    }
+
+    /// Appends a marker for `addr` at the newest slot (the address must not
+    /// be live).
+    fn append(&mut self, addr: u64) {
+        self.ensure_slot();
+        let id = self.intern(addr);
+        debug_assert_eq!(self.slot_of[id], NO_SLOT, "append of live addr");
+        self.tree.add(self.next_slot, 1);
+        self.slot_of[id] = self.next_slot;
+        #[allow(clippy::cast_possible_truncation)]
+        {
+            self.id_of_slot[self.next_slot] = id as u32;
+        }
+        self.live += 1;
+        self.next_slot += 1;
+    }
+
+    /// The live addresses in timeline (last-access) order.
+    fn ordered_addresses(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.live);
+        for slot in 0..self.next_slot {
+            let id = self.id_of_slot[slot];
+            if self.slot_of[id as usize] == slot {
+                out.push(self.interner.address(id));
+            }
+        }
+        out
+    }
+}
+
+/// The bounded-memory sibling of [`Timeline`], used by the SHARDS-style
+/// sampled estimator: per-address state lives in a `HashMap` that shrinks
+/// on eviction, so memory stays `O(s_max)` no matter how many distinct
+/// addresses the trace touches. (An interner never forgets an address, so
+/// the dense timeline's footprint is distinct-addresses-ever-seen —
+/// exactly right for the exact path, fatal for the sampled one.)
+#[derive(Debug, Clone)]
+struct SampledTimeline {
     tree: Fenwick,
     last_slot: HashMap<u64, usize>,
     next_slot: usize,
 }
 
-impl Timeline {
+impl SampledTimeline {
     fn new() -> Self {
-        Timeline {
+        SampledTimeline {
             tree: Fenwick::new(MIN_TIMELINE_CAPACITY),
             last_slot: HashMap::new(),
             next_slot: 0,
@@ -335,13 +761,13 @@ impl Timeline {
     }
 
     /// Current tree capacity (for memory-bound assertions).
+    #[cfg(test)]
     fn capacity(&self) -> usize {
         self.tree.len()
     }
 
     /// Re-packs the live markers into slots `0..live` (preserving order)
-    /// and resizes the tree to twice the live count. Called when the slot
-    /// counter reaches the capacity; amortized `O(log)` per access.
+    /// and resizes the tree to twice the live count.
     fn compact(&mut self) {
         let mut live: Vec<(usize, u64)> = self
             .last_slot
@@ -350,10 +776,9 @@ impl Timeline {
             .collect();
         live.sort_unstable();
         let capacity = (live.len() * 2).max(MIN_TIMELINE_CAPACITY);
-        self.tree.reset(capacity);
+        self.tree.reset_ones_prefix(capacity, live.len());
         self.last_slot.clear();
         for (new_slot, &(_, addr)) in live.iter().enumerate() {
-            self.tree.add(new_slot, 1);
             self.last_slot.insert(addr, new_slot);
         }
         self.next_slot = live.len();
@@ -366,8 +791,7 @@ impl Timeline {
     }
 
     /// Records one access: returns `Some(reuse distance)` when the address
-    /// was live, `None` on a first touch. Either way the address's marker
-    /// ends up at the newest slot.
+    /// was live, `None` on a first touch.
     fn observe(&mut self, addr: u64) -> Option<usize> {
         self.ensure_slot();
         let distance = self.last_slot.get(&addr).copied().map(|prev| {
@@ -381,37 +805,11 @@ impl Timeline {
         distance
     }
 
-    /// Number of live markers strictly after `slot`.
-    fn markers_after(&self, slot: usize) -> u64 {
-        self.tree.range_sum(slot + 1, self.next_slot)
-    }
-
     /// Removes an address's marker; returns the slot it occupied.
     fn remove(&mut self, addr: u64) -> Option<usize> {
         let slot = self.last_slot.remove(&addr)?;
         self.tree.sub(slot, 1);
         Some(slot)
-    }
-
-    /// Appends a marker for `addr` at the newest slot (the address must not
-    /// be live).
-    fn append(&mut self, addr: u64) {
-        self.ensure_slot();
-        debug_assert!(!self.last_slot.contains_key(&addr), "append of live addr");
-        self.tree.add(self.next_slot, 1);
-        self.last_slot.insert(addr, self.next_slot);
-        self.next_slot += 1;
-    }
-
-    /// The live addresses in timeline (last-access) order.
-    fn ordered_addresses(&self) -> Vec<u64> {
-        let mut live: Vec<(usize, u64)> = self
-            .last_slot
-            .iter()
-            .map(|(&addr, &slot)| (slot, addr))
-            .collect();
-        live.sort_unstable();
-        live.into_iter().map(|(_, addr)| addr).collect()
     }
 }
 
@@ -455,6 +853,16 @@ impl OnlineReuseEngine {
     /// Records every access of an iterator.
     pub fn record_all(&mut self, accesses: impl IntoIterator<Item = u64>) {
         for addr in accesses {
+            self.record(addr);
+        }
+    }
+
+    /// Records every access of a decoded block — the slice counterpart of
+    /// [`OnlineReuseEngine::record_all`] used by the block-streaming ingest
+    /// path, which hands the engine whole decoded chunks instead of one
+    /// virtual-dispatch iterator call per access.
+    pub fn record_block(&mut self, block: &[u64]) {
+        for &addr in block {
             self.record(addr);
         }
     }
@@ -543,7 +951,7 @@ pub struct ShardsEstimator {
     /// (`0` of `1`) is the whole space — the classic sequential estimator.
     shard_index: u64,
     shard_count: u64,
-    timeline: Timeline,
+    timeline: SampledTimeline,
     /// Max-heap of `(hash, addr)` over tracked addresses, for eviction.
     by_hash: BinaryHeap<(u64, u64)>,
     histogram: WeightedHistogram,
@@ -611,7 +1019,7 @@ impl ShardsEstimator {
             threshold,
             shard_index,
             shard_count,
-            timeline: Timeline::new(),
+            timeline: SampledTimeline::new(),
             by_hash: BinaryHeap::new(),
             histogram: WeightedHistogram::default(),
             raw_accesses: 0,
@@ -1413,27 +1821,65 @@ pub struct ChunkPartial {
     pub accesses: u64,
 }
 
+/// The in-progress fold of one chunk, shared by the iterator- and
+/// block-shaped entry points below.
+#[derive(Default)]
+struct ChunkFolder {
+    timeline: Timeline,
+    histogram: StreamHistogram,
+    unresolved: Vec<(u64, u64)>,
+    count: u64,
+}
+
+impl ChunkFolder {
+    #[inline]
+    fn push(&mut self, addr: u64) {
+        self.count += 1;
+        match self.timeline.observe(addr) {
+            Some(d) => self.histogram.record_finite(d, 1),
+            None => self
+                .unresolved
+                .push((addr, (self.timeline.live() - 1) as u64)),
+        }
+    }
+
+    fn finish(self) -> ChunkPartial {
+        ChunkPartial {
+            histogram: self.histogram,
+            unresolved: self.unresolved,
+            last_order: self.timeline.ordered_addresses(),
+            accesses: self.count,
+        }
+    }
+}
+
 /// Folds one contiguous chunk of accesses into a [`ChunkPartial`].
 /// Embarrassingly parallel across chunks; `O(chunk footprint)` memory.
 #[must_use]
 pub fn chunk_partial(accesses: impl IntoIterator<Item = u64>) -> ChunkPartial {
-    let mut timeline = Timeline::new();
-    let mut histogram = StreamHistogram::new();
-    let mut unresolved = Vec::new();
-    let mut count = 0u64;
+    let mut folder = ChunkFolder::default();
     for addr in accesses {
-        count += 1;
-        match timeline.observe(addr) {
-            Some(d) => histogram.record_finite(d, 1),
-            None => unresolved.push((addr, (timeline.live() - 1) as u64)),
+        folder.push(addr);
+    }
+    folder.finish()
+}
+
+/// Block-streaming variant of [`chunk_partial`]: identical result, but the
+/// accesses arrive as decoded slices (see
+/// [`TraceSource::stream_blocks_range`]) instead of one virtual iterator
+/// call each. This is the shape the parallel ingest workers consume, so
+/// `.sltr` chunks decode zero-copy and pre-intern in parallel while the
+/// exact [`MergeState::absorb`] merge stays sequential and in chunk order.
+#[must_use]
+pub fn chunk_partial_blocks(blocks: &mut dyn BlockRead) -> ChunkPartial {
+    let mut folder = ChunkFolder::default();
+    let mut buf = Vec::new();
+    while blocks.next_block(&mut buf) > 0 {
+        for &addr in &buf {
+            folder.push(addr);
         }
     }
-    ChunkPartial {
-        histogram,
-        unresolved,
-        last_order: timeline.ordered_addresses(),
-        accesses: count,
-    }
+    folder.finish()
 }
 
 /// The left-to-right merge state of sharded ingestion: a global compressed
@@ -1865,14 +2311,18 @@ impl Job for TraceIngestJob<'_> {
         threads
     }
 
+    /// Workers decode and fold chunks in parallel over the block-streaming
+    /// path — `.sltr` sources seek via the SLIX sidecar and decode varint
+    /// runs zero-copy — while [`TraceIngestJob::absorb`] keeps the exact
+    /// merge sequential and in chunk order.
     fn run_span(&self, units: &[usize], out: &mut Vec<(usize, ChunkPartial)>) {
         for &unit in units {
             let (start, end) = self.bounds[unit];
-            let stream = self
+            let mut blocks = self
                 .source
-                .stream_range(start, end)
+                .stream_blocks_range(start, end)
                 .expect("validated source streams");
-            out.push((unit, chunk_partial(stream)));
+            out.push((unit, chunk_partial_blocks(blocks.as_mut())));
         }
     }
 

@@ -299,3 +299,121 @@ proptest! {
         prop_assert!(worst < 0.12, "worst pointwise error {} (seed {})", worst, seed);
     }
 }
+
+/// Renders the checkpoint document the seed-era (pre-interner) ingest wrote
+/// after absorbing `done` of `chunks` chunks — built from the naive model
+/// alone, sharing no serialization code with `TraceIngest::to_json`: the
+/// histogram and cold count come from the literal quadratic distances of
+/// the absorbed prefix, and the timeline is the prefix's distinct addresses
+/// ordered by last access (the order the seed-era HashMap engine produced
+/// by sorting its live slots).
+fn seed_era_checkpoint_json(
+    fingerprint: &str,
+    total: u64,
+    chunks: usize,
+    done: usize,
+    prefix: &[u64],
+) -> String {
+    use std::collections::BTreeMap;
+    use std::fmt::Write as _;
+    let mut cold = 0u64;
+    let mut finite: BTreeMap<usize, u64> = BTreeMap::new();
+    for (t, &addr) in prefix.iter().enumerate() {
+        match (0..t).rev().find(|&s| prefix[s] == addr) {
+            None => cold += 1,
+            Some(s) => {
+                let mut seen: Vec<u64> = Vec::new();
+                for &between in &prefix[s + 1..t] {
+                    if !seen.contains(&between) {
+                        seen.push(between);
+                    }
+                }
+                *finite.entry(seen.len() + 1).or_insert(0) += 1;
+            }
+        }
+    }
+    let mut last_access: BTreeMap<u64, usize> = BTreeMap::new();
+    for (t, &addr) in prefix.iter().enumerate() {
+        last_access.insert(addr, t);
+    }
+    let mut by_last: Vec<(usize, u64)> = last_access.into_iter().map(|(a, t)| (t, a)).collect();
+    by_last.sort_unstable();
+
+    let mut out = String::new();
+    out.push_str("{\n  \"kind\": \"symloc_trace_ingest_checkpoint\",\n  \"version\": 1,\n");
+    let _ = writeln!(out, "  \"fingerprint\": \"{fingerprint}\",");
+    let _ = writeln!(out, "  \"total_accesses\": {total},");
+    let _ = writeln!(out, "  \"chunk_count\": {chunks},");
+    let _ = writeln!(out, "  \"next_chunk\": {done},");
+    let _ = writeln!(out, "  \"cold\": {cold},");
+    out.push_str("  \"histogram\": [");
+    for (i, (d, c)) in finite.iter().enumerate() {
+        let sep = if i == 0 { "" } else { ", " };
+        let _ = write!(out, "{sep}[{d}, {c}]");
+    }
+    out.push_str("],\n");
+    out.push_str("  \"timeline\": [");
+    for (i, (_, addr)) in by_last.iter().enumerate() {
+        let sep = if i == 0 { "" } else { ", " };
+        let _ = write!(out, "{sep}{addr}");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The interned engine's checkpoints are byte-compatible with seed-era
+    /// documents, both ways: a mid-ingest checkpoint written today is
+    /// byte-identical to the independently rendered seed-era document, and
+    /// resuming that old-format document through `core::job` finishes to
+    /// exactly the JSON of an uninterrupted run.
+    #[test]
+    fn interned_checkpoints_stay_byte_compatible_with_seed_era_documents(
+        seed in any::<u64>(),
+        chunks in 1usize..7,
+        quarter in 0u32..=4,
+    ) {
+        for (name, trace) in all_generator_patterns(seed) {
+            let addrs: Vec<u64> = trace.iter().map(|a| a.value() as u64).collect();
+            let source = TraceSource::Memory(trace);
+            let mut full = TraceIngest::new(&source, chunks, 1).unwrap();
+            full.run_pending(&source, None);
+            let expected = full.to_json();
+            let chunk_count = full.chunk_count();
+            let done = (chunk_count * quarter as usize) / 4;
+            let spans = symloc_par::split_indices(addrs.len(), chunk_count);
+            let prefix_end = if done == 0 { 0 } else { spans[done - 1].end };
+            let doc = seed_era_checkpoint_json(
+                &source.fingerprint(),
+                addrs.len() as u64,
+                chunk_count,
+                done,
+                &addrs[..prefix_end],
+            );
+
+            // Today's engine, stopped at the same chunk, serializes the
+            // exact bytes the seed-era engine wrote.
+            let mut mid = TraceIngest::new(&source, chunks, 1).unwrap();
+            mid.run_pending(&source, Some(done));
+            prop_assert_eq!(
+                mid.to_json(),
+                doc.clone(),
+                "{} seed {} chunks {} done {}",
+                name, seed, chunk_count, done
+            );
+
+            // And the old-format document resumes through core::job to the
+            // identical final checkpoint.
+            let mut resumed = TraceIngest::from_json(&doc, 2).unwrap();
+            resumed.run_pending(&source, None);
+            prop_assert_eq!(
+                resumed.to_json(),
+                expected,
+                "{} seed {} chunks {} done {}",
+                name, seed, chunk_count, done
+            );
+        }
+    }
+}

@@ -41,6 +41,7 @@ impl Fenwick {
 
     /// Number of addressable indices.
     #[must_use]
+    #[inline]
     pub fn len(&self) -> usize {
         self.len
     }
@@ -56,6 +57,7 @@ impl Fenwick {
     /// # Panics
     ///
     /// Panics if `index >= len`.
+    #[inline]
     pub fn add(&mut self, index: usize, delta: u64) {
         assert!(
             index < self.len,
@@ -75,6 +77,7 @@ impl Fenwick {
     ///
     /// Panics if `index >= len` or if the subtraction would make any internal
     /// node negative (i.e. more is removed at `index` than was ever added).
+    #[inline]
     pub fn sub(&mut self, index: usize, delta: u64) {
         assert!(
             index < self.len,
@@ -94,6 +97,7 @@ impl Fenwick {
     ///
     /// `end` may equal `len`; values greater than `len` are clamped.
     #[must_use]
+    #[inline]
     pub fn prefix_sum(&self, end: usize) -> u64 {
         let mut i = end.min(self.len);
         let mut sum = 0;
@@ -105,12 +109,29 @@ impl Fenwick {
     }
 
     /// Sum of counts in the half-open range `start..end`.
+    ///
+    /// Walks the two bounds together and stops at their shared tree prefix,
+    /// so a narrow range near the top of the tree costs a few node reads
+    /// instead of two full root-to-leaf descents — the dominant query shape
+    /// of the reuse-distance hot loop (`range_sum(prev + 1, next_slot)`).
     #[must_use]
+    #[inline]
     pub fn range_sum(&self, start: usize, end: usize) -> u64 {
         if end <= start {
             return 0;
         }
-        self.prefix_sum(end) - self.prefix_sum(start)
+        let mut hi = end.min(self.len);
+        let mut lo = start.min(self.len);
+        let mut sum = 0;
+        while hi > lo {
+            sum += self.tree[hi];
+            hi -= hi & hi.wrapping_neg();
+        }
+        while lo > hi {
+            sum -= self.tree[lo];
+            lo -= lo & lo.wrapping_neg();
+        }
+        sum
     }
 
     /// Total of all counts.
@@ -138,6 +159,34 @@ impl Fenwick {
     pub fn reset(&mut self, len: usize) {
         self.tree.clear();
         self.tree.resize(len + 1, 0);
+        self.len = len;
+    }
+
+    /// Resets the tree to address `len` indices holding count 1 at each of
+    /// the first `ones` indices and 0 elsewhere, in `O(len)` — the bulk
+    /// construction [`Fenwick::reset`] + `ones` [`Fenwick::add`] calls
+    /// would do in `O(ones log len)`. The reuse-distance timeline compacts
+    /// into exactly this shape (live markers packed at the front), so its
+    /// periodic rebuild must not dominate the per-access `O(log)` work.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ones > len`.
+    pub fn reset_ones_prefix(&mut self, len: usize, ones: usize) {
+        assert!(
+            ones <= len,
+            "Fenwick::reset_ones_prefix: {ones} ones exceed length {len}"
+        );
+        self.tree.clear();
+        self.tree.reserve(len + 1);
+        self.tree.push(0);
+        // Node i (1-based) covers the half-open 0-based index range
+        // (i - lowbit(i), i]; with ones at indices 0..ones its count is
+        // how much of that range sits below `ones`.
+        for i in 1..=len {
+            let low = i - (i & i.wrapping_neg());
+            self.tree.push((ones.min(i) - ones.min(low)) as u64);
+        }
         self.len = len;
     }
 
@@ -308,6 +357,27 @@ mod tests {
     fn sub_out_of_range_panics() {
         let mut f = Fenwick::new(3);
         f.sub(5, 1);
+    }
+
+    #[test]
+    fn reset_ones_prefix_matches_adds() {
+        for len in [0usize, 1, 2, 3, 7, 8, 9, 31, 64, 100] {
+            for ones in [0, 1.min(len), len / 3, len / 2, len.saturating_sub(1), len] {
+                let mut bulk = Fenwick::new(1);
+                bulk.reset_ones_prefix(len, ones);
+                let mut added = Fenwick::new(len);
+                for i in 0..ones {
+                    added.add(i, 1);
+                }
+                assert_eq!(bulk, added, "len {len} ones {ones}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed length")]
+    fn reset_ones_prefix_rejects_too_many_ones() {
+        Fenwick::new(4).reset_ones_prefix(3, 4);
     }
 
     #[test]

@@ -33,7 +33,7 @@
 use crate::io::TraceIoError;
 use crate::trace::{Addr, Trace};
 use std::fs::File;
-use std::io::{BufReader, BufWriter, Read, Write};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
 /// The 4-byte magic at the start of every `.sltr` file.
@@ -454,6 +454,38 @@ impl SltrIndex {
     }
 }
 
+/// The outcome of decoding one LEB128 varint from the front of a slice.
+enum VarintStep {
+    /// A complete varint: its value and encoded byte length.
+    Done { value: u64, len: usize },
+    /// The slice ended before the varint did (refill and retry, or report
+    /// truncation if there is no more input).
+    NeedMore,
+    /// The varint encodes a value that does not fit in a `u64`.
+    Overflow,
+}
+
+/// Decodes one varint from the front of `bytes` without consuming input —
+/// the zero-copy core of [`SltrReader::decode_block`], which runs it
+/// directly over the reader's buffered bytes.
+#[inline]
+fn step_varint(bytes: &[u8]) -> VarintStep {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    for (i, &byte) in bytes.iter().enumerate() {
+        let bits = u64::from(byte & 0x7f);
+        if shift >= 64 || (shift == 63 && bits > 1) {
+            return VarintStep::Overflow;
+        }
+        value |= bits << shift;
+        if byte & 0x80 == 0 {
+            return VarintStep::Done { value, len: i + 1 };
+        }
+        shift += 7;
+    }
+    VarintStep::NeedMore
+}
+
 /// Decodes one LEB128 varint from `bytes` at `*pos`, advancing it. Returns
 /// `None` on truncation or a value overflowing `u64`.
 fn decode_varint_from(bytes: &[u8], pos: &mut usize) -> Option<u64> {
@@ -600,6 +632,10 @@ pub struct SltrReader<R: Read> {
     /// excludes anything before a [`SltrReader::resume`] position).
     consumed: u64,
     failed: bool,
+    /// An error hit mid-[`SltrReader::decode_block`] after the block had
+    /// already produced accesses; reported by the *next* call so callers
+    /// never lose decoded data to an error.
+    pending: Option<SltrError>,
 }
 
 impl<R: Read> SltrReader<R> {
@@ -626,6 +662,7 @@ impl<R: Read> SltrReader<R> {
             decoded: 0,
             consumed: 0,
             failed: false,
+            pending: None,
         })
     }
 
@@ -641,6 +678,7 @@ impl<R: Read> SltrReader<R> {
             decoded: already_decoded,
             consumed: 0,
             failed: false,
+            pending: None,
         }
     }
 
@@ -670,6 +708,90 @@ impl<R: Read> SltrReader<R> {
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
                 Err(e) => Err(SltrError::Io(e)),
             };
+        }
+    }
+
+    /// Decodes up to `max` accesses into `out` (cleared first), returning
+    /// how many were produced; `0` means the payload ended cleanly.
+    ///
+    /// The fast path decodes varints straight out of the reader's internal
+    /// buffer — no per-access `read` call, no copy — and falls back to the
+    /// byte-at-a-time path only for the (at most one per buffer refill)
+    /// varint that spans the buffer boundary. Interleaving with the
+    /// [`Iterator`] interface is fine: both advance the same position and
+    /// access counter.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SltrError::TruncatedVarint`] if the payload ends inside an
+    /// access, [`SltrError::Overflow`] on a varint exceeding 64 bits, or
+    /// the underlying I/O error. An error hit after this call already
+    /// decoded accesses is deferred: the call returns those accesses and
+    /// the *next* call returns the error, so callers never lose data —
+    /// the same values-then-error order the iterator yields. As with the
+    /// iterator, any error is terminal: later calls return `Ok(0)`.
+    pub fn decode_block(&mut self, out: &mut Vec<u64>, max: usize) -> Result<usize, SltrError> {
+        out.clear();
+        if let Some(e) = self.pending.take() {
+            return Err(e);
+        }
+        if self.failed {
+            return Ok(0);
+        }
+        while out.len() < max {
+            let buf = match self.input.fill_buf() {
+                Ok(buf) => buf,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return self.block_error(out, SltrError::Io(e)),
+            };
+            if buf.is_empty() {
+                break; // clean end of payload at an access boundary
+            }
+            let mut pos = 0usize;
+            let mut overflow = false;
+            while out.len() < max {
+                match step_varint(&buf[pos..]) {
+                    VarintStep::Done { value, len } => {
+                        pos += len;
+                        out.push(value);
+                        self.decoded += 1;
+                    }
+                    VarintStep::NeedMore => break,
+                    VarintStep::Overflow => {
+                        overflow = true;
+                        break;
+                    }
+                }
+            }
+            self.consumed += pos as u64;
+            self.input.consume(pos);
+            if overflow {
+                let access = self.decoded;
+                return self.block_error(out, SltrError::Overflow { access });
+            }
+            if pos == 0 {
+                // The buffered bytes end inside a varint: either it spans
+                // the buffer boundary, or the payload is truncated. One
+                // byte-at-a-time decode refills or reports, uniformly.
+                match self.next_varint() {
+                    Ok(Some(value)) => out.push(value),
+                    Ok(None) => break,
+                    Err(e) => return self.block_error(out, e),
+                }
+            }
+        }
+        Ok(out.len())
+    }
+
+    /// Marks the reader failed and routes a mid-block error: reported now
+    /// if the block is empty, deferred to the next call otherwise.
+    fn block_error(&mut self, out: &[u64], err: SltrError) -> Result<usize, SltrError> {
+        self.failed = true;
+        if out.is_empty() {
+            Err(err)
+        } else {
+            self.pending = Some(err);
+            Ok(out.len())
         }
     }
 
@@ -981,6 +1103,115 @@ mod tests {
             reader.next().unwrap().unwrap_err(),
             SltrError::Overflow { .. }
         ));
+    }
+
+    /// A reader that hands out at most `chunk` bytes per `read`, so the
+    /// block decoder's internal buffer keeps ending mid-varint.
+    struct Dribble<'a> {
+        bytes: &'a [u8],
+        chunk: usize,
+    }
+
+    impl Read for Dribble<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            let n = self.chunk.min(self.bytes.len()).min(buf.len());
+            buf[..n].copy_from_slice(&self.bytes[..n]);
+            self.bytes = &self.bytes[n..];
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn block_decode_matches_the_iterator() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(11);
+        let t = zipfian_trace(1_000_000, 2000, 0.9, &mut rng);
+        let bytes = write_sltr_to_vec(&t).unwrap();
+        let by_iter: Vec<u64> = SltrReader::new(bytes.as_slice())
+            .unwrap()
+            .map(Result::unwrap)
+            .collect();
+        for max in [1usize, 7, 256, 4096] {
+            let mut reader = SltrReader::new(bytes.as_slice()).unwrap();
+            let mut block = Vec::new();
+            let mut by_block = Vec::new();
+            loop {
+                let n = reader.decode_block(&mut block, max).unwrap();
+                if n == 0 {
+                    break;
+                }
+                assert!(n <= max);
+                by_block.extend_from_slice(&block[..n]);
+            }
+            assert_eq!(by_block, by_iter, "max={max}");
+            assert_eq!(reader.decoded(), t.len() as u64);
+            assert_eq!(reader.payload_bytes(), bytes.len() as u64 - 5);
+        }
+    }
+
+    #[test]
+    fn block_decode_handles_varints_spanning_buffer_refills() {
+        // Multi-byte varints with a 1..3-byte read granularity: every varint
+        // crosses at least one internal buffer boundary, forcing the
+        // byte-at-a-time fallback constantly.
+        let values: Vec<u64> = (0..500).map(|i| 10_000 + i * 1_313).collect();
+        let mut bytes = SLTR_MAGIC.to_vec();
+        bytes.push(SLTR_VERSION);
+        for &v in &values {
+            push_varint(&mut bytes, v);
+        }
+        for chunk in [1usize, 2, 3] {
+            let mut reader = SltrReader::new(BufReader::with_capacity(
+                chunk,
+                Dribble {
+                    bytes: &bytes,
+                    chunk,
+                },
+            ))
+            .unwrap();
+            let mut block = Vec::new();
+            let mut got = Vec::new();
+            while reader.decode_block(&mut block, 64).unwrap() > 0 {
+                got.extend_from_slice(&block);
+            }
+            assert_eq!(got, values, "chunk={chunk}");
+        }
+    }
+
+    #[test]
+    fn block_decode_reports_truncation_and_stays_failed() {
+        let mut payload = SLTR_MAGIC.to_vec();
+        payload.push(SLTR_VERSION);
+        payload.push(5); // one complete access
+        payload.push(0x80); // continuation byte with no successor
+        let mut reader = SltrReader::new(payload.as_slice()).unwrap();
+        let mut block = Vec::new();
+        assert_eq!(reader.decode_block(&mut block, 1024).unwrap(), 1);
+        assert_eq!(block, vec![5]);
+        let err = reader.decode_block(&mut block, 1024).unwrap_err();
+        assert!(matches!(err, SltrError::TruncatedVarint { access: 1 }));
+        // Errors are terminal, matching the iterator contract.
+        assert_eq!(reader.decode_block(&mut block, 1024).unwrap(), 0);
+        assert!(reader.next().is_none());
+    }
+
+    #[test]
+    fn block_decode_reports_overflow() {
+        let mut payload = SLTR_MAGIC.to_vec();
+        payload.push(SLTR_VERSION);
+        payload.push(9); // one good access
+        payload.extend_from_slice(&[0xff; 10]);
+        payload.push(0x03); // 66 significant bits
+        let mut reader = SltrReader::new(payload.as_slice()).unwrap();
+        let mut block = Vec::new();
+        // The good access is returned first; the overflow is deferred to
+        // the next call rather than discarding decoded data.
+        assert_eq!(reader.decode_block(&mut block, 1024).unwrap(), 1);
+        assert_eq!(block, vec![9]);
+        let err = reader.decode_block(&mut block, 1024).unwrap_err();
+        assert!(matches!(err, SltrError::Overflow { access: 1 }));
+        assert_eq!(reader.decode_block(&mut block, 1024).unwrap(), 0);
     }
 
     #[test]

@@ -393,6 +393,68 @@ pub enum TraceSource {
 /// one each.
 pub type AccessIter = Box<dyn Iterator<Item = u64> + Send>;
 
+/// Preferred number of accesses per block of [`BlockRead::next_block`]:
+/// large enough to amortize the per-block call, small enough that a block
+/// of `u64`s stays cache-resident.
+pub const BLOCK_LEN: usize = 4096;
+
+/// A block-streaming source of addresses: refills a caller-provided buffer
+/// with the next run of accesses instead of answering one virtual `next()`
+/// call per access. The hot-loop counterpart of [`AccessIter`], produced by
+/// [`TraceSource::stream_blocks_range`]; both shapes yield identical
+/// access sequences.
+pub trait BlockRead: Send {
+    /// Refills `buf` (cleared first) with up to [`BLOCK_LEN`] accesses,
+    /// returning how many were produced; `0` means the range is exhausted.
+    ///
+    /// # Panics
+    ///
+    /// May panic on I/O or decode errors past construction — like the
+    /// iterator streams, callers validate sources with
+    /// [`TraceSource::total_accesses`] first.
+    fn next_block(&mut self, buf: &mut Vec<u64>) -> usize;
+}
+
+/// A boxed block reader (see [`TraceSource::stream_blocks_range`]).
+pub type AccessBlocks = Box<dyn BlockRead>;
+
+/// Adapts any access iterator to the block interface — the generic path
+/// for sources without a native block decoder.
+struct IterBlocks {
+    iter: AccessIter,
+}
+
+impl BlockRead for IterBlocks {
+    fn next_block(&mut self, buf: &mut Vec<u64>) -> usize {
+        buf.clear();
+        buf.extend(self.iter.by_ref().take(BLOCK_LEN));
+        buf.len()
+    }
+}
+
+/// Zero-copy block decoding over a (possibly seek-positioned) `.sltr`
+/// payload, bounded to `remaining` accesses.
+struct SltrBlocks {
+    reader: SltrReader<File>,
+    remaining: u64,
+}
+
+impl BlockRead for SltrBlocks {
+    fn next_block(&mut self, buf: &mut Vec<u64>) -> usize {
+        let max = BLOCK_LEN.min(usize::try_from(self.remaining).unwrap_or(usize::MAX));
+        if max == 0 {
+            buf.clear();
+            return 0;
+        }
+        let n = self
+            .reader
+            .decode_block(buf, max)
+            .expect("validated sltr payload");
+        self.remaining -= n as u64;
+        n
+    }
+}
+
 impl TraceSource {
     /// Parses a CLI argument: a `gen:` spec, or a path (`.sltr` extension or
     /// an `SLTR` magic selects the binary format, anything else is text).
@@ -572,6 +634,30 @@ impl TraceSource {
             }
         }
     }
+
+    /// Streams accesses `start..end` as decoded blocks instead of one
+    /// virtual call per access — the hot-loop shape of
+    /// [`TraceSource::stream_range`], consumed by the exact reuse-distance
+    /// ingest. `.sltr` sources decode LEB128 runs straight into the
+    /// caller's buffer ([`SltrReader::decode_block`]), seek via the sidecar
+    /// chunk index when a valid one applies, and decode-skip the prefix in
+    /// blocks otherwise (identical accesses either way, mirroring the
+    /// iterator path's stale-sidecar fallback). Other source kinds adapt
+    /// their iterator into blocks. Both stream shapes yield identical
+    /// access sequences.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error of opening the underlying file or of decoding the
+    /// skipped prefix, if any.
+    pub fn stream_blocks_range(&self, start: u64, end: u64) -> Result<AccessBlocks, TraceIoError> {
+        match self {
+            TraceSource::Binary(path) => sltr_blocks_range(path, start, end.saturating_sub(start)),
+            _ => Ok(Box::new(IterBlocks {
+                iter: self.stream_range(start, end)?,
+            })),
+        }
+    }
 }
 
 impl std::fmt::Display for TraceSource {
@@ -606,6 +692,54 @@ fn sltr_seek_range(path: &Path, start: u64, take: u64) -> Result<Option<AccessIt
         .skip(usize::try_from(skip).unwrap_or(usize::MAX))
         .take(usize::try_from(take).unwrap_or(usize::MAX));
     Ok(Some(Box::new(iter)))
+}
+
+/// Opens a block reader over `take` accesses of a `.sltr` file starting at
+/// access `start`. With a valid sidecar chunk index the reader seeks to the
+/// nearest indexed chunk boundary and block-decodes at most `interval - 1`
+/// accesses of skip; without one — or if the sidecar vanished or stopped
+/// matching since validation — it falls back to block-decoding the whole
+/// prefix. Both paths yield identical accesses.
+///
+/// # Errors
+///
+/// Returns the error of opening or seeking the trace file, or of decoding
+/// the skipped prefix.
+fn sltr_blocks_range(path: &Path, start: u64, take: u64) -> Result<AccessBlocks, TraceIoError> {
+    use std::io::{Seek, SeekFrom};
+    let seek = (|| {
+        let index = SltrIndex::read(sltr_index_path(path)).ok()?;
+        let payload_len = std::fs::metadata(path).ok()?.len().saturating_sub(5);
+        index.check_matches_payload_only(payload_len).ok()?;
+        Some(index.seek_hint(start))
+    })();
+    let (mut reader, mut skip) = match seek {
+        Some((offset, indexed)) => {
+            let mut file = File::open(path)?;
+            file.seek(SeekFrom::Start(5 + offset))?;
+            (SltrReader::resume(file, start - indexed), indexed)
+        }
+        None => (
+            SltrReader::new(File::open(path)?).map_err(TraceIoError::from)?,
+            start,
+        ),
+    };
+    // Fast-skip the unwanted prefix with the block decoder itself.
+    let mut scratch = Vec::new();
+    while skip > 0 {
+        let max = BLOCK_LEN.min(usize::try_from(skip).unwrap_or(usize::MAX));
+        let n = reader
+            .decode_block(&mut scratch, max)
+            .map_err(TraceIoError::from)?;
+        if n == 0 {
+            break; // range starts at or past the end of the trace
+        }
+        skip -= n as u64;
+    }
+    Ok(Box::new(SltrBlocks {
+        reader,
+        remaining: take,
+    }))
 }
 
 /// Parses one line of a text trace into its access, skipping comments and
@@ -940,6 +1074,65 @@ mod tests {
         std::fs::remove_file(sltr_index_path(&indexed)).ok();
     }
 
+    /// Drains a block stream into one flat vector.
+    fn collect_blocks(mut blocks: AccessBlocks) -> Vec<u64> {
+        let mut all = Vec::new();
+        let mut buf = Vec::new();
+        loop {
+            let n = blocks.next_block(&mut buf);
+            assert_eq!(n, buf.len());
+            if n == 0 {
+                return all;
+            }
+            assert!(n <= BLOCK_LEN);
+            all.extend_from_slice(&buf);
+        }
+    }
+
+    #[test]
+    fn block_streams_equal_iterator_streams_for_every_kind() {
+        use crate::binio::{sltr_index_path, write_sltr_indexed};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(78);
+        let t = zipfian_trace(50_000, 9500, 0.8, &mut rng);
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        let text = dir.join(format!("symloc_stream_blocks_{pid}.trace"));
+        let plain = dir.join(format!("symloc_stream_blocks_plain_{pid}.sltr"));
+        let indexed = dir.join(format!("symloc_stream_blocks_indexed_{pid}.sltr"));
+        write_trace(&t, &text).unwrap();
+        write_sltr(&t, &plain).unwrap();
+        write_sltr_indexed(&t, &indexed, 128).unwrap();
+        for source in [
+            TraceSource::Gen(GenSpec::parse("gen:zipf:100:9500:0.7:3").unwrap()),
+            TraceSource::Text(text.clone()),
+            TraceSource::Memory(t.clone()),
+            TraceSource::Binary(plain.clone()),
+            TraceSource::Binary(indexed.clone()),
+        ] {
+            // 9500 accesses spans multiple BLOCK_LEN refills; the ranges
+            // cover empty, sub-block, cross-block, and tail-clamped shapes.
+            for (start, end) in [
+                (0u64, 9500u64),
+                (0, 17),
+                (127, 129),
+                (4095, 4099),
+                (9000, 50_000),
+                (9500, 9500),
+                (20_000, 30_000),
+            ] {
+                let via_iter: Vec<u64> = source.stream_range(start, end).unwrap().collect();
+                let via_blocks = collect_blocks(source.stream_blocks_range(start, end).unwrap());
+                assert_eq!(via_blocks, via_iter, "{source} range {start}..{end}");
+            }
+        }
+        std::fs::remove_file(&text).ok();
+        std::fs::remove_file(&plain).ok();
+        std::fs::remove_file(&indexed).ok();
+        std::fs::remove_file(sltr_index_path(&indexed)).ok();
+    }
+
     #[test]
     fn stale_or_corrupt_indexes_fail_validation_loudly() {
         use crate::binio::{sltr_index_path, write_sltr_indexed};
@@ -954,9 +1147,12 @@ mod tests {
         write_sltr(&sawtooth_trace(30, 10), &path).unwrap();
         let err = source.total_accesses().unwrap_err();
         assert!(err.to_string().contains("stale"), "{err}");
-        // Streaming falls back to decode-skip rather than mis-seeking.
+        // Streaming falls back to decode-skip rather than mis-seeking —
+        // on both the iterator and the block path.
         let all: Vec<u64> = source.stream_range(0, 10).unwrap().collect();
         assert_eq!(all, as_u64(&sawtooth_trace(30, 10))[..10].to_vec());
+        let blocks = collect_blocks(source.stream_blocks_range(3, 10).unwrap());
+        assert_eq!(blocks, as_u64(&sawtooth_trace(30, 10))[3..10].to_vec());
 
         // A corrupt sidecar is also a loud validation error.
         std::fs::write(&sidecar, b"garbage").unwrap();

@@ -183,6 +183,19 @@ fn validated_stream(source: &TraceSource) -> Result<symloc_trace::stream::Access
         .map_err(|e| CliError(format!("cannot read {source}: {e}")))
 }
 
+/// Block-streaming counterpart of [`validated_stream`] — the shape the
+/// exact hot loop consumes ([`OnlineReuseEngine::record_block`]).
+fn validated_block_stream(
+    source: &TraceSource,
+) -> Result<symloc_trace::stream::AccessBlocks, CliError> {
+    let total = source
+        .total_accesses()
+        .map_err(|e| CliError(format!("cannot read {source}: {e}")))?;
+    source
+        .stream_blocks_range(0, total)
+        .map_err(|e| CliError(format!("cannot read {source}: {e}")))
+}
+
 /// Renders the MRC table of a finished (exact or sampled) analysis.
 pub(crate) fn mrc_table(points: &[MrcPoint]) -> String {
     let mut out = String::new();
@@ -456,7 +469,11 @@ pub fn trace_mrc(args: &[String]) -> Result<String, CliError> {
         h
     } else {
         let mut engine = OnlineReuseEngine::new();
-        engine.record_all(validated_stream(source)?);
+        let mut blocks = validated_block_stream(source)?;
+        let mut buf = Vec::new();
+        while blocks.next_block(&mut buf) > 0 {
+            engine.record_block(&buf);
+        }
         let _ = writeln!(out, "accesses            : {}", engine.accesses());
         let _ = writeln!(out, "engine              : exact streaming (1 thread)");
         engine.into_histogram()

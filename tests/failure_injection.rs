@@ -227,6 +227,117 @@ fn bogus_sltr_indexes_are_errors_not_panics() {
 }
 
 #[test]
+fn block_decoder_reports_truncation_without_losing_decoded_accesses() {
+    use symmetric_locality::trace::binio::{
+        write_sltr_to_vec, SltrError, SltrReader, SLTR_MAGIC, SLTR_VERSION,
+    };
+    use symmetric_locality::trace::generators::cyclic_trace;
+
+    // Truncating a payload mid-varint: the block decoder must hand back
+    // every access decoded before the cut, then report the truncation with
+    // its access index on the next call — never both lose data and error,
+    // never decode garbage past the cut.
+    let bytes = write_sltr_to_vec(&cyclic_trace(300, 2)).unwrap();
+    let truncated = &bytes[..bytes.len() - 1];
+    let mut reader = SltrReader::new(truncated).unwrap();
+    let mut block = Vec::new();
+    let mut decoded = Vec::new();
+    let err = loop {
+        match reader.decode_block(&mut block, 128) {
+            Ok(0) => panic!("truncated payload must error, not end cleanly"),
+            Ok(_) => decoded.extend_from_slice(&block),
+            Err(e) => break e,
+        }
+    };
+    // 600 accesses total; the last one (address 299, a two-byte varint)
+    // was cut, so exactly 599 decode and the error names access 599.
+    assert_eq!(decoded.len(), 599);
+    assert_eq!(decoded[0], 0);
+    assert_eq!(decoded[598], 298);
+    assert!(
+        matches!(err, SltrError::TruncatedVarint { access: 599 }),
+        "{err}"
+    );
+    // Errors are terminal.
+    assert_eq!(reader.decode_block(&mut block, 128).unwrap(), 0);
+
+    // An over-long varint is a loud overflow mid-block, same contract.
+    let mut overflowing = SLTR_MAGIC.to_vec();
+    overflowing.push(SLTR_VERSION);
+    overflowing.push(7);
+    overflowing.extend_from_slice(&[0xff; 10]);
+    overflowing.push(0x03);
+    let mut reader = SltrReader::new(overflowing.as_slice()).unwrap();
+    assert_eq!(reader.decode_block(&mut block, 128).unwrap(), 1);
+    assert_eq!(block, vec![7]);
+    assert!(matches!(
+        reader.decode_block(&mut block, 128).unwrap_err(),
+        SltrError::Overflow { access: 1 }
+    ));
+}
+
+#[test]
+#[should_panic(expected = "address interner exhausted")]
+fn interner_id_exhaustion_panics_instead_of_wrapping() {
+    use symmetric_locality::core::tracesweep::AddrInterner;
+
+    // The real limit is u32::MAX distinct addresses — unreachable in a
+    // test, so the limit is injected. Past it, ids would wrap and silently
+    // alias distinct addresses; the interner must abort loudly instead.
+    let mut interner = AddrInterner::with_capacity_limit(2);
+    assert_eq!(interner.intern(1 << 40), 0);
+    assert_eq!(interner.intern(2 << 40), 1);
+    assert_eq!(interner.intern(1 << 40), 0); // re-interning is fine
+    interner.intern(3 << 40); // third distinct address must panic
+}
+
+#[test]
+fn stale_sidecar_in_parallel_ingest_falls_back_byte_identical() {
+    use symmetric_locality::core::tracesweep::TraceIngest;
+    use symmetric_locality::trace::binio::{sltr_index_path, write_sltr_indexed};
+    use symmetric_locality::trace::generators::{cyclic_trace, zipfian_trace};
+    use symmetric_locality::trace::stream::TraceSource;
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(23);
+    let t = zipfian_trace(5_000, 4_000, 0.8, &mut rng);
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    let path = dir.join(format!("symloc_failinj_stale_par_{pid}.sltr"));
+    let other = dir.join(format!("symloc_failinj_stale_par_other_{pid}.sltr"));
+    let sidecar = sltr_index_path(&path);
+    let healthy_index = write_sltr_indexed(&t, &path, 64).unwrap();
+    let source = TraceSource::Binary(path.clone());
+
+    // Reference: the parallel ingest with a healthy sidecar.
+    let mut healthy = TraceIngest::new(&source, 8, 2).unwrap();
+    healthy.run_pending(&source, None);
+    let expected = healthy.to_json();
+
+    // The sidecar goes stale *after* job validation (trace replaced by a
+    // mismatched index — here, one describing a different payload). The
+    // parallel decode path must silently fall back to sequential
+    // decode-skip per chunk and finish byte-identical, not mis-seek.
+    let mut ingest = TraceIngest::new(&source, 8, 2).unwrap();
+    let stale = write_sltr_indexed(&cyclic_trace(10, 3), &other, 16).unwrap();
+    stale.write(&sidecar).unwrap();
+    ingest.run_pending(&source, None);
+    assert_eq!(ingest.to_json(), expected);
+
+    // Sidecar vanishing entirely mid-job is the same fallback.
+    healthy_index.write(&sidecar).unwrap();
+    let mut ingest = TraceIngest::new(&source, 8, 2).unwrap();
+    std::fs::remove_file(&sidecar).unwrap();
+    ingest.run_pending(&source, None);
+    assert_eq!(ingest.to_json(), expected);
+
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(&other).ok();
+    std::fs::remove_file(sltr_index_path(&other)).ok();
+}
+
+#[test]
 fn mangled_checkpoint_documents_are_rejected_with_context() {
     use symmetric_locality::core::engine::SweepSpec;
     use symmetric_locality::core::shard::SampledSweep;
