@@ -25,7 +25,8 @@ use symloc_bench::sweepbench::{
     suite_json, GateVerdict,
 };
 use symloc_bench::tracebench::{
-    compare_trace_to_baseline, measure_trace_suite, parse_trace_baseline,
+    compare_ratios_to_baseline, compare_trace_to_baseline, measure_trace_suite,
+    parse_ratio_baseline, parse_trace_baseline,
 };
 use symloc_par::default_threads;
 
@@ -36,6 +37,7 @@ fn verdict_cell(verdict: &GateVerdict, regressions: &mut usize) -> (String, &'st
             *regressions += 1;
             (format!("{ratio:.2}"), "REGRESSED")
         }
+        GateVerdict::Info { ratio } => (format!("{ratio:.2}"), "info (not gated on this host)"),
         GateVerdict::Missing => {
             *regressions += 1;
             ("-".to_string(), "MISSING")
@@ -147,6 +149,38 @@ fn main() {
             ratio,
         );
     }
+    // Committed speedup ratios: hard-gated only when this host's thread
+    // count matches the baseline's and shards can actually run
+    // concurrently; otherwise the ratio measures the machine, not the code,
+    // so a drop is an informational warning.
+    let ratio_baseline = parse_ratio_baseline(&baseline_text);
+    let here = default_threads() as u64;
+    let ratios_informational = baseline_hardware_threads(&baseline_text) != Some(here) || here == 1;
+    if ratios_informational && !ratio_baseline.is_empty() {
+        eprintln!(
+            "bench_gate: NOTE — speedup ratios are informational on this host \
+             (its hardware thread count differs from the baseline's, or it has \
+             only one); drops warn instead of failing"
+        );
+    }
+    let ratio_results = compare_ratios_to_baseline(
+        &ratio_baseline,
+        &trace_fresh,
+        tolerance,
+        ratios_informational,
+    );
+    for r in &ratio_results {
+        let (ratio, verdict) = verdict_cell(&r.verdict, &mut regressions);
+        println!(
+            "{:<44} {:>4} {:>14.2} {:>14} {:>8}  {verdict}",
+            r.name,
+            "-",
+            r.baseline,
+            r.fresh
+                .map_or_else(|| "-".to_string(), |f| format!("{f:.2}")),
+            ratio,
+        );
+    }
     // A measurement disappearing from the fresh run is a different failure
     // than a slowdown (usually a renamed or dropped configuration), so name
     // the missing configurations explicitly as a baseline-vs-fresh diff.
@@ -154,6 +188,7 @@ fn main() {
         .iter()
         .map(|r| (&r.name, &r.verdict))
         .chain(trace_results.iter().map(|r| (&r.name, &r.verdict)))
+        .chain(ratio_results.iter().map(|r| (&r.name, &r.verdict)))
         .filter(|(_, v)| matches!(v, GateVerdict::Missing))
         .map(|(name, _)| name.as_str())
         .collect();

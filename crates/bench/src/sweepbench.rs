@@ -327,6 +327,14 @@ pub enum GateVerdict {
         /// fresh / baseline.
         ratio: f64,
     },
+    /// The comparison regressed, but on a host where it is not meaningful
+    /// as a hard gate (a speedup ratio measured with a different hardware
+    /// thread count than the baseline's, or with only one): reported as a
+    /// warning, never a failure.
+    Info {
+        /// fresh / baseline.
+        ratio: f64,
+    },
     /// The fresh suite no longer measures this configuration.
     Missing,
 }

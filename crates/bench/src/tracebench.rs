@@ -3,10 +3,14 @@
 //!
 //! The streaming trace-analysis subsystem gets the same treatment the sweep
 //! engine got in `sweepbench`: a fixed set of named configurations —
-//! exact single-thread, exact sharded on all threads, and the SHARDS
-//! sampled estimator — measured as `accesses_per_sec` over a canonical
-//! Zipfian workload, committed to the baseline file and enforced by the
-//! `bench_gate` CI binary with the same tolerance machinery.
+//! exact single-thread, exact sharded on all threads, the SHARDS sampled
+//! estimator, and the fused single-pass vs two-pass comparison pair —
+//! measured as `accesses_per_sec` over a canonical Zipfian workload,
+//! committed to the baseline file and enforced by the `bench_gate` CI
+//! binary with the same tolerance machinery. Derived speedup ratios
+//! ([`SPEEDUP_RATIOS`]) are committed next to the raw measurements and
+//! gated too — informationally on hosts whose thread count makes the
+//! parallel-vs-sequential comparison meaningless.
 //!
 //! The workload trace is materialized once *outside* the timers so the
 //! numbers measure the engines, not the generator.
@@ -16,11 +20,13 @@ use std::time::Instant;
 use crate::json_escape;
 use crate::sweepbench::GateVerdict;
 use symloc_core::jsonio::{self, JsonValue};
-use symloc_core::tracesweep::{OnlineReuseEngine, SampledIngest, ShardsEstimator, TraceIngest};
+use symloc_core::tracesweep::{
+    FusedIngest, OnlineReuseEngine, SampledIngest, ShardsEstimator, TraceIngest,
+};
 use symloc_par::default_threads;
 use symloc_trace::binio::{sltr_index_path, write_sltr, write_sltr_indexed, SltrReader};
 use symloc_trace::io::write_trace;
-use symloc_trace::stream::{GenSpec, TraceSource};
+use symloc_trace::stream::{build_text_index, GenSpec, TraceSource};
 use symloc_trace::Trace;
 
 /// The canonical tracebench workload: a skewed Zipfian trace large enough
@@ -216,11 +222,54 @@ pub fn measure_trace_suite(runs: usize) -> Vec<TraceMeasurement> {
             assert!(ingest.is_complete());
         },
     ));
+    // The fused-pass pair: the exact + sampled analyses over the indexed
+    // *text* payload, first as two separate passes (a chunked exact ingest
+    // followed by a hash-sharded sampled ingest — S+1 full decodes of the
+    // file), then as one fused pass that decodes every access exactly once
+    // and broadcasts it to both engines. Both iterations produce the same
+    // two curves, so their ratio is the fused single-pass wall-time
+    // speedup. Text is the decode-expensive format, which is exactly the
+    // regime the fused pass exists for; the saving grows with the decode
+    // cost and the shard count.
+    let sampled_budget = (SAMPLED_SHARDED_TOTAL_BUDGET / hash_shards).max(1);
+    build_text_index(&text_path, BENCH_INDEX_INTERVAL)
+        .expect("written trace")
+        .write(sltr_index_path(&text_path))
+        .expect("temp dir is writable");
+    let text_source = TraceSource::Text(text_path.clone());
+    measurements.push(measure_trace(
+        "trace_two_pass_exact_plus_sampled_all_threads",
+        accesses,
+        threads,
+        runs.min(3),
+        || {
+            let mut exact = TraceIngest::new(&text_source, chunks, threads).expect("written trace");
+            exact.run_pending(&text_source, None);
+            assert!(exact.is_complete());
+            let mut sampled =
+                SampledIngest::new(&text_source, hash_shards, sampled_budget, threads)
+                    .expect("written trace");
+            sampled.run_pending(&text_source, None);
+            assert!(sampled.is_complete());
+        },
+    ));
+    measurements.push(measure_trace(
+        "trace_fused_single_pass_all_threads",
+        accesses,
+        threads,
+        runs.min(3),
+        || {
+            let mut fused =
+                FusedIngest::new(&text_source, chunks, hash_shards, sampled_budget, threads)
+                    .expect("written trace");
+            fused.run_pending(&text_source, None);
+            assert!(fused.is_complete());
+        },
+    ));
     // Decode-only microbenches: the format layer's contribution with the
     // engine excluded — text parsing, one-varint-at-a-time `.sltr` decode,
     // and the zero-copy block decode. Each folds the decoded accesses into
     // a black-boxed sum so the decode work cannot be optimized away.
-    let text_source = TraceSource::Text(text_path.clone());
     measurements.push(measure_trace(
         "trace_decode_text_single_thread",
         accesses,
@@ -268,6 +317,7 @@ pub fn measure_trace_suite(runs: usize) -> Vec<TraceMeasurement> {
             std::hint::black_box(sum);
         },
     ));
+    std::fs::remove_file(sltr_index_path(&text_path)).ok();
     std::fs::remove_file(&text_path).ok();
     std::fs::remove_file(&plain_path).ok();
     std::fs::remove_file(sltr_index_path(&indexed_path)).ok();
@@ -275,27 +325,58 @@ pub fn measure_trace_suite(runs: usize) -> Vec<TraceMeasurement> {
     measurements
 }
 
+/// The derived speedup ratios committed next to the raw measurements:
+/// `(json_field, numerator_config, denominator_config)`, each the
+/// throughput ratio of a comparison pair measured over the same workload.
+/// The gate re-derives every fresh ratio from this table, so adding a pair
+/// here is all it takes to commit and gate a new ratio.
+pub const SPEEDUP_RATIOS: [(&str, &str, &str); 3] = [
+    (
+        "trace_sampled_sharded_speedup",
+        "trace_sampled_hash_sharded_all_threads",
+        "trace_sampled_seq_budget16k_single_thread",
+    ),
+    (
+        "trace_indexed_ingest_speedup",
+        "trace_exact_sltr_indexed_all_threads",
+        "trace_exact_sltr_decode_skip_all_threads",
+    ),
+    (
+        "trace_fused_speedup",
+        "trace_fused_single_pass_all_threads",
+        "trace_two_pass_exact_plus_sampled_all_threads",
+    ),
+];
+
+/// Derives the named [`SPEEDUP_RATIOS`] entry from a measurement set, if
+/// both halves of its comparison pair are present.
+#[must_use]
+pub fn speedup_ratio(measurements: &[TraceMeasurement], ratio_name: &str) -> Option<f64> {
+    let (_, numer, denom) = SPEEDUP_RATIOS.iter().find(|(n, _, _)| *n == ratio_name)?;
+    ratio_of(measurements, numer, denom)
+}
+
 /// The sampled-path parallel speedup: hash-sharded all-threads throughput
 /// over the sequential estimator at the same total budget, if both
 /// measurements are present.
 #[must_use]
 pub fn sampled_sharded_speedup(measurements: &[TraceMeasurement]) -> Option<f64> {
-    ratio_of(
-        measurements,
-        "trace_sampled_hash_sharded_all_threads",
-        "trace_sampled_seq_budget16k_single_thread",
-    )
+    speedup_ratio(measurements, "trace_sampled_sharded_speedup")
 }
 
 /// The sidecar index's ingest speedup: indexed seeks over decode-skips on
 /// the identical sharded `.sltr` ingest, if both measurements are present.
 #[must_use]
 pub fn indexed_ingest_speedup(measurements: &[TraceMeasurement]) -> Option<f64> {
-    ratio_of(
-        measurements,
-        "trace_exact_sltr_indexed_all_threads",
-        "trace_exact_sltr_decode_skip_all_threads",
-    )
+    speedup_ratio(measurements, "trace_indexed_ingest_speedup")
+}
+
+/// The fused single-pass speedup: one broadcast pass feeding the exact and
+/// sampled engines over running them as two separate passes, if both
+/// measurements are present.
+#[must_use]
+pub fn fused_speedup(measurements: &[TraceMeasurement]) -> Option<f64> {
+    speedup_ratio(measurements, "trace_fused_speedup")
 }
 
 fn ratio_of(measurements: &[TraceMeasurement], numer: &str, denom: &str) -> Option<f64> {
@@ -328,29 +409,112 @@ pub fn trace_measurements_json(measurements: &[TraceMeasurement]) -> String {
         ));
     }
     json.push_str("  ],\n");
+    // Sub-1.0 parallel ratios on a 1-hardware-thread host are expected, not
+    // regressions; the gate encodes that as a rule (ratios are informational
+    // on thread-mismatched hosts — see `compare_ratios_to_baseline`) rather
+    // than as a prose note in the document.
     let fmt = |s: Option<f64>| s.map_or_else(|| "null".to_string(), |v| format!("{v:.2}"));
-    json.push_str(&format!(
-        "  \"trace_sampled_sharded_speedup\": {},\n",
-        fmt(sampled_sharded_speedup(measurements))
-    ));
-    // A sub-1.0 sharded speedup on a 1-hardware-thread host is expected —
-    // sharding only pays for itself when shards actually run concurrently —
-    // so record the caveat next to the number instead of leaving readers to
-    // cross-reference `hardware_threads`.
-    if sampled_sharded_speedup(measurements).is_some_and(|s| s < 1.0)
-        && measurements.iter().all(|t| t.hardware_threads <= 1)
-    {
-        json.push_str(
-            "  \"trace_sampled_sharded_speedup_note\": \"measured on a \
-             1-hardware-thread host where shards cannot run concurrently; \
-             the ratio reflects sharding overhead, not a regression\",\n",
-        );
+    for (name, _, _) in &SPEEDUP_RATIOS {
+        json.push_str(&format!(
+            "  \"{name}\": {},\n",
+            fmt(speedup_ratio(measurements, name))
+        ));
     }
-    json.push_str(&format!(
-        "  \"trace_indexed_ingest_speedup\": {},\n",
-        fmt(indexed_ingest_speedup(measurements))
-    ));
     json
+}
+
+/// One committed speedup ratio parsed back from a `BENCH_sweep.json`
+/// document. Only the named [`SPEEDUP_RATIOS`] fields are read; a `null`
+/// (the pair was not measured when the baseline was written) or absent
+/// field simply gates nothing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RatioBaselineEntry {
+    /// Ratio field name.
+    pub name: String,
+    /// Committed ratio value.
+    pub value: f64,
+}
+
+/// Parses the committed speedup ratios out of a `BENCH_sweep.json`
+/// document (an unparseable document yields an empty list — the
+/// measurement parsers report the structural error).
+#[must_use]
+pub fn parse_ratio_baseline(text: &str) -> Vec<RatioBaselineEntry> {
+    let Ok(doc) = jsonio::parse(text) else {
+        return Vec::new();
+    };
+    SPEEDUP_RATIOS
+        .iter()
+        .filter_map(|(name, _, _)| {
+            doc.get(name)
+                .and_then(JsonValue::as_f64)
+                .map(|value| RatioBaselineEntry {
+                    name: (*name).to_string(),
+                    value,
+                })
+        })
+        .collect()
+}
+
+/// The gate's comparison for one committed speedup ratio.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RatioGateResult {
+    /// Ratio field name.
+    pub name: String,
+    /// Committed ratio.
+    pub baseline: f64,
+    /// Freshly derived ratio, if both halves of the pair were measured.
+    pub fresh: Option<f64>,
+    /// Verdict under the tolerance.
+    pub verdict: GateVerdict,
+}
+
+/// Compares freshly derived speedup ratios against the committed ones with
+/// the usual tolerance policy — except that a speedup ratio compares
+/// parallel against sequential (or fused against two-pass) wall time, so on
+/// a host whose hardware thread count differs from the baseline's, or that
+/// has only one, the comparison measures the machine rather than the code.
+/// Pass `informational = true` there: a regression becomes a
+/// [`GateVerdict::Info`] warning instead of a failure. A ratio whose
+/// comparison pair vanished from the fresh suite is still
+/// [`GateVerdict::Missing`] — dropping a measurement is structural and
+/// should be a deliberate baseline refresh on any host.
+#[must_use]
+pub fn compare_ratios_to_baseline(
+    baseline: &[RatioBaselineEntry],
+    fresh: &[TraceMeasurement],
+    tolerance: f64,
+    informational: bool,
+) -> Vec<RatioGateResult> {
+    baseline
+        .iter()
+        .map(|base| {
+            let found = speedup_ratio(fresh, &base.name);
+            let verdict = match found {
+                None => GateVerdict::Missing,
+                Some(value) => {
+                    let ratio = if base.value > 0.0 {
+                        value / base.value
+                    } else {
+                        f64::INFINITY
+                    };
+                    if ratio >= 1.0 - tolerance {
+                        GateVerdict::Ok { ratio }
+                    } else if informational {
+                        GateVerdict::Info { ratio }
+                    } else {
+                        GateVerdict::Regressed { ratio }
+                    }
+                }
+            };
+            RatioGateResult {
+                name: base.name.clone(),
+                baseline: base.value,
+                fresh: found,
+                verdict,
+            }
+        })
+        .collect()
 }
 
 /// One trace measurement parsed back from a `BENCH_sweep.json` document.
@@ -476,22 +640,65 @@ mod tests {
     }
 
     #[test]
-    fn sub_unity_sharded_speedup_on_one_thread_carries_a_caveat() {
-        let slower_sharded = vec![
+    fn speedup_ratios_are_derived_from_the_table_and_round_trip() {
+        let measurements = vec![
             fresh("trace_sampled_seq_budget16k_single_thread", 2000.0),
             fresh("trace_sampled_hash_sharded_all_threads", 1500.0),
+            fresh("trace_two_pass_exact_plus_sampled_all_threads", 1000.0),
+            fresh("trace_fused_single_pass_all_threads", 1400.0),
         ];
-        let body = trace_measurements_json(&slower_sharded);
+        let body = trace_measurements_json(&measurements);
         assert!(body.contains("\"trace_sampled_sharded_speedup\": 0.75"));
-        assert!(body.contains("trace_sampled_sharded_speedup_note"));
-        assert!(body.contains("1-hardware-thread host"));
-
-        let faster_sharded = vec![
-            fresh("trace_sampled_seq_budget16k_single_thread", 1500.0),
-            fresh("trace_sampled_hash_sharded_all_threads", 2000.0),
-        ];
-        let body = trace_measurements_json(&faster_sharded);
+        assert!(body.contains("\"trace_fused_speedup\": 1.40"));
+        // The indexed pair was not measured: committed as null, gating
+        // nothing.
+        assert!(body.contains("\"trace_indexed_ingest_speedup\": null"));
+        // The prose caveat is gone — the gate rule replaced it.
         assert!(!body.contains("trace_sampled_sharded_speedup_note"));
+        let doc = format!("{{\n{body}  \"end\": 0\n}}\n");
+        let ratios = parse_ratio_baseline(&doc);
+        assert_eq!(ratios.len(), 2);
+        assert_eq!(ratios[0].name, "trace_sampled_sharded_speedup");
+        assert!((ratios[0].value - 0.75).abs() < 1e-9);
+        assert_eq!(ratios[1].name, "trace_fused_speedup");
+        assert!((fused_speedup(&measurements).unwrap() - 1.4).abs() < 1e-9);
+        assert_eq!(speedup_ratio(&measurements, "no_such_ratio"), None);
+        assert!(parse_ratio_baseline("not json").is_empty());
+    }
+
+    #[test]
+    fn ratio_gate_downgrades_to_informational_on_mismatched_hosts() {
+        let baseline = vec![
+            RatioBaselineEntry {
+                name: "trace_fused_speedup".into(),
+                value: 1.5,
+            },
+            RatioBaselineEntry {
+                name: "trace_sampled_sharded_speedup".into(),
+                value: 1.2,
+            },
+        ];
+        // Fresh fused ratio is 1.0: a 33% drop, beyond a 25% tolerance.
+        // The sampled pair is not measured at all.
+        let fresh_ms = vec![
+            fresh("trace_fused_single_pass_all_threads", 1000.0),
+            fresh("trace_two_pass_exact_plus_sampled_all_threads", 1000.0),
+        ];
+        let hard = compare_ratios_to_baseline(&baseline, &fresh_ms, 0.25, false);
+        assert!(matches!(hard[0].verdict, GateVerdict::Regressed { .. }));
+        assert_eq!(hard[1].verdict, GateVerdict::Missing);
+        // On a thread-mismatched host the drop is a warning, but a vanished
+        // pair is still structural.
+        let soft = compare_ratios_to_baseline(&baseline, &fresh_ms, 0.25, true);
+        assert!(matches!(soft[0].verdict, GateVerdict::Info { .. }));
+        assert_eq!(soft[1].verdict, GateVerdict::Missing);
+        // Within tolerance stays Ok either way.
+        let steady = vec![RatioBaselineEntry {
+            name: "trace_fused_speedup".into(),
+            value: 1.05,
+        }];
+        let ok = compare_ratios_to_baseline(&steady, &fresh_ms, 0.25, true);
+        assert!(matches!(ok[0].verdict, GateVerdict::Ok { .. }));
     }
 
     #[test]

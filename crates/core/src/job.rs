@@ -78,15 +78,19 @@ pub enum JobKind {
     /// A sampled hash-sharded trace ingest
     /// ([`crate::tracesweep::SampledIngest`]).
     SampledIngest,
+    /// A fused exact+sampled trace ingest — one streaming pass feeding
+    /// both engines ([`crate::tracesweep::FusedIngest`]).
+    FusedIngest,
 }
 
 impl JobKind {
     /// Every kind, in registry order.
-    pub const ALL: [JobKind; 4] = [
+    pub const ALL: [JobKind; 5] = [
         JobKind::ShardedSweep,
         JobKind::SampledSweep,
         JobKind::TraceIngest,
         JobKind::SampledIngest,
+        JobKind::FusedIngest,
     ];
 
     /// The `"kind"` tag this kind writes into (and expects from) its
@@ -98,6 +102,7 @@ impl JobKind {
             JobKind::SampledSweep => "symloc_sampled_sweep_checkpoint",
             JobKind::TraceIngest => "symloc_trace_ingest_checkpoint",
             JobKind::SampledIngest => "symloc_sampled_trace_checkpoint",
+            JobKind::FusedIngest => "symloc_fused_trace_checkpoint",
         }
     }
 
@@ -116,6 +121,7 @@ impl JobKind {
             JobKind::SampledSweep => "sampled (level-sharded) sweep",
             JobKind::TraceIngest => "exact trace ingest",
             JobKind::SampledIngest => "sampled (hash-sharded) trace ingest",
+            JobKind::FusedIngest => "fused exact+sampled trace ingest",
         }
     }
 
@@ -127,6 +133,7 @@ impl JobKind {
             JobKind::SampledSweep => "level",
             JobKind::TraceIngest => "chunk",
             JobKind::SampledIngest => "hash shard",
+            JobKind::FusedIngest => "chunk",
         }
     }
 
@@ -515,6 +522,20 @@ pub fn checkpoint_status(text: &str) -> Result<JobStatus, String> {
                 total: ingest.shard_count(),
                 detail: vec![
                     detail_pair("accesses", ingest.total_accesses().to_string()),
+                    detail_pair("budget per shard", ingest.budget_per_shard().to_string()),
+                ],
+            })
+        }
+        JobKind::FusedIngest => {
+            let ingest = crate::tracesweep::FusedIngest::from_json(text, 1)?;
+            Ok(JobStatus {
+                kind,
+                fingerprint: ingest.fingerprint().to_string(),
+                completed: ingest.completed_count(),
+                total: ingest.chunk_count(),
+                detail: vec![
+                    detail_pair("accesses", ingest.total_accesses().to_string()),
+                    detail_pair("hash shards", ingest.shard_count().to_string()),
                     detail_pair("budget per shard", ingest.budget_per_shard().to_string()),
                 ],
             })

@@ -39,6 +39,15 @@
 //!   as hand-rolled JSON after every batch, so a killed ingest resumes to a
 //!   byte-identical final checkpoint (same guarantee, and same test
 //!   strategy, as `crate::shard::ShardedSweep`).
+//! * [`FusedIngest`] — the fused single-pass pipeline: **one** streaming
+//!   pass per chunk drives a broadcast tap feeding the exact chunk folder,
+//!   the per-shard routing buffers of every hash-sharded
+//!   [`ShardsEstimator`], and any extra
+//!   [`AccessSink`]. Absorbing the fused
+//!   partials in chunk order advances the exact merge *and* replays each
+//!   shard's slice through its live estimator, so one pass produces an
+//!   exact histogram byte-identical to [`TraceIngest`] and sampled results
+//!   bit-identical to [`SampledIngest`] at the same shard count.
 //!
 //! ```
 //! use symloc_core::tracesweep::OnlineReuseEngine;
@@ -58,7 +67,7 @@ use std::fmt::Write as _;
 use std::path::Path;
 use symloc_par::split_indices;
 use symloc_perm::fenwick::Fenwick;
-use symloc_trace::stream::{BlockRead, TraceSource};
+use symloc_trace::stream::{AccessSink, BlockRead, CountingSink, TraceSource};
 
 /// Format tag embedded in every ingest checkpoint document.
 #[cfg(test)]
@@ -811,6 +820,21 @@ impl SampledTimeline {
         self.tree.sub(slot, 1);
         Some(slot)
     }
+
+    /// The live addresses in timeline (last-access) order — the same order
+    /// [`SampledTimeline::compact`] repacks them in, so re-observing the
+    /// list into a fresh timeline reproduces the relative marker order
+    /// (which is all future distances depend on). The canonical
+    /// serialization of the timeline for mid-stream checkpoints.
+    fn ordered_addresses(&self) -> Vec<u64> {
+        let mut live: Vec<(usize, u64)> = self
+            .last_slot
+            .iter()
+            .map(|(&addr, &slot)| (slot, addr))
+            .collect();
+        live.sort_unstable();
+        live.into_iter().map(|(_, addr)| addr).collect()
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -1026,6 +1050,78 @@ impl ShardsEstimator {
             sampled_accesses: 0,
             evictions: 0,
         }
+    }
+
+    /// Rebuilds the estimator of one hash shard from mid-stream checkpoint
+    /// state: the counters and weighted histogram restore verbatim, the
+    /// timeline is rebuilt by re-observing `tracked` (the live addresses in
+    /// last-access order — relative marker order fully determines every
+    /// future distance), and the eviction heap is rebuilt from the
+    /// addresses' recomputed hashes (the heap is a multiset with a unique
+    /// maximum, so its internal layout never affects behavior). A restored
+    /// estimator is therefore logically identical to the one serialized:
+    /// continuing both over the same accesses produces identical results
+    /// *and* identical re-serializations.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural problem with
+    /// `tracked`: more addresses than the budget, a duplicate, one hashing
+    /// outside this shard, or one hashing at or above the threshold (none
+    /// of which a real checkpoint can contain).
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same parameter violations as
+    /// [`ShardsEstimator::for_shard`].
+    #[allow(clippy::too_many_arguments)]
+    fn restore_for_shard(
+        s_max: usize,
+        threshold: u64,
+        shard_index: u64,
+        shard_count: u64,
+        raw_accesses: u64,
+        sampled_accesses: u64,
+        evictions: u64,
+        histogram: WeightedHistogram,
+        tracked: &[u64],
+    ) -> Result<Self, String> {
+        let mut est = Self::for_shard(s_max, threshold, shard_index, shard_count);
+        if tracked.len() > s_max {
+            return Err(format!(
+                "{} tracked addresses exceed the budget {s_max}",
+                tracked.len()
+            ));
+        }
+        for &addr in tracked {
+            let hash = splitmix64(addr) % SHARDS_MODULUS;
+            if hash % shard_count != shard_index {
+                return Err(format!(
+                    "tracked address {addr} does not belong to hash shard {shard_index}"
+                ));
+            }
+            if hash >= threshold {
+                return Err(format!(
+                    "tracked address {addr} hashes at or above the threshold {threshold}"
+                ));
+            }
+            if est.timeline.observe(addr).is_some() {
+                return Err(format!("tracked address {addr} appears twice"));
+            }
+            est.by_hash.push((hash, addr));
+        }
+        est.histogram = histogram;
+        est.raw_accesses = raw_accesses;
+        est.sampled_accesses = sampled_accesses;
+        est.evictions = evictions;
+        Ok(est)
+    }
+
+    /// The tracked addresses in timeline (last-access) order — the
+    /// canonical serialization of the estimator's live set for mid-stream
+    /// checkpoints (see [`ShardsEstimator::restore_for_shard`]).
+    fn tracked_in_order(&self) -> Vec<u64> {
+        self.timeline.ordered_addresses()
     }
 
     /// The current sampling rate relative to the whole address space:
@@ -2337,6 +2433,765 @@ impl Job for TraceIngestJob<'_> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// The fused single-pass exact+sampled ingest
+// ---------------------------------------------------------------------------
+
+/// Format tag embedded in every fused-ingest checkpoint document.
+#[cfg(test)]
+const FUSED_CHECKPOINT_KIND: &str = JobKind::FusedIngest.kind_str();
+
+/// The mergeable partial result of one trace chunk of a [`FusedIngest`]:
+/// the exact [`ChunkPartial`] plus the chunk's accesses routed to their
+/// owning hash shards. Shard `i` holds the sub-sequence of the chunk with
+/// `splitmix64(addr) % SHARDS_MODULUS ≡ i (mod shard_count)`, in access
+/// order, so concatenating a shard's slices across chunks (which absorbing
+/// in chunk order does) reproduces exactly the access sequence the
+/// sampled pipeline feeds that shard's [`ShardsEstimator`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FusedChunkPartial {
+    /// The exact mergeable partial of the chunk.
+    pub exact: ChunkPartial,
+    /// The chunk's accesses partitioned by owning hash shard (access order
+    /// preserved within each shard; every access lands in exactly one).
+    pub routed: Vec<Vec<u64>>,
+    /// Accesses the decode pass delivered while folding the chunk — the
+    /// single-pass proof counter ([`FusedIngest::streamed_accesses`] sums
+    /// it; a complete fused run totals exactly the trace length, one
+    /// observation per access).
+    pub streamed: u64,
+}
+
+/// Folds one contiguous chunk of block-streamed accesses into a
+/// [`FusedChunkPartial`], broadcasting every decoded block to the exact
+/// chunk folder, the per-shard routing buffers *and* `sink` — the single
+/// decode pass of the fused pipeline. `sink` is the extension seam for
+/// future per-access consumers (the serve daemon's live feed); pass a
+/// [`CountingSink`] to prove the pass touches each access exactly once.
+///
+/// # Panics
+///
+/// Panics if `shard_count == 0`, or on the block reader's deferred I/O
+/// errors (callers validate sources with `total_accesses` first).
+#[must_use]
+pub fn fused_chunk_partial(
+    blocks: &mut dyn BlockRead,
+    shard_count: usize,
+    sink: &mut dyn AccessSink,
+) -> FusedChunkPartial {
+    assert!(shard_count > 0, "at least one hash shard is required");
+    let mut folder = ChunkFolder::default();
+    let mut routed = vec![Vec::new(); shard_count];
+    let count = shard_count as u64;
+    let mut streamed = 0u64;
+    let mut buf = Vec::new();
+    while blocks.next_block(&mut buf) > 0 {
+        sink.on_block(&buf);
+        streamed += buf.len() as u64;
+        for &addr in &buf {
+            folder.push(addr);
+            let shard = splitmix64(addr) % SHARDS_MODULUS % count;
+            routed[usize::try_from(shard).expect("shard index fits usize")].push(addr);
+        }
+    }
+    FusedChunkPartial {
+        exact: folder.finish(),
+        routed,
+        streamed,
+    }
+}
+
+/// The fused single-pass exact+sampled ingest: one chunk-sharded streaming
+/// pass over the source produces **both** the exact reuse-distance
+/// histogram and the hash-sharded sampled estimate — where running
+/// [`TraceIngest`] then [`SampledIngest`] would stream the trace once per
+/// pipeline (and the sampled workers once per thread).
+///
+/// The chunk plan is [`TraceIngest`]'s exactly, so the exact side is
+/// byte-identical to a plain exact ingest. Each worker folds its chunks
+/// through [`fused_chunk_partial`]: one block-decode pass feeds the exact
+/// `ChunkFolder`, routes every access to its owning hash shard's buffer,
+/// and taps any extra [`AccessSink`]. Absorbing partials in chunk order
+/// advances the exact [`MergeState`] and replays each shard's slice
+/// through its **live** [`ShardsEstimator`] — the concatenated replays are
+/// exactly the call sequence [`SampledIngest`] makes, so the sampled
+/// results (thresholds, counters, weighted histograms, float for float)
+/// are bit-identical to the two-pass pipeline at the same shard count.
+///
+/// Checkpoints capture the exact merge state *and* every estimator
+/// mid-stream (counters, weighted histogram, tracked addresses in
+/// last-access order), so a killed fused ingest resumes to a
+/// byte-identical final checkpoint like every other [`Job`].
+#[derive(Debug, Clone)]
+pub struct FusedIngest {
+    fingerprint: String,
+    total: u64,
+    chunk_count: usize,
+    shard_count: usize,
+    budget_per_shard: usize,
+    threshold: u64,
+    threads: usize,
+    next_chunk: usize,
+    streamed: u64,
+    state: MergeState,
+    estimators: Vec<ShardsEstimator>,
+}
+
+impl FusedIngest {
+    /// Plans a fused ingest of `source` split into `chunk_count` chunks,
+    /// with `shard_count` hash shards of `budget_per_shard` tracked
+    /// addresses each on the sampled side.
+    ///
+    /// Scans the source once to learn (and validate) its length.
+    ///
+    /// # Errors
+    ///
+    /// Returns the source's read or parse error as a string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_count == 0`, `shard_count == 0` or
+    /// `budget_per_shard == 0`.
+    pub fn new(
+        source: &TraceSource,
+        chunk_count: usize,
+        shard_count: usize,
+        budget_per_shard: usize,
+        threads: usize,
+    ) -> Result<Self, String> {
+        let total = source
+            .total_accesses()
+            .map_err(|e| format!("cannot scan {source}: {e}"))?;
+        Ok(Self::with_total(
+            source,
+            total,
+            chunk_count,
+            shard_count,
+            budget_per_shard,
+            threads,
+        ))
+    }
+
+    /// Plans a fresh fused ingest for a source whose length is already
+    /// known.
+    fn with_total(
+        source: &TraceSource,
+        total: u64,
+        chunk_count: usize,
+        shard_count: usize,
+        budget_per_shard: usize,
+        threads: usize,
+    ) -> Self {
+        assert!(chunk_count > 0, "at least one chunk is required");
+        assert!(shard_count > 0, "at least one hash shard is required");
+        assert!(
+            budget_per_shard > 0,
+            "the per-shard budget must be positive"
+        );
+        let estimators = (0..shard_count)
+            .map(|i| {
+                ShardsEstimator::for_shard(
+                    budget_per_shard,
+                    SHARDS_MODULUS,
+                    i as u64,
+                    shard_count as u64,
+                )
+            })
+            .collect();
+        FusedIngest {
+            fingerprint: source.fingerprint(),
+            total,
+            chunk_count: TraceIngest::effective_chunk_count(chunk_count, total),
+            shard_count,
+            budget_per_shard,
+            threshold: SHARDS_MODULUS,
+            threads: threads.max(1),
+            next_chunk: 0,
+            streamed: 0,
+            state: MergeState::new(),
+            estimators,
+        }
+    }
+
+    /// The source fingerprint the ingest belongs to.
+    #[must_use]
+    pub fn fingerprint(&self) -> &str {
+        &self.fingerprint
+    }
+
+    /// Total accesses of the source.
+    #[must_use]
+    pub fn total_accesses(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of planned chunks.
+    #[must_use]
+    pub fn chunk_count(&self) -> usize {
+        self.chunk_count
+    }
+
+    /// Number of hash shards on the sampled side.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shard_count
+    }
+
+    /// The per-shard tracked-address budget of the sampled side.
+    #[must_use]
+    pub fn budget_per_shard(&self) -> usize {
+        self.budget_per_shard
+    }
+
+    /// Number of chunks already absorbed.
+    #[must_use]
+    pub fn completed_count(&self) -> usize {
+        self.next_chunk
+    }
+
+    /// True when every chunk has been absorbed.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.next_chunk >= self.chunk_count
+    }
+
+    /// Accesses the fused decode pass has delivered so far — exactly one
+    /// observation per absorbed access, which is the single-pass proof: a
+    /// complete fused run reports exactly the trace length here, where the
+    /// two-pass pipelines would have streamed every access at least twice.
+    #[must_use]
+    pub fn streamed_accesses(&self) -> u64 {
+        self.streamed
+    }
+
+    /// The exact histogram, or `None` while chunks are pending.
+    #[must_use]
+    pub fn exact_histogram(&self) -> Option<&StreamHistogram> {
+        self.is_complete().then(|| self.state.histogram())
+    }
+
+    /// The partial exact histogram absorbed so far (complete or not).
+    #[must_use]
+    pub fn partial_exact_histogram(&self) -> &StreamHistogram {
+        self.state.histogram()
+    }
+
+    /// Distinct addresses absorbed so far (exact side).
+    #[must_use]
+    pub fn footprint(&self) -> usize {
+        self.state.footprint()
+    }
+
+    /// The per-shard sampled results as they stand now (mid-stream while
+    /// chunks are pending; final when complete — then bit-identical to
+    /// [`SampledIngest::shard_results`] at the same shard count).
+    #[must_use]
+    pub fn sampled_shard_results(&self) -> Vec<SampledShardResult> {
+        self.estimators
+            .iter()
+            .map(SampledShardResult::from_estimator)
+            .collect()
+    }
+
+    /// The merged sampled summary, or `None` while chunks are pending.
+    /// Merges in shard order with the same float-addition order as
+    /// [`SampledIngest::merged`], so the two pipelines' summaries are
+    /// bit-identical.
+    #[must_use]
+    pub fn sampled_summary(&self) -> Option<SampledSummary> {
+        if !self.is_complete() {
+            return None;
+        }
+        let mut histogram = WeightedHistogram::default();
+        let (mut raw, mut sampled, mut evictions) = (0u64, 0u64, 0u64);
+        let mut min_rate = f64::INFINITY;
+        for est in &self.estimators {
+            histogram.merge(est.histogram());
+            raw += est.raw_accesses();
+            sampled += est.sampled_accesses();
+            evictions += est.evictions();
+            min_rate = min_rate.min(est.sampling_rate());
+        }
+        Some(SampledSummary {
+            histogram,
+            raw_accesses: raw,
+            sampled_accesses: sampled,
+            evictions,
+            min_rate,
+        })
+    }
+
+    /// The deterministic chunk plan — [`TraceIngest`]'s exactly, which is
+    /// what makes the fused exact side byte-identical to a plain ingest.
+    fn chunk_bounds(&self) -> Vec<(u64, u64)> {
+        split_indices(
+            usize::try_from(self.total).expect("trace length fits usize"),
+            self.chunk_count,
+        )
+        .into_iter()
+        .map(|c| (c.start as u64, c.end as u64))
+        .collect()
+    }
+
+    /// Binds the ingest to its (fingerprint-checked) source so the generic
+    /// [`JobRunner`] can drive it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source does not match the ingest's fingerprint.
+    fn bind<'a>(&'a mut self, source: &'a TraceSource) -> FusedIngestJob<'a> {
+        assert_eq!(
+            source.fingerprint(),
+            self.fingerprint,
+            "fused ingest resumed against a different trace source"
+        );
+        let bounds = self.chunk_bounds();
+        FusedIngestJob {
+            ingest: self,
+            source,
+            bounds,
+        }
+    }
+
+    /// Runs up to `limit` pending chunks (all of them when `None`) in
+    /// parallel batches of the configured thread count, absorbing fused
+    /// partials in chunk order. Returns how many chunks were processed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source no longer matches the ingest's fingerprint, or
+    /// if it fails to stream (sources are validated by [`FusedIngest::new`]).
+    pub fn run_pending(&mut self, source: &TraceSource, limit: Option<usize>) -> usize {
+        JobRunner::run_pending(&mut self.bind(source), limit)
+    }
+
+    /// Runs pending chunks — all, or up to `limit` — saving the checkpoint
+    /// after every absorbed batch, so a kill loses at most one batch.
+    /// `on_batch(completed, total)` fires after every save. The checkpoint
+    /// is (re)written even when nothing was pending. The loop is
+    /// [`JobRunner::run_with_checkpoint`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if a checkpoint cannot be written.
+    pub fn run_with_checkpoint(
+        &mut self,
+        source: &TraceSource,
+        path: &Path,
+        limit: Option<usize>,
+        on_batch: impl FnMut(usize, usize),
+    ) -> std::io::Result<usize> {
+        JobRunner::run_with_checkpoint(&mut self.bind(source), path, limit, on_batch)
+    }
+
+    /// Serializes the ingest — plan, progress, exact merge state, and
+    /// every estimator's mid-stream state — as a JSON checkpoint document.
+    /// Both sides serialize canonically (timelines as ordered address
+    /// lists, weights as shortest round-trip decimals), so two ingests in
+    /// the same logical state serialize byte-identically however they got
+    /// there.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        job::write_checkpoint_header(&mut out, JobKind::FusedIngest, &self.fingerprint);
+        let _ = writeln!(out, "  \"total_accesses\": {},", self.total);
+        let _ = writeln!(out, "  \"chunk_count\": {},", self.chunk_count);
+        let _ = writeln!(out, "  \"shard_count\": {},", self.shard_count);
+        let _ = writeln!(out, "  \"budget_per_shard\": {},", self.budget_per_shard);
+        let _ = writeln!(out, "  \"threshold\": {},", self.threshold);
+        let _ = writeln!(out, "  \"next_chunk\": {},", self.next_chunk);
+        let _ = writeln!(out, "  \"streamed\": {},", self.streamed);
+        let _ = writeln!(out, "  \"cold\": {},", self.state.histogram.cold_count());
+        out.push_str("  \"histogram\": [");
+        for (i, (d, c)) in self.state.histogram.iter().enumerate() {
+            let sep = if i == 0 { "" } else { ", " };
+            let _ = write!(out, "{sep}[{d}, {c}]");
+        }
+        out.push_str("],\n");
+        out.push_str("  \"timeline\": [");
+        for (i, addr) in self.state.timeline.ordered_addresses().iter().enumerate() {
+            let sep = if i == 0 { "" } else { ", " };
+            let _ = write!(out, "{sep}{addr}");
+        }
+        out.push_str("],\n");
+        out.push_str("  \"shards\": [\n");
+        for (i, est) in self.estimators.iter().enumerate() {
+            let sep = if i + 1 < self.estimators.len() {
+                ","
+            } else {
+                ""
+            };
+            let _ = write!(
+                out,
+                "    {{\"threshold\": {}, \"raw\": {}, \"sampled\": {}, \"evictions\": {}, \"cold\": {}, \"histogram\": [",
+                est.threshold(),
+                est.raw_accesses(),
+                est.sampled_accesses(),
+                est.evictions(),
+                est.histogram().cold_weight(),
+            );
+            for (j, (d, w)) in est.histogram().iter().enumerate() {
+                let comma = if j == 0 { "" } else { ", " };
+                let _ = write!(out, "{comma}[{d}, {w}]");
+            }
+            out.push_str("], \"tracked\": [");
+            for (j, addr) in est.tracked_in_order().iter().enumerate() {
+                let comma = if j == 0 { "" } else { ", " };
+                let _ = write!(out, "{comma}{addr}");
+            }
+            let _ = writeln!(out, "]}}{sep}");
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Rebuilds a fused ingest from a checkpoint document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural problem.
+    pub fn from_json(text: &str, threads: usize) -> Result<FusedIngest, String> {
+        let doc = job::parse_checkpoint(text, JobKind::FusedIngest)?;
+        let fingerprint = doc
+            .get("fingerprint")
+            .and_then(JsonValue::as_str)
+            .ok_or("missing fingerprint")?
+            .to_string();
+        let total = doc
+            .get("total_accesses")
+            .and_then(JsonValue::as_u64)
+            .ok_or("missing total_accesses")?;
+        let chunk_count = doc
+            .get("chunk_count")
+            .and_then(JsonValue::as_usize)
+            .ok_or("missing chunk_count")?;
+        if chunk_count == 0 {
+            return Err("chunk_count must be positive".to_string());
+        }
+        if chunk_count != TraceIngest::effective_chunk_count(chunk_count, total) {
+            return Err(format!(
+                "chunk_count {chunk_count} exceeds the {total} accesses of the trace"
+            ));
+        }
+        let shard_count = doc
+            .get("shard_count")
+            .and_then(JsonValue::as_usize)
+            .ok_or("missing shard_count")?;
+        if shard_count == 0 {
+            return Err("shard_count must be positive".to_string());
+        }
+        let budget_per_shard = doc
+            .get("budget_per_shard")
+            .and_then(JsonValue::as_usize)
+            .ok_or("missing budget_per_shard")?;
+        if budget_per_shard == 0 {
+            return Err("budget_per_shard must be positive".to_string());
+        }
+        let threshold = doc
+            .get("threshold")
+            .and_then(JsonValue::as_u64)
+            .ok_or("missing threshold")?;
+        if threshold == 0 || threshold > SHARDS_MODULUS {
+            return Err(format!(
+                "threshold {threshold} outside 1..={SHARDS_MODULUS}"
+            ));
+        }
+        let next_chunk = doc
+            .get("next_chunk")
+            .and_then(JsonValue::as_usize)
+            .ok_or("missing next_chunk")?;
+        if next_chunk > chunk_count {
+            return Err(format!(
+                "next_chunk {next_chunk} exceeds chunk_count {chunk_count}"
+            ));
+        }
+        let streamed = doc
+            .get("streamed")
+            .and_then(JsonValue::as_u64)
+            .ok_or("missing streamed")?;
+        let cold = doc
+            .get("cold")
+            .and_then(JsonValue::as_u64)
+            .ok_or("missing cold")?;
+        let mut state = MergeState::new();
+        state.histogram.record_cold(cold);
+        let entries = doc
+            .get("histogram")
+            .and_then(JsonValue::as_array)
+            .ok_or("missing histogram")?;
+        for entry in entries {
+            let pair = entry.as_array().ok_or("histogram entry is not a pair")?;
+            let (d, c) = match pair {
+                [d, c] => (
+                    d.as_usize().ok_or("bad histogram distance")?,
+                    c.as_u64().ok_or("bad histogram count")?,
+                ),
+                _ => return Err("histogram entry is not a pair".to_string()),
+            };
+            if d == 0 {
+                return Err("histogram distance 0 is not representable".to_string());
+            }
+            state.histogram.record_finite(d, c);
+        }
+        let timeline = doc
+            .get("timeline")
+            .and_then(JsonValue::as_array)
+            .ok_or("missing timeline")?;
+        for addr in timeline {
+            state
+                .timeline
+                .append(addr.as_u64().ok_or("bad timeline address")?);
+        }
+        let shard_entries = doc
+            .get("shards")
+            .and_then(JsonValue::as_array)
+            .ok_or("missing shards")?;
+        if shard_entries.len() != shard_count {
+            return Err(format!(
+                "shard_count {shard_count} does not match {} shard entries",
+                shard_entries.len()
+            ));
+        }
+        let mut estimators = Vec::with_capacity(shard_count);
+        for (index, entry) in shard_entries.iter().enumerate() {
+            let shard_threshold = entry
+                .get("threshold")
+                .and_then(JsonValue::as_u64)
+                .ok_or("shard missing threshold")?;
+            if shard_threshold == 0 || shard_threshold > threshold {
+                return Err(format!(
+                    "shard threshold {shard_threshold} outside 1..={threshold}"
+                ));
+            }
+            let raw_accesses = entry
+                .get("raw")
+                .and_then(JsonValue::as_u64)
+                .ok_or("shard missing raw")?;
+            let sampled_accesses = entry
+                .get("sampled")
+                .and_then(JsonValue::as_u64)
+                .ok_or("shard missing sampled")?;
+            let evictions = entry
+                .get("evictions")
+                .and_then(JsonValue::as_u64)
+                .ok_or("shard missing evictions")?;
+            let cold = entry
+                .get("cold")
+                .and_then(JsonValue::as_f64)
+                .ok_or("shard missing cold")?;
+            if !cold.is_finite() || cold < 0.0 {
+                return Err(format!("shard cold weight {cold} is not a finite count"));
+            }
+            let mut histogram = WeightedHistogram::default();
+            histogram.record_cold(cold);
+            let bins = entry
+                .get("histogram")
+                .and_then(JsonValue::as_array)
+                .ok_or("shard missing histogram")?;
+            for bin in bins {
+                let pair = bin.as_array().ok_or("histogram entry is not a pair")?;
+                let (d, w) = match pair {
+                    [d, w] => (
+                        d.as_usize().ok_or("bad histogram distance")?,
+                        w.as_f64().ok_or("bad histogram weight")?,
+                    ),
+                    _ => return Err("histogram entry is not a pair".to_string()),
+                };
+                if d == 0 {
+                    return Err("histogram distance 0 is not representable".to_string());
+                }
+                if !w.is_finite() || w < 0.0 {
+                    return Err(format!("histogram weight {w} is not a finite count"));
+                }
+                histogram.record_finite(d, w);
+            }
+            let tracked_entries = entry
+                .get("tracked")
+                .and_then(JsonValue::as_array)
+                .ok_or("shard missing tracked")?;
+            let mut tracked = Vec::with_capacity(tracked_entries.len());
+            for addr in tracked_entries {
+                tracked.push(addr.as_u64().ok_or("bad tracked address")?);
+            }
+            estimators.push(ShardsEstimator::restore_for_shard(
+                budget_per_shard,
+                shard_threshold,
+                index as u64,
+                shard_count as u64,
+                raw_accesses,
+                sampled_accesses,
+                evictions,
+                histogram,
+                &tracked,
+            )?);
+        }
+        Ok(FusedIngest {
+            fingerprint,
+            total,
+            chunk_count,
+            shard_count,
+            budget_per_shard,
+            threshold,
+            threads: threads.max(1),
+            next_chunk,
+            streamed,
+            state,
+            estimators,
+        })
+    }
+
+    /// Writes the checkpoint to `path` atomically (temp file + rename).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        jsonio::save_atomic(path, &self.to_json())
+    }
+
+    /// Loads a checkpoint from `path`, or plans a fresh fused ingest when
+    /// the file does not exist or belongs to a different source or plan
+    /// (same policy, and same length-based staleness check, as
+    /// [`TraceIngest::resume_or_new`]). Returns the ingest and whether
+    /// progress was actually resumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns the source scan error, or a loud kind-mismatch error when
+    /// the file holds a checkpoint of a *different* job kind (see
+    /// [`crate::job::resume_or_new_with`]).
+    pub fn resume_or_new(
+        source: &TraceSource,
+        chunk_count: usize,
+        shard_count: usize,
+        budget_per_shard: usize,
+        threads: usize,
+        path: &Path,
+    ) -> Result<(FusedIngest, bool), String> {
+        let total = source
+            .total_accesses()
+            .map_err(|e| format!("cannot scan {source}: {e}"))?;
+        job::resume_or_new_with(
+            path,
+            JobKind::FusedIngest,
+            |text| FusedIngest::from_json(text, threads),
+            |ingest| {
+                ingest.fingerprint == source.fingerprint()
+                    && ingest.total == total
+                    && ingest.chunk_count == TraceIngest::effective_chunk_count(chunk_count, total)
+                    && ingest.shard_count == shard_count
+                    && ingest.budget_per_shard == budget_per_shard
+                    && ingest.threshold == SHARDS_MODULUS
+            },
+            FusedIngest::completed_count,
+            || {
+                Self::with_total(
+                    source,
+                    total,
+                    chunk_count,
+                    shard_count,
+                    budget_per_shard,
+                    threads,
+                )
+            },
+        )
+    }
+}
+
+/// A [`FusedIngest`] bound to its trace source and materialized chunk
+/// plan: the [`Job`] the generic runner drives. One unit is one contiguous
+/// trace chunk, streamed **once** through the [`fused_chunk_partial`]
+/// broadcast tap; absorption advances the exact merge and replays the
+/// routed slices through the live estimators, both strictly in chunk
+/// order.
+struct FusedIngestJob<'a> {
+    ingest: &'a mut FusedIngest,
+    source: &'a TraceSource,
+    bounds: Vec<(u64, u64)>,
+}
+
+impl Job for FusedIngestJob<'_> {
+    type Partial = FusedChunkPartial;
+
+    fn kind(&self) -> JobKind {
+        JobKind::FusedIngest
+    }
+
+    fn fingerprint(&self) -> String {
+        self.ingest.fingerprint.clone()
+    }
+
+    fn threads(&self) -> usize {
+        self.ingest.threads
+    }
+
+    fn unit_count(&self) -> usize {
+        self.ingest.chunk_count
+    }
+
+    fn completed_count(&self) -> usize {
+        self.ingest.next_chunk
+    }
+
+    /// Completion is always a contiguous prefix (both merge sides advance
+    /// chunk by chunk), so the pending list is the remaining suffix.
+    fn pending_units(&self) -> Vec<usize> {
+        (self.ingest.next_chunk..self.ingest.chunk_count).collect()
+    }
+
+    /// Both absorbed states must advance before the next pass is planned,
+    /// so one pass takes at most one chunk per worker.
+    fn units_per_pass(&self, threads: usize) -> usize {
+        threads
+    }
+
+    /// Workers decode and fold chunks in parallel over the block-streaming
+    /// path — each chunk streamed exactly once through the broadcast tap
+    /// (a [`CountingSink`] rides along and cross-checks the single-pass
+    /// counter) — while [`FusedIngestJob::absorb`] keeps both merges
+    /// sequential and in chunk order.
+    fn run_span(&self, units: &[usize], out: &mut Vec<(usize, FusedChunkPartial)>) {
+        for &unit in units {
+            let (start, end) = self.bounds[unit];
+            let mut blocks = self
+                .source
+                .stream_blocks_range(start, end)
+                .expect("validated source streams");
+            let mut tap = CountingSink::new();
+            let partial = fused_chunk_partial(blocks.as_mut(), self.ingest.shard_count, &mut tap);
+            debug_assert_eq!(
+                tap.accesses(),
+                partial.streamed,
+                "the broadcast tap observes every access exactly once"
+            );
+            out.push((unit, partial));
+        }
+    }
+
+    fn absorb(&mut self, unit: usize, partial: FusedChunkPartial) {
+        debug_assert_eq!(unit, self.ingest.next_chunk, "chunks absorb in order");
+        self.ingest.state.absorb(&partial.exact);
+        for (shard, slice) in partial.routed.iter().enumerate() {
+            let est = &mut self.ingest.estimators[shard];
+            for &addr in slice {
+                let hash = splitmix64(addr) % SHARDS_MODULUS;
+                debug_assert_eq!(
+                    hash % self.ingest.shard_count as u64,
+                    shard as u64,
+                    "routed addresses replay into their owning shard"
+                );
+                est.record_hashed(addr, hash);
+            }
+        }
+        self.ingest.streamed += partial.streamed;
+        self.ingest.next_chunk += 1;
+    }
+
+    fn to_json(&self) -> String {
+        self.ingest.to_json()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2889,5 +3744,219 @@ mod tests {
         assert!(ingest.is_complete());
         assert_eq!(ingest.histogram().unwrap().accesses(), 0);
         assert_eq!(ingest.footprint(), 0);
+    }
+
+    #[test]
+    fn fused_chunk_partial_broadcasts_each_access_exactly_once() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(51);
+        let trace = zipfian_trace(100, 1500, 0.8, &mut rng);
+        let addrs: Vec<u64> = trace.iter().map(|a| a.value() as u64).collect();
+        let source = TraceSource::Memory(trace);
+        let mut blocks = source.stream_blocks_range(0, addrs.len() as u64).unwrap();
+        let mut tap = CountingSink::new();
+        let partial = fused_chunk_partial(blocks.as_mut(), 3, &mut tap);
+        // The counting tap proves the single pass: exactly one observation
+        // per access, and the fold agrees.
+        assert_eq!(tap.accesses(), addrs.len() as u64);
+        assert_eq!(partial.streamed, addrs.len() as u64);
+        // The exact side is exactly what the plain chunk fold produces.
+        assert_eq!(partial.exact, chunk_partial(addrs.iter().copied()));
+        // Every access routes to exactly one shard — the right one — and
+        // each shard's slice preserves access order.
+        assert_eq!(
+            partial.routed.iter().map(Vec::len).sum::<usize>(),
+            addrs.len()
+        );
+        let mut replayed: Vec<Vec<u64>> = vec![Vec::new(); 3];
+        for &addr in &addrs {
+            replayed[(splitmix64(addr) % SHARDS_MODULUS % 3) as usize].push(addr);
+        }
+        assert_eq!(partial.routed, replayed);
+    }
+
+    #[test]
+    fn fused_ingest_equals_exact_and_sampled_pipelines() {
+        // The headline invariant: one fused pass produces an exact
+        // histogram byte-identical to TraceIngest and sampled results
+        // bit-identical to SampledIngest at the same shard count.
+        let source = TraceSource::Gen(GenSpec::parse("gen:zipf:300:5000:0.8:21").unwrap());
+        let mut exact = TraceIngest::new(&source, 6, 2).unwrap();
+        exact.run_pending(&source, None);
+        let mut sampled = SampledIngest::new(&source, 3, 16, 2).unwrap();
+        sampled.run_pending(&source, None);
+
+        let mut fused = FusedIngest::new(&source, 6, 3, 16, 2).unwrap();
+        fused.run_pending(&source, None);
+        assert!(fused.is_complete());
+        assert_eq!(fused.exact_histogram().unwrap(), exact.histogram().unwrap());
+        assert_eq!(fused.footprint(), exact.footprint());
+        assert_eq!(fused.sampled_shard_results(), sampled.shard_results());
+        assert_eq!(fused.sampled_summary(), sampled.merged());
+        // …and the single-pass counter covers the whole trace exactly once,
+        // where the two separate pipelines streamed it (at least) twice.
+        assert_eq!(fused.streamed_accesses(), fused.total_accesses());
+    }
+
+    #[test]
+    fn fused_ingest_is_thread_and_chunk_invariant() {
+        let source = TraceSource::Gen(GenSpec::parse("gen:zipf:200:3000:0.9:31").unwrap());
+        let mut reference = FusedIngest::new(&source, 5, 2, 24, 1).unwrap();
+        reference.run_pending(&source, None);
+        let expected = reference.to_json();
+        for threads in [2, 3, 8] {
+            let mut fused = FusedIngest::new(&source, 5, 2, 24, threads).unwrap();
+            fused.run_pending(&source, None);
+            assert_eq!(fused.to_json(), expected, "threads={threads}");
+        }
+        // A different chunking changes the plan but not either result.
+        for chunks in [1usize, 3, 11] {
+            let mut fused = FusedIngest::new(&source, chunks, 2, 24, 2).unwrap();
+            fused.run_pending(&source, None);
+            assert_eq!(
+                fused.exact_histogram().unwrap(),
+                reference.exact_histogram().unwrap(),
+                "chunks={chunks}"
+            );
+            assert_eq!(
+                fused.sampled_summary(),
+                reference.sampled_summary(),
+                "chunks={chunks}"
+            );
+        }
+    }
+
+    #[test]
+    fn interrupted_fused_ingest_resumes_to_byte_identical_checkpoint() {
+        // Small budgets over a large footprint so thresholds have dropped
+        // and shards carry non-trivial tracked sets at the kill point.
+        let source = TraceSource::Gen(GenSpec::parse("gen:zipf:300:5000:0.8:41").unwrap());
+        let mut reference = FusedIngest::new(&source, 6, 3, 16, 2).unwrap();
+        reference.run_pending(&source, None);
+        let reference_json = reference.to_json();
+
+        let mut interrupted = FusedIngest::new(&source, 6, 3, 16, 2).unwrap();
+        assert_eq!(interrupted.run_pending(&source, Some(3)), 3);
+        assert!(!interrupted.is_complete());
+        assert!(interrupted.exact_histogram().is_none());
+        assert!(interrupted.sampled_summary().is_none());
+        let checkpoint = interrupted.to_json();
+        drop(interrupted);
+
+        let mut resumed = FusedIngest::from_json(&checkpoint, 4).unwrap();
+        assert_eq!(resumed.completed_count(), 3);
+        // Restoring is lossless: re-serializing the restored state gives
+        // the same bytes back.
+        assert_eq!(resumed.to_json(), checkpoint);
+        assert_eq!(resumed.run_pending(&source, None), 3);
+        assert_eq!(resumed.to_json(), reference_json, "resume must be exact");
+        assert_eq!(resumed.sampled_summary(), reference.sampled_summary());
+    }
+
+    #[test]
+    fn fused_ingest_checkpoint_files_and_resume_or_new() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("symloc_tracesweep_fused_checkpoint.json");
+        std::fs::remove_file(&path).ok();
+        let source = TraceSource::Gen(GenSpec::parse("gen:zipf:100:2000:0.7:51").unwrap());
+
+        let (mut fused, resumed) = FusedIngest::resume_or_new(&source, 5, 2, 16, 2, &path).unwrap();
+        assert!(!resumed);
+        let mut progress = Vec::new();
+        fused
+            .run_with_checkpoint(&source, &path, Some(2), |done, total| {
+                progress.push((done, total));
+            })
+            .unwrap();
+        assert_eq!(progress, vec![(2, 5)]);
+        assert!(!fused.is_complete());
+
+        let (mut resumed_fused, resumed) =
+            FusedIngest::resume_or_new(&source, 5, 2, 16, 2, &path).unwrap();
+        assert!(resumed);
+        assert_eq!(resumed_fused.completed_count(), 2);
+        resumed_fused
+            .run_with_checkpoint(&source, &path, None, |_, _| {})
+            .unwrap();
+        assert!(resumed_fused.is_complete());
+
+        // A different sampled plan ignores the stale checkpoint even though
+        // the exact plan still matches.
+        let (fresh, resumed) = FusedIngest::resume_or_new(&source, 5, 4, 16, 2, &path).unwrap();
+        assert!(!resumed);
+        assert_eq!(fresh.completed_count(), 0);
+        let (fresh, resumed) = FusedIngest::resume_or_new(&source, 5, 2, 8, 2, &path).unwrap();
+        assert!(!resumed);
+        assert_eq!(fresh.completed_count(), 0);
+
+        // Complete ingest: nothing pending, checkpoint still rewritten.
+        let (mut done, _) = FusedIngest::resume_or_new(&source, 5, 2, 16, 2, &path).unwrap();
+        assert!(done.is_complete());
+        assert_eq!(
+            done.run_with_checkpoint(&source, &path, None, |_, _| {})
+                .unwrap(),
+            0
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fused_ingest_rejects_corrupted_checkpoints() {
+        let source = TraceSource::Gen(GenSpec::parse("gen:zipf:50:600:0.9:61").unwrap());
+        let mut fused = FusedIngest::new(&source, 3, 2, 8, 1).unwrap();
+        fused.run_pending(&source, Some(1));
+        let good = fused.to_json();
+        assert!(FusedIngest::from_json(&good, 1).is_ok());
+        assert!(FusedIngest::from_json("{}", 1).is_err());
+        assert!(FusedIngest::from_json("not json", 1).is_err());
+        assert!(FusedIngest::from_json(&good.replace(FUSED_CHECKPOINT_KIND, "other"), 1).is_err());
+        assert!(
+            FusedIngest::from_json(&good.replace("\"version\": 1", "\"version\": 9"), 1).is_err()
+        );
+        assert!(FusedIngest::from_json(
+            &good.replace("\"next_chunk\": 1", "\"next_chunk\": 99"),
+            1
+        )
+        .is_err());
+        assert!(FusedIngest::from_json(
+            &good.replace("\"shard_count\": 2", "\"shard_count\": 5"),
+            1
+        )
+        .is_err());
+        assert!(FusedIngest::from_json(
+            &good.replace("\"budget_per_shard\": 8", "\"budget_per_shard\": 0"),
+            1
+        )
+        .is_err());
+        // Mangled tracked lists are rejected: a duplicated address, and an
+        // address that does not belong to its shard's residue class.
+        let mangled = good.replace("\"tracked\": [", "\"tracked\": [1, 1, ");
+        assert!(FusedIngest::from_json(&mangled, 1).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "different trace source")]
+    fn fused_ingest_refuses_a_mismatched_source() {
+        let source = TraceSource::Gen(GenSpec::parse("gen:cyclic:8:4").unwrap());
+        let other = TraceSource::Gen(GenSpec::parse("gen:cyclic:8:5").unwrap());
+        let mut fused = FusedIngest::new(&source, 2, 2, 8, 1).unwrap();
+        fused.run_pending(&other, None);
+    }
+
+    #[test]
+    fn empty_trace_fuses_cleanly() {
+        let source = TraceSource::Memory(Trace::new());
+        let mut fused = FusedIngest::new(&source, 3, 2, 8, 2).unwrap();
+        fused.run_pending(&source, None);
+        assert!(fused.is_complete());
+        assert_eq!(fused.streamed_accesses(), 0);
+        assert_eq!(fused.exact_histogram().unwrap().accesses(), 0);
+        assert_eq!(fused.footprint(), 0);
+        let summary = fused.sampled_summary().unwrap();
+        assert_eq!(summary.raw_accesses, 0);
+        // Same rate floor as SampledIngest: threshold never moved, so the
+        // per-shard rate is 1/shard_count.
+        assert!((summary.min_rate - 0.5).abs() < 1e-15);
     }
 }

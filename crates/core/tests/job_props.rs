@@ -1,19 +1,19 @@
 //! Property tests for the unified `core::job` runner: killing any of the
-//! four resumable pipelines at **every unit boundary** and resuming from
+//! five resumable pipelines at **every unit boundary** and resuming from
 //! the serialized checkpoint must reproduce the uninterrupted run's final
 //! checkpoint *byte-identically*.
 //!
 //! This is the load-bearing invariant of the whole job abstraction — unit
 //! plans are deterministic, partials are mergeable in unit order, and the
 //! checkpoint codec is canonical — pinned here across random plans for
-//! [`ShardedSweep`], [`SampledSweep`], [`TraceIngest`] and
-//! [`SampledIngest`].
+//! [`ShardedSweep`], [`SampledSweep`], [`TraceIngest`], [`SampledIngest`]
+//! and [`FusedIngest`].
 
 use proptest::prelude::*;
 use symloc_core::engine::SweepSpec;
 use symloc_core::model::CacheModel;
 use symloc_core::shard::{SampledSweep, ShardedSweep};
-use symloc_core::tracesweep::{SampledIngest, TraceIngest};
+use symloc_core::tracesweep::{FusedIngest, SampledIngest, TraceIngest};
 use symloc_perm::statistics::Statistic;
 use symloc_trace::stream::{GenSpec, TraceSource};
 
@@ -151,6 +151,44 @@ proptest! {
                 &resumed.to_json(),
                 &reference_json,
                 "{} kill at shard {}",
+                &spec,
+                kill_at
+            );
+        }
+    }
+
+    #[test]
+    fn fused_ingest_kill_resume_at_every_boundary(
+        m in 30u64..120,
+        chunks in 1usize..7,
+        shard_count in 1usize..5,
+        budget in 8usize..48,
+        threads in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        // The fused checkpoint carries the exact merge state *and* every
+        // mid-stream estimator (threshold, counters, tracked timeline), so
+        // a kill at any chunk boundary must still resume — with a
+        // different thread count — to the byte-identical final document.
+        let spec = format!("gen:zipf:{m}:{len}:0.8:{s}", len = m * 8, s = seed % 1000);
+        let source = TraceSource::Gen(GenSpec::parse(&spec).unwrap());
+        let mut reference =
+            FusedIngest::new(&source, chunks, shard_count, budget, threads).unwrap();
+        reference.run_pending(&source, None);
+        let reference_json = reference.to_json();
+
+        for kill_at in 0..reference.chunk_count() {
+            let mut interrupted =
+                FusedIngest::new(&source, chunks, shard_count, budget, threads).unwrap();
+            prop_assert_eq!(interrupted.run_pending(&source, Some(kill_at)), kill_at);
+            let checkpoint = interrupted.to_json();
+            let mut resumed = FusedIngest::from_json(&checkpoint, threads % 3 + 1).unwrap();
+            prop_assert_eq!(resumed.completed_count(), kill_at);
+            resumed.run_pending(&source, None);
+            prop_assert_eq!(
+                &resumed.to_json(),
+                &reference_json,
+                "{} kill at chunk {}",
                 &spec,
                 kill_at
             );

@@ -10,11 +10,15 @@
 //! 3. The SHARDS sampled estimator against the exact engine: *equal* when
 //!    the budget covers the footprint at full rate, and within a stated
 //!    error bound when the budget binds.
+//! 4. The fused single-pass ingest against the two separate pipelines:
+//!    exact side byte-identical to [`TraceIngest`], sampled side
+//!    bit-identical to [`SampledIngest`], across every pattern × shard
+//!    count × thread count.
 
 use proptest::prelude::*;
 use symloc_core::tracesweep::{
-    chunk_partial, log_spaced_sizes, MergeState, OnlineReuseEngine, SampledIngest, ShardsEstimator,
-    StreamHistogram, TraceIngest, SHARDS_MODULUS,
+    chunk_partial, log_spaced_sizes, FusedIngest, MergeState, OnlineReuseEngine, SampledIngest,
+    ShardsEstimator, StreamHistogram, TraceIngest, SHARDS_MODULUS,
 };
 use symloc_trace::generators::{
     cyclic_trace, interleaved_trace, move_to_front_trace, multi_epoch_trace, random_trace,
@@ -206,6 +210,53 @@ proptest! {
                 merged.raw_accesses,
                 source.total_accesses().unwrap(),
                 "{}", name
+            );
+        }
+    }
+
+    #[test]
+    fn fused_ingest_equals_separate_pipelines_on_every_pattern(
+        seed in any::<u64>(),
+        shard_count in 1usize..8,
+        threads in 1usize..5,
+    ) {
+        // The PR-7 tentpole equivalence: one fused streaming pass must
+        // reproduce the exact pipeline byte-identically and the sampled
+        // pipeline bit-identically at the same shard count — for every
+        // generator pattern, hash-shard count and thread count — while its
+        // single-pass counter proves each access streamed exactly once.
+        for (name, trace) in all_generator_patterns(seed) {
+            let source = TraceSource::Memory(trace);
+            let mut exact = TraceIngest::new(&source, 4, threads).unwrap();
+            exact.run_pending(&source, None);
+            let mut sampled = SampledIngest::new(&source, shard_count, 32, threads).unwrap();
+            sampled.run_pending(&source, None);
+            let mut fused = FusedIngest::new(&source, 4, shard_count, 32, threads).unwrap();
+            fused.run_pending(&source, None);
+            prop_assert_eq!(
+                fused.exact_histogram().unwrap(),
+                exact.histogram().unwrap(),
+                "{} seed {} shards {} threads {}",
+                name, seed, shard_count, threads
+            );
+            let fused_shards = fused.sampled_shard_results();
+            prop_assert_eq!(
+                fused_shards.as_slice(),
+                sampled.shard_results(),
+                "{} seed {} shards {} threads {}",
+                name, seed, shard_count, threads
+            );
+            prop_assert_eq!(
+                fused.sampled_summary(),
+                sampled.merged(),
+                "{} seed {} shards {} threads {}",
+                name, seed, shard_count, threads
+            );
+            prop_assert_eq!(
+                fused.streamed_accesses(),
+                source.total_accesses().unwrap(),
+                "{} seed {}: the fused pass must stream each access exactly once",
+                name, seed
             );
         }
     }

@@ -418,6 +418,57 @@ pub trait BlockRead: Send {
 /// A boxed block reader (see [`TraceSource::stream_blocks_range`]).
 pub type AccessBlocks = Box<dyn BlockRead>;
 
+/// A per-access consumer that can be tapped into a streaming pass. The
+/// broadcast seam of the fused single-pass pipeline: one decode pass over a
+/// source can feed its exact and sampled engines *and* any number of extra
+/// sinks (a live daemon, a counter, a recorder) without re-streaming. Sinks
+/// observe every access, in trace order, exactly once per pass.
+pub trait AccessSink {
+    /// Observes one access.
+    fn on_access(&mut self, addr: u64);
+
+    /// Observes one decoded block (defaults to per-access delivery; block
+    /// consumers can override to stay on the hot block path).
+    fn on_block(&mut self, block: &[u64]) {
+        for &addr in block {
+            self.on_access(addr);
+        }
+    }
+}
+
+/// An [`AccessSink`] that only counts — the observer used to *prove* a
+/// fused pass streams each access exactly once, and the no-op-priced
+/// default tap.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CountingSink {
+    accesses: u64,
+}
+
+impl CountingSink {
+    /// A fresh, zeroed counter.
+    #[must_use]
+    pub fn new() -> CountingSink {
+        CountingSink::default()
+    }
+
+    /// Accesses observed so far.
+    #[must_use]
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+}
+
+impl AccessSink for CountingSink {
+    fn on_access(&mut self, addr: u64) {
+        let _ = addr;
+        self.accesses += 1;
+    }
+
+    fn on_block(&mut self, block: &[u64]) {
+        self.accesses += block.len() as u64;
+    }
+}
+
 /// Adapts any access iterator to the block interface — the generic path
 /// for sources without a native block decoder.
 struct IterBlocks {
@@ -1316,6 +1367,29 @@ mod tests {
             GenSpec::parse("gen:cyclic:0:5").unwrap().total_accesses(),
             0
         );
+    }
+
+    #[test]
+    fn counting_sink_counts_blocks_and_single_accesses_identically() {
+        let mut by_access = CountingSink::new();
+        let mut by_block = CountingSink::new();
+        let block: Vec<u64> = (0..37).collect();
+        for &addr in &block {
+            by_access.on_access(addr);
+        }
+        by_block.on_block(&block);
+        assert_eq!(by_access.accesses(), 37);
+        assert_eq!(by_access, by_block);
+        // The default block delivery also counts once per access.
+        struct Defaulted(CountingSink);
+        impl AccessSink for Defaulted {
+            fn on_access(&mut self, addr: u64) {
+                self.0.on_access(addr);
+            }
+        }
+        let mut defaulted = Defaulted(CountingSink::new());
+        defaulted.on_block(&block);
+        assert_eq!(defaulted.0.accesses(), 37);
     }
 
     #[test]

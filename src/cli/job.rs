@@ -4,14 +4,14 @@
 
 use super::flags::{CommandSpec, FlagSpec, JSON, THREADS};
 use super::sweep::sweep_report;
-use super::tracecmd::mrc_table;
+use super::tracecmd::{mrc_array, mrc_table};
 use super::CliError;
 use std::fmt::Write as _;
 use std::path::Path;
 
 use symloc_core::job::{checkpoint_status, JobKind, JobStatus};
 use symloc_core::shard::{SampledSweep, ShardedSweep};
-use symloc_core::tracesweep::{log_spaced_sizes, SampledIngest, TraceIngest};
+use symloc_core::tracesweep::{log_spaced_sizes, FusedIngest, SampledIngest, TraceIngest};
 use symloc_par::default_threads;
 use symloc_trace::stream::TraceSource;
 
@@ -38,13 +38,13 @@ pub(crate) const JOB_STATUS: CommandSpec = CommandSpec {
 pub(crate) const JOB_RESUME: CommandSpec = CommandSpec {
     name: "job resume",
     summary: "continue any symloc checkpoint, dispatching on its recorded kind",
-    usage: "symloc job resume <checkpoint> [--threads N] [--max-units N]",
+    usage: "symloc job resume <checkpoint> [--threads N] [--max-units N] [--json]",
     positionals: &[(
         "checkpoint",
         "a checkpoint file written by any resumable command",
     )],
     variadic: false,
-    flags: &[THREADS, MAX_UNITS],
+    flags: &[THREADS, MAX_UNITS, JSON],
 };
 
 /// Renders a [`JobStatus`] as the human-readable `job status` report.
@@ -98,6 +98,35 @@ fn status_json(status: &JobStatus) -> String {
         );
     }
     out.push_str("}\n}\n");
+    out
+}
+
+/// Renders a `job resume --json` completion report: the shared progress
+/// fields plus per-kind `extra` pairs whose values are raw JSON fragments
+/// (numbers, arrays or objects rendered by the caller).
+fn resume_json(
+    kind: JobKind,
+    fingerprint: &str,
+    ran: usize,
+    completed: usize,
+    total: usize,
+    extra: &[(&str, String)],
+) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"kind\": \"{kind}\",");
+    let _ = writeln!(
+        out,
+        "  \"fingerprint\": \"{}\",",
+        symloc_core::jsonio::escape(fingerprint)
+    );
+    let _ = writeln!(out, "  \"complete\": {},", completed >= total);
+    let _ = writeln!(out, "  \"ran\": {ran},");
+    let _ = writeln!(out, "  \"completed\": {completed},");
+    let _ = write!(out, "  \"total\": {total}");
+    for (key, value) in extra {
+        let _ = write!(out, ",\n  \"{key}\": {value}");
+    }
+    out.push_str("\n}\n");
     out
 }
 
@@ -159,6 +188,7 @@ pub(crate) fn resume(args: &[String]) -> Result<String, CliError> {
     let path = Path::new(&path_str);
     let threads = parsed.usize(THREADS.name)?.unwrap_or_else(default_threads);
     let limit = parsed.usize(MAX_UNITS.name)?;
+    let json = parsed.switch(JSON.name);
     let text = std::fs::read_to_string(path)
         .map_err(|e| CliError(format!("cannot read checkpoint {path_str}: {e}")))?;
     // Sniff the kind only — each arm decodes the (possibly large)
@@ -191,6 +221,16 @@ pub(crate) fn resume(args: &[String]) -> Result<String, CliError> {
             let ran = sweep
                 .run_with_checkpoint(path, limit, |_, _| {})
                 .map_err(ckpt_err)?;
+            if json {
+                return Ok(resume_json(
+                    kind,
+                    &sweep.spec().fingerprint(),
+                    ran,
+                    sweep.completed_count(),
+                    sweep.shard_count(),
+                    &[],
+                ));
+            }
             let _ = writeln!(
                 out,
                 "ran {ran} shard(s); {} of {} complete; checkpoint saved to {path_str}",
@@ -215,6 +255,16 @@ pub(crate) fn resume(args: &[String]) -> Result<String, CliError> {
             let ran = sweep
                 .run_with_checkpoint(path, limit, |_, _| {})
                 .map_err(ckpt_err)?;
+            if json {
+                return Ok(resume_json(
+                    kind,
+                    &sweep.spec().fingerprint(),
+                    ran,
+                    sweep.completed_count(),
+                    sweep.level_count(),
+                    &[],
+                ));
+            }
             let _ = writeln!(
                 out,
                 "ran {ran} level(s); {} of {} complete; checkpoint saved to {path_str}",
@@ -240,6 +290,26 @@ pub(crate) fn resume(args: &[String]) -> Result<String, CliError> {
             let ran = ingest
                 .run_with_checkpoint(&source, path, limit, |_, _| {})
                 .map_err(ckpt_err)?;
+            if json {
+                let mut extra = Vec::new();
+                if let Some(h) = ingest.histogram() {
+                    let footprint = usize::try_from(h.cold_count()).unwrap_or(usize::MAX);
+                    extra.push(("accesses", h.accesses().to_string()));
+                    extra.push(("footprint", footprint.to_string()));
+                    extra.push((
+                        "mrc",
+                        mrc_array(&h.mrc_points(&log_spaced_sizes(footprint, 16))),
+                    ));
+                }
+                return Ok(resume_json(
+                    kind,
+                    ingest.fingerprint(),
+                    ran,
+                    ingest.completed_count(),
+                    ingest.chunk_count(),
+                    &extra,
+                ));
+            }
             let _ = writeln!(
                 out,
                 "ran {ran} chunk(s); {} of {} complete; checkpoint saved to {path_str}",
@@ -270,6 +340,30 @@ pub(crate) fn resume(args: &[String]) -> Result<String, CliError> {
             let ran = ingest
                 .run_with_checkpoint(&source, path, limit, |_, _| {})
                 .map_err(ckpt_err)?;
+            if json {
+                let mut extra = Vec::new();
+                if let Some(summary) = ingest.merged() {
+                    let footprint = summary.estimated_footprint().round().max(1.0) as usize;
+                    extra.push(("accesses", summary.raw_accesses.to_string()));
+                    extra.push(("footprint", footprint.to_string()));
+                    extra.push((
+                        "mrc",
+                        mrc_array(
+                            &summary
+                                .histogram
+                                .mrc_points(&log_spaced_sizes(footprint, 16)),
+                        ),
+                    ));
+                }
+                return Ok(resume_json(
+                    kind,
+                    ingest.fingerprint(),
+                    ran,
+                    ingest.completed_count(),
+                    ingest.shard_count(),
+                    &extra,
+                ));
+            }
             let _ = writeln!(
                 out,
                 "ran {ran} hash shard(s); {} of {} complete; checkpoint saved to {path_str}",
@@ -289,6 +383,79 @@ pub(crate) fn resume(args: &[String]) -> Result<String, CliError> {
                 }
                 None => {
                     let _ = writeln!(out, "sampled ingest incomplete — re-run to continue");
+                }
+            }
+        }
+        JobKind::FusedIngest => {
+            let mut ingest = FusedIngest::from_json(&text, threads).map_err(CliError)?;
+            banner(
+                &mut out,
+                ingest.fingerprint(),
+                ingest.completed_count(),
+                ingest.chunk_count(),
+            );
+            let source = reopen_source(ingest.fingerprint(), ingest.total_accesses())?;
+            let ran = ingest
+                .run_with_checkpoint(&source, path, limit, |_, _| {})
+                .map_err(ckpt_err)?;
+            if json {
+                let mut extra = vec![("streamed", ingest.streamed_accesses().to_string())];
+                if let (Some(h), Some(summary)) =
+                    (ingest.exact_histogram(), ingest.sampled_summary())
+                {
+                    let footprint = usize::try_from(h.cold_count()).unwrap_or(usize::MAX);
+                    let est = summary.estimated_footprint().round().max(1.0) as usize;
+                    extra.push(("accesses", h.accesses().to_string()));
+                    extra.push((
+                        "exact",
+                        format!(
+                            "{{\"footprint\": {footprint}, \"mrc\": {}}}",
+                            mrc_array(&h.mrc_points(&log_spaced_sizes(footprint, 16)))
+                        ),
+                    ));
+                    extra.push((
+                        "sampled",
+                        format!(
+                            "{{\"footprint\": {est}, \"min_rate\": {}, \"mrc\": {}}}",
+                            summary.min_rate,
+                            mrc_array(&summary.histogram.mrc_points(&log_spaced_sizes(est, 16)))
+                        ),
+                    ));
+                }
+                return Ok(resume_json(
+                    kind,
+                    ingest.fingerprint(),
+                    ran,
+                    ingest.completed_count(),
+                    ingest.chunk_count(),
+                    &extra,
+                ));
+            }
+            let _ = writeln!(
+                out,
+                "ran {ran} chunk(s); {} of {} complete; checkpoint saved to {path_str}",
+                ingest.completed_count(),
+                ingest.chunk_count()
+            );
+            match (ingest.exact_histogram(), ingest.sampled_summary()) {
+                (Some(h), Some(summary)) => {
+                    let footprint = usize::try_from(h.cold_count()).unwrap_or(usize::MAX);
+                    let est = summary.estimated_footprint().round().max(1.0) as usize;
+                    let _ = writeln!(out, "accesses            : {}", h.accesses());
+                    let _ = writeln!(
+                        out,
+                        "streamed            : {} (each access decoded once)",
+                        ingest.streamed_accesses()
+                    );
+                    let _ = writeln!(out, "exact footprint     : {footprint}");
+                    out.push_str(&mrc_table(&h.mrc_points(&log_spaced_sizes(footprint, 16))));
+                    let _ = writeln!(out, "sampled footprint   : ~{est} (estimated)");
+                    out.push_str(&mrc_table(
+                        &summary.histogram.mrc_points(&log_spaced_sizes(est, 16)),
+                    ));
+                }
+                _ => {
+                    let _ = writeln!(out, "fused ingest incomplete — re-run to continue");
                 }
             }
         }
@@ -469,6 +636,105 @@ mod tests {
         std::fs::remove_file(&path).ok();
         std::fs::remove_file(&spath).ok();
         std::fs::remove_file(&rpath).ok();
+    }
+
+    #[test]
+    fn status_and_resume_for_fused_checkpoints() {
+        let (path, path_str) = tmp("fused_ingest.json");
+        trace_mrc(&sargs(&format!(
+            "gen:zipf:200:4000:0.8:5 --exact --sample 64 --shards 4 --checkpoint {path_str} \
+             --max-chunks 2"
+        )))
+        .unwrap();
+        let report = job(&sargs(&format!("status {path_str}"))).unwrap();
+        assert!(
+            report.contains("fused exact+sampled trace ingest"),
+            "{report}"
+        );
+        assert!(report.contains("2 of 4 chunks complete"), "{report}");
+        assert!(report.contains("gen:zipf:200:4000:0.8:5"), "{report}");
+
+        let finished = job(&sargs(&format!("resume {path_str} --threads 2"))).unwrap();
+        assert!(finished.contains("4 of 4 complete"), "{finished}");
+        assert!(
+            finished.contains("streamed            : 4000 (each access decoded once)"),
+            "{finished}"
+        );
+        assert!(finished.contains("exact footprint"), "{finished}");
+        assert!(finished.contains("sampled footprint"), "{finished}");
+
+        // The finished checkpoint matches the one the trace command writes
+        // in a single uninterrupted run.
+        let via_job = std::fs::read_to_string(&path).unwrap();
+        let (rpath, rpath_str) = tmp("fused_ingest_ref.json");
+        trace_mrc(&sargs(&format!(
+            "gen:zipf:200:4000:0.8:5 --exact --sample 64 --shards 4 --checkpoint {rpath_str}"
+        )))
+        .unwrap();
+        assert_eq!(via_job, std::fs::read_to_string(&rpath).unwrap());
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&rpath).ok();
+    }
+
+    #[test]
+    fn resume_json_reports_are_machine_readable() {
+        // Fused kind: the completion report carries both curves.
+        let (path, path_str) = tmp("fused_json.json");
+        trace_mrc(&sargs(&format!(
+            "gen:zipf:200:4000:0.8:5 --exact --sample 64 --shards 4 --checkpoint {path_str} \
+             --max-chunks 1"
+        )))
+        .unwrap();
+        // An incomplete bounded resume still emits a parseable document.
+        let partial = job(&sargs(&format!("resume {path_str} --max-units 1 --json"))).unwrap();
+        let doc = jsonio::parse(&partial).unwrap();
+        assert_eq!(doc.get("complete"), Some(&JsonValue::Bool(false)));
+        assert_eq!(doc.get("ran").and_then(JsonValue::as_u64), Some(1));
+        assert_eq!(doc.get("completed").and_then(JsonValue::as_u64), Some(2));
+        assert!(doc.get("exact").is_none());
+
+        let finished = job(&sargs(&format!("resume {path_str} --json"))).unwrap();
+        let doc = jsonio::parse(&finished).unwrap();
+        assert_eq!(
+            doc.get("kind").and_then(JsonValue::as_str),
+            Some("symloc_fused_trace_checkpoint")
+        );
+        assert_eq!(doc.get("complete"), Some(&JsonValue::Bool(true)));
+        assert_eq!(doc.get("total").and_then(JsonValue::as_u64), Some(4));
+        assert_eq!(doc.get("accesses").and_then(JsonValue::as_u64), Some(4000));
+        assert_eq!(doc.get("streamed").and_then(JsonValue::as_u64), Some(4000));
+        for engine in ["exact", "sampled"] {
+            let curve = doc.get(engine).unwrap();
+            assert!(
+                curve.get("footprint").and_then(JsonValue::as_u64).is_some(),
+                "{engine} footprint missing"
+            );
+            let mrc = curve.get("mrc").and_then(JsonValue::as_array).unwrap();
+            assert!(!mrc.is_empty(), "{engine} curve empty");
+        }
+        assert!(doc
+            .get("sampled")
+            .unwrap()
+            .get("min_rate")
+            .and_then(JsonValue::as_f64)
+            .is_some());
+        std::fs::remove_file(&path).ok();
+
+        // A sweep kind emits the shared progress fields too.
+        let (spath, spath_str) = tmp("sweep_json.json");
+        sweep(&sargs(&format!(
+            "6 --shards 4 --max-shards 2 --checkpoint {spath_str}"
+        )))
+        .unwrap();
+        let finished = job(&sargs(&format!("resume {spath_str} --json"))).unwrap();
+        let doc = jsonio::parse(&finished).unwrap();
+        assert_eq!(
+            doc.get("kind").and_then(JsonValue::as_str),
+            Some("symloc_sweep_checkpoint")
+        );
+        assert_eq!(doc.get("complete"), Some(&JsonValue::Bool(true)));
+        assert_eq!(doc.get("ran").and_then(JsonValue::as_u64), Some(2));
+        std::fs::remove_file(&spath).ok();
     }
 
     #[test]

@@ -66,18 +66,20 @@ pub fn usage() -> String {
      \x20              [--shards K] [--checkpoint FILE [--max-shards N]] [--json]\n\
      \x20              (resumable: rank shards when exhaustive, level shards\n\
      \x20              when sampled)\n\
-     \x20 symloc trace mrc <file|gen:...> [--exact | --sample S_MAX]\n\
+     \x20 symloc trace mrc <file|gen:...> [--exact] [--sample S_MAX]\n\
      \x20              [--shards N] [--threads N] [--points K] [--json]\n\
      \x20              [--checkpoint FILE [--max-chunks N]]  (resumable ingest;\n\
-     \x20              with --sample, --shards N partitions the hash space)\n\
+     \x20              with --sample, --shards N partitions the hash space;\n\
+     \x20              --exact --sample together = one fused pass, both curves)\n\
      \x20 symloc trace convert <file|gen:...> <out-file> [--index N]\n\
      \x20              (.sltr <-> text, streaming; both formats also get a\n\
      \x20              seekable .idx chunk index — interval N, 0 = none)\n\
      \x20 symloc trace index <file> [--interval N]\n\
      \x20              (build the seekable sidecar index for an existing file)\n\
      \x20 symloc job status <checkpoint> [--json]\n\
-     \x20 symloc job resume <checkpoint> [--threads N] [--max-units N]\n\
-     \x20              (dispatches on the checkpoint's recorded job kind)\n\
+     \x20 symloc job resume <checkpoint> [--threads N] [--max-units N] [--json]\n\
+     \x20              (dispatches on the checkpoint's recorded job kind;\n\
+     \x20              --json emits a machine-readable completion report)\n\
      \n\
      Per-command details: symloc <command> --help\n\
      \n\

@@ -8,7 +8,8 @@ use std::fmt::Write as _;
 use std::path::Path;
 
 use symloc_core::tracesweep::{
-    log_spaced_sizes, MrcPoint, OnlineReuseEngine, SampledIngest, ShardsEstimator, TraceIngest,
+    log_spaced_sizes, FusedIngest, MrcPoint, OnlineReuseEngine, SampledIngest, ShardsEstimator,
+    TraceIngest,
 };
 use symloc_par::default_threads;
 use symloc_trace::binio::{
@@ -16,7 +17,10 @@ use symloc_trace::binio::{
 };
 use symloc_trace::stream::{build_text_index, TraceSource};
 
-const EXACT: FlagSpec = FlagSpec::switch("--exact", "force the exact engine (the default)");
+const EXACT: FlagSpec = FlagSpec::switch(
+    "--exact",
+    "the exact engine (the default); with --sample = fused single-pass both",
+);
 const SAMPLE: FlagSpec = FlagSpec::value(
     "--sample",
     "S_MAX",
@@ -109,6 +113,9 @@ pub struct TraceMrcOptions {
     pub max_chunks: Option<usize>,
     /// Emit a machine-readable JSON report instead of the table.
     pub json: bool,
+    /// `--exact --sample S` together: the fused single-pass run producing
+    /// both the exact and the sampled curve from one streaming pass.
+    pub fused: bool,
 }
 
 /// Parses the argument list of `symloc trace mrc` (everything after the
@@ -127,9 +134,10 @@ pub fn parse_trace_mrc_options(args: &[String]) -> Result<TraceMrcOptions, CliEr
         .ok_or_else(|| CliError("trace mrc needs a trace file or gen: spec".into()))?;
     let source = TraceSource::parse(source_arg).map_err(CliError)?;
     let shards = parsed.usize(SHARDS.name)?;
+    let sample = parsed.usize(SAMPLE.name)?;
     let options = TraceMrcOptions {
         source,
-        sample: parsed.usize(SAMPLE.name)?,
+        sample,
         shards: shards.unwrap_or(8),
         sample_shards: shards.unwrap_or(1),
         threads: parsed.usize(THREADS.name)?.unwrap_or_else(default_threads),
@@ -137,6 +145,7 @@ pub fn parse_trace_mrc_options(args: &[String]) -> Result<TraceMrcOptions, CliEr
         checkpoint: parsed.value(CHECKPOINT.name).map(ToString::to_string),
         max_chunks: parsed.usize(MAX_CHUNKS.name)?,
         json: parsed.switch(JSON.name),
+        fused: parsed.switch(EXACT.name) && sample.is_some(),
     };
     if options.sample == Some(0) {
         return Err(CliError("--sample needs a positive budget".into()));
@@ -146,11 +155,6 @@ pub fn parse_trace_mrc_options(args: &[String]) -> Result<TraceMrcOptions, CliEr
     }
     if options.points == 0 {
         return Err(CliError("--points must be positive".into()));
-    }
-    if parsed.switch(EXACT.name) && options.sample.is_some() {
-        return Err(CliError(
-            "--exact and --sample are mutually exclusive".into(),
-        ));
     }
     if let Some(s_max) = options.sample {
         if s_max < options.sample_shards {
@@ -206,6 +210,17 @@ pub(crate) fn mrc_table(points: &[MrcPoint]) -> String {
     out
 }
 
+/// Renders MRC points as a JSON `[[size, ratio], ...]` array fragment.
+pub(crate) fn mrc_array(points: &[MrcPoint]) -> String {
+    let mut out = String::from("[");
+    for (i, p) in points.iter().enumerate() {
+        let sep = if i == 0 { "" } else { ", " };
+        let _ = write!(out, "{sep}[{}, {}]", p.cache_size, p.miss_ratio);
+    }
+    out.push(']');
+    out
+}
+
 /// Renders a finished MRC analysis as a JSON document.
 fn mrc_json(
     source: &TraceSource,
@@ -226,12 +241,45 @@ fn mrc_json(
     let _ = writeln!(out, "  \"accesses\": {accesses},");
     let _ = writeln!(out, "  \"footprint\": {footprint},");
     let _ = writeln!(out, "  \"footprint_estimated\": {estimated},");
-    out.push_str("  \"mrc\": [");
-    for (i, p) in points.iter().enumerate() {
-        let sep = if i == 0 { "" } else { ", " };
-        let _ = write!(out, "{sep}[{}, {}]", p.cache_size, p.miss_ratio);
-    }
-    out.push_str("]\n}\n");
+    let _ = writeln!(out, "  \"mrc\": {}", mrc_array(points));
+    out.push_str("}\n");
+    out
+}
+
+/// Renders a finished fused run — both curves — as one JSON document.
+#[allow(clippy::too_many_arguments)]
+fn fused_mrc_json(
+    source: &TraceSource,
+    accesses: u64,
+    streamed: u64,
+    footprint: usize,
+    exact_points: &[MrcPoint],
+    est_footprint: usize,
+    min_rate: f64,
+    sampled_points: &[MrcPoint],
+) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(
+        out,
+        "  \"source\": \"{}\",",
+        symloc_core::jsonio::escape(&source.fingerprint())
+    );
+    let _ = writeln!(out, "  \"engine\": \"fused_exact_sampled\",");
+    let _ = writeln!(out, "  \"complete\": true,");
+    let _ = writeln!(out, "  \"accesses\": {accesses},");
+    let _ = writeln!(out, "  \"streamed\": {streamed},");
+    let _ = writeln!(
+        out,
+        "  \"exact\": {{\"footprint\": {footprint}, \"mrc\": {}}},",
+        mrc_array(exact_points)
+    );
+    let _ = writeln!(
+        out,
+        "  \"sampled\": {{\"footprint\": {est_footprint}, \"footprint_estimated\": true, \
+         \"min_rate\": {min_rate}, \"mrc\": {}}}",
+        mrc_array(sampled_points)
+    );
+    out.push_str("}\n");
     out
 }
 
@@ -252,7 +300,9 @@ fn mrc_progress_json(source: &TraceSource, completed: usize, total: usize) -> St
 
 /// `symloc trace mrc <file|gen:...>` — streams the trace once and reports
 /// its reuse-distance profile and miss-ratio curve: exact (optionally
-/// sharded and checkpoint-resumable) or SHARDS-sampled in `O(s_max)` memory.
+/// sharded and checkpoint-resumable), SHARDS-sampled in `O(s_max)` memory,
+/// or — with `--exact --sample S` together — the fused single-pass run
+/// reporting both curves from one streaming pass.
 ///
 /// # Errors
 ///
@@ -266,6 +316,10 @@ pub fn trace_mrc(args: &[String]) -> Result<String, CliError> {
     let source = &options.source;
     let mut out = String::new();
     let _ = writeln!(out, "trace mrc — {source}");
+
+    if options.fused {
+        return trace_mrc_fused(&options, out);
+    }
 
     if let Some(s_max) = options.sample {
         // Hash-sharded (and optionally checkpoint-resumable) parallel
@@ -497,6 +551,118 @@ pub fn trace_mrc(args: &[String]) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// The fused `--exact --sample` path of [`trace_mrc`]: **one** streaming
+/// pass over the trace produces both the exact and the sampled curve
+/// (identical to what separate exact and sampled runs would report),
+/// optionally checkpoint-resumable like either separate pipeline.
+fn trace_mrc_fused(options: &TraceMrcOptions, mut out: String) -> Result<String, CliError> {
+    let source = &options.source;
+    let s_max = options.sample.expect("fused mode implies --sample");
+    let shard_count = options.sample_shards;
+    let budget = (s_max / shard_count).max(1);
+    let ingest = if let Some(checkpoint) = &options.checkpoint {
+        let path = Path::new(checkpoint);
+        let (mut ingest, resumed) = FusedIngest::resume_or_new(
+            source,
+            options.shards,
+            shard_count,
+            budget,
+            options.threads,
+            path,
+        )
+        .map_err(CliError)?;
+        if resumed {
+            let _ = writeln!(
+                out,
+                "resumed from {checkpoint}: {} of {} chunks were already done",
+                ingest.completed_count(),
+                ingest.chunk_count()
+            );
+        } else if path.exists() {
+            let _ = writeln!(
+                out,
+                "warning: existing checkpoint {checkpoint} does not match this \
+                 source/plan (source {source}, {} accesses, {} chunks, {} hash \
+                 shards); starting fresh and overwriting it",
+                ingest.total_accesses(),
+                ingest.chunk_count(),
+                ingest.shard_count()
+            );
+        }
+        let ran = ingest
+            .run_with_checkpoint(source, path, options.max_chunks, |_, _| {})
+            .map_err(|e| CliError(format!("cannot write checkpoint {checkpoint}: {e}")))?;
+        let _ = writeln!(
+            out,
+            "ran {ran} chunk(s); {} of {} complete; checkpoint saved to {checkpoint}",
+            ingest.completed_count(),
+            ingest.chunk_count()
+        );
+        ingest
+    } else {
+        let mut ingest =
+            FusedIngest::new(source, options.shards, shard_count, budget, options.threads)
+                .map_err(CliError)?;
+        ingest.run_pending(source, None);
+        ingest
+    };
+    let (Some(histogram), Some(summary)) = (ingest.exact_histogram(), ingest.sampled_summary())
+    else {
+        if options.json {
+            return Ok(mrc_progress_json(
+                source,
+                ingest.completed_count(),
+                ingest.chunk_count(),
+            ));
+        }
+        let _ = writeln!(
+            out,
+            "fused ingest incomplete — re-run the same command to continue from \
+             the checkpoint"
+        );
+        return Ok(out);
+    };
+    let footprint = usize::try_from(histogram.cold_count()).unwrap_or(usize::MAX);
+    let exact_points = histogram.mrc_points(&log_spaced_sizes(footprint, options.points));
+    let est_footprint = summary.estimated_footprint().round().max(1.0) as usize;
+    let sampled_points = summary
+        .histogram
+        .mrc_points(&log_spaced_sizes(est_footprint, options.points));
+    if options.json {
+        return Ok(fused_mrc_json(
+            source,
+            histogram.accesses(),
+            ingest.streamed_accesses(),
+            footprint,
+            &exact_points,
+            est_footprint,
+            summary.min_rate,
+            &sampled_points,
+        ));
+    }
+    let _ = writeln!(out, "accesses            : {}", histogram.accesses());
+    let _ = writeln!(
+        out,
+        "engine              : fused single-pass ({} chunks -> exact + {} hash \
+         shards x {} budget, min rate {:.4}, {} threads)",
+        ingest.chunk_count(),
+        shard_count,
+        budget,
+        summary.min_rate,
+        options.threads
+    );
+    let _ = writeln!(
+        out,
+        "streamed            : {} (each access decoded once)",
+        ingest.streamed_accesses()
+    );
+    let _ = writeln!(out, "exact footprint     : {footprint}");
+    out.push_str(&mrc_table(&exact_points));
+    let _ = writeln!(out, "sampled footprint   : ~{est_footprint} (estimated)");
+    out.push_str(&mrc_table(&sampled_points));
+    Ok(out)
+}
+
 /// `symloc trace convert <in> <out> [--index N]` — streams a trace from any
 /// source into a file, picking the output format by extension (`.sltr` =
 /// binary varint, anything else = plain text). Never materializes the
@@ -708,7 +874,22 @@ mod tests {
         assert!(parse_trace_mrc_options(&sargs("x.trace --shards 0")).is_err());
         assert!(parse_trace_mrc_options(&sargs("x.trace --points 0")).is_err());
         assert!(parse_trace_mrc_options(&sargs("x.trace --frobnicate 1")).is_err());
-        assert!(parse_trace_mrc_options(&sargs("x.trace --exact --sample 9")).is_err());
+        // --exact --sample together select the fused single-pass mode.
+        let fused = parse_trace_mrc_options(&sargs("x.trace --exact --sample 9")).unwrap();
+        assert!(fused.fused);
+        assert_eq!(fused.sample, Some(9));
+        assert!(
+            !parse_trace_mrc_options(&sargs("x.trace --sample 9"))
+                .unwrap()
+                .fused
+        );
+        assert!(
+            !parse_trace_mrc_options(&sargs("x.trace --exact"))
+                .unwrap()
+                .fused
+        );
+        // The fused budget floor matches the sampled path's.
+        assert!(parse_trace_mrc_options(&sargs("x.trace --exact --sample 3 --shards 4")).is_err());
         // Sampled runs checkpoint now (hash shards), and --shards doubles
         // as the hash-shard count on the sampled path.
         assert!(parse_trace_mrc_options(&sargs("x.trace --sample 9 --checkpoint c.json")).is_ok());
@@ -873,6 +1054,139 @@ mod tests {
         // output.
         let single = trace_mrc(&sargs("gen:zipf:200:4000:0.8:5 --sample 64 --points 6")).unwrap();
         assert!(single.contains("engine              : sampled (s_max 64"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn trace_mrc_fused_agrees_with_separate_exact_and_sampled_runs() {
+        // One fused pass must reproduce the exact table of the sharded
+        // exact run *and* the sampled table of the hash-sharded sampled
+        // run, for the same plans.
+        let fused = trace_mrc(&sargs(
+            "gen:zipf:200:4000:0.8:5 --exact --sample 64 --shards 4 --threads 2 --points 6",
+        ))
+        .unwrap();
+        assert!(
+            fused.contains(
+                "engine              : fused single-pass (4 chunks -> exact + 4 hash \
+                 shards x 16 budget"
+            ),
+            "{fused}"
+        );
+        assert!(fused.contains("accesses            : 4000"));
+        assert!(fused.contains("streamed            : 4000 (each access decoded once)"));
+        let exact = trace_mrc(&sargs(
+            "gen:zipf:200:4000:0.8:5 --shards 4 --threads 2 --points 6",
+        ))
+        .unwrap();
+        let sampled = trace_mrc(&sargs(
+            "gen:zipf:200:4000:0.8:5 --sample 64 --shards 4 --points 6",
+        ))
+        .unwrap();
+        let table_after = |s: &str, marker: &str| {
+            s.lines()
+                .skip_while(|l| !l.starts_with(marker))
+                .skip(1)
+                .take_while(|l| l.starts_with("  "))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(
+            table_after(&fused, "exact footprint"),
+            table_after(&exact, "footprint"),
+            "fused exact curve must match the two-pass exact curve"
+        );
+        assert_eq!(
+            table_after(&fused, "sampled footprint"),
+            table_after(&sampled, "footprint"),
+            "fused sampled curve must match the two-pass sampled curve"
+        );
+    }
+
+    #[test]
+    fn trace_mrc_fused_json_reports_both_curves() {
+        let report = trace_mrc(&sargs(
+            "gen:zipf:200:4000:0.8:5 --exact --sample 64 --shards 4 --points 6 --json",
+        ))
+        .unwrap();
+        let doc = jsonio::parse(&report).unwrap();
+        assert_eq!(
+            doc.get("engine").and_then(JsonValue::as_str),
+            Some("fused_exact_sampled")
+        );
+        assert_eq!(doc.get("complete"), Some(&JsonValue::Bool(true)));
+        assert_eq!(doc.get("accesses").and_then(JsonValue::as_u64), Some(4000));
+        // One pass: every access decoded exactly once.
+        assert_eq!(doc.get("streamed").and_then(JsonValue::as_u64), Some(4000));
+        let exact = doc.get("exact").unwrap();
+        assert!(exact.get("footprint").and_then(JsonValue::as_u64).is_some());
+        let sampled = doc.get("sampled").unwrap();
+        assert_eq!(
+            sampled.get("footprint_estimated"),
+            Some(&JsonValue::Bool(true))
+        );
+        assert!(sampled
+            .get("min_rate")
+            .and_then(JsonValue::as_f64)
+            .is_some());
+        for engine in [exact, sampled] {
+            let mrc = engine.get("mrc").and_then(JsonValue::as_array).unwrap();
+            assert!(!mrc.is_empty());
+            for point in mrc {
+                let pair = point.as_array().unwrap();
+                assert!(pair[0].as_u64().is_some());
+                assert!((0.0..=1.0).contains(&pair[1].as_f64().unwrap()));
+            }
+        }
+    }
+
+    #[test]
+    fn trace_mrc_fused_checkpoint_flow_resumes_and_completes() {
+        let path = std::env::temp_dir().join(format!(
+            "symloc_cli_fused_trace_checkpoint_{}.json",
+            std::process::id()
+        ));
+        let path_str = path.to_string_lossy().to_string();
+        std::fs::remove_file(&path).ok();
+
+        let spec = format!(
+            "gen:zipf:200:4000:0.8:5 --exact --sample 64 --shards 4 --points 6 \
+             --checkpoint {path_str}"
+        );
+        let first = trace_mrc(&sargs(&format!("{spec} --max-chunks 2"))).unwrap();
+        assert!(first.contains("2 of 4 complete"), "{first}");
+        assert!(first.contains("fused ingest incomplete"));
+
+        // A --json probe of the incomplete state reports progress.
+        let probe = trace_mrc(&sargs(&format!("{spec} --max-chunks 0 --json"))).unwrap();
+        let doc = jsonio::parse(&probe).unwrap();
+        assert_eq!(doc.get("complete"), Some(&JsonValue::Bool(false)));
+        assert_eq!(doc.get("completed").and_then(JsonValue::as_u64), Some(2));
+
+        let second = trace_mrc(&sargs(&spec)).unwrap();
+        assert!(second.contains("resumed from"));
+        assert!(second.contains("4 of 4 complete"));
+
+        // Checkpointed and direct fused runs agree from the accesses line.
+        let direct = trace_mrc(&sargs(
+            "gen:zipf:200:4000:0.8:5 --exact --sample 64 --shards 4 --points 6",
+        ))
+        .unwrap();
+        let tail = |s: &str| {
+            s.lines()
+                .skip_while(|l| !l.starts_with("accesses"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(tail(&second), tail(&direct));
+
+        // A mismatched plan warns before overwriting.
+        let mismatched = trace_mrc(&sargs(&format!(
+            "gen:zipf:200:4000:0.8:5 --exact --sample 64 --shards 6 --points 6 \
+             --checkpoint {path_str}"
+        )))
+        .unwrap();
+        assert!(mismatched.contains("does not match this source/plan"));
         std::fs::remove_file(&path).ok();
     }
 

@@ -383,6 +383,26 @@ fn mangled_checkpoint_documents_are_rejected_with_context() {
     let good = exact.to_json();
     assert!(TraceIngest::from_json(&good.replace("timeline", "timeleap"), 1).is_err());
     assert!(TraceIngest::from_json(&good.replace("[", "{"), 1).is_err());
+
+    // …and the fused ingest, whose checkpoint carries both sides: mangling
+    // either the exact state or any per-shard sampled state is rejected.
+    use symmetric_locality::core::tracesweep::FusedIngest;
+    let mut fused = FusedIngest::new(&source, 3, 2, 16, 1).unwrap();
+    fused.run_pending(&source, Some(1));
+    let good = fused.to_json();
+    for mangled in [
+        good.replace("symloc_fused_trace_checkpoint", "nope"),
+        good.replace("\"shard_count\": 2", "\"shard_count\": 3"),
+        good.replace("\"budget_per_shard\": 16", "\"budget_per_shard\": 0"),
+        good.replace("\"threshold\": 16777216", "\"threshold\": 0"),
+        good.replace("timeline", "timeleap"),
+        good.replace("tracked", "trackd"),
+        good.replace("\"cold\": ", "\"cold\": -"),
+        good[..good.len() / 2].to_string(),
+        "{}".to_string(),
+    ] {
+        assert!(FusedIngest::from_json(&mangled, 1).is_err(), "{mangled}");
+    }
 }
 
 #[test]
@@ -390,7 +410,7 @@ fn cross_kind_checkpoint_resume_fails_loudly_for_every_pair() {
     use symmetric_locality::core::engine::SweepSpec;
     use symmetric_locality::core::job::JobKind;
     use symmetric_locality::core::shard::{SampledSweep, ShardedSweep};
-    use symmetric_locality::core::tracesweep::{SampledIngest, TraceIngest};
+    use symmetric_locality::core::tracesweep::{FusedIngest, SampledIngest, TraceIngest};
     use symmetric_locality::trace::stream::{GenSpec, TraceSource};
 
     // One small in-progress checkpoint per job kind.
@@ -403,11 +423,14 @@ fn cross_kind_checkpoint_resume_fails_loudly_for_every_pair() {
     ingest.run_pending(&source, Some(1));
     let mut sampled_ingest = SampledIngest::new(&source, 2, 16, 1).unwrap();
     sampled_ingest.run_pending(&source, Some(1));
+    let mut fused_ingest = FusedIngest::new(&source, 3, 2, 16, 1).unwrap();
+    fused_ingest.run_pending(&source, Some(1));
     let documents = [
         (JobKind::ShardedSweep, sharded.to_json()),
         (JobKind::SampledSweep, sampled_sweep.to_json()),
         (JobKind::TraceIngest, ingest.to_json()),
         (JobKind::SampledIngest, sampled_ingest.to_json()),
+        (JobKind::FusedIngest, fused_ingest.to_json()),
     ];
 
     // Every cross-kind decode must fail with an error naming both the
@@ -419,6 +442,7 @@ fn cross_kind_checkpoint_resume_fails_loudly_for_every_pair() {
             JobKind::SampledSweep => SampledSweep::from_json(text, 1).unwrap_err(),
             JobKind::TraceIngest => TraceIngest::from_json(text, 1).unwrap_err(),
             JobKind::SampledIngest => SampledIngest::from_json(text, 1).unwrap_err(),
+            JobKind::FusedIngest => FusedIngest::from_json(text, 1).unwrap_err(),
         }
     };
     for (found, text) in &documents {
@@ -462,6 +486,11 @@ fn cross_kind_checkpoint_resume_fails_loudly_for_every_pair() {
             (
                 JobKind::SampledIngest,
                 SampledIngest::resume_or_new(&source, 2, 16, 1, &path)
+                    .map(|(s, _)| s.completed_count()),
+            ),
+            (
+                JobKind::FusedIngest,
+                FusedIngest::resume_or_new(&source, 3, 2, 16, 1, &path)
                     .map(|(s, _)| s.completed_count()),
             ),
         ];
