@@ -26,9 +26,59 @@ use symloc_bench::sweepbench::{
 };
 use symloc_bench::tracebench::{
     compare_ratios_to_baseline, compare_trace_to_baseline, measure_trace_suite,
-    parse_ratio_baseline, parse_trace_baseline,
+    metered_overhead_ratio, parse_ratio_baseline, parse_trace_baseline,
 };
+use symloc_core::obs::render_table;
 use symloc_par::default_threads;
+
+/// Floor on the metering-overhead throughput ratio
+/// (`trace_exact_metered_single_thread` / `trace_exact_single_thread`):
+/// wrapping the exact engine in a `MeteredSink` must cost at most ~3%.
+/// The pair is single-threaded and measured back-to-back on the same
+/// host, so unlike the committed speedup ratios this is gated *everywhere*
+/// — it compares the code against itself, not against another machine.
+/// Override with `BENCH_GATE_OVERHEAD_FLOOR`.
+const METERED_OVERHEAD_FLOOR: f64 = 0.97;
+
+/// One suite row of the closing verdict table: Pass/Info/Fail counts plus
+/// the worst fresh-over-baseline delta seen in that suite.
+fn summary_row(suite: &str, verdicts: &[&GateVerdict]) -> Vec<String> {
+    let (mut pass, mut info, mut fail) = (0usize, 0usize, 0usize);
+    let mut worst: Option<f64> = None;
+    for v in verdicts {
+        let ratio = match v {
+            GateVerdict::Ok { ratio } => {
+                pass += 1;
+                Some(*ratio)
+            }
+            GateVerdict::Info { ratio } => {
+                info += 1;
+                Some(*ratio)
+            }
+            GateVerdict::Regressed { ratio } => {
+                fail += 1;
+                Some(*ratio)
+            }
+            GateVerdict::Missing => {
+                fail += 1;
+                None
+            }
+        };
+        if let Some(r) = ratio {
+            worst = Some(worst.map_or(r, |w| if r < w { r } else { w }));
+        }
+    }
+    vec![
+        suite.to_string(),
+        pass.to_string(),
+        info.to_string(),
+        fail.to_string(),
+        worst.map_or_else(
+            || "-".to_string(),
+            |w| format!("{:+.1}%", (w - 1.0) * 100.0),
+        ),
+    ]
+}
 
 fn verdict_cell(verdict: &GateVerdict, regressions: &mut usize) -> (String, &'static str) {
     match verdict {
@@ -181,6 +231,41 @@ fn main() {
             ratio,
         );
     }
+    // The metering-overhead floor: always hard, host-independent (see
+    // `METERED_OVERHEAD_FLOOR`). A missing pair is gated too — dropping
+    // the overhead measurement would silently retire the guarantee.
+    let overhead_floor: f64 = std::env::var("BENCH_GATE_OVERHEAD_FLOOR")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(METERED_OVERHEAD_FLOOR);
+    let overhead_ok = match metered_overhead_ratio(&trace_fresh) {
+        Some(ratio) if ratio < overhead_floor => {
+            regressions += 1;
+            eprintln!(
+                "\nbench_gate: metering overhead ratio {ratio:.3} is below the \
+                 {overhead_floor:.2} floor — the MeteredSink costs more than \
+                 {:.0}% of exact-engine throughput",
+                (1.0 - overhead_floor) * 100.0
+            );
+            false
+        }
+        Some(ratio) => {
+            println!(
+                "\nmetering overhead ratio {ratio:.3} (floor {overhead_floor:.2}; \
+                 single-threaded pair, gated on every host)"
+            );
+            true
+        }
+        None => {
+            regressions += 1;
+            eprintln!(
+                "\nbench_gate: the metering-overhead pair is missing from the fresh \
+                 suite — cannot verify the MeteredSink stays within {:.0}% of free",
+                (1.0 - overhead_floor) * 100.0
+            );
+            false
+        }
+    };
     // A measurement disappearing from the fresh run is a different failure
     // than a slowdown (usually a renamed or dropped configuration), so name
     // the missing configurations explicitly as a baseline-vs-fresh diff.
@@ -205,6 +290,27 @@ fn main() {
              run_all_experiments --bench-only)"
         );
     }
+    // The one-table verdict summary: per-suite Pass/Info/Fail counts and
+    // the worst delta, rendered with the metrics registry's table helper.
+    let sweep_verdicts: Vec<&GateVerdict> = results.iter().map(|r| &r.verdict).collect();
+    let trace_verdicts: Vec<&GateVerdict> = trace_results.iter().map(|r| &r.verdict).collect();
+    let ratio_verdicts: Vec<&GateVerdict> = ratio_results.iter().map(|r| &r.verdict).collect();
+    let rows = vec![
+        summary_row("sweep", &sweep_verdicts),
+        summary_row("trace", &trace_verdicts),
+        summary_row("ratios", &ratio_verdicts),
+        vec![
+            "overhead floor".to_string(),
+            usize::from(overhead_ok).to_string(),
+            "0".to_string(),
+            usize::from(!overhead_ok).to_string(),
+            "-".to_string(),
+        ],
+    ];
+    print!(
+        "\n{}",
+        render_table(&["suite", "pass", "info", "fail", "worst delta"], &rows)
+    );
     if regressions > 0 {
         eprintln!(
             "\nbench_gate: {regressions} configuration(s) regressed more than {:.0}% \

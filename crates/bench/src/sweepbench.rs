@@ -12,13 +12,13 @@
 //! runner.
 
 use std::path::PathBuf;
-use std::time::Instant;
 
 use crate::json_escape;
 use symloc_cache::setassoc::ReplacementPolicy;
 use symloc_core::engine::{weighted_sample_counts, SweepEngine};
 use symloc_core::jsonio::{self, JsonValue};
 use symloc_core::model::CacheModel;
+use symloc_core::obs::{MetricsRegistry, Span};
 use symloc_core::sweep::exhaustive_levels_reference;
 use symloc_par::default_threads;
 use symloc_perm::statistics::Statistic;
@@ -40,8 +40,29 @@ pub struct SweepMeasurement {
     pub perms_per_sec: f64,
 }
 
+/// The run-to-run spread of the `bench.run_nanos` histogram a measurement
+/// accumulates: `(max − min) / min`, as a percentage. Both bench suites
+/// print it next to the median so a noisy host is visible in the log
+/// without re-running.
+#[must_use]
+pub fn run_spread_percent(registry: &MetricsRegistry) -> f64 {
+    registry.histogram("bench.run_nanos").map_or(0.0, |h| {
+        let min = h.min();
+        if min == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                (h.max() - min) as f64 * 100.0 / min as f64
+            }
+        }
+    })
+}
+
 /// Median-of-`runs` throughput of `sweep`, which processes `perms`
-/// permutations per call. One warmup call precedes the timed runs.
+/// permutations per call. One warmup call precedes the timed runs; each
+/// timed run is a [`Span`] recorded into a per-configuration registry
+/// histogram, whose min/max give the printed run-to-run spread.
 pub fn measure(
     name: &str,
     m: usize,
@@ -51,19 +72,23 @@ pub fn measure(
     mut sweep: impl FnMut(),
 ) -> SweepMeasurement {
     sweep();
-    let mut rates: Vec<f64> = (0..runs.max(1))
+    let mut registry = MetricsRegistry::new();
+    let mut nanos: Vec<u64> = (0..runs.max(1))
         .map(|_| {
-            let start = Instant::now();
+            let span = Span::start();
             sweep();
-            #[allow(clippy::cast_precision_loss)]
-            {
-                perms as f64 / start.elapsed().as_secs_f64()
-            }
+            span.record(&mut registry, "bench.run_nanos")
         })
         .collect();
-    rates.sort_by(|a, b| a.partial_cmp(b).expect("rates are finite"));
-    let perms_per_sec = rates[rates.len() / 2];
-    println!("{name:<44} m={m:<3} threads={threads:<3} {perms_per_sec:>14.0} perms/sec");
+    nanos.sort_unstable();
+    let median_nanos = nanos[nanos.len() / 2].max(1);
+    #[allow(clippy::cast_precision_loss)]
+    let perms_per_sec = perms as f64 * 1e9 / median_nanos as f64;
+    let spread = run_spread_percent(&registry);
+    println!(
+        "{name:<44} m={m:<3} threads={threads:<3} {perms_per_sec:>14.0} perms/sec \
+         (spread {spread:.1}%)"
+    );
     SweepMeasurement {
         name: name.to_string(),
         m,

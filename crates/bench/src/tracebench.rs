@@ -15,18 +15,17 @@
 //! The workload trace is materialized once *outside* the timers so the
 //! numbers measure the engines, not the generator.
 
-use std::time::Instant;
-
 use crate::json_escape;
-use crate::sweepbench::GateVerdict;
+use crate::sweepbench::{run_spread_percent, GateVerdict};
 use symloc_core::jsonio::{self, JsonValue};
+use symloc_core::obs::{MetricsRegistry, Span};
 use symloc_core::tracesweep::{
     FusedIngest, OnlineReuseEngine, SampledIngest, ShardsEstimator, TraceIngest,
 };
 use symloc_par::default_threads;
 use symloc_trace::binio::{sltr_index_path, write_sltr, write_sltr_indexed, SltrReader};
 use symloc_trace::io::write_trace;
-use symloc_trace::stream::{build_text_index, GenSpec, TraceSource};
+use symloc_trace::stream::{build_text_index, AccessSink as _, GenSpec, MeteredSink, TraceSource};
 use symloc_trace::Trace;
 
 /// The canonical tracebench workload: a skewed Zipfian trace large enough
@@ -69,7 +68,9 @@ pub struct TraceMeasurement {
 }
 
 /// Median-of-`runs` throughput of `ingest`, which processes `accesses`
-/// accesses per call. One warmup call precedes the timed runs.
+/// accesses per call. One warmup call precedes the timed runs; each timed
+/// run is a [`Span`] recorded into a per-configuration registry histogram,
+/// whose min/max give the printed run-to-run spread.
 pub fn measure_trace(
     name: &str,
     accesses: u64,
@@ -78,20 +79,22 @@ pub fn measure_trace(
     mut ingest: impl FnMut(),
 ) -> TraceMeasurement {
     ingest();
-    let mut rates: Vec<f64> = (0..runs.max(1))
+    let mut registry = MetricsRegistry::new();
+    let mut nanos: Vec<u64> = (0..runs.max(1))
         .map(|_| {
-            let start = Instant::now();
+            let span = Span::start();
             ingest();
-            #[allow(clippy::cast_precision_loss)]
-            {
-                accesses as f64 / start.elapsed().as_secs_f64()
-            }
+            span.record(&mut registry, "bench.run_nanos")
         })
         .collect();
-    rates.sort_by(|a, b| a.partial_cmp(b).expect("rates are finite"));
-    let accesses_per_sec = rates[rates.len() / 2];
+    nanos.sort_unstable();
+    let median_nanos = nanos[nanos.len() / 2].max(1);
+    #[allow(clippy::cast_precision_loss)]
+    let accesses_per_sec = accesses as f64 * 1e9 / median_nanos as f64;
+    let spread = run_spread_percent(&registry);
     println!(
-        "{name:<44} n={accesses:<9} threads={threads:<3} {accesses_per_sec:>14.0} accesses/sec"
+        "{name:<44} n={accesses:<9} threads={threads:<3} {accesses_per_sec:>14.0} accesses/sec \
+         (spread {spread:.1}%)"
     );
     TraceMeasurement {
         name: name.to_string(),
@@ -137,6 +140,27 @@ pub fn measure_trace_suite(runs: usize) -> Vec<TraceMeasurement> {
         || {
             let mut engine = OnlineReuseEngine::new();
             engine.record_all(addrs.iter().copied());
+        },
+    ));
+    // The metering-overhead pair: the same exact engine fed the same
+    // accesses, bare (above) vs wrapped in a `MeteredSink` that splits
+    // decode from compute time. Delivery is block-wise in both cases
+    // (`record_all` and `record_block` run the identical per-access loop),
+    // so the throughput ratio isolates the per-block `Instant` pair — the
+    // observability tax. `bench_gate` enforces an absolute floor on it
+    // (metering must stay within a few percent of free) on every host,
+    // since the pair is single-threaded and host-symmetric.
+    measurements.push(measure_trace(
+        "trace_exact_metered_single_thread",
+        accesses,
+        1,
+        runs,
+        || {
+            let mut sink = MeteredSink::new(OnlineReuseEngine::new());
+            for block in addrs.chunks(4096) {
+                sink.on_block(block);
+            }
+            std::hint::black_box(sink.compute_nanos());
         },
     ));
     measurements.push(measure_trace(
@@ -330,7 +354,7 @@ pub fn measure_trace_suite(runs: usize) -> Vec<TraceMeasurement> {
 /// throughput ratio of a comparison pair measured over the same workload.
 /// The gate re-derives every fresh ratio from this table, so adding a pair
 /// here is all it takes to commit and gate a new ratio.
-pub const SPEEDUP_RATIOS: [(&str, &str, &str); 3] = [
+pub const SPEEDUP_RATIOS: [(&str, &str, &str); 4] = [
     (
         "trace_sampled_sharded_speedup",
         "trace_sampled_hash_sharded_all_threads",
@@ -345,6 +369,11 @@ pub const SPEEDUP_RATIOS: [(&str, &str, &str); 3] = [
         "trace_fused_speedup",
         "trace_fused_single_pass_all_threads",
         "trace_two_pass_exact_plus_sampled_all_threads",
+    ),
+    (
+        "trace_metered_overhead",
+        "trace_exact_metered_single_thread",
+        "trace_exact_single_thread",
     ),
 ];
 
@@ -377,6 +406,16 @@ pub fn indexed_ingest_speedup(measurements: &[TraceMeasurement]) -> Option<f64> 
 #[must_use]
 pub fn fused_speedup(measurements: &[TraceMeasurement]) -> Option<f64> {
     speedup_ratio(measurements, "trace_fused_speedup")
+}
+
+/// The metering-overhead ratio: the exact engine fed through a
+/// [`MeteredSink`] over the bare engine on the same single-threaded
+/// access stream, if both measurements are present. ~1.0 means metering
+/// is effectively free; `bench_gate` fails when it drops below its
+/// absolute floor.
+#[must_use]
+pub fn metered_overhead_ratio(measurements: &[TraceMeasurement]) -> Option<f64> {
+    speedup_ratio(measurements, "trace_metered_overhead")
 }
 
 fn ratio_of(measurements: &[TraceMeasurement], numer: &str, denom: &str) -> Option<f64> {
@@ -646,10 +685,13 @@ mod tests {
             fresh("trace_sampled_hash_sharded_all_threads", 1500.0),
             fresh("trace_two_pass_exact_plus_sampled_all_threads", 1000.0),
             fresh("trace_fused_single_pass_all_threads", 1400.0),
+            fresh("trace_exact_single_thread", 1000.0),
+            fresh("trace_exact_metered_single_thread", 980.0),
         ];
         let body = trace_measurements_json(&measurements);
         assert!(body.contains("\"trace_sampled_sharded_speedup\": 0.75"));
         assert!(body.contains("\"trace_fused_speedup\": 1.40"));
+        assert!(body.contains("\"trace_metered_overhead\": 0.98"));
         // The indexed pair was not measured: committed as null, gating
         // nothing.
         assert!(body.contains("\"trace_indexed_ingest_speedup\": null"));
@@ -657,11 +699,13 @@ mod tests {
         assert!(!body.contains("trace_sampled_sharded_speedup_note"));
         let doc = format!("{{\n{body}  \"end\": 0\n}}\n");
         let ratios = parse_ratio_baseline(&doc);
-        assert_eq!(ratios.len(), 2);
+        assert_eq!(ratios.len(), 3);
         assert_eq!(ratios[0].name, "trace_sampled_sharded_speedup");
         assert!((ratios[0].value - 0.75).abs() < 1e-9);
         assert_eq!(ratios[1].name, "trace_fused_speedup");
+        assert_eq!(ratios[2].name, "trace_metered_overhead");
         assert!((fused_speedup(&measurements).unwrap() - 1.4).abs() < 1e-9);
+        assert!((metered_overhead_ratio(&measurements).unwrap() - 0.98).abs() < 1e-9);
         assert_eq!(speedup_ratio(&measurements, "no_such_ratio"), None);
         assert!(parse_ratio_baseline("not json").is_empty());
     }

@@ -54,8 +54,9 @@
 //! all four pipelines at every unit boundary.
 
 use crate::jsonio::{self, JsonValue};
+use crate::obs::{MetricsRegistry, Span};
 use std::fmt::Write as _;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use symloc_par::parallel_reduce_chunked;
 
 /// The closed set of resumable-job kinds the workspace knows, keyed by the
@@ -209,6 +210,13 @@ pub trait Job: Sync {
     /// Serializes the job — plan, progress, completed state — as a JSON
     /// checkpoint document (header via [`write_checkpoint_header`]).
     fn to_json(&self) -> String;
+
+    /// An optional kind-specific progress counter for heartbeats — e.g.
+    /// `("accesses", streamed)` for the trace ingests. `None` (the
+    /// default) means the job only reports unit counts.
+    fn progress_items(&self) -> Option<(&'static str, u64)> {
+        None
+    }
 }
 
 /// The generic driver of every [`Job`]: parallel unit scheduling,
@@ -217,6 +225,11 @@ pub trait Job: Sync {
 /// job itself, which is what makes the checkpoints self-contained.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct JobRunner;
+
+/// Accumulator shape of one metered parallel pass: the unit-ordered
+/// `(unit index, partial)` results, plus each worker span's
+/// `(elapsed nanos, units in span)` timing (empty when unmetered).
+type PassResults<P> = (Vec<(usize, P)>, Vec<(u64, usize)>);
 
 impl JobRunner {
     /// True when every unit of `job` has been absorbed.
@@ -230,6 +243,24 @@ impl JobRunner {
     /// partials in unit order after each pass. Returns how many units were
     /// processed.
     pub fn run_pending<J: Job + ?Sized>(job: &mut J, limit: Option<usize>) -> usize {
+        Self::run_pending_metered(job, limit, None)
+    }
+
+    /// [`JobRunner::run_pending`] with optional instrumentation: when
+    /// `metrics` is supplied, each worker span's wall time rides back with
+    /// its results (shard-per-worker, merged like the partials themselves)
+    /// and is folded into the registry after the pass — `job.unit_nanos`
+    /// (each unit's share of its worker span), `job.absorb_nanos` (the
+    /// sequential merge), and the `job.units` / `job.passes` counters.
+    ///
+    /// Metering is result-invariant: the scheduling, the unit order and
+    /// every absorbed partial are identical with and without a registry —
+    /// the registry only receives copies of timings and counts.
+    pub fn run_pending_metered<J: Job + ?Sized>(
+        job: &mut J,
+        limit: Option<usize>,
+        mut metrics: Option<&mut MetricsRegistry>,
+    ) -> usize {
         let threads = job.threads().max(1);
         let mut ran = 0usize;
         loop {
@@ -248,20 +279,28 @@ impl JobRunner {
             let units = &pending[..pass];
             // One parallel pass: contiguous spans of the unit prefix go to
             // the workers; concatenating the per-span vectors preserves
-            // unit order, so absorption below is deterministic.
+            // unit order, so absorption below is deterministic. Worker
+            // span timings (metered runs only) ride along in the same
+            // accumulator.
             let shared: &J = job;
-            let results: Vec<(usize, J::Partial)> = parallel_reduce_chunked(
+            let metered = metrics.is_some();
+            let (results, span_times): PassResults<J::Partial> = parallel_reduce_chunked(
                 units.len(),
                 threads,
-                Vec::new,
+                || (Vec::new(), Vec::new()),
                 |mut acc, chunk| {
                     if !chunk.is_empty() {
-                        shared.run_span(&units[chunk.start..chunk.end], &mut acc);
+                        let span = metered.then(Span::start);
+                        shared.run_span(&units[chunk.start..chunk.end], &mut acc.0);
+                        if let Some(span) = span {
+                            acc.1.push((span.elapsed_nanos(), chunk.end - chunk.start));
+                        }
                     }
                     acc
                 },
                 |mut a, b| {
-                    a.extend(b);
+                    a.0.extend(b.0);
+                    a.1.extend(b.1);
                     a
                 },
             );
@@ -269,8 +308,24 @@ impl JobRunner {
                 results.windows(2).all(|w| w[0].0 < w[1].0),
                 "span results must arrive in unit order"
             );
-            for (unit, partial) in results {
-                job.absorb(unit, partial);
+            if let Some(reg) = metrics.as_deref_mut() {
+                for &(nanos, units_in_span) in &span_times {
+                    let share = nanos / units_in_span.max(1) as u64;
+                    for _ in 0..units_in_span {
+                        reg.observe("job.unit_nanos", share);
+                    }
+                }
+                reg.add("job.passes", 1);
+                reg.add("job.units", pass as u64);
+                for (unit, partial) in results {
+                    let span = Span::start();
+                    job.absorb(unit, partial);
+                    span.record(reg, "job.absorb_nanos");
+                }
+            } else {
+                for (unit, partial) in results {
+                    job.absorb(unit, partial);
+                }
             }
             ran += pass;
         }
@@ -292,21 +347,63 @@ impl JobRunner {
         job: &mut J,
         path: &Path,
         limit: Option<usize>,
+        on_batch: impl FnMut(usize, usize),
+    ) -> std::io::Result<usize> {
+        Self::run_with_checkpoint_metered(job, path, limit, None, on_batch)
+    }
+
+    /// [`JobRunner::run_with_checkpoint`] with optional instrumentation:
+    /// units run through [`JobRunner::run_pending_metered`], every save's
+    /// latency lands in the `job.save_nanos` histogram, and the heartbeat's
+    /// throughput/ETA figures are mirrored as gauges. Like the plain
+    /// checkpoint loop this variant writes the [`Heartbeat`] sidecar after
+    /// every batch; metering never changes the checkpoint bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if a checkpoint cannot be written (heartbeat
+    /// sidecar writes are best-effort and never fail the run).
+    pub fn run_with_checkpoint_metered<J: Job + ?Sized>(
+        job: &mut J,
+        path: &Path,
+        limit: Option<usize>,
+        mut metrics: Option<&mut MetricsRegistry>,
         mut on_batch: impl FnMut(usize, usize),
     ) -> std::io::Result<usize> {
         let threads = job.threads().max(1);
+        let run_span = Span::start();
+        let started_at = job.completed_count();
+        let mut batches = 0u64;
         let mut ran = 0usize;
         while !Self::is_complete(job) && limit.is_none_or(|l| ran < l) {
             let batch = job
                 .units_per_checkpoint(threads)
                 .max(1)
                 .min(limit.map_or(usize::MAX, |l| l - ran));
-            ran += Self::run_pending(job, Some(batch));
+            let batch_span = Span::start();
+            let before = job.completed_count();
+            ran += Self::run_pending_metered(job, Some(batch), metrics.as_deref_mut());
+            let save_span = Span::start();
             Self::save(job, path)?;
+            let save_nanos = save_span.elapsed_nanos();
+            batches += 1;
+            let heartbeat = Heartbeat::of(job, &run_span, &batch_span, started_at, before, batches);
+            heartbeat.write_sidecar(path);
+            if let Some(reg) = metrics.as_deref_mut() {
+                reg.observe("job.save_nanos", save_nanos);
+                reg.add("job.batches", 1);
+                heartbeat.record_gauges(reg);
+            }
             on_batch(job.completed_count(), job.unit_count());
         }
         if ran == 0 {
             Self::save(job, path)?;
+        }
+        if Self::is_complete(job) {
+            // The sidecar is live in-flight state; a completed run cleans
+            // it up so `job status` never reads a finished job's last
+            // heartbeat as live progress.
+            let _ = std::fs::remove_file(Heartbeat::sidecar_path(path));
         }
         Ok(ran)
     }
@@ -320,6 +417,251 @@ impl JobRunner {
     /// Returns the underlying I/O error.
     pub fn save<J: Job + ?Sized>(job: &J, path: &Path) -> std::io::Result<()> {
         jsonio::save_atomic(path, &job.to_json())
+    }
+}
+
+/// The `"kind"` tag of a heartbeat sidecar document.
+pub const HEARTBEAT_KIND: &str = "symloc_job_heartbeat";
+/// The heartbeat sidecar schema version.
+pub const HEARTBEAT_VERSION: u64 = 1;
+
+/// The live-progress sidecar [`JobRunner::run_with_checkpoint`] writes
+/// next to the checkpoint (`<ckpt>.hb`) after every batch: units done,
+/// kind-specific progress items ([`Job::progress_items`]), instantaneous
+/// and cumulative throughput, and an ETA. `symloc job status` reads it to
+/// report live progress on an in-flight checkpoint.
+///
+/// The sidecar is strictly advisory: writes are best-effort, a missing or
+/// corrupt file degrades status to checkpoint-only detail, and nothing
+/// ever reads a heartbeat back into a computation — checkpoint bytes are
+/// identical with or without one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Heartbeat {
+    /// The kind of the job that wrote the heartbeat.
+    pub job_kind: JobKind,
+    /// The job's plan fingerprint (must match the checkpoint's to count
+    /// as live).
+    pub fingerprint: String,
+    /// Completed units when the heartbeat was written.
+    pub completed: usize,
+    /// Total planned units.
+    pub total: usize,
+    /// Checkpoint batches saved by this run so far.
+    pub batches: u64,
+    /// Kind-specific progress counter, e.g. `("accesses", streamed)`.
+    pub items: Option<(String, u64)>,
+    /// Wall-clock seconds since this run started.
+    pub elapsed_secs: f64,
+    /// Cumulative units/sec over this run.
+    pub units_per_sec: f64,
+    /// Units/sec over the last batch alone.
+    pub instant_units_per_sec: f64,
+    /// Estimated seconds to completion at the cumulative rate, when the
+    /// rate is positive.
+    pub eta_secs: Option<f64>,
+}
+
+impl Heartbeat {
+    /// The sidecar path for a checkpoint: the checkpoint path with `.hb`
+    /// appended (`sweep.ckpt.json` → `sweep.ckpt.json.hb`).
+    #[must_use]
+    pub fn sidecar_path(checkpoint: &Path) -> PathBuf {
+        let mut os = checkpoint.as_os_str().to_os_string();
+        os.push(".hb");
+        PathBuf::from(os)
+    }
+
+    /// Snapshots a job's live progress mid-checkpoint-loop. `run_span` /
+    /// `batch_span` time the whole run and the last batch; `started_at` /
+    /// `before` are the completed counts when the run and the batch began.
+    fn of<J: Job + ?Sized>(
+        job: &J,
+        run_span: &Span,
+        batch_span: &Span,
+        started_at: usize,
+        before: usize,
+        batches: u64,
+    ) -> Heartbeat {
+        let completed = job.completed_count();
+        let total = job.unit_count();
+        let elapsed = run_span.elapsed_secs();
+        let units_per_sec = if elapsed > 0.0 {
+            (completed - started_at) as f64 / elapsed
+        } else {
+            0.0
+        };
+        let batch_elapsed = batch_span.elapsed_secs();
+        let instant_units_per_sec = if batch_elapsed > 0.0 {
+            (completed - before) as f64 / batch_elapsed
+        } else {
+            0.0
+        };
+        let eta_secs =
+            (units_per_sec > 0.0).then(|| total.saturating_sub(completed) as f64 / units_per_sec);
+        Heartbeat {
+            job_kind: job.kind(),
+            fingerprint: job.fingerprint(),
+            completed,
+            total,
+            batches,
+            items: job
+                .progress_items()
+                .map(|(name, done)| (name.to_string(), done)),
+            elapsed_secs: elapsed,
+            units_per_sec,
+            instant_units_per_sec,
+            eta_secs,
+        }
+    }
+
+    /// True when this heartbeat describes exactly the run the checkpoint
+    /// summarized by `status` is in — same kind, fingerprint and progress.
+    /// A mismatch means the sidecar is stale (an older run, or a kill
+    /// between the checkpoint save and the heartbeat write).
+    #[must_use]
+    pub fn matches(&self, status: &JobStatus) -> bool {
+        self.job_kind == status.kind
+            && self.fingerprint == status.fingerprint
+            && self.completed == status.completed
+            && self.total == status.total
+    }
+
+    /// Mirrors the heartbeat's figures into `registry` as gauges.
+    pub fn record_gauges(&self, registry: &mut MetricsRegistry) {
+        registry.set_gauge("job.elapsed_secs", self.elapsed_secs);
+        registry.set_gauge("job.units_per_sec", self.units_per_sec);
+        registry.set_gauge("job.instant_units_per_sec", self.instant_units_per_sec);
+        if let Some(eta) = self.eta_secs {
+            registry.set_gauge("job.eta_secs", eta);
+        }
+        if let Some((name, done)) = &self.items {
+            registry.set_gauge(&format!("job.{name}_done"), *done as f64);
+            if self.elapsed_secs > 0.0 {
+                registry.set_gauge(
+                    &format!("job.{name}_per_sec"),
+                    *done as f64 / self.elapsed_secs,
+                );
+            }
+        }
+    }
+
+    /// Renders the heartbeat as its sidecar JSON document.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"kind\": \"{HEARTBEAT_KIND}\",");
+        let _ = writeln!(out, "  \"version\": {HEARTBEAT_VERSION},");
+        let _ = writeln!(out, "  \"job_kind\": \"{}\",", self.job_kind.kind_str());
+        let _ = writeln!(
+            out,
+            "  \"fingerprint\": \"{}\",",
+            jsonio::escape(&self.fingerprint)
+        );
+        let _ = writeln!(out, "  \"completed\": {},", self.completed);
+        let _ = writeln!(out, "  \"total\": {},", self.total);
+        let _ = writeln!(out, "  \"batches\": {},", self.batches);
+        if let Some((name, done)) = &self.items {
+            let _ = writeln!(out, "  \"items_name\": \"{}\",", jsonio::escape(name));
+            let _ = writeln!(out, "  \"items_done\": {done},");
+        }
+        let _ = writeln!(out, "  \"elapsed_secs\": {},", self.elapsed_secs);
+        let _ = writeln!(out, "  \"units_per_sec\": {},", self.units_per_sec);
+        let _ = writeln!(
+            out,
+            "  \"instant_units_per_sec\": {},",
+            self.instant_units_per_sec
+        );
+        let eta = self
+            .eta_secs
+            .map_or_else(|| "null".to_string(), |v| v.to_string());
+        let _ = writeln!(out, "  \"eta_secs\": {eta}");
+        out.push_str("}\n");
+        out
+    }
+
+    /// Parses a sidecar document written by [`Heartbeat::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive error on malformed JSON, a wrong kind tag, an
+    /// unsupported version, an unregistered job kind, or missing fields —
+    /// callers treat every error as "no live heartbeat", never a failure.
+    pub fn from_json(text: &str) -> Result<Heartbeat, String> {
+        let doc = jsonio::parse(text)?;
+        match doc.get("kind").and_then(JsonValue::as_str) {
+            Some(HEARTBEAT_KIND) => {}
+            other => {
+                return Err(format!(
+                    "not a {HEARTBEAT_KIND} document (kind = {other:?})"
+                ))
+            }
+        }
+        let version = doc.get("version").and_then(JsonValue::as_u64);
+        if version != Some(HEARTBEAT_VERSION) {
+            return Err(format!("unsupported heartbeat version {version:?}"));
+        }
+        let tag = doc
+            .get("job_kind")
+            .and_then(JsonValue::as_str)
+            .ok_or("heartbeat missing job_kind")?;
+        let job_kind =
+            JobKind::parse(tag).ok_or_else(|| format!("unknown heartbeat job kind {tag:?}"))?;
+        let fingerprint = doc
+            .get("fingerprint")
+            .and_then(JsonValue::as_str)
+            .ok_or("heartbeat missing fingerprint")?
+            .to_string();
+        let count = |key: &str| {
+            doc.get(key)
+                .and_then(JsonValue::as_usize)
+                .ok_or_else(|| format!("heartbeat missing {key}"))
+        };
+        let rate = |key: &str| {
+            doc.get(key)
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| format!("heartbeat missing {key}"))
+        };
+        let items = match (
+            doc.get("items_name").and_then(JsonValue::as_str),
+            doc.get("items_done").and_then(JsonValue::as_u64),
+        ) {
+            (Some(name), Some(done)) => Some((name.to_string(), done)),
+            (None, None) => None,
+            _ => return Err("heartbeat items_name/items_done must appear together".to_string()),
+        };
+        let eta_secs = match doc.get("eta_secs") {
+            None | Some(JsonValue::Null) => None,
+            Some(v) => Some(v.as_f64().ok_or("heartbeat eta_secs is not a number")?),
+        };
+        Ok(Heartbeat {
+            job_kind,
+            fingerprint,
+            completed: count("completed")?,
+            total: count("total")?,
+            batches: doc
+                .get("batches")
+                .and_then(JsonValue::as_u64)
+                .ok_or("heartbeat missing batches")?,
+            items,
+            elapsed_secs: rate("elapsed_secs")?,
+            units_per_sec: rate("units_per_sec")?,
+            instant_units_per_sec: rate("instant_units_per_sec")?,
+            eta_secs,
+        })
+    }
+
+    /// Reads the sidecar next to `checkpoint`: `None` when no sidecar
+    /// exists (or it cannot be read), the parse result otherwise.
+    #[must_use]
+    pub fn load(checkpoint: &Path) -> Option<Result<Heartbeat, String>> {
+        let text = std::fs::read_to_string(Self::sidecar_path(checkpoint)).ok()?;
+        Some(Heartbeat::from_json(&text))
+    }
+
+    /// Best-effort sidecar write next to `checkpoint` — heartbeats are
+    /// advisory, so failures are swallowed.
+    fn write_sidecar(&self, checkpoint: &Path) {
+        let _ = std::fs::write(Self::sidecar_path(checkpoint), self.to_json());
     }
 }
 
@@ -731,6 +1073,120 @@ mod tests {
         .unwrap();
         assert_eq!(ran, 0);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn metered_run_is_result_invariant_and_records() {
+        let mut plain = ToyJob::new(9, 2);
+        let mut metered = ToyJob::new(9, 2);
+        let mut reg = MetricsRegistry::new();
+        assert_eq!(JobRunner::run_pending(&mut plain, None), 9);
+        assert_eq!(
+            JobRunner::run_pending_metered(&mut metered, None, Some(&mut reg)),
+            9
+        );
+        assert_eq!(plain.to_json(), metered.to_json());
+        assert_eq!(reg.counter("job.units"), Some(9));
+        assert!(reg.counter("job.passes").unwrap_or(0) >= 1);
+        assert_eq!(reg.histogram("job.unit_nanos").unwrap().count(), 9);
+        assert_eq!(reg.histogram("job.absorb_nanos").unwrap().count(), 9);
+    }
+
+    #[test]
+    fn checkpoint_loop_writes_and_clears_the_heartbeat_sidecar() {
+        let path = std::env::temp_dir().join(format!(
+            "symloc_job_toy_heartbeat_{}.json",
+            std::process::id()
+        ));
+        let sidecar = Heartbeat::sidecar_path(&path);
+        assert_eq!(
+            sidecar.file_name().unwrap().to_str().unwrap(),
+            path.file_name().unwrap().to_str().unwrap().to_owned() + ".hb"
+        );
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&sidecar).ok();
+
+        // An interrupted run leaves a live heartbeat matching the
+        // checkpoint it sits next to.
+        let mut job = ToyJob::new(6, 1);
+        job.per_checkpoint = 2;
+        let mut reg = MetricsRegistry::new();
+        let ran = JobRunner::run_with_checkpoint_metered(
+            &mut job,
+            &path,
+            Some(4),
+            Some(&mut reg),
+            |_, _| {},
+        )
+        .unwrap();
+        assert_eq!(ran, 4);
+        let hb = Heartbeat::load(&path).expect("sidecar exists").unwrap();
+        assert_eq!(hb.job_kind, JobKind::ShardedSweep);
+        assert_eq!((hb.completed, hb.total, hb.batches), (4, 6, 2));
+        assert!(hb.units_per_sec >= 0.0);
+        let status = JobStatus {
+            kind: JobKind::ShardedSweep,
+            fingerprint: job.fingerprint(),
+            completed: 4,
+            total: 6,
+            detail: Vec::new(),
+        };
+        assert!(hb.matches(&status));
+        assert!(!hb.matches(&JobStatus {
+            completed: 2,
+            ..status.clone()
+        }));
+        assert_eq!(reg.histogram("job.save_nanos").unwrap().count(), 2);
+        assert_eq!(reg.counter("job.batches"), Some(2));
+        assert!(reg.gauge("job.units_per_sec").is_some());
+
+        // Finishing the run cleans the sidecar up.
+        JobRunner::run_with_checkpoint(&mut job, &path, None, |_, _| {}).unwrap();
+        assert!(JobRunner::is_complete(&job));
+        assert!(Heartbeat::load(&path).is_none());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn heartbeat_json_round_trips_and_rejects_garbage() {
+        let hb = Heartbeat {
+            job_kind: JobKind::FusedIngest,
+            fingerprint: "gen:zipf:20000:1000000:0.8:42".to_string(),
+            completed: 3,
+            total: 8,
+            batches: 3,
+            items: Some(("accesses".to_string(), 375_000)),
+            elapsed_secs: 1.25,
+            units_per_sec: 2.4,
+            instant_units_per_sec: 2.125,
+            eta_secs: Some(2.0833),
+        };
+        let json = hb.to_json();
+        assert_eq!(Heartbeat::from_json(&json).unwrap(), hb);
+        // No items, no ETA: the optional fields round-trip too.
+        let bare = Heartbeat {
+            items: None,
+            eta_secs: None,
+            ..hb.clone()
+        };
+        assert_eq!(Heartbeat::from_json(&bare.to_json()).unwrap(), bare);
+
+        assert!(Heartbeat::from_json("not json").is_err());
+        assert!(Heartbeat::from_json("{}").is_err());
+        assert!(Heartbeat::from_json(&json.replace(HEARTBEAT_KIND, "other")).is_err());
+        assert!(Heartbeat::from_json(&json.replace("\"version\": 1", "\"version\": 7")).is_err());
+        assert!(
+            Heartbeat::from_json(&json.replace(JobKind::FusedIngest.kind_str(), "mystery"))
+                .is_err()
+        );
+        assert!(Heartbeat::from_json(&json[..json.len() / 2]).is_err());
+
+        let mut reg = MetricsRegistry::new();
+        hb.record_gauges(&mut reg);
+        assert_eq!(reg.gauge("job.units_per_sec"), Some(2.4));
+        assert_eq!(reg.gauge("job.eta_secs"), Some(2.0833));
+        assert_eq!(reg.gauge("job.accesses_done"), Some(375_000.0));
+        assert_eq!(reg.gauge("job.accesses_per_sec"), Some(375_000.0 / 1.25));
     }
 
     #[test]

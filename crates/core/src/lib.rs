@@ -33,6 +33,10 @@
 //!   (JSON checkpoints, exact resume).
 //! * [`jsonio`] — the minimal hand-rolled JSON reader/writer the offline
 //!   workspace uses for checkpoints and bench baselines.
+//! * [`obs`] — the structured observability layer: the
+//!   [`obs::MetricsRegistry`] of counters/gauges/histograms and the
+//!   [`obs::Span`] timer the job runner, the CLI and the benches all
+//!   measure through.
 //!
 //! # Architecture: kernels, scratch, engine
 //!
@@ -113,6 +117,7 @@ pub mod jsonio;
 pub mod labeling;
 pub mod labeling_props;
 pub mod model;
+pub mod obs;
 pub mod optimize;
 pub mod retraversal;
 pub mod schedule;
@@ -143,7 +148,7 @@ pub mod prelude {
         second_pass_distances_naive, second_pass_distances_with_scratch, total_reuse_distance,
         AnalysisScratch,
     };
-    pub use crate::job::{Job, JobKind, JobRunner, JobStatus};
+    pub use crate::job::{Heartbeat, Job, JobKind, JobRunner, JobStatus};
     pub use crate::labeling::{
         DataMovementLabeling, EdgeLabeling, GeneratorTieBreakLabeling, InversionLabeling, Label,
         MissRatioLabeling, RankedMissRatioLabeling, TimescaleLabeling,
@@ -153,6 +158,7 @@ pub mod prelude {
         GoodLabelingViolation, LabeledChain,
     };
     pub use crate::model::{CacheModel, ModelScratch};
+    pub use crate::obs::{LogHistogram, Metric, MetricsRegistry, Span};
     pub use crate::optimize::{
         best_feasible_exhaustive, improve_greedy, optimize_from_identity, OptimizationResult,
     };

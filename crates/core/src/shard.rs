@@ -128,6 +128,16 @@ impl ShardedSweep {
         JobRunner::run_pending(self, limit)
     }
 
+    /// [`Self::run_pending`] with optional instrumentation — identical
+    /// execution and results; the registry only observes.
+    pub fn run_pending_metered(
+        &mut self,
+        limit: Option<usize>,
+        metrics: Option<&mut crate::obs::MetricsRegistry>,
+    ) -> usize {
+        JobRunner::run_pending_metered(self, limit, metrics)
+    }
+
     /// Runs pending shards — all of them, or up to `limit` — saving the
     /// checkpoint to `path` after *each* shard completes, so a kill
     /// mid-invocation loses at most the shard in flight (and a kill
@@ -151,6 +161,23 @@ impl ShardedSweep {
         on_shard: impl FnMut(usize, usize),
     ) -> std::io::Result<usize> {
         JobRunner::run_with_checkpoint(self, path, limit, on_shard)
+    }
+
+    /// [`ShardedSweep::run_with_checkpoint`] with the runner's metrics
+    /// registry attached — identical execution, checkpoint bytes and
+    /// results; the registry only observes.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if a checkpoint cannot be written.
+    pub fn run_with_checkpoint_metered(
+        &mut self,
+        path: &Path,
+        limit: Option<usize>,
+        metrics: Option<&mut crate::obs::MetricsRegistry>,
+        on_shard: impl FnMut(usize, usize),
+    ) -> std::io::Result<usize> {
+        JobRunner::run_with_checkpoint_metered(self, path, limit, metrics, on_shard)
     }
 
     /// The merged per-level aggregates, or `None` while shards are
@@ -529,6 +556,16 @@ impl SampledSweep {
         JobRunner::run_pending(self, limit)
     }
 
+    /// [`Self::run_pending`] with optional instrumentation — identical
+    /// execution and results; the registry only observes.
+    pub fn run_pending_metered(
+        &mut self,
+        limit: Option<usize>,
+        metrics: Option<&mut crate::obs::MetricsRegistry>,
+    ) -> usize {
+        JobRunner::run_pending_metered(self, limit, metrics)
+    }
+
     /// Runs pending levels — all of them, or up to `limit` — saving the
     /// checkpoint to `path` after each batch of (at most) the configured
     /// thread count, so a kill loses at most one batch. `on_batch`
@@ -545,6 +582,23 @@ impl SampledSweep {
         on_batch: impl FnMut(usize, usize),
     ) -> std::io::Result<usize> {
         JobRunner::run_with_checkpoint(self, path, limit, on_batch)
+    }
+
+    /// [`SampledSweep::run_with_checkpoint`] with the runner's metrics
+    /// registry attached — identical execution, checkpoint bytes and
+    /// results; the registry only observes.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if a checkpoint cannot be written.
+    pub fn run_with_checkpoint_metered(
+        &mut self,
+        path: &Path,
+        limit: Option<usize>,
+        metrics: Option<&mut crate::obs::MetricsRegistry>,
+        on_batch: impl FnMut(usize, usize),
+    ) -> std::io::Result<usize> {
+        JobRunner::run_with_checkpoint_metered(self, path, limit, metrics, on_batch)
     }
 
     /// The sampled per-level aggregates, or `None` while levels are

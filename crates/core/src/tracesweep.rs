@@ -599,6 +599,9 @@ struct Timeline {
     /// Live (tracked) addresses.
     live: usize,
     next_slot: usize,
+    /// Slot-compaction passes performed (observability only — never read
+    /// back into the computation).
+    compactions: u64,
 }
 
 /// Sentinel slot meaning "this id has no live marker".
@@ -613,6 +616,7 @@ impl Timeline {
             id_of_slot: vec![0; MIN_TIMELINE_CAPACITY],
             live: 0,
             next_slot: 0,
+            compactions: 0,
         }
     }
 
@@ -624,6 +628,11 @@ impl Timeline {
     /// Current tree capacity (for memory-bound assertions).
     fn capacity(&self) -> usize {
         self.tree.len()
+    }
+
+    /// Compaction passes performed so far.
+    fn compactions(&self) -> u64 {
+        self.compactions
     }
 
     /// Interns `addr`, growing the id-indexed state alongside the id space.
@@ -661,6 +670,7 @@ impl Timeline {
         self.tree.reset_ones_prefix(capacity, new_slot);
         self.id_of_slot.resize(capacity, 0);
         self.next_slot = new_slot;
+        self.compactions += 1;
     }
 
     fn ensure_slot(&mut self) {
@@ -753,6 +763,9 @@ struct SampledTimeline {
     tree: Fenwick,
     last_slot: HashMap<u64, usize>,
     next_slot: usize,
+    /// Slot-compaction passes performed (observability only — never read
+    /// back into the computation).
+    compactions: u64,
 }
 
 impl SampledTimeline {
@@ -761,12 +774,18 @@ impl SampledTimeline {
             tree: Fenwick::new(MIN_TIMELINE_CAPACITY),
             last_slot: HashMap::new(),
             next_slot: 0,
+            compactions: 0,
         }
     }
 
     /// Number of live (tracked) addresses.
     fn live(&self) -> usize {
         self.last_slot.len()
+    }
+
+    /// Compaction passes performed so far.
+    fn compactions(&self) -> u64 {
+        self.compactions
     }
 
     /// Current tree capacity (for memory-bound assertions).
@@ -791,6 +810,7 @@ impl SampledTimeline {
             self.last_slot.insert(addr, new_slot);
         }
         self.next_slot = live.len();
+        self.compactions += 1;
     }
 
     fn ensure_slot(&mut self) {
@@ -922,10 +942,40 @@ impl OnlineReuseEngine {
         self.timeline.capacity()
     }
 
+    /// Timeline slot-compaction passes performed so far.
+    #[must_use]
+    pub fn compactions(&self) -> u64 {
+        self.timeline.compactions()
+    }
+
+    /// Mirrors the engine's point-in-time state into `registry` as
+    /// `engine.*` gauges (footprint, timeline capacity, compactions,
+    /// accesses). Read-only: recording never changes results.
+    pub fn record_gauges(&self, registry: &mut crate::obs::MetricsRegistry) {
+        registry.set_gauge("engine.footprint", self.footprint() as f64);
+        registry.set_gauge("engine.timeline_capacity", self.timeline_capacity() as f64);
+        registry.set_gauge("engine.compactions", self.compactions() as f64);
+        registry.set_gauge("engine.accesses", self.accesses() as f64);
+    }
+
     /// Miss-ratio curve at the given cache sizes.
     #[must_use]
     pub fn mrc_points(&self, sizes: &[usize]) -> Vec<MrcPoint> {
         self.histogram.mrc_points(sizes)
+    }
+}
+
+/// The engine consumes trace streams directly, so it can sit behind any
+/// [`symloc_trace::stream::AccessSink`] adapter — e.g. a
+/// [`MeteredSink`](symloc_trace::stream::MeteredSink) splitting decode
+/// from compute time without touching the engine itself.
+impl symloc_trace::stream::AccessSink for OnlineReuseEngine {
+    fn on_access(&mut self, addr: u64) {
+        self.record(addr);
+    }
+
+    fn on_block(&mut self, block: &[u64]) {
+        self.record_block(block);
     }
 }
 
@@ -1258,6 +1308,27 @@ impl ShardsEstimator {
         self.histogram.cold_weight()
     }
 
+    /// Timeline slot-compaction passes performed so far.
+    #[must_use]
+    pub fn compactions(&self) -> u64 {
+        self.timeline.compactions()
+    }
+
+    /// Mirrors the estimator's point-in-time state into `registry` as
+    /// `estimator.*` gauges (threshold, sampling rate, tracked set,
+    /// evictions, compactions, estimated footprint). Sharded pipelines
+    /// aggregate across estimators instead of calling this per shard (the
+    /// gauges are last-write-wins). Read-only: recording never changes
+    /// results.
+    pub fn record_gauges(&self, registry: &mut crate::obs::MetricsRegistry) {
+        registry.set_gauge("estimator.threshold", self.threshold() as f64);
+        registry.set_gauge("estimator.sampling_rate", self.sampling_rate());
+        registry.set_gauge("estimator.tracked", self.tracked_addresses() as f64);
+        registry.set_gauge("estimator.evictions", self.evictions() as f64);
+        registry.set_gauge("estimator.compactions", self.compactions() as f64);
+        registry.set_gauge("estimator.estimated_footprint", self.estimated_footprint());
+    }
+
     /// Estimated miss-ratio curve at the given cache sizes.
     #[must_use]
     pub fn mrc_points(&self, sizes: &[usize]) -> Vec<MrcPoint> {
@@ -1532,6 +1603,22 @@ impl SampledIngest {
         JobRunner::run_pending(&mut self.bind(source), limit)
     }
 
+    /// [`Self::run_pending`] with optional instrumentation — identical
+    /// execution and results; the registry only observes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source no longer matches the ingest's fingerprint, or
+    /// if it fails to stream (sources are validated on construction).
+    pub fn run_pending_metered(
+        &mut self,
+        source: &TraceSource,
+        limit: Option<usize>,
+        metrics: Option<&mut crate::obs::MetricsRegistry>,
+    ) -> usize {
+        JobRunner::run_pending_metered(&mut self.bind(source), limit, metrics)
+    }
+
     /// Runs pending shards — all, or up to `limit` — saving the checkpoint
     /// after every completed batch, so a kill loses at most one batch.
     /// `on_batch(completed, total)` fires after every save. The checkpoint
@@ -1549,6 +1636,30 @@ impl SampledIngest {
         on_batch: impl FnMut(usize, usize),
     ) -> std::io::Result<usize> {
         JobRunner::run_with_checkpoint(&mut self.bind(source), path, limit, on_batch)
+    }
+
+    /// [`SampledIngest::run_with_checkpoint`] with the runner's metrics
+    /// registry attached — identical execution, checkpoint bytes and
+    /// results; the registry only observes.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if a checkpoint cannot be written.
+    pub fn run_with_checkpoint_metered(
+        &mut self,
+        source: &TraceSource,
+        path: &Path,
+        limit: Option<usize>,
+        metrics: Option<&mut crate::obs::MetricsRegistry>,
+        on_batch: impl FnMut(usize, usize),
+    ) -> std::io::Result<usize> {
+        JobRunner::run_with_checkpoint_metered(
+            &mut self.bind(source),
+            path,
+            limit,
+            metrics,
+            on_batch,
+        )
     }
 
     /// The completed shards so far (in shard order).
@@ -2169,6 +2280,22 @@ impl TraceIngest {
         JobRunner::run_pending(&mut self.bind(source), limit)
     }
 
+    /// [`Self::run_pending`] with optional instrumentation — identical
+    /// execution and results; the registry only observes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source no longer matches the ingest's fingerprint, or
+    /// if it fails to stream (sources are validated on construction).
+    pub fn run_pending_metered(
+        &mut self,
+        source: &TraceSource,
+        limit: Option<usize>,
+        metrics: Option<&mut crate::obs::MetricsRegistry>,
+    ) -> usize {
+        JobRunner::run_pending_metered(&mut self.bind(source), limit, metrics)
+    }
+
     /// Runs pending chunks — all, or up to `limit` — saving the checkpoint
     /// after every absorbed batch, so a kill loses at most one batch.
     /// `on_batch(completed, total)` fires after every save. The checkpoint
@@ -2186,6 +2313,30 @@ impl TraceIngest {
         on_batch: impl FnMut(usize, usize),
     ) -> std::io::Result<usize> {
         JobRunner::run_with_checkpoint(&mut self.bind(source), path, limit, on_batch)
+    }
+
+    /// [`TraceIngest::run_with_checkpoint`] with the runner's metrics
+    /// registry attached — identical execution, checkpoint bytes and
+    /// results; the registry only observes.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if a checkpoint cannot be written.
+    pub fn run_with_checkpoint_metered(
+        &mut self,
+        source: &TraceSource,
+        path: &Path,
+        limit: Option<usize>,
+        metrics: Option<&mut crate::obs::MetricsRegistry>,
+        on_batch: impl FnMut(usize, usize),
+    ) -> std::io::Result<usize> {
+        JobRunner::run_with_checkpoint_metered(
+            &mut self.bind(source),
+            path,
+            limit,
+            metrics,
+            on_batch,
+        )
     }
 
     /// The merged histogram, or `None` while chunks are pending.
@@ -2430,6 +2581,19 @@ impl Job for TraceIngestJob<'_> {
 
     fn to_json(&self) -> String {
         self.ingest.to_json()
+    }
+
+    /// Completed chunks are a contiguous prefix of the access range, so
+    /// the accesses streamed so far are the end of the last absorbed
+    /// chunk's bounds.
+    fn progress_items(&self) -> Option<(&'static str, u64)> {
+        let done = self.ingest.next_chunk;
+        let streamed = if done == 0 {
+            0
+        } else {
+            self.bounds[done - 1].1
+        };
+        Some(("accesses", streamed))
     }
 }
 
@@ -2765,6 +2929,22 @@ impl FusedIngest {
         JobRunner::run_pending(&mut self.bind(source), limit)
     }
 
+    /// [`Self::run_pending`] with optional instrumentation — identical
+    /// execution and results; the registry only observes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source no longer matches the ingest's fingerprint, or
+    /// if it fails to stream (sources are validated on construction).
+    pub fn run_pending_metered(
+        &mut self,
+        source: &TraceSource,
+        limit: Option<usize>,
+        metrics: Option<&mut crate::obs::MetricsRegistry>,
+    ) -> usize {
+        JobRunner::run_pending_metered(&mut self.bind(source), limit, metrics)
+    }
+
     /// Runs pending chunks — all, or up to `limit` — saving the checkpoint
     /// after every absorbed batch, so a kill loses at most one batch.
     /// `on_batch(completed, total)` fires after every save. The checkpoint
@@ -2782,6 +2962,30 @@ impl FusedIngest {
         on_batch: impl FnMut(usize, usize),
     ) -> std::io::Result<usize> {
         JobRunner::run_with_checkpoint(&mut self.bind(source), path, limit, on_batch)
+    }
+
+    /// [`FusedIngest::run_with_checkpoint`] with the runner's metrics
+    /// registry attached — identical execution, checkpoint bytes and
+    /// results; the registry only observes.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if a checkpoint cannot be written.
+    pub fn run_with_checkpoint_metered(
+        &mut self,
+        source: &TraceSource,
+        path: &Path,
+        limit: Option<usize>,
+        metrics: Option<&mut crate::obs::MetricsRegistry>,
+        on_batch: impl FnMut(usize, usize),
+    ) -> std::io::Result<usize> {
+        JobRunner::run_with_checkpoint_metered(
+            &mut self.bind(source),
+            path,
+            limit,
+            metrics,
+            on_batch,
+        )
     }
 
     /// Serializes the ingest — plan, progress, exact merge state, and
@@ -3189,6 +3393,10 @@ impl Job for FusedIngestJob<'_> {
 
     fn to_json(&self) -> String {
         self.ingest.to_json()
+    }
+
+    fn progress_items(&self) -> Option<(&'static str, u64)> {
+        Some(("accesses", self.ingest.streamed))
     }
 }
 

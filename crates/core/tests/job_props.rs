@@ -12,6 +12,7 @@
 use proptest::prelude::*;
 use symloc_core::engine::SweepSpec;
 use symloc_core::model::CacheModel;
+use symloc_core::obs::MetricsRegistry;
 use symloc_core::shard::{SampledSweep, ShardedSweep};
 use symloc_core::tracesweep::{FusedIngest, SampledIngest, TraceIngest};
 use symloc_perm::statistics::Statistic;
@@ -19,6 +20,15 @@ use symloc_trace::stream::{GenSpec, TraceSource};
 
 fn statistic_of(seed: u64) -> Statistic {
     Statistic::ALL[(seed % Statistic::ALL.len() as u64) as usize]
+}
+
+/// The registry of a metered run that processed `units` units must have
+/// actually observed them — otherwise a "metering is result-invariant"
+/// assertion would pass vacuously with metering silently disabled.
+fn assert_metering_observed(registry: &MetricsRegistry, units: u64) {
+    assert_eq!(registry.counter("job.units"), Some(units));
+    let observed = registry.histogram("job.unit_nanos").map(|h| h.count());
+    assert_eq!(observed, Some(units));
 }
 
 proptest! {
@@ -193,5 +203,197 @@ proptest! {
                 kill_at
             );
         }
+    }
+}
+
+// Metering invariance: running any of the five pipelines with a
+// `MetricsRegistry` attached must not change a single checkpoint byte —
+// not in the final document, not in any mid-run checkpoint, and not
+// through a metered kill/resume cycle. The registry is asserted non-empty
+// so the equality cannot pass with metering accidentally disabled.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn metered_sharded_sweep_is_byte_identical(
+        m in 4usize..7,
+        shards in 1usize..6,
+        threads in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let spec = SweepSpec {
+            m,
+            statistic: statistic_of(seed),
+            model: CacheModel::LruStack,
+        };
+        let mut reference = ShardedSweep::new(spec, shards, threads);
+        reference.run_pending(None);
+        let reference_json = reference.to_json();
+
+        let mut metered = ShardedSweep::new(spec, shards, threads);
+        let mut registry = MetricsRegistry::new();
+        metered.run_pending_metered(None, Some(&mut registry));
+        prop_assert_eq!(&metered.to_json(), &reference_json);
+        assert_metering_observed(&registry, reference.shard_count() as u64);
+
+        for kill_at in 0..reference.shard_count() {
+            let mut plain = ShardedSweep::new(spec, shards, threads);
+            plain.run_pending(Some(kill_at));
+            let mut interrupted = ShardedSweep::new(spec, shards, threads);
+            let mut registry = MetricsRegistry::new();
+            interrupted.run_pending_metered(Some(kill_at), Some(&mut registry));
+            let checkpoint = interrupted.to_json();
+            prop_assert_eq!(&checkpoint, &plain.to_json(), "kill at shard {}", kill_at);
+            let mut resumed = ShardedSweep::from_json(&checkpoint, threads % 3 + 1).unwrap();
+            let mut resume_registry = MetricsRegistry::new();
+            resumed.run_pending_metered(None, Some(&mut resume_registry));
+            prop_assert_eq!(&resumed.to_json(), &reference_json, "kill at shard {}", kill_at);
+            assert_metering_observed(
+                &resume_registry,
+                (reference.shard_count() - kill_at) as u64,
+            );
+        }
+    }
+
+    #[test]
+    fn metered_sampled_sweep_is_byte_identical(
+        m in 4usize..7,
+        budget in 20usize..120,
+        threads in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let spec = SweepSpec {
+            m,
+            statistic: statistic_of(seed),
+            model: CacheModel::LruStack,
+        };
+        let mut reference = SampledSweep::new(spec, budget, 2, seed, threads);
+        reference.run_pending(None);
+        let reference_json = reference.to_json();
+        let levels = reference.level_count();
+
+        let mut metered = SampledSweep::new(spec, budget, 2, seed, threads);
+        let mut registry = MetricsRegistry::new();
+        metered.run_pending_metered(None, Some(&mut registry));
+        prop_assert_eq!(&metered.to_json(), &reference_json);
+        assert_metering_observed(&registry, levels as u64);
+
+        let kill_at = levels / 2;
+        let mut plain = SampledSweep::new(spec, budget, 2, seed, threads);
+        plain.run_pending(Some(kill_at));
+        let mut interrupted = SampledSweep::new(spec, budget, 2, seed, threads);
+        let mut registry = MetricsRegistry::new();
+        interrupted.run_pending_metered(Some(kill_at), Some(&mut registry));
+        let checkpoint = interrupted.to_json();
+        prop_assert_eq!(&checkpoint, &plain.to_json());
+        let mut resumed = SampledSweep::from_json(&checkpoint, threads % 3 + 1).unwrap();
+        resumed.run_pending_metered(None, Some(&mut MetricsRegistry::new()));
+        prop_assert_eq!(&resumed.to_json(), &reference_json);
+    }
+
+    #[test]
+    fn metered_trace_ingest_is_byte_identical(
+        m in 8u64..40,
+        epochs in 2u64..6,
+        chunks in 1usize..7,
+        threads in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let spec = format!("gen:zipf:{m}:{len}:0.8:{s}", len = m * epochs, s = seed % 1000);
+        let source = TraceSource::Gen(GenSpec::parse(&spec).unwrap());
+        let mut reference = TraceIngest::new(&source, chunks, threads).unwrap();
+        reference.run_pending(&source, None);
+        let reference_json = reference.to_json();
+        let total = reference.chunk_count();
+
+        let mut metered = TraceIngest::new(&source, chunks, threads).unwrap();
+        let mut registry = MetricsRegistry::new();
+        metered.run_pending_metered(&source, None, Some(&mut registry));
+        prop_assert_eq!(&metered.to_json(), &reference_json);
+        assert_metering_observed(&registry, total as u64);
+
+        let kill_at = total / 2;
+        let mut plain = TraceIngest::new(&source, chunks, threads).unwrap();
+        plain.run_pending(&source, Some(kill_at));
+        let mut interrupted = TraceIngest::new(&source, chunks, threads).unwrap();
+        let mut registry = MetricsRegistry::new();
+        interrupted.run_pending_metered(&source, Some(kill_at), Some(&mut registry));
+        let checkpoint = interrupted.to_json();
+        prop_assert_eq!(&checkpoint, &plain.to_json());
+        let mut resumed = TraceIngest::from_json(&checkpoint, threads % 3 + 1).unwrap();
+        resumed.run_pending_metered(&source, None, Some(&mut MetricsRegistry::new()));
+        prop_assert_eq!(&resumed.to_json(), &reference_json);
+    }
+
+    #[test]
+    fn metered_sampled_ingest_is_byte_identical(
+        m in 50u64..300,
+        shard_count in 1usize..6,
+        budget in 8usize..64,
+        threads in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let spec = format!("gen:zipf:{m}:{len}:0.9:{s}", len = m * 10, s = seed % 1000);
+        let source = TraceSource::Gen(GenSpec::parse(&spec).unwrap());
+        let mut reference = SampledIngest::new(&source, shard_count, budget, threads).unwrap();
+        reference.run_pending(&source, None);
+        let reference_json = reference.to_json();
+        let total = reference.shard_count();
+
+        let mut metered = SampledIngest::new(&source, shard_count, budget, threads).unwrap();
+        let mut registry = MetricsRegistry::new();
+        metered.run_pending_metered(&source, None, Some(&mut registry));
+        prop_assert_eq!(&metered.to_json(), &reference_json);
+        assert_metering_observed(&registry, total as u64);
+
+        let kill_at = total / 2;
+        let mut plain = SampledIngest::new(&source, shard_count, budget, threads).unwrap();
+        plain.run_pending(&source, Some(kill_at));
+        let mut interrupted = SampledIngest::new(&source, shard_count, budget, threads).unwrap();
+        let mut registry = MetricsRegistry::new();
+        interrupted.run_pending_metered(&source, Some(kill_at), Some(&mut registry));
+        let checkpoint = interrupted.to_json();
+        prop_assert_eq!(&checkpoint, &plain.to_json());
+        let mut resumed = SampledIngest::from_json(&checkpoint, threads % 3 + 1).unwrap();
+        resumed.run_pending_metered(&source, None, Some(&mut MetricsRegistry::new()));
+        prop_assert_eq!(&resumed.to_json(), &reference_json);
+    }
+
+    #[test]
+    fn metered_fused_ingest_is_byte_identical(
+        m in 30u64..120,
+        chunks in 1usize..7,
+        shard_count in 1usize..5,
+        budget in 8usize..48,
+        threads in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let spec = format!("gen:zipf:{m}:{len}:0.8:{s}", len = m * 8, s = seed % 1000);
+        let source = TraceSource::Gen(GenSpec::parse(&spec).unwrap());
+        let mut reference =
+            FusedIngest::new(&source, chunks, shard_count, budget, threads).unwrap();
+        reference.run_pending(&source, None);
+        let reference_json = reference.to_json();
+        let total = reference.chunk_count();
+
+        let mut metered =
+            FusedIngest::new(&source, chunks, shard_count, budget, threads).unwrap();
+        let mut registry = MetricsRegistry::new();
+        metered.run_pending_metered(&source, None, Some(&mut registry));
+        prop_assert_eq!(&metered.to_json(), &reference_json);
+        assert_metering_observed(&registry, total as u64);
+
+        let kill_at = total / 2;
+        let mut plain = FusedIngest::new(&source, chunks, shard_count, budget, threads).unwrap();
+        plain.run_pending(&source, Some(kill_at));
+        let mut interrupted =
+            FusedIngest::new(&source, chunks, shard_count, budget, threads).unwrap();
+        let mut registry = MetricsRegistry::new();
+        interrupted.run_pending_metered(&source, Some(kill_at), Some(&mut registry));
+        let checkpoint = interrupted.to_json();
+        prop_assert_eq!(&checkpoint, &plain.to_json());
+        let mut resumed = FusedIngest::from_json(&checkpoint, threads % 3 + 1).unwrap();
+        resumed.run_pending_metered(&source, None, Some(&mut MetricsRegistry::new()));
+        prop_assert_eq!(&resumed.to_json(), &reference_json);
     }
 }

@@ -469,6 +469,102 @@ impl AccessSink for CountingSink {
     }
 }
 
+/// An [`AccessSink`] that meters an inner sink: counts accesses and
+/// blocks, and accumulates the wall-clock nanoseconds the inner sink
+/// spends consuming them — the "compute" half of a streaming pass. The
+/// "decode" half (time spent in [`BlockRead::next_block`]) is timed by the
+/// streaming loop and folded in through [`MeteredSink::add_decode_nanos`],
+/// so one sink carries the full decode-vs-compute split.
+///
+/// Generalizes [`CountingSink`] over the same tap seam: delivery to the
+/// inner sink is unchanged (same blocks, same order, exactly once), so
+/// metering is result-invariant by construction. The trace crate has no
+/// metrics dependency; callers read the totals off the accessors and flush
+/// them into whatever registry they aggregate in.
+#[derive(Debug, Clone, Default)]
+pub struct MeteredSink<S> {
+    inner: S,
+    accesses: u64,
+    blocks: u64,
+    compute_nanos: u64,
+    decode_nanos: u64,
+}
+
+impl<S: AccessSink> MeteredSink<S> {
+    /// Wraps `inner`, all meters zeroed.
+    pub fn new(inner: S) -> MeteredSink<S> {
+        MeteredSink {
+            inner,
+            accesses: 0,
+            blocks: 0,
+            compute_nanos: 0,
+            decode_nanos: 0,
+        }
+    }
+
+    /// Accesses delivered to the inner sink so far.
+    #[must_use]
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Blocks delivered to the inner sink so far (per-access deliveries
+    /// count as zero blocks).
+    #[must_use]
+    pub fn blocks(&self) -> u64 {
+        self.blocks
+    }
+
+    /// Nanoseconds the inner sink spent consuming deliveries.
+    #[must_use]
+    pub fn compute_nanos(&self) -> u64 {
+        self.compute_nanos
+    }
+
+    /// Nanoseconds of decode time folded in by the streaming loop.
+    #[must_use]
+    pub fn decode_nanos(&self) -> u64 {
+        self.decode_nanos
+    }
+
+    /// Folds `nanos` of block-decode time into the decode meter
+    /// (saturating).
+    pub fn add_decode_nanos(&mut self, nanos: u64) {
+        self.decode_nanos = self.decode_nanos.saturating_add(nanos);
+    }
+
+    /// The wrapped sink.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Consumes the meter, returning the wrapped sink.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: AccessSink> AccessSink for MeteredSink<S> {
+    fn on_access(&mut self, addr: u64) {
+        let started = std::time::Instant::now();
+        self.inner.on_access(addr);
+        self.compute_nanos = self
+            .compute_nanos
+            .saturating_add(u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        self.accesses += 1;
+    }
+
+    fn on_block(&mut self, block: &[u64]) {
+        let started = std::time::Instant::now();
+        self.inner.on_block(block);
+        self.compute_nanos = self
+            .compute_nanos
+            .saturating_add(u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        self.accesses += block.len() as u64;
+        self.blocks += 1;
+    }
+}
+
 /// Adapts any access iterator to the block interface — the generic path
 /// for sources without a native block decoder.
 struct IterBlocks {
@@ -1390,6 +1486,33 @@ mod tests {
         let mut defaulted = Defaulted(CountingSink::new());
         defaulted.on_block(&block);
         assert_eq!(defaulted.0.accesses(), 37);
+    }
+
+    #[test]
+    fn metered_sink_delivers_unchanged_and_meters() {
+        // Inner sink records the exact delivery it saw, proving the meter
+        // is a transparent tap.
+        #[derive(Default)]
+        struct Recorder(Vec<u64>);
+        impl AccessSink for Recorder {
+            fn on_access(&mut self, addr: u64) {
+                self.0.push(addr);
+            }
+        }
+        let block: Vec<u64> = (0..37).collect();
+        let mut metered = MeteredSink::new(Recorder::default());
+        metered.on_block(&block);
+        metered.on_access(99);
+        assert_eq!(metered.accesses(), 38);
+        assert_eq!(metered.blocks(), 1);
+        assert_eq!(metered.inner().0.len(), 38);
+        assert_eq!(metered.inner().0[37], 99);
+        assert_eq!(metered.decode_nanos(), 0);
+        metered.add_decode_nanos(250);
+        metered.add_decode_nanos(u64::MAX);
+        assert_eq!(metered.decode_nanos(), u64::MAX);
+        let expected: Vec<u64> = block.iter().copied().chain([99]).collect();
+        assert_eq!(metered.into_inner().0, expected);
     }
 
     #[test]

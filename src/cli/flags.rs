@@ -76,6 +76,33 @@ pub(crate) const CHECKPOINT: FlagSpec = FlagSpec::value(
 /// `--json` — shared machine-readable output switch.
 pub(crate) const JSON: FlagSpec = FlagSpec::switch("--json", "emit a machine-readable JSON report");
 
+/// `--metrics FILE` — shared by every instrumented command: writes the
+/// full metrics-registry snapshot next to the report.
+pub(crate) const METRICS: FlagSpec = FlagSpec::value(
+    "--metrics",
+    "FILE",
+    "write the full metrics-registry snapshot (JSON) to FILE",
+);
+
+/// Writes the registry snapshot to the `--metrics` file when the flag was
+/// given — the uniform behavior behind [`METRICS`] across commands.
+pub(crate) fn write_metrics(
+    path: Option<&str>,
+    registry: &symloc_core::obs::MetricsRegistry,
+) -> Result<(), CliError> {
+    if let Some(path) = path {
+        std::fs::write(path, registry.to_json())
+            .map_err(|e| CliError(format!("cannot write metrics {path}: {e}")))?;
+    }
+    Ok(())
+}
+
+/// Re-indents a rendered JSON document (registry snapshot, heartbeat) so
+/// it embeds as a value inside another two-space-indented document.
+pub(crate) fn embed_json(doc: &str) -> String {
+    doc.trim_end().replace('\n', "\n  ")
+}
+
 /// One command's declarative description: its name, summary, positional
 /// parameters and flag table.
 #[derive(Debug, Clone, Copy)]

@@ -2,14 +2,15 @@
 //! any checkpoint file, `resume` continues it, both dispatching on the job
 //! kind the checkpoint itself records (the `core::job` registry).
 
-use super::flags::{CommandSpec, FlagSpec, JSON, THREADS};
+use super::flags::{embed_json, write_metrics, CommandSpec, FlagSpec, JSON, METRICS, THREADS};
 use super::sweep::sweep_report;
 use super::tracecmd::{mrc_array, mrc_table};
 use super::CliError;
 use std::fmt::Write as _;
 use std::path::Path;
 
-use symloc_core::job::{checkpoint_status, JobKind, JobStatus};
+use symloc_core::job::{checkpoint_status, Heartbeat, JobKind, JobStatus};
+use symloc_core::obs::MetricsRegistry;
 use symloc_core::shard::{SampledSweep, ShardedSweep};
 use symloc_core::tracesweep::{log_spaced_sizes, FusedIngest, SampledIngest, TraceIngest};
 use symloc_par::default_threads;
@@ -25,30 +26,70 @@ const MAX_UNITS: FlagSpec = FlagSpec::value(
 pub(crate) const JOB_STATUS: CommandSpec = CommandSpec {
     name: "job status",
     summary: "summarize any symloc checkpoint file (kind, plan, progress)",
-    usage: "symloc job status <checkpoint> [--json]",
+    usage: "symloc job status <checkpoint> [--json] [--metrics FILE]",
     positionals: &[(
         "checkpoint",
         "a checkpoint file written by any resumable command",
     )],
     variadic: false,
-    flags: &[JSON],
+    flags: &[JSON, METRICS],
 };
 
 /// `symloc job resume` command table.
 pub(crate) const JOB_RESUME: CommandSpec = CommandSpec {
     name: "job resume",
     summary: "continue any symloc checkpoint, dispatching on its recorded kind",
-    usage: "symloc job resume <checkpoint> [--threads N] [--max-units N] [--json]",
+    usage: "symloc job resume <checkpoint> [--threads N] [--max-units N] [--json] [--metrics FILE]",
     positionals: &[(
         "checkpoint",
         "a checkpoint file written by any resumable command",
     )],
     variadic: false,
-    flags: &[THREADS, MAX_UNITS, JSON],
+    flags: &[THREADS, MAX_UNITS, JSON, METRICS],
 };
 
+/// What `job status` found next to the checkpoint. The heartbeat sidecar
+/// is advisory, so everything short of a live match degrades to a note —
+/// never a hard failure of the status (or resume) command.
+enum HeartbeatState {
+    /// No sidecar: the job either never ran checkpointed or finished (a
+    /// completed run removes its heartbeat).
+    Absent,
+    /// A readable heartbeat matching the checkpoint's identity and
+    /// progress: the run is (or just was) in flight.
+    Live(Heartbeat),
+    /// A readable heartbeat that no longer matches the checkpoint — e.g.
+    /// a kill landed between the checkpoint save and the sidecar write,
+    /// or the sidecar survived from an older run.
+    Stale(Heartbeat),
+    /// The sidecar exists but cannot be parsed (corrupt or truncated).
+    Unreadable(String),
+}
+
+impl HeartbeatState {
+    /// Reads and classifies the heartbeat sidecar next to `checkpoint`.
+    fn inspect(checkpoint: &Path, status: &JobStatus) -> HeartbeatState {
+        match Heartbeat::load(checkpoint) {
+            None => HeartbeatState::Absent,
+            Some(Err(e)) => HeartbeatState::Unreadable(e),
+            Some(Ok(hb)) if hb.matches(status) => HeartbeatState::Live(hb),
+            Some(Ok(hb)) => HeartbeatState::Stale(hb),
+        }
+    }
+
+    /// The machine-readable tag for the `heartbeat_status` JSON field.
+    fn tag(&self) -> &'static str {
+        match self {
+            HeartbeatState::Absent => "absent",
+            HeartbeatState::Live(_) => "live",
+            HeartbeatState::Stale(_) => "stale",
+            HeartbeatState::Unreadable(_) => "unreadable",
+        }
+    }
+}
+
 /// Renders a [`JobStatus`] as the human-readable `job status` report.
-fn status_report(status: &JobStatus) -> String {
+fn status_report(status: &JobStatus, heartbeat: &HeartbeatState) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -72,11 +113,46 @@ fn status_report(status: &JobStatus) -> String {
     for (label, value) in &status.detail {
         let _ = writeln!(out, "{label:<12}: {value}");
     }
+    match heartbeat {
+        HeartbeatState::Absent => {}
+        HeartbeatState::Live(hb) => {
+            let _ = writeln!(
+                out,
+                "heartbeat   : live — batch {}, {:.2}s elapsed, {:.2} {}s/sec (last batch {:.2})",
+                hb.batches,
+                hb.elapsed_secs,
+                hb.units_per_sec,
+                status.kind.unit_name(),
+                hb.instant_units_per_sec
+            );
+            if let Some((name, done)) = &hb.items {
+                let _ = writeln!(out, "{name:<12}: {done} streamed so far");
+            }
+            if let Some(eta) = hb.eta_secs {
+                let _ = writeln!(out, "eta         : ~{eta:.1}s at the cumulative rate");
+            }
+        }
+        HeartbeatState::Stale(hb) => {
+            let _ = writeln!(
+                out,
+                "heartbeat   : stale sidecar (recorded {} of {}, does not match the \
+                 checkpoint) — ignored",
+                hb.completed, hb.total
+            );
+        }
+        HeartbeatState::Unreadable(e) => {
+            let _ = writeln!(out, "heartbeat   : unreadable sidecar ({e}) — ignored");
+        }
+    }
     out
 }
 
 /// Renders a [`JobStatus`] as a JSON document.
-fn status_json(status: &JobStatus) -> String {
+fn status_json(
+    status: &JobStatus,
+    heartbeat: &HeartbeatState,
+    metrics: &MetricsRegistry,
+) -> String {
     let mut out = String::from("{\n");
     let _ = writeln!(out, "  \"kind\": \"{}\",", status.kind);
     let _ = writeln!(
@@ -97,13 +173,20 @@ fn status_json(status: &JobStatus) -> String {
             symloc_core::jsonio::escape(value)
         );
     }
-    out.push_str("}\n}\n");
+    out.push_str("},\n");
+    let _ = writeln!(out, "  \"heartbeat_status\": \"{}\",", heartbeat.tag());
+    if let HeartbeatState::Live(hb) = heartbeat {
+        let _ = writeln!(out, "  \"heartbeat\": {},", embed_json(&hb.to_json()));
+    }
+    let _ = writeln!(out, "  \"metrics\": {}", embed_json(&metrics.to_json()));
+    out.push_str("}\n");
     out
 }
 
 /// Renders a `job resume --json` completion report: the shared progress
 /// fields plus per-kind `extra` pairs whose values are raw JSON fragments
-/// (numbers, arrays or objects rendered by the caller).
+/// (numbers, arrays or objects rendered by the caller), plus the run's
+/// metrics-registry snapshot.
 fn resume_json(
     kind: JobKind,
     fingerprint: &str,
@@ -111,6 +194,7 @@ fn resume_json(
     completed: usize,
     total: usize,
     extra: &[(&str, String)],
+    metrics: &MetricsRegistry,
 ) -> String {
     let mut out = String::from("{\n");
     let _ = writeln!(out, "  \"kind\": \"{kind}\",");
@@ -126,6 +210,7 @@ fn resume_json(
     for (key, value) in extra {
         let _ = write!(out, ",\n  \"{key}\": {value}");
     }
+    let _ = write!(out, ",\n  \"metrics\": {}", embed_json(&metrics.to_json()));
     out.push_str("\n}\n");
     out
 }
@@ -146,10 +231,16 @@ pub(crate) fn status(args: &[String]) -> Result<String, CliError> {
         .map_err(|e| CliError(format!("cannot read checkpoint {path}: {e}")))?;
     let status = checkpoint_status(&text)
         .map_err(|e| CliError(format!("cannot decode checkpoint {path}: {e}")))?;
+    let heartbeat = HeartbeatState::inspect(Path::new(path), &status);
+    let mut registry = MetricsRegistry::new();
+    if let HeartbeatState::Live(hb) = &heartbeat {
+        hb.record_gauges(&mut registry);
+    }
+    write_metrics(parsed.value(METRICS.name), &registry)?;
     Ok(if parsed.switch(JSON.name) {
-        status_json(&status)
+        status_json(&status, &heartbeat, &registry)
     } else {
-        status_report(&status)
+        status_report(&status, &heartbeat)
     })
 }
 
@@ -189,6 +280,8 @@ pub(crate) fn resume(args: &[String]) -> Result<String, CliError> {
     let threads = parsed.usize(THREADS.name)?.unwrap_or_else(default_threads);
     let limit = parsed.usize(MAX_UNITS.name)?;
     let json = parsed.switch(JSON.name);
+    let metrics_path = parsed.value(METRICS.name);
+    let mut registry = MetricsRegistry::new();
     let text = std::fs::read_to_string(path)
         .map_err(|e| CliError(format!("cannot read checkpoint {path_str}: {e}")))?;
     // Sniff the kind only — each arm decodes the (possibly large)
@@ -219,9 +312,10 @@ pub(crate) fn resume(args: &[String]) -> Result<String, CliError> {
                 sweep.shard_count(),
             );
             let ran = sweep
-                .run_with_checkpoint(path, limit, |_, _| {})
+                .run_with_checkpoint_metered(path, limit, Some(&mut registry), |_, _| {})
                 .map_err(ckpt_err)?;
             if json {
+                write_metrics(metrics_path, &registry)?;
                 return Ok(resume_json(
                     kind,
                     &sweep.spec().fingerprint(),
@@ -229,6 +323,7 @@ pub(crate) fn resume(args: &[String]) -> Result<String, CliError> {
                     sweep.completed_count(),
                     sweep.shard_count(),
                     &[],
+                    &registry,
                 ));
             }
             let _ = writeln!(
@@ -253,9 +348,10 @@ pub(crate) fn resume(args: &[String]) -> Result<String, CliError> {
                 sweep.level_count(),
             );
             let ran = sweep
-                .run_with_checkpoint(path, limit, |_, _| {})
+                .run_with_checkpoint_metered(path, limit, Some(&mut registry), |_, _| {})
                 .map_err(ckpt_err)?;
             if json {
+                write_metrics(metrics_path, &registry)?;
                 return Ok(resume_json(
                     kind,
                     &sweep.spec().fingerprint(),
@@ -263,6 +359,7 @@ pub(crate) fn resume(args: &[String]) -> Result<String, CliError> {
                     sweep.completed_count(),
                     sweep.level_count(),
                     &[],
+                    &registry,
                 ));
             }
             let _ = writeln!(
@@ -288,7 +385,7 @@ pub(crate) fn resume(args: &[String]) -> Result<String, CliError> {
             );
             let source = reopen_source(ingest.fingerprint(), ingest.total_accesses())?;
             let ran = ingest
-                .run_with_checkpoint(&source, path, limit, |_, _| {})
+                .run_with_checkpoint_metered(&source, path, limit, Some(&mut registry), |_, _| {})
                 .map_err(ckpt_err)?;
             if json {
                 let mut extra = Vec::new();
@@ -301,6 +398,7 @@ pub(crate) fn resume(args: &[String]) -> Result<String, CliError> {
                         mrc_array(&h.mrc_points(&log_spaced_sizes(footprint, 16))),
                     ));
                 }
+                write_metrics(metrics_path, &registry)?;
                 return Ok(resume_json(
                     kind,
                     ingest.fingerprint(),
@@ -308,6 +406,7 @@ pub(crate) fn resume(args: &[String]) -> Result<String, CliError> {
                     ingest.completed_count(),
                     ingest.chunk_count(),
                     &extra,
+                    &registry,
                 ));
             }
             let _ = writeln!(
@@ -338,7 +437,7 @@ pub(crate) fn resume(args: &[String]) -> Result<String, CliError> {
             );
             let source = reopen_source(ingest.fingerprint(), ingest.total_accesses())?;
             let ran = ingest
-                .run_with_checkpoint(&source, path, limit, |_, _| {})
+                .run_with_checkpoint_metered(&source, path, limit, Some(&mut registry), |_, _| {})
                 .map_err(ckpt_err)?;
             if json {
                 let mut extra = Vec::new();
@@ -355,6 +454,7 @@ pub(crate) fn resume(args: &[String]) -> Result<String, CliError> {
                         ),
                     ));
                 }
+                write_metrics(metrics_path, &registry)?;
                 return Ok(resume_json(
                     kind,
                     ingest.fingerprint(),
@@ -362,6 +462,7 @@ pub(crate) fn resume(args: &[String]) -> Result<String, CliError> {
                     ingest.completed_count(),
                     ingest.shard_count(),
                     &extra,
+                    &registry,
                 ));
             }
             let _ = writeln!(
@@ -396,7 +497,7 @@ pub(crate) fn resume(args: &[String]) -> Result<String, CliError> {
             );
             let source = reopen_source(ingest.fingerprint(), ingest.total_accesses())?;
             let ran = ingest
-                .run_with_checkpoint(&source, path, limit, |_, _| {})
+                .run_with_checkpoint_metered(&source, path, limit, Some(&mut registry), |_, _| {})
                 .map_err(ckpt_err)?;
             if json {
                 let mut extra = vec![("streamed", ingest.streamed_accesses().to_string())];
@@ -422,6 +523,7 @@ pub(crate) fn resume(args: &[String]) -> Result<String, CliError> {
                         ),
                     ));
                 }
+                write_metrics(metrics_path, &registry)?;
                 return Ok(resume_json(
                     kind,
                     ingest.fingerprint(),
@@ -429,6 +531,7 @@ pub(crate) fn resume(args: &[String]) -> Result<String, CliError> {
                     ingest.completed_count(),
                     ingest.chunk_count(),
                     &extra,
+                    &registry,
                 ));
             }
             let _ = writeln!(
@@ -460,6 +563,7 @@ pub(crate) fn resume(args: &[String]) -> Result<String, CliError> {
             }
         }
     }
+    write_metrics(metrics_path, &registry)?;
     Ok(out)
 }
 

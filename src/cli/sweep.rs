@@ -1,13 +1,16 @@
 //! `symloc sweep` — exhaustive or stratified-sampled sweeps over `S_m`,
 //! resumable through the `core::job` checkpoints.
 
-use super::flags::{CommandSpec, FlagSpec, CHECKPOINT, JSON, SEED, THREADS};
+use super::flags::{
+    embed_json, write_metrics, CommandSpec, FlagSpec, CHECKPOINT, JSON, METRICS, SEED, THREADS,
+};
 use super::{help_requested, CliError};
 use std::fmt::Write as _;
 use std::path::Path;
 
 use symloc_core::engine::{SweepEngine, SweepLevel, SweepSpec};
 use symloc_core::model::CacheModel;
+use symloc_core::obs::{MetricsRegistry, Span};
 use symloc_core::shard::{SampledSweep, ShardedSweep};
 use symloc_par::default_threads;
 use symloc_perm::statistics::Statistic;
@@ -46,7 +49,7 @@ pub(crate) const SWEEP: CommandSpec = CommandSpec {
     positionals: &[("m", "degree of the symmetric group")],
     variadic: false,
     flags: &[
-        STAT, MODEL, THREADS, SAMPLES, SEED, SHARDS, CHECKPOINT, MAX_SHARDS, JSON,
+        STAT, MODEL, THREADS, SAMPLES, SEED, SHARDS, CHECKPOINT, MAX_SHARDS, JSON, METRICS,
     ],
 };
 
@@ -69,6 +72,8 @@ pub struct SweepOptions {
     pub max_shards: Option<usize>,
     /// Emit a machine-readable JSON report instead of the level table.
     pub json: bool,
+    /// Write the metrics-registry snapshot (JSON) to this file.
+    pub metrics: Option<String>,
 }
 
 /// Parses the argument list of `symloc sweep` (everything after the
@@ -95,6 +100,7 @@ pub fn parse_sweep_options(args: &[String]) -> Result<SweepOptions, CliError> {
         checkpoint: parsed.value(CHECKPOINT.name).map(ToString::to_string),
         max_shards: parsed.usize(MAX_SHARDS.name)?,
         json: parsed.switch(JSON.name),
+        metrics: parsed.value(METRICS.name).map(ToString::to_string),
     };
     if let Some(name) = parsed.value(STAT.name) {
         options.spec.statistic = Statistic::parse(name)
@@ -170,8 +176,14 @@ pub(crate) fn sweep_report(spec: SweepSpec, levels: &[SweepLevel], sampled: bool
 }
 
 /// Renders a finished sweep as a JSON document (exact integer sums, so the
-/// output is loss-free and machine-diffable).
-pub(crate) fn sweep_json(spec: SweepSpec, levels: &[SweepLevel], sampled: bool) -> String {
+/// output is loss-free and machine-diffable), with the run's
+/// metrics-registry snapshot attached.
+pub(crate) fn sweep_json(
+    spec: SweepSpec,
+    levels: &[SweepLevel],
+    sampled: bool,
+    metrics: &MetricsRegistry,
+) -> String {
     let mut out = String::from("{\n");
     let _ = writeln!(out, "  \"fingerprint\": \"{}\",", spec.fingerprint());
     let _ = writeln!(out, "  \"sampled\": {sampled},");
@@ -190,18 +202,27 @@ pub(crate) fn sweep_json(spec: SweepSpec, levels: &[SweepLevel], sampled: bool) 
             sq.join(", "),
         );
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ],\n");
+    let _ = writeln!(out, "  \"metrics\": {}", embed_json(&metrics.to_json()));
+    out.push_str("}\n");
     out
 }
 
 /// Renders an in-progress checkpointed sweep as a JSON document.
-fn sweep_progress_json(spec: SweepSpec, sampled: bool, completed: usize, total: usize) -> String {
+fn sweep_progress_json(
+    spec: SweepSpec,
+    sampled: bool,
+    completed: usize,
+    total: usize,
+    metrics: &MetricsRegistry,
+) -> String {
     let mut out = String::from("{\n");
     let _ = writeln!(out, "  \"fingerprint\": \"{}\",", spec.fingerprint());
     let _ = writeln!(out, "  \"sampled\": {sampled},");
     let _ = writeln!(out, "  \"complete\": false,");
     let _ = writeln!(out, "  \"completed\": {completed},");
-    let _ = writeln!(out, "  \"total\": {total}");
+    let _ = writeln!(out, "  \"total\": {total},");
+    let _ = writeln!(out, "  \"metrics\": {}", embed_json(&metrics.to_json()));
     out.push_str("}\n");
     out
 }
@@ -221,6 +242,7 @@ pub fn sweep(args: &[String]) -> Result<String, CliError> {
     let options = parse_sweep_options(args)?;
     let spec = options.spec;
     let engine = SweepEngine::with_threads(spec.m, options.threads);
+    let mut registry = MetricsRegistry::new();
 
     if let Some(budget) = options.samples {
         let weights = match spec.statistic {
@@ -244,16 +266,23 @@ pub fn sweep(args: &[String]) -> Result<String, CliError> {
             let already = sampled.completed_count();
             let stale_on_disk = !resumed && path.exists();
             let ran = sampled
-                .run_with_checkpoint(path, options.max_shards, |_, _| {})
+                .run_with_checkpoint_metered(
+                    path,
+                    options.max_shards,
+                    Some(&mut registry),
+                    |_, _| {},
+                )
                 .map_err(|e| CliError(format!("cannot write checkpoint {checkpoint}: {e}")))?;
+            write_metrics(options.metrics.as_deref(), &registry)?;
             if options.json {
                 return Ok(match sampled.merged_levels() {
-                    Some(levels) => sweep_json(spec, &levels, true),
+                    Some(levels) => sweep_json(spec, &levels, true, &registry),
                     None => sweep_progress_json(
                         spec,
                         true,
                         sampled.completed_count(),
                         sampled.level_count(),
+                        &registry,
                     ),
                 });
             }
@@ -297,10 +326,14 @@ pub fn sweep(args: &[String]) -> Result<String, CliError> {
             return Ok(out);
         }
 
+        let span = Span::start();
         let levels =
             engine.sampled_levels_weighted(spec.statistic, spec.model, budget, 2, options.seed);
+        registry.set_gauge("job.elapsed_secs", span.elapsed_secs());
+        span.record(&mut registry, "sweep.total_nanos");
+        write_metrics(options.metrics.as_deref(), &registry)?;
         if options.json {
-            return Ok(sweep_json(spec, &levels, true));
+            return Ok(sweep_json(spec, &levels, true, &registry));
         }
         let mut out = sweep_report(spec, &levels, true);
         let _ = writeln!(out, "{sampling_line}");
@@ -308,9 +341,13 @@ pub fn sweep(args: &[String]) -> Result<String, CliError> {
     }
 
     let Some(checkpoint) = &options.checkpoint else {
+        let span = Span::start();
         let levels = engine.sweep_levels(spec.statistic, spec.model);
+        registry.set_gauge("job.elapsed_secs", span.elapsed_secs());
+        span.record(&mut registry, "sweep.total_nanos");
+        write_metrics(options.metrics.as_deref(), &registry)?;
         if options.json {
-            return Ok(sweep_json(spec, &levels, false));
+            return Ok(sweep_json(spec, &levels, false, &registry));
         }
         return Ok(sweep_report(spec, &levels, false));
     };
@@ -322,16 +359,18 @@ pub fn sweep(args: &[String]) -> Result<String, CliError> {
     let already = sharded.completed_count();
     let stale_on_disk = !resumed && path.exists();
     let ran = sharded
-        .run_with_checkpoint(path, options.max_shards, |_, _| {})
+        .run_with_checkpoint_metered(path, options.max_shards, Some(&mut registry), |_, _| {})
         .map_err(|e| CliError(format!("cannot write checkpoint {checkpoint}: {e}")))?;
+    write_metrics(options.metrics.as_deref(), &registry)?;
     if options.json {
         return Ok(match sharded.merged_levels() {
-            Some(levels) => sweep_json(spec, &levels, false),
+            Some(levels) => sweep_json(spec, &levels, false, &registry),
             None => sweep_progress_json(
                 spec,
                 false,
                 sharded.completed_count(),
                 sharded.shard_count(),
+                &registry,
             ),
         });
     }

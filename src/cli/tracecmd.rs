@@ -2,11 +2,14 @@
 //! resumable), `convert` (format conversion + sidecar chunk indexes) and
 //! `index` (build the sidecar for an existing file).
 
-use super::flags::{CommandSpec, FlagSpec, CHECKPOINT, JSON, THREADS};
+use super::flags::{
+    embed_json, write_metrics, CommandSpec, FlagSpec, CHECKPOINT, JSON, METRICS, THREADS,
+};
 use super::{help_requested, CliError};
 use std::fmt::Write as _;
 use std::path::Path;
 
+use symloc_core::obs::{MetricsRegistry, Span};
 use symloc_core::tracesweep::{
     log_spaced_sizes, FusedIngest, MrcPoint, OnlineReuseEngine, SampledIngest, ShardsEstimator,
     TraceIngest,
@@ -15,7 +18,7 @@ use symloc_par::default_threads;
 use symloc_trace::binio::{
     build_sltr_index, sltr_index_path, SltrIndex, SltrWriter, DEFAULT_INDEX_INTERVAL,
 };
-use symloc_trace::stream::{build_text_index, TraceSource};
+use symloc_trace::stream::{build_text_index, AccessSink as _, MeteredSink, TraceSource};
 
 const EXACT: FlagSpec = FlagSpec::switch(
     "--exact",
@@ -60,7 +63,7 @@ pub(crate) const TRACE_MRC: CommandSpec = CommandSpec {
     positionals: &[("source", "a trace file (text or .sltr) or a gen: spec")],
     variadic: false,
     flags: &[
-        EXACT, SAMPLE, SHARDS, THREADS, POINTS, CHECKPOINT, MAX_CHUNKS, JSON,
+        EXACT, SAMPLE, SHARDS, THREADS, POINTS, CHECKPOINT, MAX_CHUNKS, JSON, METRICS,
     ],
 };
 
@@ -116,6 +119,8 @@ pub struct TraceMrcOptions {
     /// `--exact --sample S` together: the fused single-pass run producing
     /// both the exact and the sampled curve from one streaming pass.
     pub fused: bool,
+    /// Write the metrics-registry snapshot (JSON) to this file.
+    pub metrics: Option<String>,
 }
 
 /// Parses the argument list of `symloc trace mrc` (everything after the
@@ -146,6 +151,7 @@ pub fn parse_trace_mrc_options(args: &[String]) -> Result<TraceMrcOptions, CliEr
         max_chunks: parsed.usize(MAX_CHUNKS.name)?,
         json: parsed.switch(JSON.name),
         fused: parsed.switch(EXACT.name) && sample.is_some(),
+        metrics: parsed.value(METRICS.name).map(ToString::to_string),
     };
     if options.sample == Some(0) {
         return Err(CliError("--sample needs a positive budget".into()));
@@ -221,7 +227,8 @@ pub(crate) fn mrc_array(points: &[MrcPoint]) -> String {
     out
 }
 
-/// Renders a finished MRC analysis as a JSON document.
+/// Renders a finished MRC analysis as a JSON document, with the run's
+/// metrics-registry snapshot attached.
 fn mrc_json(
     source: &TraceSource,
     engine: &str,
@@ -229,6 +236,7 @@ fn mrc_json(
     footprint: usize,
     estimated: bool,
     points: &[MrcPoint],
+    metrics: &MetricsRegistry,
 ) -> String {
     let mut out = String::from("{\n");
     let _ = writeln!(
@@ -241,7 +249,8 @@ fn mrc_json(
     let _ = writeln!(out, "  \"accesses\": {accesses},");
     let _ = writeln!(out, "  \"footprint\": {footprint},");
     let _ = writeln!(out, "  \"footprint_estimated\": {estimated},");
-    let _ = writeln!(out, "  \"mrc\": {}", mrc_array(points));
+    let _ = writeln!(out, "  \"mrc\": {},", mrc_array(points));
+    let _ = writeln!(out, "  \"metrics\": {}", embed_json(&metrics.to_json()));
     out.push_str("}\n");
     out
 }
@@ -257,6 +266,7 @@ fn fused_mrc_json(
     est_footprint: usize,
     min_rate: f64,
     sampled_points: &[MrcPoint],
+    metrics: &MetricsRegistry,
 ) -> String {
     let mut out = String::from("{\n");
     let _ = writeln!(
@@ -276,15 +286,21 @@ fn fused_mrc_json(
     let _ = writeln!(
         out,
         "  \"sampled\": {{\"footprint\": {est_footprint}, \"footprint_estimated\": true, \
-         \"min_rate\": {min_rate}, \"mrc\": {}}}",
+         \"min_rate\": {min_rate}, \"mrc\": {}}},",
         mrc_array(sampled_points)
     );
+    let _ = writeln!(out, "  \"metrics\": {}", embed_json(&metrics.to_json()));
     out.push_str("}\n");
     out
 }
 
 /// Renders an in-progress checkpointed ingest as a JSON document.
-fn mrc_progress_json(source: &TraceSource, completed: usize, total: usize) -> String {
+fn mrc_progress_json(
+    source: &TraceSource,
+    completed: usize,
+    total: usize,
+    metrics: &MetricsRegistry,
+) -> String {
     let mut out = String::from("{\n");
     let _ = writeln!(
         out,
@@ -293,7 +309,8 @@ fn mrc_progress_json(source: &TraceSource, completed: usize, total: usize) -> St
     );
     let _ = writeln!(out, "  \"complete\": false,");
     let _ = writeln!(out, "  \"completed\": {completed},");
-    let _ = writeln!(out, "  \"total\": {total}");
+    let _ = writeln!(out, "  \"total\": {total},");
+    let _ = writeln!(out, "  \"metrics\": {}", embed_json(&metrics.to_json()));
     out.push_str("}\n");
     out
 }
@@ -314,11 +331,12 @@ pub fn trace_mrc(args: &[String]) -> Result<String, CliError> {
     }
     let options = parse_trace_mrc_options(args)?;
     let source = &options.source;
+    let mut registry = MetricsRegistry::new();
     let mut out = String::new();
     let _ = writeln!(out, "trace mrc — {source}");
 
     if options.fused {
-        return trace_mrc_fused(&options, out);
+        return trace_mrc_fused(&options, out, &mut registry);
     }
 
     if let Some(s_max) = options.sample {
@@ -356,8 +374,15 @@ pub fn trace_mrc(args: &[String]) -> Result<String, CliError> {
                     );
                 }
                 let ran = ingest
-                    .run_with_checkpoint(source, path, options.max_chunks, |_, _| {})
+                    .run_with_checkpoint_metered(
+                        source,
+                        path,
+                        options.max_chunks,
+                        Some(&mut registry),
+                        |_, _| {},
+                    )
                     .map_err(|e| CliError(format!("cannot write checkpoint {checkpoint}: {e}")))?;
+                write_metrics(options.metrics.as_deref(), &registry)?;
                 let _ = writeln!(
                     out,
                     "ran {ran} hash shard(s); {} of {} complete; checkpoint saved to {checkpoint}",
@@ -372,6 +397,7 @@ pub fn trace_mrc(args: &[String]) -> Result<String, CliError> {
                                 source,
                                 ingest.completed_count(),
                                 ingest.shard_count(),
+                                &registry,
                             ));
                         }
                         let _ = writeln!(
@@ -385,7 +411,11 @@ pub fn trace_mrc(args: &[String]) -> Result<String, CliError> {
             } else {
                 let mut ingest = SampledIngest::new(source, shard_count, budget, options.threads)
                     .map_err(CliError)?;
+                let span = Span::start();
                 ingest.run_pending(source, None);
+                registry.set_gauge("job.elapsed_secs", span.elapsed_secs());
+                span.record(&mut registry, "trace.total_nanos");
+                write_metrics(options.metrics.as_deref(), &registry)?;
                 ingest.merged().expect("sampled ingest ran to completion")
             };
             let footprint = summary.estimated_footprint().round().max(1.0) as usize;
@@ -399,6 +429,7 @@ pub fn trace_mrc(args: &[String]) -> Result<String, CliError> {
                     footprint,
                     true,
                     &points,
+                    &registry,
                 ));
             }
             let _ = writeln!(out, "accesses            : {}", summary.raw_accesses);
@@ -415,7 +446,12 @@ pub fn trace_mrc(args: &[String]) -> Result<String, CliError> {
 
         // The bounded-memory sampled estimator: one sequential pass.
         let mut estimator = ShardsEstimator::new(s_max);
+        let span = Span::start();
         estimator.record_all(validated_stream(source)?);
+        registry.set_gauge("job.elapsed_secs", span.elapsed_secs());
+        span.record(&mut registry, "trace.total_nanos");
+        estimator.record_gauges(&mut registry);
+        write_metrics(options.metrics.as_deref(), &registry)?;
         let footprint = estimator.estimated_footprint().round().max(1.0) as usize;
         let sizes = log_spaced_sizes(footprint, options.points);
         let points = estimator.mrc_points(&sizes);
@@ -427,6 +463,7 @@ pub fn trace_mrc(args: &[String]) -> Result<String, CliError> {
                 footprint,
                 true,
                 &points,
+                &registry,
             ));
         }
         let _ = writeln!(out, "accesses            : {}", estimator.raw_accesses());
@@ -469,8 +506,15 @@ pub fn trace_mrc(args: &[String]) -> Result<String, CliError> {
             );
         }
         let ran = ingest
-            .run_with_checkpoint(source, path, options.max_chunks, |_, _| {})
+            .run_with_checkpoint_metered(
+                source,
+                path,
+                options.max_chunks,
+                Some(&mut registry),
+                |_, _| {},
+            )
             .map_err(|e| CliError(format!("cannot write checkpoint {checkpoint}: {e}")))?;
+        write_metrics(options.metrics.as_deref(), &registry)?;
         let _ = writeln!(
             out,
             "ran {ran} chunk(s); {} of {} complete; checkpoint saved to {checkpoint}",
@@ -495,6 +539,7 @@ pub fn trace_mrc(args: &[String]) -> Result<String, CliError> {
                         source,
                         ingest.completed_count(),
                         ingest.chunk_count(),
+                        &registry,
                     ));
                 }
                 let _ = writeln!(
@@ -507,7 +552,11 @@ pub fn trace_mrc(args: &[String]) -> Result<String, CliError> {
     } else if options.threads > 1 {
         let mut ingest =
             TraceIngest::new(source, options.shards, options.threads).map_err(CliError)?;
+        let span = Span::start();
         ingest.run_pending(source, None);
+        registry.set_gauge("job.elapsed_secs", span.elapsed_secs());
+        span.record(&mut registry, "trace.total_nanos");
+        write_metrics(options.metrics.as_deref(), &registry)?;
         let h = ingest
             .histogram()
             .expect("ingest ran to completion")
@@ -522,12 +571,30 @@ pub fn trace_mrc(args: &[String]) -> Result<String, CliError> {
         );
         h
     } else {
-        let mut engine = OnlineReuseEngine::new();
+        // The single-threaded exact path runs through a `MeteredSink`, so
+        // decode time (pulling blocks off the source) and compute time
+        // (the engine's Fenwick work) are split — delivery to the engine
+        // is unchanged, so the curve is byte-identical to the unmetered
+        // loop.
+        let mut sink = MeteredSink::new(OnlineReuseEngine::new());
         let mut blocks = validated_block_stream(source)?;
         let mut buf = Vec::new();
-        while blocks.next_block(&mut buf) > 0 {
-            engine.record_block(&buf);
+        loop {
+            let decode = Span::start();
+            let n = blocks.next_block(&mut buf);
+            sink.add_decode_nanos(decode.elapsed_nanos());
+            if n == 0 {
+                break;
+            }
+            sink.on_block(&buf);
         }
+        registry.add("trace.accesses", sink.accesses());
+        registry.add("trace.blocks", sink.blocks());
+        registry.add("trace.decode_nanos", sink.decode_nanos());
+        registry.add("trace.compute_nanos", sink.compute_nanos());
+        let engine = sink.into_inner();
+        engine.record_gauges(&mut registry);
+        write_metrics(options.metrics.as_deref(), &registry)?;
         let _ = writeln!(out, "accesses            : {}", engine.accesses());
         let _ = writeln!(out, "engine              : exact streaming (1 thread)");
         engine.into_histogram()
@@ -544,6 +611,7 @@ pub fn trace_mrc(args: &[String]) -> Result<String, CliError> {
             footprint,
             false,
             &points,
+            &registry,
         ));
     }
     let _ = writeln!(out, "footprint           : {footprint}");
@@ -555,7 +623,11 @@ pub fn trace_mrc(args: &[String]) -> Result<String, CliError> {
 /// pass over the trace produces both the exact and the sampled curve
 /// (identical to what separate exact and sampled runs would report),
 /// optionally checkpoint-resumable like either separate pipeline.
-fn trace_mrc_fused(options: &TraceMrcOptions, mut out: String) -> Result<String, CliError> {
+fn trace_mrc_fused(
+    options: &TraceMrcOptions,
+    mut out: String,
+    registry: &mut MetricsRegistry,
+) -> Result<String, CliError> {
     let source = &options.source;
     let s_max = options.sample.expect("fused mode implies --sample");
     let shard_count = options.sample_shards;
@@ -590,8 +662,15 @@ fn trace_mrc_fused(options: &TraceMrcOptions, mut out: String) -> Result<String,
             );
         }
         let ran = ingest
-            .run_with_checkpoint(source, path, options.max_chunks, |_, _| {})
+            .run_with_checkpoint_metered(
+                source,
+                path,
+                options.max_chunks,
+                Some(&mut *registry),
+                |_, _| {},
+            )
             .map_err(|e| CliError(format!("cannot write checkpoint {checkpoint}: {e}")))?;
+        write_metrics(options.metrics.as_deref(), registry)?;
         let _ = writeln!(
             out,
             "ran {ran} chunk(s); {} of {} complete; checkpoint saved to {checkpoint}",
@@ -603,7 +682,11 @@ fn trace_mrc_fused(options: &TraceMrcOptions, mut out: String) -> Result<String,
         let mut ingest =
             FusedIngest::new(source, options.shards, shard_count, budget, options.threads)
                 .map_err(CliError)?;
+        let span = Span::start();
         ingest.run_pending(source, None);
+        registry.set_gauge("job.elapsed_secs", span.elapsed_secs());
+        span.record(registry, "trace.total_nanos");
+        write_metrics(options.metrics.as_deref(), registry)?;
         ingest
     };
     let (Some(histogram), Some(summary)) = (ingest.exact_histogram(), ingest.sampled_summary())
@@ -613,6 +696,7 @@ fn trace_mrc_fused(options: &TraceMrcOptions, mut out: String) -> Result<String,
                 source,
                 ingest.completed_count(),
                 ingest.chunk_count(),
+                registry,
             ));
         }
         let _ = writeln!(
@@ -638,6 +722,7 @@ fn trace_mrc_fused(options: &TraceMrcOptions, mut out: String) -> Result<String,
             est_footprint,
             summary.min_rate,
             &sampled_points,
+            registry,
         ));
     }
     let _ = writeln!(out, "accesses            : {}", histogram.accesses());

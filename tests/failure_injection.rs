@@ -510,6 +510,88 @@ fn cross_kind_checkpoint_resume_fails_loudly_for_every_pair() {
 }
 
 #[test]
+fn corrupt_truncated_or_stale_heartbeats_degrade_status_but_never_fail() {
+    use symmetric_locality::cli;
+    use symmetric_locality::core::job::Heartbeat;
+    use symmetric_locality::core::obs::MetricsRegistry;
+    use symmetric_locality::core::tracesweep::TraceIngest;
+    use symmetric_locality::trace::stream::{GenSpec, TraceSource};
+
+    let dir = std::env::temp_dir();
+    let ck = dir.join(format!("symloc_failinj_hb_{}.json", std::process::id()));
+    let ck_str = ck.to_str().unwrap().to_string();
+    let sidecar = Heartbeat::sidecar_path(&ck);
+    let run = |args: &[&str]| {
+        cli::run(
+            &args
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<String>>(),
+        )
+    };
+
+    // An interrupted checkpointed ingest leaves a live heartbeat sidecar.
+    let source = TraceSource::Gen(GenSpec::parse("gen:zipf:60:2000:0.8:3").unwrap());
+    let mut ingest = TraceIngest::new(&source, 6, 1).unwrap();
+    ingest
+        .run_with_checkpoint(&source, &ck, Some(1), |_, _| {})
+        .unwrap();
+    assert!(sidecar.exists(), "interrupted run must leave a heartbeat");
+    let live_hb = std::fs::read_to_string(&sidecar).unwrap();
+    let status = run(&["job", "status", &ck_str]).unwrap();
+    assert!(status.contains("heartbeat   : live"), "{status}");
+
+    // A corrupt sidecar degrades the status to "unreadable" — `job status`
+    // itself must still succeed, in both human and JSON form.
+    std::fs::write(&sidecar, "garbage").unwrap();
+    let status = run(&["job", "status", &ck_str]).unwrap();
+    assert!(status.contains("unreadable sidecar"), "{status}");
+    let json = run(&["job", "status", &ck_str, "--json"]).unwrap();
+    assert!(
+        json.contains("\"heartbeat_status\": \"unreadable\""),
+        "{json}"
+    );
+    assert!(!json.contains("\"heartbeat\": {"), "{json}");
+
+    // A truncated sidecar is the same degradation, not a different path.
+    std::fs::write(&sidecar, &live_hb[..live_hb.len() / 2]).unwrap();
+    let status = run(&["job", "status", &ck_str]).unwrap();
+    assert!(status.contains("unreadable sidecar"), "{status}");
+
+    // A well-formed sidecar whose progress no longer matches the
+    // checkpoint (a stale leftover of an earlier run) is reported stale
+    // and its numbers are not presented as live progress.
+    let mut stale = Heartbeat::from_json(&live_hb).unwrap();
+    stale.completed += 1;
+    std::fs::write(&sidecar, stale.to_json()).unwrap();
+    let status = run(&["job", "status", &ck_str]).unwrap();
+    assert!(status.contains("stale sidecar"), "{status}");
+    let json = run(&["job", "status", &ck_str, "--json"]).unwrap();
+    assert!(json.contains("\"heartbeat_status\": \"stale\""), "{json}");
+
+    // Resuming straight through a corrupt sidecar must work — the
+    // heartbeat is advisory, never load-bearing — and completion removes
+    // the sidecar.
+    std::fs::write(&sidecar, "garbage").unwrap();
+    let resumed = run(&["job", "resume", &ck_str]).unwrap();
+    assert!(resumed.contains("6 of 6 complete"), "{resumed}");
+    assert!(
+        !sidecar.exists(),
+        "completed resume must remove the heartbeat sidecar"
+    );
+
+    // Mangled heartbeat and metrics documents are parse errors with
+    // context, never panics.
+    for text in ["not json", "{}", "{\"kind\": \"something_else\"}"] {
+        assert!(Heartbeat::from_json(text).is_err(), "{text}");
+        assert!(MetricsRegistry::from_json(text).is_err(), "{text}");
+    }
+
+    std::fs::remove_file(&ck).ok();
+    std::fs::remove_file(&sidecar).ok();
+}
+
+#[test]
 fn job_status_rejects_foreign_and_mangled_documents() {
     use symmetric_locality::core::job::checkpoint_status;
     assert!(checkpoint_status("not json").is_err());
