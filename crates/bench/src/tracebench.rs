@@ -19,6 +19,7 @@ use crate::json_escape;
 use crate::sweepbench::{run_spread_percent, GateVerdict};
 use symloc_core::jsonio::{self, JsonValue};
 use symloc_core::obs::{MetricsRegistry, Span};
+use symloc_core::serve::ServeState;
 use symloc_core::tracesweep::{
     FusedIngest, OnlineReuseEngine, SampledIngest, ShardsEstimator, TraceIngest,
 };
@@ -26,6 +27,7 @@ use symloc_par::default_threads;
 use symloc_trace::binio::{sltr_index_path, write_sltr, write_sltr_indexed, SltrReader};
 use symloc_trace::io::write_trace;
 use symloc_trace::stream::{build_text_index, AccessSink as _, GenSpec, MeteredSink, TraceSource};
+use symloc_trace::wire::WIRE_BLOCK_LEN;
 use symloc_trace::Trace;
 
 /// The canonical tracebench workload: a skewed Zipfian trace large enough
@@ -51,6 +53,11 @@ pub const SAMPLED_SHARDED_TOTAL_BUDGET: usize = 16_384;
 
 /// The chunk-index interval of the indexed-ingest configuration.
 pub const BENCH_INDEX_INTERVAL: u64 = 4096;
+
+/// Tenant count of the serve fan-out configuration: the daemon's tenant
+/// table fed the canonical workload round-robin across this many
+/// estimators.
+pub const SERVE_TENANTS: usize = 8;
 
 /// One measured trace-ingestion configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -183,6 +190,32 @@ pub fn measure_trace_suite(runs: usize) -> Vec<TraceMeasurement> {
         || {
             let mut estimator = ShardsEstimator::new(SAMPLE_BUDGET);
             estimator.record_all(addrs.iter().copied());
+        },
+    ));
+    // The serve-daemon fan-out: the same workload demultiplexed
+    // round-robin across a full tenant table of estimators, wire-protocol
+    // block size, through `ServeState::record_block` — the per-access cost
+    // a `symloc serve` deployment pays over a single estimator (tenant
+    // lookup + smaller per-tenant working sets).
+    measurements.push(measure_trace(
+        "serve_tenant_fanout_single_thread",
+        accesses,
+        1,
+        runs,
+        || {
+            let mut state =
+                ServeState::new(SAMPLE_BUDGET, SERVE_TENANTS).expect("valid serve config");
+            let indices: Vec<usize> = (0..SERVE_TENANTS)
+                .map(|t| {
+                    state
+                        .ensure_tenant(&format!("tenant{t}"))
+                        .expect("under the cap")
+                })
+                .collect();
+            for (i, block) in addrs.chunks(WIRE_BLOCK_LEN).enumerate() {
+                state.record_block(indices[i % SERVE_TENANTS], block);
+            }
+            std::hint::black_box(state.total_accesses());
         },
     ));
     // The parallel-sampled pair: the same total budget run as one

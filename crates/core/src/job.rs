@@ -82,16 +82,20 @@ pub enum JobKind {
     /// A fused exact+sampled trace ingest — one streaming pass feeding
     /// both engines ([`crate::tracesweep::FusedIngest`]).
     FusedIngest,
+    /// The persisted tenant table of the `symloc serve` daemon
+    /// ([`crate::serve::ServeState`]).
+    ServeState,
 }
 
 impl JobKind {
     /// Every kind, in registry order.
-    pub const ALL: [JobKind; 5] = [
+    pub const ALL: [JobKind; 6] = [
         JobKind::ShardedSweep,
         JobKind::SampledSweep,
         JobKind::TraceIngest,
         JobKind::SampledIngest,
         JobKind::FusedIngest,
+        JobKind::ServeState,
     ];
 
     /// The `"kind"` tag this kind writes into (and expects from) its
@@ -104,6 +108,7 @@ impl JobKind {
             JobKind::TraceIngest => "symloc_trace_ingest_checkpoint",
             JobKind::SampledIngest => "symloc_sampled_trace_checkpoint",
             JobKind::FusedIngest => "symloc_fused_trace_checkpoint",
+            JobKind::ServeState => "symloc_serve_checkpoint",
         }
     }
 
@@ -123,6 +128,7 @@ impl JobKind {
             JobKind::TraceIngest => "exact trace ingest",
             JobKind::SampledIngest => "sampled (hash-sharded) trace ingest",
             JobKind::FusedIngest => "fused exact+sampled trace ingest",
+            JobKind::ServeState => "multi-tenant serve state",
         }
     }
 
@@ -135,6 +141,7 @@ impl JobKind {
             JobKind::TraceIngest => "chunk",
             JobKind::SampledIngest => "hash shard",
             JobKind::FusedIngest => "chunk",
+            JobKind::ServeState => "tenant",
         }
     }
 
@@ -456,9 +463,29 @@ pub struct Heartbeat {
     pub units_per_sec: f64,
     /// Units/sec over the last batch alone.
     pub instant_units_per_sec: f64,
-    /// Estimated seconds to completion at the cumulative rate, when the
-    /// rate is positive.
+    /// Estimated seconds to completion at the instantaneous rate when it
+    /// is positive, else the cumulative rate (see [`eta_secs_from`]).
     pub eta_secs: Option<f64>,
+}
+
+/// The ETA rule shared by every heartbeat: estimate from the
+/// *instantaneous* rate of the last batch when it is positive and finite,
+/// falling back to the cumulative rate otherwise. A cumulative-only ETA
+/// freezes at an ever-optimistic figure when a job stalls after a fast
+/// start; the instant rate tracks the stall (and `None` signals "no
+/// forward progress" honestly once both rates hit zero).
+#[must_use]
+pub fn eta_secs_from(
+    remaining: usize,
+    units_per_sec: f64,
+    instant_units_per_sec: f64,
+) -> Option<f64> {
+    let rate = if instant_units_per_sec > 0.0 && instant_units_per_sec.is_finite() {
+        instant_units_per_sec
+    } else {
+        units_per_sec
+    };
+    (rate > 0.0 && rate.is_finite()).then(|| remaining as f64 / rate)
 }
 
 impl Heartbeat {
@@ -496,8 +523,11 @@ impl Heartbeat {
         } else {
             0.0
         };
-        let eta_secs =
-            (units_per_sec > 0.0).then(|| total.saturating_sub(completed) as f64 / units_per_sec);
+        let eta_secs = eta_secs_from(
+            total.saturating_sub(completed),
+            units_per_sec,
+            instant_units_per_sec,
+        );
         Heartbeat {
             job_kind: job.kind(),
             fingerprint: job.fingerprint(),
@@ -882,6 +912,23 @@ pub fn checkpoint_status(text: &str) -> Result<JobStatus, String> {
                 ],
             })
         }
+        JobKind::ServeState => {
+            let state = crate::serve::ServeState::from_json(text)?;
+            // A serve checkpoint is a snapshot of a daemon, not a batch with
+            // a planned end: every persisted tenant counts as complete.
+            Ok(JobStatus {
+                kind,
+                fingerprint: state.fingerprint(),
+                completed: state.tenant_count(),
+                total: state.tenant_count(),
+                detail: vec![
+                    detail_pair("accesses", state.total_accesses().to_string()),
+                    detail_pair("budget per tenant", state.budget().to_string()),
+                    detail_pair("max tenants", state.max_tenants().to_string()),
+                    detail_pair("rejected tenants", state.rejected().to_string()),
+                ],
+            })
+        }
     }
 }
 
@@ -1187,6 +1234,26 @@ mod tests {
         assert_eq!(reg.gauge("job.eta_secs"), Some(2.0833));
         assert_eq!(reg.gauge("job.accesses_done"), Some(375_000.0));
         assert_eq!(reg.gauge("job.accesses_per_sec"), Some(375_000.0 / 1.25));
+    }
+
+    #[test]
+    fn eta_tracks_a_stall_instead_of_freezing_optimistic() {
+        // A job that raced through half its units and then stalled: the
+        // cumulative rate still says 100/s, the last batch says 2/s. The
+        // old cumulative-only ETA froze at 5s forever; the instant rate
+        // reports the honest 250s.
+        assert_eq!(eta_secs_from(500, 100.0, 2.0), Some(250.0));
+        // Steady state: instant ≈ overall, either answer is fine.
+        assert_eq!(eta_secs_from(500, 100.0, 100.0), Some(5.0));
+        // A zero instant rate (batch too fast for the clock, or no
+        // progress measured yet) falls back to the cumulative rate.
+        assert_eq!(eta_secs_from(500, 100.0, 0.0), Some(5.0));
+        // Non-finite instant rates fall back too.
+        assert_eq!(eta_secs_from(500, 100.0, f64::NAN), Some(5.0));
+        assert_eq!(eta_secs_from(500, 100.0, f64::INFINITY), Some(5.0));
+        // No measurable progress at all: no ETA, not a division blow-up.
+        assert_eq!(eta_secs_from(500, 0.0, 0.0), None);
+        assert_eq!(eta_secs_from(500, -1.0, 0.0), None);
     }
 
     #[test]

@@ -33,6 +33,8 @@
 //!   (JSON checkpoints, exact resume).
 //! * [`jsonio`] — the minimal hand-rolled JSON reader/writer the offline
 //!   workspace uses for checkpoints and bench baselines.
+//! * [`serve`] — the persisted tenant table of the `symloc serve` daemon:
+//!   per-tenant SHARDS estimators as one resumable checkpoint kind.
 //! * [`obs`] — the structured observability layer: the
 //!   [`obs::MetricsRegistry`] of counters/gauges/histograms and the
 //!   [`obs::Span`] timer the job runner, the CLI and the benches all
@@ -121,6 +123,7 @@ pub mod obs;
 pub mod optimize;
 pub mod retraversal;
 pub mod schedule;
+pub mod serve;
 pub mod shard;
 pub mod sweep;
 pub mod theorems;
@@ -164,6 +167,7 @@ pub mod prelude {
     };
     pub use crate::retraversal::ReTraversal;
     pub use crate::schedule::{analytical_retraversal_cost, analytical_totals_match, Schedule};
+    pub use crate::serve::{ServeState, TenantState};
     pub use crate::shard::{SampledSweep, ShardedSweep};
     pub use crate::sweep::{
         average_mrc_by_inversion, exhaustive_levels, exhaustive_levels_reference,

@@ -112,15 +112,23 @@ impl LogHistogram {
         }
     }
 
-    /// The approximate `q`-quantile (0.0..=1.0): the lower edge of the
-    /// first bucket whose cumulative count reaches `q * count`. Exact to
-    /// within the bucket's factor of two.
+    /// The approximate `q`-quantile: the lower edge of the first bucket
+    /// whose cumulative count reaches `q * count`. Exact to within the
+    /// bucket's factor of two.
+    ///
+    /// `q` is clamped to `[0, 1]`, and NaN is treated as `0.0` — the
+    /// 0-quantile (the histogram minimum). A midpoint default would
+    /// invent precision an ill-defined request never had; clamp-to-min
+    /// keeps the NaN answer the most conservative defined one.
     #[must_use]
     pub fn approx_quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
-        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        // `f64::clamp` propagates NaN, so map it out explicitly before
+        // computing the walk target.
+        let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
         let mut seen = 0u64;
         for (b, &n) in self.buckets.iter().enumerate() {
             seen += n;
@@ -572,6 +580,24 @@ mod tests {
         assert_eq!(h.count(), 7);
         assert_eq!(h.max(), u64::MAX);
         assert_eq!(LogHistogram::bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn quantile_requests_outside_the_unit_interval_clamp() {
+        let mut h = LogHistogram::new();
+        for v in [0, 1, 1, 3, 4, 1000] {
+            h.observe(v);
+        }
+        // q < 0 and q = NaN both answer as the 0-quantile; q > 1 as the
+        // 1-quantile. Infinities ride the same clamp.
+        assert_eq!(h.approx_quantile(-3.0), h.approx_quantile(0.0));
+        assert_eq!(h.approx_quantile(7.0), h.approx_quantile(1.0));
+        assert_eq!(h.approx_quantile(f64::NAN), h.approx_quantile(0.0));
+        assert_eq!(h.approx_quantile(f64::NEG_INFINITY), h.approx_quantile(0.0));
+        assert_eq!(h.approx_quantile(f64::INFINITY), h.approx_quantile(1.0));
+        // And an empty histogram stays 0 even for ill-defined requests.
+        let empty = LogHistogram::new();
+        assert_eq!(empty.approx_quantile(f64::NAN), 0);
     }
 
     #[test]

@@ -1125,7 +1125,7 @@ impl ShardsEstimator {
     /// Panics on the same parameter violations as
     /// [`ShardsEstimator::for_shard`].
     #[allow(clippy::too_many_arguments)]
-    fn restore_for_shard(
+    pub(crate) fn restore_for_shard(
         s_max: usize,
         threshold: u64,
         shard_index: u64,
@@ -1170,7 +1170,7 @@ impl ShardsEstimator {
     /// The tracked addresses in timeline (last-access) order — the
     /// canonical serialization of the estimator's live set for mid-stream
     /// checkpoints (see [`ShardsEstimator::restore_for_shard`]).
-    fn tracked_in_order(&self) -> Vec<u64> {
+    pub(crate) fn tracked_in_order(&self) -> Vec<u64> {
         self.timeline.ordered_addresses()
     }
 

@@ -1,0 +1,113 @@
+//! Property tests for the serve tenant table: killing the daemon at
+//! **every batch boundary** and restarting from the serialized
+//! checkpoint must reproduce the uninterrupted run's final checkpoint
+//! *byte-identically* — the same invariant `job_props` pins for the five
+//! batch pipelines, applied to [`JobKind::ServeState`].
+//!
+//! Byte-identical state implies byte-identical answers, but the MRC
+//! check below is asserted separately anyway: it is the acceptance
+//! criterion a live client actually observes across a restart.
+
+use proptest::prelude::*;
+use symloc_core::serve::ServeState;
+
+/// The tenant keyspaces a random session draws from.
+const TENANTS: [&str; 3] = ["alpha", "beta", "gamma"];
+
+/// Plays a batch schedule into a state, resolving tenant indices per
+/// batch exactly like a live session flush does.
+fn play(state: &mut ServeState, batches: &[(usize, Vec<u64>)]) {
+    for (tenant, block) in batches {
+        let index = state.ensure_tenant(TENANTS[*tenant]).unwrap();
+        state.record_block(index, block);
+    }
+}
+
+/// Every tenant's MRC and WSS answers, in tenant order.
+fn answers(state: &ServeState) -> Vec<String> {
+    state
+        .tenants()
+        .map(|t| {
+            let name = t.name();
+            format!(
+                "{name}: wss={} mrc={:?}",
+                state.wss(name).unwrap(),
+                state.mrc(name, 12).unwrap()
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn serve_state_kill_resume_at_every_batch_boundary(
+        budget in 2usize..24,
+        batches in proptest::collection::vec(
+            (0usize..TENANTS.len(), proptest::collection::vec(0u64..48, 1..24)),
+            1..10,
+        ),
+    ) {
+        // The uninterrupted reference run.
+        let mut reference = ServeState::new(budget, TENANTS.len()).unwrap();
+        play(&mut reference, &batches);
+        reference.note_save();
+        let final_checkpoint = reference.to_json();
+        let final_answers = answers(&reference);
+
+        for kill_at in 0..=batches.len() {
+            // Run to the kill point, checkpoint, "crash".
+            let mut interrupted = ServeState::new(budget, TENANTS.len()).unwrap();
+            play(&mut interrupted, &batches[..kill_at]);
+            let checkpoint = interrupted.to_json();
+
+            // Restart: the codec round-trips byte-identically…
+            let mut resumed = ServeState::from_json(&checkpoint).unwrap();
+            prop_assert_eq!(&resumed.to_json(), &checkpoint, "kill at batch {}", kill_at);
+
+            // …and finishing the stream lands on the reference checkpoint
+            // byte for byte (note_save stands in for the daemon's final
+            // save so the save counters line up too).
+            play(&mut resumed, &batches[kill_at..]);
+            resumed.note_save();
+            prop_assert_eq!(&resumed.to_json(), &final_checkpoint, "kill at batch {}", kill_at);
+
+            // The answers a client sees across the restart are identical.
+            prop_assert_eq!(&answers(&resumed), &final_answers, "kill at batch {}", kill_at);
+        }
+    }
+
+    #[test]
+    fn serve_checkpoints_resume_through_the_job_codec(
+        budget in 2usize..24,
+        batches in proptest::collection::vec(
+            (0usize..TENANTS.len(), proptest::collection::vec(0u64..48, 1..24)),
+            1..6,
+        ),
+    ) {
+        // resume_or_new restores a matching checkpoint from disk exactly,
+        // and a knob change plans fresh instead of misreading it.
+        let dir = std::env::temp_dir().join(format!(
+            "symloc-serve-props-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("serve.ckpt.json");
+        let mut state = ServeState::new(budget, TENANTS.len()).unwrap();
+        play(&mut state, &batches);
+        state.save(&path).unwrap();
+
+        let (resumed, was_resumed) =
+            ServeState::resume_or_new(&path, budget, TENANTS.len()).unwrap();
+        prop_assert!(was_resumed);
+        prop_assert_eq!(resumed.to_json(), state.to_json());
+
+        let (fresh, was_resumed) =
+            ServeState::resume_or_new(&path, budget + 1, TENANTS.len()).unwrap();
+        prop_assert!(!was_resumed);
+        prop_assert_eq!(fresh.tenant_count(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

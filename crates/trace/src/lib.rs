@@ -19,6 +19,8 @@
 //! * Streaming trace sources — files, generator specs, in-memory — with
 //!   range streaming for sharded ingestion ([`stream`]).
 //! * Footprint / frequency / reuse-interval statistics ([`stats`]).
+//! * The line-framed `symloc serve` wire protocol: request grammar and
+//!   the socket-side [`stream::AccessSink`] block producer ([`wire`]).
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -30,6 +32,7 @@ pub mod matrix;
 pub mod stats;
 pub mod stream;
 pub mod trace;
+pub mod wire;
 
 pub use stream::{GenSpec, TraceSource};
 pub use trace::{Addr, Trace};
@@ -50,4 +53,5 @@ pub mod prelude {
     pub use crate::stats::{footprint, frequencies, reuse_intervals, TraceStats};
     pub use crate::stream::{AccessIter, GenSpec, GenStream, TraceSource};
     pub use crate::trace::{Addr, Trace};
+    pub use crate::wire::{parse_request, AccessBatcher, Request};
 }

@@ -1,0 +1,252 @@
+//! The line-framed wire protocol of the `symloc serve` daemon.
+//!
+//! One request per `\n`-terminated line, ASCII, human-typeable over
+//! `nc`. The grammar (case-sensitive keywords, single spaces):
+//!
+//! ```text
+//! session   := line*
+//! line      := hello | access | query | control | comment
+//! hello     := "HELLO" SP tenant          ; bind this connection's stream
+//! access    := uint                       ; one access for the bound tenant
+//! query     := "MRC" SP tenant [SP uint]  ; miss-ratio curve (point count)
+//!            | "WSS" SP tenant            ; working-set estimate
+//!            | "STATS" [SP tenant]        ; metrics (fleet-wide if bare)
+//! control   := "SAVE" | "PING" | "QUIT"
+//! comment   := "#" any*                   ; ignored (text traces pipe as-is)
+//! tenant    := 1*64 printable-ASCII-no-space
+//! uint      := decimal u64
+//! ```
+//!
+//! Responses are single lines: `OK <detail>` or `ERR <reason>`. Access
+//! lines are *silent* on success (an acknowledgement per access would
+//! dominate the stream) and answer `ERR` only on malformed input or a
+//! missing `HELLO`.
+//!
+//! This module is pure framing: [`parse_request`] maps a line to a
+//! [`Request`], and [`AccessBatcher`] coalesces runs of access lines into
+//! blocks delivered through the [`AccessSink`] block path — the
+//! socket-side producer for the same tap seam the fused file pipeline
+//! feeds. Policy (tenant tables, persistence, response wording) lives
+//! with the daemon, not here.
+
+use crate::stream::AccessSink;
+
+/// Coalesced access deliveries flush at this many addresses; chosen to
+/// match the decode block size of the file-streaming paths.
+pub const WIRE_BLOCK_LEN: usize = 4096;
+
+/// One parsed protocol line. Borrowed from the input line: framing never
+/// copies tenant names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Request<'a> {
+    /// `HELLO <tenant>`: bind the connection's access stream to a tenant.
+    Hello(&'a str),
+    /// A bare unsigned integer: one access for the bound tenant.
+    Access(u64),
+    /// `MRC <tenant> [points]`: the tenant's miss-ratio curve.
+    Mrc {
+        /// The queried tenant.
+        tenant: &'a str,
+        /// Requested point count, when given.
+        points: Option<usize>,
+    },
+    /// `WSS <tenant>`: the tenant's working-set-size estimate.
+    Wss(&'a str),
+    /// `STATS [tenant]`: one tenant's metrics, or the fleet rollup.
+    Stats(Option<&'a str>),
+    /// `SAVE`: checkpoint now.
+    Save,
+    /// `PING`: liveness probe.
+    Ping,
+    /// `QUIT`: close this connection.
+    Quit,
+    /// A `#`-prefixed comment line: ignored, so the plain-text trace
+    /// format (whose headers are `#` comments) pipes into the daemon
+    /// unmodified.
+    Comment,
+}
+
+/// Parses one protocol line (without its terminator).
+///
+/// # Errors
+///
+/// Returns a protocol-grammar error naming the problem; the daemon
+/// forwards it verbatim as `ERR <reason>`.
+pub fn parse_request(line: &str) -> Result<Request<'_>, String> {
+    let line = line.trim_end_matches('\r');
+    if line.is_empty() {
+        return Err("empty line (send a command or a decimal address)".to_string());
+    }
+    if line.as_bytes()[0] == b'#' {
+        return Ok(Request::Comment);
+    }
+    // The hot path: a bare decimal address.
+    if line.as_bytes()[0].is_ascii_digit() {
+        return match line.parse::<u64>() {
+            Ok(addr) => Ok(Request::Access(addr)),
+            Err(_) => Err(format!("malformed access address {line:?}")),
+        };
+    }
+    let mut words = line.split(' ');
+    let keyword = words.next().unwrap_or_default();
+    let mut arg = |what: &str| {
+        words
+            .next()
+            .filter(|w| !w.is_empty())
+            .ok_or_else(|| format!("{keyword} needs a {what}"))
+    };
+    let request = match keyword {
+        "HELLO" => Request::Hello(arg("tenant name")?),
+        "MRC" => {
+            let tenant = arg("tenant name")?;
+            let points = match words.next() {
+                None => None,
+                Some(raw) => Some(
+                    raw.parse::<usize>()
+                        .map_err(|_| format!("malformed MRC point count {raw:?}"))?,
+                ),
+            };
+            Request::Mrc { tenant, points }
+        }
+        "WSS" => Request::Wss(arg("tenant name")?),
+        "STATS" => Request::Stats(words.next().filter(|w| !w.is_empty())),
+        "SAVE" => Request::Save,
+        "PING" => Request::Ping,
+        "QUIT" => Request::Quit,
+        other => {
+            return Err(format!(
+                "unknown command {other:?} (expected HELLO, MRC, WSS, STATS, SAVE, PING \
+                 or QUIT, or a decimal address)"
+            ))
+        }
+    };
+    if let Some(extra) = words.next() {
+        return Err(format!("trailing argument {extra:?} after {keyword}"));
+    }
+    Ok(request)
+}
+
+/// Coalesces per-line accesses into blocks for an [`AccessSink`].
+///
+/// Socket framing delivers one address per line; pushing each through
+/// `on_access` would put a virtual call on every access. The batcher
+/// buffers up to [`WIRE_BLOCK_LEN`] addresses and hands them to the
+/// sink's `on_block` path — callers flush explicitly at stream
+/// boundaries (a query, a tenant switch, connection close) so the sink
+/// has observed every prior access before any answer is computed.
+#[derive(Debug, Default)]
+pub struct AccessBatcher {
+    buf: Vec<u64>,
+}
+
+impl AccessBatcher {
+    /// An empty batcher.
+    #[must_use]
+    pub fn new() -> AccessBatcher {
+        AccessBatcher {
+            buf: Vec::with_capacity(WIRE_BLOCK_LEN),
+        }
+    }
+
+    /// Buffered accesses not yet delivered.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Buffers one access; `true` says the block is full and the caller
+    /// should [`AccessBatcher::flush`]. Buffering is decoupled from
+    /// delivery so a daemon can batch lock-free and only resolve its sink
+    /// (a tenant behind a mutex) at flush time.
+    pub fn push(&mut self, addr: u64) -> bool {
+        self.buf.push(addr);
+        self.buf.len() >= WIRE_BLOCK_LEN
+    }
+
+    /// Delivers everything buffered to `sink` (no-op when empty).
+    pub fn flush<S: AccessSink>(&mut self, sink: &mut S) {
+        if !self.buf.is_empty() {
+            sink.on_block(&self.buf);
+            self.buf.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::CountingSink;
+
+    #[test]
+    fn grammar_round_trips_every_request_shape() {
+        assert_eq!(
+            parse_request("HELLO web-cache"),
+            Ok(Request::Hello("web-cache"))
+        );
+        assert_eq!(parse_request("42"), Ok(Request::Access(42)));
+        assert_eq!(parse_request("42\r"), Ok(Request::Access(42)));
+        assert_eq!(
+            parse_request("MRC web-cache"),
+            Ok(Request::Mrc {
+                tenant: "web-cache",
+                points: None
+            })
+        );
+        assert_eq!(
+            parse_request("MRC web-cache 12"),
+            Ok(Request::Mrc {
+                tenant: "web-cache",
+                points: Some(12)
+            })
+        );
+        assert_eq!(parse_request("WSS t"), Ok(Request::Wss("t")));
+        assert_eq!(parse_request("STATS"), Ok(Request::Stats(None)));
+        assert_eq!(parse_request("STATS t"), Ok(Request::Stats(Some("t"))));
+        assert_eq!(parse_request("SAVE"), Ok(Request::Save));
+        assert_eq!(parse_request("PING"), Ok(Request::Ping));
+        assert_eq!(parse_request("QUIT"), Ok(Request::Quit));
+        // Text-trace headers stream through untouched.
+        assert_eq!(parse_request("# symloc trace m=50"), Ok(Request::Comment));
+        assert_eq!(parse_request("#"), Ok(Request::Comment));
+    }
+
+    #[test]
+    fn malformed_lines_name_their_problem() {
+        for (line, needle) in [
+            ("", "empty line"),
+            ("12x", "malformed access"),
+            ("18446744073709551616", "malformed access"), // u64::MAX + 1
+            ("HELLO", "needs a tenant"),
+            ("MRC", "needs a tenant"),
+            ("MRC t twelve", "point count"),
+            ("MRC t 4 extra", "trailing argument"),
+            ("WSS", "needs a tenant"),
+            ("PING extra", "trailing argument"),
+            ("hello t", "unknown command"),
+            ("FLUSH", "unknown command"),
+        ] {
+            let err = parse_request(line).unwrap_err();
+            assert!(err.contains(needle), "{line:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn batcher_coalesces_and_flushes_exactly_once() {
+        let mut sink = CountingSink::new();
+        let mut batcher = AccessBatcher::new();
+        for addr in 0..(WIRE_BLOCK_LEN as u64 + 10) {
+            if batcher.push(addr) {
+                batcher.flush(&mut sink);
+            }
+        }
+        // One full block flushed at the boundary, the tail still pending.
+        assert_eq!(sink.accesses(), WIRE_BLOCK_LEN as u64);
+        assert_eq!(batcher.pending(), 10);
+        batcher.flush(&mut sink);
+        assert_eq!(sink.accesses(), WIRE_BLOCK_LEN as u64 + 10);
+        assert_eq!(batcher.pending(), 0);
+        // Flushing empty is a no-op.
+        batcher.flush(&mut sink);
+        assert_eq!(sink.accesses(), WIRE_BLOCK_LEN as u64 + 10);
+    }
+}

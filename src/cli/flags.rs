@@ -86,12 +86,14 @@ pub(crate) const METRICS: FlagSpec = FlagSpec::value(
 
 /// Writes the registry snapshot to the `--metrics` file when the flag was
 /// given — the uniform behavior behind [`METRICS`] across commands.
+/// Atomic like checkpoint saves (temp file + rename): a crash mid-write
+/// can never leave a truncated snapshot where a parseable one stood.
 pub(crate) fn write_metrics(
     path: Option<&str>,
     registry: &symloc_core::obs::MetricsRegistry,
 ) -> Result<(), CliError> {
     if let Some(path) = path {
-        std::fs::write(path, registry.to_json())
+        symloc_core::jsonio::save_atomic(std::path::Path::new(path), &registry.to_json())
             .map_err(|e| CliError(format!("cannot write metrics {path}: {e}")))?;
     }
     Ok(())

@@ -562,6 +562,16 @@ pub(crate) fn resume(args: &[String]) -> Result<String, CliError> {
                 }
             }
         }
+        JobKind::ServeState => {
+            // A serve checkpoint is a daemon snapshot, not a batch with
+            // remaining units — there is nothing for `job resume` to run.
+            return Err(CliError(format!(
+                "checkpoint {path_str} holds a {} — it has no pending batch work; \
+                 restart the daemon with `symloc serve --checkpoint {path_str}` to \
+                 resume its tenants",
+                kind.describe()
+            )));
+        }
     }
     write_metrics(metrics_path, &registry)?;
     Ok(out)

@@ -11,6 +11,7 @@
 //! symloc sweep <m> [flags]                    (resumable) sweeps over S_m
 //! symloc trace <mrc|convert|index> ...        streaming trace analysis
 //! symloc job <status|resume> <checkpoint>     inspect/continue any checkpoint
+//! symloc serve [--stdin|--port P] ...         multi-tenant online-MRC daemon
 //! ```
 //!
 //! The layer is **declarative**: every command is described by a
@@ -26,6 +27,7 @@
 mod basic;
 mod flags;
 mod job;
+mod serve;
 mod sweep;
 mod tracecmd;
 
@@ -33,6 +35,7 @@ pub use basic::{
     analyze_file, analyze_trace, generate, optimize, retraversal_file, retraversal_trace_report,
 };
 pub use job::job;
+pub use serve::serve;
 pub use sweep::{parse_sweep_options, sweep, SweepOptions};
 pub use tracecmd::{
     parse_trace_mrc_options, trace, trace_convert, trace_index, trace_mrc, TraceMrcOptions,
@@ -80,6 +83,10 @@ pub fn usage() -> String {
      \x20 symloc job resume <checkpoint> [--threads N] [--max-units N] [--json]\n\
      \x20              (dispatches on the checkpoint's recorded job kind;\n\
      \x20              --json emits a machine-readable completion report)\n\
+     \x20 symloc serve [--stdin | --port P] [--budget S] [--max-tenants N]\n\
+     \x20              [--checkpoint FILE [--save-every N]] [--metrics FILE]\n\
+     \x20              (line-framed multi-tenant online-MRC daemon; killable,\n\
+     \x20              resumes every tenant byte-identically from its checkpoint)\n\
      \n\
      Per-command details: symloc <command> --help\n\
      \n\
@@ -148,6 +155,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         Some("sweep") => sweep(&args[1..]),
         Some("trace") => trace(&args[1..]),
         Some("job") => job(&args[1..]),
+        Some("serve") => serve(&args[1..]),
         Some("help") | None => Ok(usage()),
         Some(other) => Err(CliError(format!("unknown command {other:?}"))),
     }
@@ -187,6 +195,7 @@ mod tests {
             "job",
             "job status",
             "job resume",
+            "serve",
         ] {
             let help = run(&sargs(&format!("{command} --help")))
                 .unwrap_or_else(|e| panic!("`symloc {command} --help` failed: {e}"));

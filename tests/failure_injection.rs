@@ -403,12 +403,36 @@ fn mangled_checkpoint_documents_are_rejected_with_context() {
     ] {
         assert!(FusedIngest::from_json(&mangled, 1).is_err(), "{mangled}");
     }
+
+    // …and the serve tenant table, whose document carries one estimator
+    // per tenant in the same shard-entry shape.
+    use symmetric_locality::core::serve::ServeState;
+    let mut serve = ServeState::new(16, 4).unwrap();
+    let t = serve.ensure_tenant("alpha").unwrap();
+    serve.record_block(t, &[1, 2, 3, 1, 2]);
+    let t = serve.ensure_tenant("beta").unwrap();
+    serve.record_block(t, &[7, 8, 7]);
+    let good = serve.to_json();
+    for mangled in [
+        good.replace("symloc_serve_checkpoint", "nope"),
+        good.replace("\"budget\": 16", "\"budget\": 0"),
+        good.replace("\"max_tenants\": 4", "\"max_tenants\": 1"),
+        good.replace("\"alpha\"", "\"zz\""),
+        good.replace("\"alpha\"", "\"has space\""),
+        good.replace("tracked", "trackd"),
+        good.replace("\"cold\": ", "\"cold\": -"),
+        good[..good.len() / 2].to_string(),
+        "{}".to_string(),
+    ] {
+        assert!(ServeState::from_json(&mangled).is_err(), "{mangled}");
+    }
 }
 
 #[test]
 fn cross_kind_checkpoint_resume_fails_loudly_for_every_pair() {
     use symmetric_locality::core::engine::SweepSpec;
     use symmetric_locality::core::job::JobKind;
+    use symmetric_locality::core::serve::ServeState;
     use symmetric_locality::core::shard::{SampledSweep, ShardedSweep};
     use symmetric_locality::core::tracesweep::{FusedIngest, SampledIngest, TraceIngest};
     use symmetric_locality::trace::stream::{GenSpec, TraceSource};
@@ -425,12 +449,16 @@ fn cross_kind_checkpoint_resume_fails_loudly_for_every_pair() {
     sampled_ingest.run_pending(&source, Some(1));
     let mut fused_ingest = FusedIngest::new(&source, 3, 2, 16, 1).unwrap();
     fused_ingest.run_pending(&source, Some(1));
+    let mut serve_state = ServeState::new(16, 4).unwrap();
+    let tenant = serve_state.ensure_tenant("alpha").unwrap();
+    serve_state.record_block(tenant, &[1, 2, 3, 1, 2]);
     let documents = [
         (JobKind::ShardedSweep, sharded.to_json()),
         (JobKind::SampledSweep, sampled_sweep.to_json()),
         (JobKind::TraceIngest, ingest.to_json()),
         (JobKind::SampledIngest, sampled_ingest.to_json()),
         (JobKind::FusedIngest, fused_ingest.to_json()),
+        (JobKind::ServeState, serve_state.to_json()),
     ];
 
     // Every cross-kind decode must fail with an error naming both the
@@ -443,6 +471,7 @@ fn cross_kind_checkpoint_resume_fails_loudly_for_every_pair() {
             JobKind::TraceIngest => TraceIngest::from_json(text, 1).unwrap_err(),
             JobKind::SampledIngest => SampledIngest::from_json(text, 1).unwrap_err(),
             JobKind::FusedIngest => FusedIngest::from_json(text, 1).unwrap_err(),
+            JobKind::ServeState => ServeState::from_json(text).unwrap_err(),
         }
     };
     for (found, text) in &documents {
@@ -492,6 +521,10 @@ fn cross_kind_checkpoint_resume_fails_loudly_for_every_pair() {
                 JobKind::FusedIngest,
                 FusedIngest::resume_or_new(&source, 3, 2, 16, 1, &path)
                     .map(|(s, _)| s.completed_count()),
+            ),
+            (
+                JobKind::ServeState,
+                ServeState::resume_or_new(&path, 16, 4).map(|(s, _)| s.tenant_count()),
             ),
         ];
         for (expected, result) in results {
@@ -604,6 +637,71 @@ fn job_status_rejects_foreign_and_mangled_documents() {
     let err =
         checkpoint_status("{\"kind\": \"symloc_sweep_checkpoint\", \"version\": 1}").unwrap_err();
     assert!(err.contains("missing"), "{err}");
+}
+
+#[test]
+fn corrupt_metrics_snapshots_are_overwritten_cleanly() {
+    use symmetric_locality::cli;
+    use symmetric_locality::core::obs::MetricsRegistry;
+
+    let dir = std::env::temp_dir();
+    let metrics = dir.join(format!(
+        "symloc_failinj_metrics_{}.json",
+        std::process::id()
+    ));
+    let metrics_str = metrics.to_str().unwrap().to_string();
+
+    // A pre-existing corrupt snapshot (e.g. a truncated write from a
+    // killed run under the old non-atomic path) must not poison the next
+    // run: the snapshot is replaced atomically with a parseable document.
+    std::fs::write(&metrics, "{\"kind\": \"symloc_metr").unwrap();
+    let out = cli::run(
+        &[
+            "trace",
+            "mrc",
+            "gen:zipf:50:500:0.9:1",
+            "--sample",
+            "32",
+            "--metrics",
+            &metrics_str,
+        ]
+        .iter()
+        .map(ToString::to_string)
+        .collect::<Vec<String>>(),
+    )
+    .unwrap();
+    assert!(out.contains("sampled"), "{out}");
+    let snapshot = std::fs::read_to_string(&metrics).unwrap();
+    let registry = MetricsRegistry::from_json(&snapshot).expect("snapshot must parse");
+    assert!(!registry.is_empty());
+    // The atomic write leaves no temp file behind.
+    assert!(!metrics.with_extension("json.tmp").exists());
+    std::fs::remove_file(&metrics).ok();
+}
+
+#[test]
+fn job_resume_on_a_serve_checkpoint_points_at_the_daemon() {
+    use symmetric_locality::cli;
+    use symmetric_locality::core::serve::ServeState;
+
+    let dir = std::env::temp_dir();
+    let ck = dir.join(format!("symloc_failinj_serve_{}.json", std::process::id()));
+    let ck_str = ck.to_str().unwrap().to_string();
+    let mut state = ServeState::new(16, 4).unwrap();
+    let tenant = state.ensure_tenant("alpha").unwrap();
+    state.record_block(tenant, &[1, 2, 1]);
+    state.save(&ck).unwrap();
+
+    // `job status` understands the new kind…
+    let status = cli::run(&["job".to_string(), "status".to_string(), ck_str.clone()]).unwrap();
+    assert!(status.contains("multi-tenant serve state"), "{status}");
+    assert!(status.contains("max tenants"), "{status}");
+
+    // …while `job resume` explains that a daemon snapshot has no batch
+    // work and names the command that does resume it.
+    let err = cli::run(&["job".to_string(), "resume".to_string(), ck_str.clone()]).unwrap_err();
+    assert!(err.0.contains("symloc serve --checkpoint"), "{err}");
+    std::fs::remove_file(&ck).ok();
 }
 
 #[test]

@@ -1,0 +1,206 @@
+//! End-to-end smoke test for `symloc serve`: the real binary, both
+//! transports. Two tenants stream interleaved accesses, MRC answers are
+//! collected, the daemon is killed (EOF for stdin mode, SIGTERM for TCP
+//! mode) and restarted from its checkpoint — and the restarted daemon
+//! must answer the same queries with **byte-identical** lines.
+
+#![cfg(unix)]
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::Path;
+use std::process::{Child, Command, Stdio};
+
+const SYMLOC: &str = env!("CARGO_BIN_EXE_symloc");
+
+/// Runs `symloc serve --stdin` feeding `script`, returning stdout.
+fn serve_stdin(checkpoint: &Path, script: &str) -> String {
+    let mut child = Command::new(SYMLOC)
+        .args([
+            "serve",
+            "--stdin",
+            "--budget",
+            "32",
+            "--checkpoint",
+            &checkpoint.to_string_lossy(),
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn symloc serve --stdin");
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(script.as_bytes())
+        .expect("write script");
+    let output = child.wait_with_output().expect("daemon exits");
+    assert!(
+        output.status.success(),
+        "serve --stdin failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    String::from_utf8(output.stdout).expect("utf-8 report")
+}
+
+/// The `OK mrc ...` answer lines of a transcript, in order.
+fn mrc_lines(transcript: &str) -> Vec<String> {
+    transcript
+        .lines()
+        .filter(|l| l.starts_with("OK mrc "))
+        .map(ToString::to_string)
+        .collect()
+}
+
+#[test]
+fn stdin_daemon_resumes_tenants_byte_identically() {
+    let dir = std::env::temp_dir().join(format!("symloc_serve_e2e_stdin_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let ckpt = dir.join("serve.ckpt.json");
+
+    // Two tenants, interleaved; query both, then exit (EOF saves).
+    let before = serve_stdin(
+        &ckpt,
+        "HELLO alpha\n1\n2\n3\n1\n2\nHELLO beta\n10\n20\n10\nHELLO alpha\n3\n1\n\
+         MRC alpha\nMRC beta 8\nSTATS\nQUIT\n",
+    );
+    assert!(before.contains("OK tenant alpha"), "{before}");
+    assert!(before.contains("serve.tenants=2"), "{before}");
+    assert!(before.contains("checkpoint saved to"), "{before}");
+    let first = mrc_lines(&before);
+    assert_eq!(first.len(), 2, "{before}");
+
+    // Restart from the checkpoint: same queries, byte-identical answers.
+    let after = serve_stdin(&ckpt, "MRC alpha\nMRC beta 8\nQUIT\n");
+    assert!(
+        after.contains("resumed 2 tenant(s), 10 access(es) from checkpoint"),
+        "{after}"
+    );
+    assert_eq!(mrc_lines(&after), first);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Spawns the TCP daemon and parses the announced ephemeral address.
+fn spawn_tcp(checkpoint: &Path) -> (Child, String) {
+    let mut child = Command::new(SYMLOC)
+        .args([
+            "serve",
+            "--port",
+            "0",
+            "--budget",
+            "32",
+            "--checkpoint",
+            &checkpoint.to_string_lossy(),
+        ])
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn symloc serve --port 0");
+    let mut banner = String::new();
+    BufReader::new(child.stdout.as_mut().unwrap())
+        .read_line(&mut banner)
+        .expect("read listen banner");
+    let addr = banner
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner {banner:?}"))
+        .to_string();
+    (child, addr)
+}
+
+/// Sends protocol lines over TCP, reading one reply per non-access line.
+fn tcp_exchange(addr: &str, lines: &[&str]) -> Vec<String> {
+    let stream = TcpStream::connect(addr).expect("connect to daemon");
+    let mut writer = stream.try_clone().expect("clone stream");
+    let mut reader = BufReader::new(stream);
+    let mut replies = Vec::new();
+    for line in lines {
+        writeln!(writer, "{line}").expect("send line");
+        writer.flush().expect("flush line");
+        let is_access = line.starts_with(|c: char| c.is_ascii_digit());
+        if !is_access {
+            let mut reply = String::new();
+            reader.read_line(&mut reply).expect("read reply");
+            replies.push(reply.trim_end().to_string());
+        }
+    }
+    replies
+}
+
+#[test]
+fn tcp_daemon_survives_sigterm_and_answers_identically() {
+    let dir = std::env::temp_dir().join(format!("symloc_serve_e2e_tcp_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let ckpt = dir.join("serve.ckpt.json");
+
+    // First life: stream two tenants, query, save, quit the session.
+    let (mut child, addr) = spawn_tcp(&ckpt);
+    let replies = tcp_exchange(
+        &addr,
+        &[
+            "HELLO alpha",
+            "1",
+            "2",
+            "3",
+            "1",
+            "2",
+            "HELLO beta",
+            "10",
+            "20",
+            "10",
+            "MRC alpha",
+            "MRC beta 8",
+            "STATS",
+            "SAVE",
+            "QUIT",
+        ],
+    );
+    assert_eq!(replies[0], "OK tenant alpha", "{replies:?}");
+    let first: Vec<String> = replies
+        .iter()
+        .filter(|r| r.starts_with("OK mrc "))
+        .cloned()
+        .collect();
+    assert_eq!(first.len(), 2, "{replies:?}");
+    assert!(
+        replies.iter().any(|r| r.starts_with("OK saved ")),
+        "{replies:?}"
+    );
+    assert!(
+        replies.iter().any(|r| r.contains("serve.tenants=2")),
+        "{replies:?}"
+    );
+
+    // Kill the daemon mid-stream with SIGTERM; it must exit cleanly
+    // (final save + summary) rather than be torn down.
+    let kill = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("send SIGTERM");
+    assert!(kill.success());
+    let status = child.wait().expect("daemon exits");
+    assert!(status.success(), "daemon did not exit cleanly on SIGTERM");
+    let mut summary = String::new();
+    child
+        .stdout
+        .take()
+        .unwrap()
+        .read_to_string(&mut summary)
+        .expect("read summary");
+    assert!(summary.contains("2 tenant(s), 8 access(es)"), "{summary}");
+
+    // Second life: resumed from the checkpoint, the same queries answer
+    // with byte-identical lines.
+    let (mut child, addr) = spawn_tcp(&ckpt);
+    let replies = tcp_exchange(&addr, &["MRC alpha", "MRC beta 8", "QUIT"]);
+    assert_eq!(&replies[..2], &first[..], "answers changed across restart");
+    let kill = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("send SIGTERM");
+    assert!(kill.success());
+    assert!(child.wait().expect("daemon exits").success());
+    std::fs::remove_dir_all(&dir).ok();
+}
