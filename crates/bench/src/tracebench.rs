@@ -19,9 +19,10 @@ use crate::json_escape;
 use crate::sweepbench::{run_spread_percent, GateVerdict};
 use symloc_core::jsonio::{self, JsonValue};
 use symloc_core::obs::{MetricsRegistry, Span};
+use symloc_core::partition::{solve, Bounds, TenantCurve};
 use symloc_core::serve::ServeState;
 use symloc_core::tracesweep::{
-    FusedIngest, OnlineReuseEngine, SampledIngest, ShardsEstimator, TraceIngest,
+    FusedIngest, MrcPoint, OnlineReuseEngine, SampledIngest, ShardsEstimator, TraceIngest,
 };
 use symloc_par::default_threads;
 use symloc_trace::binio::{sltr_index_path, write_sltr, write_sltr_indexed, SltrReader};
@@ -58,6 +59,52 @@ pub const BENCH_INDEX_INTERVAL: u64 = 4096;
 /// table fed the canonical workload round-robin across this many
 /// estimators.
 pub const SERVE_TENANTS: usize = 8;
+
+/// Tenant count of the partition-solver configuration: a full shared-cache
+/// fleet, larger than any serve table the other configurations use.
+pub const PARTITION_TENANTS: usize = 32;
+
+/// Points per synthetic MRC in the partition-solver configuration.
+pub const PARTITION_POINTS: usize = 64;
+
+/// Solves per timed iteration of the partition-solver configuration: one
+/// solve is microseconds, so the iteration batches enough of them that the
+/// timer measures the solver rather than clock quantization.
+pub const PARTITION_SOLVES_PER_ITER: usize = 64;
+
+/// The partition-solver workload: [`PARTITION_TENANTS`] synthetic tenants,
+/// each a [`PARTITION_POINTS`]-point MRC with exponential decay plus an
+/// LRU cliff at a tenant-dependent position, so the convex minorants are
+/// non-trivial (the cliffs force hull vertices to drop) and the weights
+/// are all distinct. Fully deterministic — the gate compares committed
+/// numbers, so the workload must not drift.
+#[must_use]
+pub fn partition_bench_tenants() -> Vec<TenantCurve> {
+    (0..PARTITION_TENANTS)
+        .map(|t| {
+            let cliff = 8 + (t * 7) % 48;
+            let stride = (t % 5 + 1) * 16;
+            let points: Vec<MrcPoint> = (1..=PARTITION_POINTS)
+                .map(|i| {
+                    #[allow(clippy::cast_precision_loss)]
+                    let decay = (-(i as f64) / (12.0 + t as f64)).exp();
+                    let mut ratio = 0.15 + 0.85 * decay;
+                    if i >= cliff {
+                        ratio *= 0.5;
+                    }
+                    MrcPoint {
+                        cache_size: i * stride,
+                        miss_ratio: ratio,
+                    }
+                })
+                .collect();
+            #[allow(clippy::cast_precision_loss)]
+            let weight = 1.0 + t as f64;
+            TenantCurve::from_points(&format!("tenant{t}"), weight, &points)
+                .expect("the synthetic curves are monotone by construction")
+        })
+        .collect()
+}
 
 /// One measured trace-ingestion configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -216,6 +263,31 @@ pub fn measure_trace_suite(runs: usize) -> Vec<TraceMeasurement> {
                 state.record_block(indices[i % SERVE_TENANTS], block);
             }
             std::hint::black_box(state.total_accesses());
+        },
+    ));
+    // The partitioner: the marginal-gain solver over a full fleet of
+    // synthetic curves (hull construction + heap-driven allocation per
+    // solve), batched so one timed iteration is solver-bound. "Accesses"
+    // here are curve points consumed — the unit a `PARTITION` wire
+    // request pays per tenant.
+    let partition_tenants = partition_bench_tenants();
+    let partition_bounds = vec![Bounds::default(); partition_tenants.len()];
+    let partition_budget: u64 = partition_tenants
+        .iter()
+        .map(TenantCurve::max_size)
+        .sum::<u64>()
+        / 2;
+    measurements.push(measure_trace(
+        "partition_solver_single_thread",
+        (PARTITION_TENANTS * PARTITION_POINTS * PARTITION_SOLVES_PER_ITER) as u64,
+        1,
+        runs,
+        || {
+            for _ in 0..PARTITION_SOLVES_PER_ITER {
+                let solution = solve(&partition_tenants, partition_budget, &partition_bounds)
+                    .expect("the bench fleet is feasible");
+                std::hint::black_box(solution.allocated);
+            }
         },
     ));
     // The parallel-sampled pair: the same total budget run as one

@@ -35,6 +35,9 @@
 //!   workspace uses for checkpoints and bench baselines.
 //! * [`serve`] — the persisted tenant table of the `symloc serve` daemon:
 //!   per-tenant SHARDS estimators as one resumable checkpoint kind.
+//! * [`partition`] — the MRC-driven shared-cache partitioner: convex
+//!   minorants over tenant curves plus a marginal-gain greedy solver that
+//!   splits a budget to minimize traffic-weighted aggregate miss ratio.
 //! * [`obs`] — the structured observability layer: the
 //!   [`obs::MetricsRegistry`] of counters/gauges/histograms and the
 //!   [`obs::Span`] timer the job runner, the CLI and the benches all
@@ -121,6 +124,7 @@ pub mod labeling_props;
 pub mod model;
 pub mod obs;
 pub mod optimize;
+pub mod partition;
 pub mod retraversal;
 pub mod schedule;
 pub mod serve;
@@ -164,6 +168,10 @@ pub mod prelude {
     pub use crate::obs::{LogHistogram, Metric, MetricsRegistry, Span};
     pub use crate::optimize::{
         best_feasible_exhaustive, improve_greedy, optimize_from_identity, OptimizationResult,
+    };
+    pub use crate::partition::{
+        exact_reference, solve, Allocation, Bounds, ConvexHull, PartitionSolution, TenantCurve,
+        MAX_PARTITION_BUDGET,
     };
     pub use crate::retraversal::ReTraversal;
     pub use crate::schedule::{analytical_retraversal_cost, analytical_totals_match, Schedule};

@@ -1,0 +1,761 @@
+//! MRC-driven shared-cache partitioning: curves in, allocations out.
+//!
+//! Given one miss-ratio curve per tenant plus a total cache budget, the
+//! solver splits the budget to minimize the **traffic-weighted aggregate
+//! miss ratio** — the canonical production use of MRCs (and the resource-
+//! allocation shape that transfers directly to serving stacks). The
+//! pipeline has two stages:
+//!
+//! 1. **Convex-minorant construction** ([`TenantCurve::hull`]). Real MRCs
+//!    are not convex — LRU cliffs make marginal gains *increase* with
+//!    size around the cliff, which breaks greedy allocation. The lower
+//!    convex hull of the expected-miss curve is the performance actually
+//!    achievable by timesharing (probabilistically alternating) between
+//!    the two bracketing hull vertices, so allocating on the hull gives
+//!    non-convex curves their correct fractional treatment instead of a
+//!    greedy-order artifact.
+//! 2. **Marginal-gain greedy** ([`solve`]). On convex per-tenant miss
+//!    curves, repeatedly granting the next cache block to the tenant with
+//!    the steepest remaining gain is exactly optimal; the implementation
+//!    advances whole hull segments through a max-heap, which is
+//!    equivalent to the unit-by-unit greedy but runs in
+//!    `O(segments log tenants)`. Ties break toward the lower tenant
+//!    index, zero-gain blocks are never allocated (so allocations can sum
+//!    to *less* than the budget on saturated curves), and per-tenant
+//!    floors and caps are honored. [`exact_reference`] is the
+//!    `O(n · budget²)` dynamic program the proptests pin the greedy
+//!    against on small instances.
+//!
+//! Both the `PARTITION` wire command of `symloc serve` and the offline
+//! `symloc partition` CLI are thin layers over this module, so the daemon
+//! and the batch path produce byte-identical answers from the same
+//! curves.
+
+use std::fmt::Write as _;
+
+use crate::tracesweep::MrcPoint;
+
+/// Budgets above `2^53` cache blocks are rejected: past that point `f64`
+/// cost arithmetic can no longer represent per-block marginal gains
+/// exactly, and no real cache is within orders of magnitude of it — a
+/// budget that size is a corrupt request, not a big fleet.
+pub const MAX_PARTITION_BUDGET: u64 = 1 << 53;
+
+/// One tenant's input to the partitioner: its traffic weight and a
+/// monotone miss-ratio curve sampled at increasing cache sizes.
+///
+/// The curve is implicitly anchored at `(0, 1.0)` — a tenant with no
+/// cache misses every access — so allocations interpolate sensibly below
+/// the first sampled size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantCurve {
+    name: String,
+    weight: f64,
+    /// Curve points including the `(0, 1.0)` anchor: sizes strictly
+    /// increasing, ratios clamped monotone non-increasing in `[0, 1]`.
+    sizes: Vec<u64>,
+    ratios: Vec<f64>,
+}
+
+impl TenantCurve {
+    /// Tolerated float jitter when validating monotonicity, matching
+    /// `MissRatioCurve::from_ratios`: sampled curves wobble by ULPs.
+    const MONOTONE_EPSILON: f64 = 1e-9;
+
+    /// Builds a tenant curve from MRC points (as produced by every
+    /// estimator's `mrc_points`). `weight` is the tenant's traffic — the
+    /// number of accesses the curve was measured over — and scales the
+    /// tenant's contribution to the aggregate miss ratio. A zero weight
+    /// is legal (a tenant that has not streamed yet) and contributes
+    /// nothing to the objective.
+    ///
+    /// # Errors
+    ///
+    /// Returns a named validation error: non-finite or negative weight,
+    /// empty point list with nonzero weight is fine (anchor-only curve),
+    /// non-increasing sizes, a size-0 point, out-of-range ratios, or a
+    /// ratio *increase* beyond float jitter.
+    pub fn from_points(
+        name: &str,
+        weight: f64,
+        points: &[MrcPoint],
+    ) -> Result<TenantCurve, String> {
+        if !weight.is_finite() || weight < 0.0 {
+            return Err(format!(
+                "tenant {name:?}: weight {weight} is not a finite non-negative traffic count"
+            ));
+        }
+        let mut sizes: Vec<u64> = Vec::with_capacity(points.len() + 1);
+        let mut ratios: Vec<f64> = Vec::with_capacity(points.len() + 1);
+        sizes.push(0);
+        ratios.push(1.0);
+        for p in points {
+            let size = p.cache_size as u64;
+            if size == 0 {
+                return Err(format!(
+                    "tenant {name:?}: curve contains a size-0 point (size 0 is the implicit \
+                     all-miss anchor)"
+                ));
+            }
+            if size <= *sizes.last().expect("anchor present") {
+                return Err(format!(
+                    "tenant {name:?}: curve sizes must be strictly increasing (size {size} \
+                     after {})",
+                    sizes.last().expect("anchor present")
+                ));
+            }
+            let r = p.miss_ratio;
+            if !r.is_finite()
+                || !(-Self::MONOTONE_EPSILON..=1.0 + Self::MONOTONE_EPSILON).contains(&r)
+            {
+                return Err(format!(
+                    "tenant {name:?}: miss ratio {r} at size {size} is outside [0, 1]"
+                ));
+            }
+            let previous = *ratios.last().expect("anchor present");
+            if r > previous + Self::MONOTONE_EPSILON {
+                return Err(format!(
+                    "tenant {name:?}: miss ratio increases from {previous} to {r} at size \
+                     {size} (MRCs are non-increasing)"
+                ));
+            }
+            sizes.push(size);
+            ratios.push(r.clamp(0.0, 1.0).min(previous));
+        }
+        Ok(TenantCurve {
+            name: name.to_string(),
+            weight,
+            sizes,
+            ratios,
+        })
+    }
+
+    /// The tenant's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The tenant's traffic weight.
+    #[must_use]
+    pub fn weight(&self) -> f64 {
+        self.weight
+    }
+
+    /// Largest sampled cache size (0 for an anchor-only curve).
+    #[must_use]
+    pub fn max_size(&self) -> u64 {
+        *self.sizes.last().expect("anchor present")
+    }
+
+    /// The raw (pre-hull) miss ratio at `size`, linearly interpolated
+    /// between sampled points and saturated beyond the last one.
+    #[must_use]
+    pub fn miss_ratio_at(&self, size: u64) -> f64 {
+        match self.sizes.binary_search(&size) {
+            Ok(i) => self.ratios[i],
+            Err(i) if i >= self.sizes.len() => *self.ratios.last().expect("anchor present"),
+            Err(i) => {
+                let (s0, s1) = (self.sizes[i - 1], self.sizes[i]);
+                let (r0, r1) = (self.ratios[i - 1], self.ratios[i]);
+                #[allow(clippy::cast_precision_loss)]
+                let t = (size - s0) as f64 / (s1 - s0) as f64;
+                r0 + (r1 - r0) * t
+            }
+        }
+    }
+
+    /// The convex minorant of the tenant's **expected-miss** curve
+    /// (`weight × miss ratio` against cache size): the vertices of the
+    /// lower convex hull over all sampled points including the `(0,
+    /// weight)` anchor. Endpoints are always vertices, misses along the
+    /// hull are non-increasing, and hull segment slopes are
+    /// non-decreasing (marginal gains shrink with size) — the shape the
+    /// greedy solver requires.
+    #[must_use]
+    pub fn hull(&self) -> ConvexHull {
+        let mut vertices: Vec<(u64, f64)> = Vec::with_capacity(self.sizes.len());
+        for (&size, &ratio) in self.sizes.iter().zip(&self.ratios) {
+            let misses = self.weight * ratio;
+            // Pop while the previous vertex sits on or above the segment
+            // from its predecessor to the new point: slopes along the
+            // lower hull must strictly decrease in magnitude (collinear
+            // middle vertices are dropped, endpoints never are).
+            while vertices.len() >= 2 {
+                let (x0, y0) = vertices[vertices.len() - 2];
+                let (x1, y1) = vertices[vertices.len() - 1];
+                #[allow(clippy::cast_precision_loss)]
+                let keep = (y1 - y0) * ((size - x0) as f64) < (misses - y0) * ((x1 - x0) as f64);
+                if keep {
+                    break;
+                }
+                vertices.pop();
+            }
+            vertices.push((size, misses));
+        }
+        ConvexHull { vertices }
+    }
+}
+
+/// The lower convex hull of one tenant's expected-miss curve: piecewise
+/// linear, non-increasing, with non-decreasing slopes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvexHull {
+    /// `(size, expected misses)` vertices, sizes strictly increasing.
+    vertices: Vec<(u64, f64)>,
+}
+
+impl ConvexHull {
+    /// The hull vertices as `(size, expected misses)` pairs.
+    #[must_use]
+    pub fn vertices(&self) -> &[(u64, f64)] {
+        &self.vertices
+    }
+
+    /// Expected misses at an arbitrary size: linear interpolation between
+    /// vertices (the probabilistic-timesharing value), saturated beyond
+    /// the last vertex.
+    #[must_use]
+    pub fn misses_at(&self, size: u64) -> f64 {
+        match self.vertices.binary_search_by_key(&size, |&(s, _)| s) {
+            Ok(i) => self.vertices[i].1,
+            Err(i) if i >= self.vertices.len() => self.vertices.last().expect("nonempty").1,
+            Err(i) => {
+                let (s0, y0) = self.vertices[i - 1];
+                let (s1, y1) = self.vertices[i];
+                #[allow(clippy::cast_precision_loss)]
+                let t = (size - s0) as f64 / (s1 - s0) as f64;
+                y0 + (y1 - y0) * t
+            }
+        }
+    }
+
+    /// The misses saved per extra block on the segment starting at or
+    /// after `size` (0 beyond the last vertex). This is the greedy
+    /// solver's marginal gain.
+    #[must_use]
+    fn gain_after(&self, size: u64) -> (f64, u64) {
+        match self.vertices.iter().position(|&(s, _)| s > size) {
+            None => (0.0, 0),
+            Some(i) => {
+                let (s0, y0) = self.vertices[i - 1];
+                let (s1, y1) = self.vertices[i];
+                #[allow(clippy::cast_precision_loss)]
+                let slope = (y0 - y1) / ((s1 - s0) as f64);
+                (slope, s1 - size)
+            }
+        }
+    }
+}
+
+/// Per-tenant allocation bounds: a floor the tenant always receives and a
+/// cap it never exceeds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Bounds {
+    /// Minimum blocks this tenant must receive.
+    pub floor: u64,
+    /// Maximum blocks this tenant may receive.
+    pub cap: u64,
+}
+
+impl Default for Bounds {
+    fn default() -> Self {
+        Bounds {
+            floor: 0,
+            cap: u64::MAX,
+        }
+    }
+}
+
+/// One tenant's slice of a solved partition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Allocation {
+    /// The tenant's name.
+    pub name: String,
+    /// Cache blocks granted.
+    pub size: u64,
+    /// Traffic weight the prediction is scaled by.
+    pub weight: f64,
+    /// Expected misses at `size` on the tenant's hull.
+    pub predicted_misses: f64,
+    /// `predicted_misses / weight` (1.0 for a zero-weight tenant with no
+    /// cache, matching the all-miss anchor).
+    pub predicted_miss_ratio: f64,
+}
+
+/// A solved partition: per-tenant allocations plus the aggregate
+/// prediction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionSolution {
+    /// The budget the solver was given.
+    pub budget: u64,
+    /// Per-tenant allocations, in input (tenant) order.
+    pub allocations: Vec<Allocation>,
+    /// Blocks actually allocated (`<= budget`; saturated curves leave the
+    /// remainder unallocated rather than parking it where it saves
+    /// nothing).
+    pub allocated: u64,
+    /// Total traffic weight across tenants.
+    pub total_weight: f64,
+    /// Predicted traffic-weighted aggregate miss ratio under the
+    /// allocation (0.0 when every tenant has zero weight).
+    pub predicted_aggregate_miss_ratio: f64,
+}
+
+impl PartitionSolution {
+    /// The canonical one-line rendering shared by the `PARTITION` wire
+    /// answer and the offline CLI: budget, aggregate prediction, then
+    /// `name:size:miss_ratio` per tenant in tenant order. Floats use
+    /// Rust's shortest round-trip formatting, so the line is
+    /// byte-deterministic for identical inputs.
+    #[must_use]
+    pub fn render_compact(&self) -> String {
+        let mut line = format!(
+            "partition {} allocated {} aggregate {}",
+            self.budget, self.allocated, self.predicted_aggregate_miss_ratio
+        );
+        for a in &self.allocations {
+            let _ = write!(line, " {}:{}:{}", a.name, a.size, a.predicted_miss_ratio);
+        }
+        line
+    }
+}
+
+/// Validates a partition request's shape: tenant list, budget range, and
+/// bounds feasibility. Shared by the solver and the DP reference so both
+/// reject the same instances with the same words.
+fn validate(tenants: &[TenantCurve], budget: u64, bounds: &[Bounds]) -> Result<(), String> {
+    if tenants.is_empty() {
+        return Err("no tenants to partition (the tenant table is empty)".to_string());
+    }
+    if budget == 0 {
+        return Err("partition budget must be positive".to_string());
+    }
+    if budget > MAX_PARTITION_BUDGET {
+        return Err(format!(
+            "partition budget {budget} exceeds the supported maximum {MAX_PARTITION_BUDGET} \
+             (2^53 cache blocks)"
+        ));
+    }
+    if bounds.len() != tenants.len() {
+        return Err(format!(
+            "{} bounds given for {} tenants",
+            bounds.len(),
+            tenants.len()
+        ));
+    }
+    let mut floor_sum: u128 = 0;
+    for (tenant, b) in tenants.iter().zip(bounds) {
+        if b.floor > b.cap {
+            return Err(format!(
+                "tenant {:?}: floor {} exceeds cap {}",
+                tenant.name, b.floor, b.cap
+            ));
+        }
+        floor_sum += u128::from(b.floor);
+    }
+    if floor_sum > u128::from(budget) {
+        return Err(format!(
+            "per-tenant floors sum to {floor_sum}, more than the budget {budget}"
+        ));
+    }
+    Ok(())
+}
+
+/// Builds the solution record for a fixed allocation vector.
+fn solution_for(
+    tenants: &[TenantCurve],
+    hulls: &[ConvexHull],
+    budget: u64,
+    allocation: &[u64],
+) -> PartitionSolution {
+    let mut allocations = Vec::with_capacity(tenants.len());
+    let mut total_weight = 0.0;
+    let mut total_misses = 0.0;
+    for ((tenant, hull), &size) in tenants.iter().zip(hulls).zip(allocation) {
+        let predicted_misses = hull.misses_at(size);
+        let predicted_miss_ratio = if tenant.weight > 0.0 {
+            (predicted_misses / tenant.weight).clamp(0.0, 1.0)
+        } else {
+            1.0 - f64::from(u8::from(size > 0))
+        };
+        total_weight += tenant.weight;
+        total_misses += predicted_misses;
+        allocations.push(Allocation {
+            name: tenant.name.clone(),
+            size,
+            weight: tenant.weight,
+            predicted_misses,
+            predicted_miss_ratio,
+        });
+    }
+    let predicted_aggregate_miss_ratio = if total_weight > 0.0 {
+        (total_misses / total_weight).clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
+    PartitionSolution {
+        budget,
+        allocations,
+        allocated: allocation.iter().sum(),
+        total_weight,
+        predicted_aggregate_miss_ratio,
+    }
+}
+
+/// Splits `budget` across `tenants` to minimize the traffic-weighted
+/// aggregate miss ratio, each tenant evaluated on the convex minorant of
+/// its curve. `bounds` gives per-tenant floors and caps ([`Bounds`];
+/// same length as `tenants`).
+///
+/// Deterministic: marginal-gain ties break toward the earlier tenant,
+/// and blocks that save nothing (gain 0 past a curve's saturation, or a
+/// capped tenant) are left unallocated, so `allocated <= budget`.
+///
+/// # Errors
+///
+/// Returns a named validation error for an empty tenant list, a zero or
+/// over-[`MAX_PARTITION_BUDGET`] budget, mismatched bounds, a floor
+/// above its cap, or floors that already exceed the budget.
+pub fn solve(
+    tenants: &[TenantCurve],
+    budget: u64,
+    bounds: &[Bounds],
+) -> Result<PartitionSolution, String> {
+    validate(tenants, budget, bounds)?;
+    let hulls: Vec<ConvexHull> = tenants.iter().map(TenantCurve::hull).collect();
+    let mut allocation: Vec<u64> = bounds.iter().map(|b| b.floor).collect();
+    let mut remaining = budget - allocation.iter().sum::<u64>();
+
+    // Max-heap of (gain per block, tenant). `f64::total_cmp` gives a
+    // total order on the finite non-negative gains; ties break toward
+    // the lower tenant index, exactly like the unit-by-unit greedy.
+    #[derive(PartialEq)]
+    struct Candidate {
+        gain: f64,
+        tenant: usize,
+    }
+    impl Eq for Candidate {}
+    impl Ord for Candidate {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            self.gain
+                .total_cmp(&other.gain)
+                .then_with(|| other.tenant.cmp(&self.tenant))
+        }
+    }
+    impl PartialOrd for Candidate {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    let mut heap = std::collections::BinaryHeap::with_capacity(tenants.len());
+    let push = |heap: &mut std::collections::BinaryHeap<Candidate>,
+                hulls: &[ConvexHull],
+                t: usize,
+                at: u64,
+                cap: u64| {
+        if at >= cap {
+            return;
+        }
+        let (gain, _) = hulls[t].gain_after(at);
+        if gain > 0.0 {
+            heap.push(Candidate { gain, tenant: t });
+        }
+    };
+    for t in 0..tenants.len() {
+        push(&mut heap, &hulls, t, allocation[t], bounds[t].cap);
+    }
+    while remaining > 0 {
+        let Some(best) = heap.pop() else { break };
+        let t = best.tenant;
+        // Re-derive the segment at the tenant's *current* allocation: the
+        // heap entry may be stale only in the sense that the tenant was
+        // never advanced since the push, so the gain still matches.
+        let (gain, run) = hulls[t].gain_after(allocation[t]);
+        debug_assert!(gain == best.gain, "heap entry went stale");
+        let step = run.min(remaining).min(bounds[t].cap - allocation[t]);
+        allocation[t] += step;
+        remaining -= step;
+        push(&mut heap, &hulls, t, allocation[t], bounds[t].cap);
+    }
+    Ok(solution_for(tenants, &hulls, budget, &allocation))
+}
+
+/// The exact dynamic-programming reference the proptests pin [`solve`]
+/// against: `f_k(b) = min_a cost_k(a) + f_{k-1}(b - a)` over discretized
+/// sizes, on the same hulls, with the same tie-breaking (later tenants
+/// take the smallest optimal allocation, pushing ties toward earlier
+/// tenants, and zero-gain blocks stay unallocated). `O(n · budget²)` —
+/// test-sized instances only.
+///
+/// # Errors
+///
+/// Same validation as [`solve`].
+pub fn exact_reference(
+    tenants: &[TenantCurve],
+    budget: u64,
+    bounds: &[Bounds],
+) -> Result<PartitionSolution, String> {
+    validate(tenants, budget, bounds)?;
+    let hulls: Vec<ConvexHull> = tenants.iter().map(TenantCurve::hull).collect();
+    let b = usize::try_from(budget)
+        .map_err(|_| format!("DP reference cannot discretize a budget of {budget} blocks"))?;
+    // best[k][r]: minimal cost of tenants 0..k given r blocks.
+    let mut best = vec![vec![0.0f64; b + 1]];
+    for (t, hull) in hulls.iter().enumerate() {
+        let floor = usize::try_from(bounds[t].floor).unwrap_or(usize::MAX);
+        let cap = usize::try_from(bounds[t].cap).unwrap_or(usize::MAX);
+        let mut row = vec![f64::INFINITY; b + 1];
+        for (r, slot) in row.iter_mut().enumerate() {
+            for a in floor..=cap.min(r) {
+                let cost = hull.misses_at(a as u64) + best[t][r - a];
+                if cost < *slot {
+                    *slot = cost;
+                }
+            }
+        }
+        best.push(row);
+    }
+    // Reconstruct back to front, choosing the smallest optimal
+    // allocation per tenant (exact float equality: ties between
+    // mathematically equal splits compute bitwise identically because
+    // the cost terms are the same values added in the same order).
+    let mut allocation = vec![0u64; tenants.len()];
+    let mut r = b;
+    for t in (0..tenants.len()).rev() {
+        let floor = usize::try_from(bounds[t].floor).unwrap_or(usize::MAX);
+        let cap = usize::try_from(bounds[t].cap).unwrap_or(usize::MAX);
+        let target = best[t + 1][r];
+        let a = (floor..=cap.min(r))
+            .find(|&a| hulls[t].misses_at(a as u64) + best[t][r - a] == target)
+            .expect("the DP table recorded an achievable minimum");
+        allocation[t] = a as u64;
+        r -= a;
+    }
+    Ok(solution_for(tenants, &hulls, budget, &allocation))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn points(pairs: &[(usize, f64)]) -> Vec<MrcPoint> {
+        pairs
+            .iter()
+            .map(|&(cache_size, miss_ratio)| MrcPoint {
+                cache_size,
+                miss_ratio,
+            })
+            .collect()
+    }
+
+    fn curve(name: &str, weight: f64, pairs: &[(usize, f64)]) -> TenantCurve {
+        TenantCurve::from_points(name, weight, &points(pairs)).unwrap()
+    }
+
+    #[test]
+    fn from_points_validates_loudly() {
+        let bad_weight = TenantCurve::from_points("t", f64::NAN, &[]).unwrap_err();
+        assert!(bad_weight.contains("finite non-negative"), "{bad_weight}");
+        let zero_size = TenantCurve::from_points("t", 1.0, &points(&[(0, 1.0)])).unwrap_err();
+        assert!(zero_size.contains("size-0"), "{zero_size}");
+        let unsorted =
+            TenantCurve::from_points("t", 1.0, &points(&[(4, 0.5), (4, 0.4)])).unwrap_err();
+        assert!(unsorted.contains("strictly increasing"), "{unsorted}");
+        let range = TenantCurve::from_points("t", 1.0, &points(&[(1, 1.5)])).unwrap_err();
+        assert!(range.contains("outside [0, 1]"), "{range}");
+        let rising =
+            TenantCurve::from_points("t", 1.0, &points(&[(1, 0.3), (2, 0.9)])).unwrap_err();
+        assert!(rising.contains("non-increasing"), "{rising}");
+    }
+
+    #[test]
+    fn interpolation_anchors_saturates_and_interpolates() {
+        let c = curve("t", 10.0, &[(4, 0.5), (8, 0.1)]);
+        assert_eq!(c.miss_ratio_at(0), 1.0);
+        assert!((c.miss_ratio_at(2) - 0.75).abs() < 1e-12);
+        assert_eq!(c.miss_ratio_at(4), 0.5);
+        assert!((c.miss_ratio_at(6) - 0.3).abs() < 1e-12);
+        assert_eq!(c.miss_ratio_at(8), 0.1);
+        assert_eq!(c.miss_ratio_at(100), 0.1);
+        assert_eq!(c.max_size(), 8);
+    }
+
+    #[test]
+    fn hull_cuts_off_a_cliff() {
+        // A cyclic-style cliff: no hits at all until size 4, then
+        // everything. The raw curve is flat then vertical — concave — so
+        // the hull must be the straight chord from the anchor to the
+        // cliff bottom.
+        let c = curve("cliff", 8.0, &[(1, 1.0), (2, 1.0), (3, 1.0), (4, 0.1)]);
+        let hull = c.hull();
+        assert_eq!(hull.vertices(), &[(0, 8.0), (4, 8.0 * 0.1)]);
+        // Interpolated hull value at 2 is the timeshared average, far
+        // below the raw curve's 1.0.
+        assert!((hull.misses_at(2) - (8.0 + 0.8) / 2.0).abs() < 1e-12);
+        assert_eq!(hull.misses_at(100), 8.0 * 0.1);
+    }
+
+    #[test]
+    fn hull_keeps_convex_curves_verbatim() {
+        let c = curve("convex", 4.0, &[(1, 0.5), (2, 0.3), (4, 0.2), (8, 0.19)]);
+        let hull = c.hull();
+        assert_eq!(
+            hull.vertices(),
+            &[
+                (0, 4.0),
+                (1, 2.0),
+                (2, 4.0 * 0.3),
+                (4, 4.0 * 0.2),
+                (8, 4.0 * 0.19)
+            ]
+        );
+    }
+
+    #[test]
+    fn greedy_prefers_the_steeper_tenant() {
+        // "hot" saves 9 misses with its first 3 blocks; "cold" saves
+        // 0.9. Budget 3 must go entirely to hot.
+        let hot = curve("hot", 10.0, &[(3, 0.1)]);
+        let cold = curve("cold", 1.0, &[(3, 0.1)]);
+        let solution = solve(&[hot, cold], 3, &[Bounds::default(), Bounds::default()]).unwrap();
+        assert_eq!(solution.allocations[0].size, 3);
+        assert_eq!(solution.allocations[1].size, 0);
+        assert_eq!(solution.allocated, 3);
+        assert!((solution.allocations[0].predicted_miss_ratio - 0.1).abs() < 1e-12);
+        assert_eq!(solution.allocations[1].predicted_miss_ratio, 1.0);
+    }
+
+    #[test]
+    fn saturated_curves_leave_budget_unallocated() {
+        let t = curve("t", 4.0, &[(2, 0.25)]);
+        let solution = solve(&[t], 100, &[Bounds::default()]).unwrap();
+        assert_eq!(solution.allocations[0].size, 2);
+        assert_eq!(solution.allocated, 2);
+    }
+
+    #[test]
+    fn floors_and_caps_bind() {
+        let hot = curve("hot", 10.0, &[(4, 0.1)]);
+        let cold = curve("cold", 1.0, &[(4, 0.1)]);
+        let solution = solve(
+            &[hot, cold],
+            6,
+            &[
+                Bounds { floor: 0, cap: 3 },
+                Bounds {
+                    floor: 2,
+                    cap: u64::MAX,
+                },
+            ],
+        )
+        .unwrap();
+        assert_eq!(solution.allocations[0].size, 3); // capped below its wish
+        assert!(solution.allocations[1].size >= 2); // floor honored
+        assert!(solution.allocated <= 6);
+    }
+
+    #[test]
+    fn equal_curves_tie_break_toward_the_first_tenant() {
+        let a = curve("a", 2.0, &[(4, 0.5)]);
+        let b = curve("b", 2.0, &[(4, 0.5)]);
+        let solution = solve(&[a, b], 4, &[Bounds::default(), Bounds::default()]).unwrap();
+        assert_eq!(solution.allocations[0].size, 4);
+        assert_eq!(solution.allocations[1].size, 0);
+    }
+
+    #[test]
+    fn zero_weight_tenants_get_nothing_and_cost_nothing() {
+        let idle = curve("idle", 0.0, &[(4, 0.5)]);
+        let busy = curve("busy", 5.0, &[(4, 0.5)]);
+        let solution = solve(&[idle, busy], 4, &[Bounds::default(), Bounds::default()]).unwrap();
+        assert_eq!(solution.allocations[0].size, 0);
+        assert_eq!(solution.allocations[1].size, 4);
+        assert_eq!(solution.allocations[0].predicted_miss_ratio, 1.0);
+    }
+
+    #[test]
+    fn validation_errors_are_named() {
+        let t = curve("t", 1.0, &[(2, 0.5)]);
+        let empty = solve(&[], 4, &[]).unwrap_err();
+        assert!(empty.contains("no tenants"), "{empty}");
+        let zero = solve(std::slice::from_ref(&t), 0, &[Bounds::default()]).unwrap_err();
+        assert!(zero.contains("must be positive"), "{zero}");
+        let absurd = solve(
+            std::slice::from_ref(&t),
+            MAX_PARTITION_BUDGET + 1,
+            &[Bounds::default()],
+        )
+        .unwrap_err();
+        assert!(absurd.contains("exceeds the supported maximum"), "{absurd}");
+        let bounds = solve(std::slice::from_ref(&t), 4, &[]).unwrap_err();
+        assert!(bounds.contains("bounds"), "{bounds}");
+        let crossed =
+            solve(std::slice::from_ref(&t), 4, &[Bounds { floor: 3, cap: 1 }]).unwrap_err();
+        assert!(crossed.contains("floor 3 exceeds cap 1"), "{crossed}");
+        let overfloored = solve(
+            std::slice::from_ref(&t),
+            4,
+            &[Bounds {
+                floor: 9,
+                cap: u64::MAX,
+            }],
+        )
+        .unwrap_err();
+        assert!(
+            overfloored.contains("more than the budget"),
+            "{overfloored}"
+        );
+    }
+
+    #[test]
+    fn greedy_matches_dp_on_a_cliffy_instance() {
+        // Two cliffs at different sizes with different weights: the exact
+        // instance class plain greedy (no hull) gets wrong.
+        let a = curve("a", 6.0, &[(1, 1.0), (2, 1.0), (3, 0.2)]);
+        let b = curve("b", 4.0, &[(1, 1.0), (2, 0.1)]);
+        for budget in 1..=6 {
+            let bounds = [Bounds::default(), Bounds::default()];
+            let greedy = solve(&[a.clone(), b.clone()], budget, &bounds).unwrap();
+            let dp = exact_reference(&[a.clone(), b.clone()], budget, &bounds).unwrap();
+            assert_eq!(
+                greedy
+                    .allocations
+                    .iter()
+                    .map(|x| x.size)
+                    .collect::<Vec<_>>(),
+                dp.allocations.iter().map(|x| x.size).collect::<Vec<_>>(),
+                "budget {budget}"
+            );
+            assert!(
+                (greedy.predicted_aggregate_miss_ratio - dp.predicted_aggregate_miss_ratio).abs()
+                    < 1e-12
+            );
+        }
+    }
+
+    #[test]
+    fn render_compact_is_deterministic_and_complete() {
+        let a = curve("alpha", 6.0, &[(2, 0.5)]);
+        let b = curve("beta", 2.0, &[(2, 0.25)]);
+        let solution = solve(&[a, b], 4, &[Bounds::default(), Bounds::default()]).unwrap();
+        let line = solution.render_compact();
+        assert!(
+            line.starts_with("partition 4 allocated 4 aggregate "),
+            "{line}"
+        );
+        assert!(line.contains(" alpha:2:"), "{line}");
+        assert!(line.contains(" beta:2:"), "{line}");
+        let again = solve(
+            &[
+                curve("alpha", 6.0, &[(2, 0.5)]),
+                curve("beta", 2.0, &[(2, 0.25)]),
+            ],
+            4,
+            &[Bounds::default(), Bounds::default()],
+        )
+        .unwrap();
+        assert_eq!(again.render_compact(), line);
+    }
+}

@@ -26,7 +26,14 @@ use std::path::Path;
 use crate::job::{self, JobKind};
 use crate::jsonio::{self, JsonValue};
 use crate::obs::MetricsRegistry;
+use crate::partition::{self, Bounds, PartitionSolution, TenantCurve};
 use crate::tracesweep::{log_spaced_sizes, MrcPoint, ShardsEstimator, SHARDS_MODULUS};
+
+/// Point count of the MRC grid the `PARTITION` command evaluates every
+/// tenant's curve over. One shared constant so the daemon and the offline
+/// `symloc partition --checkpoint` path answer from identical curves —
+/// the CI smoke test diffs the two for byte equality.
+pub const PARTITION_MRC_POINTS: usize = 32;
 
 /// Longest accepted tenant name, in bytes. Names travel in line-framed
 /// protocol messages and checkpoint JSON; the bound keeps both readable.
@@ -103,6 +110,10 @@ pub struct ServeState {
     max_tenants: usize,
     rejected: u64,
     saves: u64,
+    partitions: u64,
+    /// `(budget, predicted aggregate miss ratio)` of the most recent
+    /// `PARTITION` answer, surfaced as `partition.last_*` gauges.
+    last_partition: Option<(u64, f64)>,
     /// Name-sorted so lookup is a binary search and serialization is
     /// canonical (tenant order never depends on arrival order).
     tenants: Vec<TenantState>,
@@ -127,6 +138,8 @@ impl ServeState {
             max_tenants,
             rejected: 0,
             saves: 0,
+            partitions: 0,
+            last_partition: None,
             tenants: Vec::new(),
         })
     }
@@ -249,6 +262,93 @@ impl ServeState {
         self.saves += 1;
     }
 
+    /// `PARTITION` answers recorded via [`ServeState::note_partition`].
+    #[must_use]
+    pub fn partitions(&self) -> u64 {
+        self.partitions
+    }
+
+    /// `(budget, predicted aggregate miss ratio)` of the most recent
+    /// recorded `PARTITION` answer.
+    #[must_use]
+    pub fn last_partition(&self) -> Option<(u64, f64)> {
+        self.last_partition
+    }
+
+    /// Records one answered `PARTITION` request: bumps the persisted
+    /// `partition.requests` counter and pins the `partition.last_*`
+    /// gauges.
+    pub fn note_partition(&mut self, budget: u64, aggregate_miss_ratio: f64) {
+        self.partitions += 1;
+        self.last_partition = Some((budget, aggregate_miss_ratio));
+    }
+
+    /// The live tenant table as partitioner inputs: one [`TenantCurve`]
+    /// per tenant (name order), weighted by raw accesses, each curve
+    /// evaluated over its [`PARTITION_MRC_POINTS`]-point grid. Derived
+    /// purely from persisted state, so a restarted daemon produces the
+    /// identical curve set.
+    ///
+    /// # Errors
+    ///
+    /// Returns the curve-validation error (estimator curves satisfy the
+    /// invariants by construction, so an error here means corruption).
+    pub fn tenant_curves(&self) -> Result<Vec<TenantCurve>, String> {
+        self.tenants
+            .iter()
+            .map(|tenant| {
+                let points = self.mrc(&tenant.name, PARTITION_MRC_POINTS)?;
+                #[allow(clippy::cast_precision_loss)]
+                TenantCurve::from_points(&tenant.name, tenant.accesses as f64, &points)
+            })
+            .collect()
+    }
+
+    /// Answers `PARTITION <budget>` from the live tenant table: splits
+    /// `budget` cache blocks across every tenant to minimize the
+    /// traffic-weighted aggregate miss ratio (each tenant evaluated on
+    /// the convex minorant of its estimated curve, no floors or caps).
+    ///
+    /// Read-only: callers record the answer with
+    /// [`ServeState::note_partition`] so query handling stays borrow-
+    /// friendly.
+    ///
+    /// # Errors
+    ///
+    /// Returns the solver's named error for an empty tenant table or a
+    /// degenerate budget.
+    pub fn partition(&self, budget: u64) -> Result<PartitionSolution, String> {
+        let curves = self.tenant_curves()?;
+        let bounds = vec![Bounds::default(); curves.len()];
+        partition::solve(&curves, budget, &bounds)
+    }
+
+    /// The tenant's curve as a one-line JSON document for the `MRCJ`
+    /// wire answer: `{"tenant": ..., "accesses": N, "wss": W, "mrc":
+    /// [[size, ratio], ...]}`. Floats use shortest round-trip
+    /// formatting and the grid is derived from persisted state, so a
+    /// restarted daemon answers byte-identically.
+    ///
+    /// # Errors
+    ///
+    /// Returns an unknown-tenant error.
+    pub fn mrcj_line(&self, name: &str, count: usize) -> Result<String, String> {
+        let tenant = self.require(name)?;
+        let points = self.mrc(name, count)?;
+        let mut out = format!(
+            "{{\"tenant\": \"{}\", \"accesses\": {}, \"wss\": {}, \"mrc\": [",
+            jsonio::escape(name),
+            tenant.accesses,
+            tenant.estimator.estimated_footprint(),
+        );
+        for (i, p) in points.iter().enumerate() {
+            let comma = if i == 0 { "" } else { ", " };
+            let _ = write!(out, "{comma}[{}, {}]", p.cache_size, p.miss_ratio);
+        }
+        out.push_str("]}");
+        Ok(out)
+    }
+
     /// The evaluation grid for a tenant's MRC: `count` log-spaced cache
     /// sizes covering the largest reuse distance the tenant has seen.
     /// Derived purely from persisted state, so a restarted daemon answers
@@ -306,6 +406,12 @@ impl ServeState {
         fleet.set_gauge("serve.tenants", self.tenants.len() as f64);
         fleet.add("serve.rejected", self.rejected);
         fleet.add("serve.saves", self.saves);
+        fleet.add("partition.requests", self.partitions);
+        if let Some((budget, aggregate)) = self.last_partition {
+            #[allow(clippy::cast_precision_loss)]
+            fleet.set_gauge("partition.last_budget", budget as f64);
+            fleet.set_gauge("partition.last_aggregate_miss_ratio", aggregate);
+        }
         fleet
     }
 
@@ -321,6 +427,10 @@ impl ServeState {
         let _ = writeln!(out, "  \"max_tenants\": {},", self.max_tenants);
         let _ = writeln!(out, "  \"rejected\": {},", self.rejected);
         let _ = writeln!(out, "  \"saves\": {},", self.saves);
+        let _ = writeln!(out, "  \"partitions\": {},", self.partitions);
+        if let Some((budget, aggregate)) = self.last_partition {
+            let _ = writeln!(out, "  \"last_partition\": [{budget}, {aggregate}],");
+        }
         out.push_str("  \"tenants\": [\n");
         for (i, tenant) in self.tenants.iter().enumerate() {
             let est = &tenant.estimator;
@@ -376,6 +486,27 @@ impl ServeState {
             .get("saves")
             .and_then(JsonValue::as_u64)
             .ok_or("missing saves")?;
+        // Both partition fields are absent from pre-partitioner
+        // checkpoints; resuming one is fine (zero answers recorded).
+        state.partitions = doc
+            .get("partitions")
+            .and_then(JsonValue::as_u64)
+            .unwrap_or(0);
+        if let Some(pair) = doc.get("last_partition") {
+            let pair = pair
+                .as_array()
+                .ok_or("last_partition is not a [budget, miss_ratio] pair")?;
+            state.last_partition = match pair {
+                [budget, aggregate] => Some((
+                    budget.as_u64().ok_or("bad last_partition budget")?,
+                    aggregate
+                        .as_f64()
+                        .filter(|m| m.is_finite() && (0.0..=1.0).contains(m))
+                        .ok_or("bad last_partition miss ratio")?,
+                )),
+                _ => return Err("last_partition is not a [budget, miss_ratio] pair".to_string()),
+            };
+        }
         let entries = doc
             .get("tenants")
             .and_then(JsonValue::as_array)
@@ -626,6 +757,91 @@ mod tests {
         assert!(ServeState::from_json(&bad_threshold)
             .unwrap_err()
             .contains("threshold"));
+    }
+
+    #[test]
+    fn partition_answers_from_the_live_table() {
+        let mut state = ServeState::new(64, 8).unwrap();
+        // "hot" re-touches a tiny set constantly; "cold" scans.
+        let hot = state.ensure_tenant("hot").unwrap();
+        let hot_block: Vec<u64> = (0..400).map(|i| i % 4).collect();
+        state.record_block(hot, &hot_block);
+        let cold = state.ensure_tenant("cold").unwrap();
+        let cold_block: Vec<u64> = (0..400).collect();
+        state.record_block(cold, &cold_block);
+
+        let solution = state.partition(8).unwrap();
+        assert_eq!(solution.allocations.len(), 2);
+        // Name order: cold then hot. The hot tenant's working set fits
+        // in the budget and its curve is steep, so it gets cache.
+        assert_eq!(solution.allocations[1].name, "hot");
+        assert!(solution.allocations[1].size >= 4);
+        assert!(solution.allocated <= 8);
+        assert!(solution.predicted_aggregate_miss_ratio < 1.0);
+
+        // Recording the answer shows up in the fleet rollup and persists.
+        state.note_partition(8, solution.predicted_aggregate_miss_ratio);
+        let fleet = state.fleet_metrics();
+        assert_eq!(fleet.counter("partition.requests"), Some(1));
+        assert_eq!(fleet.gauge("partition.last_budget"), Some(8.0));
+        assert_eq!(
+            fleet.gauge("partition.last_aggregate_miss_ratio"),
+            Some(solution.predicted_aggregate_miss_ratio)
+        );
+        let back = ServeState::from_json(&state.to_json()).unwrap();
+        assert_eq!(back.partitions(), 1);
+        assert_eq!(
+            back.last_partition(),
+            Some((8, solution.predicted_aggregate_miss_ratio))
+        );
+        assert_eq!(back.to_json(), state.to_json());
+        // And the restored table answers byte-identically.
+        assert_eq!(
+            back.partition(8).unwrap().render_compact(),
+            solution.render_compact()
+        );
+    }
+
+    #[test]
+    fn partition_rejects_empty_table_and_bad_budgets() {
+        let empty = ServeState::new(64, 8).unwrap();
+        let err = empty.partition(128).unwrap_err();
+        assert!(err.contains("no tenants"), "{err}");
+        let state = filled(4);
+        let zero = state.partition(0).unwrap_err();
+        assert!(zero.contains("must be positive"), "{zero}");
+        let absurd = state.partition(u64::MAX).unwrap_err();
+        assert!(absurd.contains("exceeds the supported maximum"), "{absurd}");
+    }
+
+    #[test]
+    fn mrcj_line_is_one_json_line_and_restart_stable() {
+        let state = filled(4);
+        let line = state.mrcj_line("alpha", 6).unwrap();
+        assert!(!line.contains('\n'));
+        assert!(line.starts_with("{\"tenant\": \"alpha\", \"accesses\": 8, "));
+        assert!(line.contains("\"mrc\": [["), "{line}");
+        let doc = jsonio::parse(&line).unwrap();
+        assert_eq!(
+            doc.get("accesses").and_then(JsonValue::as_u64),
+            Some(state.tenant("alpha").unwrap().accesses())
+        );
+        assert!(doc.get("mrc").and_then(JsonValue::as_array).is_some());
+        let back = ServeState::from_json(&state.to_json()).unwrap();
+        assert_eq!(back.mrcj_line("alpha", 6).unwrap(), line);
+        let ghost = state.mrcj_line("ghost", 6).unwrap_err();
+        assert!(ghost.contains("unknown tenant"), "{ghost}");
+    }
+
+    #[test]
+    fn pre_partitioner_checkpoints_still_resume() {
+        let state = filled(4);
+        // Simulate a checkpoint written before the partitioner existed.
+        let old = state.to_json().replace("  \"partitions\": 0,\n", "");
+        let back = ServeState::from_json(&old).unwrap();
+        assert_eq!(back.partitions(), 0);
+        assert_eq!(back.last_partition(), None);
+        assert_eq!(back.to_json(), state.to_json());
     }
 
     #[test]

@@ -1,0 +1,164 @@
+//! Property tests for the MRC-driven partitioner.
+//!
+//! The load-bearing invariant is **greedy == DP**: the marginal-gain
+//! greedy over convex minorants must match the exact dynamic-programming
+//! reference *exactly* — same allocations, same objective — on every
+//! generated instance, including non-convex curves (LRU cliffs), tied
+//! tenants, floors and caps. The remaining properties pin the hull
+//! (endpoints preserved, monotone, convex, never above the curve) and
+//! the solver's budget discipline.
+
+use proptest::prelude::*;
+use symloc_core::partition::{exact_reference, solve, Bounds, TenantCurve};
+use symloc_core::tracesweep::MrcPoint;
+
+/// A random monotone MRC: up to 6 points over small sizes, each ratio a
+/// non-increasing multiple of 1/16 (exact in binary, so float ties
+/// between tenants are honest ties).
+fn curve_strategy() -> impl Strategy<Value = Vec<MrcPoint>> {
+    (
+        proptest::collection::vec(1usize..5, 1..6),
+        proptest::collection::vec(0u32..5, 1..6),
+    )
+        .prop_map(|(size_steps, ratio_steps)| {
+            let n = size_steps.len().min(ratio_steps.len());
+            let mut size = 0usize;
+            let mut ratio = 16u32; // sixteenths, starting at 1.0
+            let mut points = Vec::with_capacity(n);
+            for i in 0..n {
+                size += size_steps[i];
+                ratio = ratio.saturating_sub(ratio_steps[i]);
+                points.push(MrcPoint {
+                    cache_size: size,
+                    miss_ratio: f64::from(ratio) / 16.0,
+                });
+            }
+            points
+        })
+}
+
+/// 1–3 tenants with quarter-integer weights (exact in binary too).
+fn tenants_strategy() -> impl Strategy<Value = Vec<TenantCurve>> {
+    proptest::collection::vec((curve_strategy(), 0u32..12), 1..4).prop_map(|specs| {
+        specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (points, weight_quarters))| {
+                TenantCurve::from_points(
+                    &format!("t{i}"),
+                    f64::from(weight_quarters) / 4.0,
+                    &points,
+                )
+                .expect("generated curves are valid")
+            })
+            .collect()
+    })
+}
+
+/// Per-tenant bounds that are always feasible for `budget`.
+fn bounds_for(tenants: usize, budget: u64, seed: &[(u64, u64)]) -> Vec<Bounds> {
+    (0..tenants)
+        .map(|i| {
+            let (floor_raw, cap_raw) = seed.get(i).copied().unwrap_or((0, u64::MAX));
+            let floor = floor_raw % (budget / tenants as u64 + 1);
+            let cap = floor + 1 + cap_raw % (budget + 1);
+            Bounds { floor, cap }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn greedy_matches_the_exact_dp_reference(
+        tenants in tenants_strategy(),
+        budget in 1u64..24,
+        bound_seed in proptest::collection::vec((0u64..8, 0u64..24), 0..4),
+    ) {
+        let bounds = bounds_for(tenants.len(), budget, &bound_seed);
+        let greedy = solve(&tenants, budget, &bounds).unwrap();
+        let dp = exact_reference(&tenants, budget, &bounds).unwrap();
+        let sizes = |s: &symloc_core::partition::PartitionSolution| {
+            s.allocations.iter().map(|a| a.size).collect::<Vec<_>>()
+        };
+        prop_assert_eq!(sizes(&greedy), sizes(&dp));
+        // Same allocation on the same hulls: the objective is bitwise
+        // identical, not merely close.
+        prop_assert_eq!(
+            greedy.predicted_aggregate_miss_ratio.to_bits(),
+            dp.predicted_aggregate_miss_ratio.to_bits()
+        );
+    }
+
+    #[test]
+    fn allocations_respect_budget_floors_and_caps(
+        tenants in tenants_strategy(),
+        budget in 1u64..200,
+        bound_seed in proptest::collection::vec((0u64..16, 0u64..64), 0..4),
+    ) {
+        let bounds = bounds_for(tenants.len(), budget, &bound_seed);
+        let solution = solve(&tenants, budget, &bounds).unwrap();
+        prop_assert!(solution.allocated <= budget);
+        prop_assert_eq!(
+            solution.allocations.iter().map(|a| a.size).sum::<u64>(),
+            solution.allocated
+        );
+        for (a, b) in solution.allocations.iter().zip(&bounds) {
+            prop_assert!(a.size >= b.floor, "{} < floor {}", a.size, b.floor);
+            prop_assert!(a.size <= b.cap, "{} > cap {}", a.size, b.cap);
+            prop_assert!((0.0..=1.0).contains(&a.predicted_miss_ratio));
+        }
+        prop_assert!((0.0..=1.0).contains(&solution.predicted_aggregate_miss_ratio));
+        // Determinism: solving the identical instance reproduces the
+        // compact answer byte for byte.
+        let again = solve(&tenants, budget, &bounds).unwrap();
+        prop_assert_eq!(again.render_compact(), solution.render_compact());
+    }
+
+    #[test]
+    fn hull_preserves_endpoints_monotonicity_and_convexity(
+        points in curve_strategy(),
+        weight_quarters in 0u32..12,
+    ) {
+        let weight = f64::from(weight_quarters) / 4.0;
+        let curve = TenantCurve::from_points("t", weight, &points).unwrap();
+        let hull = curve.hull();
+        let vertices = hull.vertices();
+
+        // Endpoints preserved: the (0, weight) anchor and the last
+        // sampled point are always hull vertices with their curve values.
+        prop_assert_eq!(vertices.first().copied(), Some((0u64, weight)));
+        let last_size = curve.max_size();
+        let last = *vertices.last().unwrap();
+        prop_assert_eq!(last.0, last_size);
+        prop_assert_eq!(last.1.to_bits(), (weight * curve.miss_ratio_at(last_size)).to_bits());
+
+        for pair in vertices.windows(2) {
+            // Strictly increasing sizes, non-increasing misses.
+            prop_assert!(pair[0].0 < pair[1].0);
+            prop_assert!(pair[1].1 <= pair[0].1 + 1e-12);
+        }
+        // Convexity: slopes non-decreasing (gains shrink), checked via
+        // cross-products to avoid division.
+        for triple in vertices.windows(3) {
+            let (x0, y0) = triple[0];
+            let (x1, y1) = triple[1];
+            let (x2, y2) = triple[2];
+            #[allow(clippy::cast_precision_loss)]
+            let lhs = (y1 - y0) * ((x2 - x1) as f64);
+            #[allow(clippy::cast_precision_loss)]
+            let rhs = (y2 - y1) * ((x1 - x0) as f64);
+            prop_assert!(lhs <= rhs + 1e-9, "slopes decrease: {lhs} vs {rhs}");
+        }
+        // Minorant: the hull never sits above the curve at any sampled
+        // size (and interpolates below it everywhere in between).
+        for p in &points {
+            let s = p.cache_size as u64;
+            prop_assert!(
+                hull.misses_at(s) <= weight * curve.miss_ratio_at(s) + 1e-9,
+                "hull above curve at {s}"
+            );
+        }
+    }
+}

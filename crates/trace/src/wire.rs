@@ -9,8 +9,10 @@
 //! hello     := "HELLO" SP tenant          ; bind this connection's stream
 //! access    := uint                       ; one access for the bound tenant
 //! query     := "MRC" SP tenant [SP uint]  ; miss-ratio curve (point count)
+//!            | "MRCJ" SP tenant [SP uint] ; same curve, one-line JSON
 //!            | "WSS" SP tenant            ; working-set estimate
 //!            | "STATS" [SP tenant]        ; metrics (fleet-wide if bare)
+//!            | "PARTITION" SP uint        ; split a budget across tenants
 //! control   := "SAVE" | "PING" | "QUIT"
 //! comment   := "#" any*                   ; ignored (text traces pipe as-is)
 //! tenant    := 1*64 printable-ASCII-no-space
@@ -50,6 +52,20 @@ pub enum Request<'a> {
         /// Requested point count, when given.
         points: Option<usize>,
     },
+    /// `MRCJ <tenant> [points]`: the same curve as a one-line JSON
+    /// document, for scripted clients (the offline partitioner among
+    /// them) that should not scrape the human table.
+    Mrcj {
+        /// The queried tenant.
+        tenant: &'a str,
+        /// Requested point count, when given.
+        points: Option<usize>,
+    },
+    /// `PARTITION <budget>`: split `budget` cache blocks across the
+    /// live tenant table, minimizing traffic-weighted aggregate miss
+    /// ratio. The grammar accepts any u64 budget; the solver rejects
+    /// degenerate ones (0, > 2^53) with named errors.
+    Partition(u64),
     /// `WSS <tenant>`: the tenant's working-set-size estimate.
     Wss(&'a str),
     /// `STATS [tenant]`: one tenant's metrics, or the fleet rollup.
@@ -97,16 +113,27 @@ pub fn parse_request(line: &str) -> Result<Request<'_>, String> {
     };
     let request = match keyword {
         "HELLO" => Request::Hello(arg("tenant name")?),
-        "MRC" => {
+        "MRC" | "MRCJ" => {
             let tenant = arg("tenant name")?;
             let points = match words.next() {
                 None => None,
                 Some(raw) => Some(
                     raw.parse::<usize>()
-                        .map_err(|_| format!("malformed MRC point count {raw:?}"))?,
+                        .map_err(|_| format!("malformed {keyword} point count {raw:?}"))?,
                 ),
             };
-            Request::Mrc { tenant, points }
+            if keyword == "MRC" {
+                Request::Mrc { tenant, points }
+            } else {
+                Request::Mrcj { tenant, points }
+            }
+        }
+        "PARTITION" => {
+            let raw = arg("budget in cache blocks")?;
+            let budget = raw
+                .parse::<u64>()
+                .map_err(|_| format!("malformed PARTITION budget {raw:?}"))?;
+            Request::Partition(budget)
         }
         "WSS" => Request::Wss(arg("tenant name")?),
         "STATS" => Request::Stats(words.next().filter(|w| !w.is_empty())),
@@ -115,8 +142,8 @@ pub fn parse_request(line: &str) -> Result<Request<'_>, String> {
         "QUIT" => Request::Quit,
         other => {
             return Err(format!(
-                "unknown command {other:?} (expected HELLO, MRC, WSS, STATS, SAVE, PING \
-                 or QUIT, or a decimal address)"
+                "unknown command {other:?} (expected HELLO, MRC, MRCJ, PARTITION, WSS, \
+                 STATS, SAVE, PING or QUIT, or a decimal address)"
             ))
         }
     };
@@ -199,6 +226,27 @@ mod tests {
                 points: Some(12)
             })
         );
+        assert_eq!(
+            parse_request("MRCJ web-cache"),
+            Ok(Request::Mrcj {
+                tenant: "web-cache",
+                points: None
+            })
+        );
+        assert_eq!(
+            parse_request("MRCJ web-cache 12"),
+            Ok(Request::Mrcj {
+                tenant: "web-cache",
+                points: Some(12)
+            })
+        );
+        assert_eq!(
+            parse_request("PARTITION 4096"),
+            Ok(Request::Partition(4096))
+        );
+        // The grammar passes a zero budget through; the solver is the
+        // layer that rejects it loudly.
+        assert_eq!(parse_request("PARTITION 0"), Ok(Request::Partition(0)));
         assert_eq!(parse_request("WSS t"), Ok(Request::Wss("t")));
         assert_eq!(parse_request("STATS"), Ok(Request::Stats(None)));
         assert_eq!(parse_request("STATS t"), Ok(Request::Stats(Some("t"))));
@@ -220,6 +268,13 @@ mod tests {
             ("MRC", "needs a tenant"),
             ("MRC t twelve", "point count"),
             ("MRC t 4 extra", "trailing argument"),
+            ("MRCJ", "needs a tenant"),
+            ("MRCJ t twelve", "malformed MRCJ point count"),
+            ("MRCJ t 4 extra", "trailing argument"),
+            ("PARTITION", "needs a budget"),
+            ("PARTITION lots", "malformed PARTITION budget"),
+            ("PARTITION -1", "malformed PARTITION budget"),
+            ("PARTITION 4 extra", "trailing argument"),
             ("WSS", "needs a tenant"),
             ("PING extra", "trailing argument"),
             ("hello t", "unknown command"),

@@ -12,6 +12,7 @@
 //! symloc trace <mrc|convert|index> ...        streaming trace analysis
 //! symloc job <status|resume> <checkpoint>     inspect/continue any checkpoint
 //! symloc serve [--stdin|--port P] ...         multi-tenant online-MRC daemon
+//! symloc partition <budget> ...               MRC-driven cache partitioner
 //! ```
 //!
 //! The layer is **declarative**: every command is described by a
@@ -27,6 +28,7 @@
 mod basic;
 mod flags;
 mod job;
+mod partition;
 mod serve;
 mod sweep;
 mod tracecmd;
@@ -35,6 +37,7 @@ pub use basic::{
     analyze_file, analyze_trace, generate, optimize, retraversal_file, retraversal_trace_report,
 };
 pub use job::job;
+pub use partition::partition;
 pub use serve::serve;
 pub use sweep::{parse_sweep_options, sweep, SweepOptions};
 pub use tracecmd::{
@@ -87,6 +90,12 @@ pub fn usage() -> String {
      \x20              [--checkpoint FILE [--save-every N]] [--metrics FILE]\n\
      \x20              (line-framed multi-tenant online-MRC daemon; killable,\n\
      \x20              resumes every tenant byte-identically from its checkpoint)\n\
+     \x20 symloc partition <budget> [report.json ...] [--checkpoint FILE]\n\
+     \x20              [--points K] [--floor N] [--cap N] [--verify] [--json]\n\
+     \x20              (split a cache budget across tenant MRCs — from trace-mrc\n\
+     \x20              JSON reports or a serve checkpoint — minimizing the\n\
+     \x20              traffic-weighted aggregate miss ratio; --verify replays\n\
+     \x20              the traces and reports predicted vs simulated)\n\
      \n\
      Per-command details: symloc <command> --help\n\
      \n\
@@ -156,6 +165,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         Some("trace") => trace(&args[1..]),
         Some("job") => job(&args[1..]),
         Some("serve") => serve(&args[1..]),
+        Some("partition") => partition(&args[1..]),
         Some("help") | None => Ok(usage()),
         Some(other) => Err(CliError(format!("unknown command {other:?}"))),
     }
@@ -196,6 +206,7 @@ mod tests {
             "job status",
             "job resume",
             "serve",
+            "partition",
         ] {
             let help = run(&sargs(&format!("{command} --help")))
                 .unwrap_or_else(|e| panic!("`symloc {command} --help` failed: {e}"));

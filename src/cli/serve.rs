@@ -3,9 +3,9 @@
 //! Accepts live access streams over the line-framed wire protocol
 //! (`symloc_trace::wire`), demultiplexes them into per-tenant
 //! [`symloc_core::tracesweep::ShardsEstimator`]s inside a [`ServeState`],
-//! and answers `MRC` /
-//! `WSS` / `STATS` queries from any connection. Two transports share one
-//! session engine:
+//! and answers `MRC` / `MRCJ` /
+//! `WSS` / `STATS` / `PARTITION` queries from any connection. Two
+//! transports share one session engine:
 //!
 //! * `--stdin`: a single session over standard input, responses
 //!   accumulated into the command's report — the deterministic shape the
@@ -326,6 +326,21 @@ fn handle_line(daemon: &Mutex<Daemon>, session: &mut Session, line: &str) -> Act
                         Err(reason) => Action::Reply(err_line(&reason)),
                     }
                 }
+                Request::Mrcj { tenant, points } => {
+                    match daemon.state.mrcj_line(tenant, points.unwrap_or(16)) {
+                        Ok(doc) => Action::Reply(format!("OK mrcj {tenant} {doc}")),
+                        Err(reason) => Action::Reply(err_line(&reason)),
+                    }
+                }
+                Request::Partition(budget) => match daemon.state.partition(budget) {
+                    Ok(solution) => {
+                        daemon
+                            .state
+                            .note_partition(budget, solution.predicted_aggregate_miss_ratio);
+                        Action::Reply(format!("OK {}", solution.render_compact()))
+                    }
+                    Err(reason) => Action::Reply(err_line(&reason)),
+                },
                 Request::Wss(tenant) => match daemon.state.wss(tenant) {
                     Ok(wss) => Action::Reply(format!("OK wss {tenant} {wss}")),
                     Err(reason) => Action::Reply(err_line(&reason)),
@@ -368,10 +383,11 @@ fn summary(daemon: &Daemon, saved: Option<&str>) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "serve: {} tenant(s), {} access(es), {} rejected HELLO(s)",
+        "serve: {} tenant(s), {} access(es), {} rejected HELLO(s), {} partition answer(s)",
         daemon.state.tenant_count(),
         daemon.state.total_accesses(),
-        daemon.state.rejected()
+        daemon.state.rejected(),
+        daemon.state.partitions()
     );
     for tenant in daemon.state.tenants() {
         let _ = writeln!(
@@ -640,6 +656,61 @@ mod tests {
     }
 
     #[test]
+    fn mrcj_answers_one_json_line() {
+        let daemon = daemon(64, 8, None);
+        let out = drive(&daemon, "HELLO t\n1\n2\n1\n3\nMRCJ t 6\nMRCJ ghost\n");
+        let line = out
+            .lines()
+            .find(|l| l.starts_with("OK mrcj t "))
+            .expect("mrcj answer");
+        let doc = line.strip_prefix("OK mrcj t ").unwrap();
+        let parsed = symloc_core::jsonio::parse(doc).expect("payload parses as JSON");
+        assert_eq!(
+            parsed
+                .get("accesses")
+                .and_then(symloc_core::jsonio::JsonValue::as_u64),
+            Some(4)
+        );
+        assert!(parsed.get("mrc").is_some());
+        assert!(out.contains("ERR unknown tenant \"ghost\""), "{out}");
+    }
+
+    #[test]
+    fn partition_answers_and_counts_from_the_live_table() {
+        let daemon = daemon(64, 8, None);
+        // hot re-touches 4 addresses; cold streams 64 distinct ones.
+        let mut script = String::from("HELLO hot\n");
+        for i in 0..256 {
+            let _ = writeln!(script, "{}", i % 4);
+        }
+        script.push_str("HELLO cold\n");
+        for i in 0..64 {
+            let _ = writeln!(script, "{}", 1000 + i);
+        }
+        script.push_str("PARTITION 8\nPARTITION 0\nSTATS\n");
+        let out = drive(&daemon, &script);
+        let answer = out
+            .lines()
+            .find(|l| l.starts_with("OK partition 8 "))
+            .expect("partition answer");
+        assert!(answer.contains(" hot:"), "{answer}");
+        assert!(answer.contains(" cold:"), "{answer}");
+        assert!(
+            out.contains("ERR partition budget must be positive"),
+            "{out}"
+        );
+        assert!(out.contains("partition.requests=1"), "{out}");
+        assert!(out.contains("partition.last_budget=8"), "{out}");
+    }
+
+    #[test]
+    fn partition_on_an_empty_table_is_a_loud_error() {
+        let daemon = daemon(64, 8, None);
+        let out = drive(&daemon, "PARTITION 64\n");
+        assert!(out.contains("ERR no tenants to partition"), "{out}");
+    }
+
+    #[test]
     fn mrc_answers_are_byte_identical_across_restart() {
         let dir = std::env::temp_dir().join(format!("symloc-serve-cli-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
@@ -647,7 +718,8 @@ mod tests {
         let first = daemon(32, 8, Some(path.clone()));
         let before = drive(
             &first,
-            "HELLO alpha\n1\n2\n3\n1\n2\n3\n9\nHELLO beta\n5\n6\n5\nMRC alpha\nMRC beta 8\nSAVE\n",
+            "HELLO alpha\n1\n2\n3\n1\n2\n3\n9\nHELLO beta\n5\n6\n5\nMRC alpha\nMRC beta 8\n\
+             MRCJ alpha\nPARTITION 16\nSAVE\n",
         );
         // Restart: a fresh daemon resumed from the checkpoint answers the
         // same queries with byte-identical lines.
@@ -660,15 +732,17 @@ mod tests {
             since_save: 0,
             run_span: Span::start(),
         });
-        let after = drive(&second, "MRC alpha\nMRC beta 8\n");
-        let mrc_lines = |s: &str| {
+        let after = drive(&second, "MRC alpha\nMRC beta 8\nMRCJ alpha\nPARTITION 16\n");
+        // Curve and partition answers derive from persisted state only,
+        // so a resumed daemon repeats them byte-for-byte.
+        let answer_lines = |s: &str| {
             s.lines()
-                .filter(|l| l.starts_with("OK mrc"))
+                .filter(|l| l.starts_with("OK mrc") || l.starts_with("OK partition"))
                 .map(ToString::to_string)
                 .collect::<Vec<_>>()
         };
-        assert_eq!(mrc_lines(&before), mrc_lines(&after));
-        assert_eq!(mrc_lines(&before).len(), 2);
+        assert_eq!(answer_lines(&before), answer_lines(&after));
+        assert_eq!(answer_lines(&before).len(), 4);
         // The liveness sidecar matches what `job status` derives from the
         // checkpoint document.
         let hb = Heartbeat::load(&path)

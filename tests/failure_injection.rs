@@ -705,6 +705,74 @@ fn job_resume_on_a_serve_checkpoint_points_at_the_daemon() {
 }
 
 #[test]
+fn partition_failure_rows_are_loud_named_errors_never_panics() {
+    use symmetric_locality::cli;
+    use symmetric_locality::core::partition::{solve, Bounds, TenantCurve, MAX_PARTITION_BUDGET};
+    use symmetric_locality::core::serve::ServeState;
+    use symmetric_locality::core::tracesweep::MrcPoint;
+
+    // PARTITION on an empty tenant table: the daemon-facing path.
+    let empty = ServeState::new(16, 4).unwrap();
+    let err = empty.partition(64).unwrap_err();
+    assert!(err.contains("no tenants to partition"), "{err}");
+
+    // Zero and absurd budgets, through the solver the wire command calls.
+    let mut state = ServeState::new(16, 4).unwrap();
+    let t = state.ensure_tenant("alpha").unwrap();
+    state.record_block(t, &[1, 2, 3, 1, 2]);
+    let err = state.partition(0).unwrap_err();
+    assert!(err.contains("partition budget must be positive"), "{err}");
+    let err = state.partition(MAX_PARTITION_BUDGET + 1).unwrap_err();
+    assert!(err.contains("exceeds the supported maximum"), "{err}");
+
+    // Infeasible bounds and malformed curves name their problem.
+    let curve = TenantCurve::from_points(
+        "t",
+        4.0,
+        &[MrcPoint {
+            cache_size: 2,
+            miss_ratio: 0.5,
+        }],
+    )
+    .unwrap();
+    let err = solve(
+        std::slice::from_ref(&curve),
+        4,
+        &[Bounds { floor: 9, cap: 9 }],
+    )
+    .unwrap_err();
+    assert!(err.contains("more than the budget"), "{err}");
+    let err = TenantCurve::from_points(
+        "t",
+        f64::INFINITY,
+        &[MrcPoint {
+            cache_size: 1,
+            miss_ratio: 0.5,
+        }],
+    )
+    .unwrap_err();
+    assert!(err.contains("finite non-negative"), "{err}");
+
+    // A serve checkpoint with a mangled tenant entry fed to the offline
+    // `symloc partition` CLI: the error names the file and the field.
+    let dir = std::env::temp_dir();
+    let ck = dir.join(format!(
+        "symloc_failinj_partition_{}.json",
+        std::process::id()
+    ));
+    let mangled = state.to_json().replace("tracked", "trackd");
+    std::fs::write(&ck, mangled).unwrap();
+    let args: Vec<String> = ["partition", "64", "--checkpoint", ck.to_str().unwrap()]
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+    let err = cli::run(&args).unwrap_err();
+    assert!(err.0.contains("bad serve checkpoint"), "{err}");
+    assert!(err.0.contains("tracked"), "{err}");
+    std::fs::remove_file(&ck).ok();
+}
+
+#[test]
 fn cli_surfaces_errors_instead_of_panicking() {
     use symmetric_locality::cli;
     assert!(cli::run(&["analyze".to_string(), "/definitely/missing".to_string()]).is_err());
